@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Extension study: synchronous gradient-centric training (INCEPTIONN)
+ * versus the asynchronous parameter-server family its related work
+ * cites (DistBelief, SSP, HogWild). Two panels:
+ *
+ *  (a) statistical efficiency — accuracy after equal gradient work as
+ *      the staleness bound grows (real training, stale-gradient model);
+ *  (b) hardware efficiency — per-update wall time: async removes the
+ *      synchronization barrier but keeps the aggregator's fan-in links
+ *      hot, while INC+C removes the traffic itself.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/synthetic_digits.h"
+#include "distrib/async_trainer.h"
+#include "distrib/func_trainer.h"
+#include "distrib/sim_trainer.h"
+#include "nn/model_zoo.h"
+#include "paper_reference.h"
+#include "stats/table_printer.h"
+
+using namespace inc;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opts = bench::Options::parse(argc, argv);
+    bench::banner("Synchronous INCEPTIONN vs asynchronous parameter "
+                  "server",
+                  "related work [1][2][80][81] — extension study");
+
+    // --- (a) accuracy vs staleness -----------------------------------
+    {
+        SyntheticDigits train(3200, 1, true, 0.3f, 2);
+        SyntheticDigits test(800, 2, true, 0.3f, 2);
+        const uint64_t updates = opts.quick ? 300 : 800;
+
+        TablePrinter t({"Staleness (updates)", "Accuracy", "Mean loss"});
+        CsvWriter csv({"delay", "accuracy", "loss"});
+        for (const int delay : {0, 1, 3, 8, 16, 32}) {
+            AsyncTrainerConfig cfg;
+            cfg.workers = 4;
+            cfg.batchPerWorker = 8;
+            cfg.sgd.learningRate = 0.02;
+            // Stale gradients compound with heavy momentum into
+            // divergence; async deployments run lighter momentum.
+            cfg.sgd.momentum = 0.5;
+            cfg.sgd.lrDecayEvery = 0;
+            cfg.sgd.clipGradNorm = 5.0;
+            cfg.delay = delay;
+            AsyncTrainer trainer(&buildHdcSmall, train, test, cfg);
+            trainer.train(updates);
+            const double acc = trainer.evaluate(800);
+            t.addRow({std::to_string(delay), TablePrinter::num(acc, 3),
+                      TablePrinter::num(trainer.lastMeanLoss(), 3)});
+            csv.addRow({std::to_string(delay), TablePrinter::num(acc, 4),
+                        TablePrinter::num(trainer.lastMeanLoss(), 4)});
+        }
+        std::printf("%s\n",
+                    t.render("(a) HDC (reduced), equal update counts: "
+                             "staleness costs accuracy").c_str());
+        bench::emitCsv(opts, "ext_async_staleness.csv", csv);
+    }
+
+    // --- (b) wall-time view ------------------------------------------
+    {
+        // Async parameter server: a worker's cadence is its own compute
+        // plus its own up+down transfers (no barrier), but all workers
+        // still share the server's links, so the *server-side* update
+        // rate is gated by the aggregator fan-in — model both.
+        const Workload w = alexNetWorkload();
+        const double n_bytes = static_cast<double>(w.modelBytes);
+        const double link_bps = 10e9;
+        const double wire_secs = n_bytes * 8.0 / link_bps * 1.04;
+        const double compute = w.timing.localCompute() + w.timing.update;
+
+        // Server link handles p uploads + p downloads per "round".
+        const int p = 4;
+        const double async_round =
+            std::max(compute, 2.0 * p * wire_secs / p); // per worker
+        const double async_updates_per_s =
+            static_cast<double>(p) /
+            std::max(compute + 2.0 * wire_secs,
+                     2.0 * static_cast<double>(p) * wire_secs);
+
+        SimTrainerConfig sync_cfg;
+        sync_cfg.workload = w;
+        sync_cfg.workers = p;
+        sync_cfg.algorithm = ExchangeAlgorithm::Ring;
+        sync_cfg.compressGradients = true;
+        sync_cfg.wireRatio = bench::paperWireRatio(w.name, 10);
+        sync_cfg.iterations = 10;
+        const double incc_iter =
+            runSimTraining(sync_cfg).secondsPerIteration();
+        // One synchronous iteration applies p gradients at once.
+        const double sync_updates_per_s =
+            static_cast<double>(p) / incc_iter;
+
+        TablePrinter t({"System", "Gradient updates / s", "Barrier-free",
+                        "Fresh gradients"});
+        t.addRow({"Async parameter server",
+                  TablePrinter::num(async_updates_per_s, 2), "yes",
+                  "no (stale)"});
+        t.addRow({"INC+C synchronous ring",
+                  TablePrinter::num(sync_updates_per_s, 2), "no",
+                  "yes"});
+        std::printf("%s\n",
+                    t.render("(b) AlexNet, 4 workers, 10 GbE: update "
+                             "throughput").c_str());
+        (void)async_round;
+    }
+    std::printf("Reading: asynchrony buys barrier freedom at the price "
+                "of stale gradients\nand an unrelieved aggregator "
+                "bottleneck; INCEPTIONN removes the traffic\ninstead and "
+                "keeps gradients exact (up to the bounded codec "
+                "error).\n");
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Extension study: the Fig. 1 organizations on a *two-tier datacenter
+ * fabric* — full-speed 10 GbE inside each rack, an oversubscribed
+ * ToR-to-core tier between racks (paper Sec. VII-C describes exactly
+ * this: "1-10 Gbps within a rack and 10-100 Gbps for the oversubscribed
+ * links between the top of rack switches"). Rack-aligned hierarchical
+ * rings (Fig. 1(c) with groups = racks) cross the oversubscribed tier
+ * only during the small leader ring; the flat ring drags every block
+ * across it 2(p-1) times.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "net/network.h"
+#include "comm/comm_world.h"
+#include "comm/hier_ring_allreduce.h"
+#include "comm/ring_allreduce.h"
+#include "comm/star_allreduce.h"
+#include "stats/table_printer.h"
+
+using namespace inc;
+
+namespace {
+
+constexpr uint64_t kModelBytes = 100 * 1000 * 1000;
+constexpr int kHosts = 16;
+constexpr int kPerRack = 4;
+
+NetworkConfig
+fabric(double core_gbps, int extra_nodes = 0)
+{
+    NetworkConfig cfg;
+    cfg.nodes = kHosts + extra_nodes;
+    // Aggregator ranks (if any) live in the last rack; keep racks full.
+    cfg.hostsPerRack = extra_nodes ? 0 : kPerRack;
+    cfg.coreLinkBitsPerSecond = core_gbps * 1e9;
+    return cfg;
+}
+
+double
+runFlatRing(double core_gbps, uint64_t bytes, bool shuffled)
+{
+    EventQueue events;
+    Network net(events, fabric(core_gbps));
+    CommWorld comm(net);
+    RingConfig cfg;
+    cfg.gradientBytes = bytes;
+    if (shuffled) {
+        // Topology-oblivious placement: stride the ring across racks so
+        // almost every hop crosses the core tier.
+        for (int i = 0; i < kHosts; ++i)
+            cfg.ranks.push_back((i * kPerRack + i / kPerRack) % kHosts);
+    }
+    double secs = -1;
+    events.schedule(0, [&] {
+        runRingAllReduce(comm, cfg,
+                         [&](ExchangeResult r) { secs = r.seconds(); });
+    });
+    events.run();
+    return secs;
+}
+
+double
+runRackAlignedHier(double core_gbps, uint64_t bytes)
+{
+    EventQueue events;
+    Network net(events, fabric(core_gbps));
+    CommWorld comm(net);
+    HierRingConfig cfg;
+    cfg.gradientBytes = bytes;
+    cfg.groups = contiguousGroups(kHosts, kPerRack); // groups == racks
+    double secs = -1;
+    events.schedule(0, [&] {
+        runHierRingAllReduce(comm, cfg,
+                             [&](ExchangeResult r) { secs = r.seconds(); });
+    });
+    events.run();
+    return secs;
+}
+
+double
+runStar(double core_gbps, uint64_t bytes)
+{
+    // The aggregator cluster keeps the single-switch star (its dedicated
+    // node would otherwise sit alone in a rack); this favours WA, which
+    // only strengthens the comparison.
+    EventQueue events;
+    Network net(events, fabric(core_gbps, /*extra_nodes=*/1));
+    CommWorld comm(net);
+    StarConfig cfg;
+    cfg.gradientBytes = bytes;
+    cfg.aggregator = kHosts;
+    for (int i = 0; i < kHosts; ++i)
+        cfg.workers.push_back(i);
+    double secs = -1;
+    events.schedule(0, [&] {
+        runStarAllReduce(comm, cfg,
+                         [&](ExchangeResult r) { secs = r.seconds(); });
+    });
+    events.run();
+    return secs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opts = bench::Options::parse(argc, argv);
+    bench::banner("Two-tier datacenter fabric: rack-aligned rings",
+                  "Sec. VII-C topology — extension study");
+
+    CsvWriter csv({"model_bytes", "core_gbps", "star", "flat_aligned",
+                   "flat_shuffled", "hier_ring"});
+    const struct
+    {
+        const char *label;
+        uint64_t bytes;
+    } models[] = {
+        {"100 MB gradients (AlexNet class)", kModelBytes},
+        {"2 MB gradients (HDC class)", 2 * 1000 * 1000},
+    };
+    for (const auto &model : models) {
+        TablePrinter t({"Core tier", "WA star (s)", "Ring, aligned (s)",
+                        "Ring, shuffled (s)", "Hier rings (s)"});
+        for (const double core_gbps : {40.0, 10.0, 5.0, 2.5}) {
+            const double star = runStar(core_gbps, model.bytes);
+            const double flat =
+                runFlatRing(core_gbps, model.bytes, false);
+            const double shuffled =
+                runFlatRing(core_gbps, model.bytes, true);
+            const double hier =
+                runRackAlignedHier(core_gbps, model.bytes);
+            char tier[48];
+            std::snprintf(tier, sizeof(tier),
+                          "%.1f Gb/s (%.1f:1 oversub)", core_gbps,
+                          10.0 * kPerRack / core_gbps);
+            t.addRow({tier, TablePrinter::num(star, 3),
+                      TablePrinter::num(flat, 3),
+                      TablePrinter::num(shuffled, 3),
+                      TablePrinter::num(hier, 3)});
+            csv.addRow({std::to_string(model.bytes),
+                        TablePrinter::num(core_gbps, 1),
+                        TablePrinter::num(star, 4),
+                        TablePrinter::num(flat, 4),
+                        TablePrinter::num(shuffled, 4),
+                        TablePrinter::num(hier, 4)});
+        }
+        std::printf("%s\n",
+                    t.render(std::string("16 hosts in 4 racks, ") +
+                             model.label + ", 10 GbE in-rack")
+                        .c_str());
+    }
+    std::printf(
+        "Reading: placement decides everything. A rack-aligned flat ring "
+        "crosses the\ncore only at rack boundaries and stays close to "
+        "optimal; a topology-oblivious\n(shuffled) ring drags every "
+        "block across the oversubscribed tier and collapses.\nThe "
+        "hierarchy of rings (Fig. 1(c) on racks) is placement-robust by "
+        "construction\nand wins outright for latency-bound (small) "
+        "models.\n");
+    bench::emitCsv(opts, "ext_datacenter.csv", csv);
+    return 0;
+}

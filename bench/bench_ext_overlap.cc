@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Extension study: overlapping gradient exchange with the backward pass
+ * (gradient bucketing — the future-work direction modern data-parallel
+ * frameworks like PyTorch DDP later adopted). The gradient vector is
+ * split into B buckets; bucket b ships as soon as the slice of the
+ * backward pass that produces it finishes. Combined with INCEPTIONN's
+ * ring + compression, communication hides almost entirely behind
+ * compute for compute-heavy models.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "distrib/sim_trainer.h"
+#include "paper_reference.h"
+#include "stats/table_printer.h"
+
+using namespace inc;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opts = bench::Options::parse(argc, argv);
+    bench::banner("Compute/communication overlap (gradient bucketing)",
+                  "future-work extension");
+
+    const uint64_t iters = opts.iterations ? opts.iterations : 10;
+    CsvWriter csv({"model", "variant", "buckets", "seconds_per_iter"});
+    for (const auto &w : allWorkloads()) {
+        TablePrinter t({"Buckets", "INC (s/iter)", "INC+C (s/iter)",
+                        "Hidden comm"});
+        const double compute_floor =
+            w.timing.localCompute() + w.timing.update;
+        for (const int buckets : {1, 2, 4, 8, 16}) {
+            auto run = [&](bool compress) {
+                SimTrainerConfig cfg;
+                cfg.workload = w;
+                cfg.workers = 4;
+                cfg.algorithm = ExchangeAlgorithm::Ring;
+                cfg.compressGradients = compress;
+                cfg.wireRatio = bench::paperWireRatio(w.name, 10);
+                cfg.iterations = iters;
+                cfg.overlapBuckets = buckets;
+                return runSimTraining(cfg).secondsPerIteration();
+            };
+            const double inc = run(false);
+            const double inc_c = run(true);
+            // How much of the compressed iteration is pure compute?
+            const double hidden = compute_floor / inc_c;
+            t.addRow({std::to_string(buckets), TablePrinter::num(inc, 3),
+                      TablePrinter::num(inc_c, 3),
+                      TablePrinter::pct(std::min(hidden, 1.0))});
+            csv.addRow({w.name, "INC", std::to_string(buckets),
+                        TablePrinter::num(inc, 5)});
+            csv.addRow({w.name, "INC+C", std::to_string(buckets),
+                        TablePrinter::num(inc_c, 5)});
+        }
+        char title[160];
+        std::snprintf(title, sizeof(title),
+                      "%s (compute floor %.3f s/iter)", w.name.c_str(),
+                      compute_floor);
+        std::printf("%s\n", t.render(title).c_str());
+    }
+    std::printf("Reading: bucketing + INC+C pushes compute-heavy models "
+                "(VGG-16) to ~100%%\ncompute-bound; tiny models (HDC) "
+                "stay latency-bound — per-message overheads\ndo not "
+                "bucket away.\n");
+    bench::emitCsv(opts, "ext_overlap.csv", csv);
+    return 0;
+}

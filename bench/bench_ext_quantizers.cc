@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Extension study: INCEPTIONN's codec versus the algorithmic
+ * gradient-reduction baselines its related-work section cites —
+ * TernGrad [26], QSGD [27], and DGC-style top-k sparsification [12] —
+ * trained with the same ring, same iterations, on live gradients.
+ *
+ * Besides accuracy-vs-ratio, the table records the property that makes
+ * INCEPTIONN NIC-friendly and the baselines not: whether the scheme is
+ * a *streaming per-value* transform (a NIC can apply it at line rate)
+ * or needs whole-vector statistics (max / L2 norm / order statistics),
+ * which forces a software pass before the data reaches the wire.
+ */
+
+#include <cstdio>
+
+#include "baselines/half_precision.h"
+#include "baselines/quantizers.h"
+#include "bench_util.h"
+#include "data/synthetic_digits.h"
+#include "distrib/func_trainer.h"
+#include "nn/model_zoo.h"
+#include "stats/table_printer.h"
+
+using namespace inc;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opts = bench::Options::parse(argc, argv);
+    bench::banner("INCEPTIONN vs algorithmic gradient reduction",
+                  "related work [12][26][27] — extension study");
+
+    SyntheticDigits train(3200, 1, true, 0.3f, 2);
+    SyntheticDigits test(800, 2, true, 0.3f, 2);
+    const uint64_t iters =
+        opts.iterations ? opts.iterations : (opts.quick ? 120 : 300);
+
+    const GradientCodec inc10(10);
+    TernGradCodec terngrad(41);
+    QsgdCodec qsgd(4, 42);
+    const TopKSparsifier topk(0.05);
+
+    struct Row
+    {
+        std::string name;
+        const GradientCodec *codec;
+        std::function<void(std::span<float>)> transform;
+        bool error_feedback;
+        double ratio;
+        const char *streaming;
+    };
+    const size_t n_params = 0; // filled after first trainer
+    (void)n_params;
+
+    std::vector<Row> rows;
+    rows.push_back({"Lossless", nullptr, nullptr, false, 1.0, "-"});
+    rows.push_back({"INC(2^-10) per-value", &inc10, nullptr, false, 0.0,
+                    "yes (NIC)"});
+    rows.push_back({"fp16 cast", nullptr,
+                    [](std::span<float> g) {
+                        HalfPrecisionCodec::roundtrip(g);
+                    },
+                    false, HalfPrecisionCodec::ratio(), "yes (cast)"});
+    rows.push_back({"TernGrad", nullptr,
+                    [&](std::span<float> g) { terngrad.roundtrip(g); },
+                    false, 0.0, "no (max)"});
+    rows.push_back({"QSGD s=4", nullptr,
+                    [&](std::span<float> g) { qsgd.roundtrip(g); }, false,
+                    0.0, "no (L2 norm)"});
+    rows.push_back({"Top-5% + EF (DGC)", nullptr,
+                    [&](std::span<float> g) { topk.roundtrip(g); }, true,
+                    topk.ratio(), "no (order stats)"});
+
+    TablePrinter t({"Scheme", "Accuracy", "Ratio", "NIC-streamable"});
+    CsvWriter csv({"scheme", "accuracy", "ratio"});
+    for (auto &row : rows) {
+        FuncTrainerConfig cfg;
+        cfg.nodes = 4;
+        cfg.batchPerNode = 8;
+        cfg.sgd.learningRate = 0.05;
+        cfg.sgd.lrDecayEvery = 0;
+        cfg.sgd.clipGradNorm = 5.0;
+        cfg.codec = row.codec;
+        cfg.compressionPoint = CompressionPoint::AtSource;
+        cfg.sourceTransform = row.transform;
+        cfg.errorFeedback = row.error_feedback;
+        FuncTrainer trainer(&buildHdcSmall, train, test, cfg);
+        trainer.train(iters);
+        const double acc = trainer.evaluate(800);
+
+        double ratio = row.ratio;
+        if (row.codec)
+            ratio = trainer.achievedWireRatio();
+        else if (row.name == "TernGrad")
+            ratio = TernGradCodec::ratio(trainer.paramCount());
+        else if (row.name.rfind("QSGD", 0) == 0)
+            ratio = qsgd.ratio(trainer.paramCount());
+
+        t.addRow({row.name, TablePrinter::num(acc, 3),
+                  TablePrinter::num(ratio, 1), row.streaming});
+        csv.addRow({row.name, TablePrinter::num(acc, 4),
+                    TablePrinter::num(ratio, 2)});
+    }
+    std::printf("%s\n",
+                t.render("HDC (reduced), ring exchange, equal "
+                         "iterations").c_str());
+    std::printf(
+        "Reading: the baselines reach comparable accuracy with "
+        "comparable-or-better\nratios, but none is a streaming per-value "
+        "transform — they need whole-vector\nstatistics and therefore a "
+        "software pass, which is exactly the Fig. 7 cost\nINCEPTIONN's "
+        "NIC offload avoids.\n");
+    bench::emitCsv(opts, "ext_quantizers.csv", csv);
+    return 0;
+}

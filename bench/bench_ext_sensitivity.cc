@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Extension study: the paper's motivational claims, swept.
+ *
+ *  (a) Network generations: the paper targets 10 GbE racks (Sec. VII-C,
+ *      "we did not consider 40-100 Gbps"); how do the WA bottleneck and
+ *      the INC+C benefit evolve from 1 to 100 Gb/s?
+ *  (b) Accelerator scaling: the intro argues the communication/compute
+ *      ratio grows as accelerators cut compute time; sweep a compute
+ *      speedup factor over the Table II times and watch the
+ *      communication share and the INCEPTIONN benefit grow.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "distrib/sim_trainer.h"
+#include "paper_reference.h"
+#include "stats/table_printer.h"
+
+using namespace inc;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opts = bench::Options::parse(argc, argv);
+    bench::banner("Sensitivity to network and accelerator generations",
+                  "extension of Secs. I / VII-C");
+
+    const Workload base = alexNetWorkload();
+    const double ratio = bench::paperWireRatio(base.name, 10);
+    const uint64_t iters = opts.iterations ? opts.iterations : 10;
+
+    auto run = [&](const Workload &w, ExchangeAlgorithm algo,
+                   bool compress, double gbps) {
+        SimTrainerConfig cfg;
+        cfg.workload = w;
+        cfg.workers = 4;
+        cfg.algorithm = algo;
+        cfg.compressGradients = compress;
+        cfg.wireRatio = ratio;
+        cfg.iterations = iters;
+        cfg.netConfig.linkBitsPerSecond = gbps * 1e9;
+        return runSimTraining(cfg);
+    };
+
+    // --- (a) link bandwidth sweep ------------------------------------
+    {
+        TablePrinter t({"Link", "WA comm share", "INC+C speedup"});
+        CsvWriter csv({"gbps", "wa_comm_fraction", "incc_speedup"});
+        for (const double gbps : {1.0, 10.0, 25.0, 40.0, 100.0}) {
+            const auto wa =
+                run(base, ExchangeAlgorithm::WorkerAggregator, false,
+                    gbps);
+            const auto inc_c =
+                run(base, ExchangeAlgorithm::Ring, true, gbps);
+            const double speedup = wa.totalSeconds / inc_c.totalSeconds;
+            char link[32];
+            std::snprintf(link, sizeof(link), "%.0f GbE", gbps);
+            t.addRow({link,
+                      TablePrinter::pct(
+                          wa.breakdown.communicationFraction()),
+                      TablePrinter::num(speedup, 2)});
+            csv.addRow({TablePrinter::num(gbps, 0),
+                        TablePrinter::num(
+                            wa.breakdown.communicationFraction(), 4),
+                        TablePrinter::num(speedup, 3)});
+        }
+        std::printf("%s\n",
+                    t.render("(a) AlexNet, 4 workers: faster links "
+                             "shrink but do not remove the win").c_str());
+        bench::emitCsv(opts, "ext_bandwidth_sweep.csv", csv);
+    }
+
+    // --- (b) accelerator scaling sweep --------------------------------
+    {
+        TablePrinter t({"Compute speedup", "WA comm share",
+                        "INC+C speedup"});
+        CsvWriter csv({"compute_speedup", "wa_comm_fraction",
+                       "incc_speedup"});
+        for (const double accel : {1.0, 2.0, 4.0, 8.0}) {
+            Workload w = base;
+            w.timing.forward /= accel;
+            w.timing.backward /= accel;
+            w.timing.gpuCopy /= accel;
+            w.timing.update /= accel;
+            const auto wa = run(w, ExchangeAlgorithm::WorkerAggregator,
+                                false, 10.0);
+            const auto inc_c =
+                run(w, ExchangeAlgorithm::Ring, true, 10.0);
+            const double speedup = wa.totalSeconds / inc_c.totalSeconds;
+            t.addRow({TablePrinter::num(accel, 0) + "x",
+                      TablePrinter::pct(
+                          wa.breakdown.communicationFraction()),
+                      TablePrinter::num(speedup, 2)});
+            csv.addRow({TablePrinter::num(accel, 1),
+                        TablePrinter::num(
+                            wa.breakdown.communicationFraction(), 4),
+                        TablePrinter::num(speedup, 3)});
+        }
+        std::printf("%s\n",
+                    t.render("(b) AlexNet, 10 GbE: faster accelerators "
+                             "make communication — and INCEPTIONN — "
+                             "matter more (paper Sec. I)").c_str());
+        bench::emitCsv(opts, "ext_accelerator_sweep.csv", csv);
+    }
+    return 0;
+}

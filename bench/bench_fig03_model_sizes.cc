@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Paper Fig. 3: (a) the weight/gradient sizes of the evaluated DNNs and
+ * (b) the fraction of training time spent in communication on a
+ * worker-aggregator cluster of five nodes with 10 Gb Ethernet.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "distrib/sim_trainer.h"
+#include "nn/model_zoo.h"
+#include "paper_reference.h"
+#include "stats/table_printer.h"
+
+using namespace inc;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opts = bench::Options::parse(argc, argv);
+    bench::banner("Model sizes and communication share", "Figure 3");
+
+    // --- Fig. 3(a): model sizes ------------------------------------
+    TablePrinter sizes({"Model", "Parameters", "Size (MiB)",
+                        "Paper (MB)"});
+    const struct
+    {
+        ModelSpec spec;
+        const char *paper;
+    } rows[] = {
+        {alexNetSpec(), "233"},   {vgg16Spec(), "525"},
+        {resNet152Spec(), "~240"}, {resNet50Spec(), "98"},
+        {hdcSpec(), "2.5 (*)"},
+    };
+    CsvWriter csv_a({"model", "parameters", "mib"});
+    for (const auto &row : rows) {
+        sizes.addRow({row.spec.name, std::to_string(row.spec.paramCount()),
+                      TablePrinter::num(row.spec.sizeMB(), 1), row.paper});
+        csv_a.addRow({row.spec.name, std::to_string(row.spec.paramCount()),
+                      TablePrinter::num(row.spec.sizeMB(), 2)});
+    }
+    std::printf("%s", sizes.render("Fig. 3(a): exchanged gradient/weight "
+                                   "size per iteration").c_str());
+    std::printf("(*) The paper quotes 2.5 MB for HDC; five 500-wide FC "
+                "layers over 784-d input\n    total 1.1 M parameters = "
+                "4.4 MiB. We report our exact architecture.\n\n");
+    bench::emitCsv(opts, "fig03a_model_sizes.csv", csv_a);
+
+    // --- Fig. 3(b): communication share on the 4+1 cluster ----------
+    TablePrinter comm({"Model", "Comm share (sim)", "Paper"});
+    CsvWriter csv_b({"model", "comm_fraction"});
+    for (const auto &w : allWorkloads()) {
+        SimTrainerConfig cfg;
+        cfg.workload = w;
+        cfg.workers = 4;
+        cfg.algorithm = ExchangeAlgorithm::WorkerAggregator;
+        cfg.iterations = opts.iterations ? opts.iterations : 20;
+        const SimTrainerResult r = runSimTraining(cfg);
+        double paper_frac = 0.0;
+        for (const auto &ref : bench::paperTable2())
+            if (ref.model == w.name)
+                paper_frac = ref.communicateFraction;
+        comm.addRow({w.name,
+                     TablePrinter::pct(r.breakdown.communicationFraction()),
+                     TablePrinter::pct(paper_frac)});
+        csv_b.addRow({w.name,
+                      TablePrinter::num(
+                          r.breakdown.communicationFraction(), 4)});
+    }
+    std::printf("%s", comm.render("Fig. 3(b): fraction of training time "
+                                  "spent exchanging g and w (WA, 4+1 "
+                                  "nodes, 10 GbE)").c_str());
+    bench::emitCsv(opts, "fig03b_comm_share.csv", csv_b);
+    return 0;
+}

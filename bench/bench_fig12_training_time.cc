@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Paper Fig. 12: training time of the worker-aggregator baseline (WA),
+ * WA with gradient-leg compression (WA+C), the INCEPTIONN ring (INC),
+ * and the full system (INC+C) — normalized to WA, split into
+ * computation and communication (+ HW compression) — for the same
+ * number of iterations. Codec wire ratios per model come from the
+ * paper's own Table III distributions (error bound 2^-10).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "distrib/sim_trainer.h"
+#include "paper_reference.h"
+#include "stats/table_printer.h"
+
+using namespace inc;
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    ExchangeAlgorithm algo;
+    bool compress;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opts = bench::Options::parse(argc, argv);
+    bench::banner("Training time: WA / WA+C / INC / INC+C", "Figure 12");
+
+    const uint64_t iters = opts.iterations ? opts.iterations : 20;
+    const Variant variants[] = {
+        {"WA", ExchangeAlgorithm::WorkerAggregator, false},
+        {"WA+C", ExchangeAlgorithm::WorkerAggregator, true},
+        {"INC", ExchangeAlgorithm::Ring, false},
+        {"INC+C", ExchangeAlgorithm::Ring, true},
+    };
+
+    CsvWriter csv({"model", "variant", "total_norm", "compute_norm",
+                   "comm_norm"});
+    for (const auto &w : allWorkloads()) {
+        const double ratio = bench::paperWireRatio(w.name, 10);
+        TablePrinter t({"Variant", "Total (norm)", "Compute (norm)",
+                        "Comm (norm)", "Total (s)"});
+        double wa_total = 0.0;
+        for (const auto &v : variants) {
+            SimTrainerConfig cfg;
+            cfg.workload = w;
+            cfg.workers = 4;
+            cfg.algorithm = v.algo;
+            cfg.compressGradients = v.compress;
+            cfg.wireRatio = ratio;
+            cfg.iterations = iters;
+            const SimTrainerResult r = runSimTraining(cfg);
+            if (wa_total == 0.0)
+                wa_total = r.totalSeconds;
+            const double comm =
+                r.breakdown.seconds(TrainStep::Communicate) +
+                r.breakdown.seconds(TrainStep::GradientSum);
+            const double compute = r.breakdown.total() - comm;
+            t.addRow({v.name,
+                      TablePrinter::num(r.totalSeconds / wa_total, 3),
+                      TablePrinter::num(compute / wa_total, 3),
+                      TablePrinter::num(comm / wa_total, 3),
+                      TablePrinter::num(r.totalSeconds, 2)});
+            csv.addRow({w.name, v.name,
+                        TablePrinter::num(r.totalSeconds / wa_total, 4),
+                        TablePrinter::num(compute / wa_total, 4),
+                        TablePrinter::num(comm / wa_total, 4)});
+        }
+        char title[160];
+        double paper_speedup = 0.0;
+        for (const auto &ref : bench::paperFig12())
+            if (ref.model == w.name)
+                paper_speedup = ref.incCSpeedup;
+        std::snprintf(title, sizeof(title),
+                      "%s (codec ratio %.1fx at 2^-10; paper INC+C "
+                      "speedup: %.1fx)",
+                      w.name.c_str(), ratio, paper_speedup);
+        std::printf("%s\n", t.render(title).c_str());
+    }
+    bench::emitCsv(opts, "fig12_training_time.csv", csv);
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Paper Fig. 14: (a) average compression ratio and (b) relative trained
+ * accuracy of the lossy schemes — truncation at 16/22/24 bits and
+ * INCEPTIONN at error bounds 2^-10 / 2^-8 / 2^-6 — with all systems
+ * trained by the gradient-centric ring for the same number of
+ * iterations. Ratios are measured on real gradient snapshots from the
+ * live models; accuracies come from real training runs with the scheme
+ * applied on every ring hop.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/synthetic_digits.h"
+#include "data/synthetic_images.h"
+#include "distrib/func_trainer.h"
+#include "nn/model_zoo.h"
+#include "stats/table_printer.h"
+
+using namespace inc;
+
+namespace {
+
+struct Scheme
+{
+    std::string name;
+    const TruncationCodec *trunc = nullptr;
+    const GradientCodec *codec = nullptr;
+};
+
+struct ModelSetup
+{
+    std::string name;
+    FuncTrainer::ModelBuilder builder;
+    const Dataset *train;
+    const Dataset *test;
+    double lr;
+    uint64_t iters;
+};
+
+double
+trainWith(const ModelSetup &m, const Scheme &s, double *ratio_out,
+          GradientTrace *trace_out, int seeds)
+{
+    double acc = 0.0;
+    double ratio = 0.0;
+    for (int seed = 0; seed < seeds; ++seed) {
+        FuncTrainerConfig cfg;
+        cfg.nodes = 4;
+        cfg.batchPerNode = 8;
+        cfg.exchange = FuncExchange::Ring;
+        cfg.sgd.learningRate = m.lr;
+        cfg.sgd.lrDecayEvery = 0;
+        cfg.sgd.clipGradNorm = 5.0;
+        cfg.seed = 21 + static_cast<uint64_t>(seed) * 17;
+        cfg.truncateGradients = s.trunc;
+        cfg.codec = s.codec;
+        FuncTrainer t(m.builder, *m.train, *m.test, cfg);
+        if (trace_out && seed == 0)
+            t.captureGradientsAt({m.iters / 2});
+        t.train(m.iters);
+        acc += t.evaluate(800);
+        ratio += t.achievedWireRatio();
+        if (trace_out && seed == 0)
+            *trace_out = t.gradientTrace();
+    }
+    if (ratio_out)
+        *ratio_out = ratio / seeds;
+    return acc / seeds;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opts = bench::Options::parse(argc, argv);
+    bench::banner("Compression ratio and accuracy of lossy schemes",
+                  "Figure 14");
+
+    const TruncationCodec t16(16), t22(22), t24(24);
+    const GradientCodec inc10(10), inc8(8), inc6(6);
+    const Scheme schemes[] = {
+        {"Base", nullptr, nullptr},
+        {"16b-T", &t16, nullptr},
+        {"22b-T", &t22, nullptr},
+        {"24b-T", &t24, nullptr},
+        {"INC(2^-10)", nullptr, &inc10},
+        {"INC(2^-8)", nullptr, &inc8},
+        {"INC(2^-6)", nullptr, &inc6},
+    };
+
+    SyntheticDigits digits_train(4000, 1), digits_test(1000, 2);
+    SyntheticImages images_train(1600, 3), images_test(500, 4);
+    const uint64_t hdc_iters =
+        opts.iterations ? opts.iterations : (opts.quick ? 120 : 300);
+    const uint64_t cnn_iters =
+        opts.iterations ? opts.iterations : (opts.quick ? 25 : 60);
+
+    const ModelSetup models[] = {
+        {"HDC", &buildHdcSmall, &digits_train, &digits_test, 0.05,
+         hdc_iters},
+        {"CNN-proxy", &buildCnnProxySmall, &images_train, &images_test,
+         0.02, cnn_iters},
+    };
+
+    CsvWriter csv({"model", "scheme", "ratio", "accuracy",
+                   "relative_accuracy"});
+    for (const auto &m : models) {
+        // Base run also provides a gradient snapshot to measure the
+        // truncation ratios against (they are fixed-format anyway).
+        const int seeds = opts.seeds ? opts.seeds : (opts.quick ? 1 : 2);
+        GradientTrace trace;
+        double base_ratio = 1.0;
+        const double base_acc =
+            trainWith(m, schemes[0], &base_ratio, &trace, seeds);
+
+        TablePrinter table({"Scheme", "Avg ratio", "Accuracy",
+                            "Rel. accuracy"});
+        table.addRow({"Base", "1.0", TablePrinter::num(base_acc, 3),
+                      "1.000"});
+        csv.addRow({m.name, "Base", "1.0", TablePrinter::num(base_acc, 4),
+                    "1.0"});
+
+        for (size_t i = 1; i < std::size(schemes); ++i) {
+            const Scheme &s = schemes[i];
+            double ratio = 1.0;
+            const double acc = trainWith(m, s, &ratio, nullptr, seeds);
+            if (s.trunc)
+                ratio = s.trunc->ratio();
+            const double rel = base_acc > 0 ? acc / base_acc : 0.0;
+            table.addRow({s.name, TablePrinter::num(ratio, 1),
+                          TablePrinter::num(acc, 3),
+                          TablePrinter::num(rel, 3)});
+            csv.addRow({m.name, s.name, TablePrinter::num(ratio, 2),
+                        TablePrinter::num(acc, 4),
+                        TablePrinter::num(rel, 4)});
+        }
+        std::printf("%s\n",
+                    table.render(m.name + " (ring-trained, equal "
+                                          "iterations)")
+                        .c_str());
+    }
+
+    std::printf(
+        "Expected shape (paper Fig. 14): truncation tops out at 4x and "
+        "24b-T wrecks\naccuracy; INC ratios grow as the bound relaxes "
+        "(up to ~15x) with <2%% accuracy\nloss at the same epochs.\n");
+    bench::emitCsv(opts, "fig14_ratio_accuracy.csv", csv);
+    return 0;
+}

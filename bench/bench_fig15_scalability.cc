@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Paper Fig. 15: gradient exchange time (communication + summation) of
+ * the INCEPTIONN ring (INC) versus the worker-aggregator baseline (WA)
+ * as the cluster grows from 4 to 8 workers, normalized to the 4-node WA
+ * case, for all four models — plus the Sec. VIII-D analytical model
+ * beside the simulation.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "comm/analytical.h"
+#include "distrib/sim_trainer.h"
+#include "stats/table_printer.h"
+
+using namespace inc;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opts = bench::Options::parse(argc, argv);
+    bench::banner("Gradient exchange time scalability", "Figure 15");
+
+    const uint64_t iters = opts.iterations ? opts.iterations : 5;
+    const int node_counts[] = {4, 6, 8};
+
+    CsvWriter csv({"model", "nodes", "wa_norm", "inc_norm",
+                   "wa_analytical_norm", "inc_analytical_norm"});
+    for (const auto &w : allWorkloads()) {
+        TablePrinter t({"Nodes", "WA (sim)", "INC (sim)", "WA (model)",
+                        "INC (model)"});
+        double wa4 = 0.0;
+        double wa4_model = 0.0;
+        CostModelParams m;
+        m.gamma = w.sumSecondsPerByte();
+
+        for (int nodes : node_counts) {
+            auto exchange = [&](ExchangeAlgorithm algo) {
+                SimTrainerConfig cfg;
+                cfg.workload = w;
+                cfg.workers = nodes;
+                cfg.algorithm = algo;
+                cfg.iterations = iters;
+                return runSimTraining(cfg).gradientExchangeSeconds /
+                       static_cast<double>(iters);
+            };
+            const double wa =
+                exchange(ExchangeAlgorithm::WorkerAggregator);
+            const double inc = exchange(ExchangeAlgorithm::Ring);
+            const double wa_model =
+                waExchangeSeconds(nodes, w.modelBytes, m);
+            const double inc_model =
+                ringExchangeSeconds(nodes, w.modelBytes, m);
+            if (wa4 == 0.0) {
+                wa4 = wa;
+                wa4_model = wa_model;
+            }
+            t.addRow({std::to_string(nodes),
+                      TablePrinter::num(wa / wa4, 2),
+                      TablePrinter::num(inc / wa4, 2),
+                      TablePrinter::num(wa_model / wa4_model, 2),
+                      TablePrinter::num(inc_model / wa4_model, 2)});
+            csv.addRow({w.name, std::to_string(nodes),
+                        TablePrinter::num(wa / wa4, 4),
+                        TablePrinter::num(inc / wa4, 4),
+                        TablePrinter::num(wa_model / wa4_model, 4),
+                        TablePrinter::num(inc_model / wa4_model, 4)});
+        }
+        std::printf("%s\n",
+                    t.render(w.name + " (normalized to 4-node WA)")
+                        .c_str());
+    }
+    std::printf("Expected shape: WA grows ~linearly with nodes; INC stays "
+                "~flat (paper Fig. 15).\n");
+    bench::emitCsv(opts, "fig15_scalability.csv", csv);
+    return 0;
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the INCEPTIONN codec, the burst
+ * engine models, the ring all-reduce executor, and the software codec
+ * baselines — the throughput numbers behind the Fig. 7/12 arguments.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/snappy_like.h"
+#include "baselines/sz_like.h"
+#include "baselines/truncation.h"
+#include "core/inceptionn.h"
+#include "sim/random.h"
+
+namespace {
+
+using namespace inc;
+
+std::vector<float>
+gradientLike(size_t n, uint64_t seed = 42)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian(0.0, 0.02));
+    return v;
+}
+
+void
+BM_CodecCompress(benchmark::State &state)
+{
+    const GradientCodec codec(static_cast<int>(state.range(0)));
+    const auto vals = gradientLike(1 << 16);
+    for (auto _ : state) {
+        uint64_t bits = codec.measure(vals);
+        benchmark::DoNotOptimize(bits);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(vals.size() * 4));
+}
+BENCHMARK(BM_CodecCompress)->Arg(6)->Arg(8)->Arg(10);
+
+void
+BM_CodecRoundtrip(benchmark::State &state)
+{
+    const GradientCodec codec(10);
+    auto vals = gradientLike(1 << 16);
+    for (auto _ : state) {
+        codec.roundtrip(vals);
+        benchmark::DoNotOptimize(vals.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(vals.size() * 4));
+}
+BENCHMARK(BM_CodecRoundtrip);
+
+void
+BM_StreamEncode(benchmark::State &state)
+{
+    const GradientCodec codec(10);
+    const auto vals = gradientLike(1 << 16);
+    for (auto _ : state) {
+        const CompressedStream s = encodeStream(codec, vals);
+        benchmark::DoNotOptimize(s.bytes.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(vals.size() * 4));
+}
+BENCHMARK(BM_StreamEncode);
+
+void
+BM_StreamDecode(benchmark::State &state)
+{
+    const GradientCodec codec(10);
+    const auto vals = gradientLike(1 << 16);
+    const CompressedStream s = encodeStream(codec, vals);
+    std::vector<float> out(vals.size());
+    for (auto _ : state) {
+        decodeStream(codec, s, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(vals.size() * 4));
+}
+BENCHMARK(BM_StreamDecode);
+
+void
+BM_BurstCompressorModel(benchmark::State &state)
+{
+    const GradientCodec codec(10);
+    const auto vals = gradientLike(1 << 15);
+    for (auto _ : state) {
+        BurstCompressor engine(codec);
+        engine.feed(vals);
+        const CompressedStream s = engine.finish();
+        benchmark::DoNotOptimize(s.bitSize);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(vals.size() * 4));
+}
+BENCHMARK(BM_BurstCompressorModel);
+
+void
+BM_RingAllReduceInMemory(benchmark::State &state)
+{
+    const bool compressed = state.range(0) != 0;
+    const GradientCodec codec(10);
+    const size_t n = 1 << 14;
+    std::vector<std::vector<float>> reps(4);
+    for (size_t i = 0; i < 4; ++i)
+        reps[i] = gradientLike(n, i + 1);
+    for (auto _ : state) {
+        auto copy = reps;
+        std::vector<std::span<float>> spans;
+        for (auto &r : copy)
+            spans.emplace_back(r);
+        const RingExchangeStats stats =
+            ringAllReduce(spans, compressed ? &codec : nullptr);
+        benchmark::DoNotOptimize(stats.totalWireBytes);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n * 4 * 4));
+}
+BENCHMARK(BM_RingAllReduceInMemory)->Arg(0)->Arg(1);
+
+void
+BM_SnappyLikeCompress(benchmark::State &state)
+{
+    const auto vals = gradientLike(1 << 16);
+    const std::span<const uint8_t> bytes(
+        reinterpret_cast<const uint8_t *>(vals.data()), vals.size() * 4);
+    for (auto _ : state) {
+        const auto out = SnappyLikeCodec::compress(bytes);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_SnappyLikeCompress);
+
+void
+BM_SzLikeCompress(benchmark::State &state)
+{
+    const SzLikeCodec codec(1.0 / 1024.0);
+    const auto vals = gradientLike(1 << 16);
+    for (auto _ : state) {
+        const auto out = codec.compress(vals);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(vals.size() * 4));
+}
+BENCHMARK(BM_SzLikeCompress);
+
+void
+BM_TruncationRoundtrip(benchmark::State &state)
+{
+    const TruncationCodec codec(16);
+    auto vals = gradientLike(1 << 16);
+    for (auto _ : state) {
+        codec.roundtrip(std::span<float>(vals));
+        benchmark::DoNotOptimize(vals.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(vals.size() * 4));
+}
+BENCHMARK(BM_TruncationRoundtrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

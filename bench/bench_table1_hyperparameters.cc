@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Paper Table I: the training hyperparameters of the four benchmarks,
+ * echoed from the workload registry the other experiments consume (so a
+ * drifting constant shows up here immediately).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "distrib/compute_model.h"
+#include "stats/table_printer.h"
+
+using namespace inc;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opts = bench::Options::parse(argc, argv);
+    bench::banner("Benchmark hyperparameters", "Table I");
+
+    TablePrinter t({"Hyperparameter", "AlexNet", "HDC", "ResNet-50",
+                    "VGG-16"});
+    const auto ws = allWorkloads();
+    auto row = [&](const std::string &name, auto getter) {
+        std::vector<std::string> cells{name};
+        for (const auto &w : ws)
+            cells.push_back(getter(w));
+        t.addRow(cells);
+    };
+    row("Per-node batch size",
+        [](const Workload &w) { return std::to_string(w.perNodeBatch); });
+    row("Learning rate (LR)", [](const Workload &w) {
+        return TablePrinter::num(w.hyper.learningRate, 2);
+    });
+    row("LR reduction", [](const Workload &w) {
+        return TablePrinter::num(w.hyper.lrDecayFactor, 0);
+    });
+    row("LR reduction every (iters)", [](const Workload &w) {
+        return std::to_string(w.hyper.lrDecayEvery);
+    });
+    row("Momentum", [](const Workload &w) {
+        return TablePrinter::num(w.hyper.momentum, 1);
+    });
+    row("Weight decay", [](const Workload &w) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%g", w.hyper.weightDecay);
+        return std::string(buf);
+    });
+    row("Training iterations", [](const Workload &w) {
+        return std::to_string(w.totalIterations);
+    });
+    std::printf("%s", t.render("Table I: hyperparameters").c_str());
+
+    CsvWriter csv({"model", "batch", "lr", "lr_reduction",
+                   "lr_reduce_every", "momentum", "weight_decay",
+                   "iterations"});
+    for (const auto &w : ws) {
+        char wd[32];
+        std::snprintf(wd, sizeof(wd), "%g", w.hyper.weightDecay);
+        csv.addRow({w.name, std::to_string(w.perNodeBatch),
+                    TablePrinter::num(w.hyper.learningRate, 3),
+                    TablePrinter::num(w.hyper.lrDecayFactor, 0),
+                    std::to_string(w.hyper.lrDecayEvery),
+                    TablePrinter::num(w.hyper.momentum, 1), wd,
+                    std::to_string(w.totalIterations)});
+    }
+    bench::emitCsv(opts, "table1_hyperparameters.csv", csv);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Paper Table II: detailed 100-iteration time breakdown of training each
+ * benchmark on the worker-aggregator five-node 10 GbE cluster. Compute
+ * steps come from the calibrated compute model (the paper's own
+ * measurements); Communicate and the exchange-side Gradient sum come
+ * from the packet-level simulation.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "distrib/sim_trainer.h"
+#include "paper_reference.h"
+#include "stats/table_printer.h"
+
+using namespace inc;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opts = bench::Options::parse(argc, argv);
+    bench::banner("Training-time breakdown (WA, 4 workers + aggregator)",
+                  "Table II");
+
+    const uint64_t iters = opts.iterations ? opts.iterations : 100;
+    CsvWriter csv({"model", "step", "seconds", "fraction"});
+
+    for (const auto &w : allWorkloads()) {
+        SimTrainerConfig cfg;
+        cfg.workload = w;
+        cfg.workers = 4;
+        cfg.algorithm = ExchangeAlgorithm::WorkerAggregator;
+        cfg.iterations = iters;
+        const SimTrainerResult r = runSimTraining(cfg);
+
+        TablePrinter t({"Step", "Abs (s)", "Norm"});
+        for (int s = 0; s < kTrainStepCount; ++s) {
+            const TrainStep step = static_cast<TrainStep>(s);
+            t.addRow({trainStepName(step),
+                      TablePrinter::num(r.breakdown.seconds(step), 2),
+                      TablePrinter::pct(r.breakdown.fraction(step))});
+            csv.addRow({w.name, trainStepName(step),
+                        TablePrinter::num(r.breakdown.seconds(step), 4),
+                        TablePrinter::num(r.breakdown.fraction(step), 4)});
+        }
+        t.addRow({"Total training time",
+                  TablePrinter::num(r.breakdown.total(), 2), "100.0%"});
+
+        double paper_total = 0.0;
+        for (const auto &ref : bench::paperTable2())
+            if (ref.model == w.name)
+                paper_total = ref.totalPer100Iters;
+        char title[160];
+        std::snprintf(title, sizeof(title),
+                      "%s, %llu iterations (paper total for 100: %.2f s)",
+                      w.name.c_str(),
+                      static_cast<unsigned long long>(iters), paper_total);
+        std::printf("%s\n", t.render(title).c_str());
+    }
+    bench::emitCsv(opts, "table2_breakdown.csv", csv);
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Paper Table III: the bit-width distribution of compressed gradients —
+ * what fraction of values carry 0, 8, 16, or 32 payload bits — per
+ * error bound (2^-10, 2^-8, 2^-6), measured on real gradient snapshots
+ * from live training, with the paper's AlexNet/HDC rows printed beside
+ * our measurements. Also reports the ablation of the payload-selection
+ * policy (residual mask vs pure exponent threshold, DESIGN.md sec. 3/6).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/synthetic_digits.h"
+#include "data/synthetic_images.h"
+#include "distrib/func_trainer.h"
+#include "nn/model_zoo.h"
+#include "paper_reference.h"
+#include "stats/table_printer.h"
+
+using namespace inc;
+
+namespace {
+
+GradientTrace
+captureTrace(const FuncTrainer::ModelBuilder &builder,
+             const Dataset &train, const Dataset &test, double lr,
+             uint64_t iters)
+{
+    FuncTrainerConfig cfg;
+    cfg.nodes = 4;
+    cfg.batchPerNode = 16;
+    cfg.sgd.learningRate = lr;
+    cfg.sgd.lrDecayEvery = 0;
+    cfg.sgd.clipGradNorm = 5.0;
+    FuncTrainer t(builder, train, test, cfg);
+    // Early/middle snapshots: after convergence the gradients of the
+    // reduced models collapse below every bound, which is not the
+    // mid-training regime Table III samples.
+    t.captureGradientsAt({1, iters / 8, iters / 3});
+    t.train(iters);
+    return t.gradientTrace();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opts = bench::Options::parse(argc, argv);
+    bench::banner("Bit-width distribution of compressed gradients",
+                  "Table III");
+
+    SyntheticDigits digits_train(3000, 1, true, 0.3f, 2);
+    SyntheticDigits digits_test(300, 2, true, 0.3f, 2);
+    SyntheticImages images_train(1200, 3), images_test(200, 4);
+    const uint64_t hdc_iters = opts.quick ? 60 : 200;
+    const uint64_t cnn_iters = opts.quick ? 16 : 48;
+
+    struct ModelTrace
+    {
+        std::string name;
+        GradientTrace trace;
+    };
+    ModelTrace traces[] = {
+        {"HDC", captureTrace(&buildHdcSmall, digits_train, digits_test,
+                             0.05, hdc_iters)},
+        {"CNN-proxy", captureTrace(&buildCnnProxySmall, images_train,
+                                   images_test, 0.02, cnn_iters)},
+    };
+
+    CsvWriter csv({"model", "bound", "policy", "f0", "f8", "f16", "f32",
+                   "ratio"});
+
+    for (const auto &mt : traces) {
+        TablePrinter t({"Bound", "Policy", "2-bit", "10-bit", "18-bit",
+                        "34-bit", "Ratio"});
+        for (int b : {10, 8, 6}) {
+            for (CodecPolicy policy : {CodecPolicy::kResidualMask,
+                                       CodecPolicy::kExponentThreshold}) {
+                const GradientCodec codec(b, policy);
+                TagHistogram hist;
+                for (const auto &entry : mt.trace.entries())
+                    codec.measure(entry.gradient, &hist);
+                const char *pname =
+                    policy == CodecPolicy::kResidualMask ? "residual"
+                                                         : "threshold";
+                t.addRow({"2^-" + std::to_string(b), pname,
+                          TablePrinter::pct(hist.fraction(Tag::Zero)),
+                          TablePrinter::pct(hist.fraction(Tag::Bits8)),
+                          TablePrinter::pct(hist.fraction(Tag::Bits16)),
+                          TablePrinter::pct(hist.fraction(Tag::NoCompress)),
+                          TablePrinter::num(hist.compressionRatio(), 1)});
+                csv.addRow({mt.name, std::to_string(b), pname,
+                            TablePrinter::num(hist.fraction(Tag::Zero), 4),
+                            TablePrinter::num(hist.fraction(Tag::Bits8), 4),
+                            TablePrinter::num(hist.fraction(Tag::Bits16),
+                                              4),
+                            TablePrinter::num(
+                                hist.fraction(Tag::NoCompress), 4),
+                            TablePrinter::num(hist.compressionRatio(),
+                                              2)});
+            }
+        }
+        std::printf("%s\n",
+                    t.render(mt.name + " (measured on live gradients)")
+                        .c_str());
+    }
+
+    TablePrinter paper({"Model", "Bound", "2-bit", "10-bit", "18-bit",
+                        "34-bit", "Ratio"});
+    for (const auto &row : bench::paperTable3()) {
+        paper.addRow({row.model, "2^-" + std::to_string(row.boundLog2),
+                      TablePrinter::pct(row.f0), TablePrinter::pct(row.f8),
+                      TablePrinter::pct(row.f16),
+                      TablePrinter::pct(row.f32),
+                      TablePrinter::num(row.ratio(), 1)});
+    }
+    std::printf("%s\n",
+                paper.render("Paper Table III (reference)").c_str());
+    std::printf("Expected shape: overwhelming 2-bit share that grows as "
+                "the bound relaxes;\n16-bit mass shifts to 8/0-bit; 32-bit "
+                "stays ~0%%.\n");
+    bench::emitCsv(opts, "table3_bitwidth.csv", csv);
+    return 0;
+}

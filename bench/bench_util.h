@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared plumbing for the experiment binaries: a tiny flag parser
+ * (--quick, --iterations=N, --csv-dir=PATH), CSV output, and common
+ * banner formatting. Every bench runs standalone with sensible defaults
+ * so `for b in build/bench/bench_... ; do $b; done` regenerates every table and
+ * figure.
+ */
+
+#ifndef INCEPTIONN_BENCH_BENCH_UTIL_H
+#define INCEPTIONN_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "stats/csv_writer.h"
+
+namespace inc {
+namespace bench {
+
+/** Parsed command line. */
+struct Options
+{
+    bool quick = false;       ///< shrink training workloads further
+    uint64_t iterations = 0;  ///< 0 = per-bench default
+    int seeds = 0;            ///< 0 = per-bench default seed count
+    std::string csvDir = "bench_results";
+
+    static Options
+    parse(int argc, char **argv)
+    {
+        Options o;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--quick") {
+                o.quick = true;
+            } else if (arg.rfind("--iterations=", 0) == 0) {
+                o.iterations = std::strtoull(arg.c_str() + 13, nullptr, 10);
+            } else if (arg.rfind("--seeds=", 0) == 0) {
+                o.seeds = std::atoi(arg.c_str() + 8);
+            } else if (arg.rfind("--csv-dir=", 0) == 0) {
+                o.csvDir = arg.substr(10);
+            } else if (arg == "--help" || arg == "-h") {
+                std::printf("usage: %s [--quick] [--iterations=N] "
+                            "[--csv-dir=PATH]\n",
+                            argv[0]);
+                std::exit(0);
+            }
+        }
+        return o;
+    }
+};
+
+/** Write @p csv under the options' csv dir; prints where it went. */
+inline void
+emitCsv(const Options &opts, const std::string &name, const CsvWriter &csv)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(opts.csvDir, ec);
+    const std::string path = opts.csvDir + "/" + name;
+    if (csv.writeFile(path))
+        std::printf("[csv] %s\n", path.c_str());
+}
+
+/** Print a bench banner. */
+inline void
+banner(const std::string &title, const std::string &paper_artifact)
+{
+    std::printf("==============================================================="
+                "=\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s (INCEPTIONN, MICRO'18)\n",
+                paper_artifact.c_str());
+    std::printf("==============================================================="
+                "=\n\n");
+}
+
+} // namespace bench
+} // namespace inc
+
+#endif // INCEPTIONN_BENCH_BENCH_UTIL_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Numbers the paper itself reports, used (a) to print paper-vs-measured
+ * columns and (b) to derive per-model codec wire ratios for the timing
+ * simulations from the paper's Table III bit-width distributions.
+ */
+
+#ifndef INCEPTIONN_BENCH_PAPER_REFERENCE_H
+#define INCEPTIONN_BENCH_PAPER_REFERENCE_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace inc {
+namespace bench {
+
+/** Table III row: fractions of 0/8/16/32-bit payloads. */
+struct Table3Row
+{
+    std::string model;
+    int boundLog2;
+    double f0, f8, f16, f32;
+
+    /** Mean compressed bits per value (tags included). */
+    double
+    meanBits() const
+    {
+        return f0 * 2 + f8 * 10 + f16 * 18 + f32 * 34;
+    }
+
+    /** Wire ratio implied by the distribution. */
+    double ratio() const { return 32.0 / meanBits(); }
+};
+
+/** Paper Table III, verbatim. */
+inline std::vector<Table3Row>
+paperTable3()
+{
+    return {
+        {"AlexNet", 10, 0.749, 0.039, 0.211, 0.001},
+        {"AlexNet", 8, 0.825, 0.148, 0.026, 0.001},
+        {"AlexNet", 6, 0.930, 0.070, 0.000, 0.001},
+        {"HDC", 10, 0.920, 0.065, 0.015, 0.000},
+        {"HDC", 8, 0.957, 0.034, 0.009, 0.000},
+        {"HDC", 6, 0.981, 0.016, 0.004, 0.000},
+        {"ResNet-50", 10, 0.816, 0.179, 0.005, 0.000},
+        {"ResNet-50", 8, 0.923, 0.077, 0.001, 0.000},
+        {"ResNet-50", 6, 0.976, 0.024, 0.000, 0.000},
+        {"VGG-16", 10, 0.942, 0.009, 0.049, 0.000},
+        {"VGG-16", 8, 0.962, 0.038, 0.000, 0.000},
+        {"VGG-16", 6, 0.973, 0.027, 0.000, 0.000},
+    };
+}
+
+/** Wire ratio the paper's Table III implies for (model, bound). */
+inline double
+paperWireRatio(const std::string &model, int bound_log2)
+{
+    for (const auto &row : paperTable3())
+        if (row.model == model && row.boundLog2 == bound_log2)
+            return row.ratio();
+    return 1.0;
+}
+
+/** Paper Table II: per-iteration totals (s) and communicate fraction. */
+struct Table2Reference
+{
+    std::string model;
+    double totalPer100Iters;
+    double communicateFraction;
+};
+
+inline std::vector<Table2Reference>
+paperTable2()
+{
+    return {
+        {"AlexNet", 196.35, 0.757},
+        {"HDC", 1.7, 0.802},
+        {"ResNet-50", 75.55, 0.802},
+        {"VGG-16", 823.65, 0.709},
+    };
+}
+
+/** Paper Fig. 12 communication-time reductions (INC+C vs WA). */
+struct Fig12Reference
+{
+    std::string model;
+    double incCommReduction; ///< INC vs WA, no compression
+    double incCSpeedup;      ///< INC+C vs WA, total time
+};
+
+inline std::vector<Fig12Reference>
+paperFig12()
+{
+    return {
+        {"AlexNet", 0.55, 3.1},
+        {"HDC", 0.39, 2.7},
+        {"ResNet-50", 0.58, 2.97},
+        {"VGG-16", 0.36, 2.2},
+    };
+}
+
+} // namespace bench
+} // namespace inc
+
+#endif // INCEPTIONN_BENCH_PAPER_REFERENCE_H

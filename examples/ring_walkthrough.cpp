@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A step-by-step walkthrough of the gradient-centric exchange, printing
+ * exactly the paper's Fig. 6(b) example: four workers, four blocks,
+ * reduce-scatter steps 1-3, then all-gather steps 4-6. Each cell shows
+ * how many workers' contributions the block accumulates (4 = fully
+ * aggregated, marked *).
+ *
+ *   ./ring_walkthrough [workers]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/ring_schedule.h"
+
+using namespace inc;
+
+namespace {
+
+void
+printState(const std::vector<std::vector<int>> &contrib, int n)
+{
+    std::printf("          ");
+    for (int b = 0; b < n; ++b)
+        std::printf(" blk[%d] ", b);
+    std::printf("\n");
+    for (int w = 0; w < n; ++w) {
+        std::printf("worker[%d] ", w);
+        for (int b = 0; b < n; ++b) {
+            const int c = contrib[static_cast<size_t>(w)]
+                                 [static_cast<size_t>(b)];
+            if (c == n)
+                std::printf("   *%d   ", c);
+            else
+                std::printf("    %d   ", c);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int n = argc > 1 ? std::atoi(argv[1]) : 4;
+    if (n < 2) {
+        std::fprintf(stderr, "need >= 2 workers\n");
+        return 1;
+    }
+
+    std::printf("INCEPTIONN Algorithm 1 / Fig. 6(b) walkthrough, %d "
+                "workers\n",
+                n);
+    std::printf("cell = number of workers' gradients accumulated in that "
+                "block copy (* = all %d)\n\n",
+                n);
+
+    // contrib[w][b] = how many contributions worker w's copy of block b
+    // holds. Initially each worker has only its own.
+    std::vector<std::vector<int>> contrib(
+        static_cast<size_t>(n), std::vector<int>(static_cast<size_t>(n), 1));
+
+    std::printf("Step 0: block partition (each worker holds its local "
+                "gradient)\n");
+    printState(contrib, n);
+
+    for (int step = 1; step <= ringStepCount(n); ++step) {
+        const bool reduce = step < n;
+        std::printf("Step %d (%s):\n", step,
+                    reduce ? "transmit and reduce" : "send back reduced");
+        for (int w = 0; w < n; ++w) {
+            const RingStep rs = ringStepFor(w, step, n);
+            std::printf("  worker[%d] sends blk[%d] to worker[%d]\n", w,
+                        rs.sendBlock, (w + 1) % n);
+        }
+        // Apply all receives simultaneously (snapshot the send values).
+        std::vector<int> sent(static_cast<size_t>(n));
+        for (int w = 0; w < n; ++w) {
+            const RingStep rs = ringStepFor(w, step, n);
+            sent[static_cast<size_t>(w)] =
+                contrib[static_cast<size_t>(w)]
+                       [static_cast<size_t>(rs.sendBlock)];
+        }
+        for (int w = 0; w < n; ++w) {
+            const RingStep rs = ringStepFor(w, step, n);
+            const int dst = (w + 1) % n;
+            int &cell = contrib[static_cast<size_t>(dst)]
+                               [static_cast<size_t>(rs.sendBlock)];
+            if (rs.phase == RingPhase::ReduceScatter)
+                cell += sent[static_cast<size_t>(w)];
+            else
+                cell = sent[static_cast<size_t>(w)];
+        }
+        printState(contrib, n);
+    }
+
+    std::printf("After step %d every worker holds every block fully "
+                "aggregated — no\ndesignated aggregator was involved, "
+                "and every transfer carried gradients\n(compressible by "
+                "the NIC engines).\n",
+                ringStepCount(n));
+    return 0;
+}

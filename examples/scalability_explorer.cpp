@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Interactive what-if explorer for the exchange algorithms: pick a model
+ * size, cluster size, link speed, and codec ratio on the command line
+ * and compare worker-aggregator, two-level tree, and the INCEPTIONN
+ * ring — simulated and analytical — side by side.
+ *
+ *   ./scalability_explorer [nodes] [model_MB] [link_Gbps] [ratio]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/network.h"
+
+#include "comm/analytical.h"
+#include "comm/comm_world.h"
+#include "comm/ring_allreduce.h"
+#include "comm/star_allreduce.h"
+#include "comm/tree_allreduce.h"
+
+using namespace inc;
+
+namespace {
+
+double
+simulate(int workers, uint64_t bytes, double gbps, double ratio,
+         bool compress, const char *algo)
+{
+    EventQueue events;
+    NetworkConfig net_cfg;
+    net_cfg.linkBitsPerSecond = gbps * 1e9;
+    net_cfg.nicConfig.hasCompressionEngine = compress;
+
+    double secs = -1.0;
+    const std::string name(algo);
+    if (name == "star") {
+        net_cfg.nodes = workers + 1;
+        Network net(events, net_cfg);
+        CommWorld comm(net);
+        StarConfig cfg;
+        cfg.gradientBytes = bytes;
+        cfg.compressGradients = compress;
+        cfg.wireRatio = ratio;
+        cfg.aggregator = workers;
+        for (int i = 0; i < workers; ++i)
+            cfg.workers.push_back(i);
+        events.schedule(0, [&] {
+            runStarAllReduce(comm, cfg,
+                             [&](ExchangeResult r) { secs = r.seconds(); });
+        });
+        events.run();
+    } else if (name == "tree") {
+        // Two groups of workers/2, two group aggregators, one root.
+        const int half = workers / 2;
+        net_cfg.nodes = workers + 3;
+        Network net(events, net_cfg);
+        CommWorld comm(net);
+        TreeConfig cfg;
+        cfg.gradientBytes = bytes;
+        cfg.compressGradients = compress;
+        cfg.wireRatio = ratio;
+        cfg.root = workers + 2;
+        TreeGroup a{workers, {}}, b{workers + 1, {}};
+        for (int i = 0; i < half; ++i)
+            a.workers.push_back(i);
+        for (int i = half; i < workers; ++i)
+            b.workers.push_back(i);
+        cfg.groups = {a, b};
+        events.schedule(0, [&] {
+            runTreeAllReduce(comm, cfg,
+                             [&](ExchangeResult r) { secs = r.seconds(); });
+        });
+        events.run();
+    } else { // ring
+        net_cfg.nodes = workers;
+        Network net(events, net_cfg);
+        CommWorld comm(net);
+        RingConfig cfg;
+        cfg.gradientBytes = bytes;
+        cfg.compressGradients = compress;
+        cfg.wireRatio = ratio;
+        events.schedule(0, [&] {
+            runRingAllReduce(comm, cfg,
+                             [&](ExchangeResult r) { secs = r.seconds(); });
+        });
+        events.run();
+    }
+    return secs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int nodes = argc > 1 ? std::atoi(argv[1]) : 8;
+    const uint64_t model_mb =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 233;
+    const double gbps = argc > 3 ? std::atof(argv[3]) : 10.0;
+    const double ratio = argc > 4 ? std::atof(argv[4]) : 5.6;
+    const uint64_t bytes = model_mb * 1000 * 1000;
+
+    std::printf("Gradient exchange explorer: %d workers, %llu MB model, "
+                "%.0f GbE, codec %.1fx\n\n",
+                nodes, static_cast<unsigned long long>(model_mb), gbps,
+                ratio);
+    std::printf("%-22s %14s %14s\n", "algorithm", "lossless (ms)",
+                "compressed (ms)");
+    for (const char *algo : {"star", "tree", "ring"}) {
+        const double plain =
+            simulate(nodes, bytes, gbps, ratio, false, algo);
+        const double comp = simulate(nodes, bytes, gbps, ratio, true, algo);
+        std::printf("%-22s %14.2f %14.2f\n", algo, plain * 1e3,
+                    comp * 1e3);
+    }
+
+    CostModelParams m;
+    m.beta = 1.0 / (gbps * 1e9 / 8.0);
+    std::printf("\nanalytical (Sec. VIII-D): WA %.2f ms, ring %.2f ms\n",
+                waExchangeSeconds(nodes, bytes, m) * 1e3,
+                ringExchangeSeconds(nodes, bytes, m) * 1e3);
+    std::printf("\nTry: ./scalability_explorer 16 525 40 12\n");
+    return 0;
+}

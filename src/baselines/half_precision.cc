@@ -1,0 +1,85 @@
+#include "baselines/half_precision.h"
+
+#include "core/fp32.h"
+
+namespace inc {
+
+uint16_t
+floatToHalf(float f)
+{
+    const uint32_t bits = floatToBits(f);
+    const uint32_t sign = (bits >> 16) & 0x8000u;
+    const int32_t exp = static_cast<int32_t>((bits >> 23) & 0xFF) - 127;
+    uint32_t mant = bits & 0x7FFFFFu;
+
+    if (exp == 128) {
+        // Inf / NaN.
+        return static_cast<uint16_t>(sign | 0x7C00u |
+                                     (mant ? 0x200u : 0u));
+    }
+    if (exp > 15) {
+        // Overflow -> infinity.
+        return static_cast<uint16_t>(sign | 0x7C00u);
+    }
+    if (exp >= -14) {
+        // Normal half. Round mantissa 23 -> 10 bits, nearest-even.
+        uint32_t half_exp = static_cast<uint32_t>(exp + 15);
+        uint32_t m = mant >> 13;
+        const uint32_t rem = mant & 0x1FFFu;
+        if (rem > 0x1000u || (rem == 0x1000u && (m & 1u)))
+            ++m;
+        if (m == 0x400u) { // mantissa carry bumps the exponent
+            m = 0;
+            ++half_exp;
+            if (half_exp >= 31)
+                return static_cast<uint16_t>(sign | 0x7C00u);
+        }
+        return static_cast<uint16_t>(sign | (half_exp << 10) | m);
+    }
+    if (exp >= -25) {
+        // Subnormal half: m = (1.mant) * 2^(exp + 24), i.e. drop
+        // (-exp - 1) bits of the 24-bit significand, nearest-even.
+        // exp == -25 covers values in [2^-25, 2^-24) that round up to
+        // the smallest subnormal (ties-to-even sends exactly 2^-25 to
+        // zero).
+        mant |= 0x800000u; // implicit bit
+        const int shift = -exp - 1; // 14..24
+        uint32_t m = mant >> shift;
+        const uint32_t rem = mant & ((1u << shift) - 1u);
+        const uint32_t half_rem = 1u << (shift - 1);
+        if (rem > half_rem || (rem == half_rem && (m & 1u)))
+            ++m;
+        // A carry into bit 10 lands exactly on the smallest normal
+        // encoding, which is the correct result.
+        return static_cast<uint16_t>(sign | m);
+    }
+    // Underflow to signed zero.
+    return static_cast<uint16_t>(sign);
+}
+
+float
+halfToFloat(uint16_t h)
+{
+    const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+    const uint32_t exp = (h >> 10) & 0x1Fu;
+    const uint32_t mant = h & 0x3FFu;
+
+    if (exp == 0x1F) // Inf / NaN
+        return bitsToFloat(sign | 0x7F800000u | (mant << 13));
+    if (exp != 0) // normal
+        return bitsToFloat(sign | ((exp + 112u) << 23) | (mant << 13));
+    if (mant == 0) // zero
+        return bitsToFloat(sign);
+    // Subnormal half: normalize.
+    uint32_t m = mant;
+    int e = -1;
+    do {
+        m <<= 1;
+        ++e;
+    } while (!(m & 0x400u));
+    return bitsToFloat(sign | ((113u - static_cast<uint32_t>(e) - 1u)
+                               << 23) |
+                       ((m & 0x3FFu) << 13));
+}
+
+} // namespace inc

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * IEEE-754 binary16 (half precision) round-trip — the "obvious" fixed
+ * 2x lossy baseline (the paper notes inference runs at 16 bits). Unlike
+ * INCEPTIONN's codec, fp16 spends bits on range gradients never use
+ * (magnitudes above 1) and clamps relative precision at 2^-11
+ * regardless of the error budget the training loop could tolerate.
+ */
+
+#ifndef INCEPTIONN_BASELINES_HALF_PRECISION_H
+#define INCEPTIONN_BASELINES_HALF_PRECISION_H
+
+#include <cstdint>
+#include <span>
+
+namespace inc {
+
+/** Convert one float to binary16 (round-to-nearest-even), and back. */
+uint16_t floatToHalf(float f);
+float halfToFloat(uint16_t h);
+
+/** fp32 -> fp16 -> fp32 round-trip codec. */
+class HalfPrecisionCodec
+{
+  public:
+    /** Round-trip one value. */
+    static float
+    roundtrip(float f)
+    {
+        return halfToFloat(floatToHalf(f));
+    }
+
+    /** In-place round-trip of a buffer. */
+    static void
+    roundtrip(std::span<float> values)
+    {
+        for (float &v : values)
+            v = roundtrip(v);
+    }
+
+    /** Fixed format ratio. */
+    static double ratio() { return 2.0; }
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_BASELINES_HALF_PRECISION_H

@@ -1,0 +1,90 @@
+#include "baselines/quantizers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+void
+TernGradCodec::roundtrip(std::span<float> values)
+{
+    float s = 0.0f;
+    for (float v : values)
+        s = std::max(s, std::abs(v));
+    if (s == 0.0f)
+        return;
+    for (float &v : values) {
+        const double p = std::abs(v) / s; // in [0, 1]
+        const float sign = v < 0.0f ? -s : s;
+        v = rng_.uniform() < p ? sign : 0.0f;
+    }
+}
+
+QsgdCodec::QsgdCodec(int levels, uint64_t seed) : levels_(levels), rng_(seed)
+{
+    INC_ASSERT(levels >= 1, "QSGD needs >= 1 level");
+}
+
+void
+QsgdCodec::roundtrip(std::span<float> values)
+{
+    double norm_sq = 0.0;
+    for (float v : values)
+        norm_sq += static_cast<double>(v) * v;
+    const double norm = std::sqrt(norm_sq);
+    if (norm == 0.0)
+        return;
+    const double s = static_cast<double>(levels_);
+    for (float &v : values) {
+        const double u = std::abs(v) / norm * s; // in [0, s]
+        const double floor_u = std::floor(u);
+        // Stochastic rounding keeps the estimate unbiased.
+        const double level =
+            rng_.uniform() < (u - floor_u) ? floor_u + 1.0 : floor_u;
+        const double q = norm * level / s;
+        v = static_cast<float>(v < 0.0f ? -q : q);
+    }
+}
+
+double
+QsgdCodec::bitsPerValue(size_t n) const
+{
+    // Sign + ceil(log2(s+1)) level bits, plus the amortized fp32 norm.
+    const double level_bits =
+        std::ceil(std::log2(static_cast<double>(levels_) + 1.0));
+    return 1.0 + level_bits + 32.0 / static_cast<double>(n == 0 ? 1 : n);
+}
+
+TopKSparsifier::TopKSparsifier(double keep_fraction)
+    : keepFraction_(keep_fraction)
+{
+    INC_ASSERT(keep_fraction > 0.0 && keep_fraction <= 1.0,
+               "keep fraction %f outside (0, 1]", keep_fraction);
+}
+
+void
+TopKSparsifier::roundtrip(std::span<float> values) const
+{
+    const size_t n = values.size();
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(n) * keepFraction_));
+    if (keep >= n)
+        return;
+    // Threshold = magnitude of the keep-th largest entry.
+    std::vector<float> mags(n);
+    for (size_t i = 0; i < n; ++i)
+        mags[i] = std::abs(values[i]);
+    std::nth_element(mags.begin(), mags.begin() + static_cast<long>(keep - 1),
+                     mags.end(), std::greater<float>());
+    const float threshold = mags[keep - 1];
+    // Zero everything strictly below the threshold; ties keep slightly
+    // more than k entries, which only makes the baseline stronger.
+    for (float &v : values)
+        if (std::abs(v) < threshold)
+            v = 0.0f;
+}
+
+} // namespace inc

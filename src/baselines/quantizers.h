@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Gradient-reduction baselines from the paper's related work (Sec. IX):
+ *
+ *  - TernGrad (Wen et al. [26]): stochastic ternarization to
+ *    {-s, 0, +s} with a per-vector scale — ~2 bits/value.
+ *  - QSGD (Alistarh et al. [27]): stochastic uniform quantization to
+ *    2s+1 levels scaled by the vector L2 norm.
+ *  - Deep-Gradient-Compression-style top-k sparsification (Lin et
+ *    al. [12]): transmit only the k largest-magnitude values; the
+ *    caller accumulates the untransmitted residual locally.
+ *
+ * These are *algorithmic* alternatives to the INCEPTIONN codec: they
+ * need whole-vector statistics (max, norm, order statistics), which is
+ * exactly why they are software techniques rather than streaming NIC
+ * hardware — the comparison bench_ext_quantizers makes that trade
+ * visible.
+ */
+
+#ifndef INCEPTIONN_BASELINES_QUANTIZERS_H
+#define INCEPTIONN_BASELINES_QUANTIZERS_H
+
+#include <cstdint>
+#include <span>
+
+#include "sim/random.h"
+
+namespace inc {
+
+/** Stochastic ternary gradients: {-s, 0, +s}, s = max |g|. */
+class TernGradCodec
+{
+  public:
+    explicit TernGradCodec(uint64_t seed = 0x7E9ULL) : rng_(seed) {}
+
+    /** Quantize in place (unbiased: E[q] = g). */
+    void roundtrip(std::span<float> values);
+
+    /** Wire bits per value: 2-bit trit codes + amortized fp32 scale. */
+    static double
+    bitsPerValue(size_t n)
+    {
+        return 2.0 + 32.0 / static_cast<double>(n == 0 ? 1 : n);
+    }
+
+    static double
+    ratio(size_t n)
+    {
+        return 32.0 / bitsPerValue(n);
+    }
+
+  private:
+    Rng rng_;
+};
+
+/** QSGD: stochastic quantization to 2s+1 levels scaled by ||g||2. */
+class QsgdCodec
+{
+  public:
+    /** @param levels s >= 1 quantization levels per sign. */
+    explicit QsgdCodec(int levels, uint64_t seed = 0x95D6ULL);
+
+    /** Quantize in place (unbiased). */
+    void roundtrip(std::span<float> values);
+
+    /** Dense-encoding bits per value (sign + level bits + norm). */
+    double bitsPerValue(size_t n) const;
+    double
+    ratio(size_t n) const
+    {
+        return 32.0 / bitsPerValue(n);
+    }
+
+    int levels() const { return levels_; }
+
+  private:
+    int levels_;
+    Rng rng_;
+};
+
+/**
+ * Top-k magnitude sparsification. The caller keeps the residual
+ * (values zeroed here must be re-accumulated locally, as DGC does) —
+ * FuncTrainerConfig::sourceTransform plus errorFeedback handles that.
+ */
+class TopKSparsifier
+{
+  public:
+    /** @param keep_fraction fraction of entries transmitted, (0, 1]. */
+    explicit TopKSparsifier(double keep_fraction);
+
+    /** Zero all but the top-k magnitude entries, in place. */
+    void roundtrip(std::span<float> values) const;
+
+    /** Wire bits per value: kept entries carry fp32 + a 32-bit index. */
+    double
+    bitsPerValue() const
+    {
+        return keepFraction_ * (32.0 + 32.0);
+    }
+
+    double
+    ratio() const
+    {
+        return 32.0 / bitsPerValue();
+    }
+
+    double keepFraction() const { return keepFraction_; }
+
+  private:
+    double keepFraction_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_BASELINES_QUANTIZERS_H

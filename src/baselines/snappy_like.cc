@@ -1,0 +1,185 @@
+#include "baselines/snappy_like.h"
+
+#include <cstring>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+namespace {
+
+// Stream grammar: varint(uncompressed length) then ops.
+// op byte: low bit 0 -> literal, length = (op >> 1) + 1 followed by that
+// many raw bytes; low bit 1 -> copy, length = ((op >> 1) & 0x3F) + 4,
+// 2-byte little-endian offset follows; op bit 7 set on copies extends
+// length by the next varint... kept simple: copy length 4..67 fits the
+// 6-bit field, longer matches emit multiple copies.
+
+constexpr size_t kHashBits = 14;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxCopyLen = 67;
+constexpr size_t kMaxOffset = 65535;
+
+uint32_t
+hash4(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 0x9E3779B1u) >> (32 - kHashBits);
+}
+
+void
+putVarint(std::vector<uint8_t> &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t
+getVarint(std::span<const uint8_t> in, size_t &pos)
+{
+    uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+        INC_ASSERT(pos < in.size(), "truncated varint");
+        const uint8_t b = in[pos++];
+        v |= static_cast<uint64_t>(b & 0x7F) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+        INC_ASSERT(shift < 64, "varint overflow");
+    }
+}
+
+void
+emitLiterals(std::vector<uint8_t> &out, const uint8_t *data, size_t len)
+{
+    while (len > 0) {
+        const size_t chunk = std::min<size_t>(len, 128);
+        out.push_back(static_cast<uint8_t>((chunk - 1) << 1));
+        out.insert(out.end(), data, data + chunk);
+        data += chunk;
+        len -= chunk;
+    }
+}
+
+void
+emitCopy(std::vector<uint8_t> &out, size_t offset, size_t len)
+{
+    while (len >= kMinMatch) {
+        const size_t chunk = std::min(len, kMaxCopyLen);
+        // Avoid a sub-minimum tail that could not be re-emitted.
+        const size_t take =
+            (len - chunk != 0 && len - chunk < kMinMatch) ? len - kMinMatch
+                                                          : chunk;
+        out.push_back(static_cast<uint8_t>(((take - kMinMatch) << 2) | 1));
+        out.push_back(static_cast<uint8_t>(offset & 0xFF));
+        out.push_back(static_cast<uint8_t>((offset >> 8) & 0xFF));
+        len -= take;
+    }
+}
+
+} // namespace
+
+std::vector<uint8_t>
+SnappyLikeCodec::compress(std::span<const uint8_t> input)
+{
+    std::vector<uint8_t> out;
+    out.reserve(input.size() / 2 + 16);
+    putVarint(out, input.size());
+
+    if (input.size() < kMinMatch) {
+        if (!input.empty())
+            emitLiterals(out, input.data(), input.size());
+        return out;
+    }
+
+    std::vector<uint32_t> table(kHashSize, 0xFFFFFFFFu);
+    const uint8_t *base = input.data();
+    const size_t n = input.size();
+    size_t pos = 0;
+    size_t literal_start = 0;
+
+    while (pos + kMinMatch <= n) {
+        const uint32_t h = hash4(base + pos);
+        const uint32_t cand = table[h];
+        table[h] = static_cast<uint32_t>(pos);
+
+        if (cand != 0xFFFFFFFFu && pos - cand <= kMaxOffset &&
+            std::memcmp(base + cand, base + pos, kMinMatch) == 0) {
+            // Extend the match.
+            size_t len = kMinMatch;
+            while (pos + len < n && base[cand + len] == base[pos + len])
+                ++len;
+            if (pos > literal_start)
+                emitLiterals(out, base + literal_start,
+                             pos - literal_start);
+            emitCopy(out, pos - cand, len);
+            pos += len;
+            literal_start = pos;
+        } else {
+            ++pos;
+        }
+    }
+    if (n > literal_start)
+        emitLiterals(out, base + literal_start, n - literal_start);
+    return out;
+}
+
+std::vector<uint8_t>
+SnappyLikeCodec::decompress(std::span<const uint8_t> input)
+{
+    size_t pos = 0;
+    const uint64_t total = getVarint(input, pos);
+    std::vector<uint8_t> out;
+    out.reserve(total);
+
+    while (out.size() < total) {
+        INC_ASSERT(pos < input.size(), "truncated stream");
+        const uint8_t op = input[pos++];
+        if ((op & 1) == 0) {
+            const size_t len = (op >> 1) + 1u;
+            INC_ASSERT(pos + len <= input.size(), "literal overruns input");
+            out.insert(out.end(), input.begin() + static_cast<long>(pos),
+                       input.begin() + static_cast<long>(pos + len));
+            pos += len;
+        } else {
+            const size_t len = ((op >> 2) & 0x3F) + kMinMatch;
+            INC_ASSERT(pos + 2 <= input.size(), "copy overruns input");
+            const size_t offset = static_cast<size_t>(input[pos]) |
+                                  (static_cast<size_t>(input[pos + 1]) << 8);
+            pos += 2;
+            INC_ASSERT(offset > 0 && offset <= out.size(),
+                       "copy offset out of window");
+            // Byte-by-byte: overlapping copies are legal (RLE style).
+            for (size_t i = 0; i < len; ++i)
+                out.push_back(out[out.size() - offset]);
+        }
+    }
+    INC_ASSERT(out.size() == total, "stream length mismatch");
+    return out;
+}
+
+double
+SnappyLikeCodec::measureRatio(std::span<const uint8_t> input)
+{
+    if (input.empty())
+        return 1.0;
+    const auto compressed = compress(input);
+    return static_cast<double>(input.size()) /
+           static_cast<double>(compressed.size());
+}
+
+std::vector<uint8_t>
+SnappyLikeCodec::compressFloats(std::span<const float> input)
+{
+    return compress(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t *>(input.data()),
+        input.size() * sizeof(float)));
+}
+
+} // namespace inc

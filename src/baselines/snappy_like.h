@@ -1,0 +1,41 @@
+/**
+ * @file
+ * A Snappy-class byte-oriented LZ77 codec — the software *lossless*
+ * baseline of paper Figs. 3/7. Greedy hash-table matching, literal runs
+ * and back-reference copies, varint lengths. Like the real Snappy it
+ * achieves only ~1.0-1.5x on floating-point gradient streams (the paper
+ * quotes ~1.5x), because IEEE mantissa bytes are close to incompressible.
+ */
+
+#ifndef INCEPTIONN_BASELINES_SNAPPY_LIKE_H
+#define INCEPTIONN_BASELINES_SNAPPY_LIKE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace inc {
+
+/** Lossless LZ77 codec over bytes. */
+class SnappyLikeCodec
+{
+  public:
+    /** Compress @p input into a self-describing byte stream. */
+    static std::vector<uint8_t> compress(std::span<const uint8_t> input);
+
+    /**
+     * Decompress a stream produced by compress().
+     * @return the original bytes. Panics on corrupt input.
+     */
+    static std::vector<uint8_t> decompress(std::span<const uint8_t> input);
+
+    /** Convenience: compression ratio achieved on @p input. */
+    static double measureRatio(std::span<const uint8_t> input);
+
+    /** Compress a float buffer viewed as bytes. */
+    static std::vector<uint8_t> compressFloats(std::span<const float> input);
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_BASELINES_SNAPPY_LIKE_H

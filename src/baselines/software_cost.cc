@@ -1,0 +1,71 @@
+#include "baselines/software_cost.h"
+
+#include "sim/logging.h"
+
+namespace inc {
+
+void
+SoftwareCostModel::setThroughput(SoftwareCodecKind kind,
+                                 SoftwareThroughput tp)
+{
+    INC_ASSERT(tp.compressBytesPerSecond > 0 &&
+                   tp.decompressBytesPerSecond > 0,
+               "throughputs must be positive");
+    switch (kind) {
+      case SoftwareCodecKind::SnappyLike:
+        snappy_ = tp;
+        break;
+      case SoftwareCodecKind::SzLike:
+        sz_ = tp;
+        break;
+      case SoftwareCodecKind::Truncation:
+        truncation_ = tp;
+        break;
+    }
+}
+
+SoftwareThroughput
+SoftwareCostModel::throughput(SoftwareCodecKind kind) const
+{
+    switch (kind) {
+      case SoftwareCodecKind::SnappyLike:
+        return snappy_;
+      case SoftwareCodecKind::SzLike:
+        return sz_;
+      case SoftwareCodecKind::Truncation:
+        return truncation_;
+    }
+    panic("bad codec kind");
+}
+
+double
+SoftwareCostModel::compressSeconds(SoftwareCodecKind kind,
+                                   uint64_t bytes) const
+{
+    return static_cast<double>(bytes) /
+           throughput(kind).compressBytesPerSecond;
+}
+
+double
+SoftwareCostModel::decompressSeconds(SoftwareCodecKind kind,
+                                     uint64_t bytes) const
+{
+    return static_cast<double>(bytes) /
+           throughput(kind).decompressBytesPerSecond;
+}
+
+std::string
+SoftwareCostModel::name(SoftwareCodecKind kind)
+{
+    switch (kind) {
+      case SoftwareCodecKind::SnappyLike:
+        return "Snappy-like (lossless)";
+      case SoftwareCodecKind::SzLike:
+        return "SZ-like (lossy)";
+      case SoftwareCodecKind::Truncation:
+        return "Truncation (software)";
+    }
+    return "?";
+}
+
+} // namespace inc

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * CPU-time cost model for running compression in *software* on the
+ * training critical path — what paper Fig. 7 measures. Hardware offload
+ * (the INCEPTIONN engines) removes these costs entirely; software
+ * codecs pay them on every send and receive, which is why even a fast
+ * codec inflates total training time by 2-4x.
+ *
+ * Default throughputs are representative of the paper's Xeon E5-2640 v4
+ * class CPUs (single stream): Snappy-class LZ ~ 250 MB/s compress /
+ * 1 GB/s decompress; SZ-class lossy ~ 120 / 200 MB/s; bit pack/unpack
+ * for truncation ~ 800 MB/s each way (simple but still per-element CPU
+ * work the paper calls out as expensive).
+ */
+
+#ifndef INCEPTIONN_BASELINES_SOFTWARE_COST_H
+#define INCEPTIONN_BASELINES_SOFTWARE_COST_H
+
+#include <cstdint>
+#include <string>
+
+namespace inc {
+
+/** Which software codec a cost query refers to. */
+enum class SoftwareCodecKind { SnappyLike, SzLike, Truncation };
+
+/** Throughput table for one codec. */
+struct SoftwareThroughput
+{
+    double compressBytesPerSecond;
+    double decompressBytesPerSecond;
+};
+
+/** Cost model over the three software baselines. */
+class SoftwareCostModel
+{
+  public:
+    SoftwareCostModel() = default;
+
+    /** Override a codec's throughputs (e.g. from a local calibration). */
+    void setThroughput(SoftwareCodecKind kind, SoftwareThroughput tp);
+
+    SoftwareThroughput throughput(SoftwareCodecKind kind) const;
+
+    /** Seconds of CPU time to compress @p bytes. */
+    double compressSeconds(SoftwareCodecKind kind, uint64_t bytes) const;
+
+    /** Seconds of CPU time to decompress @p bytes (uncompressed size). */
+    double decompressSeconds(SoftwareCodecKind kind, uint64_t bytes) const;
+
+    static std::string name(SoftwareCodecKind kind);
+
+  private:
+    SoftwareThroughput snappy_{250e6, 1000e6};
+    SoftwareThroughput sz_{120e6, 200e6};
+    SoftwareThroughput truncation_{800e6, 800e6};
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_BASELINES_SOFTWARE_COST_H

@@ -1,0 +1,89 @@
+#include "baselines/sz_like.h"
+
+#include <cmath>
+
+#include "core/compressed_stream.h" // BitWriter / BitReader
+#include "core/fp32.h"
+#include "sim/logging.h"
+
+namespace inc {
+
+SzLikeCodec::SzLikeCodec(double error_bound, int code_bits)
+    : bound_(error_bound), codeBits_(code_bits)
+{
+    INC_ASSERT(error_bound > 0.0, "error bound must be positive");
+    INC_ASSERT(code_bits >= 2 && code_bits <= 16, "code bits %d outside "
+               "[2,16]", code_bits);
+    // Codes are signed, stored biased; the most negative pattern escapes.
+    maxCode_ = (1ll << (codeBits_ - 1)) - 1;
+    escape_ = -(1ll << (codeBits_ - 1));
+}
+
+std::vector<uint8_t>
+SzLikeCodec::compress(std::span<const float> input) const
+{
+    // Layout: u32 count, then a bit stream of biased codes; each escape
+    // code is followed (inline) by a 32-bit literal.
+    BitWriter writer;
+    writer.append(static_cast<uint32_t>(input.size()), 32);
+
+    float prev = 0.0f; // decompressor starts from the same seed
+    const double step = 2.0 * bound_;
+    for (float f : input) {
+        const double residual = static_cast<double>(f) - prev;
+        const long long q = std::llround(residual / step);
+        double reconstructed =
+            static_cast<double>(prev) + static_cast<double>(q) * step;
+        const bool fits =
+            q >= -maxCode_ && q <= maxCode_ &&
+            std::abs(reconstructed - static_cast<double>(f)) <= bound_;
+        if (fits) {
+            writer.append(
+                static_cast<uint32_t>(q - escape_), codeBits_);
+            prev = static_cast<float>(reconstructed);
+        } else {
+            writer.append(0, codeBits_); // biased escape == 0
+            writer.append(floatToBits(f), 32);
+            prev = f;
+        }
+    }
+
+    return writer.takeBytes();
+}
+
+std::vector<float>
+SzLikeCodec::decompress(std::span<const uint8_t> input) const
+{
+    BitReader reader(input);
+    const uint32_t count = reader.read(32);
+    std::vector<float> out;
+    out.reserve(count);
+
+    float prev = 0.0f;
+    const double step = 2.0 * bound_;
+    for (uint32_t i = 0; i < count; ++i) {
+        const int64_t biased =
+            static_cast<int64_t>(reader.read(codeBits_));
+        const int64_t q = biased + escape_;
+        if (q == escape_) {
+            prev = bitsToFloat(reader.read(32));
+        } else {
+            prev = static_cast<float>(static_cast<double>(prev) +
+                                      static_cast<double>(q) * step);
+        }
+        out.push_back(prev);
+    }
+    return out;
+}
+
+double
+SzLikeCodec::measureRatio(std::span<const float> input) const
+{
+    if (input.empty())
+        return 1.0;
+    const auto compressed = compress(input);
+    return static_cast<double>(input.size() * sizeof(float)) /
+           static_cast<double>(compressed.size());
+}
+
+} // namespace inc

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * SZ-style error-bounded lossy compressor — the software *lossy*
+ * baseline of paper Fig. 7 (Di & Cappello, IPDPS'16). A 1-d Lorenzo
+ * predictor (previous decompressed value) with linear-scaling
+ * quantization of the residual: predictable points emit a small
+ * bit-packed quantization code, unpredictable points emit a 32-bit
+ * literal plus a code-stream escape. Round-trip error is bounded by the
+ * configured absolute error.
+ */
+
+#ifndef INCEPTIONN_BASELINES_SZ_LIKE_H
+#define INCEPTIONN_BASELINES_SZ_LIKE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace inc {
+
+/** Error-bounded predictive quantization codec for float streams. */
+class SzLikeCodec
+{
+  public:
+    /**
+     * @param error_bound absolute error bound (> 0).
+     * @param code_bits bits per quantization code (SZ default 8 covers
+     *        codes in [-127, 127]; the all-ones code escapes to a
+     *        literal).
+     */
+    explicit SzLikeCodec(double error_bound, int code_bits = 8);
+
+    double errorBound() const { return bound_; }
+
+    /** Compress to a self-describing byte stream. */
+    std::vector<uint8_t> compress(std::span<const float> input) const;
+
+    /** Decompress a stream produced by compress(). */
+    std::vector<float> decompress(std::span<const uint8_t> input) const;
+
+    /** Ratio achieved on @p input (input bytes / compressed bytes). */
+    double measureRatio(std::span<const float> input) const;
+
+  private:
+    double bound_;
+    int codeBits_;
+    int64_t escape_;  // code value reserved for literals
+    int64_t maxCode_; // largest representable quantization magnitude
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_BASELINES_SZ_LIKE_H

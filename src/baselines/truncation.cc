@@ -1,0 +1,52 @@
+#include "baselines/truncation.h"
+
+#include <cmath>
+
+#include "core/fp32.h"
+#include "sim/logging.h"
+
+namespace inc {
+
+TruncationCodec::TruncationCodec(int dropped_bits)
+    : bits_(dropped_bits),
+      mask_(dropped_bits == 0 ? 0xFFFFFFFFu
+                              : (0xFFFFFFFFu << dropped_bits))
+{
+    INC_ASSERT(dropped_bits >= 0 && dropped_bits <= 31,
+               "xb-T with x=%d outside [0,31]", dropped_bits);
+}
+
+double
+TruncationCodec::ratio() const
+{
+    return 32.0 / static_cast<double>(32 - bits_);
+}
+
+float
+TruncationCodec::roundtrip(float f) const
+{
+    return bitsToFloat(floatToBits(f) & mask_);
+}
+
+void
+TruncationCodec::roundtrip(std::span<float> values) const
+{
+    for (float &f : values)
+        f = roundtrip(f);
+}
+
+double
+TruncationCodec::worstError(double magnitude_bound) const
+{
+    // Zeroing x mantissa LSBs of a value with exponent e loses at most
+    // 2^x ULPs = 2^(x + e - 150) in magnitude... as long as x stays
+    // within the 23-bit mantissa. Once truncation reaches the exponent
+    // field (x > 23) the damage is unbounded relative to the value.
+    if (bits_ > 23)
+        return std::numeric_limits<double>::infinity();
+    // Largest exponent for |f| < bound.
+    const int e = static_cast<int>(std::floor(std::log2(magnitude_bound)));
+    return std::ldexp(1.0, bits_ + e - 23);
+}
+
+} // namespace inc

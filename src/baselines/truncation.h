@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Naive floating-point truncation baseline ("xb-T" in paper Figs. 4 and
+ * 14): zero the x least-significant bits of every IEEE-754 value. With
+ * bit-packing, x dropped bits yield a fixed 32/(32-x) ratio — at most 4x
+ * before the exponent field is perturbed (24b-T and beyond), which is
+ * exactly the accuracy cliff Fig. 14 shows.
+ */
+
+#ifndef INCEPTIONN_BASELINES_TRUNCATION_H
+#define INCEPTIONN_BASELINES_TRUNCATION_H
+
+#include <cstdint>
+#include <span>
+
+namespace inc {
+
+/** LSB truncation of float32 values. */
+class TruncationCodec
+{
+  public:
+    /** @param dropped_bits x in "xb-T"; valid range [0, 31]. */
+    explicit TruncationCodec(int dropped_bits);
+
+    int droppedBits() const { return bits_; }
+
+    /** Fixed compression ratio: 32 / (32 - x). */
+    double ratio() const;
+
+    /** Round-trip one value (zero its x LSBs). */
+    float roundtrip(float f) const;
+
+    /** In-place round-trip of a buffer. */
+    void roundtrip(std::span<float> values) const;
+
+    /** Worst-case absolute error for |f| < @p magnitude_bound. */
+    double worstError(double magnitude_bound = 1.0) const;
+
+  private:
+    int bits_;
+    uint32_t mask_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_BASELINES_TRUNCATION_H

@@ -1,0 +1,31 @@
+#include "comm/analytical.h"
+
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+double
+waExchangeSeconds(int p, uint64_t n, const CostModelParams &m)
+{
+    INC_ASSERT(p >= 1, "need >= 1 worker");
+    const double pd = static_cast<double>(p);
+    const double nd = static_cast<double>(n);
+    const double lg = std::log2(pd);
+    return (1.0 + lg) * m.alpha + (pd + lg) * nd * m.beta +
+           (pd - 1.0) * nd * m.gamma;
+}
+
+double
+ringExchangeSeconds(int p, uint64_t n, const CostModelParams &m)
+{
+    INC_ASSERT(p >= 2, "ring needs >= 2 workers");
+    const double pd = static_cast<double>(p);
+    const double nd = static_cast<double>(n);
+    const double frac = (pd - 1.0) / pd;
+    return 2.0 * (pd - 1.0) * m.alpha + 2.0 * frac * nd * m.beta +
+           frac * nd * m.gamma;
+}
+
+} // namespace inc

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Closed-form gradient-exchange cost models from the paper's Sec. VIII-D
+ * (after Thakur et al. [24]): p workers, model of n bytes, link latency
+ * alpha (s), per-byte transfer time beta (s/B), per-byte sum-reduction
+ * time gamma (s/B). Used to validate the packet-level simulator and to
+ * explain the Fig. 15 scaling trends.
+ */
+
+#ifndef INCEPTIONN_COMM_ANALYTICAL_H
+#define INCEPTIONN_COMM_ANALYTICAL_H
+
+#include <cstdint>
+
+namespace inc {
+
+/** Analytical model inputs. */
+struct CostModelParams
+{
+    double alpha = 1e-6;   ///< per-message latency (s)
+    double beta = 8.0e-10; ///< per-byte transfer time (s/B); 10 GbE
+    double gamma = 1e-10;  ///< per-byte reduction time (s/B)
+};
+
+/**
+ * Worker-aggregator exchange time (seconds):
+ * (1 + log p) a + (p + log p) n b + (p - 1) n g.
+ */
+double waExchangeSeconds(int p, uint64_t n, const CostModelParams &m);
+
+/**
+ * INCEPTIONN ring exchange time (seconds):
+ * 2 (p - 1) a + 2 ((p-1)/p) n b + ((p-1)/p) n g.
+ */
+double ringExchangeSeconds(int p, uint64_t n, const CostModelParams &m);
+
+} // namespace inc
+
+#endif // INCEPTIONN_COMM_ANALYTICAL_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared configuration/result types for the gradient-exchange
+ * collectives (worker-aggregator star, hierarchical tree, and the
+ * INCEPTIONN ring of paper Algorithm 1).
+ */
+
+#ifndef INCEPTIONN_COMM_COLLECTIVE_CONFIG_H
+#define INCEPTIONN_COMM_COLLECTIVE_CONFIG_H
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+
+namespace inc {
+
+/** Parameters every exchange shares. */
+struct ExchangeConfig
+{
+    /** Gradient (== weight) vector size in bytes (the paper's n). */
+    uint64_t gradientBytes = 0;
+    /** Compress gradient-carrying legs (ToS 0x28). */
+    bool compressGradients = false;
+    /**
+     * Compress the weight-carrying legs too. The paper never enables
+     * this — weights do not tolerate lossy compression (Fig. 4) — it
+     * exists for ablation only. Ignored by the ring, which has no
+     * weight leg.
+     */
+    bool compressWeights = false;
+    /** Codec wire ratio achieved on gradient payloads. */
+    double wireRatio = 1.0;
+    /** Sum-reduction cost, seconds per byte (the paper's gamma). */
+    double sumSecondsPerByte = 1e-10;
+    /**
+     * Fixed software cost charged per received message (MPI rendezvous,
+     * syscalls, buffer management). Dominates for small models (the
+     * paper's HDC sees only a 39% ring gain for exactly this reason);
+     * negligible against hundreds of megabytes. Calibrated default:
+     * 1.5 ms, reproducing the paper's small-message regime.
+     */
+    Tick perMessageOverhead = 1500 * kMicrosecond; // 1.5 ms
+};
+
+/** Timing of one completed exchange. */
+struct ExchangeResult
+{
+    Tick start = 0;
+    Tick finish = 0;
+
+    Tick duration() const { return finish - start; }
+    double seconds() const { return toSeconds(duration()); }
+};
+
+/** Completion callback. */
+using ExchangeDone = std::function<void(ExchangeResult)>;
+
+/** Sum-reduction CPU time for @p bytes at @p seconds_per_byte. */
+inline Tick
+sumCost(uint64_t bytes, double seconds_per_byte)
+{
+    return fromSeconds(static_cast<double>(bytes) * seconds_per_byte);
+}
+
+} // namespace inc
+
+#endif // INCEPTIONN_COMM_COLLECTIVE_CONFIG_H

@@ -1,0 +1,48 @@
+#include "comm/comm_world.h"
+
+#include "sim/logging.h"
+
+namespace inc {
+
+void
+CommWorld::send(int src, int dst, int tag, uint64_t bytes,
+                const SendOptions &opts)
+{
+    TransferRequest req;
+    req.src = src;
+    req.dst = dst;
+    req.payloadBytes = bytes;
+    req.tos = opts.compress ? kCompressTos : kDefaultTos;
+    req.wireRatio = opts.compress ? opts.wireRatio : 1.0;
+
+    const Key key{dst, src, tag};
+    net_.transfer(req, [this, key](Tick delivered) {
+        auto wit = waiting_.find(key);
+        if (wit != waiting_.end() && !wit->second.empty()) {
+            RecvHandler handler = std::move(wit->second.front());
+            wit->second.pop_front();
+            handler(delivered);
+        } else {
+            arrived_[key].push_back(delivered);
+        }
+    });
+}
+
+void
+CommWorld::recv(int dst, int src, int tag, RecvHandler handler)
+{
+    const Key key{dst, src, tag};
+    auto ait = arrived_.find(key);
+    if (ait != arrived_.end() && !ait->second.empty()) {
+        const Tick delivered = ait->second.front();
+        ait->second.pop_front();
+        // Fire from event context at a consistent time: the message is
+        // already in host memory, so the handler runs "now".
+        net_.events().scheduleIn(0, [handler = std::move(handler),
+                                     delivered] { handler(delivered); });
+    } else {
+        waiting_[key].push_back(std::move(handler));
+    }
+}
+
+} // namespace inc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * MPI-style point-to-point messaging over the simulated cluster — the
+ * stand-in for the paper's OpenMPI layer. Messages are (src, dst, tag)
+ * addressed; receives may be posted before or after the matching message
+ * arrives (an unexpected-message queue holds early arrivals).
+ *
+ * The paper's software abstraction (Sec. VI-B) distinguishes ordinary
+ * collectives (collec_comm) from compression-enabled ones
+ * (collec_comm_comp), which set the socket's ToS to 0x28 so the NIC
+ * engines engage. Here the same switch is the @c compress flag carried
+ * by SendOptions / the collective configs in star_allreduce.h,
+ * tree_allreduce.h, and ring_allreduce.h.
+ */
+
+#ifndef INCEPTIONN_COMM_COMM_WORLD_H
+#define INCEPTIONN_COMM_COMM_WORLD_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "net/fabric.h"
+#include "net/host.h"
+
+namespace inc {
+
+/** Per-send options (the setsockopt(ToS) analog). */
+struct SendOptions
+{
+    /** Request NIC compression (sets ToS 0x28). */
+    bool compress = false;
+    /** Codec wire ratio for this payload when compressed. */
+    double wireRatio = 1.0;
+};
+
+/** Rank-addressed messaging facade over any Fabric implementation
+ *  (packet-level Network or flow-level FluidNetwork). */
+class CommWorld
+{
+  public:
+    using RecvHandler = std::function<void(Tick delivered)>;
+
+    explicit CommWorld(Fabric &net) : net_(net) {}
+
+    Fabric &network() { return net_; }
+    int size() const { return net_.nodes(); }
+
+    /**
+     * Post a message of @p bytes from @p src to @p dst with @p tag.
+     * Completion is observed by the receiver through recv().
+     */
+    void send(int src, int dst, int tag, uint64_t bytes,
+              const SendOptions &opts = {});
+
+    /**
+     * Post a receive at @p dst for a message from @p src with @p tag.
+     * @p handler fires at the delivery tick (immediately if the message
+     * already arrived).
+     */
+    void recv(int dst, int src, int tag, RecvHandler handler);
+
+  private:
+    struct Key
+    {
+        int dst, src, tag;
+        auto operator<=>(const Key &) const = default;
+    };
+
+    Fabric &net_;
+    std::map<Key, std::deque<Tick>> arrived_;
+    std::map<Key, std::deque<RecvHandler>> waiting_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_COMM_COMM_WORLD_H

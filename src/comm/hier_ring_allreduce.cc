@@ -1,0 +1,117 @@
+#include "comm/hier_ring_allreduce.h"
+
+#include <memory>
+
+#include "comm/ring_allreduce.h"
+#include "sim/logging.h"
+
+namespace inc {
+
+namespace {
+
+struct HierState
+{
+    HierRingConfig config;
+    ExchangeResult result;
+    ExchangeDone done;
+    size_t groupsPending = 0;
+    size_t membersPending = 0;
+    int fanOutTag = 0;
+};
+
+/** Instance-unique fan-out tag so concurrent exchanges never cross. */
+int
+nextFanOutTag()
+{
+    static int s_next = 600000;
+    return s_next++;
+}
+
+void
+startLeaderRing(CommWorld &comm, const std::shared_ptr<HierState> &state);
+
+void
+startIntraRings(CommWorld &comm, const std::shared_ptr<HierState> &state)
+{
+    state->groupsPending = state->config.groups.size();
+    for (const auto &group : state->config.groups) {
+        RingConfig rc;
+        static_cast<ExchangeConfig &>(rc) = state->config;
+        rc.ranks = group;
+        runRingAllReduce(comm, rc, [&comm, state](ExchangeResult) {
+            if (--state->groupsPending == 0)
+                startLeaderRing(comm, state);
+        });
+    }
+}
+
+void
+startLeaderRing(CommWorld &comm, const std::shared_ptr<HierState> &state)
+{
+    RingConfig rc;
+    static_cast<ExchangeConfig &>(rc) = state->config;
+    for (const auto &group : state->config.groups)
+        rc.ranks.push_back(group.front());
+    runRingAllReduce(comm, rc, [&comm, state](ExchangeResult) {
+        // Phase 3: leaders fan the aggregated gradient to their members.
+        SendOptions opts;
+        opts.compress = state->config.compressGradients;
+        opts.wireRatio = state->config.wireRatio;
+        for (const auto &group : state->config.groups) {
+            const int leader = group.front();
+            for (size_t i = 1; i < group.size(); ++i) {
+                comm.send(leader, group[i], state->fanOutTag,
+                          state->config.gradientBytes, opts);
+                comm.recv(group[i], leader, state->fanOutTag,
+                          [state](Tick delivered) {
+                              state->result.finish = std::max(
+                                  state->result.finish,
+                                  delivered +
+                                      state->config.perMessageOverhead);
+                              if (--state->membersPending == 0)
+                                  state->done(state->result);
+                          });
+            }
+        }
+    });
+}
+
+} // namespace
+
+void
+runHierRingAllReduce(CommWorld &comm, const HierRingConfig &config,
+                     ExchangeDone done)
+{
+    INC_ASSERT(config.groups.size() >= 2, "need >= 2 groups");
+    for (const auto &g : config.groups)
+        INC_ASSERT(g.size() >= 2, "every group needs >= 2 members");
+    INC_ASSERT(config.gradientBytes > 0, "empty gradient vector");
+
+    auto state = std::make_shared<HierState>();
+    state->config = config;
+    state->done = std::move(done);
+    state->result.start = comm.network().events().now();
+    for (const auto &g : config.groups)
+        state->membersPending += g.size() - 1;
+    state->fanOutTag = nextFanOutTag();
+
+    startIntraRings(comm, state);
+}
+
+std::vector<std::vector<int>>
+contiguousGroups(int nodes, int group_size)
+{
+    INC_ASSERT(group_size >= 2 && nodes % group_size == 0,
+               "%d nodes do not divide into groups of %d", nodes,
+               group_size);
+    std::vector<std::vector<int>> groups;
+    for (int base = 0; base < nodes; base += group_size) {
+        std::vector<int> g;
+        for (int i = 0; i < group_size; ++i)
+            g.push_back(base + i);
+        groups.push_back(std::move(g));
+    }
+    return groups;
+}
+
+} // namespace inc

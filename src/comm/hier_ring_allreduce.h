@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Hierarchical use of the INCEPTIONN algorithm (paper Fig. 1(c)): every
+ * level of the worker-aggregator hierarchy is replaced by a
+ * gradient-centric ring. Three phases:
+ *
+ *  1. intra-group rings run concurrently — every member of every group
+ *     ends with its group's summed gradient;
+ *  2. one inter-group ring over the group leaders sums across groups;
+ *  3. leaders fan the fully aggregated gradient back to their members.
+ *
+ * Every leg carries gradients, so every leg compresses, and no node is a
+ * dedicated aggregator — the defining INCEPTIONN properties, now at
+ * datacenter fan-outs where a single flat ring would suffer 2(p-1)
+ * latency terms.
+ */
+
+#ifndef INCEPTIONN_COMM_HIER_RING_ALLREDUCE_H
+#define INCEPTIONN_COMM_HIER_RING_ALLREDUCE_H
+
+#include <vector>
+
+#include "comm/collective_config.h"
+#include "comm/comm_world.h"
+
+namespace inc {
+
+/** Hierarchical ring configuration. */
+struct HierRingConfig : ExchangeConfig
+{
+    /**
+     * Groups of ranks; the first rank of each group is its leader.
+     * Every group needs >= 2 members and there must be >= 2 groups.
+     */
+    std::vector<std::vector<int>> groups;
+};
+
+/**
+ * Run one hierarchical ring exchange. @p done fires after every member
+ * of every group holds the globally aggregated gradient.
+ */
+void runHierRingAllReduce(CommWorld &comm, const HierRingConfig &config,
+                          ExchangeDone done);
+
+/** Split ranks 0..nodes-1 into contiguous groups of @p group_size. */
+std::vector<std::vector<int>> contiguousGroups(int nodes, int group_size);
+
+} // namespace inc
+
+#endif // INCEPTIONN_COMM_HIER_RING_ALLREDUCE_H

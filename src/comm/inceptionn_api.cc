@@ -1,0 +1,106 @@
+#include "comm/inceptionn_api.h"
+
+#include "comm/hier_ring_allreduce.h"
+#include "comm/ring_allreduce.h"
+#include "comm/star_allreduce.h"
+#include "comm/tree_allreduce.h"
+#include "sim/logging.h"
+
+namespace inc {
+
+namespace {
+
+void
+dispatch(CommWorld &comm, const CollectiveCall &call, bool compress,
+         ExchangeDone done)
+{
+    INC_ASSERT(call.gradientBytes > 0, "empty gradient vector");
+    INC_ASSERT(comm.size() >= nodesRequired(call),
+               "cluster has %d nodes, call needs %d", comm.size(),
+               nodesRequired(call));
+
+    ExchangeConfig base;
+    base.gradientBytes = call.gradientBytes;
+    base.compressGradients = compress;
+    base.wireRatio = call.wireRatio;
+    base.sumSecondsPerByte = call.sumSecondsPerByte;
+
+    switch (call.algorithm) {
+      case CollectiveAlgorithm::WorkerAggregator: {
+        StarConfig cfg;
+        static_cast<ExchangeConfig &>(cfg) = base;
+        cfg.aggregator = call.workers;
+        for (int i = 0; i < call.workers; ++i)
+            cfg.workers.push_back(i);
+        runStarAllReduce(comm, cfg, std::move(done));
+        return;
+      }
+      case CollectiveAlgorithm::Tree: {
+        INC_ASSERT(call.workers % call.groupSize == 0,
+                   "%d workers don't divide into groups of %d",
+                   call.workers, call.groupSize);
+        TreeConfig cfg;
+        static_cast<ExchangeConfig &>(cfg) = base;
+        const int groups = call.workers / call.groupSize;
+        cfg.root = call.workers + groups;
+        for (int g = 0; g < groups; ++g) {
+            TreeGroup tg;
+            tg.aggregator = call.workers + g;
+            for (int i = 0; i < call.groupSize; ++i)
+                tg.workers.push_back(g * call.groupSize + i);
+            cfg.groups.push_back(std::move(tg));
+        }
+        runTreeAllReduce(comm, cfg, std::move(done));
+        return;
+      }
+      case CollectiveAlgorithm::Ring: {
+        RingConfig cfg;
+        static_cast<ExchangeConfig &>(cfg) = base;
+        for (int i = 0; i < call.workers; ++i)
+            cfg.ranks.push_back(i);
+        runRingAllReduce(comm, cfg, std::move(done));
+        return;
+      }
+      case CollectiveAlgorithm::HierRing: {
+        HierRingConfig cfg;
+        static_cast<ExchangeConfig &>(cfg) = base;
+        cfg.groups = contiguousGroups(call.workers, call.groupSize);
+        runHierRingAllReduce(comm, cfg, std::move(done));
+        return;
+      }
+    }
+    panic("bad collective algorithm");
+}
+
+} // namespace
+
+int
+nodesRequired(const CollectiveCall &call)
+{
+    switch (call.algorithm) {
+      case CollectiveAlgorithm::WorkerAggregator:
+        return call.workers + 1;
+      case CollectiveAlgorithm::Tree:
+        return call.workers + call.workers / call.groupSize + 1;
+      case CollectiveAlgorithm::Ring:
+      case CollectiveAlgorithm::HierRing:
+        return call.workers;
+    }
+    return call.workers;
+}
+
+void
+collecCommAllReduce(CommWorld &comm, const CollectiveCall &call,
+                    ExchangeDone done)
+{
+    dispatch(comm, call, /*compress=*/false, std::move(done));
+}
+
+void
+collecCommCompAllReduce(CommWorld &comm, const CollectiveCall &call,
+                        ExchangeDone done)
+{
+    dispatch(comm, call, /*compress=*/true, std::move(done));
+}
+
+} // namespace inc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The INCEPTIONN collective-communication API (paper Sec. VI-B and
+ * Fig. 11): a drop-in pair of entry points mirroring the paper's
+ * OpenMPI integration —
+ *
+ *  - collecCommAllReduce():     ordinary collectives (ToS untouched);
+ *  - collecCommCompAllReduce(): the "_comp" variant that tags the
+ *    underlying sockets with ToS 0x28 so the NIC engines compress every
+ *    gradient payload in flight.
+ *
+ * Algorithm selection (worker-aggregator star, two-level tree, flat
+ * ring, hierarchical rings) is a parameter, so a training framework can
+ * switch Fig. 1(a)/(b)/(c) organizations without touching its call
+ * sites.
+ */
+
+#ifndef INCEPTIONN_COMM_INCEPTIONN_API_H
+#define INCEPTIONN_COMM_INCEPTIONN_API_H
+
+#include "comm/collective_config.h"
+#include "comm/comm_world.h"
+
+namespace inc {
+
+/** Which exchange algorithm a collective call uses. */
+enum class CollectiveAlgorithm {
+    WorkerAggregator, ///< Fig. 2 / Fig. 1(a) with one group
+    Tree,             ///< Fig. 1(a), two levels
+    Ring,             ///< paper Algorithm 1 (Fig. 1(b) leaf organization)
+    HierRing,         ///< Fig. 1(c): rings at every level
+};
+
+/** Topology/sizing inputs shared by both API entry points. */
+struct CollectiveCall
+{
+    CollectiveAlgorithm algorithm = CollectiveAlgorithm::Ring;
+    uint64_t gradientBytes = 0;
+    /** Codec wire ratio (used only by the _comp variant). */
+    double wireRatio = 1.0;
+    /** Sum-reduction gamma (s/B). */
+    double sumSecondsPerByte = 1e-10;
+    /** Group size for Tree/HierRing (worker count must divide). */
+    int groupSize = 4;
+    /**
+     * Worker count. WorkerAggregator/Tree allocate aggregator ranks
+     * after the workers; Ring/HierRing use exactly this many nodes.
+     */
+    int workers = 4;
+};
+
+/** Nodes the cluster must provide for @p call (workers + aggregators). */
+int nodesRequired(const CollectiveCall &call);
+
+/**
+ * Ordinary all-reduce: gradients travel uncompressed (collec_comm).
+ * Must run from simulation context; @p done fires at completion.
+ */
+void collecCommAllReduce(CommWorld &comm, const CollectiveCall &call,
+                         ExchangeDone done);
+
+/**
+ * Compression-enabled all-reduce (collec_comm_comp): every
+ * gradient-carrying leg is sent with ToS 0x28 so compression-capable
+ * NICs engage their engines. Weight-carrying legs (WA/Tree downlinks)
+ * remain uncompressed, as in the paper.
+ */
+void collecCommCompAllReduce(CommWorld &comm, const CollectiveCall &call,
+                             ExchangeDone done);
+
+} // namespace inc
+
+#endif // INCEPTIONN_COMM_INCEPTIONN_API_H

@@ -1,0 +1,161 @@
+#include "comm/primitives.h"
+
+#include <memory>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+namespace {
+
+int
+nextPrimitiveTagBase()
+{
+    static int s_next = 800000;
+    const int base = s_next;
+    s_next += 64;
+    return base;
+}
+
+struct BroadcastState
+{
+    BroadcastConfig config;
+    std::vector<int> ranks; // rotated so ranks[0] == root
+    ExchangeResult result;
+    ExchangeDone done;
+    size_t pending = 0;
+    int tagBase = 0;
+};
+
+/**
+ * Binomial tree on *relative* ids (position in the rotated rank list):
+ * in round k, relative id r < 2^k forwards to r + 2^k (if present).
+ * Each receiver starts forwarding as soon as its copy arrives.
+ */
+void
+forwardFrom(CommWorld &comm, const std::shared_ptr<BroadcastState> &state,
+            size_t rel, int first_round)
+{
+    const size_t n = state->ranks.size();
+    SendOptions opts;
+    opts.compress = state->config.compressGradients;
+    opts.wireRatio = state->config.wireRatio;
+    for (int k = first_round; (1u << k) < n; ++k) {
+        const size_t peer = rel + (1u << k);
+        if (rel >= (1u << k) || peer >= n)
+            continue;
+        const int src = state->ranks[rel];
+        const int dst = state->ranks[peer];
+        comm.send(src, dst, state->tagBase + k,
+                  state->config.gradientBytes, opts);
+        comm.recv(dst, src, state->tagBase + k,
+                  [&comm, state, peer, k](Tick delivered) {
+                      const Tick seen =
+                          delivered + state->config.perMessageOverhead;
+                      state->result.finish =
+                          std::max(state->result.finish, seen);
+                      // This rank now owns a copy: forward in later
+                      // rounds.
+                      comm.network().events().schedule(
+                          seen, [&comm, state, peer, k] {
+                              forwardFrom(comm, state, peer, k + 1);
+                          });
+                      if (--state->pending == 0)
+                          state->done(state->result);
+                  });
+    }
+}
+
+struct BarrierState
+{
+    BarrierConfig config;
+    int nodes = 0;
+    int rounds = 0;
+    ExchangeResult result;
+    ExchangeDone done;
+    std::vector<int> roundOf; // per-rank current round
+    size_t finished = 0;
+    int tagBase = 0;
+};
+
+void
+barrierRound(CommWorld &comm, const std::shared_ptr<BarrierState> &state,
+             int rank, int round)
+{
+    if (round >= state->rounds) {
+        if (++state->finished == static_cast<size_t>(state->nodes))
+            state->done(state->result);
+        return;
+    }
+    const int n = state->nodes;
+    const int to = (rank + (1 << round)) % n;
+    comm.send(rank, to, state->tagBase + round,
+              state->config.gradientBytes);
+    const int from = (rank - (1 << round) % n + n) % n;
+    comm.recv(rank, from, state->tagBase + round,
+              [&comm, state, rank, round](Tick delivered) {
+                  const Tick seen =
+                      delivered + state->config.perMessageOverhead;
+                  state->result.finish =
+                      std::max(state->result.finish, seen);
+                  comm.network().events().schedule(
+                      seen, [&comm, state, rank, round] {
+                          barrierRound(comm, state, rank, round + 1);
+                      });
+              });
+}
+
+} // namespace
+
+void
+runBroadcast(CommWorld &comm, const BroadcastConfig &config,
+             ExchangeDone done)
+{
+    auto state = std::make_shared<BroadcastState>();
+    state->config = config;
+    state->ranks = config.ranks;
+    if (state->ranks.empty()) {
+        state->ranks.resize(static_cast<size_t>(comm.size()));
+        for (int i = 0; i < comm.size(); ++i)
+            state->ranks[static_cast<size_t>(i)] = i;
+    }
+    // Rotate so the root sits at relative id 0.
+    size_t root_pos = state->ranks.size();
+    for (size_t i = 0; i < state->ranks.size(); ++i)
+        if (state->ranks[i] == config.root)
+            root_pos = i;
+    INC_ASSERT(root_pos < state->ranks.size(),
+               "root %d not among broadcast ranks", config.root);
+    std::rotate(state->ranks.begin(),
+                state->ranks.begin() + static_cast<long>(root_pos),
+                state->ranks.end());
+    INC_ASSERT(state->ranks.size() >= 2, "broadcast needs >= 2 ranks");
+    INC_ASSERT(config.gradientBytes > 0, "empty broadcast");
+
+    state->done = std::move(done);
+    state->result.start = comm.network().events().now();
+    state->pending = state->ranks.size() - 1;
+    state->tagBase = nextPrimitiveTagBase();
+
+    forwardFrom(comm, state, 0, 0);
+}
+
+void
+runBarrier(CommWorld &comm, const BarrierConfig &config, ExchangeDone done)
+{
+    auto state = std::make_shared<BarrierState>();
+    state->config = config;
+    state->nodes = comm.size();
+    state->rounds = 0;
+    while ((1 << state->rounds) < state->nodes)
+        ++state->rounds;
+    state->done = std::move(done);
+    state->result.start = comm.network().events().now();
+    state->tagBase = nextPrimitiveTagBase();
+
+    INC_ASSERT(state->nodes >= 2, "barrier needs >= 2 ranks");
+    for (int r = 0; r < state->nodes; ++r)
+        barrierRound(comm, state, r, 0);
+}
+
+} // namespace inc

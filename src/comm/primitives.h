@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The remaining MPI-style collectives a training framework expects from
+ * the communication layer: a binomial-tree broadcast (how real MPI
+ * distributes the updated weights, log2(p) rounds) and a dissemination
+ * barrier (log2(p) rounds of empty messages). Both run over any Fabric.
+ */
+
+#ifndef INCEPTIONN_COMM_PRIMITIVES_H
+#define INCEPTIONN_COMM_PRIMITIVES_H
+
+#include <vector>
+
+#include "comm/collective_config.h"
+#include "comm/comm_world.h"
+
+namespace inc {
+
+/** Broadcast configuration. */
+struct BroadcastConfig : ExchangeConfig
+{
+    int root = 0;
+    /** Participating ranks; empty = all. Must contain root. */
+    std::vector<int> ranks;
+};
+
+/**
+ * Binomial-tree broadcast of gradientBytes from root to every rank:
+ * ceil(log2 p) rounds, each doubling the set of holders. compressGradients
+ * applies (a broadcast gradient is still a gradient).
+ */
+void runBroadcast(CommWorld &comm, const BroadcastConfig &config,
+                  ExchangeDone done);
+
+/** Barrier configuration: payloads are header-only (1 byte). */
+struct BarrierConfig : ExchangeConfig
+{
+    BarrierConfig() { gradientBytes = 1; }
+};
+
+/**
+ * Dissemination barrier over all ranks: after completion every rank
+ * knows every other rank arrived. ceil(log2 p) rounds.
+ */
+void runBarrier(CommWorld &comm, const BarrierConfig &config,
+                ExchangeDone done);
+
+} // namespace inc
+
+#endif // INCEPTIONN_COMM_PRIMITIVES_H

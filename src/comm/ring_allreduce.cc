@@ -1,0 +1,122 @@
+#include "comm/ring_allreduce.h"
+
+#include <memory>
+#include <vector>
+
+#include "core/ring_schedule.h"
+#include "sim/logging.h"
+#include "sim/trace.h"
+
+namespace inc {
+
+namespace {
+
+struct RingState
+{
+    RingConfig config;
+    std::vector<int> ranks; // ring order; position = ring index
+    int nodes = 0;
+    std::vector<std::pair<size_t, size_t>> blocks; // byte (offset, len)
+    ExchangeResult result;
+    ExchangeDone done;
+    int nodesFinished = 0;
+    int tagBase = 0;
+};
+
+void
+sendStep(CommWorld &comm, const std::shared_ptr<RingState> &state, int pos,
+         int step)
+{
+    const RingStep rs = ringStepFor(pos, step, state->nodes);
+    const uint64_t bytes =
+        state->blocks[static_cast<size_t>(rs.sendBlock)].second;
+    SendOptions opts;
+    opts.compress = state->config.compressGradients;
+    opts.wireRatio = state->config.wireRatio;
+    const int src = state->ranks[static_cast<size_t>(pos)];
+    const int dst =
+        state->ranks[static_cast<size_t>((pos + 1) % state->nodes)];
+    comm.send(src, dst, state->tagBase + step, bytes, opts);
+}
+
+void
+postRecv(CommWorld &comm, const std::shared_ptr<RingState> &state, int pos,
+         int step)
+{
+    const int me = state->ranks[static_cast<size_t>(pos)];
+    const int prev = state->ranks[static_cast<size_t>(
+        (pos + state->nodes - 1) % state->nodes)];
+    comm.recv(me, prev, state->tagBase + step,
+              [&comm, state, pos, step](Tick delivered) {
+        const RingStep rs = ringStepFor(pos, step, state->nodes);
+        Host &host = comm.network().host(
+            state->ranks[static_cast<size_t>(pos)]);
+
+        // Reduce-scatter sums the received block; all-gather just copies
+        // (negligible cost). Both pay the per-message software overhead.
+        Tick processed = delivered + state->config.perMessageOverhead;
+        if (rs.phase == RingPhase::ReduceScatter) {
+            const uint64_t bytes =
+                state->blocks[static_cast<size_t>(rs.recvBlock)].second;
+            processed = host.compute(
+                processed, sumCost(bytes,
+                                   state->config.sumSecondsPerByte));
+        }
+
+        const int last = ringStepCount(state->nodes);
+        if (step < last) {
+            comm.network().events().schedule(processed,
+                                             [&comm, state, pos, step] {
+                                                 sendStep(comm, state, pos,
+                                                          step + 1);
+                                             });
+            postRecv(comm, state, pos, step + 1);
+        } else {
+            state->result.finish =
+                std::max(state->result.finish, processed);
+            if (++state->nodesFinished == state->nodes) {
+                INC_TRACE(Comm, state->result.finish,
+                          "ring all-reduce over %d nodes done in %.6f ms",
+                          state->nodes, state->result.seconds() * 1e3);
+                state->done(state->result);
+            }
+        }
+    });
+}
+
+} // namespace
+
+void
+runRingAllReduce(CommWorld &comm, const RingConfig &config, ExchangeDone done)
+{
+    auto state = std::make_shared<RingState>();
+    state->config = config;
+    state->ranks = config.ranks;
+    if (state->ranks.empty()) {
+        state->ranks.resize(static_cast<size_t>(comm.size()));
+        for (int i = 0; i < comm.size(); ++i)
+            state->ranks[static_cast<size_t>(i)] = i;
+    }
+    const int n = static_cast<int>(state->ranks.size());
+    INC_ASSERT(n >= 2, "ring needs >= 2 nodes");
+    INC_ASSERT(config.gradientBytes > 0, "empty gradient vector");
+    for (int r : state->ranks)
+        INC_ASSERT(r >= 0 && r < comm.size(), "rank %d out of world", r);
+
+    state->nodes = n;
+    state->blocks = partitionBlocks(config.gradientBytes, n);
+    state->done = std::move(done);
+    state->result.start = comm.network().events().now();
+    // Distinct tag space per ring instance so concurrent subset rings
+    // (hierarchical mode) cannot cross-match messages.
+    static int s_next_tag_base = 1000;
+    state->tagBase = s_next_tag_base;
+    s_next_tag_base += ringStepCount(n) + 8;
+
+    for (int pos = 0; pos < n; ++pos) {
+        sendStep(comm, state, pos, 1);
+        postRecv(comm, state, pos, 1);
+    }
+}
+
+} // namespace inc

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Timing model of the INCEPTIONN gradient-centric exchange (paper
+ * Algorithm 1) over the simulated cluster: 2(N-1) ring steps of
+ * block-sized messages. Every leg carries gradients, so every leg is
+ * compressible, and the sum-reduction work is spread across all nodes.
+ * The block schedule itself is the one validated in
+ * core/ring_schedule.h.
+ */
+
+#ifndef INCEPTIONN_COMM_RING_ALLREDUCE_H
+#define INCEPTIONN_COMM_RING_ALLREDUCE_H
+
+#include "comm/collective_config.h"
+#include "comm/comm_world.h"
+
+namespace inc {
+
+/** Ring exchange configuration. The base class's perMessageOverhead is
+ *  charged once per received block (i.e. per step per node). */
+struct RingConfig : ExchangeConfig
+{
+    /**
+     * Participating ranks in ring order; empty means all ranks
+     * 0..size-1. Subset rings enable the hierarchical composition of
+     * paper Fig. 1(c) (see hier_ring_allreduce.h).
+     */
+    std::vector<int> ranks;
+};
+
+/**
+ * Run one ring exchange. @p done fires when every node has every fully
+ * aggregated block.
+ */
+void runRingAllReduce(CommWorld &comm, const RingConfig &config,
+                      ExchangeDone done);
+
+} // namespace inc
+
+#endif // INCEPTIONN_COMM_RING_ALLREDUCE_H

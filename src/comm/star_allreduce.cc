@@ -1,0 +1,139 @@
+#include "comm/star_allreduce.h"
+
+#include <memory>
+
+#include "comm/primitives.h"
+#include "sim/logging.h"
+#include "sim/trace.h"
+
+namespace inc {
+
+namespace {
+
+/** Heap-held run state shared by the callbacks. */
+struct StarState
+{
+    StarConfig config;
+    ExchangeResult result;
+    ExchangeDone done;
+    size_t gradientsPending = 0;
+    size_t weightsPending = 0;
+    Tick sumDone = 0;
+    int gradientTag = 0;
+    int weightTag = 0;
+};
+
+/** Instance-unique tags so concurrent exchanges never cross-match. */
+int
+nextTagPair()
+{
+    static int s_next = 200000;
+    const int base = s_next;
+    s_next += 2;
+    return base;
+}
+
+} // namespace
+
+void
+runStarAllReduce(CommWorld &comm, const StarConfig &config,
+                 ExchangeDone done)
+{
+    INC_ASSERT(!config.workers.empty(), "star exchange without workers");
+    INC_ASSERT(config.gradientBytes > 0, "empty gradient vector");
+
+    auto state = std::make_shared<StarState>();
+    state->config = config;
+    state->done = std::move(done);
+    state->result.start = comm.network().events().now();
+    state->gradientsPending = config.workers.size();
+    state->weightsPending = config.workers.size();
+    state->gradientTag = nextTagPair();
+    state->weightTag = state->gradientTag + 1;
+
+    Host &agg = comm.network().host(config.aggregator);
+
+    // Every worker pushes its gradient to the aggregator.
+    SendOptions grad_opts;
+    grad_opts.compress = config.compressGradients;
+    grad_opts.wireRatio = config.wireRatio;
+    for (int w : config.workers)
+        comm.send(w, config.aggregator, state->gradientTag, config.gradientBytes,
+                  grad_opts);
+
+    // The aggregator sums each stream as it lands, then broadcasts the
+    // updated weights.
+    for (int w : config.workers) {
+        comm.recv(config.aggregator, w, state->gradientTag,
+                  [state, &comm, &agg](Tick delivered) {
+                      const Tick cost =
+                          sumCost(state->config.gradientBytes,
+                                  state->config.sumSecondsPerByte);
+                      const Tick ready =
+                          delivered + state->config.perMessageOverhead;
+                      state->sumDone =
+                          std::max(state->sumDone,
+                                   agg.compute(ready, cost));
+                      if (--state->gradientsPending > 0)
+                          return;
+                      // All streams reduced: send weights back — either
+                      // a sequential fan-out or a binomial tree.
+                      comm.network().events().schedule(
+                          state->sumDone, [state, &comm] {
+                              if (state->config.treeBroadcastWeights) {
+                                  BroadcastConfig bc;
+                                  static_cast<ExchangeConfig &>(bc) =
+                                      state->config;
+                                  bc.compressGradients =
+                                      state->config.compressWeights;
+                                  bc.root = state->config.aggregator;
+                                  bc.ranks.push_back(
+                                      state->config.aggregator);
+                                  for (int w : state->config.workers)
+                                      bc.ranks.push_back(w);
+                                  runBroadcast(
+                                      comm, bc,
+                                      [state](ExchangeResult br) {
+                                          state->result.finish = std::max(
+                                              state->result.finish,
+                                              br.finish);
+                                          state->done(state->result);
+                                      });
+                                  return;
+                              }
+                              SendOptions w_opts;
+                              w_opts.compress =
+                                  state->config.compressWeights;
+                              w_opts.wireRatio = state->config.wireRatio;
+                              for (int dst : state->config.workers)
+                                  comm.send(state->config.aggregator, dst,
+                                            state->weightTag,
+                                            state->config.gradientBytes,
+                                            w_opts);
+                          });
+                  });
+    }
+
+    // Workers await the weights (fan-out mode only; the tree broadcast
+    // manages its own receives and completion).
+    if (config.treeBroadcastWeights)
+        return;
+    for (int w : config.workers) {
+        comm.recv(w, config.aggregator, state->weightTag,
+                  [state](Tick delivered) {
+                      state->result.finish = std::max(
+                          state->result.finish,
+                          delivered + state->config.perMessageOverhead);
+                      if (--state->weightsPending == 0) {
+                          INC_TRACE(Comm, state->result.finish,
+                                    "star all-reduce over %zu workers "
+                                    "done in %.6f ms",
+                                    state->config.workers.size(),
+                                    state->result.seconds() * 1e3);
+                          state->done(state->result);
+                      }
+                  });
+    }
+}
+
+} // namespace inc

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The conventional worker-aggregator exchange (paper Fig. 2, single
+ * group): every worker sends its local gradient to a designated
+ * aggregator, which sum-reduces the streams and sends updated weights
+ * back. Gradients flow on one leg only, so at most half the traffic is
+ * compressible — and the aggregator's links and CPU serialize all of it.
+ */
+
+#ifndef INCEPTIONN_COMM_STAR_ALLREDUCE_H
+#define INCEPTIONN_COMM_STAR_ALLREDUCE_H
+
+#include <vector>
+
+#include "comm/collective_config.h"
+#include "comm/comm_world.h"
+
+namespace inc {
+
+/** Star exchange configuration. */
+struct StarConfig : ExchangeConfig
+{
+    int aggregator = 0;          ///< rank of the aggregator node
+    std::vector<int> workers;    ///< ranks of the workers
+    /**
+     * Return the weights through a binomial-tree broadcast (what MPI
+     * and the Sec. VIII-D analytical model's log(p) term assume)
+     * instead of a sequential fan-out from the aggregator. Ablation:
+     * the tree relieves the aggregator's downlink on the weight leg
+     * but cannot help the gradient (fan-in) leg.
+     */
+    bool treeBroadcastWeights = false;
+};
+
+/**
+ * Run one worker-aggregator exchange. Must be called from simulation
+ * context. @p done fires after every worker holds the new weights.
+ */
+void runStarAllReduce(CommWorld &comm, const StarConfig &config,
+                      ExchangeDone done);
+
+} // namespace inc
+
+#endif // INCEPTIONN_COMM_STAR_ALLREDUCE_H

@@ -1,0 +1,141 @@
+#include "comm/tree_allreduce.h"
+
+#include <memory>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+namespace {
+
+struct TreeState
+{
+    TreeConfig config;
+    ExchangeResult result;
+    ExchangeDone done;
+    size_t totalWorkers = 0;
+    size_t workersPending = 0;
+    size_t partialsPending = 0;
+    Tick rootSumDone = 0;
+    int tagBase = 0;
+};
+
+/** Instance-unique tag block so concurrent exchanges never cross. */
+int
+nextTreeTagBase()
+{
+    static int s_next = 400000;
+    const int base = s_next;
+    s_next += 4;
+    return base;
+}
+
+} // namespace
+
+void
+runTreeAllReduce(CommWorld &comm, const TreeConfig &config,
+                 ExchangeDone done)
+{
+    INC_ASSERT(!config.groups.empty(), "tree exchange without groups");
+    INC_ASSERT(config.gradientBytes > 0, "empty gradient vector");
+
+    auto state = std::make_shared<TreeState>();
+    state->config = config;
+    state->done = std::move(done);
+    state->result.start = comm.network().events().now();
+    state->partialsPending = config.groups.size();
+    state->tagBase = nextTreeTagBase();
+    for (const auto &g : config.groups)
+        state->totalWorkers += g.workers.size();
+    state->workersPending = state->totalWorkers;
+
+    SendOptions grad_opts;
+    grad_opts.compress = config.compressGradients;
+    grad_opts.wireRatio = config.wireRatio;
+    SendOptions weight_opts;
+    weight_opts.compress = config.compressWeights;
+    weight_opts.wireRatio = config.wireRatio;
+
+    for (const auto &group : config.groups) {
+        // Leaf leg: workers -> group aggregator.
+        auto pending = std::make_shared<size_t>(group.workers.size());
+        auto group_sum_done = std::make_shared<Tick>(0);
+        Host &agg = comm.network().host(group.aggregator);
+
+        for (int w : group.workers)
+            comm.send(w, group.aggregator, state->tagBase + 0,
+                      config.gradientBytes, grad_opts);
+
+        for (int w : group.workers) {
+            comm.recv(group.aggregator, w, state->tagBase + 0,
+                      [state, &comm, &agg, group, pending, group_sum_done,
+                       grad_opts](Tick delivered) {
+                          const Tick cost =
+                              sumCost(state->config.gradientBytes,
+                                      state->config.sumSecondsPerByte);
+                          const Tick ready =
+                              delivered +
+                              state->config.perMessageOverhead;
+                          *group_sum_done = std::max(
+                              *group_sum_done, agg.compute(ready, cost));
+                          if (--*pending > 0)
+                              return;
+                          // Partial sum climbs to the root.
+                          comm.network().events().schedule(
+                              *group_sum_done,
+                              [state, &comm, group, grad_opts] {
+                                  comm.send(group.aggregator,
+                                            state->config.root,
+                                            state->tagBase + 1,
+                                            state->config.gradientBytes,
+                                            grad_opts);
+                              });
+                      });
+        }
+
+        // Root leg: partial sums in, weights out.
+        Host &root = comm.network().host(config.root);
+        comm.recv(config.root, group.aggregator, state->tagBase + 1,
+                  [state, &comm, &root, weight_opts](Tick delivered) {
+                      const Tick cost =
+                          sumCost(state->config.gradientBytes,
+                                  state->config.sumSecondsPerByte);
+                      const Tick ready =
+                          delivered + state->config.perMessageOverhead;
+                      state->rootSumDone = std::max(
+                          state->rootSumDone, root.compute(ready, cost));
+                      if (--state->partialsPending > 0)
+                          return;
+                      comm.network().events().schedule(
+                          state->rootSumDone, [state, &comm, weight_opts] {
+                              for (const auto &g : state->config.groups)
+                                  comm.send(state->config.root,
+                                            g.aggregator, state->tagBase + 2,
+                                            state->config.gradientBytes,
+                                            weight_opts);
+                          });
+                  });
+
+        // Weights fan back down: root -> group agg -> workers.
+        comm.recv(group.aggregator, config.root, state->tagBase + 2,
+                  [state, &comm, group, weight_opts](Tick) {
+                      for (int w : group.workers)
+                          comm.send(group.aggregator, w, state->tagBase + 3,
+                                    state->config.gradientBytes,
+                                    weight_opts);
+                  });
+        for (int w : group.workers) {
+            comm.recv(w, group.aggregator, state->tagBase + 3,
+                      [state](Tick delivered) {
+                          state->result.finish = std::max(
+                              state->result.finish,
+                              delivered +
+                                  state->config.perMessageOverhead);
+                          if (--state->workersPending == 0)
+                              state->done(state->result);
+                      });
+        }
+    }
+}
+
+} // namespace inc

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Two-level hierarchical worker-aggregator exchange (paper Fig. 1(a)):
+ * workers push gradients to their group aggregator, group aggregators
+ * push partial sums to the root, and updated weights broadcast back down
+ * the same tree. Used to reproduce the conventional hierarchy and for
+ * the hierarchical-INCEPTIONN comparison (Fig. 1(c) replaces each group
+ * with a ring).
+ */
+
+#ifndef INCEPTIONN_COMM_TREE_ALLREDUCE_H
+#define INCEPTIONN_COMM_TREE_ALLREDUCE_H
+
+#include <vector>
+
+#include "comm/collective_config.h"
+#include "comm/comm_world.h"
+
+namespace inc {
+
+/** One aggregation group. */
+struct TreeGroup
+{
+    int aggregator = 0;
+    std::vector<int> workers;
+};
+
+/** Hierarchical exchange configuration. */
+struct TreeConfig : ExchangeConfig
+{
+    int root = 0;                  ///< root aggregator rank
+    std::vector<TreeGroup> groups; ///< leaf groups (group aggs != root)
+};
+
+/**
+ * Run one hierarchical exchange. @p done fires after every worker in
+ * every group holds the new weights.
+ */
+void runTreeAllReduce(CommWorld &comm, const TreeConfig &config,
+                      ExchangeDone done);
+
+} // namespace inc
+
+#endif // INCEPTIONN_COMM_TREE_ALLREDUCE_H

@@ -1,0 +1,101 @@
+#include "core/burst_compressor.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+BurstCompressor::BurstCompressor(const GradientCodec &codec,
+                                 int pipeline_depth)
+    : codec_(codec), pipelineDepth_(pipeline_depth)
+{
+    INC_ASSERT(pipeline_depth >= 0, "negative pipeline depth");
+}
+
+void
+BurstCompressor::compressGroup(const float *vals, size_t n)
+{
+    // One input burst enters the eight Compression Blocks this cycle.
+    ++stats_.inputBursts;
+    ++stats_.cycles;
+
+    CompressedValue group[8];
+    uint32_t tagword = 0;
+    for (size_t i = 0; i < 8; ++i) {
+        if (i < n) {
+            group[i] = codec_.compress(vals[i]);
+            hist_.add(group[i].tag);
+        } else {
+            group[i] = CompressedValue{Tag::Zero, 0};
+        }
+        tagword |= static_cast<uint32_t>(group[i].tag) << (2 * i);
+    }
+    writer_.append(tagword, 16);
+    for (size_t i = 0; i < 8; ++i)
+        writer_.append(group[i].payload, group[i].bits());
+    count_ += n;
+
+    // The Alignment Unit emits at most one 256-bit word per cycle. When a
+    // run of incompressible bursts produces >256 bits/burst (up to 272),
+    // the output side briefly becomes the bottleneck and stalls intake.
+    while (writer_.bitSize() - emittedOutputBits_ >= 512) {
+        emittedOutputBits_ += 256;
+        ++stats_.outputBursts;
+        ++stats_.cycles; // stall cycle: output FIFO full, no new intake
+    }
+    if (writer_.bitSize() - emittedOutputBits_ >= 256) {
+        emittedOutputBits_ += 256;
+        ++stats_.outputBursts; // emitted concurrently with next intake
+    }
+}
+
+void
+BurstCompressor::feed(std::span<const float> values)
+{
+    size_t i = 0;
+    // Top up a partial group first.
+    while (pendingCount_ > 0 && pendingCount_ < 8 && i < values.size())
+        pending_[pendingCount_++] = values[i++];
+    if (pendingCount_ == 8) {
+        compressGroup(pending_, 8);
+        pendingCount_ = 0;
+    }
+    // Whole groups straight from the input span.
+    while (values.size() - i >= 8) {
+        compressGroup(values.data() + i, 8);
+        i += 8;
+    }
+    // Stash the tail.
+    while (i < values.size())
+        pending_[pendingCount_++] = values[i++];
+}
+
+CompressedStream
+BurstCompressor::finish()
+{
+    if (pendingCount_ > 0) {
+        compressGroup(pending_, pendingCount_);
+        pendingCount_ = 0;
+    }
+    // Drain the alignment FIFO: one output burst per cycle.
+    while (writer_.bitSize() > emittedOutputBits_) {
+        emittedOutputBits_ +=
+            std::min<uint64_t>(256, writer_.bitSize() - emittedOutputBits_);
+        ++stats_.outputBursts;
+        ++stats_.cycles;
+    }
+    stats_.cycles += static_cast<uint64_t>(pipelineDepth_);
+
+    CompressedStream s;
+    s.count = count_;
+    s.bitSize = writer_.bitSize();
+    s.bytes = writer_.takeBytes();
+
+    writer_ = BitWriter{};
+    count_ = 0;
+    emittedOutputBits_ = 0;
+    return s;
+}
+
+} // namespace inc

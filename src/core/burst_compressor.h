@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Cycle-level model of the NIC compression engine (paper Fig. 9).
+ *
+ * The engine receives 256-bit AXI-stream bursts (eight packed floats) at
+ * one burst per cycle. Eight Compression Blocks compress the floats in
+ * parallel; an Alignment Unit concatenates the variable-size outputs
+ * (16-272 bits per burst including the 16-bit tag vector) and emits
+ * 256-bit output bursts. The model is bit-exact with the scalar
+ * encodeStream() wire format and additionally reports cycle counts so the
+ * network simulator can charge engine latency.
+ */
+
+#ifndef INCEPTIONN_CORE_BURST_COMPRESSOR_H
+#define INCEPTIONN_CORE_BURST_COMPRESSOR_H
+
+#include <cstdint>
+#include <span>
+
+#include "core/codec.h"
+#include "core/compressed_stream.h"
+
+namespace inc {
+
+/** Occupancy/throughput counters for a burst engine run. */
+struct EngineStats
+{
+    uint64_t inputBursts = 0;  ///< 256-bit words consumed
+    uint64_t outputBursts = 0; ///< 256-bit words produced
+    uint64_t cycles = 0;       ///< total engine cycles including drain
+
+    /** Input-side throughput for a given clock (bits/s). */
+    double
+    inputBitsPerSecond(double clock_hz) const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(inputBursts) * 256.0 *
+                                 clock_hz / static_cast<double>(cycles);
+    }
+};
+
+/**
+ * Burst compressor: drive with feed() then finish(). A fresh instance per
+ * stream (the engine state is the alignment FIFO).
+ */
+class BurstCompressor
+{
+  public:
+    /**
+     * @param codec the configured gradient codec (shared, not owned).
+     * @param pipeline_depth latency of the CB + alignment pipeline.
+     */
+    explicit BurstCompressor(const GradientCodec &codec,
+                             int pipeline_depth = 4);
+
+    /** Feed floats; partial trailing groups are held until finish(). */
+    void feed(std::span<const float> values);
+
+    /**
+     * Flush the alignment unit and return the completed stream.
+     * The instance may be reused for a new stream afterwards.
+     */
+    CompressedStream finish();
+
+    /** Counters for the stream being built / just finished. */
+    const EngineStats &stats() const { return stats_; }
+
+    /** Tag tallies for the stream being built / just finished. */
+    const TagHistogram &histogram() const { return hist_; }
+
+  private:
+    void compressGroup(const float *vals, size_t n);
+
+    const GradientCodec &codec_;
+    int pipelineDepth_;
+    BitWriter writer_;
+    EngineStats stats_;
+    TagHistogram hist_;
+    float pending_[8];
+    size_t pendingCount_ = 0;
+    uint64_t count_ = 0;
+    uint64_t emittedOutputBits_ = 0;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_CORE_BURST_COMPRESSOR_H

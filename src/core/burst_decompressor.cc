@@ -1,0 +1,81 @@
+#include "core/burst_decompressor.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+BurstDecompressor::BurstDecompressor(const GradientCodec &codec,
+                                     int pipeline_depth)
+    : codec_(codec), pipelineDepth_(pipeline_depth)
+{
+    INC_ASSERT(pipeline_depth >= 0, "negative pipeline depth");
+}
+
+std::vector<float>
+BurstDecompressor::decompress(const CompressedStream &stream)
+{
+    stats_ = EngineStats{};
+    std::vector<float> out;
+    out.reserve(stream.count);
+
+    BitReader reader(stream.bytes);
+    const uint64_t total_bits = stream.bitSize;
+    const uint64_t total_bursts = (total_bits + 255) / 256;
+
+    uint64_t loaded_bits = 0;   // bits moved into the Burst Buffer so far
+    uint64_t consumed_bits = 0; // bits the DBs have consumed
+    uint64_t decoded = 0;       // floats produced
+
+    while (decoded < stream.count) {
+        ++stats_.cycles;
+
+        // Refill: load one burst per cycle while fewer bits than the
+        // largest possible group (272 = 16-bit tag vector + 8x32) are
+        // buffered. Because that maximum exceeds one burst, the buffer
+        // must accept a refill while holding up to 271 bits — an
+        // effective capacity of 527 bits, i.e. the paper's two-burst
+        // buffer with a small skid.
+        if (stats_.inputBursts < total_bursts &&
+            loaded_bits - consumed_bits < 272) {
+            loaded_bits = std::min<uint64_t>(loaded_bits + 256, total_bits);
+            ++stats_.inputBursts;
+        }
+
+        // Decode: need the 16-bit tag vector plus all eight payloads.
+        const uint64_t buffered = loaded_bits - consumed_bits;
+        if (buffered < 16)
+            continue;
+        // Peek the tag word to size the group (Tag Decoder).
+        const uint64_t mark = reader.position();
+        const uint32_t tagword = reader.read(16);
+        uint64_t group_bits = 16;
+        for (size_t i = 0; i < 8; ++i) {
+            const Tag tag = static_cast<Tag>((tagword >> (2 * i)) & 0x3u);
+            group_bits += static_cast<uint64_t>(tagPayloadBits(tag));
+        }
+        if (buffered < group_bits) {
+            // Not enough buffered: rewind the peek and wait for refill.
+            reader.seek(mark);
+            continue;
+        }
+
+        // Expand the eight compressed vectors (one output burst).
+        const size_t n = std::min<uint64_t>(8, stream.count - decoded);
+        for (size_t i = 0; i < 8; ++i) {
+            const Tag tag = static_cast<Tag>((tagword >> (2 * i)) & 0x3u);
+            const uint32_t payload = reader.read(tagPayloadBits(tag));
+            if (i < n)
+                out.push_back(codec_.decompress(CompressedValue{tag, payload}));
+        }
+        decoded += n;
+        consumed_bits += group_bits;
+        ++stats_.outputBursts;
+    }
+
+    stats_.cycles += static_cast<uint64_t>(pipelineDepth_);
+    return out;
+}
+
+} // namespace inc

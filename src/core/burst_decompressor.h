@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Cycle-level model of the NIC decompression engine (paper Fig. 10).
+ *
+ * Compressed payload arrives as 256-bit bursts. Because one compressed
+ * group (16-bit tag vector + up to 256 payload bits) can straddle two
+ * bursts, a 512-bit Burst Buffer accumulates input; each cycle the Tag
+ * Decoder sizes the eight compressed vectors and, when the buffer holds a
+ * complete group, eight Decompression Blocks expand it into one 256-bit
+ * output burst (eight floats). Buffer refill proceeds concurrently with
+ * decode, as in the dual-ported design of Fig. 10.
+ */
+
+#ifndef INCEPTIONN_CORE_BURST_DECOMPRESSOR_H
+#define INCEPTIONN_CORE_BURST_DECOMPRESSOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/burst_compressor.h" // EngineStats
+#include "core/codec.h"
+#include "core/compressed_stream.h"
+
+namespace inc {
+
+/**
+ * Burst decompressor. Stateless between runs; decompress() simulates the
+ * whole stream and reports both the recovered floats and cycle counts.
+ */
+class BurstDecompressor
+{
+  public:
+    /**
+     * @param codec the configured gradient codec (shared, not owned).
+     * @param pipeline_depth latency of the tag-decode + DB pipeline.
+     */
+    explicit BurstDecompressor(const GradientCodec &codec,
+                               int pipeline_depth = 4);
+
+    /** Expand @p stream, simulating buffer occupancy cycle by cycle. */
+    std::vector<float> decompress(const CompressedStream &stream);
+
+    /** Counters from the last decompress() run. */
+    const EngineStats &stats() const { return stats_; }
+
+  private:
+    const GradientCodec &codec_;
+    int pipelineDepth_;
+    EngineStats stats_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_CORE_BURST_DECOMPRESSOR_H

@@ -1,0 +1,193 @@
+#include "core/codec.h"
+
+#include <bit>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+uint64_t
+TagHistogram::total() const
+{
+    uint64_t t = 0;
+    for (auto c : counts)
+        t += c;
+    return t;
+}
+
+double
+TagHistogram::fraction(Tag t) const
+{
+    const uint64_t n = total();
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(counts[static_cast<size_t>(t)]) /
+           static_cast<double>(n);
+}
+
+double
+TagHistogram::meanBitsPerValue() const
+{
+    const uint64_t n = total();
+    if (n == 0)
+        return 0.0;
+    uint64_t bits = 0;
+    for (int t = 0; t < 4; ++t) {
+        bits += counts[static_cast<size_t>(t)] *
+                static_cast<uint64_t>(2 + tagPayloadBits(static_cast<Tag>(t)));
+    }
+    return static_cast<double>(bits) / static_cast<double>(n);
+}
+
+double
+TagHistogram::compressionRatio() const
+{
+    const double mean = meanBitsPerValue();
+    return mean > 0.0 ? 32.0 / mean : 0.0;
+}
+
+TagHistogram &
+TagHistogram::operator+=(const TagHistogram &o)
+{
+    for (size_t i = 0; i < counts.size(); ++i)
+        counts[i] += o.counts[i];
+    return *this;
+}
+
+GradientCodec::GradientCodec(int bound_log2, CodecPolicy policy)
+    : boundLog2_(bound_log2), policy_(policy)
+{
+    INC_ASSERT(bound_log2 >= 1 && bound_log2 <= 15,
+               "error bound 2^-%d outside supported range [2^-1, 2^-15]",
+               bound_log2);
+}
+
+double
+GradientCodec::errorBound() const
+{
+    return std::ldexp(1.0, -boundLog2_);
+}
+
+CompressedValue
+GradientCodec::compress(float f) const
+{
+    const Fp32Bits fb = Fp32Bits::unpack(f);
+
+    // |f| >= 1.0, NaN, Inf: verbatim (paper: e >= 127 -> NO_COMPRESS).
+    if (fb.exponent >= 127)
+        return CompressedValue{Tag::NoCompress, floatToBits(f)};
+
+    const uint32_t b = static_cast<uint32_t>(boundLog2_);
+    // Subnormals (exponent == 0) have |f| < 2^-126, far below any bound.
+    if (fb.exponent == 0)
+        return CompressedValue{Tag::Zero, 0};
+
+    const uint32_t d = 127u - fb.exponent; // >= 1; |f| in [2^-d, 2^-d+1)
+
+    // |f| < 2^-b: drop entirely (0-bit payload). Strictly less: a value
+    // exactly at the bound stays representable, so that values truncating
+    // down onto the bound re-compress to themselves (idempotence across
+    // multiple NIC hops in the ring exchange).
+    if (d > b)
+        return CompressedValue{Tag::Zero, 0};
+
+    // 31-bit fixed-point fraction: value = F * 2^-31 (+ residue < 2^-31).
+    const uint32_t m24 = (1u << 23) | fb.mantissa;
+    const uint32_t e = fb.exponent;
+    const uint32_t frac31 = (e >= 119) ? (m24 << (e - 119))
+                                       : (m24 >> (119 - e));
+
+    if (policy_ == CodecPolicy::kResidualMask)
+        return compressResidual(fb.sign, frac31);
+    return compressThreshold(fb.sign, d, frac31);
+}
+
+CompressedValue
+GradientCodec::compressResidual(uint32_t sign, uint32_t frac31) const
+{
+    // 8-bit payload keeps {sign, F[30:24]}. Admissible when the leading 1
+    // sits in the kept window (F >> 24 != 0) and the dropped fraction bits
+    // stay strictly below the error bound, so the total round-trip error
+    // (dropped bits + sub-F residue) is < 2^-b.
+    const uint32_t kept7 = frac31 >> 24;
+    if (kept7 != 0) {
+        const uint32_t residual24 = frac31 & 0x00FFFFFFu;
+        const uint64_t limit = 1ull << (31 - boundLog2_);
+        if (residual24 < limit)
+            return CompressedValue{Tag::Bits8, (sign << 7) | kept7};
+    }
+    // 16-bit payload keeps {sign, F[30:16]}: error < 2^-15 <= 2^-b.
+    return CompressedValue{Tag::Bits16, (sign << 15) | (frac31 >> 16)};
+}
+
+CompressedValue
+GradientCodec::compressThreshold(uint32_t sign, uint32_t d,
+                                 uint32_t frac31) const
+{
+    // Ablation policy: width decided from the exponent range alone. The
+    // 8-bit form truncates at 2^-7, so it only honours bounds 2^-b, b <= 7.
+    if (boundLog2_ <= 7 && d <= 7)
+        return CompressedValue{Tag::Bits8, (sign << 7) | (frac31 >> 24)};
+    return CompressedValue{Tag::Bits16, (sign << 15) | (frac31 >> 16)};
+}
+
+float
+GradientCodec::decompress(CompressedValue v) const
+{
+    switch (v.tag) {
+      case Tag::Zero:
+        return 0.0f;
+      case Tag::NoCompress:
+        return bitsToFloat(v.payload);
+      case Tag::Bits8: {
+        const uint32_t sign = (v.payload >> 7) & 1u;
+        const uint32_t frac = v.payload & 0x7Fu; // bit 6 has weight 2^-1
+        if (frac == 0)
+            return 0.0f;
+        const int k = 31 - std::countl_zero(frac); // leading-1 index, 0..6
+        const uint32_t e = 120u + static_cast<uint32_t>(k); // 127 - (7 - k)
+        const uint32_t rest = frac & ((1u << k) - 1u);
+        const uint32_t m23 = rest << (23 - k);
+        return Fp32Bits{sign, e, m23}.pack();
+      }
+      case Tag::Bits16: {
+        const uint32_t sign = (v.payload >> 15) & 1u;
+        const uint32_t frac = v.payload & 0x7FFFu; // bit 14: weight 2^-1
+        if (frac == 0)
+            return 0.0f;
+        const int k = 31 - std::countl_zero(frac); // leading-1 index, 0..14
+        const uint32_t e = 112u + static_cast<uint32_t>(k); // 127 - (15 - k)
+        const uint32_t rest = frac & ((1u << k) - 1u);
+        const uint32_t m23 = rest << (23 - k);
+        return Fp32Bits{sign, e, m23}.pack();
+      }
+    }
+    panic("corrupt tag %d", static_cast<int>(v.tag));
+}
+
+uint64_t
+GradientCodec::measure(std::span<const float> values, TagHistogram *hist) const
+{
+    uint64_t bits = 0;
+    for (float f : values) {
+        const CompressedValue cv = compress(f);
+        bits += 2u + static_cast<uint64_t>(cv.bits());
+        if (hist)
+            hist->add(cv.tag);
+    }
+    return bits;
+}
+
+void
+GradientCodec::roundtrip(std::span<float> values, TagHistogram *hist) const
+{
+    for (float &f : values) {
+        const CompressedValue cv = compress(f);
+        if (hist)
+            hist->add(cv.tag);
+        f = decompress(cv);
+    }
+}
+
+} // namespace inc

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The INCEPTIONN lossy floating-point gradient codec (paper Algorithms 2
+ * and 3).
+ *
+ * Each 32-bit float compresses to a 2-bit tag plus a variable payload of
+ * 0, 8, 16, or 32 bits:
+ *
+ *  - values with |f| >= 1.0 (or non-finite) pass through verbatim (32 b);
+ *  - values with |f| <= error bound become tag-only (0 b);
+ *  - everything else is normalized to exponent 127: the mantissa with its
+ *    implicit leading 1 is shifted right by (127 - e) into a 31-bit
+ *    fixed-point fraction F, and the top 7 or 15 bits of F are kept
+ *    together with the sign. The shift amount survives as the position of
+ *    the leading 1, so decompression is a priority encode + shift.
+ *
+ * Payload width selection ("policy") is either the default residual mask —
+ * pick 8 bits whenever the dropped fraction bits are below the error bound,
+ * guaranteeing |f - roundtrip(f)| <= bound for every input — or a pure
+ * exponent threshold (ablation variant; see DESIGN.md section 3).
+ */
+
+#ifndef INCEPTIONN_CORE_CODEC_H
+#define INCEPTIONN_CORE_CODEC_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "core/fp32.h"
+
+namespace inc {
+
+/** 2-bit compression tag, one per input float (paper Algorithm 2). */
+enum class Tag : uint8_t {
+    Zero = 0b00,       ///< 0-bit payload: |f| <= error bound
+    Bits8 = 0b01,      ///< 8-bit payload: sign + top 7 fraction bits
+    Bits16 = 0b10,     ///< 16-bit payload: sign + top 15 fraction bits
+    NoCompress = 0b11, ///< 32-bit payload: verbatim IEEE-754
+};
+
+/** Payload width in bits for a tag. */
+constexpr int
+tagPayloadBits(Tag t)
+{
+    switch (t) {
+      case Tag::Zero: return 0;
+      case Tag::Bits8: return 8;
+      case Tag::Bits16: return 16;
+      case Tag::NoCompress: return 32;
+    }
+    return 0;
+}
+
+/** One compressed value: tag plus right-aligned payload bits. */
+struct CompressedValue
+{
+    Tag tag;
+    uint32_t payload; ///< low tagPayloadBits(tag) bits are significant
+
+    int bits() const { return tagPayloadBits(tag); }
+
+    bool
+    operator==(const CompressedValue &o) const
+    {
+        return tag == o.tag && payload == o.payload;
+    }
+};
+
+/** How the codec chooses between the 8- and 16-bit payloads. */
+enum class CodecPolicy {
+    kResidualMask,       ///< default: 8 b whenever the dropped bits < bound
+    kExponentThreshold,  ///< ablation: width from the exponent range only
+};
+
+/** Per-tag occurrence counts, for Table III style reporting. */
+struct TagHistogram
+{
+    std::array<uint64_t, 4> counts{}; // indexed by Tag value
+
+    void add(Tag t) { ++counts[static_cast<size_t>(t)]; }
+    uint64_t total() const;
+    /** Fraction of values carrying @p t, in [0,1]; 0 if empty. */
+    double fraction(Tag t) const;
+    /** Mean compressed bits per value including the 2-bit tag. */
+    double meanBitsPerValue() const;
+    /** 32 / meanBitsPerValue(): the paper's average compression ratio. */
+    double compressionRatio() const;
+    TagHistogram &operator+=(const TagHistogram &o);
+};
+
+/**
+ * The scalar codec. Stateless apart from its configuration; safe to share.
+ */
+class GradientCodec
+{
+  public:
+    /**
+     * @param bound_log2 b in error bound 2^-b; valid range [1, 15].
+     * @param policy payload-width selection policy.
+     */
+    explicit GradientCodec(int bound_log2 = 10,
+                           CodecPolicy policy = CodecPolicy::kResidualMask);
+
+    int boundLog2() const { return boundLog2_; }
+    /** The absolute error bound 2^-b as a double. */
+    double errorBound() const;
+    CodecPolicy policy() const { return policy_; }
+
+    /** Compress one float (paper Algorithm 2). */
+    CompressedValue compress(float f) const;
+
+    /** Decompress one value (paper Algorithm 3). */
+    float decompress(CompressedValue v) const;
+
+    /**
+     * Compress a buffer, tallying tags into @p hist (if non-null).
+     * @return total compressed size in bits including 2-bit tags.
+     */
+    uint64_t measure(std::span<const float> values,
+                     TagHistogram *hist = nullptr) const;
+
+    /**
+     * In-place lossy round-trip of a buffer: the values each worker sees
+     * after its neighbour's NIC compressed and its own NIC decompressed.
+     */
+    void roundtrip(std::span<float> values, TagHistogram *hist = nullptr) const;
+
+  private:
+    CompressedValue compressResidual(uint32_t sign, uint32_t frac31) const;
+    CompressedValue compressThreshold(uint32_t sign, uint32_t d,
+                                      uint32_t frac31) const;
+
+    int boundLog2_;
+    CodecPolicy policy_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_CORE_CODEC_H

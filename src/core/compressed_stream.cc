@@ -1,0 +1,140 @@
+#include "core/compressed_stream.h"
+
+#include "sim/logging.h"
+
+namespace inc {
+
+void
+BitWriter::append(uint32_t value, int nbits)
+{
+    INC_ASSERT(nbits >= 0 && nbits <= 32, "nbits=%d out of range", nbits);
+    for (int i = 0; i < nbits; ++i) {
+        const uint64_t bit_index = bits_ + static_cast<uint64_t>(i);
+        const size_t byte_index = static_cast<size_t>(bit_index >> 3);
+        if (byte_index >= bytes_.size())
+            bytes_.push_back(0);
+        if ((value >> i) & 1u)
+            bytes_[byte_index] |= static_cast<uint8_t>(1u << (bit_index & 7));
+    }
+    bits_ += static_cast<uint64_t>(nbits);
+}
+
+uint32_t
+BitReader::read(int nbits)
+{
+    INC_ASSERT(nbits >= 0 && nbits <= 32, "nbits=%d out of range", nbits);
+    INC_ASSERT(remaining() >= static_cast<uint64_t>(nbits),
+               "bit underrun: want %d, have %llu", nbits,
+               static_cast<unsigned long long>(remaining()));
+    uint32_t v = 0;
+    for (int i = 0; i < nbits; ++i) {
+        const uint64_t bit_index = pos_ + static_cast<uint64_t>(i);
+        const uint8_t byte = bytes_[static_cast<size_t>(bit_index >> 3)];
+        if ((byte >> (bit_index & 7)) & 1u)
+            v |= 1u << i;
+    }
+    pos_ += static_cast<uint64_t>(nbits);
+    return v;
+}
+
+namespace {
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint64_t
+getU64(std::span<const uint8_t> in, size_t offset)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(in[offset + static_cast<size_t>(i)])
+             << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+serialize(const CompressedStream &stream)
+{
+    std::vector<uint8_t> out;
+    out.reserve(16 + stream.bytes.size());
+    putU64(out, stream.count);
+    putU64(out, stream.bitSize);
+    out.insert(out.end(), stream.bytes.begin(), stream.bytes.end());
+    return out;
+}
+
+CompressedStream
+deserialize(std::span<const uint8_t> wire)
+{
+    INC_ASSERT(wire.size() >= 16, "wire stream shorter than its header");
+    CompressedStream s;
+    s.count = getU64(wire, 0);
+    s.bitSize = getU64(wire, 8);
+    const size_t payload = wire.size() - 16;
+    INC_ASSERT(payload * 8 >= s.bitSize,
+               "wire payload (%zu bytes) shorter than bitSize %llu",
+               payload, static_cast<unsigned long long>(s.bitSize));
+    s.bytes.assign(wire.begin() + 16, wire.end());
+    return s;
+}
+
+CompressedStream
+encodeStream(const GradientCodec &codec, std::span<const float> values,
+             TagHistogram *hist)
+{
+    BitWriter writer;
+    CompressedValue group[8];
+
+    for (size_t base = 0; base < values.size(); base += 8) {
+        const size_t n = std::min<size_t>(8, values.size() - base);
+        uint32_t tagword = 0;
+        for (size_t i = 0; i < 8; ++i) {
+            if (i < n) {
+                group[i] = codec.compress(values[base + i]);
+                if (hist)
+                    hist->add(group[i].tag);
+            } else {
+                group[i] = CompressedValue{Tag::Zero, 0}; // padding
+            }
+            tagword |= static_cast<uint32_t>(group[i].tag) << (2 * i);
+        }
+        writer.append(tagword, 16);
+        for (size_t i = 0; i < 8; ++i)
+            writer.append(group[i].payload, group[i].bits());
+    }
+
+    CompressedStream s;
+    s.count = values.size();
+    s.bitSize = writer.bitSize();
+    s.bytes = writer.takeBytes();
+    return s;
+}
+
+void
+decodeStream(const GradientCodec &codec, const CompressedStream &stream,
+             std::span<float> out)
+{
+    INC_ASSERT(out.size() == stream.count,
+               "output size %zu != stream count %llu", out.size(),
+               static_cast<unsigned long long>(stream.count));
+    BitReader reader(stream.bytes);
+    for (size_t base = 0; base < stream.count; base += 8) {
+        const size_t n = std::min<size_t>(8, stream.count - base);
+        const uint32_t tagword = reader.read(16);
+        for (size_t i = 0; i < 8; ++i) {
+            const Tag tag = static_cast<Tag>((tagword >> (2 * i)) & 0x3u);
+            const uint32_t payload =
+                reader.read(tagPayloadBits(tag));
+            if (i < n)
+                out[base + i] = codec.decompress(CompressedValue{tag, payload});
+        }
+    }
+}
+
+} // namespace inc

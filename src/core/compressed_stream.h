@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Wire format for compressed gradient streams, shared by the scalar codec
+ * path and the cycle-level burst engine models.
+ *
+ * Values are grouped eight at a time (one 256-bit AXI burst of floats).
+ * Each group serializes as a 16-bit tag vector (value i's 2-bit tag at bit
+ * positions [2i+1 : 2i]) followed by the eight payloads in value order.
+ * The final partial group is padded with Zero tags; the element count in
+ * the stream header disambiguates. Bits pack LSB-first into bytes.
+ */
+
+#ifndef INCEPTIONN_CORE_COMPRESSED_STREAM_H
+#define INCEPTIONN_CORE_COMPRESSED_STREAM_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/codec.h"
+
+namespace inc {
+
+/** Append-only LSB-first bit sink. */
+class BitWriter
+{
+  public:
+    /** Append the low @p nbits bits of @p value. @pre 0 <= nbits <= 32. */
+    void append(uint32_t value, int nbits);
+
+    /** Total bits written. */
+    uint64_t bitSize() const { return bits_; }
+
+    /** Byte storage (last byte zero-padded). */
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+    std::vector<uint8_t> takeBytes() { return std::move(bytes_); }
+
+  private:
+    std::vector<uint8_t> bytes_;
+    uint64_t bits_ = 0;
+};
+
+/** LSB-first bit source over a byte span. */
+class BitReader
+{
+  public:
+    explicit BitReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+    /** Read @p nbits bits. @pre enough bits remain. */
+    uint32_t read(int nbits);
+
+    /** Bits consumed so far. */
+    uint64_t position() const { return pos_; }
+
+    /** Reposition to an absolute bit offset (for peeking). */
+    void seek(uint64_t bitpos) { pos_ = bitpos; }
+
+    /** Bits remaining. */
+    uint64_t remaining() const { return bytes_.size() * 8 - pos_; }
+
+  private:
+    std::span<const uint8_t> bytes_;
+    uint64_t pos_ = 0;
+};
+
+/** A compressed gradient stream: element count plus packed group bits. */
+struct CompressedStream
+{
+    uint64_t count = 0;           ///< number of encoded floats
+    uint64_t bitSize = 0;         ///< significant bits in @ref bytes
+    std::vector<uint8_t> bytes;   ///< packed groups, LSB-first
+
+    /** Bytes this stream occupies on the wire (8-byte header + payload). */
+    uint64_t wireBytes() const { return 8 + bytes.size(); }
+
+    /** 32-bit-input-bytes / wire-bytes. */
+    double
+    wireRatio() const
+    {
+        return wireBytes() > 0
+                   ? static_cast<double>(count * 4) /
+                         static_cast<double>(wireBytes())
+                   : 0.0;
+    }
+};
+
+/**
+ * Serialize to transportable bytes: a 16-byte little-endian header
+ * (element count, significant bit count) followed by the packed groups.
+ */
+std::vector<uint8_t> serialize(const CompressedStream &stream);
+
+/**
+ * Parse bytes produced by serialize().
+ * Panics on a malformed header or short payload.
+ */
+CompressedStream deserialize(std::span<const uint8_t> wire);
+
+/**
+ * Encode @p values with @p codec into the group wire format.
+ * Tags are tallied into @p hist when non-null.
+ */
+CompressedStream encodeStream(const GradientCodec &codec,
+                              std::span<const float> values,
+                              TagHistogram *hist = nullptr);
+
+/**
+ * Decode @p stream into @p out.
+ * @pre out.size() == stream.count.
+ */
+void decodeStream(const GradientCodec &codec, const CompressedStream &stream,
+                  std::span<float> out);
+
+} // namespace inc
+
+#endif // INCEPTIONN_CORE_COMPRESSED_STREAM_H

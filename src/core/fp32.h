@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Bit-level helpers for IEEE-754 single-precision values. The INCEPTIONN
+ * codec manipulates sign/exponent/mantissa fields directly, mirroring what
+ * the NIC hardware does on the wire format.
+ */
+
+#ifndef INCEPTIONN_CORE_FP32_H
+#define INCEPTIONN_CORE_FP32_H
+
+#include <bit>
+#include <cstdint>
+
+namespace inc {
+
+/** Decomposed IEEE-754 binary32 fields. */
+struct Fp32Bits
+{
+    uint32_t sign;     ///< 1 bit: f[31]
+    uint32_t exponent; ///< 8 bits: f[30:23], biased by 127
+    uint32_t mantissa; ///< 23 bits: f[22:0]
+
+    /** Decompose a float. */
+    static Fp32Bits
+    unpack(float f)
+    {
+        const uint32_t raw = std::bit_cast<uint32_t>(f);
+        return Fp32Bits{raw >> 31, (raw >> 23) & 0xFFu, raw & 0x7FFFFFu};
+    }
+
+    /** Recompose into a float. */
+    float
+    pack() const
+    {
+        const uint32_t raw =
+            (sign << 31) | ((exponent & 0xFFu) << 23) | (mantissa & 0x7FFFFFu);
+        return std::bit_cast<float>(raw);
+    }
+};
+
+/** Raw bit pattern of a float. */
+inline uint32_t
+floatToBits(float f)
+{
+    return std::bit_cast<uint32_t>(f);
+}
+
+/** Float from a raw bit pattern. */
+inline float
+bitsToFloat(uint32_t bits)
+{
+    return std::bit_cast<float>(bits);
+}
+
+} // namespace inc
+
+#endif // INCEPTIONN_CORE_FP32_H

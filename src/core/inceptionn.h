@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Umbrella header for the INCEPTIONN core library: the lossy gradient
+ * codec (paper Algorithms 2/3), its wire format, the cycle-level NIC
+ * engine models (Figs. 9/10), and the gradient-centric ring exchange
+ * (Algorithm 1).
+ *
+ * Quick start:
+ * @code
+ *   inc::GradientCodec codec(10);              // error bound 2^-10
+ *   std::vector<float> g = ...;                // a gradient vector
+ *   inc::TagHistogram tags;
+ *   auto stream = inc::encodeStream(codec, g, &tags);
+ *   std::vector<float> back(g.size());
+ *   inc::decodeStream(codec, stream, back);    // |g[i]-back[i]| <= 2^-10
+ * @endcode
+ */
+
+#ifndef INCEPTIONN_CORE_INCEPTIONN_H
+#define INCEPTIONN_CORE_INCEPTIONN_H
+
+#include "core/burst_compressor.h"
+#include "core/burst_decompressor.h"
+#include "core/codec.h"
+#include "core/compressed_stream.h"
+#include "core/fp32.h"
+#include "core/ring_schedule.h"
+
+#endif // INCEPTIONN_CORE_INCEPTIONN_H

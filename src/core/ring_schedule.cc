@@ -1,0 +1,120 @@
+#include "core/ring_schedule.h"
+
+#include <vector>
+
+#include "core/compressed_stream.h"
+#include "sim/logging.h"
+
+namespace inc {
+
+namespace {
+
+/** Euclidean modulo: result in [0, n) for any x. */
+int
+wrap(int x, int n)
+{
+    const int m = x % n;
+    return m < 0 ? m + n : m;
+}
+
+} // namespace
+
+int
+ringStepCount(int nodes)
+{
+    INC_ASSERT(nodes >= 2, "ring needs >= 2 nodes, got %d", nodes);
+    return 2 * nodes - 2;
+}
+
+RingStep
+ringStepFor(int node, int step, int nodes)
+{
+    INC_ASSERT(nodes >= 2, "ring needs >= 2 nodes, got %d", nodes);
+    INC_ASSERT(step >= 1 && step <= ringStepCount(nodes),
+               "step %d outside 1..%d", step, ringStepCount(nodes));
+    INC_ASSERT(node >= 0 && node < nodes, "node %d outside 0..%d", node,
+               nodes - 1);
+
+    // A single index rule covers both phases: at step s, node i receives
+    // block (i - s) mod N and sends block (i - s + 1) mod N. During
+    // reduce-scatter the received block is summed; during all-gather it
+    // overwrites. (The paper's Algorithm 1 listing uses slightly different
+    // phase-2 indices that contradict its own Fig. 6 walk-through —
+    // worker[3] sending blk[0] at step 4 requires send = (i - s + 1) mod N
+    // — so we follow the figure.)
+    RingStep rs;
+    rs.phase = step < nodes ? RingPhase::ReduceScatter : RingPhase::AllGather;
+    rs.recvBlock = wrap(node - step, nodes);
+    rs.sendBlock = wrap(node - step + 1, nodes);
+    return rs;
+}
+
+std::vector<std::pair<size_t, size_t>>
+partitionBlocks(size_t total, int blocks)
+{
+    INC_ASSERT(blocks >= 1, "need >= 1 block");
+    std::vector<std::pair<size_t, size_t>> out;
+    out.reserve(static_cast<size_t>(blocks));
+    const size_t base = total / static_cast<size_t>(blocks);
+    const size_t extra = total % static_cast<size_t>(blocks);
+    size_t offset = 0;
+    for (int b = 0; b < blocks; ++b) {
+        const size_t len = base + (static_cast<size_t>(b) < extra ? 1 : 0);
+        out.emplace_back(offset, len);
+        offset += len;
+    }
+    return out;
+}
+
+RingExchangeStats
+ringAllReduce(std::vector<std::span<float>> buffers, const GradientCodec *codec)
+{
+    const int n = static_cast<int>(buffers.size());
+    INC_ASSERT(n >= 2, "ring all-reduce needs >= 2 buffers, got %d", n);
+    const size_t total = buffers[0].size();
+    for (const auto &b : buffers)
+        INC_ASSERT(b.size() == total, "buffer size mismatch");
+
+    const auto blocks = partitionBlocks(total, n);
+    RingExchangeStats stats;
+    std::vector<float> wire; // staging for one hop's payload
+
+    for (int step = 1; step <= ringStepCount(n); ++step) {
+        // Within one step every transfer reads a sender block that no node
+        // writes this step (send != recv index), so in-order sequential
+        // execution matches the concurrent hardware exchange.
+        for (int i = 0; i < n; ++i) {
+            const RingStep rs = ringStepFor(i, step, n);
+            const auto [off, len] = blocks[static_cast<size_t>(rs.sendBlock)];
+            const int dst = (i + 1) % n;
+            std::span<float> src = buffers[static_cast<size_t>(i)]
+                                       .subspan(off, len);
+            std::span<float> dst_blk = buffers[static_cast<size_t>(dst)]
+                                           .subspan(off, len);
+
+            wire.assign(src.begin(), src.end());
+            stats.totalPayloadBytes += len * sizeof(float);
+            if (codec) {
+                // Exactly what the NIC pair does: compress on egress,
+                // decompress on ingress. Error accumulates across hops.
+                const CompressedStream cs =
+                    encodeStream(*codec, wire, &stats.tags);
+                stats.totalWireBytes += cs.wireBytes();
+                decodeStream(*codec, cs, wire);
+            } else {
+                stats.totalWireBytes += len * sizeof(float);
+            }
+
+            if (rs.phase == RingPhase::ReduceScatter) {
+                for (size_t k = 0; k < len; ++k)
+                    dst_blk[k] += wire[k];
+            } else {
+                for (size_t k = 0; k < len; ++k)
+                    dst_blk[k] = wire[k];
+            }
+        }
+    }
+    return stats;
+}
+
+} // namespace inc

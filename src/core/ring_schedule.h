@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The INCEPTIONN gradient-centric, aggregator-free exchange (paper
+ * Algorithm 1 and Fig. 6), factored into two parts:
+ *
+ *  1. A pure block *schedule* — which block each node sends/receives at
+ *     every step — shared by the in-memory executor (used for accuracy
+ *     experiments) and the packet-level simulator (used for timing).
+ *  2. ringAllReduce(): an in-memory executor that performs the exchange on
+ *     real buffers, optionally pushing every hop through the lossy codec
+ *     exactly as the NIC engines would (so compression error accumulates
+ *     across hops just like in the real system).
+ *
+ * The schedule: gradients are partitioned into N blocks. During steps
+ * s = 1..N-1 (reduce-scatter, paper "P1"), node i receives block
+ * (i - s) mod N from node i-1 and sum-reduces it, while sending block
+ * (i - s + 1) mod N to node i+1. During steps s = N..2N-2 (all-gather,
+ * "P2"), received blocks overwrite: node i receives block (i - s + 1) mod N
+ * and sends block (i - s + 2) mod N.
+ */
+
+#ifndef INCEPTIONN_CORE_RING_SCHEDULE_H
+#define INCEPTIONN_CORE_RING_SCHEDULE_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/codec.h"
+
+namespace inc {
+
+/** Which phase a ring step belongs to. */
+enum class RingPhase {
+    ReduceScatter, ///< steps 1..N-1: received block is sum-reduced
+    AllGather,     ///< steps N..2N-2: received block overwrites
+};
+
+/** Static description of one node's action in one ring step. */
+struct RingStep
+{
+    RingPhase phase;
+    int sendBlock; ///< block index this node transmits to (i+1) mod N
+    int recvBlock; ///< block index this node receives from (i-1) mod N
+};
+
+/** Total number of steps for an N-node ring: 2N - 2. @pre nodes >= 2. */
+int ringStepCount(int nodes);
+
+/** The action of @p node at @p step (1-based, 1..2N-2). */
+RingStep ringStepFor(int node, int step, int nodes);
+
+/**
+ * Partition a gradient vector of @p total elements into @p blocks nearly
+ * equal contiguous ranges (first `total % blocks` ranges get one extra).
+ * @return per-block (offset, length) pairs.
+ */
+std::vector<std::pair<size_t, size_t>> partitionBlocks(size_t total,
+                                                       int blocks);
+
+/** Per-run accounting from the in-memory executor. */
+struct RingExchangeStats
+{
+    uint64_t totalPayloadBytes = 0; ///< uncompressed bytes, all nodes/steps
+    uint64_t totalWireBytes = 0;    ///< bytes after (optional) compression
+    TagHistogram tags;              ///< codec tags across all hops
+
+    /** Achieved wire compression ratio (1.0 when uncompressed). */
+    double
+    ratio() const
+    {
+        return totalWireBytes > 0 ? static_cast<double>(totalPayloadBytes) /
+                                        static_cast<double>(totalWireBytes)
+                                  : 1.0;
+    }
+};
+
+/**
+ * Execute Algorithm 1 in memory over @p buffers (one gradient replica per
+ * node, all the same size). On return every buffer holds the aggregated
+ * gradient. When @p codec is non-null every hop payload is compressed and
+ * decompressed through it, faithfully accumulating lossy error per hop.
+ *
+ * @pre buffers.size() >= 2, all spans equally sized.
+ */
+RingExchangeStats ringAllReduce(std::vector<std::span<float>> buffers,
+                                const GradientCodec *codec = nullptr);
+
+} // namespace inc
+
+#endif // INCEPTIONN_CORE_RING_SCHEDULE_H

@@ -1,0 +1,81 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+size_t
+Dataset::featureCount() const
+{
+    size_t n = 1;
+    for (size_t d : sampleShape())
+        n *= d;
+    return n;
+}
+
+Batch
+Dataset::batch(std::span<const size_t> indices) const
+{
+    const size_t n = indices.size();
+    std::vector<size_t> shape = sampleShape();
+    shape.insert(shape.begin(), n);
+
+    Batch b;
+    b.x = Tensor(std::move(shape));
+    b.labels.resize(n);
+    const size_t features = featureCount();
+    for (size_t k = 0; k < n; ++k) {
+        fill(indices[k], b.x.data().subspan(k * features, features));
+        b.labels[k] = label(indices[k]);
+    }
+    return b;
+}
+
+MinibatchSampler::MinibatchSampler(const Dataset &data, size_t batch_size,
+                                   uint64_t seed, int shard, int shards)
+    : data_(data), batchSize_(batch_size), rng_(seed)
+{
+    INC_ASSERT(batch_size >= 1, "batch size must be >= 1");
+    INC_ASSERT(shards >= 1 && shard >= 0 && shard < shards,
+               "bad shard %d of %d", shard, shards);
+    for (size_t i = static_cast<size_t>(shard); i < data.size();
+         i += static_cast<size_t>(shards))
+        indices_.push_back(i);
+    INC_ASSERT(indices_.size() >= batch_size,
+               "shard smaller than one batch (%zu < %zu)", indices_.size(),
+               batch_size);
+    reshuffle();
+}
+
+size_t
+MinibatchSampler::batchesPerEpoch() const
+{
+    return indices_.size() / batchSize_;
+}
+
+void
+MinibatchSampler::reshuffle()
+{
+    // Fisher-Yates with the deterministic Rng.
+    for (size_t i = indices_.size(); i > 1; --i)
+        std::swap(indices_[i - 1], indices_[rng_.below(i)]);
+    cursor_ = 0;
+}
+
+Batch
+MinibatchSampler::next()
+{
+    if (cursor_ + batchSize_ > indices_.size()) {
+        ++epoch_;
+        reshuffle();
+    }
+    Batch b = data_.batch(
+        std::span<const size_t>(indices_).subspan(cursor_, batchSize_));
+    cursor_ += batchSize_;
+    return b;
+}
+
+} // namespace inc

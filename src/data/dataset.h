@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Dataset interface and minibatch sampling for the training substrate.
+ * Samples are generated deterministically from (seed, index), so datasets
+ * occupy no memory and every run is reproducible. Worker shards (the
+ * paper's partial datasets D_i) are index ranges.
+ */
+
+#ifndef INCEPTIONN_DATA_DATASET_H
+#define INCEPTIONN_DATA_DATASET_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/random.h"
+#include "tensor/tensor.h"
+
+namespace inc {
+
+/** A materialized minibatch. */
+struct Batch
+{
+    Tensor x;                ///< [batch x features] or [batch x C x H x W]
+    std::vector<int> labels; ///< batch integer labels
+};
+
+/** Abstract deterministic labelled dataset. */
+class Dataset
+{
+  public:
+    virtual ~Dataset() = default;
+
+    /** Number of samples. */
+    virtual size_t size() const = 0;
+
+    /** Shape of one sample (without the batch dimension). */
+    virtual std::vector<size_t> sampleShape() const = 0;
+
+    /** Class label of sample @p i. */
+    virtual int label(size_t i) const = 0;
+
+    /** Number of classes. */
+    virtual int classes() const = 0;
+
+    /** Write sample @p i's features into @p out. */
+    virtual void fill(size_t i, std::span<float> out) const = 0;
+
+    /** Materialize the samples at @p indices into a batch. */
+    Batch batch(std::span<const size_t> indices) const;
+
+    /** Elements per sample. */
+    size_t featureCount() const;
+};
+
+/**
+ * Shuffled epoch iterator over a shard of a dataset. Worker @p shard of
+ * @p shards owns every index congruent to shard (mod shards), mirroring
+ * the paper's data-parallel partitioning.
+ */
+class MinibatchSampler
+{
+  public:
+    MinibatchSampler(const Dataset &data, size_t batch_size, uint64_t seed,
+                     int shard = 0, int shards = 1);
+
+    /** Samples in this worker's shard. */
+    size_t shardSize() const { return indices_.size(); }
+
+    /** Minibatches per epoch (floor). */
+    size_t batchesPerEpoch() const;
+
+    /** Next minibatch; reshuffles at each epoch boundary. */
+    Batch next();
+
+    /** Completed epochs. */
+    uint64_t epoch() const { return epoch_; }
+
+  private:
+    void reshuffle();
+
+    const Dataset &data_;
+    size_t batchSize_;
+    Rng rng_;
+    std::vector<size_t> indices_;
+    size_t cursor_ = 0;
+    uint64_t epoch_ = 0;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_DATA_DATASET_H

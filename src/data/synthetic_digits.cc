@@ -1,0 +1,117 @@
+#include "data/synthetic_digits.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+namespace {
+
+constexpr size_t kSide = 28;
+constexpr size_t kPixels = kSide * kSide;
+constexpr int kClasses = 10;
+// Prototypes come from a fixed generator so every SyntheticDigits with
+// any seed agrees on what "a 3" looks like; the seed only controls the
+// per-sample jitter, which keeps train/test distributions aligned.
+constexpr uint64_t kPrototypeSeed = 0xD161757ULL;
+
+} // namespace
+
+SyntheticDigits::SyntheticDigits(size_t count, uint64_t seed, bool flat,
+                                 float noise, int max_shift)
+    : count_(count), seed_(seed), flat_(flat), noise_(noise),
+      maxShift_(max_shift), prototypes_(kClasses * kPixels, 0.0f)
+{
+    Rng rng(kPrototypeSeed);
+    // Each class prototype: a few random strokes (line segments) blurred
+    // onto the canvas.
+    for (int c = 0; c < kClasses; ++c) {
+        float *proto = prototypes_.data() + static_cast<size_t>(c) * kPixels;
+        const int strokes = 3 + static_cast<int>(rng.below(3));
+        for (int s = 0; s < strokes; ++s) {
+            double x = rng.uniform(4.0, 24.0);
+            double y = rng.uniform(4.0, 24.0);
+            const double dx = rng.uniform(-1.0, 1.0);
+            const double dy = rng.uniform(-1.0, 1.0);
+            const double len = rng.uniform(8.0, 16.0);
+            const double norm = std::sqrt(dx * dx + dy * dy) + 1e-9;
+            for (double t = 0.0; t < len; t += 0.5) {
+                const double px = x + t * dx / norm;
+                const double py = y + t * dy / norm;
+                // Splat a small Gaussian around (px, py).
+                for (int oy = -1; oy <= 1; ++oy) {
+                    for (int ox = -1; ox <= 1; ++ox) {
+                        const int ix = static_cast<int>(px) + ox;
+                        const int iy = static_cast<int>(py) + oy;
+                        if (ix < 0 || iy < 0 ||
+                            ix >= static_cast<int>(kSide) ||
+                            iy >= static_cast<int>(kSide))
+                            continue;
+                        const double d2 = (px - ix) * (px - ix) +
+                                          (py - iy) * (py - iy);
+                        proto[static_cast<size_t>(iy) * kSide +
+                              static_cast<size_t>(ix)] +=
+                            static_cast<float>(std::exp(-d2));
+                    }
+                }
+            }
+        }
+        // Normalize to [0, 1].
+        float mx = 0.0f;
+        for (size_t i = 0; i < kPixels; ++i)
+            mx = std::max(mx, proto[i]);
+        if (mx > 0.0f)
+            for (size_t i = 0; i < kPixels; ++i)
+                proto[i] = std::min(proto[i] / mx, 1.0f);
+    }
+}
+
+std::vector<size_t>
+SyntheticDigits::sampleShape() const
+{
+    if (flat_)
+        return {kPixels};
+    return {1, kSide, kSide};
+}
+
+int
+SyntheticDigits::label(size_t i) const
+{
+    // Balanced classes, deterministic in the index.
+    Rng rng(seed_ ^ (i * 0x9E3779B97F4A7C15ULL + 1));
+    return static_cast<int>(rng.below(kClasses));
+}
+
+void
+SyntheticDigits::fill(size_t i, std::span<float> out) const
+{
+    INC_ASSERT(out.size() == kPixels, "digit sample is %zu pixels, not %zu",
+               kPixels, out.size());
+    Rng rng(seed_ ^ (i * 0x9E3779B97F4A7C15ULL + 2));
+    const int c = label(i);
+    const float *proto = prototypes_.data() + static_cast<size_t>(c) * kPixels;
+
+    // Random small shift and per-pixel noise.
+    const uint64_t span = 2 * static_cast<uint64_t>(maxShift_) + 1;
+    const int sx = static_cast<int>(rng.below(span)) - maxShift_;
+    const int sy = static_cast<int>(rng.below(span)) - maxShift_;
+    const float gain = static_cast<float>(rng.uniform(0.8, 1.2));
+    for (size_t y = 0; y < kSide; ++y) {
+        for (size_t x = 0; x < kSide; ++x) {
+            const int px = static_cast<int>(x) - sx;
+            const int py = static_cast<int>(y) - sy;
+            float v = 0.0f;
+            if (px >= 0 && py >= 0 && px < static_cast<int>(kSide) &&
+                py < static_cast<int>(kSide))
+                v = proto[static_cast<size_t>(py) * kSide +
+                          static_cast<size_t>(px)];
+            v = gain * v +
+                static_cast<float>(rng.gaussian(0.0, noise_));
+            out[y * kSide + x] = std::clamp(v, 0.0f, 1.0f);
+        }
+    }
+}
+
+} // namespace inc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic MNIST-like synthetic digit task (substitute for MNIST,
+ * which is unavailable offline — DESIGN.md section 2). Each class has a
+ * fixed stroke-like prototype; samples are jittered, shifted, noisy
+ * renderings, so the task is learnable but not trivial.
+ */
+
+#ifndef INCEPTIONN_DATA_SYNTHETIC_DIGITS_H
+#define INCEPTIONN_DATA_SYNTHETIC_DIGITS_H
+
+#include "data/dataset.h"
+
+namespace inc {
+
+/** 28x28 single-channel synthetic digits, 10 classes. */
+class SyntheticDigits : public Dataset
+{
+  public:
+    /**
+     * @param count number of samples.
+     * @param seed dataset identity; train/test sets use different seeds.
+     * @param flat emit [784] samples (for MLPs) instead of [1,28,28].
+     * @param noise per-pixel Gaussian noise stddev (task difficulty).
+     * @param max_shift maximum |shift| in pixels (task difficulty).
+     */
+    SyntheticDigits(size_t count, uint64_t seed, bool flat = true,
+                    float noise = 0.1f, int max_shift = 1);
+
+    size_t size() const override { return count_; }
+    std::vector<size_t> sampleShape() const override;
+    int label(size_t i) const override;
+    int classes() const override { return 10; }
+    void fill(size_t i, std::span<float> out) const override;
+
+  private:
+    size_t count_;
+    uint64_t seed_;
+    bool flat_;
+    float noise_;
+    int maxShift_;
+    // Per-class prototypes: 10 x 28 x 28 intensity maps.
+    std::vector<float> prototypes_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_DATA_SYNTHETIC_DIGITS_H

@@ -1,0 +1,78 @@
+#include "data/synthetic_images.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+namespace {
+
+constexpr size_t kSide = 32;
+constexpr size_t kPixels = kSide * kSide;
+constexpr int kClasses = 10;
+constexpr uint64_t kStyleSeed = 0x1A6E5ULL;
+
+} // namespace
+
+SyntheticImages::SyntheticImages(size_t count, uint64_t seed)
+    : count_(count), seed_(seed)
+{
+    Rng rng(kStyleSeed);
+    styles_.resize(kClasses);
+    for (auto &s : styles_) {
+        s.freqX = static_cast<float>(rng.uniform(0.2, 1.2));
+        s.freqY = static_cast<float>(rng.uniform(0.2, 1.2));
+        s.phase = static_cast<float>(rng.uniform(0.0, 6.28));
+        for (float &c : s.color)
+            c = static_cast<float>(rng.uniform(0.2, 1.0));
+        s.blobX = static_cast<float>(rng.uniform(8.0, 24.0));
+        s.blobY = static_cast<float>(rng.uniform(8.0, 24.0));
+        s.blobSigma = static_cast<float>(rng.uniform(3.0, 7.0));
+    }
+}
+
+int
+SyntheticImages::label(size_t i) const
+{
+    Rng rng(seed_ ^ (i * 0x9E3779B97F4A7C15ULL + 11));
+    return static_cast<int>(rng.below(kClasses));
+}
+
+void
+SyntheticImages::fill(size_t i, std::span<float> out) const
+{
+    INC_ASSERT(out.size() == 3 * kPixels,
+               "image sample is %zu floats, not %zu", 3 * kPixels,
+               out.size());
+    Rng rng(seed_ ^ (i * 0x9E3779B97F4A7C15ULL + 12));
+    const ClassStyle &s = styles_[static_cast<size_t>(label(i))];
+
+    const float jx = static_cast<float>(rng.uniform(-2.0, 2.0));
+    const float jy = static_cast<float>(rng.uniform(-2.0, 2.0));
+    const float gain = static_cast<float>(rng.uniform(0.8, 1.2));
+
+    for (size_t y = 0; y < kSide; ++y) {
+        for (size_t x = 0; x < kSide; ++x) {
+            const float fx = static_cast<float>(x) + jx;
+            const float fy = static_cast<float>(y) + jy;
+            const float wave = 0.5f + 0.5f * std::sin(s.freqX * fx +
+                                                      s.freqY * fy +
+                                                      s.phase);
+            const float dx = fx - s.blobX;
+            const float dy = fy - s.blobY;
+            const float blob = std::exp(-(dx * dx + dy * dy) /
+                                        (2.0f * s.blobSigma * s.blobSigma));
+            const float base = 0.6f * wave + 0.4f * blob;
+            for (size_t c = 0; c < 3; ++c) {
+                const float noise =
+                    static_cast<float>(rng.gaussian(0.0, 0.08));
+                out[c * kPixels + y * kSide + x] = std::clamp(
+                    gain * s.color[c] * base + noise, 0.0f, 1.0f);
+            }
+        }
+    }
+}
+
+} // namespace inc

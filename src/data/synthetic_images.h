@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic CIFAR-like synthetic image classification task for the
+ * CNN proxies (substitute for ImageNet — DESIGN.md section 2). Classes
+ * differ in color statistics and spatial frequency content so that
+ * convolutional features are genuinely useful.
+ */
+
+#ifndef INCEPTIONN_DATA_SYNTHETIC_IMAGES_H
+#define INCEPTIONN_DATA_SYNTHETIC_IMAGES_H
+
+#include "data/dataset.h"
+
+namespace inc {
+
+/** 3x32x32 synthetic images, 10 classes, NCHW samples. */
+class SyntheticImages : public Dataset
+{
+  public:
+    SyntheticImages(size_t count, uint64_t seed);
+
+    size_t size() const override { return count_; }
+    std::vector<size_t> sampleShape() const override { return {3, 32, 32}; }
+    int label(size_t i) const override;
+    int classes() const override { return 10; }
+    void fill(size_t i, std::span<float> out) const override;
+
+  private:
+    struct ClassStyle
+    {
+        float freqX, freqY;   // sinusoid frequencies
+        float phase;
+        float color[3];       // channel gains
+        float blobX, blobY;   // Gaussian blob center (pixels)
+        float blobSigma;
+    };
+
+    size_t count_;
+    uint64_t seed_;
+    std::vector<ClassStyle> styles_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_DATA_SYNTHETIC_IMAGES_H

@@ -1,0 +1,96 @@
+#include "distrib/async_trainer.h"
+
+#include "sim/logging.h"
+#include "sim/random.h"
+
+namespace inc {
+
+AsyncTrainer::AsyncTrainer(const ModelBuilder &builder,
+                           const Dataset &train, const Dataset &test,
+                           AsyncTrainerConfig config)
+    : config_(config), test_(test)
+{
+    INC_ASSERT(config.workers >= 1, "need >= 1 worker");
+    INC_ASSERT(config.delay >= 0, "negative delay");
+
+    server_ = std::make_unique<Model>(builder());
+    scratch_ = std::make_unique<Model>(builder());
+    Rng rng(config.seed);
+    server_->init(rng);
+    optimizer_ = std::make_unique<SgdOptimizer>(*server_, config.sgd);
+
+    for (int i = 0; i < config.workers; ++i)
+        samplers_.push_back(std::make_unique<MinibatchSampler>(
+            train, config.batchPerWorker,
+            config.seed + 500 + static_cast<uint64_t>(i), i,
+            config.workers));
+
+    // Seed the snapshot history with the initial weights.
+    std::vector<float> w0(server_->paramCount());
+    server_->flattenParams(w0);
+    history_.push_back(std::move(w0));
+}
+
+void
+AsyncTrainer::train(uint64_t updates)
+{
+    const size_t params = server_->paramCount();
+    std::vector<float> grads(params);
+    double loss_acc = 0.0;
+
+    for (uint64_t u = 0; u < updates; ++u, ++updates_) {
+        const int worker =
+            static_cast<int>(updates_ % static_cast<uint64_t>(
+                                            config_.workers));
+
+        // The worker computed its gradient against a stale snapshot.
+        const size_t lag = std::min<size_t>(
+            static_cast<size_t>(config_.delay), history_.size() - 1);
+        scratch_->loadParams(
+            history_[history_.size() - 1 - lag]);
+
+        const Batch b = samplers_[static_cast<size_t>(worker)]->next();
+        scratch_->zeroGrads();
+        const Tensor &logits = scratch_->forward(b.x, /*training=*/true);
+        loss_acc += loss_.forward(logits, b.labels);
+        scratch_->backward(loss_.backward());
+        scratch_->flattenGrads(grads);
+
+        // The server applies it immediately (no barrier).
+        server_->loadGrads(grads);
+        optimizer_->step();
+
+        std::vector<float> snap(params);
+        server_->flattenParams(snap);
+        history_.push_back(std::move(snap));
+        while (history_.size() >
+               static_cast<size_t>(config_.delay) + 1)
+            history_.pop_front();
+    }
+    lastMeanLoss_ =
+        updates ? loss_acc / static_cast<double>(updates) : 0.0;
+}
+
+double
+AsyncTrainer::evaluate(size_t max_samples)
+{
+    const size_t count = std::min(max_samples, test_.size());
+    INC_ASSERT(count > 0, "empty test set");
+    const size_t chunk = 250;
+    size_t done = 0;
+    double acc = 0.0;
+    while (done < count) {
+        const size_t n = std::min(chunk, count - done);
+        std::vector<size_t> idx(n);
+        for (size_t i = 0; i < n; ++i)
+            idx[i] = done + i;
+        const Batch b = test_.batch(idx);
+        const Tensor &logits = server_->forward(b.x, /*training=*/false);
+        loss_.forward(logits, b.labels);
+        acc += loss_.accuracy() * static_cast<double>(n);
+        done += n;
+    }
+    return acc / static_cast<double>(count);
+}
+
+} // namespace inc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Asynchronous parameter-server training with bounded staleness — the
+ * related-work family (DistBelief [1], SSP [2]/[81], HogWild [80]) the
+ * paper contrasts INCEPTIONN's synchronous gradient-centric design
+ * against. Workers compute gradients against weight snapshots that are
+ * up to `delay` updates old; the server applies them immediately,
+ * without a barrier.
+ *
+ * The trainer models the asynchrony functionally (gradient delay), the
+ * standard simulation of an async cluster of same-speed workers: the
+ * gradient applied at update t was computed from the weights after
+ * update t - delay.
+ */
+
+#ifndef INCEPTIONN_DISTRIB_ASYNC_TRAINER_H
+#define INCEPTIONN_DISTRIB_ASYNC_TRAINER_H
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+
+namespace inc {
+
+/** Async training configuration. */
+struct AsyncTrainerConfig
+{
+    int workers = 4;
+    size_t batchPerWorker = 16;
+    SgdConfig sgd;
+    /**
+     * Gradient delay in server updates: 0 reproduces fully synchronous
+     * sequential SGD; a cluster of k same-speed async workers behaves
+     * like delay = k - 1.
+     */
+    int delay = 3;
+    uint64_t seed = 1;
+};
+
+/** Parameter-server trainer with stale gradients. */
+class AsyncTrainer
+{
+  public:
+    using ModelBuilder = std::function<Model()>;
+
+    AsyncTrainer(const ModelBuilder &builder, const Dataset &train,
+                 const Dataset &test, AsyncTrainerConfig config);
+
+    /** Apply @p updates stale-gradient server updates. */
+    void train(uint64_t updates);
+
+    /** Top-1 accuracy of the server weights. */
+    double evaluate(size_t max_samples = 2000);
+
+    uint64_t updatesApplied() const { return updates_; }
+    double lastMeanLoss() const { return lastMeanLoss_; }
+
+  private:
+    AsyncTrainerConfig config_;
+    const Dataset &test_;
+    std::unique_ptr<Model> server_;  ///< authoritative weights
+    std::unique_ptr<Model> scratch_; ///< evaluates stale snapshots
+    std::unique_ptr<SgdOptimizer> optimizer_;
+    std::vector<std::unique_ptr<MinibatchSampler>> samplers_;
+    SoftmaxCrossEntropy loss_;
+    std::deque<std::vector<float>> history_; ///< recent weight snapshots
+    uint64_t updates_ = 0;
+    double lastMeanLoss_ = 0.0;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_DISTRIB_ASYNC_TRAINER_H

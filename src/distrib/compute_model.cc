@@ -1,0 +1,95 @@
+#include "distrib/compute_model.h"
+
+#include "nn/model_zoo.h"
+#include "sim/logging.h"
+
+namespace inc {
+
+double
+Workload::sumSecondsPerByte() const
+{
+    // Table II was measured on four workers + one aggregator: the
+    // aggregator reduces four streams of modelBytes each per iteration.
+    return timing.gradientSum / (4.0 * static_cast<double>(modelBytes));
+}
+
+Workload
+alexNetWorkload()
+{
+    Workload w;
+    w.name = "AlexNet";
+    w.modelBytes = alexNetSpec().sizeBytes();
+    w.perNodeBatch = 64;
+    w.totalIterations = 320000;
+    w.hyper.learningRate = 0.01;
+    w.hyper.lrDecayFactor = 10.0;
+    w.hyper.lrDecayEvery = 100000;
+    w.hyper.momentum = 0.9;
+    w.hyper.weightDecay = 5e-5;
+    w.timing = WorkloadTiming{0.0313, 0.1622, 0.0568, 0.0894, 0.1367};
+    w.reference = ConvergenceReference{0.572, 64, 65, 3.1};
+    return w;
+}
+
+Workload
+hdcWorkload()
+{
+    Workload w;
+    w.name = "HDC";
+    w.modelBytes = hdcSpec().sizeBytes();
+    w.perNodeBatch = 25;
+    w.totalIterations = 10000;
+    w.hyper.learningRate = 0.1;
+    w.hyper.lrDecayFactor = 5.0;
+    w.hyper.lrDecayEvery = 2000;
+    w.hyper.momentum = 0.9;
+    w.hyper.weightDecay = 5e-5;
+    w.timing = WorkloadTiming{0.0008, 0.0007, 0.0, 0.0009, 0.0009};
+    w.reference = ConvergenceReference{0.985, 17, 18, 2.7};
+    return w;
+}
+
+Workload
+resNet50Workload()
+{
+    Workload w;
+    w.name = "ResNet-50";
+    w.modelBytes = resNet50Spec().sizeBytes();
+    w.perNodeBatch = 16;
+    w.totalIterations = 600000;
+    w.hyper.learningRate = 0.1;
+    w.hyper.lrDecayFactor = 10.0;
+    w.hyper.lrDecayEvery = 200000;
+    w.hyper.momentum = 0.9;
+    w.hyper.weightDecay = 1e-4;
+    w.timing = WorkloadTiming{0.0263, 0.0487, 0.0224, 0.0368, 0.0155};
+    w.reference = ConvergenceReference{0.753, 90, 92, 2.97};
+    return w;
+}
+
+Workload
+vgg16Workload()
+{
+    Workload w;
+    w.name = "VGG-16";
+    w.modelBytes = vgg16Spec().sizeBytes();
+    w.perNodeBatch = 64;
+    w.totalIterations = 370000;
+    w.hyper.learningRate = 0.01;
+    w.hyper.lrDecayFactor = 10.0;
+    w.hyper.lrDecayEvery = 100000;
+    w.hyper.momentum = 0.9;
+    w.hyper.weightDecay = 5e-5;
+    w.timing = WorkloadTiming{0.3225, 1.4234, 0.1209, 0.1989, 0.3050};
+    w.reference = ConvergenceReference{0.715, 74, 75, 2.2};
+    return w;
+}
+
+std::vector<Workload>
+allWorkloads()
+{
+    return {alexNetWorkload(), hdcWorkload(), resNet50Workload(),
+            vgg16Workload()};
+}
+
+} // namespace inc

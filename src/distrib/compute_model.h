@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Workload definitions: the four benchmarks of paper Table I with their
+ * hyperparameters, full-size model bytes (Fig. 3a), and per-iteration
+ * compute-step times calibrated from the paper's own Table II
+ * measurements (Titan XP + Xeon E5-2640 testbed). We do not have that
+ * hardware; treating the paper's measured local-computation times as the
+ * compute model isolates exactly the communication behaviour the paper
+ * studies (DESIGN.md section 2).
+ */
+
+#ifndef INCEPTIONN_DISTRIB_COMPUTE_MODEL_H
+#define INCEPTIONN_DISTRIB_COMPUTE_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/optimizer.h"
+
+namespace inc {
+
+/** Per-iteration compute-step seconds (paper Table II / 100). */
+struct WorkloadTiming
+{
+    double forward = 0.0;
+    double backward = 0.0;
+    double gpuCopy = 0.0;
+    double gradientSum = 0.0; ///< total aggregation work on the 4+1 rig
+    double update = 0.0;
+
+    /** Local (non-exchange) compute per iteration. */
+    double
+    localCompute() const
+    {
+        return forward + backward + gpuCopy;
+    }
+};
+
+/** Reference accuracy/epoch data from paper Fig. 13. */
+struct ConvergenceReference
+{
+    double finalAccuracy = 0.0; ///< top-1 (HDC: test accuracy)
+    int epochsBaseline = 0;     ///< WA, lossless
+    int epochsCompressed = 0;   ///< INC + compression (2^-10)
+    double paperSpeedup = 0.0;  ///< INC+C over WA at equal accuracy
+};
+
+/** One evaluated benchmark. */
+struct Workload
+{
+    std::string name;
+    uint64_t modelBytes = 0;       ///< gradient == weight vector size
+    size_t perNodeBatch = 0;       ///< Table I
+    uint64_t totalIterations = 0;  ///< Table I
+    SgdConfig hyper;               ///< Table I
+    WorkloadTiming timing;         ///< Table II / 100
+    ConvergenceReference reference; ///< Fig. 13
+
+    /**
+     * Per-byte sum-reduction time (gamma) implied by Table II: the
+     * gradient-sum row divided by the four worker streams it reduces.
+     */
+    double sumSecondsPerByte() const;
+};
+
+Workload alexNetWorkload();
+Workload hdcWorkload();
+Workload resNet50Workload();
+Workload vgg16Workload();
+
+/** The four benchmarks, in the paper's column order. */
+std::vector<Workload> allWorkloads();
+
+} // namespace inc
+
+#endif // INCEPTIONN_DISTRIB_COMPUTE_MODEL_H

@@ -1,0 +1,248 @@
+#include "distrib/func_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ring_schedule.h"
+#include "sim/logging.h"
+#include "sim/random.h"
+
+namespace inc {
+
+FuncTrainer::FuncTrainer(const ModelBuilder &builder, const Dataset &train,
+                         const Dataset &test, FuncTrainerConfig config)
+    : config_(config), test_(test)
+{
+    INC_ASSERT(config.nodes >= 2, "need >= 2 nodes");
+    INC_ASSERT(!(config.codec && config.truncateGradients),
+               "choose one gradient compression scheme");
+
+    Rng init_rng(config.seed);
+    for (int i = 0; i < config.nodes; ++i) {
+        replicas_.push_back(std::make_unique<Model>(builder()));
+        samplers_.push_back(std::make_unique<MinibatchSampler>(
+            train, config.batchPerNode, config.seed + 100 +
+            static_cast<uint64_t>(i), i, config.nodes));
+    }
+    paramCount_ = replicas_[0]->paramCount();
+
+    // One initialization, copied to every replica (paper Algorithm 1
+    // line 1: all nodes start from the same w0).
+    replicas_[0]->init(init_rng);
+    std::vector<float> w0(paramCount_);
+    replicas_[0]->flattenParams(w0);
+    for (int i = 1; i < config.nodes; ++i)
+        replicas_[static_cast<size_t>(i)]->loadParams(w0);
+
+    for (auto &r : replicas_)
+        optimizers_.push_back(
+            std::make_unique<SgdOptimizer>(*r, config.sgd));
+
+    if (config.exchange == FuncExchange::Star) {
+        master_ = std::make_unique<Model>(builder());
+        master_->loadParams(w0);
+        masterOpt_ = std::make_unique<SgdOptimizer>(*master_, config.sgd);
+    }
+}
+
+uint64_t
+FuncTrainer::epoch() const
+{
+    return samplers_[0]->epoch();
+}
+
+void
+FuncTrainer::captureGradientsAt(std::vector<uint64_t> iterations)
+{
+    captureAt_ = std::move(iterations);
+}
+
+void
+FuncTrainer::exchangeRing(std::vector<std::vector<float>> &grads)
+{
+    const int n = config_.nodes;
+    const auto blocks = partitionBlocks(paramCount_, n);
+    std::vector<float> wire;
+
+    for (int step = 1; step <= ringStepCount(n); ++step) {
+        for (int i = 0; i < n; ++i) {
+            const RingStep rs = ringStepFor(i, step, n);
+            const auto [off, len] = blocks[static_cast<size_t>(rs.sendBlock)];
+            const int dst = (i + 1) % n;
+            const float *src = grads[static_cast<size_t>(i)].data() + off;
+            float *dst_blk = grads[static_cast<size_t>(dst)].data() + off;
+
+            wire.assign(src, src + len);
+            if (config_.codec &&
+                config_.compressionPoint == CompressionPoint::PerHop)
+                config_.codec->roundtrip(wire, &tags_);
+            else if (config_.truncateGradients)
+                config_.truncateGradients->roundtrip(wire);
+
+            if (rs.phase == RingPhase::ReduceScatter) {
+                for (size_t k = 0; k < len; ++k)
+                    dst_blk[k] += wire[k];
+            } else {
+                std::copy(wire.begin(), wire.end(), dst_blk);
+            }
+        }
+    }
+}
+
+void
+FuncTrainer::exchangeStar(std::vector<std::vector<float>> &grads)
+{
+    // Gradient (up) leg: each worker's stream is individually lossy.
+    std::vector<float> sum(paramCount_, 0.0f);
+    for (auto &g : grads) {
+        if (config_.codec)
+            config_.codec->roundtrip(g, &tags_);
+        else if (config_.truncateGradients)
+            config_.truncateGradients->roundtrip(g);
+        for (size_t k = 0; k < paramCount_; ++k)
+            sum[k] += g[k];
+    }
+    // The aggregator applies the update to its exact weights...
+    master_->loadGrads(sum);
+    masterOpt_->step();
+    // ...and broadcasts them (weight leg, optionally truncated).
+    std::vector<float> w(paramCount_);
+    master_->flattenParams(w);
+    if (config_.truncateWeights)
+        config_.truncateWeights->roundtrip(w);
+    for (auto &r : replicas_)
+        r->loadParams(w);
+}
+
+void
+FuncTrainer::train(uint64_t iterations)
+{
+    const int n = config_.nodes;
+    std::vector<std::vector<float>> grads(
+        static_cast<size_t>(n), std::vector<float>(paramCount_));
+    double loss_acc = 0.0;
+    uint64_t loss_samples = 0;
+
+    for (uint64_t it = 0; it < iterations; ++it, ++iteration_) {
+        // Local passes on every node's shard.
+        for (int i = 0; i < n; ++i) {
+            Model &m = *replicas_[static_cast<size_t>(i)];
+            const Batch b = samplers_[static_cast<size_t>(i)]->next();
+            m.zeroGrads();
+            const Tensor &logits = m.forward(b.x, /*training=*/true);
+            loss_acc += loss_.forward(logits, b.labels);
+            ++loss_samples;
+            m.backward(loss_.backward());
+            m.flattenGrads(grads[static_cast<size_t>(i)]);
+        }
+
+        if (!captureAt_.empty() &&
+            std::find(captureAt_.begin(), captureAt_.end(), iteration_) !=
+                captureAt_.end())
+            trace_.capture(iteration_, grads[0]);
+
+        if (config_.exchange == FuncExchange::Ring) {
+            // One lossy pass over the local gradient before the
+            // exchange (paper Algorithm 1 lines 6/20, or a related-work
+            // baseline via sourceTransform), optionally with error
+            // feedback.
+            const bool at_source =
+                (config_.codec && config_.compressionPoint ==
+                                      CompressionPoint::AtSource) ||
+                static_cast<bool>(config_.sourceTransform);
+            if (at_source) {
+                auto apply = [this](std::span<float> g) {
+                    if (config_.sourceTransform)
+                        config_.sourceTransform(g);
+                    else
+                        config_.codec->roundtrip(g, &tags_);
+                };
+                if (config_.errorFeedback && residuals_.empty())
+                    residuals_.assign(static_cast<size_t>(n),
+                                      std::vector<float>(paramCount_,
+                                                         0.0f));
+                for (int i = 0; i < n; ++i) {
+                    auto &g = grads[static_cast<size_t>(i)];
+                    if (config_.errorFeedback) {
+                        auto &res = residuals_[static_cast<size_t>(i)];
+                        for (size_t k = 0; k < paramCount_; ++k)
+                            g[k] += res[k];
+                        std::vector<float> before = g;
+                        apply(g);
+                        for (size_t k = 0; k < paramCount_; ++k)
+                            res[k] = before[k] - g[k];
+                    } else {
+                        apply(g);
+                    }
+                }
+            }
+            exchangeRing(grads);
+            // Every node applies its aggregated gradient to its own
+            // replica (paper Algorithm 1 line 21).
+            for (int i = 0; i < n; ++i) {
+                replicas_[static_cast<size_t>(i)]->loadGrads(
+                    grads[static_cast<size_t>(i)]);
+                optimizers_[static_cast<size_t>(i)]->step();
+            }
+        } else {
+            exchangeStar(grads);
+        }
+    }
+    lastMeanLoss_ =
+        loss_samples ? loss_acc / static_cast<double>(loss_samples) : 0.0;
+}
+
+double
+FuncTrainer::evaluate(size_t max_samples)
+{
+    return evaluateTopK(1, max_samples);
+}
+
+double
+FuncTrainer::evaluateTopK(size_t k, size_t max_samples)
+{
+    Model &target = master_ ? *master_ : *replicas_[0];
+    const size_t count = std::min(max_samples, test_.size());
+    INC_ASSERT(count > 0, "empty test set");
+
+    // Evaluate in batches to bound memory.
+    const size_t chunk = 250;
+    size_t done = 0;
+    double acc_sum = 0.0;
+    while (done < count) {
+        const size_t n = std::min(chunk, count - done);
+        std::vector<size_t> idx(n);
+        for (size_t i = 0; i < n; ++i)
+            idx[i] = done + i;
+        const Batch b = test_.batch(idx);
+        const Tensor &logits = target.forward(b.x, /*training=*/false);
+        acc_sum += topKAccuracy(logits, b.labels, k) *
+                   static_cast<double>(n);
+        done += n;
+    }
+    return acc_sum / static_cast<double>(count);
+}
+
+double
+FuncTrainer::achievedWireRatio() const
+{
+    return tags_.total() ? tags_.compressionRatio() : 1.0;
+}
+
+double
+FuncTrainer::replicaDivergence() const
+{
+    std::vector<float> base(paramCount_), other(paramCount_);
+    replicas_[0]->flattenParams(base);
+    double worst = 0.0;
+    for (size_t i = 1; i < replicas_.size(); ++i) {
+        replicas_[i]->flattenParams(other);
+        for (size_t k = 0; k < paramCount_; ++k)
+            worst = std::max(worst,
+                             std::abs(static_cast<double>(base[k]) -
+                                      other[k]));
+    }
+    return worst;
+}
+
+} // namespace inc

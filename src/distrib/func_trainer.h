@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Functional (accuracy-mode) data-parallel training: N model replicas,
+ * real forward/backward on synthetic data, and a *real* gradient
+ * exchange — the INCEPTIONN ring with the lossy codec applied on every
+ * hop, or the worker-aggregator pattern with optional truncation of the
+ * gradient (up) and weight (down) legs. Drives the accuracy experiments:
+ * Figs. 4, 5, 13, 14 and Table III.
+ */
+
+#ifndef INCEPTIONN_DISTRIB_FUNC_TRAINER_H
+#define INCEPTIONN_DISTRIB_FUNC_TRAINER_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "baselines/truncation.h"
+#include "core/codec.h"
+#include "data/dataset.h"
+#include "distrib/gradient_trace.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+
+namespace inc {
+
+/** Exchange pattern for accuracy-mode training. */
+enum class FuncExchange {
+    Ring, ///< Algorithm 1 in memory; codec applies to every hop
+    Star, ///< worker-aggregator; transforms apply per leg
+};
+
+/**
+ * Where lossy compression is applied in ring mode. Paper Algorithm 1
+ * shows both: lines 6/20 compress the local gradient once before the
+ * exchange and decompress after ("AtSource"); the NIC hardware
+ * naturally compresses every hop's payload ("PerHop", the deployed
+ * design).
+ */
+enum class CompressionPoint {
+    PerHop,   ///< each transmitted block round-trips at every hop
+    AtSource, ///< local gradient round-trips once before the exchange
+};
+
+/** Accuracy-mode configuration. */
+struct FuncTrainerConfig
+{
+    int nodes = 4;
+    size_t batchPerNode = 25;
+    SgdConfig sgd;
+    FuncExchange exchange = FuncExchange::Ring;
+    /** INCEPTIONN lossy codec on gradient legs (nullptr = lossless). */
+    const GradientCodec *codec = nullptr;
+    /** Where ring-mode compression happens (see CompressionPoint). */
+    CompressionPoint compressionPoint = CompressionPoint::PerHop;
+    /**
+     * Error feedback (residual accumulation a la 1-bit SGD / DGC):
+     * each node adds the previous iteration's compression error to its
+     * local gradient before compressing. Applies to the at-source codec
+     * or to sourceTransform.
+     */
+    bool errorFeedback = false;
+    /**
+     * Arbitrary lossy transform applied to each node's local gradient
+     * before the exchange — how the related-work baselines (TernGrad,
+     * QSGD, top-k sparsification) plug in. Mutually exclusive with an
+     * AtSource codec.
+     */
+    std::function<void(std::span<float>)> sourceTransform;
+    /** xb-T truncation of communicated gradients (nullptr = off). */
+    const TruncationCodec *truncateGradients = nullptr;
+    /** xb-T truncation of communicated weights, Star mode only. */
+    const TruncationCodec *truncateWeights = nullptr;
+    /** Seed for parameter init and batch shuffling. */
+    uint64_t seed = 1;
+};
+
+/** Accuracy-mode trainer. */
+class FuncTrainer
+{
+  public:
+    using ModelBuilder = std::function<Model()>;
+
+    /**
+     * @param builder constructs one (uninitialized) replica.
+     * @param train training dataset, sharded across nodes.
+     * @param test held-out dataset for evaluate().
+     */
+    FuncTrainer(const ModelBuilder &builder, const Dataset &train,
+                const Dataset &test, FuncTrainerConfig config);
+
+    /** Run @p iterations synchronous-SGD steps. */
+    void train(uint64_t iterations);
+
+    /** Top-1 accuracy of replica 0 on up to @p max_samples test rows. */
+    double evaluate(size_t max_samples = 2000);
+
+    /** Top-k accuracy (paper Fig. 4 also reports top-5). */
+    double evaluateTopK(size_t k, size_t max_samples = 2000);
+
+    /** Mean training loss over the last train() call. */
+    double lastMeanLoss() const { return lastMeanLoss_; }
+
+    /** Completed iterations. */
+    uint64_t iteration() const { return iteration_; }
+
+    /** Epochs completed by node 0's shard sampler. */
+    uint64_t epoch() const;
+
+    /** Codec tag tallies accumulated across all exchanged hops. */
+    const TagHistogram &codecTags() const { return tags_; }
+
+    /** Wire ratio achieved by the codec so far (1.0 if lossless). */
+    double achievedWireRatio() const;
+
+    /**
+     * Ask the trainer to snapshot node 0's local gradient at specific
+     * iterations (before any lossy transform).
+     */
+    void captureGradientsAt(std::vector<uint64_t> iterations);
+
+    const GradientTrace &gradientTrace() const { return trace_; }
+
+    /** Parameter count of the replicas. */
+    size_t paramCount() const { return paramCount_; }
+
+    /** Maximum elementwise divergence between replica 0 and the others
+     *  (ring mode drift diagnostic). */
+    double replicaDivergence() const;
+
+  private:
+    void exchangeRing(std::vector<std::vector<float>> &grads);
+    void exchangeStar(std::vector<std::vector<float>> &grads);
+
+    FuncTrainerConfig config_;
+    const Dataset &test_;
+    std::vector<std::unique_ptr<Model>> replicas_;
+    std::vector<std::unique_ptr<SgdOptimizer>> optimizers_;
+    std::vector<std::unique_ptr<MinibatchSampler>> samplers_;
+    /** Aggregator-held model; Star mode only. */
+    std::unique_ptr<Model> master_;
+    std::unique_ptr<SgdOptimizer> masterOpt_;
+    SoftmaxCrossEntropy loss_;
+    size_t paramCount_ = 0;
+    uint64_t iteration_ = 0;
+    double lastMeanLoss_ = 0.0;
+    TagHistogram tags_;
+    GradientTrace trace_;
+    std::vector<uint64_t> captureAt_;
+    /** Per-node compression residuals (error feedback). */
+    std::vector<std::vector<float>> residuals_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_DISTRIB_FUNC_TRAINER_H

@@ -1,0 +1,52 @@
+#include "distrib/gradient_trace.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+void
+GradientTrace::capture(uint64_t iteration, std::span<const float> gradient)
+{
+    Entry e;
+    e.iteration = iteration;
+    e.gradient.assign(gradient.begin(), gradient.end());
+    entries_.push_back(std::move(e));
+}
+
+const GradientTrace::Entry &
+GradientTrace::nearest(uint64_t iteration) const
+{
+    INC_ASSERT(!entries_.empty(), "empty trace");
+    const Entry *best = &entries_.front();
+    for (const Entry &e : entries_) {
+        const uint64_t d_best =
+            best->iteration > iteration ? best->iteration - iteration
+                                        : iteration - best->iteration;
+        const uint64_t d_e = e.iteration > iteration
+                                 ? e.iteration - iteration
+                                 : iteration - e.iteration;
+        if (d_e < d_best)
+            best = &e;
+    }
+    return *best;
+}
+
+double
+GradientTrace::fractionWithin(double bound) const
+{
+    uint64_t total = 0, inside = 0;
+    for (const Entry &e : entries_) {
+        for (float v : e.gradient) {
+            ++total;
+            if (std::abs(static_cast<double>(v)) <= bound)
+                ++inside;
+        }
+    }
+    return total ? static_cast<double>(inside) / static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace inc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Gradient snapshots captured during real training — the raw material
+ * for the Fig. 5 distributions, the Fig. 14 compression ratios, and the
+ * Table III bit-width statistics.
+ */
+
+#ifndef INCEPTIONN_DISTRIB_GRADIENT_TRACE_H
+#define INCEPTIONN_DISTRIB_GRADIENT_TRACE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace inc {
+
+/** A sequence of (iteration, gradient vector) snapshots. */
+class GradientTrace
+{
+  public:
+    struct Entry
+    {
+        uint64_t iteration;
+        std::vector<float> gradient;
+    };
+
+    /** Record a snapshot (copies the data). */
+    void capture(uint64_t iteration, std::span<const float> gradient);
+
+    const std::vector<Entry> &entries() const { return entries_; }
+    bool empty() const { return entries_.empty(); }
+
+    /** Entry closest to @p iteration. @pre !empty(). */
+    const Entry &nearest(uint64_t iteration) const;
+
+    /** Fraction of all captured values with |v| <= bound. */
+    double fractionWithin(double bound) const;
+
+    /** Fraction of all captured values inside [-1, 1]. */
+    double fractionInUnitRange() const { return fractionWithin(1.0); }
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_DISTRIB_GRADIENT_TRACE_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Timing-mode distributed training: the calibrated compute model plus
+ * the packet-level cluster simulation, iterated for a configurable
+ * number of synchronous-SGD steps. Drives Table II, Figs. 3(b), 12, 13
+ * and 15.
+ */
+
+#ifndef INCEPTIONN_DISTRIB_SIM_TRAINER_H
+#define INCEPTIONN_DISTRIB_SIM_TRAINER_H
+
+#include "comm/comm_world.h"
+#include "distrib/compute_model.h"
+#include "distrib/time_breakdown.h"
+#include "net/network.h"
+
+namespace inc {
+
+/** Which gradient-exchange algorithm the cluster runs. */
+enum class ExchangeAlgorithm {
+    WorkerAggregator, ///< paper Fig. 2: star with a dedicated aggregator
+    Ring,             ///< paper Algorithm 1: INCEPTIONN
+    Tree,             ///< paper Fig. 1(a): two-level WA hierarchy
+    HierRing,         ///< paper Fig. 1(c): rings at every level
+};
+
+/** One timing-mode training run. */
+struct SimTrainerConfig
+{
+    Workload workload;
+    int workers = 4;
+    ExchangeAlgorithm algorithm = ExchangeAlgorithm::WorkerAggregator;
+    /** Compress gradient legs (requires engines in nicConfig). */
+    bool compressGradients = false;
+    /** Codec wire ratio on this workload's gradients. */
+    double wireRatio = 1.0;
+    uint64_t iterations = 100;
+    /** Group size for the hierarchical algorithms (Tree, HierRing). */
+    int groupSize = 4;
+    /**
+     * Compute/communication overlap (gradient bucketing, an extension
+     * the paper leaves to future work): the gradient vector splits into
+     * this many buckets, and bucket b's exchange starts as soon as the
+     * fraction (b+1)/B of the backward pass producing it completes —
+     * instead of waiting for the whole backward pass. 1 disables
+     * overlap (the paper's behaviour).
+     */
+    int overlapBuckets = 1;
+    /** Cluster parameters; node count is derived from workers and
+     *  algorithm (WA/Tree add aggregator ranks). */
+    NetworkConfig netConfig{};
+};
+
+/** Timing-mode results (all seconds, per whole run). */
+struct SimTrainerResult
+{
+    TimeBreakdown breakdown;
+    /** End-to-end wall time of the run. */
+    double totalSeconds = 0.0;
+    /** Exchange wall time (communication + distributed summation) —
+     *  the Fig. 15 "gradient exchange time" metric. */
+    double gradientExchangeSeconds = 0.0;
+    uint64_t iterations = 0;
+
+    double secondsPerIteration() const
+    {
+        return iterations ? totalSeconds / static_cast<double>(iterations)
+                          : 0.0;
+    }
+};
+
+/** Run the configured training simulation to completion. */
+SimTrainerResult runSimTraining(const SimTrainerConfig &config);
+
+} // namespace inc
+
+#endif // INCEPTIONN_DISTRIB_SIM_TRAINER_H

@@ -1,0 +1,49 @@
+#include "distrib/time_breakdown.h"
+
+namespace inc {
+
+std::string
+trainStepName(TrainStep step)
+{
+    switch (step) {
+      case TrainStep::Forward:
+        return "Forward pass";
+      case TrainStep::Backward:
+        return "Backward pass";
+      case TrainStep::GpuCopy:
+        return "GPU copy";
+      case TrainStep::GradientSum:
+        return "Gradient sum";
+      case TrainStep::Communicate:
+        return "Communicate";
+      case TrainStep::Update:
+        return "Update";
+    }
+    return "?";
+}
+
+double
+TimeBreakdown::total() const
+{
+    double t = 0.0;
+    for (double s : seconds_)
+        t += s;
+    return t;
+}
+
+double
+TimeBreakdown::fraction(TrainStep step) const
+{
+    const double t = total();
+    return t > 0.0 ? seconds(step) / t : 0.0;
+}
+
+TimeBreakdown &
+TimeBreakdown::operator+=(const TimeBreakdown &o)
+{
+    for (size_t i = 0; i < seconds_.size(); ++i)
+        seconds_[i] += o.seconds_[i];
+    return *this;
+}
+
+} // namespace inc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Training-time accounting in the rows of paper Table II: forward,
+ * backward, GPU copy, gradient sum, communicate, update.
+ */
+
+#ifndef INCEPTIONN_DISTRIB_TIME_BREAKDOWN_H
+#define INCEPTIONN_DISTRIB_TIME_BREAKDOWN_H
+
+#include <array>
+#include <string>
+
+namespace inc {
+
+/** Table II row identifiers. */
+enum class TrainStep {
+    Forward,
+    Backward,
+    GpuCopy,
+    GradientSum,
+    Communicate,
+    Update,
+};
+
+constexpr int kTrainStepCount = 6;
+
+/** Name of a row as printed in the tables. */
+std::string trainStepName(TrainStep step);
+
+/** Accumulated seconds per step. */
+class TimeBreakdown
+{
+  public:
+    void
+    add(TrainStep step, double seconds)
+    {
+        seconds_[static_cast<size_t>(step)] += seconds;
+    }
+
+    double
+    seconds(TrainStep step) const
+    {
+        return seconds_[static_cast<size_t>(step)];
+    }
+
+    double total() const;
+
+    /** Fraction of total time in @p step (0 if empty). */
+    double fraction(TrainStep step) const;
+
+    /** Communication share of total, the Fig. 3(b) metric. */
+    double
+    communicationFraction() const
+    {
+        return fraction(TrainStep::Communicate);
+    }
+
+    TimeBreakdown &operator+=(const TimeBreakdown &o);
+
+  private:
+    std::array<double, kTrainStepCount> seconds_{};
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_DISTRIB_TIME_BREAKDOWN_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The minimal cluster interface the communication layer needs: rank
+ * count, per-host compute resources, an event queue, and message
+ * transfer. Two transport models implement it — Network (packet-level
+ * FIFO store-and-forward) and FluidNetwork (max-min fair flow sharing)
+ * — so every collective and trainer runs unchanged on either.
+ */
+
+#ifndef INCEPTIONN_NET_FABRIC_H
+#define INCEPTIONN_NET_FABRIC_H
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.h"
+#include "sim/event_queue.h"
+
+namespace inc {
+
+class Host;
+
+/** A message transfer request between two hosts. */
+struct TransferRequest
+{
+    int src = 0;
+    int dst = 0;
+    uint64_t payloadBytes = 0;
+    uint8_t tos = kDefaultTos;
+    /** Codec wire ratio for this payload (>= 1; used only for ToS 0x28
+     *  between compression-capable NICs). */
+    double wireRatio = 1.0;
+};
+
+/** Abstract cluster transport. */
+class Fabric
+{
+  public:
+    virtual ~Fabric() = default;
+
+    /** The simulation clock driving this cluster. */
+    virtual EventQueue &events() = 0;
+
+    /** Number of hosts. */
+    virtual int nodes() const = 0;
+
+    /** Host @p i (compute/driver resources). */
+    virtual Host &host(int i) = 0;
+
+    /**
+     * Start a transfer; @p on_delivered fires once at the delivery
+     * tick. Must be called from simulation context so initiations are
+     * time-ordered.
+     */
+    virtual void transfer(const TransferRequest &req,
+                          std::function<void(Tick)> on_delivered) = 0;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NET_FABRIC_H

@@ -1,0 +1,214 @@
+#include "net/fluid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+} // namespace
+
+FluidNetwork::FluidNetwork(EventQueue &events, NetworkConfig config)
+    : events_(events), config_(config)
+{
+    INC_ASSERT(config_.nodes >= 2, "cluster needs >= 2 nodes");
+    if (config_.hostsPerRack > 0)
+        INC_ASSERT(config_.nodes % config_.hostsPerRack == 0,
+                   "%d hosts do not fill racks of %d", config_.nodes,
+                   config_.hostsPerRack);
+
+    for (int i = 0; i < config_.nodes; ++i)
+        hosts_.push_back(std::make_unique<Host>(i, config_.nicConfig));
+
+    // Directed link capacity table: uplink(i)=i, downlink(i)=n+i,
+    // rack uplink(r)=2n+r, rack downlink(r)=2n+R+r.
+    const int n = config_.nodes;
+    const int racks =
+        config_.hostsPerRack > 0 ? n / config_.hostsPerRack : 0;
+    linkCapacity_.assign(static_cast<size_t>(2 * n + 2 * racks),
+                         config_.linkBitsPerSecond);
+    for (const auto &[host, rate] : config_.linkSpeedOverrides) {
+        linkCapacity_[static_cast<size_t>(host)] = rate;
+        linkCapacity_[static_cast<size_t>(n + host)] = rate;
+    }
+    for (int r = 0; r < 2 * racks; ++r)
+        linkCapacity_[static_cast<size_t>(2 * n + r)] =
+            config_.coreLinkBitsPerSecond;
+}
+
+std::vector<int>
+FluidNetwork::pathFor(int src, int dst) const
+{
+    const int n = config_.nodes;
+    std::vector<int> path{src};
+    if (config_.hostsPerRack > 0) {
+        const int rs = src / config_.hostsPerRack;
+        const int rd = dst / config_.hostsPerRack;
+        if (rs != rd) {
+            const int racks = n / config_.hostsPerRack;
+            path.push_back(2 * n + rs);
+            path.push_back(2 * n + racks + rd);
+        }
+    }
+    path.push_back(n + dst);
+    return path;
+}
+
+void
+FluidNetwork::drainTo(Tick now_tick)
+{
+    const double dt = toSeconds(now_tick - lastDrain_);
+    if (dt > 0.0) {
+        for (auto &[id, f] : flows_)
+            f.remainingBits =
+                std::max(0.0, f.remainingBits - f.rate * dt);
+    }
+    lastDrain_ = now_tick;
+}
+
+void
+FluidNetwork::recomputeRates()
+{
+    // Progressive water-filling over the directed links.
+    std::vector<double> cap_left = linkCapacity_;
+    std::vector<int> count(linkCapacity_.size(), 0);
+    for (auto &[id, f] : flows_) {
+        f.rate = -1.0;
+        for (int l : f.links)
+            ++count[static_cast<size_t>(l)];
+    }
+    size_t unfrozen = flows_.size();
+    while (unfrozen > 0) {
+        double bottleneck = std::numeric_limits<double>::infinity();
+        for (size_t l = 0; l < cap_left.size(); ++l) {
+            if (count[l] > 0)
+                bottleneck = std::min(bottleneck,
+                                      cap_left[l] /
+                                          static_cast<double>(count[l]));
+        }
+        INC_ASSERT(std::isfinite(bottleneck),
+                   "flows without constraining links");
+        // Freeze every unfrozen flow that crosses a bottleneck link.
+        for (auto &[id, f] : flows_) {
+            if (f.rate >= 0.0)
+                continue;
+            bool constrained = false;
+            for (int l : f.links) {
+                const size_t li = static_cast<size_t>(l);
+                if (cap_left[li] / static_cast<double>(count[li]) <=
+                    bottleneck * (1.0 + kEps)) {
+                    constrained = true;
+                    break;
+                }
+            }
+            if (!constrained)
+                continue;
+            f.rate = bottleneck;
+            --unfrozen;
+            for (int l : f.links) {
+                const size_t li = static_cast<size_t>(l);
+                cap_left[li] = std::max(0.0, cap_left[li] - bottleneck);
+                --count[li];
+            }
+        }
+    }
+}
+
+void
+FluidNetwork::scheduleNextCompletion()
+{
+    if (flows_.empty())
+        return;
+    double soonest = std::numeric_limits<double>::infinity();
+    for (const auto &[id, f] : flows_) {
+        INC_ASSERT(f.rate > 0.0, "flow without bandwidth");
+        soonest = std::min(soonest, f.remainingBits / f.rate);
+    }
+    const Tick when = lastDrain_ + fromSeconds(soonest) + 1;
+    const uint64_t epoch = ++epoch_;
+    events_.schedule(when, [this, epoch, when] {
+        if (epoch != epoch_)
+            return; // superseded by a newer arrival/completion
+        drainTo(when);
+        // Complete every drained flow.
+        for (auto it = flows_.begin(); it != flows_.end();) {
+            if (it->second.remainingBits <= 1.0) { // < 1 bit left
+                Flow done = std::move(it->second);
+                it = flows_.erase(it);
+                deliveredBytes_ += done.payloadBytes;
+                const Tick delivery = when + done.fixedTail;
+                events_.schedule(delivery,
+                                 [cb = std::move(done.onDelivered),
+                                  delivery] { cb(delivery); });
+            } else {
+                ++it;
+            }
+        }
+        if (!flows_.empty()) {
+            recomputeRates();
+            scheduleNextCompletion();
+        }
+    });
+}
+
+void
+FluidNetwork::transfer(const TransferRequest &req,
+                       std::function<void(Tick)> on_delivered)
+{
+    INC_ASSERT(req.src >= 0 && req.src < nodes() && req.dst >= 0 &&
+                   req.dst < nodes() && req.src != req.dst,
+               "bad transfer %d->%d", req.src, req.dst);
+    INC_ASSERT(req.payloadBytes > 0, "empty transfer");
+
+    const bool compressed = config_.nicConfig.hasCompressionEngine &&
+                            req.tos == kCompressTos;
+    SegmentMeta meta;
+    meta.payloadBytes = req.payloadBytes;
+    meta.wirePayloadBytes =
+        compressed ? static_cast<uint64_t>(
+                         static_cast<double>(req.payloadBytes) /
+                             std::max(1.0, req.wireRatio) +
+                         0.5)
+                   : req.payloadBytes;
+    meta.tos = compressed ? req.tos : kDefaultTos;
+
+    Flow flow;
+    flow.id = nextFlowId_++;
+    flow.links = pathFor(req.src, req.dst);
+    flow.remainingBits =
+        static_cast<double>(meta.wireBits(config_.nicConfig.mtu));
+    flow.payloadBytes = req.payloadBytes;
+    flow.onDelivered = std::move(on_delivered);
+
+    // Fixed tail: propagation + switch forwarding per hop, engine
+    // pipelines, and one packet's driver work each side.
+    const size_t hops = flow.links.size();
+    Tick tail = config_.linkLatency * static_cast<Tick>(hops) +
+                config_.switchConfig.forwardingLatency *
+                    static_cast<Tick>(hops - 1) +
+                config_.nicConfig.perPacketTxCost +
+                config_.nicConfig.perPacketRxCost;
+    if (hops > 2) // core hops carry their own latency
+        tail += (config_.coreLinkLatency - config_.linkLatency) *
+                static_cast<Tick>(hops - 2);
+    if (compressed) {
+        const double cycle = 1.0 / config_.nicConfig.engineClockHz;
+        tail += 2 * fromSeconds(
+                        cycle *
+                        config_.nicConfig.enginePipelineCycles);
+    }
+    flow.fixedTail = tail;
+
+    drainTo(events_.now());
+    flows_.emplace(flow.id, std::move(flow));
+    recomputeRates();
+    scheduleNextCompletion();
+}
+
+} // namespace inc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Flow-level (fluid) network simulation with max-min fair bandwidth
+ * sharing — the transport-model alternative to Network's FIFO
+ * store-and-forward queues. Real concurrent TCP flows converge to an
+ * approximately fair share of every bottleneck; modelling that directly
+ * lets the experiments check that the paper's conclusions do not hinge
+ * on the queueing discipline (bench_ext_transport).
+ *
+ * Mechanics: each active transfer is a fluid flow over the same
+ * star / two-tier link set Network uses. Whenever a flow starts or
+ * finishes, rates are recomputed by progressive water-filling (find the
+ * most-loaded link, freeze its flows at the fair share, repeat), and
+ * the next completion event is scheduled. Per-packet header overhead is
+ * carried in the flow's wire size; NIC compression (ToS 0x28) shrinks
+ * payloads exactly as in Network.
+ */
+
+#ifndef INCEPTIONN_NET_FLUID_H
+#define INCEPTIONN_NET_FLUID_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/host.h"
+#include "net/network.h"
+
+namespace inc {
+
+/** Fluid-model cluster simulator (same config type as Network). */
+class FluidNetwork : public Fabric
+{
+  public:
+    FluidNetwork(EventQueue &events, NetworkConfig config);
+
+    EventQueue &events() override { return events_; }
+    const NetworkConfig &config() const { return config_; }
+    int nodes() const override { return config_.nodes; }
+    Host &
+    host(int i) override
+    {
+        return *hosts_[static_cast<size_t>(i)];
+    }
+
+    /** Start a transfer; @p on_delivered fires at the delivery tick. */
+    void transfer(const TransferRequest &req,
+                  std::function<void(Tick)> on_delivered) override;
+
+    /** Flows currently draining. */
+    size_t activeFlows() const { return flows_.size(); }
+
+    /** Total payload bytes delivered so far. */
+    uint64_t deliveredBytes() const { return deliveredBytes_; }
+
+  private:
+    struct Flow
+    {
+        uint64_t id;
+        std::vector<int> links;     ///< directed link indices
+        double remainingBits;       ///< wire bits still to drain
+        double rate = 0.0;          ///< bits/second, current allocation
+        Tick fixedTail;             ///< latency added after draining
+        uint64_t payloadBytes;
+        std::function<void(Tick)> onDelivered;
+    };
+
+    void recomputeRates();
+    void drainTo(Tick now_tick);
+    void scheduleNextCompletion();
+    std::vector<int> pathFor(int src, int dst) const;
+
+    EventQueue &events_;
+    NetworkConfig config_;
+    std::vector<std::unique_ptr<Host>> hosts_;
+    std::vector<double> linkCapacity_; ///< bits/sec per directed link
+    std::map<uint64_t, Flow> flows_;
+    uint64_t nextFlowId_ = 0;
+    uint64_t epoch_ = 0;    ///< invalidates stale completion events
+    Tick lastDrain_ = 0;    ///< time rates were last integrated to
+    uint64_t deliveredBytes_ = 0;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NET_FLUID_H

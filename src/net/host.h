@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A cluster node: a NIC plus serialized host-side resources (CPU for
+ * aggregation arithmetic, TX/RX driver paths). Each resource is a
+ * busy-until serializer; contention on them is what makes a designated
+ * aggregator the bottleneck in the worker-aggregator runs.
+ */
+
+#ifndef INCEPTIONN_NET_HOST_H
+#define INCEPTIONN_NET_HOST_H
+
+#include <algorithm>
+
+#include "net/nic.h"
+#include "sim/event_queue.h"
+
+namespace inc {
+
+/** One node of the simulated cluster. */
+class Host
+{
+  public:
+    Host(int id, NicConfig nic_config)
+        : id_(id), nic_(nic_config)
+    {
+    }
+
+    int id() const { return id_; }
+    Nic &nic() { return nic_; }
+    const Nic &nic() const { return nic_; }
+
+    /**
+     * Occupy the CPU for @p duration starting no earlier than @p ready.
+     * @return completion tick.
+     */
+    Tick
+    compute(Tick ready, Tick duration)
+    {
+        const Tick start = std::max(ready, cpuBusyUntil_);
+        cpuBusyUntil_ = start + duration;
+        cpuBusyTime_ += duration;
+        return cpuBusyUntil_;
+    }
+
+    /** Occupy the TX driver path. @return completion tick. */
+    Tick
+    occupyTx(Tick ready, Tick duration)
+    {
+        const Tick start = std::max(ready, txBusyUntil_);
+        txBusyUntil_ = start + duration;
+        return txBusyUntil_;
+    }
+
+    /** Occupy the RX driver path. @return completion tick. */
+    Tick
+    occupyRx(Tick ready, Tick duration)
+    {
+        const Tick start = std::max(ready, rxBusyUntil_);
+        rxBusyUntil_ = start + duration;
+        return rxBusyUntil_;
+    }
+
+    Tick cpuBusyUntil() const { return cpuBusyUntil_; }
+    Tick cpuBusyTime() const { return cpuBusyTime_; }
+
+  private:
+    int id_;
+    Nic nic_;
+    Tick cpuBusyUntil_ = 0;
+    Tick cpuBusyTime_ = 0;
+    Tick txBusyUntil_ = 0;
+    Tick rxBusyUntil_ = 0;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NET_HOST_H

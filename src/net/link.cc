@@ -1,0 +1,39 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+Link::Link(std::string name, double bits_per_second, Tick latency)
+    : name_(std::move(name)), bitsPerSecond_(bits_per_second),
+      latency_(latency)
+{
+    INC_ASSERT(bits_per_second > 0.0, "link %s has no bandwidth",
+               name_.c_str());
+}
+
+Tick
+Link::serializationTime(uint64_t wire_bits) const
+{
+    return static_cast<Tick>(static_cast<double>(wire_bits) /
+                                 bitsPerSecond_ *
+                                 static_cast<double>(kSecond) +
+                             0.5);
+}
+
+Tick
+Link::transmit(Tick ready, uint64_t wire_bits, Tick *start_out)
+{
+    const Tick start = std::max(ready, busyUntil_);
+    if (start_out)
+        *start_out = start;
+    const Tick ser = serializationTime(wire_bits);
+    busyUntil_ = start + ser;
+    bitsCarried_ += wire_bits;
+    busyTime_ += ser;
+    return busyUntil_ + latency_;
+}
+
+} // namespace inc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A unidirectional point-to-point link: a serialization resource with
+ * fixed bandwidth and propagation latency. Back-to-back transmissions
+ * queue behind each other (busy-until semantics), which is what creates
+ * the aggregator bottleneck the paper measures.
+ */
+
+#ifndef INCEPTIONN_NET_LINK_H
+#define INCEPTIONN_NET_LINK_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event_queue.h"
+
+namespace inc {
+
+/** One direction of a cable. */
+class Link
+{
+  public:
+    /**
+     * @param name for diagnostics ("host3->switch").
+     * @param bits_per_second line rate (10 GbE = 10e9).
+     * @param latency propagation + PHY delay.
+     */
+    Link(std::string name, double bits_per_second, Tick latency);
+
+    const std::string &name() const { return name_; }
+    double bitsPerSecond() const { return bitsPerSecond_; }
+    Tick latency() const { return latency_; }
+
+    /** Serialization time for @p wire_bits at line rate. */
+    Tick serializationTime(uint64_t wire_bits) const;
+
+    /**
+     * Enqueue a transmission that may start no earlier than @p ready.
+     * @param start_out if non-null, receives the tick serialization
+     *        actually began (after queuing).
+     * @return the tick at which the last bit arrives at the far end.
+     */
+    Tick transmit(Tick ready, uint64_t wire_bits,
+                  Tick *start_out = nullptr);
+
+    /** Earliest tick a new transmission could start. */
+    Tick busyUntil() const { return busyUntil_; }
+
+    /** Total bits ever pushed through. */
+    uint64_t bitsCarried() const { return bitsCarried_; }
+
+    /** Cumulative time the link spent serializing. */
+    Tick busyTime() const { return busyTime_; }
+
+  private:
+    std::string name_;
+    double bitsPerSecond_;
+    Tick latency_;
+    Tick busyUntil_ = 0;
+    uint64_t bitsCarried_ = 0;
+    Tick busyTime_ = 0;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NET_LINK_H

@@ -1,0 +1,209 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+#include "sim/trace.h"
+#include "stats/timeline.h"
+
+namespace inc {
+
+Network::Network(EventQueue &events, NetworkConfig config)
+    : events_(events), config_(config), switch_(config.switchConfig),
+      jitterRng_(config.jitterSeed)
+{
+    INC_ASSERT(config_.nodes >= 2, "cluster needs >= 2 nodes");
+    INC_ASSERT(config_.segmentBytes % mssFor(config_.nicConfig.mtu) == 0,
+               "segmentBytes must be a multiple of the MSS (%llu)",
+               static_cast<unsigned long long>(
+                   mssFor(config_.nicConfig.mtu)));
+    for (int i = 0; i < config_.nodes; ++i) {
+        double bps = config_.linkBitsPerSecond;
+        for (const auto &[host, rate] : config_.linkSpeedOverrides) {
+            if (host == i)
+                bps = rate;
+        }
+        hosts_.push_back(std::make_unique<Host>(i, config_.nicConfig));
+        uplinks_.push_back(std::make_unique<Link>(
+            "host" + std::to_string(i) + "->switch", bps,
+            config_.linkLatency));
+        downlinks_.push_back(std::make_unique<Link>(
+            "switch->host" + std::to_string(i), bps,
+            config_.linkLatency));
+    }
+    if (config_.hostsPerRack > 0) {
+        INC_ASSERT(config_.nodes % config_.hostsPerRack == 0,
+                   "%d hosts do not fill racks of %d", config_.nodes,
+                   config_.hostsPerRack);
+        for (int r = 0; r < racks(); ++r) {
+            rackUplinks_.push_back(std::make_unique<Link>(
+                "tor" + std::to_string(r) + "->core",
+                config_.coreLinkBitsPerSecond, config_.coreLinkLatency));
+            rackDownlinks_.push_back(std::make_unique<Link>(
+                "core->tor" + std::to_string(r),
+                config_.coreLinkBitsPerSecond, config_.coreLinkLatency));
+        }
+    }
+}
+
+int
+Network::rackOf(int i) const
+{
+    return config_.hostsPerRack > 0 ? i / config_.hostsPerRack : 0;
+}
+
+int
+Network::racks() const
+{
+    return config_.hostsPerRack > 0 ? config_.nodes / config_.hostsPerRack
+                                    : 1;
+}
+
+void
+Network::transfer(const TransferRequest &req,
+                  std::function<void(Tick)> on_delivered)
+{
+    INC_ASSERT(req.src >= 0 && req.src < nodes() && req.dst >= 0 &&
+                   req.dst < nodes() && req.src != req.dst,
+               "bad transfer %d->%d", req.src, req.dst);
+    INC_ASSERT(req.payloadBytes > 0, "empty transfer");
+
+    Host &src = host(req.src);
+    Host &dst = host(req.dst);
+    Link &up = uplink(req.src);
+    Link &down = downlink(req.dst);
+
+    // Both endpoint NICs must have engines for in-network compression to
+    // be transparent; otherwise the packets travel uncompressed.
+    const bool compressed =
+        src.nic().compresses(req.tos) && dst.nic().compresses(req.tos);
+    const uint8_t effective_tos = compressed ? req.tos : kDefaultTos;
+
+    const uint64_t seg_size = config_.segmentBytes;
+    Tick last_delivery = 0;
+    uint64_t remaining = req.payloadBytes;
+    const Tick now = events_.now();
+
+    while (remaining > 0) {
+        const uint64_t chunk = std::min(remaining, seg_size);
+        remaining -= chunk;
+
+        const SegmentMeta meta =
+            src.nic().planTx(chunk, effective_tos, req.wireRatio);
+
+        // TX driver path: per-packet DMA/driver work pipelines with
+        // transmission (the driver prepares packet k+1 while k is on the
+        // wire), so the uplink may start after the *first* packet's host
+        // work; the host resource stays occupied for the total so that
+        // other flows from this host queue behind. This assumes the
+        // driver is at least line-rate (perPacketTxCost below one packet
+        // serialization time), which holds for all shipped configs.
+        const Tick tx_total = src.nic().txHostCost(meta);
+        const Tick tx_end = src.occupyTx(now, tx_total);
+        const Tick tx_start = tx_end - tx_total;
+
+        // Compression engine pipeline latency (if engaged).
+        Tick ready = tx_start + config_.nicConfig.perPacketTxCost;
+        uint64_t wire_bits = meta.wireBits(config_.nicConfig.mtu);
+        if (compressed) {
+            ready += src.nic().engineLatency();
+            // If the engine is slower than the line, intake throttles the
+            // effective serialization.
+            const double engine_bps = src.nic().engineBitsPerSecond();
+            if (engine_bps < config_.linkBitsPerSecond) {
+                const uint64_t min_bits = static_cast<uint64_t>(
+                    static_cast<double>(meta.payloadBytes * 8) *
+                    config_.linkBitsPerSecond / engine_bps);
+                wire_bits = std::max(wire_bits, min_bits);
+            }
+        }
+
+        // The link path: host->ToR, (ToR->core, core->ToR for
+        // cross-rack traffic in two-tier mode), ToR->host. Every switch
+        // stores-and-forwards per *packet*, which at segment granularity
+        // is cut-through with a one-packet delay: each hop may start
+        // once the first packet has fully arrived on the previous link
+        // (plus forwarding latency) and cannot finish before the last
+        // bit has arrived.
+        std::vector<Link *> path{&up};
+        if (config_.hostsPerRack > 0 &&
+            rackOf(req.src) != rackOf(req.dst)) {
+            path.push_back(rackUplinks_[static_cast<size_t>(
+                                            rackOf(req.src))]
+                               .get());
+            path.push_back(rackDownlinks_[static_cast<size_t>(
+                                              rackOf(req.dst))]
+                               .get());
+        }
+        path.push_back(&down);
+
+        const uint64_t packet_bits =
+            (mssFor(config_.nicConfig.mtu) + kHeaderBytes +
+             kFramingBytes) *
+            8;
+        Tick at_dst = 0;
+        Tick prev_start = 0;
+        Tick prev_tx_end = 0;
+        Tick prev_pkt_time = 0;
+        for (size_t h = 0; h < path.size(); ++h) {
+            Link &l = *path[h];
+            Tick hop_ready = ready;
+            if (h > 0) {
+                const Tick ser = l.serializationTime(wire_bits);
+                const Tick ct = prev_start + prev_pkt_time;
+                const Tick tail = prev_tx_end + prev_pkt_time;
+                const Tick no_outrun = tail > ser ? tail - ser : 0;
+                hop_ready =
+                    switch_.readyToForward(std::max(ct, no_outrun));
+                switch_.noteForward();
+            }
+            Tick start = 0;
+            at_dst = l.transmit(hop_ready, wire_bits, &start);
+            if (timeline_) {
+                char label[64];
+                std::snprintf(label, sizeof(label), "%s %llu B%s",
+                              compressed ? "comp" : "seg",
+                              static_cast<unsigned long long>(
+                                  meta.wirePayloadBytes),
+                              compressed ? " (0x28)" : "");
+                timeline_->record(l.name(), label, start,
+                                  l.serializationTime(wire_bits));
+            }
+            prev_start = start;
+            prev_tx_end = at_dst - l.latency();
+            prev_pkt_time = l.serializationTime(packet_bits);
+        }
+
+        // RX side: decompression engine latency, then driver work. RX
+        // processing keeps up with line rate and all arrivals at this
+        // host are already serialized by its downlink, so the segment is
+        // in host memory one packet's driver work after the last bit
+        // lands. rxHostCost() still tallies packet counters.
+        Tick rx_ready = at_dst;
+        if (compressed)
+            rx_ready += dst.nic().engineLatency();
+        (void)dst.nic().rxHostCost(meta);
+        Tick delivered = rx_ready + config_.nicConfig.perPacketRxCost;
+        if (config_.jitterStddevSeconds > 0.0) {
+            delivered += fromSeconds(std::abs(
+                jitterRng_.gaussian(0.0, config_.jitterStddevSeconds)));
+        }
+
+        last_delivery = std::max(last_delivery, delivered);
+    }
+
+    deliveredBytes_ += req.payloadBytes;
+    INC_TRACE(Net, now,
+              "transfer %d->%d %llu B tos=0x%02x %s: delivers at "
+              "%.6f ms",
+              req.src, req.dst,
+              static_cast<unsigned long long>(req.payloadBytes), req.tos,
+              compressed ? "compressed" : "plain",
+              toSeconds(last_delivery) * 1e3);
+    events_.schedule(last_delivery,
+                     [cb = std::move(on_delivered), last_delivery] {
+                         cb(last_delivery);
+                     });
+}
+
+} // namespace inc

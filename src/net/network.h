@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The simulated cluster: N hosts in a star around one switch, full-duplex
+ * links. Message transfers are segmented, pipelined through the
+ * TX-driver -> compression engine -> uplink -> switch -> downlink ->
+ * decompression engine -> RX-driver chain, and delivered via callback.
+ */
+
+#ifndef INCEPTIONN_NET_NETWORK_H
+#define INCEPTIONN_NET_NETWORK_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/fabric.h"
+#include "net/host.h"
+#include "net/link.h"
+#include "net/switch.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+
+namespace inc {
+
+class TimelineRecorder;
+
+/** Cluster-wide configuration. */
+struct NetworkConfig
+{
+    int nodes = 4;
+    double linkBitsPerSecond = 10e9; ///< 10 GbE
+    Tick linkLatency = 500 * kNanosecond;
+    SwitchConfig switchConfig{};
+    NicConfig nicConfig{};
+    /**
+     * Segment size for simulation granularity. Per-packet overheads are
+     * computed exactly from the packet count regardless of this value;
+     * it only batches events. Must be a multiple of the MSS to avoid
+     * fragment rounding between segmented and unsegmented runs.
+     */
+    uint64_t segmentBytes = 365 * 1460; // 365 MSS-sized packets, ~533 KB
+    /**
+     * Per-host link-speed overrides (host id, bits/second), applied to
+     * both directions of that host's cable — degraded cables, slower
+     * NICs, straggler studies. Hosts not listed use
+     * linkBitsPerSecond.
+     */
+    std::vector<std::pair<int, double>> linkSpeedOverrides;
+    /**
+     * Two-tier datacenter topology (paper Sec. VII-C: full speed within
+     * a rack, oversubscribed between top-of-rack switches). 0 keeps the
+     * single-switch star; otherwise hosts [r*hostsPerRack,
+     * (r+1)*hostsPerRack) share rack r's ToR switch, and inter-rack
+     * traffic additionally crosses the ToR<->core links below.
+     */
+    int hostsPerRack = 0;
+    /** ToR <-> core link speed (the oversubscribed tier). */
+    double coreLinkBitsPerSecond = 10e9;
+    /** Extra propagation latency of a ToR <-> core hop. */
+    Tick coreLinkLatency = 1 * kMicrosecond;
+    /**
+     * Per-segment delivery jitter: |N(0, sigma)| seconds added to each
+     * segment's host-side completion (interrupt coalescing, scheduler
+     * noise). 0 disables. Deterministic for a given jitterSeed.
+     */
+    double jitterStddevSeconds = 0.0;
+    uint64_t jitterSeed = 0x71772;
+};
+
+/** Star-topology (or two-tier) packet-level cluster simulator. */
+class Network : public Fabric
+{
+  public:
+    Network(EventQueue &events, NetworkConfig config);
+
+    EventQueue &events() override { return events_; }
+    const NetworkConfig &config() const { return config_; }
+    int nodes() const override { return config_.nodes; }
+
+    Host &
+    host(int i) override
+    {
+        return *hosts_[static_cast<size_t>(i)];
+    }
+    Link &uplink(int i) { return *uplinks_[static_cast<size_t>(i)]; }
+    Link &downlink(int i) { return *downlinks_[static_cast<size_t>(i)]; }
+    Switch &fabric() { return switch_; }
+
+    /** Rack of host @p i (0 when single-switch). */
+    int rackOf(int i) const;
+    /** Number of racks (1 when single-switch). */
+    int racks() const;
+    /** ToR-to-core link of rack @p r (two-tier mode only). */
+    Link &rackUplink(int r) { return *rackUplinks_[static_cast<size_t>(r)]; }
+    Link &rackDownlink(int r)
+    {
+        return *rackDownlinks_[static_cast<size_t>(r)];
+    }
+
+    /**
+     * Start a transfer; @p on_delivered fires (once, at the delivery
+     * tick) after the last segment reaches the destination host memory.
+     * Must be called from simulation context (event callbacks) so that
+     * initiations are time-ordered.
+     */
+    void transfer(const TransferRequest &req,
+                  std::function<void(Tick)> on_delivered) override;
+
+    /** Total payload bytes delivered so far. */
+    uint64_t deliveredBytes() const { return deliveredBytes_; }
+
+    /**
+     * Attach a Chrome-trace recorder: every segment's occupancy of
+     * every link becomes a timeline event (nullptr detaches). Not
+     * owned.
+     */
+    void setTimeline(TimelineRecorder *timeline) { timeline_ = timeline; }
+
+  private:
+    EventQueue &events_;
+    NetworkConfig config_;
+    Switch switch_;
+    std::vector<std::unique_ptr<Host>> hosts_;
+    std::vector<std::unique_ptr<Link>> uplinks_;
+    std::vector<std::unique_ptr<Link>> downlinks_;
+    std::vector<std::unique_ptr<Link>> rackUplinks_;
+    std::vector<std::unique_ptr<Link>> rackDownlinks_;
+    uint64_t deliveredBytes_ = 0;
+    TimelineRecorder *timeline_ = nullptr;
+    Rng jitterRng_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NET_NETWORK_H

@@ -1,0 +1,59 @@
+#include "net/nic.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+SegmentMeta
+Nic::planTx(uint64_t payload_bytes, uint8_t tos, double wire_ratio)
+{
+    INC_ASSERT(wire_ratio >= 1.0, "wire ratio %f < 1", wire_ratio);
+    SegmentMeta meta;
+    meta.payloadBytes = payload_bytes;
+    meta.tos = tos;
+    if (compresses(tos)) {
+        meta.wirePayloadBytes = static_cast<uint64_t>(
+            static_cast<double>(payload_bytes) / wire_ratio + 0.5);
+        ++stats_.compressedSegments;
+    } else {
+        meta.wirePayloadBytes = payload_bytes;
+    }
+    stats_.txPackets += meta.packets(config_.mtu);
+    stats_.txPayloadBytes += meta.payloadBytes;
+    stats_.txWireBytes += meta.wirePayloadBytes;
+    return meta;
+}
+
+Tick
+Nic::txHostCost(const SegmentMeta &meta) const
+{
+    return meta.packets(config_.mtu) * config_.perPacketTxCost;
+}
+
+Tick
+Nic::rxHostCost(const SegmentMeta &meta)
+{
+    stats_.rxPackets += meta.packets(config_.mtu);
+    return meta.packets(config_.mtu) * config_.perPacketRxCost;
+}
+
+Tick
+Nic::engineLatency() const
+{
+    if (!config_.hasCompressionEngine)
+        return 0;
+    const double cycle = 1.0 / config_.engineClockHz;
+    return fromSeconds(cycle *
+                       static_cast<double>(config_.enginePipelineCycles));
+}
+
+double
+Nic::engineBitsPerSecond() const
+{
+    return config_.engineClockHz *
+           static_cast<double>(config_.engineBurstBits);
+}
+
+} // namespace inc

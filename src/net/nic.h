@@ -1,0 +1,97 @@
+/**
+ * @file
+ * NIC model with optional in-line compression/decompression engines
+ * (paper Fig. 8). The TX path charges per-packet driver/DMA cost and,
+ * for ToS-0x28 traffic, shrinks the wire payload through the gradient
+ * codec's measured ratio while adding the engine's pipeline latency.
+ * The engine's input throughput (256 bit/cycle at the engine clock)
+ * caps the effective line rate if ever configured below the link speed.
+ */
+
+#ifndef INCEPTIONN_NET_NIC_H
+#define INCEPTIONN_NET_NIC_H
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "sim/event_queue.h"
+
+namespace inc {
+
+/** Static NIC parameters. */
+struct NicConfig
+{
+    /** Engines present (a VC709-style NIC) or absent (Intel X540). */
+    bool hasCompressionEngine = false;
+    /** Engine clock (paper: 100 MHz). */
+    double engineClockHz = 100e6;
+    /** AXI beat width in bits (paper: 256). */
+    int engineBurstBits = 256;
+    /** Engine pipeline depth in cycles. */
+    int enginePipelineCycles = 4;
+    /** Host driver + DMA cost charged per packet on TX. */
+    Tick perPacketTxCost = 200 * kNanosecond;
+    /** Host driver + interrupt cost charged per packet on RX. */
+    Tick perPacketRxCost = 200 * kNanosecond;
+    /** MTU of the attached network. */
+    uint64_t mtu = kDefaultMtu;
+};
+
+/** Per-NIC lifetime counters. */
+struct NicStats
+{
+    uint64_t txPackets = 0;
+    uint64_t rxPackets = 0;
+    uint64_t txPayloadBytes = 0;
+    uint64_t txWireBytes = 0;
+    uint64_t compressedSegments = 0;
+};
+
+/**
+ * NIC timing model. Stateless apart from counters: the surrounding
+ * Network serializes transfers on the links, so the NIC only computes
+ * costs.
+ */
+class Nic
+{
+  public:
+    explicit Nic(NicConfig config) : config_(config) {}
+
+    const NicConfig &config() const { return config_; }
+    const NicStats &stats() const { return stats_; }
+
+    /**
+     * Plan the TX of a segment. @p wire_ratio is the compression ratio
+     * the codec achieves on this payload (payload/wire, >= 1); it is
+     * honoured only when the engine exists and @p tos == kCompressTos.
+     */
+    SegmentMeta planTx(uint64_t payload_bytes, uint8_t tos,
+                       double wire_ratio);
+
+    /** Host-side cost of pushing @p meta through the TX driver path. */
+    Tick txHostCost(const SegmentMeta &meta) const;
+
+    /** Host-side cost of receiving @p meta. */
+    Tick rxHostCost(const SegmentMeta &meta);
+
+    /** Fixed latency a compressed segment spends in an engine pipeline. */
+    Tick engineLatency() const;
+
+    /** Engine input bandwidth in bits/second. */
+    double engineBitsPerSecond() const;
+
+    /** True if this NIC will compress a segment with @p tos. */
+    bool
+    compresses(uint8_t tos) const
+    {
+        return config_.hasCompressionEngine && tos == kCompressTos;
+    }
+
+  private:
+    NicConfig config_;
+    NicStats stats_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NET_NIC_H

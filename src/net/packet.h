@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Wire-format constants and packetization math for the simulated 10 GbE
+ * fabric. A key modelling point from the paper (Sec. VIII-C): the NIC
+ * engines compress TCP *payloads in place*, so the packet count and all
+ * per-packet overheads (headers, driver work) are those of the
+ * UNCOMPRESSED stream — only the payload bytes on the wire shrink. That
+ * is why a 15x compression ratio does not yield a 15x communication
+ * speedup.
+ */
+
+#ifndef INCEPTIONN_NET_PACKET_H
+#define INCEPTIONN_NET_PACKET_H
+
+#include <cstdint>
+
+namespace inc {
+
+/** ToS value marking a packet for NIC (de)compression (paper Sec. VI-B). */
+constexpr uint8_t kCompressTos = 0x28;
+
+/** ToS of ordinary traffic. */
+constexpr uint8_t kDefaultTos = 0x00;
+
+/** Ethernet + IP + TCP header bytes carried by every packet. */
+constexpr uint64_t kHeaderBytes = 14 + 20 + 20; // Eth + IPv4 + TCP
+
+/** Ethernet framing overhead on the wire (preamble+SFD, FCS, IFG). */
+constexpr uint64_t kFramingBytes = 8 + 4 + 12;
+
+/** Default MTU (payload after IP/TCP headers = MSS). */
+constexpr uint64_t kDefaultMtu = 1500;
+
+/** Maximum TCP segment payload for an MTU. */
+constexpr uint64_t
+mssFor(uint64_t mtu)
+{
+    return mtu - 40; // IP + TCP headers live inside the MTU
+}
+
+/** Number of packets a payload of @p bytes occupies. */
+constexpr uint64_t
+packetsFor(uint64_t bytes, uint64_t mtu = kDefaultMtu)
+{
+    const uint64_t mss = mssFor(mtu);
+    return bytes == 0 ? 0 : (bytes + mss - 1) / mss;
+}
+
+/**
+ * Description of one message (or message segment) in flight.
+ * @c payloadBytes is the logical (uncompressed) size that determines the
+ * packet count; @c wirePayloadBytes is what the packets actually carry
+ * after optional NIC compression.
+ */
+struct SegmentMeta
+{
+    uint64_t payloadBytes = 0;
+    uint64_t wirePayloadBytes = 0;
+    uint8_t tos = kDefaultTos;
+
+    /** Packets this segment occupies (from the uncompressed size). */
+    uint64_t
+    packets(uint64_t mtu = kDefaultMtu) const
+    {
+        return packetsFor(payloadBytes, mtu);
+    }
+
+    /** Total bits serialized on the wire including all per-packet cost. */
+    uint64_t
+    wireBits(uint64_t mtu = kDefaultMtu) const
+    {
+        const uint64_t overhead =
+            packets(mtu) * (kHeaderBytes + kFramingBytes);
+        return (wirePayloadBytes + overhead) * 8;
+    }
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NET_PACKET_H

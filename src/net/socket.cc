@@ -1,0 +1,72 @@
+#include "net/socket.h"
+
+#include "sim/logging.h"
+
+namespace inc {
+
+void
+SimSocket::setOption(SocketOption opt, uint32_t value)
+{
+    switch (opt) {
+      case SocketOption::IpTos:
+        INC_ASSERT(value <= 0xFF, "ToS is an 8-bit field, got %u", value);
+        tos_ = static_cast<uint8_t>(value);
+        return;
+    }
+    panic("unknown socket option");
+}
+
+void
+SimSocket::send(uint64_t bytes, double wire_ratio,
+                std::function<void(Tick)> on_delivered)
+{
+    INC_ASSERT(bytes > 0, "empty send");
+    ++stats_.sends;
+    stats_.payloadBytes += bytes;
+
+    TransferRequest req;
+    req.src = src_;
+    req.dst = dst_;
+    req.payloadBytes = bytes;
+    req.tos = tos_;
+    req.wireRatio = tos_ == kCompressTos ? wire_ratio : 1.0;
+
+    const Tick now = net_.events().now();
+    if (now >= established_) {
+        net_.transfer(req, std::move(on_delivered));
+        return;
+    }
+    // The handshake is still in flight: queue the payload behind it.
+    net_.events().schedule(established_,
+                           [this, req,
+                            cb = std::move(on_delivered)]() mutable {
+                               net_.transfer(req, std::move(cb));
+                           });
+}
+
+std::shared_ptr<SimSocket>
+SocketStack::connect(int src, int dst)
+{
+    INC_ASSERT(src >= 0 && src < net_.nodes() && dst >= 0 &&
+                   dst < net_.nodes() && src != dst,
+               "bad connection %d->%d", src, dst);
+    // SYN, SYN-ACK, ACK: payload may ride the final ACK, so the first
+    // send waits 1.5 RTTs after connect().
+    const Tick established =
+        net_.events().now() + roundTrip(src, dst) * 3 / 2;
+    return std::shared_ptr<SimSocket>(
+        new SimSocket(net_, src, dst, established));
+}
+
+Tick
+SocketStack::roundTrip(int src, int dst) const
+{
+    (void)src;
+    // Star topology: every path is uplink + downlink, symmetric.
+    const Tick one_way = net_.config().linkLatency * 2 +
+                         net_.config().switchConfig.forwardingLatency;
+    (void)dst;
+    return 2 * one_way;
+}
+
+} // namespace inc

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Berkeley-socket-flavoured facade over the simulated cluster — the
+ * software-stack story of paper Fig. 11. A DNN training application
+ * opens a TCP-ish connection per peer, calls setsockopt(IP_TOS, 0x28)
+ * on sockets that carry gradients (the paper's
+ * MPI_collective_communication_comp does exactly this underneath), and
+ * sends; the NIC decides per packet whether the engines engage.
+ *
+ * Connection establishment charges a 1.5-RTT handshake before the first
+ * payload; sends on one socket deliver in order (the underlying links
+ * are FIFO).
+ */
+
+#ifndef INCEPTIONN_NET_SOCKET_H
+#define INCEPTIONN_NET_SOCKET_H
+
+#include <functional>
+#include <memory>
+
+#include "net/network.h"
+
+namespace inc {
+
+/** Socket options, setsockopt-style. */
+enum class SocketOption {
+    IpTos, ///< 8-bit IP Type-of-Service field (0x28 requests compression)
+};
+
+/** Per-socket byte/packet counters. */
+struct SocketStats
+{
+    uint64_t sends = 0;
+    uint64_t payloadBytes = 0;
+};
+
+/**
+ * One simulated TCP connection between two hosts. Create through
+ * SocketStack::connect().
+ */
+class SimSocket
+{
+  public:
+    /** setsockopt(): currently only IpTos, matching the paper's use. */
+    void setOption(SocketOption opt, uint32_t value);
+
+    /** Current ToS value. */
+    uint8_t tos() const { return tos_; }
+
+    /**
+     * Queue @p bytes for transmission. @p wire_ratio is the codec ratio
+     * the payload would achieve (honoured only when the socket ToS is
+     * 0x28 and both NICs carry engines). @p on_delivered fires at the
+     * delivery tick; deliveries on one socket are in send order.
+     */
+    void send(uint64_t bytes, double wire_ratio,
+              std::function<void(Tick)> on_delivered);
+
+    int srcRank() const { return src_; }
+    int dstRank() const { return dst_; }
+    const SocketStats &stats() const { return stats_; }
+
+    /** Tick at which the handshake completes. */
+    Tick establishedAt() const { return established_; }
+
+  private:
+    friend class SocketStack;
+    SimSocket(Network &net, int src, int dst, Tick established)
+        : net_(net), src_(src), dst_(dst), established_(established)
+    {
+    }
+
+    Network &net_;
+    int src_, dst_;
+    Tick established_;
+    uint8_t tos_ = kDefaultTos;
+    SocketStats stats_;
+};
+
+/** Factory/tracker for sockets over one simulated cluster. */
+class SocketStack
+{
+  public:
+    explicit SocketStack(Network &net) : net_(net) {}
+
+    /**
+     * Open a connection from @p src to @p dst. Charges the TCP
+     * three-way handshake (1.5x the src->dst round-trip latency)
+     * starting at the current simulation time; sends queue behind it.
+     */
+    std::shared_ptr<SimSocket> connect(int src, int dst);
+
+    /** Round-trip propagation latency between two hosts. */
+    Tick roundTrip(int src, int dst) const;
+
+  private:
+    Network &net_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NET_SOCKET_H

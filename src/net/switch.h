@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Store-and-forward Ethernet switch (NETGEAR XS712T stand-in): fixed
+ * forwarding latency per segment, output contention carried by the
+ * per-port downlinks the Network owns.
+ */
+
+#ifndef INCEPTIONN_NET_SWITCH_H
+#define INCEPTIONN_NET_SWITCH_H
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+
+namespace inc {
+
+/** Switch timing parameters. */
+struct SwitchConfig
+{
+    /** Lookup/queuing latency added to every forwarded segment. */
+    Tick forwardingLatency = 1 * kMicrosecond;
+};
+
+/** The switch itself only adds latency; port serialization is the
+ *  downlink Link's job. */
+class Switch
+{
+  public:
+    explicit Switch(SwitchConfig config) : config_(config) {}
+
+    /** When a segment that fully arrived at @p arrival may start out. */
+    Tick
+    readyToForward(Tick arrival) const
+    {
+        return arrival + config_.forwardingLatency;
+    }
+
+    const SwitchConfig &config() const { return config_; }
+
+    /** Count of forwarded segments. */
+    uint64_t forwarded() const { return forwarded_; }
+    void noteForward() { ++forwarded_; }
+
+  private:
+    SwitchConfig config_;
+    uint64_t forwarded_ = 0;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NET_SWITCH_H

@@ -1,0 +1,87 @@
+#include "nn/activations.h"
+
+#include "sim/logging.h"
+#include "tensor/ops.h"
+
+namespace inc {
+
+const Tensor &
+ReLU::forward(const Tensor &x, bool training)
+{
+    (void)training;
+    input_ = x;
+    output_ = Tensor(x.shape());
+    reluForward(x.data(), output_.data());
+    return output_;
+}
+
+Tensor
+ReLU::backward(const Tensor &dy)
+{
+    INC_ASSERT(dy.numel() == input_.numel(), "relu backward size mismatch");
+    Tensor dx(input_.shape());
+    reluBackward(input_.data(), dy.data(), dx.data());
+    return dx;
+}
+
+const Tensor &
+Flatten::forward(const Tensor &x, bool training)
+{
+    (void)training;
+    inputShape_ = x.shape();
+    output_ = x;
+    const size_t batch = x.dim(0);
+    output_.reshape({batch, x.numel() / batch});
+    return output_;
+}
+
+Tensor
+Flatten::backward(const Tensor &dy)
+{
+    Tensor dx = dy;
+    dx.reshape(inputShape_);
+    return dx;
+}
+
+const Tensor &
+GlobalAvgPool::forward(const Tensor &x, bool training)
+{
+    (void)training;
+    INC_ASSERT(x.rank() == 4, "gap expects NCHW, got %s",
+               x.shapeString().c_str());
+    inputShape_ = x.shape();
+    const size_t batch = x.dim(0), chans = x.dim(1);
+    const size_t spatial = x.dim(2) * x.dim(3);
+    output_ = Tensor({batch, chans});
+    const float inv = 1.0f / static_cast<float>(spatial);
+    for (size_t n = 0; n < batch; ++n) {
+        for (size_t c = 0; c < chans; ++c) {
+            const float *src = x.raw() + (n * chans + c) * spatial;
+            float s = 0.0f;
+            for (size_t i = 0; i < spatial; ++i)
+                s += src[i];
+            output_.at(n, c) = s * inv;
+        }
+    }
+    return output_;
+}
+
+Tensor
+GlobalAvgPool::backward(const Tensor &dy)
+{
+    const size_t batch = inputShape_[0], chans = inputShape_[1];
+    const size_t spatial = inputShape_[2] * inputShape_[3];
+    Tensor dx(inputShape_);
+    const float inv = 1.0f / static_cast<float>(spatial);
+    for (size_t n = 0; n < batch; ++n) {
+        for (size_t c = 0; c < chans; ++c) {
+            const float g = dy.at(n, c) * inv;
+            float *dst = dx.raw() + (n * chans + c) * spatial;
+            for (size_t i = 0; i < spatial; ++i)
+                dst[i] = g;
+        }
+    }
+    return dx;
+}
+
+} // namespace inc

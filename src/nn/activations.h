@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Stateless activation layers (ReLU) and the Flatten shape adapter.
+ */
+
+#ifndef INCEPTIONN_NN_ACTIVATIONS_H
+#define INCEPTIONN_NN_ACTIVATIONS_H
+
+#include "nn/layer.h"
+
+namespace inc {
+
+/** Rectified linear unit, elementwise. */
+class ReLU : public Layer
+{
+  public:
+    std::string name() const override { return "relu"; }
+    const Tensor &forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+
+  private:
+    Tensor input_;
+    Tensor output_;
+};
+
+/** Collapse all non-batch dimensions: [N x ...] -> [N x features]. */
+class Flatten : public Layer
+{
+  public:
+    std::string name() const override { return "flatten"; }
+    const Tensor &forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+
+  private:
+    std::vector<size_t> inputShape_;
+    Tensor output_;
+};
+
+/** Global average pooling over spatial dims: [N,C,H,W] -> [N,C]. */
+class GlobalAvgPool : public Layer
+{
+  public:
+    std::string name() const override { return "gap"; }
+    const Tensor &forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+
+  private:
+    std::vector<size_t> inputShape_;
+    Tensor output_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NN_ACTIVATIONS_H

@@ -1,0 +1,140 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+BatchNorm2d::BatchNorm2d(size_t channels, float momentum, float eps)
+    : channels_(channels), momentum_(momentum), eps_(eps),
+      gamma_({channels}), beta_({channels}), dGamma_({channels}),
+      dBeta_({channels}), runningMean_({channels}), runningVar_({channels})
+{
+    gamma_.fill(1.0f);
+    runningVar_.fill(1.0f);
+}
+
+std::string
+BatchNorm2d::name() const
+{
+    return "batchnorm(" + std::to_string(channels_) + ")";
+}
+
+void
+BatchNorm2d::initParams(Rng &rng)
+{
+    (void)rng;
+    gamma_.fill(1.0f);
+    beta_.fill(0.0f);
+    runningMean_.fill(0.0f);
+    runningVar_.fill(1.0f);
+}
+
+const Tensor &
+BatchNorm2d::forward(const Tensor &x, bool training)
+{
+    INC_ASSERT(x.rank() == 4 && x.dim(1) == channels_,
+               "batchnorm expects [N x %zu x H x W], got %s", channels_,
+               x.shapeString().c_str());
+    inputShape_ = x.shape();
+    const size_t batch = x.dim(0);
+    const size_t spatial = x.dim(2) * x.dim(3);
+    const size_t per_chan = batch * spatial;
+
+    output_ = Tensor(x.shape());
+    xhat_ = Tensor(x.shape());
+    batchMean_.assign(channels_, 0.0f);
+    batchInvStd_.assign(channels_, 0.0f);
+
+    for (size_t c = 0; c < channels_; ++c) {
+        double mean, var;
+        if (training) {
+            double s = 0.0;
+            for (size_t n = 0; n < batch; ++n) {
+                const float *src = x.raw() + (n * channels_ + c) * spatial;
+                for (size_t i = 0; i < spatial; ++i)
+                    s += src[i];
+            }
+            mean = s / static_cast<double>(per_chan);
+            double v = 0.0;
+            for (size_t n = 0; n < batch; ++n) {
+                const float *src = x.raw() + (n * channels_ + c) * spatial;
+                for (size_t i = 0; i < spatial; ++i) {
+                    const double d = src[i] - mean;
+                    v += d * d;
+                }
+            }
+            var = v / static_cast<double>(per_chan);
+            runningMean_[c] = momentum_ * runningMean_[c] +
+                              (1.0f - momentum_) * static_cast<float>(mean);
+            runningVar_[c] = momentum_ * runningVar_[c] +
+                             (1.0f - momentum_) * static_cast<float>(var);
+        } else {
+            mean = runningMean_[c];
+            var = runningVar_[c];
+        }
+        const float inv_std =
+            1.0f / std::sqrt(static_cast<float>(var) + eps_);
+        batchMean_[c] = static_cast<float>(mean);
+        batchInvStd_[c] = inv_std;
+        const float g = gamma_[c], b = beta_[c];
+        for (size_t n = 0; n < batch; ++n) {
+            const float *src = x.raw() + (n * channels_ + c) * spatial;
+            float *xh = xhat_.raw() + (n * channels_ + c) * spatial;
+            float *dst = output_.raw() + (n * channels_ + c) * spatial;
+            for (size_t i = 0; i < spatial; ++i) {
+                xh[i] = (src[i] - static_cast<float>(mean)) * inv_std;
+                dst[i] = g * xh[i] + b;
+            }
+        }
+    }
+    return output_;
+}
+
+Tensor
+BatchNorm2d::backward(const Tensor &dy)
+{
+    const size_t batch = inputShape_[0];
+    const size_t spatial = inputShape_[2] * inputShape_[3];
+    const size_t per_chan = batch * spatial;
+    INC_ASSERT(dy.numel() == xhat_.numel(), "batchnorm backward mismatch");
+
+    Tensor dx(inputShape_);
+    for (size_t c = 0; c < channels_; ++c) {
+        // Standard batch-norm backward in terms of xhat:
+        // dx = (gamma * inv_std / m) * (m*dy - sum(dy) - xhat * sum(dy*xhat))
+        double sum_dy = 0.0, sum_dy_xhat = 0.0;
+        for (size_t n = 0; n < batch; ++n) {
+            const float *dyp = dy.raw() + (n * channels_ + c) * spatial;
+            const float *xh = xhat_.raw() + (n * channels_ + c) * spatial;
+            for (size_t i = 0; i < spatial; ++i) {
+                sum_dy += dyp[i];
+                sum_dy_xhat += static_cast<double>(dyp[i]) * xh[i];
+            }
+        }
+        dGamma_[c] += static_cast<float>(sum_dy_xhat);
+        dBeta_[c] += static_cast<float>(sum_dy);
+        const float scale = gamma_[c] * batchInvStd_[c] /
+                            static_cast<float>(per_chan);
+        for (size_t n = 0; n < batch; ++n) {
+            const float *dyp = dy.raw() + (n * channels_ + c) * spatial;
+            const float *xh = xhat_.raw() + (n * channels_ + c) * spatial;
+            float *dxp = dx.raw() + (n * channels_ + c) * spatial;
+            for (size_t i = 0; i < spatial; ++i) {
+                dxp[i] = scale * (static_cast<float>(per_chan) * dyp[i] -
+                                  static_cast<float>(sum_dy) -
+                                  xh[i] * static_cast<float>(sum_dy_xhat));
+            }
+        }
+    }
+    return dx;
+}
+
+std::vector<ParamRef>
+BatchNorm2d::params()
+{
+    return {{"gamma", &gamma_, &dGamma_}, {"beta", &beta_, &dBeta_}};
+}
+
+} // namespace inc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Per-channel batch normalization over NCHW activations (as used by the
+ * ResNet-style proxy models).
+ */
+
+#ifndef INCEPTIONN_NN_BATCHNORM_H
+#define INCEPTIONN_NN_BATCHNORM_H
+
+#include "nn/layer.h"
+
+namespace inc {
+
+/** Spatial batch norm: normalizes each channel over (N, H, W). */
+class BatchNorm2d : public Layer
+{
+  public:
+    explicit BatchNorm2d(size_t channels, float momentum = 0.9f,
+                         float eps = 1e-5f);
+
+    std::string name() const override;
+    const Tensor &forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+    std::vector<ParamRef> params() override;
+    void initParams(Rng &rng) override;
+
+  private:
+    size_t channels_;
+    float momentum_, eps_;
+    Tensor gamma_, beta_, dGamma_, dBeta_;
+    Tensor runningMean_, runningVar_;
+    // Forward cache for backward.
+    Tensor xhat_;
+    std::vector<float> batchMean_, batchInvStd_;
+    std::vector<size_t> inputShape_;
+    Tensor output_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NN_BATCHNORM_H

@@ -1,0 +1,144 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+#include "sim/logging.h"
+#include "sim/random.h"
+#include "tensor/gemm.h"
+
+namespace inc {
+
+Conv2d::Conv2d(size_t in_channels, size_t out_channels, size_t in_h,
+               size_t in_w, size_t kernel, size_t stride, size_t pad,
+               size_t groups)
+    : geom_{in_channels / groups, in_h, in_w, kernel, stride, pad},
+      inChannels_(in_channels), outChannels_(out_channels),
+      groups_(groups),
+      weight_({out_channels, geom_.patchSize()}), bias_({out_channels}),
+      dWeight_({out_channels, geom_.patchSize()}), dBias_({out_channels})
+{
+    INC_ASSERT(groups >= 1 && in_channels % groups == 0 &&
+                   out_channels % groups == 0,
+               "channels (%zu in, %zu out) not divisible into %zu groups",
+               in_channels, out_channels, groups);
+}
+
+std::string
+Conv2d::name() const
+{
+    std::string n = "conv(" + std::to_string(inChannels_) + "->" +
+                    std::to_string(outChannels_) + ",k" +
+                    std::to_string(geom_.kernel);
+    if (groups_ > 1)
+        n += ",g" + std::to_string(groups_);
+    return n + ")";
+}
+
+void
+Conv2d::initParams(Rng &rng)
+{
+    const float stddev =
+        std::sqrt(2.0f / static_cast<float>(geom_.patchSize()));
+    weight_.fillGaussian(rng, stddev);
+    bias_.fill(0.0f);
+}
+
+const Tensor &
+Conv2d::forward(const Tensor &x, bool training)
+{
+    (void)training;
+    INC_ASSERT(x.rank() == 4 && x.dim(1) == inChannels_ &&
+                   x.dim(2) == geom_.inH && x.dim(3) == geom_.inW,
+               "conv expects [N x %zu x %zu x %zu], got %s", inChannels_,
+               geom_.inH, geom_.inW, x.shapeString().c_str());
+    const size_t batch = x.dim(0);
+    const size_t oh = geom_.outH(), ow = geom_.outW();
+    const size_t cols = oh * ow;
+    const size_t patch = geom_.patchSize(); // (inC/groups) * K * K
+    const size_t group_in = geom_.inChannels * geom_.inH * geom_.inW;
+    const size_t group_out_c = outChannels_ / groups_;
+    const size_t image_sz = inChannels_ * geom_.inH * geom_.inW;
+
+    input_ = x;
+    output_ = Tensor({batch, outChannels_, oh, ow});
+    columns_ = Tensor({batch, groups_, patch, cols});
+
+    for (size_t n = 0; n < batch; ++n) {
+        for (size_t g = 0; g < groups_; ++g) {
+            float *col =
+                columns_.raw() + ((n * groups_ + g) * patch) * cols;
+            im2col(x.raw() + n * image_sz + g * group_in, geom_, col);
+            // out[n, group g] = W_g (outC/g x patch) * col (patch x cols)
+            gemm(Trans::No, Trans::No, group_out_c, cols, patch, 1.0f,
+                 weight_.raw() + g * group_out_c * patch, patch, col,
+                 cols, 0.0f,
+                 output_.raw() +
+                     (n * outChannels_ + g * group_out_c) * cols,
+                 cols);
+        }
+        // Per-channel bias.
+        for (size_t c = 0; c < outChannels_; ++c) {
+            float *ochan = output_.raw() + (n * outChannels_ + c) * cols;
+            const float b = bias_[c];
+            for (size_t i = 0; i < cols; ++i)
+                ochan[i] += b;
+        }
+    }
+    return output_;
+}
+
+Tensor
+Conv2d::backward(const Tensor &dy)
+{
+    const size_t batch = input_.dim(0);
+    const size_t oh = geom_.outH(), ow = geom_.outW();
+    const size_t cols = oh * ow;
+    const size_t patch = geom_.patchSize();
+    const size_t group_in = geom_.inChannels * geom_.inH * geom_.inW;
+    const size_t group_out_c = outChannels_ / groups_;
+    const size_t image_sz = inChannels_ * geom_.inH * geom_.inW;
+    INC_ASSERT(dy.rank() == 4 && dy.dim(0) == batch &&
+                   dy.dim(1) == outChannels_ && dy.dim(2) == oh &&
+                   dy.dim(3) == ow,
+               "conv backward shape mismatch: %s", dy.shapeString().c_str());
+
+    Tensor dx({batch, inChannels_, geom_.inH, geom_.inW});
+    Tensor dcol({patch, cols});
+
+    for (size_t n = 0; n < batch; ++n) {
+        for (size_t g = 0; g < groups_; ++g) {
+            const float *dy_g =
+                dy.raw() + (n * outChannels_ + g * group_out_c) * cols;
+            const float *col =
+                columns_.raw() + ((n * groups_ + g) * patch) * cols;
+            // dW_g += dy_g (outC/g x cols) * col^T (cols x patch)
+            gemm(Trans::No, Trans::Yes, group_out_c, patch, cols, 1.0f,
+                 dy_g, cols, col, cols, 1.0f,
+                 dWeight_.raw() + g * group_out_c * patch, patch);
+            // dcol = W_g^T (patch x outC/g) * dy_g (outC/g x cols)
+            gemm(Trans::Yes, Trans::No, patch, cols, group_out_c, 1.0f,
+                 weight_.raw() + g * group_out_c * patch, patch, dy_g,
+                 cols, 0.0f, dcol.raw(), cols);
+            col2im(dcol.raw(), geom_,
+                   dx.raw() + n * image_sz + g * group_in);
+        }
+        // db[c] += sum of dy over spatial positions.
+        const float *dy_n = dy.raw() + n * outChannels_ * cols;
+        for (size_t c = 0; c < outChannels_; ++c) {
+            const float *dchan = dy_n + c * cols;
+            float s = 0.0f;
+            for (size_t i = 0; i < cols; ++i)
+                s += dchan[i];
+            dBias_[c] += s;
+        }
+    }
+    return dx;
+}
+
+std::vector<ParamRef>
+Conv2d::params()
+{
+    return {{"weight", &weight_, &dWeight_}, {"bias", &bias_, &dBias_}};
+}
+
+} // namespace inc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * 2-d convolution (NCHW) lowered to GEMM via im2col.
+ */
+
+#ifndef INCEPTIONN_NN_CONV2D_H
+#define INCEPTIONN_NN_CONV2D_H
+
+#include "nn/layer.h"
+#include "tensor/ops.h"
+
+namespace inc {
+
+/**
+ * Square-kernel 2-d convolution with bias. Supports grouped convolution
+ * (AlexNet's conv2/4/5 use groups = 2): input and output channels split
+ * into @c groups independent slices, dividing parameters and compute by
+ * the group count.
+ */
+class Conv2d : public Layer
+{
+  public:
+    Conv2d(size_t in_channels, size_t out_channels, size_t in_h, size_t in_w,
+           size_t kernel, size_t stride = 1, size_t pad = 0,
+           size_t groups = 1);
+
+    std::string name() const override;
+    const Tensor &forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+    std::vector<ParamRef> params() override;
+    void initParams(Rng &rng) override;
+
+    const ConvGeom &geom() const { return geom_; }
+    size_t outChannels() const { return outChannels_; }
+    size_t groups() const { return groups_; }
+
+  private:
+    ConvGeom geom_;      ///< per-group geometry (inChannels / groups)
+    size_t inChannels_;  ///< total input channels
+    size_t outChannels_; ///< total output channels
+    size_t groups_;
+    Tensor weight_, bias_;   // weight: [outC x (inC/groups * K*K)]
+    Tensor dWeight_, dBias_;
+    Tensor input_;
+    Tensor output_;
+    Tensor columns_; // cached im2col of the whole batch, per group
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NN_CONV2D_H

@@ -1,0 +1,74 @@
+#include "nn/dense.h"
+
+#include <cmath>
+
+#include "sim/logging.h"
+#include "sim/random.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+
+namespace inc {
+
+Dense::Dense(size_t in_features, size_t out_features)
+    : in_(in_features), out_(out_features), weight_({out_features,
+      in_features}), bias_({out_features}), dWeight_({out_features,
+      in_features}), dBias_({out_features})
+{
+}
+
+std::string
+Dense::name() const
+{
+    return "dense(" + std::to_string(in_) + "->" + std::to_string(out_) +
+           ")";
+}
+
+void
+Dense::initParams(Rng &rng)
+{
+    // He initialization (layers are ReLU-followed in all our models).
+    const float stddev = std::sqrt(2.0f / static_cast<float>(in_));
+    weight_.fillGaussian(rng, stddev);
+    bias_.fill(0.0f);
+}
+
+const Tensor &
+Dense::forward(const Tensor &x, bool training)
+{
+    (void)training;
+    INC_ASSERT(x.rank() == 2 && x.dim(1) == in_,
+               "dense expects [batch x %zu], got %s", in_,
+               x.shapeString().c_str());
+    const size_t batch = x.dim(0);
+    input_ = x;
+    output_ = Tensor({batch, out_});
+    // y = x W^T
+    gemm(Trans::No, Trans::Yes, batch, out_, in_, 1.0f, x.raw(), in_,
+         weight_.raw(), in_, 0.0f, output_.raw(), out_);
+    addRowBias(output_.raw(), bias_.raw(), batch, out_);
+    return output_;
+}
+
+Tensor
+Dense::backward(const Tensor &dy)
+{
+    const size_t batch = input_.dim(0);
+    INC_ASSERT(dy.rank() == 2 && dy.dim(0) == batch && dy.dim(1) == out_,
+               "dense backward shape mismatch");
+    // dW += dy^T x ; db += column sums of dy ; dx = dy W
+    gemm(Trans::Yes, Trans::No, out_, in_, batch, 1.0f, dy.raw(), out_,
+         input_.raw(), in_, 1.0f, dWeight_.raw(), in_);
+    rowBiasGrad(dy.raw(), dBias_.raw(), batch, out_);
+    Tensor dx({batch, in_});
+    gemm(Trans::No, Trans::No, batch, in_, out_, 1.0f, dy.raw(), out_,
+         weight_.raw(), in_, 0.0f, dx.raw(), in_);
+    return dx;
+}
+
+std::vector<ParamRef>
+Dense::params()
+{
+    return {{"weight", &weight_, &dWeight_}, {"bias", &bias_, &dBias_}};
+}
+
+} // namespace inc

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fully-connected layer: y = x W^T + b, with x of shape [batch x in] and
+ * W of shape [out x in].
+ */
+
+#ifndef INCEPTIONN_NN_DENSE_H
+#define INCEPTIONN_NN_DENSE_H
+
+#include "nn/layer.h"
+
+namespace inc {
+
+/** Dense / fully-connected layer. */
+class Dense : public Layer
+{
+  public:
+    Dense(size_t in_features, size_t out_features);
+
+    std::string name() const override;
+    const Tensor &forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+    std::vector<ParamRef> params() override;
+    void initParams(Rng &rng) override;
+
+    size_t inFeatures() const { return in_; }
+    size_t outFeatures() const { return out_; }
+
+  private:
+    size_t in_, out_;
+    Tensor weight_, bias_;
+    Tensor dWeight_, dBias_;
+    Tensor input_; // cached for backward
+    Tensor output_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NN_DENSE_H

@@ -1,0 +1,47 @@
+#include "nn/dropout.h"
+
+#include "sim/logging.h"
+
+namespace inc {
+
+Dropout::Dropout(float p, uint64_t seed) : p_(p), rng_(seed)
+{
+    INC_ASSERT(p >= 0.0f && p < 1.0f, "dropout p=%f out of [0,1)",
+               static_cast<double>(p));
+}
+
+std::string
+Dropout::name() const
+{
+    return "dropout(" + std::to_string(p_) + ")";
+}
+
+const Tensor &
+Dropout::forward(const Tensor &x, bool training)
+{
+    output_ = x;
+    if (!training || p_ == 0.0f) {
+        mask_.assign(x.numel(), 1.0f);
+        return output_;
+    }
+    const float keep_scale = 1.0f / (1.0f - p_);
+    mask_.resize(x.numel());
+    for (size_t i = 0; i < x.numel(); ++i) {
+        mask_[i] = rng_.uniform() < static_cast<double>(p_) ? 0.0f
+                                                            : keep_scale;
+        output_[i] = x[i] * mask_[i];
+    }
+    return output_;
+}
+
+Tensor
+Dropout::backward(const Tensor &dy)
+{
+    INC_ASSERT(dy.numel() == mask_.size(), "dropout backward mismatch");
+    Tensor dx(dy.shape());
+    for (size_t i = 0; i < dy.numel(); ++i)
+        dx[i] = dy[i] * mask_[i];
+    return dx;
+}
+
+} // namespace inc

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Inverted dropout (scales at train time so eval is a pass-through).
+ */
+
+#ifndef INCEPTIONN_NN_DROPOUT_H
+#define INCEPTIONN_NN_DROPOUT_H
+
+#include "nn/layer.h"
+#include "sim/random.h"
+
+namespace inc {
+
+/** Inverted dropout with drop probability @p p. */
+class Dropout : public Layer
+{
+  public:
+    /** @pre 0 <= p < 1. */
+    explicit Dropout(float p, uint64_t seed = 0xD0u);
+
+    std::string name() const override;
+    const Tensor &forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+
+  private:
+    float p_;
+    Rng rng_;
+    std::vector<float> mask_; // 0 or 1/(1-p) per element
+    Tensor output_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NN_DROPOUT_H

@@ -1,0 +1,6 @@
+#include "nn/layer.h"
+
+// Layer is header-only apart from anchoring the vtable here.
+
+namespace inc {
+} // namespace inc

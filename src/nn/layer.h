@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Layer abstraction for the training substrate. Layers are stateful:
+ * forward() caches whatever backward() needs, and parameter gradients
+ * accumulate into per-parameter grad tensors that the distributed
+ * trainers flatten, exchange, and apply.
+ */
+
+#ifndef INCEPTIONN_NN_LAYER_H
+#define INCEPTIONN_NN_LAYER_H
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace inc {
+
+class Rng;
+
+/** A learnable tensor and its gradient accumulator. */
+struct ParamRef
+{
+    std::string name;
+    Tensor *value;
+    Tensor *grad;
+};
+
+/**
+ * Base layer. Subclasses implement forward/backward for a batch; the
+ * first dimension of every activation tensor is the batch size.
+ */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Human-readable layer type/name. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Compute the layer output for @p x. @p training enables
+     * train-only behaviour (dropout masks, batch-norm batch stats).
+     * The returned reference stays valid until the next forward().
+     */
+    virtual const Tensor &forward(const Tensor &x, bool training) = 0;
+
+    /**
+     * Given dLoss/dOutput, accumulate parameter gradients and return
+     * dLoss/dInput. Must follow a forward() with the same batch.
+     */
+    virtual Tensor backward(const Tensor &dy) = 0;
+
+    /** Learnable parameters (empty for stateless layers). */
+    virtual std::vector<ParamRef> params() { return {}; }
+
+    /** Initialize parameters (He/Xavier-style as appropriate). */
+    virtual void initParams(Rng &rng) { (void)rng; }
+
+    /** Zero all parameter gradients. */
+    void
+    zeroGrads()
+    {
+        for (auto &p : params())
+            p.grad->fill(0.0f);
+    }
+
+    /** Total learnable element count. */
+    size_t
+    paramCount()
+    {
+        size_t n = 0;
+        for (auto &p : params())
+            n += p.value->numel();
+        return n;
+    }
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NN_LAYER_H

@@ -1,0 +1,86 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "sim/logging.h"
+#include "tensor/ops.h"
+
+namespace inc {
+
+double
+SoftmaxCrossEntropy::forward(const Tensor &logits,
+                             std::span<const int> labels)
+{
+    INC_ASSERT(logits.rank() == 2, "loss expects [batch x classes]");
+    const size_t batch = logits.dim(0), classes = logits.dim(1);
+    INC_ASSERT(labels.size() == batch, "labels/batch mismatch");
+
+    probs_ = Tensor({batch, classes});
+    softmaxRows(logits.raw(), probs_.raw(), batch, classes);
+    labels_.assign(labels.begin(), labels.end());
+
+    double loss = 0.0;
+    size_t correct = 0;
+    for (size_t r = 0; r < batch; ++r) {
+        const int y = labels[r];
+        INC_ASSERT(y >= 0 && static_cast<size_t>(y) < classes,
+                   "label %d out of %zu classes", y, classes);
+        const float p = probs_.at(r, static_cast<size_t>(y));
+        loss += -std::log(std::max(p, 1e-12f));
+        size_t argmax = 0;
+        for (size_t c = 1; c < classes; ++c)
+            if (probs_.at(r, c) > probs_.at(r, argmax))
+                argmax = c;
+        correct += (argmax == static_cast<size_t>(y));
+    }
+    accuracy_ = static_cast<double>(correct) / static_cast<double>(batch);
+    return loss / static_cast<double>(batch);
+}
+
+double
+SoftmaxCrossEntropy::topKAccuracy(size_t k) const
+{
+    return inc::topKAccuracy(probs_, labels_, k);
+}
+
+double
+topKAccuracy(const Tensor &scores, std::span<const int> labels, size_t k)
+{
+    INC_ASSERT(scores.rank() == 2, "scores must be [batch x classes]");
+    const size_t batch = scores.dim(0), classes = scores.dim(1);
+    INC_ASSERT(labels.size() == batch, "labels/batch mismatch");
+    INC_ASSERT(k >= 1 && k <= classes, "k=%zu outside [1, %zu]", k,
+               classes);
+
+    size_t hits = 0;
+    for (size_t r = 0; r < batch; ++r) {
+        const float own = scores.at(r, static_cast<size_t>(labels[r]));
+        // Rank of the true class = number of strictly larger scores.
+        size_t larger = 0;
+        for (size_t c = 0; c < classes; ++c)
+            if (scores.at(r, c) > own)
+                ++larger;
+        if (larger < k)
+            ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(batch);
+}
+
+Tensor
+SoftmaxCrossEntropy::backward() const
+{
+    const size_t batch = probs_.dim(0), classes = probs_.dim(1);
+    Tensor d({batch, classes});
+    const float inv = 1.0f / static_cast<float>(batch);
+    for (size_t r = 0; r < batch; ++r) {
+        for (size_t c = 0; c < classes; ++c) {
+            float g = probs_.at(r, c);
+            if (c == static_cast<size_t>(labels_[r]))
+                g -= 1.0f;
+            d.at(r, c) = g * inv;
+        }
+    }
+    return d;
+}
+
+} // namespace inc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Softmax cross-entropy loss with integrated backward (the standard
+ * classification head for every model in the paper).
+ */
+
+#ifndef INCEPTIONN_NN_LOSS_H
+#define INCEPTIONN_NN_LOSS_H
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace inc {
+
+/** Softmax + cross-entropy over integer class labels. */
+class SoftmaxCrossEntropy
+{
+  public:
+    /**
+     * Compute mean loss over the batch.
+     * @param logits [batch x classes]
+     * @param labels batch integer labels in [0, classes)
+     */
+    double forward(const Tensor &logits, std::span<const int> labels);
+
+    /** dLoss/dLogits for the last forward() (already averaged). */
+    Tensor backward() const;
+
+    /** Batch top-1 classification accuracy of the last forward(). */
+    double accuracy() const { return accuracy_; }
+
+    /** Batch top-k accuracy of the last forward() (paper Fig. 4 reports
+     *  top-5 alongside top-1). @pre 1 <= k <= classes. */
+    double topKAccuracy(size_t k) const;
+
+  private:
+    Tensor probs_;
+    std::vector<int> labels_;
+    double accuracy_ = 0.0;
+};
+
+/**
+ * Standalone top-k accuracy over a logits (or probability) matrix.
+ * @param scores [batch x classes]
+ * @param labels batch integer labels
+ */
+double topKAccuracy(const Tensor &scores, std::span<const int> labels,
+                    size_t k);
+
+} // namespace inc
+
+#endif // INCEPTIONN_NN_LOSS_H

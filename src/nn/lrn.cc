@@ -1,0 +1,102 @@
+#include "nn/lrn.h"
+
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+Lrn::Lrn(size_t window, float alpha, float beta, float k)
+    : window_(window), alpha_(alpha), beta_(beta), k_(k)
+{
+    INC_ASSERT(window >= 1 && window % 2 == 1,
+               "LRN window must be odd, got %zu", window);
+}
+
+std::string
+Lrn::name() const
+{
+    return "lrn(" + std::to_string(window_) + ")";
+}
+
+const Tensor &
+Lrn::forward(const Tensor &x, bool training)
+{
+    (void)training;
+    INC_ASSERT(x.rank() == 4, "lrn expects NCHW, got %s",
+               x.shapeString().c_str());
+    input_ = x;
+    const size_t batch = x.dim(0), chans = x.dim(1);
+    const size_t spatial = x.dim(2) * x.dim(3);
+    const long half = static_cast<long>(window_ / 2);
+    const float norm = alpha_ / static_cast<float>(window_);
+
+    scale_ = Tensor(x.shape());
+    output_ = Tensor(x.shape());
+    for (size_t n = 0; n < batch; ++n) {
+        for (size_t c = 0; c < chans; ++c) {
+            const long lo =
+                std::max<long>(0, static_cast<long>(c) - half);
+            const long hi = std::min<long>(static_cast<long>(chans) - 1,
+                                           static_cast<long>(c) + half);
+            float *sc = scale_.raw() + (n * chans + c) * spatial;
+            float *out = output_.raw() + (n * chans + c) * spatial;
+            const float *xin = x.raw() + (n * chans + c) * spatial;
+            for (size_t i = 0; i < spatial; ++i) {
+                float s = 0.0f;
+                for (long cc = lo; cc <= hi; ++cc) {
+                    const float v =
+                        x.raw()[(n * chans + static_cast<size_t>(cc)) *
+                                    spatial +
+                                i];
+                    s += v * v;
+                }
+                sc[i] = k_ + norm * s;
+                out[i] = xin[i] * std::pow(sc[i], -beta_);
+            }
+        }
+    }
+    return output_;
+}
+
+Tensor
+Lrn::backward(const Tensor &dy)
+{
+    const size_t batch = input_.dim(0), chans = input_.dim(1);
+    const size_t spatial = input_.dim(2) * input_.dim(3);
+    const long half = static_cast<long>(window_ / 2);
+    const float norm = alpha_ / static_cast<float>(window_);
+
+    // dx[c] = dy[c] * scale[c]^-beta
+    //       - 2 beta norm x[c] * sum_{c' : c in window(c')}
+    //             dy[c'] x[c'] scale[c']^{-beta-1}
+    Tensor dx(input_.shape());
+    for (size_t n = 0; n < batch; ++n) {
+        for (size_t i = 0; i < spatial; ++i) {
+            for (size_t c = 0; c < chans; ++c) {
+                const size_t idx = (n * chans + c) * spatial + i;
+                double acc = static_cast<double>(dy[idx]) *
+                             std::pow(scale_[idx], -beta_);
+                const long lo =
+                    std::max<long>(0, static_cast<long>(c) - half);
+                const long hi =
+                    std::min<long>(static_cast<long>(chans) - 1,
+                                   static_cast<long>(c) + half);
+                double cross = 0.0;
+                for (long cc = lo; cc <= hi; ++cc) {
+                    const size_t j =
+                        (n * chans + static_cast<size_t>(cc)) * spatial +
+                        i;
+                    cross += static_cast<double>(dy[j]) * input_[j] *
+                             std::pow(scale_[j],
+                                      -beta_ - 1.0f);
+                }
+                acc -= 2.0 * beta_ * norm * input_[idx] * cross;
+                dx[idx] = static_cast<float>(acc);
+            }
+        }
+    }
+    return dx;
+}
+
+} // namespace inc

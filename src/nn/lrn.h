@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Local Response Normalization across channels (Krizhevsky et al.) —
+ * the normalization AlexNet uses between its early conv stages:
+ *
+ *   y[c] = x[c] / (k + (alpha / n) * sum_{c' in window} x[c']^2)^beta
+ *
+ * with the window of n channels centered on c.
+ */
+
+#ifndef INCEPTIONN_NN_LRN_H
+#define INCEPTIONN_NN_LRN_H
+
+#include "nn/layer.h"
+
+namespace inc {
+
+/** Cross-channel LRN over NCHW activations. */
+class Lrn : public Layer
+{
+  public:
+    /** AlexNet defaults: n=5, alpha=1e-4, beta=0.75, k=2. */
+    explicit Lrn(size_t window = 5, float alpha = 1e-4f,
+                 float beta = 0.75f, float k = 2.0f);
+
+    std::string name() const override;
+    const Tensor &forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+
+  private:
+    size_t window_;
+    float alpha_, beta_, k_;
+    Tensor input_;
+    Tensor scale_; // k + (alpha/n) * windowed sum of squares
+    Tensor output_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NN_LRN_H

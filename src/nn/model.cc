@@ -1,0 +1,119 @@
+#include "nn/model.h"
+
+#include "sim/logging.h"
+#include "sim/random.h"
+
+namespace inc {
+
+Model &
+Model::add(std::unique_ptr<Layer> layer)
+{
+    layers_.push_back(std::move(layer));
+    return *this;
+}
+
+void
+Model::init(Rng &rng)
+{
+    for (auto &l : layers_)
+        l->initParams(rng);
+}
+
+const Tensor &
+Model::forward(const Tensor &x, bool training)
+{
+    INC_ASSERT(!layers_.empty(), "empty model");
+    const Tensor *cur = &x;
+    for (auto &l : layers_)
+        cur = &l->forward(*cur, training);
+    return *cur;
+}
+
+void
+Model::backward(const Tensor &dLogits)
+{
+    Tensor d = dLogits;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        d = (*it)->backward(d);
+}
+
+void
+Model::zeroGrads()
+{
+    for (auto &l : layers_)
+        l->zeroGrads();
+}
+
+size_t
+Model::paramCount() const
+{
+    size_t n = 0;
+    for (auto &l : layers_)
+        n += l->paramCount();
+    return n;
+}
+
+std::vector<ParamRef>
+Model::params() const
+{
+    std::vector<ParamRef> out;
+    for (auto &l : layers_)
+        for (auto &p : l->params())
+            out.push_back(p);
+    return out;
+}
+
+void
+Model::flattenGrads(std::span<float> out) const
+{
+    size_t pos = 0;
+    for (auto &p : params()) {
+        const auto src = p.grad->data();
+        INC_ASSERT(pos + src.size() <= out.size(), "flatten overflow");
+        std::copy(src.begin(), src.end(), out.begin() + pos);
+        pos += src.size();
+    }
+    INC_ASSERT(pos == out.size(), "flatten size mismatch: %zu vs %zu", pos,
+               out.size());
+}
+
+void
+Model::loadGrads(std::span<const float> in)
+{
+    size_t pos = 0;
+    for (auto &p : params()) {
+        const auto dst = p.grad->data();
+        INC_ASSERT(pos + dst.size() <= in.size(), "load overflow");
+        std::copy(in.begin() + pos, in.begin() + pos + dst.size(),
+                  dst.begin());
+        pos += dst.size();
+    }
+    INC_ASSERT(pos == in.size(), "load size mismatch");
+}
+
+void
+Model::flattenParams(std::span<float> out) const
+{
+    size_t pos = 0;
+    for (auto &p : params()) {
+        const auto src = p.value->data();
+        std::copy(src.begin(), src.end(), out.begin() + pos);
+        pos += src.size();
+    }
+    INC_ASSERT(pos == out.size(), "flatten size mismatch");
+}
+
+void
+Model::loadParams(std::span<const float> in)
+{
+    size_t pos = 0;
+    for (auto &p : params()) {
+        const auto dst = p.value->data();
+        std::copy(in.begin() + pos, in.begin() + pos + dst.size(),
+                  dst.begin());
+        pos += dst.size();
+    }
+    INC_ASSERT(pos == in.size(), "load size mismatch");
+}
+
+} // namespace inc

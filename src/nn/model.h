@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Sequential model container with flat parameter/gradient views — the
+ * interface the distributed trainers exchange gradients through.
+ */
+
+#ifndef INCEPTIONN_NN_MODEL_H
+#define INCEPTIONN_NN_MODEL_H
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace inc {
+
+class Rng;
+
+/** A sequential stack of layers with flattened parameter access. */
+class Model
+{
+  public:
+    Model() = default;
+    explicit Model(std::string name) : name_(std::move(name)) {}
+
+    Model(const Model &) = delete;
+    Model &operator=(const Model &) = delete;
+    Model(Model &&) = default;
+    Model &operator=(Model &&) = default;
+
+    const std::string &name() const { return name_; }
+
+    /** Append a layer (builder style). */
+    Model &add(std::unique_ptr<Layer> layer);
+
+    /** Convenience: construct the layer in place. */
+    template <typename L, typename... Args>
+    Model &
+    emplace(Args &&...args)
+    {
+        return add(std::make_unique<L>(std::forward<Args>(args)...));
+    }
+
+    /** Initialize every layer's parameters. */
+    void init(Rng &rng);
+
+    /** Forward pass through all layers. */
+    const Tensor &forward(const Tensor &x, bool training);
+
+    /** Backward pass; @p dLogits is dLoss/dOutput of the last layer. */
+    void backward(const Tensor &dLogits);
+
+    /** Zero all parameter gradients. */
+    void zeroGrads();
+
+    /** Total learnable elements. */
+    size_t paramCount() const;
+
+    /** Model size in bytes (float32 parameters). */
+    size_t sizeBytes() const { return paramCount() * sizeof(float); }
+
+    /** All parameters across layers. */
+    std::vector<ParamRef> params() const;
+
+    /** Copy all gradients into @p out (must be paramCount() long). */
+    void flattenGrads(std::span<float> out) const;
+
+    /** Overwrite all gradients from @p in. */
+    void loadGrads(std::span<const float> in);
+
+    /** Copy all parameter values into @p out. */
+    void flattenParams(std::span<float> out) const;
+
+    /** Overwrite all parameter values from @p in. */
+    void loadParams(std::span<const float> in);
+
+    /** Number of layers. */
+    size_t layerCount() const { return layers_.size(); }
+
+    /** Layer access (for tests/diagnostics). */
+    Layer &layer(size_t i) { return *layers_[i]; }
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NN_MODEL_H

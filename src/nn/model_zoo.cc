@@ -1,0 +1,301 @@
+#include "nn/model_zoo.h"
+
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/lrn.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/pooling.h"
+#include "nn/residual.h"
+
+namespace inc {
+
+uint64_t
+ModelSpec::paramCount() const
+{
+    uint64_t n = 0;
+    for (const auto &l : layers)
+        n += l.params;
+    return n;
+}
+
+double
+ModelSpec::sizeMB() const
+{
+    return static_cast<double>(sizeBytes()) / (1024.0 * 1024.0);
+}
+
+ModelSpec
+alexNetSpec()
+{
+    // Classic grouped AlexNet over ImageNet (1000 classes); per-layer
+    // counts include biases. Total: 60,965,224 params = 232.6 MB.
+    return ModelSpec{
+        "AlexNet",
+        {
+            {"conv1 (96x3x11x11)", 96 * 3 * 11 * 11 + 96},
+            {"conv2 (256x48x5x5, g2)", 256 * 48 * 5 * 5 + 256},
+            {"conv3 (384x256x3x3)", 384 * 256 * 3 * 3 + 384},
+            {"conv4 (384x192x3x3, g2)", 384 * 192 * 3 * 3 + 384},
+            {"conv5 (256x192x3x3, g2)", 256 * 192 * 3 * 3 + 256},
+            {"fc6 (4096x9216)", 4096ull * 9216 + 4096},
+            {"fc7 (4096x4096)", 4096ull * 4096 + 4096},
+            {"fc8 (1000x4096)", 1000ull * 4096 + 1000},
+        }};
+}
+
+ModelSpec
+vgg16Spec()
+{
+    auto conv = [](const char *name, uint64_t in, uint64_t out) {
+        return LayerSpec{name, out * in * 9 + out};
+    };
+    return ModelSpec{
+        "VGG-16",
+        {
+            conv("conv1_1", 3, 64), conv("conv1_2", 64, 64),
+            conv("conv2_1", 64, 128), conv("conv2_2", 128, 128),
+            conv("conv3_1", 128, 256), conv("conv3_2", 256, 256),
+            conv("conv3_3", 256, 256), conv("conv4_1", 256, 512),
+            conv("conv4_2", 512, 512), conv("conv4_3", 512, 512),
+            conv("conv5_1", 512, 512), conv("conv5_2", 512, 512),
+            conv("conv5_3", 512, 512),
+            {"fc6 (4096x25088)", 4096ull * 25088 + 4096},
+            {"fc7 (4096x4096)", 4096ull * 4096 + 4096},
+            {"fc8 (1000x4096)", 1000ull * 4096 + 1000},
+        }};
+}
+
+namespace {
+
+/** Parameter count of one ResNet bottleneck (convs without bias + BNs). */
+uint64_t
+bottleneckParams(uint64_t in, uint64_t mid, uint64_t out, bool project)
+{
+    uint64_t n = 0;
+    n += in * mid + 2 * mid;           // 1x1 reduce + BN
+    n += mid * mid * 9 + 2 * mid;      // 3x3 + BN
+    n += mid * out + 2 * out;          // 1x1 expand + BN
+    if (project)
+        n += in * out + 2 * out;       // downsample 1x1 + BN
+    return n;
+}
+
+ModelSpec
+resNetSpec(const char *name, const int (&blocks)[4])
+{
+    ModelSpec spec{name, {}};
+    spec.layers.push_back({"conv1 (64x3x7x7) + bn", 64 * 3 * 49 + 2 * 64});
+    const uint64_t mids[4] = {64, 128, 256, 512};
+    uint64_t in = 64;
+    for (int stage = 0; stage < 4; ++stage) {
+        const uint64_t mid = mids[stage];
+        const uint64_t out = mid * 4;
+        uint64_t stage_params = 0;
+        for (int b = 0; b < blocks[stage]; ++b) {
+            stage_params += bottleneckParams(in, mid, out, b == 0);
+            in = out;
+        }
+        spec.layers.push_back({"stage" + std::to_string(stage + 2) + " (" +
+                                   std::to_string(blocks[stage]) +
+                                   " bottlenecks)",
+                               stage_params});
+    }
+    spec.layers.push_back({"fc (1000x2048)", 1000ull * 2048 + 1000});
+    return spec;
+}
+
+} // namespace
+
+ModelSpec
+resNet50Spec()
+{
+    return resNetSpec("ResNet-50", {3, 4, 6, 3});
+}
+
+ModelSpec
+resNet152Spec()
+{
+    return resNetSpec("ResNet-152", {3, 8, 36, 3});
+}
+
+ModelSpec
+hdcSpec()
+{
+    // Five fully-connected layers, hidden width 500 (paper Sec. VII-A).
+    return ModelSpec{
+        "HDC",
+        {
+            {"fc1 (500x784)", 500 * 784 + 500},
+            {"fc2 (500x500)", 500 * 500 + 500},
+            {"fc3 (500x500)", 500 * 500 + 500},
+            {"fc4 (500x500)", 500 * 500 + 500},
+            {"fc5 (10x500)", 10 * 500 + 10},
+        }};
+}
+
+std::vector<ModelSpec>
+allModelSpecs()
+{
+    return {alexNetSpec(), hdcSpec(), resNet50Spec(), vgg16Spec(),
+            resNet152Spec()};
+}
+
+ProxyInput
+hdcInput()
+{
+    return ProxyInput{1, 28, 28};
+}
+
+Model
+buildHdc()
+{
+    Model m("hdc");
+    m.emplace<Dense>(784, 500);
+    m.emplace<ReLU>();
+    m.emplace<Dense>(500, 500);
+    m.emplace<ReLU>();
+    m.emplace<Dense>(500, 500);
+    m.emplace<ReLU>();
+    m.emplace<Dense>(500, 500);
+    m.emplace<ReLU>();
+    m.emplace<Dense>(500, 10);
+    return m;
+}
+
+Model
+buildHdcSmall()
+{
+    Model m("hdc-small");
+    m.emplace<Dense>(784, 128);
+    m.emplace<ReLU>();
+    m.emplace<Dense>(128, 128);
+    m.emplace<ReLU>();
+    m.emplace<Dense>(128, 128);
+    m.emplace<ReLU>();
+    m.emplace<Dense>(128, 128);
+    m.emplace<ReLU>();
+    m.emplace<Dense>(128, 10);
+    return m;
+}
+
+Model
+buildCnnProxySmall()
+{
+    Model m("cnn-proxy-small");
+    m.emplace<Conv2d>(3, 8, 32, 32, 3, 1, 1);
+    m.emplace<ReLU>();
+    m.emplace<MaxPool2d>(2);
+    m.emplace<Conv2d>(8, 16, 16, 16, 3, 1, 1);
+    m.emplace<ReLU>();
+    m.emplace<MaxPool2d>(2);
+    m.emplace<Conv2d>(16, 24, 8, 8, 3, 1, 1);
+    m.emplace<ReLU>();
+    m.emplace<MaxPool2d>(2);
+    m.emplace<Flatten>();
+    m.emplace<Dense>(24 * 4 * 4, 128);
+    m.emplace<ReLU>();
+    m.emplace<Dropout>(0.5f, 0xA2);
+    m.emplace<Dense>(128, 10);
+    return m;
+}
+
+ProxyInput
+proxyInput()
+{
+    return ProxyInput{3, 32, 32};
+}
+
+Model
+buildAlexNetProxy()
+{
+    Model m("alexnet-proxy");
+    m.emplace<Conv2d>(3, 16, 32, 32, 3, 1, 1);
+    m.emplace<ReLU>();
+    m.emplace<Lrn>(); // AlexNet's cross-channel normalization
+    m.emplace<MaxPool2d>(2);
+    // AlexNet's conv2/conv5 are grouped (g=2); mirror that structure.
+    m.emplace<Conv2d>(16, 32, 16, 16, 3, 1, 1, 2);
+    m.emplace<ReLU>();
+    m.emplace<MaxPool2d>(2);
+    m.emplace<Conv2d>(32, 48, 8, 8, 3, 1, 1, 2);
+    m.emplace<ReLU>();
+    m.emplace<MaxPool2d>(2);
+    m.emplace<Flatten>();
+    m.emplace<Dense>(48 * 4 * 4, 256);
+    m.emplace<ReLU>();
+    m.emplace<Dropout>(0.5f, 0xA1);
+    m.emplace<Dense>(256, 10);
+    return m;
+}
+
+Model
+buildVggProxy()
+{
+    Model m("vgg-proxy");
+    m.emplace<Conv2d>(3, 16, 32, 32, 3, 1, 1);
+    m.emplace<ReLU>();
+    m.emplace<Conv2d>(16, 16, 32, 32, 3, 1, 1);
+    m.emplace<ReLU>();
+    m.emplace<MaxPool2d>(2);
+    m.emplace<Conv2d>(16, 32, 16, 16, 3, 1, 1);
+    m.emplace<ReLU>();
+    m.emplace<Conv2d>(32, 32, 16, 16, 3, 1, 1);
+    m.emplace<ReLU>();
+    m.emplace<MaxPool2d>(2);
+    m.emplace<Conv2d>(32, 48, 8, 8, 3, 1, 1);
+    m.emplace<ReLU>();
+    m.emplace<Conv2d>(48, 48, 8, 8, 3, 1, 1);
+    m.emplace<ReLU>();
+    m.emplace<MaxPool2d>(2);
+    m.emplace<Flatten>();
+    m.emplace<Dense>(48 * 4 * 4, 128);
+    m.emplace<ReLU>();
+    m.emplace<Dense>(128, 10);
+    return m;
+}
+
+namespace {
+
+std::unique_ptr<Residual>
+makeResidualBlock(size_t in_c, size_t out_c, size_t in_hw, size_t stride)
+{
+    std::vector<std::unique_ptr<Layer>> body;
+    body.push_back(
+        std::make_unique<Conv2d>(in_c, out_c, in_hw, in_hw, 3, stride, 1));
+    body.push_back(std::make_unique<BatchNorm2d>(out_c));
+    body.push_back(std::make_unique<ReLU>());
+    const size_t mid_hw = (in_hw + 2 - 3) / stride + 1;
+    body.push_back(
+        std::make_unique<Conv2d>(out_c, out_c, mid_hw, mid_hw, 3, 1, 1));
+    body.push_back(std::make_unique<BatchNorm2d>(out_c));
+
+    std::unique_ptr<Layer> proj;
+    if (stride != 1 || in_c != out_c)
+        proj = std::make_unique<Conv2d>(in_c, out_c, in_hw, in_hw, 1,
+                                        stride, 0);
+    return std::make_unique<Residual>(std::move(body), std::move(proj));
+}
+
+} // namespace
+
+Model
+buildResNetProxy()
+{
+    Model m("resnet-proxy");
+    m.emplace<Conv2d>(3, 16, 32, 32, 3, 1, 1);
+    m.emplace<BatchNorm2d>(16);
+    m.emplace<ReLU>();
+    m.add(makeResidualBlock(16, 16, 32, 1));
+    m.add(makeResidualBlock(16, 32, 32, 2)); // -> 16x16
+    m.add(makeResidualBlock(32, 32, 16, 1));
+    m.add(makeResidualBlock(32, 48, 16, 2)); // -> 8x8
+    m.emplace<GlobalAvgPool>();
+    m.emplace<Dense>(48, 10);
+    return m;
+}
+
+} // namespace inc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Model zoo: (a) exact parameter accounting for the full-size networks
+ * the paper measures (AlexNet, VGG-16, ResNet-50/-152, HDC) — used for
+ * the size/traffic experiments (Fig. 3, Table II, Figs. 12/15) — and
+ * (b) trainable reduced-scale proxies plus the full-scale HDC — used for
+ * the accuracy experiments (Figs. 4/5/13/14, Table III). See DESIGN.md
+ * section 2 for the substitution rationale.
+ */
+
+#ifndef INCEPTIONN_NN_MODEL_ZOO_H
+#define INCEPTIONN_NN_MODEL_ZOO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace inc {
+
+/** One named parameter group of a full-size architecture. */
+struct LayerSpec
+{
+    std::string name;
+    uint64_t params;
+};
+
+/** Size accounting for a full-size architecture. */
+struct ModelSpec
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+
+    uint64_t paramCount() const;
+    /** float32 size in bytes (the gradient/weight exchange volume). */
+    uint64_t sizeBytes() const { return paramCount() * 4; }
+    double sizeMB() const;
+};
+
+/** Classic AlexNet (grouped convs, 1000 classes): ~61 M params, 233 MB. */
+ModelSpec alexNetSpec();
+
+/** VGG-16 (1000 classes): ~138 M params, ~528 MB. */
+ModelSpec vgg16Spec();
+
+/** ResNet-50 (1000 classes): ~25.6 M params, ~98 MB. */
+ModelSpec resNet50Spec();
+
+/** ResNet-152 (1000 classes): ~60 M params, ~230 MB. */
+ModelSpec resNet152Spec();
+
+/**
+ * The paper's HDC: five fully-connected layers, hidden width 500, MNIST
+ * style 784-input 10-class task.
+ */
+ModelSpec hdcSpec();
+
+/** All specs the benches iterate over. */
+std::vector<ModelSpec> allModelSpecs();
+
+/** Input geometry of the trainable models. */
+struct ProxyInput
+{
+    size_t channels, height, width;
+    size_t features() const { return channels * height * width; }
+};
+
+/** Full-scale trainable HDC (flat 784-feature input, 10 classes). */
+Model buildHdc();
+
+/**
+ * Reduced HDC (hidden width 128) for the time-boxed accuracy benches;
+ * same depth/activation structure, ~9x fewer parameters.
+ */
+Model buildHdcSmall();
+
+/**
+ * Reduced CNN proxy (8/16/24 channels) for the time-boxed accuracy
+ * benches; same conv/pool/dropout topology as buildAlexNetProxy().
+ */
+Model buildCnnProxySmall();
+
+/** Input geometry for buildHdc(): flat 28x28. */
+ProxyInput hdcInput();
+
+/**
+ * AlexNet-style trainable proxy: conv/pool stacks + dropout-regularized
+ * classifier head, 32x32x3 input, 10 classes.
+ */
+Model buildAlexNetProxy();
+
+/** VGG-style trainable proxy: deeper stacks of 3x3 convs. */
+Model buildVggProxy();
+
+/** ResNet-style trainable proxy: conv stem + residual blocks + GAP. */
+Model buildResNetProxy();
+
+/** Input geometry for the three CNN proxies: 3x32x32. */
+ProxyInput proxyInput();
+
+} // namespace inc
+
+#endif // INCEPTIONN_NN_MODEL_ZOO_H

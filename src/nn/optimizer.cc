@@ -1,0 +1,64 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+SgdOptimizer::SgdOptimizer(Model &model, SgdConfig config)
+    : model_(model), config_(config),
+      velocity_(model.paramCount(), 0.0f)
+{
+    INC_ASSERT(config_.learningRate > 0.0, "learning rate must be > 0");
+}
+
+double
+SgdOptimizer::currentLearningRate() const
+{
+    if (config_.lrDecayEvery == 0)
+        return config_.learningRate;
+    const uint64_t reductions = iteration_ / config_.lrDecayEvery;
+    return config_.learningRate /
+           std::pow(config_.lrDecayFactor, static_cast<double>(reductions));
+}
+
+void
+SgdOptimizer::step()
+{
+    const float lr = static_cast<float>(currentLearningRate());
+    const float mu = static_cast<float>(config_.momentum);
+    const float wd = static_cast<float>(config_.weightDecay);
+
+    float clip_scale = 1.0f;
+    if (config_.clipGradNorm > 0.0) {
+        double sq = 0.0;
+        for (auto &p : model_.params()) {
+            const float *g = p.grad->raw();
+            for (size_t i = 0; i < p.grad->numel(); ++i)
+                sq += static_cast<double>(g[i]) * g[i];
+        }
+        const double norm = std::sqrt(sq);
+        if (norm > config_.clipGradNorm)
+            clip_scale = static_cast<float>(config_.clipGradNorm / norm);
+    }
+
+    size_t pos = 0;
+    for (auto &p : model_.params()) {
+        float *w = p.value->raw();
+        const float *g = p.grad->raw();
+        const size_t n = p.value->numel();
+        for (size_t i = 0; i < n; ++i) {
+            const float grad = clip_scale * g[i] + wd * w[i];
+            velocity_[pos + i] = mu * velocity_[pos + i] - lr * grad;
+            if (config_.nesterov)
+                w[i] += mu * velocity_[pos + i] - lr * grad;
+            else
+                w[i] += velocity_[pos + i];
+        }
+        pos += n;
+    }
+    ++iteration_;
+}
+
+} // namespace inc

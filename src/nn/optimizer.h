@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SGD with momentum, weight decay, and the paper's step learning-rate
+ * schedule (Table I: LR divided by a factor every fixed number of
+ * iterations).
+ */
+
+#ifndef INCEPTIONN_NN_OPTIMIZER_H
+#define INCEPTIONN_NN_OPTIMIZER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace inc {
+
+/** Hyperparameters matching the paper's Table I columns. */
+struct SgdConfig
+{
+    double learningRate = 0.01;
+    double momentum = 0.9;
+    double weightDecay = 5e-5;
+    double lrDecayFactor = 10.0;   ///< "LR reduction"
+    uint64_t lrDecayEvery = 100000; ///< iterations between reductions
+    double clipGradNorm = 0.0;     ///< global-norm clip; 0 disables
+    bool nesterov = false;         ///< Nesterov-style momentum update
+};
+
+/** Momentum SGD over a Model's flattened parameters. */
+class SgdOptimizer
+{
+  public:
+    SgdOptimizer(Model &model, SgdConfig config);
+
+    /**
+     * Apply one update from the model's current (already aggregated)
+     * gradients and advance the iteration counter / LR schedule.
+     */
+    void step();
+
+    /** Current scheduled learning rate. */
+    double currentLearningRate() const;
+
+    /** Iterations applied so far. */
+    uint64_t iteration() const { return iteration_; }
+
+    const SgdConfig &config() const { return config_; }
+
+  private:
+    Model &model_;
+    SgdConfig config_;
+    std::vector<float> velocity_;
+    uint64_t iteration_ = 0;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NN_OPTIMIZER_H

@@ -1,0 +1,147 @@
+#include "nn/pooling.h"
+
+#include "sim/logging.h"
+
+namespace inc {
+
+MaxPool2d::MaxPool2d(size_t window) : window_(window)
+{
+    INC_ASSERT(window >= 1, "pool window must be >= 1");
+}
+
+std::string
+MaxPool2d::name() const
+{
+    return "maxpool(" + std::to_string(window_) + ")";
+}
+
+const Tensor &
+MaxPool2d::forward(const Tensor &x, bool training)
+{
+    (void)training;
+    INC_ASSERT(x.rank() == 4, "maxpool expects NCHW, got %s",
+               x.shapeString().c_str());
+    INC_ASSERT(x.dim(2) % window_ == 0 && x.dim(3) % window_ == 0,
+               "input %s not divisible by window %zu",
+               x.shapeString().c_str(), window_);
+    inputShape_ = x.shape();
+    const size_t batch = x.dim(0), chans = x.dim(1);
+    const size_t ih = x.dim(2), iw = x.dim(3);
+    const size_t oh = ih / window_, ow = iw / window_;
+
+    output_ = Tensor({batch, chans, oh, ow});
+    argmax_.assign(output_.numel(), 0);
+
+    size_t oi = 0;
+    for (size_t n = 0; n < batch; ++n) {
+        for (size_t c = 0; c < chans; ++c) {
+            const float *plane = x.raw() + (n * chans + c) * ih * iw;
+            const size_t plane_base = (n * chans + c) * ih * iw;
+            for (size_t y = 0; y < oh; ++y) {
+                for (size_t z = 0; z < ow; ++z, ++oi) {
+                    float best = plane[(y * window_) * iw + z * window_];
+                    size_t best_idx = (y * window_) * iw + z * window_;
+                    for (size_t dy_ = 0; dy_ < window_; ++dy_) {
+                        for (size_t dx_ = 0; dx_ < window_; ++dx_) {
+                            const size_t idx =
+                                (y * window_ + dy_) * iw + z * window_ + dx_;
+                            if (plane[idx] > best) {
+                                best = plane[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    output_[oi] = best;
+                    argmax_[oi] = plane_base + best_idx;
+                }
+            }
+        }
+    }
+    return output_;
+}
+
+Tensor
+MaxPool2d::backward(const Tensor &dy)
+{
+    INC_ASSERT(dy.numel() == output_.numel(), "maxpool backward mismatch");
+    Tensor dx(inputShape_);
+    for (size_t i = 0; i < dy.numel(); ++i)
+        dx[argmax_[i]] += dy[i];
+    return dx;
+}
+
+AvgPool2d::AvgPool2d(size_t window) : window_(window)
+{
+    INC_ASSERT(window >= 1, "pool window must be >= 1");
+}
+
+std::string
+AvgPool2d::name() const
+{
+    return "avgpool(" + std::to_string(window_) + ")";
+}
+
+const Tensor &
+AvgPool2d::forward(const Tensor &x, bool training)
+{
+    (void)training;
+    INC_ASSERT(x.rank() == 4, "avgpool expects NCHW, got %s",
+               x.shapeString().c_str());
+    INC_ASSERT(x.dim(2) % window_ == 0 && x.dim(3) % window_ == 0,
+               "input %s not divisible by window %zu",
+               x.shapeString().c_str(), window_);
+    inputShape_ = x.shape();
+    const size_t batch = x.dim(0), chans = x.dim(1);
+    const size_t ih = x.dim(2), iw = x.dim(3);
+    const size_t oh = ih / window_, ow = iw / window_;
+    const float inv = 1.0f / static_cast<float>(window_ * window_);
+
+    output_ = Tensor({batch, chans, oh, ow});
+    size_t oi = 0;
+    for (size_t n = 0; n < batch; ++n) {
+        for (size_t c = 0; c < chans; ++c) {
+            const float *plane = x.raw() + (n * chans + c) * ih * iw;
+            for (size_t y = 0; y < oh; ++y) {
+                for (size_t z = 0; z < ow; ++z, ++oi) {
+                    float s = 0.0f;
+                    for (size_t dy_ = 0; dy_ < window_; ++dy_)
+                        for (size_t dx_ = 0; dx_ < window_; ++dx_)
+                            s += plane[(y * window_ + dy_) * iw +
+                                       z * window_ + dx_];
+                    output_[oi] = s * inv;
+                }
+            }
+        }
+    }
+    return output_;
+}
+
+Tensor
+AvgPool2d::backward(const Tensor &dy)
+{
+    INC_ASSERT(dy.numel() == output_.numel(), "avgpool backward mismatch");
+    const size_t batch = inputShape_[0], chans = inputShape_[1];
+    const size_t ih = inputShape_[2], iw = inputShape_[3];
+    const size_t oh = ih / window_, ow = iw / window_;
+    const float inv = 1.0f / static_cast<float>(window_ * window_);
+
+    Tensor dx(inputShape_);
+    size_t oi = 0;
+    for (size_t n = 0; n < batch; ++n) {
+        for (size_t c = 0; c < chans; ++c) {
+            float *plane = dx.raw() + (n * chans + c) * ih * iw;
+            for (size_t y = 0; y < oh; ++y) {
+                for (size_t z = 0; z < ow; ++z, ++oi) {
+                    const float g = dy[oi] * inv;
+                    for (size_t dy_ = 0; dy_ < window_; ++dy_)
+                        for (size_t dx_ = 0; dx_ < window_; ++dx_)
+                            plane[(y * window_ + dy_) * iw + z * window_ +
+                                  dx_] += g;
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+} // namespace inc

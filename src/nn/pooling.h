@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Max pooling over NCHW activations.
+ */
+
+#ifndef INCEPTIONN_NN_POOLING_H
+#define INCEPTIONN_NN_POOLING_H
+
+#include "nn/layer.h"
+
+namespace inc {
+
+/** Square-window max pooling (stride == window, the common case). */
+class MaxPool2d : public Layer
+{
+  public:
+    explicit MaxPool2d(size_t window);
+
+    std::string name() const override;
+    const Tensor &forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+
+  private:
+    size_t window_;
+    std::vector<size_t> inputShape_;
+    std::vector<size_t> argmax_; // flat input index of each output element
+    Tensor output_;
+};
+
+/** Square-window average pooling (stride == window). */
+class AvgPool2d : public Layer
+{
+  public:
+    explicit AvgPool2d(size_t window);
+
+    std::string name() const override;
+    const Tensor &forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+
+  private:
+    size_t window_;
+    std::vector<size_t> inputShape_;
+    Tensor output_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NN_POOLING_H

@@ -1,0 +1,89 @@
+#include "nn/residual.h"
+
+#include "sim/logging.h"
+#include "tensor/ops.h"
+
+namespace inc {
+
+Residual::Residual(std::vector<std::unique_ptr<Layer>> body,
+                   std::unique_ptr<Layer> projection)
+    : body_(std::move(body)), projection_(std::move(projection))
+{
+    INC_ASSERT(!body_.empty(), "residual block needs a body");
+}
+
+std::string
+Residual::name() const
+{
+    return "residual(" + std::to_string(body_.size()) + " layers" +
+           (projection_ ? ", projected" : "") + ")";
+}
+
+const Tensor &
+Residual::forward(const Tensor &x, bool training)
+{
+    const Tensor *cur = &x;
+    for (auto &layer : body_)
+        cur = &layer->forward(*cur, training);
+
+    const Tensor &skip =
+        projection_ ? projection_->forward(x, training) : x;
+    INC_ASSERT(cur->numel() == skip.numel(),
+               "residual shape mismatch: body %s vs skip %s",
+               cur->shapeString().c_str(), skip.shapeString().c_str());
+
+    preActivation_ = *cur;
+    for (size_t i = 0; i < preActivation_.numel(); ++i)
+        preActivation_[i] += skip[i];
+
+    output_ = Tensor(preActivation_.shape());
+    reluForward(preActivation_.data(), output_.data());
+    return output_;
+}
+
+Tensor
+Residual::backward(const Tensor &dy)
+{
+    // Through the final relu.
+    Tensor dsum(preActivation_.shape());
+    reluBackward(preActivation_.data(), dy.data(), dsum.data());
+
+    // Main path.
+    Tensor dx_body = dsum;
+    for (auto it = body_.rbegin(); it != body_.rend(); ++it)
+        dx_body = (*it)->backward(dx_body);
+
+    // Skip path.
+    Tensor dx_skip =
+        projection_ ? projection_->backward(dsum) : std::move(dsum);
+
+    INC_ASSERT(dx_body.numel() == dx_skip.numel(),
+               "residual backward mismatch");
+    for (size_t i = 0; i < dx_body.numel(); ++i)
+        dx_body[i] += dx_skip[i];
+    return dx_body;
+}
+
+std::vector<ParamRef>
+Residual::params()
+{
+    std::vector<ParamRef> out;
+    for (auto &layer : body_)
+        for (auto &p : layer->params())
+            out.push_back(p);
+    if (projection_)
+        for (auto &p : projection_->params())
+            out.push_back(p);
+    return out;
+}
+
+void
+Residual::initParams(Rng &rng)
+{
+    for (auto &layer : body_)
+        layer->initParams(rng);
+    if (projection_)
+        projection_->initParams(rng);
+}
+
+} // namespace inc

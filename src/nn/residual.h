@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Residual block for the ResNet-style proxy: y = relu(body(x) + skip(x)),
+ * where skip is identity or a 1x1 projection when the channel count
+ * changes.
+ */
+
+#ifndef INCEPTIONN_NN_RESIDUAL_H
+#define INCEPTIONN_NN_RESIDUAL_H
+
+#include <memory>
+
+#include "nn/layer.h"
+
+namespace inc {
+
+/** Residual block wrapping a stack of body layers plus a skip path. */
+class Residual : public Layer
+{
+  public:
+    /**
+     * @param body layers applied on the main path; the body output shape
+     *        must equal the skip path output shape.
+     * @param projection optional 1x1-conv-style layer for the skip path
+     *        (nullptr means identity skip).
+     */
+    Residual(std::vector<std::unique_ptr<Layer>> body,
+             std::unique_ptr<Layer> projection = nullptr);
+
+    std::string name() const override;
+    const Tensor &forward(const Tensor &x, bool training) override;
+    Tensor backward(const Tensor &dy) override;
+    std::vector<ParamRef> params() override;
+    void initParams(Rng &rng) override;
+
+  private:
+    std::vector<std::unique_ptr<Layer>> body_;
+    std::unique_ptr<Layer> projection_;
+    Tensor preActivation_; // body(x) + skip(x), cached for relu backward
+    Tensor output_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NN_RESIDUAL_H

@@ -1,0 +1,76 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+namespace {
+
+constexpr char kMagic[8] = {'I', 'N', 'C', 'M', 'D', 'L', '0', '1'};
+
+} // namespace
+
+bool
+saveModelParams(const Model &model, const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        warn("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    bool ok = std::fwrite(kMagic, 1, sizeof(kMagic), f) == sizeof(kMagic);
+
+    const uint64_t count = model.paramCount();
+    ok = ok && std::fwrite(&count, sizeof(count), 1, f) == 1;
+
+    std::vector<float> flat(count);
+    model.flattenParams(flat);
+    ok = ok && std::fwrite(flat.data(), sizeof(float), flat.size(), f) ==
+                   flat.size();
+    std::fclose(f);
+    if (!ok)
+        warn("short write to '%s'", path.c_str());
+    return ok;
+}
+
+bool
+loadModelParams(Model &model, const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        warn("cannot open '%s'", path.c_str());
+        return false;
+    }
+    char magic[8];
+    if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+        warn("'%s' is not an INCEPTIONN model checkpoint", path.c_str());
+        std::fclose(f);
+        return false;
+    }
+    uint64_t count = 0;
+    if (std::fread(&count, sizeof(count), 1, f) != 1 ||
+        count != model.paramCount()) {
+        warn("'%s' holds %llu parameters, model wants %zu", path.c_str(),
+             static_cast<unsigned long long>(count), model.paramCount());
+        std::fclose(f);
+        return false;
+    }
+    std::vector<float> flat(count);
+    const bool ok =
+        std::fread(flat.data(), sizeof(float), flat.size(), f) ==
+        flat.size();
+    std::fclose(f);
+    if (!ok) {
+        warn("'%s' is truncated", path.c_str());
+        return false;
+    }
+    model.loadParams(flat);
+    return true;
+}
+
+} // namespace inc

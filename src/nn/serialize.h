@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Model parameter checkpointing: a tiny self-describing binary format
+ * (magic, version, parameter count, raw float32 data) so trained models
+ * survive process boundaries — used by the examples and by long
+ * experiment pipelines that train once and evaluate many schemes.
+ */
+
+#ifndef INCEPTIONN_NN_SERIALIZE_H
+#define INCEPTIONN_NN_SERIALIZE_H
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace inc {
+
+/**
+ * Write all parameters of @p model to @p path.
+ * @return true on success (failures warn and return false).
+ */
+bool saveModelParams(const Model &model, const std::string &path);
+
+/**
+ * Load parameters saved by saveModelParams() into @p model.
+ * The parameter count must match the model exactly.
+ * @return true on success (failures warn and return false).
+ */
+bool loadModelParams(Model &model, const std::string &path);
+
+} // namespace inc
+
+#endif // INCEPTIONN_NN_SERIALIZE_H

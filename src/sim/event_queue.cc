@@ -1,0 +1,52 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    INC_ASSERT(when >= now_,
+               "scheduling into the past (when=%llu now=%llu)",
+               static_cast<unsigned long long>(when),
+               static_cast<unsigned long long>(now_));
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+uint64_t
+EventQueue::run(uint64_t maxEvents)
+{
+    uint64_t n = 0;
+    while (!heap_.empty() && n < maxEvents) {
+        // Copy out then pop so the callback may schedule freely.
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = e.when;
+        e.cb();
+        ++n;
+        ++executed_;
+    }
+    return n;
+}
+
+uint64_t
+EventQueue::runUntil(Tick until)
+{
+    uint64_t n = 0;
+    while (!heap_.empty() && heap_.top().when <= until) {
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = e.when;
+        e.cb();
+        ++n;
+        ++executed_;
+    }
+    if (now_ < until)
+        now_ = until;
+    return n;
+}
+
+} // namespace inc

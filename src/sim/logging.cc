@@ -1,0 +1,109 @@
+#include "sim/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace inc {
+
+namespace {
+
+void
+defaultSink(LogLevel level, const std::string &message)
+{
+    const char *prefix = "";
+    FILE *out = stdout;
+    switch (level) {
+      case LogLevel::Inform:
+        prefix = "info: ";
+        break;
+      case LogLevel::Warn:
+        prefix = "warn: ";
+        out = stderr;
+        break;
+      case LogLevel::Fatal:
+        prefix = "fatal: ";
+        out = stderr;
+        break;
+      case LogLevel::Panic:
+        prefix = "panic: ";
+        out = stderr;
+        break;
+    }
+    std::fprintf(out, "%s%s\n", prefix, message.c_str());
+    std::fflush(out);
+}
+
+LogSink s_sink = nullptr;
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+void
+emit(LogLevel level, const char *fmt, va_list ap)
+{
+    const std::string msg = vformat(fmt, ap);
+    if (s_sink)
+        s_sink(level, msg);
+    else
+        defaultSink(level, msg);
+}
+
+} // namespace
+
+void
+setLogSink(LogSink sink)
+{
+    s_sink = sink;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Inform, fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Warn, fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Fatal, fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Panic, fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+} // namespace inc

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * gem5-style status/error reporting helpers.
+ *
+ * panic()  — an internal invariant was violated; this is a bug in the
+ *            simulator itself. Aborts (may dump core).
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments). Exits with code 1.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef INCEPTIONN_SIM_LOGGING_H
+#define INCEPTIONN_SIM_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace inc {
+
+/** Severity of a log record. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Sink invoked for every log record; tests may replace it to capture
+ * output. The default sink writes to stderr (warn and above) or stdout.
+ */
+using LogSink = void (*)(LogLevel level, const std::string &message);
+
+/** Install a custom sink. Passing nullptr restores the default. */
+void setLogSink(LogSink sink);
+
+/** Emit an informational message (printf-style). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit a warning (printf-style). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal invariant violation and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Assert an internal invariant; panics with location info on failure. */
+#define INC_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::inc::warn("assertion '%s' failed at %s:%d", #cond, __FILE__, \
+                        __LINE__);                                         \
+            ::inc::panic(__VA_ARGS__);                                     \
+        }                                                                  \
+    } while (0)
+
+} // namespace inc
+
+#endif // INCEPTIONN_SIM_LOGGING_H

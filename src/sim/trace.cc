@@ -1,0 +1,86 @@
+#include "sim/trace.h"
+
+#include <array>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "sim/logging.h"
+
+namespace inc {
+namespace trace {
+
+namespace {
+
+constexpr size_t kCategories = static_cast<size_t>(Category::kCount);
+std::array<bool, kCategories> s_enabled{};
+bool s_env_checked = false;
+
+} // namespace
+
+std::string
+categoryName(Category cat)
+{
+    switch (cat) {
+      case Category::Codec:
+        return "codec";
+      case Category::Net:
+        return "net";
+      case Category::Comm:
+        return "comm";
+      case Category::Train:
+        return "train";
+      case Category::kCount:
+        break;
+    }
+    return "?";
+}
+
+void
+initFromEnvironment()
+{
+    if (s_env_checked)
+        return;
+    s_env_checked = true;
+    const char *env = std::getenv("INC_TRACE");
+    if (!env || !*env)
+        return;
+    const std::string spec(env);
+    for (size_t c = 0; c < kCategories; ++c) {
+        const std::string name = categoryName(static_cast<Category>(c));
+        if (spec == "all" || spec.find(name) != std::string::npos)
+            s_enabled[c] = true;
+    }
+}
+
+bool
+enabled(Category cat)
+{
+    if (!s_env_checked)
+        initFromEnvironment();
+    return s_enabled[static_cast<size_t>(cat)];
+}
+
+void
+setEnabled(Category cat, bool on)
+{
+    s_env_checked = true; // explicit control overrides the environment
+    s_enabled[static_cast<size_t>(cat)] = on;
+}
+
+void
+emit(Category cat, Tick when, const char *fmt, ...)
+{
+    char body[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(body, sizeof(body), fmt, ap);
+    va_end(ap);
+    inform("%12.6f ms [%s] %s", toSeconds(when) * 1e3,
+           categoryName(cat).c_str(), body);
+}
+
+} // namespace trace
+} // namespace inc

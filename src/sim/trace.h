@@ -1,0 +1,60 @@
+/**
+ * @file
+ * gem5-DPRINTF-style categorized tracing. Trace points are compiled in
+ * and gated by per-category runtime flags, settable programmatically or
+ * through the INC_TRACE environment variable (comma-separated category
+ * names, or "all"). Output goes through the logging sink, prefixed with
+ * the simulated time, so tests can capture it.
+ *
+ *   INC_TRACE=net,comm ./build/examples/distributed_training
+ */
+
+#ifndef INCEPTIONN_SIM_TRACE_H
+#define INCEPTIONN_SIM_TRACE_H
+
+#include <string>
+
+#include "sim/event_queue.h"
+
+namespace inc {
+namespace trace {
+
+/** Trace categories, one per subsystem. */
+enum class Category {
+    Codec, ///< compression decisions and stream stats
+    Net,   ///< transfers, segments, link occupancy
+    Comm,  ///< collective state machines
+    Train, ///< trainer iterations and exchanges
+    kCount,
+};
+
+/** Name used in INC_TRACE ("codec", "net", "comm", "train"). */
+std::string categoryName(Category cat);
+
+/** Is @p cat currently traced? */
+bool enabled(Category cat);
+
+/** Enable/disable one category. */
+void setEnabled(Category cat, bool on);
+
+/** Enable categories listed in the INC_TRACE environment variable.
+ *  Called lazily on first trace check; safe to call again. */
+void initFromEnvironment();
+
+/** Emit a trace record (printf-style) stamped with @p when. */
+void emit(Category cat, Tick when, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+} // namespace trace
+
+/** Trace macro: cheap when the category is off. */
+#define INC_TRACE(cat, when, ...)                                         \
+    do {                                                                  \
+        if (::inc::trace::enabled(::inc::trace::Category::cat))           \
+            ::inc::trace::emit(::inc::trace::Category::cat, (when),       \
+                               __VA_ARGS__);                              \
+    } while (0)
+
+} // namespace inc
+
+#endif // INCEPTIONN_SIM_TRACE_H

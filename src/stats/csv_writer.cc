@@ -1,0 +1,75 @@
+#include "stats/csv_writer.h"
+
+#include <cstdio>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    INC_ASSERT(!headers_.empty(), "csv needs at least one column");
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> cells)
+{
+    INC_ASSERT(cells.size() == headers_.size(),
+               "row has %zu cells, csv has %zu columns", cells.size(),
+               headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+CsvWriter::render() const
+{
+    std::string out;
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out += ',';
+            out += escape(row[c]);
+        }
+        out += '\n';
+    };
+    renderRow(headers_);
+    for (const auto &row : rows_)
+        renderRow(row);
+    return out;
+}
+
+bool
+CsvWriter::writeFile(const std::string &path) const
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const std::string data = render();
+    const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    if (written != data.size()) {
+        warn("short write to '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace inc

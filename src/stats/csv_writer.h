@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Tiny CSV emitter so each bench can drop machine-readable results next
+ * to its human-readable table (for downstream plotting).
+ */
+
+#ifndef INCEPTIONN_STATS_CSV_WRITER_H
+#define INCEPTIONN_STATS_CSV_WRITER_H
+
+#include <string>
+#include <vector>
+
+namespace inc {
+
+/** Accumulates rows and writes an RFC-4180-ish CSV file. */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Serialize all rows. */
+    std::string render() const;
+
+    /**
+     * Write to @p path.
+     * @return true on success (failure warns and returns false).
+     */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_STATS_CSV_WRITER_H

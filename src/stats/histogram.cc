@@ -1,0 +1,124 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), counts_(static_cast<size_t>(bins), 0),
+      minSeen_(std::numeric_limits<double>::infinity()),
+      maxSeen_(-std::numeric_limits<double>::infinity())
+{
+    INC_ASSERT(bins >= 1, "need >= 1 bin");
+    INC_ASSERT(lo < hi, "empty range");
+}
+
+void
+Histogram::add(double v)
+{
+    const double t = (v - lo_) / (hi_ - lo_);
+    int idx = static_cast<int>(t * static_cast<double>(bins()));
+    idx = std::clamp(idx, 0, bins() - 1);
+    ++counts_[static_cast<size_t>(idx)];
+    ++total_;
+    sum_ += v;
+    sumSq_ += v * v;
+    minSeen_ = std::min(minSeen_, v);
+    maxSeen_ = std::max(maxSeen_, v);
+}
+
+void
+Histogram::addAll(std::span<const float> vs)
+{
+    for (float v : vs)
+        add(static_cast<double>(v));
+}
+
+double
+Histogram::binCenter(int i) const
+{
+    const double w = (hi_ - lo_) / static_cast<double>(bins());
+    return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+double
+Histogram::frequency(int i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_[static_cast<size_t>(i)]) /
+           static_cast<double>(total_);
+}
+
+double
+Histogram::fractionWithin(double bound) const
+{
+    if (total_ == 0)
+        return 0.0;
+    uint64_t n = 0;
+    for (int i = 0; i < bins(); ++i) {
+        if (std::abs(binCenter(i)) <= bound)
+            n += counts_[static_cast<size_t>(i)];
+    }
+    return static_cast<double>(n) / static_cast<double>(total_);
+}
+
+double
+Histogram::mean() const
+{
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+double
+Histogram::stddev() const
+{
+    if (total_ == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSq_ / static_cast<double>(total_) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::string
+Histogram::asciiPlot(int rows, int width) const
+{
+    std::string out;
+    if (total_ == 0)
+        return "(empty histogram)\n";
+    rows = std::min(rows, bins());
+    const int merge = (bins() + rows - 1) / rows;
+    std::vector<uint64_t> merged;
+    for (int i = 0; i < bins(); i += merge) {
+        uint64_t s = 0;
+        for (int j = i; j < std::min(i + merge, bins()); ++j)
+            s += counts_[static_cast<size_t>(j)];
+        merged.push_back(s);
+    }
+    const uint64_t peak = *std::max_element(merged.begin(), merged.end());
+    for (size_t r = 0; r < merged.size(); ++r) {
+        const double center =
+            lo_ + (hi_ - lo_) * (static_cast<double>(r) + 0.5) /
+                      static_cast<double>(merged.size());
+        char head[48];
+        std::snprintf(head, sizeof(head), "%+8.3f |", center);
+        out += head;
+        const int len = peak == 0
+                            ? 0
+                            : static_cast<int>(static_cast<double>(width) *
+                                               static_cast<double>(merged[r]) /
+                                               static_cast<double>(peak));
+        out.append(static_cast<size_t>(len), '#');
+        char tail[32];
+        std::snprintf(tail, sizeof(tail), " %.4f\n",
+                      static_cast<double>(merged[r]) /
+                          static_cast<double>(total_));
+        out += tail;
+    }
+    return out;
+}
+
+} // namespace inc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-bin histogram over a closed value range, used to reproduce the
+ * gradient-distribution plots (paper Fig. 5) and general diagnostics.
+ */
+
+#ifndef INCEPTIONN_STATS_HISTOGRAM_H
+#define INCEPTIONN_STATS_HISTOGRAM_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace inc {
+
+/** Equal-width histogram over [lo, hi]; out-of-range samples clamp. */
+class Histogram
+{
+  public:
+    /** @pre bins >= 1 and lo < hi. */
+    Histogram(double lo, double hi, int bins);
+
+    /** Add one sample. */
+    void add(double v);
+
+    /** Add many samples. */
+    void addAll(std::span<const float> vs);
+
+    /** Count in bin @p i. */
+    uint64_t bin(int i) const { return counts_[static_cast<size_t>(i)]; }
+
+    /** Number of bins. */
+    int bins() const { return static_cast<int>(counts_.size()); }
+
+    /** Center value of bin @p i. */
+    double binCenter(int i) const;
+
+    /** Total samples. */
+    uint64_t total() const { return total_; }
+
+    /** Fraction of samples falling in bin @p i. */
+    double frequency(int i) const;
+
+    /** Fraction of samples with |v| <= bound. */
+    double fractionWithin(double bound) const;
+
+    /** Sample mean. */
+    double mean() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest / largest sample seen. */
+    double minSeen() const { return minSeen_; }
+    double maxSeen() const { return maxSeen_; }
+
+    /**
+     * Render an ASCII sketch (one row per @p rows merged bins) with
+     * normalized bar lengths — enough to eyeball Fig. 5 shapes.
+     */
+    std::string asciiPlot(int rows = 20, int width = 50) const;
+
+  private:
+    double lo_, hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+    double sum_ = 0.0, sumSq_ = 0.0;
+    double minSeen_, maxSeen_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_STATS_HISTOGRAM_H

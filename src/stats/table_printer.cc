@@ -1,0 +1,80 @@
+#include "stats/table_printer.h"
+
+#include <cstdio>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    INC_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    INC_ASSERT(cells.size() == headers_.size(),
+               "row has %zu cells, table has %zu columns", cells.size(),
+               headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+TablePrinter::render(const std::string &title) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += "| ";
+            line += row[c];
+            line.append(widths[c] - row[c].size() + 1, ' ');
+        }
+        line += "|\n";
+        return line;
+    };
+
+    std::string sep;
+    for (size_t c = 0; c < widths.size(); ++c) {
+        sep += "+";
+        sep.append(widths[c] + 2, '-');
+    }
+    sep += "+\n";
+
+    std::string out;
+    if (!title.empty())
+        out += title + "\n";
+    out += sep;
+    out += renderRow(headers_);
+    out += sep;
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    out += sep;
+    return out;
+}
+
+} // namespace inc

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal ASCII table rendering for the bench binaries, so every
+ * reproduced paper table/figure prints as aligned rows.
+ */
+
+#ifndef INCEPTIONN_STATS_TABLE_PRINTER_H
+#define INCEPTIONN_STATS_TABLE_PRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace inc {
+
+/** Column-aligned ASCII table with a header row and optional title. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format a percentage ("12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render the full table. */
+    std::string render(const std::string &title = "") const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_STATS_TABLE_PRINTER_H

@@ -1,0 +1,81 @@
+#include "stats/timeline.h"
+
+#include <cstdio>
+#include <map>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+void
+TimelineRecorder::record(const std::string &track, const std::string &name,
+                         Tick start, Tick duration)
+{
+    events_.push_back(Event{track, name, start, duration});
+}
+
+std::string
+TimelineRecorder::render() const
+{
+    // Assign one "thread" id per track, in first-seen order.
+    std::map<std::string, int> tids;
+    for (const auto &e : events_)
+        tids.emplace(e.track, static_cast<int>(tids.size()) + 1);
+
+    auto escape = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    };
+
+    std::string out = "{\"traceEvents\":[\n";
+    // Thread-name metadata rows.
+    bool first = true;
+    for (const auto &[track, tid] : tids) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                      "\"name\":\"thread_name\",\"args\":{\"name\":"
+                      "\"%s\"}}",
+                      first ? "" : ",\n", tid, escape(track).c_str());
+        out += buf;
+        first = false;
+    }
+    for (const auto &e : events_) {
+        char buf[384];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                      "\"name\":\"%s\",\"ts\":%.3f,\"dur\":%.3f}",
+                      first ? "" : ",\n", tids[e.track],
+                      escape(e.name).c_str(),
+                      toSeconds(e.start) * 1e6,
+                      toSeconds(e.duration) * 1e6);
+        out += buf;
+        first = false;
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+TimelineRecorder::writeFile(const std::string &path) const
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const std::string data = render();
+    const bool ok =
+        std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    std::fclose(f);
+    if (!ok)
+        warn("short write to '%s'", path.c_str());
+    return ok;
+}
+
+} // namespace inc

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Chrome trace-event timeline recording: simulation activity (link
+ * occupancy, CPU compute, exchanges) serialized as the Catapult JSON
+ * format that chrome://tracing and Perfetto load directly. Attach a
+ * recorder, run the simulation, write the file, drop it into the
+ * browser.
+ */
+
+#ifndef INCEPTIONN_STATS_TIMELINE_H
+#define INCEPTIONN_STATS_TIMELINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace inc {
+
+/** Records complete ("X" phase) trace events. */
+class TimelineRecorder
+{
+  public:
+    /**
+     * Record one interval.
+     * @param track row name in the viewer (e.g. "host0->switch").
+     * @param name event label (e.g. "segment 1448B").
+     * @param start, duration simulation ticks.
+     */
+    void record(const std::string &track, const std::string &name,
+                Tick start, Tick duration);
+
+    size_t eventCount() const { return events_.size(); }
+
+    /** Serialize to Catapult JSON (microsecond timestamps). */
+    std::string render() const;
+
+    /** Write render() to @p path; warns and returns false on failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        std::string track;
+        std::string name;
+        Tick start;
+        Tick duration;
+    };
+
+    std::vector<Event> events_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_STATS_TIMELINE_H

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Blocked single-precision GEMM, the compute workhorse behind every dense
+ * and (via im2col) convolutional layer in the training substrate.
+ */
+
+#ifndef INCEPTIONN_TENSOR_GEMM_H
+#define INCEPTIONN_TENSOR_GEMM_H
+
+#include <cstddef>
+
+namespace inc {
+
+/** Whether an operand is used transposed. */
+enum class Trans { No, Yes };
+
+/**
+ * C = alpha * op(A) * op(B) + beta * C, row-major.
+ *
+ * op(A) is m x k and op(B) is k x n; C is m x n. Leading dimensions are
+ * the *stored* row strides of A, B, C (i.e. of the untransposed arrays).
+ */
+void gemm(Trans trans_a, Trans trans_b, size_t m, size_t n, size_t k,
+          float alpha, const float *a, size_t lda, const float *b,
+          size_t ldb, float beta, float *c, size_t ldc);
+
+/** Convenience: C(mxn) = A(mxk) * B(kxn), overwriting C. */
+void matmul(const float *a, const float *b, float *c, size_t m, size_t n,
+            size_t k);
+
+} // namespace inc
+
+#endif // INCEPTIONN_TENSOR_GEMM_H

@@ -1,0 +1,150 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+void
+im2col(const float *image, const ConvGeom &g, float *columns)
+{
+    const size_t oh = g.outH(), ow = g.outW();
+    const size_t ncols = oh * ow;
+    size_t row = 0;
+    for (size_t c = 0; c < g.inChannels; ++c) {
+        for (size_t ky = 0; ky < g.kernel; ++ky) {
+            for (size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+                float *dst = columns + row * ncols;
+                for (size_t y = 0; y < oh; ++y) {
+                    const ptrdiff_t iy =
+                        static_cast<ptrdiff_t>(y * g.stride + ky) -
+                        static_cast<ptrdiff_t>(g.pad);
+                    for (size_t x = 0; x < ow; ++x) {
+                        const ptrdiff_t ix =
+                            static_cast<ptrdiff_t>(x * g.stride + kx) -
+                            static_cast<ptrdiff_t>(g.pad);
+                        float v = 0.0f;
+                        if (iy >= 0 && iy < static_cast<ptrdiff_t>(g.inH) &&
+                            ix >= 0 && ix < static_cast<ptrdiff_t>(g.inW)) {
+                            v = image[(c * g.inH +
+                                       static_cast<size_t>(iy)) * g.inW +
+                                      static_cast<size_t>(ix)];
+                        }
+                        dst[y * ow + x] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+col2im(const float *columns, const ConvGeom &g, float *image)
+{
+    const size_t oh = g.outH(), ow = g.outW();
+    const size_t ncols = oh * ow;
+    std::fill(image, image + g.inChannels * g.inH * g.inW, 0.0f);
+    size_t row = 0;
+    for (size_t c = 0; c < g.inChannels; ++c) {
+        for (size_t ky = 0; ky < g.kernel; ++ky) {
+            for (size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+                const float *src = columns + row * ncols;
+                for (size_t y = 0; y < oh; ++y) {
+                    const ptrdiff_t iy =
+                        static_cast<ptrdiff_t>(y * g.stride + ky) -
+                        static_cast<ptrdiff_t>(g.pad);
+                    if (iy < 0 || iy >= static_cast<ptrdiff_t>(g.inH))
+                        continue;
+                    for (size_t x = 0; x < ow; ++x) {
+                        const ptrdiff_t ix =
+                            static_cast<ptrdiff_t>(x * g.stride + kx) -
+                            static_cast<ptrdiff_t>(g.pad);
+                        if (ix < 0 || ix >= static_cast<ptrdiff_t>(g.inW))
+                            continue;
+                        image[(c * g.inH + static_cast<size_t>(iy)) * g.inW +
+                              static_cast<size_t>(ix)] += src[y * ow + x];
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+reluForward(std::span<const float> x, std::span<float> y)
+{
+    INC_ASSERT(x.size() == y.size(), "relu size mismatch");
+    for (size_t i = 0; i < x.size(); ++i)
+        y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void
+reluBackward(std::span<const float> x, std::span<const float> dy,
+             std::span<float> dx)
+{
+    INC_ASSERT(x.size() == dy.size() && x.size() == dx.size(),
+               "relu size mismatch");
+    for (size_t i = 0; i < x.size(); ++i)
+        dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+}
+
+void
+softmaxRows(const float *x, float *y, size_t rows, size_t cols)
+{
+    for (size_t r = 0; r < rows; ++r) {
+        const float *xi = x + r * cols;
+        float *yi = y + r * cols;
+        float mx = xi[0];
+        for (size_t c = 1; c < cols; ++c)
+            mx = std::max(mx, xi[c]);
+        double denom = 0.0;
+        for (size_t c = 0; c < cols; ++c) {
+            yi[c] = std::exp(xi[c] - mx);
+            denom += yi[c];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (size_t c = 0; c < cols; ++c)
+            yi[c] *= inv;
+    }
+}
+
+void
+addRowBias(float *x, const float *bias, size_t rows, size_t cols)
+{
+    for (size_t r = 0; r < rows; ++r) {
+        float *xi = x + r * cols;
+        for (size_t c = 0; c < cols; ++c)
+            xi[c] += bias[c];
+    }
+}
+
+void
+rowBiasGrad(const float *dy, float *dbias, size_t rows, size_t cols)
+{
+    for (size_t r = 0; r < rows; ++r) {
+        const float *di = dy + r * cols;
+        for (size_t c = 0; c < cols; ++c)
+            dbias[c] += di[c];
+    }
+}
+
+void
+axpy(float alpha, std::span<const float> x, std::span<float> y)
+{
+    INC_ASSERT(x.size() == y.size(), "axpy size mismatch");
+    for (size_t i = 0; i < x.size(); ++i)
+        y[i] += alpha * x[i];
+}
+
+double
+squaredNorm(std::span<const float> x)
+{
+    double s = 0.0;
+    for (float v : x)
+        s += static_cast<double>(v) * static_cast<double>(v);
+    return s;
+}
+
+} // namespace inc

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tensor primitives shared by the NN layers: im2col/col2im lowering for
+ * convolutions, row-wise softmax, bias application, and elementwise math.
+ */
+
+#ifndef INCEPTIONN_TENSOR_OPS_H
+#define INCEPTIONN_TENSOR_OPS_H
+
+#include <cstddef>
+#include <span>
+
+namespace inc {
+
+/** Spatial geometry of a convolution / pooling window. */
+struct ConvGeom
+{
+    size_t inChannels, inH, inW;
+    size_t kernel, stride, pad;
+
+    size_t outH() const { return (inH + 2 * pad - kernel) / stride + 1; }
+    size_t outW() const { return (inW + 2 * pad - kernel) / stride + 1; }
+    /** Rows of the lowered patch matrix: C * K * K. */
+    size_t patchSize() const { return inChannels * kernel * kernel; }
+};
+
+/**
+ * Lower one image (CHW, contiguous) into a patch matrix of shape
+ * [patchSize x outH*outW], so conv becomes GEMM. Out-of-bounds (padding)
+ * elements read as zero.
+ */
+void im2col(const float *image, const ConvGeom &g, float *columns);
+
+/** Transpose of im2col: scatter-add columns back into an image (CHW). */
+void col2im(const float *columns, const ConvGeom &g, float *image);
+
+/** y = max(x, 0), elementwise. In-place allowed (y == x). */
+void reluForward(std::span<const float> x, std::span<float> y);
+
+/** dx = dy where x > 0 else 0. In-place allowed. */
+void reluBackward(std::span<const float> x, std::span<const float> dy,
+                  std::span<float> dx);
+
+/** Row-wise softmax over a [rows x cols] matrix (numerically stable). */
+void softmaxRows(const float *x, float *y, size_t rows, size_t cols);
+
+/** Add bias[j] to every row of a [rows x cols] matrix, in place. */
+void addRowBias(float *x, const float *bias, size_t rows, size_t cols);
+
+/** dbias[j] = sum over rows of dy[., j]. Accumulates into dbias. */
+void rowBiasGrad(const float *dy, float *dbias, size_t rows, size_t cols);
+
+/** y += x, elementwise. */
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/** Squared L2 norm. */
+double squaredNorm(std::span<const float> x);
+
+} // namespace inc
+
+#endif // INCEPTIONN_TENSOR_OPS_H

@@ -1,0 +1,106 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+
+#include "sim/logging.h"
+#include "sim/random.h"
+
+namespace inc {
+
+namespace {
+
+size_t
+shapeNumel(const std::vector<size_t> &shape)
+{
+    size_t n = 1;
+    for (size_t d : shape)
+        n *= d;
+    return shape.empty() ? 0 : n;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<size_t> shape)
+    : shape_(std::move(shape)), data_(shapeNumel(shape_), 0.0f)
+{
+}
+
+Tensor::Tensor(std::initializer_list<size_t> shape)
+    : Tensor(std::vector<size_t>(shape))
+{
+}
+
+size_t
+Tensor::dim(size_t i) const
+{
+    INC_ASSERT(i < shape_.size(), "dim %zu out of rank %zu", i,
+               shape_.size());
+    return shape_[i];
+}
+
+float &
+Tensor::at(size_t r, size_t c)
+{
+    INC_ASSERT(rank() == 2, "2-d access on rank-%zu tensor", rank());
+    return data_[r * shape_[1] + c];
+}
+
+float
+Tensor::at(size_t r, size_t c) const
+{
+    return const_cast<Tensor *>(this)->at(r, c);
+}
+
+float &
+Tensor::at(size_t n, size_t c, size_t h, size_t w)
+{
+    INC_ASSERT(rank() == 4, "4-d access on rank-%zu tensor", rank());
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float
+Tensor::at(size_t n, size_t c, size_t h, size_t w) const
+{
+    return const_cast<Tensor *>(this)->at(n, c, h, w);
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+Tensor::fillGaussian(Rng &rng, float stddev)
+{
+    for (auto &x : data_)
+        x = static_cast<float>(rng.gaussian(0.0, stddev));
+}
+
+void
+Tensor::reshape(std::vector<size_t> shape)
+{
+    INC_ASSERT(shapeNumel(shape) == numel(),
+               "reshape %zu elements into %zu", numel(), shapeNumel(shape));
+    shape_ = std::move(shape);
+}
+
+double
+Tensor::sum() const
+{
+    return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::string s = "[";
+    for (size_t i = 0; i < shape_.size(); ++i) {
+        if (i)
+            s += "x";
+        s += std::to_string(shape_[i]);
+    }
+    return s + "]";
+}
+
+} // namespace inc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A minimal dense float32 n-d tensor for the DNN training substrate. The
+ * accuracy experiments (paper Figs. 4/5/13/14, Table III) run real
+ * forward/backward passes on these tensors; no external BLAS or framework
+ * is used.
+ */
+
+#ifndef INCEPTIONN_TENSOR_TENSOR_H
+#define INCEPTIONN_TENSOR_TENSOR_H
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace inc {
+
+class Rng;
+
+/** Contiguous row-major float tensor. Copyable; copies are deep. */
+class Tensor
+{
+  public:
+    /** An empty (rank-0, zero-element) tensor. */
+    Tensor() = default;
+
+    /** Zero-filled tensor of the given shape. */
+    explicit Tensor(std::vector<size_t> shape);
+
+    /** Convenience: Tensor({2, 3}) etc. */
+    Tensor(std::initializer_list<size_t> shape);
+
+    const std::vector<size_t> &shape() const { return shape_; }
+    size_t rank() const { return shape_.size(); }
+
+    /** Extent of dimension @p i. */
+    size_t dim(size_t i) const;
+
+    /** Total number of elements. */
+    size_t numel() const { return data_.size(); }
+
+    /** Raw storage. */
+    std::span<float> data() { return data_; }
+    std::span<const float> data() const { return data_; }
+    float *raw() { return data_.data(); }
+    const float *raw() const { return data_.data(); }
+
+    /** Element access by flat index. */
+    float &operator[](size_t i) { return data_[i]; }
+    float operator[](size_t i) const { return data_[i]; }
+
+    /** 2-d access (rank must be 2). */
+    float &at(size_t r, size_t c);
+    float at(size_t r, size_t c) const;
+
+    /** 4-d access (rank must be 4; NCHW). */
+    float &at(size_t n, size_t c, size_t h, size_t w);
+    float at(size_t n, size_t c, size_t h, size_t w) const;
+
+    /** Set every element to @p v. */
+    void fill(float v);
+
+    /** Fill with N(0, stddev^2) values from @p rng. */
+    void fillGaussian(Rng &rng, float stddev);
+
+    /**
+     * Reinterpret the shape in place.
+     * @pre the new shape has the same numel.
+     */
+    void reshape(std::vector<size_t> shape);
+
+    /** Sum of all elements. */
+    double sum() const;
+
+    /** "[2x3x4]" style description. */
+    std::string shapeString() const;
+
+  private:
+    std::vector<size_t> shape_;
+    std::vector<float> data_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_TENSOR_TENSOR_H

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "baselines/snappy_like.h"
+#include "baselines/software_cost.h"
+#include "baselines/sz_like.h"
+#include "baselines/truncation.h"
+#include "sim/random.h"
+
+namespace inc {
+namespace {
+
+std::vector<float>
+gradientLike(size_t n, double sigma, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian(0.0, sigma));
+    return v;
+}
+
+TEST(Truncation, RatioTable)
+{
+    EXPECT_DOUBLE_EQ(TruncationCodec(16).ratio(), 2.0);
+    EXPECT_DOUBLE_EQ(TruncationCodec(22).ratio(), 3.2);
+    EXPECT_DOUBLE_EQ(TruncationCodec(24).ratio(), 4.0);
+    EXPECT_DOUBLE_EQ(TruncationCodec(0).ratio(), 1.0);
+}
+
+TEST(Truncation, ZeroBitsIsIdentity)
+{
+    const TruncationCodec t(0);
+    for (float f : {0.1f, -3.7f, 1e-9f})
+        EXPECT_EQ(t.roundtrip(f), f);
+}
+
+TEST(Truncation, SixteenBitKeepsMagnitude)
+{
+    const TruncationCodec t(16);
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const float f = static_cast<float>(rng.uniform(-1.0, 1.0));
+        const float back = t.roundtrip(f);
+        // 16 dropped mantissa bits: relative error < 2^-7 + a bit.
+        if (std::abs(f) > 1e-6)
+            ASSERT_LT(std::abs(f - back) / std::abs(f), 0.008 + 1e-6)
+                << f;
+        // Truncation moves toward zero.
+        ASSERT_LE(std::abs(back), std::abs(f));
+    }
+}
+
+TEST(Truncation, TwentyFourBitsDamagesExponent)
+{
+    // 24b-T zeroes the whole mantissa plus one exponent LSB: Fig. 14's
+    // accuracy cliff. The worst error model reports unbounded damage.
+    const TruncationCodec t(24);
+    EXPECT_TRUE(std::isinf(t.worstError(1.0)));
+    // 0.25 has biased exponent 125 (LSB set): zeroing bit 23 halves the
+    // exponent's contribution, collapsing the value to 0.125.
+    EXPECT_EQ(t.roundtrip(0.25f), 0.125f);
+    // 0.7's mantissa is wiped: it lands on 0.5 exactly.
+    EXPECT_EQ(t.roundtrip(0.7f), 0.5f);
+}
+
+TEST(Truncation, WorstErrorBoundHolds)
+{
+    const TruncationCodec t(22);
+    const double bound = t.worstError(1.0);
+    Rng rng(2);
+    for (int i = 0; i < 20000; ++i) {
+        const float f = static_cast<float>(rng.uniform(-1.0, 1.0));
+        ASSERT_LE(std::abs(f - t.roundtrip(f)), bound) << f;
+    }
+}
+
+TEST(Truncation, BufferRoundtrip)
+{
+    const TruncationCodec t(16);
+    auto v = gradientLike(100, 0.1, 3);
+    auto expect = v;
+    for (auto &x : expect)
+        x = t.roundtrip(x);
+    t.roundtrip(std::span<float>(v));
+    EXPECT_EQ(v, expect);
+}
+
+TEST(SnappyLike, RoundTripText)
+{
+    const char *text = "the quick brown fox jumps over the lazy dog and "
+                       "the quick brown fox jumps over the lazy dog again "
+                       "and again and again and again";
+    std::span<const uint8_t> in(
+        reinterpret_cast<const uint8_t *>(text), std::strlen(text));
+    const auto compressed = SnappyLikeCodec::compress(in);
+    const auto back = SnappyLikeCodec::decompress(compressed);
+    ASSERT_EQ(back.size(), in.size());
+    EXPECT_TRUE(std::equal(back.begin(), back.end(), in.begin()));
+    EXPECT_LT(compressed.size(), in.size()); // repetitive text shrinks
+}
+
+TEST(SnappyLike, RoundTripEmpty)
+{
+    const auto compressed = SnappyLikeCodec::compress({});
+    EXPECT_TRUE(SnappyLikeCodec::decompress(compressed).empty());
+}
+
+TEST(SnappyLike, RoundTripRandomBinary)
+{
+    Rng rng(4);
+    std::vector<uint8_t> data(50000);
+    for (auto &b : data)
+        b = static_cast<uint8_t>(rng.below(256));
+    const auto compressed = SnappyLikeCodec::compress(data);
+    EXPECT_EQ(SnappyLikeCodec::decompress(compressed), data);
+}
+
+TEST(SnappyLike, RoundTripRunLengthData)
+{
+    std::vector<uint8_t> data(10000, 0xAB); // overlapping-copy stress
+    const auto compressed = SnappyLikeCodec::compress(data);
+    EXPECT_EQ(SnappyLikeCodec::decompress(compressed), data);
+    // Copy length caps at 67 bytes/op (3-byte ops): ~21x on pure runs.
+    EXPECT_LT(compressed.size(), data.size() / 10);
+}
+
+TEST(SnappyLike, RoundTripAllSegmentBoundaries)
+{
+    Rng rng(5);
+    for (size_t n : {1u, 3u, 4u, 5u, 127u, 128u, 129u, 255u, 256u}) {
+        std::vector<uint8_t> data(n);
+        for (auto &b : data)
+            b = static_cast<uint8_t>(rng.below(4)); // compressible
+        const auto compressed = SnappyLikeCodec::compress(data);
+        ASSERT_EQ(SnappyLikeCodec::decompress(compressed), data)
+            << "n=" << n;
+    }
+}
+
+TEST(SnappyLike, GradientFloatsBarelyCompress)
+{
+    // The paper's motivation: lossless on FP gradients gives only ~1.5x.
+    const auto grads = gradientLike(100000, 0.02, 6);
+    const double ratio = SnappyLikeCodec::measureRatio(
+        std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t *>(grads.data()),
+            grads.size() * 4));
+    EXPECT_LT(ratio, 2.0);
+    EXPECT_GT(ratio, 0.8);
+}
+
+TEST(SzLike, RoundTripWithinBound)
+{
+    const SzLikeCodec codec(1.0 / 1024.0);
+    const auto vals = gradientLike(20000, 0.05, 7);
+    const auto compressed = codec.compress(vals);
+    const auto back = codec.decompress(compressed);
+    ASSERT_EQ(back.size(), vals.size());
+    for (size_t i = 0; i < vals.size(); ++i)
+        ASSERT_LE(std::abs(vals[i] - back[i]), codec.errorBound() + 1e-12)
+            << i;
+}
+
+TEST(SzLike, SmoothDataCompressesHard)
+{
+    std::vector<float> smooth(10000);
+    for (size_t i = 0; i < smooth.size(); ++i)
+        smooth[i] = std::sin(static_cast<float>(i) * 0.001f);
+    const SzLikeCodec codec(1e-3);
+    EXPECT_GT(codec.measureRatio(smooth), 3.0);
+}
+
+TEST(SzLike, GradientDataModestRatio)
+{
+    // Gradients are noise-like: the 1-d predictor buys little beyond the
+    // code shrinkage. Expect a ratio well below INCEPTIONN's.
+    const auto grads = gradientLike(50000, 0.02, 8);
+    const SzLikeCodec codec(1.0 / 1024.0);
+    const double ratio = codec.measureRatio(grads);
+    EXPECT_GT(ratio, 1.5);
+    EXPECT_LT(ratio, 6.0);
+}
+
+TEST(SzLike, EscapesPreserveWildValues)
+{
+    std::vector<float> vals{0.0f, 100.0f, -250.5f, 0.001f, 1e8f};
+    const SzLikeCodec codec(1e-4);
+    const auto back = codec.decompress(codec.compress(vals));
+    for (size_t i = 0; i < vals.size(); ++i)
+        ASSERT_LE(std::abs(vals[i] - back[i]),
+                  codec.errorBound() + 1e-12);
+}
+
+TEST(SoftwareCost, DefaultsAndOverrides)
+{
+    SoftwareCostModel m;
+    EXPECT_NEAR(m.compressSeconds(SoftwareCodecKind::SnappyLike,
+                                  250 * 1000 * 1000),
+                1.0, 1e-9);
+    EXPECT_GT(m.compressSeconds(SoftwareCodecKind::SzLike, 1000000),
+              m.compressSeconds(SoftwareCodecKind::SnappyLike, 1000000));
+    m.setThroughput(SoftwareCodecKind::SnappyLike, {500e6, 2000e6});
+    EXPECT_NEAR(m.compressSeconds(SoftwareCodecKind::SnappyLike, 500e6),
+                1.0, 1e-9);
+}
+
+} // namespace
+} // namespace inc

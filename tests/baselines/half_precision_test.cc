@@ -1,0 +1,105 @@
+#include "baselines/half_precision.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sim/random.h"
+
+namespace inc {
+namespace {
+
+TEST(HalfPrecision, ExactValuesSurvive)
+{
+    for (float f : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -0.25f, 1024.0f,
+                    0.09375f}) {
+        EXPECT_EQ(HalfPrecisionCodec::roundtrip(f), f) << f;
+    }
+}
+
+TEST(HalfPrecision, KnownEncodings)
+{
+    EXPECT_EQ(floatToHalf(0.0f), 0x0000);
+    EXPECT_EQ(floatToHalf(-0.0f), 0x8000);
+    EXPECT_EQ(floatToHalf(1.0f), 0x3C00);
+    EXPECT_EQ(floatToHalf(-2.0f), 0xC000);
+    EXPECT_EQ(floatToHalf(65504.0f), 0x7BFF); // largest normal half
+    // 2^-14: smallest normal; 2^-24: smallest subnormal.
+    EXPECT_EQ(floatToHalf(std::ldexp(1.0f, -14)), 0x0400);
+    EXPECT_EQ(floatToHalf(std::ldexp(1.0f, -24)), 0x0001);
+    EXPECT_EQ(floatToHalf(std::ldexp(1.0f, -15)), 0x0200);
+}
+
+TEST(HalfPrecision, OverflowToInfinity)
+{
+    EXPECT_EQ(floatToHalf(1e6f), 0x7C00);
+    EXPECT_EQ(floatToHalf(-1e6f), 0xFC00);
+    EXPECT_TRUE(std::isinf(halfToFloat(0x7C00)));
+}
+
+TEST(HalfPrecision, NanSurvives)
+{
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(std::isnan(HalfPrecisionCodec::roundtrip(nan)));
+}
+
+TEST(HalfPrecision, UnderflowToZero)
+{
+    EXPECT_EQ(HalfPrecisionCodec::roundtrip(1e-9f), 0.0f);
+    EXPECT_EQ(floatToHalf(-1e-9f), 0x8000);
+}
+
+TEST(HalfPrecision, RelativeErrorBoundInNormalRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 100000; ++i) {
+        const float f =
+            static_cast<float>(rng.uniform(-1.0, 1.0));
+        if (std::abs(f) < std::ldexp(1.0f, -14))
+            continue; // subnormal range has absolute, not relative, bound
+        const float back = HalfPrecisionCodec::roundtrip(f);
+        // Round-to-nearest: relative error <= 2^-11.
+        ASSERT_LE(std::abs(back - f) / std::abs(f),
+                  std::ldexp(1.0, -11) + 1e-12)
+            << f;
+    }
+}
+
+TEST(HalfPrecision, SubnormalAbsoluteErrorBound)
+{
+    Rng rng(2);
+    for (int i = 0; i < 50000; ++i) {
+        const float f = static_cast<float>(
+            rng.uniform(-1.0, 1.0) * std::ldexp(1.0, -14));
+        const float back = HalfPrecisionCodec::roundtrip(f);
+        // Half a subnormal ULP = 2^-25.
+        ASSERT_LE(std::abs(back - f), std::ldexp(1.0, -25) + 1e-16) << f;
+    }
+}
+
+TEST(HalfPrecision, RoundTripIsIdempotent)
+{
+    Rng rng(3);
+    for (int i = 0; i < 50000; ++i) {
+        const float f = static_cast<float>(rng.gaussian(0.0, 0.3));
+        const float once = HalfPrecisionCodec::roundtrip(f);
+        ASSERT_EQ(HalfPrecisionCodec::roundtrip(once), once) << f;
+    }
+}
+
+TEST(HalfPrecision, ExhaustiveHalfDecodeEncodeIdentity)
+{
+    // Every finite half value decodes to a float that re-encodes to the
+    // same bit pattern.
+    for (uint32_t h = 0; h < 0x10000u; ++h) {
+        const uint32_t exp = (h >> 10) & 0x1Fu;
+        if (exp == 0x1F)
+            continue; // Inf/NaN payloads need not round-trip bit-exact
+        const float f = halfToFloat(static_cast<uint16_t>(h));
+        ASSERT_EQ(floatToHalf(f), static_cast<uint16_t>(h)) << h;
+    }
+}
+
+} // namespace
+} // namespace inc

@@ -1,0 +1,144 @@
+#include "baselines/quantizers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace inc {
+namespace {
+
+std::vector<float>
+gradientLike(size_t n, double sigma, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian(0.0, sigma));
+    return v;
+}
+
+TEST(TernGrad, OutputIsTernary)
+{
+    auto v = gradientLike(10000, 0.05, 1);
+    float max_abs = 0.0f;
+    for (float x : v)
+        max_abs = std::max(max_abs, std::abs(x));
+    TernGradCodec codec(7);
+    codec.roundtrip(v);
+    std::set<float> levels;
+    for (float x : v)
+        levels.insert(x);
+    EXPECT_LE(levels.size(), 3u);
+    for (float x : v)
+        EXPECT_TRUE(x == 0.0f || std::abs(x) == max_abs) << x;
+}
+
+TEST(TernGrad, UnbiasedInExpectation)
+{
+    // Quantize the same vector many times: the average converges to it.
+    const auto original = gradientLike(200, 0.05, 2);
+    std::vector<double> acc(original.size(), 0.0);
+    const int trials = 600;
+    TernGradCodec codec(3);
+    for (int t = 0; t < trials; ++t) {
+        std::vector<float> v = original;
+        codec.roundtrip(v);
+        for (size_t i = 0; i < v.size(); ++i)
+            acc[i] += v[i];
+    }
+    double worst = 0.0;
+    for (size_t i = 0; i < original.size(); ++i)
+        worst = std::max(worst,
+                         std::abs(acc[i] / trials - original[i]));
+    EXPECT_LT(worst, 0.02); // scale is ~0.2; estimator noise ~ s/sqrt(T)
+}
+
+TEST(TernGrad, ZeroVectorUntouchedAndRatio)
+{
+    std::vector<float> zeros(64, 0.0f);
+    TernGradCodec codec;
+    codec.roundtrip(zeros);
+    for (float v : zeros)
+        EXPECT_EQ(v, 0.0f);
+    EXPECT_NEAR(TernGradCodec::ratio(1 << 20), 16.0, 0.01);
+}
+
+TEST(Qsgd, LevelsAreRespected)
+{
+    auto v = gradientLike(5000, 0.05, 3);
+    double norm_sq = 0.0;
+    for (float x : v)
+        norm_sq += static_cast<double>(x) * x;
+    const double norm = std::sqrt(norm_sq);
+
+    QsgdCodec codec(4, 11);
+    codec.roundtrip(v);
+    for (float x : v) {
+        const double level = std::abs(x) / norm * 4.0;
+        EXPECT_NEAR(level, std::round(level), 1e-4);
+        EXPECT_LE(level, 4.0 + 1e-9);
+    }
+}
+
+TEST(Qsgd, UnbiasedInExpectation)
+{
+    const auto original = gradientLike(100, 0.05, 4);
+    std::vector<double> acc(original.size(), 0.0);
+    const int trials = 800;
+    QsgdCodec codec(4, 5);
+    for (int t = 0; t < trials; ++t) {
+        std::vector<float> v = original;
+        codec.roundtrip(v);
+        for (size_t i = 0; i < v.size(); ++i)
+            acc[i] += v[i];
+    }
+    double worst = 0.0;
+    for (size_t i = 0; i < original.size(); ++i)
+        worst = std::max(worst,
+                         std::abs(acc[i] / trials - original[i]));
+    EXPECT_LT(worst, 0.02);
+}
+
+TEST(Qsgd, BitsPerValueFormula)
+{
+    const QsgdCodec s4(4);
+    // sign + 3 level bits (+ amortized norm).
+    EXPECT_NEAR(s4.bitsPerValue(1 << 20), 4.0, 0.01);
+    const QsgdCodec s1(1);
+    EXPECT_NEAR(s1.bitsPerValue(1 << 20), 2.0, 0.01);
+}
+
+TEST(TopK, KeepsExactlyTheLargest)
+{
+    std::vector<float> v{0.1f, -0.9f, 0.05f, 0.5f, -0.2f, 0.0f, 0.3f,
+                         -0.4f, 0.08f, 0.02f};
+    TopKSparsifier sp(0.3); // keep 3 of 10
+    sp.roundtrip(v);
+    EXPECT_FLOAT_EQ(v[1], -0.9f);
+    EXPECT_FLOAT_EQ(v[3], 0.5f);
+    EXPECT_FLOAT_EQ(v[7], -0.4f);
+    int nonzero = 0;
+    for (float x : v)
+        nonzero += (x != 0.0f);
+    EXPECT_EQ(nonzero, 3);
+}
+
+TEST(TopK, KeepAllIsIdentity)
+{
+    auto v = gradientLike(100, 0.05, 6);
+    const auto before = v;
+    TopKSparsifier sp(1.0);
+    sp.roundtrip(v);
+    EXPECT_EQ(v, before);
+}
+
+TEST(TopK, RatioFormula)
+{
+    EXPECT_NEAR(TopKSparsifier(0.01).ratio(), 50.0, 1e-9);
+    EXPECT_NEAR(TopKSparsifier(0.1).ratio(), 5.0, 1e-9);
+}
+
+} // namespace
+} // namespace inc

@@ -1,0 +1,104 @@
+#include "comm/inceptionn_api.h"
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace inc {
+namespace {
+
+constexpr uint64_t kMB = 1000 * 1000;
+
+double
+runCall(const CollectiveCall &call, bool compressed, bool engines = true)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = nodesRequired(call);
+    cfg.nicConfig.hasCompressionEngine = engines;
+    Network net(events, cfg);
+    CommWorld comm(net);
+    double secs = -1.0;
+    events.schedule(0, [&] {
+        auto done = [&](ExchangeResult r) { secs = r.seconds(); };
+        if (compressed)
+            collecCommCompAllReduce(comm, call, done);
+        else
+            collecCommAllReduce(comm, call, done);
+    });
+    events.run();
+    return secs;
+}
+
+TEST(InceptionnApi, NodesRequiredPerAlgorithm)
+{
+    CollectiveCall call;
+    call.workers = 8;
+    call.groupSize = 4;
+    call.algorithm = CollectiveAlgorithm::WorkerAggregator;
+    EXPECT_EQ(nodesRequired(call), 9);
+    call.algorithm = CollectiveAlgorithm::Tree;
+    EXPECT_EQ(nodesRequired(call), 11);
+    call.algorithm = CollectiveAlgorithm::Ring;
+    EXPECT_EQ(nodesRequired(call), 8);
+    call.algorithm = CollectiveAlgorithm::HierRing;
+    EXPECT_EQ(nodesRequired(call), 8);
+}
+
+TEST(InceptionnApi, AllAlgorithmsComplete)
+{
+    for (const auto algo :
+         {CollectiveAlgorithm::WorkerAggregator, CollectiveAlgorithm::Tree,
+          CollectiveAlgorithm::Ring, CollectiveAlgorithm::HierRing}) {
+        CollectiveCall call;
+        call.algorithm = algo;
+        call.workers = 8;
+        call.groupSize = 4;
+        call.gradientBytes = 20 * kMB;
+        EXPECT_GT(runCall(call, false), 0.0)
+            << "algo " << static_cast<int>(algo);
+    }
+}
+
+TEST(InceptionnApi, CompVariantIsFasterWithEngines)
+{
+    for (const auto algo :
+         {CollectiveAlgorithm::WorkerAggregator, CollectiveAlgorithm::Ring,
+          CollectiveAlgorithm::HierRing}) {
+        CollectiveCall call;
+        call.algorithm = algo;
+        call.workers = 8;
+        call.groupSize = 4;
+        call.gradientBytes = 50 * kMB;
+        call.wireRatio = 8.0;
+        const double plain = runCall(call, false);
+        const double comp = runCall(call, true);
+        EXPECT_LT(comp, plain) << "algo " << static_cast<int>(algo);
+    }
+}
+
+TEST(InceptionnApi, CompVariantNoopWithoutEngines)
+{
+    CollectiveCall call;
+    call.algorithm = CollectiveAlgorithm::Ring;
+    call.workers = 4;
+    call.gradientBytes = 20 * kMB;
+    call.wireRatio = 8.0;
+    const double with_tos = runCall(call, true, /*engines=*/false);
+    const double without = runCall(call, false, /*engines=*/false);
+    EXPECT_DOUBLE_EQ(with_tos, without);
+}
+
+TEST(InceptionnApi, RingBeatsWaThroughTheApiToo)
+{
+    CollectiveCall wa;
+    wa.algorithm = CollectiveAlgorithm::WorkerAggregator;
+    wa.workers = 4;
+    wa.gradientBytes = 100 * kMB;
+    CollectiveCall ring = wa;
+    ring.algorithm = CollectiveAlgorithm::Ring;
+    EXPECT_LT(runCall(ring, false), runCall(wa, false));
+}
+
+} // namespace
+} // namespace inc

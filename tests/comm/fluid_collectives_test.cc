@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The collectives must run unchanged over the fluid transport (the
+ * Fabric abstraction), and agree with the packet model to first order.
+ */
+
+#include <gtest/gtest.h>
+
+#include "comm/inceptionn_api.h"
+#include "net/fluid.h"
+#include "net/network.h"
+
+namespace inc {
+namespace {
+
+constexpr uint64_t kMB = 1000 * 1000;
+
+template <typename Transport>
+double
+runCall(CollectiveAlgorithm algo, int workers, uint64_t bytes,
+        bool compress = false)
+{
+    CollectiveCall call;
+    call.algorithm = algo;
+    call.workers = workers;
+    call.groupSize = 4;
+    call.gradientBytes = bytes;
+    call.wireRatio = 8.0;
+
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = nodesRequired(call);
+    cfg.nicConfig.hasCompressionEngine = true;
+    Transport net(events, cfg);
+    CommWorld comm(net);
+    double secs = -1;
+    events.schedule(0, [&] {
+        auto done = [&](ExchangeResult r) { secs = r.seconds(); };
+        if (compress)
+            collecCommCompAllReduce(comm, call, done);
+        else
+            collecCommAllReduce(comm, call, done);
+    });
+    events.run();
+    return secs;
+}
+
+TEST(FluidCollectives, AllAlgorithmsComplete)
+{
+    for (const auto algo :
+         {CollectiveAlgorithm::WorkerAggregator, CollectiveAlgorithm::Tree,
+          CollectiveAlgorithm::Ring, CollectiveAlgorithm::HierRing}) {
+        EXPECT_GT(runCall<FluidNetwork>(algo, 8, 20 * kMB), 0.0)
+            << static_cast<int>(algo);
+    }
+}
+
+TEST(FluidCollectives, AgreesWithPacketModel)
+{
+    for (const auto algo : {CollectiveAlgorithm::WorkerAggregator,
+                            CollectiveAlgorithm::Ring}) {
+        const double packet = runCall<Network>(algo, 4, 100 * kMB);
+        const double fluid = runCall<FluidNetwork>(algo, 4, 100 * kMB);
+        EXPECT_NEAR(fluid / packet, 1.0, 0.10)
+            << static_cast<int>(algo);
+    }
+}
+
+TEST(FluidCollectives, RingStillBeatsWa)
+{
+    const double wa = runCall<FluidNetwork>(
+        CollectiveAlgorithm::WorkerAggregator, 4, 100 * kMB);
+    const double ring =
+        runCall<FluidNetwork>(CollectiveAlgorithm::Ring, 4, 100 * kMB);
+    EXPECT_LT(ring, wa * 0.6);
+}
+
+TEST(FluidCollectives, CompressionStillHelps)
+{
+    const double plain =
+        runCall<FluidNetwork>(CollectiveAlgorithm::Ring, 4, 100 * kMB);
+    const double comp = runCall<FluidNetwork>(CollectiveAlgorithm::Ring,
+                                              4, 100 * kMB, true);
+    EXPECT_LT(comp, plain * 0.5);
+}
+
+} // namespace
+} // namespace inc

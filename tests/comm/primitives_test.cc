@@ -1,0 +1,153 @@
+#include "comm/primitives.h"
+
+#include "comm/star_allreduce.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/network.h"
+
+namespace inc {
+namespace {
+
+constexpr uint64_t kMB = 1000 * 1000;
+
+NetworkConfig
+cluster(int nodes, bool engines = false)
+{
+    NetworkConfig cfg;
+    cfg.nodes = nodes;
+    cfg.nicConfig.hasCompressionEngine = engines;
+    return cfg;
+}
+
+double
+broadcastSeconds(int nodes, uint64_t bytes, bool compress = false,
+                 double ratio = 1.0, int root = 0)
+{
+    EventQueue events;
+    Network net(events, cluster(nodes, compress));
+    CommWorld comm(net);
+    BroadcastConfig cfg;
+    cfg.gradientBytes = bytes;
+    cfg.compressGradients = compress;
+    cfg.wireRatio = ratio;
+    cfg.root = root;
+    double secs = -1;
+    events.schedule(0, [&] {
+        runBroadcast(comm, cfg,
+                     [&](ExchangeResult r) { secs = r.seconds(); });
+    });
+    events.run();
+    EXPECT_GT(secs, 0.0);
+    return secs;
+}
+
+TEST(Broadcast, CompletesForVariousSizes)
+{
+    for (int nodes : {2, 3, 4, 5, 8, 13}) {
+        EXPECT_GT(broadcastSeconds(nodes, 5 * kMB), 0.0)
+            << nodes << " nodes";
+    }
+}
+
+TEST(Broadcast, NonZeroRootWorks)
+{
+    EXPECT_GT(broadcastSeconds(6, 5 * kMB, false, 1.0, /*root=*/3), 0.0);
+}
+
+TEST(Broadcast, ScalesLogarithmically)
+{
+    // Binomial tree: doubling the cluster adds ~one serialization round,
+    // not a linear fan-out.
+    const double t4 = broadcastSeconds(4, 50 * kMB);
+    const double t8 = broadcastSeconds(8, 50 * kMB);
+    const double t16 = broadcastSeconds(16, 50 * kMB);
+    EXPECT_NEAR(t8 - t4, t16 - t8, 0.35 * (t8 - t4) + 1e-4);
+    // And it beats a sequential root fan-out (p-1 serializations).
+    const double serial_estimate = 15.0 * 50.0 * kMB * 8 / 10e9;
+    EXPECT_LT(t16, serial_estimate * 0.6);
+}
+
+TEST(Broadcast, CompressionHelps)
+{
+    const double plain = broadcastSeconds(8, 50 * kMB, false);
+    const double comp = broadcastSeconds(8, 50 * kMB, true, 8.0);
+    EXPECT_LT(comp, plain * 0.6);
+}
+
+TEST(Barrier, CompletesQuicklyForAllSizes)
+{
+    for (int nodes : {2, 3, 4, 7, 8, 16}) {
+        EventQueue events;
+        Network net(events, cluster(nodes));
+        CommWorld comm(net);
+        BarrierConfig cfg;
+        cfg.perMessageOverhead = 0; // isolate the wire cost
+        double secs = -1;
+        events.schedule(0, [&] {
+            runBarrier(comm, cfg,
+                       [&](ExchangeResult r) { secs = r.seconds(); });
+        });
+        events.run();
+        ASSERT_GT(secs, 0.0) << nodes;
+        // log2(p) rounds of single-packet messages: well under a
+        // millisecond.
+        EXPECT_LT(secs, 1e-3) << nodes;
+    }
+}
+
+TEST(StarAblation, TreeBroadcastWeightsBeatsFanOutAtScale)
+{
+    auto star = [](bool tree) {
+        const int workers = 8;
+        EventQueue events;
+        Network net(events, cluster(workers + 1));
+        CommWorld comm(net);
+        StarConfig cfg;
+        cfg.gradientBytes = 50 * kMB;
+        cfg.aggregator = workers;
+        for (int i = 0; i < workers; ++i)
+            cfg.workers.push_back(i);
+        cfg.treeBroadcastWeights = tree;
+        double secs = -1;
+        events.schedule(0, [&] {
+            runStarAllReduce(comm, cfg,
+                             [&](ExchangeResult r) { secs = r.seconds(); });
+        });
+        events.run();
+        EXPECT_GT(secs, 0.0);
+        return secs;
+    };
+    const double fan_out = star(false);
+    const double tree = star(true);
+    // The tree relieves the weight leg (p serializations -> ~log p)...
+    EXPECT_LT(tree, fan_out);
+    // ...but the fan-in gradient leg still serializes p streams, so the
+    // total improves by well under 2x.
+    EXPECT_GT(tree, fan_out * 0.55);
+}
+
+TEST(Barrier, RoundsGrowLogarithmically)
+{
+    auto secs = [](int nodes) {
+        EventQueue events;
+        Network net(events, cluster(nodes));
+        CommWorld comm(net);
+        BarrierConfig cfg;
+        cfg.perMessageOverhead = 0;
+        double s = -1;
+        events.schedule(0, [&] {
+            runBarrier(comm, cfg,
+                       [&](ExchangeResult r) { s = r.seconds(); });
+        });
+        events.run();
+        return s;
+    };
+    // 4 nodes: 2 rounds; 16 nodes: 4 rounds — about twice the time.
+    EXPECT_NEAR(secs(16) / secs(4), 2.0, 0.7);
+}
+
+} // namespace
+} // namespace inc

@@ -1,0 +1,183 @@
+#include "core/burst_compressor.h"
+#include "core/burst_decompressor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace inc {
+namespace {
+
+std::vector<float>
+gradientLike(size_t n, double sigma, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian(0.0, sigma));
+    return v;
+}
+
+TEST(BurstCompressor, ByteExactWithScalarStream)
+{
+    const GradientCodec codec(10);
+    const auto vals = gradientLike(4096 + 3, 0.05, 21);
+
+    const CompressedStream scalar = encodeStream(codec, vals);
+
+    BurstCompressor engine(codec);
+    engine.feed(vals);
+    const CompressedStream hw = engine.finish();
+
+    EXPECT_EQ(hw.count, scalar.count);
+    EXPECT_EQ(hw.bitSize, scalar.bitSize);
+    EXPECT_EQ(hw.bytes, scalar.bytes);
+}
+
+TEST(BurstCompressor, ChunkedFeedMatchesSingleFeed)
+{
+    const GradientCodec codec(8);
+    const auto vals = gradientLike(1000, 0.02, 22);
+
+    BurstCompressor one(codec);
+    one.feed(vals);
+    const CompressedStream a = one.finish();
+
+    BurstCompressor many(codec);
+    size_t i = 0;
+    const size_t chunks[] = {1, 3, 8, 13, 100, 501, 374};
+    for (size_t c : chunks) {
+        many.feed(std::span<const float>(vals).subspan(i, c));
+        i += c;
+    }
+    ASSERT_EQ(i, vals.size());
+    const CompressedStream b = many.finish();
+
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.bitSize, b.bitSize);
+}
+
+TEST(BurstCompressor, CycleCountTracksInputWhenCompressible)
+{
+    const GradientCodec codec(6);
+    const auto vals = gradientLike(8000, 0.001, 23); // nearly all zero-tag
+
+    BurstCompressor engine(codec, /*pipeline_depth=*/4);
+    engine.feed(vals);
+    const CompressedStream s = engine.finish();
+    const EngineStats &st = engine.stats();
+
+    EXPECT_EQ(st.inputBursts, 1000u);
+    // Compressible traffic: output is a trickle, intake never stalls.
+    EXPECT_LE(st.cycles, st.inputBursts + st.outputBursts + 4u);
+    EXPECT_LT(s.bitSize, 8000u * 32u / 8u); // >8x compressed
+}
+
+TEST(BurstCompressor, IncompressibleTrafficThrottlesOnOutput)
+{
+    const GradientCodec codec(10);
+    std::vector<float> vals(8000, 3.14159f); // all verbatim: 272 bits/burst
+
+    BurstCompressor engine(codec);
+    engine.feed(vals);
+    const CompressedStream s = engine.finish();
+    const EngineStats &st = engine.stats();
+
+    EXPECT_EQ(s.bitSize, 1000u * 272u);
+    EXPECT_EQ(st.outputBursts, (1000u * 272u + 255u) / 256u);
+    // Output side is the bottleneck: cycles track output bursts.
+    EXPECT_GE(st.cycles, st.outputBursts);
+}
+
+TEST(BurstDecompressor, RecoversScalarRoundTrip)
+{
+    const GradientCodec codec(10);
+    const auto vals = gradientLike(2048 + 7, 0.05, 24);
+
+    BurstCompressor comp(codec);
+    comp.feed(vals);
+    const CompressedStream s = comp.finish();
+
+    BurstDecompressor decomp(codec);
+    const std::vector<float> out = decomp.decompress(s);
+
+    ASSERT_EQ(out.size(), vals.size());
+    for (size_t i = 0; i < vals.size(); ++i)
+        ASSERT_EQ(out[i], codec.decompress(codec.compress(vals[i])));
+}
+
+TEST(BurstDecompressor, HandlesGroupsStraddlingBursts)
+{
+    // Mixed widths make group sizes irregular so groups straddle 256-bit
+    // boundaries — the Burst Buffer path the paper calls out.
+    const GradientCodec codec(10);
+    Rng rng(25);
+    std::vector<float> vals(5000);
+    for (size_t i = 0; i < vals.size(); ++i) {
+        switch (rng.below(4)) {
+          case 0: vals[i] = 0.0f; break;
+          case 1: vals[i] = static_cast<float>(rng.uniform(-1, 1)); break;
+          case 2: vals[i] = static_cast<float>(rng.uniform(-4, 4)); break;
+          default: vals[i] = static_cast<float>(rng.gaussian(0, 1e-4));
+        }
+    }
+    BurstCompressor comp(codec);
+    comp.feed(vals);
+    const CompressedStream s = comp.finish();
+
+    BurstDecompressor decomp(codec);
+    const std::vector<float> out = decomp.decompress(s);
+    ASSERT_EQ(out.size(), vals.size());
+    for (size_t i = 0; i < vals.size(); ++i)
+        ASSERT_EQ(out[i], codec.decompress(codec.compress(vals[i])));
+}
+
+TEST(BurstDecompressor, CycleCountCoversAllBursts)
+{
+    const GradientCodec codec(8);
+    const auto vals = gradientLike(8192, 0.05, 26);
+
+    BurstCompressor comp(codec);
+    comp.feed(vals);
+    const CompressedStream s = comp.finish();
+
+    BurstDecompressor decomp(codec, /*pipeline_depth=*/4);
+    decomp.decompress(s);
+    const EngineStats &st = decomp.stats();
+
+    EXPECT_EQ(st.outputBursts, 8192u / 8u);
+    EXPECT_EQ(st.inputBursts, (s.bitSize + 255u) / 256u);
+    EXPECT_GE(st.cycles, st.outputBursts);
+    // Decode can stall at most one refill cycle per group.
+    EXPECT_LE(st.cycles, st.outputBursts * 2u + st.inputBursts + 4u);
+}
+
+TEST(BurstEngines, EmptyStream)
+{
+    const GradientCodec codec(10);
+    BurstCompressor comp(codec);
+    const CompressedStream s = comp.finish();
+    EXPECT_EQ(s.count, 0u);
+
+    BurstDecompressor decomp(codec);
+    EXPECT_TRUE(decomp.decompress(s).empty());
+}
+
+TEST(BurstEngines, EngineKeepsLineRateAt100MHz)
+{
+    // Paper Sec. VII-C: engines must not curtail the 10 Gb/s NIC at
+    // 100 MHz. 256 bit/cycle * 100 MHz = 25.6 Gb/s input bandwidth.
+    const GradientCodec codec(10);
+    const auto vals = gradientLike(80000, 0.05, 27);
+    BurstCompressor comp(codec);
+    comp.feed(vals);
+    comp.finish();
+    const double bps = comp.stats().inputBitsPerSecond(100e6);
+    EXPECT_GT(bps, 10e9);
+}
+
+} // namespace
+} // namespace inc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Golden-model differential testing of the INCEPTIONN codec: an
+ * independent reference implementation written purely in float
+ * arithmetic (ldexp/floor — no bit twiddling) must agree with the
+ * production bit-twiddled codec on every input, for every bound and
+ * both payload policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/codec.h"
+#include "core/fp32.h"
+#include "sim/random.h"
+
+namespace inc {
+namespace {
+
+/** Reference decompressed value, computed with float math only. */
+double
+goldenRoundtrip(float f, int b, CodecPolicy policy)
+{
+    if (!std::isfinite(f))
+        return static_cast<double>(f);
+    const double mag = std::abs(static_cast<double>(f));
+    if (mag >= 1.0)
+        return static_cast<double>(f); // verbatim
+
+    const double bound = std::ldexp(1.0, -b);
+    if (mag < bound)
+        return 0.0;
+
+    const double sign = f < 0.0f ? -1.0 : 1.0;
+    // The 31-bit fixed-point fraction the hardware forms (truncated).
+    const double f31 = std::floor(mag * std::ldexp(1.0, 31));
+
+    // 8-bit payload keeps fraction bits of weight 2^-1..2^-7.
+    const double kept7 = std::floor(mag * std::ldexp(1.0, 7));
+    const double rt8 = kept7 * std::ldexp(1.0, -7);
+    // 16-bit payload keeps weights 2^-1..2^-15.
+    const double kept15 = std::floor(mag * std::ldexp(1.0, 15));
+    const double rt16 = kept15 * std::ldexp(1.0, -15);
+
+    bool use8 = false;
+    if (policy == CodecPolicy::kResidualMask) {
+        // 8-bit admissible iff its kept window contains the leading 1
+        // (value >= 2^-7, i.e. kept7 >= 1) and the dropped fixed-point
+        // bits are strictly below the bound.
+        const double residual = f31 - kept7 * std::ldexp(1.0, 24);
+        use8 = kept7 >= 1.0 && residual < std::ldexp(1.0, 31 - b);
+    } else {
+        // Exponent threshold: 8-bit iff b <= 7 and mag >= 2^-7... the
+        // production rule is d <= 7, i.e. mag >= 2^-8 with the leading
+        // bit inside the window; values in [2^-8, 2^-7) keep a zero
+        // 7-bit field and decode to 0 only if kept7 == 0, matching the
+        // fixed-point truncation rt8.
+        use8 = b <= 7 && mag >= std::ldexp(1.0, -8);
+    }
+    return sign * (use8 ? rt8 : rt16);
+}
+
+class CodecGolden
+    : public ::testing::TestWithParam<std::tuple<int, CodecPolicy>>
+{
+};
+
+TEST_P(CodecGolden, RandomValuesAgree)
+{
+    const auto [b, policy] = GetParam();
+    const GradientCodec codec(b, policy);
+    Rng rng(static_cast<uint64_t>(b) * 7 + 1);
+    for (int i = 0; i < 150000; ++i) {
+        float f;
+        switch (i % 3) {
+          case 0:
+            f = static_cast<float>(rng.uniform(-1.2, 1.2));
+            break;
+          case 1:
+            f = static_cast<float>(rng.gaussian(0.0, 0.02));
+            break;
+          default:
+            f = static_cast<float>(rng.gaussian(0.0, 1e-4));
+        }
+        const float prod = codec.decompress(codec.compress(f));
+        const double gold = goldenRoundtrip(f, b, policy);
+        ASSERT_DOUBLE_EQ(static_cast<double>(prod), gold)
+            << "f=" << f << " b=" << b;
+    }
+}
+
+TEST_P(CodecGolden, ExponentBoundaryValuesAgree)
+{
+    const auto [b, policy] = GetParam();
+    const GradientCodec codec(b, policy);
+    for (uint32_t e = 100; e < 128; ++e) {
+        for (uint32_t m :
+             {0u, 1u, 0x7FFFFFu, 0x400000u, 0x3FFFFFu, 0x555555u}) {
+            for (uint32_t s : {0u, 1u}) {
+                const float f = Fp32Bits{s, e, m}.pack();
+                const float prod = codec.decompress(codec.compress(f));
+                const double gold = goldenRoundtrip(f, b, policy);
+                ASSERT_DOUBLE_EQ(static_cast<double>(prod), gold)
+                    << "e=" << e << " m=" << m << " s=" << s
+                    << " b=" << b;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundsAndPolicies, CodecGolden,
+    ::testing::Combine(::testing::Values(4, 6, 8, 10, 12, 15),
+                       ::testing::Values(CodecPolicy::kResidualMask,
+                                         CodecPolicy::kExponentThreshold)));
+
+} // namespace
+} // namespace inc

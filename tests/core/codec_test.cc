@@ -1,0 +1,299 @@
+#include "core/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/fp32.h"
+#include "sim/random.h"
+
+namespace inc {
+namespace {
+
+TEST(Fp32Bits, UnpackPackRoundTrip)
+{
+    for (float f : {0.0f, 1.0f, -1.0f, 0.5f, -0.03125f, 123.456f}) {
+        const Fp32Bits b = Fp32Bits::unpack(f);
+        EXPECT_EQ(b.pack(), f);
+    }
+}
+
+TEST(Fp32Bits, FieldsOfOne)
+{
+    const Fp32Bits b = Fp32Bits::unpack(1.0f);
+    EXPECT_EQ(b.sign, 0u);
+    EXPECT_EQ(b.exponent, 127u);
+    EXPECT_EQ(b.mantissa, 0u);
+}
+
+TEST(GradientCodec, ValuesAtLeastOnePassThrough)
+{
+    const GradientCodec codec(10);
+    for (float f : {1.0f, -1.0f, 1.5f, -273.15f, 1e30f}) {
+        const CompressedValue cv = codec.compress(f);
+        EXPECT_EQ(cv.tag, Tag::NoCompress);
+        EXPECT_EQ(codec.decompress(cv), f);
+    }
+}
+
+TEST(GradientCodec, NonFinitePassThrough)
+{
+    const GradientCodec codec(10);
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(codec.compress(inf).tag, Tag::NoCompress);
+    EXPECT_EQ(codec.decompress(codec.compress(inf)), inf);
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_EQ(codec.compress(nan).tag, Tag::NoCompress);
+    EXPECT_TRUE(std::isnan(codec.decompress(codec.compress(nan))));
+}
+
+TEST(GradientCodec, TinyValuesBecomeZeroTag)
+{
+    const GradientCodec codec(10); // bound 2^-10
+    for (float f : {0.0f, -0.0f, 1e-20f, -1e-20f, 0.0009f, -0.0009f}) {
+        const CompressedValue cv = codec.compress(f);
+        EXPECT_EQ(cv.tag, Tag::Zero) << "f=" << f;
+        EXPECT_EQ(codec.decompress(cv), 0.0f);
+    }
+}
+
+TEST(GradientCodec, BoundaryValuesAroundTheBound)
+{
+    const GradientCodec codec(10);
+    // Strictly below the bound vanishes...
+    const float below = std::nextafter(std::ldexp(1.0f, -10), 0.0f);
+    EXPECT_EQ(codec.compress(below).tag, Tag::Zero);
+    // ...but exactly at the bound stays representable (and exact), so a
+    // value that truncates down onto the bound is stable on recompress.
+    const float at = std::ldexp(1.0f, -10);
+    EXPECT_NE(codec.compress(at).tag, Tag::Zero);
+    EXPECT_EQ(codec.decompress(codec.compress(at)), at);
+    EXPECT_EQ(codec.decompress(codec.compress(-at)), -at);
+    const float above = std::nextafter(at, 1.0f);
+    EXPECT_NE(codec.compress(above).tag, Tag::Zero);
+}
+
+TEST(GradientCodec, SubnormalsBecomeZeroTag)
+{
+    const GradientCodec codec(15);
+    const float sub = std::numeric_limits<float>::denorm_min();
+    EXPECT_EQ(codec.compress(sub).tag, Tag::Zero);
+}
+
+TEST(GradientCodec, ExactDyadicValuesRoundTripExactly)
+{
+    const GradientCodec codec(10);
+    for (float f : {0.5f, -0.5f, 0.25f, 0.75f, -0.375f, 0.0078125f}) {
+        const CompressedValue cv = codec.compress(f);
+        EXPECT_EQ(codec.decompress(cv), f) << "f=" << f;
+    }
+}
+
+TEST(GradientCodec, SignSurvivesAllWidths)
+{
+    const GradientCodec codec(10);
+    for (float mag : {0.9f, 0.0123f, 0.002f}) {
+        const float pos = codec.decompress(codec.compress(mag));
+        const float neg = codec.decompress(codec.compress(-mag));
+        EXPECT_GT(pos, 0.0f);
+        EXPECT_LT(neg, 0.0f);
+        EXPECT_FLOAT_EQ(pos, -neg);
+    }
+}
+
+/** The headline invariant: round-trip error <= 2^-b for every input. */
+class CodecErrorBound : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CodecErrorBound, RandomUniformValues)
+{
+    const int b = GetParam();
+    const GradientCodec codec(b);
+    const double bound = codec.errorBound();
+    Rng rng(1234);
+    for (int i = 0; i < 200000; ++i) {
+        const float f = static_cast<float>(rng.uniform(-1.0, 1.0));
+        const float back = codec.decompress(codec.compress(f));
+        ASSERT_LE(std::abs(static_cast<double>(f - back)), bound)
+            << "f=" << f << " back=" << back << " b=" << b;
+    }
+}
+
+TEST_P(CodecErrorBound, RandomGaussianGradientLikeValues)
+{
+    const int b = GetParam();
+    const GradientCodec codec(b);
+    const double bound = codec.errorBound();
+    Rng rng(99);
+    for (int i = 0; i < 200000; ++i) {
+        const float f = static_cast<float>(rng.gaussian(0.0, 0.02));
+        const float back = codec.decompress(codec.compress(f));
+        ASSERT_LE(std::abs(static_cast<double>(f - back)), bound)
+            << "f=" << f << " back=" << back << " b=" << b;
+    }
+}
+
+TEST_P(CodecErrorBound, ExhaustiveExponentMantissaCorners)
+{
+    const int b = GetParam();
+    const GradientCodec codec(b);
+    const double bound = codec.errorBound();
+    // Sweep every exponent below 127 with corner mantissas.
+    for (uint32_t e = 0; e < 127; ++e) {
+        for (uint32_t m : {0u, 1u, 0x400000u, 0x7FFFFFu, 0x555555u}) {
+            for (uint32_t s : {0u, 1u}) {
+                const float f = Fp32Bits{s, e, m}.pack();
+                const float back = codec.decompress(codec.compress(f));
+                ASSERT_LE(std::abs(static_cast<double>(f - back)), bound)
+                    << "e=" << e << " m=" << m << " s=" << s;
+            }
+        }
+    }
+}
+
+TEST_P(CodecErrorBound, ThresholdPolicyAlsoHonoursBoundWhenApplicable)
+{
+    const int b = GetParam();
+    const GradientCodec codec(b, CodecPolicy::kExponentThreshold);
+    const double bound = codec.errorBound();
+    Rng rng(5);
+    for (int i = 0; i < 50000; ++i) {
+        const float f = static_cast<float>(rng.uniform(-1.0, 1.0));
+        const float back = codec.decompress(codec.compress(f));
+        ASSERT_LE(std::abs(static_cast<double>(f - back)), bound);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, CodecErrorBound,
+                         ::testing::Values(1, 2, 4, 6, 8, 10, 12, 15));
+
+TEST(GradientCodec, LooserBoundNeverCompressesWorse)
+{
+    Rng rng(321);
+    std::vector<float> vals(20000);
+    for (auto &v : vals)
+        v = static_cast<float>(rng.gaussian(0.0, 0.05));
+    const GradientCodec tight(10), loose(6);
+    const uint64_t bits_tight = tight.measure(vals);
+    const uint64_t bits_loose = loose.measure(vals);
+    EXPECT_LE(bits_loose, bits_tight);
+}
+
+TEST(GradientCodec, GradientLikeDataCompressesHard)
+{
+    // Paper Sec. VIII-C: with bound 2^-6 nearly all gradients become
+    // 2-bit vectors and the ratio approaches 15x.
+    Rng rng(77);
+    std::vector<float> vals(100000);
+    for (auto &v : vals)
+        v = static_cast<float>(rng.gaussian(0.0, 0.005));
+    TagHistogram hist;
+    const GradientCodec codec(6);
+    codec.measure(vals, &hist);
+    EXPECT_GT(hist.fraction(Tag::Zero), 0.90);
+    EXPECT_GT(hist.compressionRatio(), 10.0);
+}
+
+TEST(GradientCodec, TightBoundShiftsMassTo16Bit)
+{
+    // Table III shape: at 2^-10 the non-zero mass is mostly 16-bit with a
+    // small 8-bit share (values whose dropped bits vanish early).
+    Rng rng(78);
+    std::vector<float> vals(100000);
+    for (auto &v : vals)
+        v = static_cast<float>(rng.gaussian(0.0, 0.02));
+    TagHistogram hist;
+    const GradientCodec codec(10);
+    codec.measure(vals, &hist);
+    EXPECT_GT(hist.fraction(Tag::Bits16), hist.fraction(Tag::Bits8));
+    EXPECT_GT(hist.fraction(Tag::Bits8), 0.0);
+    EXPECT_LT(hist.fraction(Tag::NoCompress), 0.01);
+}
+
+TEST(GradientCodec, ThresholdPolicyNever16BitAtLooseBound)
+{
+    Rng rng(79);
+    const GradientCodec codec(6, CodecPolicy::kExponentThreshold);
+    TagHistogram hist;
+    std::vector<float> vals(50000);
+    for (auto &v : vals)
+        v = static_cast<float>(rng.gaussian(0.0, 0.05));
+    codec.measure(vals, &hist);
+    EXPECT_EQ(hist.counts[static_cast<size_t>(Tag::Bits16)], 0u);
+}
+
+TEST(GradientCodec, CompressionIsIdempotent)
+{
+    // decompress(compress(x)) must be a fixed point: compressing the
+    // reconstructed value reproduces it exactly (the NIC may recompress a
+    // block on the next ring hop).
+    const GradientCodec codec(8);
+    Rng rng(42);
+    for (int i = 0; i < 50000; ++i) {
+        const float f = static_cast<float>(rng.uniform(-1.5, 1.5));
+        const float once = codec.decompress(codec.compress(f));
+        const float twice = codec.decompress(codec.compress(once));
+        ASSERT_EQ(once, twice) << "f=" << f;
+    }
+}
+
+TEST(GradientCodec, MeasureCountsTagsAndBits)
+{
+    const GradientCodec codec(10);
+    const std::vector<float> vals{0.0f, 2.0f, 0.5f, 1e-9f};
+    TagHistogram hist;
+    const uint64_t bits = codec.measure(vals, &hist);
+    EXPECT_EQ(hist.total(), 4u);
+    EXPECT_EQ(hist.counts[static_cast<size_t>(Tag::Zero)], 2u);
+    EXPECT_EQ(hist.counts[static_cast<size_t>(Tag::NoCompress)], 1u);
+    // 0.5 is dyadic: residual mask admits the 8-bit form.
+    EXPECT_EQ(hist.counts[static_cast<size_t>(Tag::Bits8)], 1u);
+    EXPECT_EQ(bits, 2u + (2u + 32u) + (2u + 8u) + 2u);
+}
+
+TEST(GradientCodec, RoundtripBufferMatchesScalar)
+{
+    const GradientCodec codec(10);
+    Rng rng(31);
+    std::vector<float> vals(999);
+    for (auto &v : vals)
+        v = static_cast<float>(rng.gaussian(0.0, 0.1));
+    std::vector<float> expect;
+    expect.reserve(vals.size());
+    for (float v : vals)
+        expect.push_back(codec.decompress(codec.compress(v)));
+    codec.roundtrip(vals);
+    EXPECT_EQ(vals, expect);
+}
+
+TEST(TagHistogram, RatioOfAllZeroTags)
+{
+    TagHistogram h;
+    for (int i = 0; i < 10; ++i)
+        h.add(Tag::Zero);
+    EXPECT_DOUBLE_EQ(h.meanBitsPerValue(), 2.0);
+    EXPECT_DOUBLE_EQ(h.compressionRatio(), 16.0);
+}
+
+TEST(TagHistogram, Accumulate)
+{
+    TagHistogram a, b;
+    a.add(Tag::Zero);
+    b.add(Tag::Bits16);
+    b.add(Tag::Bits16);
+    a += b;
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.counts[static_cast<size_t>(Tag::Bits16)], 2u);
+}
+
+TEST(GradientCodec, RejectsBadBound)
+{
+    EXPECT_DEATH({ GradientCodec bad(0); }, "error bound");
+    EXPECT_DEATH({ GradientCodec bad(16); }, "error bound");
+}
+
+} // namespace
+} // namespace inc

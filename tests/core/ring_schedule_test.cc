@@ -1,0 +1,240 @@
+#include "core/ring_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace inc {
+namespace {
+
+TEST(RingSchedule, StepCount)
+{
+    EXPECT_EQ(ringStepCount(2), 2);
+    EXPECT_EQ(ringStepCount(4), 6);
+    EXPECT_EQ(ringStepCount(8), 14);
+}
+
+TEST(RingSchedule, MatchesPaperFig6WalkThrough)
+{
+    // N = 4, paper Fig. 6(b): step 1, worker[0] sends blk[0] to worker[1].
+    const RingStep s1w0 = ringStepFor(0, 1, 4);
+    EXPECT_EQ(s1w0.phase, RingPhase::ReduceScatter);
+    EXPECT_EQ(s1w0.sendBlock, 0);
+
+    // End of reduce-scatter (step 3): worker i fully aggregates
+    // blk[(i+1) % 4] — i.e. receives it in step 3.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(ringStepFor(i, 3, 4).recvBlock, (i + 1) % 4);
+
+    // Step 4 ("Step 4: send back reduced results"): worker[3] sends
+    // blk[0] to worker[0].
+    const RingStep s4w3 = ringStepFor(3, 4, 4);
+    EXPECT_EQ(s4w3.phase, RingPhase::AllGather);
+    EXPECT_EQ(s4w3.sendBlock, 0);
+    EXPECT_EQ(ringStepFor(0, 4, 4).recvBlock, 0);
+}
+
+TEST(RingSchedule, SendEqualsDownstreamReceive)
+{
+    for (int n : {2, 3, 4, 5, 8, 16}) {
+        for (int step = 1; step <= ringStepCount(n); ++step) {
+            for (int i = 0; i < n; ++i) {
+                const RingStep mine = ringStepFor(i, step, n);
+                const RingStep next = ringStepFor((i + 1) % n, step, n);
+                EXPECT_EQ(mine.sendBlock, next.recvBlock)
+                    << "n=" << n << " step=" << step << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(RingSchedule, NoNodeSendsAndWritesSameBlockInOneStep)
+{
+    for (int n : {2, 3, 4, 8}) {
+        for (int step = 1; step <= ringStepCount(n); ++step) {
+            for (int i = 0; i < n; ++i) {
+                const RingStep rs = ringStepFor(i, step, n);
+                EXPECT_NE(rs.sendBlock, rs.recvBlock);
+            }
+        }
+    }
+}
+
+TEST(RingSchedule, EveryNodeSeesEveryBlockExactlyOncePerPhase)
+{
+    for (int n : {3, 4, 7}) {
+        for (int i = 0; i < n; ++i) {
+            std::set<int> p1_recv, p2_recv;
+            for (int step = 1; step < n; ++step)
+                p1_recv.insert(ringStepFor(i, step, n).recvBlock);
+            for (int step = n; step <= 2 * n - 2; ++step)
+                p2_recv.insert(ringStepFor(i, step, n).recvBlock);
+            EXPECT_EQ(p1_recv.size(), static_cast<size_t>(n - 1));
+            EXPECT_EQ(p2_recv.size(), static_cast<size_t>(n - 1));
+        }
+    }
+}
+
+TEST(PartitionBlocks, EvenSplit)
+{
+    const auto blocks = partitionBlocks(100, 4);
+    ASSERT_EQ(blocks.size(), 4u);
+    for (int b = 0; b < 4; ++b) {
+        EXPECT_EQ(blocks[static_cast<size_t>(b)].second, 25u);
+        EXPECT_EQ(blocks[static_cast<size_t>(b)].first,
+                  static_cast<size_t>(b) * 25u);
+    }
+}
+
+TEST(PartitionBlocks, UnevenSplitCoversAll)
+{
+    for (size_t total : {1u, 5u, 17u, 1023u}) {
+        for (int n : {2, 3, 4, 8}) {
+            const auto blocks = partitionBlocks(total, n);
+            size_t covered = 0;
+            size_t expect_offset = 0;
+            for (const auto &[off, len] : blocks) {
+                EXPECT_EQ(off, expect_offset);
+                expect_offset += len;
+                covered += len;
+            }
+            EXPECT_EQ(covered, total);
+            // Near-equal: sizes differ by at most one element.
+            EXPECT_LE(blocks.front().second - blocks.back().second, 1u);
+        }
+    }
+}
+
+class RingAllReduceParam
+    : public ::testing::TestWithParam<std::tuple<int, size_t>>
+{
+};
+
+TEST_P(RingAllReduceParam, MatchesReferenceSum)
+{
+    const auto [n, total] = GetParam();
+    Rng rng(static_cast<uint64_t>(n) * 1000 + total);
+
+    std::vector<std::vector<float>> replicas(static_cast<size_t>(n),
+                                             std::vector<float>(total));
+    std::vector<float> expect(total, 0.0f);
+    for (auto &rep : replicas) {
+        for (size_t k = 0; k < total; ++k) {
+            rep[k] = static_cast<float>(rng.uniform(-0.1, 0.1));
+            expect[k] += rep[k];
+        }
+    }
+
+    std::vector<std::span<float>> spans;
+    for (auto &rep : replicas)
+        spans.emplace_back(rep);
+    const RingExchangeStats stats = ringAllReduce(spans, nullptr);
+
+    for (const auto &rep : replicas)
+        for (size_t k = 0; k < total; ++k)
+            ASSERT_NEAR(rep[k], expect[k], 1e-4) << "n=" << n << " k=" << k;
+
+    // Traffic accounting: 2(N-1)/N of the vector per node, N nodes.
+    const uint64_t expected_bytes =
+        static_cast<uint64_t>(2 * (n - 1)) * (total * 4 / n) *
+        static_cast<uint64_t>(n);
+    // Uneven blocks make this approximate; allow one block of slack.
+    EXPECT_NEAR(static_cast<double>(stats.totalPayloadBytes),
+                static_cast<double>(expected_bytes),
+                static_cast<double>(4 * total));
+    EXPECT_EQ(stats.totalWireBytes, stats.totalPayloadBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RingAllReduceParam,
+    ::testing::Values(std::make_tuple(2, 16u), std::make_tuple(3, 17u),
+                      std::make_tuple(4, 1024u), std::make_tuple(5, 333u),
+                      std::make_tuple(8, 4096u), std::make_tuple(4, 3u),
+                      std::make_tuple(6, 1000u)));
+
+TEST(RingAllReduce, CompressedStaysWithinAccumulatedBound)
+{
+    const int n = 4;
+    const size_t total = 2048;
+    const GradientCodec codec(10);
+    Rng rng(1);
+
+    std::vector<std::vector<float>> replicas(n, std::vector<float>(total));
+    std::vector<float> expect(total, 0.0f);
+    for (auto &rep : replicas) {
+        for (size_t k = 0; k < total; ++k) {
+            rep[k] = static_cast<float>(rng.gaussian(0.0, 0.02));
+            expect[k] += rep[k];
+        }
+    }
+
+    std::vector<std::span<float>> spans;
+    for (auto &rep : replicas)
+        spans.emplace_back(rep);
+    const RingExchangeStats stats = ringAllReduce(spans, &codec);
+
+    // Each element passes through at most 2(N-1) lossy hops; every hop
+    // adds at most one error bound.
+    const double worst = codec.errorBound() * 2.0 * (n - 1);
+    for (const auto &rep : replicas)
+        for (size_t k = 0; k < total; ++k)
+            ASSERT_NEAR(rep[k], expect[k], worst);
+
+    EXPECT_LT(stats.totalWireBytes, stats.totalPayloadBytes);
+    EXPECT_GT(stats.ratio(), 1.5);
+    EXPECT_GT(stats.tags.total(), 0u);
+}
+
+TEST(RingAllReduce, ReplicasAgreeWithinOneBoundAfterExchange)
+{
+    // Each fully-reduced block has one owner whose copy never crosses a
+    // NIC; every other worker receives the once-round-tripped copy, and —
+    // because the codec is idempotent — all non-owners agree bit-exactly
+    // with each other, while the owner differs by at most one error bound.
+    const int n = 5;
+    const size_t total = 515;
+    const GradientCodec codec(8);
+    Rng rng(2);
+
+    std::vector<std::vector<float>> replicas(n, std::vector<float>(total));
+    for (auto &rep : replicas)
+        for (auto &v : rep)
+            v = static_cast<float>(rng.gaussian(0.0, 0.05));
+
+    std::vector<std::span<float>> spans;
+    for (auto &rep : replicas)
+        spans.emplace_back(rep);
+    ringAllReduce(spans, &codec);
+
+    const auto blocks = partitionBlocks(total, n);
+    // At the end of reduce-scatter (step N-1) node i owns the block it
+    // received last: block (i + 1) mod N.
+    for (int b = 0; b < n; ++b) {
+        const int owner = (b + n - 1) % n;
+        const auto [off, len] = blocks[static_cast<size_t>(b)];
+        const float *ref = nullptr;
+        for (int i = 0; i < n; ++i) {
+            if (i == owner)
+                continue;
+            const float *mine =
+                replicas[static_cast<size_t>(i)].data() + off;
+            if (!ref) {
+                ref = mine;
+                continue;
+            }
+            for (size_t k = 0; k < len; ++k)
+                ASSERT_EQ(mine[k], ref[k]) << "block " << b << " node " << i;
+        }
+        const float *own = replicas[static_cast<size_t>(owner)].data() + off;
+        for (size_t k = 0; k < len; ++k)
+            ASSERT_NEAR(own[k], ref[k], codec.errorBound());
+    }
+}
+
+} // namespace
+} // namespace inc

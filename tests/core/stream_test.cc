@@ -1,0 +1,163 @@
+#include "core/compressed_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace inc {
+namespace {
+
+TEST(BitWriter, PacksLsbFirst)
+{
+    BitWriter w;
+    w.append(0b1, 1);
+    w.append(0b0, 1);
+    w.append(0b11, 2);
+    EXPECT_EQ(w.bitSize(), 4u);
+    ASSERT_EQ(w.bytes().size(), 1u);
+    EXPECT_EQ(w.bytes()[0], 0b00001101);
+}
+
+TEST(BitWriter, CrossesByteBoundaries)
+{
+    BitWriter w;
+    w.append(0xABCD, 16);
+    w.append(0x5, 3);
+    EXPECT_EQ(w.bitSize(), 19u);
+    BitReader r(w.bytes());
+    EXPECT_EQ(r.read(16), 0xABCDu);
+    EXPECT_EQ(r.read(3), 0x5u);
+}
+
+TEST(BitReaderWriter, RandomRoundTrip)
+{
+    Rng rng(3);
+    std::vector<std::pair<uint32_t, int>> items;
+    BitWriter w;
+    for (int i = 0; i < 2000; ++i) {
+        const int nbits = static_cast<int>(rng.below(33));
+        const uint32_t v =
+            nbits == 32 ? static_cast<uint32_t>(rng.next())
+                        : static_cast<uint32_t>(rng.next()) &
+                              ((nbits == 0) ? 0u : ((1u << nbits) - 1u));
+        items.emplace_back(v, nbits);
+        w.append(v, nbits);
+    }
+    BitReader r(w.bytes());
+    for (const auto &[v, nbits] : items)
+        ASSERT_EQ(r.read(nbits), v);
+}
+
+TEST(BitReader, SeekRepositions)
+{
+    BitWriter w;
+    w.append(0xFF, 8);
+    w.append(0x00, 8);
+    BitReader r(w.bytes());
+    EXPECT_EQ(r.read(8), 0xFFu);
+    r.seek(0);
+    EXPECT_EQ(r.read(4), 0xFu);
+}
+
+TEST(Stream, EmptyInput)
+{
+    const GradientCodec codec(10);
+    const CompressedStream s = encodeStream(codec, {});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.bitSize, 0u);
+    std::vector<float> out;
+    decodeStream(codec, s, out);
+}
+
+TEST(Stream, SingleValue)
+{
+    const GradientCodec codec(10);
+    const std::vector<float> in{0.25f};
+    const CompressedStream s = encodeStream(codec, in);
+    EXPECT_EQ(s.count, 1u);
+    std::vector<float> out(1);
+    decodeStream(codec, s, out);
+    EXPECT_EQ(out[0], 0.25f);
+}
+
+TEST(Stream, PartialFinalGroupPadsWithZeroTags)
+{
+    const GradientCodec codec(10);
+    std::vector<float> in(11, 0.5f); // 8 + 3
+    const CompressedStream s = encodeStream(codec, in);
+    // Two groups: 2x16 tag bits + 11 payloads of 8 bits (0.5 is dyadic).
+    EXPECT_EQ(s.bitSize, 2u * 16u + 11u * 8u);
+    std::vector<float> out(11);
+    decodeStream(codec, s, out);
+    for (float f : out)
+        EXPECT_EQ(f, 0.5f);
+}
+
+TEST(Stream, RoundTripErrorWithinBoundLargeRandom)
+{
+    const GradientCodec codec(8);
+    Rng rng(10);
+    std::vector<float> in(4096 + 5);
+    for (auto &v : in)
+        v = static_cast<float>(rng.gaussian(0.0, 0.05));
+    const CompressedStream s = encodeStream(codec, in);
+    std::vector<float> out(in.size());
+    decodeStream(codec, s, out);
+    for (size_t i = 0; i < in.size(); ++i)
+        ASSERT_LE(std::abs(in[i] - out[i]), codec.errorBound());
+}
+
+TEST(Stream, MatchesScalarRoundTripExactly)
+{
+    const GradientCodec codec(10);
+    Rng rng(8);
+    std::vector<float> in(777);
+    for (auto &v : in)
+        v = static_cast<float>(rng.gaussian(0.0, 0.1));
+    const CompressedStream s = encodeStream(codec, in);
+    std::vector<float> out(in.size());
+    decodeStream(codec, s, out);
+    for (size_t i = 0; i < in.size(); ++i)
+        ASSERT_EQ(out[i], codec.decompress(codec.compress(in[i])));
+}
+
+TEST(Stream, HistogramMatchesMeasure)
+{
+    const GradientCodec codec(10);
+    Rng rng(9);
+    std::vector<float> in(512);
+    for (auto &v : in)
+        v = static_cast<float>(rng.gaussian(0.0, 0.02));
+    TagHistogram from_stream, from_measure;
+    encodeStream(codec, in, &from_stream);
+    codec.measure(in, &from_measure);
+    EXPECT_EQ(from_stream.counts, from_measure.counts);
+}
+
+TEST(Stream, WireRatioAccountsHeaderAndPadding)
+{
+    const GradientCodec codec(6);
+    std::vector<float> in(8000, 0.0f); // all zero-tag
+    const CompressedStream s = encodeStream(codec, in);
+    // 1000 groups x 16 bits = 2000 bytes + 8 header.
+    EXPECT_EQ(s.wireBytes(), 2008u);
+    EXPECT_NEAR(s.wireRatio(), 32000.0 / 2008.0, 1e-9);
+}
+
+TEST(Stream, IncompressibleDataExpandsOnlyByTags)
+{
+    const GradientCodec codec(10);
+    std::vector<float> in(800, 7.5f); // all |f| >= 1: verbatim
+    const CompressedStream s = encodeStream(codec, in);
+    EXPECT_EQ(s.bitSize, 100u * 16u + 800u * 32u);
+    std::vector<float> out(in.size());
+    decodeStream(codec, s, out);
+    for (float f : out)
+        ASSERT_EQ(f, 7.5f);
+}
+
+} // namespace
+} // namespace inc

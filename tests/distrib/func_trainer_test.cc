@@ -1,0 +1,231 @@
+#include "distrib/func_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_digits.h"
+#include "nn/model_zoo.h"
+
+namespace inc {
+namespace {
+
+FuncTrainerConfig
+smallConfig()
+{
+    FuncTrainerConfig cfg;
+    cfg.nodes = 4;
+    cfg.batchPerNode = 16;
+    cfg.sgd.learningRate = 0.05;
+    cfg.sgd.lrDecayEvery = 0;
+    cfg.sgd.clipGradNorm = 5.0;
+    cfg.seed = 11;
+    return cfg;
+}
+
+TEST(FuncTrainer, RingLearnsLossless)
+{
+    SyntheticDigits train(1600, 1), test(400, 2);
+    FuncTrainer t(&buildHdcSmall, train, test, smallConfig());
+    t.train(150);
+    EXPECT_GT(t.evaluate(), 0.55);
+    EXPECT_EQ(t.iteration(), 150u);
+}
+
+TEST(FuncTrainer, RingAndStarAgreeWhenLossless)
+{
+    // Same seeds, no compression: ring all-reduce and the aggregator
+    // compute the same summed gradient, so both converge to similar
+    // accuracy (bit-exact equality is not expected: float summation
+    // order differs).
+    SyntheticDigits train(1600, 1), test(400, 2);
+
+    FuncTrainerConfig ring_cfg = smallConfig();
+    ring_cfg.exchange = FuncExchange::Ring;
+    FuncTrainer ring(&buildHdcSmall, train, test, ring_cfg);
+    ring.train(120);
+
+    FuncTrainerConfig star_cfg = smallConfig();
+    star_cfg.exchange = FuncExchange::Star;
+    FuncTrainer star(&buildHdcSmall, train, test, star_cfg);
+    star.train(120);
+
+    EXPECT_NEAR(ring.evaluate(), star.evaluate(), 0.12);
+}
+
+TEST(FuncTrainer, RingReplicasStayInSyncLossless)
+{
+    SyntheticDigits train(800, 1), test(200, 2);
+    FuncTrainer t(&buildHdcSmall, train, test, smallConfig());
+    t.train(30);
+    // Lossless exchange: every replica applies identical gradients.
+    EXPECT_LT(t.replicaDivergence(), 1e-6);
+}
+
+TEST(FuncTrainer, CodecBoundsReplicaDrift)
+{
+    SyntheticDigits train(800, 1), test(200, 2);
+    const GradientCodec codec(8);
+    FuncTrainerConfig cfg = smallConfig();
+    cfg.codec = &codec;
+    FuncTrainer t(&buildHdcSmall, train, test, cfg);
+    const int iters = 30;
+    t.train(iters);
+    // The block owner keeps a copy within one bound of everyone else,
+    // per hop; drift accumulates at most linearly in iterations through
+    // the optimizer (LR < 1 shrinks it further).
+    EXPECT_LT(t.replicaDivergence(),
+              codec.errorBound() * iters);
+    EXPECT_GT(t.codecTags().total(), 0u);
+}
+
+TEST(FuncTrainer, CompressedTrainingStillLearns)
+{
+    // The paper's headline accuracy claim, at bench scale: INC(2^-10)
+    // training reaches accuracy comparable to lossless.
+    SyntheticDigits train(1600, 1), test(400, 2);
+
+    FuncTrainer base(&buildHdcSmall, train, test, smallConfig());
+    base.train(150);
+    const double base_acc = base.evaluate();
+
+    const GradientCodec codec(10);
+    FuncTrainerConfig cfg = smallConfig();
+    cfg.codec = &codec;
+    FuncTrainer comp(&buildHdcSmall, train, test, cfg);
+    comp.train(150);
+    const double comp_acc = comp.evaluate();
+
+    EXPECT_GT(comp_acc, base_acc - 0.08);
+    // And the codec really ran hard: ratio far above lossless class.
+    EXPECT_GT(comp.achievedWireRatio(), 3.0);
+}
+
+TEST(FuncTrainer, AggressiveWeightTruncationHurtsMore)
+{
+    // Fig. 4's core claim: truncating w is far more damaging than
+    // truncating g at the same depth.
+    SyntheticDigits train(1600, 1), test(400, 2);
+    const TruncationCodec deep(24);
+
+    FuncTrainerConfig g_cfg = smallConfig();
+    g_cfg.exchange = FuncExchange::Star;
+    g_cfg.truncateGradients = &deep;
+    FuncTrainer g_only(&buildHdcSmall, train, test, g_cfg);
+    g_only.train(150);
+
+    FuncTrainerConfig w_cfg = smallConfig();
+    w_cfg.exchange = FuncExchange::Star;
+    w_cfg.truncateWeights = &deep;
+    FuncTrainer w_only(&buildHdcSmall, train, test, w_cfg);
+    w_only.train(150);
+
+    EXPECT_GT(g_only.evaluate(), w_only.evaluate() - 0.02);
+}
+
+TEST(FuncTrainer, StarWithCodecOnGradientLegLearns)
+{
+    // WA+C functional mode: codec on the worker->aggregator leg only
+    // (weights return exact), as the paper's WA+C configuration.
+    SyntheticDigits train(1600, 1), test(400, 2);
+    const GradientCodec codec(10);
+    FuncTrainerConfig cfg = smallConfig();
+    cfg.exchange = FuncExchange::Star;
+    cfg.codec = &codec;
+    FuncTrainer t(&buildHdcSmall, train, test, cfg);
+    t.train(150);
+    EXPECT_GT(t.evaluate(), 0.55);
+    EXPECT_GT(t.codecTags().total(), 0u);
+    // Star compresses once per worker per iteration: N whole vectors.
+    EXPECT_EQ(t.codecTags().total(),
+              150u * 4u * t.paramCount());
+}
+
+TEST(FuncTrainer, AtSourceCompressionLearns)
+{
+    SyntheticDigits train(1600, 1), test(400, 2);
+    const GradientCodec codec(10);
+    FuncTrainerConfig cfg = smallConfig();
+    cfg.codec = &codec;
+    cfg.compressionPoint = CompressionPoint::AtSource;
+    FuncTrainer t(&buildHdcSmall, train, test, cfg);
+    t.train(150);
+    EXPECT_GT(t.evaluate(), 0.5);
+    EXPECT_GT(t.codecTags().total(), 0u);
+}
+
+TEST(FuncTrainer, AtSourceCompressesOncePerIterationPerNode)
+{
+    SyntheticDigits train(800, 1), test(200, 2);
+    const GradientCodec codec(10);
+
+    FuncTrainerConfig hop_cfg = smallConfig();
+    hop_cfg.codec = &codec;
+    hop_cfg.compressionPoint = CompressionPoint::PerHop;
+    FuncTrainer hop(&buildHdcSmall, train, test, hop_cfg);
+    hop.train(5);
+
+    FuncTrainerConfig src_cfg = smallConfig();
+    src_cfg.codec = &codec;
+    src_cfg.compressionPoint = CompressionPoint::AtSource;
+    FuncTrainer src(&buildHdcSmall, train, test, src_cfg);
+    src.train(5);
+
+    // Per-hop tags: 2(N-1) block-sized payloads per node pair per
+    // iteration = 2(N-1)/N of the vector per node; at-source tags: the
+    // whole vector once per node. Ratio of totals = 2(N-1)/N : 1 = 1.5
+    // for N = 4.
+    EXPECT_NEAR(static_cast<double>(hop.codecTags().total()) /
+                    static_cast<double>(src.codecTags().total()),
+                1.5, 0.05);
+}
+
+TEST(FuncTrainer, ErrorFeedbackPreservesGradientMassOverTime)
+{
+    // With a very coarse bound most values vanish; error feedback must
+    // keep the model learning anyway by accumulating the loss locally.
+    SyntheticDigits train(1600, 1), test(400, 2);
+    const GradientCodec codec(4); // brutal 2^-4 bound
+
+    FuncTrainerConfig ef_cfg = smallConfig();
+    ef_cfg.codec = &codec;
+    ef_cfg.compressionPoint = CompressionPoint::AtSource;
+    ef_cfg.errorFeedback = true;
+    FuncTrainer with_ef(&buildHdcSmall, train, test, ef_cfg);
+    with_ef.train(150);
+
+    FuncTrainerConfig raw_cfg = ef_cfg;
+    raw_cfg.errorFeedback = false;
+    FuncTrainer without(&buildHdcSmall, train, test, raw_cfg);
+    without.train(150);
+
+    // Error feedback should at least match the raw coarse codec.
+    EXPECT_GE(with_ef.evaluate() + 0.05, without.evaluate());
+    EXPECT_GT(with_ef.evaluate(), 0.3);
+}
+
+TEST(FuncTrainer, GradientCaptureAndDistribution)
+{
+    SyntheticDigits train(800, 1), test(200, 2);
+    FuncTrainer t(&buildHdcSmall, train, test, smallConfig());
+    t.captureGradientsAt({0, 20});
+    t.train(25);
+    const GradientTrace &trace = t.gradientTrace();
+    ASSERT_EQ(trace.entries().size(), 2u);
+    EXPECT_EQ(trace.entries()[0].iteration, 0u);
+    EXPECT_EQ(trace.entries()[0].gradient.size(), t.paramCount());
+    // Paper Fig. 5: gradients live in [-1, 1], peaked near zero.
+    EXPECT_GT(trace.fractionInUnitRange(), 0.99);
+    EXPECT_GT(trace.fractionWithin(0.01), 0.5);
+}
+
+TEST(FuncTrainer, EpochAccounting)
+{
+    SyntheticDigits train(640, 1), test(100, 2);
+    FuncTrainerConfig cfg = smallConfig();
+    cfg.batchPerNode = 16; // shard = 160 rows -> 10 batches/epoch
+    FuncTrainer t(&buildHdcSmall, train, test, cfg);
+    t.train(25);
+    EXPECT_EQ(t.epoch(), 2u);
+}
+
+} // namespace
+} // namespace inc

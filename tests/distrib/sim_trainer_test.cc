@@ -1,0 +1,193 @@
+#include "distrib/sim_trainer.h"
+
+#include <gtest/gtest.h>
+
+namespace inc {
+namespace {
+
+SimTrainerConfig
+baseConfig(const Workload &w, ExchangeAlgorithm algo, uint64_t iters = 5)
+{
+    SimTrainerConfig cfg;
+    cfg.workload = w;
+    cfg.workers = 4;
+    cfg.algorithm = algo;
+    cfg.iterations = iters;
+    return cfg;
+}
+
+TEST(Workloads, TableOneHyperparameters)
+{
+    const auto ws = allWorkloads();
+    ASSERT_EQ(ws.size(), 4u);
+    EXPECT_EQ(ws[0].name, "AlexNet");
+    EXPECT_EQ(ws[0].perNodeBatch, 64u);
+    EXPECT_EQ(ws[0].totalIterations, 320000u);
+    EXPECT_DOUBLE_EQ(ws[1].hyper.learningRate, 0.1);
+    EXPECT_DOUBLE_EQ(ws[1].hyper.lrDecayFactor, 5.0);
+    EXPECT_EQ(ws[2].hyper.lrDecayEvery, 200000u);
+    EXPECT_DOUBLE_EQ(ws[3].hyper.weightDecay, 5e-5);
+}
+
+TEST(Workloads, GammaIsMemoryBandwidthClass)
+{
+    // Table II implies ~0.1 ns per summed byte on every model.
+    for (const auto &w : allWorkloads()) {
+        const double gamma = w.sumSecondsPerByte();
+        EXPECT_GT(gamma, 2e-11) << w.name;
+        EXPECT_LT(gamma, 3e-10) << w.name;
+    }
+}
+
+TEST(SimTrainer, AlexNetWaBreakdownMatchesTableTwoShape)
+{
+    // Paper Table II: communication is ~75% of AlexNet training time on
+    // the 5-node 10 GbE cluster.
+    const auto result = runSimTraining(
+        baseConfig(alexNetWorkload(), ExchangeAlgorithm::WorkerAggregator));
+    const double comm_frac = result.breakdown.communicationFraction();
+    EXPECT_GT(comm_frac, 0.60);
+    EXPECT_LT(comm_frac, 0.90);
+    // Per-iteration total in the paper: ~1.96 s. Same order here.
+    EXPECT_GT(result.secondsPerIteration(), 1.0);
+    EXPECT_LT(result.secondsPerIteration(), 4.0);
+}
+
+TEST(SimTrainer, HdcWaCommunicationDominatesDespiteTinyModel)
+{
+    const auto result = runSimTraining(
+        baseConfig(hdcWorkload(), ExchangeAlgorithm::WorkerAggregator));
+    // Paper: 80.2% communication for HDC.
+    EXPECT_GT(result.breakdown.communicationFraction(), 0.5);
+}
+
+TEST(SimTrainer, RingBeatsWaOnEveryWorkload)
+{
+    for (const auto &w : allWorkloads()) {
+        const auto wa = runSimTraining(
+            baseConfig(w, ExchangeAlgorithm::WorkerAggregator));
+        const auto ring =
+            runSimTraining(baseConfig(w, ExchangeAlgorithm::Ring));
+        EXPECT_LT(ring.totalSeconds, wa.totalSeconds) << w.name;
+        EXPECT_LT(ring.gradientExchangeSeconds,
+                  wa.gradientExchangeSeconds)
+            << w.name;
+    }
+}
+
+TEST(SimTrainer, CompressionReducesRingCommunication)
+{
+    SimTrainerConfig cfg =
+        baseConfig(alexNetWorkload(), ExchangeAlgorithm::Ring);
+    const auto plain = runSimTraining(cfg);
+    cfg.compressGradients = true;
+    cfg.wireRatio = 10.0;
+    const auto comp = runSimTraining(cfg);
+    EXPECT_LT(comp.breakdown.seconds(TrainStep::Communicate),
+              plain.breakdown.seconds(TrainStep::Communicate) * 0.6);
+    // Compute steps unchanged.
+    EXPECT_DOUBLE_EQ(comp.breakdown.seconds(TrainStep::Forward),
+                     plain.breakdown.seconds(TrainStep::Forward));
+}
+
+TEST(SimTrainer, FullIncVsWaSpeedupInPaperRange)
+{
+    // Paper Fig. 12: INC+C over WA = 2.2x (VGG-16) to 3.1x (AlexNet).
+    // Our simulated ring runs closer to ideal than the authors' software
+    // ring (no TCP/MPI inefficiency), so the band is generous upward;
+    // EXPERIMENTS.md discusses the deviation.
+    for (const auto &w : {alexNetWorkload(), vgg16Workload()}) {
+        const auto wa = runSimTraining(
+            baseConfig(w, ExchangeAlgorithm::WorkerAggregator));
+        SimTrainerConfig inc_cfg = baseConfig(w, ExchangeAlgorithm::Ring);
+        inc_cfg.compressGradients = true;
+        inc_cfg.wireRatio = 10.0; // class of INC(2^-10) on real gradients
+        const auto inc = runSimTraining(inc_cfg);
+        const double speedup = wa.totalSeconds / inc.totalSeconds;
+        EXPECT_GT(speedup, 1.8) << w.name;
+        EXPECT_LT(speedup, 5.5) << w.name;
+    }
+}
+
+TEST(SimTrainer, WaExchangeScalesLinearlyRingStaysFlat)
+{
+    // Paper Fig. 15 shape.
+    auto exchange = [](ExchangeAlgorithm algo, int workers) {
+        SimTrainerConfig cfg =
+            baseConfig(alexNetWorkload(), algo, /*iters=*/3);
+        cfg.workers = workers;
+        return runSimTraining(cfg).gradientExchangeSeconds;
+    };
+    const double wa4 = exchange(ExchangeAlgorithm::WorkerAggregator, 4);
+    const double wa8 = exchange(ExchangeAlgorithm::WorkerAggregator, 8);
+    const double ring4 = exchange(ExchangeAlgorithm::Ring, 4);
+    const double ring8 = exchange(ExchangeAlgorithm::Ring, 8);
+    EXPECT_GT(wa8 / wa4, 1.6);
+    EXPECT_NEAR(ring8 / ring4, 1.0, 0.25);
+}
+
+TEST(SimTrainer, HierarchicalAlgorithmsCompleteAndOrderSanely)
+{
+    // At 8 workers: WA star is worst, the tree helps, hierarchical
+    // rings help more, and the flat ring wins on pure bandwidth (paper
+    // Fig. 1 narrative at small scale).
+    auto total = [](ExchangeAlgorithm algo) {
+        SimTrainerConfig cfg = baseConfig(alexNetWorkload(), algo, 3);
+        cfg.workers = 8;
+        cfg.groupSize = 4;
+        return runSimTraining(cfg).totalSeconds;
+    };
+    const double wa = total(ExchangeAlgorithm::WorkerAggregator);
+    const double tree = total(ExchangeAlgorithm::Tree);
+    const double hier = total(ExchangeAlgorithm::HierRing);
+    const double ring = total(ExchangeAlgorithm::Ring);
+    EXPECT_LT(tree, wa);
+    EXPECT_LT(hier, tree);
+    EXPECT_LT(ring, hier);
+}
+
+TEST(SimTrainer, OverlapBucketsHideCommunication)
+{
+    // Gradient bucketing overlaps the exchange with the backward pass:
+    // more buckets, shorter iterations — up to the point where the
+    // exchange itself is the critical path.
+    auto total = [](int buckets) {
+        SimTrainerConfig cfg =
+            baseConfig(vgg16Workload(), ExchangeAlgorithm::Ring, 3);
+        cfg.overlapBuckets = buckets;
+        return runSimTraining(cfg).totalSeconds;
+    };
+    const double none = total(1);
+    const double four = total(4);
+    const double sixteen = total(16);
+    EXPECT_LT(four, none);
+    EXPECT_LE(sixteen, four * 1.02);
+    // Lower bound: the iteration can never be shorter than compute
+    // alone.
+    const Workload w = vgg16Workload();
+    EXPECT_GT(sixteen / 3.0, w.timing.localCompute() + w.timing.update);
+}
+
+TEST(SimTrainer, SingleBucketMatchesLegacyPath)
+{
+    SimTrainerConfig cfg =
+        baseConfig(alexNetWorkload(), ExchangeAlgorithm::Ring, 3);
+    cfg.overlapBuckets = 1;
+    const auto a = runSimTraining(cfg);
+    const auto b = runSimTraining(cfg);
+    EXPECT_DOUBLE_EQ(a.totalSeconds, b.totalSeconds); // deterministic
+    EXPECT_GT(a.gradientExchangeSeconds, 0.0);
+}
+
+TEST(SimTrainer, IterationsScaleLinearly)
+{
+    SimTrainerConfig cfg =
+        baseConfig(hdcWorkload(), ExchangeAlgorithm::Ring, 4);
+    const auto four = runSimTraining(cfg);
+    cfg.iterations = 8;
+    const auto eight = runSimTraining(cfg);
+    EXPECT_NEAR(eight.totalSeconds / four.totalSeconds, 2.0, 0.05);
+}
+
+} // namespace
+} // namespace inc

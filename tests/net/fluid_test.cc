@@ -1,0 +1,160 @@
+#include "net/fluid.h"
+
+#include <gtest/gtest.h>
+
+namespace inc {
+namespace {
+
+constexpr uint64_t kMB = 1000 * 1000;
+
+NetworkConfig
+base(int nodes = 4, bool engines = false)
+{
+    NetworkConfig cfg;
+    cfg.nodes = nodes;
+    cfg.nicConfig.hasCompressionEngine = engines;
+    return cfg;
+}
+
+double
+packetModelSeconds(NetworkConfig cfg, const TransferRequest &req)
+{
+    EventQueue events;
+    Network net(events, cfg);
+    double secs = 0;
+    net.transfer(req, [&](Tick t) { secs = toSeconds(t); });
+    events.run();
+    return secs;
+}
+
+double
+fluidSeconds(NetworkConfig cfg, const TransferRequest &req)
+{
+    EventQueue events;
+    FluidNetwork net(events, cfg);
+    double secs = 0;
+    net.transfer(req, [&](Tick t) { secs = toSeconds(t); });
+    events.run();
+    return secs;
+}
+
+TEST(Fluid, SingleFlowMatchesPacketModel)
+{
+    const TransferRequest req{0, 1, 20 * kMB, kDefaultTos, 1.0};
+    const double fluid = fluidSeconds(base(), req);
+    const double packet = packetModelSeconds(base(), req);
+    EXPECT_NEAR(fluid, packet, packet * 0.02);
+}
+
+TEST(Fluid, CompressedFlowMatchesPacketModel)
+{
+    const TransferRequest req{0, 1, 20 * kMB, kCompressTos, 8.0};
+    const double fluid = fluidSeconds(base(4, true), req);
+    const double packet = packetModelSeconds(base(4, true), req);
+    EXPECT_NEAR(fluid, packet, packet * 0.03);
+}
+
+TEST(Fluid, TwoFlowsShareABottleneckFairly)
+{
+    // Both flows into host 2: each gets half the downlink; both finish
+    // at ~2x the solo time (vs FIFO, where the first finishes at 1x).
+    EventQueue events;
+    FluidNetwork net(events, base());
+    const uint64_t bytes = 10 * kMB;
+    Tick t_a = 0, t_b = 0;
+    net.transfer({0, 2, bytes, kDefaultTos, 1.0},
+                 [&](Tick t) { t_a = t; });
+    net.transfer({1, 2, bytes, kDefaultTos, 1.0},
+                 [&](Tick t) { t_b = t; });
+    events.run();
+
+    const double solo =
+        fluidSeconds(base(), {0, 2, bytes, kDefaultTos, 1.0});
+    EXPECT_NEAR(toSeconds(t_a), 2.0 * solo, solo * 0.06);
+    EXPECT_NEAR(toSeconds(t_b), 2.0 * solo, solo * 0.06);
+}
+
+TEST(Fluid, LateArrivalReallocatesBandwidth)
+{
+    // Flow A runs alone for half its life, then B joins: A finishes at
+    // ~1.5x its solo time, B at ~2x its own (it shared all along until
+    // A left).
+    EventQueue events;
+    FluidNetwork net(events, base());
+    const uint64_t bytes = 10 * kMB;
+    const double solo =
+        fluidSeconds(base(), {0, 2, bytes, kDefaultTos, 1.0});
+
+    Tick t_a = 0;
+    net.transfer({0, 2, bytes, kDefaultTos, 1.0},
+                 [&](Tick t) { t_a = t; });
+    events.schedule(fromSeconds(solo / 2), [&] {
+        net.transfer({1, 2, bytes, kDefaultTos, 1.0}, [](Tick) {});
+    });
+    events.run();
+    EXPECT_NEAR(toSeconds(t_a), 1.5 * solo, solo * 0.08);
+}
+
+TEST(Fluid, DisjointFlowsDoNotInteract)
+{
+    EventQueue events;
+    FluidNetwork net(events, base());
+    const uint64_t bytes = 10 * kMB;
+    Tick t_a = 0, t_b = 0;
+    net.transfer({0, 1, bytes, kDefaultTos, 1.0},
+                 [&](Tick t) { t_a = t; });
+    net.transfer({2, 3, bytes, kDefaultTos, 1.0},
+                 [&](Tick t) { t_b = t; });
+    events.run();
+    EXPECT_NEAR(toSeconds(t_a), toSeconds(t_b),
+                toSeconds(t_a) * 0.01);
+}
+
+TEST(Fluid, ConservationAcrossManyFlows)
+{
+    EventQueue events;
+    FluidNetwork net(events, base(6));
+    uint64_t total = 0;
+    int pending = 0;
+    for (int s = 0; s < 6; ++s) {
+        for (int d = 0; d < 6; ++d) {
+            if (s == d)
+                continue;
+            const uint64_t bytes = kMB * static_cast<uint64_t>(1 + s + d);
+            total += bytes;
+            ++pending;
+            net.transfer({s, d, bytes, kDefaultTos, 1.0},
+                         [&pending](Tick) { --pending; });
+        }
+    }
+    events.run();
+    EXPECT_EQ(pending, 0);
+    EXPECT_EQ(net.deliveredBytes(), total);
+    EXPECT_EQ(net.activeFlows(), 0u);
+}
+
+TEST(Fluid, TwoTierOversubscriptionGatesCrossRack)
+{
+    NetworkConfig cfg = base(8);
+    cfg.hostsPerRack = 4;
+    cfg.coreLinkBitsPerSecond = 2.5e9;
+    const double cross =
+        fluidSeconds(cfg, {0, 5, 10 * kMB, kDefaultTos, 1.0});
+    const double intra =
+        fluidSeconds(cfg, {0, 1, 10 * kMB, kDefaultTos, 1.0});
+    EXPECT_NEAR(cross / intra, 4.0, 0.4);
+}
+
+TEST(Fluid, StragglerLinkOverride)
+{
+    NetworkConfig cfg = base();
+    cfg.linkSpeedOverrides = {{1, 1e9}};
+    const double slow =
+        fluidSeconds(cfg, {0, 1, 10 * kMB, kDefaultTos, 1.0});
+    const double fast =
+        fluidSeconds(cfg, {0, 2, 10 * kMB, kDefaultTos, 1.0});
+    EXPECT_NEAR(slow / fast, 10.0, 1.0);
+}
+
+} // namespace
+} // namespace inc

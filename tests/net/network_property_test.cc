@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Randomized property tests over the cluster simulator: conservation,
+ * per-flow FIFO ordering, monotonicity under load, and invariance of
+ * totals to event interleavings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/random.h"
+
+namespace inc {
+namespace {
+
+struct FlowRecord
+{
+    int src, dst;
+    uint64_t bytes;
+    Tick delivered = 0;
+};
+
+class NetworkProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(NetworkProperty, RandomScheduleInvariants)
+{
+    Rng rng(GetParam());
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 6;
+    cfg.nicConfig.hasCompressionEngine = true;
+    Network net(events, cfg);
+
+    // Launch 40 random transfers at random times.
+    auto records = std::make_shared<std::vector<FlowRecord>>();
+    uint64_t total_bytes = 0;
+    size_t completed = 0;
+    for (int i = 0; i < 40; ++i) {
+        FlowRecord r;
+        r.src = static_cast<int>(rng.below(6));
+        do {
+            r.dst = static_cast<int>(rng.below(6));
+        } while (r.dst == r.src);
+        r.bytes = 1 + rng.below(3 * 1000 * 1000);
+        total_bytes += r.bytes;
+        const Tick start = rng.below(5 * kMillisecond);
+        const size_t idx = records->size();
+        records->push_back(r);
+        events.schedule(start, [&net, &rng, records, idx, &completed] {
+            FlowRecord &rec = (*records)[idx];
+            const bool compress = rng.below(2) == 1;
+            net.transfer({rec.src, rec.dst, rec.bytes,
+                          compress ? kCompressTos : kDefaultTos,
+                          compress ? 4.0 : 1.0},
+                         [records, idx, &completed](Tick t) {
+                             (*records)[idx].delivered = t;
+                             ++completed;
+                         });
+        });
+    }
+    events.run();
+
+    // 1. Every transfer completes exactly once.
+    EXPECT_EQ(completed, records->size());
+    // 2. Conservation: the network accounted for every byte.
+    EXPECT_EQ(net.deliveredBytes(), total_bytes);
+    // 3. Causality: nothing delivers at tick 0 and all before now().
+    for (const auto &r : *records) {
+        EXPECT_GT(r.delivered, 0u);
+        EXPECT_LE(r.delivered, events.now());
+    }
+    // 4. Physics: no flow beats the line rate by more than the
+    //    store-and-forward pipelining allows.
+    for (const auto &r : *records) {
+        const double secs = toSeconds(r.delivered);
+        const double min_secs =
+            static_cast<double>(r.bytes) * 8.0 /
+            (4.0 * cfg.linkBitsPerSecond); // best case: 4x compression
+        EXPECT_GE(secs * 1.001, min_secs) << r.bytes;
+    }
+    // 5. Link accounting: carried bits imply busy time at line rate.
+    for (int i = 0; i < 6; ++i) {
+        const Link &up = net.uplink(i);
+        const double expected_busy = static_cast<double>(up.bitsCarried()) /
+                                     cfg.linkBitsPerSecond;
+        EXPECT_NEAR(toSeconds(up.busyTime()), expected_busy,
+                    expected_busy * 0.001 + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkProperty,
+                         ::testing::Values(1, 2, 3, 42, 999));
+
+TEST(NetworkProperty, SameSourceSameDestinationIsFifo)
+{
+    Rng rng(7);
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    Network net(events, cfg);
+
+    std::vector<int> order;
+    for (int i = 0; i < 12; ++i) {
+        const uint64_t bytes = 1 + rng.below(500000);
+        net.transfer({0, 1, bytes, kDefaultTos, 1.0},
+                     [&order, i](Tick) { order.push_back(i); });
+    }
+    events.run();
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], static_cast<int>(i));
+}
+
+TEST(NetworkProperty, MoreLoadNeverFinishesEarlier)
+{
+    auto finish = [](int extra_flows) {
+        EventQueue events;
+        NetworkConfig cfg;
+        cfg.nodes = 4;
+        Network net(events, cfg);
+        Tick probe = 0;
+        for (int i = 0; i < extra_flows; ++i)
+            net.transfer({2, 1, 2 * 1000 * 1000, kDefaultTos, 1.0},
+                         [](Tick) {});
+        net.transfer({0, 1, 1000 * 1000, kDefaultTos, 1.0},
+                     [&](Tick t) { probe = t; });
+        events.run();
+        return probe;
+    };
+    const Tick alone = finish(0);
+    const Tick contended = finish(3);
+    EXPECT_GE(contended, alone);
+}
+
+} // namespace
+} // namespace inc

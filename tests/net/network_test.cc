@@ -1,0 +1,275 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+
+namespace inc {
+namespace {
+
+NetworkConfig
+smallConfig(int nodes = 4)
+{
+    NetworkConfig cfg;
+    cfg.nodes = nodes;
+    return cfg;
+}
+
+TEST(Packetization, CountsAndOverheads)
+{
+    EXPECT_EQ(mssFor(1500), 1460u);
+    EXPECT_EQ(packetsFor(0), 0u);
+    EXPECT_EQ(packetsFor(1), 1u);
+    EXPECT_EQ(packetsFor(1460), 1u);
+    EXPECT_EQ(packetsFor(1461), 2u);
+    EXPECT_EQ(packetsFor(14600), 10u);
+}
+
+TEST(Packetization, CompressedSegmentKeepsPacketCount)
+{
+    // Paper Sec. VIII-C: compression shrinks wire payload but NOT the
+    // packet count or header overhead.
+    SegmentMeta plain{14600, 14600, kDefaultTos};
+    SegmentMeta comp{14600, 1460, kCompressTos};
+    EXPECT_EQ(plain.packets(), comp.packets());
+    const uint64_t header_bits =
+        plain.packets() * (kHeaderBytes + kFramingBytes) * 8;
+    EXPECT_EQ(plain.wireBits(), 14600u * 8 + header_bits);
+    EXPECT_EQ(comp.wireBits(), 1460u * 8 + header_bits);
+}
+
+TEST(Link, SerializesAtLineRate)
+{
+    Link l("test", 10e9, 500 * kNanosecond);
+    // 10 Gb/s: 10,000 bits take 1 us.
+    EXPECT_EQ(l.serializationTime(10000), 1 * kMicrosecond);
+    const Tick arrival = l.transmit(0, 10000);
+    EXPECT_EQ(arrival, 1 * kMicrosecond + 500 * kNanosecond);
+}
+
+TEST(Link, BackToBackQueues)
+{
+    Link l("test", 10e9, 0);
+    const Tick a = l.transmit(0, 10000);
+    const Tick b = l.transmit(0, 10000); // queues behind the first
+    EXPECT_EQ(a, 1 * kMicrosecond);
+    EXPECT_EQ(b, 2 * kMicrosecond);
+    EXPECT_EQ(l.bitsCarried(), 20000u);
+    EXPECT_EQ(l.busyTime(), 2 * kMicrosecond);
+}
+
+TEST(Link, IdleGapsDoNotAccumulate)
+{
+    Link l("test", 10e9, 0);
+    l.transmit(0, 10000);
+    const Tick b = l.transmit(5 * kMicrosecond, 10000);
+    EXPECT_EQ(b, 6 * kMicrosecond);
+    EXPECT_EQ(l.busyTime(), 2 * kMicrosecond);
+}
+
+TEST(Nic, PlanTxUncompressed)
+{
+    Nic nic(NicConfig{});
+    const SegmentMeta m = nic.planTx(14600, kDefaultTos, 1.0);
+    EXPECT_EQ(m.wirePayloadBytes, 14600u);
+    EXPECT_EQ(nic.stats().txPackets, 10u);
+}
+
+TEST(Nic, CompressionRequiresEngineAndTos)
+{
+    NicConfig with_engine;
+    with_engine.hasCompressionEngine = true;
+    Nic nic(with_engine);
+    // Wrong ToS: no compression even with the engine.
+    EXPECT_EQ(nic.planTx(1000, kDefaultTos, 10.0).wirePayloadBytes, 1000u);
+    // Right ToS: payload shrinks by the codec ratio.
+    EXPECT_EQ(nic.planTx(1000, kCompressTos, 10.0).wirePayloadBytes, 100u);
+
+    Nic no_engine{NicConfig{}};
+    EXPECT_FALSE(no_engine.compresses(kCompressTos));
+}
+
+TEST(Nic, EngineBandwidthMatchesPaper)
+{
+    NicConfig cfg;
+    cfg.hasCompressionEngine = true;
+    Nic nic(cfg);
+    // 256 bit/cycle at 100 MHz = 25.6 Gb/s: above the 10 GbE line rate.
+    EXPECT_DOUBLE_EQ(nic.engineBitsPerSecond(), 25.6e9);
+}
+
+TEST(Network, SingleTransferTimingIsPlausible)
+{
+    EventQueue events;
+    Network net(events, smallConfig());
+
+    const uint64_t bytes = 10 * 1000 * 1000; // 10 MB
+    Tick delivered = 0;
+    net.transfer({0, 1, bytes, kDefaultTos, 1.0},
+                 [&](Tick t) { delivered = t; });
+    events.run();
+
+    // Lower bound: two serializations (store-and-forward) would be 2x,
+    // but segments pipeline, so expect just over one serialization of
+    // payload+headers at 10 Gb/s: >= 8 ms, and well under 12 ms.
+    const double secs = toSeconds(delivered);
+    EXPECT_GT(secs, 0.008);
+    EXPECT_LT(secs, 0.012);
+}
+
+TEST(Network, CompressionShortensTransfer)
+{
+    EventQueue events;
+    NetworkConfig cfg = smallConfig();
+    cfg.nicConfig.hasCompressionEngine = true;
+    Network net(events, cfg);
+
+    const uint64_t bytes = 10 * 1000 * 1000;
+    Tick plain = 0, comp = 0;
+    net.transfer({0, 1, bytes, kDefaultTos, 1.0},
+                 [&](Tick t) { plain = t; });
+    events.run();
+    const Tick t0 = events.now();
+    net.transfer({2, 3, bytes, kCompressTos, 10.0},
+                 [&](Tick t) { comp = t - t0; });
+    events.run();
+
+    EXPECT_LT(comp, plain);
+    // Headers/packet costs are not compressed, so speedup < 10x.
+    EXPECT_GT(comp, plain / 10);
+}
+
+TEST(Network, CompressionNeedsBothEndpointEngines)
+{
+    EventQueue events;
+    NetworkConfig cfg = smallConfig();
+    cfg.nicConfig.hasCompressionEngine = false;
+    Network net(events, cfg);
+
+    const uint64_t bytes = 1000 * 1000;
+    Tick without = 0;
+    net.transfer({0, 1, bytes, kCompressTos, 10.0},
+                 [&](Tick t) { without = t; });
+    events.run();
+
+    EventQueue events2;
+    Network net2(events2, smallConfig());
+    Tick plain = 0;
+    net2.transfer({0, 1, bytes, kDefaultTos, 1.0},
+                  [&](Tick t) { plain = t; });
+    events2.run();
+
+    EXPECT_EQ(without, plain); // ToS ignored without engines
+}
+
+TEST(Network, SharedDownlinkSerializesFanIn)
+{
+    // Two senders to one receiver: the receiver's downlink is the
+    // bottleneck, so the pair takes ~2x one transfer.
+    EventQueue events;
+    Network net(events, smallConfig());
+    const uint64_t bytes = 5 * 1000 * 1000;
+
+    Tick one = 0;
+    net.transfer({0, 1, bytes, kDefaultTos, 1.0}, [&](Tick t) { one = t; });
+    events.run();
+
+    EventQueue events2;
+    Network net2(events2, smallConfig());
+    Tick last = 0;
+    int pending = 2;
+    auto cb = [&](Tick t) {
+        last = std::max(last, t);
+        --pending;
+    };
+    net2.transfer({0, 2, bytes, kDefaultTos, 1.0}, cb);
+    net2.transfer({1, 2, bytes, kDefaultTos, 1.0}, cb);
+    events2.run();
+    EXPECT_EQ(pending, 0);
+    EXPECT_GT(last, 2 * one - 2 * one / 10);
+}
+
+TEST(Network, DisjointPairsRunConcurrently)
+{
+    EventQueue events;
+    Network net(events, smallConfig());
+    const uint64_t bytes = 5 * 1000 * 1000;
+
+    Tick a = 0, b = 0;
+    net.transfer({0, 1, bytes, kDefaultTos, 1.0}, [&](Tick t) { a = t; });
+    net.transfer({2, 3, bytes, kDefaultTos, 1.0}, [&](Tick t) { b = t; });
+    events.run();
+    // Same start, non-overlapping resources: both finish at ~the same
+    // time.
+    const double ratio = toSeconds(b) / toSeconds(a);
+    EXPECT_NEAR(ratio, 1.0, 0.01);
+}
+
+TEST(Network, SegmentationGranularityDoesNotChangeTotals)
+{
+    // Timing must be (nearly) invariant to the simulation batching knob.
+    const uint64_t bytes = 3 * 1000 * 1000 + 777;
+    Tick coarse = 0, fine = 0;
+
+    {
+        EventQueue events;
+        NetworkConfig cfg = smallConfig();
+        cfg.segmentBytes = 512 * 1460;
+        Network net(events, cfg);
+        net.transfer({0, 1, bytes, kDefaultTos, 1.0},
+                     [&](Tick t) { coarse = t; });
+        events.run();
+    }
+    {
+        EventQueue events;
+        NetworkConfig cfg = smallConfig();
+        cfg.segmentBytes = 16 * 1460;
+        Network net(events, cfg);
+        net.transfer({0, 1, bytes, kDefaultTos, 1.0},
+                     [&](Tick t) { fine = t; });
+        events.run();
+    }
+    // Finer segments pipeline store-and-forward better; totals stay
+    // within a few percent.
+    EXPECT_NEAR(toSeconds(coarse), toSeconds(fine),
+                0.05 * toSeconds(coarse));
+}
+
+TEST(Network, JitterIsDeterministicAndNonNegative)
+{
+    auto deliver = [](double sigma, uint64_t seed) {
+        EventQueue events;
+        NetworkConfig cfg;
+        cfg.nodes = 2;
+        cfg.jitterStddevSeconds = sigma;
+        cfg.jitterSeed = seed;
+        Network net(events, cfg);
+        Tick t = 0;
+        net.transfer({0, 1, 5 * 1000 * 1000, kDefaultTos, 1.0},
+                     [&](Tick tt) { t = tt; });
+        events.run();
+        return t;
+    };
+    const Tick clean = deliver(0.0, 1);
+    const Tick jittered = deliver(50e-6, 1);
+    EXPECT_GE(jittered, clean); // |N| delays only
+    EXPECT_LT(toSeconds(jittered - clean), 50e-6 * 40); // bounded-ish
+    // Deterministic per seed, different across seeds.
+    EXPECT_EQ(deliver(50e-6, 1), jittered);
+    EXPECT_NE(deliver(50e-6, 2), jittered);
+}
+
+TEST(Network, HostComputeSerializes)
+{
+    EventQueue events;
+    Network net(events, smallConfig());
+    Host &h = net.host(0);
+    const Tick a = h.compute(0, 100);
+    const Tick b = h.compute(50, 100);
+    EXPECT_EQ(a, 100u);
+    EXPECT_EQ(b, 200u);
+    EXPECT_EQ(h.cpuBusyTime(), 200u);
+}
+
+} // namespace
+} // namespace inc

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Error-path and misuse tests: the simulator must fail loudly (panic)
+ * on invalid configurations rather than produce silent garbage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "comm/inceptionn_api.h"
+#include "net/fluid.h"
+#include "net/network.h"
+
+namespace inc {
+namespace {
+
+TEST(RobustnessDeath, TransferToSelfPanics)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    Network net(events, cfg);
+    EXPECT_DEATH(net.transfer({1, 1, 100, kDefaultTos, 1.0}, [](Tick) {}),
+                 "bad transfer");
+}
+
+TEST(RobustnessDeath, TransferOutOfRangePanics)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    Network net(events, cfg);
+    EXPECT_DEATH(net.transfer({0, 5, 100, kDefaultTos, 1.0}, [](Tick) {}),
+                 "bad transfer");
+}
+
+TEST(RobustnessDeath, EmptyTransferPanics)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    Network net(events, cfg);
+    EXPECT_DEATH(net.transfer({0, 1, 0, kDefaultTos, 1.0}, [](Tick) {}),
+                 "empty");
+}
+
+TEST(RobustnessDeath, BadWireRatioPanics)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    cfg.nicConfig.hasCompressionEngine = true;
+    Network net(events, cfg);
+    EXPECT_DEATH(net.transfer({0, 1, 100, kCompressTos, 0.5}, [](Tick) {}),
+                 "ratio");
+}
+
+TEST(RobustnessDeath, TinyClusterPanics)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 1;
+    EXPECT_DEATH({ Network net(events, cfg); }, "nodes");
+}
+
+TEST(RobustnessDeath, MisalignedSegmentBytesPanics)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    cfg.segmentBytes = 1000; // not a multiple of the MSS
+    EXPECT_DEATH({ Network net(events, cfg); }, "MSS");
+}
+
+TEST(RobustnessDeath, FluidSelfTransferPanics)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    FluidNetwork net(events, cfg);
+    EXPECT_DEATH(net.transfer({0, 0, 100, kDefaultTos, 1.0}, [](Tick) {}),
+                 "bad transfer");
+}
+
+TEST(RobustnessDeath, ApiRejectsUndersizedCluster)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 4;
+    Network net(events, cfg);
+    CommWorld comm(net);
+    CollectiveCall call;
+    call.algorithm = CollectiveAlgorithm::WorkerAggregator;
+    call.workers = 4; // needs 5 nodes
+    call.gradientBytes = 100;
+    EXPECT_DEATH(collecCommAllReduce(comm, call, [](ExchangeResult) {}),
+                 "cluster");
+}
+
+TEST(RobustnessDeath, ApiRejectsIndivisibleGroups)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 16;
+    Network net(events, cfg);
+    CommWorld comm(net);
+    CollectiveCall call;
+    call.algorithm = CollectiveAlgorithm::Tree;
+    call.workers = 10;
+    call.groupSize = 4;
+    call.gradientBytes = 100;
+    EXPECT_DEATH(collecCommAllReduce(comm, call, [](ExchangeResult) {}),
+                 "divide");
+}
+
+TEST(Robustness, ZeroByteSegmentTailHandled)
+{
+    // Payload exactly a segment multiple: no zero-length trailing
+    // segment may be emitted.
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    Network net(events, cfg);
+    int calls = 0;
+    net.transfer({0, 1, cfg.segmentBytes * 3, kDefaultTos, 1.0},
+                 [&](Tick) { ++calls; });
+    events.run();
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Robustness, OneByteTransferDelivers)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    Network net(events, cfg);
+    Tick t = 0;
+    net.transfer({0, 1, 1, kDefaultTos, 1.0}, [&](Tick tt) { t = tt; });
+    events.run();
+    EXPECT_GT(t, 0u);
+    EXPECT_LT(toSeconds(t), 1e-3);
+}
+
+} // namespace
+} // namespace inc

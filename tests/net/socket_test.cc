@@ -1,0 +1,106 @@
+#include "net/socket.h"
+
+#include <gtest/gtest.h>
+
+namespace inc {
+namespace {
+
+NetworkConfig
+withEngines(int nodes = 4)
+{
+    NetworkConfig cfg;
+    cfg.nodes = nodes;
+    cfg.nicConfig.hasCompressionEngine = true;
+    return cfg;
+}
+
+TEST(SimSocket, HandshakeDelaysFirstSend)
+{
+    EventQueue events;
+    Network net(events, withEngines());
+    SocketStack stack(net);
+    auto sock = stack.connect(0, 1);
+    EXPECT_EQ(sock->establishedAt(), stack.roundTrip(0, 1) * 3 / 2);
+
+    Tick delivered = 0;
+    sock->send(1460, 1.0, [&](Tick t) { delivered = t; });
+    events.run();
+    EXPECT_GT(delivered, sock->establishedAt());
+}
+
+TEST(SimSocket, TosGatesCompression)
+{
+    EventQueue events;
+    Network net(events, withEngines());
+    SocketStack stack(net);
+    const uint64_t bytes = 10 * 1000 * 1000;
+
+    auto plain = stack.connect(0, 1);
+    Tick t_plain = 0;
+    plain->send(bytes, 8.0, [&](Tick t) { t_plain = t; });
+    events.run();
+
+    const Tick start = events.now();
+    auto comp = stack.connect(2, 3);
+    comp->setOption(SocketOption::IpTos, kCompressTos);
+    EXPECT_EQ(comp->tos(), kCompressTos);
+    Tick t_comp = 0;
+    comp->send(bytes, 8.0, [&](Tick t) { t_comp = t - start; });
+    events.run();
+
+    EXPECT_LT(t_comp, t_plain);
+}
+
+TEST(SimSocket, TosCanToggleOnTheFly)
+{
+    // The paper: "we can call the setsockopt function to set the ToS
+    // field or update it on the fly".
+    EventQueue events;
+    Network net(events, withEngines());
+    SocketStack stack(net);
+    auto sock = stack.connect(0, 1);
+
+    const uint64_t bytes = 5 * 1000 * 1000;
+    Tick first = 0, second = 0, third = 0;
+    sock->send(bytes, 8.0, [&](Tick t) { first = t; });
+    sock->setOption(SocketOption::IpTos, kCompressTos);
+    sock->send(bytes, 8.0, [&](Tick t) { second = t; });
+    sock->setOption(SocketOption::IpTos, kDefaultTos);
+    sock->send(bytes, 8.0, [&](Tick t) { third = t; });
+    events.run();
+
+    const double plain1 = toSeconds(first);
+    const double comp = toSeconds(second - first);
+    const double plain2 = toSeconds(third - second);
+    EXPECT_LT(comp, plain2 * 0.5);
+    EXPECT_NEAR(plain2, plain1, plain1 * 0.2); // handshake in the first
+}
+
+TEST(SimSocket, InOrderDelivery)
+{
+    EventQueue events;
+    Network net(events, withEngines());
+    SocketStack stack(net);
+    auto sock = stack.connect(0, 1);
+
+    std::vector<int> order;
+    sock->send(5 * 1000 * 1000, 1.0, [&](Tick) { order.push_back(1); });
+    sock->send(1460, 1.0, [&](Tick) { order.push_back(2); });
+    events.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(sock->stats().sends, 2u);
+    EXPECT_EQ(sock->stats().payloadBytes, 5 * 1000 * 1000 + 1460u);
+}
+
+TEST(SimSocket, RejectsWideTosValues)
+{
+    EventQueue events;
+    Network net(events, withEngines());
+    SocketStack stack(net);
+    auto sock = stack.connect(0, 1);
+    EXPECT_DEATH(sock->setOption(SocketOption::IpTos, 0x1234),
+                 "8-bit");
+}
+
+} // namespace
+} // namespace inc

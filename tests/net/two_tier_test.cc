@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace inc {
+namespace {
+
+NetworkConfig
+twoTier(int nodes, int per_rack, double core_gbps)
+{
+    NetworkConfig cfg;
+    cfg.nodes = nodes;
+    cfg.hostsPerRack = per_rack;
+    cfg.coreLinkBitsPerSecond = core_gbps * 1e9;
+    return cfg;
+}
+
+double
+transferSeconds(NetworkConfig cfg, int src, int dst, uint64_t bytes)
+{
+    EventQueue events;
+    Network net(events, cfg);
+    double secs = 0;
+    net.transfer({src, dst, bytes, kDefaultTos, 1.0},
+                 [&](Tick t) { secs = toSeconds(t); });
+    events.run();
+    return secs;
+}
+
+TEST(TwoTier, RackAccounting)
+{
+    EventQueue events;
+    Network net(events, twoTier(8, 4, 10.0));
+    EXPECT_EQ(net.racks(), 2);
+    EXPECT_EQ(net.rackOf(0), 0);
+    EXPECT_EQ(net.rackOf(3), 0);
+    EXPECT_EQ(net.rackOf(4), 1);
+    EXPECT_EQ(net.rackOf(7), 1);
+}
+
+TEST(TwoTier, SingleSwitchHasOneRack)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 4;
+    Network net(events, cfg);
+    EXPECT_EQ(net.racks(), 1);
+    EXPECT_EQ(net.rackOf(3), 0);
+}
+
+TEST(TwoTier, IntraRackMatchesSingleSwitch)
+{
+    const uint64_t bytes = 10 * 1000 * 1000;
+    NetworkConfig flat;
+    flat.nodes = 8;
+    const double single = transferSeconds(flat, 0, 1, bytes);
+    const double intra = transferSeconds(twoTier(8, 4, 10.0), 0, 1, bytes);
+    EXPECT_DOUBLE_EQ(intra, single);
+}
+
+TEST(TwoTier, CrossRackAddsCoreHops)
+{
+    const uint64_t bytes = 10 * 1000 * 1000;
+    const double intra = transferSeconds(twoTier(8, 4, 10.0), 0, 1, bytes);
+    const double cross = transferSeconds(twoTier(8, 4, 10.0), 0, 5, bytes);
+    // Equal-speed core: only extra latency/forwarding, so nearly equal.
+    EXPECT_GT(cross, intra);
+    EXPECT_LT(cross, intra * 1.05);
+}
+
+TEST(TwoTier, OversubscribedCoreGatesCrossRack)
+{
+    const uint64_t bytes = 10 * 1000 * 1000;
+    const double fast = transferSeconds(twoTier(8, 4, 10.0), 0, 5, bytes);
+    const double slow = transferSeconds(twoTier(8, 4, 2.5), 0, 5, bytes);
+    // 4x slower core: cross-rack transfer ~4x slower.
+    EXPECT_NEAR(slow / fast, 4.0, 0.3);
+    // Intra-rack traffic is untouched by the slow core.
+    const double intra = transferSeconds(twoTier(8, 4, 2.5), 0, 1, bytes);
+    EXPECT_NEAR(intra, transferSeconds(twoTier(8, 4, 10.0), 0, 1, bytes),
+                intra * 0.01);
+}
+
+TEST(TwoTier, CrossRackFlowsContendOnCoreLink)
+{
+    // Two flows leaving rack 0 share its ToR uplink.
+    EventQueue events;
+    Network net(events, twoTier(8, 4, 10.0));
+    const uint64_t bytes = 10 * 1000 * 1000;
+    Tick last = 0;
+    int pending = 2;
+    auto cb = [&](Tick t) {
+        last = std::max(last, t);
+        --pending;
+    };
+    net.transfer({0, 4, bytes, kDefaultTos, 1.0}, cb);
+    net.transfer({1, 5, bytes, kDefaultTos, 1.0}, cb);
+    events.run();
+    EXPECT_EQ(pending, 0);
+
+    const double together = toSeconds(last);
+    const double alone = transferSeconds(twoTier(8, 4, 10.0), 0, 4, bytes);
+    EXPECT_GT(together, alone * 1.8);
+}
+
+TEST(TwoTier, RejectsPartialRacks)
+{
+    EventQueue events;
+    EXPECT_DEATH({ Network net(events, twoTier(6, 4, 10.0)); },
+                 "racks");
+}
+
+} // namespace
+} // namespace inc

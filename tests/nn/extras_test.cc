@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "gradcheck.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "nn/loss.h"
+#include "nn/lrn.h"
+#include "nn/model_zoo.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "sim/random.h"
+
+namespace inc {
+namespace {
+
+Tensor
+randomTensor(std::vector<size_t> shape, uint64_t seed, float scale = 1.0f)
+{
+    Tensor t(std::move(shape));
+    Rng rng(seed);
+    for (size_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.uniform(-scale, scale));
+    return t;
+}
+
+TEST(LrnLayer, IdentityLikeForSmallActivations)
+{
+    // With k=2 and tiny activations, scale ~ k and y ~ x * k^-beta.
+    Lrn lrn(5, 1e-4f, 0.75f, 2.0f);
+    Tensor x({1, 3, 2, 2});
+    x.fill(0.01f);
+    const Tensor &y = lrn.forward(x, false);
+    const float expect = 0.01f * std::pow(2.0f, -0.75f);
+    for (size_t i = 0; i < y.numel(); ++i)
+        EXPECT_NEAR(y[i], expect, 1e-6);
+}
+
+TEST(LrnLayer, SuppressesLoudChannels)
+{
+    // A channel surrounded by loud neighbours is suppressed more than
+    // one surrounded by silence (use non-trivial alpha to see it).
+    Lrn lrn(3, 1.0f, 0.75f, 2.0f);
+    Tensor x({1, 3, 1, 1});
+    x[0] = 1.0f; // channel 0: loud neighbour at c=1
+    x[1] = 5.0f;
+    x[2] = 0.0f;
+    const Tensor &y = lrn.forward(x, false);
+    Tensor lone({1, 3, 1, 1});
+    lone[0] = 1.0f; // same value, silent neighbours
+    Lrn lrn2(3, 1.0f, 0.75f, 2.0f);
+    const Tensor &y2 = lrn2.forward(lone, false);
+    EXPECT_LT(y[0], y2[0]);
+}
+
+TEST(LrnLayer, GradCheck)
+{
+    Lrn lrn(3, 0.5f, 0.75f, 2.0f);
+    const auto res =
+        testhelpers::checkGradients(lrn, randomTensor({2, 4, 2, 2}, 31));
+    EXPECT_LT(res.maxInputError, 3e-2);
+}
+
+TEST(GroupedConv, HalvesParameters)
+{
+    Conv2d plain(4, 8, 8, 8, 3, 1, 1, 1);
+    Conv2d grouped(4, 8, 8, 8, 3, 1, 1, 2);
+    // Weights shrink by the group count; biases unchanged.
+    EXPECT_EQ(plain.paramCount(), 8u * 4 * 9 + 8);
+    EXPECT_EQ(grouped.paramCount(), 8u * 2 * 9 + 8);
+}
+
+TEST(GroupedConv, GroupsAreIndependent)
+{
+    // With two groups, zeroing group 1's input must not change group
+    // 0's output channels.
+    Conv2d conv(4, 4, 4, 4, 3, 1, 1, 2);
+    Rng rng(41);
+    conv.initParams(rng);
+
+    Tensor x({1, 4, 4, 4});
+    x.fillGaussian(rng, 1.0f);
+    const Tensor y_full = conv.forward(x, false);
+
+    Tensor x_zeroed = x;
+    for (size_t c = 2; c < 4; ++c)
+        for (size_t i = 0; i < 16; ++i)
+            x_zeroed[c * 16 + i] = 0.0f;
+    const Tensor &y_half = conv.forward(x_zeroed, false);
+
+    for (size_t c = 0; c < 2; ++c) // group-0 outputs unchanged
+        for (size_t i = 0; i < 16; ++i)
+            EXPECT_EQ(y_half[c * 16 + i], y_full[c * 16 + i]);
+}
+
+TEST(GroupedConv, GradCheck)
+{
+    Conv2d conv(4, 4, 4, 4, 3, 1, 1, 2);
+    Rng rng(42);
+    conv.initParams(rng);
+    const auto res =
+        testhelpers::checkGradients(conv, randomTensor({2, 4, 4, 4}, 43));
+    EXPECT_LT(res.maxParamError, 2e-2);
+    EXPECT_LT(res.maxInputError, 2e-2);
+}
+
+TEST(GroupedConv, RejectsIndivisibleChannels)
+{
+    EXPECT_DEATH({ Conv2d bad(3, 8, 8, 8, 3, 1, 1, 2); }, "groups");
+}
+
+TEST(AvgPoolLayer, ForwardAverages)
+{
+    AvgPool2d p(2);
+    Tensor x({1, 1, 2, 2});
+    x[0] = 1;
+    x[1] = 2;
+    x[2] = 3;
+    x[3] = 6;
+    const Tensor &y = p.forward(x, false);
+    ASSERT_EQ(y.numel(), 1u);
+    EXPECT_FLOAT_EQ(y[0], 3.0f);
+}
+
+TEST(AvgPoolLayer, GradCheck)
+{
+    AvgPool2d p(2);
+    const auto res =
+        testhelpers::checkGradients(p, randomTensor({2, 3, 4, 4}, 44));
+    EXPECT_LT(res.maxInputError, 2e-2);
+}
+
+TEST(Optimizer, NesterovConvergesFasterOnQuadratic)
+{
+    auto run = [](bool nesterov) {
+        Model m("quad");
+        m.emplace<Dense>(1, 1);
+        auto params = m.params();
+        float &w = (*params[0].value)[0];
+        w = 1.0f;
+        SgdConfig cfg;
+        cfg.learningRate = 0.02;
+        cfg.momentum = 0.9;
+        cfg.weightDecay = 0.0;
+        cfg.nesterov = nesterov;
+        SgdOptimizer opt(m, cfg);
+        for (int it = 0; it < 40; ++it) {
+            (*params[0].grad)[0] = 2.0f * w;
+            (*params[1].grad)[0] = 0.0f;
+            opt.step();
+        }
+        return std::abs(w);
+    };
+    // Both descend; the Nesterov update damps the overshoot.
+    EXPECT_LT(run(true), 0.5);
+    EXPECT_LT(run(false), 0.5);
+    EXPECT_LE(run(true), run(false) * 1.5);
+}
+
+TEST(TopK, RankSemantics)
+{
+    Tensor scores({2, 4});
+    // Row 0: class 2 is top-1. Row 1: class 0 ranks third.
+    const float vals[] = {0.1f, 0.2f, 0.9f, 0.3f, 0.4f, 0.8f, 0.6f, 0.1f};
+    for (size_t i = 0; i < 8; ++i)
+        scores[i] = vals[i];
+    const std::vector<int> labels{2, 0};
+    EXPECT_DOUBLE_EQ(topKAccuracy(scores, labels, 1), 0.5);
+    EXPECT_DOUBLE_EQ(topKAccuracy(scores, labels, 2), 0.5);
+    EXPECT_DOUBLE_EQ(topKAccuracy(scores, labels, 3), 1.0);
+}
+
+TEST(TopK, ThroughLossObject)
+{
+    SoftmaxCrossEntropy loss;
+    Tensor logits({1, 10});
+    for (size_t c = 0; c < 10; ++c)
+        logits[c] = static_cast<float>(c);
+    const std::vector<int> labels{5}; // rank 5 from the top
+    loss.forward(logits, labels);
+    EXPECT_DOUBLE_EQ(loss.topKAccuracy(4), 0.0);
+    EXPECT_DOUBLE_EQ(loss.topKAccuracy(5), 1.0);
+    EXPECT_DOUBLE_EQ(loss.accuracy(), 0.0);
+}
+
+TEST(Serialize, SaveLoadRoundTrip)
+{
+    const std::string path = "/tmp/inc_model_test.bin";
+    Model a = buildHdcSmall();
+    Rng rng(77);
+    a.init(rng);
+    ASSERT_TRUE(saveModelParams(a, path));
+
+    Model b = buildHdcSmall();
+    ASSERT_TRUE(loadModelParams(b, path));
+
+    std::vector<float> wa(a.paramCount()), wb(b.paramCount());
+    a.flattenParams(wa);
+    b.flattenParams(wb);
+    EXPECT_EQ(wa, wb);
+    std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsWrongModel)
+{
+    const std::string path = "/tmp/inc_model_test2.bin";
+    Model a = buildHdcSmall();
+    Rng rng(78);
+    a.init(rng);
+    ASSERT_TRUE(saveModelParams(a, path));
+
+    Model wrong("wrong");
+    wrong.emplace<Dense>(3, 3);
+    EXPECT_FALSE(loadModelParams(wrong, path));
+    std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsGarbageFile)
+{
+    const std::string path = "/tmp/inc_model_test3.bin";
+    FILE *f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fputs("not a checkpoint", f);
+    fclose(f);
+    Model m = buildHdcSmall();
+    EXPECT_FALSE(loadModelParams(m, path));
+    std::filesystem::remove(path);
+}
+
+TEST(Serialize, MissingFileFails)
+{
+    Model m = buildHdcSmall();
+    EXPECT_FALSE(loadModelParams(m, "/tmp/definitely_missing_ckpt.bin"));
+}
+
+} // namespace
+} // namespace inc

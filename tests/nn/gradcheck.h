@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Finite-difference gradient checking shared by the layer tests.
+ * The scalar objective is L = <forward(x), seed>, so dL/dOutput = seed.
+ */
+
+#ifndef INCEPTIONN_TESTS_NN_GRADCHECK_H
+#define INCEPTIONN_TESTS_NN_GRADCHECK_H
+
+#include <cmath>
+#include <vector>
+
+#include "nn/layer.h"
+#include "sim/random.h"
+
+namespace inc {
+namespace testhelpers {
+
+/** L = <layer(x), seed>. */
+inline double
+objective(Layer &layer, const Tensor &x, const std::vector<float> &seed)
+{
+    const Tensor &y = layer.forward(x, /*training=*/true);
+    double acc = 0.0;
+    for (size_t i = 0; i < y.numel(); ++i)
+        acc += static_cast<double>(y[i]) * seed[i];
+    return acc;
+}
+
+struct GradCheckResult
+{
+    double maxParamError = 0.0;
+    double maxInputError = 0.0;
+};
+
+/**
+ * Compare analytic gradients of @p layer (params and input) against
+ * central finite differences. Returns max absolute errors, normalized by
+ * max(1, |analytic|).
+ */
+inline GradCheckResult
+checkGradients(Layer &layer, Tensor x, double eps = 1e-3)
+{
+    Rng rng(0xCAFE);
+    const Tensor &probe = layer.forward(x, true);
+    std::vector<float> seed(probe.numel());
+    for (auto &s : seed)
+        s = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    // Analytic pass.
+    layer.zeroGrads();
+    layer.forward(x, true);
+    Tensor dy(probe.shape());
+    for (size_t i = 0; i < dy.numel(); ++i)
+        dy[i] = seed[i];
+    const Tensor dx = layer.backward(dy);
+
+    GradCheckResult result;
+
+    // Parameters.
+    for (auto &p : layer.params()) {
+        for (size_t i = 0; i < p.value->numel(); ++i) {
+            float &w = (*p.value)[i];
+            const float keep = w;
+            w = keep + static_cast<float>(eps);
+            const double up = objective(layer, x, seed);
+            w = keep - static_cast<float>(eps);
+            const double down = objective(layer, x, seed);
+            w = keep;
+            const double numeric = (up - down) / (2.0 * eps);
+            const double analytic = (*p.grad)[i];
+            const double err = std::abs(numeric - analytic) /
+                               std::max(1.0, std::abs(analytic));
+            result.maxParamError = std::max(result.maxParamError, err);
+        }
+    }
+
+    // Input.
+    for (size_t i = 0; i < x.numel(); ++i) {
+        const float keep = x[i];
+        x[i] = keep + static_cast<float>(eps);
+        const double up = objective(layer, x, seed);
+        x[i] = keep - static_cast<float>(eps);
+        const double down = objective(layer, x, seed);
+        x[i] = keep;
+        const double numeric = (up - down) / (2.0 * eps);
+        const double analytic = dx[i];
+        const double err = std::abs(numeric - analytic) /
+                           std::max(1.0, std::abs(analytic));
+        result.maxInputError = std::max(result.maxInputError, err);
+    }
+    return result;
+}
+
+} // namespace testhelpers
+} // namespace inc
+
+#endif // INCEPTIONN_TESTS_NN_GRADCHECK_H

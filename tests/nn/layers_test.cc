@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/pooling.h"
+#include "nn/residual.h"
+#include "sim/random.h"
+#include "gradcheck.h"
+
+namespace inc {
+namespace {
+
+using testhelpers::checkGradients;
+
+Tensor
+randomTensor(std::vector<size_t> shape, uint64_t seed, float scale = 1.0f)
+{
+    Tensor t(std::move(shape));
+    Rng rng(seed);
+    for (size_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.uniform(-scale, scale));
+    return t;
+}
+
+TEST(DenseLayer, ForwardMatchesManual)
+{
+    Dense d(2, 3);
+    // W = [[1,2],[3,4],[5,6]], b = [0.1, 0.2, 0.3]
+    auto params = d.params();
+    float *w = params[0].value->raw();
+    for (int i = 0; i < 6; ++i)
+        w[i] = static_cast<float>(i + 1);
+    float *b = params[1].value->raw();
+    b[0] = 0.1f;
+    b[1] = 0.2f;
+    b[2] = 0.3f;
+
+    Tensor x({1, 2});
+    x[0] = 1.0f;
+    x[1] = -1.0f;
+    const Tensor &y = d.forward(x, false);
+    EXPECT_NEAR(y[0], 1.0f - 2.0f + 0.1f, 1e-6);
+    EXPECT_NEAR(y[1], 3.0f - 4.0f + 0.2f, 1e-6);
+    EXPECT_NEAR(y[2], 5.0f - 6.0f + 0.3f, 1e-6);
+}
+
+TEST(DenseLayer, GradCheck)
+{
+    Dense d(5, 4);
+    Rng rng(1);
+    d.initParams(rng);
+    const auto res = checkGradients(d, randomTensor({3, 5}, 2));
+    EXPECT_LT(res.maxParamError, 2e-2);
+    EXPECT_LT(res.maxInputError, 2e-2);
+}
+
+TEST(DenseLayer, GradientsAccumulateAcrossBackwards)
+{
+    Dense d(2, 2);
+    Rng rng(3);
+    d.initParams(rng);
+    const Tensor x = randomTensor({1, 2}, 4);
+    Tensor dy({1, 2});
+    dy.fill(1.0f);
+
+    d.zeroGrads();
+    d.forward(x, true);
+    d.backward(dy);
+    const Tensor once = *d.params()[0].grad;
+    d.forward(x, true);
+    d.backward(dy);
+    const Tensor twice = *d.params()[0].grad;
+    for (size_t i = 0; i < once.numel(); ++i)
+        EXPECT_NEAR(twice[i], 2.0f * once[i], 1e-5);
+}
+
+TEST(Conv2dLayer, GradCheck)
+{
+    Conv2d c(2, 3, 5, 5, 3, 1, 1);
+    Rng rng(5);
+    c.initParams(rng);
+    const auto res = checkGradients(c, randomTensor({2, 2, 5, 5}, 6));
+    EXPECT_LT(res.maxParamError, 2e-2);
+    EXPECT_LT(res.maxInputError, 2e-2);
+}
+
+TEST(Conv2dLayer, StridedGradCheck)
+{
+    Conv2d c(1, 2, 6, 6, 3, 2, 1);
+    Rng rng(7);
+    c.initParams(rng);
+    const auto res = checkGradients(c, randomTensor({1, 1, 6, 6}, 8));
+    EXPECT_LT(res.maxParamError, 2e-2);
+    EXPECT_LT(res.maxInputError, 2e-2);
+}
+
+TEST(Conv2dLayer, OutputShape)
+{
+    Conv2d c(3, 8, 32, 32, 3, 1, 1);
+    Rng rng(9);
+    c.initParams(rng);
+    const Tensor &y = c.forward(randomTensor({2, 3, 32, 32}, 10), false);
+    EXPECT_EQ(y.shapeString(), "[2x8x32x32]");
+}
+
+TEST(Conv2dLayer, KnownConvolution)
+{
+    // Single 2x2 input, 2x2 kernel of ones, no pad: output = sum.
+    Conv2d c(1, 1, 2, 2, 2, 1, 0);
+    c.params()[0].value->fill(1.0f);
+    c.params()[1].value->fill(0.0f);
+    Tensor x({1, 1, 2, 2});
+    x[0] = 1;
+    x[1] = 2;
+    x[2] = 3;
+    x[3] = 4;
+    const Tensor &y = c.forward(x, false);
+    ASSERT_EQ(y.numel(), 1u);
+    EXPECT_FLOAT_EQ(y[0], 10.0f);
+}
+
+TEST(ReluLayer, GradCheck)
+{
+    ReLU r;
+    const auto res = checkGradients(r, randomTensor({4, 7}, 11));
+    EXPECT_LT(res.maxInputError, 2e-2);
+}
+
+TEST(FlattenLayer, RoundTripShapes)
+{
+    Flatten f;
+    const Tensor &y = f.forward(randomTensor({2, 3, 4, 5}, 12), false);
+    EXPECT_EQ(y.shapeString(), "[2x60]");
+    Tensor dy({2, 60});
+    dy.fill(1.0f);
+    const Tensor dx = f.backward(dy);
+    EXPECT_EQ(dx.shapeString(), "[2x3x4x5]");
+}
+
+TEST(GlobalAvgPoolLayer, ForwardAveragesAndGradCheck)
+{
+    GlobalAvgPool g;
+    Tensor x({1, 2, 2, 2});
+    for (size_t i = 0; i < 8; ++i)
+        x[i] = static_cast<float>(i);
+    const Tensor &y = g.forward(x, false);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 1.5f);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 5.5f);
+
+    const auto res = checkGradients(g, randomTensor({2, 3, 4, 4}, 13));
+    EXPECT_LT(res.maxInputError, 2e-2);
+}
+
+TEST(MaxPoolLayer, ForwardPicksMax)
+{
+    MaxPool2d p(2);
+    Tensor x({1, 1, 2, 2});
+    x[0] = 1;
+    x[1] = 9;
+    x[2] = 3;
+    x[3] = 2;
+    const Tensor &y = p.forward(x, false);
+    ASSERT_EQ(y.numel(), 1u);
+    EXPECT_FLOAT_EQ(y[0], 9.0f);
+
+    Tensor dy({1, 1, 1, 1});
+    dy[0] = 5.0f;
+    const Tensor dx = p.backward(dy);
+    EXPECT_FLOAT_EQ(dx[1], 5.0f);
+    EXPECT_FLOAT_EQ(dx[0], 0.0f);
+}
+
+TEST(MaxPoolLayer, GradCheck)
+{
+    MaxPool2d p(2);
+    const auto res = checkGradients(p, randomTensor({2, 3, 4, 4}, 14));
+    EXPECT_LT(res.maxInputError, 2e-2);
+}
+
+TEST(DropoutLayer, EvalIsPassThrough)
+{
+    Dropout d(0.5f);
+    const Tensor x = randomTensor({3, 8}, 15);
+    const Tensor &y = d.forward(x, /*training=*/false);
+    for (size_t i = 0; i < x.numel(); ++i)
+        EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(DropoutLayer, TrainDropsAndRescales)
+{
+    Dropout d(0.5f, 99);
+    Tensor x({1, 10000});
+    x.fill(1.0f);
+    const Tensor &y = d.forward(x, true);
+    size_t zeros = 0;
+    double sum = 0.0;
+    for (size_t i = 0; i < y.numel(); ++i) {
+        if (y[i] == 0.0f)
+            ++zeros;
+        else
+            EXPECT_FLOAT_EQ(y[i], 2.0f);
+        sum += y[i];
+    }
+    EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.03);
+    EXPECT_NEAR(sum / 10000.0, 1.0, 0.06);
+}
+
+TEST(DropoutLayer, BackwardUsesSameMask)
+{
+    Dropout d(0.3f, 7);
+    Tensor x({1, 100});
+    x.fill(1.0f);
+    const Tensor &y = d.forward(x, true);
+    Tensor dy({1, 100});
+    dy.fill(1.0f);
+    const Tensor dx = d.backward(dy);
+    for (size_t i = 0; i < 100; ++i)
+        EXPECT_EQ(dx[i], y[i]); // mask identical, input was all-ones
+}
+
+TEST(BatchNormLayer, NormalizesBatch)
+{
+    BatchNorm2d bn(2);
+    const Tensor x = randomTensor({4, 2, 3, 3}, 16, 5.0f);
+    const Tensor &y = bn.forward(x, true);
+    // Per channel: mean ~0, var ~1.
+    for (size_t c = 0; c < 2; ++c) {
+        double s = 0, s2 = 0;
+        for (size_t n = 0; n < 4; ++n)
+            for (size_t i = 0; i < 9; ++i) {
+                const float v = y[(n * 2 + c) * 9 + i];
+                s += v;
+                s2 += static_cast<double>(v) * v;
+            }
+        const double mean = s / 36.0;
+        EXPECT_NEAR(mean, 0.0, 1e-4);
+        EXPECT_NEAR(s2 / 36.0 - mean * mean, 1.0, 1e-2);
+    }
+}
+
+TEST(BatchNormLayer, GradCheck)
+{
+    BatchNorm2d bn(3);
+    Rng rng(17);
+    bn.initParams(rng);
+    // Nudge gamma/beta off their init so gradients are informative.
+    (*bn.params()[0].value)[1] = 1.5f;
+    (*bn.params()[1].value)[2] = -0.3f;
+    const auto res = checkGradients(bn, randomTensor({3, 3, 2, 2}, 18));
+    EXPECT_LT(res.maxParamError, 3e-2);
+    EXPECT_LT(res.maxInputError, 3e-2);
+}
+
+TEST(BatchNormLayer, EvalUsesRunningStats)
+{
+    BatchNorm2d bn(1);
+    // Train on a few batches to populate running stats.
+    for (int it = 0; it < 50; ++it)
+        bn.forward(randomTensor({8, 1, 4, 4},
+                                static_cast<uint64_t>(100 + it), 2.0f),
+                   true);
+    // Eval on a constant input: output should be finite and use the
+    // learned stats (not the degenerate batch variance of 0).
+    Tensor x({2, 1, 4, 4});
+    x.fill(0.5f);
+    const Tensor &y = bn.forward(x, false);
+    for (size_t i = 1; i < y.numel(); ++i)
+        EXPECT_EQ(y[i], y[0]);
+    EXPECT_LT(std::abs(y[0]), 2.0f);
+}
+
+TEST(ResidualLayer, IdentitySkipGradCheck)
+{
+    std::vector<std::unique_ptr<Layer>> body;
+    body.push_back(std::make_unique<Conv2d>(2, 2, 4, 4, 3, 1, 1));
+    Residual res_layer(std::move(body));
+    Rng rng(19);
+    res_layer.initParams(rng);
+    const auto res = checkGradients(res_layer,
+                                    randomTensor({2, 2, 4, 4}, 20));
+    EXPECT_LT(res.maxParamError, 2e-2);
+    EXPECT_LT(res.maxInputError, 2e-2);
+}
+
+TEST(ResidualLayer, ProjectedSkipGradCheck)
+{
+    std::vector<std::unique_ptr<Layer>> body;
+    body.push_back(std::make_unique<Conv2d>(2, 4, 4, 4, 3, 2, 1));
+    auto proj = std::make_unique<Conv2d>(2, 4, 4, 4, 1, 2, 0);
+    Residual res_layer(std::move(body), std::move(proj));
+    Rng rng(21);
+    res_layer.initParams(rng);
+    const auto res = checkGradients(res_layer,
+                                    randomTensor({1, 2, 4, 4}, 22));
+    EXPECT_LT(res.maxParamError, 2e-2);
+    EXPECT_LT(res.maxInputError, 2e-2);
+}
+
+TEST(ResidualLayer, IdentityBodyDoublesInput)
+{
+    // Body = 1x1 conv initialized to identity; skip = identity.
+    // Then y = relu(2x).
+    std::vector<std::unique_ptr<Layer>> body;
+    auto conv = std::make_unique<Conv2d>(1, 1, 2, 2, 1, 1, 0);
+    conv->params()[0].value->fill(1.0f);
+    body.push_back(std::move(conv));
+    Residual r(std::move(body));
+    Tensor x({1, 1, 2, 2});
+    x[0] = 1.0f;
+    x[1] = -1.0f;
+    x[2] = 0.5f;
+    x[3] = 0.0f;
+    const Tensor &y = r.forward(x, false);
+    EXPECT_FLOAT_EQ(y[0], 2.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.0f); // relu(-2)
+    EXPECT_FLOAT_EQ(y[2], 1.0f);
+}
+
+} // namespace
+} // namespace inc

@@ -1,0 +1,93 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace inc {
+namespace {
+
+TEST(EventQueue, StartsAtZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(q.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(100, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CallbacksMayReschedule)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> tick = [&] {
+        if (++fired < 5)
+            q.scheduleIn(7, tick);
+    };
+    q.schedule(0, tick);
+    q.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(q.now(), 28u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.schedule(21, [&] { ++fired; });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue q;
+    q.runUntil(12345);
+    EXPECT_EQ(q.now(), 12345u);
+}
+
+TEST(EventQueue, MaxEventsLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    for (Tick t = 0; t < 10; ++t)
+        q.schedule(t, [&] { ++fired; });
+    EXPECT_EQ(q.run(4), 4u);
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueue, TimeUnitConversions)
+{
+    EXPECT_EQ(kSecond, 1000000000000ull);
+    EXPECT_DOUBLE_EQ(toSeconds(kMillisecond), 1e-3);
+    EXPECT_EQ(fromSeconds(1.5), 1500ull * kMillisecond);
+}
+
+} // namespace
+} // namespace inc

@@ -1,0 +1,80 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/logging.h"
+
+namespace inc {
+namespace {
+
+std::vector<std::string> &
+captured()
+{
+    static std::vector<std::string> v;
+    return v;
+}
+
+void
+capture(LogLevel, const std::string &msg)
+{
+    captured().push_back(msg);
+}
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        captured().clear();
+        setLogSink(&capture);
+        for (int c = 0; c < static_cast<int>(trace::Category::kCount);
+             ++c)
+            trace::setEnabled(static_cast<trace::Category>(c), false);
+    }
+
+    void
+    TearDown() override
+    {
+        setLogSink(nullptr);
+        for (int c = 0; c < static_cast<int>(trace::Category::kCount);
+             ++c)
+            trace::setEnabled(static_cast<trace::Category>(c), false);
+    }
+};
+
+TEST_F(TraceTest, DisabledCategoriesAreSilent)
+{
+    INC_TRACE(Net, 0, "should not appear");
+    EXPECT_TRUE(captured().empty());
+}
+
+TEST_F(TraceTest, EnabledCategoryEmitsStampedRecord)
+{
+    trace::setEnabled(trace::Category::Net, true);
+    INC_TRACE(Net, 2 * kMillisecond, "hello %d", 7);
+    ASSERT_EQ(captured().size(), 1u);
+    EXPECT_NE(captured()[0].find("[net]"), std::string::npos);
+    EXPECT_NE(captured()[0].find("hello 7"), std::string::npos);
+    EXPECT_NE(captured()[0].find("2.000000 ms"), std::string::npos);
+}
+
+TEST_F(TraceTest, CategoriesAreIndependent)
+{
+    trace::setEnabled(trace::Category::Comm, true);
+    INC_TRACE(Net, 0, "net record");
+    INC_TRACE(Comm, 0, "comm record");
+    ASSERT_EQ(captured().size(), 1u);
+    EXPECT_NE(captured()[0].find("comm record"), std::string::npos);
+}
+
+TEST_F(TraceTest, CategoryNames)
+{
+    EXPECT_EQ(trace::categoryName(trace::Category::Codec), "codec");
+    EXPECT_EQ(trace::categoryName(trace::Category::Train), "train");
+}
+
+} // namespace
+} // namespace inc

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "sim/logging.h"
+#include "stats/csv_writer.h"
+#include "stats/histogram.h"
+#include "stats/table_printer.h"
+
+namespace inc {
+namespace {
+
+TEST(Histogram, CountsAndFrequencies)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    EXPECT_EQ(h.total(), 10u);
+    for (int b = 0; b < 10; ++b) {
+        EXPECT_EQ(h.bin(b), 1u);
+        EXPECT_DOUBLE_EQ(h.frequency(b), 0.1);
+    }
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(-1.0, 1.0, 4);
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_EQ(h.bin(0), 1u);
+    EXPECT_EQ(h.bin(3), 1u);
+    EXPECT_EQ(h.minSeen(), -100.0);
+    EXPECT_EQ(h.maxSeen(), 100.0);
+}
+
+TEST(Histogram, MomentsMatchSamples)
+{
+    Histogram h(-10, 10, 5);
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+    EXPECT_NEAR(h.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Histogram, FractionWithinBound)
+{
+    Histogram h(-1.0, 1.0, 101); // odd bin count centers a bin at 0
+    for (int i = 0; i < 90; ++i)
+        h.add(0.0);
+    for (int i = 0; i < 10; ++i)
+        h.add(0.9);
+    EXPECT_NEAR(h.fractionWithin(0.1), 0.9, 1e-12);
+}
+
+TEST(Histogram, AsciiPlotRenders)
+{
+    Histogram h(-1, 1, 50);
+    for (int i = 0; i < 1000; ++i)
+        h.add(0.0);
+    const std::string plot = h.asciiPlot(10, 30);
+    EXPECT_NE(plot.find('#'), std::string::npos);
+    EXPECT_EQ(Histogram(-1, 1, 10).asciiPlot(), "(empty histogram)\n");
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t({"A", "LongHeader"});
+    t.addRow({"xx", "1"});
+    const std::string out = t.render("Title");
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("| A  | LongHeader |"), std::string::npos);
+    EXPECT_NE(out.find("| xx | 1          |"), std::string::npos);
+}
+
+TEST(TablePrinter, Formatting)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::pct(0.756, 1), "75.6%");
+}
+
+TEST(CsvWriter, EscapesSpecials)
+{
+    CsvWriter csv({"a", "b"});
+    csv.addRow({"plain", "has,comma"});
+    csv.addRow({"has\"quote", "multi\nline"});
+    const std::string out = csv.render();
+    EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(CsvWriter, WritesFile)
+{
+    const std::string path = "/tmp/inc_csv_test.csv";
+    CsvWriter csv({"x"});
+    csv.addRow({"42"});
+    ASSERT_TRUE(csv.writeFile(path));
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x");
+    std::getline(in, line);
+    EXPECT_EQ(line, "42");
+    std::filesystem::remove(path);
+}
+
+TEST(Logging, SinkCapturesLevels)
+{
+    static std::vector<std::pair<LogLevel, std::string>> captured;
+    captured.clear();
+    setLogSink([](LogLevel level, const std::string &msg) {
+        captured.emplace_back(level, msg);
+    });
+    inform("hello %d", 7);
+    warn("watch out");
+    setLogSink(nullptr);
+
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0].first, LogLevel::Inform);
+    EXPECT_EQ(captured[0].second, "hello 7");
+    EXPECT_EQ(captured[1].first, LogLevel::Warn);
+}
+
+TEST(Logging, AssertPassesQuietly)
+{
+    INC_ASSERT(1 + 1 == 2, "math works");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT({ fatal("bad config %s", "x"); },
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH({ panic("bug %d", 3); }, "bug 3");
+}
+
+} // namespace
+} // namespace inc

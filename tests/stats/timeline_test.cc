@@ -1,0 +1,73 @@
+#include "stats/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "net/network.h"
+
+namespace inc {
+namespace {
+
+TEST(Timeline, RecordsAndRenders)
+{
+    TimelineRecorder tl;
+    tl.record("linkA", "seg 1000B", 0, 2 * kMicrosecond);
+    tl.record("linkB", "seg 500B", kMicrosecond, kMicrosecond);
+    EXPECT_EQ(tl.eventCount(), 2u);
+
+    const std::string json = tl.render();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("linkA"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":2.000"), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Timeline, EscapesQuotes)
+{
+    TimelineRecorder tl;
+    tl.record("a\"b", "n\\m", 0, 1);
+    const std::string json = tl.render();
+    EXPECT_NE(json.find("a\\\"b"), std::string::npos);
+    EXPECT_NE(json.find("n\\\\m"), std::string::npos);
+}
+
+TEST(Timeline, CapturesNetworkActivity)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    Network net(events, cfg);
+    TimelineRecorder tl;
+    net.setTimeline(&tl);
+    net.transfer({0, 1, 3 * 1000 * 1000, kDefaultTos, 1.0}, [](Tick) {});
+    events.run();
+
+    // 3 MB / ~533 KB segments = 6 segments x 2 links.
+    EXPECT_EQ(tl.eventCount(), 12u);
+    const std::string json = tl.render();
+    EXPECT_NE(json.find("host0->switch"), std::string::npos);
+    EXPECT_NE(json.find("switch->host1"), std::string::npos);
+}
+
+TEST(Timeline, WritesFile)
+{
+    const std::string path = "/tmp/inc_timeline_test.json";
+    TimelineRecorder tl;
+    tl.record("t", "e", 0, 1);
+    ASSERT_TRUE(tl.writeFile(path));
+    std::ifstream in(path);
+    std::string first;
+    std::getline(in, first);
+    EXPECT_NE(first.find("traceEvents"), std::string::npos);
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace inc

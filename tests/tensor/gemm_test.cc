@@ -1,0 +1,106 @@
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.h"
+
+namespace inc {
+namespace {
+
+/** Naive reference GEMM for validation. */
+void
+referenceGemm(Trans ta, Trans tb, size_t m, size_t n, size_t k, float alpha,
+              const float *a, size_t lda, const float *b, size_t ldb,
+              float beta, float *c, size_t ldc)
+{
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (size_t p = 0; p < k; ++p) {
+                const float av =
+                    ta == Trans::No ? a[i * lda + p] : a[p * lda + i];
+                const float bv =
+                    tb == Trans::No ? b[p * ldb + j] : b[j * ldb + p];
+                acc += static_cast<double>(av) * bv;
+            }
+            c[i * ldc + j] = static_cast<float>(
+                alpha * acc + beta * c[i * ldc + j]);
+        }
+    }
+}
+
+class GemmParam
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int>>
+{
+};
+
+TEST_P(GemmParam, MatchesReference)
+{
+    const auto [mi, ni, ki, tai, tbi] = GetParam();
+    const size_t m = static_cast<size_t>(mi), n = static_cast<size_t>(ni),
+                 k = static_cast<size_t>(ki);
+    const Trans ta = tai ? Trans::Yes : Trans::No;
+    const Trans tb = tbi ? Trans::Yes : Trans::No;
+    const size_t lda = ta == Trans::No ? k : m;
+    const size_t ldb = tb == Trans::No ? n : k;
+
+    Rng rng(static_cast<uint64_t>(mi * 1000 + ni * 100 + ki * 10 + tai * 2 +
+                                  tbi));
+    std::vector<float> a(m * k), b(k * n), c(m * n), cref;
+    for (auto &v : a)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    for (auto &v : b)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    for (auto &v : c)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    cref = c;
+
+    gemm(ta, tb, m, n, k, 0.7f, a.data(), lda, b.data(), ldb, 0.3f,
+         c.data(), n);
+    referenceGemm(ta, tb, m, n, k, 0.7f, a.data(), lda, b.data(), ldb,
+                  0.3f, cref.data(), n);
+
+    for (size_t i = 0; i < c.size(); ++i)
+        ASSERT_NEAR(c[i], cref[i], 1e-3f) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParam,
+    ::testing::Values(std::make_tuple(1, 1, 1, 0, 0),
+                      std::make_tuple(3, 5, 7, 0, 0),
+                      std::make_tuple(3, 5, 7, 1, 0),
+                      std::make_tuple(3, 5, 7, 0, 1),
+                      std::make_tuple(3, 5, 7, 1, 1),
+                      std::make_tuple(33, 65, 70, 0, 0),
+                      std::make_tuple(64, 64, 64, 1, 1),
+                      std::make_tuple(100, 1, 200, 0, 1),
+                      std::make_tuple(1, 128, 64, 1, 0),
+                      std::make_tuple(37, 41, 129, 0, 0)));
+
+TEST(Gemm, MatmulConvenience)
+{
+    // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+    const float a[] = {1, 2, 3, 4};
+    const float b[] = {5, 6, 7, 8};
+    float c[4];
+    matmul(a, b, c, 2, 2, 2);
+    EXPECT_FLOAT_EQ(c[0], 19.0f);
+    EXPECT_FLOAT_EQ(c[1], 22.0f);
+    EXPECT_FLOAT_EQ(c[2], 43.0f);
+    EXPECT_FLOAT_EQ(c[3], 50.0f);
+}
+
+TEST(Gemm, BetaZeroIgnoresGarbage)
+{
+    const float a[] = {1, 0, 0, 1};
+    const float b[] = {2, 3, 4, 5};
+    float c[4] = {1e30f, -1e30f, 1e30f, -1e30f};
+    gemm(Trans::No, Trans::No, 2, 2, 2, 1.0f, a, 2, b, 2, 0.0f, c, 2);
+    EXPECT_FLOAT_EQ(c[0], 2.0f);
+    EXPECT_FLOAT_EQ(c[3], 5.0f);
+}
+
+} // namespace
+} // namespace inc

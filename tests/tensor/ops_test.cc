@@ -1,0 +1,150 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace inc {
+namespace {
+
+TEST(ConvGeom, OutputDims)
+{
+    const ConvGeom g{3, 32, 32, 3, 1, 1};
+    EXPECT_EQ(g.outH(), 32u);
+    EXPECT_EQ(g.outW(), 32u);
+    EXPECT_EQ(g.patchSize(), 27u);
+
+    const ConvGeom s2{16, 32, 32, 3, 2, 1};
+    EXPECT_EQ(s2.outH(), 16u);
+
+    const ConvGeom k1{16, 32, 32, 1, 2, 0};
+    EXPECT_EQ(k1.outH(), 16u);
+}
+
+TEST(Im2Col, IdentityKernelIsCopy)
+{
+    // 1x1 kernel, stride 1, no pad: columns == image.
+    const ConvGeom g{2, 3, 3, 1, 1, 0};
+    std::vector<float> img(2 * 9);
+    for (size_t i = 0; i < img.size(); ++i)
+        img[i] = static_cast<float>(i);
+    std::vector<float> cols(g.patchSize() * g.outH() * g.outW());
+    im2col(img.data(), g, cols.data());
+    EXPECT_EQ(cols, img);
+}
+
+TEST(Im2Col, PaddingReadsZero)
+{
+    const ConvGeom g{1, 2, 2, 3, 1, 1};
+    std::vector<float> img{1, 2, 3, 4};
+    std::vector<float> cols(g.patchSize() * g.outH() * g.outW());
+    im2col(img.data(), g, cols.data());
+    // Patch row 0 (ky=0, kx=0) at output (0,0) hits input (-1,-1) -> 0.
+    EXPECT_EQ(cols[0], 0.0f);
+    // Patch row 4 (ky=1, kx=1) is the center: equals the image itself.
+    EXPECT_EQ(cols[4 * 4 + 0], 1.0f);
+    EXPECT_EQ(cols[4 * 4 + 3], 4.0f);
+}
+
+TEST(Col2Im, IsAdjointOfIm2Col)
+{
+    // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+    // property that makes the conv backward pass correct.
+    const ConvGeom g{3, 8, 8, 3, 2, 1};
+    Rng rng(5);
+    const size_t img_sz = 3 * 8 * 8;
+    const size_t col_sz = g.patchSize() * g.outH() * g.outW();
+    std::vector<float> x(img_sz), y(col_sz), ax(col_sz), aty(img_sz);
+    for (auto &v : x)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    for (auto &v : y)
+        v = static_cast<float>(rng.uniform(-1, 1));
+    im2col(x.data(), g, ax.data());
+    col2im(y.data(), g, aty.data());
+    double lhs = 0, rhs = 0;
+    for (size_t i = 0; i < col_sz; ++i)
+        lhs += static_cast<double>(ax[i]) * y[i];
+    for (size_t i = 0; i < img_sz; ++i)
+        rhs += static_cast<double>(x[i]) * aty[i];
+    EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Relu, ForwardClampsNegatives)
+{
+    const std::vector<float> x{-1.0f, 0.0f, 2.5f};
+    std::vector<float> y(3);
+    reluForward(x, y);
+    EXPECT_EQ(y, (std::vector<float>{0.0f, 0.0f, 2.5f}));
+}
+
+TEST(Relu, BackwardMasksByInput)
+{
+    const std::vector<float> x{-1.0f, 0.5f, 0.0f};
+    const std::vector<float> dy{10.0f, 20.0f, 30.0f};
+    std::vector<float> dx(3);
+    reluBackward(x, dy, dx);
+    EXPECT_EQ(dx, (std::vector<float>{0.0f, 20.0f, 0.0f}));
+}
+
+TEST(Softmax, RowsSumToOne)
+{
+    Rng rng(6);
+    const size_t rows = 7, cols = 11;
+    std::vector<float> x(rows * cols), y(rows * cols);
+    for (auto &v : x)
+        v = static_cast<float>(rng.uniform(-5, 5));
+    softmaxRows(x.data(), y.data(), rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+        double s = 0;
+        for (size_t c = 0; c < cols; ++c) {
+            s += y[r * cols + c];
+            EXPECT_GT(y[r * cols + c], 0.0f);
+        }
+        EXPECT_NEAR(s, 1.0, 1e-5);
+    }
+}
+
+TEST(Softmax, StableForLargeLogits)
+{
+    const std::vector<float> x{1000.0f, 1001.0f};
+    std::vector<float> y(2);
+    softmaxRows(x.data(), y.data(), 1, 2);
+    EXPECT_FALSE(std::isnan(y[0]));
+    EXPECT_NEAR(y[1] / y[0], std::exp(1.0f), 1e-3);
+}
+
+TEST(Bias, AddAndGradAreAdjoint)
+{
+    const size_t rows = 3, cols = 4;
+    std::vector<float> x(rows * cols, 0.0f);
+    const std::vector<float> bias{1, 2, 3, 4};
+    addRowBias(x.data(), bias.data(), rows, cols);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            EXPECT_EQ(x[r * cols + c], bias[c]);
+
+    std::vector<float> db(cols, 0.0f);
+    rowBiasGrad(x.data(), db.data(), rows, cols);
+    for (size_t c = 0; c < cols; ++c)
+        EXPECT_EQ(db[c], 3.0f * bias[c]);
+}
+
+TEST(Axpy, Accumulates)
+{
+    const std::vector<float> x{1, 2, 3};
+    std::vector<float> y{10, 20, 30};
+    axpy(2.0f, x, y);
+    EXPECT_EQ(y, (std::vector<float>{12, 24, 36}));
+}
+
+TEST(SquaredNorm, Basic)
+{
+    const std::vector<float> x{3, 4};
+    EXPECT_DOUBLE_EQ(squaredNorm(x), 25.0);
+}
+
+} // namespace
+} // namespace inc

@@ -1,0 +1,83 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+
+namespace inc {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty)
+{
+    Tensor t;
+    EXPECT_EQ(t.numel(), 0u);
+    EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ShapeAndNumel)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.rank(), 3u);
+    EXPECT_EQ(t.numel(), 24u);
+    EXPECT_EQ(t.dim(1), 3u);
+    EXPECT_EQ(t.shapeString(), "[2x3x4]");
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t({5, 5});
+    for (float v : t.data())
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, TwoDAccess)
+{
+    Tensor t({2, 3});
+    t.at(1, 2) = 7.0f;
+    EXPECT_EQ(t[5], 7.0f);
+    EXPECT_EQ(t.at(1, 2), 7.0f);
+}
+
+TEST(Tensor, FourDAccessRowMajor)
+{
+    Tensor t({2, 3, 4, 5});
+    t.at(1, 2, 3, 4) = 9.0f;
+    EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, FillAndSum)
+{
+    Tensor t({10});
+    t.fill(0.5f);
+    EXPECT_DOUBLE_EQ(t.sum(), 5.0);
+}
+
+TEST(Tensor, FillGaussianStats)
+{
+    Tensor t({10000});
+    Rng rng(3);
+    t.fillGaussian(rng, 2.0f);
+    EXPECT_NEAR(t.sum() / 10000.0, 0.0, 0.1);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t({2, 6});
+    t[7] = 3.0f;
+    t.reshape({3, 4});
+    EXPECT_EQ(t.rank(), 2u);
+    EXPECT_EQ(t.dim(0), 3u);
+    EXPECT_EQ(t[7], 3.0f);
+}
+
+TEST(Tensor, CopyIsDeep)
+{
+    Tensor a({4});
+    a.fill(1.0f);
+    Tensor b = a;
+    b[0] = 5.0f;
+    EXPECT_EQ(a[0], 1.0f);
+}
+
+} // namespace
+} // namespace inc
