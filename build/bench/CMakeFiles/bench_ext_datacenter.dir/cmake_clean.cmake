@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_datacenter.dir/bench_ext_datacenter.cc.o"
+  "CMakeFiles/bench_ext_datacenter.dir/bench_ext_datacenter.cc.o.d"
+  "bench_ext_datacenter"
+  "bench_ext_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

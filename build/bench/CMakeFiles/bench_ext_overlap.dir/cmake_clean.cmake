@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_overlap.dir/bench_ext_overlap.cc.o"
+  "CMakeFiles/bench_ext_overlap.dir/bench_ext_overlap.cc.o.d"
+  "bench_ext_overlap"
+  "bench_ext_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

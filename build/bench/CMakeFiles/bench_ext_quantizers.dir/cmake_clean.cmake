@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_quantizers.dir/bench_ext_quantizers.cc.o"
+  "CMakeFiles/bench_ext_quantizers.dir/bench_ext_quantizers.cc.o.d"
+  "bench_ext_quantizers"
+  "bench_ext_quantizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_quantizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_stragglers.dir/bench_ext_stragglers.cc.o"
+  "CMakeFiles/bench_ext_stragglers.dir/bench_ext_stragglers.cc.o.d"
+  "bench_ext_stragglers"
+  "bench_ext_stragglers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

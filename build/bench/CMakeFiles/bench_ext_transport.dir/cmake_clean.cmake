@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_transport.dir/bench_ext_transport.cc.o"
+  "CMakeFiles/bench_ext_transport.dir/bench_ext_transport.cc.o.d"
+  "bench_ext_transport"
+  "bench_ext_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

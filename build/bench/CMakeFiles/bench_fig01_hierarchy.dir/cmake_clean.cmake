@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_hierarchy.dir/bench_fig01_hierarchy.cc.o"
+  "CMakeFiles/bench_fig01_hierarchy.dir/bench_fig01_hierarchy.cc.o.d"
+  "bench_fig01_hierarchy"
+  "bench_fig01_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

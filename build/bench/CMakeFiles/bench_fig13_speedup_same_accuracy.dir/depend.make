@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_speedup_same_accuracy.
+# This may be replaced when dependencies are built.

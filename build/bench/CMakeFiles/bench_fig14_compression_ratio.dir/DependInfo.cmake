@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_compression_ratio.cc" "bench/CMakeFiles/bench_fig14_compression_ratio.dir/bench_fig14_compression_ratio.cc.o" "gcc" "bench/CMakeFiles/bench_fig14_compression_ratio.dir/bench_fig14_compression_ratio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inc_distrib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

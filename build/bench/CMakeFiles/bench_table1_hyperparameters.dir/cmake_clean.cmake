@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_hyperparameters.dir/bench_table1_hyperparameters.cc.o"
+  "CMakeFiles/bench_table1_hyperparameters.dir/bench_table1_hyperparameters.cc.o.d"
+  "bench_table1_hyperparameters"
+  "bench_table1_hyperparameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_hyperparameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_bitwidth_distribution.dir/bench_table3_bitwidth_distribution.cc.o"
+  "CMakeFiles/bench_table3_bitwidth_distribution.dir/bench_table3_bitwidth_distribution.cc.o.d"
+  "bench_table3_bitwidth_distribution"
+  "bench_table3_bitwidth_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_bitwidth_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_offload_tour.dir/nic_offload_tour.cpp.o"
+  "CMakeFiles/nic_offload_tour.dir/nic_offload_tour.cpp.o.d"
+  "nic_offload_tour"
+  "nic_offload_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_offload_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

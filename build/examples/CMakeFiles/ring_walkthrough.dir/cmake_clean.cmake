@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_walkthrough.dir/ring_walkthrough.cpp.o"
+  "CMakeFiles/ring_walkthrough.dir/ring_walkthrough.cpp.o.d"
+  "ring_walkthrough"
+  "ring_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

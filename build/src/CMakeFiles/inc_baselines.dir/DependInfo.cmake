@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/half_precision.cc" "src/CMakeFiles/inc_baselines.dir/baselines/half_precision.cc.o" "gcc" "src/CMakeFiles/inc_baselines.dir/baselines/half_precision.cc.o.d"
+  "/root/repo/src/baselines/quantizers.cc" "src/CMakeFiles/inc_baselines.dir/baselines/quantizers.cc.o" "gcc" "src/CMakeFiles/inc_baselines.dir/baselines/quantizers.cc.o.d"
+  "/root/repo/src/baselines/snappy_like.cc" "src/CMakeFiles/inc_baselines.dir/baselines/snappy_like.cc.o" "gcc" "src/CMakeFiles/inc_baselines.dir/baselines/snappy_like.cc.o.d"
+  "/root/repo/src/baselines/software_cost.cc" "src/CMakeFiles/inc_baselines.dir/baselines/software_cost.cc.o" "gcc" "src/CMakeFiles/inc_baselines.dir/baselines/software_cost.cc.o.d"
+  "/root/repo/src/baselines/sz_like.cc" "src/CMakeFiles/inc_baselines.dir/baselines/sz_like.cc.o" "gcc" "src/CMakeFiles/inc_baselines.dir/baselines/sz_like.cc.o.d"
+  "/root/repo/src/baselines/truncation.cc" "src/CMakeFiles/inc_baselines.dir/baselines/truncation.cc.o" "gcc" "src/CMakeFiles/inc_baselines.dir/baselines/truncation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

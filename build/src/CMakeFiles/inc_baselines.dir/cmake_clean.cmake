@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inc_baselines.dir/baselines/half_precision.cc.o"
+  "CMakeFiles/inc_baselines.dir/baselines/half_precision.cc.o.d"
+  "CMakeFiles/inc_baselines.dir/baselines/quantizers.cc.o"
+  "CMakeFiles/inc_baselines.dir/baselines/quantizers.cc.o.d"
+  "CMakeFiles/inc_baselines.dir/baselines/snappy_like.cc.o"
+  "CMakeFiles/inc_baselines.dir/baselines/snappy_like.cc.o.d"
+  "CMakeFiles/inc_baselines.dir/baselines/software_cost.cc.o"
+  "CMakeFiles/inc_baselines.dir/baselines/software_cost.cc.o.d"
+  "CMakeFiles/inc_baselines.dir/baselines/sz_like.cc.o"
+  "CMakeFiles/inc_baselines.dir/baselines/sz_like.cc.o.d"
+  "CMakeFiles/inc_baselines.dir/baselines/truncation.cc.o"
+  "CMakeFiles/inc_baselines.dir/baselines/truncation.cc.o.d"
+  "libinc_baselines.a"
+  "libinc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

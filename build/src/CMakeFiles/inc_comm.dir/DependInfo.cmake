@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/analytical.cc" "src/CMakeFiles/inc_comm.dir/comm/analytical.cc.o" "gcc" "src/CMakeFiles/inc_comm.dir/comm/analytical.cc.o.d"
+  "/root/repo/src/comm/comm_world.cc" "src/CMakeFiles/inc_comm.dir/comm/comm_world.cc.o" "gcc" "src/CMakeFiles/inc_comm.dir/comm/comm_world.cc.o.d"
+  "/root/repo/src/comm/hier_ring_allreduce.cc" "src/CMakeFiles/inc_comm.dir/comm/hier_ring_allreduce.cc.o" "gcc" "src/CMakeFiles/inc_comm.dir/comm/hier_ring_allreduce.cc.o.d"
+  "/root/repo/src/comm/inceptionn_api.cc" "src/CMakeFiles/inc_comm.dir/comm/inceptionn_api.cc.o" "gcc" "src/CMakeFiles/inc_comm.dir/comm/inceptionn_api.cc.o.d"
+  "/root/repo/src/comm/primitives.cc" "src/CMakeFiles/inc_comm.dir/comm/primitives.cc.o" "gcc" "src/CMakeFiles/inc_comm.dir/comm/primitives.cc.o.d"
+  "/root/repo/src/comm/ring_allreduce.cc" "src/CMakeFiles/inc_comm.dir/comm/ring_allreduce.cc.o" "gcc" "src/CMakeFiles/inc_comm.dir/comm/ring_allreduce.cc.o.d"
+  "/root/repo/src/comm/star_allreduce.cc" "src/CMakeFiles/inc_comm.dir/comm/star_allreduce.cc.o" "gcc" "src/CMakeFiles/inc_comm.dir/comm/star_allreduce.cc.o.d"
+  "/root/repo/src/comm/tree_allreduce.cc" "src/CMakeFiles/inc_comm.dir/comm/tree_allreduce.cc.o" "gcc" "src/CMakeFiles/inc_comm.dir/comm/tree_allreduce.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

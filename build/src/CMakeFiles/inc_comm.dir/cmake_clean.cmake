@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inc_comm.dir/comm/analytical.cc.o"
+  "CMakeFiles/inc_comm.dir/comm/analytical.cc.o.d"
+  "CMakeFiles/inc_comm.dir/comm/comm_world.cc.o"
+  "CMakeFiles/inc_comm.dir/comm/comm_world.cc.o.d"
+  "CMakeFiles/inc_comm.dir/comm/hier_ring_allreduce.cc.o"
+  "CMakeFiles/inc_comm.dir/comm/hier_ring_allreduce.cc.o.d"
+  "CMakeFiles/inc_comm.dir/comm/inceptionn_api.cc.o"
+  "CMakeFiles/inc_comm.dir/comm/inceptionn_api.cc.o.d"
+  "CMakeFiles/inc_comm.dir/comm/primitives.cc.o"
+  "CMakeFiles/inc_comm.dir/comm/primitives.cc.o.d"
+  "CMakeFiles/inc_comm.dir/comm/ring_allreduce.cc.o"
+  "CMakeFiles/inc_comm.dir/comm/ring_allreduce.cc.o.d"
+  "CMakeFiles/inc_comm.dir/comm/star_allreduce.cc.o"
+  "CMakeFiles/inc_comm.dir/comm/star_allreduce.cc.o.d"
+  "CMakeFiles/inc_comm.dir/comm/tree_allreduce.cc.o"
+  "CMakeFiles/inc_comm.dir/comm/tree_allreduce.cc.o.d"
+  "libinc_comm.a"
+  "libinc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/burst_compressor.cc" "src/CMakeFiles/inc_core.dir/core/burst_compressor.cc.o" "gcc" "src/CMakeFiles/inc_core.dir/core/burst_compressor.cc.o.d"
+  "/root/repo/src/core/burst_decompressor.cc" "src/CMakeFiles/inc_core.dir/core/burst_decompressor.cc.o" "gcc" "src/CMakeFiles/inc_core.dir/core/burst_decompressor.cc.o.d"
+  "/root/repo/src/core/codec.cc" "src/CMakeFiles/inc_core.dir/core/codec.cc.o" "gcc" "src/CMakeFiles/inc_core.dir/core/codec.cc.o.d"
+  "/root/repo/src/core/compressed_stream.cc" "src/CMakeFiles/inc_core.dir/core/compressed_stream.cc.o" "gcc" "src/CMakeFiles/inc_core.dir/core/compressed_stream.cc.o.d"
+  "/root/repo/src/core/ring_schedule.cc" "src/CMakeFiles/inc_core.dir/core/ring_schedule.cc.o" "gcc" "src/CMakeFiles/inc_core.dir/core/ring_schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inc_core.dir/core/burst_compressor.cc.o"
+  "CMakeFiles/inc_core.dir/core/burst_compressor.cc.o.d"
+  "CMakeFiles/inc_core.dir/core/burst_decompressor.cc.o"
+  "CMakeFiles/inc_core.dir/core/burst_decompressor.cc.o.d"
+  "CMakeFiles/inc_core.dir/core/codec.cc.o"
+  "CMakeFiles/inc_core.dir/core/codec.cc.o.d"
+  "CMakeFiles/inc_core.dir/core/compressed_stream.cc.o"
+  "CMakeFiles/inc_core.dir/core/compressed_stream.cc.o.d"
+  "CMakeFiles/inc_core.dir/core/ring_schedule.cc.o"
+  "CMakeFiles/inc_core.dir/core/ring_schedule.cc.o.d"
+  "libinc_core.a"
+  "libinc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/inc_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/inc_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/synthetic_digits.cc" "src/CMakeFiles/inc_data.dir/data/synthetic_digits.cc.o" "gcc" "src/CMakeFiles/inc_data.dir/data/synthetic_digits.cc.o.d"
+  "/root/repo/src/data/synthetic_images.cc" "src/CMakeFiles/inc_data.dir/data/synthetic_images.cc.o" "gcc" "src/CMakeFiles/inc_data.dir/data/synthetic_images.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inc_data.dir/data/dataset.cc.o"
+  "CMakeFiles/inc_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/inc_data.dir/data/synthetic_digits.cc.o"
+  "CMakeFiles/inc_data.dir/data/synthetic_digits.cc.o.d"
+  "CMakeFiles/inc_data.dir/data/synthetic_images.cc.o"
+  "CMakeFiles/inc_data.dir/data/synthetic_images.cc.o.d"
+  "libinc_data.a"
+  "libinc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

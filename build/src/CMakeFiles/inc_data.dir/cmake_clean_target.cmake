@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinc_data.a"
+)

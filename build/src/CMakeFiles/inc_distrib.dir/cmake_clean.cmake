@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inc_distrib.dir/distrib/async_trainer.cc.o"
+  "CMakeFiles/inc_distrib.dir/distrib/async_trainer.cc.o.d"
+  "CMakeFiles/inc_distrib.dir/distrib/compute_model.cc.o"
+  "CMakeFiles/inc_distrib.dir/distrib/compute_model.cc.o.d"
+  "CMakeFiles/inc_distrib.dir/distrib/func_trainer.cc.o"
+  "CMakeFiles/inc_distrib.dir/distrib/func_trainer.cc.o.d"
+  "CMakeFiles/inc_distrib.dir/distrib/gradient_trace.cc.o"
+  "CMakeFiles/inc_distrib.dir/distrib/gradient_trace.cc.o.d"
+  "CMakeFiles/inc_distrib.dir/distrib/sim_trainer.cc.o"
+  "CMakeFiles/inc_distrib.dir/distrib/sim_trainer.cc.o.d"
+  "CMakeFiles/inc_distrib.dir/distrib/time_breakdown.cc.o"
+  "CMakeFiles/inc_distrib.dir/distrib/time_breakdown.cc.o.d"
+  "libinc_distrib.a"
+  "libinc_distrib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inc_distrib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

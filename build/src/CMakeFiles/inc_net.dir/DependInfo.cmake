@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fluid.cc" "src/CMakeFiles/inc_net.dir/net/fluid.cc.o" "gcc" "src/CMakeFiles/inc_net.dir/net/fluid.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/CMakeFiles/inc_net.dir/net/link.cc.o" "gcc" "src/CMakeFiles/inc_net.dir/net/link.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/inc_net.dir/net/network.cc.o" "gcc" "src/CMakeFiles/inc_net.dir/net/network.cc.o.d"
+  "/root/repo/src/net/nic.cc" "src/CMakeFiles/inc_net.dir/net/nic.cc.o" "gcc" "src/CMakeFiles/inc_net.dir/net/nic.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/CMakeFiles/inc_net.dir/net/socket.cc.o" "gcc" "src/CMakeFiles/inc_net.dir/net/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

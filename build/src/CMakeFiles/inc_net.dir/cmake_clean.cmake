@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inc_net.dir/net/fluid.cc.o"
+  "CMakeFiles/inc_net.dir/net/fluid.cc.o.d"
+  "CMakeFiles/inc_net.dir/net/link.cc.o"
+  "CMakeFiles/inc_net.dir/net/link.cc.o.d"
+  "CMakeFiles/inc_net.dir/net/network.cc.o"
+  "CMakeFiles/inc_net.dir/net/network.cc.o.d"
+  "CMakeFiles/inc_net.dir/net/nic.cc.o"
+  "CMakeFiles/inc_net.dir/net/nic.cc.o.d"
+  "CMakeFiles/inc_net.dir/net/socket.cc.o"
+  "CMakeFiles/inc_net.dir/net/socket.cc.o.d"
+  "libinc_net.a"
+  "libinc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

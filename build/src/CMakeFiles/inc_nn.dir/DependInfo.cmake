@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/CMakeFiles/inc_nn.dir/nn/activations.cc.o" "gcc" "src/CMakeFiles/inc_nn.dir/nn/activations.cc.o.d"
+  "/root/repo/src/nn/batchnorm.cc" "src/CMakeFiles/inc_nn.dir/nn/batchnorm.cc.o" "gcc" "src/CMakeFiles/inc_nn.dir/nn/batchnorm.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/CMakeFiles/inc_nn.dir/nn/conv2d.cc.o" "gcc" "src/CMakeFiles/inc_nn.dir/nn/conv2d.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/CMakeFiles/inc_nn.dir/nn/dense.cc.o" "gcc" "src/CMakeFiles/inc_nn.dir/nn/dense.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/inc_nn.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/inc_nn.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/CMakeFiles/inc_nn.dir/nn/layer.cc.o" "gcc" "src/CMakeFiles/inc_nn.dir/nn/layer.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/inc_nn.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/inc_nn.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/lrn.cc" "src/CMakeFiles/inc_nn.dir/nn/lrn.cc.o" "gcc" "src/CMakeFiles/inc_nn.dir/nn/lrn.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/CMakeFiles/inc_nn.dir/nn/model.cc.o" "gcc" "src/CMakeFiles/inc_nn.dir/nn/model.cc.o.d"
+  "/root/repo/src/nn/model_zoo.cc" "src/CMakeFiles/inc_nn.dir/nn/model_zoo.cc.o" "gcc" "src/CMakeFiles/inc_nn.dir/nn/model_zoo.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/inc_nn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/inc_nn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/CMakeFiles/inc_nn.dir/nn/pooling.cc.o" "gcc" "src/CMakeFiles/inc_nn.dir/nn/pooling.cc.o.d"
+  "/root/repo/src/nn/residual.cc" "src/CMakeFiles/inc_nn.dir/nn/residual.cc.o" "gcc" "src/CMakeFiles/inc_nn.dir/nn/residual.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/inc_nn.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/inc_nn.dir/nn/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

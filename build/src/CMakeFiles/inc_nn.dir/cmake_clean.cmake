@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inc_nn.dir/nn/activations.cc.o"
+  "CMakeFiles/inc_nn.dir/nn/activations.cc.o.d"
+  "CMakeFiles/inc_nn.dir/nn/batchnorm.cc.o"
+  "CMakeFiles/inc_nn.dir/nn/batchnorm.cc.o.d"
+  "CMakeFiles/inc_nn.dir/nn/conv2d.cc.o"
+  "CMakeFiles/inc_nn.dir/nn/conv2d.cc.o.d"
+  "CMakeFiles/inc_nn.dir/nn/dense.cc.o"
+  "CMakeFiles/inc_nn.dir/nn/dense.cc.o.d"
+  "CMakeFiles/inc_nn.dir/nn/dropout.cc.o"
+  "CMakeFiles/inc_nn.dir/nn/dropout.cc.o.d"
+  "CMakeFiles/inc_nn.dir/nn/layer.cc.o"
+  "CMakeFiles/inc_nn.dir/nn/layer.cc.o.d"
+  "CMakeFiles/inc_nn.dir/nn/loss.cc.o"
+  "CMakeFiles/inc_nn.dir/nn/loss.cc.o.d"
+  "CMakeFiles/inc_nn.dir/nn/lrn.cc.o"
+  "CMakeFiles/inc_nn.dir/nn/lrn.cc.o.d"
+  "CMakeFiles/inc_nn.dir/nn/model.cc.o"
+  "CMakeFiles/inc_nn.dir/nn/model.cc.o.d"
+  "CMakeFiles/inc_nn.dir/nn/model_zoo.cc.o"
+  "CMakeFiles/inc_nn.dir/nn/model_zoo.cc.o.d"
+  "CMakeFiles/inc_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/inc_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/inc_nn.dir/nn/pooling.cc.o"
+  "CMakeFiles/inc_nn.dir/nn/pooling.cc.o.d"
+  "CMakeFiles/inc_nn.dir/nn/residual.cc.o"
+  "CMakeFiles/inc_nn.dir/nn/residual.cc.o.d"
+  "CMakeFiles/inc_nn.dir/nn/serialize.cc.o"
+  "CMakeFiles/inc_nn.dir/nn/serialize.cc.o.d"
+  "libinc_nn.a"
+  "libinc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inc_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/inc_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/inc_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/inc_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/inc_sim.dir/sim/random.cc.o"
+  "CMakeFiles/inc_sim.dir/sim/random.cc.o.d"
+  "CMakeFiles/inc_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/inc_sim.dir/sim/trace.cc.o.d"
+  "libinc_sim.a"
+  "libinc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/csv_writer.cc" "src/CMakeFiles/inc_stats.dir/stats/csv_writer.cc.o" "gcc" "src/CMakeFiles/inc_stats.dir/stats/csv_writer.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/inc_stats.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/inc_stats.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/table_printer.cc" "src/CMakeFiles/inc_stats.dir/stats/table_printer.cc.o" "gcc" "src/CMakeFiles/inc_stats.dir/stats/table_printer.cc.o.d"
+  "/root/repo/src/stats/timeline.cc" "src/CMakeFiles/inc_stats.dir/stats/timeline.cc.o" "gcc" "src/CMakeFiles/inc_stats.dir/stats/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inc_stats.dir/stats/csv_writer.cc.o"
+  "CMakeFiles/inc_stats.dir/stats/csv_writer.cc.o.d"
+  "CMakeFiles/inc_stats.dir/stats/histogram.cc.o"
+  "CMakeFiles/inc_stats.dir/stats/histogram.cc.o.d"
+  "CMakeFiles/inc_stats.dir/stats/table_printer.cc.o"
+  "CMakeFiles/inc_stats.dir/stats/table_printer.cc.o.d"
+  "CMakeFiles/inc_stats.dir/stats/timeline.cc.o"
+  "CMakeFiles/inc_stats.dir/stats/timeline.cc.o.d"
+  "libinc_stats.a"
+  "libinc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inc_tensor.dir/tensor/gemm.cc.o"
+  "CMakeFiles/inc_tensor.dir/tensor/gemm.cc.o.d"
+  "CMakeFiles/inc_tensor.dir/tensor/ops.cc.o"
+  "CMakeFiles/inc_tensor.dir/tensor/ops.cc.o.d"
+  "CMakeFiles/inc_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/inc_tensor.dir/tensor/tensor.cc.o.d"
+  "libinc_tensor.a"
+  "libinc_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inc_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/baselines_test.cc" "tests/CMakeFiles/test_baselines.dir/baselines/baselines_test.cc.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/baselines_test.cc.o.d"
+  "/root/repo/tests/baselines/half_precision_test.cc" "tests/CMakeFiles/test_baselines.dir/baselines/half_precision_test.cc.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/half_precision_test.cc.o.d"
+  "/root/repo/tests/baselines/quantizers_test.cc" "tests/CMakeFiles/test_baselines.dir/baselines/quantizers_test.cc.o" "gcc" "tests/CMakeFiles/test_baselines.dir/baselines/quantizers_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

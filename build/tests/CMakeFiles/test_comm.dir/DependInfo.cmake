@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/comm/api_test.cc" "tests/CMakeFiles/test_comm.dir/comm/api_test.cc.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/api_test.cc.o.d"
+  "/root/repo/tests/comm/collectives_test.cc" "tests/CMakeFiles/test_comm.dir/comm/collectives_test.cc.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/collectives_test.cc.o.d"
+  "/root/repo/tests/comm/fluid_collectives_test.cc" "tests/CMakeFiles/test_comm.dir/comm/fluid_collectives_test.cc.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/fluid_collectives_test.cc.o.d"
+  "/root/repo/tests/comm/hier_ring_test.cc" "tests/CMakeFiles/test_comm.dir/comm/hier_ring_test.cc.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/hier_ring_test.cc.o.d"
+  "/root/repo/tests/comm/primitives_test.cc" "tests/CMakeFiles/test_comm.dir/comm/primitives_test.cc.o" "gcc" "tests/CMakeFiles/test_comm.dir/comm/primitives_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm.dir/comm/api_test.cc.o"
+  "CMakeFiles/test_comm.dir/comm/api_test.cc.o.d"
+  "CMakeFiles/test_comm.dir/comm/collectives_test.cc.o"
+  "CMakeFiles/test_comm.dir/comm/collectives_test.cc.o.d"
+  "CMakeFiles/test_comm.dir/comm/fluid_collectives_test.cc.o"
+  "CMakeFiles/test_comm.dir/comm/fluid_collectives_test.cc.o.d"
+  "CMakeFiles/test_comm.dir/comm/hier_ring_test.cc.o"
+  "CMakeFiles/test_comm.dir/comm/hier_ring_test.cc.o.d"
+  "CMakeFiles/test_comm.dir/comm/primitives_test.cc.o"
+  "CMakeFiles/test_comm.dir/comm/primitives_test.cc.o.d"
+  "test_comm"
+  "test_comm.pdb"
+  "test_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/burst_engine_test.cc" "tests/CMakeFiles/test_core.dir/core/burst_engine_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/burst_engine_test.cc.o.d"
+  "/root/repo/tests/core/codec_golden_test.cc" "tests/CMakeFiles/test_core.dir/core/codec_golden_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/codec_golden_test.cc.o.d"
+  "/root/repo/tests/core/codec_test.cc" "tests/CMakeFiles/test_core.dir/core/codec_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/codec_test.cc.o.d"
+  "/root/repo/tests/core/ring_schedule_test.cc" "tests/CMakeFiles/test_core.dir/core/ring_schedule_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/ring_schedule_test.cc.o.d"
+  "/root/repo/tests/core/stream_test.cc" "tests/CMakeFiles/test_core.dir/core/stream_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/stream_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distrib.dir/distrib/async_trainer_test.cc.o"
+  "CMakeFiles/test_distrib.dir/distrib/async_trainer_test.cc.o.d"
+  "CMakeFiles/test_distrib.dir/distrib/func_trainer_test.cc.o"
+  "CMakeFiles/test_distrib.dir/distrib/func_trainer_test.cc.o.d"
+  "CMakeFiles/test_distrib.dir/distrib/sim_trainer_test.cc.o"
+  "CMakeFiles/test_distrib.dir/distrib/sim_trainer_test.cc.o.d"
+  "test_distrib"
+  "test_distrib.pdb"
+  "test_distrib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distrib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

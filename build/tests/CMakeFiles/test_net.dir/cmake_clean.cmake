@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/fluid_test.cc.o"
+  "CMakeFiles/test_net.dir/net/fluid_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/network_property_test.cc.o"
+  "CMakeFiles/test_net.dir/net/network_property_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/network_test.cc.o"
+  "CMakeFiles/test_net.dir/net/network_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/robustness_test.cc.o"
+  "CMakeFiles/test_net.dir/net/robustness_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/socket_test.cc.o"
+  "CMakeFiles/test_net.dir/net/socket_test.cc.o.d"
+  "CMakeFiles/test_net.dir/net/two_tier_test.cc.o"
+  "CMakeFiles/test_net.dir/net/two_tier_test.cc.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
