@@ -14,6 +14,7 @@
 #include "baselines/truncation.h"
 #include "core/inceptionn.h"
 #include "sim/random.h"
+#include "sim/thread_pool.h"
 
 namespace {
 
@@ -86,6 +87,62 @@ BM_StreamDecode(benchmark::State &state)
                             static_cast<int64_t>(vals.size() * 4));
 }
 BENCHMARK(BM_StreamDecode);
+
+/**
+ * Thread-scaling benchmarks: the Arg is the pool width. The chunked
+ * encode/decode and the batch roundtrip are the paths that make
+ * software compression viable on multiple cores (the Fig. 7 argument
+ * honest); INC_THREADS=1 must match the serial output bit-for-bit.
+ */
+void
+BM_ChunkedStreamEncode(benchmark::State &state)
+{
+    setGlobalThreadCount(static_cast<int>(state.range(0)));
+    const GradientCodec codec(10);
+    const auto vals = gradientLike(1 << 20);
+    for (auto _ : state) {
+        const ChunkedStream s = encodeStreamChunked(codec, vals);
+        benchmark::DoNotOptimize(s.stream.bytes.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(vals.size() * 4));
+    setGlobalThreadCount(0);
+}
+BENCHMARK(BM_ChunkedStreamEncode)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_ChunkedStreamDecode(benchmark::State &state)
+{
+    setGlobalThreadCount(static_cast<int>(state.range(0)));
+    const GradientCodec codec(10);
+    const auto vals = gradientLike(1 << 20);
+    const ChunkedStream s = encodeStreamChunked(codec, vals);
+    std::vector<float> out(vals.size());
+    for (auto _ : state) {
+        decodeStreamChunked(codec, s, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(vals.size() * 4));
+    setGlobalThreadCount(0);
+}
+BENCHMARK(BM_ChunkedStreamDecode)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_ParallelRoundtrip(benchmark::State &state)
+{
+    setGlobalThreadCount(static_cast<int>(state.range(0)));
+    const GradientCodec codec(10);
+    auto vals = gradientLike(1 << 20);
+    for (auto _ : state) {
+        codec.roundtrip(vals);
+        benchmark::DoNotOptimize(vals.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(vals.size() * 4));
+    setGlobalThreadCount(0);
+}
+BENCHMARK(BM_ParallelRoundtrip)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void
 BM_BurstCompressorModel(benchmark::State &state)

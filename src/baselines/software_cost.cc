@@ -38,12 +38,28 @@ SoftwareCostModel::throughput(SoftwareCodecKind kind) const
     panic("bad codec kind");
 }
 
+void
+SoftwareCostModel::setThreads(int threads, double parallel_efficiency)
+{
+    INC_ASSERT(threads >= 1, "thread count %d must be >= 1", threads);
+    INC_ASSERT(parallel_efficiency > 0.0 && parallel_efficiency <= 1.0,
+               "parallel efficiency %f outside (0, 1]", parallel_efficiency);
+    threads_ = threads;
+    parallelEfficiency_ = parallel_efficiency;
+}
+
+double
+SoftwareCostModel::parallelSpeedup() const
+{
+    return 1.0 + static_cast<double>(threads_ - 1) * parallelEfficiency_;
+}
+
 double
 SoftwareCostModel::compressSeconds(SoftwareCodecKind kind,
                                    uint64_t bytes) const
 {
     return static_cast<double>(bytes) /
-           throughput(kind).compressBytesPerSecond;
+           (throughput(kind).compressBytesPerSecond * parallelSpeedup());
 }
 
 double
@@ -51,7 +67,7 @@ SoftwareCostModel::decompressSeconds(SoftwareCodecKind kind,
                                      uint64_t bytes) const
 {
     return static_cast<double>(bytes) /
-           throughput(kind).decompressBytesPerSecond;
+           (throughput(kind).decompressBytesPerSecond * parallelSpeedup());
 }
 
 std::string

@@ -37,10 +37,27 @@ class SoftwareCostModel
   public:
     SoftwareCostModel() = default;
 
-    /** Override a codec's throughputs (e.g. from a local calibration). */
+    /** Override a codec's throughputs (e.g. from a local calibration).
+     *  Throughputs are per single stream; see setThreads(). */
     void setThroughput(SoftwareCodecKind kind, SoftwareThroughput tp);
 
     SoftwareThroughput throughput(SoftwareCodecKind kind) const;
+
+    /**
+     * Model the codec running on @p threads cores with statically
+     * chunked data parallelism (what the ThreadPool-backed chunked
+     * codec paths actually do). @p parallel_efficiency is the fraction
+     * of each extra core that converts into throughput — memory
+     * bandwidth and the serial stitch keep it below 1. The effective
+     * speedup is 1 + (threads - 1) * efficiency.
+     */
+    void setThreads(int threads, double parallel_efficiency = 0.85);
+
+    int threads() const { return threads_; }
+    double parallelEfficiency() const { return parallelEfficiency_; }
+
+    /** Multiplier applied to single-stream throughputs. */
+    double parallelSpeedup() const;
 
     /** Seconds of CPU time to compress @p bytes. */
     double compressSeconds(SoftwareCodecKind kind, uint64_t bytes) const;
@@ -54,6 +71,8 @@ class SoftwareCostModel
     SoftwareThroughput snappy_{250e6, 1000e6};
     SoftwareThroughput sz_{120e6, 200e6};
     SoftwareThroughput truncation_{800e6, 800e6};
+    int threads_ = 1;
+    double parallelEfficiency_ = 0.85;
 };
 
 } // namespace inc

@@ -2,8 +2,10 @@
 
 #include <bit>
 #include <cmath>
+#include <vector>
 
 #include "sim/logging.h"
+#include "sim/thread_pool.h"
 
 namespace inc {
 
@@ -166,28 +168,62 @@ GradientCodec::decompress(CompressedValue v) const
     panic("corrupt tag %d", static_cast<int>(v.tag));
 }
 
+namespace {
+
+/** Values per parallel chunk for the elementwise batch entry points.
+ *  Chunk boundaries are static (grain-derived), and bit counts / tag
+ *  tallies merge with exact integer addition, so results are identical
+ *  for every thread count. */
+constexpr size_t kCodecGrain = 8192;
+
+} // namespace
+
 uint64_t
 GradientCodec::measure(std::span<const float> values, TagHistogram *hist) const
 {
+    const size_t n = values.size();
+    const size_t chunks = (n + kCodecGrain - 1) / kCodecGrain;
+    std::vector<uint64_t> chunk_bits(chunks, 0);
+    std::vector<TagHistogram> chunk_hist(hist ? chunks : 0);
+    parallelFor(0, n, kCodecGrain, [&](size_t begin, size_t end) {
+        const size_t chunk = begin / kCodecGrain;
+        uint64_t bits = 0;
+        TagHistogram *h = hist ? &chunk_hist[chunk] : nullptr;
+        for (size_t i = begin; i < end; ++i) {
+            const CompressedValue cv = compress(values[i]);
+            bits += 2u + static_cast<uint64_t>(cv.bits());
+            if (h)
+                h->add(cv.tag);
+        }
+        chunk_bits[chunk] = bits;
+    });
     uint64_t bits = 0;
-    for (float f : values) {
-        const CompressedValue cv = compress(f);
-        bits += 2u + static_cast<uint64_t>(cv.bits());
-        if (hist)
-            hist->add(cv.tag);
-    }
+    for (uint64_t b : chunk_bits)
+        bits += b;
+    if (hist)
+        for (const TagHistogram &h : chunk_hist)
+            *hist += h;
     return bits;
 }
 
 void
 GradientCodec::roundtrip(std::span<float> values, TagHistogram *hist) const
 {
-    for (float &f : values) {
-        const CompressedValue cv = compress(f);
-        if (hist)
-            hist->add(cv.tag);
-        f = decompress(cv);
-    }
+    const size_t n = values.size();
+    const size_t chunks = (n + kCodecGrain - 1) / kCodecGrain;
+    std::vector<TagHistogram> chunk_hist(hist ? chunks : 0);
+    parallelFor(0, n, kCodecGrain, [&](size_t begin, size_t end) {
+        TagHistogram *h = hist ? &chunk_hist[begin / kCodecGrain] : nullptr;
+        for (size_t i = begin; i < end; ++i) {
+            const CompressedValue cv = compress(values[i]);
+            if (h)
+                h->add(cv.tag);
+            values[i] = decompress(cv);
+        }
+    });
+    if (hist)
+        for (const TagHistogram &h : chunk_hist)
+            *hist += h;
 }
 
 } // namespace inc

@@ -1,6 +1,7 @@
 #include "core/compressed_stream.h"
 
 #include "sim/logging.h"
+#include "sim/thread_pool.h"
 
 namespace inc {
 
@@ -17,6 +18,32 @@ BitWriter::append(uint32_t value, int nbits)
             bytes_[byte_index] |= static_cast<uint8_t>(1u << (bit_index & 7));
     }
     bits_ += static_cast<uint64_t>(nbits);
+}
+
+void
+BitWriter::appendBits(std::span<const uint8_t> bytes, uint64_t nbits)
+{
+    INC_ASSERT(nbits <= bytes.size() * 8,
+               "appendBits: %llu bits exceeds %zu-byte source",
+               static_cast<unsigned long long>(nbits), bytes.size());
+    if ((bits_ & 7) == 0) {
+        // Byte-aligned fast path: bulk-copy whole bytes, then the tail.
+        const size_t whole = static_cast<size_t>(nbits >> 3);
+        bytes_.insert(bytes_.end(), bytes.begin(),
+                      bytes.begin() + static_cast<ptrdiff_t>(whole));
+        bits_ += static_cast<uint64_t>(whole) * 8;
+        const int tail = static_cast<int>(nbits & 7);
+        if (tail > 0)
+            append(bytes[whole], tail);
+        return;
+    }
+    BitReader reader(bytes);
+    uint64_t left = nbits;
+    while (left > 0) {
+        const int take = left >= 32 ? 32 : static_cast<int>(left);
+        append(reader.read(take), take);
+        left -= static_cast<uint64_t>(take);
+    }
 }
 
 uint32_t
@@ -56,6 +83,49 @@ getU64(std::span<const uint8_t> in, size_t offset)
     return v;
 }
 
+/** Encode @p values as 8-value groups into @p writer. */
+void
+encodeGroups(const GradientCodec &codec, std::span<const float> values,
+             BitWriter &writer, TagHistogram *hist)
+{
+    CompressedValue group[8];
+    for (size_t base = 0; base < values.size(); base += 8) {
+        const size_t n = std::min<size_t>(8, values.size() - base);
+        uint32_t tagword = 0;
+        for (size_t i = 0; i < 8; ++i) {
+            if (i < n) {
+                group[i] = codec.compress(values[base + i]);
+                if (hist)
+                    hist->add(group[i].tag);
+            } else {
+                group[i] = CompressedValue{Tag::Zero, 0}; // padding
+            }
+            tagword |= static_cast<uint32_t>(group[i].tag) << (2 * i);
+        }
+        writer.append(tagword, 16);
+        for (size_t i = 0; i < 8; ++i)
+            writer.append(group[i].payload, group[i].bits());
+    }
+}
+
+/** Decode @p count group-coded values from @p reader into @p out. */
+void
+decodeGroups(const GradientCodec &codec, BitReader &reader, size_t count,
+             std::span<float> out)
+{
+    for (size_t base = 0; base < count; base += 8) {
+        const size_t n = std::min<size_t>(8, count - base);
+        const uint32_t tagword = reader.read(16);
+        for (size_t i = 0; i < 8; ++i) {
+            const Tag tag = static_cast<Tag>((tagword >> (2 * i)) & 0x3u);
+            const uint32_t payload = reader.read(tagPayloadBits(tag));
+            if (i < n)
+                out[base + i] =
+                    codec.decompress(CompressedValue{tag, payload});
+        }
+    }
+}
+
 } // namespace
 
 std::vector<uint8_t>
@@ -89,25 +159,7 @@ encodeStream(const GradientCodec &codec, std::span<const float> values,
              TagHistogram *hist)
 {
     BitWriter writer;
-    CompressedValue group[8];
-
-    for (size_t base = 0; base < values.size(); base += 8) {
-        const size_t n = std::min<size_t>(8, values.size() - base);
-        uint32_t tagword = 0;
-        for (size_t i = 0; i < 8; ++i) {
-            if (i < n) {
-                group[i] = codec.compress(values[base + i]);
-                if (hist)
-                    hist->add(group[i].tag);
-            } else {
-                group[i] = CompressedValue{Tag::Zero, 0}; // padding
-            }
-            tagword |= static_cast<uint32_t>(group[i].tag) << (2 * i);
-        }
-        writer.append(tagword, 16);
-        for (size_t i = 0; i < 8; ++i)
-            writer.append(group[i].payload, group[i].bits());
-    }
+    encodeGroups(codec, values, writer, hist);
 
     CompressedStream s;
     s.count = values.size();
@@ -124,17 +176,77 @@ decodeStream(const GradientCodec &codec, const CompressedStream &stream,
                "output size %zu != stream count %llu", out.size(),
                static_cast<unsigned long long>(stream.count));
     BitReader reader(stream.bytes);
-    for (size_t base = 0; base < stream.count; base += 8) {
-        const size_t n = std::min<size_t>(8, stream.count - base);
-        const uint32_t tagword = reader.read(16);
-        for (size_t i = 0; i < 8; ++i) {
-            const Tag tag = static_cast<Tag>((tagword >> (2 * i)) & 0x3u);
-            const uint32_t payload =
-                reader.read(tagPayloadBits(tag));
-            if (i < n)
-                out[base + i] = codec.decompress(CompressedValue{tag, payload});
+    decodeGroups(codec, reader, stream.count, out);
+}
+
+ChunkedStream
+encodeStreamChunked(const GradientCodec &codec,
+                    std::span<const float> values, size_t chunk_elems,
+                    TagHistogram *hist)
+{
+    INC_ASSERT(chunk_elems > 0 && chunk_elems % 8 == 0,
+               "chunk size %zu must be a positive multiple of the "
+               "8-value group",
+               chunk_elems);
+    const size_t count = values.size();
+    // ceil division: an exact multiple gets no empty tail chunk, and a
+    // short tail (down to a single value) becomes one short chunk.
+    const size_t chunks = (count + chunk_elems - 1) / chunk_elems;
+
+    ChunkedStream cs;
+    cs.chunkElems = chunk_elems;
+    cs.stream.count = count;
+
+    std::vector<BitWriter> parts(chunks);
+    std::vector<TagHistogram> part_hist(hist ? chunks : 0);
+    parallelFor(0, chunks, 1, [&](size_t c_begin, size_t c_end) {
+        for (size_t c = c_begin; c < c_end; ++c) {
+            const size_t begin = c * chunk_elems;
+            const size_t n = std::min(chunk_elems, count - begin);
+            encodeGroups(codec, values.subspan(begin, n), parts[c],
+                         hist ? &part_hist[c] : nullptr);
         }
+    });
+
+    // Stitch in chunk order. Every chunk's bit string is whole bytes
+    // (groups are byte-multiples) and starts group-aligned, so the
+    // concatenation equals the serial encodeStream() bit stream.
+    BitWriter writer;
+    cs.chunkBitOffset.reserve(chunks);
+    for (size_t c = 0; c < chunks; ++c) {
+        cs.chunkBitOffset.push_back(writer.bitSize());
+        writer.appendBits(parts[c].bytes(), parts[c].bitSize());
     }
+    cs.stream.bitSize = writer.bitSize();
+    cs.stream.bytes = writer.takeBytes();
+
+    if (hist)
+        for (const TagHistogram &h : part_hist)
+            *hist += h;
+    return cs;
+}
+
+void
+decodeStreamChunked(const GradientCodec &codec, const ChunkedStream &chunked,
+                    std::span<float> out)
+{
+    INC_ASSERT(out.size() == chunked.stream.count,
+               "output size %zu != stream count %llu", out.size(),
+               static_cast<unsigned long long>(chunked.stream.count));
+    const size_t chunks = chunked.chunkCount();
+    INC_ASSERT(chunks ==
+                   (out.size() + chunked.chunkElems - 1) / chunked.chunkElems,
+               "chunk directory (%zu entries) inconsistent with count %zu",
+               chunks, out.size());
+    parallelFor(0, chunks, 1, [&](size_t c_begin, size_t c_end) {
+        for (size_t c = c_begin; c < c_end; ++c) {
+            BitReader reader(chunked.stream.bytes);
+            reader.seek(chunked.chunkBitOffset[c]);
+            const size_t n = chunked.chunkValueCount(c);
+            decodeGroups(codec, reader, n,
+                         out.subspan(c * chunked.chunkElems, n));
+        }
+    });
 }
 
 } // namespace inc

@@ -13,6 +13,7 @@
 #ifndef INCEPTIONN_CORE_COMPRESSED_STREAM_H
 #define INCEPTIONN_CORE_COMPRESSED_STREAM_H
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -27,6 +28,10 @@ class BitWriter
   public:
     /** Append the low @p nbits bits of @p value. @pre 0 <= nbits <= 32. */
     void append(uint32_t value, int nbits);
+
+    /** Append the first @p nbits bits of another LSB-first byte buffer
+     *  (e.g. a finished BitWriter's bytes()). */
+    void appendBits(std::span<const uint8_t> bytes, uint64_t nbits);
 
     /** Total bits written. */
     uint64_t bitSize() const { return bits_; }
@@ -110,6 +115,61 @@ CompressedStream encodeStream(const GradientCodec &codec,
  */
 void decodeStream(const GradientCodec &codec, const CompressedStream &stream,
                   std::span<float> out);
+
+/** Default floats per independently-coded chunk (must divide by 8 so
+ *  chunk boundaries coincide with group boundaries). */
+constexpr size_t kDefaultChunkElems = 8192;
+
+/**
+ * A compressed stream sectioned into independently-decodable chunks of
+ * @ref chunkElems floats each (the final chunk may be shorter; an input
+ * whose length is an exact multiple gets no empty tail chunk, and an
+ * empty input has zero chunks).
+ *
+ * Because every group is a whole number of bytes (16 tag bits plus
+ * 0/8/16/32-bit payloads) and chunkElems is a multiple of the group
+ * size, the stitched bit string in @ref stream is byte-for-byte
+ * identical to what the serial encodeStream() produces — the chunking
+ * only adds the @ref chunkBitOffset directory that lets decoders start
+ * mid-stream.
+ */
+struct ChunkedStream
+{
+    size_t chunkElems = kDefaultChunkElems;
+    CompressedStream stream;
+    /** Bit offset of each chunk's first group in stream.bytes. */
+    std::vector<uint64_t> chunkBitOffset;
+
+    size_t chunkCount() const { return chunkBitOffset.size(); }
+
+    /** Element count of chunk @p i (only the last may be short). */
+    size_t
+    chunkValueCount(size_t i) const
+    {
+        const uint64_t begin = static_cast<uint64_t>(i) * chunkElems;
+        const uint64_t end =
+            std::min<uint64_t>(stream.count, begin + chunkElems);
+        return static_cast<size_t>(end - begin);
+    }
+};
+
+/**
+ * Encode @p values into chunked form, compressing the chunks in
+ * parallel on the global thread pool. The embedded stream (count,
+ * bitSize, bytes) is bit-identical to encodeStream() for every thread
+ * count. @p chunk_elems must be a positive multiple of 8.
+ */
+ChunkedStream encodeStreamChunked(const GradientCodec &codec,
+                                  std::span<const float> values,
+                                  size_t chunk_elems = kDefaultChunkElems,
+                                  TagHistogram *hist = nullptr);
+
+/**
+ * Decode a chunked stream into @p out, chunks in parallel.
+ * @pre out.size() == chunked.stream.count.
+ */
+void decodeStreamChunked(const GradientCodec &codec,
+                         const ChunkedStream &chunked, std::span<float> out);
 
 } // namespace inc
 

@@ -118,6 +118,40 @@ attributedSumSeconds(const SimTrainerConfig &config)
 
 } // namespace
 
+double
+softwareCodecSecondsPerIteration(const SimTrainerConfig &config)
+{
+    if (!config.software.enabled)
+        return 0.0;
+    const SoftwareCostModel &cost = config.software.cost;
+    const SoftwareCodecKind kind = config.software.kind;
+    const uint64_t n = config.workload.modelBytes;
+    const double p = static_cast<double>(config.workers);
+    const double g = static_cast<double>(config.groupSize);
+    const double c = cost.compressSeconds(kind, n);
+    const double d = cost.decompressSeconds(kind, n);
+    switch (config.algorithm) {
+      case ExchangeAlgorithm::WorkerAggregator:
+        // Workers compress concurrently (one stream each); the
+        // aggregator decompresses all p streams serially. The weight
+        // (down) leg returns uncompressed.
+        return c + p * d;
+      case ExchangeAlgorithm::Ring:
+        // 2(p-1) steps, each node compressing and decompressing one
+        // n/p block; all nodes work concurrently, so the critical path
+        // is one node's total.
+        return 2.0 * (p - 1.0) * (c + d) / p;
+      case ExchangeAlgorithm::Tree:
+        // Leaf compress; group aggregator decompresses g streams and
+        // re-compresses its partial; root decompresses p/g streams.
+        return c + g * d + c + (p / g) * d;
+      case ExchangeAlgorithm::HierRing:
+        // A ring at each level over proportionally smaller blocks.
+        return 2.0 * ((g - 1.0) / g + (p / g - 1.0) / (p / g)) * (c + d);
+    }
+    return 0.0;
+}
+
 SimTrainerResult
 runSimTraining(const SimTrainerConfig &config)
 {
@@ -162,6 +196,11 @@ runSimTraining(const SimTrainerConfig &config)
     result.breakdown.add(TrainStep::Communicate,
                          std::max(0.0, rs.exchangeSeconds - sum_total));
     result.breakdown.add(TrainStep::Update, t.update * iters);
+    // Software codec CPU time serializes with the exchange; it extends
+    // wall time but is reported outside the Table II step breakdown.
+    result.softwareCodecSeconds =
+        softwareCodecSecondsPerIteration(config) * iters;
+    result.totalSeconds += result.softwareCodecSeconds;
     return result;
 }
 

@@ -9,6 +9,7 @@
 #ifndef INCEPTIONN_DISTRIB_SIM_TRAINER_H
 #define INCEPTIONN_DISTRIB_SIM_TRAINER_H
 
+#include "baselines/software_cost.h"
 #include "comm/comm_world.h"
 #include "distrib/compute_model.h"
 #include "distrib/time_breakdown.h"
@@ -22,6 +23,21 @@ enum class ExchangeAlgorithm {
     Ring,             ///< paper Algorithm 1: INCEPTIONN
     Tree,             ///< paper Fig. 1(a): two-level WA hierarchy
     HierRing,         ///< paper Fig. 1(c): rings at every level
+};
+
+/**
+ * Software (CPU) compression on the training critical path — what
+ * paper Fig. 7 charges against each scheme. Hardware offload (the NIC
+ * engines, @ref SimTrainerConfig::compressGradients) removes this cost;
+ * a software codec pays it on every send and receive.
+ */
+struct SoftwareCompressionConfig
+{
+    bool enabled = false;
+    SoftwareCodecKind kind = SoftwareCodecKind::SnappyLike;
+    /** Throughput/thread model; calibrate with setThroughput() and
+     *  setThreads() (e.g. from measured chunked-codec timings). */
+    SoftwareCostModel cost;
 };
 
 /** One timing-mode training run. */
@@ -49,6 +65,8 @@ struct SimTrainerConfig
     /** Cluster parameters; node count is derived from workers and
      *  algorithm (WA/Tree add aggregator ranks). */
     NetworkConfig netConfig{};
+    /** CPU-side compression cost accounting (Fig. 7). */
+    SoftwareCompressionConfig software{};
 };
 
 /** Timing-mode results (all seconds, per whole run). */
@@ -60,6 +78,11 @@ struct SimTrainerResult
     /** Exchange wall time (communication + distributed summation) —
      *  the Fig. 15 "gradient exchange time" metric. */
     double gradientExchangeSeconds = 0.0;
+    /** Critical-path CPU time spent in software (de)compression over
+     *  the whole run; included in totalSeconds, reported separately
+     *  from the breakdown (Fig. 7's "CPU codec" column). Zero unless
+     *  SimTrainerConfig::software.enabled. */
+    double softwareCodecSeconds = 0.0;
     uint64_t iterations = 0;
 
     double secondsPerIteration() const
@@ -68,6 +91,14 @@ struct SimTrainerResult
                           : 0.0;
     }
 };
+
+/**
+ * Critical-path CPU seconds per iteration for running the configured
+ * software codec, given the exchange algorithm's send/receive pattern
+ * (e.g. worker-aggregator: one compress per worker in parallel, p
+ * serial decompressions at the aggregator). Zero when disabled.
+ */
+double softwareCodecSecondsPerIteration(const SimTrainerConfig &config);
 
 /** Run the configured training simulation to completion. */
 SimTrainerResult runSimTraining(const SimTrainerConfig &config);

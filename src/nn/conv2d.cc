@@ -4,6 +4,7 @@
 
 #include "sim/logging.h"
 #include "sim/random.h"
+#include "sim/thread_pool.h"
 #include "tensor/gemm.h"
 
 namespace inc {
@@ -63,27 +64,35 @@ Conv2d::forward(const Tensor &x, bool training)
     output_ = Tensor({batch, outChannels_, oh, ow});
     columns_ = Tensor({batch, groups_, patch, cols});
 
-    for (size_t n = 0; n < batch; ++n) {
-        for (size_t g = 0; g < groups_; ++g) {
-            float *col =
-                columns_.raw() + ((n * groups_ + g) * patch) * cols;
-            im2col(x.raw() + n * image_sz + g * group_in, geom_, col);
-            // out[n, group g] = W_g (outC/g x patch) * col (patch x cols)
-            gemm(Trans::No, Trans::No, group_out_c, cols, patch, 1.0f,
-                 weight_.raw() + g * group_out_c * patch, patch, col,
-                 cols, 0.0f,
-                 output_.raw() +
-                     (n * outChannels_ + g * group_out_c) * cols,
-                 cols);
+    // Each batch image writes disjoint slices of columns_ and output_,
+    // and the per-image work is exactly the serial code, so the result
+    // is bit-identical for any thread count. Nested gemm calls run
+    // inline on the owning worker.
+    parallelFor(0, batch, 1, [&](size_t n_begin, size_t n_end) {
+        for (size_t n = n_begin; n < n_end; ++n) {
+            for (size_t g = 0; g < groups_; ++g) {
+                float *col =
+                    columns_.raw() + ((n * groups_ + g) * patch) * cols;
+                im2col(x.raw() + n * image_sz + g * group_in, geom_, col);
+                // out[n, group g] = W_g (outC/g x patch) * col
+                // (patch x cols)
+                gemm(Trans::No, Trans::No, group_out_c, cols, patch, 1.0f,
+                     weight_.raw() + g * group_out_c * patch, patch, col,
+                     cols, 0.0f,
+                     output_.raw() +
+                         (n * outChannels_ + g * group_out_c) * cols,
+                     cols);
+            }
+            // Per-channel bias.
+            for (size_t c = 0; c < outChannels_; ++c) {
+                float *ochan =
+                    output_.raw() + (n * outChannels_ + c) * cols;
+                const float b = bias_[c];
+                for (size_t i = 0; i < cols; ++i)
+                    ochan[i] += b;
+            }
         }
-        // Per-channel bias.
-        for (size_t c = 0; c < outChannels_; ++c) {
-            float *ochan = output_.raw() + (n * outChannels_ + c) * cols;
-            const float b = bias_[c];
-            for (size_t i = 0; i < cols; ++i)
-                ochan[i] += b;
-        }
-    }
+    });
     return output_;
 }
 
@@ -103,8 +112,11 @@ Conv2d::backward(const Tensor &dy)
                "conv backward shape mismatch: %s", dy.shapeString().c_str());
 
     Tensor dx({batch, inChannels_, geom_.inH, geom_.inW});
-    Tensor dcol({patch, cols});
 
+    // dW accumulates across the batch, so the n loop stays serial to
+    // keep the floating-point summation order fixed; each gemm call
+    // parallelizes internally over its M-blocks (output channels /
+    // patch rows), which preserves the per-row accumulation order.
     for (size_t n = 0; n < batch; ++n) {
         for (size_t g = 0; g < groups_; ++g) {
             const float *dy_g =
@@ -115,23 +127,42 @@ Conv2d::backward(const Tensor &dy)
             gemm(Trans::No, Trans::Yes, group_out_c, patch, cols, 1.0f,
                  dy_g, cols, col, cols, 1.0f,
                  dWeight_.raw() + g * group_out_c * patch, patch);
-            // dcol = W_g^T (patch x outC/g) * dy_g (outC/g x cols)
-            gemm(Trans::Yes, Trans::No, patch, cols, group_out_c, 1.0f,
-                 weight_.raw() + g * group_out_c * patch, patch, dy_g,
-                 cols, 0.0f, dcol.raw(), cols);
-            col2im(dcol.raw(), geom_,
-                   dx.raw() + n * image_sz + g * group_in);
-        }
-        // db[c] += sum of dy over spatial positions.
-        const float *dy_n = dy.raw() + n * outChannels_ * cols;
-        for (size_t c = 0; c < outChannels_; ++c) {
-            const float *dchan = dy_n + c * cols;
-            float s = 0.0f;
-            for (size_t i = 0; i < cols; ++i)
-                s += dchan[i];
-            dBias_[c] += s;
         }
     }
+
+    // db[c] += sum of dy over spatial positions: each channel's sum
+    // keeps the serial n-then-i order, channels are independent.
+    parallelFor(0, outChannels_, 8, [&](size_t c_begin, size_t c_end) {
+        for (size_t c = c_begin; c < c_end; ++c) {
+            for (size_t n = 0; n < batch; ++n) {
+                const float *dchan =
+                    dy.raw() + (n * outChannels_ + c) * cols;
+                float s = 0.0f;
+                for (size_t i = 0; i < cols; ++i)
+                    s += dchan[i];
+                dBias_[c] += s;
+            }
+        }
+    });
+
+    // dx: every batch image owns a disjoint dx slice; each task uses
+    // its own dcol scratch. Nested gemm calls run inline.
+    parallelFor(0, batch, 1, [&](size_t n_begin, size_t n_end) {
+        Tensor dcol({patch, cols});
+        for (size_t n = n_begin; n < n_end; ++n) {
+            for (size_t g = 0; g < groups_; ++g) {
+                const float *dy_g =
+                    dy.raw() +
+                    (n * outChannels_ + g * group_out_c) * cols;
+                // dcol = W_g^T (patch x outC/g) * dy_g (outC/g x cols)
+                gemm(Trans::Yes, Trans::No, patch, cols, group_out_c,
+                     1.0f, weight_.raw() + g * group_out_c * patch,
+                     patch, dy_g, cols, 0.0f, dcol.raw(), cols);
+                col2im(dcol.raw(), geom_,
+                       dx.raw() + n * image_sz + g * group_in);
+            }
+        }
+    });
     return dx;
 }
 

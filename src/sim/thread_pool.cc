@@ -1,0 +1,200 @@
+#include "sim/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+namespace {
+
+/** >0 while the current thread is executing a chunk: nested
+ *  parallelFor calls must run inline rather than re-enter the pool. */
+thread_local int tls_chunk_depth = 0;
+
+int
+hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/** Parse INC_THREADS; unset/empty/non-positive/garbage -> hardware. */
+int
+threadsFromEnvironment()
+{
+    const char *env = std::getenv("INC_THREADS");
+    if (env == nullptr || *env == '\0')
+        return hardwareThreads();
+    char *tail = nullptr;
+    const long n = std::strtol(env, &tail, 10);
+    if (tail == env || *tail != '\0' || n <= 0 || n > 4096) {
+        warn("INC_THREADS='%s' is not a thread count in [1, 4096]; "
+             "using hardware concurrency (%d)",
+             env, hardwareThreads());
+        return hardwareThreads();
+    }
+    return static_cast<int>(n);
+}
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool; // guarded by g_pool_mutex
+int g_thread_count = 0;             // 0 = not yet initialized
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int n = std::max(1, threads);
+    workers_.reserve(static_cast<size_t>(n - 1));
+    for (int i = 0; i < n - 1; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::runChunks(Job &job)
+{
+    ++tls_chunk_depth;
+    while (true) {
+        const size_t c = job.nextChunk.fetch_add(1);
+        if (c >= job.chunkCount)
+            break;
+        if (!job.failed.load()) {
+            const size_t b = job.begin + c * job.grainSize;
+            const size_t e = std::min(job.end, b + job.grainSize);
+            try {
+                (*job.fn)(b, e);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(job.errorMutex);
+                    if (!job.error)
+                        job.error = std::current_exception();
+                }
+                job.failed.store(true);
+            }
+        }
+        job.chunksDone.fetch_add(1);
+    }
+    --tls_chunk_depth;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen_generation = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        wake_.wait(lock, [&] {
+            return stop_ || (job_ != nullptr && generation_ != seen_generation);
+        });
+        if (stop_)
+            return;
+        seen_generation = generation_;
+        Job *job = job_;
+        ++job->active; // under mutex_: the submitter cannot retire the
+                       // job until active drops back to zero
+        lock.unlock();
+        runChunks(*job);
+        lock.lock();
+        --job->active;
+        done_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)> &fn)
+{
+    if (end <= begin)
+        return;
+    if (grain == 0)
+        grain = 1;
+    const size_t range = end - begin;
+    // Serial fallback: width 1, a single chunk, or a nested call from
+    // inside a chunk. One inline invocation over the whole range — the
+    // exact serial code path.
+    if (workers_.empty() || range <= grain || tls_chunk_depth > 0) {
+        fn(begin, end);
+        return;
+    }
+
+    Job job;
+    job.begin = begin;
+    job.end = end;
+    job.grainSize = grain;
+    job.chunkCount = (range + grain - 1) / grain;
+    job.fn = &fn;
+
+    std::lock_guard<std::mutex> submit(submitMutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &job;
+        ++generation_;
+    }
+    wake_.notify_all();
+    runChunks(job); // the caller is a full participant
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] {
+            return job.chunksDone.load() == job.chunkCount && job.active == 0;
+        });
+        job_ = nullptr;
+    }
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+int
+globalThreadCount()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (g_thread_count == 0)
+        g_thread_count = threadsFromEnvironment();
+    return g_thread_count;
+}
+
+void
+setGlobalThreadCount(int threads)
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    const int n = threads <= 0 ? hardwareThreads() : threads;
+    if (n == g_thread_count && g_pool)
+        return;
+    g_pool.reset(); // join old workers before respawning
+    g_thread_count = n;
+    g_pool = std::make_unique<ThreadPool>(n);
+}
+
+ThreadPool &
+globalThreadPool()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (!g_pool) {
+        if (g_thread_count == 0)
+            g_thread_count = threadsFromEnvironment();
+        g_pool = std::make_unique<ThreadPool>(g_thread_count);
+    }
+    return *g_pool;
+}
+
+void
+parallelFor(size_t begin, size_t end, size_t grain,
+            const std::function<void(size_t, size_t)> &fn)
+{
+    globalThreadPool().parallelFor(begin, end, grain, fn);
+}
+
+} // namespace inc

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic parallel-execution layer for the compute hot paths
+ * (GEMM, conv2d, the gradient codec).
+ *
+ * parallelFor(begin, end, grain, fn) partitions [begin, end) into
+ * *static* chunks of @p grain indices — chunk boundaries depend only on
+ * (begin, end, grain), never on the worker count — and invokes
+ * fn(chunk_begin, chunk_end) once per chunk, on whichever thread grabs
+ * the chunk first. Callers arrange that chunks touch disjoint outputs
+ * (or combine with exactly associative operations such as integer
+ * counts), so results are bit-identical for every thread count,
+ * including the pure-serial fallback. See DESIGN.md section 7.
+ *
+ * The global worker count comes from, in priority order:
+ *  1. setGlobalThreadCount(n) at runtime;
+ *  2. the INC_THREADS environment variable at first use;
+ *  3. std::thread::hardware_concurrency().
+ * A count of 1 bypasses the pool entirely: fn(begin, end) runs inline
+ * on the calling thread in one call, the exact pre-pool serial path.
+ *
+ * Nested parallelFor calls (e.g. a parallel conv2d batch loop invoking
+ * the parallel GEMM) run inline on the worker executing the outer
+ * chunk, so the pool can never deadlock on itself.
+ */
+
+#ifndef INCEPTIONN_SIM_THREAD_POOL_H
+#define INCEPTIONN_SIM_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace inc {
+
+/** Fixed-size worker pool executing statically-chunked index ranges. */
+class ThreadPool
+{
+  public:
+    /** @param threads total execution width including the caller;
+     *  clamped to >= 1. A width of 1 spawns no workers. */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Execution width (worker threads + the participating caller). */
+    int threadCount() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /**
+     * Invoke fn(chunk_begin, chunk_end) for every static chunk of
+     * [begin, end). Blocks until all chunks finish. The first exception
+     * thrown by any chunk is rethrown here (remaining chunks are
+     * skipped). Reentrant calls from inside a chunk run serially
+     * inline. @p grain 0 is treated as 1.
+     */
+    void parallelFor(size_t begin, size_t end, size_t grain,
+                     const std::function<void(size_t, size_t)> &fn);
+
+  private:
+    /** One parallelFor invocation's shared state. */
+    struct Job
+    {
+        size_t begin = 0;
+        size_t grainSize = 1;
+        size_t end = 0;
+        size_t chunkCount = 0;
+        const std::function<void(size_t, size_t)> *fn = nullptr;
+        std::atomic<size_t> nextChunk{0};
+        std::atomic<size_t> chunksDone{0};
+        std::atomic<bool> failed{false};
+        std::exception_ptr error; ///< guarded by errorMutex
+        std::mutex errorMutex;
+        int active = 0; ///< workers inside runChunks; guarded by pool mutex
+    };
+
+    void workerLoop();
+    static void runChunks(Job &job);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_;  ///< workers: new job or stop
+    std::condition_variable done_;  ///< caller: job fully retired
+    Job *job_ = nullptr;            ///< current job; guarded by mutex_
+    uint64_t generation_ = 0;       ///< bumped per job; guarded by mutex_
+    bool stop_ = false;             ///< guarded by mutex_
+    std::mutex submitMutex_;        ///< serializes concurrent submitters
+};
+
+/**
+ * Current global execution width. First call reads INC_THREADS (unset,
+ * empty, or <= 0 means hardware_concurrency()).
+ */
+int globalThreadCount();
+
+/**
+ * Set the global width; tears down and rebuilds the shared pool.
+ * @p threads <= 0 restores the hardware default. Not safe to call
+ * concurrently with in-flight parallelFor work.
+ */
+void setGlobalThreadCount(int threads);
+
+/** The process-wide pool, sized to globalThreadCount(). */
+ThreadPool &globalThreadPool();
+
+/** parallelFor on the global pool (see ThreadPool::parallelFor). */
+void parallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)> &fn);
+
+} // namespace inc
+
+#endif // INCEPTIONN_SIM_THREAD_POOL_H

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "sim/thread_pool.h"
+
 namespace inc {
 
 namespace {
@@ -9,6 +11,10 @@ namespace {
 constexpr size_t kBlockM = 32;
 constexpr size_t kBlockN = 64;
 constexpr size_t kBlockK = 64;
+
+/** Below this op(A)*op(B) multiply count the pool dispatch overhead
+ *  outweighs the work; run the block loop inline. */
+constexpr size_t kParallelFlopThreshold = 1 << 15;
 
 /** Element of op(X) at (r, c) given the stored array and its stride. */
 inline float
@@ -24,52 +30,66 @@ gemm(Trans trans_a, Trans trans_b, size_t m, size_t n, size_t k,
      float alpha, const float *a, size_t lda, const float *b, size_t ldb,
      float beta, float *c, size_t ldc)
 {
-    // Scale C by beta once up front.
-    for (size_t i = 0; i < m; ++i) {
-        float *crow = c + i * ldc;
-        if (beta == 0.0f) {
-            for (size_t j = 0; j < n; ++j)
-                crow[j] = 0.0f;
-        } else if (beta != 1.0f) {
-            for (size_t j = 0; j < n; ++j)
-                crow[j] *= beta;
-        }
-    }
-
     // Blocked accumulation with an A-panel copy so the inner loop is a
-    // dense row-times-row product regardless of transposes.
-    std::vector<float> apanel(kBlockM * kBlockK);
-    for (size_t i0 = 0; i0 < m; i0 += kBlockM) {
-        const size_t im = std::min(kBlockM, m - i0);
-        for (size_t k0 = 0; k0 < k; k0 += kBlockK) {
-            const size_t kk = std::min(kBlockK, k - k0);
-            for (size_t i = 0; i < im; ++i)
-                for (size_t p = 0; p < kk; ++p)
-                    apanel[i * kBlockK + p] =
-                        alpha * opAt(trans_a, a, lda, i0 + i, k0 + p);
-            for (size_t j0 = 0; j0 < n; j0 += kBlockN) {
-                const size_t jn = std::min(kBlockN, n - j0);
-                for (size_t i = 0; i < im; ++i) {
-                    float *crow = c + (i0 + i) * ldc + j0;
-                    const float *arow = apanel.data() + i * kBlockK;
-                    for (size_t p = 0; p < kk; ++p) {
-                        const float av = arow[p];
-                        if (av == 0.0f)
-                            continue;
-                        if (trans_b == Trans::No) {
-                            const float *brow = b + (k0 + p) * ldb + j0;
-                            for (size_t j = 0; j < jn; ++j)
-                                crow[j] += av * brow[j];
-                        } else {
-                            const float *bcol = b + j0 * ldb + (k0 + p);
-                            for (size_t j = 0; j < jn; ++j)
-                                crow[j] += av * bcol[j * ldb];
+    // dense row-times-row product regardless of transposes. Parallelism
+    // is over M-blocks: each task owns a disjoint set of C rows and
+    // performs exactly the serial per-row operations (beta scale, then
+    // k0-ordered accumulation), so the result is bit-identical for any
+    // thread count.
+    const size_t mblocks = (m + kBlockM - 1) / kBlockM;
+    const size_t grain =
+        (m * n * k < kParallelFlopThreshold) ? mblocks : size_t{1};
+
+    parallelFor(0, mblocks, grain, [&](size_t mb_begin, size_t mb_end) {
+        std::vector<float> apanel(kBlockM * kBlockK);
+        for (size_t mb = mb_begin; mb < mb_end; ++mb) {
+            const size_t i0 = mb * kBlockM;
+            const size_t im = std::min(kBlockM, m - i0);
+
+            // Scale this task's C rows by beta once up front.
+            for (size_t i = 0; i < im; ++i) {
+                float *crow = c + (i0 + i) * ldc;
+                if (beta == 0.0f) {
+                    for (size_t j = 0; j < n; ++j)
+                        crow[j] = 0.0f;
+                } else if (beta != 1.0f) {
+                    for (size_t j = 0; j < n; ++j)
+                        crow[j] *= beta;
+                }
+            }
+
+            for (size_t k0 = 0; k0 < k; k0 += kBlockK) {
+                const size_t kk = std::min(kBlockK, k - k0);
+                for (size_t i = 0; i < im; ++i)
+                    for (size_t p = 0; p < kk; ++p)
+                        apanel[i * kBlockK + p] =
+                            alpha * opAt(trans_a, a, lda, i0 + i, k0 + p);
+                for (size_t j0 = 0; j0 < n; j0 += kBlockN) {
+                    const size_t jn = std::min(kBlockN, n - j0);
+                    for (size_t i = 0; i < im; ++i) {
+                        float *crow = c + (i0 + i) * ldc + j0;
+                        const float *arow = apanel.data() + i * kBlockK;
+                        for (size_t p = 0; p < kk; ++p) {
+                            const float av = arow[p];
+                            if (av == 0.0f)
+                                continue;
+                            if (trans_b == Trans::No) {
+                                const float *brow =
+                                    b + (k0 + p) * ldb + j0;
+                                for (size_t j = 0; j < jn; ++j)
+                                    crow[j] += av * brow[j];
+                            } else {
+                                const float *bcol =
+                                    b + j0 * ldb + (k0 + p);
+                                for (size_t j = 0; j < jn; ++j)
+                                    crow[j] += av * bcol[j * ldb];
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
 }
 
 void

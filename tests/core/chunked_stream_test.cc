@@ -1,0 +1,211 @@
+#include "core/compressed_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/thread_pool.h"
+
+namespace inc {
+namespace {
+
+/** Restore the default pool width when a test exits. */
+struct ThreadCountGuard
+{
+    ~ThreadCountGuard() { setGlobalThreadCount(0); }
+};
+
+std::vector<float>
+gradientLike(size_t n, uint64_t seed = 7)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian(0.0, 0.02));
+    return v;
+}
+
+TEST(ChunkedStream, BitIdenticalToSerialStream)
+{
+    const GradientCodec codec(10);
+    // Lengths around every framing edge: empty, single value, shorter
+    // than one chunk, exact chunk multiples, and ragged tails that are
+    // and are not multiples of the 8-value group.
+    for (const size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
+                           size_t{64}, size_t{65}, size_t{128},
+                           size_t{129}, size_t{1000}}) {
+        const auto vals = gradientLike(n);
+        const CompressedStream serial = encodeStream(codec, vals);
+        const ChunkedStream chunked =
+            encodeStreamChunked(codec, vals, /*chunk_elems=*/64);
+        EXPECT_EQ(chunked.stream.count, serial.count) << "n=" << n;
+        EXPECT_EQ(chunked.stream.bitSize, serial.bitSize) << "n=" << n;
+        EXPECT_EQ(chunked.stream.bytes, serial.bytes) << "n=" << n;
+    }
+}
+
+TEST(ChunkedStream, NoEmptyTailChunkOnExactMultiple)
+{
+    const GradientCodec codec(10);
+    const auto vals = gradientLike(128);
+    const ChunkedStream cs = encodeStreamChunked(codec, vals, 64);
+    EXPECT_EQ(cs.chunkCount(), 2u);
+    EXPECT_EQ(cs.chunkValueCount(0), 64u);
+    EXPECT_EQ(cs.chunkValueCount(1), 64u);
+}
+
+TEST(ChunkedStream, EmptyInputHasZeroChunks)
+{
+    const GradientCodec codec(10);
+    const ChunkedStream cs = encodeStreamChunked(codec, {}, 64);
+    EXPECT_EQ(cs.chunkCount(), 0u);
+    EXPECT_EQ(cs.stream.count, 0u);
+    EXPECT_EQ(cs.stream.bitSize, 0u);
+    std::vector<float> out;
+    decodeStreamChunked(codec, cs, out);
+}
+
+TEST(ChunkedStream, SingleElementInputRoundTrips)
+{
+    const GradientCodec codec(10);
+    const std::vector<float> in{0.25f};
+    const ChunkedStream cs = encodeStreamChunked(codec, in, 64);
+    EXPECT_EQ(cs.chunkCount(), 1u);
+    EXPECT_EQ(cs.chunkValueCount(0), 1u);
+    std::vector<float> out(1);
+    decodeStreamChunked(codec, cs, out);
+    EXPECT_EQ(out[0], 0.25f);
+}
+
+TEST(ChunkedStream, NonMultipleLengthRoundTripsExactly)
+{
+    // The regression this guards: a tail shorter than the chunk (and
+    // shorter than a group) must decode to exactly the per-value
+    // round-trip, with no dropped or phantom tail values.
+    const GradientCodec codec(8);
+    for (const size_t n : {size_t{65}, size_t{127}, size_t{200},
+                           size_t{777}}) {
+        const auto in = gradientLike(n, 11);
+        const ChunkedStream cs = encodeStreamChunked(codec, in, 64);
+        EXPECT_EQ(cs.chunkCount(), (n + 63) / 64);
+        std::vector<float> out(n);
+        decodeStreamChunked(codec, cs, out);
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(out[i], codec.decompress(codec.compress(in[i])))
+                << "n=" << n << " i=" << i;
+    }
+}
+
+TEST(ChunkedStream, ChunkedDecodeMatchesSerialDecode)
+{
+    const GradientCodec codec(10);
+    const auto in = gradientLike(5000, 21);
+    const ChunkedStream cs = encodeStreamChunked(codec, in, 512);
+    std::vector<float> serial(in.size()), chunked(in.size());
+    decodeStream(codec, cs.stream, serial);
+    decodeStreamChunked(codec, cs, chunked);
+    EXPECT_EQ(serial, chunked);
+}
+
+TEST(ChunkedStream, HistogramMatchesSerial)
+{
+    const GradientCodec codec(10);
+    const auto in = gradientLike(1234, 5);
+    TagHistogram serial, chunked;
+    encodeStream(codec, in, &serial);
+    encodeStreamChunked(codec, in, 64, &chunked);
+    EXPECT_EQ(serial.counts, chunked.counts);
+}
+
+TEST(ChunkedStream, BitIdenticalAcrossThreadCounts)
+{
+    ThreadCountGuard guard;
+    const GradientCodec codec(10);
+    const auto in = gradientLike(10'000, 3);
+
+    setGlobalThreadCount(1);
+    const ChunkedStream one = encodeStreamChunked(codec, in, 256);
+    std::vector<float> out_one(in.size());
+    decodeStreamChunked(codec, one, out_one);
+
+    for (const int threads : {2, 8}) {
+        setGlobalThreadCount(threads);
+        const ChunkedStream multi = encodeStreamChunked(codec, in, 256);
+        EXPECT_EQ(one.stream.bytes, multi.stream.bytes)
+            << threads << " threads";
+        EXPECT_EQ(one.chunkBitOffset, multi.chunkBitOffset)
+            << threads << " threads";
+        std::vector<float> out_multi(in.size());
+        decodeStreamChunked(codec, multi, out_multi);
+        EXPECT_EQ(out_one, out_multi) << threads << " threads";
+    }
+}
+
+TEST(CodecParallel, RoundtripBitIdenticalAcrossThreadCounts)
+{
+    ThreadCountGuard guard;
+    const GradientCodec codec(10);
+    const auto in = gradientLike(50'000, 17);
+
+    setGlobalThreadCount(1);
+    auto serial = in;
+    TagHistogram serial_hist;
+    codec.roundtrip(serial, &serial_hist);
+
+    for (const int threads : {2, 8}) {
+        setGlobalThreadCount(threads);
+        auto multi = in;
+        TagHistogram multi_hist;
+        codec.roundtrip(multi, &multi_hist);
+        EXPECT_EQ(serial, multi) << threads << " threads";
+        EXPECT_EQ(serial_hist.counts, multi_hist.counts)
+            << threads << " threads";
+    }
+}
+
+TEST(CodecParallel, MeasureBitIdenticalAcrossThreadCounts)
+{
+    ThreadCountGuard guard;
+    const GradientCodec codec(8);
+    const auto in = gradientLike(30'000, 19);
+
+    setGlobalThreadCount(1);
+    TagHistogram h1;
+    const uint64_t bits1 = codec.measure(in, &h1);
+
+    for (const int threads : {2, 8}) {
+        setGlobalThreadCount(threads);
+        TagHistogram h;
+        EXPECT_EQ(codec.measure(in, &h), bits1) << threads << " threads";
+        EXPECT_EQ(h.counts, h1.counts) << threads << " threads";
+    }
+}
+
+TEST(BitWriter, AppendBitsAlignedAndUnaligned)
+{
+    BitWriter src;
+    src.append(0xDEADBEEF, 32);
+    src.append(0x2A, 7);
+
+    // Byte-aligned destination.
+    BitWriter aligned;
+    aligned.appendBits(src.bytes(), src.bitSize());
+    BitReader ra(aligned.bytes());
+    EXPECT_EQ(ra.read(32), 0xDEADBEEFu);
+    EXPECT_EQ(ra.read(7), 0x2Au);
+    EXPECT_EQ(aligned.bitSize(), src.bitSize());
+
+    // Unaligned destination (3 bits already written).
+    BitWriter unaligned;
+    unaligned.append(0x5, 3);
+    unaligned.appendBits(src.bytes(), src.bitSize());
+    BitReader ru(unaligned.bytes());
+    EXPECT_EQ(ru.read(3), 0x5u);
+    EXPECT_EQ(ru.read(32), 0xDEADBEEFu);
+    EXPECT_EQ(ru.read(7), 0x2Au);
+}
+
+} // namespace
+} // namespace inc

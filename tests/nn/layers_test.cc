@@ -10,6 +10,7 @@
 #include "nn/pooling.h"
 #include "nn/residual.h"
 #include "sim/random.h"
+#include "sim/thread_pool.h"
 #include "gradcheck.h"
 
 namespace inc {
@@ -106,6 +107,46 @@ TEST(Conv2dLayer, OutputShape)
     c.initParams(rng);
     const Tensor &y = c.forward(randomTensor({2, 3, 32, 32}, 10), false);
     EXPECT_EQ(y.shapeString(), "[2x8x32x32]");
+}
+
+TEST(Conv2dLayer, BitIdenticalAcrossThreadCounts)
+{
+    struct ThreadCountGuard
+    {
+        ~ThreadCountGuard() { setGlobalThreadCount(0); }
+    } guard;
+
+    // Grouped conv with a multi-image batch exercises the parallel
+    // batch loops in forward and backward plus the nested gemm calls.
+    auto run = [](int threads) {
+        setGlobalThreadCount(threads);
+        Conv2d c(4, 6, 9, 9, 3, 1, 1, /*groups=*/2);
+        Rng rng(13);
+        c.initParams(rng);
+        c.zeroGrads();
+        const Tensor x = randomTensor({5, 4, 9, 9}, 14);
+        const Tensor y = c.forward(x, true);
+        const Tensor dy = randomTensor({5, 6, 9, 9}, 15);
+        const Tensor dx = c.backward(dy);
+        struct Out
+        {
+            Tensor y, dx, dw, db;
+        };
+        return Out{y, dx, *c.params()[0].grad, *c.params()[1].grad};
+    };
+
+    const auto serial = run(1);
+    for (const int threads : {2, 8}) {
+        const auto multi = run(threads);
+        for (size_t i = 0; i < serial.y.numel(); ++i)
+            ASSERT_EQ(serial.y[i], multi.y[i]) << threads << " threads";
+        for (size_t i = 0; i < serial.dx.numel(); ++i)
+            ASSERT_EQ(serial.dx[i], multi.dx[i]) << threads << " threads";
+        for (size_t i = 0; i < serial.dw.numel(); ++i)
+            ASSERT_EQ(serial.dw[i], multi.dw[i]) << threads << " threads";
+        for (size_t i = 0; i < serial.db.numel(); ++i)
+            ASSERT_EQ(serial.db[i], multi.db[i]) << threads << " threads";
+    }
 }
 
 TEST(Conv2dLayer, KnownConvolution)

@@ -1,0 +1,218 @@
+#include "sim/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace inc {
+namespace {
+
+/** Restore the default pool width when a test exits. */
+struct ThreadCountGuard
+{
+    ~ThreadCountGuard() { setGlobalThreadCount(0); }
+};
+
+TEST(ThreadPool, EmptyRangeNeverInvokes)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(5, 5, 1, [&](size_t, size_t) { ++calls; });
+    pool.parallelFor(7, 3, 1, [&](size_t, size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    for (const int threads : {1, 2, 8}) {
+        for (const size_t grain : {size_t{1}, size_t{7}, size_t{100},
+                                   size_t{1000}}) {
+            ThreadPool pool(threads);
+            const size_t n = 237;
+            std::vector<std::atomic<int>> hits(n);
+            pool.parallelFor(0, n, grain, [&](size_t b, size_t e) {
+                ASSERT_LT(b, e);
+                ASSERT_LE(e, n);
+                for (size_t i = b; i < e; ++i)
+                    hits[i].fetch_add(1);
+            });
+            for (size_t i = 0; i < n; ++i)
+                ASSERT_EQ(hits[i].load(), 1)
+                    << "index " << i << " threads " << threads
+                    << " grain " << grain;
+        }
+    }
+}
+
+TEST(ThreadPool, NonZeroBeginOffsetsChunks)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(50);
+    pool.parallelFor(10, 50, 8, [&](size_t b, size_t e) {
+        ASSERT_GE(b, 10u);
+        for (size_t i = b; i < e; ++i)
+            hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(hits[i].load(), 0);
+    for (size_t i = 10; i < 50; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, GrainZeroBehavesAsOne)
+{
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, 10, 0, [&](size_t b, size_t e) {
+        EXPECT_EQ(e, b + 1); // grain 1 => single-index chunks
+        calls.fetch_add(1);
+    });
+    EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeRunsSerialWholeRange)
+{
+    ThreadPool pool(8);
+    int calls = 0;
+    pool.parallelFor(0, 5, 100, [&](size_t b, size_t e) {
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, 5u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, WidthOneIsExactSerialFallback)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1);
+    int calls = 0;
+    pool.parallelFor(0, 1000, 10, [&](size_t b, size_t e) {
+        // Serial fallback: one inline call spanning the whole range.
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, 1000u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ChunkBoundariesAreStatic)
+{
+    // The set of (begin, end) chunks must depend only on the range and
+    // grain, never on the worker count.
+    auto chunksFor = [](int threads) {
+        ThreadPool pool(threads);
+        std::mutex m;
+        std::vector<std::pair<size_t, size_t>> chunks;
+        pool.parallelFor(3, 118, 10, [&](size_t b, size_t e) {
+            std::lock_guard<std::mutex> lock(m);
+            chunks.emplace_back(b, e);
+        });
+        std::sort(chunks.begin(), chunks.end());
+        return chunks;
+    };
+    const auto two = chunksFor(2);
+    const auto eight = chunksFor(8);
+    EXPECT_EQ(two, eight);
+    ASSERT_FALSE(two.empty());
+    EXPECT_EQ(two.front().first, 3u);
+    EXPECT_EQ(two.back().second, 118u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 100, 1,
+                         [&](size_t b, size_t) {
+                             if (b == 37)
+                                 throw std::runtime_error("chunk 37");
+                         }),
+        std::runtime_error);
+
+    // The pool stays usable after a failed job.
+    std::atomic<int> count{0};
+    pool.parallelFor(0, 64, 4,
+                     [&](size_t b, size_t e) {
+                         count.fetch_add(static_cast<int>(e - b));
+                     });
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionInSerialFallbackPropagates)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelFor(0, 4, 1,
+                                  [](size_t, size_t) {
+                                      throw std::runtime_error("serial");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, NestedCallsRunInline)
+{
+    ThreadPool pool(4);
+    const size_t outer = 6, inner = 40;
+    std::vector<std::atomic<int>> hits(outer * inner);
+    pool.parallelFor(0, outer, 1, [&](size_t ob, size_t oe) {
+        for (size_t o = ob; o < oe; ++o) {
+            // Nested call: must execute inline without deadlocking.
+            pool.parallelFor(0, inner, 4, [&](size_t b, size_t e) {
+                for (size_t i = b; i < e; ++i)
+                    hits[o * inner + i].fetch_add(1);
+            });
+        }
+    });
+    for (size_t i = 0; i < outer * inner; ++i)
+        ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, DisjointWritesAreIdenticalAcrossThreadCounts)
+{
+    auto fill = [](int threads) {
+        ThreadPool pool(threads);
+        std::vector<double> out(10'000);
+        pool.parallelFor(0, out.size(), 64, [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i)
+                out[i] = static_cast<double>(i) * 1.000001 + 0.5;
+        });
+        return out;
+    };
+    const auto serial = fill(1);
+    EXPECT_EQ(serial, fill(2));
+    EXPECT_EQ(serial, fill(8));
+}
+
+TEST(ThreadPoolGlobal, SetGlobalThreadCountResizesPool)
+{
+    ThreadCountGuard guard;
+    setGlobalThreadCount(3);
+    EXPECT_EQ(globalThreadCount(), 3);
+    EXPECT_EQ(globalThreadPool().threadCount(), 3);
+    setGlobalThreadCount(1);
+    EXPECT_EQ(globalThreadCount(), 1);
+    EXPECT_EQ(globalThreadPool().threadCount(), 1);
+    setGlobalThreadCount(0); // back to hardware default
+    EXPECT_GE(globalThreadCount(), 1);
+}
+
+TEST(ThreadPoolGlobal, FreeParallelForUsesGlobalPool)
+{
+    ThreadCountGuard guard;
+    setGlobalThreadCount(4);
+    std::vector<int> out(512, 0);
+    parallelFor(0, out.size(), 16, [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+            out[i] = static_cast<int>(i);
+    });
+    for (size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], static_cast<int>(i));
+}
+
+} // namespace
+} // namespace inc

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/random.h"
+#include "sim/thread_pool.h"
 
 namespace inc {
 namespace {
@@ -100,6 +101,44 @@ TEST(Gemm, BetaZeroIgnoresGarbage)
     gemm(Trans::No, Trans::No, 2, 2, 2, 1.0f, a, 2, b, 2, 0.0f, c, 2);
     EXPECT_FLOAT_EQ(c[0], 2.0f);
     EXPECT_FLOAT_EQ(c[3], 5.0f);
+}
+
+TEST(Gemm, BitIdenticalAcrossThreadCounts)
+{
+    struct ThreadCountGuard
+    {
+        ~ThreadCountGuard() { setGlobalThreadCount(0); }
+    } guard;
+
+    // Big enough to span many M-blocks and clear the parallel
+    // threshold, with both transposes and a nontrivial alpha/beta.
+    const size_t m = 173, n = 91, k = 130;
+    Rng rng(99);
+    std::vector<float> a(m * k), b(k * n), c0(m * n);
+    for (auto &v : a)
+        v = static_cast<float>(rng.gaussian(0.0, 1.0));
+    for (auto &v : b)
+        v = static_cast<float>(rng.gaussian(0.0, 1.0));
+    for (auto &v : c0)
+        v = static_cast<float>(rng.gaussian(0.0, 1.0));
+
+    auto run = [&](int threads, Trans ta, Trans tb) {
+        setGlobalThreadCount(threads);
+        std::vector<float> c = c0;
+        const size_t lda = ta == Trans::No ? k : m;
+        const size_t ldb = tb == Trans::No ? n : k;
+        gemm(ta, tb, m, n, k, 1.25f, a.data(), lda, b.data(), ldb, 0.5f,
+             c.data(), n);
+        return c;
+    };
+
+    for (const Trans ta : {Trans::No, Trans::Yes}) {
+        for (const Trans tb : {Trans::No, Trans::Yes}) {
+            const auto serial = run(1, ta, tb);
+            ASSERT_EQ(serial, run(2, ta, tb));
+            ASSERT_EQ(serial, run(8, ta, tb));
+        }
+    }
 }
 
 } // namespace
