@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Extension study: gradient exchange over a LOSSY fabric. The paper's
+ * testbed was a dedicated, healthy 10 GbE cluster; production fabrics
+ * drop packets. Here every exchange runs on the reliable transport
+ * (net/reliable.h) over the fault-injecting datagram path
+ * (net/faults.h), sweeping Bernoulli loss rate x {worker-aggregator,
+ * INCEPTIONN ring} x {plain, NIC-compressed}.
+ *
+ * Two effects compose:
+ *  - retransmissions + collapsed congestion windows stretch every leg,
+ *    and the ring serializes 2(N-1) legs, so loss compounds along the
+ *    pipeline;
+ *  - compression shortens flights (fewer bytes on the wire), but the
+ *    packet count — and so the number of loss lotteries — is unchanged
+ *    (payloads shrink in place; packet boundaries stay), so its win
+ *    shrinks as the loss rate grows.
+ *
+ * Two follow-up sections probe loss *structure* at fixed average rate:
+ * Gilbert-Elliott bursts vs i.i.d. Bernoulli (a burst eats a whole
+ * window and forces an RTO), and a scheduled mid-exchange cable outage
+ * (the ring pipelines through every host, the star isolates the
+ * victim's stream).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "comm/comm_world.h"
+#include "comm/ring_allreduce.h"
+#include "comm/star_allreduce.h"
+#include "net/faults.h"
+#include "net/network.h"
+#include "stats/table_printer.h"
+
+using namespace inc;
+
+namespace {
+
+struct RunResult
+{
+    double seconds = -1.0;
+    uint64_t retransmits = 0;
+    uint64_t drops = 0;
+};
+
+/** Scenario with no random loss and no outage. */
+FaultConfig
+lossless()
+{
+    return FaultConfig{};
+}
+
+/** I.i.d. loss at @p rate on every link. */
+FaultConfig
+bernoulli(double rate)
+{
+    FaultConfig fc;
+    if (rate > 0.0) {
+        fc.defaultLink.loss = LossKind::Bernoulli;
+        fc.defaultLink.lossRate = rate;
+    }
+    return fc;
+}
+
+/** Gilbert-Elliott bursts tuned to the same long-run average @p rate
+ *  (mean burst length 1/pBadToGood = 10 packets). */
+FaultConfig
+bursty(double rate)
+{
+    FaultConfig fc;
+    fc.defaultLink.loss = LossKind::GilbertElliott;
+    GilbertElliottConfig &ge = fc.defaultLink.ge;
+    ge.lossGood = 0.0;
+    ge.lossBad = 0.5;
+    ge.pBadToGood = 0.1;
+    const double pi_bad = rate / ge.lossBad;
+    ge.pGoodToBad = pi_bad / (1.0 - pi_bad) * ge.pBadToGood;
+    return fc;
+}
+
+/** Lossless links, but host 1's cable is dead during @p window. */
+FaultConfig
+outage(FaultWindow window)
+{
+    FaultConfig fc;
+    fc.linkOutages.push_back({1, window});
+    return fc;
+}
+
+bool
+hasFaults(const FaultConfig &fc)
+{
+    return fc.defaultLink.loss != LossKind::None ||
+           !fc.linkOutages.empty();
+}
+
+RunResult
+runExchange(uint64_t model_bytes, bool ring, bool compress,
+            const FaultConfig &scenario)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = ring ? 4 : 5;
+    cfg.nicConfig.hasCompressionEngine = compress;
+    Network net(events, cfg);
+
+    std::unique_ptr<FaultModel> faults;
+    if (hasFaults(scenario)) {
+        faults = std::make_unique<FaultModel>(scenario);
+        net.attachFaults(faults.get());
+    }
+
+    TransportOptions transport;
+    transport.reliable = true;
+    CommWorld comm(net, transport);
+
+    RunResult out;
+    events.schedule(0, [&] {
+        if (ring) {
+            RingConfig rc;
+            rc.gradientBytes = model_bytes;
+            rc.compressGradients = compress;
+            rc.wireRatio = compress ? 3.5 : 1.0;
+            runRingAllReduce(comm, rc, [&](ExchangeResult r) {
+                out.seconds = r.seconds();
+                out.retransmits = r.retransmits;
+                out.drops = r.packetsDropped;
+            });
+        } else {
+            StarConfig sc;
+            sc.gradientBytes = model_bytes;
+            sc.aggregator = 4;
+            sc.workers = {0, 1, 2, 3};
+            sc.compressGradients = compress;
+            sc.wireRatio = compress ? 3.5 : 1.0;
+            runStarAllReduce(comm, sc, [&](ExchangeResult r) {
+                out.seconds = r.seconds();
+                out.retransmits = r.retransmits;
+                out.drops = r.packetsDropped;
+            });
+        }
+    });
+    events.run();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opts = bench::Options::parse(argc, argv);
+    bench::banner("Faults and reliable transport",
+                  "extension study (lossy-fabric robustness)");
+
+    const uint64_t model_bytes =
+        opts.quick ? 10 * 1000 * 1000 : 100 * 1000 * 1000;
+    const std::vector<double> loss_rates =
+        opts.quick ? std::vector<double>{0.0, 0.01}
+                   : std::vector<double>{0.0, 0.001, 0.01, 0.05};
+
+    TablePrinter t({"Loss", "WA (s)", "WA+comp (s)", "Ring (s)",
+                    "Ring+comp (s)", "Ring rexmits", "Ring drops"});
+    CsvWriter csv({"loss_rate", "wa_s", "wa_comp_s", "ring_s",
+                   "ring_comp_s", "wa_retransmits", "ring_retransmits",
+                   "ring_drops"});
+
+    double wa_base = 0.0, ring_base = 0.0;
+    for (const double rate : loss_rates) {
+        const FaultConfig fc = bernoulli(rate);
+        const RunResult wa =
+            runExchange(model_bytes, false, false, fc);
+        const RunResult wa_comp =
+            runExchange(model_bytes, false, true, fc);
+        const RunResult ring =
+            runExchange(model_bytes, true, false, fc);
+        const RunResult ring_comp =
+            runExchange(model_bytes, true, true, fc);
+        if (rate == 0.0) {
+            wa_base = wa.seconds;
+            ring_base = ring.seconds;
+        }
+
+        char loss[32];
+        std::snprintf(loss, sizeof(loss), "%.1f%%", rate * 100.0);
+        t.addRow({loss, TablePrinter::num(wa.seconds, 3),
+                  TablePrinter::num(wa_comp.seconds, 3),
+                  TablePrinter::num(ring.seconds, 3),
+                  TablePrinter::num(ring_comp.seconds, 3),
+                  std::to_string(ring.retransmits),
+                  std::to_string(ring.drops)});
+        csv.addRow({TablePrinter::num(rate, 4),
+                    TablePrinter::num(wa.seconds, 4),
+                    TablePrinter::num(wa_comp.seconds, 4),
+                    TablePrinter::num(ring.seconds, 4),
+                    TablePrinter::num(ring_comp.seconds, 4),
+                    std::to_string(wa.retransmits),
+                    std::to_string(ring.retransmits),
+                    std::to_string(ring.drops)});
+    }
+    char title[160];
+    std::snprintf(title, sizeof(title),
+                  "%.0f MB exchange over a lossy fabric (4 workers, "
+                  "reliable transport, 3.5x codec)",
+                  static_cast<double>(model_bytes) / 1e6);
+    std::printf("%s\n", t.render(title).c_str());
+    bench::emitCsv(opts, "ext_fault_sweep.csv", csv);
+
+    if (wa_base > 0.0 && ring_base > 0.0) {
+        std::printf(
+            "Reading: at 0%% loss the reliable transport costs a few "
+            "percent over the\nidealized path (windows, ACK latency). As "
+            "loss grows the ring suffers more:\nevery retransmission "
+            "stalls a pipeline stage that 2(N-1) serialized legs\ndepend "
+            "on, while the star's independent streams recover in "
+            "parallel.\nCompression still wins, but the gap narrows — "
+            "packet-count (and so the\nnumber of drop lotteries) is "
+            "unchanged by in-place payload compression.\n");
+    }
+
+    // --- Loss structure: bursts vs i.i.d. at equal average rate ---
+    {
+        const double rate = 0.01;
+        TablePrinter bt({"Process", "WA (s)", "Ring (s)",
+                         "Ring rexmits", "Ring drops"});
+        CsvWriter bcsv({"process", "wa_s", "ring_s", "ring_retransmits",
+                        "ring_drops"});
+        for (const bool ge : {false, true}) {
+            const FaultConfig fc = ge ? bursty(rate) : bernoulli(rate);
+            const RunResult wa =
+                runExchange(model_bytes, false, false, fc);
+            const RunResult ring =
+                runExchange(model_bytes, true, false, fc);
+            const char *name =
+                ge ? "Gilbert-Elliott (burst 10)" : "Bernoulli";
+            bt.addRow({name, TablePrinter::num(wa.seconds, 3),
+                       TablePrinter::num(ring.seconds, 3),
+                       std::to_string(ring.retransmits),
+                       std::to_string(ring.drops)});
+            bcsv.addRow({name, TablePrinter::num(wa.seconds, 4),
+                         TablePrinter::num(ring.seconds, 4),
+                         std::to_string(ring.retransmits),
+                         std::to_string(ring.drops)});
+        }
+        std::printf("\n%s\n",
+                    bt.render("Loss structure at equal 1% average rate")
+                        .c_str());
+        bench::emitCsv(opts, "ext_fault_burstiness.csv", bcsv);
+        std::printf(
+            "Bursts hurt more than i.i.d. loss at the same average: a "
+            "bad-state burst\ntakes out a whole window, defeats fast "
+            "retransmit (no later ACKs flow) and\nforces RTO waits that "
+            "dwarf the per-packet recovery of scattered drops.\n");
+    }
+
+    // --- Scheduled cable outage mid-exchange ---
+    {
+        // Size the blackout to the lossless exchange so it always lands
+        // inside (and is material for) both collectives.
+        const Tick start = fromSeconds(ring_base * 0.25);
+        const Tick window = fromSeconds(ring_base * 0.5);
+        const FaultConfig fc = outage({start, start + window});
+        const RunResult wa = runExchange(model_bytes, false, false, fc);
+        const RunResult ring = runExchange(model_bytes, true, false, fc);
+        const RunResult wa0 =
+            runExchange(model_bytes, false, false, lossless());
+        const RunResult ring0 =
+            runExchange(model_bytes, true, false, lossless());
+        TablePrinter ot({"Exchange", "Healthy (s)", "Outage (s)",
+                         "Slowdown"});
+        ot.addRow({"WA", TablePrinter::num(wa0.seconds, 3),
+                   TablePrinter::num(wa.seconds, 3),
+                   TablePrinter::num(wa.seconds / wa0.seconds, 2)});
+        ot.addRow({"Ring", TablePrinter::num(ring0.seconds, 3),
+                   TablePrinter::num(ring.seconds, 3),
+                   TablePrinter::num(ring.seconds / ring0.seconds, 2)});
+        char otitle[120];
+        std::snprintf(otitle, sizeof(otitle),
+                      "Worker-1 cable outage for %.0f%% of the healthy "
+                      "ring time",
+                      50.0);
+        std::printf("\n%s\n", ot.render(otitle).c_str());
+        std::printf(
+            "Both survive (the transport retransmits through the "
+            "blackout), but the ring\nstalls globally — every rank's "
+            "pipeline waits on the dead hop — while the\nstar keeps the "
+            "healthy workers' streams moving and only the victim "
+            "lags.\n");
+    }
+    return 0;
+}

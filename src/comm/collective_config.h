@@ -48,6 +48,12 @@ struct ExchangeResult
 {
     Tick start = 0;
     Tick finish = 0;
+    /**
+     * Transport-recovery work this exchange caused (deltas of the comm
+     * world's reliable-channel counters; zero on the idealized path).
+     */
+    uint64_t retransmits = 0;
+    uint64_t packetsDropped = 0;
 
     Tick duration() const { return finish - start; }
     double seconds() const { return toSeconds(duration()); }

@@ -4,19 +4,30 @@
 
 namespace inc {
 
+ReliableChannel &
+CommWorld::channelFor(int src, int dst, uint8_t tos)
+{
+    const ChannelKey key{src, dst, tos};
+    auto it = channels_.find(key);
+    if (it == channels_.end()) {
+        it = channels_
+                 .emplace(key, std::make_unique<ReliableChannel>(
+                                   net_, src, dst,
+                                   transport_.reliableConfig, tos,
+                                   nextFlowId_++))
+                 .first;
+    }
+    return *it->second;
+}
+
 void
 CommWorld::send(int src, int dst, int tag, uint64_t bytes,
                 const SendOptions &opts)
 {
-    TransferRequest req;
-    req.src = src;
-    req.dst = dst;
-    req.payloadBytes = bytes;
-    req.tos = opts.compress ? kCompressTos : kDefaultTos;
-    req.wireRatio = opts.compress ? opts.wireRatio : 1.0;
-
+    const uint8_t tos = opts.compress ? kCompressTos : kDefaultTos;
+    const double ratio = opts.compress ? opts.wireRatio : 1.0;
     const Key key{dst, src, tag};
-    net_.transfer(req, [this, key](Tick delivered) {
+    auto deliver = [this, key](Tick delivered) {
         auto wit = waiting_.find(key);
         if (wit != waiting_.end() && !wit->second.empty()) {
             RecvHandler handler = std::move(wit->second.front());
@@ -25,7 +36,20 @@ CommWorld::send(int src, int dst, int tag, uint64_t bytes,
         } else {
             arrived_[key].push_back(delivered);
         }
-    });
+    };
+
+    if (transport_.reliable) {
+        channelFor(src, dst, tos).send(bytes, ratio, std::move(deliver));
+        return;
+    }
+
+    TransferRequest req;
+    req.src = src;
+    req.dst = dst;
+    req.payloadBytes = bytes;
+    req.tos = tos;
+    req.wireRatio = ratio;
+    net_.transfer(req, std::move(deliver));
 }
 
 void
@@ -43,6 +67,22 @@ CommWorld::recv(int dst, int src, int tag, RecvHandler handler)
     } else {
         waiting_[key].push_back(std::move(handler));
     }
+}
+
+TransportStats
+CommWorld::transportStats() const
+{
+    TransportStats total;
+    for (const auto &[key, channel] : channels_) {
+        const ReliableStats &s = channel->stats();
+        total.packetsSent += s.packetsSent;
+        total.retransmits += s.retransmits;
+        total.timeouts += s.timeouts;
+        total.deliveredPackets += s.deliveredPackets;
+        total.deliveredBytes += s.deliveredBytes;
+        total.dropsObserved += s.dropsObserved;
+    }
+    return total;
 }
 
 } // namespace inc

@@ -11,6 +11,12 @@
  * engines engage. Here the same switch is the @c compress flag carried
  * by SendOptions / the collective configs in star_allreduce.h,
  * tree_allreduce.h, and ring_allreduce.h.
+ *
+ * By default messages ride the fabric's idealized reliable transfer()
+ * path. With TransportOptions::reliable the world instead opens one
+ * ReliableChannel (net/reliable.h) per (src, dst, ToS) connection and
+ * every message crosses the lossy datagram path with TCP-style
+ * recovery — required whenever a FaultModel is attached to the Network.
  */
 
 #ifndef INCEPTIONN_COMM_COMM_WORLD_H
@@ -20,9 +26,11 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "net/fabric.h"
 #include "net/host.h"
+#include "net/reliable.h"
 
 namespace inc {
 
@@ -35,6 +43,31 @@ struct SendOptions
     double wireRatio = 1.0;
 };
 
+/** How a CommWorld moves bytes. */
+struct TransportOptions
+{
+    /**
+     * Route every send through a ReliableChannel over the datagram
+     * path instead of the idealized transfer() path. Mandatory when
+     * the fabric injects faults; adds TCP-flavoured overhead (windows,
+     * ACK latency) otherwise.
+     */
+    bool reliable = false;
+    /** Reno tunables for reliable mode. */
+    ReliableConfig reliableConfig{};
+};
+
+/** Aggregate transport counters over every channel of a world. */
+struct TransportStats
+{
+    uint64_t packetsSent = 0;
+    uint64_t retransmits = 0;
+    uint64_t timeouts = 0;
+    uint64_t deliveredPackets = 0;
+    uint64_t deliveredBytes = 0;
+    uint64_t dropsObserved = 0;
+};
+
 /** Rank-addressed messaging facade over any Fabric implementation
  *  (packet-level Network or flow-level FluidNetwork). */
 class CommWorld
@@ -42,10 +75,14 @@ class CommWorld
   public:
     using RecvHandler = std::function<void(Tick delivered)>;
 
-    explicit CommWorld(Fabric &net) : net_(net) {}
+    explicit CommWorld(Fabric &net, TransportOptions transport = {})
+        : net_(net), transport_(transport)
+    {
+    }
 
     Fabric &network() { return net_; }
     int size() const { return net_.nodes(); }
+    const TransportOptions &transport() const { return transport_; }
 
     /**
      * Post a message of @p bytes from @p src to @p dst with @p tag.
@@ -61,6 +98,10 @@ class CommWorld
      */
     void recv(int dst, int src, int tag, RecvHandler handler);
 
+    /** Reliable-mode counters summed over every open channel (all
+     *  zeros when the world runs on the idealized path). */
+    TransportStats transportStats() const;
+
   private:
     struct Key
     {
@@ -68,7 +109,20 @@ class CommWorld
         auto operator<=>(const Key &) const = default;
     };
 
+    /** One reliable connection per (src, dst, ToS). */
+    struct ChannelKey
+    {
+        int src, dst;
+        uint8_t tos;
+        auto operator<=>(const ChannelKey &) const = default;
+    };
+
+    ReliableChannel &channelFor(int src, int dst, uint8_t tos);
+
     Fabric &net_;
+    TransportOptions transport_;
+    std::map<ChannelKey, std::unique_ptr<ReliableChannel>> channels_;
+    uint64_t nextFlowId_ = 1;
     std::map<Key, std::deque<Tick>> arrived_;
     std::map<Key, std::deque<RecvHandler>> waiting_;
 };

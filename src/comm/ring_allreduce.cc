@@ -21,6 +21,7 @@ struct RingState
     ExchangeDone done;
     int nodesFinished = 0;
     int tagBase = 0;
+    TransportStats startTransport;
 };
 
 void
@@ -75,6 +76,12 @@ postRecv(CommWorld &comm, const std::shared_ptr<RingState> &state, int pos,
             state->result.finish =
                 std::max(state->result.finish, processed);
             if (++state->nodesFinished == state->nodes) {
+                const TransportStats ts = comm.transportStats();
+                state->result.retransmits =
+                    ts.retransmits - state->startTransport.retransmits;
+                state->result.packetsDropped =
+                    ts.dropsObserved -
+                    state->startTransport.dropsObserved;
                 INC_TRACE(Comm, state->result.finish,
                           "ring all-reduce over %d nodes done in %.6f ms",
                           state->nodes, state->result.seconds() * 1e3);
@@ -107,6 +114,7 @@ runRingAllReduce(CommWorld &comm, const RingConfig &config, ExchangeDone done)
     state->blocks = partitionBlocks(config.gradientBytes, n);
     state->done = std::move(done);
     state->result.start = comm.network().events().now();
+    state->startTransport = comm.transportStats();
     // Distinct tag space per ring instance so concurrent subset rings
     // (hierarchical mode) cannot cross-match messages.
     static int s_next_tag_base = 1000;

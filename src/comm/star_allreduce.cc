@@ -21,7 +21,19 @@ struct StarState
     Tick sumDone = 0;
     int gradientTag = 0;
     int weightTag = 0;
+    TransportStats startTransport;
 };
+
+/** Fill the result's transport-delta counters at completion. */
+void
+finishTransport(CommWorld &comm, StarState &state)
+{
+    const TransportStats ts = comm.transportStats();
+    state.result.retransmits =
+        ts.retransmits - state.startTransport.retransmits;
+    state.result.packetsDropped =
+        ts.dropsObserved - state.startTransport.dropsObserved;
+}
 
 /** Instance-unique tags so concurrent exchanges never cross-match. */
 int
@@ -46,6 +58,7 @@ runStarAllReduce(CommWorld &comm, const StarConfig &config,
     state->config = config;
     state->done = std::move(done);
     state->result.start = comm.network().events().now();
+    state->startTransport = comm.transportStats();
     state->gradientsPending = config.workers.size();
     state->weightsPending = config.workers.size();
     state->gradientTag = nextTagPair();
@@ -93,10 +106,11 @@ runStarAllReduce(CommWorld &comm, const StarConfig &config,
                                       bc.ranks.push_back(w);
                                   runBroadcast(
                                       comm, bc,
-                                      [state](ExchangeResult br) {
+                                      [state, &comm](ExchangeResult br) {
                                           state->result.finish = std::max(
                                               state->result.finish,
                                               br.finish);
+                                          finishTransport(comm, *state);
                                           state->done(state->result);
                                       });
                                   return;
@@ -120,11 +134,12 @@ runStarAllReduce(CommWorld &comm, const StarConfig &config,
         return;
     for (int w : config.workers) {
         comm.recv(w, config.aggregator, state->weightTag,
-                  [state](Tick delivered) {
+                  [state, &comm](Tick delivered) {
                       state->result.finish = std::max(
                           state->result.finish,
                           delivered + state->config.perMessageOverhead);
                       if (--state->weightsPending == 0) {
+                          finishTransport(comm, *state);
                           INC_TRACE(Comm, state->result.finish,
                                     "star all-reduce over %zu workers "
                                     "done in %.6f ms",

@@ -33,6 +33,7 @@ struct RunState
     CollectiveCall call;
     EventQueue events;
     std::unique_ptr<Network> network;
+    std::unique_ptr<FaultModel> faults;
     std::unique_ptr<CommWorld> comm;
     uint64_t iterationsDone = 0;
     double exchangeSeconds = 0.0;
@@ -172,7 +173,15 @@ runSimTraining(const SimTrainerConfig &config)
     if (config.compressGradients)
         net_cfg.nicConfig.hasCompressionEngine = true;
     rs.network = std::make_unique<Network>(rs.events, net_cfg);
-    rs.comm = std::make_unique<CommWorld>(*rs.network);
+    TransportOptions transport;
+    if (config.faultInjection.enabled) {
+        rs.faults =
+            std::make_unique<FaultModel>(config.faultInjection.faults);
+        rs.network->attachFaults(rs.faults.get());
+        transport.reliable = true;
+        transport.reliableConfig = config.faultInjection.reliable;
+    }
+    rs.comm = std::make_unique<CommWorld>(*rs.network, transport);
 
     rs.events.schedule(0, [&rs] { runIteration(rs); });
     rs.events.run();
@@ -187,6 +196,9 @@ runSimTraining(const SimTrainerConfig &config)
     result.iterations = config.iterations;
     result.totalSeconds = toSeconds(rs.events.now());
     result.gradientExchangeSeconds = rs.exchangeSeconds;
+    result.retransmits = rs.comm->transportStats().retransmits;
+    if (rs.faults)
+        result.packetsDropped = rs.faults->stats().drops();
 
     result.breakdown.add(TrainStep::Forward, t.forward * iters);
     result.breakdown.add(TrainStep::Backward, t.backward * iters);

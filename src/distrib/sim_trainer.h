@@ -13,7 +13,9 @@
 #include "comm/comm_world.h"
 #include "distrib/compute_model.h"
 #include "distrib/time_breakdown.h"
+#include "net/faults.h"
 #include "net/network.h"
+#include "net/reliable.h"
 
 namespace inc {
 
@@ -38,6 +40,21 @@ struct SoftwareCompressionConfig
     /** Throughput/thread model; calibrate with setThroughput() and
      *  setThreads() (e.g. from measured chunked-codec timings). */
     SoftwareCostModel cost;
+};
+
+/**
+ * Lossy-fabric training: attach a fault scenario to the cluster and
+ * move every exchange onto the reliable transport (net/reliable.h), so
+ * training completes with identical results — only slower — exactly as
+ * a real TCP deployment would.
+ */
+struct FaultInjectionConfig
+{
+    bool enabled = false;
+    /** The fault scenario (seeded; bit-reproducible). */
+    FaultConfig faults{};
+    /** Reno tunables of the recovery transport. */
+    ReliableConfig reliable{};
 };
 
 /** One timing-mode training run. */
@@ -67,6 +84,8 @@ struct SimTrainerConfig
     NetworkConfig netConfig{};
     /** CPU-side compression cost accounting (Fig. 7). */
     SoftwareCompressionConfig software{};
+    /** Packet-loss scenario + reliable transport (off by default). */
+    FaultInjectionConfig faultInjection{};
 };
 
 /** Timing-mode results (all seconds, per whole run). */
@@ -84,6 +103,12 @@ struct SimTrainerResult
      *  SimTrainerConfig::software.enabled. */
     double softwareCodecSeconds = 0.0;
     uint64_t iterations = 0;
+    /** Transport recovery work over the whole run (fault-injection
+     *  runs only; zero on the idealized path). */
+    uint64_t retransmits = 0;
+    /** Packets the fabric destroyed (loss, corruption, outages, and
+     *  finite-queue tail drops). */
+    uint64_t packetsDropped = 0;
 
     double secondsPerIteration() const
     {

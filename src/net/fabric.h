@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "net/packet.h"
 #include "sim/event_queue.h"
@@ -30,6 +31,48 @@ struct TransferRequest
     /** Codec wire ratio for this payload (>= 1; used only for ToS 0x28
      *  between compression-capable NICs). */
     double wireRatio = 1.0;
+};
+
+/**
+ * One unreliable flight of consecutive packets — the raw datagram
+ * service the reliable channel (net/reliable.h) builds TCP on top of.
+ * Sequence numbers are in MSS-sized packet units; @c tailBytes carries
+ * the short final packet of a message (0 = the last packet is full).
+ */
+struct DatagramRequest
+{
+    int src = 0;
+    int dst = 0;
+    uint64_t firstSeq = 0;
+    uint64_t packetCount = 0;
+    uint64_t tailBytes = 0;
+    /** Retransmission attempt of these packets (0 = first try); part of
+     *  the fault model's draw key so retries are judged independently. */
+    uint32_t attempt = 0;
+    uint8_t tos = kDefaultTos;
+    double wireRatio = 1.0;
+    /** Flow (channel) identity, separating fault streams per flow. */
+    uint64_t flowId = 0;
+
+    /** Payload bytes of the flight for @p mss-sized packets. */
+    uint64_t
+    payloadBytes(uint64_t mss) const
+    {
+        if (packetCount == 0)
+            return 0;
+        return (packetCount - 1) * mss + (tailBytes ? tailBytes : mss);
+    }
+};
+
+/** Outcome of one flight: arrival time plus which packets were lost. */
+struct DatagramResult
+{
+    /** Arrival tick of the flight tail in destination host memory. */
+    Tick when = 0;
+    uint64_t firstSeq = 0;
+    uint64_t packetCount = 0;
+    /** Sequence numbers judged lost (sorted, subset of the flight). */
+    std::vector<uint64_t> lostSeqs;
 };
 
 /** Abstract cluster transport. */
@@ -54,6 +97,36 @@ class Fabric
      */
     virtual void transfer(const TransferRequest &req,
                           std::function<void(Tick)> on_delivered) = 0;
+
+    /** MTU of this fabric's links (for packetizing datagram flights). */
+    virtual uint64_t mtu() const { return kDefaultMtu; }
+
+    /**
+     * Send one unreliable flight. @p on_arrival fires at the arrival
+     * tick with the per-packet loss verdicts — or never, if every
+     * packet was lost (the sender's RTO covers that silence, exactly
+     * as in TCP). The default implementation is the lossless fabric:
+     * the flight rides transfer() timing and nothing is ever lost.
+     * Network overrides this with the fault-model/finite-queue path.
+     */
+    virtual void
+    transferDatagram(const DatagramRequest &req,
+                     std::function<void(const DatagramResult &)> on_arrival)
+    {
+        TransferRequest tr;
+        tr.src = req.src;
+        tr.dst = req.dst;
+        tr.payloadBytes = req.payloadBytes(mssFor(mtu()));
+        tr.tos = req.tos;
+        tr.wireRatio = req.wireRatio;
+        transfer(tr, [req, cb = std::move(on_arrival)](Tick when) {
+            DatagramResult res;
+            res.when = when;
+            res.firstSeq = req.firstSeq;
+            res.packetCount = req.packetCount;
+            cb(res);
+        });
+    }
 };
 
 } // namespace inc

@@ -1,0 +1,238 @@
+#include "net/faults.h"
+
+#include "sim/logging.h"
+#include "sim/trace.h"
+
+namespace inc {
+
+namespace {
+
+/** splitmix64 finalizer: the avalanche stage used for stateless draws. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Named stream tags (arbitrary distinct constants). */
+constexpr uint64_t kStreamDrop = 0xD80BULL;
+constexpr uint64_t kStreamCorrupt = 0xC0B1ULL;
+constexpr uint64_t kStreamDegrade = 0xDE64ULL;
+constexpr uint64_t kStreamGe = 0x6E57ULL;
+
+void
+checkProbability(double p, const char *what)
+{
+    INC_ASSERT(p >= 0.0 && p <= 1.0,
+               "%s must be a probability in [0, 1], got %f", what, p);
+}
+
+void
+checkWindow(const FaultWindow &w, const char *what)
+{
+    INC_ASSERT(w.end >= w.start, "%s window ends before it starts", what);
+}
+
+uint64_t
+linkKeyFor(int host, LinkDir dir)
+{
+    return static_cast<uint64_t>(host) * 2 +
+           (dir == LinkDir::Down ? 1 : 0);
+}
+
+const char *
+fateName(PacketFate fate)
+{
+    switch (fate) {
+      case PacketFate::Delivered:
+        return "delivered";
+      case PacketFate::HostDown:
+        return "host-down";
+      case PacketFate::LinkDown:
+        return "link-down";
+      case PacketFate::BurstDrop:
+        return "burst-drop";
+      case PacketFate::RandomDrop:
+        return "random-drop";
+      case PacketFate::Corrupted:
+        return "corrupted";
+    }
+    return "?";
+}
+
+} // namespace
+
+FaultModel::FaultModel(FaultConfig config) : config_(std::move(config))
+{
+    auto check_profile = [](const LinkFaultProfile &p) {
+        checkProbability(p.lossRate, "loss rate");
+        checkProbability(p.corruptionRate, "corruption rate");
+        checkProbability(p.ge.pGoodToBad, "Gilbert-Elliott pGoodToBad");
+        checkProbability(p.ge.pBadToGood, "Gilbert-Elliott pBadToGood");
+        checkProbability(p.ge.lossGood, "Gilbert-Elliott lossGood");
+        checkProbability(p.ge.lossBad, "Gilbert-Elliott lossBad");
+        if (p.loss == LossKind::GilbertElliott) {
+            INC_ASSERT(p.ge.pGoodToBad + p.ge.pBadToGood > 0.0,
+                       "Gilbert-Elliott chain has no transitions");
+        }
+    };
+    check_profile(config_.defaultLink);
+    for (const auto &[host, profile] : config_.hostOverrides) {
+        INC_ASSERT(host >= 0, "fault override for negative host %d", host);
+        check_profile(profile);
+    }
+    for (const auto &[host, window] : config_.linkOutages) {
+        INC_ASSERT(host >= 0, "link outage for negative host %d", host);
+        checkWindow(window, "link outage");
+    }
+    for (const auto &[host, window] : config_.hostOutages) {
+        INC_ASSERT(host >= 0, "host outage for negative host %d", host);
+        checkWindow(window, "host outage");
+    }
+    for (const auto &d : config_.degradations) {
+        INC_ASSERT(d.host >= 0, "degradation for negative host %d",
+                   d.host);
+        checkWindow(d.window, "degradation");
+        checkProbability(d.extraLossRate, "degradation extra loss rate");
+    }
+}
+
+double
+FaultModel::unitDraw(uint64_t stream, uint64_t linkKey, uint64_t flow,
+                     uint64_t seq, uint32_t attempt) const
+{
+    uint64_t h = mix64(config_.seed ^ mix64(stream));
+    h = mix64(h ^ mix64(linkKey));
+    h = mix64(h ^ mix64(flow));
+    h = mix64(h ^ mix64(seq));
+    h = mix64(h ^ mix64(attempt));
+    // 53-bit mantissa fill, exactly the Rng::uniform construction.
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultModel::GeState &
+FaultModel::geStateFor(uint64_t linkKey, const GilbertElliottConfig &)
+{
+    auto it = geStates_.find(linkKey);
+    if (it == geStates_.end()) {
+        it = geStates_
+                 .emplace(linkKey,
+                          GeState(mix64(config_.seed ^ mix64(kStreamGe) ^
+                                        mix64(linkKey))))
+                 .first;
+    }
+    return it->second;
+}
+
+bool
+FaultModel::hostUp(int host, Tick when) const
+{
+    for (const auto &[h, window] : config_.hostOutages) {
+        if (h == host && window.contains(when))
+            return false;
+    }
+    return true;
+}
+
+bool
+FaultModel::cableUp(int host, Tick when) const
+{
+    for (const auto &[h, window] : config_.linkOutages) {
+        if (h == host && window.contains(when))
+            return false;
+    }
+    return true;
+}
+
+const LinkFaultProfile &
+FaultModel::profileFor(int host) const
+{
+    for (const auto &[h, profile] : config_.hostOverrides) {
+        if (h == host)
+            return profile;
+    }
+    return config_.defaultLink;
+}
+
+PacketFate
+FaultModel::judge(int host, LinkDir dir, Tick when, uint64_t flow,
+                  uint64_t seq, uint32_t attempt)
+{
+    ++stats_.packetsJudged;
+    const uint64_t link = linkKeyFor(host, dir);
+    PacketFate fate = PacketFate::Delivered;
+
+    if (!hostUp(host, when)) {
+        fate = PacketFate::HostDown;
+    } else if (!cableUp(host, when)) {
+        fate = PacketFate::LinkDown;
+    } else {
+        const LinkFaultProfile &profile = profileFor(host);
+        switch (profile.loss) {
+          case LossKind::None:
+            break;
+          case LossKind::Bernoulli:
+            if (unitDraw(kStreamDrop, link, flow, seq, attempt) <
+                profile.lossRate)
+                fate = PacketFate::RandomDrop;
+            break;
+          case LossKind::GilbertElliott: {
+            GeState &ge = geStateFor(link, profile.ge);
+            const double loss = ge.bad ? profile.ge.lossBad
+                                       : profile.ge.lossGood;
+            const bool dropped = ge.rng.uniform() < loss;
+            const double flip = ge.rng.uniform();
+            ge.bad = ge.bad ? !(flip < profile.ge.pBadToGood)
+                            : flip < profile.ge.pGoodToBad;
+            if (dropped)
+                fate = PacketFate::BurstDrop;
+            break;
+          }
+        }
+        if (fate == PacketFate::Delivered) {
+            for (const auto &d : config_.degradations) {
+                if (d.host == host && d.window.contains(when) &&
+                    unitDraw(kStreamDegrade, link, flow, seq, attempt) <
+                        d.extraLossRate) {
+                    fate = PacketFate::RandomDrop;
+                    break;
+                }
+            }
+        }
+        if (fate == PacketFate::Delivered && profile.corruptionRate > 0.0 &&
+            unitDraw(kStreamCorrupt, link, flow, seq, attempt) <
+                profile.corruptionRate)
+            fate = PacketFate::Corrupted;
+    }
+
+    switch (fate) {
+      case PacketFate::Delivered:
+        break;
+      case PacketFate::HostDown:
+      case PacketFate::LinkDown:
+        ++stats_.outageDrops;
+        break;
+      case PacketFate::BurstDrop:
+        ++stats_.burstDrops;
+        break;
+      case PacketFate::RandomDrop:
+        ++stats_.randomDrops;
+        break;
+      case PacketFate::Corrupted:
+        ++stats_.corruptions;
+        break;
+    }
+    if (isDrop(fate)) {
+        INC_TRACE(Faults, when,
+                  "drop host%d %s seq=%llu attempt=%u reason=%s", host,
+                  dir == LinkDir::Up ? "up" : "down",
+                  static_cast<unsigned long long>(seq), attempt,
+                  fateName(fate));
+    }
+    return fate;
+}
+
+} // namespace inc

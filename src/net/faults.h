@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated fabric. The paper's
+ * testbed was a dedicated, healthy 10 GbE cluster; production fabrics
+ * drop packets (random bit errors, bursty congestion loss), corrupt
+ * payloads, degrade transiently, and lose whole links or hosts. A
+ * FaultModel attaches to the Network and judges the fate of every
+ * packet on the datagram path (see Network::transferDatagram); the
+ * reliable channel (net/reliable.h) then recovers exactly as TCP
+ * would, so collectives complete bit-identically over a lossy fabric —
+ * only slower.
+ *
+ * Determinism discipline (DESIGN.md section 7 applies here too): every
+ * random draw comes from a *named stream* derived from the config seed.
+ * Bernoulli loss and corruption draws are **stateless** — a pure hash
+ * of (seed, stream, link, sequence number, attempt) — so a packet's
+ * fate is independent of judgment order and of INC_THREADS (the event
+ * kernel is serial anyway). The Gilbert-Elliott chain is inherently
+ * stateful; its per-link state advances in event order, which the
+ * EventQueue keeps deterministic.
+ */
+
+#ifndef INCEPTIONN_NET_FAULTS_H
+#define INCEPTIONN_NET_FAULTS_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+
+namespace inc {
+
+/** Which direction of a host's cable a packet traverses. */
+enum class LinkDir {
+    Up,   ///< host -> switch
+    Down, ///< switch -> host
+};
+
+/** Per-packet loss process on a link. */
+enum class LossKind {
+    None,           ///< lossless (outages/corruption may still apply)
+    Bernoulli,      ///< i.i.d. per-packet loss at lossRate
+    GilbertElliott, ///< two-state bursty loss (good/bad channel)
+};
+
+/** Gilbert-Elliott chain parameters (per-packet transition model). */
+struct GilbertElliottConfig
+{
+    double pGoodToBad = 0.0005; ///< P(good -> bad) per packet
+    double pBadToGood = 0.1;    ///< P(bad -> good) per packet
+    double lossGood = 0.0;      ///< drop probability while good
+    double lossBad = 0.5;       ///< drop probability while bad
+
+    /** Long-run average loss rate of the chain. */
+    double
+    averageLoss() const
+    {
+        const double pi_bad =
+            pGoodToBad / (pGoodToBad + pBadToGood);
+        return (1.0 - pi_bad) * lossGood + pi_bad * lossBad;
+    }
+};
+
+/** Random-fault profile of one link (one direction of a cable). */
+struct LinkFaultProfile
+{
+    LossKind loss = LossKind::None;
+    /** Bernoulli per-packet drop probability. */
+    double lossRate = 0.0;
+    GilbertElliottConfig ge{};
+    /**
+     * Per-packet payload-corruption probability. Corrupted packets are
+     * caught by the TCP checksum at the receiver and discarded, so to
+     * the transport they are losses — counted separately because their
+     * cause (bit errors vs congestion) differs.
+     */
+    double corruptionRate = 0.0;
+};
+
+/** Half-open simulated-time window [start, end). */
+struct FaultWindow
+{
+    Tick start = 0;
+    Tick end = 0;
+
+    bool
+    contains(Tick t) const
+    {
+        return t >= start && t < end;
+    }
+};
+
+/**
+ * Transient link degradation: during the window the link additionally
+ * drops packets at @c extraLossRate (a flapping transceiver, a
+ * congested neighbour). Applies to both directions of the host's cable.
+ */
+struct LinkDegradation
+{
+    int host = 0;
+    FaultWindow window{};
+    double extraLossRate = 0.0;
+};
+
+/** Complete fault-injection scenario. */
+struct FaultConfig
+{
+    /** Root seed for every named draw stream. */
+    uint64_t seed = 0xFA017;
+    /** Profile applied to every link without an override. */
+    LinkFaultProfile defaultLink{};
+    /** Per-host overrides (both directions of that host's cable). */
+    std::vector<std::pair<int, LinkFaultProfile>> hostOverrides;
+    /** Scheduled cable outages: all packets on the host's cable drop. */
+    std::vector<std::pair<int, FaultWindow>> linkOutages;
+    /** Scheduled host outages: the node neither sends nor receives. */
+    std::vector<std::pair<int, FaultWindow>> hostOutages;
+    /** Transient degradation windows. */
+    std::vector<LinkDegradation> degradations;
+};
+
+/** What happened to one packet, in judgment precedence order. */
+enum class PacketFate {
+    Delivered,  ///< survived every hazard
+    HostDown,   ///< an endpoint was inside a host outage window
+    LinkDown,   ///< the cable was inside an outage window
+    BurstDrop,  ///< Gilbert-Elliott loss
+    RandomDrop, ///< Bernoulli or degradation-window loss
+    Corrupted,  ///< payload damaged; checksum discards at the receiver
+};
+
+/** True when @p fate means the packet never reaches the application. */
+inline bool
+isDrop(PacketFate fate)
+{
+    return fate != PacketFate::Delivered;
+}
+
+/** Lifetime counters over every judged packet. */
+struct FaultStats
+{
+    uint64_t packetsJudged = 0;
+    uint64_t randomDrops = 0;
+    uint64_t burstDrops = 0;
+    uint64_t corruptions = 0;
+    uint64_t outageDrops = 0; ///< HostDown + LinkDown
+    uint64_t queueDrops = 0;  ///< tail drops reported by Network queues
+
+    /** Every packet that failed to arrive. */
+    uint64_t
+    drops() const
+    {
+        return randomDrops + burstDrops + corruptions + outageDrops +
+               queueDrops;
+    }
+};
+
+/**
+ * Judges packet fates for one scenario. Attach to a Network with
+ * Network::attachFaults(); the datagram path consults it per packet.
+ */
+class FaultModel
+{
+  public:
+    /** Validates the scenario; panics on malformed rates/windows. */
+    explicit FaultModel(FaultConfig config);
+
+    const FaultConfig &config() const { return config_; }
+    const FaultStats &stats() const { return stats_; }
+
+    /**
+     * Decide the fate of packet @p seq of flow @p flow (attempt
+     * @p attempt) crossing the @p dir direction of @p host's cable at
+     * time @p when. Counts into stats() and emits "faults" trace
+     * records for drops.
+     */
+    PacketFate judge(int host, LinkDir dir, Tick when, uint64_t flow,
+                     uint64_t seq, uint32_t attempt);
+
+    /** Is @p host outside every host-outage window at @p when? */
+    bool hostUp(int host, Tick when) const;
+
+    /** Is @p host's cable outside every link-outage window at @p when? */
+    bool cableUp(int host, Tick when) const;
+
+    /** The profile governing @p host's cable. */
+    const LinkFaultProfile &profileFor(int host) const;
+
+    /** Network queues report tail drops here so stats() sees them. */
+    void noteQueueDrops(uint64_t n) { stats_.queueDrops += n; }
+
+  private:
+    /** Stateless unit draw from a named stream — a pure function of
+     *  (seed, stream, link, flow, seq, attempt). */
+    double unitDraw(uint64_t stream, uint64_t linkKey, uint64_t flow,
+                    uint64_t seq, uint32_t attempt) const;
+
+    /** Per-link Gilbert-Elliott chain state. */
+    struct GeState
+    {
+        bool bad = false;
+        Rng rng;
+        explicit GeState(uint64_t seed) : rng(seed) {}
+    };
+
+    GeState &geStateFor(uint64_t linkKey,
+                        const GilbertElliottConfig &ge);
+
+    FaultConfig config_;
+    FaultStats stats_;
+    std::map<uint64_t, GeState> geStates_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NET_FAULTS_H

@@ -2,11 +2,25 @@
 
 #include <algorithm>
 
+#include "net/faults.h"
 #include "sim/logging.h"
 #include "sim/trace.h"
 #include "stats/timeline.h"
 
 namespace inc {
+
+namespace {
+
+void
+checkQueueDepth(int depth, const char *what)
+{
+    INC_ASSERT(depth == kUnboundedQueue || depth > 0,
+               "%s queue depth must be positive or kUnboundedQueue, "
+               "got %d",
+               what, depth);
+}
+
+} // namespace
 
 Network::Network(EventQueue &events, NetworkConfig config)
     : events_(events), config_(config), switch_(config.switchConfig),
@@ -17,6 +31,8 @@ Network::Network(EventQueue &events, NetworkConfig config)
                "segmentBytes must be a multiple of the MSS (%llu)",
                static_cast<unsigned long long>(
                    mssFor(config_.nicConfig.mtu)));
+    checkQueueDepth(config_.switchConfig.queueDepthPackets, "switch");
+    checkQueueDepth(config_.nicConfig.txQueuePackets, "NIC TX");
     for (int i = 0; i < config_.nodes; ++i) {
         double bps = config_.linkBitsPerSecond;
         for (const auto &[host, rate] : config_.linkSpeedOverrides) {
@@ -59,6 +75,73 @@ Network::racks() const
                                     : 1;
 }
 
+std::vector<Link *>
+Network::pathFor(int src, int dst)
+{
+    std::vector<Link *> path{&uplink(src)};
+    if (config_.hostsPerRack > 0 && rackOf(src) != rackOf(dst)) {
+        path.push_back(
+            rackUplinks_[static_cast<size_t>(rackOf(src))].get());
+        path.push_back(
+            rackDownlinks_[static_cast<size_t>(rackOf(dst))].get());
+    }
+    path.push_back(&downlink(dst));
+    return path;
+}
+
+Tick
+Network::shipAlongPath(const std::vector<Link *> &path, Tick ready,
+                       const std::vector<uint64_t> &hop_bits,
+                       const char *timeline_label)
+{
+    // Every switch stores-and-forwards per *packet*, which at segment
+    // granularity is cut-through with a one-packet delay: each hop may
+    // start once the first packet has fully arrived on the previous
+    // link (plus forwarding latency) and cannot finish before the last
+    // bit has arrived.
+    const uint64_t packet_bits =
+        (mssFor(config_.nicConfig.mtu) + kHeaderBytes + kFramingBytes) * 8;
+    Tick at_dst = 0;
+    Tick prev_start = 0;
+    Tick prev_tx_end = 0;
+    Tick prev_pkt_time = 0;
+    for (size_t h = 0; h < path.size(); ++h) {
+        Link &l = *path[h];
+        const uint64_t bits = hop_bits[h];
+        Tick hop_ready = ready;
+        if (h > 0) {
+            const Tick ser = l.serializationTime(bits);
+            const Tick ct = prev_start + prev_pkt_time;
+            const Tick tail = prev_tx_end + prev_pkt_time;
+            const Tick no_outrun = tail > ser ? tail - ser : 0;
+            hop_ready = switch_.readyToForward(std::max(ct, no_outrun));
+            switch_.noteForward();
+        }
+        Tick start = 0;
+        at_dst = l.transmit(hop_ready, bits, &start);
+        if (timeline_ && timeline_label) {
+            timeline_->record(l.name(), timeline_label, start,
+                              l.serializationTime(bits));
+        }
+        prev_start = start;
+        prev_tx_end = at_dst - l.latency();
+        prev_pkt_time = l.serializationTime(packet_bits);
+    }
+    return at_dst;
+}
+
+uint64_t
+Network::backlogPackets(const Link &link, Tick ready) const
+{
+    if (link.busyUntil() <= ready)
+        return 0;
+    const uint64_t packet_bits =
+        (mssFor(config_.nicConfig.mtu) + kHeaderBytes + kFramingBytes) * 8;
+    const Tick pkt_time = link.serializationTime(packet_bits);
+    const Tick backlog = link.busyUntil() - ready;
+    return (backlog + pkt_time - 1) / std::max<Tick>(pkt_time, 1);
+}
+
 void
 Network::transfer(const TransferRequest &req,
                   std::function<void(Tick)> on_delivered)
@@ -70,8 +153,6 @@ Network::transfer(const TransferRequest &req,
 
     Host &src = host(req.src);
     Host &dst = host(req.dst);
-    Link &up = uplink(req.src);
-    Link &down = downlink(req.dst);
 
     // Both endpoint NICs must have engines for in-network compression to
     // be transparent; otherwise the packets travel uncompressed.
@@ -118,61 +199,18 @@ Network::transfer(const TransferRequest &req,
             }
         }
 
-        // The link path: host->ToR, (ToR->core, core->ToR for
-        // cross-rack traffic in two-tier mode), ToR->host. Every switch
-        // stores-and-forwards per *packet*, which at segment granularity
-        // is cut-through with a one-packet delay: each hop may start
-        // once the first packet has fully arrived on the previous link
-        // (plus forwarding latency) and cannot finish before the last
-        // bit has arrived.
-        std::vector<Link *> path{&up};
-        if (config_.hostsPerRack > 0 &&
-            rackOf(req.src) != rackOf(req.dst)) {
-            path.push_back(rackUplinks_[static_cast<size_t>(
-                                            rackOf(req.src))]
-                               .get());
-            path.push_back(rackDownlinks_[static_cast<size_t>(
-                                              rackOf(req.dst))]
-                               .get());
+        char label[64];
+        if (timeline_) {
+            std::snprintf(label, sizeof(label), "%s %llu B%s",
+                          compressed ? "comp" : "seg",
+                          static_cast<unsigned long long>(
+                              meta.wirePayloadBytes),
+                          compressed ? " (0x28)" : "");
         }
-        path.push_back(&down);
-
-        const uint64_t packet_bits =
-            (mssFor(config_.nicConfig.mtu) + kHeaderBytes +
-             kFramingBytes) *
-            8;
-        Tick at_dst = 0;
-        Tick prev_start = 0;
-        Tick prev_tx_end = 0;
-        Tick prev_pkt_time = 0;
-        for (size_t h = 0; h < path.size(); ++h) {
-            Link &l = *path[h];
-            Tick hop_ready = ready;
-            if (h > 0) {
-                const Tick ser = l.serializationTime(wire_bits);
-                const Tick ct = prev_start + prev_pkt_time;
-                const Tick tail = prev_tx_end + prev_pkt_time;
-                const Tick no_outrun = tail > ser ? tail - ser : 0;
-                hop_ready =
-                    switch_.readyToForward(std::max(ct, no_outrun));
-                switch_.noteForward();
-            }
-            Tick start = 0;
-            at_dst = l.transmit(hop_ready, wire_bits, &start);
-            if (timeline_) {
-                char label[64];
-                std::snprintf(label, sizeof(label), "%s %llu B%s",
-                              compressed ? "comp" : "seg",
-                              static_cast<unsigned long long>(
-                                  meta.wirePayloadBytes),
-                              compressed ? " (0x28)" : "");
-                timeline_->record(l.name(), label, start,
-                                  l.serializationTime(wire_bits));
-            }
-            prev_start = start;
-            prev_tx_end = at_dst - l.latency();
-            prev_pkt_time = l.serializationTime(packet_bits);
-        }
+        const std::vector<Link *> path = pathFor(req.src, req.dst);
+        const std::vector<uint64_t> hop_bits(path.size(), wire_bits);
+        const Tick at_dst =
+            shipAlongPath(path, ready, hop_bits, timeline_ ? label : nullptr);
 
         // RX side: decompression engine latency, then driver work. RX
         // processing keeps up with line rate and all arrivals at this
@@ -204,6 +242,184 @@ Network::transfer(const TransferRequest &req,
                      [cb = std::move(on_delivered), last_delivery] {
                          cb(last_delivery);
                      });
+}
+
+void
+Network::transferDatagram(
+    const DatagramRequest &req,
+    std::function<void(const DatagramResult &)> on_arrival)
+{
+    INC_ASSERT(req.src >= 0 && req.src < nodes() && req.dst >= 0 &&
+                   req.dst < nodes() && req.src != req.dst,
+               "bad transfer %d->%d", req.src, req.dst);
+    INC_ASSERT(req.packetCount > 0, "empty flight");
+    const uint64_t mss = mssFor(config_.nicConfig.mtu);
+    INC_ASSERT(req.tailBytes <= mss, "tail larger than the MSS");
+
+    Host &src = host(req.src);
+    Host &dst = host(req.dst);
+    const bool compressed =
+        src.nic().compresses(req.tos) && dst.nic().compresses(req.tos);
+    const uint8_t effective_tos = compressed ? req.tos : kDefaultTos;
+    const Tick now = events_.now();
+
+    const uint64_t payload = req.payloadBytes(mss);
+    const SegmentMeta meta =
+        src.nic().planTx(payload, effective_tos, req.wireRatio);
+
+    const Tick tx_total = src.nic().txHostCost(meta);
+    const Tick tx_end = src.occupyTx(now, tx_total);
+    const Tick tx_start = tx_end - tx_total;
+    Tick ready = tx_start + config_.nicConfig.perPacketTxCost;
+    if (compressed)
+        ready += src.nic().engineLatency();
+
+    // Average wire bits of one packet of this flight (headers, framing,
+    // and the payload's share after optional compression).
+    const uint64_t pkts = meta.packets(config_.nicConfig.mtu);
+    auto wire_bits_for = [&](uint64_t n) {
+        const uint64_t payload_share =
+            pkts > 0 ? meta.wirePayloadBytes * n / pkts : 0;
+        return (payload_share + n * (kHeaderBytes + kFramingBytes)) * 8;
+    };
+    auto packet_bytes = [&](uint64_t seq) {
+        const bool is_tail =
+            req.tailBytes > 0 && seq == req.firstSeq + req.packetCount - 1;
+        return is_tail ? req.tailBytes : mss;
+    };
+
+    std::vector<uint64_t> lost;
+    lost.reserve(4);
+
+    // Stage 1: NIC TX ring admission against the uplink backlog. Tail
+    // packets beyond the free ring slots never reach the wire.
+    Link &up = uplink(req.src);
+    uint64_t admitted = req.packetCount;
+    if (config_.nicConfig.txQueuePackets != kUnboundedQueue) {
+        const uint64_t backlog = backlogPackets(up, ready);
+        const uint64_t depth =
+            static_cast<uint64_t>(config_.nicConfig.txQueuePackets);
+        const uint64_t free_slots = depth > backlog ? depth - backlog : 0;
+        admitted = std::min<uint64_t>(req.packetCount, free_slots);
+        const uint64_t dropped = req.packetCount - admitted;
+        if (dropped > 0) {
+            src.nic().noteTxQueueDrops(dropped);
+            if (faults_)
+                faults_->noteQueueDrops(dropped);
+            for (uint64_t s = req.firstSeq + admitted;
+                 s < req.firstSeq + req.packetCount; ++s)
+                lost.push_back(s);
+            INC_TRACE(Faults, ready,
+                      "host%d TX ring full: %llu/%llu packets dropped",
+                      req.src, static_cast<unsigned long long>(dropped),
+                      static_cast<unsigned long long>(req.packetCount));
+        }
+    }
+
+    // Stage 2: per-packet hazards on the source cable (outages, random
+    // and bursty loss, corruption).
+    std::vector<uint64_t> survivors;
+    survivors.reserve(admitted);
+    for (uint64_t s = req.firstSeq; s < req.firstSeq + admitted; ++s) {
+        if (faults_ && isDrop(faults_->judge(req.src, LinkDir::Up, ready,
+                                             req.flowId, s, req.attempt)))
+            lost.push_back(s);
+        else
+            survivors.push_back(s);
+    }
+    if (admitted == 0) {
+        // Nothing reached the wire: the sender hears only silence (RTO).
+        return;
+    }
+
+    // Stage 3: switch output-queue admission against the downlink
+    // backlog, evaluated when the flight head reaches the switch.
+    Link &down = downlink(req.dst);
+    const uint64_t packet_bits = (mss + kHeaderBytes + kFramingBytes) * 8;
+    const Tick sw_ready = switch_.readyToForward(
+        ready + up.serializationTime(packet_bits) + up.latency());
+    if (config_.switchConfig.queueDepthPackets != kUnboundedQueue &&
+        !survivors.empty()) {
+        const uint64_t backlog = backlogPackets(down, sw_ready);
+        const uint64_t depth =
+            static_cast<uint64_t>(config_.switchConfig.queueDepthPackets);
+        const uint64_t free_slots = depth > backlog ? depth - backlog : 0;
+        if (survivors.size() > free_slots) {
+            const uint64_t dropped = survivors.size() - free_slots;
+            switch_.noteQueueDrops(dropped);
+            if (faults_)
+                faults_->noteQueueDrops(dropped);
+            for (size_t i = free_slots; i < survivors.size(); ++i)
+                lost.push_back(survivors[i]);
+            survivors.resize(free_slots);
+            INC_TRACE(Faults, sw_ready,
+                      "switch queue to host%d full: %llu packets "
+                      "tail-dropped",
+                      req.dst, static_cast<unsigned long long>(dropped));
+        }
+    }
+    const uint64_t forwarded = survivors.size();
+
+    // Stage 4: per-packet hazards on the destination cable.
+    std::vector<uint64_t> delivered;
+    delivered.reserve(survivors.size());
+    for (uint64_t s : survivors) {
+        if (faults_ && isDrop(faults_->judge(req.dst, LinkDir::Down,
+                                             sw_ready, req.flowId, s,
+                                             req.attempt)))
+            lost.push_back(s);
+        else
+            delivered.push_back(s);
+    }
+
+    // Timing: the uplink carries every admitted packet (losses die at
+    // the far end); the switch forwards only what its queue accepted;
+    // downlink losses still occupy the downlink. Two-tier rack hops
+    // carry the forwarded count (rack-link faults are not modelled).
+    const std::vector<Link *> path = pathFor(req.src, req.dst);
+    std::vector<uint64_t> hop_bits(path.size(), wire_bits_for(forwarded));
+    hop_bits.front() = wire_bits_for(admitted);
+    const Tick at_dst = forwarded > 0
+                            ? shipAlongPath(path, ready, hop_bits, nullptr)
+                            : 0;
+
+    if (delivered.empty()) {
+        // The flight died entirely: no ACKs, the RTO recovers.
+        return;
+    }
+
+    // RX side accounting and completion, as in transfer().
+    Tick rx_ready = at_dst;
+    if (compressed)
+        rx_ready += dst.nic().engineLatency();
+    SegmentMeta rx_meta;
+    rx_meta.payloadBytes = delivered.size() * mss;
+    rx_meta.wirePayloadBytes = rx_meta.payloadBytes;
+    rx_meta.tos = effective_tos;
+    (void)dst.nic().rxHostCost(rx_meta);
+    const Tick arrival = rx_ready + config_.nicConfig.perPacketRxCost;
+
+    DatagramResult res;
+    res.when = arrival;
+    res.firstSeq = req.firstSeq;
+    res.packetCount = req.packetCount;
+    std::sort(lost.begin(), lost.end());
+    res.lostSeqs = std::move(lost);
+    for (uint64_t s : delivered)
+        deliveredBytes_ += packet_bytes(s);
+
+    INC_TRACE(Net, now,
+              "datagram %d->%d seq[%llu,%llu) attempt=%u: %zu/%llu "
+              "arrive at %.6f ms",
+              req.src, req.dst,
+              static_cast<unsigned long long>(req.firstSeq),
+              static_cast<unsigned long long>(req.firstSeq +
+                                              req.packetCount),
+              req.attempt, delivered.size(),
+              static_cast<unsigned long long>(req.packetCount),
+              toSeconds(arrival) * 1e3);
+    events_.schedule(arrival, [cb = std::move(on_arrival),
+                               res = std::move(res)] { cb(res); });
 }
 
 } // namespace inc

@@ -22,6 +22,7 @@
 
 namespace inc {
 
+class FaultModel;
 class TimelineRecorder;
 
 /** Cluster-wide configuration. */
@@ -101,10 +102,36 @@ class Network : public Fabric
      * Start a transfer; @p on_delivered fires (once, at the delivery
      * tick) after the last segment reaches the destination host memory.
      * Must be called from simulation context (event callbacks) so that
-     * initiations are time-ordered.
+     * initiations are time-ordered. This path is the idealized reliable
+     * message service: fault injection and finite queues never touch
+     * it (lossy experiments go through transferDatagram + the reliable
+     * channel).
      */
     void transfer(const TransferRequest &req,
                   std::function<void(Tick)> on_delivered) override;
+
+    uint64_t mtu() const override { return config_.nicConfig.mtu; }
+
+    /**
+     * The lossy datagram path: per-packet fates from the attached
+     * FaultModel plus tail drops at finite NIC/switch queues. The
+     * arrival callback fires at the flight's arrival tick with the
+     * loss verdicts, or never if nothing survived. Delivery jitter
+     * (jitterStddevSeconds) is not applied here — the reliable
+     * channel's own timers model host-side timing noise.
+     */
+    void transferDatagram(
+        const DatagramRequest &req,
+        std::function<void(const DatagramResult &)> on_arrival) override;
+
+    /**
+     * Attach a fault scenario consulted by the datagram path (nullptr
+     * detaches; not owned). Finite queue depths apply independently of
+     * attachment, but drops are mirrored into the model's stats when
+     * one is present.
+     */
+    void attachFaults(FaultModel *faults) { faults_ = faults; }
+    FaultModel *faults() { return faults_; }
 
     /** Total payload bytes delivered so far. */
     uint64_t deliveredBytes() const { return deliveredBytes_; }
@@ -117,6 +144,20 @@ class Network : public Fabric
     void setTimeline(TimelineRecorder *timeline) { timeline_ = timeline; }
 
   private:
+    /** Directed links a src->dst segment traverses, in hop order. */
+    std::vector<Link *> pathFor(int src, int dst);
+    /**
+     * Serialize @p hop_bits[h] over @p path[h] starting no earlier than
+     * @p ready, with per-packet cut-through between hops (the loop
+     * shared by transfer() and transferDatagram()).
+     * @return the tick the last bit reaches the final link's far end.
+     */
+    Tick shipAlongPath(const std::vector<Link *> &path, Tick ready,
+                       const std::vector<uint64_t> &hop_bits,
+                       const char *timeline_label);
+    /** Backlog of @p link at @p ready, in full-size packet units. */
+    uint64_t backlogPackets(const Link &link, Tick ready) const;
+
     EventQueue &events_;
     NetworkConfig config_;
     Switch switch_;
@@ -127,6 +168,7 @@ class Network : public Fabric
     std::vector<std::unique_ptr<Link>> rackDownlinks_;
     uint64_t deliveredBytes_ = 0;
     TimelineRecorder *timeline_ = nullptr;
+    FaultModel *faults_ = nullptr;
     Rng jitterRng_;
 };
 

@@ -35,6 +35,13 @@ struct NicConfig
     Tick perPacketRxCost = 200 * kNanosecond;
     /** MTU of the attached network. */
     uint64_t mtu = kDefaultMtu;
+    /**
+     * TX descriptor-ring depth in packets. kUnboundedQueue keeps the
+     * legacy ideal NIC; a finite depth tail-drops packets on the
+     * datagram path when the uplink backlog exceeds it (a real X540
+     * ring holds 512-4096 descriptors).
+     */
+    int txQueuePackets = kUnboundedQueue;
 };
 
 /** Per-NIC lifetime counters. */
@@ -45,6 +52,8 @@ struct NicStats
     uint64_t txPayloadBytes = 0;
     uint64_t txWireBytes = 0;
     uint64_t compressedSegments = 0;
+    /** Packets tail-dropped at a full TX ring (datagram path). */
+    uint64_t txQueueDrops = 0;
 };
 
 /**
@@ -79,6 +88,9 @@ class Nic
 
     /** Engine input bandwidth in bits/second. */
     double engineBitsPerSecond() const;
+
+    /** Record @p n packets tail-dropped at the TX ring. */
+    void noteTxQueueDrops(uint64_t n) { stats_.txQueueDrops += n; }
 
     /** True if this NIC will compress a segment with @p tos. */
     bool

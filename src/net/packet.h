@@ -31,6 +31,13 @@ constexpr uint64_t kFramingBytes = 8 + 4 + 12;
 /** Default MTU (payload after IP/TCP headers = MSS). */
 constexpr uint64_t kDefaultMtu = 1500;
 
+/**
+ * Sentinel for "no queue limit" in SwitchConfig/NicConfig queue depths.
+ * Finite depths must be positive; zero is rejected (a zero-depth queue
+ * could never forward anything).
+ */
+constexpr int kUnboundedQueue = -1;
+
 /** Maximum TCP segment payload for an MTU. */
 constexpr uint64_t
 mssFor(uint64_t mtu)

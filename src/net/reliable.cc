@@ -1,0 +1,342 @@
+#include "net/reliable.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+#include "sim/trace.h"
+
+namespace inc {
+
+ReliableChannel::ReliableChannel(Fabric &net, int src, int dst,
+                                 ReliableConfig config, uint8_t tos,
+                                 uint64_t flowId)
+    : net_(net), events_(net.events()), src_(src), dst_(dst),
+      config_(config), tos_(tos), flowId_(flowId),
+      cwnd_(config.initialCwndPackets),
+      ssthresh_(config.initialSsthreshPackets), rto_(config.minRto)
+{
+    INC_ASSERT(src >= 0 && src < net.nodes() && dst >= 0 &&
+                   dst < net.nodes() && src != dst,
+               "bad channel %d->%d", src, dst);
+    INC_ASSERT(config_.initialCwndPackets >= 1,
+               "initial cwnd must be at least one packet");
+    INC_ASSERT(config_.maxWindowPackets >= config_.initialCwndPackets,
+               "max window smaller than the initial cwnd");
+    INC_ASSERT(config_.dupAckThreshold >= 1,
+               "dup-ACK threshold must be at least 1");
+    INC_ASSERT(config_.minRto > 0 && config_.maxRto >= config_.minRto,
+               "RTO bounds must satisfy 0 < min <= max");
+}
+
+uint64_t
+ReliableChannel::mss() const
+{
+    return mssFor(net_.mtu());
+}
+
+const ReliableChannel::Message &
+ReliableChannel::messageFor(uint64_t seq) const
+{
+    for (const Message &m : messages_) {
+        if (seq >= m.firstSeq && seq < m.endSeq)
+            return m;
+    }
+    panic("seq %llu outside every queued message",
+          static_cast<unsigned long long>(seq));
+}
+
+uint64_t
+ReliableChannel::seqBytes(uint64_t seq) const
+{
+    const Message &m = messageFor(seq);
+    if (m.tailBytes > 0 && seq == m.endSeq - 1)
+        return m.tailBytes;
+    return mss();
+}
+
+void
+ReliableChannel::send(uint64_t bytes, double wire_ratio,
+                      std::function<void(Tick)> on_delivered)
+{
+    INC_ASSERT(bytes > 0, "empty reliable send");
+    Message m;
+    m.firstSeq = dataEnd_;
+    m.endSeq = dataEnd_ + packetsFor(bytes, net_.mtu());
+    m.tailBytes = bytes % mss();
+    m.bytes = bytes;
+    m.onDelivered = std::move(on_delivered);
+    dataEnd_ = m.endSeq;
+    messages_.push_back(std::move(m));
+    wireRatio_ = wire_ratio;
+    trySend();
+}
+
+void
+ReliableChannel::trySend()
+{
+    const uint64_t window = std::min<uint64_t>(
+        std::max<uint64_t>(static_cast<uint64_t>(cwnd_), 1),
+        config_.maxWindowPackets);
+    while (sndNxt_ < dataEnd_) {
+        const uint64_t outstanding = sndNxt_ - sndUna_;
+        if (outstanding >= window)
+            break;
+        // One flight never spans a message boundary so that the
+        // DatagramRequest's single tailBytes stays exact.
+        const Message &m = messageFor(sndNxt_);
+        const uint64_t count = std::min(window - outstanding,
+                                        m.endSeq - sndNxt_);
+        sendFlight(sndNxt_, count, 0);
+        if (!probeValid_ && retransmitted_.empty()) {
+            // RTT probe: time the first packet of this flight (Karn's
+            // rule skips it if it later gets retransmitted).
+            probeValid_ = true;
+            probeSeq_ = sndNxt_;
+            probeSent_ = events_.now();
+        }
+        sndNxt_ += count;
+    }
+    armRto();
+}
+
+void
+ReliableChannel::sendFlight(uint64_t first, uint64_t count,
+                            uint32_t attempt)
+{
+    const Message &m = messageFor(first);
+    DatagramRequest req;
+    req.src = src_;
+    req.dst = dst_;
+    req.firstSeq = first;
+    req.packetCount = count;
+    req.tailBytes =
+        first + count == m.endSeq ? m.tailBytes : 0;
+    req.attempt = attempt;
+    req.tos = tos_;
+    req.wireRatio = wireRatio_;
+    req.flowId = flowId_;
+    stats_.packetsSent += count;
+    net_.transferDatagram(
+        req, [this](const DatagramResult &res) { onArrival(res); });
+}
+
+void
+ReliableChannel::retransmit(uint64_t seq)
+{
+    if (seq >= dataEnd_)
+        return;
+    const uint32_t attempt = ++attempts_[seq];
+    retransmitted_.insert(seq);
+    if (probeValid_ && seq == probeSeq_)
+        probeValid_ = false;
+    ++stats_.retransmits;
+    INC_TRACE(Faults, events_.now(),
+              "flow %llu retransmit seq=%llu attempt=%u cwnd=%.1f",
+              static_cast<unsigned long long>(flowId_),
+              static_cast<unsigned long long>(seq), attempt, cwnd_);
+    sendFlight(seq, 1, attempt);
+}
+
+void
+ReliableChannel::onArrival(const DatagramResult &res)
+{
+    stats_.dropsObserved += res.lostSeqs.size();
+    // Per surviving packet, in sequence order: dedup, reassemble, and
+    // record the cumulative-ACK value real TCP would emit for it.
+    std::vector<uint64_t> ackBatch;
+    ackBatch.reserve(res.packetCount);
+    size_t lossIdx = 0;
+    for (uint64_t seq = res.firstSeq;
+         seq < res.firstSeq + res.packetCount; ++seq) {
+        while (lossIdx < res.lostSeqs.size() &&
+               res.lostSeqs[lossIdx] < seq)
+            ++lossIdx;
+        if (lossIdx < res.lostSeqs.size() &&
+            res.lostSeqs[lossIdx] == seq)
+            continue; // never arrived
+        if (seq < rcvNxt_ || outOfOrder_.count(seq)) {
+            ++stats_.duplicatePackets;
+        } else {
+            ++stats_.deliveredPackets;
+            stats_.deliveredBytes += seqBytes(seq);
+            if (seq == rcvNxt_) {
+                ++rcvNxt_;
+                auto it = outOfOrder_.begin();
+                while (it != outOfOrder_.end() && *it == rcvNxt_) {
+                    it = outOfOrder_.erase(it);
+                    ++rcvNxt_;
+                }
+            } else {
+                outOfOrder_.insert(seq);
+            }
+        }
+        ackBatch.push_back(rcvNxt_);
+    }
+    if (ackBatch.empty())
+        return;
+
+    // Completed messages become visible to the application now.
+    for (Message &m : messages_) {
+        if (m.delivered)
+            continue;
+        if (m.endSeq > rcvNxt_)
+            break;
+        m.delivered = true;
+        ++stats_.messagesDelivered;
+        if (m.onDelivered)
+            m.onDelivered(res.when);
+    }
+
+    // The ACK batch crosses the ideal control plane.
+    events_.schedule(res.when + config_.ackLatency,
+                     [this, batch = std::move(ackBatch)] {
+                         const Tick when = events_.now();
+                         for (uint64_t ack : batch)
+                             onAckValue(ack, when);
+                         trySend();
+                     });
+}
+
+void
+ReliableChannel::onAckValue(uint64_t ack, Tick when)
+{
+    if (ack > sndUna_)
+        onNewAck(ack, when);
+    else if (sndNxt_ > sndUna_)
+        onDupAck();
+}
+
+void
+ReliableChannel::onNewAck(uint64_t ack, Tick when)
+{
+    const uint64_t newly = ack - sndUna_;
+    sndUna_ = ack;
+    backoff_ = 1;
+
+    if (probeValid_ && ack > probeSeq_) {
+        probeValid_ = false;
+        if (when > probeSent_)
+            sampleRtt(when - probeSent_);
+    }
+
+    if (inRecovery_) {
+        if (ack >= recover_) {
+            // Full ACK: recovery is over, deflate to ssthresh.
+            inRecovery_ = false;
+            dupAcks_ = 0;
+            cwnd_ = ssthresh_;
+        } else {
+            // NewReno partial ACK: the next hole is already lost —
+            // retransmit it immediately, partially deflate.
+            retransmit(sndUna_);
+            cwnd_ = std::max(cwnd_ - static_cast<double>(newly) + 1.0,
+                             1.0);
+        }
+    } else {
+        dupAcks_ = 0;
+        if (cwnd_ < ssthresh_)
+            cwnd_ += static_cast<double>(newly); // slow start
+        else
+            cwnd_ += static_cast<double>(newly) / cwnd_; // CA
+        cwnd_ = std::min(cwnd_,
+                         static_cast<double>(config_.maxWindowPackets));
+    }
+
+    releaseAcked();
+    armRto();
+}
+
+void
+ReliableChannel::onDupAck()
+{
+    ++stats_.dupAcksSeen;
+    ++dupAcks_;
+    if (!inRecovery_ && dupAcks_ == config_.dupAckThreshold) {
+        // Fast retransmit + fast recovery (Reno halving).
+        const double flight =
+            static_cast<double>(sndNxt_ - sndUna_);
+        ssthresh_ = std::max(flight / 2.0, 2.0);
+        cwnd_ = ssthresh_ + static_cast<double>(config_.dupAckThreshold);
+        inRecovery_ = true;
+        recover_ = sndNxt_;
+        ++stats_.fastRetransmits;
+        retransmit(sndUna_);
+        armRto();
+    } else if (inRecovery_) {
+        // Window inflation: each dup ACK means a packet left the pipe.
+        cwnd_ += 1.0;
+    }
+}
+
+void
+ReliableChannel::sampleRtt(Tick rtt)
+{
+    if (!haveSrtt_) {
+        haveSrtt_ = true;
+        srtt_ = rtt;
+        rttvar_ = rtt / 2;
+    } else {
+        const Tick err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+        rttvar_ = (3 * rttvar_ + err) / 4;
+        srtt_ = (7 * srtt_ + rtt) / 8;
+    }
+    rto_ = std::clamp(srtt_ + 4 * rttvar_, config_.minRto,
+                      config_.maxRto);
+}
+
+void
+ReliableChannel::armRto()
+{
+    if (sndUna_ == sndNxt_) {
+        cancelRto();
+        return;
+    }
+    const uint64_t epoch = ++rtoEpoch_;
+    Tick timeout = rto_;
+    for (uint32_t i = 1; i < backoff_ && timeout < config_.maxRto; ++i)
+        timeout *= 2;
+    timeout = std::min(timeout, config_.maxRto);
+    events_.schedule(events_.now() + timeout, [this, epoch] {
+        if (epoch == rtoEpoch_)
+            onRto();
+    });
+}
+
+void
+ReliableChannel::onRto()
+{
+    if (sndUna_ == sndNxt_)
+        return;
+    ++stats_.timeouts;
+    INC_TRACE(Faults, events_.now(),
+              "flow %llu RTO: una=%llu nxt=%llu backoff=%u",
+              static_cast<unsigned long long>(flowId_),
+              static_cast<unsigned long long>(sndUna_),
+              static_cast<unsigned long long>(sndNxt_), backoff_);
+    // Classic timeout response: collapse to one packet, restart slow
+    // start, back the timer off exponentially (Karn).
+    const double flight = static_cast<double>(sndNxt_ - sndUna_);
+    ssthresh_ = std::max(flight / 2.0, 2.0);
+    cwnd_ = 1.0;
+    inRecovery_ = false;
+    dupAcks_ = 0;
+    if (backoff_ < 16)
+        ++backoff_;
+    retransmit(sndUna_);
+    armRto();
+}
+
+void
+ReliableChannel::releaseAcked()
+{
+    while (!messages_.empty() && messages_.front().delivered &&
+           messages_.front().endSeq <= sndUna_) {
+        messages_.pop_front();
+    }
+    // Per-packet bookkeeping below the cumulative ACK is dead.
+    attempts_.erase(attempts_.begin(), attempts_.lower_bound(sndUna_));
+    retransmitted_.erase(retransmitted_.begin(),
+                         retransmitted_.lower_bound(sndUna_));
+}
+
+} // namespace inc

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * A TCP-Reno-flavoured reliable channel over the unreliable datagram
+ * service (Fabric::transferDatagram). One ReliableChannel simulates both
+ * endpoints of a unidirectional connection: the sender keeps sequence
+ * numbers, a congestion window (slow start / congestion avoidance /
+ * NewReno fast recovery), an RTO with exponential backoff and Karn's
+ * rule; the receiver reassembles in order, de-duplicates, and returns
+ * cumulative ACKs. Messages therefore arrive exactly once and in order
+ * no matter what the fault model does to individual packets — the
+ * collectives' reductions stay bit-identical over a lossy fabric, only
+ * the completion time grows.
+ *
+ * Deliberately not modelled (DESIGN.md section 8): SACK, ECN, delayed
+ * ACKs, window scaling as a byte limit (windows are counted in
+ * packets). ACKs travel on an ideal control plane with a fixed latency
+ * and never consume fabric bandwidth or suffer loss — reverse-path loss
+ * would only duplicate retransmissions without changing the
+ * forward-path story the paper cares about.
+ *
+ * Everything here is deterministic: no random draws, all state advances
+ * in EventQueue order. Pending RTO timers are invalidated by an epoch
+ * token (the FluidNetwork epoch pattern), so stale timers are O(1)
+ * no-ops.
+ */
+
+#ifndef INCEPTIONN_NET_RELIABLE_H
+#define INCEPTIONN_NET_RELIABLE_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/fabric.h"
+#include "sim/event_queue.h"
+
+namespace inc {
+
+/** Tunables of the Reno machinery (packet-counted windows). */
+struct ReliableConfig
+{
+    /** Initial congestion window, packets (RFC 6928 flavour). */
+    uint32_t initialCwndPackets = 10;
+    /** Initial slow-start threshold, packets. */
+    uint32_t initialSsthreshPackets = 256;
+    /** Hard cap on the send window, packets (receiver window stand-in). */
+    uint32_t maxWindowPackets = 256;
+    /** Duplicate ACKs that trigger fast retransmit. */
+    uint32_t dupAckThreshold = 3;
+    /** Retransmission-timeout clamp. */
+    Tick minRto = 200 * kMicrosecond;
+    Tick maxRto = 100 * kMillisecond;
+    /** One-way latency of the ideal ACK control plane. */
+    Tick ackLatency = 3 * kMicrosecond;
+};
+
+/** Lifetime counters of one channel. */
+struct ReliableStats
+{
+    uint64_t packetsSent = 0;     ///< includes retransmissions
+    uint64_t retransmits = 0;     ///< fast + timeout retransmissions
+    uint64_t fastRetransmits = 0; ///< triggered by 3 dup ACKs
+    uint64_t timeouts = 0;        ///< RTO firings that found work
+    uint64_t dupAcksSeen = 0;
+    uint64_t deliveredPackets = 0; ///< first-time receptions
+    uint64_t deliveredBytes = 0;   ///< payload of first-time receptions
+    uint64_t duplicatePackets = 0; ///< spurious-retransmit receptions
+    uint64_t dropsObserved = 0;    ///< losses reported by arrivals
+    uint64_t messagesDelivered = 0;
+};
+
+/**
+ * One reliable unidirectional src->dst byte stream over a Fabric.
+ * send() queues messages; each message's callback fires exactly once at
+ * the tick its last byte is available in order at the receiver. The
+ * channel must outlive every pending event (keep it alive until the
+ * EventQueue drains).
+ */
+class ReliableChannel
+{
+  public:
+    /**
+     * @p flowId separates this connection's fault-model draw streams
+     * from other flows on the same links; give concurrent channels
+     * distinct ids. Panics on malformed @p config.
+     */
+    ReliableChannel(Fabric &net, int src, int dst, ReliableConfig config,
+                    uint8_t tos = kDefaultTos, uint64_t flowId = 0);
+
+    ReliableChannel(const ReliableChannel &) = delete;
+    ReliableChannel &operator=(const ReliableChannel &) = delete;
+
+    /**
+     * Queue @p bytes for reliable in-order delivery; @p on_delivered
+     * fires at the tick the receiver holds the whole message. Must be
+     * called from simulation context. Messages on one channel deliver
+     * in send order.
+     */
+    void send(uint64_t bytes, double wire_ratio,
+              std::function<void(Tick)> on_delivered);
+
+    int srcRank() const { return src_; }
+    int dstRank() const { return dst_; }
+    uint64_t flowId() const { return flowId_; }
+    const ReliableStats &stats() const { return stats_; }
+    const ReliableConfig &config() const { return config_; }
+
+    /** Current congestion window, packets (fractional during CA). */
+    double cwnd() const { return cwnd_; }
+    /** Current smoothed RTO (before backoff). */
+    Tick rto() const { return rto_; }
+    /** True when every queued byte has been cumulatively ACKed. */
+    bool idle() const { return sndUna_ == dataEnd_; }
+
+  private:
+    /** One queued message and its span of the sequence space. */
+    struct Message
+    {
+        uint64_t firstSeq = 0;
+        uint64_t endSeq = 0;    ///< one past the last packet
+        uint64_t tailBytes = 0; ///< short final packet (0 = full)
+        uint64_t bytes = 0;
+        std::function<void(Tick)> onDelivered;
+        bool delivered = false;
+    };
+
+    uint64_t mss() const;
+    /** Bytes carried by packet @p seq. */
+    uint64_t seqBytes(uint64_t seq) const;
+    /** End of the message containing @p seq. */
+    const Message &messageFor(uint64_t seq) const;
+
+    /** Push new data allowed by the window, one flight per message. */
+    void trySend();
+    /** Ship packets [first, first+count) as one flight. */
+    void sendFlight(uint64_t first, uint64_t count, uint32_t attempt);
+    /** Retransmit the single packet @p seq. */
+    void retransmit(uint64_t seq);
+
+    /** Receiver side: one flight arrived. */
+    void onArrival(const DatagramResult &res);
+    /** Sender side: one cumulative-ACK value from the batch. */
+    void onAckValue(uint64_t ack, Tick when);
+    void onNewAck(uint64_t ack, Tick when);
+    void onDupAck();
+
+    /** Jacobson/Karels estimator update with sample @p rtt. */
+    void sampleRtt(Tick rtt);
+
+    /** (Re)arm or cancel the RTO timer for the current outstanding data. */
+    void armRto();
+    void cancelRto() { ++rtoEpoch_; }
+    void onRto();
+
+    /** Drop bookkeeping for fully-ACKed prefixes. */
+    void releaseAcked();
+
+    Fabric &net_;
+    EventQueue &events_;
+    const int src_;
+    const int dst_;
+    const ReliableConfig config_;
+    const uint8_t tos_;
+    const uint64_t flowId_;
+    /** Codec ratio of the most recent send (applies to retransmits). */
+    double wireRatio_ = 1.0;
+
+    // --- sender ---
+    uint64_t dataEnd_ = 0; ///< one past the last queued packet
+    uint64_t sndUna_ = 0;  ///< oldest unACKed packet
+    uint64_t sndNxt_ = 0;  ///< next new packet to send
+    double cwnd_;
+    double ssthresh_;
+    uint32_t dupAcks_ = 0;
+    bool inRecovery_ = false;
+    uint64_t recover_ = 0; ///< NewReno: sndNxt_ when loss was detected
+    /** Per-packet retransmission counts (fault-model draw keys). */
+    std::map<uint64_t, uint32_t> attempts_;
+    /** Karn's rule: packets whose RTT must not be sampled. */
+    std::set<uint64_t> retransmitted_;
+
+    // RTT estimation
+    bool haveSrtt_ = false;
+    Tick srtt_ = 0;
+    Tick rttvar_ = 0;
+    Tick rto_;
+    uint32_t backoff_ = 1; ///< RTO multiplier, doubled per timeout
+    bool probeValid_ = false;
+    uint64_t probeSeq_ = 0;
+    Tick probeSent_ = 0;
+
+    uint64_t rtoEpoch_ = 0;
+
+    // --- receiver ---
+    uint64_t rcvNxt_ = 0; ///< next in-order packet expected
+    std::set<uint64_t> outOfOrder_;
+
+    std::deque<Message> messages_;
+    ReliableStats stats_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NET_RELIABLE_H

@@ -16,6 +16,21 @@ SimSocket::setOption(SocketOption opt, uint32_t value)
     panic("unknown socket option");
 }
 
+ReliableChannel &
+SimSocket::channelFor(uint8_t tos)
+{
+    auto it = channels_.find(tos);
+    if (it == channels_.end()) {
+        it = channels_
+                 .emplace(tos, std::make_unique<ReliableChannel>(
+                                   net_, src_, dst_,
+                                   stack_.reliableConfig_, tos,
+                                   stack_.nextFlowId_++))
+                 .first;
+    }
+    return *it->second;
+}
+
 void
 SimSocket::send(uint64_t bytes, double wire_ratio,
                 std::function<void(Tick)> on_delivered)
@@ -24,24 +39,59 @@ SimSocket::send(uint64_t bytes, double wire_ratio,
     ++stats_.sends;
     stats_.payloadBytes += bytes;
 
+    const double ratio = tos_ == kCompressTos ? wire_ratio : 1.0;
+    auto deliver = [this, bytes, cb = std::move(on_delivered)](Tick when) {
+        stats_.deliveredBytes += bytes;
+        stats_.deliveredPackets +=
+            packetsFor(bytes, net_.config().nicConfig.mtu);
+        if (cb)
+            cb(when);
+    };
+
+    if (stack_.reliable_) {
+        ReliableChannel &channel = channelFor(tos_);
+        const Tick now = net_.events().now();
+        if (now >= established_) {
+            channel.send(bytes, ratio, std::move(deliver));
+            return;
+        }
+        net_.events().schedule(
+            established_, [&channel, bytes, ratio,
+                           cb = std::move(deliver)]() mutable {
+                channel.send(bytes, ratio, std::move(cb));
+            });
+        return;
+    }
+
     TransferRequest req;
     req.src = src_;
     req.dst = dst_;
     req.payloadBytes = bytes;
     req.tos = tos_;
-    req.wireRatio = tos_ == kCompressTos ? wire_ratio : 1.0;
+    req.wireRatio = ratio;
 
     const Tick now = net_.events().now();
     if (now >= established_) {
-        net_.transfer(req, std::move(on_delivered));
+        net_.transfer(req, std::move(deliver));
         return;
     }
     // The handshake is still in flight: queue the payload behind it.
     net_.events().schedule(established_,
                            [this, req,
-                            cb = std::move(on_delivered)]() mutable {
+                            cb = std::move(deliver)]() mutable {
                                net_.transfer(req, std::move(cb));
                            });
+}
+
+SocketStats
+SimSocket::stats() const
+{
+    SocketStats out = stats_;
+    for (const auto &[tos, channel] : channels_) {
+        out.retransmits += channel->stats().retransmits;
+        out.dropsObserved += channel->stats().dropsObserved;
+    }
+    return out;
 }
 
 std::shared_ptr<SimSocket>
@@ -54,8 +104,10 @@ SocketStack::connect(int src, int dst)
     // send waits 1.5 RTTs after connect().
     const Tick established =
         net_.events().now() + roundTrip(src, dst) * 3 / 2;
-    return std::shared_ptr<SimSocket>(
-        new SimSocket(net_, src, dst, established));
+    std::shared_ptr<SimSocket> sock(
+        new SimSocket(*this, net_, src, dst, established));
+    sockets_.push_back(sock);
+    return sock;
 }
 
 Tick
@@ -67,6 +119,24 @@ SocketStack::roundTrip(int src, int dst) const
                          net_.config().switchConfig.forwardingLatency;
     (void)dst;
     return 2 * one_way;
+}
+
+SocketStats
+SocketStack::totalStats() const
+{
+    SocketStats total;
+    for (const auto &weak : sockets_) {
+        if (auto sock = weak.lock()) {
+            const SocketStats s = sock->stats();
+            total.sends += s.sends;
+            total.payloadBytes += s.payloadBytes;
+            total.deliveredPackets += s.deliveredPackets;
+            total.deliveredBytes += s.deliveredBytes;
+            total.retransmits += s.retransmits;
+            total.dropsObserved += s.dropsObserved;
+        }
+    }
+    return total;
 }
 
 } // namespace inc

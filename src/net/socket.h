@@ -10,28 +10,47 @@
  * Connection establishment charges a 1.5-RTT handshake before the first
  * payload; sends on one socket deliver in order (the underlying links
  * are FIFO).
+ *
+ * A stack opened in reliable mode routes every send through a
+ * ReliableChannel (net/reliable.h) over the lossy datagram path, so
+ * sockets survive an attached FaultModel with TCP-style recovery; the
+ * per-socket stats then expose the receive side of the story
+ * (delivered packets/bytes, retransmissions, observed drops).
  */
 
 #ifndef INCEPTIONN_NET_SOCKET_H
 #define INCEPTIONN_NET_SOCKET_H
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <vector>
 
 #include "net/network.h"
+#include "net/reliable.h"
 
 namespace inc {
+
+class SocketStack;
 
 /** Socket options, setsockopt-style. */
 enum class SocketOption {
     IpTos, ///< 8-bit IP Type-of-Service field (0x28 requests compression)
 };
 
-/** Per-socket byte/packet counters. */
+/** Per-socket byte/packet counters (send and receive side). */
 struct SocketStats
 {
     uint64_t sends = 0;
     uint64_t payloadBytes = 0;
+    /** Packets of first-time in-order payload at the receiver. */
+    uint64_t deliveredPackets = 0;
+    /** Payload bytes of those packets. */
+    uint64_t deliveredBytes = 0;
+    /** Retransmitted packets (reliable mode only). */
+    uint64_t retransmits = 0;
+    /** Packet losses the transport observed (reliable mode only). */
+    uint64_t dropsObserved = 0;
 };
 
 /**
@@ -58,30 +77,47 @@ class SimSocket
 
     int srcRank() const { return src_; }
     int dstRank() const { return dst_; }
-    const SocketStats &stats() const { return stats_; }
+    /** Counters, including the reliable channels' receive side. */
+    SocketStats stats() const;
 
     /** Tick at which the handshake completes. */
     Tick establishedAt() const { return established_; }
 
   private:
     friend class SocketStack;
-    SimSocket(Network &net, int src, int dst, Tick established)
-        : net_(net), src_(src), dst_(dst), established_(established)
+    SimSocket(SocketStack &stack, Network &net, int src, int dst,
+              Tick established)
+        : stack_(stack), net_(net), src_(src), dst_(dst),
+          established_(established)
     {
     }
 
+    /** Reliable-mode connection for the current ToS (lazily opened). */
+    ReliableChannel &channelFor(uint8_t tos);
+
+    SocketStack &stack_;
     Network &net_;
     int src_, dst_;
     Tick established_;
     uint8_t tos_ = kDefaultTos;
     SocketStats stats_;
+    std::map<uint8_t, std::unique_ptr<ReliableChannel>> channels_;
 };
 
 /** Factory/tracker for sockets over one simulated cluster. */
 class SocketStack
 {
   public:
-    explicit SocketStack(Network &net) : net_(net) {}
+    /**
+     * @p reliable routes every socket's sends through ReliableChannels
+     * over the datagram path (required when the network injects
+     * faults); @p config tunes the Reno machinery in that mode.
+     */
+    explicit SocketStack(Network &net, bool reliable = false,
+                         ReliableConfig config = {})
+        : net_(net), reliable_(reliable), reliableConfig_(config)
+    {
+    }
 
     /**
      * Open a connection from @p src to @p dst. Charges the TCP
@@ -93,8 +129,20 @@ class SocketStack
     /** Round-trip propagation latency between two hosts. */
     Tick roundTrip(int src, int dst) const;
 
+    bool reliable() const { return reliable_; }
+    const ReliableConfig &reliableConfig() const { return reliableConfig_; }
+
+    /** Stats summed over every socket this stack opened. */
+    SocketStats totalStats() const;
+
   private:
+    friend class SimSocket;
+
     Network &net_;
+    bool reliable_;
+    ReliableConfig reliableConfig_;
+    uint64_t nextFlowId_ = 0x50C;
+    std::vector<std::weak_ptr<SimSocket>> sockets_;
 };
 
 } // namespace inc

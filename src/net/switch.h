@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "net/packet.h"
 #include "sim/event_queue.h"
 
 namespace inc {
@@ -19,6 +20,15 @@ struct SwitchConfig
 {
     /** Lookup/queuing latency added to every forwarded segment. */
     Tick forwardingLatency = 1 * kMicrosecond;
+    /**
+     * Output-queue depth per port, in packets. kUnboundedQueue models
+     * an ideal switch (the default, and the only behaviour the legacy
+     * reliable transfer() path sees); a finite depth tail-drops packets
+     * on the datagram path when a port's backlog exceeds it. Real
+     * switches in this class buffer a few hundred KB per port
+     * (~100-500 MTU packets).
+     */
+    int queueDepthPackets = kUnboundedQueue;
 };
 
 /** The switch itself only adds latency; port serialization is the
@@ -41,9 +51,14 @@ class Switch
     uint64_t forwarded() const { return forwarded_; }
     void noteForward() { ++forwarded_; }
 
+    /** Packets tail-dropped by full output queues (datagram path). */
+    uint64_t queueDrops() const { return queueDrops_; }
+    void noteQueueDrops(uint64_t n) { queueDrops_ += n; }
+
   private:
     SwitchConfig config_;
     uint64_t forwarded_ = 0;
+    uint64_t queueDrops_ = 0;
 };
 
 } // namespace inc

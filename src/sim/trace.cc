@@ -32,6 +32,8 @@ categoryName(Category cat)
         return "comm";
       case Category::Train:
         return "train";
+      case Category::Faults:
+        return "faults";
       case Category::kCount:
         break;
     }

@@ -21,14 +21,15 @@ namespace trace {
 
 /** Trace categories, one per subsystem. */
 enum class Category {
-    Codec, ///< compression decisions and stream stats
-    Net,   ///< transfers, segments, link occupancy
-    Comm,  ///< collective state machines
-    Train, ///< trainer iterations and exchanges
+    Codec,  ///< compression decisions and stream stats
+    Net,    ///< transfers, segments, link occupancy
+    Comm,   ///< collective state machines
+    Train,  ///< trainer iterations and exchanges
+    Faults, ///< injected drops, outages, retransmissions, timeouts
     kCount,
 };
 
-/** Name used in INC_TRACE ("codec", "net", "comm", "train"). */
+/** Name used in INC_TRACE ("codec", "net", "comm", "train", "faults"). */
 std::string categoryName(Category cat);
 
 /** Is @p cat currently traced? */

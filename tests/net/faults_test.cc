@@ -1,0 +1,309 @@
+/**
+ * @file
+ * FaultModel unit tests plus the Network datagram path's interaction
+ * with it: loss statistics, stateless-draw determinism, outage windows,
+ * Gilbert-Elliott burstiness, and finite-queue tail drops.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/faults.h"
+#include "net/network.h"
+
+namespace inc {
+namespace {
+
+FaultConfig
+bernoulliConfig(double rate, uint64_t seed = 0xFA017)
+{
+    FaultConfig cfg;
+    cfg.seed = seed;
+    cfg.defaultLink.loss = LossKind::Bernoulli;
+    cfg.defaultLink.lossRate = rate;
+    return cfg;
+}
+
+TEST(FaultModel, BernoulliLossRateIsRespected)
+{
+    FaultModel model(bernoulliConfig(0.01));
+    const uint64_t n = 200000;
+    uint64_t drops = 0;
+    for (uint64_t seq = 0; seq < n; ++seq) {
+        if (isDrop(model.judge(0, LinkDir::Up, 0, 1, seq, 0)))
+            ++drops;
+    }
+    const double rate = static_cast<double>(drops) / static_cast<double>(n);
+    EXPECT_NEAR(rate, 0.01, 0.002);
+    EXPECT_EQ(model.stats().packetsJudged, n);
+    EXPECT_EQ(model.stats().randomDrops, drops);
+}
+
+TEST(FaultModel, StatelessDrawsAreOrderIndependent)
+{
+    // The same (host, dir, flow, seq, attempt) key must produce the
+    // same fate in any judgment order and in a fresh model.
+    FaultModel forward(bernoulliConfig(0.05));
+    FaultModel backward(bernoulliConfig(0.05));
+    const uint64_t n = 5000;
+    std::vector<PacketFate> fwd(n), bwd(n);
+    for (uint64_t seq = 0; seq < n; ++seq)
+        fwd[seq] = forward.judge(2, LinkDir::Down, 0, 7, seq, 0);
+    for (uint64_t seq = n; seq-- > 0;)
+        bwd[seq] = backward.judge(2, LinkDir::Down, 0, 7, seq, 0);
+    EXPECT_EQ(fwd, bwd);
+}
+
+TEST(FaultModel, RetriesAreJudgedIndependently)
+{
+    // A packet dropped on attempt 0 must have an independent draw on
+    // attempt 1 — otherwise retransmissions could never get through.
+    FaultModel model(bernoulliConfig(0.5, 99));
+    uint64_t recovered = 0;
+    uint64_t firstDrops = 0;
+    for (uint64_t seq = 0; seq < 2000; ++seq) {
+        if (!isDrop(model.judge(0, LinkDir::Up, 0, 1, seq, 0)))
+            continue;
+        ++firstDrops;
+        if (!isDrop(model.judge(0, LinkDir::Up, 0, 1, seq, 1)))
+            ++recovered;
+    }
+    EXPECT_GT(firstDrops, 800u);
+    // About half the retries should survive a 50% channel.
+    EXPECT_GT(recovered, firstDrops / 4);
+    EXPECT_LT(recovered, firstDrops * 3 / 4);
+}
+
+TEST(FaultModel, DistinctFlowsDrawIndependently)
+{
+    FaultModel model(bernoulliConfig(0.5));
+    int differs = 0;
+    for (uint64_t seq = 0; seq < 1000; ++seq) {
+        const bool a = isDrop(model.judge(0, LinkDir::Up, 0, 1, seq, 0));
+        const bool b = isDrop(model.judge(0, LinkDir::Up, 0, 2, seq, 0));
+        differs += a != b;
+    }
+    // Two flows sharing a link must not share a drop schedule.
+    EXPECT_GT(differs, 300);
+}
+
+TEST(FaultModel, OutageWindowsDropEverything)
+{
+    FaultConfig cfg;
+    cfg.linkOutages.push_back(
+        {1, {10 * kMillisecond, 20 * kMillisecond}});
+    cfg.hostOutages.push_back(
+        {2, {5 * kMillisecond, 6 * kMillisecond}});
+    FaultModel model(cfg);
+
+    EXPECT_TRUE(model.cableUp(1, 9 * kMillisecond));
+    EXPECT_FALSE(model.cableUp(1, 10 * kMillisecond));
+    EXPECT_FALSE(model.cableUp(1, 19 * kMillisecond));
+    EXPECT_TRUE(model.cableUp(1, 20 * kMillisecond)); // half-open
+
+    EXPECT_EQ(model.judge(1, LinkDir::Up, 15 * kMillisecond, 0, 0, 0),
+              PacketFate::LinkDown);
+    EXPECT_EQ(model.judge(2, LinkDir::Down, 5 * kMillisecond, 0, 0, 0),
+              PacketFate::HostDown);
+    EXPECT_EQ(model.judge(1, LinkDir::Up, 25 * kMillisecond, 0, 0, 0),
+              PacketFate::Delivered);
+    EXPECT_EQ(model.stats().outageDrops, 2u);
+}
+
+TEST(FaultModel, DegradationWindowAddsLossOnlyInside)
+{
+    FaultConfig cfg;
+    LinkDegradation d;
+    d.host = 0;
+    d.window = {0, 1 * kMillisecond};
+    d.extraLossRate = 0.5;
+    cfg.degradations.push_back(d);
+    FaultModel model(cfg);
+
+    uint64_t inside = 0, outside = 0;
+    for (uint64_t seq = 0; seq < 4000; ++seq) {
+        if (isDrop(model.judge(0, LinkDir::Up, 0, 1, seq, 0)))
+            ++inside;
+        if (isDrop(model.judge(0, LinkDir::Up, 2 * kMillisecond, 1, seq,
+                               0)))
+            ++outside;
+    }
+    EXPECT_NEAR(static_cast<double>(inside) / 4000.0, 0.5, 0.05);
+    EXPECT_EQ(outside, 0u);
+}
+
+TEST(FaultModel, GilbertElliottProducesBursts)
+{
+    FaultConfig cfg;
+    cfg.defaultLink.loss = LossKind::GilbertElliott;
+    cfg.defaultLink.ge.pGoodToBad = 0.01;
+    cfg.defaultLink.ge.pBadToGood = 0.2;
+    cfg.defaultLink.ge.lossGood = 0.0;
+    cfg.defaultLink.ge.lossBad = 0.7;
+    FaultModel model(cfg);
+
+    const uint64_t n = 100000;
+    uint64_t drops = 0, runs = 0;
+    bool prev = false;
+    for (uint64_t seq = 0; seq < n; ++seq) {
+        const bool dropped =
+            isDrop(model.judge(0, LinkDir::Up, 0, 1, seq, 0));
+        drops += dropped;
+        runs += dropped && !prev;
+        prev = dropped;
+    }
+    const double rate = static_cast<double>(drops) / static_cast<double>(n);
+    EXPECT_NEAR(rate, cfg.defaultLink.ge.averageLoss(), 0.01);
+    // Bursty: mean run length well above the i.i.d. value (~1/(1-p)).
+    const double meanRun =
+        static_cast<double>(drops) / static_cast<double>(runs);
+    EXPECT_GT(meanRun, 1.5);
+    EXPECT_EQ(model.stats().burstDrops, drops);
+}
+
+TEST(FaultModel, CorruptionIsCountedSeparately)
+{
+    FaultConfig cfg;
+    cfg.defaultLink.corruptionRate = 0.02;
+    FaultModel model(cfg);
+    uint64_t corrupted = 0;
+    for (uint64_t seq = 0; seq < 50000; ++seq) {
+        if (model.judge(0, LinkDir::Up, 0, 1, seq, 0) ==
+            PacketFate::Corrupted)
+            ++corrupted;
+    }
+    EXPECT_NEAR(static_cast<double>(corrupted) / 50000.0, 0.02, 0.005);
+    EXPECT_EQ(model.stats().corruptions, corrupted);
+    EXPECT_EQ(model.stats().randomDrops, 0u);
+}
+
+TEST(Datagram, LosslessFlightDeliversEverything)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    Network net(events, cfg);
+
+    DatagramRequest req;
+    req.src = 0;
+    req.dst = 1;
+    req.firstSeq = 10;
+    req.packetCount = 64;
+    req.flowId = 1;
+    bool arrived = false;
+    net.transferDatagram(req, [&](const DatagramResult &res) {
+        arrived = true;
+        EXPECT_EQ(res.firstSeq, 10u);
+        EXPECT_EQ(res.packetCount, 64u);
+        EXPECT_TRUE(res.lostSeqs.empty());
+        EXPECT_GT(res.when, 0u);
+    });
+    events.run();
+    EXPECT_TRUE(arrived);
+}
+
+TEST(Datagram, AttachedFaultsDropPackets)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    Network net(events, cfg);
+    FaultModel model(bernoulliConfig(0.1));
+    net.attachFaults(&model);
+
+    uint64_t lost = 0, flights = 0;
+    for (int i = 0; i < 20; ++i) {
+        DatagramRequest req;
+        req.src = 0;
+        req.dst = 1;
+        req.firstSeq = static_cast<uint64_t>(i) * 100;
+        req.packetCount = 100;
+        req.flowId = 3;
+        net.transferDatagram(req, [&](const DatagramResult &res) {
+            ++flights;
+            lost += res.lostSeqs.size();
+        });
+    }
+    events.run();
+    EXPECT_EQ(flights, 20u);
+    EXPECT_GT(lost, 100u); // ~200 expected at 10% over 2000 packets
+    EXPECT_LT(lost, 400u);
+    EXPECT_EQ(model.stats().drops(), lost);
+}
+
+TEST(Datagram, FiniteNicQueueTailDrops)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    cfg.nicConfig.txQueuePackets = 24;
+    Network net(events, cfg);
+
+    // Two back-to-back flights: the first fills the uplink, so the
+    // second finds a ~16-packet backlog, gets only the free ring slots,
+    // and tail-drops the rest.
+    uint64_t firstLost = 0, secondLost = 0;
+    bool secondArrived = false;
+    DatagramRequest req;
+    req.src = 0;
+    req.dst = 1;
+    req.packetCount = 16;
+    req.flowId = 1;
+    net.transferDatagram(req, [&](const DatagramResult &res) {
+        firstLost = res.lostSeqs.size();
+    });
+    DatagramRequest second = req;
+    second.firstSeq = 16;
+    second.packetCount = 16;
+    net.transferDatagram(second, [&](const DatagramResult &res) {
+        secondArrived = true;
+        secondLost = res.lostSeqs.size();
+    });
+    events.run();
+    EXPECT_EQ(firstLost, 0u);
+    EXPECT_TRUE(secondArrived);
+    EXPECT_GT(secondLost, 0u);
+    EXPECT_LT(secondLost, 16u);
+    EXPECT_EQ(net.host(0).nic().stats().txQueueDrops, secondLost);
+}
+
+TEST(Datagram, FiniteSwitchQueueTailDrops)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 3;
+    cfg.switchConfig.queueDepthPackets = 72;
+    Network net(events, cfg);
+
+    // Two hosts blast the same destination; the second flight meets a
+    // ~63-packet downlink backlog, so only the remaining queue slots
+    // admit it and the tail drops.
+    uint64_t secondLost = 0;
+    bool secondArrived = false;
+    DatagramRequest first;
+    first.src = 0;
+    first.dst = 2;
+    first.packetCount = 64;
+    first.flowId = 1;
+    net.transferDatagram(first, [&](const DatagramResult &res) {
+        EXPECT_TRUE(res.lostSeqs.empty());
+    });
+    DatagramRequest second;
+    second.src = 1;
+    second.dst = 2;
+    second.packetCount = 16;
+    second.flowId = 2;
+    net.transferDatagram(second, [&](const DatagramResult &res) {
+        secondArrived = true;
+        secondLost = res.lostSeqs.size();
+    });
+    events.run();
+    EXPECT_TRUE(secondArrived);
+    EXPECT_GT(secondLost, 0u);
+    EXPECT_LT(secondLost, 16u);
+    EXPECT_EQ(net.fabric().queueDrops(), secondLost);
+}
+
+} // namespace
+} // namespace inc

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Reliable-channel tests: exactly-once in-order delivery over lossy
+ * fabrics, Reno congestion behaviour, and the headline acceptance
+ * property — a ring all-reduce at 1% Bernoulli loss finishes with a
+ * bit-identical reduction, strictly later than lossless, and
+ * bit-reproducibly across runs and INC_THREADS settings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "comm/comm_world.h"
+#include "comm/ring_allreduce.h"
+#include "core/ring_schedule.h"
+#include "net/faults.h"
+#include "net/network.h"
+#include "net/reliable.h"
+#include "sim/random.h"
+#include "sim/thread_pool.h"
+
+namespace inc {
+namespace {
+
+FaultConfig
+bernoulli(double rate, uint64_t seed = 0xFA017)
+{
+    FaultConfig cfg;
+    cfg.seed = seed;
+    cfg.defaultLink.loss = LossKind::Bernoulli;
+    cfg.defaultLink.lossRate = rate;
+    return cfg;
+}
+
+TEST(ReliableChannel, LosslessDeliversInOrderWithoutRetransmits)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    Network net(events, cfg);
+    ReliableChannel ch(net, 0, 1, {});
+
+    std::vector<int> order;
+    std::vector<Tick> when;
+    for (int i = 0; i < 5; ++i) {
+        ch.send(300 * 1000, 1.0, [&, i](Tick t) {
+            order.push_back(i);
+            when.push_back(t);
+        });
+    }
+    events.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+    for (size_t i = 1; i < when.size(); ++i)
+        EXPECT_GE(when[i], when[i - 1]);
+    EXPECT_TRUE(ch.idle());
+    EXPECT_EQ(ch.stats().retransmits, 0u);
+    EXPECT_EQ(ch.stats().timeouts, 0u);
+    EXPECT_EQ(ch.stats().messagesDelivered, 5u);
+    // Exactly the queued payload was delivered, once.
+    EXPECT_EQ(ch.stats().deliveredBytes, 5u * 300 * 1000);
+    EXPECT_EQ(ch.stats().duplicatePackets, 0u);
+}
+
+TEST(ReliableChannel, RecoversFromBernoulliLoss)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    Network net(events, cfg);
+    FaultModel faults(bernoulli(0.02));
+    net.attachFaults(&faults);
+    ReliableChannel ch(net, 0, 1, {});
+
+    const uint64_t bytes = 2 * 1000 * 1000;
+    uint64_t delivered = 0;
+    Tick finish = 0;
+    for (int i = 0; i < 4; ++i) {
+        ch.send(bytes, 1.0, [&](Tick t) {
+            ++delivered;
+            finish = t;
+        });
+    }
+    events.run();
+    EXPECT_EQ(delivered, 4u);
+    EXPECT_TRUE(ch.idle());
+    EXPECT_GT(ch.stats().retransmits, 0u);
+    EXPECT_GT(ch.stats().dropsObserved, 0u);
+    EXPECT_EQ(ch.stats().deliveredBytes, 4 * bytes);
+    EXPECT_EQ(ch.stats().messagesDelivered, 4u);
+    EXPECT_GT(finish, 0u);
+}
+
+TEST(ReliableChannel, SurvivesHeavyLossViaTimeouts)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    Network net(events, cfg);
+    FaultModel faults(bernoulli(0.3, 7));
+    net.attachFaults(&faults);
+    ReliableChannel ch(net, 0, 1, {});
+
+    bool done = false;
+    ch.send(500 * 1000, 1.0, [&](Tick) { done = true; });
+    events.run();
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(ch.idle());
+    // 30% loss collapses windows hard enough that RTOs must fire.
+    EXPECT_GT(ch.stats().retransmits, 10u);
+}
+
+TEST(ReliableChannel, SurvivesTransientLinkOutage)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    Network net(events, cfg);
+    FaultConfig fc;
+    // The cable dies just after the transfer starts and comes back 5 ms
+    // later; only RTO backoff can carry the connection across.
+    fc.linkOutages.push_back(
+        {0, {50 * kMicrosecond, 5 * kMillisecond}});
+    FaultModel faults(fc);
+    net.attachFaults(&faults);
+    ReliableChannel ch(net, 0, 1, {});
+
+    Tick finish = 0;
+    ch.send(1000 * 1000, 1.0, [&](Tick t) { finish = t; });
+    events.run();
+    EXPECT_GT(finish, 5 * kMillisecond); // couldn't finish mid-outage
+    EXPECT_GT(ch.stats().timeouts, 0u);
+    EXPECT_TRUE(ch.idle());
+}
+
+TEST(ReliableChannel, LossIsStrictlySlower)
+{
+    auto complete = [](double rate) {
+        EventQueue events;
+        NetworkConfig cfg;
+        cfg.nodes = 2;
+        Network net(events, cfg);
+        std::unique_ptr<FaultModel> faults;
+        if (rate > 0.0) {
+            faults = std::make_unique<FaultModel>(bernoulli(rate));
+            net.attachFaults(faults.get());
+        }
+        ReliableChannel ch(net, 0, 1, {});
+        Tick finish = 0;
+        ch.send(5 * 1000 * 1000, 1.0, [&](Tick t) { finish = t; });
+        events.run();
+        return finish;
+    };
+    const Tick clean = complete(0.0);
+    const Tick lossy = complete(0.01);
+    EXPECT_GT(clean, 0u);
+    EXPECT_GT(lossy, clean);
+}
+
+TEST(ReliableChannel, CwndCollapsesOnTimeoutAndRegrows)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    Network net(events, cfg);
+    FaultConfig fc;
+    fc.linkOutages.push_back(
+        {0, {10 * kMicrosecond, 2 * kMillisecond}});
+    FaultModel faults(fc);
+    net.attachFaults(&faults);
+    ReliableConfig rc;
+    rc.initialCwndPackets = 64;
+    ReliableChannel ch(net, 0, 1, rc);
+    bool done = false;
+    ch.send(3 * 1000 * 1000, 1.0, [&](Tick) { done = true; });
+    events.run();
+    EXPECT_TRUE(done);
+    EXPECT_GT(ch.stats().timeouts, 0u);
+    // Slow start restarted from one packet after the outage, then grew.
+    EXPECT_GT(ch.cwnd(), 1.0);
+}
+
+/**
+ * The acceptance experiment: one in-memory data-plane reduction (the
+ * actual floats) combined with the timing-plane exchange over the
+ * simulated fabric. The reliable channel guarantees the receiver sees
+ * every byte exactly once and in order even at 1% loss, so the
+ * in-memory reduction used by accuracy experiments is *the* result the
+ * lossy cluster would compute — bit-identical to lossless — while the
+ * timing plane shows the slowdown.
+ */
+struct RingRun
+{
+    Tick finish = 0;
+    uint64_t retransmits = 0;
+    uint64_t drops = 0;
+    std::vector<float> reduced;
+};
+
+RingRun
+runLossyRing(double lossRate, int threads, uint64_t faultSeed)
+{
+    setGlobalThreadCount(threads);
+
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 4;
+    Network net(events, cfg);
+    std::unique_ptr<FaultModel> faults;
+    if (lossRate > 0.0) {
+        faults = std::make_unique<FaultModel>(
+            bernoulli(lossRate, faultSeed));
+        net.attachFaults(faults.get());
+    }
+    TransportOptions transport;
+    transport.reliable = true;
+    CommWorld comm(net, transport);
+
+    // Data plane: per-rank gradient replicas, reduced by the same ring
+    // schedule the timing plane simulates.
+    const size_t elems = 64 * 1024;
+    std::vector<std::vector<float>> grads(4);
+    for (int r = 0; r < 4; ++r) {
+        Rng rng(0x9E0 + static_cast<uint64_t>(r));
+        grads[static_cast<size_t>(r)].resize(elems);
+        for (float &v : grads[static_cast<size_t>(r)])
+            v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    std::vector<std::span<float>> spans;
+    for (auto &g : grads)
+        spans.emplace_back(g);
+    ringAllReduce(spans);
+
+    // Timing plane: the same exchange over the (possibly lossy) fabric.
+    RingConfig rc;
+    rc.gradientBytes = elems * sizeof(float);
+    RingRun out;
+    bool done = false;
+    runRingAllReduce(comm, rc, [&](ExchangeResult er) {
+        out.finish = er.finish;
+        out.retransmits = er.retransmits;
+        out.drops = er.packetsDropped;
+        done = true;
+    });
+    events.run();
+    EXPECT_TRUE(done);
+
+    const TransportStats ts = comm.transportStats();
+    // Exactly-once delivery: every queued payload byte arrived once.
+    EXPECT_EQ(ts.deliveredBytes,
+              static_cast<uint64_t>(ringStepCount(4)) * 4 *
+                  (rc.gradientBytes / 4));
+    out.reduced = grads[0];
+    // Every rank must hold the same aggregate after the ring.
+    for (int r = 1; r < 4; ++r)
+        EXPECT_EQ(std::memcmp(grads[0].data(),
+                              grads[static_cast<size_t>(r)].data(),
+                              elems * sizeof(float)),
+                  0);
+
+    setGlobalThreadCount(0);
+    return out;
+}
+
+TEST(ReliableRing, LossyRingIsBitIdenticalSlowerAndReproducible)
+{
+    const RingRun clean = runLossyRing(0.0, 1, 0xFA017);
+    const RingRun lossy = runLossyRing(0.01, 1, 0xFA017);
+    const RingRun lossyAgain = runLossyRing(0.01, 1, 0xFA017);
+    const RingRun lossyThreads = runLossyRing(0.01, 8, 0xFA017);
+
+    // The reduction output is bit-identical with and without loss.
+    ASSERT_EQ(clean.reduced.size(), lossy.reduced.size());
+    EXPECT_EQ(std::memcmp(clean.reduced.data(), lossy.reduced.data(),
+                          clean.reduced.size() * sizeof(float)),
+              0);
+
+    // Loss costs strictly more wall-clock and caused real recovery.
+    EXPECT_GT(lossy.finish, clean.finish);
+    EXPECT_GT(lossy.retransmits, 0u);
+    EXPECT_GT(lossy.drops, 0u);
+    EXPECT_EQ(clean.retransmits, 0u);
+
+    // Bit-reproducible: identical completion tick and recovery counts
+    // across repeated runs and across INC_THREADS {1, 8}.
+    EXPECT_EQ(lossy.finish, lossyAgain.finish);
+    EXPECT_EQ(lossy.retransmits, lossyAgain.retransmits);
+    EXPECT_EQ(lossy.drops, lossyAgain.drops);
+    EXPECT_EQ(lossy.finish, lossyThreads.finish);
+    EXPECT_EQ(lossy.retransmits, lossyThreads.retransmits);
+    EXPECT_EQ(lossy.drops, lossyThreads.drops);
+}
+
+TEST(ReliableRing, DropScheduleIsSeedDeterministic)
+{
+    // Same seed => identical drop schedule; different seed => (almost
+    // surely) different.
+    const RingRun a = runLossyRing(0.01, 1, 1234);
+    const RingRun b = runLossyRing(0.01, 1, 1234);
+    const RingRun c = runLossyRing(0.01, 1, 5678);
+    EXPECT_EQ(a.drops, b.drops);
+    EXPECT_EQ(a.finish, b.finish);
+    EXPECT_NE(a.finish, c.finish);
+}
+
+} // namespace
+} // namespace inc

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include "comm/inceptionn_api.h"
+#include "net/faults.h"
 #include "net/fluid.h"
 #include "net/network.h"
+#include "net/reliable.h"
 
 namespace inc {
 namespace {
@@ -110,6 +112,70 @@ TEST(RobustnessDeath, ApiRejectsIndivisibleGroups)
     call.gradientBytes = 100;
     EXPECT_DEATH(collecCommAllReduce(comm, call, [](ExchangeResult) {}),
                  "divide");
+}
+
+TEST(RobustnessDeath, NegativeLossRatePanics)
+{
+    FaultConfig cfg;
+    cfg.defaultLink.loss = LossKind::Bernoulli;
+    cfg.defaultLink.lossRate = -0.1;
+    EXPECT_DEATH({ FaultModel model(cfg); }, "probability");
+}
+
+TEST(RobustnessDeath, LossRateAboveOnePanics)
+{
+    FaultConfig cfg;
+    cfg.hostOverrides.push_back({0, {}});
+    cfg.hostOverrides[0].second.corruptionRate = 1.5;
+    EXPECT_DEATH({ FaultModel model(cfg); }, "probability");
+}
+
+TEST(RobustnessDeath, InvertedOutageWindowPanics)
+{
+    FaultConfig cfg;
+    cfg.linkOutages.push_back(
+        {0, {5 * kMillisecond, 1 * kMillisecond}});
+    EXPECT_DEATH({ FaultModel model(cfg); }, "window");
+}
+
+TEST(RobustnessDeath, ZeroSwitchQueueDepthPanics)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    cfg.switchConfig.queueDepthPackets = 0;
+    EXPECT_DEATH({ Network net(events, cfg); }, "queue depth");
+}
+
+TEST(RobustnessDeath, NegativeNicQueueDepthPanics)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    cfg.nicConfig.txQueuePackets = -5; // not the sentinel
+    EXPECT_DEATH({ Network net(events, cfg); }, "queue depth");
+}
+
+TEST(RobustnessDeath, ZeroCwndPanics)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    Network net(events, cfg);
+    ReliableConfig rc;
+    rc.initialCwndPackets = 0;
+    EXPECT_DEATH({ ReliableChannel ch(net, 0, 1, rc); }, "cwnd");
+}
+
+TEST(RobustnessDeath, ZeroMinRtoPanics)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 2;
+    Network net(events, cfg);
+    ReliableConfig rc;
+    rc.minRto = 0;
+    EXPECT_DEATH({ ReliableChannel ch(net, 0, 1, rc); }, "RTO");
 }
 
 TEST(Robustness, ZeroByteSegmentTailHandled)

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/faults.h"
+
 namespace inc {
 namespace {
 
@@ -90,6 +92,66 @@ TEST(SimSocket, InOrderDelivery)
     EXPECT_EQ(order, (std::vector<int>{1, 2}));
     EXPECT_EQ(sock->stats().sends, 2u);
     EXPECT_EQ(sock->stats().payloadBytes, 5 * 1000 * 1000 + 1460u);
+}
+
+TEST(SimSocket, ReceiveSideCountersOnIdealPath)
+{
+    EventQueue events;
+    Network net(events, withEngines());
+    SocketStack stack(net);
+    auto sock = stack.connect(0, 1);
+
+    const uint64_t bytes = 3 * 1460 + 100;
+    sock->send(bytes, 1.0, [](Tick) {});
+    events.run();
+    const SocketStats s = sock->stats();
+    EXPECT_EQ(s.deliveredBytes, bytes);
+    EXPECT_EQ(s.deliveredPackets, packetsFor(bytes));
+    EXPECT_EQ(s.retransmits, 0u);
+    EXPECT_EQ(s.dropsObserved, 0u);
+}
+
+TEST(SimSocket, ReliableStackRecoversFromLoss)
+{
+    EventQueue events;
+    Network net(events, withEngines());
+    FaultConfig fc;
+    fc.defaultLink.loss = LossKind::Bernoulli;
+    fc.defaultLink.lossRate = 0.02;
+    FaultModel faults(fc);
+    net.attachFaults(&faults);
+
+    SocketStack stack(net, /*reliable=*/true);
+    auto sock = stack.connect(0, 1);
+
+    const uint64_t bytes = 2 * 1000 * 1000;
+    std::vector<int> order;
+    sock->send(bytes, 1.0, [&](Tick) { order.push_back(1); });
+    sock->send(bytes, 1.0, [&](Tick) { order.push_back(2); });
+    events.run();
+
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    const SocketStats s = sock->stats();
+    EXPECT_EQ(s.deliveredBytes, 2 * bytes);
+    EXPECT_GT(s.retransmits, 0u);
+    EXPECT_GT(s.dropsObserved, 0u);
+}
+
+TEST(SocketStack, TotalStatsSumAcrossSockets)
+{
+    EventQueue events;
+    Network net(events, withEngines());
+    SocketStack stack(net);
+    auto a = stack.connect(0, 1);
+    auto b = stack.connect(2, 3);
+    a->send(1460, 1.0, [](Tick) {});
+    b->send(2920, 1.0, [](Tick) {});
+    events.run();
+    const SocketStats total = stack.totalStats();
+    EXPECT_EQ(total.sends, 2u);
+    EXPECT_EQ(total.payloadBytes, 1460u + 2920u);
+    EXPECT_EQ(total.deliveredBytes, 1460u + 2920u);
+    EXPECT_EQ(total.deliveredPackets, 3u);
 }
 
 TEST(SimSocket, RejectsWideTosValues)
