@@ -23,6 +23,7 @@
  * victim's stream).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
@@ -98,13 +99,16 @@ hasFaults(const FaultConfig &fc)
 
 RunResult
 runExchange(uint64_t model_bytes, bool ring, bool compress,
-            const FaultConfig &scenario)
+            const FaultConfig &scenario,
+            TimelineRecorder *timeline = nullptr)
 {
     EventQueue events;
     NetworkConfig cfg;
     cfg.nodes = ring ? 4 : 5;
     cfg.nicConfig.hasCompressionEngine = compress;
     Network net(events, cfg);
+    if (timeline)
+        net.setTimeline(timeline);
 
     std::unique_ptr<FaultModel> faults;
     if (hasFaults(scenario)) {
@@ -288,6 +292,15 @@ main(int argc, char **argv)
             "pipeline waits on the dead hop — while the\nstar keeps the "
             "healthy workers' streams moving and only the victim "
             "lags.\n");
+    }
+
+    // --metrics: record one small lossy ring exchange as a chrome
+    // trace (cwnd + queue-depth counters, retransmission gaps).
+    if (opts.metrics) {
+        TimelineRecorder timeline;
+        (void)runExchange(std::min<uint64_t>(model_bytes, 10'000'000),
+                          true, false, bernoulli(0.01), &timeline);
+        bench::emitTimeline(opts, "ext_faults.trace.json", timeline);
     }
     return 0;
 }

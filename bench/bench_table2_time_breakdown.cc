@@ -59,5 +59,21 @@ main(int argc, char **argv)
         std::printf("%s\n", t.render(title).c_str());
     }
     bench::emitCsv(opts, "table2_breakdown.csv", csv);
+
+    // With --metrics, rerun the first workload for a few iterations
+    // with a chrome-trace recorder attached (link occupancy +
+    // per-iteration compute/exchange/update spans).
+    if (opts.metrics) {
+        TimelineRecorder timeline;
+        SimTrainerConfig cfg;
+        cfg.workload = allWorkloads().front();
+        cfg.workers = 4;
+        cfg.algorithm = ExchangeAlgorithm::WorkerAggregator;
+        cfg.iterations = 3;
+        cfg.timeline = &timeline;
+        (void)runSimTraining(cfg);
+        bench::emitTimeline(opts, "table2_breakdown.trace.json",
+                            timeline);
+    }
     return 0;
 }

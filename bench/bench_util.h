@@ -1,9 +1,10 @@
 /**
  * @file
  * Shared plumbing for the experiment binaries: a tiny flag parser
- * (--quick, --iterations=N, --csv-dir=PATH), CSV output, and common
- * banner formatting. Every bench runs standalone with sensible defaults
- * so `for b in build/bench/bench_... ; do $b; done` regenerates every table and
+ * (--quick, --iterations=N, --csv-dir=PATH, --metrics), CSV output,
+ * metrics/timeline snapshot output, and common banner formatting.
+ * Every bench runs standalone with sensible defaults so
+ * `for b in build/bench/bench_... ; do $b; done` regenerates every table and
  * figure.
  */
 
@@ -16,7 +17,9 @@
 #include <filesystem>
 #include <string>
 
+#include "sim/metrics.h"
 #include "stats/csv_writer.h"
+#include "stats/timeline.h"
 
 namespace inc {
 namespace bench {
@@ -25,6 +28,7 @@ namespace bench {
 struct Options
 {
     bool quick = false;       ///< shrink training workloads further
+    bool metrics = false;     ///< collect + emit the metrics registry
     uint64_t iterations = 0;  ///< 0 = per-bench default
     int seeds = 0;            ///< 0 = per-bench default seed count
     std::string csvDir = "bench_results";
@@ -37,6 +41,8 @@ struct Options
             const std::string arg = argv[i];
             if (arg == "--quick") {
                 o.quick = true;
+            } else if (arg == "--metrics") {
+                o.metrics = true;
             } else if (arg.rfind("--iterations=", 0) == 0) {
                 o.iterations = std::strtoull(arg.c_str() + 13, nullptr, 10);
             } else if (arg.rfind("--seeds=", 0) == 0) {
@@ -44,11 +50,32 @@ struct Options
             } else if (arg.rfind("--csv-dir=", 0) == 0) {
                 o.csvDir = arg.substr(10);
             } else if (arg == "--help" || arg == "-h") {
-                std::printf("usage: %s [--quick] [--iterations=N] "
-                            "[--csv-dir=PATH]\n",
+                std::printf("usage: %s [--quick] [--metrics] "
+                            "[--iterations=N] [--csv-dir=PATH]\n",
                             argv[0]);
                 std::exit(0);
             }
+        }
+        if (o.metrics) {
+            metrics::setEnabled(true);
+            // Every bench emits a machine-readable snapshot alongside
+            // its tables, without per-bench wiring: write the registry
+            // at exit under the program's base name.
+            static std::string s_dir, s_name;
+            s_dir = o.csvDir;
+            s_name = std::filesystem::path(argv[0]).filename().string();
+            std::atexit([] {
+                std::error_code ec;
+                std::filesystem::create_directories(s_dir, ec);
+                const std::string base = s_dir + "/" + s_name;
+                if (metrics::global().writeJsonFile(base +
+                                                    ".metrics.json"))
+                    std::printf("[metrics] %s.metrics.json\n",
+                                base.c_str());
+                if (metrics::global().writeCsvFile(base + ".metrics.csv"))
+                    std::printf("[metrics] %s.metrics.csv\n",
+                                base.c_str());
+            });
         }
         return o;
     }
@@ -63,6 +90,25 @@ emitCsv(const Options &opts, const std::string &name, const CsvWriter &csv)
     const std::string path = opts.csvDir + "/" + name;
     if (csv.writeFile(path))
         std::printf("[csv] %s\n", path.c_str());
+}
+
+/**
+ * Write the chrome-trace @p timeline under the options' csv dir as
+ * @p name (e.g. "table2.trace.json") when --metrics is on. Load the
+ * file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+ */
+inline void
+emitTimeline(const Options &opts, const std::string &name,
+             const TimelineRecorder &timeline)
+{
+    if (!opts.metrics)
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(opts.csvDir, ec);
+    const std::string path = opts.csvDir + "/" + name;
+    if (timeline.writeFile(path))
+        std::printf("[trace] %s (%zu events; load in Perfetto)\n",
+                    path.c_str(), timeline.eventCount());
 }
 
 /** Print a bench banner. */

@@ -4,6 +4,7 @@
 
 #include "comm/ring_allreduce.h"
 #include "sim/logging.h"
+#include "sim/metrics.h"
 
 namespace inc {
 
@@ -17,6 +18,7 @@ struct HierState
     size_t groupsPending = 0;
     size_t membersPending = 0;
     int fanOutTag = 0;
+    TransportStats startTransport;
 };
 
 /** Instance-unique fan-out tag so concurrent exchanges never cross. */
@@ -63,13 +65,26 @@ startLeaderRing(CommWorld &comm, const std::shared_ptr<HierState> &state)
                 comm.send(leader, group[i], state->fanOutTag,
                           state->config.gradientBytes, opts);
                 comm.recv(group[i], leader, state->fanOutTag,
-                          [state](Tick delivered) {
+                          [state, &comm](Tick delivered) {
                               state->result.finish = std::max(
                                   state->result.finish,
                                   delivered +
                                       state->config.perMessageOverhead);
-                              if (--state->membersPending == 0)
+                              if (--state->membersPending == 0) {
+                                  // Deltas span all three phases (the
+                                  // inner rings' own results are
+                                  // discarded above).
+                                  const TransportStats ts =
+                                      comm.transportStats();
+                                  state->result.retransmits =
+                                      ts.retransmits -
+                                      state->startTransport.retransmits;
+                                  state->result.packetsDropped =
+                                      ts.dropsObserved -
+                                      state->startTransport
+                                          .dropsObserved;
                                   state->done(state->result);
+                              }
                           });
             }
         }
@@ -91,9 +106,15 @@ runHierRingAllReduce(CommWorld &comm, const HierRingConfig &config,
     state->config = config;
     state->done = std::move(done);
     state->result.start = comm.network().events().now();
+    state->startTransport = comm.transportStats();
     for (const auto &g : config.groups)
         state->membersPending += g.size() - 1;
     state->fanOutTag = nextFanOutTag();
+    if (auto *m = metrics::active()) {
+        m->add("comm.hier_ring.exchanges", 1);
+        m->add("comm.hier_ring.fan_out.bytes",
+               config.gradientBytes * state->membersPending);
+    }
 
     startIntraRings(comm, state);
 }

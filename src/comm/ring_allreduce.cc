@@ -1,11 +1,15 @@
 #include "comm/ring_allreduce.h"
 
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/ring_schedule.h"
 #include "sim/logging.h"
+#include "sim/metrics.h"
 #include "sim/trace.h"
+#include "stats/timeline.h"
 
 namespace inc {
 
@@ -22,7 +26,17 @@ struct RingState
     int nodesFinished = 0;
     int tagBase = 0;
     TransportStats startTransport;
+    /** Tick each position finished its previous step (metrics: the gap
+     *  to the next delivery is time the rank sat stalled on the wire). */
+    std::vector<Tick> lastReady;
 };
+
+const char *
+phaseName(RingPhase phase)
+{
+    return phase == RingPhase::ReduceScatter ? "reduce_scatter"
+                                             : "all_gather";
+}
 
 void
 sendStep(CommWorld &comm, const std::shared_ptr<RingState> &state, int pos,
@@ -37,6 +51,11 @@ sendStep(CommWorld &comm, const std::shared_ptr<RingState> &state, int pos,
     const int src = state->ranks[static_cast<size_t>(pos)];
     const int dst =
         state->ranks[static_cast<size_t>((pos + 1) % state->nodes)];
+    if (auto *m = metrics::active()) {
+        m->add(std::string("comm.ring.") + phaseName(rs.phase) +
+                   ".bytes",
+               bytes);
+    }
     comm.send(src, dst, state->tagBase + step, bytes, opts);
 }
 
@@ -63,6 +82,26 @@ postRecv(CommWorld &comm, const std::shared_ptr<RingState> &state, int pos,
                 processed, sumCost(bytes,
                                    state->config.sumSecondsPerByte));
         }
+
+        const Tick ready = state->lastReady[static_cast<size_t>(pos)];
+        if (auto *m = metrics::active()) {
+            const Tick stall = delivered > ready ? delivered - ready : 0;
+            m->add(std::string("comm.ring.") + phaseName(rs.phase) +
+                       ".stall_ticks",
+                   stall);
+        }
+        if (TimelineRecorder *tl = comm.network().timeline()) {
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s block %d",
+                          rs.phase == RingPhase::ReduceScatter ? "RS"
+                                                               : "AG",
+                          rs.recvBlock);
+            tl->record("ring rank" +
+                           std::to_string(state->ranks[static_cast<size_t>(
+                               pos)]),
+                       label, ready, processed - ready);
+        }
+        state->lastReady[static_cast<size_t>(pos)] = processed;
 
         const int last = ringStepCount(state->nodes);
         if (step < last) {
@@ -115,6 +154,9 @@ runRingAllReduce(CommWorld &comm, const RingConfig &config, ExchangeDone done)
     state->done = std::move(done);
     state->result.start = comm.network().events().now();
     state->startTransport = comm.transportStats();
+    state->lastReady.assign(static_cast<size_t>(n), state->result.start);
+    if (auto *m = metrics::active())
+        m->add("comm.ring.exchanges", 1);
     // Distinct tag space per ring instance so concurrent subset rings
     // (hierarchical mode) cannot cross-match messages.
     static int s_next_tag_base = 1000;

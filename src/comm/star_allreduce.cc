@@ -1,10 +1,13 @@
 #include "comm/star_allreduce.h"
 
 #include <memory>
+#include <string>
 
 #include "comm/primitives.h"
 #include "sim/logging.h"
+#include "sim/metrics.h"
 #include "sim/trace.h"
+#include "stats/timeline.h"
 
 namespace inc {
 
@@ -66,6 +69,14 @@ runStarAllReduce(CommWorld &comm, const StarConfig &config,
 
     Host &agg = comm.network().host(config.aggregator);
 
+    if (auto *m = metrics::active()) {
+        m->add("comm.star.exchanges", 1);
+        m->add("comm.star.gather.bytes",
+               config.gradientBytes * config.workers.size());
+        m->add("comm.star.broadcast.bytes",
+               config.gradientBytes * config.workers.size());
+    }
+
     // Every worker pushes its gradient to the aggregator.
     SendOptions grad_opts;
     grad_opts.compress = config.compressGradients;
@@ -84,9 +95,23 @@ runStarAllReduce(CommWorld &comm, const StarConfig &config,
                                   state->config.sumSecondsPerByte);
                       const Tick ready =
                           delivered + state->config.perMessageOverhead;
-                      state->sumDone =
-                          std::max(state->sumDone,
-                                   agg.compute(ready, cost));
+                      const Tick done_at = agg.compute(ready, cost);
+                      state->sumDone = std::max(state->sumDone, done_at);
+                      if (auto *m = metrics::active()) {
+                          m->add("comm.star.gather.stall_ticks",
+                                 delivered > state->result.start
+                                     ? delivered - state->result.start
+                                     : 0);
+                      }
+                      if (TimelineRecorder *tl =
+                              comm.network().timeline()) {
+                          tl->record(
+                              "star agg rank" +
+                                  std::to_string(
+                                      state->config.aggregator),
+                              "sum gradient", delivered,
+                              done_at - delivered);
+                      }
                       if (--state->gradientsPending > 0)
                           return;
                       // All streams reduced: send weights back — either

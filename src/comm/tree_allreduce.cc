@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "sim/logging.h"
+#include "sim/metrics.h"
 
 namespace inc {
 
@@ -18,6 +19,7 @@ struct TreeState
     size_t partialsPending = 0;
     Tick rootSumDone = 0;
     int tagBase = 0;
+    TransportStats startTransport;
 };
 
 /** Instance-unique tag block so concurrent exchanges never cross. */
@@ -43,11 +45,22 @@ runTreeAllReduce(CommWorld &comm, const TreeConfig &config,
     state->config = config;
     state->done = std::move(done);
     state->result.start = comm.network().events().now();
+    state->startTransport = comm.transportStats();
     state->partialsPending = config.groups.size();
     state->tagBase = nextTreeTagBase();
     for (const auto &g : config.groups)
         state->totalWorkers += g.workers.size();
     state->workersPending = state->totalWorkers;
+
+    if (auto *m = metrics::active()) {
+        m->add("comm.tree.exchanges", 1);
+        m->add("comm.tree.up.bytes",
+               config.gradientBytes *
+                   (state->totalWorkers + config.groups.size()));
+        m->add("comm.tree.down.bytes",
+               config.gradientBytes *
+                   (state->totalWorkers + config.groups.size()));
+    }
 
     SendOptions grad_opts;
     grad_opts.compress = config.compressGradients;
@@ -126,13 +139,24 @@ runTreeAllReduce(CommWorld &comm, const TreeConfig &config,
                   });
         for (int w : group.workers) {
             comm.recv(w, group.aggregator, state->tagBase + 3,
-                      [state](Tick delivered) {
+                      [state, &comm](Tick delivered) {
                           state->result.finish = std::max(
                               state->result.finish,
                               delivered +
                                   state->config.perMessageOverhead);
-                          if (--state->workersPending == 0)
+                          if (--state->workersPending == 0) {
+                              // Per-exchange transport deltas, as in
+                              // the ring/star exchanges.
+                              const TransportStats ts =
+                                  comm.transportStats();
+                              state->result.retransmits =
+                                  ts.retransmits -
+                                  state->startTransport.retransmits;
+                              state->result.packetsDropped =
+                                  ts.dropsObserved -
+                                  state->startTransport.dropsObserved;
                               state->done(state->result);
+                          }
                       });
         }
     }

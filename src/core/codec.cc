@@ -5,9 +5,29 @@
 #include <vector>
 
 #include "sim/logging.h"
+#include "sim/metrics.h"
 #include "sim/thread_pool.h"
 
 namespace inc {
+
+namespace {
+
+/** Credit a tag tally to the registry's codec counters. */
+void
+creditTagCounts(metrics::Registry *reg, const TagHistogram &total)
+{
+    reg->add("codec.values", total.total());
+    reg->add("codec.tag.zero",
+             total.counts[static_cast<size_t>(Tag::Zero)]);
+    reg->add("codec.tag.bits8",
+             total.counts[static_cast<size_t>(Tag::Bits8)]);
+    reg->add("codec.tag.bits16",
+             total.counts[static_cast<size_t>(Tag::Bits16)]);
+    reg->add("codec.tag.nocompress",
+             total.counts[static_cast<size_t>(Tag::NoCompress)]);
+}
+
+} // namespace
 
 uint64_t
 TagHistogram::total() const
@@ -181,14 +201,16 @@ constexpr size_t kCodecGrain = 8192;
 uint64_t
 GradientCodec::measure(std::span<const float> values, TagHistogram *hist) const
 {
+    metrics::Registry *reg = metrics::active();
     const size_t n = values.size();
     const size_t chunks = (n + kCodecGrain - 1) / kCodecGrain;
+    const bool tally = hist != nullptr || reg != nullptr;
     std::vector<uint64_t> chunk_bits(chunks, 0);
-    std::vector<TagHistogram> chunk_hist(hist ? chunks : 0);
+    std::vector<TagHistogram> chunk_hist(tally ? chunks : 0);
     parallelFor(0, n, kCodecGrain, [&](size_t begin, size_t end) {
         const size_t chunk = begin / kCodecGrain;
         uint64_t bits = 0;
-        TagHistogram *h = hist ? &chunk_hist[chunk] : nullptr;
+        TagHistogram *h = tally ? &chunk_hist[chunk] : nullptr;
         for (size_t i = begin; i < end; ++i) {
             const CompressedValue cv = compress(values[i]);
             bits += 2u + static_cast<uint64_t>(cv.bits());
@@ -200,30 +222,62 @@ GradientCodec::measure(std::span<const float> values, TagHistogram *hist) const
     uint64_t bits = 0;
     for (uint64_t b : chunk_bits)
         bits += b;
-    if (hist)
+    if (tally) {
+        TagHistogram total;
         for (const TagHistogram &h : chunk_hist)
-            *hist += h;
+            total += h;
+        if (hist)
+            *hist += total;
+        if (reg) {
+            creditTagCounts(reg, total);
+            reg->add("codec.measured_bits", bits);
+        }
+    }
     return bits;
 }
 
 void
 GradientCodec::roundtrip(std::span<float> values, TagHistogram *hist) const
 {
+    metrics::Registry *reg = metrics::active();
     const size_t n = values.size();
     const size_t chunks = (n + kCodecGrain - 1) / kCodecGrain;
-    std::vector<TagHistogram> chunk_hist(hist ? chunks : 0);
+    const bool tally = hist != nullptr || reg != nullptr;
+    std::vector<TagHistogram> chunk_hist(tally ? chunks : 0);
+    // Achieved |error| relative to the bound, one shard per chunk so
+    // the merged histogram is identical for every INC_THREADS.
+    std::vector<metrics::HistogramMetric> err_shards(
+        reg ? chunks : 0, metrics::HistogramMetric(0.0, 1.0, 32));
+    const double bound = errorBound();
     parallelFor(0, n, kCodecGrain, [&](size_t begin, size_t end) {
-        TagHistogram *h = hist ? &chunk_hist[begin / kCodecGrain] : nullptr;
+        const size_t chunk = begin / kCodecGrain;
+        TagHistogram *h = tally ? &chunk_hist[chunk] : nullptr;
+        metrics::HistogramMetric *eh = reg ? &err_shards[chunk] : nullptr;
         for (size_t i = begin; i < end; ++i) {
             const CompressedValue cv = compress(values[i]);
             if (h)
                 h->add(cv.tag);
+            const float before = values[i];
             values[i] = decompress(cv);
+            if (eh && cv.tag != Tag::NoCompress) {
+                eh->observe(std::abs(static_cast<double>(before) -
+                                     static_cast<double>(values[i])) /
+                            bound);
+            }
         }
     });
-    if (hist)
+    if (tally) {
+        TagHistogram total;
         for (const TagHistogram &h : chunk_hist)
-            *hist += h;
+            total += h;
+        if (hist)
+            *hist += total;
+        if (reg) {
+            creditTagCounts(reg, total);
+            for (const metrics::HistogramMetric &s : err_shards)
+                reg->mergeHistogram("codec.error_over_bound", s);
+        }
+    }
 }
 
 } // namespace inc

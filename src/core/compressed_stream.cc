@@ -1,9 +1,33 @@
 #include "core/compressed_stream.h"
 
 #include "sim/logging.h"
+#include "sim/metrics.h"
 #include "sim/thread_pool.h"
 
 namespace inc {
+
+namespace {
+
+/** Post a finished stream encode to the registry: tag mix (from the
+ *  merged histogram) plus wire-format bit counts. Serial context only. */
+void
+creditStreamEncode(metrics::Registry *reg, const TagHistogram &total,
+                   uint64_t bit_size)
+{
+    reg->add("codec.stream.encodes", 1);
+    reg->add("codec.stream.values", total.total());
+    reg->add("codec.stream.bits", bit_size);
+    reg->add("codec.stream.tag.zero",
+             total.counts[static_cast<size_t>(Tag::Zero)]);
+    reg->add("codec.stream.tag.bits8",
+             total.counts[static_cast<size_t>(Tag::Bits8)]);
+    reg->add("codec.stream.tag.bits16",
+             total.counts[static_cast<size_t>(Tag::Bits16)]);
+    reg->add("codec.stream.tag.nocompress",
+             total.counts[static_cast<size_t>(Tag::NoCompress)]);
+}
+
+} // namespace
 
 void
 BitWriter::append(uint32_t value, int nbits)
@@ -158,13 +182,23 @@ CompressedStream
 encodeStream(const GradientCodec &codec, std::span<const float> values,
              TagHistogram *hist)
 {
+    metrics::Registry *reg = metrics::active();
+    // With metrics on, tally into a local histogram (so only this
+    // call's mix is credited) and fold it into the caller's afterward.
+    TagHistogram local;
+    TagHistogram *tally = reg ? &local : hist;
     BitWriter writer;
-    encodeGroups(codec, values, writer, hist);
+    encodeGroups(codec, values, writer, tally);
 
     CompressedStream s;
     s.count = values.size();
     s.bitSize = writer.bitSize();
     s.bytes = writer.takeBytes();
+    if (reg) {
+        if (hist)
+            *hist += local;
+        creditStreamEncode(reg, local, s.bitSize);
+    }
     return s;
 }
 
@@ -177,6 +211,10 @@ decodeStream(const GradientCodec &codec, const CompressedStream &stream,
                static_cast<unsigned long long>(stream.count));
     BitReader reader(stream.bytes);
     decodeGroups(codec, reader, stream.count, out);
+    if (auto *m = metrics::active()) {
+        m->add("codec.stream.decodes", 1);
+        m->add("codec.stream.decoded_values", stream.count);
+    }
 }
 
 ChunkedStream
@@ -197,14 +235,16 @@ encodeStreamChunked(const GradientCodec &codec,
     cs.chunkElems = chunk_elems;
     cs.stream.count = count;
 
+    metrics::Registry *reg = metrics::active();
+    const bool tally = hist != nullptr || reg != nullptr;
     std::vector<BitWriter> parts(chunks);
-    std::vector<TagHistogram> part_hist(hist ? chunks : 0);
+    std::vector<TagHistogram> part_hist(tally ? chunks : 0);
     parallelFor(0, chunks, 1, [&](size_t c_begin, size_t c_end) {
         for (size_t c = c_begin; c < c_end; ++c) {
             const size_t begin = c * chunk_elems;
             const size_t n = std::min(chunk_elems, count - begin);
             encodeGroups(codec, values.subspan(begin, n), parts[c],
-                         hist ? &part_hist[c] : nullptr);
+                         tally ? &part_hist[c] : nullptr);
         }
     });
 
@@ -220,9 +260,16 @@ encodeStreamChunked(const GradientCodec &codec,
     cs.stream.bitSize = writer.bitSize();
     cs.stream.bytes = writer.takeBytes();
 
-    if (hist)
+    if (tally) {
+        // Merge in chunk order: identical totals for every INC_THREADS.
+        TagHistogram total;
         for (const TagHistogram &h : part_hist)
-            *hist += h;
+            total += h;
+        if (hist)
+            *hist += total;
+        if (reg)
+            creditStreamEncode(reg, total, cs.stream.bitSize);
+    }
     return cs;
 }
 
@@ -247,6 +294,10 @@ decodeStreamChunked(const GradientCodec &codec, const ChunkedStream &chunked,
                          out.subspan(c * chunked.chunkElems, n));
         }
     });
+    if (auto *m = metrics::active()) {
+        m->add("codec.stream.decodes", 1);
+        m->add("codec.stream.decoded_values", chunked.stream.count);
+    }
 }
 
 } // namespace inc

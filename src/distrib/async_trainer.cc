@@ -1,6 +1,7 @@
 #include "distrib/async_trainer.h"
 
 #include "sim/logging.h"
+#include "sim/metrics.h"
 #include "sim/random.h"
 
 namespace inc {
@@ -46,6 +47,11 @@ AsyncTrainer::train(uint64_t updates)
         // The worker computed its gradient against a stale snapshot.
         const size_t lag = std::min<size_t>(
             static_cast<size_t>(config_.delay), history_.size() - 1);
+        if (auto *m = metrics::active()) {
+            m->add("async.updates", 1);
+            m->observe("async.staleness_updates",
+                       static_cast<double>(lag), 0.0, 16.0, 16);
+        }
         scratch_->loadParams(
             history_[history_.size() - 1 - lag]);
 
@@ -69,6 +75,8 @@ AsyncTrainer::train(uint64_t updates)
     }
     lastMeanLoss_ =
         updates ? loss_acc / static_cast<double>(updates) : 0.0;
+    if (auto *m = metrics::active())
+        m->set("async.last_mean_loss", lastMeanLoss_);
 }
 
 double

@@ -1,10 +1,13 @@
 #include "distrib/sim_trainer.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 
 #include "comm/inceptionn_api.h"
 #include "sim/logging.h"
+#include "sim/metrics.h"
+#include "stats/timeline.h"
 
 namespace inc {
 
@@ -64,6 +67,37 @@ runIteration(RunState &rs)
             rs.config.workload.timing.localCompute();
         const Tick update_done =
             *last_finish + fromSeconds(rs.config.workload.timing.update);
+
+        // Per-iteration phase attribution: compute | exchange | update.
+        const Tick compute_end =
+            *iter_start +
+            fromSeconds(rs.config.workload.timing.localCompute());
+        const Tick exchange_ticks = *last_finish > compute_end
+                                        ? *last_finish - compute_end
+                                        : 0;
+        if (auto *m = metrics::active()) {
+            m->add("trainer.iterations", 1);
+            m->add("trainer.compute_ticks", compute_end - *iter_start);
+            m->add("trainer.exchange_ticks", exchange_ticks);
+            m->add("trainer.update_ticks", update_done - *last_finish);
+            m->observe("trainer.iteration_exchange_seconds",
+                       toSeconds(exchange_ticks), 0.0, 60.0, 60);
+        }
+        if (rs.config.timeline) {
+            char label[32];
+            std::snprintf(label, sizeof(label), "iter %llu",
+                          static_cast<unsigned long long>(
+                              rs.iterationsDone));
+            rs.config.timeline->record("trainer compute", label,
+                                       *iter_start,
+                                       compute_end - *iter_start);
+            rs.config.timeline->record("trainer exchange", label,
+                                       compute_end, exchange_ticks);
+            rs.config.timeline->record("trainer update", label,
+                                       *last_finish,
+                                       update_done - *last_finish);
+        }
+
         rs.events.schedule(update_done, [&rs] {
             if (++rs.iterationsDone < rs.config.iterations)
                 runIteration(rs);
@@ -182,6 +216,8 @@ runSimTraining(const SimTrainerConfig &config)
         transport.reliableConfig = config.faultInjection.reliable;
     }
     rs.comm = std::make_unique<CommWorld>(*rs.network, transport);
+    if (config.timeline)
+        rs.network->setTimeline(config.timeline);
 
     rs.events.schedule(0, [&rs] { runIteration(rs); });
     rs.events.run();
@@ -213,6 +249,13 @@ runSimTraining(const SimTrainerConfig &config)
     result.softwareCodecSeconds =
         softwareCodecSecondsPerIteration(config) * iters;
     result.totalSeconds += result.softwareCodecSeconds;
+    if (auto *m = metrics::active()) {
+        m->set("trainer.total_seconds", result.totalSeconds);
+        m->set("trainer.exchange_seconds",
+               result.gradientExchangeSeconds);
+        m->set("trainer.software_codec_seconds",
+               result.softwareCodecSeconds);
+    }
     return result;
 }
 

@@ -19,6 +19,8 @@
 
 namespace inc {
 
+class TimelineRecorder;
+
 /** Which gradient-exchange algorithm the cluster runs. */
 enum class ExchangeAlgorithm {
     WorkerAggregator, ///< paper Fig. 2: star with a dedicated aggregator
@@ -86,6 +88,12 @@ struct SimTrainerConfig
     SoftwareCompressionConfig software{};
     /** Packet-loss scenario + reliable transport (off by default). */
     FaultInjectionConfig faultInjection{};
+    /**
+     * Chrome-trace recorder (stats/timeline.h) attached to the run's
+     * Network plus per-iteration compute/exchange/update spans. Not
+     * owned; nullptr (the default) records nothing.
+     */
+    TimelineRecorder *timeline = nullptr;
 };
 
 /** Timing-mode results (all seconds, per whole run). */

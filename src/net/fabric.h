@@ -75,6 +75,8 @@ struct DatagramResult
     std::vector<uint64_t> lostSeqs;
 };
 
+class TimelineRecorder;
+
 /** Abstract cluster transport. */
 class Fabric
 {
@@ -83,6 +85,10 @@ class Fabric
 
     /** The simulation clock driving this cluster. */
     virtual EventQueue &events() = 0;
+
+    /** Attached chrome-trace recorder, nullptr when none (fabrics that
+     *  support recording override this; see Network::setTimeline). */
+    virtual TimelineRecorder *timeline() const { return nullptr; }
 
     /** Number of hosts. */
     virtual int nodes() const = 0;

@@ -4,6 +4,7 @@
 
 #include "net/faults.h"
 #include "sim/logging.h"
+#include "sim/metrics.h"
 #include "sim/trace.h"
 #include "stats/timeline.h"
 
@@ -231,6 +232,12 @@ Network::transfer(const TransferRequest &req,
     }
 
     deliveredBytes_ += req.payloadBytes;
+    if (auto *m = metrics::active()) {
+        m->add("net.transfer.flights", 1);
+        m->add("net.transfer.bytes", req.payloadBytes);
+        if (compressed)
+            m->add("net.transfer.compressed_bytes", req.payloadBytes);
+    }
     INC_TRACE(Net, now,
               "transfer %d->%d %llu B tos=0x%02x %s: delivers at "
               "%.6f ms",
@@ -294,6 +301,17 @@ Network::transferDatagram(
     // Stage 1: NIC TX ring admission against the uplink backlog. Tail
     // packets beyond the free ring slots never reach the wire.
     Link &up = uplink(req.src);
+    if (auto *m = metrics::active()) {
+        m->add("net.datagram.flights", 1);
+        m->add("net.datagram.packets", req.packetCount);
+        const uint64_t backlog = backlogPackets(up, ready);
+        m->observe("net.nic.tx_backlog_pkts",
+                   static_cast<double>(backlog), 0.0, 256.0, 64);
+        if (timeline_)
+            timeline_->counter("host" + std::to_string(req.src) +
+                                   " tx backlog pkts",
+                               ready, static_cast<double>(backlog));
+    }
     uint64_t admitted = req.packetCount;
     if (config_.nicConfig.txQueuePackets != kUnboundedQueue) {
         const uint64_t backlog = backlogPackets(up, ready);
@@ -306,6 +324,8 @@ Network::transferDatagram(
             src.nic().noteTxQueueDrops(dropped);
             if (faults_)
                 faults_->noteQueueDrops(dropped);
+            if (auto *m = metrics::active())
+                m->add("net.nic.tx_ring_drops", dropped);
             for (uint64_t s = req.firstSeq + admitted;
                  s < req.firstSeq + req.packetCount; ++s)
                 lost.push_back(s);
@@ -320,6 +340,7 @@ Network::transferDatagram(
     // and bursty loss, corruption).
     std::vector<uint64_t> survivors;
     survivors.reserve(admitted);
+    const size_t lost_before_up = lost.size();
     for (uint64_t s = req.firstSeq; s < req.firstSeq + admitted; ++s) {
         if (faults_ && isDrop(faults_->judge(req.src, LinkDir::Up, ready,
                                              req.flowId, s, req.attempt)))
@@ -327,6 +348,8 @@ Network::transferDatagram(
         else
             survivors.push_back(s);
     }
+    if (auto *m = metrics::active())
+        m->add("net.cable.drops", lost.size() - lost_before_up);
     if (admitted == 0) {
         // Nothing reached the wire: the sender hears only silence (RTO).
         return;
@@ -338,6 +361,15 @@ Network::transferDatagram(
     const uint64_t packet_bits = (mss + kHeaderBytes + kFramingBytes) * 8;
     const Tick sw_ready = switch_.readyToForward(
         ready + up.serializationTime(packet_bits) + up.latency());
+    if (auto *m = metrics::active()) {
+        const uint64_t backlog = backlogPackets(down, sw_ready);
+        m->observe("net.switch.queue_depth_pkts",
+                   static_cast<double>(backlog), 0.0, 256.0, 64);
+        if (timeline_)
+            timeline_->counter("switch queue to host" +
+                                   std::to_string(req.dst) + " pkts",
+                               sw_ready, static_cast<double>(backlog));
+    }
     if (config_.switchConfig.queueDepthPackets != kUnboundedQueue &&
         !survivors.empty()) {
         const uint64_t backlog = backlogPackets(down, sw_ready);
@@ -349,6 +381,8 @@ Network::transferDatagram(
             switch_.noteQueueDrops(dropped);
             if (faults_)
                 faults_->noteQueueDrops(dropped);
+            if (auto *m = metrics::active())
+                m->add("net.switch.queue_drops", dropped);
             for (size_t i = free_slots; i < survivors.size(); ++i)
                 lost.push_back(survivors[i]);
             survivors.resize(free_slots);
@@ -363,6 +397,7 @@ Network::transferDatagram(
     // Stage 4: per-packet hazards on the destination cable.
     std::vector<uint64_t> delivered;
     delivered.reserve(survivors.size());
+    const size_t lost_before_down = lost.size();
     for (uint64_t s : survivors) {
         if (faults_ && isDrop(faults_->judge(req.dst, LinkDir::Down,
                                              sw_ready, req.flowId, s,
@@ -370,6 +405,10 @@ Network::transferDatagram(
             lost.push_back(s);
         else
             delivered.push_back(s);
+    }
+    if (auto *m = metrics::active()) {
+        m->add("net.cable.drops", lost.size() - lost_before_down);
+        m->add("net.datagram.packets_delivered", delivered.size());
     }
 
     // Timing: the uplink carries every admitted packet (losses die at

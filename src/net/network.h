@@ -142,6 +142,7 @@ class Network : public Fabric
      * owned.
      */
     void setTimeline(TimelineRecorder *timeline) { timeline_ = timeline; }
+    TimelineRecorder *timeline() const override { return timeline_; }
 
   private:
     /** Directed links a src->dst segment traverses, in hop order. */

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "sim/logging.h"
+#include "sim/metrics.h"
 #include "sim/trace.h"
+#include "stats/timeline.h"
 
 namespace inc {
 
@@ -116,6 +118,8 @@ ReliableChannel::sendFlight(uint64_t first, uint64_t count,
     req.wireRatio = wireRatio_;
     req.flowId = flowId_;
     stats_.packetsSent += count;
+    if (auto *m = metrics::active())
+        m->add("transport.packets_sent", count);
     net_.transferDatagram(
         req, [this](const DatagramResult &res) { onArrival(res); });
 }
@@ -130,6 +134,8 @@ ReliableChannel::retransmit(uint64_t seq)
     if (probeValid_ && seq == probeSeq_)
         probeValid_ = false;
     ++stats_.retransmits;
+    if (auto *m = metrics::active())
+        m->add("transport.retransmits", 1);
     INC_TRACE(Faults, events_.now(),
               "flow %llu retransmit seq=%llu attempt=%u cwnd=%.1f",
               static_cast<unsigned long long>(flowId_),
@@ -241,6 +247,12 @@ ReliableChannel::onNewAck(uint64_t ack, Tick when)
         cwnd_ = std::min(cwnd_,
                          static_cast<double>(config_.maxWindowPackets));
     }
+    if (auto *m = metrics::active()) {
+        m->observe("transport.cwnd_pkts", cwnd_, 0.0, 256.0, 64);
+        if (TimelineRecorder *tl = net_.timeline())
+            tl->counter("flow " + std::to_string(flowId_) + " cwnd pkts",
+                        when, cwnd_);
+    }
 
     releaseAcked();
     armRto();
@@ -260,6 +272,8 @@ ReliableChannel::onDupAck()
         inRecovery_ = true;
         recover_ = sndNxt_;
         ++stats_.fastRetransmits;
+        if (auto *m = metrics::active())
+            m->add("transport.fast_retransmits", 1);
         retransmit(sndUna_);
         armRto();
     } else if (inRecovery_) {
@@ -308,6 +322,13 @@ ReliableChannel::onRto()
     if (sndUna_ == sndNxt_)
         return;
     ++stats_.timeouts;
+    if (auto *m = metrics::active()) {
+        m->add("transport.timeouts", 1);
+        if (backoff_ > 1)
+            m->add("transport.rto_backoffs", 1);
+        m->observe("transport.rto_backoff_level",
+                   static_cast<double>(backoff_), 0.0, 16.0, 16);
+    }
     INC_TRACE(Faults, events_.now(),
               "flow %llu RTO: una=%llu nxt=%llu backoff=%u",
               static_cast<unsigned long long>(flowId_),

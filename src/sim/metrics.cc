@@ -1,0 +1,275 @@
+#include "sim/metrics.h"
+
+#include <cstdio>
+
+#include "sim/logging.h"
+
+namespace inc {
+namespace metrics {
+
+HistogramMetric::HistogramMetric(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets ? buckets : 1)),
+      buckets_(buckets ? buckets : 1, 0)
+{
+}
+
+void
+HistogramMetric::observe(double x)
+{
+    ++count_;
+    sum_ += x;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    size_t idx = static_cast<size_t>((x - lo_) / width_);
+    if (idx >= buckets_.size()) // guard the hi-boundary rounding edge
+        idx = buckets_.size() - 1;
+    ++buckets_[idx];
+}
+
+void
+HistogramMetric::merge(const HistogramMetric &other)
+{
+    count_ += other.count_;
+    sum_ += other.sum_;
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    const size_t n = buckets_.size() < other.buckets_.size()
+                         ? buckets_.size()
+                         : other.buckets_.size();
+    for (size_t i = 0; i < n; ++i)
+        buckets_[i] += other.buckets_[i];
+}
+
+void
+Registry::add(const std::string &name, uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+Registry::set(const std::string &name, double value)
+{
+    gauges_[name] = value;
+}
+
+void
+Registry::observe(const std::string &name, double x, double lo, double hi,
+                  size_t buckets)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(name, HistogramMetric(lo, hi, buckets))
+                 .first;
+    it->second.observe(x);
+}
+
+void
+Registry::mergeHistogram(const std::string &name,
+                         const HistogramMetric &shard)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        histograms_.emplace(name,
+                            HistogramMetric(shard.lo(), shard.hi(),
+                                            shard.buckets().size()));
+        it = histograms_.find(name);
+    }
+    it->second.merge(shard);
+}
+
+uint64_t
+Registry::counter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+Registry::gauge(const std::string &name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const HistogramMetric *
+Registry::histogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void
+Registry::clear()
+{
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+namespace {
+
+/** Shortest round-trippable decimal (%.17g is lossless for doubles). */
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+Registry::renderJson() const
+{
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters_) {
+        out += first ? "\n" : ",\n";
+        out += "    \"" + escapeJson(name) +
+               "\": " + std::to_string(value);
+        first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : gauges_) {
+        out += first ? "\n" : ",\n";
+        out += "    \"" + escapeJson(name) + "\": " + fmtDouble(value);
+        first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        out += first ? "\n" : ",\n";
+        out += "    \"" + escapeJson(name) + "\": {\"lo\": " +
+               fmtDouble(h.lo()) + ", \"hi\": " + fmtDouble(h.hi()) +
+               ", \"count\": " + std::to_string(h.count()) +
+               ", \"sum\": " + fmtDouble(h.sum()) +
+               ", \"underflow\": " + std::to_string(h.underflow()) +
+               ", \"overflow\": " + std::to_string(h.overflow()) +
+               ", \"buckets\": [";
+        for (size_t i = 0; i < h.buckets().size(); ++i) {
+            if (i)
+                out += ",";
+            out += std::to_string(h.buckets()[i]);
+        }
+        out += "]}";
+        first = false;
+    }
+    out += first ? "}\n}\n" : "\n  }\n}\n";
+    return out;
+}
+
+std::string
+Registry::renderCsv() const
+{
+    std::string out = "kind,name,value\n";
+    for (const auto &[name, value] : counters_)
+        out += "counter," + name + "," + std::to_string(value) + "\n";
+    for (const auto &[name, value] : gauges_)
+        out += "gauge," + name + "," + fmtDouble(value) + "\n";
+    for (const auto &[name, h] : histograms_) {
+        out += "histogram," + name + ".count," +
+               std::to_string(h.count()) + "\n";
+        out += "histogram," + name + ".sum," + fmtDouble(h.sum()) + "\n";
+        out += "histogram," + name + ".underflow," +
+               std::to_string(h.underflow()) + "\n";
+        out += "histogram," + name + ".overflow," +
+               std::to_string(h.overflow()) + "\n";
+        for (size_t i = 0; i < h.buckets().size(); ++i)
+            out += "histogram," + name + ".bucket[" + std::to_string(i) +
+                   "]," + std::to_string(h.buckets()[i]) + "\n";
+    }
+    return out;
+}
+
+namespace {
+
+bool
+writeWholeFile(const std::string &path, const std::string &data)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const bool ok =
+        std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    std::fclose(f);
+    if (!ok)
+        warn("short write to '%s'", path.c_str());
+    return ok;
+}
+
+bool g_enabled = false;
+
+} // namespace
+
+bool
+Registry::writeJsonFile(const std::string &path) const
+{
+    return writeWholeFile(path, renderJson());
+}
+
+bool
+Registry::writeCsvFile(const std::string &path) const
+{
+    return writeWholeFile(path, renderCsv());
+}
+
+Registry &
+global()
+{
+    // Intentionally leaked: atexit snapshot writers (bench_util.h) run
+    // during static destruction and must still find a live registry.
+    static Registry *g_registry = new Registry();
+    return *g_registry;
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled = on;
+}
+
+bool
+enabled()
+{
+    return g_enabled;
+}
+
+Registry *
+active()
+{
+    return g_enabled ? &global() : nullptr;
+}
+
+void
+reset()
+{
+    global().clear();
+}
+
+} // namespace metrics
+} // namespace inc

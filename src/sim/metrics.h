@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Structured run metrics: named counters, gauges, and fixed-bucket
+ * histograms collected while a simulation runs, exported as a flat
+ * JSON or CSV snapshot. Complements the chrome-trace timeline
+ * (stats/timeline.h): the timeline answers "when", the registry
+ * answers "how much / how often".
+ *
+ * Determinism contract (see DESIGN.md section 9):
+ *  - metric values must be bit-identical across INC_THREADS settings
+ *    and across reruns of the same seed. Instrument only serial code
+ *    (the event loop) directly; inside parallelFor regions accumulate
+ *    into per-chunk shard objects (HistogramMetric is a value type for
+ *    exactly this) and merge them in chunk order afterwards.
+ *  - recording never feeds back into simulation state, so an enabled
+ *    registry cannot change simulated time.
+ *
+ * Cost contract: every instrumentation site guards on
+ * `metrics::active()` — one branch and a pointer test when disabled.
+ *
+ * The registry itself is NOT thread-safe; it is mutated only from
+ * serial context by design (the determinism rule already forces this).
+ */
+
+#ifndef INCEPTIONN_SIM_METRICS_H
+#define INCEPTIONN_SIM_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace inc {
+namespace metrics {
+
+/**
+ * Fixed-bucket histogram over [lo, hi): `buckets` equal-width bins
+ * plus explicit underflow/overflow counts. A plain value type so
+ * parallel code can keep one shard per chunk and merge in fixed order.
+ */
+class HistogramMetric
+{
+  public:
+    HistogramMetric() : HistogramMetric(0.0, 1.0, 1) {}
+    HistogramMetric(double lo, double hi, size_t buckets);
+
+    void observe(double x);
+    /** Fold @p other in (same shape required). */
+    void merge(const HistogramMetric &other);
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+    const std::vector<uint64_t> &buckets() const { return buckets_; }
+    double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  private:
+    double lo_ = 0.0;
+    double hi_ = 1.0;
+    double width_ = 1.0; ///< bucket width, cached
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    std::vector<uint64_t> buckets_;
+};
+
+/**
+ * Named metric store. Names are dotted paths ("transport.retransmits");
+ * exporters emit them in lexicographic order, so output is stable
+ * regardless of instrumentation order.
+ */
+class Registry
+{
+  public:
+    /** Add @p delta to counter @p name (created at 0 on first use). */
+    void add(const std::string &name, uint64_t delta);
+    /** Set gauge @p name to @p value (last write wins). */
+    void set(const std::string &name, double value);
+    /** Record @p x into histogram @p name, created with the given
+     *  shape on first use (later calls reuse the existing shape). */
+    void observe(const std::string &name, double x, double lo, double hi,
+                 size_t buckets);
+    /** Merge a shard histogram (created on first use with @p shard's
+     *  shape). This is the fixed-order merge hook for parallel code. */
+    void mergeHistogram(const std::string &name,
+                        const HistogramMetric &shard);
+
+    uint64_t counter(const std::string &name) const;
+    double gauge(const std::string &name) const;
+    /** nullptr when no such histogram. */
+    const HistogramMetric *histogram(const std::string &name) const;
+
+    void clear();
+
+    /** Flat JSON snapshot: {"counters":{...},"gauges":{...},
+     *  "histograms":{...}} with keys sorted. */
+    std::string renderJson() const;
+    /** Flat CSV snapshot: kind,name,value (histograms flattened into
+     *  .count/.sum/.underflow/.overflow/.bucket[i] rows). */
+    std::string renderCsv() const;
+    bool writeJsonFile(const std::string &path) const;
+    bool writeCsvFile(const std::string &path) const;
+
+    const std::map<std::string, uint64_t> &counters() const { return counters_; }
+    const std::map<std::string, double> &gauges() const { return gauges_; }
+    const std::map<std::string, HistogramMetric> &histograms() const { return histograms_; }
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, HistogramMetric> histograms_;
+};
+
+/** The process-wide registry (exists even when disabled). */
+Registry &global();
+
+/** Turn collection on/off; off is the default. */
+void setEnabled(bool on);
+bool enabled();
+
+/**
+ * The instrumentation guard: global registry when enabled, nullptr
+ * otherwise. Call sites do `if (auto *m = metrics::active()) ...`.
+ */
+Registry *active();
+
+/** Clear the global registry (enabled flag unchanged). */
+void reset();
+
+} // namespace metrics
+} // namespace inc
+
+#endif // INCEPTIONN_SIM_METRICS_H

@@ -14,6 +14,12 @@ TimelineRecorder::record(const std::string &track, const std::string &name,
     events_.push_back(Event{track, name, start, duration});
 }
 
+void
+TimelineRecorder::counter(const std::string &name, Tick when, double value)
+{
+    counters_.push_back(CounterSample{name, when, value});
+}
+
 std::string
 TimelineRecorder::render() const
 {
@@ -54,6 +60,16 @@ TimelineRecorder::render() const
                       escape(e.name).c_str(),
                       toSeconds(e.start) * 1e6,
                       toSeconds(e.duration) * 1e6);
+        out += buf;
+        first = false;
+    }
+    for (const auto &c : counters_) {
+        char buf[384];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"ph\":\"C\",\"pid\":1,\"name\":\"%s\","
+                      "\"ts\":%.3f,\"args\":{\"value\":%.17g}}",
+                      first ? "" : ",\n", escape(c.name).c_str(),
+                      toSeconds(c.when) * 1e6, c.value);
         out += buf;
         first = false;
     }

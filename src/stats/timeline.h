@@ -31,7 +31,16 @@ class TimelineRecorder
     void record(const std::string &track, const std::string &name,
                 Tick start, Tick duration);
 
-    size_t eventCount() const { return events_.size(); }
+    /**
+     * Record one counter sample ("C" phase): Perfetto draws each
+     * counter @p name as a stepped area chart over simulated time.
+     * @param name counter series (e.g. "switch0 queue pkts").
+     * @param when simulation tick of the sample.
+     * @param value sampled value.
+     */
+    void counter(const std::string &name, Tick when, double value);
+
+    size_t eventCount() const { return events_.size() + counters_.size(); }
 
     /** Serialize to Catapult JSON (microsecond timestamps). */
     std::string render() const;
@@ -48,7 +57,15 @@ class TimelineRecorder
         Tick duration;
     };
 
+    struct CounterSample
+    {
+        std::string name;
+        Tick when;
+        double value;
+    };
+
     std::vector<Event> events_;
+    std::vector<CounterSample> counters_;
 };
 
 } // namespace inc

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Property-based testing of the INCEPTIONN codec: instead of comparing
+ * against a second implementation (codec_golden_test.cc does that), this
+ * layer asserts the *contracts* the rest of the system depends on, over
+ * adversarial seeded input sweeps:
+ *
+ *  - bounded error: |f - decode(encode(f))| <= 2^-b for every finite
+ *    input under the default residual-mask policy;
+ *  - tag/payload well-formedness: payloads fit their tag's width, Zero
+ *    carries an empty payload, NoCompress is bit-exact;
+ *  - idempotence: a round-tripped value re-compresses to itself (the
+ *    ring exchange hops gradients through many NICs);
+ *  - sign and magnitude sanity: decode never flips sign or grows
+ *    magnitude beyond the input.
+ *
+ * The sweep is seeded from INC_TEST_SEED (default 1) so CI can run a
+ * seed matrix without recompiling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "core/codec.h"
+#include "core/fp32.h"
+#include "sim/random.h"
+
+namespace inc {
+namespace {
+
+uint64_t
+testSeed()
+{
+    const char *env = std::getenv("INC_TEST_SEED");
+    if (env && *env)
+        return std::strtoull(env, nullptr, 10);
+    return 1;
+}
+
+/**
+ * Adversarial input set for one (seed, bound) pair: exact zeros of both
+ * signs, subnormals, values straddling the 2^-b bound, the 8/16-bit
+ * payload decision thresholds (2^-7, 2^-8), the NoCompress threshold
+ * (1.0), plus broad uniform and two-scale gaussian fill.
+ */
+std::vector<float>
+adversarialValues(uint64_t seed, int b)
+{
+    Rng rng(seed * 1000003ULL + static_cast<uint64_t>(b));
+    std::vector<float> v;
+
+    v.push_back(0.0f);
+    v.push_back(-0.0f);
+
+    // Subnormals: exponent 0, random mantissas, both signs.
+    for (int i = 0; i < 64; ++i) {
+        const uint32_t m =
+            static_cast<uint32_t>(rng.below((1u << 23) - 1)) + 1;
+        v.push_back(Fp32Bits{static_cast<uint32_t>(i & 1), 0, m}.pack());
+    }
+    // Smallest normals.
+    v.push_back(Fp32Bits{0, 1, 0}.pack());
+    v.push_back(Fp32Bits{1, 1, 0}.pack());
+
+    // Values straddling thresholds the tag decision keys on: the error
+    // bound 2^-b, the 8-bit payload window edges 2^-7 and 2^-8, and the
+    // verbatim threshold 1.0. For each threshold t, take t scaled by
+    // (1 +/- k ulp-ish nudges) and random mantissas in the adjacent
+    // exponent bins.
+    for (const int t : {b, 7, 8, 0}) {
+        const uint32_t e = static_cast<uint32_t>(127 - t);
+        for (const uint32_t de : {0u, 1u}) {
+            if (e - de == 0 || e - de > 254)
+                continue;
+            for (int i = 0; i < 32; ++i) {
+                const uint32_t m = (i < 2)
+                                       ? (i == 0 ? 0u : 0x7FFFFFu)
+                                       : static_cast<uint32_t>(
+                                             rng.below(1u << 23));
+                v.push_back(Fp32Bits{static_cast<uint32_t>(i & 1),
+                                     e - de, m}
+                                .pack());
+            }
+        }
+    }
+
+    // Broad fill: uniform across the compressible range and beyond,
+    // plus gradient-like gaussians at two scales.
+    for (int i = 0; i < 4000; ++i)
+        v.push_back(static_cast<float>(rng.uniform(-1.5, 1.5)));
+    for (int i = 0; i < 4000; ++i)
+        v.push_back(static_cast<float>(rng.gaussian(0.0, 0.05)));
+    for (int i = 0; i < 4000; ++i)
+        v.push_back(static_cast<float>(rng.gaussian(0.0, 1e-4)));
+    return v;
+}
+
+class CodecProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CodecProperty, ErrorWithinBoundResidualMask)
+{
+    const int b = GetParam();
+    const GradientCodec codec(b, CodecPolicy::kResidualMask);
+    const double bound = codec.errorBound();
+    for (const float f : adversarialValues(testSeed(), b)) {
+        const float rt = codec.decompress(codec.compress(f));
+        ASSERT_LE(std::abs(static_cast<double>(f) -
+                           static_cast<double>(rt)),
+                  bound)
+            << "f=" << f << " rt=" << rt << " b=" << b;
+    }
+}
+
+TEST_P(CodecProperty, TagAndPayloadWellFormed)
+{
+    const int b = GetParam();
+    for (const CodecPolicy policy : {CodecPolicy::kResidualMask,
+                                     CodecPolicy::kExponentThreshold}) {
+        const GradientCodec codec(b, policy);
+        for (const float f : adversarialValues(testSeed(), b)) {
+            const CompressedValue cv = codec.compress(f);
+            const int bits = cv.bits();
+            if (bits < 32) {
+                // Payload must fit the tag's width exactly.
+                ASSERT_LT(cv.payload, 1u << bits)
+                    << "f=" << f << " tag=" << static_cast<int>(cv.tag);
+            }
+            switch (cv.tag) {
+              case Tag::Zero:
+                ASSERT_EQ(cv.payload, 0u) << "f=" << f;
+                ASSERT_LE(std::abs(static_cast<double>(f)),
+                          codec.errorBound());
+                break;
+              case Tag::NoCompress:
+                // Verbatim: bit-exact round-trip, reserved for
+                // |f| >= 1 and non-finite values.
+                ASSERT_EQ(floatToBits(codec.decompress(cv)),
+                          floatToBits(f));
+                break;
+              default:
+                break;
+            }
+        }
+    }
+}
+
+TEST_P(CodecProperty, RoundtripIdempotent)
+{
+    const int b = GetParam();
+    for (const CodecPolicy policy : {CodecPolicy::kResidualMask,
+                                     CodecPolicy::kExponentThreshold}) {
+        const GradientCodec codec(b, policy);
+        for (const float f : adversarialValues(testSeed(), b)) {
+            const float once = codec.decompress(codec.compress(f));
+            const float twice =
+                codec.decompress(codec.compress(once));
+            ASSERT_EQ(floatToBits(twice), floatToBits(once))
+                << "f=" << f << " once=" << once;
+        }
+    }
+}
+
+TEST_P(CodecProperty, SignAndMagnitudePreserved)
+{
+    const int b = GetParam();
+    for (const CodecPolicy policy : {CodecPolicy::kResidualMask,
+                                     CodecPolicy::kExponentThreshold}) {
+        const GradientCodec codec(b, policy);
+        for (const float f : adversarialValues(testSeed(), b)) {
+            if (!std::isfinite(f))
+                continue;
+            const float rt = codec.decompress(codec.compress(f));
+            if (rt != 0.0f)
+                ASSERT_EQ(std::signbit(rt), std::signbit(f)) << f;
+            // Truncation never grows the magnitude.
+            ASSERT_LE(std::abs(rt), std::abs(f)) << f;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, CodecProperty,
+                         ::testing::Values(6, 8, 10));
+
+} // namespace
+} // namespace inc

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Golden-bitstream pinning of the wire format. The serialized bytes of
+ * encodeStream() over a fixed input vector are checked into the repo
+ * (tests/core/golden/*.bin); any change to tag encoding, payload
+ * packing, group layout, or the stream header shows up as a byte
+ * mismatch here — catching silent wire-format breaks that value-level
+ * round-trip tests cannot see.
+ *
+ * Regenerate after an *intentional* format change with:
+ *
+ *     INC_UPDATE_GOLDEN=1 ./build/tests/test_core \
+ *         --gtest_filter='GoldenBitstream*'
+ *
+ * and commit the rewritten .bin files with the change that caused them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/codec.h"
+#include "core/compressed_stream.h"
+#include "core/fp32.h"
+#include "sim/random.h"
+
+#ifndef INC_GOLDEN_DIR
+#error "INC_GOLDEN_DIR must point at tests/core/golden"
+#endif
+
+namespace inc {
+namespace {
+
+/**
+ * The pinned input vector: 256 floats mixing specials (zeros,
+ * subnormals, exact threshold values, +/-1, large magnitudes) with
+ * seeded gradient-like noise. Fixed seed on purpose — golden files are
+ * byte-exact artifacts, not a property sweep (codec_property_test.cc
+ * handles seed matrices).
+ */
+std::vector<float>
+goldenInput()
+{
+    std::vector<float> v = {
+        0.0f,          -0.0f,         1.0f,          -1.0f,
+        0.5f,          -0.5f,         0.25f,         -0.25f,
+        0.0078125f,    -0.0078125f, // 2^-7: 8-bit window edge
+        0.00390625f,   -0.00390625f, // 2^-8
+        0.0009765625f, -0.0009765625f, // 2^-10
+        1.5f,          -2.75f,        123456.0f,     -3.0e-5f,
+    };
+    v.push_back(Fp32Bits{0, 0, 1}.pack());        // smallest subnormal
+    v.push_back(Fp32Bits{1, 0, 0x7FFFFFu}.pack()); // largest subnormal
+    v.push_back(Fp32Bits{0, 1, 0}.pack());        // smallest normal
+    v.push_back(Fp32Bits{0, 126, 0x7FFFFFu}.pack()); // just below 1.0
+
+    Rng rng(0x601DB175ULL); // fixed: golden bits
+    while (v.size() < 224)
+        v.push_back(static_cast<float>(rng.gaussian(0.0, 0.05)));
+    while (v.size() < 256)
+        v.push_back(static_cast<float>(rng.uniform(-1.2, 1.2)));
+    return v;
+}
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(INC_GOLDEN_DIR) + "/" + name;
+}
+
+bool
+readFile(const std::string &path, std::vector<uint8_t> &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    out.resize(size > 0 ? static_cast<size_t>(size) : 0);
+    const size_t got = out.empty()
+                           ? 0
+                           : std::fread(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    return got == out.size();
+}
+
+void
+writeFile(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << "cannot write " << path;
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+              bytes.size());
+    std::fclose(f);
+}
+
+struct GoldenCase
+{
+    const char *file;
+    int bound;
+    CodecPolicy policy;
+};
+
+const GoldenCase kCases[] = {
+    {"stream_b6_residual.bin", 6, CodecPolicy::kResidualMask},
+    {"stream_b8_residual.bin", 8, CodecPolicy::kResidualMask},
+    {"stream_b10_residual.bin", 10, CodecPolicy::kResidualMask},
+    {"stream_b8_expthresh.bin", 8, CodecPolicy::kExponentThreshold},
+};
+
+class GoldenBitstream : public ::testing::TestWithParam<GoldenCase>
+{
+};
+
+TEST_P(GoldenBitstream, EncodeStreamMatchesPinnedBytes)
+{
+    const GoldenCase &gc = GetParam();
+    const GradientCodec codec(gc.bound, gc.policy);
+    const std::vector<float> input = goldenInput();
+    const CompressedStream stream = encodeStream(codec, input);
+    const std::vector<uint8_t> wire = serialize(stream);
+
+    const std::string path = goldenPath(gc.file);
+    if (std::getenv("INC_UPDATE_GOLDEN")) {
+        writeFile(path, wire);
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::vector<uint8_t> golden;
+    ASSERT_TRUE(readFile(path, golden))
+        << "missing golden vector " << path
+        << " (run with INC_UPDATE_GOLDEN=1 to generate)";
+    ASSERT_EQ(wire.size(), golden.size()) << gc.file;
+    for (size_t i = 0; i < wire.size(); ++i)
+        ASSERT_EQ(wire[i], golden[i])
+            << gc.file << " first differs at byte " << i;
+}
+
+TEST_P(GoldenBitstream, ChunkedEncoderMatchesPinnedBytes)
+{
+    const GoldenCase &gc = GetParam();
+    if (std::getenv("INC_UPDATE_GOLDEN"))
+        GTEST_SKIP() << "regeneration handled by the serial test";
+    const GradientCodec codec(gc.bound, gc.policy);
+    const std::vector<float> input = goldenInput();
+    // Small chunks so the 256-value vector spans several; the stitched
+    // stream must still serialize to the exact pinned bytes.
+    const ChunkedStream chunked =
+        encodeStreamChunked(codec, input, /*chunk_elems=*/64);
+    const std::vector<uint8_t> wire = serialize(chunked.stream);
+
+    std::vector<uint8_t> golden;
+    ASSERT_TRUE(readFile(goldenPath(gc.file), golden));
+    ASSERT_EQ(wire, golden) << gc.file;
+}
+
+TEST_P(GoldenBitstream, PinnedBytesDecodeLosslessly)
+{
+    const GoldenCase &gc = GetParam();
+    if (std::getenv("INC_UPDATE_GOLDEN"))
+        GTEST_SKIP();
+    std::vector<uint8_t> golden;
+    ASSERT_TRUE(readFile(goldenPath(gc.file), golden));
+
+    const GradientCodec codec(gc.bound, gc.policy);
+    const CompressedStream stream = deserialize(golden);
+    const std::vector<float> input = goldenInput();
+    ASSERT_EQ(stream.count, input.size());
+    std::vector<float> decoded(stream.count);
+    decodeStream(codec, stream, decoded);
+    for (size_t i = 0; i < input.size(); ++i) {
+        const float expect =
+            codec.decompress(codec.compress(input[i]));
+        ASSERT_EQ(floatToBits(decoded[i]), floatToBits(expect))
+            << gc.file << " value " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WireFormat, GoldenBitstream,
+                         ::testing::ValuesIn(kCases),
+                         [](const auto &info) {
+                             std::string n = info.param.file;
+                             return n.substr(0, n.size() - 4);
+                         });
+
+} // namespace
+} // namespace inc

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The metrics registry: counter/gauge/histogram semantics, shard
+ * merging, exporter formats, the enabled/disabled gate, and the
+ * determinism contract — snapshots must be bit-identical across thread
+ * counts because parallel regions tally into per-chunk shards merged in
+ * fixed chunk order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/codec.h"
+#include "core/compressed_stream.h"
+#include "sim/metrics.h"
+#include "sim/random.h"
+#include "sim/thread_pool.h"
+
+namespace inc {
+namespace {
+
+/** RAII: enable the global registry, restore + clear on exit. */
+struct ScopedMetrics
+{
+    ScopedMetrics()
+    {
+        metrics::reset();
+        metrics::setEnabled(true);
+    }
+    ~ScopedMetrics()
+    {
+        metrics::setEnabled(false);
+        metrics::reset();
+    }
+};
+
+TEST(MetricsRegistry, CountersGaugesAccumulate)
+{
+    metrics::Registry reg;
+    reg.add("a.count", 2);
+    reg.add("a.count", 3);
+    reg.set("a.gauge", 1.5);
+    reg.set("a.gauge", 2.5); // last write wins
+    EXPECT_EQ(reg.counter("a.count"), 5u);
+    EXPECT_DOUBLE_EQ(reg.gauge("a.gauge"), 2.5);
+    EXPECT_EQ(reg.counter("never.touched"), 0u);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndEdges)
+{
+    metrics::Registry reg;
+    // 4 buckets of width 2.5 over [0, 10).
+    reg.observe("h", -0.1, 0.0, 10.0, 4); // underflow
+    reg.observe("h", 0.0, 0.0, 10.0, 4);  // bucket 0
+    reg.observe("h", 2.5, 0.0, 10.0, 4);  // bucket 1
+    reg.observe("h", 9.99, 0.0, 10.0, 4); // bucket 3
+    reg.observe("h", 10.0, 0.0, 10.0, 4); // overflow
+    reg.observe("h", 42.0, 0.0, 10.0, 4); // overflow
+
+    const metrics::HistogramMetric *h = reg.histogram("h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 6u);
+    EXPECT_EQ(h->underflow(), 1u);
+    EXPECT_EQ(h->overflow(), 2u);
+    ASSERT_EQ(h->buckets().size(), 4u);
+    EXPECT_EQ(h->buckets()[0], 1u);
+    EXPECT_EQ(h->buckets()[1], 1u);
+    EXPECT_EQ(h->buckets()[2], 0u);
+    EXPECT_EQ(h->buckets()[3], 1u);
+    EXPECT_DOUBLE_EQ(h->sum(), -0.1 + 0.0 + 2.5 + 9.99 + 10.0 + 42.0);
+}
+
+TEST(MetricsRegistry, ShardMergePreservesTotals)
+{
+    metrics::HistogramMetric a(0.0, 8.0, 8), b(0.0, 8.0, 8);
+    a.observe(1.5);
+    a.observe(7.5);
+    b.observe(1.5);
+    b.observe(-1.0);
+
+    metrics::Registry reg;
+    reg.mergeHistogram("m", a);
+    reg.mergeHistogram("m", b);
+    const metrics::HistogramMetric *m = reg.histogram("m");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->count(), 4u);
+    EXPECT_EQ(m->buckets()[1], 2u);
+    EXPECT_EQ(m->buckets()[7], 1u);
+    EXPECT_EQ(m->underflow(), 1u);
+}
+
+TEST(MetricsRegistry, DisabledMeansNullActive)
+{
+    metrics::setEnabled(false);
+    EXPECT_EQ(metrics::active(), nullptr);
+    metrics::setEnabled(true);
+    EXPECT_EQ(metrics::active(), &metrics::global());
+    metrics::setEnabled(false);
+}
+
+TEST(MetricsRegistry, RenderFormatsAreStable)
+{
+    metrics::Registry reg;
+    reg.add("z.last", 1);
+    reg.add("a.first", 2);
+    reg.set("g", 0.5);
+    reg.observe("h", 1.0, 0.0, 2.0, 2);
+
+    const std::string json = reg.renderJson();
+    // Keys render sorted (std::map), so snapshots diff cleanly.
+    EXPECT_LT(json.find("a.first"), json.find("z.last"));
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+
+    const std::string csv = reg.renderCsv();
+    EXPECT_NE(csv.find("counter,a.first,2"), std::string::npos);
+    EXPECT_NE(csv.find("gauge,g,0.5"), std::string::npos);
+    EXPECT_NE(csv.find("histogram,h.count,1"), std::string::npos);
+}
+
+/** Run a metrics-instrumented parallel workload at @p threads and
+ *  return the JSON snapshot. */
+std::string
+codecSnapshotAtThreads(int threads)
+{
+    const int before = globalThreadCount();
+    setGlobalThreadCount(threads);
+    ScopedMetrics scoped;
+
+    Rng rng(7);
+    std::vector<float> values(50000);
+    for (auto &f : values)
+        f = static_cast<float>(rng.gaussian(0.0, 0.05));
+
+    const GradientCodec codec(10);
+    codec.measure(values);
+    std::vector<float> rt = values;
+    codec.roundtrip(rt);
+    encodeStream(codec, values);
+    encodeStreamChunked(codec, values, 4096);
+
+    const std::string json = metrics::global().renderJson();
+    setGlobalThreadCount(before);
+    return json;
+}
+
+TEST(MetricsDeterminism, SnapshotIdenticalAcrossThreadCounts)
+{
+    const std::string serial = codecSnapshotAtThreads(1);
+    const std::string parallel = codecSnapshotAtThreads(8);
+    EXPECT_EQ(serial, parallel);
+    // And rerunning at the same count reproduces the bytes exactly.
+    EXPECT_EQ(parallel, codecSnapshotAtThreads(8));
+}
+
+TEST(MetricsDeterminism, CodecCountersMatchTagHistogram)
+{
+    ScopedMetrics scoped;
+    Rng rng(11);
+    std::vector<float> values(10000);
+    for (auto &f : values)
+        f = static_cast<float>(rng.gaussian(0.0, 0.05));
+
+    const GradientCodec codec(10);
+    TagHistogram hist;
+    codec.measure(values, &hist);
+
+    const metrics::Registry &reg = metrics::global();
+    EXPECT_EQ(reg.counter("codec.values"), hist.total());
+    EXPECT_EQ(reg.counter("codec.tag.zero"),
+              hist.counts[static_cast<size_t>(Tag::Zero)]);
+    EXPECT_EQ(reg.counter("codec.tag.bits8"),
+              hist.counts[static_cast<size_t>(Tag::Bits8)]);
+    EXPECT_EQ(reg.counter("codec.tag.bits16"),
+              hist.counts[static_cast<size_t>(Tag::Bits16)]);
+    EXPECT_EQ(reg.counter("codec.tag.nocompress"),
+              hist.counts[static_cast<size_t>(Tag::NoCompress)]);
+}
+
+} // namespace
+} // namespace inc
