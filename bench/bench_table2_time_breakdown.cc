@@ -12,9 +12,36 @@
 #include "bench_util.h"
 #include "distrib/sim_trainer.h"
 #include "paper_reference.h"
+#include "sim/span.h"
+#include "stats/critical_path.h"
 #include "stats/table_printer.h"
 
 using namespace inc;
+
+namespace {
+
+/**
+ * Span-enabled rerun of one workload (short: spans grow with
+ * iterations) followed by a critical-path decomposition. The main
+ * Table II runs above never enable spans, keeping their output
+ * byte-identical with or without --spans.
+ */
+CriticalPathReport
+blameForWorkload(const Workload &w, uint64_t iters)
+{
+    spans::reset();
+    spans::setEnabled(true);
+    SimTrainerConfig cfg;
+    cfg.workload = w;
+    cfg.workers = 4;
+    cfg.algorithm = ExchangeAlgorithm::WorkerAggregator;
+    cfg.iterations = iters;
+    (void)runSimTraining(cfg);
+    spans::setEnabled(false);
+    return analyzeCriticalPath(spans::global().spans());
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -62,7 +89,9 @@ main(int argc, char **argv)
 
     // With --metrics, rerun the first workload for a few iterations
     // with a chrome-trace recorder attached (link occupancy +
-    // per-iteration compute/exchange/update spans).
+    // per-iteration compute/exchange/update spans). Adding --spans
+    // turns causal tracing on for this rerun, which adds Perfetto flow
+    // arrows (follow a block NIC -> switch -> NIC) to the trace.
     if (opts.metrics) {
         TimelineRecorder timeline;
         SimTrainerConfig cfg;
@@ -71,9 +100,80 @@ main(int argc, char **argv)
         cfg.algorithm = ExchangeAlgorithm::WorkerAggregator;
         cfg.iterations = 3;
         cfg.timeline = &timeline;
+        if (!opts.spansPath.empty()) {
+            spans::reset();
+            spans::setEnabled(true);
+        }
         (void)runSimTraining(cfg);
+        spans::setEnabled(false);
         bench::emitTimeline(opts, "table2_breakdown.trace.json",
                             timeline);
+    }
+
+    // With --spans, rerun each workload briefly with causal tracing on
+    // and print where every simulated second went (critical-path
+    // blame). The blame categories must sum bit-exactly to the
+    // simulated window — a non-exact decomposition is a bug.
+    if (!opts.spansPath.empty()) {
+        const uint64_t span_iters = opts.quick ? 2 : 3;
+        std::printf("Critical-path blame (%llu span-traced iterations "
+                    "per model):\n\n",
+                    static_cast<unsigned long long>(span_iters));
+        CsvWriter blame_csv({"model", "category", "ticks", "seconds",
+                             "fraction"});
+        bool all_exact = true;
+        bool spans_written = false;
+        for (const auto &w : allWorkloads()) {
+            const CriticalPathReport rep =
+                blameForWorkload(w, span_iters);
+            if (!spans_written) {
+                std::error_code ec;
+                std::filesystem::create_directories(
+                    std::filesystem::path(opts.spansPath)
+                        .parent_path(),
+                    ec);
+                if (spans::global().writeCsvFile(opts.spansPath))
+                    std::printf("[spans] %s (%zu spans, model %s)\n",
+                                opts.spansPath.c_str(),
+                                spans::global().size(),
+                                w.name.c_str());
+                spans_written = true;
+            }
+            all_exact = all_exact && rep.exact();
+
+            TablePrinter t({"Category", "Seconds", "Share"});
+            const Tick window = rep.elapsedTicks;
+            for (int b = 0;
+                 b < static_cast<int>(spans::Blame::kCount); ++b) {
+                const auto blame = static_cast<spans::Blame>(b);
+                const Tick ticks = rep.totals.get(blame);
+                const double frac =
+                    window ? static_cast<double>(ticks) /
+                                 static_cast<double>(window)
+                           : 0.0;
+                t.addRow({spans::blameName(blame),
+                          TablePrinter::num(rep.totals.seconds(blame),
+                                            4),
+                          TablePrinter::pct(frac)});
+                blame_csv.addRow(
+                    {w.name, spans::blameName(blame),
+                     std::to_string(ticks),
+                     TablePrinter::num(rep.totals.seconds(blame), 6),
+                     TablePrinter::num(frac, 4)});
+            }
+            char title[128];
+            std::snprintf(title, sizeof(title),
+                          "%s blame (%s: %llu ticks)", w.name.c_str(),
+                          rep.exact() ? "exact" : "NOT EXACT",
+                          static_cast<unsigned long long>(window));
+            std::printf("%s\n", t.render(title).c_str());
+        }
+        bench::emitCsv(opts, "table2_blame.csv", blame_csv);
+        if (!all_exact) {
+            std::fprintf(stderr,
+                         "error: blame decomposition not exact\n");
+            return 1;
+        }
     }
     return 0;
 }

@@ -32,6 +32,12 @@ struct Options
     uint64_t iterations = 0;  ///< 0 = per-bench default
     int seeds = 0;            ///< 0 = per-bench default seed count
     std::string csvDir = "bench_results";
+    /** Causal-span capture (--spans[=FILE]): empty = off. Benches that
+     *  support it run a short span-enabled pass, write the span CSV
+     *  here (analyze with tools/inc_critpath), and print a blame
+     *  table. The main tables never run with spans enabled, so their
+     *  stdout and CSVs are byte-identical with or without the flag. */
+    std::string spansPath;
 
     static Options
     parse(int argc, char **argv)
@@ -49,12 +55,23 @@ struct Options
                 o.seeds = std::atoi(arg.c_str() + 8);
             } else if (arg.rfind("--csv-dir=", 0) == 0) {
                 o.csvDir = arg.substr(10);
+            } else if (arg.rfind("--spans=", 0) == 0) {
+                o.spansPath = arg.substr(8);
+            } else if (arg == "--spans") {
+                o.spansPath = "<default>";
             } else if (arg == "--help" || arg == "-h") {
                 std::printf("usage: %s [--quick] [--metrics] "
-                            "[--iterations=N] [--csv-dir=PATH]\n",
+                            "[--iterations=N] [--csv-dir=PATH] "
+                            "[--spans[=FILE]]\n",
                             argv[0]);
                 std::exit(0);
             }
+        }
+        if (o.spansPath == "<default>") {
+            o.spansPath =
+                o.csvDir + "/" +
+                std::filesystem::path(argv[0]).filename().string() +
+                ".spans.csv";
         }
         if (o.metrics) {
             metrics::setEnabled(true);

@@ -54,6 +54,8 @@ struct ExchangeResult
      */
     uint64_t retransmits = 0;
     uint64_t packetsDropped = 0;
+    /** Causal Exchange span of this instance (0 = tracing off). */
+    uint64_t spanId = 0;
 
     Tick duration() const { return finish - start; }
     double seconds() const { return toSeconds(duration()); }

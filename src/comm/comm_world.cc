@@ -1,6 +1,7 @@
 #include "comm/comm_world.h"
 
 #include "sim/logging.h"
+#include "sim/span.h"
 
 namespace inc {
 
@@ -32,9 +33,13 @@ CommWorld::send(int src, int dst, int tag, uint64_t bytes,
         if (wit != waiting_.end() && !wit->second.empty()) {
             RecvHandler handler = std::move(wit->second.front());
             wit->second.pop_front();
+            // Arrival cause is already set by the transport here.
             handler(delivered);
         } else {
-            arrived_[key].push_back(delivered);
+            uint64_t span = 0;
+            if (const auto *sp = spans::active())
+                span = sp->arrivalCause();
+            arrived_[key].push_back(Arrival{delivered, span});
         }
     };
 
@@ -58,12 +63,19 @@ CommWorld::recv(int dst, int src, int tag, RecvHandler handler)
     const Key key{dst, src, tag};
     auto ait = arrived_.find(key);
     if (ait != arrived_.end() && !ait->second.empty()) {
-        const Tick delivered = ait->second.front();
+        const Arrival a = ait->second.front();
         ait->second.pop_front();
         // Fire from event context at a consistent time: the message is
-        // already in host memory, so the handler runs "now".
-        net_.events().scheduleIn(0, [handler = std::move(handler),
-                                     delivered] { handler(delivered); });
+        // already in host memory, so the handler runs "now" — with the
+        // original message span restored as the arrival cause.
+        net_.events().scheduleIn(0, [handler = std::move(handler), a] {
+            auto *sp = a.span != 0 ? spans::active() : nullptr;
+            if (sp)
+                sp->setArrivalCause(a.span);
+            handler(a.when);
+            if (sp)
+                sp->clearArrivalCause();
+        });
     } else {
         waiting_[key].push_back(std::move(handler));
     }

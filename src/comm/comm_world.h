@@ -117,13 +117,20 @@ class CommWorld
         auto operator<=>(const ChannelKey &) const = default;
     };
 
+    /** Early arrival parked until its recv() is posted. */
+    struct Arrival
+    {
+        Tick when = 0;
+        uint64_t span = 0; ///< Message span for the handler's context
+    };
+
     ReliableChannel &channelFor(int src, int dst, uint8_t tos);
 
     Fabric &net_;
     TransportOptions transport_;
     std::map<ChannelKey, std::unique_ptr<ReliableChannel>> channels_;
     uint64_t nextFlowId_ = 1;
-    std::map<Key, std::deque<Tick>> arrived_;
+    std::map<Key, std::deque<Arrival>> arrived_;
     std::map<Key, std::deque<RecvHandler>> waiting_;
 };
 

@@ -1,10 +1,12 @@
 #include "comm/hier_ring_allreduce.h"
 
+#include <cstdio>
 #include <memory>
 
 #include "comm/ring_allreduce.h"
 #include "sim/logging.h"
 #include "sim/metrics.h"
+#include "sim/span.h"
 
 namespace inc {
 
@@ -17,6 +19,9 @@ struct HierState
     ExchangeDone done;
     size_t groupsPending = 0;
     size_t membersPending = 0;
+    /** Finish tick and Exchange span of the last intra-group ring. */
+    Tick intraFinish = 0;
+    uint64_t lastIntraSpan = 0;
     int fanOutTag = 0;
     TransportStats startTransport;
 };
@@ -40,7 +45,14 @@ startIntraRings(CommWorld &comm, const std::shared_ptr<HierState> &state)
         RingConfig rc;
         static_cast<ExchangeConfig &>(rc) = state->config;
         rc.ranks = group;
-        runRingAllReduce(comm, rc, [&comm, state](ExchangeResult) {
+        // Intra rings nest under the hier exchange and keep the
+        // caller's pending cause (gradients becoming ready).
+        spans::Scope scope(state->result.spanId);
+        runRingAllReduce(comm, rc, [&comm, state](ExchangeResult r) {
+            if (r.finish >= state->intraFinish) {
+                state->intraFinish = r.finish;
+                state->lastIntraSpan = r.spanId;
+            }
             if (--state->groupsPending == 0)
                 startLeaderRing(comm, state);
         });
@@ -54,8 +66,11 @@ startLeaderRing(CommWorld &comm, const std::shared_ptr<HierState> &state)
     static_cast<ExchangeConfig &>(rc) = state->config;
     for (const auto &group : state->config.groups)
         rc.ranks.push_back(group.front());
-    runRingAllReduce(comm, rc, [&comm, state](ExchangeResult) {
+    // The leader ring cannot start before the slowest intra ring ended.
+    spans::Scope scope(state->result.spanId, state->lastIntraSpan);
+    runRingAllReduce(comm, rc, [&comm, state](ExchangeResult lr) {
         // Phase 3: leaders fan the aggregated gradient to their members.
+        spans::Scope fan_scope(state->result.spanId, lr.spanId);
         SendOptions opts;
         opts.compress = state->config.compressGradients;
         opts.wireRatio = state->config.wireRatio;
@@ -65,11 +80,23 @@ startLeaderRing(CommWorld &comm, const std::shared_ptr<HierState> &state)
                 comm.send(leader, group[i], state->fanOutTag,
                           state->config.gradientBytes, opts);
                 comm.recv(group[i], leader, state->fanOutTag,
-                          [state, &comm](Tick delivered) {
+                          [state, &comm,
+                           member = group[i]](Tick delivered) {
                               state->result.finish = std::max(
                                   state->result.finish,
                                   delivered +
                                       state->config.perMessageOverhead);
+                              if (auto *sp = spans::active()) {
+                                  sp->record(
+                                      spans::Kind::MsgOverhead, member,
+                                      delivered,
+                                      delivered +
+                                          state->config
+                                              .perMessageOverhead,
+                                      state->result.spanId,
+                                      sp->arrivalCause(),
+                                      "msg overhead");
+                              }
                               if (--state->membersPending == 0) {
                                   // Deltas span all three phases (the
                                   // inner rings' own results are
@@ -83,6 +110,12 @@ startLeaderRing(CommWorld &comm, const std::shared_ptr<HierState> &state)
                                       ts.dropsObserved -
                                       state->startTransport
                                           .dropsObserved;
+                                  if (state->result.spanId != 0) {
+                                      if (auto *sp = spans::active())
+                                          sp->close(
+                                              state->result.spanId,
+                                              state->result.finish);
+                                  }
                                   state->done(state->result);
                               }
                           });
@@ -110,6 +143,14 @@ runHierRingAllReduce(CommWorld &comm, const HierRingConfig &config,
     for (const auto &g : config.groups)
         state->membersPending += g.size() - 1;
     state->fanOutTag = nextFanOutTag();
+    if (auto *sp = spans::active()) {
+        char nm[32];
+        std::snprintf(nm, sizeof(nm), "hier g=%zu",
+                      config.groups.size());
+        state->result.spanId =
+            sp->open(spans::Kind::Exchange, -1, state->result.start,
+                     sp->currentParent(), sp->pendingCause(), nm);
+    }
     if (auto *m = metrics::active()) {
         m->add("comm.hier_ring.exchanges", 1);
         m->add("comm.hier_ring.fan_out.bytes",

@@ -1,8 +1,10 @@
 #include "comm/primitives.h"
 
+#include <cstdio>
 #include <memory>
 
 #include "sim/logging.h"
+#include "sim/span.h"
 
 namespace inc {
 
@@ -54,14 +56,30 @@ forwardFrom(CommWorld &comm, const std::shared_ptr<BroadcastState> &state,
                           delivered + state->config.perMessageOverhead;
                       state->result.finish =
                           std::max(state->result.finish, seen);
+                      uint64_t ov = 0;
+                      if (auto *sp = spans::active()) {
+                          ov = sp->record(
+                              spans::Kind::MsgOverhead,
+                              state->ranks[peer], delivered, seen,
+                              state->result.spanId, sp->arrivalCause(),
+                              "msg overhead");
+                      }
                       // This rank now owns a copy: forward in later
                       // rounds.
                       comm.network().events().schedule(
-                          seen, [&comm, state, peer, k] {
+                          seen, [&comm, state, peer, k, ov] {
+                              spans::Scope scope(state->result.spanId,
+                                                 ov);
                               forwardFrom(comm, state, peer, k + 1);
                           });
-                      if (--state->pending == 0)
+                      if (--state->pending == 0) {
+                          if (state->result.spanId != 0) {
+                              if (auto *sp = spans::active())
+                                  sp->close(state->result.spanId,
+                                            state->result.finish);
+                          }
                           state->done(state->result);
+                      }
                   });
     }
 }
@@ -136,8 +154,21 @@ runBroadcast(CommWorld &comm, const BroadcastConfig &config,
     state->result.start = comm.network().events().now();
     state->pending = state->ranks.size() - 1;
     state->tagBase = nextPrimitiveTagBase();
+    if (auto *sp = spans::active()) {
+        char nm[32];
+        std::snprintf(nm, sizeof(nm), "bcast n=%zu",
+                      state->ranks.size());
+        state->result.spanId =
+            sp->open(spans::Kind::Exchange, config.root,
+                     state->result.start, sp->currentParent(),
+                     sp->pendingCause(), nm);
+    }
 
-    forwardFrom(comm, state, 0, 0);
+    {
+        // Root sends keep the caller's pending cause.
+        spans::Scope scope(state->result.spanId);
+        forwardFrom(comm, state, 0, 0);
+    }
 }
 
 void

@@ -8,6 +8,7 @@
 #include "core/ring_schedule.h"
 #include "sim/logging.h"
 #include "sim/metrics.h"
+#include "sim/span.h"
 #include "sim/trace.h"
 #include "stats/timeline.h"
 
@@ -29,6 +30,8 @@ struct RingState
     /** Tick each position finished its previous step (metrics: the gap
      *  to the next delivery is time the rank sat stalled on the wire). */
     std::vector<Tick> lastReady;
+    /** Span of each position's latest processing (causal chain links). */
+    std::vector<uint64_t> lastSpan;
 };
 
 const char *
@@ -56,6 +59,10 @@ sendStep(CommWorld &comm, const std::shared_ptr<RingState> &state, int pos,
                    ".bytes",
                bytes);
     }
+    // Step 1 inherits the caller's pending cause (the gradients being
+    // ready); later steps chain from this rank's previous processing.
+    spans::Scope scope(state->result.spanId,
+                       state->lastSpan[static_cast<size_t>(pos)]);
     comm.send(src, dst, state->tagBase + step, bytes, opts);
 }
 
@@ -69,18 +76,32 @@ postRecv(CommWorld &comm, const std::shared_ptr<RingState> &state, int pos,
     comm.recv(me, prev, state->tagBase + step,
               [&comm, state, pos, step](Tick delivered) {
         const RingStep rs = ringStepFor(pos, step, state->nodes);
-        Host &host = comm.network().host(
-            state->ranks[static_cast<size_t>(pos)]);
+        const int me = state->ranks[static_cast<size_t>(pos)];
+        Host &host = comm.network().host(me);
 
         // Reduce-scatter sums the received block; all-gather just copies
         // (negligible cost). Both pay the per-message software overhead.
-        Tick processed = delivered + state->config.perMessageOverhead;
+        const Tick after_overhead =
+            delivered + state->config.perMessageOverhead;
+        Tick processed = after_overhead;
+        Tick sum_cost = 0;
         if (rs.phase == RingPhase::ReduceScatter) {
             const uint64_t bytes =
                 state->blocks[static_cast<size_t>(rs.recvBlock)].second;
-            processed = host.compute(
-                processed, sumCost(bytes,
-                                   state->config.sumSecondsPerByte));
+            sum_cost =
+                sumCost(bytes, state->config.sumSecondsPerByte);
+            processed = host.compute(after_overhead, sum_cost);
+        }
+        if (auto *sp = spans::active()) {
+            uint64_t link = sp->record(
+                spans::Kind::MsgOverhead, me, delivered, after_overhead,
+                state->result.spanId, sp->arrivalCause(), "msg overhead");
+            if (rs.phase == RingPhase::ReduceScatter) {
+                link = sp->record(spans::Kind::SumReduce, me,
+                                  processed - sum_cost, processed,
+                                  state->result.spanId, link, "sum");
+            }
+            state->lastSpan[static_cast<size_t>(pos)] = link;
         }
 
         const Tick ready = state->lastReady[static_cast<size_t>(pos)];
@@ -121,6 +142,11 @@ postRecv(CommWorld &comm, const std::shared_ptr<RingState> &state, int pos,
                 state->result.packetsDropped =
                     ts.dropsObserved -
                     state->startTransport.dropsObserved;
+                if (state->result.spanId != 0) {
+                    if (auto *sp = spans::active())
+                        sp->close(state->result.spanId,
+                                  state->result.finish);
+                }
                 INC_TRACE(Comm, state->result.finish,
                           "ring all-reduce over %d nodes done in %.6f ms",
                           state->nodes, state->result.seconds() * 1e3);
@@ -155,6 +181,14 @@ runRingAllReduce(CommWorld &comm, const RingConfig &config, ExchangeDone done)
     state->result.start = comm.network().events().now();
     state->startTransport = comm.transportStats();
     state->lastReady.assign(static_cast<size_t>(n), state->result.start);
+    state->lastSpan.assign(static_cast<size_t>(n), 0);
+    if (auto *sp = spans::active()) {
+        char nm[32];
+        std::snprintf(nm, sizeof(nm), "ring n=%d", n);
+        state->result.spanId =
+            sp->open(spans::Kind::Exchange, -1, state->result.start,
+                     sp->currentParent(), sp->pendingCause(), nm);
+    }
     if (auto *m = metrics::active())
         m->add("comm.ring.exchanges", 1);
     // Distinct tag space per ring instance so concurrent subset rings

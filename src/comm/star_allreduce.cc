@@ -6,6 +6,7 @@
 #include "comm/primitives.h"
 #include "sim/logging.h"
 #include "sim/metrics.h"
+#include "sim/span.h"
 #include "sim/trace.h"
 #include "stats/timeline.h"
 
@@ -22,6 +23,10 @@ struct StarState
     size_t gradientsPending = 0;
     size_t weightsPending = 0;
     Tick sumDone = 0;
+    /** When the aggregator CPU last went idle (stall accounting). */
+    Tick aggBusyUntil = 0;
+    /** SumReduce span of the stream that finished last. */
+    uint64_t lastSumSpan = 0;
     int gradientTag = 0;
     int weightTag = 0;
     TransportStats startTransport;
@@ -64,8 +69,18 @@ runStarAllReduce(CommWorld &comm, const StarConfig &config,
     state->startTransport = comm.transportStats();
     state->gradientsPending = config.workers.size();
     state->weightsPending = config.workers.size();
+    state->aggBusyUntil = state->result.start;
     state->gradientTag = nextTagPair();
     state->weightTag = state->gradientTag + 1;
+    if (auto *sp = spans::active()) {
+        char nm[32];
+        std::snprintf(nm, sizeof(nm), "star w=%zu",
+                      config.workers.size());
+        state->result.spanId =
+            sp->open(spans::Kind::Exchange, config.aggregator,
+                     state->result.start, sp->currentParent(),
+                     sp->pendingCause(), nm);
+    }
 
     Host &agg = comm.network().host(config.aggregator);
 
@@ -77,13 +92,17 @@ runStarAllReduce(CommWorld &comm, const StarConfig &config,
                config.gradientBytes * config.workers.size());
     }
 
-    // Every worker pushes its gradient to the aggregator.
+    // Every worker pushes its gradient to the aggregator. The sends
+    // keep the caller's pending cause (gradients becoming ready).
     SendOptions grad_opts;
     grad_opts.compress = config.compressGradients;
     grad_opts.wireRatio = config.wireRatio;
-    for (int w : config.workers)
-        comm.send(w, config.aggregator, state->gradientTag, config.gradientBytes,
-                  grad_opts);
+    {
+        spans::Scope scope(state->result.spanId);
+        for (int w : config.workers)
+            comm.send(w, config.aggregator, state->gradientTag,
+                      config.gradientBytes, grad_opts);
+    }
 
     // The aggregator sums each stream as it lands, then broadcasts the
     // updated weights.
@@ -96,12 +115,31 @@ runStarAllReduce(CommWorld &comm, const StarConfig &config,
                       const Tick ready =
                           delivered + state->config.perMessageOverhead;
                       const Tick done_at = agg.compute(ready, cost);
+                      // Stall = aggregator CPU idle time before this
+                      // stream landed (same semantics as the ring's
+                      // per-step stall), not the raw delivery latency.
+                      const Tick stall =
+                          delivered > state->aggBusyUntil
+                              ? delivered - state->aggBusyUntil
+                              : 0;
+                      state->aggBusyUntil =
+                          std::max(state->aggBusyUntil, done_at);
+                      if (auto *sp = spans::active()) {
+                          const uint64_t ov = sp->record(
+                              spans::Kind::MsgOverhead,
+                              state->config.aggregator, delivered, ready,
+                              state->result.spanId, sp->arrivalCause(),
+                              "msg overhead");
+                          const uint64_t sum = sp->record(
+                              spans::Kind::SumReduce,
+                              state->config.aggregator, done_at - cost,
+                              done_at, state->result.spanId, ov, "sum");
+                          if (done_at >= state->sumDone)
+                              state->lastSumSpan = sum;
+                      }
                       state->sumDone = std::max(state->sumDone, done_at);
                       if (auto *m = metrics::active()) {
-                          m->add("comm.star.gather.stall_ticks",
-                                 delivered > state->result.start
-                                     ? delivered - state->result.start
-                                     : 0);
+                          m->add("comm.star.gather.stall_ticks", stall);
                       }
                       if (TimelineRecorder *tl =
                               comm.network().timeline()) {
@@ -118,6 +156,9 @@ runStarAllReduce(CommWorld &comm, const StarConfig &config,
                       // a sequential fan-out or a binomial tree.
                       comm.network().events().schedule(
                           state->sumDone, [state, &comm] {
+                              // Weights leave once the last sum is done.
+                              spans::Scope scope(state->result.spanId,
+                                                 state->lastSumSpan);
                               if (state->config.treeBroadcastWeights) {
                                   BroadcastConfig bc;
                                   static_cast<ExchangeConfig &>(bc) =
@@ -136,6 +177,15 @@ runStarAllReduce(CommWorld &comm, const StarConfig &config,
                                               state->result.finish,
                                               br.finish);
                                           finishTransport(comm, *state);
+                                          if (state->result.spanId != 0) {
+                                              if (auto *sp =
+                                                      spans::active())
+                                                  sp->close(
+                                                      state->result
+                                                          .spanId,
+                                                      state->result
+                                                          .finish);
+                                          }
                                           state->done(state->result);
                                       });
                                   return;
@@ -159,12 +209,25 @@ runStarAllReduce(CommWorld &comm, const StarConfig &config,
         return;
     for (int w : config.workers) {
         comm.recv(w, config.aggregator, state->weightTag,
-                  [state, &comm](Tick delivered) {
+                  [state, &comm, w](Tick delivered) {
                       state->result.finish = std::max(
                           state->result.finish,
                           delivered + state->config.perMessageOverhead);
+                      if (auto *sp = spans::active()) {
+                          sp->record(spans::Kind::MsgOverhead, w,
+                                     delivered,
+                                     delivered +
+                                         state->config.perMessageOverhead,
+                                     state->result.spanId,
+                                     sp->arrivalCause(), "msg overhead");
+                      }
                       if (--state->weightsPending == 0) {
                           finishTransport(comm, *state);
+                          if (state->result.spanId != 0) {
+                              if (auto *sp = spans::active())
+                                  sp->close(state->result.spanId,
+                                            state->result.finish);
+                          }
                           INC_TRACE(Comm, state->result.finish,
                                     "star all-reduce over %zu workers "
                                     "done in %.6f ms",

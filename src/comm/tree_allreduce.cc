@@ -1,9 +1,11 @@
 #include "comm/tree_allreduce.h"
 
+#include <cstdio>
 #include <memory>
 
 #include "sim/logging.h"
 #include "sim/metrics.h"
+#include "sim/span.h"
 
 namespace inc {
 
@@ -18,6 +20,8 @@ struct TreeState
     size_t workersPending = 0;
     size_t partialsPending = 0;
     Tick rootSumDone = 0;
+    /** SumReduce span of the partial that finished last at the root. */
+    uint64_t rootSumSpan = 0;
     int tagBase = 0;
     TransportStats startTransport;
 };
@@ -51,6 +55,15 @@ runTreeAllReduce(CommWorld &comm, const TreeConfig &config,
     for (const auto &g : config.groups)
         state->totalWorkers += g.workers.size();
     state->workersPending = state->totalWorkers;
+    if (auto *sp = spans::active()) {
+        char nm[32];
+        std::snprintf(nm, sizeof(nm), "tree g=%zu",
+                      config.groups.size());
+        state->result.spanId =
+            sp->open(spans::Kind::Exchange, config.root,
+                     state->result.start, sp->currentParent(),
+                     sp->pendingCause(), nm);
+    }
 
     if (auto *m = metrics::active()) {
         m->add("comm.tree.exchanges", 1);
@@ -73,30 +86,54 @@ runTreeAllReduce(CommWorld &comm, const TreeConfig &config,
         // Leaf leg: workers -> group aggregator.
         auto pending = std::make_shared<size_t>(group.workers.size());
         auto group_sum_done = std::make_shared<Tick>(0);
+        auto group_sum_span = std::make_shared<uint64_t>(0);
         Host &agg = comm.network().host(group.aggregator);
 
-        for (int w : group.workers)
-            comm.send(w, group.aggregator, state->tagBase + 0,
-                      config.gradientBytes, grad_opts);
+        {
+            // Leaf sends keep the caller's pending cause.
+            spans::Scope scope(state->result.spanId);
+            for (int w : group.workers)
+                comm.send(w, group.aggregator, state->tagBase + 0,
+                          config.gradientBytes, grad_opts);
+        }
 
         for (int w : group.workers) {
             comm.recv(group.aggregator, w, state->tagBase + 0,
                       [state, &comm, &agg, group, pending, group_sum_done,
-                       grad_opts](Tick delivered) {
+                       group_sum_span, grad_opts](Tick delivered) {
                           const Tick cost =
                               sumCost(state->config.gradientBytes,
                                       state->config.sumSecondsPerByte);
                           const Tick ready =
                               delivered +
                               state->config.perMessageOverhead;
-                          *group_sum_done = std::max(
-                              *group_sum_done, agg.compute(ready, cost));
+                          const Tick done_at = agg.compute(ready, cost);
+                          if (auto *sp = spans::active()) {
+                              const uint64_t ov = sp->record(
+                                  spans::Kind::MsgOverhead,
+                                  group.aggregator, delivered, ready,
+                                  state->result.spanId,
+                                  sp->arrivalCause(), "msg overhead");
+                              const uint64_t sum = sp->record(
+                                  spans::Kind::SumReduce,
+                                  group.aggregator, done_at - cost,
+                                  done_at, state->result.spanId, ov,
+                                  "sum");
+                              if (done_at >= *group_sum_done)
+                                  *group_sum_span = sum;
+                          }
+                          *group_sum_done =
+                              std::max(*group_sum_done, done_at);
                           if (--*pending > 0)
                               return;
                           // Partial sum climbs to the root.
                           comm.network().events().schedule(
                               *group_sum_done,
-                              [state, &comm, group, grad_opts] {
+                              [state, &comm, group, group_sum_span,
+                               grad_opts] {
+                                  spans::Scope scope(
+                                      state->result.spanId,
+                                      *group_sum_span);
                                   comm.send(group.aggregator,
                                             state->config.root,
                                             state->tagBase + 1,
@@ -115,12 +152,28 @@ runTreeAllReduce(CommWorld &comm, const TreeConfig &config,
                                   state->config.sumSecondsPerByte);
                       const Tick ready =
                           delivered + state->config.perMessageOverhead;
-                      state->rootSumDone = std::max(
-                          state->rootSumDone, root.compute(ready, cost));
+                      const Tick done_at = root.compute(ready, cost);
+                      if (auto *sp = spans::active()) {
+                          const uint64_t ov = sp->record(
+                              spans::Kind::MsgOverhead,
+                              state->config.root, delivered, ready,
+                              state->result.spanId, sp->arrivalCause(),
+                              "msg overhead");
+                          const uint64_t sum = sp->record(
+                              spans::Kind::SumReduce, state->config.root,
+                              done_at - cost, done_at,
+                              state->result.spanId, ov, "sum");
+                          if (done_at >= state->rootSumDone)
+                              state->rootSumSpan = sum;
+                      }
+                      state->rootSumDone =
+                          std::max(state->rootSumDone, done_at);
                       if (--state->partialsPending > 0)
                           return;
                       comm.network().events().schedule(
                           state->rootSumDone, [state, &comm, weight_opts] {
+                              spans::Scope scope(state->result.spanId,
+                                                 state->rootSumSpan);
                               for (const auto &g : state->config.groups)
                                   comm.send(state->config.root,
                                             g.aggregator, state->tagBase + 2,
@@ -132,6 +185,10 @@ runTreeAllReduce(CommWorld &comm, const TreeConfig &config,
         // Weights fan back down: root -> group agg -> workers.
         comm.recv(group.aggregator, config.root, state->tagBase + 2,
                   [state, &comm, group, weight_opts](Tick) {
+                      uint64_t cz = 0;
+                      if (const auto *sp = spans::active())
+                          cz = sp->arrivalCause();
+                      spans::Scope scope(state->result.spanId, cz);
                       for (int w : group.workers)
                           comm.send(group.aggregator, w, state->tagBase + 3,
                                     state->config.gradientBytes,
@@ -139,11 +196,19 @@ runTreeAllReduce(CommWorld &comm, const TreeConfig &config,
                   });
         for (int w : group.workers) {
             comm.recv(w, group.aggregator, state->tagBase + 3,
-                      [state, &comm](Tick delivered) {
+                      [state, &comm, w](Tick delivered) {
                           state->result.finish = std::max(
                               state->result.finish,
                               delivered +
                                   state->config.perMessageOverhead);
+                          if (auto *sp = spans::active()) {
+                              sp->record(
+                                  spans::Kind::MsgOverhead, w, delivered,
+                                  delivered +
+                                      state->config.perMessageOverhead,
+                                  state->result.spanId,
+                                  sp->arrivalCause(), "msg overhead");
+                          }
                           if (--state->workersPending == 0) {
                               // Per-exchange transport deltas, as in
                               // the ring/star exchanges.
@@ -155,6 +220,11 @@ runTreeAllReduce(CommWorld &comm, const TreeConfig &config,
                               state->result.packetsDropped =
                                   ts.dropsObserved -
                                   state->startTransport.dropsObserved;
+                              if (state->result.spanId != 0) {
+                                  if (auto *sp = spans::active())
+                                      sp->close(state->result.spanId,
+                                                state->result.finish);
+                              }
                               state->done(state->result);
                           }
                       });

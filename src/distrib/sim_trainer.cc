@@ -7,6 +7,7 @@
 #include "comm/inceptionn_api.h"
 #include "sim/logging.h"
 #include "sim/metrics.h"
+#include "sim/span.h"
 #include "stats/timeline.h"
 
 namespace inc {
@@ -40,6 +41,9 @@ struct RunState
     std::unique_ptr<CommWorld> comm;
     uint64_t iterationsDone = 0;
     double exchangeSeconds = 0.0;
+    /** Iteration span of the previous step (causal chain across the
+     *  run: iteration N cannot start before N-1's update finished). */
+    uint64_t lastIterSpan = 0;
 };
 
 void
@@ -53,9 +57,37 @@ runIteration(RunState &rs)
     auto pending = std::make_shared<int>(buckets);
     auto iter_start = std::make_shared<Tick>(t0);
     auto last_finish = std::make_shared<Tick>(0);
+    // Exchange span of the bucket that finished last (the update's
+    // causal predecessor).
+    auto win = std::make_shared<uint64_t>(0);
 
-    auto on_bucket_done = [&rs, pending, iter_start,
-                           last_finish](ExchangeResult er) {
+    // Root span of this iteration plus the local compute phases. The
+    // phase boundaries use cumulative sums so the copy span's end is
+    // bit-identical to the metrics' compute_end below.
+    uint64_t iter_span = 0;
+    uint64_t copy_span = 0;
+    if (auto *sp = spans::active()) {
+        char nm[32];
+        std::snprintf(nm, sizeof(nm), "iter %llu",
+                      static_cast<unsigned long long>(rs.iterationsDone));
+        iter_span = sp->open(spans::Kind::Iteration, -1, t0, 0,
+                             rs.lastIterSpan, nm);
+        const Tick fwd_end = t0 + fromSeconds(t.forward);
+        const Tick bwd_end = t0 + fromSeconds(t.forward + t.backward);
+        const Tick copy_end = t0 + fromSeconds(t.localCompute());
+        const uint64_t f = sp->record(spans::Kind::Forward, -1, t0,
+                                      fwd_end, iter_span, rs.lastIterSpan,
+                                      "forward");
+        const uint64_t b = sp->record(spans::Kind::Backward, -1, fwd_end,
+                                      bwd_end, iter_span, f, "backward");
+        copy_span = sp->record(spans::Kind::GpuCopy, -1, bwd_end,
+                               copy_end, iter_span, b, "gpu copy");
+    }
+
+    auto on_bucket_done = [&rs, pending, iter_start, last_finish, win,
+                           iter_span](ExchangeResult er) {
+        if (er.finish >= *last_finish)
+            *win = er.spanId;
         *last_finish = std::max(*last_finish, er.finish);
         if (--*pending > 0)
             return;
@@ -67,6 +99,12 @@ runIteration(RunState &rs)
             rs.config.workload.timing.localCompute();
         const Tick update_done =
             *last_finish + fromSeconds(rs.config.workload.timing.update);
+        if (auto *sp = spans::active()) {
+            sp->record(spans::Kind::Update, -1, *last_finish,
+                       update_done, iter_span, *win, "update");
+            sp->close(iter_span, update_done);
+            rs.lastIterSpan = iter_span;
+        }
 
         // Per-iteration phase attribution: compute | exchange | update.
         const Tick compute_end =
@@ -116,7 +154,11 @@ runIteration(RunState &rs)
         CollectiveCall call = rs.call;
         call.gradientBytes = std::max<uint64_t>(
             1, rs.call.gradientBytes / static_cast<uint64_t>(buckets));
-        rs.events.schedule(ready, [&rs, call, on_bucket_done] {
+        rs.events.schedule(ready, [&rs, call, on_bucket_done, iter_span,
+                                   copy_span] {
+            // The exchange nests under the iteration; its cause is the
+            // local compute producing the gradients.
+            spans::Scope scope(iter_span, copy_span);
             if (rs.config.compressGradients)
                 collecCommCompAllReduce(*rs.comm, call, on_bucket_done);
             else

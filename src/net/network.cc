@@ -5,6 +5,7 @@
 #include "net/faults.h"
 #include "sim/logging.h"
 #include "sim/metrics.h"
+#include "sim/span.h"
 #include "sim/trace.h"
 #include "stats/timeline.h"
 
@@ -93,8 +94,14 @@ Network::pathFor(int src, int dst)
 Tick
 Network::shipAlongPath(const std::vector<Link *> &path, Tick ready,
                        const std::vector<uint64_t> &hop_bits,
-                       const char *timeline_label)
+                       const char *timeline_label, uint64_t parent_span,
+                       uint64_t cause_span, uint64_t *last_span_out)
 {
+    // Flow arrows ride with causal tracing: with spans disabled the
+    // timeline output stays byte-identical to a build without them.
+    const uint64_t flow_id =
+        timeline_ && timeline_label && spans::enabled() ? ++flowSeq_
+                                                        : 0;
     // Every switch stores-and-forwards per *packet*, which at segment
     // granularity is cut-through with a one-packet delay: each hop may
     // start once the first packet has fully arrived on the previous
@@ -123,11 +130,33 @@ Network::shipAlongPath(const std::vector<Link *> &path, Tick ready,
         if (timeline_ && timeline_label) {
             timeline_->record(l.name(), timeline_label, start,
                               l.serializationTime(bits));
+            // Flow arrows: start at the first hop's slice, step through
+            // intermediate links, finish at the final hop's slice end.
+            if (flow_id != 0) {
+                const bool last = h + 1 == path.size();
+                timeline_->flow(l.name(), timeline_label,
+                                last ? start + l.serializationTime(bits)
+                                     : start,
+                                flow_id,
+                                h == 0 ? 's' : last ? 'f' : 't');
+            }
+        }
+        if (parent_span != 0) {
+            if (auto *sp = spans::active()) {
+                // Each hop is caused by the previous one (cut-through:
+                // overlap is fine, the walker charges only uncovered
+                // time); the first hop chains from the caller's span.
+                cause_span =
+                    sp->record(spans::Kind::Hop, -1, start, at_dst,
+                               parent_span, cause_span, l.name());
+            }
         }
         prev_start = start;
         prev_tx_end = at_dst - l.latency();
         prev_pkt_time = l.serializationTime(packet_bits);
     }
+    if (last_span_out)
+        *last_span_out = cause_span;
     return at_dst;
 }
 
@@ -166,6 +195,19 @@ Network::transfer(const TransferRequest &req,
     uint64_t remaining = req.payloadBytes;
     const Tick now = events_.now();
 
+    // Causal span of the whole message; segments hang off it.
+    uint64_t msg_span = 0;
+    uint64_t prev_tx_span = 0;
+    if (auto *sp = spans::active()) {
+        char nm[64];
+        std::snprintf(nm, sizeof(nm), "msg %d->%d %llu B%s", req.src,
+                      req.dst,
+                      static_cast<unsigned long long>(req.payloadBytes),
+                      compressed ? " comp" : "");
+        msg_span = sp->open(spans::Kind::Message, req.src, now,
+                            sp->currentParent(), sp->pendingCause(), nm);
+    }
+
     while (remaining > 0) {
         const uint64_t chunk = std::min(remaining, seg_size);
         remaining -= chunk;
@@ -200,6 +242,32 @@ Network::transfer(const TransferRequest &req,
             }
         }
 
+        // Per-segment spans: queueing behind the host TX resource, the
+        // first packet's driver work, engine pipeline fill, the hop
+        // chain, engine drain, RX driver. Consecutive segments chain
+        // causally through their TX-driver spans.
+        uint64_t ship_cause = 0;
+        if (auto *sp = spans::active()) {
+            uint64_t seg_cause = prev_tx_span;
+            if (tx_start > now) {
+                seg_cause =
+                    sp->record(spans::Kind::TxQueue, req.src, now,
+                               tx_start, msg_span, seg_cause, "tx queue");
+            }
+            const Tick drv_end =
+                tx_start + config_.nicConfig.perPacketTxCost;
+            prev_tx_span =
+                sp->record(spans::Kind::TxDriver, req.src, tx_start,
+                           drv_end, msg_span, seg_cause, "tx driver");
+            ship_cause = prev_tx_span;
+            if (compressed && ready > drv_end) {
+                ship_cause = sp->record(spans::Kind::CodecEngine,
+                                        req.src, drv_end, ready,
+                                        msg_span, ship_cause,
+                                        "tx engine");
+            }
+        }
+
         char label[64];
         if (timeline_) {
             std::snprintf(label, sizeof(label), "%s %llu B%s",
@@ -210,8 +278,11 @@ Network::transfer(const TransferRequest &req,
         }
         const std::vector<Link *> path = pathFor(req.src, req.dst);
         const std::vector<uint64_t> hop_bits(path.size(), wire_bits);
+        uint64_t hop_last = 0;
         const Tick at_dst =
-            shipAlongPath(path, ready, hop_bits, timeline_ ? label : nullptr);
+            shipAlongPath(path, ready, hop_bits,
+                          timeline_ ? label : nullptr, msg_span,
+                          ship_cause, &hop_last);
 
         // RX side: decompression engine latency, then driver work. RX
         // processing keeps up with line rate and all arrivals at this
@@ -226,6 +297,16 @@ Network::transfer(const TransferRequest &req,
         if (config_.jitterStddevSeconds > 0.0) {
             delivered += fromSeconds(std::abs(
                 jitterRng_.gaussian(0.0, config_.jitterStddevSeconds)));
+        }
+        if (auto *sp = spans::active()) {
+            uint64_t rx_cause = hop_last;
+            if (compressed && rx_ready > at_dst) {
+                rx_cause = sp->record(spans::Kind::CodecEngine, req.dst,
+                                      at_dst, rx_ready, msg_span,
+                                      rx_cause, "rx engine");
+            }
+            sp->record(spans::Kind::RxDriver, req.dst, rx_ready,
+                       delivered, msg_span, rx_cause, "rx driver");
         }
 
         last_delivery = std::max(last_delivery, delivered);
@@ -245,10 +326,21 @@ Network::transfer(const TransferRequest &req,
               static_cast<unsigned long long>(req.payloadBytes), req.tos,
               compressed ? "compressed" : "plain",
               toSeconds(last_delivery) * 1e3);
-    events_.schedule(last_delivery,
-                     [cb = std::move(on_delivered), last_delivery] {
-                         cb(last_delivery);
-                     });
+    if (msg_span != 0) {
+        if (auto *sp = spans::active())
+            sp->close(msg_span, last_delivery);
+    }
+    events_.schedule(last_delivery, [cb = std::move(on_delivered),
+                                     last_delivery, msg_span] {
+        // The delivery callback runs with the message span as its
+        // arrival cause so receiver-side work can chain from it.
+        auto *sp = msg_span != 0 ? spans::active() : nullptr;
+        if (sp)
+            sp->setArrivalCause(msg_span);
+        cb(last_delivery);
+        if (sp)
+            sp->clearArrivalCause();
+    });
 }
 
 void

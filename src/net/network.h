@@ -151,11 +151,20 @@ class Network : public Fabric
      * Serialize @p hop_bits[h] over @p path[h] starting no earlier than
      * @p ready, with per-packet cut-through between hops (the loop
      * shared by transfer() and transferDatagram()).
+     *
+     * When @p parent_span is nonzero and span tracing is active, one
+     * Hop span per link is recorded under it, chained causally from
+     * @p cause_span; @p last_span_out (if non-null) receives the final
+     * hop's span id. When a timeline label is given, Perfetto flow
+     * events ("s"/"t"/"f") connect the per-link slices so one segment
+     * can be followed across the fabric.
      * @return the tick the last bit reaches the final link's far end.
      */
     Tick shipAlongPath(const std::vector<Link *> &path, Tick ready,
                        const std::vector<uint64_t> &hop_bits,
-                       const char *timeline_label);
+                       const char *timeline_label,
+                       uint64_t parent_span = 0, uint64_t cause_span = 0,
+                       uint64_t *last_span_out = nullptr);
     /** Backlog of @p link at @p ready, in full-size packet units. */
     uint64_t backlogPackets(const Link &link, Tick ready) const;
 
@@ -168,6 +177,7 @@ class Network : public Fabric
     std::vector<std::unique_ptr<Link>> rackUplinks_;
     std::vector<std::unique_ptr<Link>> rackDownlinks_;
     uint64_t deliveredBytes_ = 0;
+    uint64_t flowSeq_ = 0; ///< Perfetto flow-event id allocator
     TimelineRecorder *timeline_ = nullptr;
     FaultModel *faults_ = nullptr;
     Rng jitterRng_;

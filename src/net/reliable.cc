@@ -4,6 +4,7 @@
 
 #include "sim/logging.h"
 #include "sim/metrics.h"
+#include "sim/span.h"
 #include "sim/trace.h"
 #include "stats/timeline.h"
 
@@ -48,6 +49,16 @@ ReliableChannel::messageFor(uint64_t seq) const
 }
 
 uint64_t
+ReliableChannel::spanForSeq(uint64_t seq) const
+{
+    for (const Message &m : messages_) {
+        if (seq >= m.firstSeq && seq < m.endSeq)
+            return m.spanId;
+    }
+    return 0; // released (spurious retransmit) or sent untraced
+}
+
+uint64_t
 ReliableChannel::seqBytes(uint64_t seq) const
 {
     const Message &m = messageFor(seq);
@@ -67,6 +78,13 @@ ReliableChannel::send(uint64_t bytes, double wire_ratio,
     m.tailBytes = bytes % mss();
     m.bytes = bytes;
     m.onDelivered = std::move(on_delivered);
+    if (auto *sp = spans::active()) {
+        char nm[64];
+        std::snprintf(nm, sizeof(nm), "rmsg %d->%d %llu B", src_, dst_,
+                      static_cast<unsigned long long>(bytes));
+        m.spanId = sp->open(spans::Kind::Message, src_, events_.now(),
+                            sp->currentParent(), sp->pendingCause(), nm);
+    }
     dataEnd_ = m.endSeq;
     messages_.push_back(std::move(m));
     wireRatio_ = wire_ratio;
@@ -76,6 +94,9 @@ ReliableChannel::send(uint64_t bytes, double wire_ratio,
 void
 ReliableChannel::trySend()
 {
+    // New flights sent now were enabled by the ACK batch being
+    // processed (0 when called straight from send()).
+    flightCause_ = ackContextSpan_;
     const uint64_t window = std::min<uint64_t>(
         std::max<uint64_t>(static_cast<uint64_t>(cwnd_), 1),
         config_.maxWindowPackets);
@@ -120,12 +141,31 @@ ReliableChannel::sendFlight(uint64_t first, uint64_t count,
     stats_.packetsSent += count;
     if (auto *m = metrics::active())
         m->add("transport.packets_sent", count);
-    net_.transferDatagram(
-        req, [this](const DatagramResult &res) { onArrival(res); });
+    // Flight span context, captured now: the arrival callback records
+    // the span once the flight's extent [sent_at, arrival] is known.
+    const Tick sent_at = events_.now();
+    const uint64_t parent = m.spanId;
+    const uint64_t cause = flightCause_;
+    net_.transferDatagram(req, [this, sent_at, parent, cause, first,
+                                count, attempt](const DatagramResult &res) {
+        if (auto *sp = spans::active()) {
+            char nm[64];
+            std::snprintf(nm, sizeof(nm), "seq[%llu;+%llu) a%u",
+                          static_cast<unsigned long long>(first),
+                          static_cast<unsigned long long>(count),
+                          attempt);
+            currentFlightSpan_ = sp->record(
+                attempt > 0 ? spans::Kind::Retransmit
+                            : spans::Kind::Flight,
+                src_, sent_at, res.when, parent, cause, nm);
+        }
+        onArrival(res);
+        currentFlightSpan_ = 0;
+    });
 }
 
 void
-ReliableChannel::retransmit(uint64_t seq)
+ReliableChannel::retransmit(uint64_t seq, uint64_t cause_span)
 {
     if (seq >= dataEnd_)
         return;
@@ -140,6 +180,7 @@ ReliableChannel::retransmit(uint64_t seq)
               "flow %llu retransmit seq=%llu attempt=%u cwnd=%.1f",
               static_cast<unsigned long long>(flowId_),
               static_cast<unsigned long long>(seq), attempt, cwnd_);
+    flightCause_ = cause_span;
     sendFlight(seq, 1, attempt);
 }
 
@@ -189,17 +230,29 @@ ReliableChannel::onArrival(const DatagramResult &res)
             break;
         m.delivered = true;
         ++stats_.messagesDelivered;
-        if (m.onDelivered)
+        auto *sp = m.spanId != 0 ? spans::active() : nullptr;
+        if (sp)
+            sp->close(m.spanId, res.when);
+        if (m.onDelivered) {
+            if (sp)
+                sp->setArrivalCause(m.spanId);
             m.onDelivered(res.when);
+            if (sp)
+                sp->clearArrivalCause();
+        }
     }
 
-    // The ACK batch crosses the ideal control plane.
+    // The ACK batch crosses the ideal control plane. Whatever the ACKs
+    // unleash (new flights, fast retransmits) is caused by this flight.
     events_.schedule(res.when + config_.ackLatency,
-                     [this, batch = std::move(ackBatch)] {
+                     [this, batch = std::move(ackBatch),
+                      fl = currentFlightSpan_] {
                          const Tick when = events_.now();
+                         ackContextSpan_ = fl;
                          for (uint64_t ack : batch)
                              onAckValue(ack, when);
                          trySend();
+                         ackContextSpan_ = 0;
                      });
 }
 
@@ -234,7 +287,7 @@ ReliableChannel::onNewAck(uint64_t ack, Tick when)
         } else {
             // NewReno partial ACK: the next hole is already lost —
             // retransmit it immediately, partially deflate.
-            retransmit(sndUna_);
+            retransmit(sndUna_, ackContextSpan_);
             cwnd_ = std::max(cwnd_ - static_cast<double>(newly) + 1.0,
                              1.0);
         }
@@ -274,7 +327,7 @@ ReliableChannel::onDupAck()
         ++stats_.fastRetransmits;
         if (auto *m = metrics::active())
             m->add("transport.fast_retransmits", 1);
-        retransmit(sndUna_);
+        retransmit(sndUna_, ackContextSpan_);
         armRto();
     } else if (inRecovery_) {
         // Window inflation: each dup ACK means a packet left the pipe.
@@ -306,6 +359,7 @@ ReliableChannel::armRto()
         return;
     }
     const uint64_t epoch = ++rtoEpoch_;
+    rtoArmedAt_ = events_.now();
     Tick timeout = rto_;
     for (uint32_t i = 1; i < backoff_ && timeout < config_.maxRto; ++i)
         timeout *= 2;
@@ -343,7 +397,15 @@ ReliableChannel::onRto()
     dupAcks_ = 0;
     if (backoff_ < 16)
         ++backoff_;
-    retransmit(sndUna_);
+    // The silence between arming the timer and its firing is loss
+    // recovery on the critical path; the retransmit chains from it.
+    uint64_t rto_span = 0;
+    if (auto *sp = spans::active()) {
+        rto_span = sp->record(spans::Kind::RtoWait, src_, rtoArmedAt_,
+                              events_.now(), spanForSeq(sndUna_), 0,
+                              "rto wait");
+    }
+    retransmit(sndUna_, rto_span);
     armRto();
 }
 

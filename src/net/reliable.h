@@ -125,6 +125,7 @@ class ReliableChannel
         uint64_t bytes = 0;
         std::function<void(Tick)> onDelivered;
         bool delivered = false;
+        uint64_t spanId = 0; ///< causal Message span (0 = not traced)
     };
 
     uint64_t mss() const;
@@ -132,13 +133,15 @@ class ReliableChannel
     uint64_t seqBytes(uint64_t seq) const;
     /** End of the message containing @p seq. */
     const Message &messageFor(uint64_t seq) const;
+    /** Span of the message containing @p seq; 0 if released/untraced. */
+    uint64_t spanForSeq(uint64_t seq) const;
 
     /** Push new data allowed by the window, one flight per message. */
     void trySend();
     /** Ship packets [first, first+count) as one flight. */
     void sendFlight(uint64_t first, uint64_t count, uint32_t attempt);
-    /** Retransmit the single packet @p seq. */
-    void retransmit(uint64_t seq);
+    /** Retransmit the single packet @p seq, causally after @p cause_span. */
+    void retransmit(uint64_t seq, uint64_t cause_span);
 
     /** Receiver side: one flight arrived. */
     void onArrival(const DatagramResult &res);
@@ -193,6 +196,12 @@ class ReliableChannel
     Tick probeSent_ = 0;
 
     uint64_t rtoEpoch_ = 0;
+    Tick rtoArmedAt_ = 0; ///< when the live RTO timer was (re)armed
+
+    // --- causal-span context (all 0 when tracing is off) ---
+    uint64_t ackContextSpan_ = 0;   ///< flight whose ACK batch runs now
+    uint64_t flightCause_ = 0;      ///< cause for the next sendFlight()
+    uint64_t currentFlightSpan_ = 0; ///< flight whose arrival runs now
 
     // --- receiver ---
     uint64_t rcvNxt_ = 0; ///< next in-order packet expected

@@ -1,8 +1,35 @@
 #include "net/socket.h"
 
 #include "sim/logging.h"
+#include "sim/span.h"
 
 namespace inc {
+
+namespace {
+
+/**
+ * Payload queued behind a connection handshake: record the wait as a
+ * Handshake span (chained from the ambient pending cause) and return
+ * the context to re-establish around the deferred send, so the message
+ * span created then still lands under the right parent and cause.
+ */
+struct DeferredSendContext
+{
+    uint64_t parent = 0;
+    uint64_t cause = 0;
+
+    DeferredSendContext(int src, Tick now, Tick established)
+    {
+        if (auto *sp = spans::active()) {
+            parent = sp->currentParent();
+            cause = sp->record(spans::Kind::Handshake, src, now,
+                               established, parent, sp->pendingCause(),
+                               "handshake wait");
+        }
+    }
+};
+
+} // namespace
 
 void
 SimSocket::setOption(SocketOption opt, uint32_t value)
@@ -55,9 +82,11 @@ SimSocket::send(uint64_t bytes, double wire_ratio,
             channel.send(bytes, ratio, std::move(deliver));
             return;
         }
+        const DeferredSendContext ctx(src_, now, established_);
         net_.events().schedule(
-            established_, [&channel, bytes, ratio,
+            established_, [&channel, bytes, ratio, ctx,
                            cb = std::move(deliver)]() mutable {
+                spans::Scope scope(ctx.parent, ctx.cause);
                 channel.send(bytes, ratio, std::move(cb));
             });
         return;
@@ -76,9 +105,11 @@ SimSocket::send(uint64_t bytes, double wire_ratio,
         return;
     }
     // The handshake is still in flight: queue the payload behind it.
+    const DeferredSendContext ctx(src_, now, established_);
     net_.events().schedule(established_,
-                           [this, req,
+                           [this, req, ctx,
                             cb = std::move(deliver)]() mutable {
+                               spans::Scope scope(ctx.parent, ctx.cause);
                                net_.transfer(req, std::move(cb));
                            });
 }

@@ -1,0 +1,290 @@
+#include "sim/span.h"
+
+#include <cstdio>
+
+#include "sim/logging.h"
+#include "sim/trace.h"
+
+namespace inc {
+namespace spans {
+
+namespace {
+
+Tracer s_tracer;
+bool s_enabled = false;
+
+} // namespace
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Iteration:
+        return "iteration";
+      case Kind::Forward:
+        return "forward";
+      case Kind::Backward:
+        return "backward";
+      case Kind::GpuCopy:
+        return "gpu_copy";
+      case Kind::Update:
+        return "update";
+      case Kind::Exchange:
+        return "exchange";
+      case Kind::Message:
+        return "message";
+      case Kind::MsgOverhead:
+        return "msg_overhead";
+      case Kind::SumReduce:
+        return "sum_reduce";
+      case Kind::TxQueue:
+        return "tx_queue";
+      case Kind::TxDriver:
+        return "tx_driver";
+      case Kind::CodecEngine:
+        return "codec_engine";
+      case Kind::Hop:
+        return "hop";
+      case Kind::RxDriver:
+        return "rx_driver";
+      case Kind::Flight:
+        return "flight";
+      case Kind::Retransmit:
+        return "retransmit";
+      case Kind::RtoWait:
+        return "rto_wait";
+      case Kind::Handshake:
+        return "handshake";
+      case Kind::kCount:
+        break;
+    }
+    return "?";
+}
+
+Kind
+kindFromName(const std::string &name)
+{
+    for (size_t k = 0; k < static_cast<size_t>(Kind::kCount); ++k) {
+        if (name == kindName(static_cast<Kind>(k)))
+            return static_cast<Kind>(k);
+    }
+    return Kind::kCount;
+}
+
+const char *
+blameName(Blame blame)
+{
+    switch (blame) {
+      case Blame::Compute:
+        return "compute";
+      case Blame::Codec:
+        return "codec";
+      case Blame::Wire:
+        return "wire";
+      case Blame::Queue:
+        return "queue";
+      case Blame::Retransmit:
+        return "retransmit";
+      case Blame::Stall:
+        return "stall";
+      case Blame::kCount:
+        break;
+    }
+    return "?";
+}
+
+Blame
+blameOf(Kind kind)
+{
+    switch (kind) {
+      case Kind::Iteration:
+      case Kind::Exchange:
+      case Kind::Message:
+        // Containers: their *self* time is dependency wait that no
+        // finer span explains.
+        return Blame::Stall;
+      case Kind::TxQueue:
+      case Kind::Handshake:
+        return Blame::Queue;
+      case Kind::Hop:
+      case Kind::Flight:
+        return Blame::Wire;
+      case Kind::Retransmit:
+      case Kind::RtoWait:
+        return Blame::Retransmit;
+      case Kind::CodecEngine:
+        return Blame::Codec;
+      case Kind::Forward:
+      case Kind::Backward:
+      case Kind::GpuCopy:
+      case Kind::Update:
+      case Kind::MsgOverhead:
+      case Kind::SumReduce:
+      case Kind::TxDriver:
+      case Kind::RxDriver:
+        return Blame::Compute;
+      case Kind::kCount:
+        break;
+    }
+    return Blame::Stall;
+}
+
+Blame
+gapBlame(Kind kind)
+{
+    switch (kind) {
+      case Kind::Retransmit:
+      case Kind::RtoWait:
+        return Blame::Retransmit;
+      case Kind::Hop:
+      case Kind::TxQueue:
+      case Kind::TxDriver:
+      case Kind::Flight:
+        // Waiting to enter a wire/driver resource behind other traffic
+        // (switch queue, TX backlog, congestion window, ACK latency).
+        return Blame::Queue;
+      default:
+        return Blame::Stall;
+    }
+}
+
+uint64_t
+Tracer::open(Kind kind, int host, Tick t0, uint64_t parent,
+             uint64_t cause, std::string name)
+{
+    const uint64_t id = spans_.size() + 1;
+    INC_ASSERT(parent < id, "span parent %llu does not exist yet",
+               static_cast<unsigned long long>(parent));
+    INC_ASSERT(cause < id, "span cause %llu does not exist yet",
+               static_cast<unsigned long long>(cause));
+    Span s;
+    s.id = id;
+    s.parent = parent;
+    s.cause = cause;
+    s.kind = kind;
+    s.host = host;
+    s.t0 = t0;
+    s.name = std::move(name);
+    INC_TRACE(Span, t0, "open #%llu %s parent=#%llu cause=#%llu %s",
+              static_cast<unsigned long long>(id), kindName(kind),
+              static_cast<unsigned long long>(parent),
+              static_cast<unsigned long long>(cause), s.name.c_str());
+    spans_.push_back(std::move(s));
+    return id;
+}
+
+void
+Tracer::close(uint64_t id, Tick t1)
+{
+    INC_ASSERT(id >= 1 && id <= spans_.size(), "closing unknown span");
+    Span &s = spans_[id - 1];
+    INC_ASSERT(s.open(), "span #%llu closed twice",
+               static_cast<unsigned long long>(id));
+    INC_ASSERT(t1 >= s.t0, "span #%llu would end before it starts",
+               static_cast<unsigned long long>(id));
+    s.t1 = t1;
+    INC_TRACE(Span, t1, "close #%llu %s (%.6f ms)",
+              static_cast<unsigned long long>(id), kindName(s.kind),
+              toSeconds(t1 - s.t0) * 1e3);
+}
+
+uint64_t
+Tracer::record(Kind kind, int host, Tick t0, Tick t1, uint64_t parent,
+               uint64_t cause, std::string name)
+{
+    const uint64_t id =
+        open(kind, host, t0, parent, cause, std::move(name));
+    close(id, t1);
+    return id;
+}
+
+size_t
+Tracer::openCount() const
+{
+    size_t n = 0;
+    for (const Span &s : spans_)
+        if (s.open())
+            ++n;
+    return n;
+}
+
+void
+Tracer::clear()
+{
+    spans_.clear();
+    parents_.clear();
+    pendingCause_ = 0;
+    arrivalCause_ = 0;
+}
+
+std::string
+Tracer::renderCsv() const
+{
+    std::string out = "id,parent,cause,kind,blame,host,t0,t1,name\n";
+    char buf[128];
+    for (const Span &s : spans_) {
+        std::snprintf(buf, sizeof(buf),
+                      "%llu,%llu,%llu,%s,%s,%d,%llu,%llu,",
+                      static_cast<unsigned long long>(s.id),
+                      static_cast<unsigned long long>(s.parent),
+                      static_cast<unsigned long long>(s.cause),
+                      kindName(s.kind), blameName(blameOf(s.kind)),
+                      s.host, static_cast<unsigned long long>(s.t0),
+                      static_cast<unsigned long long>(s.t1));
+        out += buf;
+        for (char c : s.name)
+            out += c == ',' ? ';' : c;
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+Tracer::writeCsvFile(const std::string &path) const
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const std::string data = renderCsv();
+    const bool ok =
+        std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    std::fclose(f);
+    if (!ok)
+        warn("short write to '%s'", path.c_str());
+    return ok;
+}
+
+Tracer &
+global()
+{
+    return s_tracer;
+}
+
+void
+setEnabled(bool on)
+{
+    s_enabled = on;
+}
+
+bool
+enabled()
+{
+    return s_enabled;
+}
+
+Tracer *
+active()
+{
+    return s_enabled ? &s_tracer : nullptr;
+}
+
+void
+reset()
+{
+    s_tracer.clear();
+}
+
+} // namespace spans
+} // namespace inc

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Causal span tracing: every unit of simulated work (an iteration, a
+ * collective exchange, a message, one hop of one segment, a transport
+ * flight) records a span with a *structural* parent (containment) and
+ * an optional *causal* predecessor (the span whose completion allowed
+ * this one to start). The resulting DAG decomposes every packet's
+ * latency into its causal chain and feeds the critical-path walker
+ * (stats/critical_path.h).
+ *
+ * Determinism contract (DESIGN.md sections 9 and 10):
+ *  - spans are emitted only from serial event-loop context, so the
+ *    stream is bit-identical across INC_THREADS settings and across
+ *    reruns of the same seed;
+ *  - recording never feeds back into simulated time;
+ *  - every instrumentation site guards on `spans::active()` — one
+ *    branch and a pointer test when disabled.
+ *
+ * Causality rules: a span's `cause` must be an *earlier* span (smaller
+ * id), so cycles are impossible by construction. Parents must likewise
+ * exist before their children, which is why long-lived spans use the
+ * open()/close() pair rather than record().
+ */
+
+#ifndef INCEPTIONN_SIM_SPAN_H
+#define INCEPTIONN_SIM_SPAN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace inc {
+namespace spans {
+
+/** What kind of work a span covers. */
+enum class Kind : uint8_t {
+    Iteration, ///< one training iteration (root of each per-iter tree)
+    Forward,   ///< forward pass (compute model)
+    Backward,  ///< backward pass (compute model)
+    GpuCopy,   ///< device->host gradient copy
+    Update,    ///< weight update after the exchange
+    Exchange,  ///< one collective all-reduce / broadcast instance
+    Message,   ///< one point-to-point message (either fabric path)
+    MsgOverhead, ///< fixed per-message software cost at the receiver
+    SumReduce, ///< gradient sum-reduction on a host CPU
+    TxQueue,   ///< waiting for the sender's TX resource to drain
+    TxDriver,  ///< per-segment TX driver/DMA work
+    CodecEngine, ///< NIC (de)compression engine pipeline occupancy
+    Hop,       ///< serialization + propagation over one link
+    RxDriver,  ///< per-segment RX driver work
+    Flight,    ///< one datagram flight of the reliable channel
+    Retransmit, ///< a retransmitted flight (attempt > 0)
+    RtoWait,   ///< silence between arming an RTO and its firing
+    Handshake, ///< payload queued behind a connection handshake
+    kCount,
+};
+
+/** Blame categories of the critical-path decomposition. */
+enum class Blame : uint8_t {
+    Compute,    ///< model compute, driver work, sum reduction
+    Codec,      ///< NIC compression-engine pipeline time
+    Wire,       ///< link serialization + propagation
+    Queue,      ///< TX backlog, switch queueing, window/ACK waits
+    Retransmit, ///< loss recovery: retransmissions and RTO silence
+    Stall,      ///< dependency wait not covered by a finer span
+    kCount,
+};
+
+/** Stable lower-case name ("tx_queue", "hop", ...). */
+const char *kindName(Kind kind);
+/** Inverse of kindName(); Kind::kCount when unknown. */
+Kind kindFromName(const std::string &name);
+/** Stable lower-case name ("compute", "wire", ...). */
+const char *blameName(Blame blame);
+
+/** The blame category a span's own occupancy is charged to. */
+Blame blameOf(Kind kind);
+/**
+ * The blame category for the *gap* between a span's start and its
+ * cause's end — what the span was waiting in (e.g. a Hop that starts
+ * after its upstream hop finished sat in a switch queue).
+ */
+Blame gapBlame(Kind kind);
+
+/** t1 of a span that is still open. */
+constexpr Tick kOpenTick = ~static_cast<Tick>(0);
+
+/** One recorded span. Ids are 1-based emission indices; 0 = none. */
+struct Span
+{
+    uint64_t id = 0;
+    uint64_t parent = 0; ///< structural container (0 = root)
+    uint64_t cause = 0;  ///< causal predecessor (0 = none; always < id)
+    Kind kind = Kind::kCount;
+    int host = -1; ///< rank the work ran on (-1 = link / cluster-wide)
+    Tick t0 = 0;
+    Tick t1 = kOpenTick;
+    std::string name;
+
+    bool open() const { return t1 == kOpenTick; }
+};
+
+/**
+ * The span store plus the ambient context instrumentation sites read:
+ * a stack of structural parents (pushed by Scope), a scoped pending
+ * cause, and the one-shot arrival cause set around delivery callbacks.
+ * Not thread-safe by design — mutated only from serial event context.
+ */
+class Tracer
+{
+  public:
+    /**
+     * Begin a span at @p t0. @p parent and @p cause must be existing
+     * ids (or 0). @return the new span's id.
+     */
+    uint64_t open(Kind kind, int host, Tick t0, uint64_t parent,
+                  uint64_t cause, std::string name);
+    /** End span @p id at @p t1 (>= its t0; must still be open). */
+    void close(uint64_t id, Tick t1);
+    /** open() + close() for spans whose extent is already known. */
+    uint64_t record(Kind kind, int host, Tick t0, Tick t1,
+                    uint64_t parent, uint64_t cause, std::string name);
+
+    const std::vector<Span> &spans() const { return spans_; }
+    size_t size() const { return spans_.size(); }
+    /** Spans still missing their close() — 0 after a clean run. */
+    size_t openCount() const;
+
+    // --- ambient context (used by Scope and the instrumentation) ---
+    void pushParent(uint64_t id) { parents_.push_back(id); }
+    void popParent() { parents_.pop_back(); }
+    uint64_t currentParent() const
+    {
+        return parents_.empty() ? 0 : parents_.back();
+    }
+    void setPendingCause(uint64_t id) { pendingCause_ = id; }
+    uint64_t pendingCause() const { return pendingCause_; }
+    /** Delivery-callback context: the message span that just arrived. */
+    void setArrivalCause(uint64_t id) { arrivalCause_ = id; }
+    void clearArrivalCause() { arrivalCause_ = 0; }
+    uint64_t arrivalCause() const { return arrivalCause_; }
+
+    void clear();
+
+    /**
+     * CSV export, one line per span:
+     * `id,parent,cause,kind,blame,host,t0,t1,name` (commas in names are
+     * replaced with ';'). Open spans keep kOpenTick as t1.
+     */
+    std::string renderCsv() const;
+    /** Write renderCsv() to @p path; warns and returns false on failure. */
+    bool writeCsvFile(const std::string &path) const;
+
+  private:
+    std::vector<Span> spans_;
+    std::vector<uint64_t> parents_;
+    uint64_t pendingCause_ = 0;
+    uint64_t arrivalCause_ = 0;
+};
+
+/** The process-wide tracer (exists even when disabled). */
+Tracer &global();
+
+/** Turn span collection on/off; off is the default. */
+void setEnabled(bool on);
+bool enabled();
+
+/**
+ * The instrumentation guard: global tracer when enabled, nullptr
+ * otherwise. Call sites do `if (auto *sp = spans::active()) ...`.
+ */
+Tracer *active();
+
+/** Clear the global tracer (enabled flag unchanged). */
+void reset();
+
+/**
+ * RAII structural/causal context: pushes @p parent for the dynamic
+ * extent and, when @p cause is nonzero, overrides the pending cause
+ * (both restored on destruction). A no-op when tracing is disabled.
+ */
+class Scope
+{
+  public:
+    explicit Scope(uint64_t parent, uint64_t cause = 0)
+    {
+        tracer_ = active();
+        if (!tracer_)
+            return;
+        tracer_->pushParent(parent);
+        if (cause != 0) {
+            savedCause_ = tracer_->pendingCause();
+            restoreCause_ = true;
+            tracer_->setPendingCause(cause);
+        }
+    }
+    ~Scope()
+    {
+        if (!tracer_)
+            return;
+        if (restoreCause_)
+            tracer_->setPendingCause(savedCause_);
+        tracer_->popParent();
+    }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    Tracer *tracer_ = nullptr;
+    uint64_t savedCause_ = 0;
+    bool restoreCause_ = false;
+};
+
+} // namespace spans
+} // namespace inc
+
+#endif // INCEPTIONN_SIM_SPAN_H

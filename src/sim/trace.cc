@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/logging.h"
+#include "sim/span.h"
 
 namespace inc {
 namespace trace {
@@ -34,6 +35,8 @@ categoryName(Category cat)
         return "train";
       case Category::Faults:
         return "faults";
+      case Category::Span:
+        return "span";
       case Category::kCount:
         break;
     }
@@ -80,8 +83,21 @@ emit(Category cat, Tick when, const char *fmt, ...)
     va_start(ap, fmt);
     std::vsnprintf(body, sizeof(body), fmt, ap);
     va_end(ap);
-    inform("%12.6f ms [%s] %s", toSeconds(when) * 1e3,
-           categoryName(cat).c_str(), body);
+    // Cross-reference with the causal span layer: when a span context
+    // is active, tag the record with its id so text traces line up
+    // with the span CSV and the Perfetto view.
+    char tag[32] = "";
+    if (cat != Category::Span) {
+        if (const auto *sp = spans::active()) {
+            const uint64_t ctx = sp->arrivalCause() ? sp->arrivalCause()
+                                                    : sp->currentParent();
+            if (ctx != 0)
+                std::snprintf(tag, sizeof(tag), " [span#%llu]",
+                              static_cast<unsigned long long>(ctx));
+        }
+    }
+    inform("%12.6f ms [%s]%s %s", toSeconds(when) * 1e3,
+           categoryName(cat).c_str(), tag, body);
 }
 
 } // namespace trace

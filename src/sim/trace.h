@@ -26,10 +26,12 @@ enum class Category {
     Comm,   ///< collective state machines
     Train,  ///< trainer iterations and exchanges
     Faults, ///< injected drops, outages, retransmissions, timeouts
+    Span,   ///< causal span opens/closes (sim/span.h)
     kCount,
 };
 
-/** Name used in INC_TRACE ("codec", "net", "comm", "train", "faults"). */
+/** Name used in INC_TRACE ("codec", "net", "comm", "train", "faults",
+ *  "span"). */
 std::string categoryName(Category cat);
 
 /** Is @p cat currently traced? */

@@ -1,0 +1,396 @@
+#include "stats/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+namespace {
+
+using spans::Blame;
+using spans::Kind;
+using spans::Span;
+
+constexpr size_t kBlames = static_cast<size_t>(Blame::kCount);
+
+/** Spans indexed by id plus per-span child lists (ascending id). */
+struct Dag
+{
+    std::vector<const Span *> byId; ///< [0] unused
+    std::vector<std::vector<uint64_t>> children;
+
+    explicit Dag(const std::vector<Span> &spans)
+    {
+        uint64_t maxId = 0;
+        for (const Span &s : spans)
+            maxId = std::max(maxId, s.id);
+        byId.assign(maxId + 1, nullptr);
+        children.assign(maxId + 1, {});
+        for (const Span &s : spans) {
+            if (s.id == 0 || s.id > maxId || byId[s.id])
+                continue; // malformed row: ignore
+            byId[s.id] = &s;
+        }
+        for (const Span &s : spans) {
+            if (s.parent != 0 && s.parent <= maxId && byId[s.parent])
+                children[s.parent].push_back(s.id);
+        }
+    }
+
+    const Span *span(uint64_t id) const
+    {
+        return id < byId.size() ? byId[id] : nullptr;
+    }
+};
+
+/**
+ * The child of @p cur ending latest but no later than @p frontier
+ * (ties broken towards the higher id — the later emission). 0 if none.
+ */
+uint64_t
+latestChildWithin(const Dag &dag, uint64_t cur, Tick frontier)
+{
+    uint64_t best = 0;
+    Tick bestT1 = 0;
+    for (uint64_t c : dag.children[cur]) {
+        const Span *s = dag.span(c);
+        if (!s || s->open() || s->t1 > frontier)
+            continue;
+        if (best == 0 || s->t1 >= bestT1) {
+            best = c;
+            bestT1 = s->t1;
+        }
+    }
+    return best;
+}
+
+void
+blameInterval(IterationPath &path, const Span &who, Blame blame,
+              Tick from, Tick to)
+{
+    if (to <= from)
+        return;
+    path.blame.add(blame, to - from);
+    path.chain.push_back(
+        ChainLink{who.id, who.kind, blame, from, to, who.name});
+}
+
+/**
+ * Backward walk over [root.t0, root.t1]: descend into the structural
+ * child covering the frontier; when a span's children are exhausted,
+ * charge its remaining self-time and jump to its causal predecessor
+ * (charging the scheduling gap); when there is no cause, pop back to
+ * the enclosing container. Every receded tick is blamed exactly once.
+ */
+IterationPath
+walkIteration(const Dag &dag, const Span &root)
+{
+    IterationPath path;
+    path.rootId = root.id;
+    path.t0 = root.t0;
+    path.t1 = root.t1;
+
+    const Tick T0 = root.t0;
+    Tick frontier = root.t1;
+    std::vector<uint64_t> stack{root.id};
+    // Generous safety limit: a well-formed DAG touches each span a
+    // handful of times; a malformed one must not loop forever.
+    size_t budget = dag.byId.size() * 8 + 1024;
+
+    while (!stack.empty() && frontier > T0) {
+        if (budget-- == 0) {
+            path.truncated = true;
+            break;
+        }
+        const Span &cur = *dag.span(stack.back());
+
+        const uint64_t childId =
+            latestChildWithin(dag, cur.id, frontier);
+        if (childId != 0) {
+            const Span &child = *dag.span(childId);
+            // The stretch after the child ended is the container's own
+            // (unexplained) time.
+            blameInterval(path, cur, spans::blameOf(cur.kind), child.t1,
+                          frontier);
+            frontier = std::min(frontier, child.t1);
+            stack.push_back(childId);
+            continue;
+        }
+
+        // No child reaches the frontier: the span itself occupies the
+        // window back to its start.
+        const Tick selfStart = std::max(cur.t0, T0);
+        blameInterval(path, cur, spans::blameOf(cur.kind), selfStart,
+                      frontier);
+        frontier = std::min(frontier, selfStart);
+
+        if (cur.cause != 0 && dag.span(cur.cause)) {
+            const Span &cz = *dag.span(cur.cause);
+            if (!cz.open() && cz.t1 < frontier) {
+                // The gap between the cause completing and this span
+                // starting: what was it waiting in?
+                const Tick lo = std::max(cz.t1, T0);
+                blameInterval(path, cur, spans::gapBlame(cur.kind), lo,
+                              frontier);
+                frontier = lo;
+            }
+            stack.back() = cz.id; // lateral jump along the causal edge
+            continue;
+        }
+        stack.pop_back();
+    }
+
+    if (frontier > T0) {
+        // Nothing explains the head of the window (instrumentation
+        // hole or truncation): count it, never drop it.
+        path.blame.add(Blame::Stall, frontier - T0);
+        path.chain.push_back(ChainLink{root.id, root.kind, Blame::Stall,
+                                       T0, frontier, root.name});
+    }
+    std::reverse(path.chain.begin(), path.chain.end());
+    return path;
+}
+
+void
+appendBlameJson(std::string &out, const BlameTable &blame)
+{
+    char buf[96];
+    out += "{";
+    for (size_t b = 0; b < kBlames; ++b) {
+        std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", b ? "," : "",
+                      spans::blameName(static_cast<Blame>(b)),
+                      static_cast<unsigned long long>(
+                          blame.ticks[b]));
+        out += buf;
+    }
+    out += "}";
+}
+
+} // namespace
+
+bool
+CriticalPathReport::exact() const
+{
+    if (iterations.empty())
+        return false;
+    for (const IterationPath &it : iterations)
+        if (!it.exact() || it.truncated)
+            return false;
+    return totals.total() == elapsedTicks;
+}
+
+bool
+CriticalPathReport::chainContains(spans::Kind kind) const
+{
+    for (const IterationPath &it : iterations)
+        for (const ChainLink &link : it.chain)
+            if (link.kind == kind)
+                return true;
+    return false;
+}
+
+std::string
+CriticalPathReport::renderTable() const
+{
+    std::string out;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-12s %16s %14s %8s\n", "category",
+                  "ticks", "seconds", "share");
+    out += buf;
+    const double total =
+        elapsedTicks ? static_cast<double>(elapsedTicks) : 1.0;
+    for (size_t b = 0; b < kBlames; ++b) {
+        const Tick t = totals.ticks[b];
+        std::snprintf(buf, sizeof(buf), "%-12s %16llu %14.6f %7.2f%%\n",
+                      spans::blameName(static_cast<Blame>(b)),
+                      static_cast<unsigned long long>(t),
+                      toSeconds(t),
+                      100.0 * static_cast<double>(t) / total);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%-12s %16llu %14.6f %7.2f%%\n",
+                  "total",
+                  static_cast<unsigned long long>(totals.total()),
+                  toSeconds(totals.total()),
+                  100.0 * static_cast<double>(totals.total()) / total);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "iterations: %zu, elapsed: %.6f s, exact: %s\n",
+                  iterations.size(), toSeconds(elapsedTicks),
+                  exact() ? "yes" : "NO");
+    out += buf;
+    return out;
+}
+
+std::string
+CriticalPathReport::renderJson() const
+{
+    std::string out = "{\"iterations\":[";
+    char buf[160];
+    for (size_t i = 0; i < iterations.size(); ++i) {
+        const IterationPath &it = iterations[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"root\":%llu,\"t0\":%llu,\"t1\":%llu,"
+                      "\"exact\":%s,\"blame_ticks\":",
+                      i ? "," : "",
+                      static_cast<unsigned long long>(it.rootId),
+                      static_cast<unsigned long long>(it.t0),
+                      static_cast<unsigned long long>(it.t1),
+                      it.exact() && !it.truncated ? "true" : "false");
+        out += buf;
+        appendBlameJson(out, it.blame);
+        out += "}";
+    }
+    out += "],\"totals_ticks\":";
+    appendBlameJson(out, totals);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"elapsed_ticks\":%llu,\"elapsed_seconds\":%.17g,"
+                  "\"exact\":%s}\n",
+                  static_cast<unsigned long long>(elapsedTicks),
+                  toSeconds(elapsedTicks), exact() ? "true" : "false");
+    out += buf;
+    return out;
+}
+
+std::string
+CriticalPathReport::renderCsv() const
+{
+    std::string out = "iteration,category,ticks,seconds,fraction\n";
+    char buf[128];
+    for (size_t i = 0; i < iterations.size(); ++i) {
+        const IterationPath &it = iterations[i];
+        const double total = it.windowTicks()
+                                 ? static_cast<double>(it.windowTicks())
+                                 : 1.0;
+        for (size_t b = 0; b < kBlames; ++b) {
+            std::snprintf(
+                buf, sizeof(buf), "%zu,%s,%llu,%.9f,%.6f\n", i + 1,
+                spans::blameName(static_cast<Blame>(b)),
+                static_cast<unsigned long long>(it.blame.ticks[b]),
+                toSeconds(it.blame.ticks[b]),
+                static_cast<double>(it.blame.ticks[b]) / total);
+            out += buf;
+        }
+    }
+    const double total =
+        elapsedTicks ? static_cast<double>(elapsedTicks) : 1.0;
+    for (size_t b = 0; b < kBlames; ++b) {
+        std::snprintf(buf, sizeof(buf), "total,%s,%llu,%.9f,%.6f\n",
+                      spans::blameName(static_cast<Blame>(b)),
+                      static_cast<unsigned long long>(totals.ticks[b]),
+                      toSeconds(totals.ticks[b]),
+                      static_cast<double>(totals.ticks[b]) / total);
+        out += buf;
+    }
+    return out;
+}
+
+namespace {
+
+bool
+writeStringFile(const std::string &path, const std::string &data)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const bool ok =
+        std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    std::fclose(f);
+    if (!ok)
+        warn("short write to '%s'", path.c_str());
+    return ok;
+}
+
+} // namespace
+
+bool
+CriticalPathReport::writeJsonFile(const std::string &path) const
+{
+    return writeStringFile(path, renderJson());
+}
+
+bool
+CriticalPathReport::writeCsvFile(const std::string &path) const
+{
+    return writeStringFile(path, renderCsv());
+}
+
+CriticalPathReport
+analyzeCriticalPath(const std::vector<Span> &spans)
+{
+    CriticalPathReport report;
+    const Dag dag(spans);
+    for (const Span &s : spans) {
+        if (s.kind != Kind::Iteration || s.open())
+            continue;
+        IterationPath path = walkIteration(dag, s);
+        report.totals.merge(path.blame);
+        report.elapsedTicks += path.windowTicks();
+        report.iterations.push_back(std::move(path));
+    }
+    return report;
+}
+
+std::vector<Span>
+loadSpansCsv(const std::string &path, std::string *error)
+{
+    std::vector<Span> out;
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open '" + path + "'";
+        return out;
+    }
+    std::string line;
+    size_t lineno = 0;
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = path + ":" + std::to_string(lineno) + ": " + why;
+        out.clear();
+        return out;
+    };
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (lineno == 1 && line.rfind("id,", 0) == 0)
+            continue; // header
+        if (line.empty())
+            continue;
+        // id,parent,cause,kind,blame,host,t0,t1,name
+        std::vector<std::string> fields;
+        size_t pos = 0;
+        for (int f = 0; f < 8; ++f) {
+            const size_t comma = line.find(',', pos);
+            if (comma == std::string::npos)
+                return fail("expected 9 fields");
+            fields.push_back(line.substr(pos, comma - pos));
+            pos = comma + 1;
+        }
+        Span s;
+        s.id = std::strtoull(fields[0].c_str(), nullptr, 10);
+        s.parent = std::strtoull(fields[1].c_str(), nullptr, 10);
+        s.cause = std::strtoull(fields[2].c_str(), nullptr, 10);
+        s.kind = spans::kindFromName(fields[3]);
+        // fields[4] (blame) is derived from kind; ignored on load.
+        s.host = std::atoi(fields[5].c_str());
+        s.t0 = std::strtoull(fields[6].c_str(), nullptr, 10);
+        s.t1 = std::strtoull(fields[7].c_str(), nullptr, 10);
+        s.name = line.substr(pos);
+        if (s.id == 0)
+            return fail("span id must be >= 1");
+        if (s.kind == Kind::kCount)
+            return fail("unknown span kind '" + fields[3] + "'");
+        if (!s.open() && s.t1 < s.t0)
+            return fail("span ends before it starts");
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace inc

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Critical-path analysis over a causal span DAG (sim/span.h): for each
+ * Iteration root, walk backwards from its end through structural
+ * children and causal predecessors, blaming every tick of the window
+ * [t0, t1] on exactly one category. Blame is accumulated in integer
+ * ticks with a gapless, monotonically-receding frontier, so per
+ * iteration the categories sum *exactly* to the elapsed simulated
+ * time — zero unattributed residue by construction.
+ */
+
+#ifndef INCEPTIONN_STATS_CRITICAL_PATH_H
+#define INCEPTIONN_STATS_CRITICAL_PATH_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/span.h"
+
+namespace inc {
+
+/** Integer-tick blame accumulator, one slot per category. */
+struct BlameTable
+{
+    std::array<Tick, static_cast<size_t>(spans::Blame::kCount)> ticks{};
+
+    void add(spans::Blame blame, Tick t)
+    {
+        ticks[static_cast<size_t>(blame)] += t;
+    }
+    Tick get(spans::Blame blame) const
+    {
+        return ticks[static_cast<size_t>(blame)];
+    }
+    Tick total() const
+    {
+        Tick sum = 0;
+        for (Tick t : ticks)
+            sum += t;
+        return sum;
+    }
+    double seconds(spans::Blame blame) const
+    {
+        return toSeconds(get(blame));
+    }
+    void merge(const BlameTable &other)
+    {
+        for (size_t i = 0; i < ticks.size(); ++i)
+            ticks[i] += other.ticks[i];
+    }
+};
+
+/** One blamed interval on an iteration's critical chain. */
+struct ChainLink
+{
+    uint64_t spanId = 0; ///< span the interval is attributed to
+    spans::Kind kind = spans::Kind::kCount;
+    spans::Blame blame = spans::Blame::kCount;
+    Tick from = 0;
+    Tick to = 0;
+    std::string name;
+
+    Tick duration() const { return to - from; }
+};
+
+/** Critical-path decomposition of one Iteration root. */
+struct IterationPath
+{
+    uint64_t rootId = 0;
+    Tick t0 = 0;
+    Tick t1 = 0;
+    BlameTable blame;
+    /** Chain in time order (earliest interval first). */
+    std::vector<ChainLink> chain;
+    /** Walker hit its safety limit (malformed DAG); blame inexact. */
+    bool truncated = false;
+
+    Tick windowTicks() const { return t1 - t0; }
+    /** Does the blame sum bit-exactly to the window? */
+    bool exact() const { return blame.total() == windowTicks(); }
+};
+
+/** Whole-run critical-path report. */
+struct CriticalPathReport
+{
+    std::vector<IterationPath> iterations;
+    BlameTable totals;
+    Tick elapsedTicks = 0; ///< sum of the iteration windows
+
+    bool exact() const;
+    /** Any chain interval of @p kind anywhere in the run? */
+    bool chainContains(spans::Kind kind) const;
+
+    /** Human-readable per-category blame table (ticks + seconds + %). */
+    std::string renderTable() const;
+    /** Machine-readable JSON: per-iteration and total blame. */
+    std::string renderJson() const;
+    /** CSV rows: iteration,category,ticks,seconds,fraction. */
+    std::string renderCsv() const;
+    bool writeJsonFile(const std::string &path) const;
+    bool writeCsvFile(const std::string &path) const;
+};
+
+/**
+ * Decompose every Iteration root found in @p spans. Open spans are
+ * ignored as chain candidates; a DAG with no Iteration root yields an
+ * empty report.
+ */
+CriticalPathReport
+analyzeCriticalPath(const std::vector<spans::Span> &spans);
+
+/**
+ * Load a span CSV written by spans::Tracer::renderCsv(). On failure
+ * returns an empty vector and, when @p error is non-null, stores a
+ * description.
+ */
+std::vector<spans::Span> loadSpansCsv(const std::string &path,
+                                      std::string *error = nullptr);
+
+} // namespace inc
+
+#endif // INCEPTIONN_STATS_CRITICAL_PATH_H

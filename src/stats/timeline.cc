@@ -20,6 +20,13 @@ TimelineRecorder::counter(const std::string &name, Tick when, double value)
     counters_.push_back(CounterSample{name, when, value});
 }
 
+void
+TimelineRecorder::flow(const std::string &track, const std::string &name,
+                       Tick when, uint64_t id, char phase)
+{
+    flows_.push_back(FlowEvent{track, name, when, id, phase});
+}
+
 std::string
 TimelineRecorder::render() const
 {
@@ -27,6 +34,8 @@ TimelineRecorder::render() const
     std::map<std::string, int> tids;
     for (const auto &e : events_)
         tids.emplace(e.track, static_cast<int>(tids.size()) + 1);
+    for (const auto &f : flows_)
+        tids.emplace(f.track, static_cast<int>(tids.size()) + 1);
 
     auto escape = [](const std::string &s) {
         std::string out;
@@ -70,6 +79,22 @@ TimelineRecorder::render() const
                       "\"ts\":%.3f,\"args\":{\"value\":%.17g}}",
                       first ? "" : ",\n", escape(c.name).c_str(),
                       toSeconds(c.when) * 1e6, c.value);
+        out += buf;
+        first = false;
+    }
+    for (const auto &f : flows_) {
+        char buf[384];
+        // "bp":"e" binds the finish event to its enclosing slice (the
+        // same binding the start/step phases use by default).
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"ph\":\"%c\",\"pid\":1,\"tid\":%d,"
+                      "\"cat\":\"dataflow\",\"name\":\"%s\","
+                      "\"id\":%llu,\"ts\":%.3f%s}",
+                      first ? "" : ",\n", f.phase, tids[f.track],
+                      escape(f.name).c_str(),
+                      static_cast<unsigned long long>(f.id),
+                      toSeconds(f.when) * 1e6,
+                      f.phase == 'f' ? ",\"bp\":\"e\"" : "");
         out += buf;
         first = false;
     }

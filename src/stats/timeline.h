@@ -40,7 +40,24 @@ class TimelineRecorder
      */
     void counter(const std::string &name, Tick when, double value);
 
-    size_t eventCount() const { return events_.size() + counters_.size(); }
+    /**
+     * Record one flow event: Perfetto draws an arrow between the
+     * slices the events bind to, letting a block of data be followed
+     * visually NIC -> switch -> NIC.
+     * @param track row the event binds to (must match a record() row
+     *        enclosing @p when).
+     * @param name flow label; all events of one arrow share it.
+     * @param when simulation tick (binds to the slice covering it).
+     * @param id flow id; all events of one arrow share it.
+     * @param phase 's' = start, 't' = step, 'f' = finish.
+     */
+    void flow(const std::string &track, const std::string &name,
+              Tick when, uint64_t id, char phase);
+
+    size_t eventCount() const
+    {
+        return events_.size() + counters_.size() + flows_.size();
+    }
 
     /** Serialize to Catapult JSON (microsecond timestamps). */
     std::string render() const;
@@ -64,8 +81,18 @@ class TimelineRecorder
         double value;
     };
 
+    struct FlowEvent
+    {
+        std::string track;
+        std::string name;
+        Tick when;
+        uint64_t id;
+        char phase;
+    };
+
     std::vector<Event> events_;
     std::vector<CounterSample> counters_;
+    std::vector<FlowEvent> flows_;
 };
 
 } // namespace inc

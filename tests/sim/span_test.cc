@@ -1,0 +1,171 @@
+#include "sim/span.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.h"
+
+namespace inc {
+namespace spans {
+namespace {
+
+/** RAII: enabled + clean tracer for the test, restored after. */
+struct TracingOn
+{
+    TracingOn()
+    {
+        reset();
+        setEnabled(true);
+    }
+    ~TracingOn()
+    {
+        setEnabled(false);
+        reset();
+    }
+};
+
+TEST(Span, DisabledMeansNullAndZeroCost)
+{
+    reset();
+    setEnabled(false);
+    EXPECT_EQ(active(), nullptr);
+    EXPECT_FALSE(enabled());
+    // Scope is a no-op when disabled.
+    {
+        Scope scope(42, 7);
+        EXPECT_EQ(global().currentParent(), 0u);
+        EXPECT_EQ(global().pendingCause(), 0u);
+    }
+    EXPECT_EQ(global().size(), 0u);
+}
+
+TEST(Span, OpenCloseRecordAssignSequentialIds)
+{
+    TracingOn on;
+    Tracer &t = *active();
+    const uint64_t a = t.open(Kind::Iteration, -1, 0, 0, 0, "iter");
+    const uint64_t b =
+        t.record(Kind::Forward, 2, 0, 100, a, 0, "forward");
+    const uint64_t c = t.open(Kind::Exchange, -1, 100, a, b, "ring");
+    EXPECT_EQ(a, 1u);
+    EXPECT_EQ(b, 2u);
+    EXPECT_EQ(c, 3u);
+    EXPECT_EQ(t.openCount(), 2u);
+    EXPECT_TRUE(t.spans()[0].open());
+    EXPECT_FALSE(t.spans()[1].open());
+
+    t.close(c, 500);
+    t.close(a, 600);
+    EXPECT_EQ(t.openCount(), 0u);
+    EXPECT_EQ(t.spans()[2].t1, 500u);
+    EXPECT_EQ(t.spans()[0].t1, 600u);
+    EXPECT_EQ(t.spans()[2].parent, a);
+    EXPECT_EQ(t.spans()[2].cause, b);
+}
+
+TEST(Span, ScopePushesParentAndOverridesCause)
+{
+    TracingOn on;
+    Tracer &t = *active();
+    EXPECT_EQ(t.currentParent(), 0u);
+    EXPECT_EQ(t.pendingCause(), 0u);
+    {
+        Scope outer(5, 3);
+        EXPECT_EQ(t.currentParent(), 5u);
+        EXPECT_EQ(t.pendingCause(), 3u);
+        {
+            // Single-arg form: nested parent, cause untouched.
+            Scope inner(9);
+            EXPECT_EQ(t.currentParent(), 9u);
+            EXPECT_EQ(t.pendingCause(), 3u);
+        }
+        EXPECT_EQ(t.currentParent(), 5u);
+        {
+            Scope inner(9, 4);
+            EXPECT_EQ(t.pendingCause(), 4u);
+        }
+        EXPECT_EQ(t.pendingCause(), 3u);
+    }
+    EXPECT_EQ(t.currentParent(), 0u);
+    EXPECT_EQ(t.pendingCause(), 0u);
+}
+
+TEST(Span, ArrivalCauseIsExplicitlyManaged)
+{
+    TracingOn on;
+    Tracer &t = *active();
+    EXPECT_EQ(t.arrivalCause(), 0u);
+    t.setArrivalCause(11);
+    EXPECT_EQ(t.arrivalCause(), 11u);
+    t.clearArrivalCause();
+    EXPECT_EQ(t.arrivalCause(), 0u);
+}
+
+TEST(Span, RenderCsvFormat)
+{
+    TracingOn on;
+    Tracer &t = *active();
+    const uint64_t a = t.open(Kind::Iteration, -1, 10, 0, 0, "iter 0");
+    t.record(Kind::Hop, -1, 10, 20, a, 0, "host0->switch, port 1");
+    t.close(a, 30);
+
+    const std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("id,parent,cause,kind,blame,host,t0,t1,name"),
+              std::string::npos);
+    EXPECT_NE(csv.find("1,0,0,iteration,stall,-1,10,30,iter 0"),
+              std::string::npos);
+    // Commas inside names are replaced so the row stays 9 fields.
+    EXPECT_NE(csv.find("host0->switch; port 1"), std::string::npos);
+    EXPECT_EQ(csv.find("switch, port"), std::string::npos);
+}
+
+TEST(Span, KindNamesRoundTrip)
+{
+    for (int k = 0; k < static_cast<int>(Kind::kCount); ++k) {
+        const Kind kind = static_cast<Kind>(k);
+        const char *name = kindName(kind);
+        ASSERT_NE(name, nullptr);
+        EXPECT_EQ(kindFromName(name), kind) << name;
+    }
+    EXPECT_EQ(kindFromName("no_such_kind"), Kind::kCount);
+}
+
+TEST(Span, BlameMapping)
+{
+    EXPECT_EQ(blameOf(Kind::Forward), Blame::Compute);
+    EXPECT_EQ(blameOf(Kind::SumReduce), Blame::Compute);
+    EXPECT_EQ(blameOf(Kind::CodecEngine), Blame::Codec);
+    EXPECT_EQ(blameOf(Kind::Hop), Blame::Wire);
+    EXPECT_EQ(blameOf(Kind::TxQueue), Blame::Queue);
+    EXPECT_EQ(blameOf(Kind::Retransmit), Blame::Retransmit);
+    EXPECT_EQ(blameOf(Kind::RtoWait), Blame::Retransmit);
+    EXPECT_EQ(blameOf(Kind::Message), Blame::Stall);
+    // Gap (waiting-for-cause) categories.
+    EXPECT_EQ(gapBlame(Kind::Hop), Blame::Queue);
+    EXPECT_EQ(gapBlame(Kind::Retransmit), Blame::Retransmit);
+    EXPECT_EQ(gapBlame(Kind::SumReduce), Blame::Stall);
+    for (int b = 0; b < static_cast<int>(Blame::kCount); ++b)
+        EXPECT_NE(blameName(static_cast<Blame>(b)), nullptr);
+}
+
+TEST(Span, CausalityIsEnforcedByConstruction)
+{
+    TracingOn on;
+    Tracer &t = *active();
+    const uint64_t a = t.record(Kind::Forward, 0, 0, 10, 0, 0, "a");
+    const uint64_t b = t.record(Kind::Backward, 0, 10, 20, 0, a, "b");
+    // Every stored cause/parent is a smaller id: acyclic by design.
+    for (const Span &s : t.spans()) {
+        EXPECT_LT(s.cause, s.id);
+        EXPECT_LT(s.parent, s.id);
+    }
+    (void)b;
+}
+
+TEST(Span, TraceGainsSpanCategory)
+{
+    EXPECT_EQ(trace::categoryName(trace::Category::Span), "span");
+}
+
+} // namespace
+} // namespace spans
+} // namespace inc

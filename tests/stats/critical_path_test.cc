@@ -1,0 +1,258 @@
+#include "stats/critical_path.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace inc {
+namespace {
+
+using spans::Blame;
+using spans::Kind;
+using spans::Span;
+
+/** Hand-build a span; keeps the DAG fixtures compact. */
+Span
+mk(uint64_t id, uint64_t parent, uint64_t cause, Kind kind, Tick t0,
+   Tick t1, const char *name = "")
+{
+    Span s;
+    s.id = id;
+    s.parent = parent;
+    s.cause = cause;
+    s.kind = kind;
+    s.host = 0;
+    s.t0 = t0;
+    s.t1 = t1;
+    s.name = name;
+    return s;
+}
+
+TEST(CriticalPath, EmptyInputYieldsEmptyReport)
+{
+    const CriticalPathReport rep = analyzeCriticalPath({});
+    EXPECT_TRUE(rep.iterations.empty());
+    // No iterations = nothing to attribute: reported as not exact so
+    // CI gates fail loudly on an empty capture.
+    EXPECT_FALSE(rep.exact());
+    EXPECT_EQ(rep.elapsedTicks, 0u);
+}
+
+TEST(CriticalPath, ContiguousChildrenSumExactly)
+{
+    // iter [0,100): forward [0,40) -> backward [40,90) -> update
+    // [90,100). No gaps: blame is all compute.
+    const std::vector<Span> dag = {
+        mk(1, 0, 0, Kind::Iteration, 0, 100, "iter"),
+        mk(2, 1, 0, Kind::Forward, 0, 40),
+        mk(3, 1, 2, Kind::Backward, 40, 90),
+        mk(4, 1, 3, Kind::Update, 90, 100),
+    };
+    const CriticalPathReport rep = analyzeCriticalPath(dag);
+    ASSERT_EQ(rep.iterations.size(), 1u);
+    const IterationPath &it = rep.iterations[0];
+    EXPECT_TRUE(it.exact());
+    EXPECT_EQ(it.windowTicks(), 100u);
+    EXPECT_EQ(it.blame.get(Blame::Compute), 100u);
+    EXPECT_EQ(it.blame.total(), 100u);
+    EXPECT_FALSE(it.truncated);
+    EXPECT_TRUE(rep.exact());
+}
+
+TEST(CriticalPath, UncoveredHeadAndGapsBecomeStall)
+{
+    // iter [0,100): only one child at [60,80). The walker blames
+    // [80,100) container self-time, [60,80) compute, [0,60) head.
+    const std::vector<Span> dag = {
+        mk(1, 0, 0, Kind::Iteration, 0, 100, "iter"),
+        mk(2, 1, 0, Kind::Forward, 60, 80),
+    };
+    const CriticalPathReport rep = analyzeCriticalPath(dag);
+    ASSERT_EQ(rep.iterations.size(), 1u);
+    const IterationPath &it = rep.iterations[0];
+    EXPECT_TRUE(it.exact());
+    EXPECT_EQ(it.blame.get(Blame::Compute), 20u);
+    EXPECT_EQ(it.blame.get(Blame::Stall), 80u);
+}
+
+TEST(CriticalPath, CausalJumpBlamesGapOnWaitingKind)
+{
+    // A Hop that starts 30 ticks after its causing hop ended sat in a
+    // switch queue for those 30 ticks (gapBlame(Hop) == Queue).
+    const std::vector<Span> dag = {
+        mk(1, 0, 0, Kind::Iteration, 0, 100, "iter"),
+        mk(2, 1, 0, Kind::Hop, 0, 30, "hop A"),
+        mk(3, 1, 2, Kind::Hop, 60, 100, "hop B"),
+    };
+    const CriticalPathReport rep = analyzeCriticalPath(dag);
+    ASSERT_EQ(rep.iterations.size(), 1u);
+    const IterationPath &it = rep.iterations[0];
+    EXPECT_TRUE(it.exact());
+    EXPECT_EQ(it.blame.get(Blame::Wire), 70u);  // both hops' own time
+    EXPECT_EQ(it.blame.get(Blame::Queue), 30u); // the wait between them
+}
+
+TEST(CriticalPath, OverlappingCauseStillExact)
+{
+    // Cut-through: hop B starts before its causing hop A ends. No gap
+    // to blame; the walker just jumps laterally.
+    const std::vector<Span> dag = {
+        mk(1, 0, 0, Kind::Iteration, 0, 100, "iter"),
+        mk(2, 1, 0, Kind::Hop, 0, 60, "hop A"),
+        mk(3, 1, 2, Kind::Hop, 40, 100, "hop B"),
+    };
+    const CriticalPathReport rep = analyzeCriticalPath(dag);
+    ASSERT_EQ(rep.iterations.size(), 1u);
+    EXPECT_TRUE(rep.iterations[0].exact());
+    EXPECT_EQ(rep.iterations[0].blame.total(), 100u);
+}
+
+TEST(CriticalPath, RetransmitOnChainIsVisible)
+{
+    const std::vector<Span> dag = {
+        mk(1, 0, 0, Kind::Iteration, 0, 100, "iter"),
+        mk(2, 1, 0, Kind::Message, 0, 100, "msg"),
+        mk(3, 2, 0, Kind::Flight, 0, 20, "seq0 a0"),
+        mk(4, 2, 3, Kind::RtoWait, 20, 60, "rto"),
+        mk(5, 2, 4, Kind::Retransmit, 60, 100, "seq0 a1"),
+    };
+    const CriticalPathReport rep = analyzeCriticalPath(dag);
+    ASSERT_EQ(rep.iterations.size(), 1u);
+    EXPECT_TRUE(rep.iterations[0].exact());
+    EXPECT_TRUE(rep.chainContains(Kind::Retransmit));
+    EXPECT_TRUE(rep.chainContains(Kind::RtoWait));
+    EXPECT_FALSE(rep.chainContains(Kind::CodecEngine));
+    EXPECT_EQ(rep.totals.get(Blame::Retransmit), 80u);
+}
+
+TEST(CriticalPath, MultipleIterationsAccumulateTotals)
+{
+    const std::vector<Span> dag = {
+        mk(1, 0, 0, Kind::Iteration, 0, 50, "iter 0"),
+        mk(2, 1, 0, Kind::Forward, 0, 50),
+        mk(3, 0, 1, Kind::Iteration, 50, 120, "iter 1"),
+        mk(4, 3, 0, Kind::Forward, 50, 120),
+    };
+    const CriticalPathReport rep = analyzeCriticalPath(dag);
+    ASSERT_EQ(rep.iterations.size(), 2u);
+    EXPECT_EQ(rep.elapsedTicks, 120u);
+    EXPECT_EQ(rep.totals.get(Blame::Compute), 120u);
+    EXPECT_TRUE(rep.exact());
+}
+
+TEST(CriticalPath, OpenSpansAreIgnored)
+{
+    std::vector<Span> dag = {
+        mk(1, 0, 0, Kind::Iteration, 0, 100, "iter"),
+        mk(2, 1, 0, Kind::Forward, 0, 100),
+    };
+    Span open = mk(3, 1, 0, Kind::Message, 10, 0, "still open");
+    open.t1 = spans::kOpenTick;
+    dag.push_back(open);
+    // An open Iteration is not a root either.
+    Span open_iter = mk(4, 0, 0, Kind::Iteration, 100, 0, "open iter");
+    open_iter.t1 = spans::kOpenTick;
+    dag.push_back(open_iter);
+
+    const CriticalPathReport rep = analyzeCriticalPath(dag);
+    ASSERT_EQ(rep.iterations.size(), 1u);
+    EXPECT_TRUE(rep.iterations[0].exact());
+    EXPECT_EQ(rep.iterations[0].blame.get(Blame::Compute), 100u);
+}
+
+TEST(CriticalPath, ChainIsInTimeOrderAndCoversTheWindow)
+{
+    const std::vector<Span> dag = {
+        mk(1, 0, 0, Kind::Iteration, 0, 100, "iter"),
+        mk(2, 1, 0, Kind::Forward, 0, 40),
+        mk(3, 1, 2, Kind::Backward, 40, 100),
+    };
+    const CriticalPathReport rep = analyzeCriticalPath(dag);
+    ASSERT_EQ(rep.iterations.size(), 1u);
+    const auto &chain = rep.iterations[0].chain;
+    ASSERT_FALSE(chain.empty());
+    Tick covered = 0;
+    for (size_t i = 0; i < chain.size(); ++i) {
+        EXPECT_LE(chain[i].from, chain[i].to);
+        if (i > 0) {
+            EXPECT_LE(chain[i - 1].to, chain[i].from);
+        }
+        covered += chain[i].duration();
+    }
+    EXPECT_EQ(covered, rep.iterations[0].windowTicks());
+}
+
+TEST(CriticalPath, RenderersAreWellFormed)
+{
+    const std::vector<Span> dag = {
+        mk(1, 0, 0, Kind::Iteration, 0, 100, "iter"),
+        mk(2, 1, 0, Kind::Forward, 0, 100),
+    };
+    const CriticalPathReport rep = analyzeCriticalPath(dag);
+    const std::string table = rep.renderTable();
+    EXPECT_NE(table.find("compute"), std::string::npos);
+    EXPECT_NE(table.find("exact: yes"), std::string::npos);
+
+    const std::string json = rep.renderJson();
+    EXPECT_NE(json.find("\"exact\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"blame_ticks\""), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+
+    const std::string csv = rep.renderCsv();
+    EXPECT_NE(csv.find("iteration,category,ticks,seconds,fraction"),
+              std::string::npos);
+    EXPECT_NE(csv.find("total,compute"), std::string::npos);
+}
+
+TEST(CriticalPath, SpanCsvRoundTrips)
+{
+    spans::reset();
+    spans::setEnabled(true);
+    spans::Tracer &t = *spans::active();
+    const uint64_t a = t.open(Kind::Iteration, -1, 0, 0, 0, "iter 0");
+    const uint64_t f = t.record(Kind::Forward, 1, 0, 400, a, 0, "fwd");
+    t.record(Kind::Hop, -1, 400, 900, a, f, "host0->switch");
+    t.close(a, 1000);
+
+    const std::string path = "/tmp/inc_critpath_roundtrip.csv";
+    ASSERT_TRUE(t.writeCsvFile(path));
+    const CriticalPathReport direct = analyzeCriticalPath(t.spans());
+    spans::setEnabled(false);
+    spans::reset();
+
+    std::string err;
+    const std::vector<Span> loaded = loadSpansCsv(path, &err);
+    ASSERT_EQ(loaded.size(), 3u) << err;
+    EXPECT_EQ(loaded[0].kind, Kind::Iteration);
+    EXPECT_EQ(loaded[2].cause, f);
+
+    const CriticalPathReport reloaded = analyzeCriticalPath(loaded);
+    EXPECT_EQ(reloaded.renderCsv(), direct.renderCsv());
+    EXPECT_EQ(reloaded.renderJson(), direct.renderJson());
+    std::filesystem::remove(path);
+}
+
+TEST(CriticalPath, MalformedCsvReportsError)
+{
+    const std::string path = "/tmp/inc_critpath_malformed.csv";
+    {
+        std::ofstream out(path);
+        out << "id,parent,cause,kind,blame,host,t0,t1,name\n";
+        out << "1,0,0,not_a_kind,stall,-1,0,10,x\n";
+    }
+    std::string err;
+    const std::vector<Span> loaded = loadSpansCsv(path, &err);
+    EXPECT_TRUE(loaded.empty());
+    EXPECT_FALSE(err.empty());
+    std::filesystem::remove(path);
+
+    std::string missing_err;
+    EXPECT_TRUE(loadSpansCsv("/no/such/file.csv", &missing_err).empty());
+    EXPECT_FALSE(missing_err.empty());
+}
+
+} // namespace
+} // namespace inc

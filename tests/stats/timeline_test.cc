@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "net/network.h"
+#include "sim/span.h"
 
 namespace inc {
 namespace {
@@ -46,14 +47,49 @@ TEST(Timeline, CapturesNetworkActivity)
     Network net(events, cfg);
     TimelineRecorder tl;
     net.setTimeline(&tl);
+    // Flow arrows only appear alongside causal tracing.
+    spans::reset();
+    spans::setEnabled(true);
     net.transfer({0, 1, 3 * 1000 * 1000, kDefaultTos, 1.0}, [](Tick) {});
     events.run();
+    spans::setEnabled(false);
+    spans::reset();
 
-    // 3 MB / ~533 KB segments = 6 segments x 2 links.
-    EXPECT_EQ(tl.eventCount(), 12u);
+    // 3 MB / ~533 KB segments = 6 segments x 2 links, each hop
+    // emitting one slice plus one dataflow flow event.
+    EXPECT_EQ(tl.eventCount(), 24u);
     const std::string json = tl.render();
     EXPECT_NE(json.find("host0->switch"), std::string::npos);
     EXPECT_NE(json.find("switch->host1"), std::string::npos);
+    // Flow arrows: a start on the first hop, a terminating "f" (with
+    // binding point "enclosing slice") on the last.
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"dataflow\""), std::string::npos);
+}
+
+TEST(Timeline, FlowEventsRender)
+{
+    TimelineRecorder tl;
+    tl.record("linkA", "seg", 0, kMicrosecond);
+    tl.record("linkB", "seg", kMicrosecond, kMicrosecond);
+    tl.flow("linkA", "msg 0->1", 0, 7, 's');
+    tl.flow("linkB", "msg 0->1", 2 * kMicrosecond, 7, 'f');
+    EXPECT_EQ(tl.eventCount(), 4u);
+
+    const std::string json = tl.render();
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_NE(json.find("\"id\":7"), std::string::npos);
+    // Only the terminating "f" event carries the binding point.
+    size_t bp = 0;
+    for (size_t at = json.find("\"bp\":\"e\""); at != std::string::npos;
+         at = json.find("\"bp\":\"e\"", at + 1))
+        ++bp;
+    EXPECT_EQ(bp, 1u);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
 }
 
 TEST(Timeline, WritesFile)

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Critical-path analyzer: load a causal span CSV (written by a bench's
+ * --spans flag or spans::Tracer::writeCsvFile) and explain where every
+ * simulated second of each training iteration went — a per-category
+ * blame table that sums bit-exactly to the elapsed simulated time,
+ * plus the slowest iterations' causal chains.
+ *
+ *   inc_critpath spans.csv [--top=K] [--json=PATH] [--csv=PATH]
+ *   inc_critpath --demo-fault [--require-retransmit] [--out=PATH]
+ *
+ * --demo-fault skips the CSV and runs a small in-process training on a
+ * lossy fabric (Bernoulli drops + reliable transport), then analyzes
+ * the captured spans — the quickest way to see a retransmit land on
+ * the critical path. Exit status is non-zero when the decomposition is
+ * not exact, when no iterations are found, or when
+ * --require-retransmit is given but no Retransmit/RtoWait interval
+ * shows up on any chain.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "distrib/sim_trainer.h"
+#include "sim/span.h"
+#include "stats/critical_path.h"
+
+using namespace inc;
+
+namespace {
+
+/** Small lossy-fabric training run; returns the captured spans. */
+std::vector<spans::Span>
+runFaultDemo()
+{
+    spans::reset();
+    spans::setEnabled(true);
+
+    SimTrainerConfig cfg;
+    cfg.workload.name = "fault-demo";
+    cfg.workload.modelBytes = 2 * 1000 * 1000;
+    cfg.workload.timing.forward = 0.004;
+    cfg.workload.timing.backward = 0.008;
+    cfg.workload.timing.gpuCopy = 0.002;
+    cfg.workload.timing.gradientSum = 0.004;
+    cfg.workload.timing.update = 0.002;
+    cfg.workers = 2;
+    cfg.algorithm = ExchangeAlgorithm::Ring;
+    cfg.iterations = 2;
+    cfg.faultInjection.enabled = true;
+    cfg.faultInjection.faults.defaultLink.loss = LossKind::Bernoulli;
+    cfg.faultInjection.faults.defaultLink.lossRate = 0.03;
+
+    const SimTrainerResult r = runSimTraining(cfg);
+    spans::setEnabled(false);
+    std::printf("fault demo: %llu iterations, %llu retransmits, "
+                "%llu packets dropped, %.3f ms simulated\n\n",
+                static_cast<unsigned long long>(r.iterations),
+                static_cast<unsigned long long>(r.retransmits),
+                static_cast<unsigned long long>(r.packetsDropped),
+                r.totalSeconds * 1e3);
+    return spans::global().spans();
+}
+
+/** Print the top-@p k iterations by window, with their longest links. */
+void
+printSlowestChains(const CriticalPathReport &rep, int k)
+{
+    std::vector<const IterationPath *> order;
+    for (const auto &it : rep.iterations)
+        order.push_back(&it);
+    std::sort(order.begin(), order.end(),
+              [](const IterationPath *a, const IterationPath *b) {
+                  return a->windowTicks() > b->windowTicks();
+              });
+    if (order.size() > static_cast<size_t>(k))
+        order.resize(static_cast<size_t>(k));
+
+    for (const IterationPath *it : order) {
+        std::printf("iteration span#%llu: %.6f ms over %zu chain "
+                    "links%s\n",
+                    static_cast<unsigned long long>(it->rootId),
+                    toSeconds(it->windowTicks()) * 1e3,
+                    it->chain.size(),
+                    it->truncated ? " (TRUNCATED)" : "");
+        // The chain can run to hundreds of links; show the heaviest.
+        std::vector<const ChainLink *> links;
+        for (const auto &l : it->chain)
+            links.push_back(&l);
+        std::sort(links.begin(), links.end(),
+                  [](const ChainLink *a, const ChainLink *b) {
+                      return a->duration() > b->duration();
+                  });
+        const size_t show = std::min<size_t>(links.size(), 10);
+        for (size_t i = 0; i < show; ++i) {
+            const ChainLink &l = *links[i];
+            std::printf("  %-12s %-10s %10.6f ms  [%llu, %llu)  %s\n",
+                        spans::kindName(l.kind),
+                        spans::blameName(l.blame),
+                        toSeconds(l.duration()) * 1e3,
+                        static_cast<unsigned long long>(l.from),
+                        static_cast<unsigned long long>(l.to),
+                        l.name.c_str());
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input;
+    std::string json_path, csv_path, out_path;
+    int top = 3;
+    bool demo_fault = false;
+    bool require_retransmit = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--top=", 0) == 0) {
+            top = std::atoi(arg.c_str() + 6);
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else if (arg.rfind("--csv=", 0) == 0) {
+            csv_path = arg.substr(6);
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out_path = arg.substr(6);
+        } else if (arg == "--demo-fault") {
+            demo_fault = true;
+        } else if (arg == "--require-retransmit") {
+            require_retransmit = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: %s [spans.csv] [--top=K] [--json=PATH] "
+                "[--csv=PATH]\n       %s --demo-fault "
+                "[--require-retransmit] [--out=PATH]\n",
+                argv[0], argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-') {
+            input = arg;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    std::vector<spans::Span> all;
+    if (demo_fault) {
+        all = runFaultDemo();
+        if (!out_path.empty()) {
+            if (spans::global().writeCsvFile(out_path))
+                std::printf("[spans] %s (%zu spans)\n\n",
+                            out_path.c_str(), all.size());
+        }
+    } else {
+        if (input.empty()) {
+            std::fprintf(stderr,
+                         "error: no span CSV given (or --demo-fault)\n");
+            return 2;
+        }
+        std::string err;
+        all = loadSpansCsv(input, &err);
+        if (all.empty()) {
+            std::fprintf(stderr, "error: %s: %s\n", input.c_str(),
+                         err.empty() ? "no spans" : err.c_str());
+            return 2;
+        }
+        std::printf("%s: %zu spans\n\n", input.c_str(), all.size());
+    }
+
+    const CriticalPathReport rep = analyzeCriticalPath(all);
+    if (rep.iterations.empty()) {
+        std::fprintf(stderr,
+                     "error: no closed Iteration spans in input\n");
+        return 1;
+    }
+
+    std::printf("%s\n", rep.renderTable().c_str());
+    printSlowestChains(rep, top);
+
+    if (!json_path.empty() && rep.writeJsonFile(json_path))
+        std::printf("[json] %s\n", json_path.c_str());
+    if (!csv_path.empty() && rep.writeCsvFile(csv_path))
+        std::printf("[csv] %s\n", csv_path.c_str());
+
+    int rc = 0;
+    if (!rep.exact()) {
+        std::fprintf(stderr, "error: blame does not sum exactly to the "
+                             "elapsed simulated time\n");
+        rc = 1;
+    }
+    const bool has_retx = rep.chainContains(spans::Kind::Retransmit) ||
+                          rep.chainContains(spans::Kind::RtoWait);
+    if (has_retx)
+        std::printf("retransmits on the critical path: yes\n");
+    if (require_retransmit && !has_retx) {
+        std::fprintf(stderr, "error: --require-retransmit: no "
+                             "Retransmit/RtoWait interval on any "
+                             "critical chain\n");
+        rc = 1;
+    }
+    return rc;
+}
