@@ -1,21 +1,16 @@
 #include "net/faults.h"
 
 #include "sim/logging.h"
+#include "sim/random.h"
 #include "sim/trace.h"
 
 namespace inc {
 
 namespace {
 
-/** splitmix64 finalizer: the avalanche stage used for stateless draws. */
-uint64_t
-mix64(uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-}
+// Stateless draws hash through inc::mix64 (sim/random.h), the same
+// splitmix64 finalizer this file used to define locally — the draw
+// streams are bit-identical to pre-refactor runs.
 
 /** Named stream tags (arbitrary distinct constants). */
 constexpr uint64_t kStreamDrop = 0xD80BULL;

@@ -1,10 +1,34 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "sim/logging.h"
+#include "sim/random.h"
 
 namespace inc {
+
+EventQueue::EventQueue()
+{
+    const char *env = std::getenv("INC_EQ_SHUFFLE");
+    if (env && *env)
+        setSameTickShuffle(std::strtoull(env, nullptr, 10));
+}
+
+void
+EventQueue::setSameTickShuffle(uint64_t seed)
+{
+    shuffle_ = true;
+    shuffleSeed_ = seed;
+}
+
+void
+EventQueue::clearSameTickShuffle()
+{
+    shuffle_ = false;
+    shuffleSeed_ = 0;
+}
 
 void
 EventQueue::schedule(Tick when, Callback cb)
@@ -13,7 +37,22 @@ EventQueue::schedule(Tick when, Callback cb)
                "scheduling into the past (when=%llu now=%llu)",
                static_cast<unsigned long long>(when),
                static_cast<unsigned long long>(now_));
-    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+    const uint64_t seq = nextSeq_++;
+    const uint64_t key = shuffle_ ? mix64(shuffleSeed_ ^ seq) : seq;
+    heap_.push_back(Entry{when, key, seq, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+EventQueue::Entry
+EventQueue::popTop()
+{
+    // Move the earliest entry to the back, then extract it by value:
+    // the heap is fully consistent again before the caller invokes the
+    // callback, so callbacks may schedule() freely.
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    return e;
 }
 
 uint64_t
@@ -21,9 +60,7 @@ EventQueue::run(uint64_t maxEvents)
 {
     uint64_t n = 0;
     while (!heap_.empty() && n < maxEvents) {
-        // Copy out then pop so the callback may schedule freely.
-        Entry e = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
+        Entry e = popTop();
         now_ = e.when;
         e.cb();
         ++n;
@@ -36,9 +73,8 @@ uint64_t
 EventQueue::runUntil(Tick until)
 {
     uint64_t n = 0;
-    while (!heap_.empty() && heap_.top().when <= until) {
-        Entry e = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
+    while (!heap_.empty() && heap_.front().when <= until) {
+        Entry e = popTop();
         now_ = e.when;
         e.cb();
         ++n;

@@ -7,6 +7,16 @@
  * here. Events are arbitrary callables scheduled at absolute ticks;
  * same-tick events fire in insertion order (FIFO), which keeps runs
  * deterministic.
+ *
+ * Same-tick shuffle mode (the event-order race detector): setting
+ * INC_EQ_SHUFFLE=<seed> (or calling setSameTickShuffle) replaces the
+ * FIFO tie-break among same-tick events with a deterministic
+ * pseudo-random permutation keyed by the seed. Cross-tick ordering is
+ * untouched. Any simulation result that changes under a shuffle seed
+ * has a hidden dependence on same-tick insertion order — the
+ * event-ordering analogue of what ThreadSanitizer does for data races.
+ * A given seed always produces the same permutation, so a divergence
+ * found once can be replayed forever (DESIGN.md section 11).
  */
 
 #ifndef INCEPTIONN_SIM_EVENT_QUEUE_H
@@ -14,7 +24,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace inc {
@@ -52,7 +61,8 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
-    EventQueue() = default;
+    /** Reads INC_EQ_SHUFFLE from the environment (empty/unset = FIFO). */
+    EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -76,7 +86,8 @@ class EventQueue
 
     /**
      * Run until simulated time reaches @p until (events at exactly
-     * @p until still fire) or the queue drains.
+     * @p until still fire, including ones scheduled by callbacks while
+     * running) or the queue drains.
      * @return number of events executed.
      */
     uint64_t runUntil(Tick until);
@@ -84,11 +95,27 @@ class EventQueue
     /** Total number of events executed over the queue's lifetime. */
     uint64_t executed() const { return executed_; }
 
+    /**
+     * Enable same-tick shuffle mode: events sharing a tick fire in a
+     * deterministic pseudo-random order keyed by @p seed instead of
+     * FIFO. Affects only events scheduled after the call, so enable it
+     * before scheduling anything (the INC_EQ_SHUFFLE constructor path
+     * always does).
+     */
+    void setSameTickShuffle(uint64_t seed);
+    /** Back to FIFO tie-breaking for subsequently scheduled events. */
+    void clearSameTickShuffle();
+    /** Whether shuffle mode is on. */
+    bool sameTickShuffle() const { return shuffle_; }
+    /** The active shuffle seed (meaningful only when shuffling). */
+    uint64_t sameTickShuffleSeed() const { return shuffleSeed_; }
+
   private:
     struct Entry
     {
         Tick when;
-        uint64_t seq; // tie-breaker: FIFO among same-tick events
+        uint64_t key; // tie-breaker: insertion seq (FIFO) or shuffled
+        uint64_t seq; // last-resort tie-break if shuffled keys collide
         Callback cb;
     };
 
@@ -99,14 +126,21 @@ class EventQueue
         {
             if (a.when != b.when)
                 return a.when > b.when;
+            if (a.key != b.key)
+                return a.key > b.key;
             return a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Extract the earliest entry. @pre !heap_.empty(). */
+    Entry popTop();
+
+    std::vector<Entry> heap_; // binary heap ordered by Later
     Tick now_ = 0;
     uint64_t nextSeq_ = 0;
     uint64_t executed_ = 0;
+    bool shuffle_ = false;
+    uint64_t shuffleSeed_ = 0;
 };
 
 } // namespace inc

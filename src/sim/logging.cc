@@ -34,6 +34,8 @@ defaultSink(LogLevel level, const std::string &message)
     std::fflush(out);
 }
 
+// Process-wide sink override; logging is presentation, never feeds
+// back into simulation state. inc-lint: allow(mutable-global)
 LogSink s_sink = nullptr;
 
 std::string

@@ -1,11 +1,131 @@
 #include "sim/metrics.h"
 
+#include <bit>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "sim/logging.h"
 
 namespace inc {
 namespace metrics {
+
+namespace {
+
+constexpr uint64_t kFracMask = (uint64_t{1} << 52) - 1;
+constexpr uint64_t kImplicitBit = uint64_t{1} << 52;
+
+} // namespace
+
+void
+ExactSum::add(double x)
+{
+    if (std::isnan(x)) {
+        ++nan_;
+        return;
+    }
+    if (std::isinf(x)) {
+        ++(x > 0 ? posInf_ : negInf_);
+        return;
+    }
+    if (x == 0.0)
+        return;
+
+    const uint64_t bits = std::bit_cast<uint64_t>(x);
+    const uint64_t frac = bits & kFracMask;
+    const int biased = static_cast<int>((bits >> 52) & 0x7FF);
+    // Magnitude = mant * 2^(shift - 1074), shift in [0, 2045].
+    const uint64_t mant = biased ? (frac | kImplicitBit) : frac;
+    const int shift = biased ? biased - 1 : 0;
+    const size_t word = static_cast<size_t>(shift) / 64;
+    const unsigned off = static_cast<unsigned>(shift) % 64;
+    const uint64_t lo = mant << off;
+    const uint64_t hi = off ? mant >> (64 - off) : 0;
+
+    // Two's-complement wraparound past the top limb is fine: the
+    // representation stays correct modulo 2^2240 and the true value
+    // never approaches the ~90 bits of headroom.
+    if (x > 0.0) {
+        const auto addAt = [this](size_t i, uint64_t v) {
+            while (v && i < kLimbs) {
+                const uint64_t s = limbs_[i] + v;
+                v = (s < limbs_[i]) ? 1 : 0; // carry
+                limbs_[i] = s;
+                ++i;
+            }
+        };
+        addAt(word, lo);
+        addAt(word + 1, hi);
+    } else {
+        const auto subAt = [this](size_t i, uint64_t v) {
+            while (v && i < kLimbs) {
+                const uint64_t prev = limbs_[i];
+                limbs_[i] = prev - v;
+                v = (prev < v) ? 1 : 0; // borrow
+                ++i;
+            }
+        };
+        subAt(word, lo);
+        subAt(word + 1, hi);
+    }
+}
+
+void
+ExactSum::merge(const ExactSum &other)
+{
+    uint64_t carry = 0;
+    for (size_t i = 0; i < kLimbs; ++i) {
+        const uint64_t t = limbs_[i] + other.limbs_[i];
+        const uint64_t c1 = (t < limbs_[i]) ? 1 : 0;
+        const uint64_t s = t + carry;
+        const uint64_t c2 = (s < t) ? 1 : 0;
+        limbs_[i] = s;
+        carry = c1 + c2; // mutually exclusive, never both
+    }
+    posInf_ += other.posInf_;
+    negInf_ += other.negInf_;
+    nan_ += other.nan_;
+}
+
+double
+ExactSum::value() const
+{
+    if (nan_ || (posInf_ && negInf_))
+        return std::numeric_limits<double>::quiet_NaN();
+    if (posInf_)
+        return std::numeric_limits<double>::infinity();
+    if (negInf_)
+        return -std::numeric_limits<double>::infinity();
+
+    // Sign from the two's-complement top bit; fold the magnitude's top
+    // 192 bits high-to-low (fixed order, so the rounding — under 1 ulp
+    // — is as order-independent as the limbs themselves).
+    std::array<uint64_t, kLimbs> mag = limbs_;
+    const bool negative = (limbs_[kLimbs - 1] >> 63) != 0;
+    if (negative) {
+        uint64_t carry = 1;
+        for (size_t i = 0; i < kLimbs; ++i) {
+            mag[i] = ~mag[i] + carry;
+            carry = (carry && mag[i] == 0) ? 1 : 0;
+        }
+    }
+    size_t top = kLimbs;
+    while (top > 0 && mag[top - 1] == 0)
+        --top;
+    if (top == 0)
+        return 0.0;
+    const size_t h = top - 1;
+    double r = static_cast<double>(mag[h]);
+    if (h >= 1)
+        r = std::ldexp(r, 64) + static_cast<double>(mag[h - 1]);
+    if (h >= 2)
+        r = std::ldexp(r, 64) + static_cast<double>(mag[h - 2]);
+    const int lowLimb = static_cast<int>(h) - 2 < 0
+                            ? 0
+                            : static_cast<int>(h) - 2;
+    r = std::ldexp(r, 64 * lowLimb - 1074);
+    return negative ? -r : r;
+}
 
 HistogramMetric::HistogramMetric(double lo, double hi, size_t buckets)
     : lo_(lo), hi_(hi),
@@ -18,7 +138,7 @@ void
 HistogramMetric::observe(double x)
 {
     ++count_;
-    sum_ += x;
+    sum_.add(x);
     if (x < lo_) {
         ++underflow_;
         return;
@@ -37,7 +157,7 @@ void
 HistogramMetric::merge(const HistogramMetric &other)
 {
     count_ += other.count_;
-    sum_ += other.sum_;
+    sum_.merge(other.sum_);
     underflow_ += other.underflow_;
     overflow_ += other.overflow_;
     const size_t n = buckets_.size() < other.buckets_.size()
@@ -222,6 +342,8 @@ writeWholeFile(const std::string &path, const std::string &data)
     return ok;
 }
 
+// The collection on/off gate (setEnabled); recording never feeds back
+// into simulated time. inc-lint: allow(mutable-global)
 bool g_enabled = false;
 
 } // namespace

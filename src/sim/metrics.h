@@ -25,6 +25,7 @@
 #ifndef INCEPTIONN_SIM_METRICS_H
 #define INCEPTIONN_SIM_METRICS_H
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -34,9 +35,47 @@ namespace inc {
 namespace metrics {
 
 /**
+ * Order-independent exact accumulator for doubles: a Kulisch-style
+ * fixed-point superaccumulator wide enough for the full double range.
+ * Every finite sample is folded in *exactly* (integer arithmetic on the
+ * sample's mantissa), so the accumulated state — and therefore value()
+ * — is a function of the sample *multiset* alone, independent of the
+ * order of add() and merge() calls. Plain `sum += x` is not: float
+ * addition does not associate, and the same-tick shuffle matrix
+ * (DESIGN.md section 11) showed histogram sums drifting in their last
+ * bits when simultaneous events fire in a different order.
+ *
+ * value() rounds the exact total to double deterministically (error
+ * below 1 ulp). Non-finite samples are tracked by count so inf/NaN
+ * poisoning is order-independent too.
+ */
+class ExactSum
+{
+  public:
+    /** Fold one sample in. Exact for finite @p x. */
+    void add(double x);
+    /** Fold another accumulator in (exact, commutative). */
+    void merge(const ExactSum &other);
+    /** The accumulated total, rounded once to double. */
+    double value() const;
+
+  private:
+    // Two's-complement fixed point, LSB = 2^-1074 (the smallest
+    // subnormal). 35 x 64 = 2240 bits covers the ~2150-bit span of
+    // finite doubles with ~90 bits of carry headroom.
+    static constexpr size_t kLimbs = 35;
+    std::array<uint64_t, kLimbs> limbs_{};
+    uint64_t posInf_ = 0;
+    uint64_t negInf_ = 0;
+    uint64_t nan_ = 0;
+};
+
+/**
  * Fixed-bucket histogram over [lo, hi): `buckets` equal-width bins
  * plus explicit underflow/overflow counts. A plain value type so
  * parallel code can keep one shard per chunk and merge in fixed order.
+ * All state (including the running sum, via ExactSum) is a function of
+ * the observed multiset, never of observation order.
  */
 class HistogramMetric
 {
@@ -51,18 +90,18 @@ class HistogramMetric
     double lo() const { return lo_; }
     double hi() const { return hi_; }
     uint64_t count() const { return count_; }
-    double sum() const { return sum_; }
+    double sum() const { return sum_.value(); }
     uint64_t underflow() const { return underflow_; }
     uint64_t overflow() const { return overflow_; }
     const std::vector<uint64_t> &buckets() const { return buckets_; }
-    double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+    double mean() const { return count_ ? sum() / static_cast<double>(count_) : 0.0; }
 
   private:
     double lo_ = 0.0;
     double hi_ = 1.0;
     double width_ = 1.0; ///< bucket width, cached
     uint64_t count_ = 0;
-    double sum_ = 0.0;
+    ExactSum sum_;
     uint64_t underflow_ = 0;
     uint64_t overflow_ = 0;
     std::vector<uint64_t> buckets_;

@@ -26,6 +26,13 @@ rotl(uint64_t x, int k)
 
 } // namespace
 
+uint64_t
+mix64(uint64_t x)
+{
+    uint64_t state = x;
+    return splitmix64(state);
+}
+
 Rng::Rng(uint64_t seed)
 {
     uint64_t sm = seed;

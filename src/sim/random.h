@@ -14,6 +14,14 @@
 namespace inc {
 
 /**
+ * Stateless splitmix64 finalizer: a high-quality 64-bit mixing function
+ * for deriving tie-break keys and sub-seeds from a seed and an index.
+ * Deterministic across platforms; mix64(x) == mix64(x) always, and
+ * distinct inputs virtually never collide.
+ */
+uint64_t mix64(uint64_t x);
+
+/**
  * xoshiro256** generator with splitmix64 seeding. Deterministic across
  * platforms and fast enough for per-packet jitter and synthetic datasets.
  */

@@ -1,8 +1,10 @@
 #include "sim/span.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "sim/logging.h"
+#include "sim/random.h"
 #include "sim/trace.h"
 
 namespace inc {
@@ -10,8 +12,9 @@ namespace spans {
 
 namespace {
 
-Tracer s_tracer;
-bool s_enabled = false;
+Tracer s_tracer;        // inc-lint: allow(mutable-global) — the
+                        // process-wide tracer, reset() per run
+bool s_enabled = false; // inc-lint: allow(mutable-global) — its gate
 
 } // namespace
 
@@ -234,6 +237,52 @@ Tracer::renderCsv() const
         out += buf;
         for (char c : s.name)
             out += c == ',' ? ';' : c;
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+Tracer::renderCanonicalCsv() const
+{
+    // Ancestry hash per span, computed in id order: parents and causes
+    // always have smaller ids, so h[parent]/h[cause] are ready when a
+    // span is reached. Index 0 (no parent / no cause) hashes as 0.
+    std::vector<uint64_t> h(spans_.size() + 1, 0);
+    for (const Span &s : spans_) {
+        uint64_t v = mix64(static_cast<uint64_t>(s.kind));
+        v = mix64(v ^ static_cast<uint64_t>(static_cast<int64_t>(s.host)));
+        v = mix64(v ^ s.t0);
+        v = mix64(v ^ s.t1);
+        for (char c : s.name)
+            v = mix64(v ^ static_cast<unsigned char>(c));
+        v = mix64(v ^ mix64(h[s.parent] ^ 0xA11CE5ULL));
+        v = mix64(v ^ mix64(h[s.cause] ^ 0xCA05A1ULL));
+        h[s.id] = v;
+    }
+
+    std::vector<std::string> lines;
+    lines.reserve(spans_.size());
+    char buf[192];
+    for (const Span &s : spans_) {
+        std::snprintf(buf, sizeof(buf),
+                      "%016llx,%016llx,%016llx,%s,%s,%d,%llu,%llu,",
+                      static_cast<unsigned long long>(h[s.id]),
+                      static_cast<unsigned long long>(h[s.parent]),
+                      static_cast<unsigned long long>(h[s.cause]),
+                      kindName(s.kind), blameName(blameOf(s.kind)),
+                      s.host, static_cast<unsigned long long>(s.t0),
+                      static_cast<unsigned long long>(s.t1));
+        std::string line = buf;
+        for (char c : s.name)
+            line += c == ',' ? ';' : c;
+        lines.push_back(std::move(line));
+    }
+    std::sort(lines.begin(), lines.end());
+
+    std::string out = "selfH,parentH,causeH,kind,blame,host,t0,t1,name\n";
+    for (const std::string &line : lines) {
+        out += line;
         out += '\n';
     }
     return out;

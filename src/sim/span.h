@@ -153,6 +153,21 @@ class Tracer
     /** Write renderCsv() to @p path; warns and returns false on failure. */
     bool writeCsvFile(const std::string &path) const;
 
+    /**
+     * Ancestry-canonical CSV export for cross-run comparison. Span ids
+     * are 1-based *emission* indices, so two runs whose same-tick
+     * events fire in a different order (INC_EQ_SHUFFLE) emit isomorphic
+     * DAGs under permuted numbering and their renderCsv() streams
+     * differ line-by-line. This form erases the numbering: each span is
+     * rendered as `selfH,parentH,causeH,kind,blame,host,t0,t1,name`
+     * where the H columns are mix64 hashes folding the span's content
+     * with its full parent/cause ancestry, and lines are sorted. Two
+     * tracers produce byte-identical canonical CSV iff their span
+     * multisets match content- and ancestry-wise — independent of
+     * emission order (DESIGN.md section 11).
+     */
+    std::string renderCanonicalCsv() const;
+
   private:
     std::vector<Span> spans_;
     std::vector<uint64_t> parents_;

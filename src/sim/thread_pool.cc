@@ -12,7 +12,8 @@ namespace {
 
 /** >0 while the current thread is executing a chunk: nested
  *  parallelFor calls must run inline rather than re-enter the pool. */
-thread_local int tls_chunk_depth = 0;
+thread_local int tls_chunk_depth = 0; // inc-lint: allow(mutable-global)
+                                      // — per-thread reentrancy guard
 
 int
 hardwareThreads()
@@ -39,9 +40,13 @@ threadsFromEnvironment()
     return static_cast<int>(n);
 }
 
-std::mutex g_pool_mutex;
-std::unique_ptr<ThreadPool> g_pool; // guarded by g_pool_mutex
-int g_thread_count = 0;             // 0 = not yet initialized
+// The lazily-built process pool: deliberate shared state whose
+// determinism contract is enforced by fixed-order chunk merges
+// (DESIGN.md section 2) and re-audited by the INC_THREADS CI matrix.
+std::mutex g_pool_mutex;            // inc-lint: allow(mutable-global)
+std::unique_ptr<ThreadPool> g_pool; // inc-lint: allow(mutable-global)
+                                    //   (guarded by g_pool_mutex)
+int g_thread_count = 0; // 0 = uninit; inc-lint: allow(mutable-global)
 
 } // namespace
 

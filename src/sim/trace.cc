@@ -16,8 +16,10 @@ namespace trace {
 namespace {
 
 constexpr size_t kCategories = static_cast<size_t>(Category::kCount);
-std::array<bool, kCategories> s_enabled{};
-bool s_env_checked = false;
+// Per-category trace gates: presentation toggles read from the
+// environment once, never simulation state.
+std::array<bool, kCategories> s_enabled{}; // inc-lint: allow(mutable-global)
+bool s_env_checked = false;                // inc-lint: allow(mutable-global)
 
 } // namespace
 

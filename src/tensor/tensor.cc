@@ -48,6 +48,9 @@ Tensor::at(size_t r, size_t c)
 float
 Tensor::at(size_t r, size_t c) const
 {
+    // Classic const/non-const overload forwarding: the cast only
+    // removes const this overload itself re-promises.
+    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-const-cast)
     return const_cast<Tensor *>(this)->at(r, c);
 }
 
@@ -61,6 +64,7 @@ Tensor::at(size_t n, size_t c, size_t h, size_t w)
 float
 Tensor::at(size_t n, size_t c, size_t h, size_t w) const
 {
+    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-const-cast)
     return const_cast<Tensor *>(this)->at(n, c, h, w);
 }
 

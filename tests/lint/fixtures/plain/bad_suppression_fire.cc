@@ -1,0 +1,7 @@
+// must-fire: bad-suppression — the allow names a check that does not
+// exist, so the annotation is inert and must be called out.
+int
+answer()
+{
+    return 42; // inc-lint: allow(no-such-check)  line 6
+}

@@ -1,0 +1,12 @@
+// must-not-fire: no-const-cast — same code as the src/sim fixture,
+// but outside src/sim and src/net the check does not apply.
+struct State
+{
+    int ticks = 0;
+};
+
+void
+bump(const State &s)
+{
+    const_cast<State &>(s).ticks++;
+}

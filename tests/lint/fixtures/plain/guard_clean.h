@@ -1,0 +1,7 @@
+// must-not-fire: include-guard — the guard matches the convention.
+#ifndef INCEPTIONN_PLAIN_GUARD_CLEAN_H
+#define INCEPTIONN_PLAIN_GUARD_CLEAN_H
+
+int fixtureValue();
+
+#endif // INCEPTIONN_PLAIN_GUARD_CLEAN_H

@@ -1,0 +1,8 @@
+// must-fire: include-guard — wrong guard name for this path (the
+// convention derives INCEPTIONN_PLAIN_GUARD_FIRE_H from it).
+#ifndef SOME_OTHER_GUARD_H
+#define SOME_OTHER_GUARD_H
+
+int fixtureValue();
+
+#endif // SOME_OTHER_GUARD_H

@@ -1,0 +1,4 @@
+// must-fire: include-guard — #pragma once instead of a named guard.
+#pragma once
+
+int fixtureValue();

@@ -1,0 +1,10 @@
+// must-not-fire: pointer-keyed-container — pointer *values* are fine;
+// only pointer *keys* impose address order on iteration.
+#include <cstdint>
+#include <map>
+#include <string>
+
+struct Node;
+
+std::map<uint64_t, Node *> makeById();
+std::map<std::string, Node *> makeByName();

@@ -1,0 +1,9 @@
+// must-fire: pointer-keyed-container — iteration follows allocation
+// addresses, which differ run to run.
+#include <map>
+#include <set>
+
+struct Node;
+
+std::map<Node *, int> makeRanks();       // line 8
+std::set<const char *> makeNames();      // line 9

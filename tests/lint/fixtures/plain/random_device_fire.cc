@@ -1,0 +1,9 @@
+// must-fire: no-random-device (outside src/sim/random.*)
+#include <random>
+
+unsigned
+entropy()
+{
+    std::random_device rd; // line 7
+    return rd();
+}

@@ -1,0 +1,16 @@
+// must-not-fire: no-std-rand — identifiers merely containing the
+// banned names, member calls, and mentions in comments or strings.
+struct Widget
+{
+    int rand_calls = 0;
+    int rand() { return 4; }
+};
+
+int
+quiet(Widget &w)
+{
+    int grand_total = w.rand(); // member call, not libc rand()
+    const char *msg = "never calls rand() at runtime";
+    int operand = grand_total + (msg ? 1 : 0);
+    return operand; // rand() in this comment is also fine
+}

@@ -1,0 +1,10 @@
+// must-fire: no-std-rand
+#include <cstdlib>
+
+int
+noisy()
+{
+    srand(42);                  // line 7
+    int x = rand();             // line 8
+    return x + rand() % 10;     // line 9 (one finding per line)
+}

@@ -1,0 +1,16 @@
+// must-not-fire: every violation below is suppressed — same-line
+// allow, standalone-comment allow (applies to the next line), and a
+// whole-file allow.
+// inc-lint: allow-file(no-random-device)
+#include <cstdlib>
+#include <random>
+
+int
+silenced()
+{
+    std::random_device rd; // covered by the allow-file above
+    srand(1); // inc-lint: allow(no-std-rand) — fixture exercises this
+    // inc-lint: allow(no-std-rand)
+    int x = rand();
+    return x + static_cast<int>(rd());
+}

@@ -1,0 +1,13 @@
+// must-not-fire: unordered-in-emitter — hash containers are fine in
+// files that never emit spans/metrics/traces (no emission-layer
+// include here; "sim/metrics.h" in a string doesn't count).
+#include <string>
+#include <unordered_map>
+
+int
+lookup(const std::unordered_map<std::string, int> &index)
+{
+    const char *doc = "#include \"sim/metrics.h\"";
+    auto it = index.find(doc);
+    return it == index.end() ? 0 : it->second;
+}

@@ -1,0 +1,14 @@
+// must-fire: unordered-in-emitter — this file includes an
+// emission-layer header, so hash containers are iteration-order
+// hazards for whatever it emits.
+#include <string>
+#include <unordered_map>
+#include "sim/metrics.h"
+
+void
+tally(std::unordered_map<std::string, int> &byName) // line 9
+{
+    for (auto &[name, n] : byName)
+        if (auto *m = inc::metrics::active())
+            m->add(name, static_cast<uint64_t>(n));
+}

@@ -1,0 +1,12 @@
+// must-fire: using-namespace-in-header (the guard itself is correct,
+// so that is the only finding).
+#ifndef INCEPTIONN_PLAIN_USING_NS_FIRE_H
+#define INCEPTIONN_PLAIN_USING_NS_FIRE_H
+
+#include <string>
+
+using namespace std; // line 8
+
+string fixtureName();
+
+#endif // INCEPTIONN_PLAIN_USING_NS_FIRE_H

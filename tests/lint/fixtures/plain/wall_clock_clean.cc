@@ -1,0 +1,14 @@
+// must-not-fire: no-wall-clock — member functions named time() and
+// mentions of steady_clock inside comments or string literals.
+struct Queue
+{
+    long time() const { return 7; }
+};
+
+long
+simulatedTime(const Queue &events)
+{
+    const char *doc = "uses steady_clock nowhere";
+    long lead_time = events.time(); // not libc time()
+    return lead_time + (doc ? 0 : 1);
+}

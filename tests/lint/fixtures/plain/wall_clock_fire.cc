@@ -1,0 +1,16 @@
+// must-fire: no-wall-clock
+#include <chrono>
+#include <ctime>
+
+long
+hostTime()
+{
+    auto t0 = std::chrono::steady_clock::now();      // line 8
+    auto t1 = std::chrono::system_clock::now();      // line 9
+    long when = time(nullptr);                       // line 10
+    const char *stamp = __TIMESTAMP__;               // line 11
+    (void)t0;
+    (void)t1;
+    (void)stamp;
+    return when;
+}

@@ -1,0 +1,12 @@
+// must-fire: no-const-cast — this fixture path sits under src/sim,
+// where const_cast is banned outright.
+struct State
+{
+    int ticks = 0;
+};
+
+void
+bump(const State &s)
+{
+    const_cast<State &>(s).ticks++; // line 11
+}

@@ -1,0 +1,27 @@
+// must-not-fire: mutable-global — constants, type definitions,
+// aliases, declarations, function-local statics, and class members
+// are all fine.
+#include <cstdint>
+#include <string>
+
+constexpr int kLimit = 8;
+const std::string kName = "fixture";
+extern int g_elsewhere;
+using Alias = std::string;
+typedef uint64_t Tick;
+
+struct Box
+{
+    int contents = 0; // class member, not namespace scope
+};
+
+namespace inc {
+
+int
+counter()
+{
+    static int s_local = 0; // function-local, not namespace scope
+    return ++s_local;
+}
+
+} // namespace inc

@@ -1,0 +1,17 @@
+// must-fire: mutable-global — namespace-scope mutable state under
+// src/sim, at file scope, in a named namespace, and in an anonymous
+// namespace.
+#include <string>
+
+int g_hits = 0; // line 6
+
+namespace inc {
+
+std::string g_last_error; // line 10
+
+namespace {
+
+bool s_armed = false; // line 14
+
+} // namespace
+} // namespace inc

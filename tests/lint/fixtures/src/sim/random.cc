@@ -1,0 +1,10 @@
+// must-not-fire: no-random-device — this path IS the sanctioned
+// entropy-plumbing module (src/sim/random.*), the one exemption.
+#include <random>
+
+unsigned
+sanctioned()
+{
+    std::random_device rd;
+    return rd();
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * End-to-end contract of the inc_lint determinism checker: every check
+ * in the catalogue has a must-fire fixture (exact check ids at exact
+ * lines) and a must-not-fire fixture (zero findings, exit 0) under
+ * tests/lint/fixtures/. The fixtures are the executable specification
+ * of the checker's heuristics — if a check's sensitivity changes,
+ * these tests name the snippet that moved.
+ *
+ * The tool binary and fixture directory come in via compile
+ * definitions (INC_LINT_BIN, INC_LINT_FIXTURES) so the test works from
+ * any working directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <regex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct RunResult
+{
+    int exitCode = -1;
+    std::string output;
+};
+
+/** Run `inc_lint --json <args>`, capture stdout. */
+RunResult
+runLint(const std::string &args)
+{
+    const std::string cmd =
+        std::string(INC_LINT_BIN) + " --json " + args + " 2>/dev/null";
+    RunResult r;
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe)
+        return r;
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0)
+        r.output.append(buf, n);
+    const int status = pclose(pipe);
+    r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+std::string
+fixture(const std::string &rel)
+{
+    return std::string(INC_LINT_FIXTURES) + "/" + rel;
+}
+
+using CheckAt = std::pair<std::string, int>; // (check id, line)
+
+/** Parse the (check, line) multiset out of a --json report. */
+std::multiset<CheckAt>
+findingsOf(const std::string &json)
+{
+    std::multiset<CheckAt> out;
+    static const std::regex re(
+        "\"line\": ([0-9]+), \"check\": \"([^\"]+)\"");
+    for (std::sregex_iterator it(json.begin(), json.end(), re), end;
+         it != end; ++it)
+        out.insert({(*it)[2].str(), std::stoi((*it)[1].str())});
+    return out;
+}
+
+int
+suppressedOf(const std::string &json)
+{
+    static const std::regex re("\"suppressed\": ([0-9]+)");
+    std::smatch m;
+    return std::regex_search(json, m, re) ? std::stoi(m[1].str()) : -1;
+}
+
+/** The fixture must yield exactly @p expected findings (and exit 1). */
+void
+expectFires(const std::string &rel,
+            const std::multiset<CheckAt> &expected)
+{
+    const RunResult r = runLint(fixture(rel));
+    EXPECT_EQ(r.exitCode, 1) << rel << ":\n" << r.output;
+    EXPECT_EQ(findingsOf(r.output), expected) << rel << ":\n"
+                                              << r.output;
+}
+
+/** The fixture must be perfectly quiet: no findings, exit 0. */
+void
+expectClean(const std::string &rel, int expectSuppressed = 0)
+{
+    const RunResult r = runLint(fixture(rel));
+    EXPECT_EQ(r.exitCode, 0) << rel << ":\n" << r.output;
+    EXPECT_TRUE(findingsOf(r.output).empty()) << rel << ":\n"
+                                              << r.output;
+    EXPECT_EQ(suppressedOf(r.output), expectSuppressed) << rel;
+}
+
+// ---------------------------------------------------------------------
+
+TEST(IncLint, ListChecksNamesTheFullCatalogue)
+{
+    const std::string cmd =
+        std::string(INC_LINT_BIN) + " --list-checks";
+    RunResult r;
+    FILE *pipe = popen(cmd.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0)
+        r.output.append(buf, n);
+    EXPECT_EQ(WEXITSTATUS(pclose(pipe)), 0);
+    for (const char *id :
+         {"no-std-rand", "no-random-device", "no-wall-clock",
+          "unordered-in-emitter", "pointer-keyed-container",
+          "no-const-cast", "mutable-global", "include-guard",
+          "using-namespace-in-header", "bad-suppression"})
+        EXPECT_NE(r.output.find(id), std::string::npos) << id;
+}
+
+TEST(IncLint, NoStdRand)
+{
+    expectFires("plain/std_rand_fire.cc", {{"no-std-rand", 7},
+                                           {"no-std-rand", 8},
+                                           {"no-std-rand", 9}});
+    expectClean("plain/std_rand_clean.cc");
+}
+
+TEST(IncLint, NoRandomDevice)
+{
+    expectFires("plain/random_device_fire.cc",
+                {{"no-random-device", 7}});
+    // Same code, but at the sanctioned src/sim/random.* path.
+    expectClean("src/sim/random.cc");
+}
+
+TEST(IncLint, NoWallClock)
+{
+    expectFires("plain/wall_clock_fire.cc", {{"no-wall-clock", 8},
+                                             {"no-wall-clock", 9},
+                                             {"no-wall-clock", 10},
+                                             {"no-wall-clock", 11}});
+    expectClean("plain/wall_clock_clean.cc");
+}
+
+TEST(IncLint, UnorderedInEmitter)
+{
+    expectFires("plain/unordered_emitter_fire.cc",
+                {{"unordered-in-emitter", 9}});
+    expectClean("plain/unordered_emitter_clean.cc");
+}
+
+TEST(IncLint, PointerKeyedContainer)
+{
+    expectFires("plain/pointer_keyed_fire.cc",
+                {{"pointer-keyed-container", 8},
+                 {"pointer-keyed-container", 9}});
+    expectClean("plain/pointer_keyed_clean.cc");
+}
+
+TEST(IncLint, NoConstCast)
+{
+    expectFires("src/sim/const_cast_fire.cc", {{"no-const-cast", 11}});
+    // Identical code outside src/sim + src/net is out of scope.
+    expectClean("plain/const_cast_clean.cc");
+}
+
+TEST(IncLint, MutableGlobal)
+{
+    expectFires("src/sim/mutable_global_fire.cc",
+                {{"mutable-global", 6},
+                 {"mutable-global", 10},
+                 {"mutable-global", 14}});
+    expectClean("src/sim/mutable_global_clean.cc");
+}
+
+TEST(IncLint, IncludeGuard)
+{
+    expectFires("plain/guard_fire.h", {{"include-guard", 3}});
+    expectFires("plain/guard_missing_fire.h", {{"include-guard", 2}});
+    expectClean("plain/guard_clean.h");
+}
+
+TEST(IncLint, UsingNamespaceInHeader)
+{
+    expectFires("plain/using_ns_fire.h",
+                {{"using-namespace-in-header", 8}});
+}
+
+TEST(IncLint, SuppressionsSilenceAndAreCounted)
+{
+    // Three violations, three suppression spellings (same-line,
+    // standalone-next-line, allow-file) — all silenced, all counted.
+    expectClean("plain/suppress_clean.cc", /*expectSuppressed=*/3);
+}
+
+TEST(IncLint, BadSuppressionIsItselfAFinding)
+{
+    expectFires("plain/bad_suppression_fire.cc",
+                {{"bad-suppression", 6}});
+}
+
+TEST(IncLint, WholeFixtureTreeSweepIsDeterministic)
+{
+    const RunResult a = runLint(fixture(""));
+    const RunResult b = runLint(fixture(""));
+    EXPECT_EQ(a.exitCode, 1); // the fire fixtures guarantee findings
+    EXPECT_EQ(a.output, b.output); // sorted walk => byte-stable report
+}
+
+} // namespace

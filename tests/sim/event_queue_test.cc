@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <vector>
 
 namespace inc {
@@ -87,6 +89,155 @@ TEST(EventQueue, TimeUnitConversions)
     EXPECT_EQ(kSecond, 1000000000000ull);
     EXPECT_DOUBLE_EQ(toSeconds(kMillisecond), 1e-3);
     EXPECT_EQ(fromSeconds(1.5), 1500ull * kMillisecond);
+}
+
+// Regression for the const_cast-free pop: the heap must be fully
+// consistent *before* a callback runs, so callbacks may schedule()
+// freely mid-run — including bursts at the current tick — without
+// corrupting the order of everything already pending.
+TEST(EventQueue, CallbacksMayScheduleBurstsDuringRun)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i)
+        q.schedule(50, [&order, i] { order.push_back(10 + i); });
+    q.schedule(10, [&] {
+        order.push_back(0);
+        // Same-tick burst, a later tick, and an interleaving tick.
+        q.schedule(10, [&] { order.push_back(1); });
+        q.schedule(90, [&] { order.push_back(99); });
+        q.schedule(30, [&] {
+            order.push_back(2);
+            q.schedule(50, [&] { order.push_back(14); });
+        });
+    });
+    q.run();
+    EXPECT_EQ(order,
+              (std::vector<int>{0, 1, 2, 10, 11, 12, 13, 14, 99}));
+    EXPECT_EQ(q.now(), 90u);
+}
+
+// Pins the documented "@pre when >= now()" contract of schedule():
+// scheduling into the past is an internal invariant violation and
+// must panic (abort), not silently reorder time.
+TEST(EventQueueDeathTest, SchedulingIntoThePastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.run();
+    ASSERT_EQ(q.now(), 100u);
+    EXPECT_DEATH(q.schedule(99, [] {}),
+                 "scheduling into the past");
+}
+
+// scheduleIn() of zero at the current tick is the boundary case of the
+// same contract and must be accepted.
+TEST(EventQueue, ScheduleAtNowIsAllowed)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { q.scheduleIn(0, [&] { ++fired; }); });
+    q.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 10u);
+}
+
+// runUntil boundary: an event scheduled *by a callback* at exactly
+// `until` still fires within the same runUntil call.
+TEST(EventQueue, RunUntilFiresEventScheduledAtBoundaryDuringRun)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] {
+        order.push_back(1);
+        q.schedule(20, [&] { order.push_back(2); });
+        q.schedule(21, [&] { order.push_back(3); });
+    });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Same-tick shuffle mode (the event-order race detector).
+
+std::vector<int>
+sameTickOrder(EventQueue &q, int n)
+{
+    std::vector<int> order;
+    for (int i = 0; i < n; ++i)
+        q.schedule(100, [&order, i] { order.push_back(i); });
+    q.run();
+    return order;
+}
+
+TEST(EventQueueShuffle, PermutesSameTickEventsDeterministically)
+{
+    std::vector<int> fifo;
+    for (int i = 0; i < 16; ++i)
+        fifo.push_back(i);
+
+    bool anyPermuted = false;
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        EventQueue a;
+        a.setSameTickShuffle(seed);
+        EXPECT_TRUE(a.sameTickShuffle());
+        EXPECT_EQ(a.sameTickShuffleSeed(), seed);
+        const std::vector<int> first = sameTickOrder(a, 16);
+
+        // Every event still fires exactly once...
+        std::vector<int> sorted = first;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_EQ(sorted, fifo);
+        if (first != fifo)
+            anyPermuted = true;
+
+        // ...and the permutation is a pure function of the seed.
+        EventQueue b;
+        b.setSameTickShuffle(seed);
+        EXPECT_EQ(sameTickOrder(b, 16), first);
+    }
+    // 3 seeds x 16! possible orders: at least one must differ from FIFO.
+    EXPECT_TRUE(anyPermuted);
+}
+
+TEST(EventQueueShuffle, CrossTickOrderIsUntouched)
+{
+    EventQueue q;
+    q.setSameTickShuffle(7);
+    std::vector<int> ticks;
+    for (int t = 5; t >= 1; --t)
+        q.schedule(static_cast<Tick>(t) * 10,
+                   [&ticks, t] { ticks.push_back(t); });
+    q.run();
+    EXPECT_EQ(ticks, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueueShuffle, ClearRestoresFifo)
+{
+    EventQueue q;
+    q.setSameTickShuffle(42);
+    q.clearSameTickShuffle();
+    EXPECT_FALSE(q.sameTickShuffle());
+    std::vector<int> order = sameTickOrder(q, 8);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueueShuffle, EnvVarEnablesShuffle)
+{
+    ASSERT_EQ(setenv("INC_EQ_SHUFFLE", "1234", /*overwrite=*/1), 0);
+    EventQueue q;
+    ASSERT_EQ(unsetenv("INC_EQ_SHUFFLE"), 0);
+    EXPECT_TRUE(q.sameTickShuffle());
+    EXPECT_EQ(q.sameTickShuffleSeed(), 1234u);
+
+    // Same seed via the setter must reproduce the env-driven order.
+    EventQueue manual;
+    manual.setSameTickShuffle(1234);
+    const std::vector<int> a = sameTickOrder(q, 12);
+    const std::vector<int> b = sameTickOrder(manual, 12);
+    EXPECT_EQ(a, b);
 }
 
 } // namespace

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -179,6 +181,119 @@ TEST(MetricsDeterminism, CodecCountersMatchTagHistogram)
               hist.counts[static_cast<size_t>(Tag::Bits16)]);
     EXPECT_EQ(reg.counter("codec.tag.nocompress"),
               hist.counts[static_cast<size_t>(Tag::NoCompress)]);
+}
+
+// ---------------------------------------------------------------------
+// ExactSum: histogram sums must be a function of the observed multiset,
+// never of observation order (the same-tick shuffle matrix caught plain
+// `sum += x` drifting in its last bits; see DESIGN.md section 11).
+
+TEST(ExactSum, ExactForSimpleValues)
+{
+    metrics::ExactSum s;
+    s.add(1.0);
+    s.add(2.0);
+    s.add(3.5);
+    EXPECT_EQ(s.value(), 6.5);
+    s.add(-6.5);
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(ExactSum, OrderIndependentToTheLastBit)
+{
+    // A sample set chosen so naive float summation differs by order:
+    // tiny terms vanish against the big one unless they combine first.
+    const std::vector<double> samples = {1e16, 1.0,    -1e16, 0.25,
+                                         3.125, -0.375, 1e-3, 2e8};
+    double naiveFwd = 0.0, naiveRev = 0.0;
+    for (double v : samples)
+        naiveFwd += v;
+    for (auto it = samples.rbegin(); it != samples.rend(); ++it)
+        naiveRev += *it;
+    // (sanity of the test itself: the naive orders really do disagree)
+    EXPECT_NE(naiveFwd, naiveRev);
+
+    metrics::ExactSum fwd, rev, interleaved;
+    for (double v : samples)
+        fwd.add(v);
+    for (auto it = samples.rbegin(); it != samples.rend(); ++it)
+        rev.add(*it);
+    for (size_t i = 0; i < samples.size(); i += 2)
+        interleaved.add(samples[i]);
+    for (size_t i = 1; i < samples.size(); i += 2)
+        interleaved.add(samples[i]);
+
+    const double expected = fwd.value();
+    EXPECT_EQ(rev.value(), expected);
+    EXPECT_EQ(interleaved.value(), expected);
+    // The exact total of this set is 2e8 + 4.0 - 0.375 + 1e-3 exactly
+    // representable? Compare against long-double reference instead:
+    long double ref = 0.0L;
+    for (double v : samples)
+        ref += static_cast<long double>(v);
+    EXPECT_NEAR(expected, static_cast<double>(ref), 1e-9);
+}
+
+TEST(ExactSum, CatastrophicCancellationIsExact)
+{
+    metrics::ExactSum s;
+    s.add(1e300);
+    s.add(1.0);
+    s.add(-1e300);
+    EXPECT_EQ(s.value(), 1.0); // naive summation yields 0.0
+    s.add(5e-324); // smallest subnormal folds in exactly too
+    EXPECT_GT(s.value(), 1.0 - 1e-15);
+}
+
+TEST(ExactSum, MergeMatchesSequentialAdds)
+{
+    metrics::ExactSum a, b, all;
+    const std::vector<double> va = {3.25, -1e10, 7e-5};
+    const std::vector<double> vb = {1e10, 0.125, -3.25};
+    for (double v : va) {
+        a.add(v);
+        all.add(v);
+    }
+    for (double v : vb) {
+        b.add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.value(), all.value());
+}
+
+TEST(ExactSum, NonFiniteSamplesPoisonDeterministically)
+{
+    metrics::ExactSum pos, mixed, nan;
+    pos.add(1.0);
+    pos.add(std::numeric_limits<double>::infinity());
+    EXPECT_TRUE(std::isinf(pos.value()));
+    EXPECT_GT(pos.value(), 0.0);
+
+    mixed.add(std::numeric_limits<double>::infinity());
+    mixed.add(-std::numeric_limits<double>::infinity());
+    EXPECT_TRUE(std::isnan(mixed.value()));
+
+    nan.add(std::numeric_limits<double>::quiet_NaN());
+    nan.add(42.0);
+    EXPECT_TRUE(std::isnan(nan.value()));
+}
+
+TEST(ExactSum, HistogramSumIsOrderIndependent)
+{
+    metrics::HistogramMetric fwd(0.0, 300.0, 8);
+    metrics::HistogramMetric rev(0.0, 300.0, 8);
+    std::vector<double> samples;
+    Rng rng(99);
+    for (int i = 0; i < 1000; ++i)
+        samples.push_back(rng.uniform(0.0, 300.0));
+    for (double v : samples)
+        fwd.observe(v);
+    for (auto it = samples.rbegin(); it != samples.rend(); ++it)
+        rev.observe(*it);
+    EXPECT_EQ(fwd.sum(), rev.sum());
+    EXPECT_EQ(fwd.mean(), rev.mean());
+    EXPECT_EQ(fwd.count(), rev.count());
 }
 
 } // namespace

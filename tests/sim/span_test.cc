@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "sim/trace.h"
 
 namespace inc {
@@ -164,6 +166,54 @@ TEST(Span, CausalityIsEnforcedByConstruction)
 TEST(Span, TraceGainsSpanCategory)
 {
     EXPECT_EQ(trace::categoryName(trace::Category::Span), "span");
+}
+
+TEST(Span, CanonicalCsvIsEmissionOrderIndependent)
+{
+    TracingOn on;
+    // The same two-child DAG, children emitted in either order. The
+    // raw stream renumbers; the ancestry-canonical stream must not
+    // care (this is what lets the shuffle matrix compare permuted
+    // emission orders byte-for-byte; DESIGN.md section 11).
+    const auto build = [](bool swapped) {
+        reset();
+        Tracer &t = *active();
+        const uint64_t root =
+            t.open(Kind::Iteration, -1, 0, 0, 0, "iter");
+        if (!swapped) {
+            t.record(Kind::Forward, 1, 10, 20, root, 0, "x");
+            t.record(Kind::Backward, 2, 10, 30, root, 0, "y");
+        } else {
+            t.record(Kind::Backward, 2, 10, 30, root, 0, "y");
+            t.record(Kind::Forward, 1, 10, 20, root, 0, "x");
+        }
+        t.close(root, 40);
+        return std::make_pair(t.renderCsv(), t.renderCanonicalCsv());
+    };
+    const auto [rawA, canonA] = build(false);
+    const auto [rawB, canonB] = build(true);
+    EXPECT_NE(rawA, rawB); // ids really did renumber
+    EXPECT_EQ(canonA, canonB);
+}
+
+TEST(Span, CanonicalCsvStillSeesAncestryChanges)
+{
+    TracingOn on;
+    // Identical span contents, different parent edges: a canonical
+    // form that dropped ancestry would call these equal; ours folds
+    // each span's ancestor hashes into its line and must not.
+    const auto build = [](bool chained) {
+        reset();
+        Tracer &t = *active();
+        const uint64_t root =
+            t.open(Kind::Iteration, -1, 0, 0, 0, "iter");
+        const uint64_t p =
+            t.record(Kind::Forward, 1, 10, 20, root, 0, "x");
+        t.record(Kind::Forward, 1, 10, 20, chained ? p : root, 0, "x");
+        t.close(root, 40);
+        return t.renderCanonicalCsv();
+    };
+    EXPECT_NE(build(false), build(true));
 }
 
 } // namespace

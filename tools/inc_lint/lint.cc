@@ -1,0 +1,757 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace inc {
+namespace lint {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Scanner: split a file into per-line code text (comments and string /
+// character literal *contents* blanked to spaces, so token checks never
+// fire inside them) and per-line comment text (where the allow()
+// annotations live). Raw string literals are handled; trigraphs are
+// not. Line splices inside literals keep their lines aligned because
+// blanking preserves every newline.
+
+struct ScanResult
+{
+    std::vector<std::string> raw;      ///< original lines
+    std::vector<std::string> code;     ///< literals/comments blanked
+    std::vector<std::string> comments; ///< comment text, per line
+};
+
+ScanResult
+scan(const std::string &content)
+{
+    ScanResult out;
+    out.raw.emplace_back();
+    out.code.emplace_back();
+    out.comments.emplace_back();
+
+    enum class State {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString
+    };
+    State st = State::Code;
+    std::string rawDelim; // for RawString: the ")delim\"" terminator
+
+    const size_t n = content.size();
+    for (size_t i = 0; i < n; ++i) {
+        const char c = content[i];
+        const char next = i + 1 < n ? content[i + 1] : '\0';
+        if (c == '\n') {
+            if (st == State::LineComment)
+                st = State::Code;
+            out.raw.emplace_back();
+            out.code.emplace_back();
+            out.comments.emplace_back();
+            continue;
+        }
+        out.raw.back() += c;
+        switch (st) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                st = State::LineComment;
+                out.code.back() += "  ";
+                ++i;
+            } else if (c == '/' && next == '*') {
+                st = State::BlockComment;
+                out.code.back() += "  ";
+                ++i;
+            } else if (c == '"') {
+                // R"delim( ... )delim" — the R must directly abut.
+                const bool raw = !out.code.back().empty() &&
+                                 out.code.back().back() == 'R';
+                if (raw) {
+                    rawDelim = ")";
+                    size_t j = i + 1;
+                    while (j < n && content[j] != '(' &&
+                           content[j] != '\n')
+                        rawDelim += content[j++];
+                    rawDelim += '"';
+                    st = State::RawString;
+                } else {
+                    st = State::String;
+                }
+                out.code.back() += '"';
+            } else if (c == '\'') {
+                st = State::Char;
+                out.code.back() += '\'';
+            } else {
+                out.code.back() += c;
+            }
+            break;
+          case State::LineComment:
+            out.comments.back() += c;
+            out.code.back() += ' ';
+            break;
+          case State::BlockComment:
+            if (c == '*' && next == '/') {
+                st = State::Code;
+                out.code.back() += "  ";
+                ++i;
+                if (i < n)
+                    out.raw.back() += content[i];
+            } else {
+                out.comments.back() += c;
+                out.code.back() += ' ';
+            }
+            break;
+          case State::String:
+            if (c == '\\' && next != '\n' && next != '\0') {
+                out.code.back() += "  ";
+                out.raw.back() += next;
+                ++i;
+            } else if (c == '"') {
+                st = State::Code;
+                out.code.back() += '"';
+            } else {
+                out.code.back() += ' ';
+            }
+            break;
+          case State::Char:
+            if (c == '\\' && next != '\n' && next != '\0') {
+                out.code.back() += "  ";
+                out.raw.back() += next;
+                ++i;
+            } else if (c == '\'') {
+                st = State::Code;
+                out.code.back() += '\'';
+            } else {
+                out.code.back() += ' ';
+            }
+            break;
+          case State::RawString:
+            out.code.back() += ' ';
+            if (c == rawDelim[0] &&
+                content.compare(i, rawDelim.size(), rawDelim) == 0) {
+                for (size_t k = 1; k < rawDelim.size(); ++k) {
+                    ++i;
+                    out.raw.back() += content[i];
+                    out.code.back() += ' ';
+                }
+                st = State::Code;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Small text helpers.
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Whole-identifier occurrence of @p tok in @p line. */
+bool
+hasToken(const std::string &line, const std::string &tok)
+{
+    size_t pos = 0;
+    while ((pos = line.find(tok, pos)) != std::string::npos) {
+        const bool leftOk = pos == 0 || !isIdentChar(line[pos - 1]);
+        const size_t end = pos + tok.size();
+        const bool rightOk =
+            end >= line.size() || !isIdentChar(line[end]);
+        if (leftOk && rightOk)
+            return true;
+        pos = end;
+    }
+    return false;
+}
+
+/** Like hasToken, but the token must be a free *call*: followed by
+ *  '(', not reached through '.' or '->' (member calls are someone
+ *  else's `time()`, not libc's), and not directly preceded by an
+ *  identifier other than `return`/`throw` (that shape —
+ *  `long time(...)` — is a declaration, which merely reuses the
+ *  name). */
+bool
+hasFreeCallToken(const std::string &line, const std::string &tok)
+{
+    size_t pos = 0;
+    while ((pos = line.find(tok, pos)) != std::string::npos) {
+        const size_t end = pos + tok.size();
+        const bool leftGlued = pos > 0 && isIdentChar(line[pos - 1]);
+
+        // Walk left past whitespace to classify what precedes.
+        size_t k = pos;
+        while (k > 0 &&
+               std::isspace(static_cast<unsigned char>(line[k - 1])))
+            --k;
+        bool member = false, declaration = false;
+        if (k > 0) {
+            const char prev = line[k - 1];
+            member = prev == '.' ||
+                     (prev == '>' && k > 1 && line[k - 2] == '-');
+            if (isIdentChar(prev)) {
+                size_t b = k;
+                while (b > 0 && isIdentChar(line[b - 1]))
+                    --b;
+                const std::string before = line.substr(b, k - b);
+                declaration =
+                    before != "return" && before != "throw";
+            }
+        }
+
+        size_t j = end;
+        while (j < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[j])))
+            ++j;
+        const bool called = j < line.size() && line[j] == '(';
+        if (!leftGlued && !member && !declaration && called &&
+            (end >= line.size() || !isIdentChar(line[end])))
+            return true;
+        pos = end;
+    }
+    return false;
+}
+
+std::string
+trimmed(const std::string &s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+normalizePath(const std::string &path)
+{
+    std::string p = path;
+    std::replace(p.begin(), p.end(), '\\', '/');
+    if (p.rfind("./", 0) == 0)
+        p = p.substr(2);
+    return p;
+}
+
+/** True when @p p lies under directory fragment @p dir ("src/sim"). */
+bool
+under(const std::string &p, const std::string &dir)
+{
+    const std::string withSlashes = "/" + p;
+    return withSlashes.find("/" + dir + "/") != std::string::npos;
+}
+
+bool
+isHeaderPath(const std::string &p)
+{
+    const size_t dot = p.rfind('.');
+    if (dot == std::string::npos)
+        return false;
+    const std::string ext = p.substr(dot);
+    return ext == ".h" || ext == ".hh" || ext == ".hpp";
+}
+
+/** "src/sim/event_queue.h" -> {"sim", "event_queue"}. */
+void
+dirAndStem(const std::string &p, std::string &dir, std::string &stem)
+{
+    const size_t slash = p.rfind('/');
+    const std::string file =
+        slash == std::string::npos ? p : p.substr(slash + 1);
+    const size_t dot = file.rfind('.');
+    stem = dot == std::string::npos ? file : file.substr(0, dot);
+    dir.clear();
+    if (slash != std::string::npos) {
+        const size_t prev = p.rfind('/', slash - 1);
+        dir = p.substr(prev == std::string::npos ? 0 : prev + 1,
+                       slash - (prev == std::string::npos ? 0 : prev + 1));
+    }
+}
+
+std::string
+upperIdent(const std::string &s)
+{
+    std::string out;
+    for (char c : s)
+        out += isIdentChar(c)
+                   ? static_cast<char>(
+                         std::toupper(static_cast<unsigned char>(c)))
+                   : '_';
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Per-file context shared by all checks.
+
+struct Ctx
+{
+    std::string path; ///< normalized
+    const ScanResult *s = nullptr;
+    bool header = false;
+    bool emitter = false; ///< includes a span/metrics/trace/timeline header
+    bool simOrNet = false;
+    std::vector<Finding> findings;
+
+    void report(int line, const char *check, const std::string &msg)
+    {
+        findings.push_back(Finding{path, line, check, msg});
+    }
+};
+
+// ---------------------------------------------------------------------
+// Checks. Each walks ctx.s->code (stripped lines); line numbers are
+// 1-based.
+
+void
+checkStdRand(Ctx &ctx)
+{
+    static const char *kBanned[] = {"rand",   "srand",   "rand_r",
+                                    "drand48", "lrand48", "mrand48",
+                                    "random_shuffle"};
+    for (size_t i = 0; i < ctx.s->code.size(); ++i) {
+        for (const char *tok : kBanned) {
+            if (hasFreeCallToken(ctx.s->code[i], tok)) {
+                ctx.report(static_cast<int>(i) + 1, "no-std-rand",
+                           std::string(tok) +
+                               " draws from hidden global state; use "
+                               "inc::Rng (sim/random.h) with an "
+                               "explicit seed");
+                break;
+            }
+        }
+    }
+}
+
+void
+checkRandomDevice(Ctx &ctx)
+{
+    if (under(ctx.path, "src/sim") &&
+        ctx.path.find("/random.") != std::string::npos)
+        return; // the one sanctioned home for entropy plumbing
+    for (size_t i = 0; i < ctx.s->code.size(); ++i) {
+        if (hasToken(ctx.s->code[i], "random_device"))
+            ctx.report(static_cast<int>(i) + 1, "no-random-device",
+                       "std::random_device is nondeterministic entropy; "
+                       "seeds must come from configuration");
+    }
+}
+
+void
+checkWallClock(Ctx &ctx)
+{
+    if (ctx.path.find("src/sim/logging.") != std::string::npos)
+        return; // log timestamps are presentation, not simulation state
+    static const char *kClockTokens[] = {
+        "system_clock", "steady_clock", "high_resolution_clock",
+        "__DATE__",     "__TIME__",     "__TIMESTAMP__"};
+    static const char *kClockCalls[] = {"time", "clock_gettime",
+                                        "gettimeofday", "localtime",
+                                        "gmtime"};
+    for (size_t i = 0; i < ctx.s->code.size(); ++i) {
+        const std::string &line = ctx.s->code[i];
+        bool hit = false;
+        for (const char *tok : kClockTokens)
+            hit = hit || hasToken(line, tok);
+        for (const char *tok : kClockCalls)
+            hit = hit || hasFreeCallToken(line, tok);
+        if (hit)
+            ctx.report(static_cast<int>(i) + 1, "no-wall-clock",
+                       "wall-clock read; simulated time comes from "
+                       "EventQueue::now() (host timing belongs only in "
+                       "benchmarks, with a justified allow)");
+    }
+}
+
+void
+checkUnorderedInEmitter(Ctx &ctx)
+{
+    if (!ctx.emitter)
+        return;
+    static const char *kHash[] = {"unordered_map", "unordered_set",
+                                  "unordered_multimap",
+                                  "unordered_multiset"};
+    for (size_t i = 0; i < ctx.s->code.size(); ++i) {
+        const std::string t = trimmed(ctx.s->code[i]);
+        if (!t.empty() && t[0] == '#')
+            continue; // the #include itself is not the hazard
+        for (const char *tok : kHash) {
+            if (hasToken(ctx.s->code[i], tok)) {
+                ctx.report(static_cast<int>(i) + 1,
+                           "unordered-in-emitter",
+                           std::string(tok) +
+                               " iterates in unspecified order; this "
+                               "file emits spans/metrics/traces, so "
+                               "use std::map/std::set or sort before "
+                               "emitting");
+                break;
+            }
+        }
+    }
+}
+
+void
+checkPointerKeyed(Ctx &ctx)
+{
+    // First template argument contains a '*': iteration follows
+    // allocation addresses, which vary run to run.
+    static const std::regex re(
+        R"(\bstd\s*::\s*(unordered_)?(multi)?(map|set)\s*<[^,<>]*\*)");
+    for (size_t i = 0; i < ctx.s->code.size(); ++i) {
+        if (std::regex_search(ctx.s->code[i], re))
+            ctx.report(static_cast<int>(i) + 1, "pointer-keyed-container",
+                       "container keyed by pointer iterates in "
+                       "allocation-address order; key by a stable id "
+                       "instead");
+    }
+}
+
+void
+checkConstCast(Ctx &ctx)
+{
+    if (!ctx.simOrNet)
+        return;
+    for (size_t i = 0; i < ctx.s->code.size(); ++i) {
+        if (hasToken(ctx.s->code[i], "const_cast"))
+            ctx.report(static_cast<int>(i) + 1, "no-const-cast",
+                       "const_cast in the simulation kernel subverts "
+                       "the const contract; restructure ownership "
+                       "instead");
+    }
+}
+
+/**
+ * Namespace-scope mutable state in src/sim + src/net. Heuristic, and
+ * deliberately conservative: a line is flagged only when (a) every
+ * scope open at the start of the line is a namespace (or we are at
+ * file scope), (b) it is a single-line declaration ending in ';',
+ * (c) it is not const/constexpr/constinit/extern and not a type,
+ * alias, template, or function declaration. Multi-line declarations
+ * are invisible to it; the fixtures pin exactly what it promises.
+ */
+void
+checkMutableGlobal(Ctx &ctx)
+{
+    if (!ctx.simOrNet)
+        return;
+    static const std::set<std::string> kSkipLead = {
+        "namespace", "using",    "typedef",  "template", "class",
+        "struct",    "enum",     "union",    "friend",   "extern",
+        "return",    "if",       "else",     "for",      "while",
+        "do",        "switch",   "case",     "break",    "continue",
+        "goto",      "public",   "private",  "protected",
+        "static_assert"};
+
+    std::vector<char> scopes; // 'n' = namespace, 'o' = anything else
+    std::string stmt;         // statement text since last ; { }
+    for (size_t i = 0; i < ctx.s->code.size(); ++i) {
+        const std::string &line = ctx.s->code[i];
+        const bool nsScope =
+            std::all_of(scopes.begin(), scopes.end(),
+                        [](char k) { return k == 'n'; });
+        if (nsScope) {
+            const std::string t = trimmed(line);
+            if (!t.empty() && t.back() == ';' && t[0] != '#' &&
+                t[0] != '}' && t[0] != '{') {
+                std::string lead;
+                for (char c : t) {
+                    if (!isIdentChar(c))
+                        break;
+                    lead += c;
+                }
+                const size_t paren = t.find('(');
+                const size_t eq = t.find('=');
+                const bool calls =
+                    paren != std::string::npos &&
+                    (eq == std::string::npos || paren < eq);
+                if (!kSkipLead.count(lead) && !calls &&
+                    !hasToken(t, "const") && !hasToken(t, "constexpr") &&
+                    !hasToken(t, "constinit") &&
+                    !hasToken(t, "operator") && isIdentChar(t[0]))
+                    ctx.report(static_cast<int>(i) + 1, "mutable-global",
+                               "mutable namespace-scope state in the "
+                               "simulation kernel; runs must not "
+                               "communicate through globals");
+            }
+        }
+        for (char c : line) {
+            if (c == '{') {
+                scopes.push_back(hasToken(stmt, "namespace") ? 'n'
+                                                             : 'o');
+                stmt.clear();
+            } else if (c == '}') {
+                if (!scopes.empty())
+                    scopes.pop_back();
+                stmt.clear();
+            } else if (c == ';') {
+                stmt.clear();
+            } else {
+                stmt += c;
+            }
+        }
+    }
+}
+
+void
+checkIncludeGuard(Ctx &ctx)
+{
+    if (!ctx.header)
+        return;
+    std::string dir, stem;
+    dirAndStem(ctx.path, dir, stem);
+    const std::string expected =
+        "INCEPTIONN_" + upperIdent(dir) + "_" + upperIdent(stem) + "_H";
+
+    static const std::regex ifndefRe(R"(^\s*#\s*ifndef\s+(\w+))");
+    static const std::regex pragmaRe(R"(^\s*#\s*pragma\s+once\b)");
+    for (size_t i = 0; i < ctx.s->code.size(); ++i) {
+        std::smatch m;
+        if (std::regex_search(ctx.s->code[i], m, pragmaRe)) {
+            ctx.report(static_cast<int>(i) + 1, "include-guard",
+                       "#pragma once; this tree uses named guards (" +
+                           expected + ")");
+            return;
+        }
+        if (std::regex_search(ctx.s->code[i], m, ifndefRe)) {
+            if (m[1].str() != expected)
+                ctx.report(static_cast<int>(i) + 1, "include-guard",
+                           "include guard '" + m[1].str() +
+                               "' should be '" + expected + "'");
+            return; // only the first #ifndef is the guard
+        }
+        if (!trimmed(ctx.s->code[i]).empty())
+            break; // code before any guard: missing
+    }
+    ctx.report(1, "include-guard",
+               "missing include guard; expected '" + expected + "'");
+}
+
+void
+checkUsingNamespaceInHeader(Ctx &ctx)
+{
+    if (!ctx.header)
+        return;
+    static const std::regex re(R"(\busing\s+namespace\b)");
+    for (size_t i = 0; i < ctx.s->code.size(); ++i) {
+        if (std::regex_search(ctx.s->code[i], re))
+            ctx.report(static_cast<int>(i) + 1,
+                       "using-namespace-in-header",
+                       "using namespace at header scope leaks into "
+                       "every includer");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Suppressions.
+
+struct Suppressions
+{
+    std::set<std::string> file;                   ///< allow-file ids
+    std::map<int, std::set<std::string>> byLine;  ///< 1-based
+    std::vector<Finding> bad;                     ///< unknown ids
+};
+
+bool
+knownCheck(const std::string &id)
+{
+    for (const CheckInfo &c : checkCatalogue())
+        if (id == c.id)
+            return true;
+    return false;
+}
+
+Suppressions
+parseSuppressions(const std::string &path, const ScanResult &s)
+{
+    Suppressions out;
+    static const std::regex re(
+        R"(inc-lint:\s*allow(-file)?\s*\(([^)]*)\))");
+    for (size_t i = 0; i < s.comments.size(); ++i) {
+        const std::string &text = s.comments[i];
+        for (std::sregex_iterator it(text.begin(), text.end(), re), end;
+             it != end; ++it) {
+            const bool wholeFile = (*it)[1].matched;
+            std::stringstream ids((*it)[2].str());
+            std::string id;
+            while (std::getline(ids, id, ',')) {
+                id = trimmed(id);
+                if (id.empty())
+                    continue;
+                if (!knownCheck(id)) {
+                    out.bad.push_back(Finding{
+                        path, static_cast<int>(i) + 1,
+                        "bad-suppression",
+                        "allow(" + id +
+                            ") names no known check; see "
+                            "--list-checks"});
+                    continue;
+                }
+                if (wholeFile) {
+                    out.file.insert(id);
+                } else {
+                    // Same line when it carries code, else next line.
+                    const bool own =
+                        !trimmed(s.code[i]).empty();
+                    const int target =
+                        static_cast<int>(i) + (own ? 1 : 2);
+                    out.byLine[target].insert(id);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+
+const std::vector<CheckInfo> &
+checkCatalogue()
+{
+    static const std::vector<CheckInfo> kCatalogue = {
+        {"no-std-rand",
+         "legacy randomness (rand/srand/rand_r/drand48/random_shuffle); "
+         "use inc::Rng with an explicit seed"},
+        {"no-random-device",
+         "std::random_device outside sim/random.*: nondeterministic "
+         "entropy"},
+        {"no-wall-clock",
+         "wall-clock reads (system_clock, steady_clock, time(), "
+         "__TIME__, ...) outside the logging layer"},
+        {"unordered-in-emitter",
+         "hash containers in files that emit spans/metrics/traces: "
+         "unspecified iteration order"},
+        {"pointer-keyed-container",
+         "std::map/std::set keyed by a pointer: allocation-address "
+         "iteration order"},
+        {"no-const-cast",
+         "const_cast inside src/sim or src/net"},
+        {"mutable-global",
+         "mutable namespace-scope state inside src/sim or src/net"},
+        {"include-guard",
+         "header guards must be named INCEPTIONN_<DIR>_<FILE>_H"},
+        {"using-namespace-in-header",
+         "using namespace at header scope"},
+        {"bad-suppression",
+         "inc-lint: allow(...) naming an unknown check id"},
+    };
+    return kCatalogue;
+}
+
+FileReport
+lintFile(const std::string &path, const std::string &content)
+{
+    Ctx ctx;
+    ctx.path = normalizePath(path);
+    const ScanResult s = scan(content);
+    ctx.s = &s;
+    ctx.header = isHeaderPath(ctx.path);
+    ctx.simOrNet = under(ctx.path, "src/sim") || under(ctx.path, "src/net");
+
+    // Emitter = direct include of an emission-layer header, or being
+    // part of that layer itself. Raw lines, because include paths are
+    // string literals the scanner blanks.
+    static const std::regex incRe(
+        R"re(^\s*#\s*include\s*"(sim/(span|metrics|trace)\.h|stats/timeline\.h)")re");
+    for (const std::string &line : s.raw)
+        ctx.emitter = ctx.emitter || std::regex_search(line, incRe);
+    for (const char *self :
+         {"src/sim/span.", "src/sim/metrics.", "src/sim/trace.",
+          "src/stats/timeline."})
+        ctx.emitter =
+            ctx.emitter || ctx.path.find(self) != std::string::npos;
+
+    checkStdRand(ctx);
+    checkRandomDevice(ctx);
+    checkWallClock(ctx);
+    checkUnorderedInEmitter(ctx);
+    checkPointerKeyed(ctx);
+    checkConstCast(ctx);
+    checkMutableGlobal(ctx);
+    checkIncludeGuard(ctx);
+    checkUsingNamespaceInHeader(ctx);
+
+    const Suppressions sup = parseSuppressions(ctx.path, s);
+    // Unknown-id findings pass through the same allow filter, so a
+    // file that documents the syntax can exempt its own prose.
+    for (const Finding &f : sup.bad)
+        ctx.findings.push_back(f);
+
+    FileReport report;
+    for (Finding &f : ctx.findings) {
+        const auto it = sup.byLine.find(f.line);
+        const bool allowed =
+            sup.file.count(f.check) ||
+            (it != sup.byLine.end() && it->second.count(f.check));
+        if (allowed)
+            ++report.suppressed;
+        else
+            report.findings.push_back(std::move(f));
+    }
+
+    std::stable_sort(report.findings.begin(), report.findings.end(),
+                     [](const Finding &a, const Finding &b) {
+                         return a.line != b.line ? a.line < b.line
+                                                 : a.check < b.check;
+                     });
+    return report;
+}
+
+std::string
+renderText(const std::vector<Finding> &findings)
+{
+    std::string out;
+    for (const Finding &f : findings)
+        out += f.file + ":" + std::to_string(f.line) + ": [" + f.check +
+               "] " + f.message + "\n";
+    return out;
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderJson(const std::vector<Finding> &findings, int files,
+           int suppressed)
+{
+    std::string out = "{\n  \"findings\": [";
+    bool first = true;
+    for (const Finding &f : findings) {
+        out += first ? "\n" : ",\n";
+        out += "    {\"file\": \"" + jsonEscape(f.file) +
+               "\", \"line\": " + std::to_string(f.line) +
+               ", \"check\": \"" + jsonEscape(f.check) +
+               "\", \"message\": \"" + jsonEscape(f.message) + "\"}";
+        first = false;
+    }
+    out += first ? "],\n" : "\n  ],\n";
+    out += "  \"files\": " + std::to_string(files) + ",\n";
+    out += "  \"suppressed\": " + std::to_string(suppressed) + "\n}\n";
+    return out;
+}
+
+} // namespace lint
+} // namespace inc

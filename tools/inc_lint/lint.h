@@ -1,0 +1,79 @@
+/**
+ * @file
+ * inc_lint — the project's determinism-audit static checker
+ * (DESIGN.md section 11). A self-contained token/line-level linter (no
+ * libclang): each check in the registry scans comment- and
+ * string-stripped source lines for project-specific hazards that the
+ * compiler accepts but the determinism contract forbids — hidden
+ * randomness, wall-clock reads, iteration-order-dependent containers
+ * on emission paths, mutable global state in the simulation kernel,
+ * and header hygiene.
+ *
+ * Suppressions: a comment `// inc-lint: allow(<id>[, <id>...])`
+ * suppresses the named checks on its own line (when the line has
+ * code), or on the next line (when the comment stands alone).
+ * `// inc-lint: allow-file(<id>)` suppresses a check for the whole
+ * file. Unknown ids in an allow() are themselves findings
+ * (bad-suppression) so a typo cannot silently mask nothing.
+ *
+ * Being token-level, the checker sees one file at a time and does not
+ * chase transitive includes; scope predicates use the file's own path
+ * and its direct #include directives. That keeps it dependency-free
+ * and fast enough to gate CI on every push.
+ */
+// The placeholder syntax examples above would otherwise read as typo'd
+// suppressions. inc-lint: allow-file(bad-suppression)
+
+#ifndef INCEPTIONN_INC_LINT_LINT_H
+#define INCEPTIONN_INC_LINT_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace inc {
+namespace lint {
+
+/** One rule in the registry. */
+struct CheckInfo
+{
+    const char *id;          ///< stable kebab-case id, used in allow()
+    const char *description; ///< one-line catalogue entry
+};
+
+/** The full check catalogue, in stable registry order. */
+const std::vector<CheckInfo> &checkCatalogue();
+
+/** One violation. */
+struct Finding
+{
+    std::string file;
+    int line = 0; ///< 1-based
+    std::string check;
+    std::string message;
+};
+
+/** Result of linting one file. */
+struct FileReport
+{
+    std::vector<Finding> findings;
+    int suppressed = 0; ///< findings silenced by allow()/allow-file()
+};
+
+/**
+ * Run every registered check over one file. @p path is used for scope
+ * decisions (directory-based checks, include-guard naming) and copied
+ * into findings verbatim; @p content is the file's full text.
+ */
+FileReport lintFile(const std::string &path, const std::string &content);
+
+/** Line-oriented report: `file:line: [check-id] message`. */
+std::string renderText(const std::vector<Finding> &findings);
+
+/** JSON report: {"findings":[...],"files":N,"suppressed":M}. */
+std::string renderJson(const std::vector<Finding> &findings, int files,
+                       int suppressed);
+
+} // namespace lint
+} // namespace inc
+
+#endif // INCEPTIONN_INC_LINT_LINT_H

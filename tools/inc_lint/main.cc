@@ -1,0 +1,148 @@
+/**
+ * @file
+ * inc_lint entry point: walk the given files/directories, lint every
+ * C++ source, report.
+ *
+ *   inc_lint [--json] <path>...     lint files / trees
+ *   inc_lint --list-checks [--json] print the check catalogue
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage or I/O error. Output is
+ * deterministic: files are visited in sorted path order and findings
+ * within a file in (line, check) order — the lint CI job diffs cleanly.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+using inc::lint::Finding;
+
+namespace {
+
+bool
+lintableExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hh" || ext == ".hpp" ||
+           ext == ".cc" || ext == ".cpp" || ext == ".cxx";
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--json] <path>...\n"
+                 "       %s --list-checks [--json]\n",
+                 argv0, argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    bool listChecks = false;
+    std::vector<std::string> roots;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json")
+            json = true;
+        else if (arg == "--list-checks")
+            listChecks = true;
+        else if (arg == "--help" || arg == "-h")
+            return usage(argv[0]);
+        else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(argv[0]);
+        } else {
+            roots.push_back(arg);
+        }
+    }
+
+    if (listChecks) {
+        if (json) {
+            std::string out = "{\n  \"checks\": [";
+            bool first = true;
+            for (const auto &c : inc::lint::checkCatalogue()) {
+                out += first ? "\n" : ",\n";
+                out += std::string("    {\"id\": \"") + c.id +
+                       "\", \"description\": \"" + c.description +
+                       "\"}";
+                first = false;
+            }
+            out += "\n  ]\n}\n";
+            std::fputs(out.c_str(), stdout);
+        } else {
+            for (const auto &c : inc::lint::checkCatalogue())
+                std::printf("%-26s %s\n", c.id, c.description);
+        }
+        return 0;
+    }
+
+    if (roots.empty())
+        return usage(argv[0]);
+
+    std::vector<std::string> files;
+    for (const std::string &root : roots) {
+        std::error_code ec;
+        const fs::file_status st = fs::status(root, ec);
+        if (ec || !fs::exists(st)) {
+            std::fprintf(stderr, "inc_lint: cannot stat '%s'\n",
+                         root.c_str());
+            return 2;
+        }
+        if (fs::is_directory(st)) {
+            for (const auto &e :
+                 fs::recursive_directory_iterator(root)) {
+                if (e.is_regular_file() &&
+                    lintableExtension(e.path()))
+                    files.push_back(e.path().generic_string());
+            }
+        } else {
+            files.push_back(fs::path(root).generic_string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<Finding> findings;
+    int suppressed = 0;
+    for (const std::string &file : files) {
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "inc_lint: cannot read '%s'\n",
+                         file.c_str());
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        inc::lint::FileReport r = inc::lint::lintFile(file, buf.str());
+        suppressed += r.suppressed;
+        for (Finding &f : r.findings)
+            findings.push_back(std::move(f));
+    }
+
+    if (json) {
+        std::fputs(inc::lint::renderJson(findings,
+                                         static_cast<int>(files.size()),
+                                         suppressed)
+                       .c_str(),
+                   stdout);
+    } else {
+        std::fputs(inc::lint::renderText(findings).c_str(), stdout);
+        std::fprintf(stderr,
+                     "inc_lint: %zu files, %zu findings, %d "
+                     "suppressed\n",
+                     files.size(), findings.size(), suppressed);
+    }
+    return findings.empty() ? 0 : 1;
+}
