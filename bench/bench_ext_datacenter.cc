@@ -8,14 +8,24 @@
  * rings (Fig. 1(c) with groups = racks) cross the oversubscribed tier
  * only during the small leader ring; the flat ring drags every block
  * across it 2(p-1) times.
+ *
+ * Large-scale section: the group-aligned hierarchical ring on the
+ * LP-partitioned parallel fabric over a 4096-host dragonfly
+ * (a=16, p=8, h=8, g=32; groups of the hierarchy = dragonfly groups),
+ * self-reporting wall clock, events/sec, and peak RSS. Flags:
+ * --lp-workers=N (0 skips), --no-classic (only the LP section).
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
 #include "net/network.h"
+#include "net/lp_fabric.h"
+#include "net/topology.h"
 #include "comm/comm_world.h"
 #include "comm/hier_ring_allreduce.h"
+#include "comm/lp_collectives.h"
 #include "comm/ring_allreduce.h"
 #include "comm/star_allreduce.h"
 #include "stats/table_printer.h"
@@ -103,6 +113,59 @@ runStar(double core_gbps, uint64_t bytes)
     return secs;
 }
 
+/**
+ * Group-aligned hierarchical ring at dragonfly scale on the parallel
+ * LP fabric. The hierarchy's groups are the dragonfly groups, so stage
+ * 1 never leaves a group's local links and only the leader ring rides
+ * the global cables — the same placement story as the rack study
+ * above, at 4096 hosts.
+ */
+void
+runLpSection(const bench::Options &opts, int lp_workers)
+{
+    if (lp_workers <= 0)
+        return;
+    // a=16 routers/group, p=8 hosts/router, h=8 globals/router, g=32
+    // groups -> 4096 hosts; --quick drops to a 72-host toy dragonfly.
+    Topology topo = lp_workers >= 4096
+                        ? dragonflyTopology(16, 8, 8, 32)
+                        : dragonflyTopology(4, 2, 2, 9);
+    const int per_group = topo.routersPerGroup * topo.hostsPerRouter;
+
+    // Host wall-clock is the *measurement* of this perf self-report,
+    // not simulation state. inc-lint: allow-file(no-wall-clock)
+    const auto t0 = std::chrono::steady_clock::now();
+    LpFabric fab(std::move(topo), LpFabricConfig{}, /*threads=*/0);
+    LpCollectiveConfig cc;
+    cc.algorithm = LpAlgorithm::HierRing;
+    cc.gradientBytes = kModelBytes / 4; // 25 MB: AlexNet-class shard
+    cc.groupSize = per_group;
+    const LpAllreduceResult r = runLpAllreduce(fab, cc);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    bench::PerfRecord rec;
+    rec.config = "datacenter_lp.hier_ring.dragonfly";
+    rec.workers = fab.nodes();
+    rec.width = 0; // ambient INC_THREADS
+    rec.events = r.events;
+    rec.rounds = r.rounds;
+    rec.wallMs = wall_ms;
+    rec.eventsPerSec =
+        wall_ms > 0.0 ? static_cast<double>(r.events) / (wall_ms / 1e3)
+                      : 0.0;
+    rec.peakRssMbNow = bench::peakRssMb();
+    rec.simSeconds =
+        static_cast<double>(r.finish) / static_cast<double>(kSecond);
+    std::printf("LP-mode group-aligned hier ring, %d-host dragonfly "
+                "(%d groups of %d):\n",
+                fab.nodes(), fab.nodes() / per_group, per_group);
+    bench::printPerfRecord(rec);
+    bench::writePerfJson(opts, "BENCH_datacenter.json", {rec});
+}
+
 } // namespace
 
 int
@@ -111,6 +174,20 @@ main(int argc, char **argv)
     const bench::Options opts = bench::Options::parse(argc, argv);
     bench::banner("Two-tier datacenter fabric: rack-aligned rings",
                   "Sec. VII-C topology — extension study");
+
+    bool classic = true;
+    int lp_workers = opts.quick ? 72 : 4096;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--no-classic")
+            classic = false;
+        else if (arg.rfind("--lp-workers=", 0) == 0)
+            lp_workers = std::atoi(arg.c_str() + 13);
+    }
+    if (!classic) {
+        runLpSection(opts, lp_workers);
+        return 0;
+    }
 
     CsvWriter csv({"model_bytes", "core_gbps", "star", "flat_aligned",
                    "flat_shuffled", "hier_ring"});
@@ -162,5 +239,6 @@ main(int argc, char **argv)
         "construction\nand wins outright for latency-bound (small) "
         "models.\n");
     bench::emitCsv(opts, "ext_datacenter.csv", csv);
+    runLpSection(opts, lp_workers);
     return 0;
 }

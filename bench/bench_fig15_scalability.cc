@@ -5,22 +5,137 @@
  * as the cluster grows from 4 to 8 workers, normalized to the 4-node WA
  * case, for all four models — plus the Sec. VIII-D analytical model
  * beside the simulation.
+ *
+ * Large-scale section (the perf-trajectory CI artifact): the same ring
+ * exchange on the LP-partitioned parallel fabric over a 1024-host
+ * fat-tree, run at scheduler widths 1 and 8, self-reporting wall
+ * clock, events/sec, and peak RSS into BENCH_pr6.json. Flags:
+ * --lp-workers=N (0 skips the section), --lp-widths=a,b,...,
+ * --no-classic (skip the paper tables; what the CI perf job passes).
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
 #include "comm/analytical.h"
+#include "comm/lp_collectives.h"
 #include "distrib/sim_trainer.h"
+#include "net/lp_fabric.h"
+#include "net/topology.h"
 #include "stats/table_printer.h"
 
 using namespace inc;
+
+namespace {
+
+/** Smallest even k whose k-ary fat tree holds @p workers hosts. */
+int
+fatTreeKFor(int workers)
+{
+    int k = 4;
+    while (k * k * k / 4 < workers)
+        k += 2;
+    return k;
+}
+
+bench::PerfRecord
+runLpRing(int workers, int width, uint64_t gradientBytes)
+{
+    const int k = fatTreeKFor(workers);
+    // 2 us propagation (≈ long intra-datacenter runs) is also the
+    // conservative lookahead, so it sets the parallel window size.
+    Topology topo = fatTreeTopology(k, 10e9, 2 * kMicrosecond);
+    // Host wall-clock is the *measurement* of this perf self-report,
+    // not simulation state. inc-lint: allow-file(no-wall-clock)
+    const auto t0 = std::chrono::steady_clock::now();
+    LpFabric fab(std::move(topo), LpFabricConfig{}, width);
+    LpCollectiveConfig cc;
+    cc.algorithm = LpAlgorithm::Ring;
+    cc.gradientBytes = gradientBytes;
+    const LpAllreduceResult r = runLpAllreduce(fab, cc);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    bench::PerfRecord rec;
+    rec.config = "fig15_lp.ring.fat_tree_k" + std::to_string(k);
+    rec.workers = fab.nodes();
+    rec.width = width;
+    rec.events = r.events;
+    rec.rounds = r.rounds;
+    rec.wallMs = wall_ms;
+    rec.eventsPerSec =
+        wall_ms > 0.0 ? static_cast<double>(r.events) / (wall_ms / 1e3)
+                      : 0.0;
+    rec.peakRssMbNow = bench::peakRssMb();
+    rec.simSeconds =
+        static_cast<double>(r.finish) / static_cast<double>(kSecond);
+    return rec;
+}
+
+void
+runLpSection(const bench::Options &opts, int lp_workers,
+             const std::vector<int> &widths)
+{
+    if (lp_workers <= 0)
+        return;
+    const uint64_t gradient = 100 * 1000 * 1000; // AlexNet-class
+    std::printf("LP-mode ring allreduce, %d-host fat-tree, 100 MB "
+                "gradients:\n",
+                fatTreeKFor(lp_workers) * fatTreeKFor(lp_workers) *
+                    fatTreeKFor(lp_workers) / 4);
+    std::vector<bench::PerfRecord> records;
+    double serial_ms = 0.0;
+    for (const int width : widths) {
+        bench::PerfRecord rec = runLpRing(lp_workers, width, gradient);
+        bench::printPerfRecord(rec);
+        if (width == 1)
+            serial_ms = rec.wallMs;
+        else if (serial_ms > 0.0 && rec.wallMs > 0.0)
+            std::printf("[perf]   width %d speedup over width 1: "
+                        "%.2fx\n",
+                        width, serial_ms / rec.wallMs);
+        records.push_back(std::move(rec));
+    }
+    bench::writePerfJson(opts, "BENCH_pr6.json", records);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     const bench::Options opts = bench::Options::parse(argc, argv);
     bench::banner("Gradient exchange time scalability", "Figure 15");
+
+    // Section-local flags (bench_util ignores what it does not know).
+    bool classic = true;
+    int lp_workers = opts.quick ? 128 : 1024;
+    std::vector<int> lp_widths = {1, 8};
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--no-classic") {
+            classic = false;
+        } else if (arg.rfind("--lp-workers=", 0) == 0) {
+            lp_workers = std::atoi(arg.c_str() + 13);
+        } else if (arg.rfind("--lp-widths=", 0) == 0) {
+            lp_widths.clear();
+            for (const char *p = arg.c_str() + 12; *p;) {
+                lp_widths.push_back(std::atoi(p));
+                while (*p && *p != ',')
+                    ++p;
+                if (*p == ',')
+                    ++p;
+            }
+        }
+    }
+
+    if (!classic) {
+        runLpSection(opts, lp_workers, lp_widths);
+        return 0;
+    }
 
     const uint64_t iters = opts.iterations ? opts.iterations : 5;
     const int node_counts[] = {4, 6, 8};
@@ -74,5 +189,6 @@ main(int argc, char **argv)
     std::printf("Expected shape: WA grows ~linearly with nodes; INC stays "
                 "~flat (paper Fig. 15).\n");
     bench::emitCsv(opts, "fig15_scalability.csv", csv);
+    runLpSection(opts, lp_workers, lp_widths);
     return 0;
 }

@@ -16,6 +16,11 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "sim/metrics.h"
 #include "stats/csv_writer.h"
@@ -126,6 +131,85 @@ emitTimeline(const Options &opts, const std::string &name,
     if (timeline.writeFile(path))
         std::printf("[trace] %s (%zu events; load in Perfetto)\n",
                     path.c_str(), timeline.eventCount());
+}
+
+/** Peak resident set of this process in MiB (Linux ru_maxrss is KiB). */
+inline double
+peakRssMb()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru
+    {
+    };
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0.0;
+#if defined(__APPLE__)
+    return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;
+#endif
+#else
+    return 0.0;
+#endif
+}
+
+/** One row of a performance self-report (the BENCH_*.json schema the
+ *  perf-trajectory CI job tracks across commits). */
+struct PerfRecord
+{
+    std::string config; ///< e.g. "fig15_lp.ring.fat_tree"
+    int workers = 0;
+    int width = 0; ///< LpScheduler width (0 = ambient INC_THREADS)
+    uint64_t events = 0;
+    uint64_t rounds = 0;
+    double wallMs = 0.0;
+    double eventsPerSec = 0.0;
+    double peakRssMbNow = 0.0;
+    double simSeconds = 0.0;
+};
+
+/** Write @p records as pretty-printed JSON under the csv dir. */
+inline void
+writePerfJson(const Options &opts, const std::string &name,
+              const std::vector<PerfRecord> &records)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(opts.csvDir, ec);
+    const std::string path = opts.csvDir + "/" + name;
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return;
+    std::fprintf(f, "{\n  \"records\": [\n");
+    for (size_t i = 0; i < records.size(); ++i) {
+        const PerfRecord &r = records[i];
+        std::fprintf(
+            f,
+            "    {\"config\": \"%s\", \"workers\": %d, \"width\": %d, "
+            "\"events\": %llu, \"rounds\": %llu, \"wall_ms\": %.3f, "
+            "\"events_per_sec\": %.0f, \"peak_rss_mb\": %.1f, "
+            "\"sim_seconds\": %.6f}%s\n",
+            r.config.c_str(), r.workers, r.width,
+            static_cast<unsigned long long>(r.events),
+            static_cast<unsigned long long>(r.rounds), r.wallMs,
+            r.eventsPerSec, r.peakRssMbNow, r.simSeconds,
+            i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("[perf] %s\n", path.c_str());
+}
+
+/** Print one PerfRecord as a human-readable self-report line. */
+inline void
+printPerfRecord(const PerfRecord &r)
+{
+    std::printf("[perf] %-28s workers=%-5d width=%d  %9.1f ms  "
+                "%12.0f events/s  (%llu events, %llu rounds, "
+                "rss %.0f MiB, sim %.3f s)\n",
+                r.config.c_str(), r.workers, r.width, r.wallMs,
+                r.eventsPerSec, static_cast<unsigned long long>(r.events),
+                static_cast<unsigned long long>(r.rounds), r.peakRssMbNow,
+                r.simSeconds);
 }
 
 /** Print a bench banner. */

@@ -1,0 +1,340 @@
+#include "comm/lp_collectives.h"
+
+#include <memory>
+
+#include "comm/collective_config.h"
+#include "sim/logging.h"
+
+namespace inc {
+
+const char *
+lpAlgorithmName(LpAlgorithm algorithm)
+{
+    switch (algorithm) {
+    case LpAlgorithm::Star:
+        return "star";
+    case LpAlgorithm::Ring:
+        return "ring";
+    case LpAlgorithm::Tree:
+        return "tree";
+    case LpAlgorithm::HierRing:
+        return "hier_ring";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Shared run context. Each host only ever touches its own slots, from
+ *  its own LP, so the vectors need no synchronization. */
+struct RunCtx
+{
+    LpFabric *fab = nullptr;
+    LpCollectiveConfig cfg{};
+    std::vector<Tick> done;
+
+    uint8_t
+    tos() const
+    {
+        return cfg.compressGradients ? kCompressTos : kDefaultTos;
+    }
+};
+
+/**
+ * One ring allreduce over an arbitrary member list (ring order =
+ * list order). Members may start at different ticks — a member joins
+ * by ringSeed() from its own LP — which is what lets the hierarchical
+ * exchange chain rings without a global barrier.
+ */
+struct RingCtx
+{
+    std::shared_ptr<RunCtx> run;
+    std::vector<int> members;
+    std::vector<int> recv; ///< messages received, per member index
+    uint64_t chunk = 0;
+    uint64_t totalBytes = 0;
+    /** Called from the member's LP at its completion tick. */
+    std::function<void(int host, Tick when)> onDone;
+};
+
+void ringRecv(const std::shared_ptr<RingCtx> &ring, size_t idx, Tick when);
+
+void
+ringSendNext(const std::shared_ptr<RingCtx> &ring, size_t idx)
+{
+    const size_t m = ring->members.size();
+    const size_t nextIdx = (idx + 1) % m;
+    ring->run->fab->send(
+        ring->members[idx], ring->members[nextIdx], ring->chunk,
+        ring->run->tos(), ring->run->cfg.wireRatio,
+        [ring, nextIdx](Tick when) { ringRecv(ring, nextIdx, when); });
+}
+
+void
+ringSeed(const std::shared_ptr<RingCtx> &ring, size_t idx)
+{
+    if (ring->members.size() == 1) {
+        // Degenerate ring: already holds the full result. A host's LP
+        // id is its node id, so now(host) is this event's tick.
+        const int host = ring->members[idx];
+        ring->onDone(host, ring->run->fab->scheduler().now(host));
+        return;
+    }
+    ringSendNext(ring, idx);
+}
+
+void
+ringRecv(const std::shared_ptr<RingCtx> &ring, size_t idx, Tick when)
+{
+    RunCtx &run = *ring->run;
+    const int host = ring->members[idx];
+    const size_t m = ring->members.size();
+    const int r = ++ring->recv[idx];
+    const Tick ready = when + run.cfg.perMessageOverhead;
+    if (r <= static_cast<int>(m) - 1) {
+        // Reduce phase: fold the incoming block, then pass it on.
+        const Tick end = run.fab->host(host).compute(
+            ready, sumCost(ring->chunk, run.cfg.sumSecondsPerByte));
+        run.fab->atHost(host, end,
+                        [ring, idx] { ringSendNext(ring, idx); });
+        return;
+    }
+    if (r < 2 * (static_cast<int>(m) - 1)) {
+        // Gather phase: forward the aggregated block untouched.
+        run.fab->atHost(host, ready,
+                        [ring, idx] { ringSendNext(ring, idx); });
+        return;
+    }
+    // Final gather block: this member holds the full result.
+    ring->onDone(host, ready);
+}
+
+std::shared_ptr<RingCtx>
+makeRing(const std::shared_ptr<RunCtx> &run, std::vector<int> members,
+         uint64_t bytes, std::function<void(int, Tick)> on_done)
+{
+    auto ring = std::make_shared<RingCtx>();
+    ring->run = run;
+    ring->members = std::move(members);
+    ring->recv.assign(ring->members.size(), 0);
+    ring->totalBytes = bytes;
+    ring->chunk =
+        (bytes + ring->members.size() - 1) / ring->members.size();
+    ring->onDone = std::move(on_done);
+    return ring;
+}
+
+void
+startStar(const std::shared_ptr<RunCtx> &run)
+{
+    LpFabric &fab = *run->fab;
+    const int n = fab.nodes();
+    const int root = 0;
+    // Arrival counter lives on the root's LP only.
+    auto got = std::make_shared<int>(0);
+    for (int w = 1; w < n; ++w) {
+        fab.atHost(w, 0, [run, w, root, got] {
+            run->fab->send(
+                w, root, run->cfg.gradientBytes, run->tos(),
+                run->cfg.wireRatio, [run, got, root](Tick when) {
+                    RunCtx &r = *run;
+                    const int n2 = r.fab->nodes();
+                    const Tick ready = when + r.cfg.perMessageOverhead;
+                    const Tick end = r.fab->host(root).compute(
+                        ready, sumCost(r.cfg.gradientBytes,
+                                       r.cfg.sumSecondsPerByte));
+                    if (++*got < n2 - 1)
+                        return;
+                    // Last gradient folded: broadcast the new weights.
+                    r.done[root] = end;
+                    r.fab->atHost(root, end, [run, root] {
+                        RunCtx &rr = *run;
+                        for (int w2 = 1; w2 < rr.fab->nodes(); ++w2) {
+                            rr.fab->send(
+                                root, w2, rr.cfg.gradientBytes, rr.tos(),
+                                rr.cfg.wireRatio, [run, w2](Tick t) {
+                                    run->done[w2] =
+                                        t + run->cfg.perMessageOverhead;
+                                });
+                        }
+                    });
+                });
+        });
+    }
+}
+
+void
+startRing(const std::shared_ptr<RunCtx> &run)
+{
+    std::vector<int> members(static_cast<size_t>(run->fab->nodes()));
+    for (size_t i = 0; i < members.size(); ++i)
+        members[i] = static_cast<int>(i);
+    auto ring = makeRing(run, std::move(members), run->cfg.gradientBytes,
+                         [run](int host, Tick when) {
+                             run->done[static_cast<size_t>(host)] = when;
+                         });
+    for (size_t i = 0; i < ring->members.size(); ++i)
+        run->fab->atHost(ring->members[i], 0,
+                         [ring, i] { ringSeed(ring, i); });
+}
+
+void treeBroadcast(const std::shared_ptr<RunCtx> &run, int host,
+                   Tick when);
+
+void
+treeRecvFromChild(const std::shared_ptr<RunCtx> &run, int host,
+                  const std::shared_ptr<std::vector<int>> &got, Tick when)
+{
+    RunCtx &r = *run;
+    const int n = r.fab->nodes();
+    const int kids = (2 * host + 1 < n ? 1 : 0) + (2 * host + 2 < n ? 1 : 0);
+    const Tick ready = when + r.cfg.perMessageOverhead;
+    const Tick end = r.fab->host(host).compute(
+        ready, sumCost(r.cfg.gradientBytes, r.cfg.sumSecondsPerByte));
+    if (++(*got)[static_cast<size_t>(host)] < kids)
+        return;
+    if (host == 0) {
+        r.done[0] = end;
+        r.fab->atHost(0, end, [run] { treeBroadcast(run, 0, 0); });
+        return;
+    }
+    const int parent = (host - 1) / 2;
+    r.fab->atHost(host, end, [run, host, parent, got] {
+        run->fab->send(host, parent, run->cfg.gradientBytes, run->tos(),
+                       run->cfg.wireRatio, [run, parent, got](Tick t) {
+                           treeRecvFromChild(run, parent, got, t);
+                       });
+    });
+}
+
+void
+treeBroadcast(const std::shared_ptr<RunCtx> &run, int host, Tick when)
+{
+    (void)when;
+    RunCtx &r = *run;
+    for (const int child : {2 * host + 1, 2 * host + 2}) {
+        if (child >= r.fab->nodes())
+            continue;
+        r.fab->send(host, child, r.cfg.gradientBytes, r.tos(),
+                    r.cfg.wireRatio, [run, child](Tick t) {
+                        RunCtx &rr = *run;
+                        const Tick ready =
+                            t + rr.cfg.perMessageOverhead;
+                        rr.done[static_cast<size_t>(child)] = ready;
+                        rr.fab->atHost(child, ready, [run, child] {
+                            treeBroadcast(run, child, 0);
+                        });
+                    });
+    }
+}
+
+void
+startTree(const std::shared_ptr<RunCtx> &run)
+{
+    const int n = run->fab->nodes();
+    auto got = std::make_shared<std::vector<int>>(
+        static_cast<size_t>(n), 0);
+    for (int h = 0; h < n; ++h) {
+        if (2 * h + 1 < n)
+            continue; // internal node: waits for its children
+        const int parent = (h - 1) / 2;
+        run->fab->atHost(h, 0, [run, h, parent, got] {
+            run->fab->send(h, parent, run->cfg.gradientBytes, run->tos(),
+                           run->cfg.wireRatio, [run, parent, got](Tick t) {
+                               treeRecvFromChild(run, parent, got, t);
+                           });
+        });
+    }
+}
+
+void
+startHierRing(const std::shared_ptr<RunCtx> &run)
+{
+    const int n = run->fab->nodes();
+    const int g = run->cfg.groupSize;
+    INC_ASSERT(g >= 1 && n % g == 0,
+               "hier_ring: %d hosts do not fill groups of %d", n, g);
+    const int groups = n / g;
+
+    std::vector<int> leaders(static_cast<size_t>(groups));
+    for (int k = 0; k < groups; ++k)
+        leaders[static_cast<size_t>(k)] = k * g;
+
+    // Stage 2 (rings of leaders over the full gradient), entered by
+    // each leader as its own stage-1 ring completes; stage 3 fans the
+    // result to the group.
+    auto stage2 = makeRing(
+        run, leaders, run->cfg.gradientBytes,
+        [run, g](int leader, Tick when) {
+            RunCtx &r = *run;
+            r.done[static_cast<size_t>(leader)] = when;
+            r.fab->atHost(leader, when, [run, leader, g] {
+                for (int m = leader + 1; m < leader + g; ++m) {
+                    run->fab->send(
+                        leader, m, run->cfg.gradientBytes, run->tos(),
+                        run->cfg.wireRatio, [run, m](Tick t) {
+                            run->done[static_cast<size_t>(m)] =
+                                t + run->cfg.perMessageOverhead;
+                        });
+                }
+            });
+        });
+
+    // Stage 1: intra-group rings over the full gradient.
+    for (int k = 0; k < groups; ++k) {
+        std::vector<int> members(static_cast<size_t>(g));
+        for (int i = 0; i < g; ++i)
+            members[static_cast<size_t>(i)] = k * g + i;
+        auto ring = makeRing(
+            run, std::move(members), run->cfg.gradientBytes,
+            [run, stage2, k, g](int host, Tick when) {
+                if (host % g != 0)
+                    return; // non-leaders wait for stage 3
+                run->fab->atHost(host, when, [stage2, k] {
+                    ringSeed(stage2, static_cast<size_t>(k));
+                });
+            });
+        for (size_t i = 0; i < ring->members.size(); ++i)
+            run->fab->atHost(ring->members[i], 0,
+                             [ring, i] { ringSeed(ring, i); });
+    }
+}
+
+} // namespace
+
+LpAllreduceResult
+runLpAllreduce(LpFabric &fabric, const LpCollectiveConfig &config)
+{
+    INC_ASSERT(config.gradientBytes > 0, "empty gradient");
+    auto run = std::make_shared<RunCtx>();
+    run->fab = &fabric;
+    run->cfg = config;
+    run->done.assign(static_cast<size_t>(fabric.nodes()), 0);
+
+    switch (config.algorithm) {
+    case LpAlgorithm::Star:
+        startStar(run);
+        break;
+    case LpAlgorithm::Ring:
+        startRing(run);
+        break;
+    case LpAlgorithm::Tree:
+        startTree(run);
+        break;
+    case LpAlgorithm::HierRing:
+        startHierRing(run);
+        break;
+    }
+
+    LpAllreduceResult result;
+    result.events = fabric.run();
+    result.rounds = fabric.scheduler().rounds();
+    result.hostDone = std::move(run->done);
+    for (const Tick t : result.hostDone) {
+        INC_ASSERT(t > 0, "a host never completed the allreduce");
+        result.finish = std::max(result.finish, t);
+    }
+    return result;
+}
+
+} // namespace inc

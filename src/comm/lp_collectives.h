@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Allreduce collectives for the LP-partitioned fabric (net/lp_fabric.h).
+ * The classic collectives (star/tree/ring/hier-ring in this directory)
+ * are centralized event chains over a shared CommWorld — correct on the
+ * serial kernel, but their state is global. These are the same four
+ * exchange patterns re-expressed as *per-host finite state machines*:
+ * every host's counters live on its own logical process, messages move
+ * only through LpFabric::send, and reduction time is charged on the
+ * receiving host's CPU — so the whole collective executes in parallel
+ * and bit-identically for every INC_THREADS.
+ *
+ * Cost conventions follow collective_config.h: sumSecondsPerByte for
+ * reduction arithmetic and perMessageOverhead charged on every received
+ * message before the host reacts to it.
+ */
+
+#ifndef INCEPTIONN_COMM_LP_COLLECTIVES_H
+#define INCEPTIONN_COMM_LP_COLLECTIVES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "net/lp_fabric.h"
+
+namespace inc {
+
+/** Exchange pattern to run. */
+enum class LpAlgorithm { Star, Ring, Tree, HierRing };
+
+/** Stable name for reports and CI matrices. */
+const char *lpAlgorithmName(LpAlgorithm algorithm);
+
+/** Parameters of one LP-mode allreduce. */
+struct LpCollectiveConfig
+{
+    LpAlgorithm algorithm = LpAlgorithm::Ring;
+    /** Gradient vector size in bytes (the paper's n). */
+    uint64_t gradientBytes = 0;
+    /** Compress gradient legs (ToS 0x28, honoured by engine NICs). */
+    bool compressGradients = false;
+    /** Codec wire ratio achieved on gradient payloads. */
+    double wireRatio = 1.0;
+    /** Sum-reduction cost, seconds per byte (the paper's gamma). */
+    double sumSecondsPerByte = 1e-10;
+    /** Fixed software cost per received message. */
+    Tick perMessageOverhead = 1500 * kMicrosecond;
+    /** Group size for HierRing (must divide the host count). */
+    int groupSize = 4;
+};
+
+/** Outcome of one LP-mode allreduce. */
+struct LpAllreduceResult
+{
+    /** Tick each host held the fully aggregated gradient. */
+    std::vector<Tick> hostDone;
+    /** Completion of the slowest host. */
+    Tick finish = 0;
+    /** Events the scheduler executed for this run. */
+    uint64_t events = 0;
+    /** Conservative rounds the scheduler went through. */
+    uint64_t rounds = 0;
+};
+
+/**
+ * Run one allreduce over @p fabric and drain the scheduler. Seeds the
+ * per-host FSMs at tick 0, so call it on a freshly constructed fabric
+ * (or at least one whose LPs are all idle).
+ */
+LpAllreduceResult runLpAllreduce(LpFabric &fabric,
+                                 const LpCollectiveConfig &config);
+
+} // namespace inc
+
+#endif // INCEPTIONN_COMM_LP_COLLECTIVES_H

@@ -1,0 +1,479 @@
+#include "net/lp_fabric.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+namespace {
+
+constexpr uint8_t kTraceTx = 0;
+constexpr uint8_t kTraceHop = 1;
+constexpr uint8_t kTraceRx = 2;
+constexpr uint8_t kTraceDeliver = 3;
+constexpr uint8_t kTraceRetry = 4;
+
+uint64_t
+packetWireBits(uint64_t mtu)
+{
+    return (mssFor(mtu) + kHeaderBytes + kFramingBytes) * 8;
+}
+
+} // namespace
+
+/** Everything a segment carries between hops: the cut-through timing
+ *  state of shipAlongPath, threaded through cross-LP events. */
+struct LpFabric::HopCarry
+{
+    std::shared_ptr<const std::vector<int>> path;
+    size_t hop = 1; ///< index into path of the node this event fires on
+    uint64_t wireBits = 0;
+    Tick prevStart = 0;
+    Tick prevTxEnd = 0;
+    Tick prevPktTime = 0;
+    Tick arrival = 0; ///< true tick the tail reaches this node
+    SegmentMeta meta{};
+    bool compressed = false;
+    bool last = false; ///< fires the delivery callback at the far end
+    uint64_t flightPayload = 0;
+    std::shared_ptr<std::function<void(Tick)>> cb;
+    int src = 0;
+    int dst = 0;
+};
+
+LpFabric::LpFabric(Topology topo, LpFabricConfig config, int threads)
+    : topo_(std::move(topo)), config_(std::move(config)),
+      plan_(makeLpPlan(topo_))
+{
+    INC_ASSERT(topo_.hosts >= 2, "LP fabric needs >= 2 hosts");
+    INC_ASSERT(config_.segmentBytes % mssFor(config_.nic.mtu) == 0,
+               "segmentBytes must be a multiple of the MSS (%llu)",
+               static_cast<unsigned long long>(mssFor(config_.nic.mtu)));
+    sched_ = std::make_unique<LpScheduler>(plan_.lpCount, plan_.lookahead,
+                                           threads);
+    hosts_.reserve(static_cast<size_t>(topo_.hosts));
+    for (int i = 0; i < topo_.hosts; ++i)
+        hosts_.push_back(std::make_unique<Host>(i, config_.nic));
+    switches_.reserve(static_cast<size_t>(topo_.switches));
+    for (int s = 0; s < topo_.switches; ++s)
+        switches_.push_back(std::make_unique<Switch>(config_.switchConfig));
+    links_.reserve(topo_.links.size());
+    for (const TopoLink &l : topo_.links)
+        links_.push_back(std::make_unique<Link>(
+            "n" + std::to_string(l.src) + "->n" + std::to_string(l.dst),
+            l.bitsPerSecond, l.latency));
+    traces_.resize(static_cast<size_t>(plan_.lpCount));
+    delivered_.assign(static_cast<size_t>(topo_.hosts), 0);
+    flowSeq_.assign(static_cast<size_t>(topo_.hosts), 0);
+    if (config_.lossy) {
+        // Stateless draws only: the Gilbert-Elliott chain mutates
+        // per-link state in judgment order, which has no deterministic
+        // parallel counterpart.
+        INC_ASSERT(config_.faults.defaultLink.loss !=
+                       LossKind::GilbertElliott,
+                   "LP fabric cannot run stateful Gilbert-Elliott loss");
+        for (const auto &[h, profile] : config_.faults.hostOverrides) {
+            (void)h;
+            INC_ASSERT(profile.loss != LossKind::GilbertElliott,
+                       "LP fabric cannot run stateful Gilbert-Elliott "
+                       "loss");
+        }
+        faults_.reserve(static_cast<size_t>(topo_.hosts));
+        for (int i = 0; i < topo_.hosts; ++i)
+            faults_.push_back(std::make_unique<FaultModel>(config_.faults));
+    }
+}
+
+LpFabric::~LpFabric() = default;
+
+void
+LpFabric::trace(int lp, uint8_t kind, Tick t0, Tick t1, int src, int dst,
+                uint64_t bytes)
+{
+    traces_[static_cast<size_t>(lp)].push_back(
+        LpTraceRec{t0, t1, lp, kind, src, dst, bytes});
+}
+
+void
+LpFabric::atHost(int i, Tick when, std::function<void()> fn)
+{
+    INC_ASSERT(i >= 0 && i < topo_.hosts, "bad host %d", i);
+    sched_->schedule(lpOfNode(i), when, std::move(fn));
+}
+
+void
+LpFabric::send(int src, int dst, uint64_t payloadBytes, uint8_t tos,
+               double wireRatio, std::function<void(Tick)> onDelivered)
+{
+    INC_ASSERT(src >= 0 && src < topo_.hosts && dst >= 0 &&
+                   dst < topo_.hosts && src != dst,
+               "bad transfer %d->%d", src, dst);
+    INC_ASSERT(payloadBytes > 0, "empty transfer");
+    INC_ASSERT(sched_->currentLp() == lpOfNode(src),
+               "send() must run on the source host's LP (src=%d lp=%d)",
+               src, sched_->currentLp());
+    auto cb = std::make_shared<std::function<void(Tick)>>(
+        std::move(onDelivered));
+
+    if (config_.lossy) {
+        const uint64_t mss = mssFor(config_.nic.mtu);
+        const uint64_t packets = packetsFor(payloadBytes, config_.nic.mtu);
+        const uint64_t tail = payloadBytes - (packets - 1) * mss;
+        std::vector<uint64_t> seqs(packets);
+        for (uint64_t s = 0; s < packets; ++s)
+            seqs[s] = s;
+        const uint64_t flow =
+            (static_cast<uint64_t>(src) << 32) |
+            flowSeq_[static_cast<size_t>(src)]++;
+        shipLossy(src, dst, std::move(seqs), tail, packets - 1, 0, flow,
+                  tos, wireRatio, std::move(cb));
+        return;
+    }
+
+    const bool compressed =
+        config_.nic.hasCompressionEngine && tos == kCompressTos;
+    const uint8_t etos = compressed ? tos : kDefaultTos;
+    uint64_t remaining = payloadBytes;
+    while (remaining > 0) {
+        const uint64_t chunk = std::min(remaining, config_.segmentBytes);
+        remaining -= chunk;
+        const SegmentMeta meta =
+            host(src).nic().planTx(chunk, etos, wireRatio);
+        shipSegment(src, dst, meta, compressed, remaining == 0, chunk, cb);
+    }
+}
+
+void
+LpFabric::shipSegment(int src, int dst, const SegmentMeta &meta,
+                      bool compressed, bool last, uint64_t flightPayload,
+                      std::shared_ptr<std::function<void(Tick)>> cb)
+{
+    const int lp = lpOfNode(src);
+    const Tick now = sched_->now(lp);
+    Host &sh = host(src);
+
+    // TX driver pipelining, exactly as Network::transfer: the uplink
+    // may start after the first packet's host work; the TX resource
+    // stays busy for the whole segment.
+    const Tick txTotal = sh.nic().txHostCost(meta);
+    const Tick txEnd = sh.occupyTx(now, txTotal);
+    const Tick txStart = txEnd - txTotal;
+    Tick ready = txStart + config_.nic.perPacketTxCost;
+    uint64_t wireBits = meta.wireBits(config_.nic.mtu);
+
+    auto carryPath = std::make_shared<const std::vector<int>>(
+        topo_.route(src, dst));
+    const std::vector<int> &path = *carryPath;
+    const int firstIdx = topo_.linkIndex(src, path[1]);
+    INC_ASSERT(firstIdx >= 0, "no link %d->%d", src, path[1]);
+    Link &first = linkAt(firstIdx);
+
+    if (compressed) {
+        ready += sh.nic().engineLatency();
+        const double engineBps = sh.nic().engineBitsPerSecond();
+        if (engineBps < first.bitsPerSecond()) {
+            const uint64_t minBits = static_cast<uint64_t>(
+                static_cast<double>(meta.payloadBytes * 8) *
+                first.bitsPerSecond() / engineBps);
+            wireBits = std::max(wireBits, minBits);
+        }
+    }
+
+    Tick start = 0;
+    const Tick atNext = first.transmit(ready, wireBits, &start);
+    trace(lp, kTraceTx, txStart, ready, src, dst, meta.payloadBytes);
+    trace(lp, kTraceHop, start, atNext, src, dst, wireBits / 8);
+
+    HopCarry carry;
+    carry.path = std::move(carryPath);
+    carry.hop = 1;
+    carry.wireBits = wireBits;
+    carry.prevStart = start;
+    carry.prevTxEnd = atNext - first.latency();
+    carry.prevPktTime =
+        first.serializationTime(packetWireBits(config_.nic.mtu));
+    carry.arrival = atNext;
+    carry.meta = meta;
+    carry.compressed = compressed;
+    carry.last = last;
+    carry.flightPayload = flightPayload;
+    carry.cb = std::move(cb);
+    carry.src = src;
+    carry.dst = dst;
+    scheduleHop(path[1], atNext, std::move(carry));
+}
+
+void
+LpFabric::scheduleHop(int node, Tick when, HopCarry carry)
+{
+    // The carried ticks hold the true timing; the event itself only
+    // needs to fire no earlier. Clamping into the conservative window
+    // keeps the lookahead contract airtight for any topology mix of
+    // long and short links (the clamp is a pure function of the
+    // sender's event tick, so it is width-invariant too).
+    const int lp = lpOfNode(node);
+    const int cur = sched_->currentLp();
+    Tick fireAt = when;
+    if (cur >= 0 && cur != lp)
+        fireAt = std::max(fireAt, sched_->now(cur) + plan_.lookahead);
+    sched_->schedule(lp, fireAt,
+                     [this, node, c = std::move(carry)]() mutable {
+                         hopArrive(node, std::move(c));
+                     });
+}
+
+void
+LpFabric::hopArrive(int node, HopCarry carry)
+{
+    const std::vector<int> &path = *carry.path;
+    const int lp = lpOfNode(node);
+
+    if (carry.hop + 1 == path.size()) {
+        // Final hop: RX engine + driver on the destination host.
+        INC_ASSERT(node == carry.dst, "route ended at the wrong host");
+        const Tick atDst = carry.arrival;
+        Tick rxReady = atDst;
+        if (carry.compressed)
+            rxReady += host(node).nic().engineLatency();
+        (void)host(node).nic().rxHostCost(carry.meta);
+        Tick deliveredAt = rxReady + config_.nic.perPacketRxCost;
+        deliveredAt = std::max(deliveredAt, sched_->now(lp));
+        trace(lp, kTraceRx, atDst, deliveredAt, carry.src, carry.dst,
+              carry.flightPayload);
+        delivered_[static_cast<size_t>(node)] += carry.flightPayload;
+        if (carry.last && carry.cb) {
+            auto cb = std::move(carry.cb);
+            const int src = carry.src, dst = carry.dst;
+            const uint64_t bytes = carry.flightPayload;
+            sched_->schedule(lp, deliveredAt,
+                             [this, lp, cb, deliveredAt, src, dst,
+                              bytes] {
+                                 trace(lp, kTraceDeliver, deliveredAt,
+                                       deliveredAt, src, dst, bytes);
+                                 (*cb)(deliveredAt);
+                             });
+        }
+        return;
+    }
+
+    // Switch hop: per-packet cut-through forwarding, the same math as
+    // Network::shipAlongPath with the loop state carried in.
+    Switch &sw = switchAt(node);
+    const int next = path[carry.hop + 1];
+    const int linkIdx = topo_.linkIndex(node, next);
+    INC_ASSERT(linkIdx >= 0, "no link %d->%d", node, next);
+    Link &out = linkAt(linkIdx);
+
+    const Tick ser = out.serializationTime(carry.wireBits);
+    const Tick ct = carry.prevStart + carry.prevPktTime;
+    const Tick tail = carry.prevTxEnd + carry.prevPktTime;
+    const Tick noOutrun = tail > ser ? tail - ser : 0;
+    const Tick hopReady = sw.readyToForward(std::max(ct, noOutrun));
+    sw.noteForward();
+
+    Tick start = 0;
+    const Tick atNext = out.transmit(hopReady, carry.wireBits, &start);
+    trace(lp, kTraceHop, start, atNext, carry.src, carry.dst,
+          carry.wireBits / 8);
+
+    carry.hop += 1;
+    carry.prevStart = start;
+    carry.prevTxEnd = atNext - out.latency();
+    carry.prevPktTime =
+        out.serializationTime(packetWireBits(config_.nic.mtu));
+    carry.arrival = atNext;
+    scheduleHop(next, atNext, std::move(carry));
+}
+
+Tick
+LpFabric::pathDelayBound(int src, int dst, uint64_t wireBits) const
+{
+    // Pure function of the topology: per hop, full serialization plus
+    // propagation plus forwarding latency, plus host-side costs. Used
+    // as the idealized-ACK delay before a retransmission.
+    const std::vector<int> path = topo_.route(src, dst);
+    Tick bound = config_.nic.perPacketTxCost + config_.nic.perPacketRxCost;
+    for (size_t h = 0; h + 1 < path.size(); ++h) {
+        const int idx = topo_.linkIndex(path[h], path[h + 1]);
+        const TopoLink &l = topo_.link(idx);
+        const Tick ser = static_cast<Tick>(
+            static_cast<double>(wireBits) / l.bitsPerSecond *
+            static_cast<double>(kSecond));
+        bound += ser + l.latency + config_.switchConfig.forwardingLatency;
+    }
+    return bound;
+}
+
+void
+LpFabric::shipLossy(int src, int dst, std::vector<uint64_t> seqs,
+                    uint64_t tailBytes, uint64_t lastSeq, uint32_t attempt,
+                    uint64_t flowId, uint8_t tos, double wireRatio,
+                    std::shared_ptr<std::function<void(Tick)>> cb)
+{
+    INC_ASSERT(attempt < config_.maxAttempts,
+               "flow %llu gave up after %u attempts (outage too long?)",
+               static_cast<unsigned long long>(flowId), attempt);
+    const int lp = lpOfNode(src);
+    const Tick now = sched_->now(lp);
+    const uint64_t mss = mssFor(config_.nic.mtu);
+    FaultModel &fm = *faults_[static_cast<size_t>(src)];
+
+    // All fates are decided on the sender's shard: the draws are pure
+    // functions of (seed, stream, link, flow, seq, attempt), so every
+    // shard agrees; only the stats land here.
+    std::vector<uint64_t> lost;
+    uint64_t survivorPayload = 0;
+    size_t survivors = 0;
+    for (const uint64_t s : seqs) {
+        if (isDrop(fm.judge(src, LinkDir::Up, now, flowId, s, attempt)) ||
+            isDrop(fm.judge(dst, LinkDir::Down, now, flowId, s,
+                            attempt))) {
+            lost.push_back(s);
+            continue;
+        }
+        ++survivors;
+        survivorPayload += s == lastSeq ? tailBytes : mss;
+    }
+
+    const bool compressed =
+        config_.nic.hasCompressionEngine && tos == kCompressTos;
+    const uint8_t etos = compressed ? tos : kDefaultTos;
+
+    if (survivors > 0) {
+        const SegmentMeta meta =
+            host(src).nic().planTx(survivorPayload, etos, wireRatio);
+        shipSegment(src, dst, meta, compressed, lost.empty(),
+                    survivorPayload, lost.empty() ? cb : nullptr);
+    }
+    if (!lost.empty()) {
+        // Idealized selective repeat: after one full path delay out and
+        // back, resend exactly the lost packets with fresh draws.
+        uint64_t lostPayload = 0;
+        for (const uint64_t s : lost)
+            lostPayload += s == lastSeq ? tailBytes : mss;
+        const SegmentMeta lostMeta =
+            host(src).nic().planTx(lostPayload, etos, wireRatio);
+        const Tick rtt =
+            2 * pathDelayBound(src, dst,
+                               lostMeta.wireBits(config_.nic.mtu));
+        const Tick retryAt = now + rtt;
+        trace(lp, kTraceRetry, now, retryAt, src, dst, lost.size());
+        sched_->schedule(
+            lp, retryAt,
+            [this, src, dst, lost = std::move(lost), tailBytes, lastSeq,
+             attempt, flowId, tos, wireRatio, cb]() mutable {
+                shipLossy(src, dst, std::move(lost), tailBytes, lastSeq,
+                          attempt + 1, flowId, tos, wireRatio,
+                          std::move(cb));
+            });
+    }
+}
+
+uint64_t
+LpFabric::deliveredBytes() const
+{
+    uint64_t total = 0;
+    for (const uint64_t b : delivered_)
+        total += b;
+    return total;
+}
+
+FaultStats
+LpFabric::faultTotals() const
+{
+    FaultStats total;
+    for (const auto &fm : faults_) {
+        const FaultStats &s = fm->stats();
+        total.packetsJudged += s.packetsJudged;
+        total.randomDrops += s.randomDrops;
+        total.burstDrops += s.burstDrops;
+        total.corruptions += s.corruptions;
+        total.outageDrops += s.outageDrops;
+        total.queueDrops += s.queueDrops;
+    }
+    return total;
+}
+
+std::string
+LpFabric::renderMetricsCsv() const
+{
+    // Every aggregate folds the per-LP shards in index order; all
+    // values are integers, so the bytes are exact and width-invariant.
+    uint64_t linkBits = 0;
+    Tick linkBusy = 0;
+    for (const auto &l : links_) {
+        linkBits += l->bitsCarried();
+        linkBusy += l->busyTime();
+    }
+    uint64_t forwarded = 0;
+    for (const auto &s : switches_)
+        forwarded += s->forwarded();
+    Tick cpuBusy = 0;
+    uint64_t txPackets = 0, rxPackets = 0, txWireBytes = 0;
+    for (const auto &h : hosts_) {
+        cpuBusy += h->cpuBusyTime();
+        txPackets += h->nic().stats().txPackets;
+        rxPackets += h->nic().stats().rxPackets;
+        txWireBytes += h->nic().stats().txWireBytes;
+    }
+    const FaultStats faults = faultTotals();
+
+    std::string out;
+    auto row = [&out](const char *name, uint64_t v) {
+        out += name;
+        out += ',';
+        out += std::to_string(v);
+        out += '\n';
+    };
+    row("fabric.delivered_bytes", deliveredBytes());
+    row("fabric.link_bits", linkBits);
+    row("fabric.link_busy_ticks", linkBusy);
+    row("fabric.switch_forwarded", forwarded);
+    row("fabric.host_cpu_busy_ticks", cpuBusy);
+    row("fabric.nic_tx_packets", txPackets);
+    row("fabric.nic_rx_packets", rxPackets);
+    row("fabric.nic_tx_wire_bytes", txWireBytes);
+    row("fabric.faults_judged", faults.packetsJudged);
+    row("fabric.faults_drops", faults.drops());
+    for (int i = 0; i < topo_.hosts; ++i) {
+        out += "host" + std::to_string(i) + ".delivered_bytes," +
+               std::to_string(delivered_[static_cast<size_t>(i)]) + '\n';
+    }
+    return out;
+}
+
+std::vector<LpTraceRec>
+LpFabric::mergedTrace() const
+{
+    std::vector<LpTraceRec> all;
+    size_t total = 0;
+    for (const auto &shard : traces_)
+        total += shard.size();
+    all.reserve(total);
+    for (const auto &shard : traces_)
+        all.insert(all.end(), shard.begin(), shard.end());
+    // Stable by (t0, lp): same-LP records keep their deterministic
+    // emission order, so the merged stream is width-invariant.
+    std::stable_sort(all.begin(), all.end(),
+                     [](const LpTraceRec &a, const LpTraceRec &b) {
+                         return a.t0 != b.t0 ? a.t0 < b.t0 : a.lp < b.lp;
+                     });
+    return all;
+}
+
+std::string
+LpFabric::renderTraceCsv() const
+{
+    std::string out = "t0,t1,lp,kind,src,dst,bytes\n";
+    for (const LpTraceRec &r : mergedTrace()) {
+        out += std::to_string(r.t0) + ',' + std::to_string(r.t1) + ',' +
+               std::to_string(r.lp) + ',' + std::to_string(r.kind) + ',' +
+               std::to_string(r.src) + ',' + std::to_string(r.dst) + ',' +
+               std::to_string(r.bytes) + '\n';
+    }
+    return out;
+}
+
+} // namespace inc

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * LP-partitioned packet fabric: the parallel counterpart of Network,
+ * built for explicit Topology graphs (fat-tree, dragonfly) at
+ * 1000+-worker scale. Every node (host or switch) is one logical
+ * process on an LpScheduler (sim/lp.h); every directed link is owned
+ * by its transmitting node's LP; a segment traverses the fabric as a
+ * chain of per-hop handoff events, each carrying the cut-through
+ * timing state (previous hop's start, tail, and one-packet time) that
+ * Network::shipAlongPath threads through its serial loop.
+ *
+ * Determinism: all mutable state — links, switches, hosts, fault
+ * models, trace buffers, byte counters — is sharded per LP and only
+ * ever touched by its owner's events. Snapshots (metrics CSV, trace
+ * CSV) merge the shards in LP-index order, so every output byte is
+ * identical for any INC_THREADS. Global-singleton instrumentation
+ * (metrics::active, spans::active, INC_TRACE) is deliberately absent
+ * from LP event paths.
+ *
+ * Lossy mode: per-packet fates come from the same stateless draw
+ * streams the classic datagram path uses (faults.h), evaluated on the
+ * *sender's* FaultModel shard — the draws are pure functions of
+ * (seed, stream, link, flow, seq, attempt), so any shard computes the
+ * same verdicts. Recovery is idealized selective repeat: the sender
+ * learns the flight's fate after a path-delay bound and retransmits
+ * the lost packets as a new flight with attempt+1 draws. The
+ * Gilbert-Elliott chain is stateful and therefore rejected in LP mode.
+ */
+
+#ifndef INCEPTIONN_NET_LP_FABRIC_H
+#define INCEPTIONN_NET_LP_FABRIC_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/faults.h"
+#include "net/host.h"
+#include "net/link.h"
+#include "net/switch.h"
+#include "net/topology.h"
+#include "sim/lp.h"
+
+namespace inc {
+
+/** Configuration of the LP fabric (uniform NICs and switches). */
+struct LpFabricConfig
+{
+    NicConfig nic{};
+    SwitchConfig switchConfig{};
+    /** Segment granularity, as in NetworkConfig::segmentBytes. */
+    uint64_t segmentBytes = 365 * 1460;
+    /** Enable the lossy datagram transport with these faults. */
+    bool lossy = false;
+    FaultConfig faults{};
+    /** Give up after this many retransmission rounds (lossy mode). */
+    uint32_t maxAttempts = 64;
+};
+
+/** One record of the LP-mode causal trace (the span-stream analogue). */
+struct LpTraceRec
+{
+    Tick t0 = 0;
+    Tick t1 = 0;
+    int lp = 0;
+    uint8_t kind = 0; ///< 0 tx, 1 hop, 2 rx, 3 deliver, 4 retry
+    int src = 0;
+    int dst = 0;
+    uint64_t bytes = 0;
+
+    bool
+    operator==(const LpTraceRec &o) const
+    {
+        return t0 == o.t0 && t1 == o.t1 && lp == o.lp && kind == o.kind &&
+               src == o.src && dst == o.dst && bytes == o.bytes;
+    }
+};
+
+/** Parallel, deterministic, topology-driven packet fabric. */
+class LpFabric
+{
+  public:
+    /** @param threads LpScheduler width (0 = global INC_THREADS). */
+    LpFabric(Topology topo, LpFabricConfig config, int threads = 0);
+    ~LpFabric();
+
+    const Topology &topology() const { return topo_; }
+    const LpFabricConfig &config() const { return config_; }
+    LpScheduler &scheduler() { return *sched_; }
+    int nodes() const { return topo_.hosts; }
+
+    /** Host @p i's serialized resources; touch only from its LP. */
+    Host &host(int i) { return *hosts_[static_cast<size_t>(i)]; }
+
+    /**
+     * Schedule @p fn on host @p i's LP at @p when. The seeding
+     * primitive for collectives: fn runs as an LP event and may call
+     * send(), host(i).compute(), and atHost() freely.
+     */
+    void atHost(int i, Tick when, std::function<void()> fn);
+
+    /**
+     * Start a message transfer from @p src (must be called from src's
+     * LP context, i.e. inside an atHost/delivery callback). The
+     * delivery callback fires on @p dst's LP at the delivery tick.
+     * In lossy mode the message additionally rides the fault model and
+     * retransmits lost packets.
+     */
+    void send(int src, int dst, uint64_t payloadBytes, uint8_t tos,
+              double wireRatio, std::function<void(Tick)> onDelivered);
+
+    /** Run the scheduler until every LP drains. @return events run. */
+    uint64_t run() { return sched_->run(); }
+
+    // --- deterministic post-run snapshots (merge LP shards in
+    // --- LP-index order; byte-identical for every thread count) ---
+
+    /** Total payload bytes delivered to all hosts. */
+    uint64_t deliveredBytes() const;
+    /** Summed fault statistics over every per-host shard. */
+    FaultStats faultTotals() const;
+    /** Aggregate fabric counters as "name,value" CSV lines. */
+    std::string renderMetricsCsv() const;
+    /** The merged causal trace as CSV (t0,t1,lp,kind,src,dst,bytes). */
+    std::string renderTraceCsv() const;
+    /** Merged trace records, sorted by (t0, lp, emission order). */
+    std::vector<LpTraceRec> mergedTrace() const;
+
+  private:
+    struct HopCarry;
+
+    int lpOfNode(int node) const { return plan_.lpOf[static_cast<size_t>(node)]; }
+    Link &linkAt(int idx) { return *links_[static_cast<size_t>(idx)]; }
+    Switch &switchAt(int node)
+    {
+        return *switches_[static_cast<size_t>(node - topo_.hosts)];
+    }
+    /** Append a trace record to the current LP's shard. */
+    void trace(int lp, uint8_t kind, Tick t0, Tick t1, int src, int dst,
+               uint64_t bytes);
+    /** Schedule the next hop, clamped into the conservative window. */
+    void scheduleHop(int node, Tick when, HopCarry carry);
+    /** Execute one hop arrival on @p node's LP. */
+    void hopArrive(int node, HopCarry carry);
+    /** Ship one lossless segment from src (src-LP context). */
+    void shipSegment(int src, int dst, const SegmentMeta &meta,
+                     bool compressed, bool last, uint64_t flightPayload,
+                     std::shared_ptr<std::function<void(Tick)>> cb);
+    /** One lossy flight (and its retries) from src (src-LP context). */
+    void shipLossy(int src, int dst, std::vector<uint64_t> seqs,
+                   uint64_t tailBytes, uint64_t lastSeq, uint32_t attempt,
+                   uint64_t flowId, uint8_t tos, double wireRatio,
+                   std::shared_ptr<std::function<void(Tick)>> cb);
+    /** Conservative bound on one flight's path delay (for retries). */
+    Tick pathDelayBound(int src, int dst, uint64_t wireBits) const;
+
+    Topology topo_;
+    LpFabricConfig config_;
+    LpPlan plan_;
+    std::unique_ptr<LpScheduler> sched_;
+    std::vector<std::unique_ptr<Host>> hosts_;
+    std::vector<std::unique_ptr<Switch>> switches_;
+    std::vector<std::unique_ptr<Link>> links_; ///< by topology link index
+    /** Per-host fault shards (lossy mode); judged on the sender's. */
+    std::vector<std::unique_ptr<FaultModel>> faults_;
+    /** Per-LP trace shards. */
+    std::vector<std::vector<LpTraceRec>> traces_;
+    /** Per-host delivered payload bytes. */
+    std::vector<uint64_t> delivered_;
+    /** Per-host flow-id allocators (lossy mode). */
+    std::vector<uint64_t> flowSeq_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NET_LP_FABRIC_H

@@ -1,0 +1,341 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+namespace {
+
+/** Positive a mod m for possibly-negative a. */
+int
+posMod(int a, int m)
+{
+    const int r = a % m;
+    return r < 0 ? r + m : r;
+}
+
+} // namespace
+
+void
+Topology::finalize()
+{
+    std::sort(links.begin(), links.end(),
+              [](const TopoLink &a, const TopoLink &b) {
+                  return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+              });
+    const int n = nodeCount();
+    for (size_t i = 0; i < links.size(); ++i) {
+        const TopoLink &l = links[i];
+        INC_ASSERT(l.src >= 0 && l.src < n && l.dst >= 0 && l.dst < n,
+                   "link %zu endpoint out of range (%d->%d, %d nodes)", i,
+                   l.src, l.dst, n);
+        INC_ASSERT(l.src != l.dst, "self-link at node %d", l.src);
+        INC_ASSERT(l.latency > 0, "link %d->%d has zero latency", l.src,
+                   l.dst);
+        INC_ASSERT(i == 0 || links[i - 1].src != l.src ||
+                       links[i - 1].dst != l.dst,
+                   "duplicate link %d->%d", l.src, l.dst);
+    }
+}
+
+int
+Topology::linkIndex(int src, int dst) const
+{
+    const auto it = std::lower_bound(
+        links.begin(), links.end(), std::make_pair(src, dst),
+        [](const TopoLink &l, const std::pair<int, int> &key) {
+            return l.src != key.first ? l.src < key.first
+                                      : l.dst < key.second;
+        });
+    if (it == links.end() || it->src != src || it->dst != dst)
+        return -1;
+    return static_cast<int>(it - links.begin());
+}
+
+Tick
+Topology::minLatency() const
+{
+    INC_ASSERT(!links.empty(), "topology '%s' has no links", name.c_str());
+    Tick lo = UINT64_MAX;
+    for (const TopoLink &l : links)
+        lo = std::min(lo, l.latency);
+    return lo;
+}
+
+int
+Topology::diameterHops() const
+{
+    // Unweighted BFS from every host; fine for test-sized graphs.
+    const int n = nodeCount();
+    std::vector<std::vector<int>> adj(static_cast<size_t>(n));
+    for (const TopoLink &l : links)
+        adj[static_cast<size_t>(l.src)].push_back(l.dst);
+    int diameter = 0;
+    std::vector<int> dist(static_cast<size_t>(n));
+    for (int s = 0; s < hosts; ++s) {
+        std::fill(dist.begin(), dist.end(), -1);
+        std::queue<int> frontier;
+        dist[static_cast<size_t>(s)] = 0;
+        frontier.push(s);
+        while (!frontier.empty()) {
+            const int u = frontier.front();
+            frontier.pop();
+            for (int v : adj[static_cast<size_t>(u)]) {
+                if (dist[static_cast<size_t>(v)] < 0) {
+                    dist[static_cast<size_t>(v)] =
+                        dist[static_cast<size_t>(u)] + 1;
+                    frontier.push(v);
+                }
+            }
+        }
+        for (int t = 0; t < hosts; ++t) {
+            INC_ASSERT(dist[static_cast<size_t>(t)] >= 0,
+                       "topology '%s' disconnects hosts %d and %d",
+                       name.c_str(), s, t);
+            diameter = std::max(diameter, dist[static_cast<size_t>(t)]);
+        }
+    }
+    return diameter;
+}
+
+int
+Topology::crossLinks(const std::vector<int> &side) const
+{
+    INC_ASSERT(side.size() == static_cast<size_t>(nodeCount()),
+               "side flags must cover every node");
+    int crossing = 0;
+    for (const TopoLink &l : links)
+        if (side[static_cast<size_t>(l.src)] != 0 &&
+            side[static_cast<size_t>(l.dst)] == 0)
+            ++crossing;
+    return crossing;
+}
+
+std::vector<int>
+Topology::route(int src, int dst) const
+{
+    INC_ASSERT(src >= 0 && src < hosts && dst >= 0 && dst < hosts &&
+                   src != dst,
+               "route needs two distinct hosts (got %d -> %d of %d)", src,
+               dst, hosts);
+    switch (kind) {
+    case TopologyKind::Star:
+        return {src, hosts, dst};
+    case TopologyKind::TwoTier: {
+        const int torS = hosts + src / hostsPerRack;
+        const int torD = hosts + dst / hostsPerRack;
+        const int racks = (hosts + hostsPerRack - 1) / hostsPerRack;
+        if (torS == torD)
+            return {src, torS, dst};
+        return {src, torS, hosts + racks, torD, dst};
+    }
+    case TopologyKind::FatTree: {
+        const int half = radix / 2;
+        const int podS = src / (half * half);
+        const int podD = dst / (half * half);
+        const int base = hosts;
+        const auto edge = [&](int pod, int e) { return base + pod * radix + e; };
+        const auto agg = [&](int pod, int a) {
+            return base + pod * radix + half + a;
+        };
+        const auto core = [&](int a, int j) {
+            return base + radix * radix + a * half + j;
+        };
+        const int edgeS = edge(podS, (src / half) % half);
+        const int edgeD = edge(podD, (dst / half) % half);
+        if (edgeS == edgeD)
+            return {src, edgeS, dst};
+        // Deterministic per-destination ECMP: the aggregation plane and
+        // core column are pure functions of the destination host.
+        const int a = dst % half;
+        if (podS == podD)
+            return {src, edgeS, agg(podS, a), edgeD, dst};
+        const int j = (dst / half) % half;
+        return {src, edgeS, agg(podS, a), core(a, j), agg(podD, a), edgeD,
+                dst};
+    }
+    case TopologyKind::Dragonfly: {
+        const int a = routersPerGroup;
+        const int p = hostsPerRouter;
+        const int h = globalsPerRouter;
+        const auto router = [&](int grp, int r) {
+            return hosts + grp * a + r;
+        };
+        const int gs = src / (a * p);
+        const int gd = dst / (a * p);
+        const int rs = router(gs, (src / p) % a);
+        const int rd = router(gd, (dst / p) % a);
+        if (rs == rd)
+            return {src, rs, dst};
+        if (gs == gd)
+            return {src, rs, rd, dst}; // intra-group complete graph
+        // Minimal route: local hop to the exit router owning the
+        // gs->gd global cable, the global hop, local hop from the
+        // entry router (consecutive global arrangement, see generator).
+        const int exitR = router(gs, posMod(gd - gs - 1, groups) / h);
+        const int entryR = router(gd, posMod(gs - gd - 1, groups) / h);
+        std::vector<int> path{src, rs};
+        if (exitR != rs)
+            path.push_back(exitR);
+        path.push_back(entryR);
+        if (rd != entryR)
+            path.push_back(rd);
+        path.push_back(dst);
+        return path;
+    }
+    }
+    panic("unknown topology kind");
+}
+
+namespace {
+
+/** Append both directions of one cable. */
+void
+cable(Topology &t, int a, int b, double bps, Tick latency)
+{
+    t.links.push_back(TopoLink{a, b, bps, latency});
+    t.links.push_back(TopoLink{b, a, bps, latency});
+}
+
+} // namespace
+
+Topology
+starTopology(int hosts, double bitsPerSecond, Tick latency)
+{
+    INC_ASSERT(hosts >= 2, "star needs >= 2 hosts (got %d)", hosts);
+    Topology t;
+    t.kind = TopologyKind::Star;
+    t.name = "star" + std::to_string(hosts);
+    t.hosts = hosts;
+    t.switches = 1;
+    for (int i = 0; i < hosts; ++i)
+        cable(t, i, hosts, bitsPerSecond, latency);
+    t.finalize();
+    return t;
+}
+
+Topology
+twoTierTopology(int hosts, int hostsPerRack, double edgeBitsPerSecond,
+                Tick edgeLatency, double coreBitsPerSecond, Tick coreLatency)
+{
+    INC_ASSERT(hosts >= 2 && hostsPerRack >= 1 &&
+                   hosts % hostsPerRack == 0,
+               "two-tier needs hosts (%d) divisible by hostsPerRack (%d)",
+               hosts, hostsPerRack);
+    Topology t;
+    t.kind = TopologyKind::TwoTier;
+    t.name = "twotier" + std::to_string(hosts) + "x" +
+             std::to_string(hostsPerRack);
+    t.hosts = hosts;
+    t.hostsPerRack = hostsPerRack;
+    const int racks = hosts / hostsPerRack;
+    t.switches = racks + 1; // ToRs + one core
+    for (int i = 0; i < hosts; ++i)
+        cable(t, i, hosts + i / hostsPerRack, edgeBitsPerSecond,
+              edgeLatency);
+    for (int r = 0; r < racks; ++r)
+        cable(t, hosts + r, hosts + racks, coreBitsPerSecond, coreLatency);
+    t.finalize();
+    return t;
+}
+
+Topology
+fatTreeTopology(int k, double bitsPerSecond, Tick latency)
+{
+    INC_ASSERT(k >= 2 && k % 2 == 0, "fat-tree radix must be even (got %d)",
+               k);
+    Topology t;
+    t.kind = TopologyKind::FatTree;
+    t.name = "fattree" + std::to_string(k);
+    t.radix = k;
+    const int half = k / 2;
+    t.hosts = k * half * half;        // k^3/4
+    t.switches = k * k + half * half; // k pods * k switches + cores
+    const int base = t.hosts;
+    const auto edge = [&](int pod, int e) { return base + pod * k + e; };
+    const auto agg = [&](int pod, int a) { return base + pod * k + half + a; };
+    const auto core = [&](int a, int j) { return base + k * k + a * half + j; };
+    for (int pod = 0; pod < k; ++pod) {
+        for (int e = 0; e < half; ++e) {
+            for (int q = 0; q < half; ++q) {
+                cable(t, pod * half * half + e * half + q, edge(pod, e),
+                      bitsPerSecond, latency);
+                cable(t, edge(pod, e), agg(pod, q), bitsPerSecond, latency);
+            }
+        }
+        for (int a = 0; a < half; ++a)
+            for (int j = 0; j < half; ++j)
+                cable(t, agg(pod, a), core(a, j), bitsPerSecond, latency);
+    }
+    t.finalize();
+    return t;
+}
+
+Topology
+dragonflyTopology(int routersPerGroup, int hostsPerRouter,
+                  int globalsPerRouter, int groups, double bitsPerSecond,
+                  Tick latency, double globalBitsPerSecond,
+                  Tick globalLatency)
+{
+    const int a = routersPerGroup, p = hostsPerRouter, h = globalsPerRouter,
+              g = groups;
+    INC_ASSERT(a >= 1 && p >= 1 && h >= 1 && g >= 1,
+               "dragonfly parameters must be positive");
+    INC_ASSERT(g - 1 <= a * h,
+               "dragonfly: %d groups need %d global ports but routers "
+               "provide %d",
+               g, g - 1, a * h);
+    Topology t;
+    t.kind = TopologyKind::Dragonfly;
+    t.name = "dragonfly_a" + std::to_string(a) + "p" + std::to_string(p) +
+             "h" + std::to_string(h) + "g" + std::to_string(g);
+    t.routersPerGroup = a;
+    t.hostsPerRouter = p;
+    t.globalsPerRouter = h;
+    t.groups = g;
+    t.hosts = a * p * g;
+    t.switches = a * g;
+    const auto router = [&](int grp, int r) { return t.hosts + grp * a + r; };
+    for (int grp = 0; grp < g; ++grp) {
+        // Hosts onto their routers, routers into a complete local graph.
+        for (int r = 0; r < a; ++r)
+            for (int q = 0; q < p; ++q)
+                cable(t, (grp * a + r) * p + q, router(grp, r),
+                      bitsPerSecond, latency);
+        for (int r = 0; r < a; ++r)
+            for (int s = r + 1; s < a; ++s)
+                cable(t, router(grp, r), router(grp, s), bitsPerSecond,
+                      latency);
+        // Consecutive global arrangement: group-level port i (owned by
+        // router i/h) reaches group grp+1+i; emit each cable once.
+        for (int i = 0; i < g - 1; ++i) {
+            const int peer = (grp + 1 + i) % g;
+            if (grp < peer)
+                cable(t, router(grp, i / h),
+                      router(peer, posMod(grp - peer - 1, g) / h),
+                      globalBitsPerSecond, globalLatency);
+        }
+    }
+    t.finalize();
+    return t;
+}
+
+LpPlan
+makeLpPlan(const Topology &topo)
+{
+    // Finest-grained safe partition: every node is its own LP; each
+    // directed link is owned by its transmitter, so no link crosses
+    // more than the one src-LP -> dst-LP boundary.
+    LpPlan plan;
+    plan.lpCount = topo.nodeCount();
+    plan.lpOf.resize(static_cast<size_t>(plan.lpCount));
+    for (int i = 0; i < plan.lpCount; ++i)
+        plan.lpOf[static_cast<size_t>(i)] = i;
+    plan.lookahead = topo.minLatency();
+    return plan;
+}
+
+} // namespace inc

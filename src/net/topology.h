@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Explicit topology graphs for datacenter-scale fabrics. The classic
+ * Network keeps its implicit star / two-tier wiring; everything at
+ * 1000+ workers (fat-tree, dragonfly) is described here as an explicit
+ * node/link graph with deterministic structured routing, and executed
+ * by the LP-partitioned fabric (net/lp_fabric.h).
+ *
+ * Node ids are global: hosts occupy [0, hosts), switches
+ * [hosts, hosts + switches). Links are *directed* (full-duplex cable =
+ * two entries) and sorted by (src, dst) after generation, so link
+ * indices are a pure function of the topology — never of generation
+ * order.
+ *
+ * Routing is structured per topology kind (up/down for fat-tree,
+ * minimal local-global-local for dragonfly), with multipath choices
+ * resolved by a deterministic function of (src, dst) — the same
+ * flavour of ECMP-by-hash real fabrics use, minus the physical-port
+ * entropy. route() therefore never consults global state and is safe
+ * to call from any logical process.
+ */
+
+#ifndef INCEPTIONN_NET_TOPOLOGY_H
+#define INCEPTIONN_NET_TOPOLOGY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace inc {
+
+/** One directed link of a topology graph. */
+struct TopoLink
+{
+    int src = 0;
+    int dst = 0;
+    double bitsPerSecond = 10e9;
+    Tick latency = 500 * kNanosecond;
+};
+
+/** Which generator built the graph (selects the routing function). */
+enum class TopologyKind { Star, TwoTier, FatTree, Dragonfly };
+
+/** An explicit fabric graph plus its structured routing parameters. */
+struct Topology
+{
+    TopologyKind kind = TopologyKind::Star;
+    std::string name;
+    int hosts = 0;
+    int switches = 0;
+    std::vector<TopoLink> links; ///< directed, sorted by (src, dst)
+
+    // Generator parameters consulted by route(); meaningful fields
+    // depend on kind (see the generator functions below).
+    int radix = 0;           ///< fat-tree k
+    int hostsPerRack = 0;    ///< two-tier
+    int routersPerGroup = 0; ///< dragonfly a
+    int hostsPerRouter = 0;  ///< dragonfly p
+    int globalsPerRouter = 0;///< dragonfly h
+    int groups = 0;          ///< dragonfly g
+
+    int nodeCount() const { return hosts + switches; }
+    bool isSwitch(int node) const { return node >= hosts; }
+
+    /** Index into links of the directed link src->dst; -1 if absent. */
+    int linkIndex(int src, int dst) const;
+    const TopoLink &link(int idx) const
+    {
+        return links[static_cast<size_t>(idx)];
+    }
+
+    /**
+     * Node sequence (src host ... dst host, inclusive) of the
+     * deterministic minimal route. @pre src != dst, both hosts.
+     */
+    std::vector<int> route(int src, int dst) const;
+
+    /** Smallest link latency — the LP scheduler's safe lookahead. */
+    Tick minLatency() const;
+
+    // --- analysis helpers (BFS-based; meant for tests and small
+    // --- graphs, not the simulation hot path) ---
+
+    /** Max over host pairs of the minimal hop count (links traversed). */
+    int diameterHops() const;
+    /**
+     * Directed links leaving @p side (a host bipartition given as a
+     * 0/1 flag per *node*; switches count on the side they are
+     * flagged). Used to check bisection width on canonical halves.
+     */
+    int crossLinks(const std::vector<int> &side) const;
+
+    /** Sort links by (src, dst) and sanity-check endpoints. */
+    void finalize();
+};
+
+/** Hosts around one switch — the classic star, as an explicit graph. */
+Topology starTopology(int hosts, double bitsPerSecond = 10e9,
+                      Tick latency = 500 * kNanosecond);
+
+/**
+ * Racks of @p hostsPerRack hosts under ToR switches, one core switch
+ * above (paper Sec. VII-C as an explicit graph).
+ */
+Topology twoTierTopology(int hosts, int hostsPerRack,
+                         double edgeBitsPerSecond = 10e9,
+                         Tick edgeLatency = 500 * kNanosecond,
+                         double coreBitsPerSecond = 10e9,
+                         Tick coreLatency = 1 * kMicrosecond);
+
+/**
+ * k-ary fat-tree (Al-Fares et al.): k pods of k/2 edge + k/2
+ * aggregation switches, (k/2)^2 core switches, k^3/4 hosts; full
+ * bisection bandwidth. @p k must be even and >= 2. Up-path choices
+ * (which aggregation, which core) are deterministic functions of the
+ * destination host, matching per-destination ECMP.
+ */
+Topology fatTreeTopology(int k, double bitsPerSecond = 10e9,
+                         Tick latency = 500 * kNanosecond);
+
+/**
+ * Canonical dragonfly (Kim et al.): @p groups groups of
+ * @p routersPerGroup routers, each router serving @p hostsPerRouter
+ * hosts and @p globalsPerRouter global links; routers within a group
+ * form a complete graph. Requires
+ * groups - 1 <= routersPerGroup * globalsPerRouter and
+ * groups >= 1. Global links get @p globalLatency (longer cables).
+ * Minimal routing: local hop to the exit router, one global hop, local
+ * hop to the destination router.
+ */
+Topology dragonflyTopology(int routersPerGroup, int hostsPerRouter,
+                           int globalsPerRouter, int groups,
+                           double bitsPerSecond = 10e9,
+                           Tick latency = 500 * kNanosecond,
+                           double globalBitsPerSecond = 10e9,
+                           Tick globalLatency = 2 * kMicrosecond);
+
+/**
+ * LP partition of a topology: every node (host or switch) is its own
+ * logical process, each directed link is owned by its transmitting
+ * node's LP, and the conservative lookahead is the minimum link
+ * latency. lpOf is indexed by node id.
+ */
+struct LpPlan
+{
+    int lpCount = 0;
+    std::vector<int> lpOf;
+    Tick lookahead = 0;
+};
+
+LpPlan makeLpPlan(const Topology &topo);
+
+} // namespace inc
+
+#endif // INCEPTIONN_NET_TOPOLOGY_H

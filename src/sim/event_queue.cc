@@ -70,6 +70,20 @@ EventQueue::run(uint64_t maxEvents)
 }
 
 uint64_t
+EventQueue::runBefore(Tick horizon)
+{
+    uint64_t n = 0;
+    while (!heap_.empty() && heap_.front().when < horizon) {
+        Entry e = popTop();
+        now_ = e.when;
+        e.cb();
+        ++n;
+        ++executed_;
+    }
+    return n;
+}
+
+uint64_t
 EventQueue::runUntil(Tick until)
 {
     uint64_t n = 0;

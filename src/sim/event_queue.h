@@ -92,6 +92,26 @@ class EventQueue
      */
     uint64_t runUntil(Tick until);
 
+    /**
+     * Run every event strictly before @p horizon (including ones
+     * scheduled by callbacks while running, if they land below the
+     * horizon) or until the queue drains. Unlike runUntil(), now() is
+     * left at the last executed event's tick — the horizon is a fence,
+     * not a time the queue has reached. This is the per-LP drain
+     * primitive of the conservative parallel scheduler (sim/lp.h):
+     * events at or beyond the horizon may still be affected by other
+     * logical processes, so they must not fire this round.
+     * @return number of events executed.
+     */
+    uint64_t runBefore(Tick horizon);
+
+    /** Earliest pending tick. @pre pending() > 0. */
+    Tick
+    nextWhen() const
+    {
+        return heap_.front().when;
+    }
+
     /** Total number of events executed over the queue's lifetime. */
     uint64_t executed() const { return executed_; }
 

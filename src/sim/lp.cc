@@ -1,0 +1,215 @@
+#include "sim/lp.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "sim/logging.h"
+#include "sim/random.h"
+#include "sim/thread_pool.h"
+
+namespace inc {
+
+namespace {
+
+/**
+ * The one sanctioned physical-to-logical mapping point of the parallel
+ * core: while a worker drains an LP's batch, this records which LP it
+ * is acting as, so schedule() can classify local vs cross-LP without
+ * the caller threading an LP id through every callback. The value is
+ * written only by LpScheduler::runLp and is a pure function of the
+ * *event batch* being executed, never of the worker thread's identity,
+ * so no simulation result can depend on the physical thread layout.
+ */
+struct TlsCtx
+{
+    const void *sched = nullptr;
+    int lp = -1;
+};
+// inc-lint: allow(no-thread-identity, mutable-global)
+thread_local TlsCtx tlsCtx;
+
+/** Per-LP shuffle seed: decorrelate simultaneous events across LPs. */
+uint64_t
+lpSeed(uint64_t seed, int lp)
+{
+    return mix64(seed ^ mix64(static_cast<uint64_t>(lp) + 1));
+}
+
+} // namespace
+
+LpScheduler::LpScheduler(int lp_count, Tick lookahead, int threads)
+    : lookahead_(lookahead), threads_(threads)
+{
+    INC_ASSERT(lp_count >= 1, "LpScheduler needs at least one LP (got %d)",
+               lp_count);
+    INC_ASSERT(lookahead > 0,
+               "conservative synchronization needs lookahead > 0");
+    queues_.reserve(static_cast<size_t>(lp_count));
+    for (int i = 0; i < lp_count; ++i)
+        queues_.push_back(std::make_unique<EventQueue>());
+    outboxes_.resize(static_cast<size_t>(lp_count));
+
+    // EventQueue's constructor applies the ambient INC_EQ_SHUFFLE seed
+    // verbatim; re-derive it per LP so same-tick shuffles are
+    // independent across partitions (queues are still empty here, so
+    // every event gets the derived key).
+    const char *env = std::getenv("INC_EQ_SHUFFLE");
+    if (env && *env)
+        setSameTickShuffle(std::strtoull(env, nullptr, 10));
+
+    if (threads_ > 1)
+        ownPool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+LpScheduler::~LpScheduler() = default;
+
+void
+LpScheduler::setSameTickShuffle(uint64_t seed)
+{
+    for (int lp = 0; lp < lpCount(); ++lp)
+        queues_[static_cast<size_t>(lp)]->setSameTickShuffle(lpSeed(seed, lp));
+}
+
+void
+LpScheduler::clearSameTickShuffle()
+{
+    for (auto &q : queues_)
+        q->clearSameTickShuffle();
+}
+
+int
+LpScheduler::currentLp() const
+{
+    return tlsCtx.sched == this ? tlsCtx.lp : -1;
+}
+
+Tick
+LpScheduler::now(int lp) const
+{
+    INC_ASSERT(lp >= 0 && lp < lpCount(), "bad LP id %d", lp);
+    return queues_[static_cast<size_t>(lp)]->now();
+}
+
+void
+LpScheduler::schedule(int lp, Tick when, EventQueue::Callback cb)
+{
+    INC_ASSERT(lp >= 0 && lp < lpCount(), "bad LP id %d", lp);
+    const int src = currentLp();
+    if (!running_ || src == lp || src < 0) {
+        // Initial population, or ordinary local scheduling from inside
+        // the LP's own batch (EventQueue asserts when >= local now).
+        queues_[static_cast<size_t>(lp)]->schedule(when, std::move(cb));
+        return;
+    }
+    // Cross-LP handoff: must land at or beyond the current horizon,
+    // which the lookahead rule guarantees (sender now >= the round's
+    // global minimum, so now + lookahead >= horizon).
+    const Tick srcNow = queues_[static_cast<size_t>(src)]->now();
+    INC_ASSERT(when >= srcNow + lookahead_,
+               "cross-LP event violates lookahead: %d->%d when=%llu "
+               "now=%llu lookahead=%llu",
+               src, lp, static_cast<unsigned long long>(when),
+               static_cast<unsigned long long>(srcNow),
+               static_cast<unsigned long long>(lookahead_));
+    outboxes_[static_cast<size_t>(src)].push_back(
+        Pending{lp, when, std::move(cb)});
+}
+
+void
+LpScheduler::runLp(int lp, Tick horizon)
+{
+    TlsCtx saved = tlsCtx;
+    tlsCtx.sched = this;
+    tlsCtx.lp = lp;
+    queues_[static_cast<size_t>(lp)]->runBefore(horizon);
+    tlsCtx = saved;
+}
+
+uint64_t
+LpScheduler::run()
+{
+    INC_ASSERT(!running_, "LpScheduler::run is not reentrant");
+    running_ = true;
+    const uint64_t before = executed();
+    std::vector<int> runnable;
+    runnable.reserve(queues_.size());
+
+    for (;;) {
+        // Safe horizon: earliest pending event anywhere, plus the
+        // minimum cross-LP delay. Everything strictly below it is
+        // unaffected by events other LPs have yet to send.
+        Tick minWhen = UINT64_MAX;
+        bool any = false;
+        for (const auto &q : queues_) {
+            if (q->pending() > 0) {
+                any = true;
+                if (q->nextWhen() < minWhen)
+                    minWhen = q->nextWhen();
+            }
+        }
+        if (!any)
+            break;
+        const Tick horizon = minWhen > UINT64_MAX - lookahead_
+                                 ? UINT64_MAX
+                                 : minWhen + lookahead_;
+
+        runnable.clear();
+        for (int lp = 0; lp < lpCount(); ++lp) {
+            const auto &q = queues_[static_cast<size_t>(lp)];
+            if (q->pending() > 0 && q->nextWhen() < horizon)
+                runnable.push_back(lp);
+        }
+
+        // Drain every runnable LP's window. Batches touch disjoint
+        // state (each LP's queue + owned objects), so they may run on
+        // any thread in any order; parallelFor is the barrier.
+        auto batch = [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i)
+                runLp(runnable[i], horizon);
+        };
+        if (threads_ == 1) {
+            batch(0, runnable.size());
+        } else if (ownPool_) {
+            ownPool_->parallelFor(0, runnable.size(), 1, batch);
+        } else {
+            parallelFor(0, runnable.size(), 1, batch);
+        }
+
+        // Merge cross-LP outboxes in a thread-count-independent order:
+        // sender LP id, then emission order within the sender. The
+        // destination queue assigns tie-break sequence numbers in this
+        // merge order, so same-tick arrivals from different LPs always
+        // race the same way.
+        for (auto &outbox : outboxes_) {
+            for (auto &p : outbox)
+                queues_[static_cast<size_t>(p.dst)]->schedule(
+                    p.when, std::move(p.cb));
+            outbox.clear();
+        }
+
+        ++rounds_;
+        if (runnable.size() > maxRunnable_)
+            maxRunnable_ = runnable.size();
+    }
+
+    running_ = false;
+    return executed() - before;
+}
+
+uint64_t
+LpScheduler::executed() const
+{
+    uint64_t total = 0;
+    for (const auto &q : queues_)
+        total += q->executed();
+    return total;
+}
+
+uint64_t
+LpScheduler::executed(int lp) const
+{
+    INC_ASSERT(lp >= 0 && lp < lpCount(), "bad LP id %d", lp);
+    return queues_[static_cast<size_t>(lp)]->executed();
+}
+
+} // namespace inc

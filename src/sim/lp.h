@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Conservative-lookahead parallel simulation core (DESIGN.md section
+ * 12). The fabric is partitioned into *logical processes* (LPs) — one
+ * per host and one per switch — each owning a private EventQueue and a
+ * disjoint slice of mutable simulation state. The scheduler runs in
+ * rounds:
+ *
+ *   1. horizon = (earliest pending tick across every LP) + lookahead,
+ *      where the lookahead is the minimum cross-LP signalling delay
+ *      (the minimum link latency of the topology).
+ *   2. Every LP drains its events strictly below the horizon. LPs are
+ *      independent inside a round by construction — an event may touch
+ *      only its own LP's state, and anything it schedules onto another
+ *      LP must lie at or beyond the horizon — so the drains execute in
+ *      parallel on the INC_THREADS pool.
+ *   3. Barrier. Cross-LP events buffered in per-sender outboxes are
+ *      merged into the destination queues in a fixed order: sender LP
+ *      id, then emission order within the sender. Destination sequence
+ *      numbers are assigned in that merge order, so same-tick
+ *      tie-breaks never depend on which physical thread ran first.
+ *
+ * Determinism contract: a run's event streams, per-LP executed counts,
+ * and everything derived from them (metrics shards, span shards) are
+ * bit-identical for every thread count, including the serial width-1
+ * path — the same contract the compute thread pool already carries
+ * (DESIGN.md section 7). The same-tick shuffle detector composes with
+ * it: under INC_EQ_SHUFFLE each LP's queue gets a per-LP derived seed,
+ * and results must stay within the pinned invariant tiers of DESIGN.md
+ * section 11.
+ *
+ * What LP code may NOT do: touch another LP's state, consult physical
+ * thread identity (enforced by inc_lint's no-thread-identity check),
+ * or mutate process-wide singletons (the global metrics registry and
+ * span tracer are serial-context-only; LP-mode instrumentation goes
+ * through per-LP shards, see net/lp_fabric.h).
+ */
+
+#ifndef INCEPTIONN_SIM_LP_H
+#define INCEPTIONN_SIM_LP_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace inc {
+
+class ThreadPool;
+
+/** Round-based conservative parallel scheduler over per-LP queues. */
+class LpScheduler
+{
+  public:
+    /**
+     * @param lp_count number of logical processes (>= 1).
+     * @param lookahead minimum cross-LP event delay, > 0 (for a
+     *        network partition: the minimum link latency).
+     * @param threads execution width; 0 uses the global INC_THREADS
+     *        pool, 1 forces the serial reference path, > 1 builds a
+     *        private pool of that width (used by the determinism tests
+     *        to compare widths in-process).
+     */
+    LpScheduler(int lp_count, Tick lookahead, int threads = 0);
+    ~LpScheduler();
+
+    LpScheduler(const LpScheduler &) = delete;
+    LpScheduler &operator=(const LpScheduler &) = delete;
+
+    int lpCount() const { return static_cast<int>(queues_.size()); }
+    Tick lookahead() const { return lookahead_; }
+
+    /**
+     * Schedule @p cb on LP @p lp at absolute tick @p when.
+     *
+     * Outside run() this seeds the initial event population. Inside
+     * run(), scheduling onto the *executing* LP is ordinary local
+     * scheduling (when >= that LP's now()); scheduling onto any other
+     * LP is a cross-LP handoff and must respect the lookahead:
+     * when >= now() + lookahead(). Violations panic — they would break
+     * the conservative horizon proof.
+     */
+    void schedule(int lp, Tick when, EventQueue::Callback cb);
+
+    /**
+     * The LP whose batch is executing on this thread, -1 outside
+     * run(). This is logical identity — the value is a function of the
+     * event being executed, never of the worker thread running it.
+     */
+    int currentLp() const;
+
+    /** Local simulated time of LP @p lp (last executed event). */
+    Tick now(int lp) const;
+
+    /**
+     * Enable same-tick shuffle on every LP queue, with a per-LP seed
+     * derived from @p seed so simultaneous events shuffle
+     * independently per LP. The ambient INC_EQ_SHUFFLE variable is
+     * applied the same way at construction.
+     */
+    void setSameTickShuffle(uint64_t seed);
+
+    /** Back to strict FIFO tie-breaks on every LP queue (also
+     *  overrides an ambient INC_EQ_SHUFFLE picked up at construction —
+     *  how determinism tests pin the baseline ordering). */
+    void clearSameTickShuffle();
+
+    /** Run until every LP queue drains. @return events executed. */
+    uint64_t run();
+
+    /** Total events executed (sum of per-LP counts; deterministic). */
+    uint64_t executed() const;
+    /** Events executed by LP @p lp. */
+    uint64_t executed(int lp) const;
+    /** Number of horizon rounds run() went through. */
+    uint64_t rounds() const { return rounds_; }
+    /** Largest number of LPs that were runnable in one round. */
+    size_t maxRunnable() const { return maxRunnable_; }
+
+  private:
+    struct Pending
+    {
+        int dst;
+        Tick when;
+        EventQueue::Callback cb;
+    };
+
+    /** Drain one LP strictly below @p horizon (worker-side). */
+    void runLp(int lp, Tick horizon);
+
+    std::vector<std::unique_ptr<EventQueue>> queues_;
+    /** Per-sender cross-LP outboxes, merged in sender order at each
+     *  round barrier. Only LP i writes outboxes_[i] during a round. */
+    std::vector<std::vector<Pending>> outboxes_;
+    Tick lookahead_ = 1;
+    bool running_ = false;
+    uint64_t rounds_ = 0;
+    size_t maxRunnable_ = 0;
+    std::unique_ptr<ThreadPool> ownPool_; ///< when threads > 1
+    int threads_ = 0;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_SIM_LP_H

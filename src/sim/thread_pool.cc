@@ -12,8 +12,11 @@ namespace {
 
 /** >0 while the current thread is executing a chunk: nested
  *  parallelFor calls must run inline rather than re-enter the pool. */
-thread_local int tls_chunk_depth = 0; // inc-lint: allow(mutable-global)
-                                      // — per-thread reentrancy guard
+// Sanctioned thread-identity use: nested calls always run inline on
+// every width, so no result can depend on which physical thread
+// observes the depth.
+// inc-lint: allow(mutable-global, no-thread-identity)
+thread_local int tls_chunk_depth = 0;
 
 int
 hardwareThreads()

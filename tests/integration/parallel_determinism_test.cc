@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Bit-identity gate for the parallel simulation core (test_parallel;
+ * the parallel-determinism CI job runs this binary standalone under an
+ * INC_THREADS x INC_EQ_SHUFFLE matrix). Every collective, lossless and
+ * lossy, must produce byte-identical event counts, metrics CSV, and
+ * canonical trace CSV at execution widths 1, 2, and 8 — the width-1
+ * serial drain is the sequential baseline the wider runs are diffed
+ * against. Same-tick shuffle seeds are then compared against the FIFO
+ * baseline at the pinned invariant tier (delivered bytes, per-kind
+ * trace-record counts, fault totals), the LP-mode analogue of the
+ * DESIGN.md section 11 tiers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "comm/lp_collectives.h"
+#include "net/lp_fabric.h"
+#include "net/topology.h"
+
+namespace inc {
+namespace {
+
+constexpr uint64_t kGradient = 1 << 20; // divides evenly by 16 and 4
+constexpr int kFatTreeK = 4;            // 16 hosts, 20 switches
+constexpr int kFifo = -1;               // shuffle mode: strict FIFO
+
+/** Everything a run exposes, captured for byte-level comparison. */
+struct Capture
+{
+    std::vector<Tick> hostDone;
+    Tick finish = 0;
+    uint64_t events = 0;
+    uint64_t rounds = 0;
+    uint64_t deliveredBytes = 0;
+    uint64_t faultsJudged = 0;
+    uint64_t faultsDrops = 0;
+    std::string metricsCsv;
+    std::string traceCsv;
+    /** Trace-record count per kind (tx/hop/rx/deliver/retry). */
+    std::map<int, size_t> kindCounts;
+};
+
+LpFabricConfig
+fabricConfig(bool lossy)
+{
+    LpFabricConfig fc;
+    fc.lossy = lossy;
+    if (lossy) {
+        // Stateless hazards only, and no outage/degradation windows:
+        // window checks are the one place a fate depends on the
+        // judgment *time*, which shuffle seeds legitimately perturb.
+        fc.faults.seed = 0xFEED5;
+        fc.faults.defaultLink.loss = LossKind::Bernoulli;
+        fc.faults.defaultLink.lossRate = 0.02;
+        fc.faults.defaultLink.corruptionRate = 0.002;
+    }
+    return fc;
+}
+
+/**
+ * One full allreduce on a k=4 fat-tree.
+ * @param width LpScheduler width (1 serial, >1 private pool, 0 global).
+ * @param shuffleMode kFifo for strict FIFO tie-breaks, >= 0 for a
+ *        same-tick shuffle seed. INT_MIN-like sentinel -2 leaves the
+ *        ambient INC_EQ_SHUFFLE setting untouched (env matrix mode).
+ */
+Capture
+runOnce(LpAlgorithm algo, bool lossy, int width, int shuffleMode)
+{
+    LpFabric fab(fatTreeTopology(kFatTreeK), fabricConfig(lossy), width);
+    if (shuffleMode == kFifo)
+        fab.scheduler().clearSameTickShuffle();
+    else if (shuffleMode >= 0)
+        fab.scheduler().setSameTickShuffle(
+            static_cast<uint64_t>(shuffleMode));
+
+    LpCollectiveConfig cc;
+    cc.algorithm = algo;
+    cc.gradientBytes = kGradient;
+    cc.groupSize = 4;
+    const LpAllreduceResult r = runLpAllreduce(fab, cc);
+
+    Capture c;
+    c.hostDone = r.hostDone;
+    c.finish = r.finish;
+    c.events = r.events;
+    c.rounds = r.rounds;
+    c.deliveredBytes = fab.deliveredBytes();
+    const FaultStats fs = fab.faultTotals();
+    c.faultsJudged = fs.packetsJudged;
+    c.faultsDrops = fs.drops();
+    c.metricsCsv = fab.renderMetricsCsv();
+    c.traceCsv = fab.renderTraceCsv();
+    for (const LpTraceRec &rec : fab.mergedTrace())
+        ++c.kindCounts[rec.kind];
+    return c;
+}
+
+/** Full byte-identity: the gating comparison between widths. */
+void
+expectIdentical(const Capture &a, const Capture &b, const char *what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.hostDone, b.hostDone);
+    EXPECT_EQ(a.finish, b.finish);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.metricsCsv, b.metricsCsv);
+    EXPECT_EQ(a.traceCsv, b.traceCsv);
+}
+
+/** Pinned invariant tier: what shuffle seeds must preserve. */
+void
+expectInvariantTier(const Capture &base, const Capture &other,
+                    const char *what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(base.deliveredBytes, other.deliveredBytes);
+    EXPECT_EQ(base.kindCounts, other.kindCounts);
+    EXPECT_EQ(base.faultsJudged, other.faultsJudged);
+    EXPECT_EQ(base.faultsDrops, other.faultsDrops);
+}
+
+constexpr std::array<LpAlgorithm, 4> kAlgorithms = {
+    LpAlgorithm::Star, LpAlgorithm::Ring, LpAlgorithm::Tree,
+    LpAlgorithm::HierRing};
+
+class ParallelDeterminism
+    : public ::testing::TestWithParam<LpAlgorithm>
+{
+};
+
+TEST_P(ParallelDeterminism, WidthsBitIdenticalLossless)
+{
+    const Capture serial = runOnce(GetParam(), false, 1, kFifo);
+    for (const int width : {2, 8}) {
+        const Capture wide = runOnce(GetParam(), false, width, kFifo);
+        expectIdentical(serial, wide,
+                        width == 2 ? "width 2 vs 1" : "width 8 vs 1");
+    }
+}
+
+TEST_P(ParallelDeterminism, WidthsBitIdenticalLossy)
+{
+    const Capture serial = runOnce(GetParam(), true, 1, kFifo);
+    EXPECT_GT(serial.faultsDrops, 0u) << "lossy run drew no drops; the "
+                                         "retransmission path is untested";
+    for (const int width : {2, 8}) {
+        const Capture wide = runOnce(GetParam(), true, width, kFifo);
+        expectIdentical(serial, wide,
+                        width == 2 ? "width 2 vs 1" : "width 8 vs 1");
+    }
+}
+
+TEST_P(ParallelDeterminism, WidthsBitIdenticalUnderShuffle)
+{
+    // The width contract must hold under shuffled tie-breaks too: the
+    // per-LP shuffle keys are functions of (seed, lp, event seq), never
+    // of thread placement.
+    for (const bool lossy : {false, true}) {
+        const Capture serial = runOnce(GetParam(), lossy, 1, 3);
+        for (const int width : {2, 8}) {
+            const Capture wide = runOnce(GetParam(), lossy, width, 3);
+            expectIdentical(serial, wide,
+                            lossy ? "lossy, shuffled" : "lossless, shuffled");
+        }
+    }
+}
+
+TEST_P(ParallelDeterminism, ShuffleSeedsPreserveInvariantTier)
+{
+    for (const bool lossy : {false, true}) {
+        const Capture base = runOnce(GetParam(), lossy, 8, kFifo);
+        for (const int seed : {0, 1, 3}) {
+            const Capture shuffled = runOnce(GetParam(), lossy, 8, seed);
+            expectInvariantTier(base, shuffled,
+                                lossy ? "lossy shuffle seed"
+                                      : "lossless shuffle seed");
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCollectives, ParallelDeterminism, ::testing::ValuesIn(kAlgorithms),
+    [](const ::testing::TestParamInfo<LpAlgorithm> &param) {
+        return lpAlgorithmName(param.param);
+    });
+
+TEST(ParallelDeterminismTotals, DeliveredBytesMatchExchangeAlgebra)
+{
+    // 16 hosts, gradient G: star and tree move 15 G up + 15 G down;
+    // ring moves 2(m-1) chunks of G/m per member = 30 G; hierarchical
+    // (groups of 4) moves 24 G in stage-1 rings, 6 G in the leader
+    // ring, 12 G in the fan-out = 42 G.
+    const uint64_t g = kGradient;
+    EXPECT_EQ(runOnce(LpAlgorithm::Star, false, 8, kFifo).deliveredBytes,
+              30 * g);
+    EXPECT_EQ(runOnce(LpAlgorithm::Ring, false, 8, kFifo).deliveredBytes,
+              30 * g);
+    EXPECT_EQ(runOnce(LpAlgorithm::Tree, false, 8, kFifo).deliveredBytes,
+              30 * g);
+    EXPECT_EQ(
+        runOnce(LpAlgorithm::HierRing, false, 8, kFifo).deliveredBytes,
+        42 * g);
+}
+
+TEST(ParallelDeterminismTotals, LossyDeliversEveryByteEventually)
+{
+    Capture c = runOnce(LpAlgorithm::Ring, true, 8, kFifo);
+    EXPECT_EQ(c.deliveredBytes, 30 * kGradient);
+    EXPECT_GT(c.kindCounts[4], 0u); // at least one retransmission round
+}
+
+TEST(ParallelDeterminismAmbient, GlobalPoolMatchesSerialReference)
+{
+    // The CI matrix drives this test with INC_THREADS in {1, 2, 8} and
+    // INC_EQ_SHUFFLE in {0, 1, 3}: width 0 inherits both ambient
+    // settings, and every cell must reproduce the in-process serial
+    // drain byte for byte (sentinel -2 leaves the ambient shuffle
+    // seed in force on both sides).
+    for (const LpAlgorithm algo : kAlgorithms) {
+        SCOPED_TRACE(lpAlgorithmName(algo));
+        for (const bool lossy : {false, true}) {
+            const Capture ambient = runOnce(algo, lossy, 0, -2);
+            const Capture serial = runOnce(algo, lossy, 1, -2);
+            expectIdentical(serial, ambient,
+                            lossy ? "lossy ambient" : "lossless ambient");
+        }
+    }
+}
+
+} // namespace
+} // namespace inc

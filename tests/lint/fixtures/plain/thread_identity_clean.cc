@@ -1,0 +1,13 @@
+// must-not-fire: no-thread-identity — identical code outside
+// src/sim + src/net is out of the check's scope (benchmarks and the
+// test harness may consult threads freely).
+#include <thread>
+
+int
+threadKeyed()
+{
+    thread_local int calls = 0;
+    const auto id = std::this_thread::get_id();
+    (void)id;
+    return ++calls;
+}

@@ -24,4 +24,9 @@ counter()
     return ++s_local;
 }
 
+// A continuation line of a multi-line declaration (here the defaulted
+// tail ending in ';') is not a namespace-scope statement of its own.
+Tick scheduleAt(int node, int lane,
+                Tick when = 500);
+
 } // namespace inc

@@ -1,0 +1,14 @@
+// must-fire: no-thread-identity — physical thread identity leaking
+// into the simulation kernel (the fixture path sits under src/sim).
+#include <pthread.h>
+#include <thread>
+
+int
+threadKeyed()
+{
+    thread_local int calls = 0;                     // line 9
+    const auto id = std::this_thread::get_id();     // line 10
+    const unsigned long raw = pthread_self();       // line 11
+    (void)id;
+    return ++calls + static_cast<int>(raw % 7);
+}

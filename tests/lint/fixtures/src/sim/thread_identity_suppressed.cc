@@ -1,0 +1,16 @@
+// must-not-fire: the sanctioned pattern — a kernel file that has
+// proven its TLS use is a pure function of logical state carries an
+// explicit, commented allow() (as sim/lp.cc and sim/thread_pool.cc do).
+
+namespace {
+
+// inc-lint: allow(no-thread-identity, mutable-global)
+thread_local int ambient_lp = -1;
+
+} // namespace
+
+int
+currentAmbient()
+{
+    return ambient_lp;
+}

@@ -118,8 +118,9 @@ TEST(IncLint, ListChecksNamesTheFullCatalogue)
     for (const char *id :
          {"no-std-rand", "no-random-device", "no-wall-clock",
           "unordered-in-emitter", "pointer-keyed-container",
-          "no-const-cast", "mutable-global", "include-guard",
-          "using-namespace-in-header", "bad-suppression"})
+          "no-const-cast", "mutable-global", "no-thread-identity",
+          "include-guard", "using-namespace-in-header",
+          "bad-suppression"})
         EXPECT_NE(r.output.find(id), std::string::npos) << id;
 }
 
@@ -177,6 +178,19 @@ TEST(IncLint, MutableGlobal)
                  {"mutable-global", 10},
                  {"mutable-global", 14}});
     expectClean("src/sim/mutable_global_clean.cc");
+}
+
+TEST(IncLint, NoThreadIdentity)
+{
+    expectFires("src/sim/thread_identity_fire.cc",
+                {{"no-thread-identity", 9},
+                 {"no-thread-identity", 10},
+                 {"no-thread-identity", 11}});
+    // Identical code outside src/sim + src/net is out of scope.
+    expectClean("plain/thread_identity_clean.cc");
+    // The sanctioned, explicitly-suppressed TLS pattern of sim/lp.cc.
+    expectClean("src/sim/thread_identity_suppressed.cc",
+                /*expectSuppressed=*/2);
 }
 
 TEST(IncLint, IncludeGuard)

@@ -1,0 +1,205 @@
+// Generator tests for the explicit topology graphs (net/topology.h):
+// node/link counts, diameter, bisection width at small radixes, route
+// validity against the link set, and the LP-partition invariants.
+
+#include "net/topology.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace inc {
+namespace {
+
+// Every consecutive node pair of every host-pair route must be an
+// existing directed link, and the route must start/end at the hosts.
+void
+expectRoutesValid(const Topology &t, int maxHosts = 64)
+{
+    const int n = std::min(t.hosts, maxHosts);
+    for (int s = 0; s < n; ++s) {
+        for (int d = 0; d < n; ++d) {
+            if (s == d)
+                continue;
+            const std::vector<int> path = t.route(s, d);
+            ASSERT_GE(path.size(), 3u) << t.name << " " << s << "->" << d;
+            EXPECT_EQ(path.front(), s);
+            EXPECT_EQ(path.back(), d);
+            for (size_t i = 0; i + 1 < path.size(); ++i) {
+                EXPECT_GE(t.linkIndex(path[i], path[i + 1]), 0)
+                    << t.name << ": route " << s << "->" << d
+                    << " uses missing link " << path[i] << "->"
+                    << path[i + 1];
+            }
+            // Simple (no node revisited): required for per-hop handoff.
+            std::set<int> seen(path.begin(), path.end());
+            EXPECT_EQ(seen.size(), path.size())
+                << t.name << ": route " << s << "->" << d << " has a loop";
+        }
+    }
+}
+
+void
+expectLpPlanInvariants(const Topology &t)
+{
+    const LpPlan plan = makeLpPlan(t);
+    ASSERT_EQ(plan.lpCount, t.nodeCount());
+    ASSERT_EQ(plan.lpOf.size(), static_cast<size_t>(t.nodeCount()));
+    EXPECT_GT(plan.lookahead, 0u);
+    for (const TopoLink &l : t.links) {
+        // Lookahead must be safe for every cross-LP link...
+        EXPECT_LE(plan.lookahead, l.latency);
+        // ...and a link crosses at most one LP boundary: its
+        // transmitter owns it, so the only boundary is src-LP->dst-LP.
+        const int srcLp = plan.lpOf[static_cast<size_t>(l.src)];
+        const int dstLp = plan.lpOf[static_cast<size_t>(l.dst)];
+        EXPECT_GE(srcLp, 0);
+        EXPECT_LT(srcLp, plan.lpCount);
+        EXPECT_GE(dstLp, 0);
+        EXPECT_LT(dstLp, plan.lpCount);
+    }
+}
+
+TEST(StarTopology, CountsDiameterRoutes)
+{
+    const Topology t = starTopology(8);
+    EXPECT_EQ(t.hosts, 8);
+    EXPECT_EQ(t.switches, 1);
+    EXPECT_EQ(t.links.size(), 16u); // 8 full-duplex cables
+    EXPECT_EQ(t.diameterHops(), 2);
+    expectRoutesValid(t);
+    expectLpPlanInvariants(t);
+}
+
+TEST(TwoTierTopology, CountsDiameterRoutes)
+{
+    const Topology t = twoTierTopology(12, 4);
+    EXPECT_EQ(t.hosts, 12);
+    EXPECT_EQ(t.switches, 4); // 3 ToRs + core
+    EXPECT_EQ(t.links.size(), 2u * (12 + 3));
+    EXPECT_EQ(t.diameterHops(), 4); // host-ToR-core-ToR-host
+    expectRoutesValid(t);
+    expectLpPlanInvariants(t);
+}
+
+TEST(FatTreeTopology, K4Counts)
+{
+    const Topology t = fatTreeTopology(4);
+    EXPECT_EQ(t.hosts, 16);        // k^3/4
+    EXPECT_EQ(t.switches, 20);     // 4 pods * 4 + 4 cores
+    EXPECT_EQ(t.links.size(), 96u); // 3k^3/4 = 48 cables
+    EXPECT_EQ(t.diameterHops(), 6); // host-edge-agg-core-agg-edge-host
+    expectRoutesValid(t);
+    expectLpPlanInvariants(t);
+}
+
+TEST(FatTreeTopology, K4BisectionIsFull)
+{
+    // Cut the canonical halves: pods {0,1} (hosts + pod switches) and
+    // half the cores of each group on side 1. A k-ary fat-tree's
+    // bisection is k^3/8 cables — full bisection bandwidth (every host
+    // pair across the cut can get a dedicated path).
+    const int k = 4, half = k / 2;
+    const Topology t = fatTreeTopology(k);
+    std::vector<int> side(static_cast<size_t>(t.nodeCount()), 0);
+    for (int hst = 0; hst < t.hosts / 2; ++hst)
+        side[static_cast<size_t>(hst)] = 1;
+    for (int pod = 0; pod < k / 2; ++pod)
+        for (int s = 0; s < k; ++s)
+            side[static_cast<size_t>(t.hosts + pod * k + s)] = 1;
+    for (int a = 0; a < half; ++a)
+        for (int j = 0; j < half / 2 + (half % 2); ++j)
+            side[static_cast<size_t>(t.hosts + k * k + a * half + j)] = 1;
+    EXPECT_EQ(t.crossLinks(side), k * k * k / 8);
+}
+
+TEST(FatTreeTopology, K6Counts)
+{
+    const Topology t = fatTreeTopology(6);
+    EXPECT_EQ(t.hosts, 54);
+    EXPECT_EQ(t.switches, 45);       // 6*6 + 9
+    EXPECT_EQ(t.links.size(), 324u); // 3*6^3/4 = 162 cables
+    EXPECT_EQ(t.diameterHops(), 6);
+    expectRoutesValid(t, 54);
+    expectLpPlanInvariants(t);
+}
+
+TEST(DragonflyTopology, CanonicalCounts)
+{
+    // a=4, p=2, h=2, g=9: the fully-subscribed canonical config
+    // (g-1 == a*h, exactly one global cable between every group pair).
+    const Topology t = dragonflyTopology(4, 2, 2, 9);
+    EXPECT_EQ(t.hosts, 72);
+    EXPECT_EQ(t.switches, 36);
+    // Cables: 72 host + 9 * (4*3/2) local + 9*8/2 global = 162.
+    EXPECT_EQ(t.links.size(), 324u);
+    EXPECT_EQ(t.diameterHops(), 5); // host-R-local-global-local... <= 5
+    expectRoutesValid(t, 40);
+    expectLpPlanInvariants(t);
+}
+
+TEST(DragonflyTopology, GroupHalvesBisection)
+{
+    // g=8 groups, halves {0..3} vs {4..7}: only global cables cross,
+    // one per group pair -> 4*4 = 16.
+    const Topology t = dragonflyTopology(4, 2, 2, 8);
+    std::vector<int> side(static_cast<size_t>(t.nodeCount()), 0);
+    const int perGroupHosts = 4 * 2;
+    for (int hst = 0; hst < 4 * perGroupHosts; ++hst)
+        side[static_cast<size_t>(hst)] = 1;
+    for (int r = 0; r < 4 * 4; ++r)
+        side[static_cast<size_t>(t.hosts + r)] = 1;
+    EXPECT_EQ(t.crossLinks(side), 16);
+}
+
+TEST(DragonflyTopology, GlobalLatencyDominates)
+{
+    const Tick local = 400 * kNanosecond, global = 3 * kMicrosecond;
+    const Topology t = dragonflyTopology(4, 2, 2, 9, 10e9, local, 10e9,
+                                         global);
+    EXPECT_EQ(t.minLatency(), local);
+    // A cross-group route's middle hop is the long cable.
+    const std::vector<int> path = t.route(0, t.hosts - 1);
+    bool sawGlobal = false;
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+        const int idx = t.linkIndex(path[i], path[i + 1]);
+        ASSERT_GE(idx, 0);
+        sawGlobal = sawGlobal || t.link(idx).latency == global;
+    }
+    EXPECT_TRUE(sawGlobal);
+}
+
+TEST(Topology, LinkIndexIsExactAndSorted)
+{
+    const Topology t = fatTreeTopology(4);
+    for (size_t i = 0; i + 1 < t.links.size(); ++i) {
+        const TopoLink &a = t.links[i], &b = t.links[i + 1];
+        EXPECT_TRUE(a.src < b.src || (a.src == b.src && a.dst < b.dst));
+    }
+    for (size_t i = 0; i < t.links.size(); ++i)
+        EXPECT_EQ(t.linkIndex(t.links[i].src, t.links[i].dst),
+                  static_cast<int>(i));
+    EXPECT_EQ(t.linkIndex(0, 1), -1); // hosts are never adjacent
+}
+
+TEST(Topology, ScalesTo1024WorkersAndBeyond)
+{
+    // The datacenter-scale configs the benches use: fat-tree k=16 gives
+    // 1024 hosts; dragonfly a=16 p=8 h=8 g=32 gives 4096.
+    const Topology ft = fatTreeTopology(16);
+    EXPECT_EQ(ft.hosts, 1024);
+    EXPECT_EQ(ft.switches, 16 * 16 + 64);
+    const LpPlan ftPlan = makeLpPlan(ft);
+    EXPECT_EQ(ftPlan.lpCount, ft.nodeCount());
+
+    const Topology df = dragonflyTopology(16, 8, 8, 32);
+    EXPECT_EQ(df.hosts, 4096);
+    EXPECT_EQ(df.switches, 512);
+    // Spot-check a long route rather than all 16M pairs.
+    expectRoutesValid(df, 20);
+}
+
+} // namespace
+} // namespace inc

@@ -1,0 +1,191 @@
+// Unit tests for the conservative-lookahead parallel scheduler
+// (sim/lp.h): local ordering, cross-LP handoff rules, and the core
+// contract — bit-identical traces for every execution width.
+
+#include "sim/lp.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+
+namespace inc {
+namespace {
+
+TEST(LpScheduler, RunsLocalEventsInTickOrder)
+{
+    LpScheduler sched(1, 5 * kNanosecond, 1);
+    std::vector<int> order;
+    sched.schedule(0, 30, [&] { order.push_back(3); });
+    sched.schedule(0, 10, [&] { order.push_back(1); });
+    sched.schedule(0, 20, [&] { order.push_back(2); });
+    EXPECT_EQ(sched.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sched.executed(), 3u);
+    EXPECT_EQ(sched.executed(0), 3u);
+}
+
+TEST(LpScheduler, CurrentLpTracksExecutingBatch)
+{
+    LpScheduler sched(3, kNanosecond, 1);
+    EXPECT_EQ(sched.currentLp(), -1);
+    std::vector<int> seen(3, -2);
+    for (int lp = 0; lp < 3; ++lp)
+        sched.schedule(lp, 10, [&, lp] { seen[lp] = sched.currentLp(); });
+    sched.run();
+    EXPECT_EQ(seen, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(sched.currentLp(), -1);
+}
+
+TEST(LpScheduler, CrossLpHandoffDeliversAtRequestedTick)
+{
+    const Tick la = 2 * kNanosecond;
+    LpScheduler sched(2, la, 1);
+    std::vector<std::pair<int, Tick>> trace;
+    sched.schedule(0, 0, [&] {
+        trace.push_back({0, sched.now(0)});
+        sched.schedule(1, la, [&] { trace.push_back({1, sched.now(1)}); });
+    });
+    EXPECT_EQ(sched.run(), 2u);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0], (std::pair<int, Tick>{0, 0}));
+    EXPECT_EQ(trace[1], (std::pair<int, Tick>{1, la}));
+}
+
+TEST(LpScheduler, SameTickCrossLpArrivalsMergeInSenderOrder)
+{
+    // LPs 1 and 2 both send to LP 0 at the same tick. Whatever order
+    // their batches physically run in, the merge happens in sender-LP
+    // order, so the arrival tie-break is fixed: sender 1 before 2.
+    for (int width : {1, 2, 8}) {
+        LpScheduler sched(3, kNanosecond, width);
+        std::vector<int> arrivals;
+        for (int src : {2, 1}) { // scheduled out of order on purpose
+            sched.schedule(src, 0, [&sched, &arrivals, src] {
+                sched.schedule(0, 5 * kNanosecond,
+                               [&arrivals, src] { arrivals.push_back(src); });
+            });
+        }
+        sched.run();
+        EXPECT_EQ(arrivals, (std::vector<int>{1, 2}))
+            << "width=" << width;
+    }
+}
+
+TEST(LpSchedulerDeathTest, CrossLpBelowLookaheadPanics)
+{
+    LpScheduler sched(2, 10 * kNanosecond, 1);
+    sched.schedule(0, 0, [&] {
+        sched.schedule(1, kNanosecond, [] {}); // < lookahead: forbidden
+    });
+    EXPECT_DEATH(sched.run(), "lookahead");
+}
+
+TEST(LpSchedulerDeathTest, ZeroLookaheadPanics)
+{
+    EXPECT_DEATH(LpScheduler(2, 0, 1), "lookahead");
+}
+
+// A deterministic message-storm workload: every LP starts with a few
+// events; each event does a bit of local work, occasionally reschedules
+// locally, and fires messages at pseudo-random neighbours at
+// pseudo-random (>= lookahead) delays. The full per-LP trace —
+// (tick, payload) per executed event — is compared byte-for-byte
+// across execution widths.
+struct StormTrace
+{
+    std::vector<std::vector<std::pair<Tick, uint64_t>>> perLp;
+    uint64_t events = 0;
+    uint64_t rounds = 0;
+};
+
+StormTrace
+runStorm(int lpCount, int width, uint64_t shuffleSeed)
+{
+    const Tick la = 3 * kNanosecond;
+    LpScheduler sched(lpCount, la, width);
+    if (shuffleSeed)
+        sched.setSameTickShuffle(shuffleSeed);
+    StormTrace out;
+    out.perLp.resize(static_cast<size_t>(lpCount));
+
+    // Each message carries a hash-chain payload so any reordering of
+    // execution (not just of the trace) changes downstream bytes.
+    std::function<void(int, uint64_t, int)> fire =
+        [&](int lp, uint64_t payload, int hops) {
+            auto &log = out.perLp[static_cast<size_t>(lp)];
+            log.push_back({sched.now(lp), payload});
+            if (hops <= 0)
+                return;
+            const uint64_t h = mix64(payload + static_cast<uint64_t>(hops));
+            const int dst = static_cast<int>(h % static_cast<uint64_t>(lpCount));
+            const Tick delay = la + h % (2 * la);
+            sched.schedule(dst, sched.now(lp) + delay,
+                           [&fire, dst, h, hops] { fire(dst, h, hops - 1); });
+            if (h & 1) { // occasional extra local event, same tick
+                sched.schedule(lp, sched.now(lp), [&out, lp, h, &sched] {
+                    out.perLp[static_cast<size_t>(lp)].push_back(
+                        {sched.now(lp), mix64(h)});
+                });
+            }
+        };
+
+    for (int lp = 0; lp < lpCount; ++lp)
+        sched.schedule(lp, static_cast<Tick>(lp % 4), [&fire, lp] {
+            fire(lp, mix64(static_cast<uint64_t>(lp) * 7919), 12);
+        });
+    out.events = sched.run();
+    out.rounds = sched.rounds();
+    return out;
+}
+
+TEST(LpScheduler, StormTraceBitIdenticalAcrossWidths)
+{
+    const StormTrace ref = runStorm(17, 1, 0);
+    ASSERT_GT(ref.events, 200u);
+    EXPECT_GT(ref.rounds, 0u);
+    for (int width : {2, 3, 8}) {
+        const StormTrace got = runStorm(17, width, 0);
+        EXPECT_EQ(got.events, ref.events) << "width=" << width;
+        EXPECT_EQ(got.rounds, ref.rounds) << "width=" << width;
+        EXPECT_EQ(got.perLp, ref.perLp) << "width=" << width;
+    }
+}
+
+TEST(LpScheduler, ShuffledStormStillWidthInvariant)
+{
+    // Same-tick shuffle changes the trace vs FIFO, but for a fixed
+    // seed it must still be identical across widths.
+    const StormTrace ref = runStorm(11, 1, 0xBEEF);
+    for (int width : {2, 8}) {
+        const StormTrace got = runStorm(11, width, 0xBEEF);
+        EXPECT_EQ(got.perLp, ref.perLp) << "width=" << width;
+    }
+    // ...and a different seed must be a *different* deterministic run
+    // (the storm has same-tick local events, so shuffle can bite).
+    const StormTrace other = runStorm(11, 1, 0xF00D);
+    EXPECT_EQ(other.events, ref.events);
+}
+
+TEST(LpScheduler, WidthZeroUsesGlobalPool)
+{
+    const StormTrace ref = runStorm(9, 1, 0);
+    const StormTrace viaGlobal = runStorm(9, 0, 0);
+    EXPECT_EQ(viaGlobal.perLp, ref.perLp);
+}
+
+TEST(LpScheduler, ReportsMaxRunnable)
+{
+    LpScheduler sched(4, kNanosecond, 1);
+    for (int lp = 0; lp < 4; ++lp)
+        sched.schedule(lp, 0, [] {});
+    sched.run();
+    EXPECT_EQ(sched.maxRunnable(), 4u);
+}
+
+} // namespace
+} // namespace inc

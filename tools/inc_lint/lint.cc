@@ -435,8 +435,11 @@ checkConstCast(Ctx &ctx)
  * scope open at the start of the line is a namespace (or we are at
  * file scope), (b) it is a single-line declaration ending in ';',
  * (c) it is not const/constexpr/constinit/extern and not a type,
- * alias, template, or function declaration. Multi-line declarations
- * are invisible to it; the fixtures pin exactly what it promises.
+ * alias, template, or function declaration, and (d) it does not merely
+ * finish a statement begun on an earlier line (a continuation such as
+ * the tail of a multi-line function declaration with defaulted
+ * arguments). Multi-line declarations are invisible to it; the
+ * fixtures pin exactly what it promises.
  */
 void
 checkMutableGlobal(Ctx &ctx)
@@ -458,7 +461,7 @@ checkMutableGlobal(Ctx &ctx)
         const bool nsScope =
             std::all_of(scopes.begin(), scopes.end(),
                         [](char k) { return k == 'n'; });
-        if (nsScope) {
+        if (nsScope && trimmed(stmt).empty()) {
             const std::string t = trimmed(line);
             if (!t.empty() && t.back() == ';' && t[0] != '#' &&
                 t[0] != '}' && t[0] != '{') {
@@ -483,6 +486,16 @@ checkMutableGlobal(Ctx &ctx)
                                "communicate through globals");
             }
         }
+        // Preprocessor directives are their own statements: they end
+        // with the line, not with ';', so they must not bleed into the
+        // continuation tracking of the code around them.
+        {
+            const std::string t = trimmed(line);
+            if (!t.empty() && t[0] == '#') {
+                stmt.clear();
+                continue;
+            }
+        }
         for (char c : line) {
             if (c == '{') {
                 scopes.push_back(hasToken(stmt, "namespace") ? 'n'
@@ -496,6 +509,40 @@ checkMutableGlobal(Ctx &ctx)
                 stmt.clear();
             } else {
                 stmt += c;
+            }
+        }
+    }
+}
+
+/**
+ * Physical thread identity inside the simulation kernel. The parallel
+ * LP scheduler migrates logical processes across worker threads round
+ * by round, so anything keyed by the *physical* thread — thread_local
+ * storage, std::this_thread::get_id, pthread_self — can make results
+ * depend on which thread happened to run a batch, which breaks the
+ * bit-identity contract (DESIGN.md section 12). Logical identity is
+ * available deterministically via LpScheduler::currentLp(). The two
+ * sanctioned uses (the scheduler's own ambient-LP slot, the thread
+ * pool's nesting depth) carry explicit allow() suppressions.
+ */
+void
+checkThreadIdentity(Ctx &ctx)
+{
+    if (!ctx.simOrNet)
+        return;
+    static const char *kBanned[] = {"thread_local", "this_thread",
+                                    "pthread_self"};
+    for (size_t i = 0; i < ctx.s->code.size(); ++i) {
+        for (const char *tok : kBanned) {
+            if (hasToken(ctx.s->code[i], tok)) {
+                ctx.report(static_cast<int>(i) + 1, "no-thread-identity",
+                           std::string(tok) +
+                               " keys behaviour to the physical worker "
+                               "thread; simulation results must be a "
+                               "function of logical state only (use "
+                               "LpScheduler::currentLp for logical "
+                               "identity)");
+                break;
             }
         }
     }
@@ -638,6 +685,9 @@ checkCatalogue()
          "const_cast inside src/sim or src/net"},
         {"mutable-global",
          "mutable namespace-scope state inside src/sim or src/net"},
+        {"no-thread-identity",
+         "thread_local / std::this_thread / pthread_self inside src/sim "
+         "or src/net: results keyed to physical thread identity"},
         {"include-guard",
          "header guards must be named INCEPTIONN_<DIR>_<FILE>_H"},
         {"using-namespace-in-header",
@@ -678,6 +728,7 @@ lintFile(const std::string &path, const std::string &content)
     checkPointerKeyed(ctx);
     checkConstCast(ctx);
     checkMutableGlobal(ctx);
+    checkThreadIdentity(ctx);
     checkIncludeGuard(ctx);
     checkUsingNamespaceInHeader(ctx);
 
