@@ -148,6 +148,7 @@ runLpSection(const bench::Options &opts, int lp_workers)
 
     bench::PerfRecord rec;
     rec.config = "datacenter_lp.hier_ring.dragonfly";
+    rec.algorithm = lpAlgorithmName(cc.algorithm);
     rec.workers = fab.nodes();
     rec.width = 0; // ambient INC_THREADS
     rec.events = r.events;

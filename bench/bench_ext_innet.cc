@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Extension study: SHARP-style in-network aggregation versus host-side
+ * collectives, on two fabrics.
+ *
+ * Multi-tenant contention section (serial star fabric): the foreground
+ * allreduce — switch aggregation (InnetStarRun) vs the host-side ring
+ * (collec_comm) — shares the single-switch Network with a deterministic
+ * background tenant (net/traffic_gen.h) at several load levels, with
+ * the background transport run both as Reno on an unmarked fabric and
+ * as DCTCP against the switch's ECN threshold. Same pattern seed every
+ * time, so the only variables are the foreground schedule and the
+ * congestion law.
+ *
+ * LP section (the BENCH_pr7.json perf artifact): every LP collective
+ * algorithm, including LpAlgorithm::InNetwork, over the same fat-tree,
+ * self-reporting wall clock, events/sec, and peak RSS. Flags:
+ * --lp-workers=N (0 skips), --no-classic (only the LP section),
+ * --spans[=FILE] (span-enabled pass + critical-path blame table).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "comm/comm_world.h"
+#include "comm/inceptionn_api.h"
+#include "comm/innet_collectives.h"
+#include "comm/lp_collectives.h"
+#include "net/lp_fabric.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "net/traffic_gen.h"
+#include "sim/span.h"
+#include "stats/critical_path.h"
+#include "stats/table_printer.h"
+
+using namespace inc;
+
+namespace {
+
+constexpr int kHosts = 8;
+constexpr int kQueueDepth = 256;
+constexpr int kEcnThreshold = 64;
+
+/** One background-tenant scenario of the contention table. */
+struct Tenant
+{
+    int flows = 0;          ///< 0 = foreground runs alone
+    bool dctcp = false;     ///< background transport + switch marking
+    const char *label = ""; ///< table row label
+};
+
+struct ContentionRow
+{
+    double innetSecs = 0.0;
+    double ringSecs = 0.0;
+    TrafficReplayStats bg{};
+    uint64_t innetEvents = 0;
+    uint64_t ringEvents = 0;
+};
+
+NetworkConfig
+starFabric(bool dctcp)
+{
+    NetworkConfig nc;
+    nc.nodes = kHosts;
+    nc.switchConfig.queueDepthPackets = kQueueDepth;
+    nc.switchConfig.ecnThresholdPackets =
+        dctcp ? kEcnThreshold : kUnboundedQueue;
+    return nc;
+}
+
+TrafficGenConfig
+tenantLoad(const Tenant &t, uint64_t message_bytes, int messages)
+{
+    TrafficGenConfig bg;
+    bg.flows = t.flows;
+    bg.messagesPerFlow = messages;
+    bg.messageBytes = message_bytes;
+    bg.transport.congestionControl = t.dctcp
+                                         ? CongestionControl::Dctcp
+                                         : CongestionControl::NewReno;
+    return bg;
+}
+
+/** Foreground in-network allreduce with @p t's tenant on the fabric. */
+void
+runInnetUnderLoad(const Tenant &t, uint64_t gradient_bytes,
+                  uint64_t bg_bytes, int bg_messages, ContentionRow *row)
+{
+    EventQueue events;
+    Network net(events, starFabric(t.dctcp));
+    TrafficReplay replay(net, tenantLoad(t, bg_bytes, bg_messages));
+    InnetStarConfig cfg;
+    cfg.gradientBytes = gradient_bytes;
+    InnetStarRun run(net, cfg);
+    if (t.flows > 0)
+        replay.start();
+    run.start();
+    events.run();
+    row->innetSecs = toSeconds(run.result().finish);
+    row->innetEvents = events.executed();
+    row->bg = replay.stats();
+}
+
+/** Foreground host-side ring (collec_comm) with the same tenant. */
+void
+runRingUnderLoad(const Tenant &t, uint64_t gradient_bytes,
+                 uint64_t bg_bytes, int bg_messages, ContentionRow *row)
+{
+    EventQueue events;
+    Network net(events, starFabric(t.dctcp));
+    CommWorld comm(net);
+    TrafficReplay replay(net, tenantLoad(t, bg_bytes, bg_messages));
+    CollectiveCall call;
+    call.algorithm = CollectiveAlgorithm::Ring;
+    call.gradientBytes = gradient_bytes;
+    call.workers = kHosts;
+    if (t.flows > 0)
+        replay.start();
+    double secs = -1;
+    events.schedule(0, [&] {
+        collecCommAllReduce(comm, call,
+                            [&](ExchangeResult r) { secs = r.seconds(); });
+    });
+    events.run();
+    row->ringSecs = secs;
+    row->ringEvents = events.executed();
+}
+
+void
+runContentionSection(const bench::Options &opts,
+                     std::vector<bench::PerfRecord> *records)
+{
+    const uint64_t gradient =
+        opts.quick ? (8ull << 20) : (64ull << 20);
+    const uint64_t bg_bytes = 1 << 20;
+    const int bg_messages = opts.quick ? 2 : 4;
+
+    const Tenant tenants[] = {
+        {0, false, "idle fabric"},
+        {4, false, "4 flows, reno"},
+        {4, true, "4 flows, dctcp"},
+        {8, false, "8 flows, reno"},
+        {8, true, "8 flows, dctcp"},
+    };
+
+    TablePrinter table({"Background tenant", "In-net (s)", "Ring (s)",
+                        "Speedup", "BG finish (s)", "BG drops",
+                        "BG CE marks", "BG cwnd cuts"});
+    CsvWriter csv({"bg_flows", "bg_transport", "innet_s", "ring_s",
+                   "bg_drops", "bg_ce_packets", "bg_cwnd_cuts",
+                   "bg_finish_s"});
+    for (const Tenant &t : tenants) {
+        // Host wall-clock is the *measurement* of this perf
+        // self-report, not simulation state.
+        // inc-lint: allow-file(no-wall-clock)
+        ContentionRow row;
+        const auto t0 = std::chrono::steady_clock::now();
+        runInnetUnderLoad(t, gradient, bg_bytes, bg_messages, &row);
+        const auto t1 = std::chrono::steady_clock::now();
+        runRingUnderLoad(t, gradient, bg_bytes, bg_messages, &row);
+        const auto t2 = std::chrono::steady_clock::now();
+
+        table.addRow({t.label, TablePrinter::num(row.innetSecs, 4),
+                      TablePrinter::num(row.ringSecs, 4),
+                      TablePrinter::num(row.ringSecs / row.innetSecs, 2),
+                      TablePrinter::num(toSeconds(row.bg.finish), 4),
+                      std::to_string(row.bg.dropsObserved),
+                      std::to_string(row.bg.ecnCePackets),
+                      std::to_string(row.bg.dctcpCwndCuts)});
+        csv.addRow({std::to_string(t.flows), t.dctcp ? "dctcp" : "reno",
+                    TablePrinter::num(row.innetSecs, 6),
+                    TablePrinter::num(row.ringSecs, 6),
+                    std::to_string(row.bg.dropsObserved),
+                    std::to_string(row.bg.ecnCePackets),
+                    std::to_string(row.bg.dctcpCwndCuts),
+                    TablePrinter::num(toSeconds(row.bg.finish), 6)});
+
+        const std::string mode = t.dctcp ? "dctcp" : "off";
+        const std::string suffix =
+            "bg" + std::to_string(t.flows) + "." + mode;
+        const double innet_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        const double ring_ms =
+            std::chrono::duration<double, std::milli>(t2 - t1).count();
+        bench::PerfRecord rec;
+        rec.config = "innet_star.contention." + suffix;
+        rec.algorithm = "innet";
+        rec.ecnMode = mode;
+        rec.workers = kHosts;
+        rec.events = row.innetEvents;
+        rec.rounds = 1;
+        rec.wallMs = innet_ms;
+        rec.eventsPerSec =
+            innet_ms > 0.0
+                ? static_cast<double>(row.innetEvents) / (innet_ms / 1e3)
+                : 0.0;
+        rec.peakRssMbNow = bench::peakRssMb();
+        rec.simSeconds = row.innetSecs;
+        records->push_back(rec);
+        rec.config = "ring_star.contention." + suffix;
+        rec.algorithm = "ring";
+        rec.events = row.ringEvents;
+        rec.wallMs = ring_ms;
+        rec.eventsPerSec =
+            ring_ms > 0.0
+                ? static_cast<double>(row.ringEvents) / (ring_ms / 1e3)
+                : 0.0;
+        rec.simSeconds = row.ringSecs;
+        records->push_back(rec);
+    }
+    std::printf(
+        "%s\n",
+        table
+            .render(std::to_string(kHosts) +
+                    " hosts, one switch, " +
+                    std::to_string(gradient >> 20) +
+                    " MiB gradients; background tenant shares every "
+                    "cable")
+            .c_str());
+    std::printf(
+        "Reading: the switch fold ships each gradient up once and down "
+        "once, so\nin-network aggregation keeps its lead under every "
+        "tenant. Its slowdown\nsaturates once the slowest host's "
+        "downlink is time-shared with one background\nflow — extra "
+        "flows stretch the *tenant's* finish, not the foreground's. "
+        "DCTCP\ntenants absorb the marking at the ECN threshold (CE "
+        "marks -> proportional cwnd\ncuts, zero drops) without giving "
+        "up background throughput.\n\n");
+    bench::emitCsv(opts, "ext_innet_contention.csv", csv);
+}
+
+/** LP fat-tree comparison of every collective algorithm. */
+void
+runLpSection(const bench::Options &opts, int lp_workers,
+             std::vector<bench::PerfRecord> *records)
+{
+    if (lp_workers <= 0)
+        return;
+    const int k = lp_workers > 16 ? 8 : 4; // 128- or 16-host fat-tree
+    const int per_pod = k * k / 4;
+    const uint64_t gradient = opts.quick ? (4ull << 20) : (25ull << 20);
+    std::printf("LP-mode allreduce sweep, %d-host fat-tree (k=%d), "
+                "%llu MiB gradients:\n",
+                k * k * k / 4, k,
+                static_cast<unsigned long long>(gradient >> 20));
+
+    TablePrinter table({"Algorithm", "Sim finish (s)", "Events",
+                        "Host bytes delivered"});
+    const LpAlgorithm algos[] = {LpAlgorithm::Ring, LpAlgorithm::Tree,
+                                 LpAlgorithm::HierRing,
+                                 LpAlgorithm::InNetwork};
+    for (const LpAlgorithm algo : algos) {
+        // inc-lint: allow-file(no-wall-clock) — see above.
+        const auto t0 = std::chrono::steady_clock::now();
+        LpFabric fab(fatTreeTopology(k), LpFabricConfig{},
+                     /*threads=*/0);
+        LpCollectiveConfig cc;
+        cc.algorithm = algo;
+        cc.gradientBytes = gradient;
+        cc.groupSize = per_pod;
+        const LpAllreduceResult r = runLpAllreduce(fab, cc);
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+
+        table.addRow(
+            {lpAlgorithmName(algo),
+             TablePrinter::num(toSeconds(r.finish), 4),
+             std::to_string(r.events),
+             std::to_string(fab.deliveredBytes())});
+
+        bench::PerfRecord rec;
+        rec.config = std::string("innet_lp.") + lpAlgorithmName(algo) +
+                     ".fat_tree_k" + std::to_string(k);
+        rec.algorithm = lpAlgorithmName(algo);
+        rec.workers = fab.nodes();
+        rec.width = 0; // ambient INC_THREADS
+        rec.events = r.events;
+        rec.rounds = r.rounds;
+        rec.wallMs = wall_ms;
+        rec.eventsPerSec =
+            wall_ms > 0.0
+                ? static_cast<double>(r.events) / (wall_ms / 1e3)
+                : 0.0;
+        rec.peakRssMbNow = bench::peakRssMb();
+        rec.simSeconds = toSeconds(r.finish);
+        bench::printPerfRecord(rec);
+        records->push_back(std::move(rec));
+    }
+    std::printf("%s\n",
+                table
+                    .render("In-network aggregation folds in the "
+                            "switches: fewest host-delivered bytes")
+                    .c_str());
+}
+
+/** Span-enabled pass: where does the in-network exchange spend time? */
+void
+runSpansSection(const bench::Options &opts)
+{
+    if (opts.spansPath.empty())
+        return;
+    spans::reset();
+    spans::setEnabled(true);
+    {
+        EventQueue events;
+        NetworkConfig nc;
+        nc.nodes = 4;
+        Network net(events, nc);
+        InnetStarConfig cfg;
+        cfg.gradientBytes = 4 << 20;
+        InnetStarRun run(net, cfg);
+        run.start();
+        events.run();
+    }
+    const CriticalPathReport report =
+        analyzeCriticalPath(spans::global().spans());
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(opts.spansPath).parent_path(), ec);
+    if (spans::global().writeCsvFile(opts.spansPath))
+        std::printf("[spans] %s (analyze with tools/inc_critpath)\n",
+                    opts.spansPath.c_str());
+    spans::setEnabled(false);
+    spans::reset();
+    std::printf("%s\n", report.renderTable().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Options opts = bench::Options::parse(argc, argv);
+    bench::banner("In-network aggregation vs host collectives",
+                  "switch-reduction extension study");
+
+    bool classic = true;
+    int lp_workers = opts.quick ? 16 : 128;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--no-classic")
+            classic = false;
+        else if (arg.rfind("--lp-workers=", 0) == 0)
+            lp_workers = std::atoi(arg.c_str() + 13);
+    }
+
+    std::vector<bench::PerfRecord> records;
+    if (classic)
+        runContentionSection(opts, &records);
+    runLpSection(opts, lp_workers, &records);
+    bench::writePerfJson(opts, "BENCH_pr7.json", records);
+    runSpansSection(opts);
+    return 0;
+}

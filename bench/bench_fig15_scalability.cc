@@ -61,6 +61,7 @@ runLpRing(int workers, int width, uint64_t gradientBytes)
 
     bench::PerfRecord rec;
     rec.config = "fig15_lp.ring.fat_tree_k" + std::to_string(k);
+    rec.algorithm = lpAlgorithmName(cc.algorithm);
     rec.workers = fab.nodes();
     rec.width = width;
     rec.events = r.events;

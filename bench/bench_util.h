@@ -158,6 +158,12 @@ peakRssMb()
 struct PerfRecord
 {
     std::string config; ///< e.g. "fig15_lp.ring.fat_tree"
+    /** Collective algorithm the run exercised ("ring", "innet", ...;
+     *  empty when the record is not tied to one exchange pattern). */
+    std::string algorithm;
+    /** Congestion-signal mode of the run's transport ("off" = no ECN
+     *  marking, "ecn" = marking on, "dctcp" = marking + DCTCP law). */
+    std::string ecnMode = "off";
     int workers = 0;
     int width = 0; ///< LpScheduler width (0 = ambient INC_THREADS)
     uint64_t events = 0;
@@ -184,12 +190,13 @@ writePerfJson(const Options &opts, const std::string &name,
         const PerfRecord &r = records[i];
         std::fprintf(
             f,
-            "    {\"config\": \"%s\", \"workers\": %d, \"width\": %d, "
+            "    {\"config\": \"%s\", \"algorithm\": \"%s\", "
+            "\"ecn\": \"%s\", \"workers\": %d, \"width\": %d, "
             "\"events\": %llu, \"rounds\": %llu, \"wall_ms\": %.3f, "
             "\"events_per_sec\": %.0f, \"peak_rss_mb\": %.1f, "
             "\"sim_seconds\": %.6f}%s\n",
-            r.config.c_str(), r.workers, r.width,
-            static_cast<unsigned long long>(r.events),
+            r.config.c_str(), r.algorithm.c_str(), r.ecnMode.c_str(),
+            r.workers, r.width, static_cast<unsigned long long>(r.events),
             static_cast<unsigned long long>(r.rounds), r.wallMs,
             r.eventsPerSec, r.peakRssMbNow, r.simSeconds,
             i + 1 < records.size() ? "," : "");
@@ -203,10 +210,12 @@ writePerfJson(const Options &opts, const std::string &name,
 inline void
 printPerfRecord(const PerfRecord &r)
 {
-    std::printf("[perf] %-28s workers=%-5d width=%d  %9.1f ms  "
-                "%12.0f events/s  (%llu events, %llu rounds, "
+    std::printf("[perf] %-28s algo=%-8s ecn=%-5s workers=%-5d width=%d  "
+                "%9.1f ms  %12.0f events/s  (%llu events, %llu rounds, "
                 "rss %.0f MiB, sim %.3f s)\n",
-                r.config.c_str(), r.workers, r.width, r.wallMs,
+                r.config.c_str(),
+                r.algorithm.empty() ? "-" : r.algorithm.c_str(),
+                r.ecnMode.c_str(), r.workers, r.width, r.wallMs,
                 r.eventsPerSec, static_cast<unsigned long long>(r.events),
                 static_cast<unsigned long long>(r.rounds), r.peakRssMbNow,
                 r.simSeconds);

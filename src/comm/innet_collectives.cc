@@ -1,0 +1,591 @@
+#include "comm/innet_collectives.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "comm/collective_config.h"
+#include "sim/logging.h"
+#include "sim/span.h"
+
+namespace inc {
+
+namespace {
+
+/** Hop flow-id tags: disjoint from LpFabric::send's (src<<32|counter)
+ *  allocator and from each other, so lossy draw streams never collide.
+ *  The sender node id and chunk index make the id a pure function of
+ *  the transfer's content — fates are independent of event order. */
+constexpr uint64_t kUpFlowTag = 0xAULL << 60;
+constexpr uint64_t kDownFlowTag = 0xBULL << 60;
+
+uint64_t
+hopFlow(uint64_t tag, int node, uint64_t chunk)
+{
+    return tag | (static_cast<uint64_t>(node) << 28) | chunk;
+}
+
+} // namespace
+
+ReductionTree
+buildReductionTree(const Topology &topo, int root)
+{
+    INC_ASSERT(root >= 0 && root < topo.hosts,
+               "reduction root %d is not a host", root);
+    ReductionTree tree;
+    tree.root = root;
+    tree.parent.assign(static_cast<size_t>(topo.nodeCount()), -1);
+    tree.children.assign(static_cast<size_t>(topo.nodeCount()), {});
+
+    // Union of every host's deterministic route to the root. Routing
+    // is per-destination (every node has one successor toward `root`),
+    // so the union is a tree; assert it anyway.
+    for (int h = 0; h < topo.hosts; ++h) {
+        if (h == root)
+            continue;
+        const std::vector<int> path = topo.route(h, root);
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+            const int node = path[i];
+            const int next = path[i + 1];
+            int &p = tree.parent[static_cast<size_t>(node)];
+            if (p == -1)
+                p = next;
+            else
+                INC_ASSERT(p == next,
+                           "routes to host %d do not form a tree: node "
+                           "%d has successors %d and %d",
+                           root, node, p, next);
+        }
+    }
+    // Ascending node ids give every switch its stable fold/broadcast
+    // child order.
+    for (int node = 0; node < topo.nodeCount(); ++node) {
+        const int p = tree.parent[static_cast<size_t>(node)];
+        if (p >= 0)
+            tree.children[static_cast<size_t>(p)].push_back(node);
+    }
+    return tree;
+}
+
+std::vector<float>
+innetReduceValues(const Topology &topo,
+                  const std::vector<std::vector<float>> &inputs, int root)
+{
+    INC_ASSERT(static_cast<int>(inputs.size()) == topo.hosts,
+               "need one input vector per host");
+    const ReductionTree tree = buildReductionTree(topo, root);
+    const size_t elems = inputs[0].size();
+    for (const auto &v : inputs)
+        INC_ASSERT(v.size() == elems, "ragged input vectors");
+
+    // Bottom-up fold in stable (ascending child id) order — the value
+    // mirror of the simulated switch engines.
+    std::function<std::vector<float>(int)> fold =
+        [&](int node) -> std::vector<float> {
+        if (!topo.isSwitch(node)) {
+            INC_ASSERT(node != root, "root host is folded last, not here");
+            return inputs[static_cast<size_t>(node)];
+        }
+        const std::vector<int> &kids =
+            tree.children[static_cast<size_t>(node)];
+        INC_ASSERT(!kids.empty(), "switch %d has no tree children", node);
+        std::vector<float> acc = fold(kids[0]);
+        for (size_t k = 1; k < kids.size(); ++k) {
+            const std::vector<float> v = fold(kids[k]);
+            for (size_t i = 0; i < elems; ++i)
+                acc[i] += v[i];
+        }
+        return acc;
+    };
+
+    const std::vector<int> &rootKids =
+        tree.children[static_cast<size_t>(root)];
+    INC_ASSERT(rootKids.size() == 1,
+               "root host should have exactly one tree child (its edge "
+               "switch), got %zu",
+               rootKids.size());
+    std::vector<float> acc = fold(rootKids[0]);
+    // The root folds its own contribution after the tree's aggregate
+    // arrives — mirror that order exactly.
+    const std::vector<float> &own = inputs[static_cast<size_t>(root)];
+    for (size_t i = 0; i < elems; ++i)
+        acc[i] += own[i];
+    return acc;
+}
+
+// ---------------------------------------------------------------------------
+// LP plane
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Shared state of one LP-mode in-network allreduce. Per-switch and
+ *  per-host slots are touched only from their owner's LP. */
+struct LpInnetCtx
+{
+    LpFabric *fab = nullptr;
+    LpCollectiveConfig cfg{};
+    ReductionTree tree;
+    uint64_t chunks = 0;
+    uint64_t chunkBytes = 0; ///< full-chunk payload granularity
+    bool coded = false;
+    std::vector<Tick> *done = nullptr; ///< per host, owner-LP writes
+
+    struct Parked
+    {
+        uint64_t chunk = 0;
+        Tick when = 0;
+    };
+    struct SwState
+    {
+        std::map<uint64_t, int> open; ///< chunk -> contributions folded
+        std::deque<Parked> waiting;   ///< FIFO, parked for a free slot
+    };
+    std::vector<SwState> sw; ///< indexed node - hosts
+
+    // Root-host progress (root LP only).
+    uint64_t rootGot = 0;
+    Tick rootReady = 0;
+    // Per-host down-phase progress (owner LP only).
+    std::vector<int> hostGot;
+    std::vector<Tick> hostReady;
+
+    uint64_t
+    payloadOf(uint64_t c) const
+    {
+        const uint64_t last = cfg.gradientBytes - (chunks - 1) * chunkBytes;
+        return c + 1 == chunks ? last : chunkBytes;
+    }
+
+    uint64_t
+    wireOf(uint64_t c) const
+    {
+        const uint64_t p = payloadOf(c);
+        if (!coded)
+            return p;
+        const uint64_t w = static_cast<uint64_t>(
+            static_cast<double>(p) / cfg.wireRatio + 0.5);
+        return std::max<uint64_t>(w, 1);
+    }
+};
+
+void lpUpArrive(const std::shared_ptr<LpInnetCtx> &ctx, int node,
+                uint64_t chunk, Tick when);
+void lpDownArrive(const std::shared_ptr<LpInnetCtx> &ctx, int node,
+                  uint64_t chunk, Tick when);
+void lpHostDown(const std::shared_ptr<LpInnetCtx> &ctx, int host,
+                uint64_t chunk, Tick when);
+
+/** Send chunk @p c one tree hop up from @p node (node-LP context). */
+void
+lpSendUp(const std::shared_ptr<LpInnetCtx> &ctx, int node, uint64_t c)
+{
+    const int parent = ctx->tree.parent[static_cast<size_t>(node)];
+    INC_ASSERT(parent >= 0, "node %d has no up direction", node);
+    const uint64_t wire = ctx->wireOf(c);
+    if (parent == ctx->tree.root) {
+        ctx->fab->sendHop(node, parent, wire, ctx->coded,
+                          hopFlow(kUpFlowTag, node, c),
+                          [ctx, c](Tick when) {
+                              // Root host: fold own contribution, then
+                              // start this chunk's down-broadcast.
+                              LpInnetCtx &x = *ctx;
+                              const int root = x.tree.root;
+                              const Tick ready =
+                                  when + x.cfg.perMessageOverhead;
+                              const Tick end = x.fab->host(root).compute(
+                                  ready, sumCost(x.payloadOf(c),
+                                                 x.cfg.sumSecondsPerByte));
+                              x.rootReady = std::max(x.rootReady, end);
+                              if (++x.rootGot == x.chunks)
+                                  (*x.done)[static_cast<size_t>(root)] =
+                                      x.rootReady;
+                              x.fab->atHost(root, end, [ctx, c] {
+                                  const int r = ctx->tree.root;
+                                  const int edge =
+                                      ctx->tree.children[static_cast<
+                                          size_t>(r)][0];
+                                  ctx->fab->sendHop(
+                                      r, edge, ctx->wireOf(c), ctx->coded,
+                                      hopFlow(kDownFlowTag, r, c),
+                                      [ctx, edge, c](Tick t) {
+                                          lpDownArrive(ctx, edge, c, t);
+                                      });
+                              });
+                          });
+        return;
+    }
+    ctx->fab->sendHop(node, parent, wire, ctx->coded,
+                      hopFlow(kUpFlowTag, node, c),
+                      [ctx, parent, c](Tick when) {
+                          lpUpArrive(ctx, parent, c, when);
+                      });
+}
+
+/** Fold one arrived contribution (switch-LP context); assumes a slot
+ *  is held or available. */
+void
+lpFold(const std::shared_ptr<LpInnetCtx> &ctx, int node, uint64_t chunk,
+       Tick when)
+{
+    LpInnetCtx &x = *ctx;
+    LpFabric &fab = *x.fab;
+    SwitchAggEngine &eng = fab.aggEngine(node);
+    LpInnetCtx::SwState &st =
+        x.sw[static_cast<size_t>(node - fab.topology().hosts)];
+
+    auto it = st.open.find(chunk);
+    if (it == st.open.end()) {
+        const bool ok = eng.tryAcquireSlot(x.payloadOf(chunk));
+        INC_ASSERT(ok, "lpFold without a free slot");
+        it = st.open.emplace(chunk, 0).first;
+    }
+    const Tick fwdReady = std::max(
+        when + fab.config().switchConfig.forwardingLatency,
+        fab.nodeNow(node));
+    const Tick foldEnd =
+        eng.fold(fwdReady, x.payloadOf(chunk), x.coded);
+    fab.noteAgg(node, fwdReady, foldEnd, static_cast<int>(chunk),
+                x.payloadOf(chunk));
+
+    const size_t expected =
+        x.tree.children[static_cast<size_t>(node)].size();
+    if (static_cast<size_t>(++it->second) < expected)
+        return;
+
+    // Last contribution folded: read out, release the slot, forward
+    // up, and drain arrivals parked for a slot — all at the readout's
+    // completion tick.
+    st.open.erase(it);
+    const Tick fwdEnd = eng.forward(foldEnd, x.wireOf(chunk), x.coded);
+    fab.atNode(node, fwdEnd, [ctx, node, chunk] {
+        LpInnetCtx &y = *ctx;
+        LpFabric &f = *y.fab;
+        f.aggEngine(node).releaseSlot();
+        lpSendUp(ctx, node, chunk);
+        LpInnetCtx::SwState &s =
+            y.sw[static_cast<size_t>(node - f.topology().hosts)];
+        while (!s.waiting.empty()) {
+            const LpInnetCtx::Parked p = s.waiting.front();
+            const bool isOpen = s.open.count(p.chunk) != 0;
+            if (!isOpen && f.aggEngine(node).freeSlots() == 0)
+                break;
+            s.waiting.pop_front();
+            lpFold(ctx, node, p.chunk, p.when);
+        }
+    });
+}
+
+void
+lpUpArrive(const std::shared_ptr<LpInnetCtx> &ctx, int node,
+           uint64_t chunk, Tick when)
+{
+    LpInnetCtx &x = *ctx;
+    LpFabric &fab = *x.fab;
+    SwitchAggEngine &eng = fab.aggEngine(node);
+    LpInnetCtx::SwState &st =
+        x.sw[static_cast<size_t>(node - fab.topology().hosts)];
+    if (st.open.count(chunk) == 0 && eng.freeSlots() == 0) {
+        eng.noteSlotWait();
+        st.waiting.push_back({chunk, when});
+        return;
+    }
+    lpFold(ctx, node, chunk, when);
+}
+
+void
+lpDownArrive(const std::shared_ptr<LpInnetCtx> &ctx, int node,
+             uint64_t chunk, Tick when)
+{
+    // Replication is the ordinary multicast datapath: forwarding
+    // latency only, no engine charge. Children in ascending id order.
+    LpFabric &fab = *ctx->fab;
+    const Tick fwd = std::max(
+        when + fab.config().switchConfig.forwardingLatency,
+        fab.nodeNow(node));
+    fab.atNode(node, fwd, [ctx, node, chunk] {
+        for (const int child :
+             ctx->tree.children[static_cast<size_t>(node)]) {
+            if (ctx->fab->isHost(child)) {
+                ctx->fab->sendHop(node, child, ctx->wireOf(chunk),
+                                  ctx->coded,
+                                  hopFlow(kDownFlowTag, node, chunk),
+                                  [ctx, child, chunk](Tick t) {
+                                      lpHostDown(ctx, child, chunk, t);
+                                  });
+            } else {
+                ctx->fab->sendHop(node, child, ctx->wireOf(chunk),
+                                  ctx->coded,
+                                  hopFlow(kDownFlowTag, node, chunk),
+                                  [ctx, child, chunk](Tick t) {
+                                      lpDownArrive(ctx, child, chunk, t);
+                                  });
+            }
+        }
+    });
+}
+
+void
+lpHostDown(const std::shared_ptr<LpInnetCtx> &ctx, int host,
+           uint64_t chunk, Tick when)
+{
+    (void)chunk;
+    LpInnetCtx &x = *ctx;
+    const Tick ready = when + x.cfg.perMessageOverhead;
+    x.hostReady[static_cast<size_t>(host)] =
+        std::max(x.hostReady[static_cast<size_t>(host)], ready);
+    if (static_cast<uint64_t>(++x.hostGot[static_cast<size_t>(host)]) ==
+        x.chunks)
+        (*x.done)[static_cast<size_t>(host)] =
+            x.hostReady[static_cast<size_t>(host)];
+}
+
+} // namespace
+
+void
+seedInnetLpAllreduce(LpFabric &fabric, const LpCollectiveConfig &config,
+                     std::vector<Tick> *done)
+{
+    INC_ASSERT(config.gradientBytes > 0, "empty gradient");
+    INC_ASSERT(fabric.config().switchAgg.slots > 0,
+               "in-network allreduce needs aggregation slots "
+               "(LpFabricConfig::switchAgg)");
+    auto ctx = std::make_shared<LpInnetCtx>();
+    ctx->fab = &fabric;
+    ctx->cfg = config;
+    ctx->tree = buildReductionTree(fabric.topology(), 0);
+    ctx->coded = config.compressGradients &&
+                 fabric.config().nic.hasCompressionEngine;
+    ctx->chunkBytes = std::min(fabric.config().segmentBytes,
+                               fabric.config().switchAgg.slotBytes);
+    ctx->chunks =
+        (config.gradientBytes + ctx->chunkBytes - 1) / ctx->chunkBytes;
+    ctx->done = done;
+    ctx->sw.resize(static_cast<size_t>(fabric.topology().switches));
+    ctx->hostGot.assign(static_cast<size_t>(fabric.nodes()), 0);
+    ctx->hostReady.assign(static_cast<size_t>(fabric.nodes()), 0);
+
+    // Every non-root host streams its chunks up the tree; TX-resource
+    // busy-until serializes the stream per host.
+    for (int h = 0; h < fabric.nodes(); ++h) {
+        if (h == ctx->tree.root)
+            continue;
+        fabric.atHost(h, 0, [ctx, h] {
+            for (uint64_t c = 0; c < ctx->chunks; ++c)
+                lpSendUp(ctx, h, c);
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serial star plane
+// ---------------------------------------------------------------------------
+
+InnetStarRun::InnetStarRun(Network &net, InnetStarConfig config)
+    : net_(&net), cfg_(config), engine_(config.agg)
+{
+    INC_ASSERT(cfg_.gradientBytes > 0, "empty gradient");
+    INC_ASSERT(cfg_.agg.slots > 0,
+               "in-network allreduce needs aggregation slots");
+    INC_ASSERT(net.config().hostsPerRack == 0,
+               "InnetStarRun drives the single-switch star only");
+    chunkBytes_ = cfg_.chunkBytes ? cfg_.chunkBytes
+                                  : net.config().segmentBytes;
+    chunkBytes_ = std::min(chunkBytes_, cfg_.agg.slotBytes);
+    chunks_ = (cfg_.gradientBytes + chunkBytes_ - 1) / chunkBytes_;
+    hostGot_.assign(static_cast<size_t>(net.nodes()), 0);
+    hostDone_.assign(static_cast<size_t>(net.nodes()), 0);
+}
+
+uint64_t
+InnetStarRun::chunkPayload(uint64_t c) const
+{
+    const uint64_t last =
+        cfg_.gradientBytes - (chunks_ - 1) * chunkBytes_;
+    return c + 1 == chunks_ ? last : chunkBytes_;
+}
+
+uint64_t
+InnetStarRun::chunkWireBytes(uint64_t c) const
+{
+    const uint64_t p = chunkPayload(c);
+    if (!cfg_.coded)
+        return p;
+    const uint64_t w = static_cast<uint64_t>(
+        static_cast<double>(p) / cfg_.wireRatio + 0.5);
+    return std::max<uint64_t>(w, 1);
+}
+
+void
+InnetStarRun::start()
+{
+    if (auto *sp = spans::active()) {
+        iterSpan_ = sp->open(spans::Kind::Iteration, -1, cfg_.startAt, 0,
+                             0, "innet_iteration");
+        exchSpan_ = sp->open(spans::Kind::Exchange, -1, cfg_.startAt,
+                             iterSpan_, 0, "innet_star");
+    }
+    for (int h = 0; h < net_->nodes(); ++h) {
+        net_->events().schedule(cfg_.startAt, [this, h] {
+            // Stream every chunk; the TX driver resource and the
+            // uplink's busy-until serialize the pipeline, as on the
+            // LpFabric hop path.
+            Host &host = net_->host(h);
+            const bool coded =
+                cfg_.coded && host.nic().config().hasCompressionEngine;
+            for (uint64_t c = 0; c < chunks_; ++c) {
+                const SegmentMeta meta = host.nic().planTx(
+                    chunkWireBytes(c), kDefaultTos, 1.0);
+                const Tick txTotal = host.nic().txHostCost(meta);
+                const Tick txEnd =
+                    host.occupyTx(net_->events().now(), txTotal);
+                Tick ready = txEnd - txTotal +
+                             host.nic().config().perPacketTxCost;
+                if (coded)
+                    ready += host.nic().engineLatency();
+                Tick start = 0;
+                const Tick atSwitch = net_->uplink(h).transmit(
+                    ready, meta.wireBits(net_->mtu()), &start);
+                uint64_t hopSpan = 0;
+                if (auto *sp = spans::active())
+                    hopSpan = sp->record(
+                        spans::Kind::Hop, h, start, atSwitch, exchSpan_,
+                        0, "innet_up.h" + std::to_string(h));
+                net_->events().schedule(
+                    atSwitch, [this, h, c, atSwitch, hopSpan] {
+                        arrive(h, c, atSwitch, hopSpan);
+                    });
+            }
+        });
+    }
+}
+
+void
+InnetStarRun::arrive(int host, uint64_t chunk, Tick when,
+                     uint64_t causeSpan)
+{
+    if (open_.count(chunk) == 0 && engine_.freeSlots() == 0) {
+        engine_.noteSlotWait();
+        waiting_.push_back({host, chunk, when, causeSpan});
+        return;
+    }
+    foldOne(host, chunk, when, causeSpan);
+}
+
+void
+InnetStarRun::foldOne(int host, uint64_t chunk, Tick when,
+                      uint64_t causeSpan)
+{
+    auto it = open_.find(chunk);
+    if (it == open_.end()) {
+        const bool ok = engine_.tryAcquireSlot(chunkPayload(chunk));
+        INC_ASSERT(ok, "foldOne without a free slot");
+        it = open_.emplace(chunk, 0).first;
+    }
+    const Tick fwdReady =
+        std::max(net_->fabric().readyToForward(when),
+                 net_->events().now());
+    net_->fabric().noteForward();
+    const Tick foldEnd =
+        engine_.fold(fwdReady, chunkPayload(chunk), cfg_.coded);
+    uint64_t foldSpan = 0;
+    if (auto *sp = spans::active())
+        foldSpan = sp->record(spans::Kind::SwitchAgg, -1, fwdReady,
+                              foldEnd, exchSpan_, causeSpan,
+                              "agg_fold.c" + std::to_string(chunk) +
+                                  ".h" + std::to_string(host));
+
+    if (++it->second < net_->nodes())
+        return;
+
+    // Every contribution folded: read out (re-encode when coded),
+    // then broadcast and free the slot at the readout's end.
+    open_.erase(it);
+    const Tick fwdEnd =
+        engine_.forward(foldEnd, chunkWireBytes(chunk), cfg_.coded);
+    uint64_t fwdSpan = 0;
+    if (auto *sp = spans::active())
+        fwdSpan = sp->record(spans::Kind::SwitchAgg, -1, foldEnd, fwdEnd,
+                             exchSpan_, foldSpan,
+                             "agg_forward.c" + std::to_string(chunk));
+    net_->events().schedule(fwdEnd, [this, chunk, fwdEnd, fwdSpan] {
+        engine_.releaseSlot();
+        broadcast(chunk, fwdEnd, fwdSpan);
+        while (!waiting_.empty()) {
+            const Parked p = waiting_.front();
+            const bool isOpen = open_.count(p.chunk) != 0;
+            if (!isOpen && engine_.freeSlots() == 0)
+                break;
+            waiting_.pop_front();
+            foldOne(p.host, p.chunk, p.when, p.causeSpan);
+        }
+    });
+}
+
+void
+InnetStarRun::broadcast(uint64_t chunk, Tick when, uint64_t causeSpan)
+{
+    SegmentMeta meta;
+    meta.payloadBytes = chunkWireBytes(chunk);
+    meta.wirePayloadBytes = chunkWireBytes(chunk);
+    for (int h = 0; h < net_->nodes(); ++h) {
+        Tick start = 0;
+        const Tick atHost = net_->downlink(h).transmit(
+            when, meta.wireBits(net_->mtu()), &start);
+        uint64_t hopSpan = 0;
+        if (auto *sp = spans::active())
+            hopSpan = sp->record(spans::Kind::Hop, h, start, atHost,
+                                 exchSpan_, causeSpan,
+                                 "innet_down.h" + std::to_string(h));
+        net_->events().schedule(atHost, [this, h, chunk, atHost,
+                                         hopSpan] {
+            deliver(h, chunk, atHost, hopSpan);
+        });
+    }
+}
+
+void
+InnetStarRun::deliver(int host, uint64_t chunk, Tick when,
+                      uint64_t causeSpan)
+{
+    (void)chunk;
+    Host &hostRef = net_->host(host);
+    Tick ready = when;
+    if (cfg_.coded && hostRef.nic().config().hasCompressionEngine)
+        ready += hostRef.nic().engineLatency();
+    ready += hostRef.nic().config().perPacketRxCost;
+    const Tick done = ready + cfg_.perMessageOverhead;
+    if (auto *sp = spans::active())
+        sp->record(spans::Kind::MsgOverhead, host, ready, done,
+                   exchSpan_, causeSpan,
+                   "innet_ovh.h" + std::to_string(host));
+    hostDone_[static_cast<size_t>(host)] =
+        std::max(hostDone_[static_cast<size_t>(host)], done);
+    if (++hostGot_[static_cast<size_t>(host)] ==
+        static_cast<int>(chunks_)) {
+        ++hostsComplete_;
+        if (hostsComplete_ == net_->nodes()) {
+            finish_ = 0;
+            for (const Tick t : hostDone_)
+                finish_ = std::max(finish_, t);
+            if (auto *sp = spans::active()) {
+                sp->close(exchSpan_, finish_);
+                sp->close(iterSpan_, finish_);
+            }
+        }
+    }
+}
+
+InnetStarResult
+InnetStarRun::result() const
+{
+    INC_ASSERT(finished(), "result() before the run completed");
+    InnetStarResult r;
+    r.hostDone = hostDone_;
+    r.finish = finish_;
+    r.agg = engine_.stats();
+    r.chunks = chunks_;
+    return r;
+}
+
+} // namespace inc

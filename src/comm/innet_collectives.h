@@ -1,0 +1,188 @@
+/**
+ * @file
+ * In-network aggregation collectives (SHARP-style switch reduction).
+ *
+ * Instead of host-side ring/tree exchanges, gradient chunks stream
+ * *into the fabric*: a reduction tree is built over the physical
+ * topology (the union of every host's deterministic route to the root
+ * host is a tree under per-destination ECMP routing), interior
+ * switches fold arriving child contributions into aggregation-engine
+ * slots (net/switch_agg.h), and only the aggregated chunk continues
+ * toward the root; the result streams back down the same tree. Coded
+ * payloads (INCEPTIONN wire form) are decoded before the fold and
+ * re-encoded before forwarding, with the codec datapath charged to the
+ * switch engine — aggregate-after-decode.
+ *
+ * Three coupled planes, same tree, same stable (ascending child id)
+ * merge order:
+ *  - the LP schedule plane: runLpAllreduce(LpAlgorithm::InNetwork)
+ *    dispatches here; per-node FSMs on net/lp_fabric.h, bit-identical
+ *    for every INC_THREADS and invariant-tier stable under
+ *    INC_EQ_SHUFFLE (chunk flow ids are content-derived, so lossy
+ *    fates never depend on same-tick processing order);
+ *  - the value plane: innetReduceValues() folds real float vectors in
+ *    the identical tree order, for bit-level equivalence tests against
+ *    the host-side collectives;
+ *  - the serial star plane: InnetStarRun drives the classic Network's
+ *    links/switch with full causal-span capture (Kind::SwitchAgg), so
+ *    inc_critpath can attribute switch-aggregation blame and the
+ *    contention benches can share the fabric with background
+ *    ReliableChannel traffic.
+ */
+
+#ifndef INCEPTIONN_COMM_INNET_COLLECTIVES_H
+#define INCEPTIONN_COMM_INNET_COLLECTIVES_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "comm/lp_collectives.h"
+#include "net/network.h"
+#include "net/switch_agg.h"
+#include "net/topology.h"
+
+namespace inc {
+
+/**
+ * The reduction tree: parent pointers toward @c root (a host) and
+ * per-node children lists in ascending node id — the deterministic
+ * merge order of every fold. Nodes outside every root-ward route have
+ * parent -1 and take no part.
+ */
+struct ReductionTree
+{
+    int root = 0;
+    std::vector<int> parent;                ///< per node; -1 = none
+    std::vector<std::vector<int>> children; ///< per node, ascending
+
+    bool
+    participates(int node) const
+    {
+        return node == root ||
+               parent[static_cast<size_t>(node)] >= 0;
+    }
+};
+
+/**
+ * Build the reduction tree of @p topo rooted at host @p root: the
+ * union of route(h, root) over all hosts. Panics if the routes do not
+ * form a tree (they do for every generator in net/topology.h, whose
+ * up-path choices are per-destination deterministic).
+ */
+ReductionTree buildReductionTree(const Topology &topo, int root = 0);
+
+/**
+ * Run one in-network allreduce over @p fabric (the LP plane). Usually
+ * reached via runLpAllreduce with LpAlgorithm::InNetwork. Seeds FSMs
+ * at tick 0 and fills @p done (size = hosts) with each host's
+ * completion tick, written from that host's own LP. Requires
+ * fabric.config().switchAgg.slots > 0.
+ */
+void seedInnetLpAllreduce(LpFabric &fabric,
+                          const LpCollectiveConfig &config,
+                          std::vector<Tick> *done);
+
+/**
+ * The value plane: fold @p inputs (one float vector per host, equal
+ * lengths) through the reduction tree of @p topo in the same stable
+ * child order the simulated collective uses, adding the root host's
+ * own contribution last. @return the aggregated vector every host
+ * would hold. With dyadic-rational gradients every summation order is
+ * exact, so this must be bit-identical to the host-side ring schedule
+ * (tests/comm/innet_test.cc).
+ */
+std::vector<float>
+innetReduceValues(const Topology &topo,
+                  const std::vector<std::vector<float>> &inputs,
+                  int root = 0);
+
+/** Parameters of one serial star-fabric in-network allreduce. */
+struct InnetStarConfig
+{
+    uint64_t gradientBytes = 0;
+    /** Chunk granularity; 0 = the network's segmentBytes. Must fit the
+     *  engine's slotBytes. */
+    uint64_t chunkBytes = 0;
+    /** Ship INCEPTIONN-coded chunks (decode-at-switch). */
+    bool coded = false;
+    /** Codec ratio (payload/wire) for coded chunks. */
+    double wireRatio = 1.0;
+    /** Fixed software cost per received chunk at a host. */
+    Tick perMessageOverhead = 1500 * kMicrosecond;
+    /** The switch's aggregation engine. */
+    SwitchAggConfig agg{};
+    /** Tick the hosts start streaming. */
+    Tick startAt = 0;
+};
+
+/** Outcome of one serial in-network allreduce. */
+struct InnetStarResult
+{
+    std::vector<Tick> hostDone; ///< per host, full result received
+    Tick finish = 0;            ///< slowest host
+    SwitchAggStats agg{};       ///< engine counters of the run
+    uint64_t chunks = 0;
+};
+
+/**
+ * Serial in-network allreduce over the classic single-switch Network:
+ * every host streams chunks up its cable, the switch engine folds all
+ * n contributions per chunk and broadcasts the aggregate down every
+ * cable. Runs on the Network's EventQueue alongside any other traffic
+ * (background ReliableChannel flows contend on the same links), and
+ * emits causal spans (Iteration > Exchange > Hop/SwitchAgg/
+ * MsgOverhead) when span tracing is enabled. start() seeds the
+ * events; read result() after the queue drained.
+ */
+class InnetStarRun
+{
+  public:
+    InnetStarRun(Network &net, InnetStarConfig config);
+
+    /** Seed the host streams; the caller drives the EventQueue. */
+    void start();
+
+    /** True once every host holds every aggregated chunk. */
+    bool finished() const { return hostsComplete_ == net_->nodes(); }
+
+    /** Valid once finished(). */
+    InnetStarResult result() const;
+
+    const SwitchAggEngine &engine() const { return engine_; }
+
+  private:
+    struct Parked
+    {
+        int host = 0;
+        uint64_t chunk = 0;
+        Tick when = 0;
+        uint64_t causeSpan = 0;
+    };
+
+    uint64_t chunkPayload(uint64_t c) const;
+    uint64_t chunkWireBytes(uint64_t c) const;
+    void arrive(int host, uint64_t chunk, Tick when, uint64_t causeSpan);
+    void foldOne(int host, uint64_t chunk, Tick when, uint64_t causeSpan);
+    void broadcast(uint64_t chunk, Tick when, uint64_t causeSpan);
+    void deliver(int host, uint64_t chunk, Tick when, uint64_t causeSpan);
+
+    Network *net_;
+    InnetStarConfig cfg_;
+    SwitchAggEngine engine_;
+    uint64_t chunks_ = 0;
+    uint64_t chunkBytes_ = 0;
+    std::map<uint64_t, int> open_;  ///< chunk -> contributions folded
+    std::deque<Parked> waiting_;    ///< arrivals parked for a slot
+    std::vector<int> hostGot_;      ///< aggregated chunks per host
+    std::vector<Tick> hostDone_;
+    int hostsComplete_ = 0;
+    Tick finish_ = 0;
+    uint64_t iterSpan_ = 0;
+    uint64_t exchSpan_ = 0;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_COMM_INNET_COLLECTIVES_H

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "comm/collective_config.h"
+#include "comm/innet_collectives.h"
 #include "sim/logging.h"
 
 namespace inc {
@@ -19,6 +20,8 @@ lpAlgorithmName(LpAlgorithm algorithm)
         return "tree";
     case LpAlgorithm::HierRing:
         return "hier_ring";
+    case LpAlgorithm::InNetwork:
+        return "innet";
     }
     return "?";
 }
@@ -324,6 +327,9 @@ runLpAllreduce(LpFabric &fabric, const LpCollectiveConfig &config)
     case LpAlgorithm::HierRing:
         startHierRing(run);
         break;
+    case LpAlgorithm::InNetwork:
+        seedInnetLpAllreduce(fabric, config, &run->done);
+        break;
     }
 
     LpAllreduceResult result;
@@ -334,6 +340,8 @@ runLpAllreduce(LpFabric &fabric, const LpCollectiveConfig &config)
         INC_ASSERT(t > 0, "a host never completed the allreduce");
         result.finish = std::max(result.finish, t);
     }
+    result.retransmittedPackets = fabric.retransmittedPackets();
+    result.packetsDropped = fabric.faultTotals().drops();
     return result;
 }
 

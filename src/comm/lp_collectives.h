@@ -26,7 +26,7 @@
 namespace inc {
 
 /** Exchange pattern to run. */
-enum class LpAlgorithm { Star, Ring, Tree, HierRing };
+enum class LpAlgorithm { Star, Ring, Tree, HierRing, InNetwork };
 
 /** Stable name for reports and CI matrices. */
 const char *lpAlgorithmName(LpAlgorithm algorithm);
@@ -60,6 +60,10 @@ struct LpAllreduceResult
     uint64_t events = 0;
     /** Conservative rounds the scheduler went through. */
     uint64_t rounds = 0;
+    /** Packets re-shipped by selective repeat (lossy fabrics only). */
+    uint64_t retransmittedPackets = 0;
+    /** Packets the fault model dropped (lossy fabrics only). */
+    uint64_t packetsDropped = 0;
 };
 
 /**

@@ -73,6 +73,13 @@ struct DatagramResult
     uint64_t packetCount = 0;
     /** Sequence numbers judged lost (sorted, subset of the flight). */
     std::vector<uint64_t> lostSeqs;
+    /**
+     * Delivered packets that crossed a congested switch queue and were
+     * CE-marked (sorted, disjoint from lostSeqs). Empty unless the
+     * fabric's ECN marking threshold is enabled
+     * (SwitchConfig::ecnThresholdPackets).
+     */
+    std::vector<uint64_t> ecnSeqs;
 };
 
 class TimelineRecorder;

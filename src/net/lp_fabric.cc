@@ -14,6 +14,7 @@ constexpr uint8_t kTraceHop = 1;
 constexpr uint8_t kTraceRx = 2;
 constexpr uint8_t kTraceDeliver = 3;
 constexpr uint8_t kTraceRetry = 4;
+constexpr uint8_t kTraceAgg = 5;
 
 uint64_t
 packetWireBits(uint64_t mtu)
@@ -57,8 +58,12 @@ LpFabric::LpFabric(Topology topo, LpFabricConfig config, int threads)
     for (int i = 0; i < topo_.hosts; ++i)
         hosts_.push_back(std::make_unique<Host>(i, config_.nic));
     switches_.reserve(static_cast<size_t>(topo_.switches));
-    for (int s = 0; s < topo_.switches; ++s)
+    aggEngines_.reserve(static_cast<size_t>(topo_.switches));
+    for (int s = 0; s < topo_.switches; ++s) {
         switches_.push_back(std::make_unique<Switch>(config_.switchConfig));
+        aggEngines_.push_back(
+            std::make_unique<SwitchAggEngine>(config_.switchAgg));
+    }
     links_.reserve(topo_.links.size());
     for (const TopoLink &l : topo_.links)
         links_.push_back(std::make_unique<Link>(
@@ -67,6 +72,7 @@ LpFabric::LpFabric(Topology topo, LpFabricConfig config, int threads)
     traces_.resize(static_cast<size_t>(plan_.lpCount));
     delivered_.assign(static_cast<size_t>(topo_.hosts), 0);
     flowSeq_.assign(static_cast<size_t>(topo_.hosts), 0);
+    resent_.assign(static_cast<size_t>(topo_.hosts + topo_.switches), 0);
     if (config_.lossy) {
         // Stateless draws only: the Gilbert-Elliott chain mutates
         // per-link state in judgment order, which has no deterministic
@@ -80,8 +86,11 @@ LpFabric::LpFabric(Topology topo, LpFabricConfig config, int threads)
                        "LP fabric cannot run stateful Gilbert-Elliott "
                        "loss");
         }
-        faults_.reserve(static_cast<size_t>(topo_.hosts));
-        for (int i = 0; i < topo_.hosts; ++i)
+        // One shard per node (not just per host): the innet hop path
+        // judges switch-sourced down-hops on the sending switch's LP.
+        faults_.reserve(
+            static_cast<size_t>(topo_.hosts + topo_.switches));
+        for (int i = 0; i < topo_.hosts + topo_.switches; ++i)
             faults_.push_back(std::make_unique<FaultModel>(config_.faults));
     }
 }
@@ -101,6 +110,29 @@ LpFabric::atHost(int i, Tick when, std::function<void()> fn)
 {
     INC_ASSERT(i >= 0 && i < topo_.hosts, "bad host %d", i);
     sched_->schedule(lpOfNode(i), when, std::move(fn));
+}
+
+void
+LpFabric::atNode(int node, Tick when, std::function<void()> fn)
+{
+    INC_ASSERT(node >= 0 && node < topo_.hosts + topo_.switches,
+               "bad node %d", node);
+    sched_->schedule(lpOfNode(node), when, std::move(fn));
+}
+
+Tick
+LpFabric::nodeNow(int node) const
+{
+    return sched_->now(lpOfNode(node));
+}
+
+void
+LpFabric::noteAgg(int node, Tick t0, Tick t1, int src, uint64_t bytes)
+{
+    const int lp = lpOfNode(node);
+    INC_ASSERT(sched_->currentLp() == lp,
+               "noteAgg() must run on node %d's LP", node);
+    trace(lp, kTraceAgg, t0, t1, src, node, bytes);
 }
 
 void
@@ -360,6 +392,7 @@ LpFabric::shipLossy(int src, int dst, std::vector<uint64_t> seqs,
                                lostMeta.wireBits(config_.nic.mtu));
         const Tick retryAt = now + rtt;
         trace(lp, kTraceRetry, now, retryAt, src, dst, lost.size());
+        resent_[static_cast<size_t>(src)] += lost.size();
         sched_->schedule(
             lp, retryAt,
             [this, src, dst, lost = std::move(lost), tailBytes, lastSeq,
@@ -367,6 +400,170 @@ LpFabric::shipLossy(int src, int dst, std::vector<uint64_t> seqs,
                 shipLossy(src, dst, std::move(lost), tailBytes, lastSeq,
                           attempt + 1, flowId, tos, wireRatio,
                           std::move(cb));
+            });
+    }
+}
+
+void
+LpFabric::sendHop(int src, int dst, uint64_t payloadBytes, bool coded,
+                  uint64_t flowId, std::function<void(Tick)> onArrive)
+{
+    const int n = topo_.hosts + topo_.switches;
+    INC_ASSERT(src >= 0 && src < n && dst >= 0 && dst < n && src != dst,
+               "bad hop %d->%d", src, dst);
+    INC_ASSERT(topo_.linkIndex(src, dst) >= 0,
+               "hop %d->%d is not a fabric link", src, dst);
+    INC_ASSERT(payloadBytes > 0, "empty hop");
+    INC_ASSERT(sched_->currentLp() == lpOfNode(src),
+               "sendHop() must run on the source node's LP (src=%d lp=%d)",
+               src, sched_->currentLp());
+    auto cb = std::make_shared<std::function<void(Tick)>>(
+        std::move(onArrive));
+
+    if (config_.lossy) {
+        const uint64_t mss = mssFor(config_.nic.mtu);
+        const uint64_t packets = packetsFor(payloadBytes, config_.nic.mtu);
+        const uint64_t tail = payloadBytes - (packets - 1) * mss;
+        std::vector<uint64_t> seqs(packets);
+        for (uint64_t s = 0; s < packets; ++s)
+            seqs[s] = s;
+        hopLossy(src, dst, std::move(seqs), tail, packets - 1, 0, flowId,
+                 coded, std::move(cb));
+        return;
+    }
+    hopShip(src, dst, payloadBytes, coded, std::move(cb));
+}
+
+void
+LpFabric::hopShip(int src, int dst, uint64_t payloadBytes, bool coded,
+                  std::shared_ptr<std::function<void(Tick)>> cb)
+{
+    const int lp = lpOfNode(src);
+    const Tick now = sched_->now(lp);
+    const int linkIdx = topo_.linkIndex(src, dst);
+    INC_ASSERT(linkIdx >= 0, "no link %d->%d", src, dst);
+    Link &link = linkAt(linkIdx);
+
+    const uint64_t packets = packetsFor(payloadBytes, config_.nic.mtu);
+    uint64_t wireBits =
+        (payloadBytes + packets * (kHeaderBytes + kFramingBytes)) * 8;
+    Tick ready = now;
+    if (isHost(src)) {
+        // The hop payload already *is* the wire form (coded chunks stay
+        // coded on the wire); the NIC charges driver/DMA cost plus, for
+        // coded chunks, the engine pipeline latency.
+        const SegmentMeta meta =
+            host(src).nic().planTx(payloadBytes, kDefaultTos, 1.0);
+        const Tick txTotal = host(src).nic().txHostCost(meta);
+        const Tick txEnd = host(src).occupyTx(now, txTotal);
+        const Tick txStart = txEnd - txTotal;
+        ready = txStart + config_.nic.perPacketTxCost;
+        if (coded && config_.nic.hasCompressionEngine)
+            ready += host(src).nic().engineLatency();
+        wireBits = meta.wireBits(config_.nic.mtu);
+        trace(lp, kTraceTx, txStart, ready, src, dst, payloadBytes);
+    } else {
+        switchAt(src).noteForward();
+    }
+
+    Tick start = 0;
+    const Tick atNext = link.transmit(ready, wireBits, &start);
+    trace(lp, kTraceHop, start, atNext, src, dst, wireBits / 8);
+
+    const int dlp = lpOfNode(dst);
+    Tick fireAt = atNext;
+    if (dlp != lp)
+        fireAt = std::max(fireAt, now + plan_.lookahead);
+    sched_->schedule(dlp, fireAt, [this, src, dst, dlp, payloadBytes,
+                                   coded, atNext, cb = std::move(cb)] {
+        if (!isHost(dst)) {
+            if (cb && *cb)
+                (*cb)(atNext);
+            return;
+        }
+        // Host destination: RX engine + driver, as in hopArrive().
+        Tick rxReady = atNext;
+        if (coded && config_.nic.hasCompressionEngine)
+            rxReady += host(dst).nic().engineLatency();
+        SegmentMeta meta;
+        meta.payloadBytes = payloadBytes;
+        meta.wirePayloadBytes = payloadBytes;
+        (void)host(dst).nic().rxHostCost(meta);
+        Tick deliveredAt = rxReady + config_.nic.perPacketRxCost;
+        deliveredAt = std::max(deliveredAt, sched_->now(dlp));
+        trace(dlp, kTraceRx, atNext, deliveredAt, src, dst, payloadBytes);
+        delivered_[static_cast<size_t>(dst)] += payloadBytes;
+        if (cb && *cb)
+            (*cb)(deliveredAt);
+    });
+}
+
+void
+LpFabric::hopLossy(int src, int dst, std::vector<uint64_t> seqs,
+                   uint64_t tailBytes, uint64_t lastSeq, uint32_t attempt,
+                   uint64_t flowId, bool coded,
+                   std::shared_ptr<std::function<void(Tick)>> cb)
+{
+    INC_ASSERT(attempt < config_.maxAttempts,
+               "hop flow %llu gave up after %u attempts",
+               static_cast<unsigned long long>(flowId), attempt);
+    const int lp = lpOfNode(src);
+    const Tick now = sched_->now(lp);
+    const uint64_t mss = mssFor(config_.nic.mtu);
+    FaultModel &fm = *faults_[static_cast<size_t>(src)];
+
+    // Only host cables carry fault profiles (as on the classic path);
+    // judged on the sender's shard with draw keys from the caller's
+    // content-derived flowId, so fates are independent of same-tick
+    // processing order at the switches.
+    std::vector<uint64_t> lost;
+    uint64_t survivorPayload = 0;
+    size_t survivors = 0;
+    for (const uint64_t s : seqs) {
+        bool drop = false;
+        if (isHost(src))
+            drop = isDrop(
+                fm.judge(src, LinkDir::Up, now, flowId, s, attempt));
+        if (!drop && isHost(dst))
+            drop = isDrop(
+                fm.judge(dst, LinkDir::Down, now, flowId, s, attempt));
+        if (drop) {
+            lost.push_back(s);
+            continue;
+        }
+        ++survivors;
+        survivorPayload += s == lastSeq ? tailBytes : mss;
+    }
+
+    if (survivors > 0)
+        hopShip(src, dst, survivorPayload, coded,
+                lost.empty() ? cb : nullptr);
+    if (!lost.empty()) {
+        uint64_t lostPayload = 0;
+        for (const uint64_t s : lost)
+            lostPayload += s == lastSeq ? tailBytes : mss;
+        const uint64_t lostPackets =
+            packetsFor(lostPayload, config_.nic.mtu);
+        const uint64_t wireBits =
+            (lostPayload + lostPackets * (kHeaderBytes + kFramingBytes)) *
+            8;
+        const TopoLink &l = topo_.link(topo_.linkIndex(src, dst));
+        const Tick ser = static_cast<Tick>(
+            static_cast<double>(wireBits) / l.bitsPerSecond *
+            static_cast<double>(kSecond));
+        const Tick bound = ser + l.latency +
+                           config_.switchConfig.forwardingLatency +
+                           config_.nic.perPacketTxCost +
+                           config_.nic.perPacketRxCost;
+        const Tick retryAt = now + 2 * bound;
+        trace(lp, kTraceRetry, now, retryAt, src, dst, lost.size());
+        resent_[static_cast<size_t>(src)] += lost.size();
+        sched_->schedule(
+            lp, retryAt,
+            [this, src, dst, lost = std::move(lost), tailBytes, lastSeq,
+             attempt, flowId, coded, cb]() mutable {
+                hopLossy(src, dst, std::move(lost), tailBytes, lastSeq,
+                         attempt + 1, flowId, coded, std::move(cb));
             });
     }
 }
@@ -392,6 +589,33 @@ LpFabric::faultTotals() const
         total.corruptions += s.corruptions;
         total.outageDrops += s.outageDrops;
         total.queueDrops += s.queueDrops;
+    }
+    return total;
+}
+
+uint64_t
+LpFabric::retransmittedPackets() const
+{
+    uint64_t total = 0;
+    for (const uint64_t n : resent_)
+        total += n;
+    return total;
+}
+
+SwitchAggStats
+LpFabric::aggTotals() const
+{
+    SwitchAggStats total;
+    for (const auto &e : aggEngines_) {
+        const SwitchAggStats &s = e->stats();
+        total.folds += s.folds;
+        total.foldedBytes += s.foldedBytes;
+        total.codecBytes += s.codecBytes;
+        total.cycles += s.cycles;
+        total.forwards += s.forwards;
+        total.slotWaits += s.slotWaits;
+        total.peakSlotsInUse =
+            std::max(total.peakSlotsInUse, s.peakSlotsInUse);
     }
     return total;
 }
@@ -437,6 +661,13 @@ LpFabric::renderMetricsCsv() const
     row("fabric.nic_tx_wire_bytes", txWireBytes);
     row("fabric.faults_judged", faults.packetsJudged);
     row("fabric.faults_drops", faults.drops());
+    row("fabric.retransmitted_packets", retransmittedPackets());
+    const SwitchAggStats agg = aggTotals();
+    row("fabric.agg_folds", agg.folds);
+    row("fabric.agg_folded_bytes", agg.foldedBytes);
+    row("fabric.agg_codec_bytes", agg.codecBytes);
+    row("fabric.agg_forwards", agg.forwards);
+    row("fabric.agg_slot_waits", agg.slotWaits);
     for (int i = 0; i < topo_.hosts; ++i) {
         out += "host" + std::to_string(i) + ".delivered_bytes," +
                std::to_string(delivered_[static_cast<size_t>(i)]) + '\n';

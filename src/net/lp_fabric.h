@@ -39,6 +39,7 @@
 #include "net/host.h"
 #include "net/link.h"
 #include "net/switch.h"
+#include "net/switch_agg.h"
 #include "net/topology.h"
 #include "sim/lp.h"
 
@@ -56,6 +57,8 @@ struct LpFabricConfig
     FaultConfig faults{};
     /** Give up after this many retransmission rounds (lossy mode). */
     uint32_t maxAttempts = 64;
+    /** Per-switch in-network aggregation engines (innet collectives). */
+    SwitchAggConfig switchAgg{};
 };
 
 /** One record of the LP-mode causal trace (the span-stream analogue). */
@@ -64,7 +67,7 @@ struct LpTraceRec
     Tick t0 = 0;
     Tick t1 = 0;
     int lp = 0;
-    uint8_t kind = 0; ///< 0 tx, 1 hop, 2 rx, 3 deliver, 4 retry
+    uint8_t kind = 0; ///< 0 tx, 1 hop, 2 rx, 3 deliver, 4 retry, 5 agg
     int src = 0;
     int dst = 0;
     uint64_t bytes = 0;
@@ -93,6 +96,17 @@ class LpFabric
     /** Host @p i's serialized resources; touch only from its LP. */
     Host &host(int i) { return *hosts_[static_cast<size_t>(i)]; }
 
+    /** True when @p node is a host rank (else a switch). */
+    bool isHost(int node) const { return node < topo_.hosts; }
+
+    /** Aggregation engine of switch node @p node; touch only from its
+     *  LP. Enabled iff config().switchAgg.slots > 0. */
+    SwitchAggEngine &
+    aggEngine(int node)
+    {
+        return *aggEngines_[static_cast<size_t>(node - topo_.hosts)];
+    }
+
     /**
      * Schedule @p fn on host @p i's LP at @p when. The seeding
      * primitive for collectives: fn runs as an LP event and may call
@@ -110,6 +124,36 @@ class LpFabric
     void send(int src, int dst, uint64_t payloadBytes, uint8_t tos,
               double wireRatio, std::function<void(Tick)> onDelivered);
 
+    /**
+     * Schedule @p fn on any node's LP (hosts and switches) — the
+     * seeding primitive of the in-network collective's switch FSMs.
+     */
+    void atNode(int node, Tick when, std::function<void()> fn);
+
+    /** Simulated now of @p node's LP (valid from any context). */
+    Tick nodeNow(int node) const;
+
+    /**
+     * One single-link hop between *adjacent* nodes (the in-network
+     * aggregation data plane). Must be called on @p src's LP;
+     * @p onArrive fires on @p dst's LP with the tick the payload is
+     * ready there (host destinations include RX driver/engine costs
+     * and count into deliveredBytes(); switch destinations get the
+     * raw wire-arrival tick — forwarding latency and engine charges
+     * are the caller's). @p coded charges NIC codec engine latency at
+     * host endpoints. In lossy mode, host-adjacent legs run the same
+     * idealized selective repeat as send(), with draw keys derived
+     * from the caller-provided @p flowId so packet fates are
+     * independent of same-tick processing order; @p onArrive then
+     * fires at the arrival of the terminal (fully delivered) flight.
+     */
+    void sendHop(int src, int dst, uint64_t payloadBytes, bool coded,
+                 uint64_t flowId, std::function<void(Tick)> onArrive);
+
+    /** Append an aggregation-fold trace record (kind 5) on @p node's
+     *  LP shard; called by the innet collective from node context. */
+    void noteAgg(int node, Tick t0, Tick t1, int src, uint64_t bytes);
+
     /** Run the scheduler until every LP drains. @return events run. */
     uint64_t run() { return sched_->run(); }
 
@@ -120,6 +164,10 @@ class LpFabric
     uint64_t deliveredBytes() const;
     /** Summed fault statistics over every per-host shard. */
     FaultStats faultTotals() const;
+    /** Packets re-shipped by the selective-repeat recovery (lossy). */
+    uint64_t retransmittedPackets() const;
+    /** Summed aggregation-engine counters over every switch. */
+    SwitchAggStats aggTotals() const;
     /** Aggregate fabric counters as "name,value" CSV lines. */
     std::string renderMetricsCsv() const;
     /** The merged causal trace as CSV (t0,t1,lp,kind,src,dst,bytes). */
@@ -154,6 +202,14 @@ class LpFabric
                    std::shared_ptr<std::function<void(Tick)>> cb);
     /** Conservative bound on one flight's path delay (for retries). */
     Tick pathDelayBound(int src, int dst, uint64_t wireBits) const;
+    /** Ship the surviving packets of one hop flight (src-LP context). */
+    void hopShip(int src, int dst, uint64_t payloadBytes, bool coded,
+                 std::shared_ptr<std::function<void(Tick)>> cb);
+    /** One lossy hop flight (and its retries) from src (src-LP). */
+    void hopLossy(int src, int dst, std::vector<uint64_t> seqs,
+                  uint64_t tailBytes, uint64_t lastSeq, uint32_t attempt,
+                  uint64_t flowId, bool coded,
+                  std::shared_ptr<std::function<void(Tick)>> cb);
 
     Topology topo_;
     LpFabricConfig config_;
@@ -161,8 +217,9 @@ class LpFabric
     std::unique_ptr<LpScheduler> sched_;
     std::vector<std::unique_ptr<Host>> hosts_;
     std::vector<std::unique_ptr<Switch>> switches_;
+    std::vector<std::unique_ptr<SwitchAggEngine>> aggEngines_;
     std::vector<std::unique_ptr<Link>> links_; ///< by topology link index
-    /** Per-host fault shards (lossy mode); judged on the sender's. */
+    /** Per-node fault shards (lossy mode); judged on the sender's. */
     std::vector<std::unique_ptr<FaultModel>> faults_;
     /** Per-LP trace shards. */
     std::vector<std::vector<LpTraceRec>> traces_;
@@ -170,6 +227,8 @@ class LpFabric
     std::vector<uint64_t> delivered_;
     /** Per-host flow-id allocators (lossy mode). */
     std::vector<uint64_t> flowSeq_;
+    /** Per-node retransmitted-packet tallies (lossy mode). */
+    std::vector<uint64_t> resent_;
 };
 
 } // namespace inc

@@ -486,17 +486,48 @@ Network::transferDatagram(
     }
     const uint64_t forwarded = survivors.size();
 
+    // Stage 3b: ECN marking (DCTCP-style threshold K on the
+    // instantaneous output backlog). The i-th forwarded packet finds
+    // backlog + i packets ahead of it, so marks are a suffix of the
+    // flight — exactly a tail of the queue beyond K.
+    size_t ce_from = survivors.size();
+    if (config_.switchConfig.ecnThresholdPackets != kUnboundedQueue &&
+        !survivors.empty()) {
+        const uint64_t backlog = backlogPackets(down, sw_ready);
+        const uint64_t k = static_cast<uint64_t>(
+            config_.switchConfig.ecnThresholdPackets);
+        ce_from = k > backlog
+                      ? std::min<size_t>(static_cast<size_t>(k - backlog),
+                                         survivors.size())
+                      : 0;
+        const uint64_t marks = survivors.size() - ce_from;
+        if (marks > 0) {
+            switch_.noteEcnMarks(marks);
+            if (auto *m = metrics::active())
+                m->add("net.switch.ecn_marks", marks);
+            INC_TRACE(Faults, sw_ready,
+                      "switch queue to host%d over ECN threshold: %llu "
+                      "packets CE-marked",
+                      req.dst, static_cast<unsigned long long>(marks));
+        }
+    }
+
     // Stage 4: per-packet hazards on the destination cable.
     std::vector<uint64_t> delivered;
+    std::vector<uint64_t> ce;
     delivered.reserve(survivors.size());
     const size_t lost_before_down = lost.size();
-    for (uint64_t s : survivors) {
+    for (size_t i = 0; i < survivors.size(); ++i) {
+        const uint64_t s = survivors[i];
         if (faults_ && isDrop(faults_->judge(req.dst, LinkDir::Down,
                                              sw_ready, req.flowId, s,
-                                             req.attempt)))
+                                             req.attempt))) {
             lost.push_back(s);
-        else
+        } else {
             delivered.push_back(s);
+            if (i >= ce_from)
+                ce.push_back(s);
+        }
     }
     if (auto *m = metrics::active()) {
         m->add("net.cable.drops", lost.size() - lost_before_down);
@@ -536,6 +567,7 @@ Network::transferDatagram(
     res.packetCount = req.packetCount;
     std::sort(lost.begin(), lost.end());
     res.lostSeqs = std::move(lost);
+    res.ecnSeqs = std::move(ce);
     for (uint64_t s : delivered)
         deliveredBytes_ += packet_bytes(s);
 

@@ -189,10 +189,17 @@ ReliableChannel::onArrival(const DatagramResult &res)
 {
     stats_.dropsObserved += res.lostSeqs.size();
     // Per surviving packet, in sequence order: dedup, reassemble, and
-    // record the cumulative-ACK value real TCP would emit for it.
-    std::vector<uint64_t> ackBatch;
+    // record the cumulative-ACK value real TCP would emit for it, plus
+    // the packet's CE mark for the DCTCP echo.
+    struct AckEntry
+    {
+        uint64_t ack;
+        bool ce;
+    };
+    std::vector<AckEntry> ackBatch;
     ackBatch.reserve(res.packetCount);
     size_t lossIdx = 0;
+    size_t ceIdx = 0;
     for (uint64_t seq = res.firstSeq;
          seq < res.firstSeq + res.packetCount; ++seq) {
         while (lossIdx < res.lostSeqs.size() &&
@@ -201,6 +208,12 @@ ReliableChannel::onArrival(const DatagramResult &res)
         if (lossIdx < res.lostSeqs.size() &&
             res.lostSeqs[lossIdx] == seq)
             continue; // never arrived
+        while (ceIdx < res.ecnSeqs.size() && res.ecnSeqs[ceIdx] < seq)
+            ++ceIdx;
+        const bool ce =
+            ceIdx < res.ecnSeqs.size() && res.ecnSeqs[ceIdx] == seq;
+        if (ce)
+            ++stats_.ecnCePackets;
         if (seq < rcvNxt_ || outOfOrder_.count(seq)) {
             ++stats_.duplicatePackets;
         } else {
@@ -217,7 +230,9 @@ ReliableChannel::onArrival(const DatagramResult &res)
                 outOfOrder_.insert(seq);
             }
         }
-        ackBatch.push_back(rcvNxt_);
+        ackBatch.push_back({rcvNxt_, ce});
+        if (ce)
+            ++stats_.ecnEchoedAcks;
     }
     if (ackBatch.empty())
         return;
@@ -249,20 +264,60 @@ ReliableChannel::onArrival(const DatagramResult &res)
                       fl = currentFlightSpan_] {
                          const Tick when = events_.now();
                          ackContextSpan_ = fl;
-                         for (uint64_t ack : batch)
-                             onAckValue(ack, when);
+                         for (const AckEntry &e : batch)
+                             onAckValue(e.ack, e.ce, when);
                          trySend();
                          ackContextSpan_ = 0;
                      });
 }
 
 void
-ReliableChannel::onAckValue(uint64_t ack, Tick when)
+ReliableChannel::onAckValue(uint64_t ack, bool ce, Tick when)
 {
+    if (config_.congestionControl == CongestionControl::Dctcp)
+        dctcpOnAck(ack > sndUna_ ? ack - sndUna_ : 0, ce);
     if (ack > sndUna_)
         onNewAck(ack, when);
     else if (sndNxt_ > sndUna_)
         onDupAck();
+}
+
+void
+ReliableChannel::dctcpOnAck(uint64_t newly, bool ce)
+{
+    // Every ACK answers one received packet; a new ACK may additionally
+    // cover packets whose holes just filled. F is estimated per packet.
+    const uint64_t n = std::max<uint64_t>(newly, 1);
+    dctcpAckedPackets_ += n;
+    if (ce)
+        dctcpMarkedPackets_ += n;
+    if (dctcpWindowEnd_ == 0)
+        dctcpWindowEnd_ = sndNxt_;
+    const uint64_t ack = sndUna_ + newly;
+    if (ack < dctcpWindowEnd_ || dctcpAckedPackets_ == 0)
+        return;
+
+    // One window of data ACKed: fold the observed mark fraction into
+    // alpha and, when the window saw any mark, cut cwnd once by
+    // alpha/2 (the DCTCP window law). Loss recovery overrides.
+    const double f = static_cast<double>(dctcpMarkedPackets_) /
+                     static_cast<double>(dctcpAckedPackets_);
+    dctcpAlpha_ = (1.0 - config_.dctcpGain) * dctcpAlpha_ +
+                  config_.dctcpGain * f;
+    if (dctcpMarkedPackets_ > 0 && !inRecovery_) {
+        cwnd_ = std::max(cwnd_ * (1.0 - dctcpAlpha_ / 2.0), 2.0);
+        // Leave slow start: growth after an ECN cut is additive.
+        ssthresh_ = cwnd_;
+        ++stats_.dctcpCwndCuts;
+        if (auto *m = metrics::active()) {
+            m->add("transport.dctcp_cuts", 1);
+            m->observe("transport.dctcp_alpha", dctcpAlpha_, 0.0, 1.0,
+                       32);
+        }
+    }
+    dctcpAckedPackets_ = 0;
+    dctcpMarkedPackets_ = 0;
+    dctcpWindowEnd_ = sndNxt_;
 }
 
 void

@@ -11,7 +11,15 @@
  * collectives' reductions stay bit-identical over a lossy fabric, only
  * the completion time grows.
  *
- * Deliberately not modelled (DESIGN.md section 8): SACK, ECN, delayed
+ * Congestion control comes in two flavours (ReliableConfig::
+ * congestionControl): classic NewReno, and DCTCP over the fabric's ECN
+ * marking (SwitchConfig::ecnThresholdPackets). In DCTCP mode the
+ * receiver echoes each packet's CE mark on its ACK, the sender keeps
+ * the running mark fraction alpha = (1-g)*alpha + g*F per window of
+ * data, and cuts cwnd by alpha/2 once per marked window — loss
+ * handling (fast retransmit, RTO) stays NewReno in both modes.
+ *
+ * Deliberately not modelled (DESIGN.md section 8): SACK, delayed
  * ACKs, window scaling as a byte limit (windows are counted in
  * packets). ACKs travel on an ideal control plane with a fixed latency
  * and never consume fabric bandwidth or suffer loss — reverse-path loss
@@ -39,6 +47,13 @@
 
 namespace inc {
 
+/** Which window law the sender runs. */
+enum class CongestionControl
+{
+    NewReno, ///< loss-driven halving (the legacy behaviour)
+    Dctcp,   ///< ECN-fraction-proportional cuts (DCTCP window law)
+};
+
 /** Tunables of the Reno machinery (packet-counted windows). */
 struct ReliableConfig
 {
@@ -55,6 +70,10 @@ struct ReliableConfig
     Tick maxRto = 100 * kMillisecond;
     /** One-way latency of the ideal ACK control plane. */
     Tick ackLatency = 3 * kMicrosecond;
+    /** Sender window law. */
+    CongestionControl congestionControl = CongestionControl::NewReno;
+    /** DCTCP alpha EWMA gain g (the paper's 1/16). */
+    double dctcpGain = 1.0 / 16.0;
 };
 
 /** Lifetime counters of one channel. */
@@ -70,6 +89,9 @@ struct ReliableStats
     uint64_t duplicatePackets = 0; ///< spurious-retransmit receptions
     uint64_t dropsObserved = 0;    ///< losses reported by arrivals
     uint64_t messagesDelivered = 0;
+    uint64_t ecnCePackets = 0;   ///< CE-marked packets the receiver saw
+    uint64_t ecnEchoedAcks = 0;  ///< ACKs that carried the CE echo back
+    uint64_t dctcpCwndCuts = 0;  ///< alpha-proportional window cuts
 };
 
 /**
@@ -110,6 +132,8 @@ class ReliableChannel
 
     /** Current congestion window, packets (fractional during CA). */
     double cwnd() const { return cwnd_; }
+    /** DCTCP's running mark-fraction estimate (0 in NewReno mode). */
+    double dctcpAlpha() const { return dctcpAlpha_; }
     /** Current smoothed RTO (before backoff). */
     Tick rto() const { return rto_; }
     /** True when every queued byte has been cumulatively ACKed. */
@@ -145,10 +169,13 @@ class ReliableChannel
 
     /** Receiver side: one flight arrived. */
     void onArrival(const DatagramResult &res);
-    /** Sender side: one cumulative-ACK value from the batch. */
-    void onAckValue(uint64_t ack, Tick when);
+    /** Sender side: one cumulative-ACK value from the batch; @p ce is
+     *  the receiver's CE echo for the packet this ACK answered. */
+    void onAckValue(uint64_t ack, bool ce, Tick when);
     void onNewAck(uint64_t ack, Tick when);
     void onDupAck();
+    /** DCTCP per-ACK bookkeeping and per-window alpha/cwnd update. */
+    void dctcpOnAck(uint64_t newly, bool ce);
 
     /** Jacobson/Karels estimator update with sample @p rtt. */
     void sampleRtt(Tick rtt);
@@ -197,6 +224,12 @@ class ReliableChannel
 
     uint64_t rtoEpoch_ = 0;
     Tick rtoArmedAt_ = 0; ///< when the live RTO timer was (re)armed
+
+    // DCTCP state (congestionControl == Dctcp only)
+    double dctcpAlpha_ = 0.0;
+    uint64_t dctcpWindowEnd_ = 0; ///< snapshot of sndNxt_; 0 = unarmed
+    uint64_t dctcpAckedPackets_ = 0; ///< packets ACKed this window
+    uint64_t dctcpMarkedPackets_ = 0; ///< of which CE-echoed
 
     // --- causal-span context (all 0 when tracing is off) ---
     uint64_t ackContextSpan_ = 0;   ///< flight whose ACK batch runs now

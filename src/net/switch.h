@@ -29,6 +29,13 @@ struct SwitchConfig
      * (~100-500 MTU packets).
      */
     int queueDepthPackets = kUnboundedQueue;
+    /**
+     * ECN marking threshold per output port, in packets (DCTCP's K).
+     * Packets that find the instantaneous output backlog at or above
+     * the threshold are CE-marked instead of dropped (marking happens
+     * below the tail-drop depth). kUnboundedQueue disables marking.
+     */
+    int ecnThresholdPackets = kUnboundedQueue;
 };
 
 /** The switch itself only adds latency; port serialization is the
@@ -55,10 +62,15 @@ class Switch
     uint64_t queueDrops() const { return queueDrops_; }
     void noteQueueDrops(uint64_t n) { queueDrops_ += n; }
 
+    /** Packets CE-marked at congested output queues (datagram path). */
+    uint64_t ecnMarks() const { return ecnMarks_; }
+    void noteEcnMarks(uint64_t n) { ecnMarks_ += n; }
+
   private:
     SwitchConfig config_;
     uint64_t forwarded_ = 0;
     uint64_t queueDrops_ = 0;
+    uint64_t ecnMarks_ = 0;
 };
 
 } // namespace inc

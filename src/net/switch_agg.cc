@@ -1,0 +1,100 @@
+#include "net/switch_agg.h"
+
+#include <algorithm>
+
+#include "sim/logging.h"
+
+namespace inc {
+
+SwitchAggEngine::SwitchAggEngine(SwitchAggConfig config)
+    : config_(config)
+{
+    INC_ASSERT(config_.slots >= 0, "negative slot count");
+    INC_ASSERT(config_.clockHz > 0.0, "engine clock must be positive");
+    INC_ASSERT(config_.foldBytesPerCycle > 0, "fold width must be > 0");
+    INC_ASSERT(config_.codecBytesPerCycle > 0,
+               "codec width must be > 0");
+}
+
+bool
+SwitchAggEngine::tryAcquireSlot(uint64_t chunkBytes)
+{
+    INC_ASSERT(enabled(), "aggregation engine disabled (slots = 0)");
+    INC_ASSERT(chunkBytes <= config_.slotBytes,
+               "chunk of %llu bytes exceeds slot SRAM (%llu)",
+               static_cast<unsigned long long>(chunkBytes),
+               static_cast<unsigned long long>(config_.slotBytes));
+    if (slotsInUse_ >= config_.slots)
+        return false;
+    ++slotsInUse_;
+    stats_.peakSlotsInUse = std::max(
+        stats_.peakSlotsInUse, static_cast<uint64_t>(slotsInUse_));
+    return true;
+}
+
+void
+SwitchAggEngine::releaseSlot()
+{
+    INC_ASSERT(slotsInUse_ > 0, "releasing a slot that was never held");
+    --slotsInUse_;
+}
+
+Tick
+SwitchAggEngine::cyclesToTicks(uint64_t cycles) const
+{
+    return fromSeconds(static_cast<double>(cycles) / config_.clockHz);
+}
+
+Tick
+SwitchAggEngine::fold(Tick start, uint64_t bytes, bool coded)
+{
+    uint64_t cycles = static_cast<uint64_t>(config_.pipelineCycles);
+    cycles += (bytes + config_.foldBytesPerCycle - 1) /
+              config_.foldBytesPerCycle;
+    if (coded) {
+        // Decode before the add: the slot accumulates raw floats.
+        cycles += (bytes + config_.codecBytesPerCycle - 1) /
+                  config_.codecBytesPerCycle;
+        stats_.codecBytes += bytes;
+    }
+    const Tick begin = std::max(start, busyUntil_);
+    busyUntil_ = begin + cyclesToTicks(cycles);
+    ++stats_.folds;
+    stats_.foldedBytes += bytes;
+    stats_.cycles += cycles;
+    return busyUntil_;
+}
+
+Tick
+SwitchAggEngine::forward(Tick start, uint64_t bytes, bool coded)
+{
+    // Readout shares the fold ALU's port; coded chunks re-encode on
+    // the way out so the uplink still carries the compressed form.
+    uint64_t cycles = (bytes + config_.foldBytesPerCycle - 1) /
+                      config_.foldBytesPerCycle;
+    if (coded) {
+        cycles += (bytes + config_.codecBytesPerCycle - 1) /
+                  config_.codecBytesPerCycle;
+        stats_.codecBytes += bytes;
+    }
+    const Tick begin = std::max(start, busyUntil_);
+    busyUntil_ = begin + cyclesToTicks(cycles);
+    ++stats_.forwards;
+    stats_.cycles += cycles;
+    return busyUntil_;
+}
+
+double
+SwitchAggEngine::areaMm2() const
+{
+    const double sram_mbit = static_cast<double>(config_.slots) *
+                             static_cast<double>(config_.slotBytes) *
+                             8.0 / 1e6;
+    const double fold_lanes =
+        static_cast<double>(config_.foldBytesPerCycle) / 64.0;
+    const double codec_lanes =
+        static_cast<double>(config_.codecBytesPerCycle) / 64.0;
+    return sram_mbit * 0.2 + (fold_lanes + codec_lanes) * 0.05;
+}
+
+} // namespace inc

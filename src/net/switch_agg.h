@@ -1,0 +1,126 @@
+/**
+ * @file
+ * SHARP-style in-network aggregation engine: a pool of reduction slots
+ * bolted onto a Switch. Each slot owns accumulator SRAM for one
+ * in-flight gradient chunk; a shared fold ALU adds arriving child
+ * contributions into the slot at a fixed bytes/cycle rate, and an
+ * optional codec datapath decodes INCEPTIONN-coded payloads before the
+ * fold (and re-encodes before forwarding), charged at its own
+ * bytes/cycle rate — the aggregate-after-decode design from the
+ * lossless-homomorphic-compression line of work, costed in the style
+ * of the burst_* NIC engine models.
+ *
+ * Determinism contract: the engine is pure busy-until arithmetic on
+ * integer ticks — no floating time accumulation, no hidden state
+ * beyond `busyUntil_` and the slot pool — so fold completion times are
+ * a function of the (arrival tick, bytes, coded) call sequence alone.
+ * Callers (comm/innet_collectives) are responsible for presenting
+ * child arrivals in a deterministic order.
+ */
+
+#ifndef INCEPTIONN_NET_SWITCH_AGG_H
+#define INCEPTIONN_NET_SWITCH_AGG_H
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+
+namespace inc {
+
+/** Static parameters of one switch's aggregation engine. */
+struct SwitchAggConfig
+{
+    /** Reduction slots (concurrently open chunks). 0 disables the
+     *  engine: innet collectives refuse to run over it. */
+    int slots = 8;
+    /** Accumulator SRAM per slot; one chunk must fit. */
+    uint64_t slotBytes = 2 * 1024 * 1024;
+    /** Engine clock (SHARP-class switch ASICs run 200-400 MHz). */
+    double clockHz = 250e6;
+    /** Fold ALU width: bytes added into a slot per cycle (512-bit). */
+    uint64_t foldBytesPerCycle = 64;
+    /** Codec datapath width for decode-before-fold / encode-after
+     *  (narrower than the fold ALU, like the NIC's 256-bit AXI path). */
+    uint64_t codecBytesPerCycle = 32;
+    /** Pipeline fill latency charged once per fold, in cycles. */
+    int pipelineCycles = 8;
+};
+
+/** Lifetime counters of one engine. */
+struct SwitchAggStats
+{
+    uint64_t folds = 0;           ///< child contributions folded
+    uint64_t foldedBytes = 0;     ///< payload bytes folded
+    uint64_t codecBytes = 0;      ///< bytes through the codec datapath
+    uint64_t cycles = 0;          ///< busy engine cycles charged
+    uint64_t forwards = 0;        ///< aggregated chunks forwarded up
+    uint64_t slotWaits = 0;       ///< arrivals parked for a free slot
+    uint64_t peakSlotsInUse = 0;  ///< high-water mark of the pool
+};
+
+/**
+ * The engine: slot pool + busy-until fold ALU. One instance per
+ * switch; state is mutated only from that switch's (serial or LP)
+ * event context.
+ */
+class SwitchAggEngine
+{
+  public:
+    explicit SwitchAggEngine(SwitchAggConfig config);
+
+    const SwitchAggConfig &config() const { return config_; }
+    const SwitchAggStats &stats() const { return stats_; }
+
+    /** True when the engine has reduction capability at all. */
+    bool enabled() const { return config_.slots > 0; }
+
+    int slotsInUse() const { return slotsInUse_; }
+    int freeSlots() const { return config_.slots - slotsInUse_; }
+
+    /**
+     * Claim a slot for a chunk of @p chunkBytes (must fit slotBytes).
+     * @return false when the pool is exhausted (caller queues the
+     * arrival and retries on releaseSlot()).
+     */
+    bool tryAcquireSlot(uint64_t chunkBytes);
+    /** Return a slot after the aggregated chunk was forwarded. */
+    void releaseSlot();
+    /** Count an arrival that had to park waiting for a slot. */
+    void noteSlotWait() { ++stats_.slotWaits; }
+
+    /**
+     * Fold one child contribution of @p bytes that is available at
+     * @p start; @p coded charges the decode datapath before the add.
+     * @return the tick the fold completes (engine busy until then).
+     */
+    Tick fold(Tick start, uint64_t bytes, bool coded);
+
+    /**
+     * Read out + (for coded payloads) re-encode an aggregated chunk of
+     * @p bytes, earliest at @p start. @return forwarding-ready tick.
+     */
+    Tick forward(Tick start, uint64_t bytes, bool coded);
+
+    /** Earliest tick a new fold could begin. */
+    Tick busyUntil() const { return busyUntil_; }
+
+    /**
+     * Die-area estimate in mm^2 (slot SRAM + fold/codec ALUs), in the
+     * spirit of the paper's Table 4 FPGA-resource accounting: SRAM at
+     * ~0.2 mm^2/Mbit and ~0.05 mm^2 per 64-byte/cycle ALU lane
+     * (16 nm-class figures). A model, not a measurement.
+     */
+    double areaMm2() const;
+
+  private:
+    Tick cyclesToTicks(uint64_t cycles) const;
+
+    SwitchAggConfig config_;
+    SwitchAggStats stats_;
+    int slotsInUse_ = 0;
+    Tick busyUntil_ = 0;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NET_SWITCH_AGG_H

@@ -221,9 +221,9 @@ Topology
 twoTierTopology(int hosts, int hostsPerRack, double edgeBitsPerSecond,
                 Tick edgeLatency, double coreBitsPerSecond, Tick coreLatency)
 {
-    INC_ASSERT(hosts >= 2 && hostsPerRack >= 1 &&
-                   hosts % hostsPerRack == 0,
-               "two-tier needs hosts (%d) divisible by hostsPerRack (%d)",
+    INC_ASSERT(hosts >= 2 && hostsPerRack >= 1,
+               "two-tier needs hosts >= 2 (got %d) and hostsPerRack >= 1 "
+               "(got %d)",
                hosts, hostsPerRack);
     Topology t;
     t.kind = TopologyKind::TwoTier;
@@ -231,7 +231,9 @@ twoTierTopology(int hosts, int hostsPerRack, double edgeBitsPerSecond,
              std::to_string(hostsPerRack);
     t.hosts = hosts;
     t.hostsPerRack = hostsPerRack;
-    const int racks = hosts / hostsPerRack;
+    // Host counts that do not divide evenly leave a partial last rack
+    // (route() already computes the rack count this way).
+    const int racks = (hosts + hostsPerRack - 1) / hostsPerRack;
     t.switches = racks + 1; // ToRs + one core
     for (int i = 0; i < hosts; ++i)
         cable(t, i, hosts + i / hostsPerRack, edgeBitsPerSecond,

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Deterministic multi-tenant background-traffic generation. A traffic
+ * pattern — which host pairs talk, how much, starting when — is a pure
+ * function of (seed, host count, config), so the same heavy neighbour
+ * load can be replayed under every transport variant a benchmark
+ * compares (Reno vs DCTCP, ECN on/off, in-network vs host collectives)
+ * and across reruns, machines, and thread counts.
+ *
+ * Two layers:
+ *  - generateTrafficPattern(): the pattern itself, transport-agnostic —
+ *    a sorted list of flows with src/dst/bytes/start/flowId;
+ *  - TrafficReplay: drives one pattern over a serial Fabric through
+ *    ReliableChannels (one per flow), so the background load contends
+ *    for the same links, rides the same fault model, and obeys the
+ *    same congestion control as the foreground traffic.
+ */
+
+#ifndef INCEPTIONN_NET_TRAFFIC_GEN_H
+#define INCEPTIONN_NET_TRAFFIC_GEN_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/reliable.h"
+#include "sim/event_queue.h"
+
+namespace inc {
+
+/** Parameters of one background-traffic pattern. */
+struct TrafficGenConfig
+{
+    /** Pattern seed; same seed + host count = same flows, always. */
+    uint64_t seed = 0x7E11;
+    /** Concurrent background flows (distinct ReliableChannels). */
+    int flows = 4;
+    /** Messages each flow sends back-to-back. */
+    int messagesPerFlow = 4;
+    /** Payload of each message. */
+    uint64_t messageBytes = 1 << 20;
+    /** First flow's start tick. */
+    Tick startAt = 0;
+    /** Deterministic stagger between consecutive flow starts. */
+    Tick interStart = 50 * kMicrosecond;
+    /** Transport tunables shared by every background channel. */
+    ReliableConfig transport{};
+    /** Base of the flow-id block (flow i uses flowIdBase + i); keep
+     *  disjoint from foreground flow ids. */
+    uint64_t flowIdBase = 0xB6000000ULL;
+};
+
+/** One generated background flow. */
+struct TrafficFlow
+{
+    int src = 0;
+    int dst = 0; ///< != src
+    uint64_t flowId = 0;
+    uint64_t messageBytes = 0;
+    int messages = 0;
+    Tick startAt = 0;
+};
+
+/**
+ * The pure pattern: @p cfg.flows flows over @p hosts hosts with
+ * seed-derived endpoints (src uniform, dst uniform excluding src) and
+ * staggered starts. Requires hosts >= 2. Independent of any fabric.
+ */
+std::vector<TrafficFlow> generateTrafficPattern(const TrafficGenConfig &cfg,
+                                                int hosts);
+
+/** Aggregate outcome of one replay. */
+struct TrafficReplayStats
+{
+    uint64_t messagesDelivered = 0;
+    uint64_t bytesDelivered = 0;
+    uint64_t packetsSent = 0;
+    uint64_t retransmits = 0;
+    uint64_t timeouts = 0;
+    uint64_t dropsObserved = 0;
+    uint64_t ecnCePackets = 0;
+    uint64_t dctcpCwndCuts = 0;
+    Tick finish = 0; ///< last message delivery
+};
+
+/**
+ * Replay a pattern over @p net as live reliable flows. start() seeds
+ * the sends; the caller drives the EventQueue (typically alongside a
+ * foreground collective). The replay must outlive the queue drain.
+ */
+class TrafficReplay
+{
+  public:
+    TrafficReplay(Fabric &net, TrafficGenConfig config);
+
+    /** Schedule every flow's sends. Call once, from outside the run. */
+    void start();
+
+    /** True once every message of every flow was delivered. */
+    bool
+    finished() const
+    {
+        return delivered_ == totalMessages_;
+    }
+
+    const std::vector<TrafficFlow> &flows() const { return flows_; }
+    /** Summed channel counters + delivery clock. */
+    TrafficReplayStats stats() const;
+
+  private:
+    Fabric *net_;
+    TrafficGenConfig cfg_;
+    std::vector<TrafficFlow> flows_;
+    std::vector<std::unique_ptr<ReliableChannel>> channels_;
+    int delivered_ = 0;
+    int totalMessages_ = 0;
+    Tick finish_ = 0;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_NET_TRAFFIC_GEN_H

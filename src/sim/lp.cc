@@ -1,6 +1,8 @@
 #include "sim/lp.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <functional>
 #include <utility>
 
 #include "sim/logging.h"
@@ -125,6 +127,17 @@ LpScheduler::runLp(int lp, Tick horizon)
     tlsCtx = saved;
 }
 
+void
+LpScheduler::pushHeapEntry(int lp)
+{
+    const auto &q = queues_[static_cast<size_t>(lp)];
+    if (q->pending() == 0)
+        return;
+    horizonHeap_.emplace_back(q->nextWhen(), lp);
+    std::push_heap(horizonHeap_.begin(), horizonHeap_.end(),
+                   std::greater<>());
+}
+
 uint64_t
 LpScheduler::run()
 {
@@ -133,32 +146,58 @@ LpScheduler::run()
     const uint64_t before = executed();
     std::vector<int> runnable;
     runnable.reserve(queues_.size());
+    std::vector<int> dirty;
+
+    // (Re)build the horizon heap from whatever was seeded since the
+    // last run; std::greater orders it as a min-heap on (tick, LP).
+    horizonHeap_.clear();
+    for (int lp = 0; lp < lpCount(); ++lp)
+        pushHeapEntry(lp);
+    lpFlagged_.assign(queues_.size(), 0);
+    const auto cmp = std::greater<>();
+    auto popTop = [&] {
+        std::pop_heap(horizonHeap_.begin(), horizonHeap_.end(), cmp);
+        horizonHeap_.pop_back();
+    };
+    auto isFresh = [&](const std::pair<Tick, int> &e) {
+        const auto &q = queues_[static_cast<size_t>(e.second)];
+        return q->pending() > 0 && q->nextWhen() == e.first;
+    };
 
     for (;;) {
         // Safe horizon: earliest pending event anywhere, plus the
         // minimum cross-LP delay. Everything strictly below it is
-        // unaffected by events other LPs have yet to send.
-        Tick minWhen = UINT64_MAX;
-        bool any = false;
-        for (const auto &q : queues_) {
-            if (q->pending() > 0) {
-                any = true;
-                if (q->nextWhen() < minWhen)
-                    minWhen = q->nextWhen();
-            }
-        }
-        if (!any)
+        // unaffected by events other LPs have yet to send. The heap
+        // top is that minimum once stale entries are discarded (the
+        // invariant in lp.h guarantees every pending LP still has a
+        // fresh entry underneath them).
+        while (!horizonHeap_.empty() && !isFresh(horizonHeap_.front()))
+            popTop();
+        if (horizonHeap_.empty())
             break;
+        const Tick minWhen = horizonHeap_.front().first;
         const Tick horizon = minWhen > UINT64_MAX - lookahead_
                                  ? UINT64_MAX
                                  : minWhen + lookahead_;
 
+        // Pop every LP whose head lies inside the window; duplicate
+        // fresh entries (same LP pushed after both a batch and a
+        // merge) dedup through the scratch flags. Ascending LP order
+        // keeps the batch layout identical to the linear-scan core.
         runnable.clear();
-        for (int lp = 0; lp < lpCount(); ++lp) {
-            const auto &q = queues_[static_cast<size_t>(lp)];
-            if (q->pending() > 0 && q->nextWhen() < horizon)
-                runnable.push_back(lp);
+        while (!horizonHeap_.empty() &&
+               horizonHeap_.front().first < horizon) {
+            const std::pair<Tick, int> top = horizonHeap_.front();
+            popTop();
+            if (!isFresh(top) ||
+                lpFlagged_[static_cast<size_t>(top.second)])
+                continue;
+            lpFlagged_[static_cast<size_t>(top.second)] = 1;
+            runnable.push_back(top.second);
         }
+        std::sort(runnable.begin(), runnable.end());
+        for (const int lp : runnable)
+            lpFlagged_[static_cast<size_t>(lp)] = 0;
 
         // Drain every runnable LP's window. Batches touch disjoint
         // state (each LP's queue + owned objects), so they may run on
@@ -174,17 +213,31 @@ LpScheduler::run()
         } else {
             parallelFor(0, runnable.size(), 1, batch);
         }
+        for (const int lp : runnable)
+            pushHeapEntry(lp);
 
         // Merge cross-LP outboxes in a thread-count-independent order:
         // sender LP id, then emission order within the sender. The
         // destination queue assigns tie-break sequence numbers in this
         // merge order, so same-tick arrivals from different LPs always
         // race the same way.
+        dirty.clear();
         for (auto &outbox : outboxes_) {
-            for (auto &p : outbox)
+            for (auto &p : outbox) {
                 queues_[static_cast<size_t>(p.dst)]->schedule(
                     p.when, std::move(p.cb));
+                if (!lpFlagged_[static_cast<size_t>(p.dst)]) {
+                    lpFlagged_[static_cast<size_t>(p.dst)] = 1;
+                    dirty.push_back(p.dst);
+                }
+            }
             outbox.clear();
+        }
+        // A merge can only lower a head tick, so re-push each touched
+        // LP; the entry it obsoletes dies lazily.
+        for (const int lp : dirty) {
+            lpFlagged_[static_cast<size_t>(lp)] = 0;
+            pushHeapEntry(lp);
         }
 
         ++rounds_;

@@ -41,6 +41,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -129,7 +130,26 @@ class LpScheduler
     /** Drain one LP strictly below @p horizon (worker-side). */
     void runLp(int lp, Tick horizon);
 
+    /** Push LP @p lp's current head tick onto the horizon heap (no-op
+     *  when its queue is empty). */
+    void pushHeapEntry(int lp);
+
     std::vector<std::unique_ptr<EventQueue>> queues_;
+    /**
+     * Lazy-invalidation min-heap of (head tick, LP) — the round loop's
+     * horizon scan, O(log LPs) per update instead of an O(LPs) sweep
+     * (which dominates at 1000+-worker fabrics where only a few LPs
+     * are runnable per round). An entry is *stale* once its LP's queue
+     * is empty or has a different head tick; stale entries are
+     * discarded when popped. Invariant between rounds: every LP with
+     * pending events has at least one entry carrying its exact current
+     * head tick — entries are (re)pushed at run() start, after an LP's
+     * batch, and after an LP receives merged cross-LP events, which
+     * are the only points a head tick can change.
+     */
+    std::vector<std::pair<Tick, int>> horizonHeap_;
+    /** Per-LP scratch flags for runnable/dirty dedup in run(). */
+    std::vector<uint8_t> lpFlagged_;
     /** Per-sender cross-LP outboxes, merged in sender order at each
      *  round barrier. Only LP i writes outboxes_[i] during a round. */
     std::vector<std::vector<Pending>> outboxes_;

@@ -58,6 +58,8 @@ kindName(Kind kind)
         return "rto_wait";
       case Kind::Handshake:
         return "handshake";
+      case Kind::SwitchAgg:
+        return "switch_agg";
       case Kind::kCount:
         break;
     }
@@ -90,6 +92,8 @@ blameName(Blame blame)
         return "retransmit";
       case Blame::Stall:
         return "stall";
+      case Blame::SwitchAgg:
+        return "switch_agg";
       case Blame::kCount:
         break;
     }
@@ -117,6 +121,8 @@ blameOf(Kind kind)
         return Blame::Retransmit;
       case Kind::CodecEngine:
         return Blame::Codec;
+      case Kind::SwitchAgg:
+        return Blame::SwitchAgg;
       case Kind::Forward:
       case Kind::Backward:
       case Kind::GpuCopy:
@@ -143,8 +149,10 @@ gapBlame(Kind kind)
       case Kind::TxQueue:
       case Kind::TxDriver:
       case Kind::Flight:
+      case Kind::SwitchAgg:
         // Waiting to enter a wire/driver resource behind other traffic
-        // (switch queue, TX backlog, congestion window, ACK latency).
+        // (switch queue, TX backlog, congestion window, ACK latency,
+        // a free aggregation slot).
         return Blame::Queue;
       default:
         return Blame::Stall;

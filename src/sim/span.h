@@ -54,6 +54,7 @@ enum class Kind : uint8_t {
     Retransmit, ///< a retransmitted flight (attempt > 0)
     RtoWait,   ///< silence between arming an RTO and its firing
     Handshake, ///< payload queued behind a connection handshake
+    SwitchAgg, ///< in-network aggregation: switch slot fold occupancy
     kCount,
 };
 
@@ -65,6 +66,7 @@ enum class Blame : uint8_t {
     Queue,      ///< TX backlog, switch queueing, window/ACK waits
     Retransmit, ///< loss recovery: retransmissions and RTO silence
     Stall,      ///< dependency wait not covered by a finer span
+    SwitchAgg,  ///< in-network aggregation engine (fold + codec ALU)
     kCount,
 };
 

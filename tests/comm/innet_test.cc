@@ -1,0 +1,289 @@
+/**
+ * @file
+ * In-network aggregation tests (comm/innet_collectives.h), covering
+ * all three planes:
+ *  - the reduction tree over star/fat-tree/dragonfly graphs (a tree,
+ *    all hosts participate, children ascending = stable merge order);
+ *  - the value plane: with dyadic-rational gradients the switch-fold
+ *    order is bit-identical to any host-side summation order;
+ *  - the serial star plane: completion, engine accounting, slot
+ *    contention, reproducibility, and critical-path attribution
+ *    (SwitchAgg blame must be visible to the walker);
+ *  - the LP plane: engine counters and kind-5 trace records flow
+ *    through the merged snapshots.
+ */
+
+#include "comm/innet_collectives.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "comm/lp_collectives.h"
+#include "net/lp_fabric.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "sim/random.h"
+#include "sim/span.h"
+#include "stats/critical_path.h"
+
+namespace inc {
+namespace {
+
+void
+expectTreeInvariants(const Topology &t, const ReductionTree &tree)
+{
+    const size_t n = static_cast<size_t>(t.nodeCount());
+    ASSERT_EQ(tree.parent.size(), n);
+    ASSERT_EQ(tree.children.size(), n);
+    ASSERT_FALSE(t.isSwitch(tree.root));
+
+    // Every host participates and its parent chain reaches the root
+    // without cycling (at most nodeCount steps).
+    for (int h = 0; h < t.hosts; ++h) {
+        EXPECT_TRUE(tree.participates(h)) << t.name << " host " << h;
+        int node = h, steps = 0;
+        while (node != tree.root && steps <= t.nodeCount()) {
+            node = tree.parent[static_cast<size_t>(node)];
+            ASSERT_GE(node, 0);
+            ++steps;
+        }
+        EXPECT_EQ(node, tree.root) << t.name << " host " << h;
+    }
+
+    size_t edges = 0, participants = 0;
+    for (int node = 0; node < t.nodeCount(); ++node) {
+        const auto &kids = tree.children[static_cast<size_t>(node)];
+        if (!tree.participates(node)) {
+            EXPECT_TRUE(kids.empty());
+            continue;
+        }
+        ++participants;
+        for (size_t i = 0; i < kids.size(); ++i) {
+            // Child lists are the merge order: strictly ascending, and
+            // each parent/child pair is consistent and wired in the
+            // physical graph (one hop apart).
+            if (i > 0) {
+                EXPECT_LT(kids[i - 1], kids[i]);
+            }
+            EXPECT_EQ(tree.parent[static_cast<size_t>(kids[i])], node);
+            EXPECT_GE(t.linkIndex(kids[i], node), 0);
+            ++edges;
+        }
+    }
+    // A tree: exactly one edge per non-root participant, and the root
+    // host hangs off exactly one edge switch.
+    EXPECT_EQ(edges, participants - 1);
+    EXPECT_EQ(tree.children[static_cast<size_t>(tree.root)].size(), 1u);
+}
+
+TEST(ReductionTree, InvariantsHoldAcrossTopologies)
+{
+    expectTreeInvariants(starTopology(8),
+                         buildReductionTree(starTopology(8)));
+    expectTreeInvariants(fatTreeTopology(4),
+                         buildReductionTree(fatTreeTopology(4)));
+    expectTreeInvariants(dragonflyTopology(4, 2, 2, 9),
+                         buildReductionTree(dragonflyTopology(4, 2, 2, 9)));
+}
+
+TEST(ReductionTree, NonZeroRootReroots)
+{
+    const Topology t = fatTreeTopology(4);
+    const ReductionTree tree = buildReductionTree(t, 5);
+    EXPECT_EQ(tree.root, 5);
+    expectTreeInvariants(t, tree);
+}
+
+/** Dyadic gradients: 12-bit fractions in [-0.5, 0.5], so any float
+ *  summation order over <= a few hundred hosts is exact. */
+std::vector<std::vector<float>>
+dyadicInputs(int hosts, size_t elems, uint64_t seed)
+{
+    std::vector<std::vector<float>> inputs(
+        static_cast<size_t>(hosts));
+    for (int h = 0; h < hosts; ++h) {
+        Rng rng(seed + static_cast<uint64_t>(h));
+        auto &v = inputs[static_cast<size_t>(h)];
+        v.resize(elems);
+        for (float &x : v) {
+            const int k = static_cast<int>(rng.below(4097)) - 2048;
+            x = static_cast<float>(std::ldexp(k, -12));
+        }
+    }
+    return inputs;
+}
+
+TEST(InnetValues, SwitchFoldOrderMatchesHostSummationBitExactly)
+{
+    for (const Topology &t :
+         {starTopology(8), fatTreeTopology(4),
+          dragonflyTopology(4, 2, 2, 9)}) {
+        SCOPED_TRACE(t.name);
+        const size_t elems = 512;
+        const auto inputs = dyadicInputs(t.hosts, elems, 0xD7AD);
+        const std::vector<float> reduced =
+            innetReduceValues(t, inputs);
+        ASSERT_EQ(reduced.size(), elems);
+        // Host-side reference: plain ascending-rank accumulation, the
+        // order a ring schedule realizes. Exact for dyadic inputs, so
+        // equality is bitwise, not approximate.
+        for (size_t e = 0; e < elems; ++e) {
+            float sum = 0.0f;
+            for (int h = 0; h < t.hosts; ++h)
+                sum += inputs[static_cast<size_t>(h)][e];
+            EXPECT_EQ(reduced[e], sum) << "element " << e;
+        }
+    }
+}
+
+InnetStarResult
+runStar(int nodes, InnetStarConfig cfg)
+{
+    EventQueue events;
+    NetworkConfig nc;
+    nc.nodes = nodes;
+    Network net(events, nc);
+    InnetStarRun run(net, cfg);
+    run.start();
+    events.run();
+    EXPECT_TRUE(run.finished());
+    return run.result();
+}
+
+TEST(InnetStar, CompletesWithExactEngineAccounting)
+{
+    InnetStarConfig cfg;
+    cfg.gradientBytes = 1 << 20;
+    cfg.chunkBytes = 256 * 1024;
+    const InnetStarResult r = runStar(4, cfg);
+    EXPECT_EQ(r.chunks, 4u);
+    ASSERT_EQ(r.hostDone.size(), 4u);
+    Tick last = 0;
+    for (const Tick t : r.hostDone) {
+        EXPECT_GT(t, 0u);
+        last = std::max(last, t);
+    }
+    EXPECT_EQ(r.finish, last);
+    // Every chunk folds one contribution per host and forwards once.
+    EXPECT_EQ(r.agg.folds, 4u * 4u);
+    EXPECT_EQ(r.agg.forwards, 4u);
+    EXPECT_EQ(r.agg.foldedBytes, 4u * cfg.gradientBytes);
+    EXPECT_EQ(r.agg.codecBytes, 0u);
+}
+
+TEST(InnetStar, SingleSlotParksArrivalsButStillFinishes)
+{
+    InnetStarConfig cfg;
+    cfg.gradientBytes = 1 << 20;
+    cfg.chunkBytes = 64 * 1024;
+    // Slow the engine far below line rate so a chunk's slot is still
+    // held when the next chunk's contributions arrive.
+    cfg.agg.clockHz = 2e6;
+    cfg.agg.slots = 1;
+    const InnetStarResult starved = runStar(4, cfg);
+    EXPECT_GT(starved.agg.slotWaits, 0u);
+    EXPECT_EQ(starved.agg.peakSlotsInUse, 1u);
+
+    cfg.agg.slots = 8;
+    const InnetStarResult pooled = runStar(4, cfg);
+    // A deeper pool opens more chunks concurrently, parks fewer
+    // arrivals, and can only speed completion up.
+    EXPECT_GT(pooled.agg.peakSlotsInUse, 1u);
+    EXPECT_LT(pooled.agg.slotWaits, starved.agg.slotWaits);
+    EXPECT_LE(pooled.finish, starved.finish);
+}
+
+TEST(InnetStar, CodedChunksRideTheCodecDatapath)
+{
+    InnetStarConfig cfg;
+    cfg.gradientBytes = 1 << 20;
+    cfg.coded = true;
+    cfg.wireRatio = 0.5;
+    const InnetStarResult r = runStar(4, cfg);
+    EXPECT_GT(r.agg.codecBytes, 0u);
+
+    InnetStarConfig raw = cfg;
+    raw.coded = false;
+    raw.wireRatio = 1.0;
+    EXPECT_GT(runStar(4, raw).agg.foldedBytes, 0u);
+}
+
+TEST(InnetStar, TimingIsBitReproducible)
+{
+    InnetStarConfig cfg;
+    cfg.gradientBytes = 2 << 20;
+    const InnetStarResult a = runStar(8, cfg);
+    const InnetStarResult b = runStar(8, cfg);
+    EXPECT_EQ(a.finish, b.finish);
+    EXPECT_EQ(a.hostDone, b.hostDone);
+    EXPECT_EQ(a.agg.cycles, b.agg.cycles);
+}
+
+TEST(InnetStar, CriticalPathAttributesSwitchAggregationBlame)
+{
+    spans::reset();
+    spans::setEnabled(true);
+    {
+        InnetStarConfig cfg;
+        cfg.gradientBytes = 1 << 20;
+        runStar(4, cfg);
+    }
+    const CriticalPathReport report =
+        analyzeCriticalPath(spans::global().spans());
+    spans::setEnabled(false);
+    spans::reset();
+
+    ASSERT_EQ(report.iterations.size(), 1u);
+    // The walker's exactness contract must survive the new span kinds:
+    // every tick of the window is blamed on exactly one category.
+    EXPECT_TRUE(report.exact());
+    EXPECT_TRUE(report.chainContains(spans::Kind::SwitchAgg));
+    EXPECT_GT(report.totals.get(spans::Blame::SwitchAgg), 0u);
+}
+
+TEST(InnetLp, EngineCountersAndTraceFlowThroughSnapshots)
+{
+    LpFabric fab(fatTreeTopology(4), LpFabricConfig{}, 1);
+    LpCollectiveConfig cc;
+    cc.algorithm = LpAlgorithm::InNetwork;
+    cc.gradientBytes = 1 << 20;
+    const LpAllreduceResult r = runLpAllreduce(fab, cc);
+    ASSERT_EQ(r.hostDone.size(), 16u);
+    for (const Tick t : r.hostDone)
+        EXPECT_GT(t, 0u);
+    EXPECT_EQ(r.finish,
+              *std::max_element(r.hostDone.begin(), r.hostDone.end()));
+
+    const SwitchAggStats agg = fab.aggTotals();
+    EXPECT_GT(agg.folds, 0u);
+    EXPECT_GT(agg.forwards, 0u);
+    // Switch reduction means host-delivered bytes collapse to
+    // (aggregate to root) + (broadcast to the other 15 hosts).
+    EXPECT_EQ(fab.deliveredBytes(), 16u * cc.gradientBytes);
+    size_t aggRecords = 0;
+    for (const LpTraceRec &rec : fab.mergedTrace())
+        if (rec.kind == 5)
+            ++aggRecords;
+    EXPECT_EQ(aggRecords, agg.folds);
+}
+
+TEST(InnetLp, CodedPayloadsChargeSwitchCodec)
+{
+    LpFabricConfig fc;
+    fc.nic.hasCompressionEngine = true;
+    LpFabric fab(fatTreeTopology(4), fc, 1);
+    LpCollectiveConfig cc;
+    cc.algorithm = LpAlgorithm::InNetwork;
+    cc.gradientBytes = 1 << 20;
+    cc.compressGradients = true;
+    cc.wireRatio = 0.5;
+    const LpAllreduceResult r = runLpAllreduce(fab, cc);
+    EXPECT_GT(r.finish, 0u);
+    EXPECT_GT(fab.aggTotals().codecBytes, 0u);
+}
+
+} // namespace
+} // namespace inc

@@ -128,9 +128,9 @@ expectInvariantTier(const Capture &base, const Capture &other,
     EXPECT_EQ(base.faultsDrops, other.faultsDrops);
 }
 
-constexpr std::array<LpAlgorithm, 4> kAlgorithms = {
+constexpr std::array<LpAlgorithm, 5> kAlgorithms = {
     LpAlgorithm::Star, LpAlgorithm::Ring, LpAlgorithm::Tree,
-    LpAlgorithm::HierRing};
+    LpAlgorithm::HierRing, LpAlgorithm::InNetwork};
 
 class ParallelDeterminism
     : public ::testing::TestWithParam<LpAlgorithm>
@@ -209,6 +209,12 @@ TEST(ParallelDeterminismTotals, DeliveredBytesMatchExchangeAlgebra)
     EXPECT_EQ(
         runOnce(LpAlgorithm::HierRing, false, 8, kFifo).deliveredBytes,
         42 * g);
+    // In-network: switches fold in place, so host-delivered bytes are
+    // just the aggregate reaching the root (G) plus the broadcast to
+    // the other 15 hosts — the whole point of switch reduction.
+    EXPECT_EQ(
+        runOnce(LpAlgorithm::InNetwork, false, 8, kFifo).deliveredBytes,
+        16 * g);
 }
 
 TEST(ParallelDeterminismTotals, LossyDeliversEveryByteEventually)

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <vector>
@@ -291,6 +292,120 @@ TEST(ReliableRing, LossyRingIsBitIdenticalSlowerAndReproducible)
     EXPECT_EQ(lossy.finish, lossyThreads.finish);
     EXPECT_EQ(lossy.retransmits, lossyThreads.retransmits);
     EXPECT_EQ(lossy.drops, lossyThreads.drops);
+}
+
+/**
+ * ECN/DCTCP scenario: a 3-to-1 incast onto host 0's downlink through a
+ * finite switch queue. Deterministic by construction (no fault model,
+ * no jitter), so outcomes compare exactly across configurations.
+ */
+struct IncastOut
+{
+    uint64_t cePackets = 0;
+    uint64_t echoedAcks = 0;
+    uint64_t cwndCuts = 0;
+    uint64_t drops = 0;
+    uint64_t timeouts = 0;
+    uint64_t retransmits = 0;
+    uint64_t switchMarks = 0;
+    double alpha = 0.0;
+    Tick finish = 0;
+};
+
+IncastOut
+runIncast(CongestionControl cc, int ecnThreshold, int queueDepth,
+          uint32_t initialCwnd = 64)
+{
+    EventQueue events;
+    NetworkConfig cfg;
+    cfg.nodes = 4;
+    cfg.switchConfig.queueDepthPackets = queueDepth;
+    cfg.switchConfig.ecnThresholdPackets = ecnThreshold;
+    Network net(events, cfg);
+    ReliableConfig rc;
+    rc.congestionControl = cc;
+    rc.initialCwndPackets = initialCwnd;
+
+    std::vector<std::unique_ptr<ReliableChannel>> chans;
+    IncastOut out;
+    int delivered = 0;
+    for (int s = 1; s < 4; ++s) {
+        chans.push_back(std::make_unique<ReliableChannel>(
+            net, s, 0, rc, kDefaultTos, 0x5000u + static_cast<uint64_t>(s)));
+        chans.back()->send(4 * 1000 * 1000, 1.0, [&](Tick t) {
+            ++delivered;
+            out.finish = std::max(out.finish, t);
+        });
+    }
+    events.run();
+    EXPECT_EQ(delivered, 3);
+    for (const auto &ch : chans) {
+        EXPECT_TRUE(ch->idle());
+        const ReliableStats &s = ch->stats();
+        out.cePackets += s.ecnCePackets;
+        out.echoedAcks += s.ecnEchoedAcks;
+        out.cwndCuts += s.dctcpCwndCuts;
+        out.drops += s.dropsObserved;
+        out.timeouts += s.timeouts;
+        out.retransmits += s.retransmits;
+        out.alpha = std::max(out.alpha, ch->dctcpAlpha());
+    }
+    out.switchMarks = net.fabric().ecnMarks();
+    return out;
+}
+
+TEST(ReliableEcn, IncastMarksBeforeItDrops)
+{
+    // Threshold well below the tail-drop depth: the congested downlink
+    // CE-marks the overflow band instead of silently queueing it.
+    const IncastOut ecn = runIncast(CongestionControl::NewReno, 32, 256);
+    EXPECT_GT(ecn.switchMarks, 0u);
+    EXPECT_GT(ecn.cePackets, 0u);
+    EXPECT_GT(ecn.echoedAcks, 0u);
+    // Marks are advisory to a plain NewReno sender: no window cuts.
+    EXPECT_EQ(ecn.cwndCuts, 0u);
+
+    // Marking disabled: no CE anywhere, end to end.
+    const IncastOut off =
+        runIncast(CongestionControl::NewReno, kUnboundedQueue, 256);
+    EXPECT_EQ(off.switchMarks, 0u);
+    EXPECT_EQ(off.cePackets, 0u);
+    EXPECT_EQ(off.echoedAcks, 0u);
+}
+
+TEST(ReliableEcn, DctcpCutsProportionallyAndConvergesAlpha)
+{
+    const IncastOut d = runIncast(CongestionControl::Dctcp, 32, 256);
+    EXPECT_GT(d.cePackets, 0u);
+    EXPECT_GT(d.cwndCuts, 0u);
+    EXPECT_GT(d.alpha, 0.0);
+    EXPECT_LE(d.alpha, 1.0);
+}
+
+TEST(ReliableEcn, DctcpBacksOffBeforeTheQueueOverflows)
+{
+    // Same offered load, same shallow queue, standard initial windows
+    // (so slow-start growth, not an initial burst, fills the queue):
+    // the DCTCP senders react to marks early and lose no more packets
+    // than marking-blind Reno.
+    const IncastOut reno =
+        runIncast(CongestionControl::NewReno, kUnboundedQueue, 96, 10);
+    const IncastOut dctcp =
+        runIncast(CongestionControl::Dctcp, 32, 96, 10);
+    EXPECT_LE(dctcp.drops, reno.drops);
+    EXPECT_LE(dctcp.retransmits, reno.retransmits);
+    EXPECT_GT(dctcp.cwndCuts, 0u);
+}
+
+TEST(ReliableEcn, DctcpIncastIsBitReproducible)
+{
+    const IncastOut a = runIncast(CongestionControl::Dctcp, 32, 128);
+    const IncastOut b = runIncast(CongestionControl::Dctcp, 32, 128);
+    EXPECT_EQ(a.finish, b.finish);
+    EXPECT_EQ(a.cePackets, b.cePackets);
+    EXPECT_EQ(a.cwndCuts, b.cwndCuts);
+    EXPECT_EQ(a.drops, b.drops);
+    EXPECT_EQ(a.alpha, b.alpha);
 }
 
 TEST(ReliableRing, DropScheduleIsSeedDeterministic)

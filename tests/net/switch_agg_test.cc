@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests of the switch aggregation engine (net/switch_agg.h): the
+ * fold/forward cycle cost model, busy-until serialization on the
+ * shared ALU, slot-pool accounting, and the die-area estimate. All
+ * timing checks use a 1 GHz clock so one cycle is exactly 1000 ticks
+ * and expected values are integers by construction.
+ */
+
+#include "net/switch_agg.h"
+
+#include <gtest/gtest.h>
+
+namespace inc {
+namespace {
+
+SwitchAggConfig
+ghzConfig()
+{
+    SwitchAggConfig cfg;
+    cfg.slots = 4;
+    cfg.slotBytes = 1 << 20;
+    cfg.clockHz = 1e9; // 1 cycle == 1 ns == 1000 ticks
+    cfg.foldBytesPerCycle = 64;
+    cfg.codecBytesPerCycle = 32;
+    cfg.pipelineCycles = 8;
+    return cfg;
+}
+
+constexpr Tick kCycle = 1 * kNanosecond;
+
+TEST(SwitchAggEngine, FoldCostIsPipelinePlusWidthQuotient)
+{
+    SwitchAggEngine eng(ghzConfig());
+    // 6400 bytes / 64 B-per-cycle = 100 cycles + 8 pipeline fill.
+    EXPECT_EQ(eng.fold(0, 6400, false), 108 * kCycle);
+    EXPECT_EQ(eng.stats().folds, 1u);
+    EXPECT_EQ(eng.stats().foldedBytes, 6400u);
+    EXPECT_EQ(eng.stats().cycles, 108u);
+    EXPECT_EQ(eng.stats().codecBytes, 0u);
+}
+
+TEST(SwitchAggEngine, FoldRoundsPartialWordsUp)
+{
+    SwitchAggEngine eng(ghzConfig());
+    // 65 bytes needs 2 fold cycles (ceil), not 1.
+    EXPECT_EQ(eng.fold(0, 65, false), (8 + 2) * kCycle);
+}
+
+TEST(SwitchAggEngine, CodedFoldChargesTheDecodeDatapath)
+{
+    SwitchAggEngine eng(ghzConfig());
+    // Decode at 32 B/cycle runs before the add: +200 cycles for 6400 B.
+    EXPECT_EQ(eng.fold(0, 6400, true), (108 + 200) * kCycle);
+    EXPECT_EQ(eng.stats().codecBytes, 6400u);
+}
+
+TEST(SwitchAggEngine, ForwardSkipsPipelineFillAndReencodesCoded)
+{
+    SwitchAggEngine eng(ghzConfig());
+    // Readout has no pipeline fill: 100 cycles raw, +200 codec coded.
+    EXPECT_EQ(eng.forward(0, 6400, false), 100 * kCycle);
+    EXPECT_EQ(eng.stats().forwards, 1u);
+    SwitchAggEngine coded(ghzConfig());
+    EXPECT_EQ(coded.forward(0, 6400, true), 300 * kCycle);
+    EXPECT_EQ(coded.stats().codecBytes, 6400u);
+}
+
+TEST(SwitchAggEngine, BusyUntilSerializesTheSharedAlu)
+{
+    SwitchAggEngine eng(ghzConfig());
+    const Tick first = eng.fold(0, 6400, false);
+    EXPECT_EQ(eng.busyUntil(), first);
+    // A second fold arriving while the ALU is busy queues behind it...
+    const Tick second = eng.fold(0, 6400, false);
+    EXPECT_EQ(second, first + 108 * kCycle);
+    // ...and one arriving after the engine drained starts on arrival.
+    const Tick later = second + 50 * kCycle;
+    EXPECT_EQ(eng.fold(later, 64, false), later + 9 * kCycle);
+}
+
+TEST(SwitchAggEngine, SlotPoolExhaustsAndRecovers)
+{
+    SwitchAggConfig cfg = ghzConfig();
+    cfg.slots = 2;
+    SwitchAggEngine eng(cfg);
+    EXPECT_TRUE(eng.enabled());
+    EXPECT_EQ(eng.freeSlots(), 2);
+    EXPECT_TRUE(eng.tryAcquireSlot(1024));
+    EXPECT_TRUE(eng.tryAcquireSlot(1024));
+    EXPECT_EQ(eng.slotsInUse(), 2);
+    EXPECT_FALSE(eng.tryAcquireSlot(1024)); // pool exhausted
+    eng.noteSlotWait();
+    eng.releaseSlot();
+    EXPECT_TRUE(eng.tryAcquireSlot(1024));
+    EXPECT_EQ(eng.stats().peakSlotsInUse, 2u);
+    EXPECT_EQ(eng.stats().slotWaits, 1u);
+}
+
+TEST(SwitchAggEngine, ZeroSlotsDisablesTheEngine)
+{
+    SwitchAggConfig cfg = ghzConfig();
+    cfg.slots = 0;
+    SwitchAggEngine eng(cfg);
+    EXPECT_FALSE(eng.enabled());
+}
+
+TEST(SwitchAggEngine, AreaScalesWithSramAndLanes)
+{
+    const SwitchAggConfig base = ghzConfig();
+    SwitchAggEngine eng(base);
+    // 4 slots * 1 MiB = 33.55 Mbit SRAM at 0.2 mm^2/Mbit, plus one
+    // 64 B/cycle fold lane and half a codec lane at 0.05 mm^2 each.
+    const double sramMbit = 4.0 * (1 << 20) * 8.0 / 1e6;
+    EXPECT_DOUBLE_EQ(eng.areaMm2(), sramMbit * 0.2 + 1.5 * 0.05);
+
+    SwitchAggConfig bigger = base;
+    bigger.slots = 8;
+    EXPECT_GT(SwitchAggEngine(bigger).areaMm2(), eng.areaMm2());
+    SwitchAggConfig wider = base;
+    wider.foldBytesPerCycle = 128;
+    EXPECT_GT(SwitchAggEngine(wider).areaMm2(), eng.areaMm2());
+}
+
+} // namespace
+} // namespace inc

@@ -184,6 +184,115 @@ TEST(Topology, LinkIndexIsExactAndSorted)
     EXPECT_EQ(t.linkIndex(0, 1), -1); // hosts are never adjacent
 }
 
+// Structural property checks shared by the edge-case tests below:
+// the graph is connected, every directed link has its reverse (full
+// duplex), per-node in-degree equals out-degree, and every host hangs
+// off exactly one cable.
+void
+expectConnectedAndDegreeConsistent(const Topology &t)
+{
+    const size_t n = static_cast<size_t>(t.nodeCount());
+    std::vector<std::vector<int>> out(n);
+    std::vector<int> inDeg(n, 0);
+    for (const TopoLink &l : t.links) {
+        out[static_cast<size_t>(l.src)].push_back(l.dst);
+        ++inDeg[static_cast<size_t>(l.dst)];
+        EXPECT_GE(t.linkIndex(l.dst, l.src), 0)
+            << t.name << ": " << l.src << "->" << l.dst
+            << " has no reverse link";
+    }
+    for (size_t v = 0; v < n; ++v) {
+        EXPECT_EQ(out[v].size(), static_cast<size_t>(inDeg[v]))
+            << t.name << " node " << v;
+        if (static_cast<int>(v) < t.hosts) {
+            EXPECT_EQ(out[v].size(), 1u)
+                << t.name << " host " << v << " is multi-homed";
+        }
+    }
+    // BFS from node 0 must reach every node.
+    std::vector<int> seen(n, 0);
+    std::vector<int> frontier{0};
+    seen[0] = 1;
+    size_t reached = 1;
+    while (!frontier.empty()) {
+        std::vector<int> next;
+        for (const int v : frontier) {
+            for (const int w : out[static_cast<size_t>(v)]) {
+                if (!seen[static_cast<size_t>(w)]) {
+                    seen[static_cast<size_t>(w)] = 1;
+                    ++reached;
+                    next.push_back(w);
+                }
+            }
+        }
+        frontier = std::move(next);
+    }
+    EXPECT_EQ(reached, n) << t.name << " is disconnected";
+}
+
+TEST(FatTreeTopology, K2DegenerateStillRoutes)
+{
+    // The smallest legal fat-tree: 2 pods of 1 edge + 1 agg switch,
+    // one core, two hosts total — every route crosses the full
+    // host-edge-agg-core-agg-edge-host spine.
+    const Topology t = fatTreeTopology(2);
+    EXPECT_EQ(t.hosts, 2);
+    EXPECT_EQ(t.switches, 5);
+    EXPECT_EQ(t.links.size(), 12u); // 3k^3/4 = 6 cables
+    EXPECT_EQ(t.diameterHops(), 6);
+    expectRoutesValid(t);
+    expectLpPlanInvariants(t);
+    expectConnectedAndDegreeConsistent(t);
+}
+
+TEST(DragonflyTopology, SingleGroupHasNoGlobalHops)
+{
+    // g=1 degenerates to one all-to-all router group: every route is
+    // host-router(-router)-host and no global cable exists.
+    const Topology t = dragonflyTopology(4, 2, 2, 1);
+    EXPECT_EQ(t.hosts, 8);
+    EXPECT_EQ(t.switches, 4);
+    // Cables: 8 host + 4*3/2 local = 14.
+    EXPECT_EQ(t.links.size(), 28u);
+    EXPECT_EQ(t.diameterHops(), 3); // host-router-router-host
+    expectRoutesValid(t);
+    expectLpPlanInvariants(t);
+    expectConnectedAndDegreeConsistent(t);
+}
+
+TEST(TwoTierTopology, OddHostCountLeavesAPartialRack)
+{
+    // 13 hosts in racks of 4: three full racks plus a rack of one.
+    const Topology t = twoTierTopology(13, 4);
+    EXPECT_EQ(t.hosts, 13);
+    EXPECT_EQ(t.switches, 5); // 4 ToRs + core
+    EXPECT_EQ(t.links.size(), 2u * (13 + 4));
+    expectRoutesValid(t);
+    expectLpPlanInvariants(t);
+    expectConnectedAndDegreeConsistent(t);
+}
+
+TEST(Topology, GeneratorSweepIsConnectedAndDegreeConsistent)
+{
+    const std::vector<Topology> sweep = {
+        starTopology(2),
+        starTopology(17),
+        twoTierTopology(6, 2),
+        twoTierTopology(9, 4),
+        fatTreeTopology(2),
+        fatTreeTopology(4),
+        fatTreeTopology(6),
+        dragonflyTopology(2, 1, 1, 2),
+        dragonflyTopology(4, 2, 2, 1),
+        dragonflyTopology(4, 2, 2, 9),
+    };
+    for (const Topology &t : sweep) {
+        SCOPED_TRACE(t.name);
+        expectConnectedAndDegreeConsistent(t);
+        expectRoutesValid(t, 8);
+    }
+}
+
 TEST(Topology, ScalesTo1024WorkersAndBeyond)
 {
     // The datacenter-scale configs the benches use: fat-tree k=16 gives

@@ -120,6 +120,7 @@ main(int argc, char **argv)
     int top = 3;
     bool demo_fault = false;
     bool require_retransmit = false;
+    bool require_switch_agg = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -135,10 +136,13 @@ main(int argc, char **argv)
             demo_fault = true;
         } else if (arg == "--require-retransmit") {
             require_retransmit = true;
+        } else if (arg == "--require-switch-agg") {
+            require_switch_agg = true;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [spans.csv] [--top=K] [--json=PATH] "
-                "[--csv=PATH]\n       %s --demo-fault "
+                "[--csv=PATH] [--require-switch-agg]\n"
+                "       %s --demo-fault "
                 "[--require-retransmit] [--out=PATH]\n",
                 argv[0], argv[0]);
             return 0;
@@ -203,6 +207,14 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: --require-retransmit: no "
                              "Retransmit/RtoWait interval on any "
                              "critical chain\n");
+        rc = 1;
+    }
+    const bool has_agg = rep.chainContains(spans::Kind::SwitchAgg);
+    if (has_agg)
+        std::printf("switch aggregation on the critical path: yes\n");
+    if (require_switch_agg && !has_agg) {
+        std::fprintf(stderr, "error: --require-switch-agg: no SwitchAgg "
+                             "interval on any critical chain\n");
         rc = 1;
     }
     return rc;
