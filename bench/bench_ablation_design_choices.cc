@@ -36,7 +36,7 @@ main(int argc, char **argv)
     {
         SyntheticDigits train(3200, 1, true, 0.3f, 2);
         SyntheticDigits test(800, 2, true, 0.3f, 2);
-        const GradientCodec codec(8); // a coarse bound stresses the choice
+        const InceptionnCodec codec(8); // a coarse bound stresses the choice
         const uint64_t iters = opts.quick ? 120 : 300;
 
         auto run = [&](CompressionPoint point, bool ef, bool lossless) {

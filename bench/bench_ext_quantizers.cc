@@ -36,7 +36,7 @@ main(int argc, char **argv)
     const uint64_t iters =
         opts.iterations ? opts.iterations : (opts.quick ? 120 : 300);
 
-    const GradientCodec inc10(10);
+    const InceptionnCodec inc10(10);
     TernGradCodec terngrad(41);
     QsgdCodec qsgd(4, 42);
     const TopKSparsifier topk(0.05);
@@ -44,7 +44,7 @@ main(int argc, char **argv)
     struct Row
     {
         std::string name;
-        const GradientCodec *codec;
+        const InceptionnCodec *codec;
         std::function<void(std::span<float>)> transform;
         bool error_feedback;
         double ratio;

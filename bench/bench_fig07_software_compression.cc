@@ -55,7 +55,7 @@ struct MeasuredCodecThroughput
 };
 
 MeasuredCodecThroughput
-measureInceptionnSoftware(const GradientCodec &codec,
+measureInceptionnSoftware(const InceptionnCodec &codec,
                           const std::vector<float> &grad, int reps)
 {
     // Host-time throughput bench: the wall clock IS the measurement
@@ -101,7 +101,7 @@ measureOnRealGradients(const bench::Options &opts,
         reinterpret_cast<const uint8_t *>(grad.data()), grad.size() * 4));
     r.sz = SzLikeCodec(1.0 / 1024.0).measureRatio(grad);
     TagHistogram tags;
-    GradientCodec(10).measure(grad, &tags);
+    InceptionnCodec(10).measure(grad, &tags);
     r.inceptionn = tags.compressionRatio();
     *grad_out = grad;
     return r;
@@ -124,7 +124,7 @@ main(int argc, char **argv)
                 ratios.inceptionn);
 
     const int threads = globalThreadCount();
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const MeasuredCodecThroughput measured = measureInceptionnSoftware(
         codec, grad, opts.quick ? 4 : 16);
     std::printf("INCEPTIONN codec in software (INC_THREADS=%d, chunked): "

@@ -80,7 +80,7 @@ main(int argc, char **argv)
     SyntheticDigits train(3200, 1, true, 0.35f, 3);
     SyntheticDigits test(800, 2, true, 0.35f, 3);
     const double target = 0.80;
-    auto epochsToTarget = [&](const GradientCodec *codec, double *final_acc) {
+    auto epochsToTarget = [&](const InceptionnCodec *codec, double *final_acc) {
         FuncTrainerConfig cfg;
         cfg.nodes = 4;
         cfg.batchPerNode = 16;
@@ -105,7 +105,7 @@ main(int argc, char **argv)
 
     double acc_lossless = 0.0, acc_lossy = 0.0;
     const uint64_t e_lossless = epochsToTarget(nullptr, &acc_lossless);
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const uint64_t e_lossy = epochsToTarget(&codec, &acc_lossy);
 
     TablePrinter conv({"System", "Epochs to target", "Accuracy"});
@@ -146,7 +146,7 @@ main(int argc, char **argv)
         {
             const char *name;
             double secs_per_iter;
-            const GradientCodec *curve_codec;
+            const InceptionnCodec *curve_codec;
             FuncExchange exchange;
             double time_to_target = -1.0;
         };

@@ -26,7 +26,7 @@ struct Scheme
 {
     std::string name;
     const TruncationCodec *trunc = nullptr;
-    const GradientCodec *codec = nullptr;
+    const InceptionnCodec *codec = nullptr;
 };
 
 struct ModelSetup
@@ -80,7 +80,7 @@ main(int argc, char **argv)
                   "Figure 14");
 
     const TruncationCodec t16(16), t22(22), t24(24);
-    const GradientCodec inc10(10), inc8(8), inc6(6);
+    const InceptionnCodec inc10(10), inc8(8), inc6(6);
     const Scheme schemes[] = {
         {"Base", nullptr, nullptr},
         {"16b-T", &t16, nullptr},

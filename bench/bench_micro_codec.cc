@@ -33,7 +33,7 @@ gradientLike(size_t n, uint64_t seed = 42)
 void
 BM_CodecCompress(benchmark::State &state)
 {
-    const GradientCodec codec(static_cast<int>(state.range(0)));
+    const InceptionnCodec codec(static_cast<int>(state.range(0)));
     const auto vals = gradientLike(1 << 16);
     for (auto _ : state) {
         uint64_t bits = codec.measure(vals);
@@ -47,7 +47,7 @@ BENCHMARK(BM_CodecCompress)->Arg(6)->Arg(8)->Arg(10);
 void
 BM_CodecRoundtrip(benchmark::State &state)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     auto vals = gradientLike(1 << 16);
     for (auto _ : state) {
         codec.roundtrip(vals);
@@ -61,7 +61,7 @@ BENCHMARK(BM_CodecRoundtrip);
 void
 BM_StreamEncode(benchmark::State &state)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const auto vals = gradientLike(1 << 16);
     for (auto _ : state) {
         const CompressedStream s = encodeStream(codec, vals);
@@ -75,7 +75,7 @@ BENCHMARK(BM_StreamEncode);
 void
 BM_StreamDecode(benchmark::State &state)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const auto vals = gradientLike(1 << 16);
     const CompressedStream s = encodeStream(codec, vals);
     std::vector<float> out(vals.size());
@@ -98,7 +98,7 @@ void
 BM_ChunkedStreamEncode(benchmark::State &state)
 {
     setGlobalThreadCount(static_cast<int>(state.range(0)));
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const auto vals = gradientLike(1 << 20);
     for (auto _ : state) {
         const ChunkedStream s = encodeStreamChunked(codec, vals);
@@ -114,7 +114,7 @@ void
 BM_ChunkedStreamDecode(benchmark::State &state)
 {
     setGlobalThreadCount(static_cast<int>(state.range(0)));
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const auto vals = gradientLike(1 << 20);
     const ChunkedStream s = encodeStreamChunked(codec, vals);
     std::vector<float> out(vals.size());
@@ -132,7 +132,7 @@ void
 BM_ParallelRoundtrip(benchmark::State &state)
 {
     setGlobalThreadCount(static_cast<int>(state.range(0)));
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     auto vals = gradientLike(1 << 20);
     for (auto _ : state) {
         codec.roundtrip(vals);
@@ -147,7 +147,7 @@ BENCHMARK(BM_ParallelRoundtrip)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 void
 BM_BurstCompressorModel(benchmark::State &state)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const auto vals = gradientLike(1 << 15);
     for (auto _ : state) {
         BurstCompressor engine(codec);
@@ -164,7 +164,7 @@ void
 BM_RingAllReduceInMemory(benchmark::State &state)
 {
     const bool compressed = state.range(0) != 0;
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const size_t n = 1 << 14;
     std::vector<std::vector<float>> reps(4);
     for (size_t i = 0; i < 4; ++i)

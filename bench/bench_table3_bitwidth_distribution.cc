@@ -78,7 +78,7 @@ main(int argc, char **argv)
         for (int b : {10, 8, 6}) {
             for (CodecPolicy policy : {CodecPolicy::kResidualMask,
                                        CodecPolicy::kExponentThreshold}) {
-                const GradientCodec codec(b, policy);
+                const InceptionnCodec codec(b, policy);
                 TagHistogram hist;
                 for (const auto &entry : mt.trace.entries())
                     codec.measure(entry.gradient, &hist);

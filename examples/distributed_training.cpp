@@ -31,7 +31,7 @@ main(int argc, char **argv)
 
     SyntheticDigits train(4000, 1), test(1000, 2);
 
-    auto run = [&](const GradientCodec *codec, const char *label) {
+    auto run = [&](const InceptionnCodec *codec, const char *label) {
         FuncTrainerConfig cfg;
         cfg.nodes = 4;
         cfg.batchPerNode = 16;
@@ -57,7 +57,7 @@ main(int argc, char **argv)
     };
 
     const double lossless = run(nullptr, "lossless ring:");
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const double lossy = run(&codec, "INC(2^-10) ring:");
     std::printf("\nfinal accuracy: lossless %.3f vs INC(2^-10) %.3f "
                 "(paper: compression costs <2%%)\n\n",

@@ -34,7 +34,7 @@ main(int argc, char **argv)
     std::vector<float> sample(1 << 16);
     for (auto &v : sample)
         v = static_cast<float>(rng.gaussian(0.0, 0.02));
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     BurstCompressor engine(codec);
     engine.feed(sample);
     const CompressedStream s = engine.finish();

@@ -32,7 +32,7 @@ main(int argc, char **argv)
     }
 
     // 2. Compress / decompress with the scalar codec.
-    const inc::GradientCodec codec(bound_log2);
+    const inc::InceptionnCodec codec(bound_log2);
     inc::TagHistogram tags;
     const inc::CompressedStream stream =
         inc::encodeStream(codec, gradients, &tags);

@@ -1,0 +1,669 @@
+#include "comm/codec_zoo.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "core/compressed_stream.h"
+#include "core/fp32.h"
+#include "sim/logging.h"
+
+namespace inc {
+
+namespace {
+
+// --- little-endian field helpers (zoo block payloads) -----------------
+
+void
+putU16(std::vector<uint8_t> &out, uint16_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putF32(std::vector<uint8_t> &out, float f)
+{
+    putU32(out, floatToBits(f));
+}
+
+uint16_t
+getU16(std::span<const uint8_t> in, size_t at)
+{
+    return static_cast<uint16_t>(in[at] |
+                                 (static_cast<uint16_t>(in[at + 1]) << 8));
+}
+
+uint32_t
+getU32(std::span<const uint8_t> in, size_t at)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(in[at + static_cast<size_t>(i)])
+             << (8 * i);
+    return v;
+}
+
+uint64_t
+getU64(std::span<const uint8_t> in, size_t at)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(in[at + static_cast<size_t>(i)])
+             << (8 * i);
+    return v;
+}
+
+float
+getF32(std::span<const uint8_t> in, size_t at)
+{
+    return bitsToFloat(getU32(in, at));
+}
+
+} // namespace
+
+// --- Fp32Codec --------------------------------------------------------
+
+Fp32Codec::Fp32Codec()
+{
+    info_.name = "fp32";
+    info_.lossless = true;
+    info_.streaming = true;
+    info_.blockElems = 8192;
+    info_.notes = "lossless fp32 passthrough (baseline)";
+}
+
+CodecCostModel
+Fp32Codec::cost() const
+{
+    // memcpy-class throughput; the "engine" is a wire.
+    return {8e9, 8e9, /*hwValuesPerCycle=*/8.0, /*hwPipelineCycles=*/1};
+}
+
+double
+Fp32Codec::errorBound(std::span<const float>) const
+{
+    return 0.0;
+}
+
+std::vector<uint8_t>
+Fp32Codec::encodeBlock(std::span<const float> block) const
+{
+    std::vector<uint8_t> out;
+    out.reserve(block.size() * 4);
+    for (const float f : block)
+        putF32(out, f);
+    return out;
+}
+
+bool
+Fp32Codec::decodeBlock(std::span<const uint8_t> bytes,
+                       std::span<float> out) const
+{
+    if (bytes.size() != out.size() * 4)
+        return false;
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = getF32(bytes, i * 4);
+    return true;
+}
+
+// --- InceptionnZooCodec -----------------------------------------------
+
+InceptionnZooCodec::InceptionnZooCodec(int bound_log2, CodecPolicy policy)
+    : codec_(bound_log2, policy)
+{
+    info_.name = "inceptionn_b" + std::to_string(bound_log2) +
+                 (policy == CodecPolicy::kExponentThreshold ? "_exp" : "");
+    info_.lossless = false;
+    info_.streaming = true;
+    info_.blockElems = 8192; // multiple of the 8-value group
+    info_.notes = "paper Alg. 2/3 lossy FP, bound 2^-" +
+                  std::to_string(bound_log2);
+}
+
+CodecCostModel
+InceptionnZooCodec::cost() const
+{
+    // Software: scalar tag/shift per value (bench_micro_codec class);
+    // hardware: the paper's 256-bit/cycle engine at pipeline depth 4.
+    return {300e6, 450e6, /*hwValuesPerCycle=*/8.0, /*hwPipelineCycles=*/4};
+}
+
+double
+InceptionnZooCodec::errorBound(std::span<const float>) const
+{
+    return codec_.errorBound();
+}
+
+void
+InceptionnZooCodec::roundtrip(std::span<float> values) const
+{
+    codec_.roundtrip(values);
+}
+
+std::vector<uint8_t>
+InceptionnZooCodec::encodeBlock(std::span<const float> block) const
+{
+    // Reuse the paper's group wire format verbatim: the zoo block is a
+    // serialized CompressedStream (16-byte header + packed groups).
+    return serialize(encodeStream(codec_, block));
+}
+
+bool
+InceptionnZooCodec::decodeBlock(std::span<const uint8_t> bytes,
+                                std::span<float> out) const
+{
+    // Safe re-implementation of deserialize()+decodeStream(): every
+    // bit read is bounds-checked so corrupt tags cannot underrun.
+    if (bytes.size() < 16)
+        return false;
+    const uint64_t count = getU64(bytes, 0);
+    const uint64_t bit_size = getU64(bytes, 8);
+    if (count != out.size())
+        return false;
+    if ((bytes.size() - 16) * 8 < bit_size)
+        return false;
+
+    BitReader reader(bytes.subspan(16));
+    for (size_t base = 0; base < count; base += 8) {
+        const size_t n = std::min<size_t>(8, count - base);
+        if (reader.remaining() < 16)
+            return false;
+        const uint32_t tagword = reader.read(16);
+        for (size_t i = 0; i < 8; ++i) {
+            const Tag tag = static_cast<Tag>((tagword >> (2 * i)) & 0x3u);
+            const int pb = tagPayloadBits(tag);
+            if (reader.remaining() < static_cast<uint64_t>(pb))
+                return false;
+            const uint32_t payload = reader.read(pb);
+            if (i < n)
+                out[base + i] =
+                    codec_.decompress(CompressedValue{tag, payload});
+        }
+    }
+    // The groups must consume exactly the advertised significant bits.
+    return reader.position() == bit_size;
+}
+
+// --- TopKEfCodec ------------------------------------------------------
+
+TopKEfCodec::TopKEfCodec(double keep_fraction)
+    : keepFraction_(keep_fraction)
+{
+    INC_ASSERT(keep_fraction > 0.0 && keep_fraction <= 1.0,
+               "keep fraction %f out of (0, 1]", keep_fraction);
+    info_.name =
+        "topk_ef_" +
+        std::to_string(static_cast<int>(std::llround(keep_fraction * 100)));
+    info_.lossless = false;
+    info_.streaming = false; // needs per-block order statistics
+    info_.blockElems = 1024; // n and indices fit u16
+    info_.notes = "AdaComp/DGC per-block top-k, pair with error feedback";
+}
+
+CodecCostModel
+TopKEfCodec::cost() const
+{
+    // Software selection cost dominates encode; decode is a scatter.
+    return {500e6, 2e9, /*hwValuesPerCycle=*/0.0, /*hwPipelineCycles=*/0};
+}
+
+size_t
+TopKEfCodec::keptOf(size_t n) const
+{
+    if (n == 0)
+        return 0;
+    const size_t k = static_cast<size_t>(
+        std::llround(keepFraction_ * static_cast<double>(n)));
+    return std::clamp<size_t>(k, 1, n);
+}
+
+std::vector<uint8_t>
+TopKEfCodec::encodeBlock(std::span<const float> block) const
+{
+    const size_t n = block.size();
+    const size_t k = keptOf(n);
+    std::vector<uint16_t> idx(n);
+    std::iota(idx.begin(), idx.end(), static_cast<uint16_t>(0));
+    // Deterministic selection: magnitude descending, index ascending on
+    // ties — no RNG, no pointer order.
+    std::partial_sort(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(k),
+                      idx.end(), [&](uint16_t a, uint16_t b) {
+                          const float ma = std::abs(block[a]);
+                          const float mb = std::abs(block[b]);
+                          if (ma != mb)
+                              return ma > mb;
+                          return a < b;
+                      });
+    std::sort(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(k));
+
+    std::vector<uint8_t> out;
+    out.reserve(4 + k * 6);
+    putU16(out, static_cast<uint16_t>(n));
+    putU16(out, static_cast<uint16_t>(k));
+    for (size_t i = 0; i < k; ++i) {
+        putU16(out, idx[i]);
+        putF32(out, block[idx[i]]);
+    }
+    return out;
+}
+
+bool
+TopKEfCodec::decodeBlock(std::span<const uint8_t> bytes,
+                         std::span<float> out) const
+{
+    if (bytes.size() < 4)
+        return false;
+    const size_t n = getU16(bytes, 0);
+    const size_t k = getU16(bytes, 2);
+    if (n != out.size() || k > n || k != keptOf(n))
+        return false;
+    if (bytes.size() != 4 + k * 6)
+        return false;
+    std::fill(out.begin(), out.end(), 0.0f);
+    size_t prev = 0;
+    for (size_t i = 0; i < k; ++i) {
+        const size_t at = 4 + i * 6;
+        const size_t pos = getU16(bytes, at);
+        // Canonical form: strictly increasing in-range indices.
+        if (pos >= n || (i > 0 && pos <= prev))
+            return false;
+        out[pos] = getF32(bytes, at + 2);
+        prev = pos;
+    }
+    return true;
+}
+
+double
+TopKEfCodec::errorBound(std::span<const float> values) const
+{
+    // Kept entries are bit-exact; every dropped entry's magnitude is
+    // bounded by the (k+1)-th largest magnitude of its block.
+    const size_t be = info_.blockElems;
+    double bound = 0.0;
+    std::vector<float> mags;
+    for (size_t off = 0; off < values.size(); off += be) {
+        const size_t n = std::min(be, values.size() - off);
+        const size_t k = keptOf(n);
+        if (k >= n)
+            continue;
+        mags.resize(n);
+        for (size_t i = 0; i < n; ++i)
+            mags[i] = std::abs(values[off + i]);
+        std::nth_element(mags.begin(),
+                         mags.begin() + static_cast<ptrdiff_t>(k),
+                         mags.end(), std::greater<float>());
+        bound = std::max(bound, static_cast<double>(mags[k]));
+    }
+    return bound;
+}
+
+// --- FftCodec ---------------------------------------------------------
+
+namespace {
+
+constexpr size_t kFftN = 256;
+constexpr size_t kHalfBins = kFftN / 2 + 1; // 129
+constexpr size_t kMaskBytes = (kHalfBins + 7) / 8;
+constexpr double kPi = 3.14159265358979323846;
+
+/** In-place iterative radix-2 FFT over kFftN complex doubles. */
+void
+fftRadix2(std::array<double, kFftN> &re, std::array<double, kFftN> &im,
+          bool inverse)
+{
+    // Bit-reversal permutation.
+    for (size_t i = 1, j = 0; i < kFftN; ++i) {
+        size_t bit = kFftN >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j) {
+            std::swap(re[i], re[j]);
+            std::swap(im[i], im[j]);
+        }
+    }
+    const double sign = inverse ? 1.0 : -1.0;
+    for (size_t len = 2; len <= kFftN; len <<= 1) {
+        const double ang = sign * 2.0 * kPi / static_cast<double>(len);
+        for (size_t i = 0; i < kFftN; i += len) {
+            for (size_t j = 0; j < len / 2; ++j) {
+                const double wr = std::cos(ang * static_cast<double>(j));
+                const double wi = std::sin(ang * static_cast<double>(j));
+                const size_t a = i + j, b = i + j + len / 2;
+                const double xr = re[b] * wr - im[b] * wi;
+                const double xi = re[b] * wi + im[b] * wr;
+                re[b] = re[a] - xr;
+                im[b] = im[a] - xi;
+                re[a] += xr;
+                im[a] += xi;
+            }
+        }
+    }
+    if (inverse) {
+        for (size_t i = 0; i < kFftN; ++i) {
+            re[i] /= static_cast<double>(kFftN);
+            im[i] /= static_cast<double>(kFftN);
+        }
+    }
+}
+
+/** Forward spectrum of a (zero-padded) block. */
+void
+blockSpectrum(std::span<const float> block, std::array<double, kFftN> &re,
+              std::array<double, kFftN> &im)
+{
+    re.fill(0.0);
+    im.fill(0.0);
+    for (size_t i = 0; i < block.size(); ++i)
+        re[i] = static_cast<double>(block[i]);
+    fftRadix2(re, im, /*inverse=*/false);
+}
+
+/** Conjugate-symmetry weight of half-spectrum bin @p k. */
+double
+binWeight(size_t k)
+{
+    return (k == 0 || k == kFftN / 2) ? 1.0 : 2.0;
+}
+
+} // namespace
+
+FftCodec::FftCodec(double keep_fraction) : keepFraction_(keep_fraction)
+{
+    INC_ASSERT(keep_fraction > 0.0 && keep_fraction <= 1.0,
+               "keep fraction %f out of (0, 1]", keep_fraction);
+    info_.name =
+        "fft_" +
+        std::to_string(static_cast<int>(std::llround(keep_fraction * 100)));
+    info_.lossless = false;
+    info_.streaming = false; // needs a whole block's spectrum
+    info_.blockElems = kFftN;
+    info_.notes = "FFT-domain sparsification (SuperNeurons family)";
+}
+
+CodecCostModel
+FftCodec::cost() const
+{
+    return {150e6, 250e6, /*hwValuesPerCycle=*/0.0, /*hwPipelineCycles=*/0};
+}
+
+size_t
+FftCodec::keptBins() const
+{
+    const size_t k = static_cast<size_t>(std::llround(
+        keepFraction_ * static_cast<double>(kHalfBins)));
+    return std::clamp<size_t>(k, 1, kHalfBins);
+}
+
+std::vector<uint8_t>
+FftCodec::encodeBlock(std::span<const float> block) const
+{
+    std::array<double, kFftN> re, im;
+    blockSpectrum(block, re, im);
+    // DC and Nyquist of a real signal are purely real; canonicalize so
+    // encode/decode agree bit for bit.
+    im[0] = 0.0;
+    im[kFftN / 2] = 0.0;
+
+    const size_t keep = keptBins();
+    std::array<uint16_t, kHalfBins> bins;
+    std::iota(bins.begin(), bins.end(), static_cast<uint16_t>(0));
+    std::partial_sort(
+        bins.begin(), bins.begin() + static_cast<ptrdiff_t>(keep),
+        bins.end(), [&](uint16_t a, uint16_t b) {
+            const double ma = re[a] * re[a] + im[a] * im[a];
+            const double mb = re[b] * re[b] + im[b] * im[b];
+            if (ma != mb)
+                return ma > mb;
+            return a < b;
+        });
+    std::sort(bins.begin(), bins.begin() + static_cast<ptrdiff_t>(keep));
+
+    std::vector<uint8_t> out;
+    out.reserve(4 + kMaskBytes + keep * 8);
+    putU16(out, static_cast<uint16_t>(block.size()));
+    putU16(out, static_cast<uint16_t>(keep));
+    std::array<uint8_t, kMaskBytes> mask{};
+    for (size_t i = 0; i < keep; ++i)
+        mask[bins[i] / 8] |= static_cast<uint8_t>(1u << (bins[i] % 8));
+    out.insert(out.end(), mask.begin(), mask.end());
+    for (size_t i = 0; i < keep; ++i) {
+        putF32(out, static_cast<float>(re[bins[i]]));
+        putF32(out, static_cast<float>(im[bins[i]]));
+    }
+    return out;
+}
+
+bool
+FftCodec::decodeBlock(std::span<const uint8_t> bytes,
+                      std::span<float> out) const
+{
+    if (bytes.size() < 4 + kMaskBytes)
+        return false;
+    const size_t n = getU16(bytes, 0);
+    const size_t keep = getU16(bytes, 2);
+    if (n != out.size() || n > kFftN || keep != keptBins())
+        return false;
+    if (bytes.size() != 4 + kMaskBytes + keep * 8)
+        return false;
+
+    std::array<double, kFftN> re{}, im{};
+    size_t taken = 0;
+    for (size_t k = 0; k < kHalfBins; ++k) {
+        if (!((bytes[4 + k / 8] >> (k % 8)) & 1u))
+            continue;
+        if (taken >= keep)
+            return false; // mask popcount exceeds the kept count
+        const size_t at = 4 + kMaskBytes + taken * 8;
+        double cr = static_cast<double>(getF32(bytes, at));
+        double ci = static_cast<double>(getF32(bytes, at + 4));
+        if (k == 0 || k == kFftN / 2)
+            ci = 0.0;
+        re[k] = cr;
+        im[k] = ci;
+        if (k != 0 && k != kFftN / 2) {
+            re[kFftN - k] = cr;
+            im[kFftN - k] = -ci;
+        }
+        ++taken;
+    }
+    if (taken != keep)
+        return false; // mask popcount below the kept count
+    // Mask bits above kHalfBins must be zero (trailing pad bits).
+    for (size_t b = kHalfBins; b < kMaskBytes * 8; ++b)
+        if ((bytes[4 + b / 8] >> (b % 8)) & 1u)
+            return false;
+
+    fftRadix2(re, im, /*inverse=*/true);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = static_cast<float>(re[i]);
+    return true;
+}
+
+double
+FftCodec::errorBound(std::span<const float> values) const
+{
+    // Triangle inequality on the inverse transform: dropped bins
+    // contribute at most (1/N) * sum of their (pair-weighted)
+    // magnitudes; float-rounding the kept coefficients and the output
+    // adds relative 2^-23 terms.
+    const size_t keep = keptBins();
+    double bound = 0.0;
+    std::array<double, kFftN> re, im;
+    std::array<double, kHalfBins> mag;
+    std::array<size_t, kHalfBins> order;
+    for (size_t off = 0; off < values.size(); off += kFftN) {
+        const size_t n = std::min(kFftN, values.size() - off);
+        const std::span<const float> block = values.subspan(off, n);
+        blockSpectrum(block, re, im);
+        double max_in = 0.0;
+        for (const float f : block)
+            max_in = std::max(max_in, std::abs(static_cast<double>(f)));
+        for (size_t k = 0; k < kHalfBins; ++k)
+            mag[k] = std::sqrt(re[k] * re[k] + im[k] * im[k]);
+        std::iota(order.begin(), order.end(), size_t{0});
+        std::partial_sort(order.begin(),
+                          order.begin() + static_cast<ptrdiff_t>(keep),
+                          order.end(), [&](size_t a, size_t b) {
+                              if (mag[a] != mag[b])
+                                  return mag[a] > mag[b];
+                              return a < b;
+                          });
+        double s_keep = 0.0, s_drop = 0.0;
+        for (size_t i = 0; i < keep; ++i)
+            s_keep += binWeight(order[i]) * mag[order[i]];
+        for (size_t i = keep; i < kHalfBins; ++i)
+            s_drop += binWeight(order[i]) * mag[order[i]];
+        const double inv_n = 1.0 / static_cast<double>(kFftN);
+        const double drop_term = inv_n * s_drop;
+        const double quant_term = inv_n * s_keep * 0x1p-23;
+        const double round_term = (max_in + drop_term) * 0x1p-23;
+        bound = std::max(bound, (drop_term + quant_term + round_term) *
+                                        (1.0 + 1e-9) +
+                                    1e-18);
+    }
+    return bound;
+}
+
+// --- UniformQuantCodec ------------------------------------------------
+
+UniformQuantCodec::UniformQuantCodec(int bits) : bits_(bits)
+{
+    INC_ASSERT(bits >= 2 && bits <= 16, "quantizer bits %d out of [2,16]",
+               bits);
+    q_ = (1 << (bits - 1)) - 1;
+    info_.name = "quant" + std::to_string(bits) + "_ef";
+    info_.lossless = false;
+    info_.streaming = false; // needs the block maximum
+    info_.blockElems = 4096;
+    info_.notes = "per-block max-scaled uniform " + std::to_string(bits) +
+                  "-bit quantizer, pair with error feedback";
+}
+
+CodecCostModel
+UniformQuantCodec::cost() const
+{
+    return {800e6, 1000e6, /*hwValuesPerCycle=*/0.0,
+            /*hwPipelineCycles=*/0};
+}
+
+std::vector<uint8_t>
+UniformQuantCodec::encodeBlock(std::span<const float> block) const
+{
+    float scale = 0.0f;
+    for (const float f : block)
+        scale = std::max(scale, std::abs(f));
+
+    std::vector<uint8_t> out;
+    putU16(out, static_cast<uint16_t>(block.size()));
+    out.push_back(static_cast<uint8_t>(bits_));
+    putF32(out, scale);
+    BitWriter writer;
+    const double s = static_cast<double>(scale);
+    for (const float f : block) {
+        // Levels are offset-binary: stored q + Q in [0, 2Q].
+        int64_t q = 0;
+        if (s > 0.0)
+            q = std::llround(static_cast<double>(f) / s *
+                             static_cast<double>(q_));
+        writer.append(static_cast<uint32_t>(q + q_), bits_);
+    }
+    const auto &packed = writer.bytes();
+    out.insert(out.end(), packed.begin(), packed.end());
+    return out;
+}
+
+bool
+UniformQuantCodec::decodeBlock(std::span<const uint8_t> bytes,
+                               std::span<float> out) const
+{
+    if (bytes.size() < 7)
+        return false;
+    const size_t n = getU16(bytes, 0);
+    if (n != out.size() || bytes[2] != static_cast<uint8_t>(bits_))
+        return false;
+    const float scale = getF32(bytes, 3);
+    if (!std::isfinite(scale) || scale < 0.0f)
+        return false;
+    const size_t packed =
+        (n * static_cast<size_t>(bits_) + 7) / 8;
+    if (bytes.size() != 7 + packed)
+        return false;
+
+    BitReader reader(bytes.subspan(7));
+    const double step =
+        static_cast<double>(scale) / static_cast<double>(q_);
+    for (size_t i = 0; i < n; ++i) {
+        const int64_t q =
+            static_cast<int64_t>(reader.read(bits_)) - q_;
+        if (q < -q_ || q > q_)
+            return false; // level outside the codebook
+        out[i] = static_cast<float>(static_cast<double>(q) * step);
+    }
+    return true;
+}
+
+double
+UniformQuantCodec::errorBound(std::span<const float> values) const
+{
+    const size_t be = info_.blockElems;
+    double bound = 0.0;
+    for (size_t off = 0; off < values.size(); off += be) {
+        const size_t n = std::min(be, values.size() - off);
+        float scale = 0.0f;
+        for (size_t i = 0; i < n; ++i)
+            scale = std::max(scale, std::abs(values[off + i]));
+        const double s = static_cast<double>(scale);
+        const double step = s / static_cast<double>(q_);
+        bound = std::max(bound,
+                         (0.5 * step + s * 0x1p-24) * (1.0 + 1e-9) +
+                             1e-30);
+    }
+    return bound;
+}
+
+// --- registry ---------------------------------------------------------
+
+const std::vector<CodecRegistryEntry> &
+codecRegistry()
+{
+    static const std::vector<CodecRegistryEntry> kRegistry = {
+        {"fp32", [] { return std::make_unique<Fp32Codec>(); }},
+        {"inceptionn_b8",
+         [] {
+             return std::make_unique<InceptionnZooCodec>(8);
+         }},
+        {"inceptionn_b10",
+         [] {
+             return std::make_unique<InceptionnZooCodec>(10);
+         }},
+        {"topk_ef_1", [] { return std::make_unique<TopKEfCodec>(0.01); }},
+        {"topk_ef_5", [] { return std::make_unique<TopKEfCodec>(0.05); }},
+        {"fft_12", [] { return std::make_unique<FftCodec>(0.12); }},
+        {"fft_25", [] { return std::make_unique<FftCodec>(0.25); }},
+        {"quant4_ef",
+         [] { return std::make_unique<UniformQuantCodec>(4); }},
+        {"quant8_ef",
+         [] { return std::make_unique<UniformQuantCodec>(8); }},
+    };
+    return kRegistry;
+}
+
+} // namespace inc

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The built-in gradient-codec zoo behind the pluggable GradientCodec
+ * interface (comm/gradient_codec.h):
+ *
+ *  - Fp32Codec — lossless passthrough; the Pareto baseline and the
+ *    harness's lossless-law exerciser.
+ *  - InceptionnZooCodec — the paper's NIC codec (core/codec.h scalar
+ *    transform + its group wire format) adapted to the zoo framing.
+ *  - TopKEfCodec — AdaComp/DGC-style per-block top-k magnitude
+ *    sparsification, designed to run under trainer-side error
+ *    feedback (the residual state lives in the trainers, not here).
+ *  - FftCodec — SuperNeurons-style FFT-domain sparsification: per
+ *    256-value block, keep the largest-magnitude frequency bins and
+ *    inverse-transform on decode.
+ *  - UniformQuantCodec — per-block max-scaled uniform quantizer at a
+ *    fixed bit width, quantize-then-correct style (pair with error
+ *    feedback).
+ *
+ * All five are deterministic (no RNG, no wall clock); encode bytes are
+ * bit-identical across INC_THREADS and INC_EQ_SHUFFLE, which the
+ * differential property suite (tests/comm/codec_zoo_test.cc) enforces
+ * for every registry entry.
+ */
+
+#ifndef INCEPTIONN_COMM_CODEC_ZOO_H
+#define INCEPTIONN_COMM_CODEC_ZOO_H
+
+#include "comm/gradient_codec.h"
+#include "core/codec.h"
+
+namespace inc {
+
+/** Lossless fp32 passthrough (ratio 1.0). */
+class Fp32Codec final : public GradientCodec
+{
+  public:
+    Fp32Codec();
+
+    const CodecInfo &info() const override { return info_; }
+    CodecCostModel cost() const override;
+    double errorBound(std::span<const float> values) const override;
+
+  protected:
+    std::vector<uint8_t>
+    encodeBlock(std::span<const float> block) const override;
+    bool decodeBlock(std::span<const uint8_t> bytes,
+                     std::span<float> out) const override;
+
+  private:
+    CodecInfo info_;
+};
+
+/** The INCEPTIONN lossy FP codec behind the zoo interface. */
+class InceptionnZooCodec final : public GradientCodec
+{
+  public:
+    explicit InceptionnZooCodec(
+        int bound_log2 = 10,
+        CodecPolicy policy = CodecPolicy::kResidualMask);
+
+    const CodecInfo &info() const override { return info_; }
+    CodecCostModel cost() const override;
+    double errorBound(std::span<const float> values) const override;
+    /** Direct scalar path; bit-identical to the wire round-trip. */
+    void roundtrip(std::span<float> values) const override;
+
+    const InceptionnCodec &scalar() const { return codec_; }
+
+  protected:
+    std::vector<uint8_t>
+    encodeBlock(std::span<const float> block) const override;
+    bool decodeBlock(std::span<const uint8_t> bytes,
+                     std::span<float> out) const override;
+
+  private:
+    InceptionnCodec codec_;
+    CodecInfo info_;
+};
+
+/** Per-block top-k magnitude sparsification (AdaComp/DGC family). */
+class TopKEfCodec final : public GradientCodec
+{
+  public:
+    /** @param keep_fraction fraction of each block transmitted, (0,1]. */
+    explicit TopKEfCodec(double keep_fraction);
+
+    const CodecInfo &info() const override { return info_; }
+    CodecCostModel cost() const override;
+    double errorBound(std::span<const float> values) const override;
+
+    double keepFraction() const { return keepFraction_; }
+
+  protected:
+    std::vector<uint8_t>
+    encodeBlock(std::span<const float> block) const override;
+    bool decodeBlock(std::span<const uint8_t> bytes,
+                     std::span<float> out) const override;
+
+  private:
+    size_t keptOf(size_t n) const;
+
+    double keepFraction_;
+    CodecInfo info_;
+};
+
+/** FFT-domain sparsification over 256-value blocks. */
+class FftCodec final : public GradientCodec
+{
+  public:
+    /** @param keep_fraction fraction of half-spectrum bins kept, (0,1]. */
+    explicit FftCodec(double keep_fraction);
+
+    const CodecInfo &info() const override { return info_; }
+    CodecCostModel cost() const override;
+    double errorBound(std::span<const float> values) const override;
+
+    double keepFraction() const { return keepFraction_; }
+
+  protected:
+    std::vector<uint8_t>
+    encodeBlock(std::span<const float> block) const override;
+    bool decodeBlock(std::span<const uint8_t> bytes,
+                     std::span<float> out) const override;
+
+  private:
+    size_t keptBins() const;
+
+    double keepFraction_;
+    CodecInfo info_;
+};
+
+/** Per-block max-scaled uniform quantizer at a fixed bit width. */
+class UniformQuantCodec final : public GradientCodec
+{
+  public:
+    /** @param bits signed level width per value, in [2, 16]. */
+    explicit UniformQuantCodec(int bits);
+
+    const CodecInfo &info() const override { return info_; }
+    CodecCostModel cost() const override;
+    double errorBound(std::span<const float> values) const override;
+
+    int bits() const { return bits_; }
+
+  protected:
+    std::vector<uint8_t>
+    encodeBlock(std::span<const float> block) const override;
+    bool decodeBlock(std::span<const uint8_t> bytes,
+                     std::span<float> out) const override;
+
+  private:
+    int bits_;
+    int32_t q_; ///< max level: 2^(bits-1) - 1
+    CodecInfo info_;
+};
+
+} // namespace inc
+
+#endif // INCEPTIONN_COMM_CODEC_ZOO_H

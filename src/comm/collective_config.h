@@ -8,9 +8,12 @@
 #ifndef INCEPTIONN_COMM_COLLECTIVE_CONFIG_H
 #define INCEPTIONN_COMM_COLLECTIVE_CONFIG_H
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <span>
 
+#include "comm/gradient_codec.h"
 #include "sim/event_queue.h"
 
 namespace inc {
@@ -31,6 +34,8 @@ struct ExchangeConfig
     bool compressWeights = false;
     /** Codec wire ratio achieved on gradient payloads. */
     double wireRatio = 1.0;
+    /** Which zoo codec wireRatio came from (provenance; not owned). */
+    const GradientCodec *codec = nullptr;
     /** Sum-reduction cost, seconds per byte (the paper's gamma). */
     double sumSecondsPerByte = 1e-10;
     /**
@@ -69,6 +74,22 @@ inline Tick
 sumCost(uint64_t bytes, double seconds_per_byte)
 {
     return fromSeconds(static_cast<double>(bytes) * seconds_per_byte);
+}
+
+/**
+ * Point @p config at @p codec with its wire ratio measured honestly on
+ * @p sample (representative gradient data): enables compression and
+ * sets wireRatio to the framed-wire ratio, floored at 1.0 because the
+ * NIC never transmits more than the raw payload (it would skip the
+ * engine instead).
+ */
+inline void
+applyCodec(ExchangeConfig &config, const GradientCodec &codec,
+           std::span<const float> sample)
+{
+    config.codec = &codec;
+    config.compressGradients = true;
+    config.wireRatio = std::max(1.0, codec.wireRatio(sample));
 }
 
 } // namespace inc

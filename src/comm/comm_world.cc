@@ -1,6 +1,8 @@
 #include "comm/comm_world.h"
 
+#include "comm/gradient_codec.h"
 #include "sim/logging.h"
+#include "sim/metrics.h"
 #include "sim/span.h"
 
 namespace inc {
@@ -27,6 +29,13 @@ CommWorld::send(int src, int dst, int tag, uint64_t bytes,
 {
     const uint8_t tos = opts.compress ? kCompressTos : kDefaultTos;
     const double ratio = opts.compress ? opts.wireRatio : 1.0;
+    if (opts.compress && opts.codec) {
+        if (auto *m = metrics::active()) {
+            const std::string &name = opts.codec->info().name;
+            m->add("comm.codec." + name + ".sends", 1);
+            m->add("comm.codec." + name + ".bytes", bytes);
+        }
+    }
     const Key key{dst, src, tag};
     auto deliver = [this, key](Tick delivered) {
         auto wit = waiting_.find(key);

@@ -34,6 +34,8 @@
 
 namespace inc {
 
+class GradientCodec;
+
 /** Per-send options (the setsockopt(ToS) analog). */
 struct SendOptions
 {
@@ -41,6 +43,13 @@ struct SendOptions
     bool compress = false;
     /** Codec wire ratio for this payload when compressed. */
     double wireRatio = 1.0;
+    /**
+     * Which zoo codec produced wireRatio (provenance; not owned,
+     * nullptr = unattributed). Compressed sends credit per-codec
+     * metrics (comm.codec.<name>.{sends,bytes}) so the CodecEngine
+     * span/metrics path can be broken down by scheme.
+     */
+    const GradientCodec *codec = nullptr;
 };
 
 /** How a CommWorld moves bytes. */

@@ -1,0 +1,201 @@
+#include "comm/gradient_codec.h"
+
+#include <cstring>
+
+#include "net/nic.h"
+#include "sim/logging.h"
+#include "sim/thread_pool.h"
+
+namespace inc {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x494E435Au; // "INCZ"
+constexpr size_t kEnvelopeBytes = 4 + 4 + 8;
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t
+getU32(std::span<const uint8_t> in, size_t at)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(in[at + static_cast<size_t>(i)])
+             << (8 * i);
+    return v;
+}
+
+uint64_t
+getU64(std::span<const uint8_t> in, size_t at)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(in[at + static_cast<size_t>(i)])
+             << (8 * i);
+    return v;
+}
+
+} // namespace
+
+uint32_t
+codecNameHash(std::string_view name)
+{
+    uint32_t h = 2166136261u;
+    for (const char c : name) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 16777619u;
+    }
+    return h;
+}
+
+size_t
+GradientCodec::blockCount(size_t count) const
+{
+    const size_t be = info().blockElems;
+    INC_ASSERT(be > 0, "codec must declare a positive blockElems");
+    return (count + be - 1) / be;
+}
+
+std::vector<uint8_t>
+GradientCodec::frame(std::span<const float> values,
+                     const std::vector<std::vector<uint8_t>> &blocks) const
+{
+    std::vector<uint8_t> out;
+    size_t total = kEnvelopeBytes;
+    for (const auto &b : blocks)
+        total += 4 + b.size();
+    out.reserve(total);
+    putU32(out, kMagic);
+    putU32(out, codecNameHash(info().name));
+    putU64(out, values.size());
+    for (const auto &b : blocks) {
+        putU32(out, static_cast<uint32_t>(b.size()));
+        out.insert(out.end(), b.begin(), b.end());
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+GradientCodec::encode(std::span<const float> values) const
+{
+    const size_t be = info().blockElems;
+    const size_t nblocks = blockCount(values.size());
+    std::vector<std::vector<uint8_t>> blocks(nblocks);
+    for (size_t i = 0; i < nblocks; ++i) {
+        const size_t off = i * be;
+        const size_t len = std::min(be, values.size() - off);
+        blocks[i] = encodeBlock(values.subspan(off, len));
+    }
+    return frame(values, blocks);
+}
+
+std::vector<uint8_t>
+GradientCodec::encodeParallel(std::span<const float> values) const
+{
+    const size_t be = info().blockElems;
+    const size_t nblocks = blockCount(values.size());
+    std::vector<std::vector<uint8_t>> blocks(nblocks);
+    // One task per block; the serial stitch in frame() keeps the bytes
+    // independent of how the pool partitioned the work.
+    parallelFor(0, nblocks, 1, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+            const size_t off = i * be;
+            const size_t len = std::min(be, values.size() - off);
+            blocks[i] = encodeBlock(values.subspan(off, len));
+        }
+    });
+    return frame(values, blocks);
+}
+
+bool
+GradientCodec::decode(std::span<const uint8_t> wire,
+                      std::span<float> out) const
+{
+    if (wire.size() < kEnvelopeBytes)
+        return false;
+    if (getU32(wire, 0) != kMagic)
+        return false;
+    if (getU32(wire, 4) != codecNameHash(info().name))
+        return false;
+    const uint64_t count = getU64(wire, 8);
+    if (count != out.size())
+        return false;
+
+    const size_t be = info().blockElems;
+    const size_t nblocks = blockCount(out.size());
+    size_t pos = kEnvelopeBytes;
+    for (size_t i = 0; i < nblocks; ++i) {
+        if (wire.size() - pos < 4)
+            return false;
+        const uint32_t len = getU32(wire, pos);
+        pos += 4;
+        if (wire.size() - pos < len)
+            return false;
+        const size_t off = i * be;
+        const size_t n = std::min(be, out.size() - off);
+        if (!decodeBlock(wire.subspan(pos, len), out.subspan(off, n)))
+            return false;
+        pos += len;
+    }
+    // Trailing garbage is a framing error too.
+    return pos == wire.size();
+}
+
+void
+GradientCodec::roundtrip(std::span<float> values) const
+{
+    const std::vector<uint8_t> wire = encode(values);
+    const bool ok = decode(wire, values);
+    INC_ASSERT(ok, "codec failed to decode its own stream");
+}
+
+uint64_t
+GradientCodec::wireBytes(std::span<const float> values) const
+{
+    return encode(values).size();
+}
+
+double
+GradientCodec::wireRatio(std::span<const float> values) const
+{
+    const uint64_t wb = wireBytes(values);
+    return wb ? static_cast<double>(values.size() * 4) /
+                    static_cast<double>(wb)
+              : 0.0;
+}
+
+NicConfig
+withCodecEngine(NicConfig base, const GradientCodec &codec)
+{
+    const CodecCostModel cm = codec.cost();
+    base.hasCompressionEngine = cm.hardwareOffloadable();
+    if (base.hasCompressionEngine) {
+        base.engineValuesPerCycle = cm.hwValuesPerCycle;
+        base.engineBurstBits = static_cast<int>(cm.hwValuesPerCycle * 32.0);
+        base.enginePipelineCycles = cm.hwPipelineCycles;
+    }
+    return base;
+}
+
+std::unique_ptr<GradientCodec>
+makeCodec(std::string_view name)
+{
+    for (const auto &e : codecRegistry())
+        if (e.name == name)
+            return e.make();
+    return nullptr;
+}
+
+} // namespace inc

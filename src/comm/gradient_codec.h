@@ -1,0 +1,206 @@
+/**
+ * @file
+ * The pluggable gradient-codec interface: every compression scheme the
+ * repo knows — INCEPTIONN's lossy FP transform, error-feedback top-k
+ * residual sparsification, FFT-domain sparsification, uniform
+ * quantization, and a lossless fp32 passthrough — implements one
+ * block-structured contract, so trainers, collectives, the NIC engine
+ * model, and the differential property suite treat "which codec" as
+ * data.
+ *
+ * The framework fixes the wire envelope; codecs only define how one
+ * block of at most info().blockElems floats encodes and decodes:
+ *
+ *   [magic u32][name-hash u32][count u64] ([block u32 len][bytes])*
+ *
+ * Because blocks are coded independently, encode() (serial) and
+ * encodeParallel() (blocks on the global thread pool) are bit-identical
+ * for every INC_THREADS — the chunked-vs-unchunked law the property
+ * suite enforces for each registered codec. decode() validates the
+ * envelope and every per-block precondition and returns false on
+ * malformed input (truncated, cross-codec, corrupt directory) instead
+ * of invoking UB; the robustness tests drive this under ASan/UBSan.
+ *
+ * Error feedback is deliberately NOT part of the codec: residual state
+ * belongs to the trainer (one vector per worker; see
+ * FuncTrainerConfig::errorFeedback and AsyncTrainerConfig), so codecs
+ * stay stateless, const, and shareable across workers and threads.
+ */
+
+#ifndef INCEPTIONN_COMM_GRADIENT_CODEC_H
+#define INCEPTIONN_COMM_GRADIENT_CODEC_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace inc {
+
+/** Static self-description of one codec. */
+struct CodecInfo
+{
+    /** Stable registry id, e.g. "inceptionn_b10", "topk_ef_5". */
+    std::string name;
+    /** decode(encode(x)) is bit-exact for every finite input. */
+    bool lossless = false;
+    /**
+     * The transform is per-value/streaming (a NIC engine can apply it
+     * at line rate, INCEPTIONN-style) rather than needing block or
+     * whole-vector statistics (order statistics, spectra, maxima).
+     */
+    bool streaming = false;
+    /** Independent coding block size in floats (framework granule). */
+    size_t blockElems = 0;
+    /** One-line description for bench tables. */
+    std::string notes;
+};
+
+/**
+ * What running this codec costs — the honesty layer bench_fig07 /
+ * bench_ext_codec_pareto price schemes with. Software throughputs are
+ * single-stream (scale with SoftwareCostModel::setThreads); the
+ * hardware fields describe a hypothetical NIC engine and are zero when
+ * the transform cannot run in streaming hardware.
+ */
+struct CodecCostModel
+{
+    /** Software compress throughput, bytes of fp32 input per second. */
+    double encodeBytesPerSecond = 0.0;
+    /** Software decompress throughput (uncompressed bytes / second). */
+    double decodeBytesPerSecond = 0.0;
+    /** NIC engine intake, input values per engine cycle (0 = no HW). */
+    double hwValuesPerCycle = 0.0;
+    /** NIC engine pipeline depth in cycles. */
+    int hwPipelineCycles = 0;
+
+    bool hardwareOffloadable() const { return hwValuesPerCycle > 0.0; }
+
+    /** Engine cycles to stream @p values floats through the engine
+     *  (pipeline fill plus one intake beat per hwValuesPerCycle). */
+    double
+    hwCyclesForValues(uint64_t values) const
+    {
+        if (!hardwareOffloadable())
+            return 0.0;
+        return static_cast<double>(hwPipelineCycles) +
+               static_cast<double>(values) / hwValuesPerCycle;
+    }
+};
+
+/**
+ * Abstract gradient codec. Implementations define per-block transforms;
+ * the framing, parallelism, and validation live here so every codec
+ * inherits the same laws. Implementations must be deterministic —
+ * no RNG, no wall clock, no thread identity — so encodes are
+ * bit-identical across INC_THREADS and INC_EQ_SHUFFLE.
+ */
+class GradientCodec
+{
+  public:
+    virtual ~GradientCodec() = default;
+
+    virtual const CodecInfo &info() const = 0;
+    virtual CodecCostModel cost() const = 0;
+
+    /**
+     * The worst-case absolute elementwise error this codec guarantees
+     * on @p values: |x_i - decode(encode(x))_i| <= errorBound(x) for
+     * every i. 0 for lossless codecs. Self-reported per input — the
+     * differential property suite holds every codec to its own number.
+     */
+    virtual double errorBound(std::span<const float> values) const = 0;
+
+    /** Encode into the framed wire format (serial, block order). */
+    std::vector<uint8_t> encode(std::span<const float> values) const;
+
+    /**
+     * Encode with blocks compressed in parallel on the global thread
+     * pool. Bit-identical to encode() for every thread count.
+     */
+    std::vector<uint8_t>
+    encodeParallel(std::span<const float> values) const;
+
+    /**
+     * Decode a framed stream. @p out must be sized to the original
+     * element count. Returns false — leaving @p out unspecified but
+     * fully written/defined — on any malformed input: bad magic, a
+     * stream from a different codec, a count mismatch, a truncated or
+     * over-long body, or a block that fails its own validation. Never
+     * UB, never a crash.
+     */
+    bool decode(std::span<const uint8_t> wire,
+                std::span<float> out) const;
+
+    /**
+     * In-place lossy round-trip: what a receiver sees after
+     * decode(encode(values)). Default goes through the wire format;
+     * codecs may override with a direct path, but the property suite
+     * pins the override to the wire path bit for bit.
+     */
+    virtual void roundtrip(std::span<float> values) const;
+
+    /** Wire bytes encode() would produce for @p values. */
+    uint64_t wireBytes(std::span<const float> values) const;
+
+    /** 4*count / wireBytes: the bandwidth-compression ratio. */
+    double wireRatio(std::span<const float> values) const;
+
+    /** Number of framework blocks for @p count input floats. */
+    size_t blockCount(size_t count) const;
+
+  protected:
+    /** Encode one block of <= info().blockElems floats. */
+    virtual std::vector<uint8_t>
+    encodeBlock(std::span<const float> block) const = 0;
+
+    /**
+     * Decode one block. @p out is sized to the block's original value
+     * count. Return false on malformed bytes.
+     */
+    virtual bool decodeBlock(std::span<const uint8_t> bytes,
+                             std::span<float> out) const = 0;
+
+  private:
+    std::vector<uint8_t>
+    frame(std::span<const float> values,
+          const std::vector<std::vector<uint8_t>> &blocks) const;
+};
+
+/** FNV-1a hash of a codec name — the wire envelope's codec id. */
+uint32_t codecNameHash(std::string_view name);
+
+/** One registry row: stable name plus a factory. */
+struct CodecRegistryEntry
+{
+    std::string name;
+    std::function<std::unique_ptr<GradientCodec>()> make;
+};
+
+/**
+ * The built-in codec zoo, in fixed registration order (deterministic:
+ * tests and benches iterate it). Adding a codec here enrolls it in the
+ * entire differential property suite and the Pareto bench with zero
+ * new scaffolding.
+ */
+const std::vector<CodecRegistryEntry> &codecRegistry();
+
+/** Construct a registered codec by name; nullptr if unknown. */
+std::unique_ptr<GradientCodec> makeCodec(std::string_view name);
+
+struct NicConfig;
+
+/**
+ * @p base with its compression engine configured from @p codec's
+ * hardware cost model: engines present iff the codec is streaming
+ * hardware-offloadable, intake and pipeline depth from cost(). The
+ * returned config prices the codec honestly on the packet/LP timing
+ * planes (engineBitsPerSecond, engineLatency).
+ */
+NicConfig withCodecEngine(NicConfig base, const GradientCodec &codec);
+
+} // namespace inc
+
+#endif // INCEPTIONN_COMM_GRADIENT_CODEC_H

@@ -5,6 +5,7 @@
 #include "comm/collective_config.h"
 #include "comm/innet_collectives.h"
 #include "sim/logging.h"
+#include "sim/metrics.h"
 
 namespace inc {
 
@@ -309,6 +310,14 @@ LpAllreduceResult
 runLpAllreduce(LpFabric &fabric, const LpCollectiveConfig &config)
 {
     INC_ASSERT(config.gradientBytes > 0, "empty gradient");
+    if (config.compressGradients && config.codec) {
+        if (auto *m = metrics::active()) {
+            const std::string &name = config.codec->info().name;
+            m->add("lp.codec." + name + ".allreduces", 1);
+            m->add("lp.codec." + name + ".gradient_bytes",
+                   config.gradientBytes);
+        }
+    }
     auto run = std::make_shared<RunCtx>();
     run->fab = &fabric;
     run->cfg = config;

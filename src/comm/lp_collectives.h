@@ -18,9 +18,12 @@
 #ifndef INCEPTIONN_COMM_LP_COLLECTIVES_H
 #define INCEPTIONN_COMM_LP_COLLECTIVES_H
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "comm/gradient_codec.h"
 #include "net/lp_fabric.h"
 
 namespace inc {
@@ -41,6 +44,8 @@ struct LpCollectiveConfig
     bool compressGradients = false;
     /** Codec wire ratio achieved on gradient payloads. */
     double wireRatio = 1.0;
+    /** Which zoo codec wireRatio came from (provenance; not owned). */
+    const GradientCodec *codec = nullptr;
     /** Sum-reduction cost, seconds per byte (the paper's gamma). */
     double sumSecondsPerByte = 1e-10;
     /** Fixed software cost per received message. */
@@ -73,6 +78,20 @@ struct LpAllreduceResult
  */
 LpAllreduceResult runLpAllreduce(LpFabric &fabric,
                                  const LpCollectiveConfig &config);
+
+/**
+ * Point @p config at @p codec with its wire ratio measured on
+ * @p sample; same semantics as the ExchangeConfig overload in
+ * collective_config.h (ratio floored at 1.0).
+ */
+inline void
+applyCodec(LpCollectiveConfig &config, const GradientCodec &codec,
+           std::span<const float> sample)
+{
+    config.codec = &codec;
+    config.compressGradients = true;
+    config.wireRatio = std::max(1.0, codec.wireRatio(sample));
+}
 
 } // namespace inc
 

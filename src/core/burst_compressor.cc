@@ -6,7 +6,7 @@
 
 namespace inc {
 
-BurstCompressor::BurstCompressor(const GradientCodec &codec,
+BurstCompressor::BurstCompressor(const InceptionnCodec &codec,
                                  int pipeline_depth)
     : codec_(codec), pipelineDepth_(pipeline_depth)
 {

@@ -50,7 +50,7 @@ class BurstCompressor
      * @param codec the configured gradient codec (shared, not owned).
      * @param pipeline_depth latency of the CB + alignment pipeline.
      */
-    explicit BurstCompressor(const GradientCodec &codec,
+    explicit BurstCompressor(const InceptionnCodec &codec,
                              int pipeline_depth = 4);
 
     /** Feed floats; partial trailing groups are held until finish(). */
@@ -71,7 +71,7 @@ class BurstCompressor
   private:
     void compressGroup(const float *vals, size_t n);
 
-    const GradientCodec &codec_;
+    const InceptionnCodec &codec_;
     int pipelineDepth_;
     BitWriter writer_;
     EngineStats stats_;

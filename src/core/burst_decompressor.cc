@@ -6,7 +6,7 @@
 
 namespace inc {
 
-BurstDecompressor::BurstDecompressor(const GradientCodec &codec,
+BurstDecompressor::BurstDecompressor(const InceptionnCodec &codec,
                                      int pipeline_depth)
     : codec_(codec), pipelineDepth_(pipeline_depth)
 {

@@ -34,7 +34,7 @@ class BurstDecompressor
      * @param codec the configured gradient codec (shared, not owned).
      * @param pipeline_depth latency of the tag-decode + DB pipeline.
      */
-    explicit BurstDecompressor(const GradientCodec &codec,
+    explicit BurstDecompressor(const InceptionnCodec &codec,
                                int pipeline_depth = 4);
 
     /** Expand @p stream, simulating buffer occupancy cycle by cycle. */
@@ -44,7 +44,7 @@ class BurstDecompressor
     const EngineStats &stats() const { return stats_; }
 
   private:
-    const GradientCodec &codec_;
+    const InceptionnCodec &codec_;
     int pipelineDepth_;
     EngineStats stats_;
 };

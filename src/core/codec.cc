@@ -77,7 +77,7 @@ TagHistogram::operator+=(const TagHistogram &o)
     return *this;
 }
 
-GradientCodec::GradientCodec(int bound_log2, CodecPolicy policy)
+InceptionnCodec::InceptionnCodec(int bound_log2, CodecPolicy policy)
     : boundLog2_(bound_log2), policy_(policy)
 {
     INC_ASSERT(bound_log2 >= 1 && bound_log2 <= 15,
@@ -86,13 +86,13 @@ GradientCodec::GradientCodec(int bound_log2, CodecPolicy policy)
 }
 
 double
-GradientCodec::errorBound() const
+InceptionnCodec::errorBound() const
 {
     return std::ldexp(1.0, -boundLog2_);
 }
 
 CompressedValue
-GradientCodec::compress(float f) const
+InceptionnCodec::compress(float f) const
 {
     const Fp32Bits fb = Fp32Bits::unpack(f);
 
@@ -126,7 +126,7 @@ GradientCodec::compress(float f) const
 }
 
 CompressedValue
-GradientCodec::compressResidual(uint32_t sign, uint32_t frac31) const
+InceptionnCodec::compressResidual(uint32_t sign, uint32_t frac31) const
 {
     // 8-bit payload keeps {sign, F[30:24]}. Admissible when the leading 1
     // sits in the kept window (F >> 24 != 0) and the dropped fraction bits
@@ -144,7 +144,7 @@ GradientCodec::compressResidual(uint32_t sign, uint32_t frac31) const
 }
 
 CompressedValue
-GradientCodec::compressThreshold(uint32_t sign, uint32_t d,
+InceptionnCodec::compressThreshold(uint32_t sign, uint32_t d,
                                  uint32_t frac31) const
 {
     // Ablation policy: width decided from the exponent range alone. The
@@ -155,7 +155,7 @@ GradientCodec::compressThreshold(uint32_t sign, uint32_t d,
 }
 
 float
-GradientCodec::decompress(CompressedValue v) const
+InceptionnCodec::decompress(CompressedValue v) const
 {
     switch (v.tag) {
       case Tag::Zero:
@@ -199,7 +199,7 @@ constexpr size_t kCodecGrain = 8192;
 } // namespace
 
 uint64_t
-GradientCodec::measure(std::span<const float> values, TagHistogram *hist) const
+InceptionnCodec::measure(std::span<const float> values, TagHistogram *hist) const
 {
     metrics::Registry *reg = metrics::active();
     const size_t n = values.size();
@@ -237,7 +237,7 @@ GradientCodec::measure(std::span<const float> values, TagHistogram *hist) const
 }
 
 void
-GradientCodec::roundtrip(std::span<float> values, TagHistogram *hist) const
+InceptionnCodec::roundtrip(std::span<float> values, TagHistogram *hist) const
 {
     metrics::Registry *reg = metrics::active();
     const size_t n = values.size();

@@ -92,14 +92,14 @@ struct TagHistogram
 /**
  * The scalar codec. Stateless apart from its configuration; safe to share.
  */
-class GradientCodec
+class InceptionnCodec
 {
   public:
     /**
      * @param bound_log2 b in error bound 2^-b; valid range [1, 15].
      * @param policy payload-width selection policy.
      */
-    explicit GradientCodec(int bound_log2 = 10,
+    explicit InceptionnCodec(int bound_log2 = 10,
                            CodecPolicy policy = CodecPolicy::kResidualMask);
 
     int boundLog2() const { return boundLog2_; }

@@ -109,7 +109,7 @@ getU64(std::span<const uint8_t> in, size_t offset)
 
 /** Encode @p values as 8-value groups into @p writer. */
 void
-encodeGroups(const GradientCodec &codec, std::span<const float> values,
+encodeGroups(const InceptionnCodec &codec, std::span<const float> values,
              BitWriter &writer, TagHistogram *hist)
 {
     CompressedValue group[8];
@@ -134,7 +134,7 @@ encodeGroups(const GradientCodec &codec, std::span<const float> values,
 
 /** Decode @p count group-coded values from @p reader into @p out. */
 void
-decodeGroups(const GradientCodec &codec, BitReader &reader, size_t count,
+decodeGroups(const InceptionnCodec &codec, BitReader &reader, size_t count,
              std::span<float> out)
 {
     for (size_t base = 0; base < count; base += 8) {
@@ -179,7 +179,7 @@ deserialize(std::span<const uint8_t> wire)
 }
 
 CompressedStream
-encodeStream(const GradientCodec &codec, std::span<const float> values,
+encodeStream(const InceptionnCodec &codec, std::span<const float> values,
              TagHistogram *hist)
 {
     metrics::Registry *reg = metrics::active();
@@ -203,7 +203,7 @@ encodeStream(const GradientCodec &codec, std::span<const float> values,
 }
 
 void
-decodeStream(const GradientCodec &codec, const CompressedStream &stream,
+decodeStream(const InceptionnCodec &codec, const CompressedStream &stream,
              std::span<float> out)
 {
     INC_ASSERT(out.size() == stream.count,
@@ -218,7 +218,7 @@ decodeStream(const GradientCodec &codec, const CompressedStream &stream,
 }
 
 ChunkedStream
-encodeStreamChunked(const GradientCodec &codec,
+encodeStreamChunked(const InceptionnCodec &codec,
                     std::span<const float> values, size_t chunk_elems,
                     TagHistogram *hist)
 {
@@ -274,7 +274,7 @@ encodeStreamChunked(const GradientCodec &codec,
 }
 
 void
-decodeStreamChunked(const GradientCodec &codec, const ChunkedStream &chunked,
+decodeStreamChunked(const InceptionnCodec &codec, const ChunkedStream &chunked,
                     std::span<float> out)
 {
     INC_ASSERT(out.size() == chunked.stream.count,

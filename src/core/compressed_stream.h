@@ -105,7 +105,7 @@ CompressedStream deserialize(std::span<const uint8_t> wire);
  * Encode @p values with @p codec into the group wire format.
  * Tags are tallied into @p hist when non-null.
  */
-CompressedStream encodeStream(const GradientCodec &codec,
+CompressedStream encodeStream(const InceptionnCodec &codec,
                               std::span<const float> values,
                               TagHistogram *hist = nullptr);
 
@@ -113,7 +113,7 @@ CompressedStream encodeStream(const GradientCodec &codec,
  * Decode @p stream into @p out.
  * @pre out.size() == stream.count.
  */
-void decodeStream(const GradientCodec &codec, const CompressedStream &stream,
+void decodeStream(const InceptionnCodec &codec, const CompressedStream &stream,
                   std::span<float> out);
 
 /** Default floats per independently-coded chunk (must divide by 8 so
@@ -159,7 +159,7 @@ struct ChunkedStream
  * bitSize, bytes) is bit-identical to encodeStream() for every thread
  * count. @p chunk_elems must be a positive multiple of 8.
  */
-ChunkedStream encodeStreamChunked(const GradientCodec &codec,
+ChunkedStream encodeStreamChunked(const InceptionnCodec &codec,
                                   std::span<const float> values,
                                   size_t chunk_elems = kDefaultChunkElems,
                                   TagHistogram *hist = nullptr);
@@ -168,7 +168,7 @@ ChunkedStream encodeStreamChunked(const GradientCodec &codec,
  * Decode a chunked stream into @p out, chunks in parallel.
  * @pre out.size() == chunked.stream.count.
  */
-void decodeStreamChunked(const GradientCodec &codec,
+void decodeStreamChunked(const InceptionnCodec &codec,
                          const ChunkedStream &chunked, std::span<float> out);
 
 } // namespace inc

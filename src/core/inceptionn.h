@@ -7,7 +7,7 @@
  *
  * Quick start:
  * @code
- *   inc::GradientCodec codec(10);              // error bound 2^-10
+ *   inc::InceptionnCodec codec(10);              // error bound 2^-10
  *   std::vector<float> g = ...;                // a gradient vector
  *   inc::TagHistogram tags;
  *   auto stream = inc::encodeStream(codec, g, &tags);

@@ -67,7 +67,7 @@ partitionBlocks(size_t total, int blocks)
 }
 
 RingExchangeStats
-ringAllReduce(std::vector<std::span<float>> buffers, const GradientCodec *codec)
+ringAllReduce(std::vector<std::span<float>> buffers, const InceptionnCodec *codec)
 {
     const int n = static_cast<int>(buffers.size());
     INC_ASSERT(n >= 2, "ring all-reduce needs >= 2 buffers, got %d", n);

@@ -84,7 +84,7 @@ struct RingExchangeStats
  * @pre buffers.size() >= 2, all spans equally sized.
  */
 RingExchangeStats ringAllReduce(std::vector<std::span<float>> buffers,
-                                const GradientCodec *codec = nullptr);
+                                const InceptionnCodec *codec = nullptr);
 
 } // namespace inc
 

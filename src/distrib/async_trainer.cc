@@ -62,6 +62,26 @@ AsyncTrainer::train(uint64_t updates)
         scratch_->backward(loss_.backward());
         scratch_->flattenGrads(grads);
 
+        // The worker→server uplink round-trips through the codec,
+        // with an optional per-worker error-feedback residual.
+        if (config_.codec) {
+            if (config_.errorFeedback && residuals_.empty())
+                residuals_.assign(
+                    static_cast<size_t>(config_.workers),
+                    std::vector<float>(params, 0.0f));
+            if (config_.errorFeedback) {
+                auto &res = residuals_[static_cast<size_t>(worker)];
+                for (size_t k = 0; k < params; ++k)
+                    grads[k] += res[k];
+                std::vector<float> before = grads;
+                config_.codec->roundtrip(grads);
+                for (size_t k = 0; k < params; ++k)
+                    res[k] = before[k] - grads[k];
+            } else {
+                config_.codec->roundtrip(grads);
+            }
+        }
+
         // The server applies it immediately (no barrier).
         server_->loadGrads(grads);
         optimizer_->step();

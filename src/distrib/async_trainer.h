@@ -20,6 +20,7 @@
 #include <functional>
 #include <memory>
 
+#include "comm/gradient_codec.h"
 #include "data/dataset.h"
 #include "nn/loss.h"
 #include "nn/model.h"
@@ -39,6 +40,14 @@ struct AsyncTrainerConfig
      * like delay = k - 1.
      */
     int delay = 3;
+    /**
+     * Pluggable codec each worker's gradient round-trips through (the
+     * worker→server leg); nullptr = lossless uplink.
+     */
+    const GradientCodec *codec = nullptr;
+    /** Keep a per-worker residual and fold it into the next gradient
+     *  before compressing (1-bit-SGD-style error feedback). */
+    bool errorFeedback = false;
     uint64_t seed = 1;
 };
 
@@ -69,6 +78,8 @@ class AsyncTrainer
     std::vector<std::unique_ptr<MinibatchSampler>> samplers_;
     SoftmaxCrossEntropy loss_;
     std::deque<std::vector<float>> history_; ///< recent weight snapshots
+    /** Per-worker compression residuals (error feedback). */
+    std::vector<std::vector<float>> residuals_;
     uint64_t updates_ = 0;
     double lastMeanLoss_ = 0.0;
 };

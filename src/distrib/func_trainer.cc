@@ -16,6 +16,11 @@ FuncTrainer::FuncTrainer(const ModelBuilder &builder, const Dataset &train,
     INC_ASSERT(config.nodes >= 2, "need >= 2 nodes");
     INC_ASSERT(!(config.codec && config.truncateGradients),
                "choose one gradient compression scheme");
+    INC_ASSERT(!(config.zooCodec &&
+                 (config.codec || config.truncateGradients ||
+                  config.sourceTransform)),
+               "zooCodec is mutually exclusive with the other gradient "
+               "compression hooks");
 
     Rng init_rng(config.seed);
     for (int i = 0; i < config.nodes; ++i) {
@@ -149,13 +154,24 @@ FuncTrainer::train(uint64_t iterations)
             const bool at_source =
                 (config_.codec && config_.compressionPoint ==
                                       CompressionPoint::AtSource) ||
-                static_cast<bool>(config_.sourceTransform);
+                static_cast<bool>(config_.sourceTransform) ||
+                config_.zooCodec != nullptr;
             if (at_source) {
                 auto apply = [this](std::span<float> g) {
-                    if (config_.sourceTransform)
+                    if (config_.zooCodec) {
+                        // Through the real wire format, so the achieved
+                        // ratio reflects framing overhead too.
+                        const std::vector<uint8_t> wire =
+                            config_.zooCodec->encode(g);
+                        zooRawBytes_ += g.size() * 4;
+                        zooWireBytes_ += wire.size();
+                        const bool ok = config_.zooCodec->decode(wire, g);
+                        INC_ASSERT(ok, "zoo codec rejected its own wire");
+                    } else if (config_.sourceTransform) {
                         config_.sourceTransform(g);
-                    else
+                    } else {
                         config_.codec->roundtrip(g, &tags_);
+                    }
                 };
                 if (config_.errorFeedback && residuals_.empty())
                     residuals_.assign(static_cast<size_t>(n),
@@ -226,6 +242,9 @@ FuncTrainer::evaluateTopK(size_t k, size_t max_samples)
 double
 FuncTrainer::achievedWireRatio() const
 {
+    if (zooWireBytes_ > 0)
+        return static_cast<double>(zooRawBytes_) /
+               static_cast<double>(zooWireBytes_);
     return tags_.total() ? tags_.compressionRatio() : 1.0;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "baselines/truncation.h"
+#include "comm/gradient_codec.h"
 #include "core/codec.h"
 #include "data/dataset.h"
 #include "distrib/gradient_trace.h"
@@ -51,7 +52,15 @@ struct FuncTrainerConfig
     SgdConfig sgd;
     FuncExchange exchange = FuncExchange::Ring;
     /** INCEPTIONN lossy codec on gradient legs (nullptr = lossless). */
-    const GradientCodec *codec = nullptr;
+    const InceptionnCodec *codec = nullptr;
+    /**
+     * Pluggable zoo codec (comm/gradient_codec.h) applied at-source to
+     * each node's local gradient, through the real wire format (encode
+     * then decode, wire bytes tallied for achievedWireRatio()).
+     * Mutually exclusive with codec/sourceTransform/truncateGradients.
+     * Pair lossy entries with errorFeedback.
+     */
+    const GradientCodec *zooCodec = nullptr;
     /** Where ring-mode compression happens (see CompressionPoint). */
     CompressionPoint compressionPoint = CompressionPoint::PerHop;
     /**
@@ -146,6 +155,9 @@ class FuncTrainer
     uint64_t iteration_ = 0;
     double lastMeanLoss_ = 0.0;
     TagHistogram tags_;
+    /** fp32 bytes fed through the zoo codec / wire bytes it produced. */
+    uint64_t zooRawBytes_ = 0;
+    uint64_t zooWireBytes_ = 0;
     GradientTrace trace_;
     std::vector<uint64_t> captureAt_;
     /** Per-node compression residuals (error feedback). */

@@ -198,15 +198,29 @@ attributedSumSeconds(const SimTrainerConfig &config)
 double
 softwareCodecSecondsPerIteration(const SimTrainerConfig &config)
 {
-    if (!config.software.enabled)
-        return 0.0;
-    const SoftwareCostModel &cost = config.software.cost;
-    const SoftwareCodecKind kind = config.software.kind;
     const uint64_t n = config.workload.modelBytes;
     const double p = static_cast<double>(config.workers);
     const double g = static_cast<double>(config.groupSize);
-    const double c = cost.compressSeconds(kind, n);
-    const double d = cost.decompressSeconds(kind, n);
+    double c = 0.0;
+    double d = 0.0;
+    if (config.software.enabled) {
+        const SoftwareCostModel &cost = config.software.cost;
+        const SoftwareCodecKind kind = config.software.kind;
+        c = cost.compressSeconds(kind, n);
+        d = cost.decompressSeconds(kind, n);
+    } else if (config.codec && config.compressGradients &&
+               !config.codec->cost().hardwareOffloadable()) {
+        // A codec the NIC cannot stream runs on the CPU instead, and
+        // its encode/decode time lands on the critical path (Fig. 7).
+        const CodecCostModel cm = config.codec->cost();
+        INC_ASSERT(cm.encodeBytesPerSecond > 0.0 &&
+                       cm.decodeBytesPerSecond > 0.0,
+                   "software codec with no throughput model");
+        c = static_cast<double>(n) / cm.encodeBytesPerSecond;
+        d = static_cast<double>(n) / cm.decodeBytesPerSecond;
+    } else {
+        return 0.0;
+    }
     switch (config.algorithm) {
       case ExchangeAlgorithm::WorkerAggregator:
         // Workers compress concurrently (one stream each); the
@@ -246,8 +260,16 @@ runSimTraining(const SimTrainerConfig &config)
 
     NetworkConfig net_cfg = config.netConfig;
     net_cfg.nodes = nodesRequired(rs.call);
-    if (config.compressGradients)
+    if (config.compressGradients) {
         net_cfg.nicConfig.hasCompressionEngine = true;
+        // A pluggable codec prices the engines from its own hardware
+        // model; non-offloadable codecs keep the engines as configured
+        // (the wire still shrinks — the CPU compressed the payload —
+        // and softwareCodecSecondsPerIteration charges the CPU time).
+        if (config.codec && config.codec->cost().hardwareOffloadable())
+            net_cfg.nicConfig =
+                withCodecEngine(net_cfg.nicConfig, *config.codec);
+    }
     rs.network = std::make_unique<Network>(rs.events, net_cfg);
     TransportOptions transport;
     if (config.faultInjection.enabled) {

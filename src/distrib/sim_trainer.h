@@ -11,6 +11,7 @@
 
 #include "baselines/software_cost.h"
 #include "comm/comm_world.h"
+#include "comm/gradient_codec.h"
 #include "distrib/compute_model.h"
 #include "distrib/time_breakdown.h"
 #include "net/faults.h"
@@ -69,6 +70,17 @@ struct SimTrainerConfig
     bool compressGradients = false;
     /** Codec wire ratio on this workload's gradients. */
     double wireRatio = 1.0;
+    /**
+     * Pluggable codec pricing the run (nullptr keeps the hand-set
+     * fields). With compressGradients, a hardware-offloadable codec
+     * configures the NIC engines from its cost model (intake, pipeline
+     * depth); a software-only codec leaves engines at nicConfig and
+     * instead charges its encode/decode CPU time on the critical path
+     * (reported in softwareCodecSeconds), the Fig. 7 treatment. Callers
+     * still set wireRatio — measure it with GradientCodec::wireRatio()
+     * on representative gradients.
+     */
+    const GradientCodec *codec = nullptr;
     uint64_t iterations = 100;
     /** Group size for the hierarchical algorithms (Tree, HierRing). */
     int groupSize = 4;

@@ -52,8 +52,9 @@ Nic::engineLatency() const
 double
 Nic::engineBitsPerSecond() const
 {
-    return config_.engineClockHz *
-           static_cast<double>(config_.engineBurstBits);
+    // Intake is values/cycle x 32 bits; the default 8 values per cycle
+    // reproduces the paper's 256-bit AXI beat.
+    return config_.engineClockHz * config_.engineValuesPerCycle * 32.0;
 }
 
 } // namespace inc

@@ -27,6 +27,13 @@ struct NicConfig
     double engineClockHz = 100e6;
     /** AXI beat width in bits (paper: 256). */
     int engineBurstBits = 256;
+    /**
+     * Engine intake in fp32 values per cycle. The paper's engine eats
+     * one 256-bit beat (8 values) per cycle; pluggable codecs override
+     * this from their CodecCostModel (see comm/gradient_codec.h). The
+     * default matches engineBurstBits / 32.
+     */
+    double engineValuesPerCycle = 8.0;
     /** Engine pipeline depth in cycles. */
     int enginePipelineCycles = 4;
     /** Host driver + DMA cost charged per packet on TX. */

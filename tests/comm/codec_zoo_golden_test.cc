@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Golden-bitstream pinning of every zoo codec's framed wire format
+ * (tests/core/golden/zoo_<name>.bin). Any change to the envelope
+ * (magic, name hash, count, block directory) or to a codec's block
+ * payload layout shows up as a byte mismatch — silent wire breaks that
+ * value-level round-trips cannot see. The INCEPTIONN group format keeps
+ * its own scalar-path goldens in core/golden_bitstream_test.cc; these
+ * pin the zoo framing on top.
+ *
+ * Regenerate after an *intentional* format change with:
+ *
+ *     INC_UPDATE_GOLDEN=1 ./build/tests/test_comm \
+ *         --gtest_filter='ZooGolden*'
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "comm/codec_zoo.h"
+#include "comm/gradient_codec.h"
+#include "core/fp32.h"
+#include "sim/random.h"
+
+#ifndef INC_GOLDEN_DIR
+#error "INC_GOLDEN_DIR must point at tests/core/golden"
+#endif
+
+namespace inc {
+namespace {
+
+/**
+ * Pinned input: 2100 floats (several blocks for the small-block codecs,
+ * a partial tail for all of them) mixing specials with fixed-seed
+ * noise. Fixed on purpose — goldens are byte-exact artifacts.
+ */
+std::vector<float>
+goldenInput()
+{
+    std::vector<float> v = {
+        0.0f,       -0.0f,     1.0f,     -1.0f,    0.5f,   -0.25f,
+        0.0078125f, -2.75f,    1.5e-3f,  -3.0e-5f, 123.5f, -0.125f,
+    };
+    v.push_back(Fp32Bits{0, 1, 0}.pack()); // smallest normal
+    Rng rng(0x90D1DB175ULL);               // fixed: golden bits
+    while (v.size() < 1400)
+        v.push_back(static_cast<float>(rng.gaussian(0.0, 0.05)));
+    while (v.size() < 2100)
+        v.push_back(static_cast<float>(rng.uniform(-1.2, 1.2)));
+    return v;
+}
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(INC_GOLDEN_DIR) + "/zoo_" + name + ".bin";
+}
+
+bool
+readFile(const std::string &path, std::vector<uint8_t> &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    out.resize(size > 0 ? static_cast<size_t>(size) : 0);
+    const size_t got =
+        out.empty() ? 0 : std::fread(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    return got == out.size();
+}
+
+void
+writeFile(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << "cannot write " << path;
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+              bytes.size());
+    std::fclose(f);
+}
+
+class ZooGolden : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ZooGolden, EncodeMatchesPinnedBytes)
+{
+    const auto codec = makeCodec(GetParam());
+    ASSERT_NE(codec, nullptr);
+    const std::vector<float> input = goldenInput();
+    const std::vector<uint8_t> wire = codec->encode(input);
+
+    const std::string path = goldenPath(GetParam());
+    if (std::getenv("INC_UPDATE_GOLDEN")) {
+        writeFile(path, wire);
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::vector<uint8_t> golden;
+    ASSERT_TRUE(readFile(path, golden))
+        << "missing golden vector " << path
+        << " (run with INC_UPDATE_GOLDEN=1 to generate)";
+    ASSERT_EQ(wire.size(), golden.size()) << GetParam();
+    for (size_t i = 0; i < wire.size(); ++i)
+        ASSERT_EQ(wire[i], golden[i])
+            << GetParam() << " first differs at byte " << i;
+}
+
+TEST_P(ZooGolden, PinnedBytesDecodeToTheLiveRoundtrip)
+{
+    if (std::getenv("INC_UPDATE_GOLDEN"))
+        GTEST_SKIP();
+    const auto codec = makeCodec(GetParam());
+    ASSERT_NE(codec, nullptr);
+    std::vector<uint8_t> golden;
+    ASSERT_TRUE(readFile(goldenPath(GetParam()), golden));
+
+    const std::vector<float> input = goldenInput();
+    std::vector<float> from_golden(input.size());
+    ASSERT_TRUE(codec->decode(golden, from_golden));
+
+    std::vector<float> live = input;
+    codec->roundtrip(live);
+    for (size_t i = 0; i < input.size(); ++i)
+        ASSERT_EQ(floatToBits(from_golden[i]), floatToBits(live[i]))
+            << GetParam() << " value " << i;
+}
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const auto &e : codecRegistry())
+        names.push_back(e.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, ZooGolden,
+                         ::testing::ValuesIn(allNames()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace
+} // namespace inc

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Differential property harness for the pluggable codec zoo: every
+ * codec in codecRegistry() is driven through the same laws, so adding
+ * a codec enrolls it in the whole suite with zero new scaffolding.
+ *
+ * Laws, per registered codec:
+ *  - round-trip: decode(encode(x)) succeeds on seeded random and
+ *    adversarial (denormal/inf-free dyadic) tensors at many sizes;
+ *  - error bound: every element lands within the codec's own
+ *    self-reported errorBound(x); lossless codecs are bit-exact and
+ *    report a zero bound;
+ *  - chunked-vs-unchunked: encode() and encodeParallel() emit
+ *    bit-identical wire bytes (the INC_THREADS law — the CI seed
+ *    matrix re-runs this binary at INC_THREADS 1 and 8 and across
+ *    INC_EQ_SHUFFLE seeds, where these bytes must not move);
+ *  - determinism: two encodes of the same input are identical (no
+ *    RNG, no wall clock, no thread identity);
+ *  - roundtrip() overrides are pinned to the wire path bit for bit;
+ *  - decoder robustness: truncated prefixes are rejected cleanly,
+ *    FaultModel-drawn corruption never crashes or invokes UB (the
+ *    sanitize CI job runs this suite under ASan/UBSan), and
+ *    cross-codec streams, wrong counts, and trailing garbage all
+ *    return false.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "comm/codec_zoo.h"
+#include "comm/gradient_codec.h"
+#include "core/fp32.h"
+#include "net/faults.h"
+#include "sim/random.h"
+
+namespace inc {
+namespace {
+
+uint64_t
+testSeed()
+{
+    const char *env = std::getenv("INC_TEST_SEED");
+    if (env && *env)
+        return std::strtoull(env, nullptr, 10);
+    return 1;
+}
+
+/**
+ * Adversarial tensor: denormal/inf-free dyadic values (exact powers of
+ * two and small sums thereof, both signs) interleaved with seeded
+ * gradient-like noise. Dyadic entries are exactly representable, so
+ * error-feedback style subtractions in callers are exact too.
+ */
+std::vector<float>
+adversarialTensor(uint64_t seed, size_t n)
+{
+    Rng rng(seed * 9176046193ULL + n);
+    std::vector<float> v(n);
+    for (size_t i = 0; i < n; ++i) {
+        switch (rng.below(8)) {
+        case 0:
+            v[i] = 0.0f;
+            break;
+        case 1:
+            v[i] = -0.0f;
+            break;
+        case 2: {
+            // Dyadic: +/- 2^e for e in [-20, 20] (denormal/inf-free).
+            const int e = static_cast<int>(rng.below(41)) - 20;
+            v[i] = std::ldexp(rng.below(2) ? 1.0f : -1.0f, e);
+            break;
+        }
+        case 3: {
+            // Dyadic sum: a + b with exponents close enough to stay
+            // exactly representable.
+            const int e = static_cast<int>(rng.below(20)) - 10;
+            const float a = std::ldexp(1.0f, e);
+            const float b = std::ldexp(1.0f, e - static_cast<int>(
+                                                     rng.below(8)));
+            v[i] = rng.below(2) ? a + b : -(a + b);
+            break;
+        }
+        case 4:
+            v[i] = static_cast<float>(rng.gaussian(0.0, 0.05));
+            break;
+        case 5:
+            v[i] = static_cast<float>(rng.gaussian(0.0, 1e-4));
+            break;
+        default:
+            v[i] = static_cast<float>(rng.uniform(-1.5, 1.5));
+            break;
+        }
+    }
+    return v;
+}
+
+/** Sizes exercising empty, sub-block, exact-block, and multi-block
+ *  framing for every registered block size. */
+const size_t kSizes[] = {0, 1, 7, 255, 256, 257, 1024, 1025, 5000};
+
+struct ZooCase
+{
+    std::string name;
+};
+
+class CodecZoo : public ::testing::TestWithParam<ZooCase>
+{
+  protected:
+    std::unique_ptr<GradientCodec> codec_ = makeCodec(GetParam().name);
+
+    void
+    SetUp() override
+    {
+        ASSERT_NE(codec_, nullptr) << GetParam().name;
+    }
+};
+
+TEST(CodecRegistry, HasAtLeastFourSchemesWithUniqueNames)
+{
+    const auto &reg = codecRegistry();
+    ASSERT_GE(reg.size(), 4u);
+    for (size_t i = 0; i < reg.size(); ++i) {
+        const auto c = reg[i].make();
+        ASSERT_NE(c, nullptr);
+        EXPECT_EQ(c->info().name, reg[i].name);
+        EXPECT_GT(c->info().blockElems, 0u);
+        for (size_t j = i + 1; j < reg.size(); ++j) {
+            EXPECT_NE(reg[i].name, reg[j].name);
+            EXPECT_NE(codecNameHash(reg[i].name),
+                      codecNameHash(reg[j].name));
+        }
+    }
+    EXPECT_EQ(makeCodec("no_such_codec"), nullptr);
+}
+
+TEST(CodecRegistry, CoversThePaperCodecAndThreeNewFamilies)
+{
+    // The tentpole contract: INCEPTIONN plus top-k EF, FFT-domain,
+    // and uniform-quantization families all behind the interface.
+    EXPECT_NE(makeCodec("inceptionn_b10"), nullptr);
+    EXPECT_NE(makeCodec("topk_ef_5"), nullptr);
+    EXPECT_NE(makeCodec("fft_25"), nullptr);
+    EXPECT_NE(makeCodec("quant8_ef"), nullptr);
+    EXPECT_NE(makeCodec("fp32"), nullptr);
+}
+
+TEST_P(CodecZoo, RoundTripWithinSelfReportedErrorBound)
+{
+    for (const size_t n : kSizes) {
+        const std::vector<float> input =
+            adversarialTensor(testSeed(), n);
+        const double bound = codec_->errorBound(input);
+        ASSERT_GE(bound, 0.0);
+        if (codec_->info().lossless)
+            ASSERT_EQ(bound, 0.0);
+
+        std::vector<float> out(n);
+        const std::vector<uint8_t> wire = codec_->encode(input);
+        ASSERT_TRUE(codec_->decode(wire, out)) << "n=" << n;
+        for (size_t i = 0; i < n; ++i) {
+            if (codec_->info().lossless) {
+                ASSERT_EQ(floatToBits(out[i]), floatToBits(input[i]))
+                    << "n=" << n << " i=" << i;
+            } else {
+                ASSERT_LE(std::abs(static_cast<double>(input[i]) -
+                                   static_cast<double>(out[i])),
+                          bound)
+                    << "n=" << n << " i=" << i << " x=" << input[i]
+                    << " rt=" << out[i];
+            }
+        }
+    }
+}
+
+TEST_P(CodecZoo, SerialAndParallelEncodesAreBitIdentical)
+{
+    // The chunked-vs-unchunked law: block coding is independent, so
+    // the thread pool cannot move a single wire bit. The CI seed
+    // matrix repeats this at INC_THREADS 1 and 8.
+    for (const size_t n : kSizes) {
+        const std::vector<float> input =
+            adversarialTensor(testSeed(), n);
+        const std::vector<uint8_t> serial = codec_->encode(input);
+        const std::vector<uint8_t> parallel =
+            codec_->encodeParallel(input);
+        ASSERT_EQ(serial, parallel) << "n=" << n;
+    }
+}
+
+TEST_P(CodecZoo, EncodeIsDeterministicAcrossCalls)
+{
+    const std::vector<float> input =
+        adversarialTensor(testSeed(), 1025);
+    ASSERT_EQ(codec_->encode(input), codec_->encode(input));
+}
+
+TEST_P(CodecZoo, RoundtripOverrideMatchesWirePath)
+{
+    for (const size_t n : {size_t{257}, size_t{1025}}) {
+        const std::vector<float> input =
+            adversarialTensor(testSeed(), n);
+        std::vector<float> via_override = input;
+        codec_->roundtrip(via_override);
+
+        std::vector<float> via_wire(n);
+        ASSERT_TRUE(codec_->decode(codec_->encode(input), via_wire));
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(floatToBits(via_override[i]),
+                      floatToBits(via_wire[i]))
+                << "n=" << n << " i=" << i;
+    }
+}
+
+TEST_P(CodecZoo, WireRatioAndBlockCountAreConsistent)
+{
+    const std::vector<float> input =
+        adversarialTensor(testSeed(), 2100);
+    const uint64_t wb = codec_->wireBytes(input);
+    EXPECT_EQ(wb, codec_->encode(input).size());
+    EXPECT_NEAR(codec_->wireRatio(input),
+                static_cast<double>(input.size() * 4) /
+                    static_cast<double>(wb),
+                1e-12);
+    const size_t be = codec_->info().blockElems;
+    EXPECT_EQ(codec_->blockCount(input.size()),
+              (input.size() + be - 1) / be);
+}
+
+TEST_P(CodecZoo, EveryTruncatedPrefixIsRejectedCleanly)
+{
+    const std::vector<float> input =
+        adversarialTensor(testSeed(), 600);
+    const std::vector<uint8_t> wire = codec_->encode(input);
+    std::vector<float> out(input.size());
+    // Every strict prefix must fail the framing or a block check —
+    // never crash, never read past the span.
+    const size_t step = wire.size() > 2048 ? 13 : 1;
+    for (size_t len = 0; len < wire.size(); len += step) {
+        ASSERT_FALSE(codec_->decode(
+            std::span<const uint8_t>(wire.data(), len), out))
+            << "prefix " << len << "/" << wire.size();
+    }
+}
+
+TEST_P(CodecZoo, FaultModelCorruptionNeverCrashesTheDecoder)
+{
+    const std::vector<float> input =
+        adversarialTensor(testSeed(), 600);
+    const std::vector<uint8_t> clean = codec_->encode(input);
+
+    // Corruption positions come from the fault model's stateless named
+    // draws — the same machinery the lossy fabric uses — so the sweep
+    // is reproducible for any INC_TEST_SEED.
+    FaultConfig fc;
+    fc.seed = testSeed();
+    fc.defaultLink.corruptionRate = 0.25;
+    FaultModel model(fc);
+
+    std::vector<float> out(input.size());
+    for (uint32_t round = 0; round < 8; ++round) {
+        std::vector<uint8_t> wire = clean;
+        bool touched = false;
+        for (size_t i = 0; i < wire.size(); ++i) {
+            const PacketFate fate =
+                model.judge(0, LinkDir::Up, 0,
+                            /*flow=*/round + 1, /*seq=*/i,
+                            /*attempt=*/1);
+            if (fate == PacketFate::Corrupted) {
+                wire[i] ^= static_cast<uint8_t>(1u << (i % 8));
+                touched = true;
+            }
+        }
+        ASSERT_TRUE(touched);
+        // A clean bool either way; ASan/UBSan police the "never UB"
+        // half of the contract.
+        (void)codec_->decode(wire, out);
+    }
+}
+
+TEST_P(CodecZoo, HeaderTamperingIsRejected)
+{
+    const std::vector<float> input =
+        adversarialTensor(testSeed(), 300);
+    std::vector<float> out(input.size());
+    const std::vector<uint8_t> wire = codec_->encode(input);
+
+    std::vector<uint8_t> bad = wire;
+    bad[0] ^= 0xFF; // magic
+    EXPECT_FALSE(codec_->decode(bad, out));
+
+    bad = wire;
+    bad[5] ^= 0xFF; // codec name hash
+    EXPECT_FALSE(codec_->decode(bad, out));
+
+    bad = wire;
+    bad[8] ^= 0x01; // element count
+    EXPECT_FALSE(codec_->decode(bad, out));
+
+    bad = wire;
+    bad.push_back(0); // trailing garbage
+    EXPECT_FALSE(codec_->decode(bad, out));
+
+    std::vector<float> wrong(input.size() + 1);
+    EXPECT_FALSE(codec_->decode(wire, wrong));
+}
+
+TEST_P(CodecZoo, RejectsEveryOtherCodecsStream)
+{
+    const std::vector<float> input =
+        adversarialTensor(testSeed(), 300);
+    const std::vector<uint8_t> wire = codec_->encode(input);
+    std::vector<float> out(input.size());
+    for (const auto &entry : codecRegistry()) {
+        if (entry.name == codec_->info().name)
+            continue;
+        const auto other = entry.make();
+        EXPECT_FALSE(other->decode(wire, out))
+            << entry.name << " accepted a " << codec_->info().name
+            << " stream";
+    }
+}
+
+TEST_P(CodecZoo, CostModelIsPriceable)
+{
+    const CodecCostModel cm = codec_->cost();
+    EXPECT_GT(cm.encodeBytesPerSecond, 0.0);
+    EXPECT_GT(cm.decodeBytesPerSecond, 0.0);
+    if (cm.hardwareOffloadable()) {
+        EXPECT_TRUE(codec_->info().streaming);
+        EXPECT_GT(cm.hwCyclesForValues(1024), 0.0);
+        // Throughput term dominates pipeline fill at scale.
+        EXPECT_GT(cm.hwCyclesForValues(1 << 20),
+                  cm.hwCyclesForValues(1024));
+    } else {
+        EXPECT_EQ(cm.hwCyclesForValues(1 << 20), 0.0);
+    }
+}
+
+std::vector<ZooCase>
+allCases()
+{
+    std::vector<ZooCase> cases;
+    for (const auto &e : codecRegistry())
+        cases.push_back(ZooCase{e.name});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, CodecZoo,
+                         ::testing::ValuesIn(allCases()),
+                         [](const auto &info) {
+                             return info.param.name;
+                         });
+
+} // namespace
+} // namespace inc

@@ -174,7 +174,7 @@ TEST(CollectiveEquivalence, LosslessSchedulesBitIdentical)
 TEST(CollectiveEquivalence, LossySchedulesBitIdenticalAndBounded)
 {
     const int b = 10;
-    const GradientCodec codec(b);
+    const InceptionnCodec codec(b);
     const Grads exact = dyadicGradients(testSeed());
 
     // Lossy compression happens at the source NIC: every worker's

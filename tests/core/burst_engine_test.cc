@@ -23,7 +23,7 @@ gradientLike(size_t n, double sigma, uint64_t seed)
 
 TEST(BurstCompressor, ByteExactWithScalarStream)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const auto vals = gradientLike(4096 + 3, 0.05, 21);
 
     const CompressedStream scalar = encodeStream(codec, vals);
@@ -39,7 +39,7 @@ TEST(BurstCompressor, ByteExactWithScalarStream)
 
 TEST(BurstCompressor, ChunkedFeedMatchesSingleFeed)
 {
-    const GradientCodec codec(8);
+    const InceptionnCodec codec(8);
     const auto vals = gradientLike(1000, 0.02, 22);
 
     BurstCompressor one(codec);
@@ -62,7 +62,7 @@ TEST(BurstCompressor, ChunkedFeedMatchesSingleFeed)
 
 TEST(BurstCompressor, CycleCountTracksInputWhenCompressible)
 {
-    const GradientCodec codec(6);
+    const InceptionnCodec codec(6);
     const auto vals = gradientLike(8000, 0.001, 23); // nearly all zero-tag
 
     BurstCompressor engine(codec, /*pipeline_depth=*/4);
@@ -78,7 +78,7 @@ TEST(BurstCompressor, CycleCountTracksInputWhenCompressible)
 
 TEST(BurstCompressor, IncompressibleTrafficThrottlesOnOutput)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     std::vector<float> vals(8000, 3.14159f); // all verbatim: 272 bits/burst
 
     BurstCompressor engine(codec);
@@ -94,7 +94,7 @@ TEST(BurstCompressor, IncompressibleTrafficThrottlesOnOutput)
 
 TEST(BurstDecompressor, RecoversScalarRoundTrip)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const auto vals = gradientLike(2048 + 7, 0.05, 24);
 
     BurstCompressor comp(codec);
@@ -113,7 +113,7 @@ TEST(BurstDecompressor, HandlesGroupsStraddlingBursts)
 {
     // Mixed widths make group sizes irregular so groups straddle 256-bit
     // boundaries — the Burst Buffer path the paper calls out.
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     Rng rng(25);
     std::vector<float> vals(5000);
     for (size_t i = 0; i < vals.size(); ++i) {
@@ -137,7 +137,7 @@ TEST(BurstDecompressor, HandlesGroupsStraddlingBursts)
 
 TEST(BurstDecompressor, CycleCountCoversAllBursts)
 {
-    const GradientCodec codec(8);
+    const InceptionnCodec codec(8);
     const auto vals = gradientLike(8192, 0.05, 26);
 
     BurstCompressor comp(codec);
@@ -157,7 +157,7 @@ TEST(BurstDecompressor, CycleCountCoversAllBursts)
 
 TEST(BurstEngines, EmptyStream)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     BurstCompressor comp(codec);
     const CompressedStream s = comp.finish();
     EXPECT_EQ(s.count, 0u);
@@ -170,7 +170,7 @@ TEST(BurstEngines, EngineKeepsLineRateAt100MHz)
 {
     // Paper Sec. VII-C: engines must not curtail the 10 Gb/s NIC at
     // 100 MHz. 256 bit/cycle * 100 MHz = 25.6 Gb/s input bandwidth.
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const auto vals = gradientLike(80000, 0.05, 27);
     BurstCompressor comp(codec);
     comp.feed(vals);

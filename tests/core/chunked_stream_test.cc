@@ -29,7 +29,7 @@ gradientLike(size_t n, uint64_t seed = 7)
 
 TEST(ChunkedStream, BitIdenticalToSerialStream)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     // Lengths around every framing edge: empty, single value, shorter
     // than one chunk, exact chunk multiples, and ragged tails that are
     // and are not multiples of the 8-value group.
@@ -48,7 +48,7 @@ TEST(ChunkedStream, BitIdenticalToSerialStream)
 
 TEST(ChunkedStream, NoEmptyTailChunkOnExactMultiple)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const auto vals = gradientLike(128);
     const ChunkedStream cs = encodeStreamChunked(codec, vals, 64);
     EXPECT_EQ(cs.chunkCount(), 2u);
@@ -58,7 +58,7 @@ TEST(ChunkedStream, NoEmptyTailChunkOnExactMultiple)
 
 TEST(ChunkedStream, EmptyInputHasZeroChunks)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const ChunkedStream cs = encodeStreamChunked(codec, {}, 64);
     EXPECT_EQ(cs.chunkCount(), 0u);
     EXPECT_EQ(cs.stream.count, 0u);
@@ -69,7 +69,7 @@ TEST(ChunkedStream, EmptyInputHasZeroChunks)
 
 TEST(ChunkedStream, SingleElementInputRoundTrips)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const std::vector<float> in{0.25f};
     const ChunkedStream cs = encodeStreamChunked(codec, in, 64);
     EXPECT_EQ(cs.chunkCount(), 1u);
@@ -84,7 +84,7 @@ TEST(ChunkedStream, NonMultipleLengthRoundTripsExactly)
     // The regression this guards: a tail shorter than the chunk (and
     // shorter than a group) must decode to exactly the per-value
     // round-trip, with no dropped or phantom tail values.
-    const GradientCodec codec(8);
+    const InceptionnCodec codec(8);
     for (const size_t n : {size_t{65}, size_t{127}, size_t{200},
                            size_t{777}}) {
         const auto in = gradientLike(n, 11);
@@ -100,7 +100,7 @@ TEST(ChunkedStream, NonMultipleLengthRoundTripsExactly)
 
 TEST(ChunkedStream, ChunkedDecodeMatchesSerialDecode)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const auto in = gradientLike(5000, 21);
     const ChunkedStream cs = encodeStreamChunked(codec, in, 512);
     std::vector<float> serial(in.size()), chunked(in.size());
@@ -111,7 +111,7 @@ TEST(ChunkedStream, ChunkedDecodeMatchesSerialDecode)
 
 TEST(ChunkedStream, HistogramMatchesSerial)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const auto in = gradientLike(1234, 5);
     TagHistogram serial, chunked;
     encodeStream(codec, in, &serial);
@@ -122,7 +122,7 @@ TEST(ChunkedStream, HistogramMatchesSerial)
 TEST(ChunkedStream, BitIdenticalAcrossThreadCounts)
 {
     ThreadCountGuard guard;
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const auto in = gradientLike(10'000, 3);
 
     setGlobalThreadCount(1);
@@ -146,7 +146,7 @@ TEST(ChunkedStream, BitIdenticalAcrossThreadCounts)
 TEST(CodecParallel, RoundtripBitIdenticalAcrossThreadCounts)
 {
     ThreadCountGuard guard;
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const auto in = gradientLike(50'000, 17);
 
     setGlobalThreadCount(1);
@@ -168,7 +168,7 @@ TEST(CodecParallel, RoundtripBitIdenticalAcrossThreadCounts)
 TEST(CodecParallel, MeasureBitIdenticalAcrossThreadCounts)
 {
     ThreadCountGuard guard;
-    const GradientCodec codec(8);
+    const InceptionnCodec codec(8);
     const auto in = gradientLike(30'000, 19);
 
     setGlobalThreadCount(1);

@@ -69,7 +69,7 @@ class CodecGolden
 TEST_P(CodecGolden, RandomValuesAgree)
 {
     const auto [b, policy] = GetParam();
-    const GradientCodec codec(b, policy);
+    const InceptionnCodec codec(b, policy);
     Rng rng(static_cast<uint64_t>(b) * 7 + 1);
     for (int i = 0; i < 150000; ++i) {
         float f;
@@ -93,7 +93,7 @@ TEST_P(CodecGolden, RandomValuesAgree)
 TEST_P(CodecGolden, ExponentBoundaryValuesAgree)
 {
     const auto [b, policy] = GetParam();
-    const GradientCodec codec(b, policy);
+    const InceptionnCodec codec(b, policy);
     for (uint32_t e = 100; e < 128; ++e) {
         for (uint32_t m :
              {0u, 1u, 0x7FFFFFu, 0x400000u, 0x3FFFFFu, 0x555555u}) {

@@ -105,7 +105,7 @@ class CodecProperty : public ::testing::TestWithParam<int>
 TEST_P(CodecProperty, ErrorWithinBoundResidualMask)
 {
     const int b = GetParam();
-    const GradientCodec codec(b, CodecPolicy::kResidualMask);
+    const InceptionnCodec codec(b, CodecPolicy::kResidualMask);
     const double bound = codec.errorBound();
     for (const float f : adversarialValues(testSeed(), b)) {
         const float rt = codec.decompress(codec.compress(f));
@@ -121,7 +121,7 @@ TEST_P(CodecProperty, TagAndPayloadWellFormed)
     const int b = GetParam();
     for (const CodecPolicy policy : {CodecPolicy::kResidualMask,
                                      CodecPolicy::kExponentThreshold}) {
-        const GradientCodec codec(b, policy);
+        const InceptionnCodec codec(b, policy);
         for (const float f : adversarialValues(testSeed(), b)) {
             const CompressedValue cv = codec.compress(f);
             const int bits = cv.bits();
@@ -154,7 +154,7 @@ TEST_P(CodecProperty, RoundtripIdempotent)
     const int b = GetParam();
     for (const CodecPolicy policy : {CodecPolicy::kResidualMask,
                                      CodecPolicy::kExponentThreshold}) {
-        const GradientCodec codec(b, policy);
+        const InceptionnCodec codec(b, policy);
         for (const float f : adversarialValues(testSeed(), b)) {
             const float once = codec.decompress(codec.compress(f));
             const float twice =
@@ -170,7 +170,7 @@ TEST_P(CodecProperty, SignAndMagnitudePreserved)
     const int b = GetParam();
     for (const CodecPolicy policy : {CodecPolicy::kResidualMask,
                                      CodecPolicy::kExponentThreshold}) {
-        const GradientCodec codec(b, policy);
+        const InceptionnCodec codec(b, policy);
         for (const float f : adversarialValues(testSeed(), b)) {
             if (!std::isfinite(f))
                 continue;

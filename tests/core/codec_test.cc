@@ -28,9 +28,9 @@ TEST(Fp32Bits, FieldsOfOne)
     EXPECT_EQ(b.mantissa, 0u);
 }
 
-TEST(GradientCodec, ValuesAtLeastOnePassThrough)
+TEST(InceptionnCodec, ValuesAtLeastOnePassThrough)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     for (float f : {1.0f, -1.0f, 1.5f, -273.15f, 1e30f}) {
         const CompressedValue cv = codec.compress(f);
         EXPECT_EQ(cv.tag, Tag::NoCompress);
@@ -38,9 +38,9 @@ TEST(GradientCodec, ValuesAtLeastOnePassThrough)
     }
 }
 
-TEST(GradientCodec, NonFinitePassThrough)
+TEST(InceptionnCodec, NonFinitePassThrough)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const float inf = std::numeric_limits<float>::infinity();
     EXPECT_EQ(codec.compress(inf).tag, Tag::NoCompress);
     EXPECT_EQ(codec.decompress(codec.compress(inf)), inf);
@@ -49,9 +49,9 @@ TEST(GradientCodec, NonFinitePassThrough)
     EXPECT_TRUE(std::isnan(codec.decompress(codec.compress(nan))));
 }
 
-TEST(GradientCodec, TinyValuesBecomeZeroTag)
+TEST(InceptionnCodec, TinyValuesBecomeZeroTag)
 {
-    const GradientCodec codec(10); // bound 2^-10
+    const InceptionnCodec codec(10); // bound 2^-10
     for (float f : {0.0f, -0.0f, 1e-20f, -1e-20f, 0.0009f, -0.0009f}) {
         const CompressedValue cv = codec.compress(f);
         EXPECT_EQ(cv.tag, Tag::Zero) << "f=" << f;
@@ -59,9 +59,9 @@ TEST(GradientCodec, TinyValuesBecomeZeroTag)
     }
 }
 
-TEST(GradientCodec, BoundaryValuesAroundTheBound)
+TEST(InceptionnCodec, BoundaryValuesAroundTheBound)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     // Strictly below the bound vanishes...
     const float below = std::nextafter(std::ldexp(1.0f, -10), 0.0f);
     EXPECT_EQ(codec.compress(below).tag, Tag::Zero);
@@ -75,25 +75,25 @@ TEST(GradientCodec, BoundaryValuesAroundTheBound)
     EXPECT_NE(codec.compress(above).tag, Tag::Zero);
 }
 
-TEST(GradientCodec, SubnormalsBecomeZeroTag)
+TEST(InceptionnCodec, SubnormalsBecomeZeroTag)
 {
-    const GradientCodec codec(15);
+    const InceptionnCodec codec(15);
     const float sub = std::numeric_limits<float>::denorm_min();
     EXPECT_EQ(codec.compress(sub).tag, Tag::Zero);
 }
 
-TEST(GradientCodec, ExactDyadicValuesRoundTripExactly)
+TEST(InceptionnCodec, ExactDyadicValuesRoundTripExactly)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     for (float f : {0.5f, -0.5f, 0.25f, 0.75f, -0.375f, 0.0078125f}) {
         const CompressedValue cv = codec.compress(f);
         EXPECT_EQ(codec.decompress(cv), f) << "f=" << f;
     }
 }
 
-TEST(GradientCodec, SignSurvivesAllWidths)
+TEST(InceptionnCodec, SignSurvivesAllWidths)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     for (float mag : {0.9f, 0.0123f, 0.002f}) {
         const float pos = codec.decompress(codec.compress(mag));
         const float neg = codec.decompress(codec.compress(-mag));
@@ -111,7 +111,7 @@ class CodecErrorBound : public ::testing::TestWithParam<int>
 TEST_P(CodecErrorBound, RandomUniformValues)
 {
     const int b = GetParam();
-    const GradientCodec codec(b);
+    const InceptionnCodec codec(b);
     const double bound = codec.errorBound();
     Rng rng(1234);
     for (int i = 0; i < 200000; ++i) {
@@ -125,7 +125,7 @@ TEST_P(CodecErrorBound, RandomUniformValues)
 TEST_P(CodecErrorBound, RandomGaussianGradientLikeValues)
 {
     const int b = GetParam();
-    const GradientCodec codec(b);
+    const InceptionnCodec codec(b);
     const double bound = codec.errorBound();
     Rng rng(99);
     for (int i = 0; i < 200000; ++i) {
@@ -139,7 +139,7 @@ TEST_P(CodecErrorBound, RandomGaussianGradientLikeValues)
 TEST_P(CodecErrorBound, ExhaustiveExponentMantissaCorners)
 {
     const int b = GetParam();
-    const GradientCodec codec(b);
+    const InceptionnCodec codec(b);
     const double bound = codec.errorBound();
     // Sweep every exponent below 127 with corner mantissas.
     for (uint32_t e = 0; e < 127; ++e) {
@@ -157,7 +157,7 @@ TEST_P(CodecErrorBound, ExhaustiveExponentMantissaCorners)
 TEST_P(CodecErrorBound, ThresholdPolicyAlsoHonoursBoundWhenApplicable)
 {
     const int b = GetParam();
-    const GradientCodec codec(b, CodecPolicy::kExponentThreshold);
+    const InceptionnCodec codec(b, CodecPolicy::kExponentThreshold);
     const double bound = codec.errorBound();
     Rng rng(5);
     for (int i = 0; i < 50000; ++i) {
@@ -170,19 +170,19 @@ TEST_P(CodecErrorBound, ThresholdPolicyAlsoHonoursBoundWhenApplicable)
 INSTANTIATE_TEST_SUITE_P(Bounds, CodecErrorBound,
                          ::testing::Values(1, 2, 4, 6, 8, 10, 12, 15));
 
-TEST(GradientCodec, LooserBoundNeverCompressesWorse)
+TEST(InceptionnCodec, LooserBoundNeverCompressesWorse)
 {
     Rng rng(321);
     std::vector<float> vals(20000);
     for (auto &v : vals)
         v = static_cast<float>(rng.gaussian(0.0, 0.05));
-    const GradientCodec tight(10), loose(6);
+    const InceptionnCodec tight(10), loose(6);
     const uint64_t bits_tight = tight.measure(vals);
     const uint64_t bits_loose = loose.measure(vals);
     EXPECT_LE(bits_loose, bits_tight);
 }
 
-TEST(GradientCodec, GradientLikeDataCompressesHard)
+TEST(InceptionnCodec, GradientLikeDataCompressesHard)
 {
     // Paper Sec. VIII-C: with bound 2^-6 nearly all gradients become
     // 2-bit vectors and the ratio approaches 15x.
@@ -191,13 +191,13 @@ TEST(GradientCodec, GradientLikeDataCompressesHard)
     for (auto &v : vals)
         v = static_cast<float>(rng.gaussian(0.0, 0.005));
     TagHistogram hist;
-    const GradientCodec codec(6);
+    const InceptionnCodec codec(6);
     codec.measure(vals, &hist);
     EXPECT_GT(hist.fraction(Tag::Zero), 0.90);
     EXPECT_GT(hist.compressionRatio(), 10.0);
 }
 
-TEST(GradientCodec, TightBoundShiftsMassTo16Bit)
+TEST(InceptionnCodec, TightBoundShiftsMassTo16Bit)
 {
     // Table III shape: at 2^-10 the non-zero mass is mostly 16-bit with a
     // small 8-bit share (values whose dropped bits vanish early).
@@ -206,17 +206,17 @@ TEST(GradientCodec, TightBoundShiftsMassTo16Bit)
     for (auto &v : vals)
         v = static_cast<float>(rng.gaussian(0.0, 0.02));
     TagHistogram hist;
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     codec.measure(vals, &hist);
     EXPECT_GT(hist.fraction(Tag::Bits16), hist.fraction(Tag::Bits8));
     EXPECT_GT(hist.fraction(Tag::Bits8), 0.0);
     EXPECT_LT(hist.fraction(Tag::NoCompress), 0.01);
 }
 
-TEST(GradientCodec, ThresholdPolicyNever16BitAtLooseBound)
+TEST(InceptionnCodec, ThresholdPolicyNever16BitAtLooseBound)
 {
     Rng rng(79);
-    const GradientCodec codec(6, CodecPolicy::kExponentThreshold);
+    const InceptionnCodec codec(6, CodecPolicy::kExponentThreshold);
     TagHistogram hist;
     std::vector<float> vals(50000);
     for (auto &v : vals)
@@ -225,12 +225,12 @@ TEST(GradientCodec, ThresholdPolicyNever16BitAtLooseBound)
     EXPECT_EQ(hist.counts[static_cast<size_t>(Tag::Bits16)], 0u);
 }
 
-TEST(GradientCodec, CompressionIsIdempotent)
+TEST(InceptionnCodec, CompressionIsIdempotent)
 {
     // decompress(compress(x)) must be a fixed point: compressing the
     // reconstructed value reproduces it exactly (the NIC may recompress a
     // block on the next ring hop).
-    const GradientCodec codec(8);
+    const InceptionnCodec codec(8);
     Rng rng(42);
     for (int i = 0; i < 50000; ++i) {
         const float f = static_cast<float>(rng.uniform(-1.5, 1.5));
@@ -240,9 +240,9 @@ TEST(GradientCodec, CompressionIsIdempotent)
     }
 }
 
-TEST(GradientCodec, MeasureCountsTagsAndBits)
+TEST(InceptionnCodec, MeasureCountsTagsAndBits)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const std::vector<float> vals{0.0f, 2.0f, 0.5f, 1e-9f};
     TagHistogram hist;
     const uint64_t bits = codec.measure(vals, &hist);
@@ -254,9 +254,9 @@ TEST(GradientCodec, MeasureCountsTagsAndBits)
     EXPECT_EQ(bits, 2u + (2u + 32u) + (2u + 8u) + 2u);
 }
 
-TEST(GradientCodec, RoundtripBufferMatchesScalar)
+TEST(InceptionnCodec, RoundtripBufferMatchesScalar)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     Rng rng(31);
     std::vector<float> vals(999);
     for (auto &v : vals)
@@ -289,10 +289,10 @@ TEST(TagHistogram, Accumulate)
     EXPECT_EQ(a.counts[static_cast<size_t>(Tag::Bits16)], 2u);
 }
 
-TEST(GradientCodec, RejectsBadBound)
+TEST(InceptionnCodec, RejectsBadBound)
 {
-    EXPECT_DEATH({ GradientCodec bad(0); }, "error bound");
-    EXPECT_DEATH({ GradientCodec bad(16); }, "error bound");
+    EXPECT_DEATH({ InceptionnCodec bad(0); }, "error bound");
+    EXPECT_DEATH({ InceptionnCodec bad(16); }, "error bound");
 }
 
 } // namespace

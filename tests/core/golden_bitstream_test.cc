@@ -119,7 +119,7 @@ class GoldenBitstream : public ::testing::TestWithParam<GoldenCase>
 TEST_P(GoldenBitstream, EncodeStreamMatchesPinnedBytes)
 {
     const GoldenCase &gc = GetParam();
-    const GradientCodec codec(gc.bound, gc.policy);
+    const InceptionnCodec codec(gc.bound, gc.policy);
     const std::vector<float> input = goldenInput();
     const CompressedStream stream = encodeStream(codec, input);
     const std::vector<uint8_t> wire = serialize(stream);
@@ -145,7 +145,7 @@ TEST_P(GoldenBitstream, ChunkedEncoderMatchesPinnedBytes)
     const GoldenCase &gc = GetParam();
     if (std::getenv("INC_UPDATE_GOLDEN"))
         GTEST_SKIP() << "regeneration handled by the serial test";
-    const GradientCodec codec(gc.bound, gc.policy);
+    const InceptionnCodec codec(gc.bound, gc.policy);
     const std::vector<float> input = goldenInput();
     // Small chunks so the 256-value vector spans several; the stitched
     // stream must still serialize to the exact pinned bytes.
@@ -166,7 +166,7 @@ TEST_P(GoldenBitstream, PinnedBytesDecodeLosslessly)
     std::vector<uint8_t> golden;
     ASSERT_TRUE(readFile(goldenPath(gc.file), golden));
 
-    const GradientCodec codec(gc.bound, gc.policy);
+    const InceptionnCodec codec(gc.bound, gc.policy);
     const CompressedStream stream = deserialize(golden);
     const std::vector<float> input = goldenInput();
     ASSERT_EQ(stream.count, input.size());

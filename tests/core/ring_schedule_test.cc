@@ -161,7 +161,7 @@ TEST(RingAllReduce, CompressedStaysWithinAccumulatedBound)
 {
     const int n = 4;
     const size_t total = 2048;
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     Rng rng(1);
 
     std::vector<std::vector<float>> replicas(n, std::vector<float>(total));
@@ -198,7 +198,7 @@ TEST(RingAllReduce, ReplicasAgreeWithinOneBoundAfterExchange)
     // with each other, while the owner differs by at most one error bound.
     const int n = 5;
     const size_t total = 515;
-    const GradientCodec codec(8);
+    const InceptionnCodec codec(8);
     Rng rng(2);
 
     std::vector<std::vector<float>> replicas(n, std::vector<float>(total));

@@ -64,7 +64,7 @@ TEST(BitReader, SeekRepositions)
 
 TEST(Stream, EmptyInput)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const CompressedStream s = encodeStream(codec, {});
     EXPECT_EQ(s.count, 0u);
     EXPECT_EQ(s.bitSize, 0u);
@@ -74,7 +74,7 @@ TEST(Stream, EmptyInput)
 
 TEST(Stream, SingleValue)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const std::vector<float> in{0.25f};
     const CompressedStream s = encodeStream(codec, in);
     EXPECT_EQ(s.count, 1u);
@@ -85,7 +85,7 @@ TEST(Stream, SingleValue)
 
 TEST(Stream, PartialFinalGroupPadsWithZeroTags)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     std::vector<float> in(11, 0.5f); // 8 + 3
     const CompressedStream s = encodeStream(codec, in);
     // Two groups: 2x16 tag bits + 11 payloads of 8 bits (0.5 is dyadic).
@@ -98,7 +98,7 @@ TEST(Stream, PartialFinalGroupPadsWithZeroTags)
 
 TEST(Stream, RoundTripErrorWithinBoundLargeRandom)
 {
-    const GradientCodec codec(8);
+    const InceptionnCodec codec(8);
     Rng rng(10);
     std::vector<float> in(4096 + 5);
     for (auto &v : in)
@@ -112,7 +112,7 @@ TEST(Stream, RoundTripErrorWithinBoundLargeRandom)
 
 TEST(Stream, MatchesScalarRoundTripExactly)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     Rng rng(8);
     std::vector<float> in(777);
     for (auto &v : in)
@@ -126,7 +126,7 @@ TEST(Stream, MatchesScalarRoundTripExactly)
 
 TEST(Stream, HistogramMatchesMeasure)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     Rng rng(9);
     std::vector<float> in(512);
     for (auto &v : in)
@@ -139,7 +139,7 @@ TEST(Stream, HistogramMatchesMeasure)
 
 TEST(Stream, WireRatioAccountsHeaderAndPadding)
 {
-    const GradientCodec codec(6);
+    const InceptionnCodec codec(6);
     std::vector<float> in(8000, 0.0f); // all zero-tag
     const CompressedStream s = encodeStream(codec, in);
     // 1000 groups x 16 bits = 2000 bytes + 8 header.
@@ -149,7 +149,7 @@ TEST(Stream, WireRatioAccountsHeaderAndPadding)
 
 TEST(Stream, IncompressibleDataExpandsOnlyByTags)
 {
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     std::vector<float> in(800, 7.5f); // all |f| >= 1: verbatim
     const CompressedStream s = encodeStream(codec, in);
     EXPECT_EQ(s.bitSize, 100u * 16u + 800u * 32u);

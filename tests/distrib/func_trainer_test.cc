@@ -63,7 +63,7 @@ TEST(FuncTrainer, RingReplicasStayInSyncLossless)
 TEST(FuncTrainer, CodecBoundsReplicaDrift)
 {
     SyntheticDigits train(800, 1), test(200, 2);
-    const GradientCodec codec(8);
+    const InceptionnCodec codec(8);
     FuncTrainerConfig cfg = smallConfig();
     cfg.codec = &codec;
     FuncTrainer t(&buildHdcSmall, train, test, cfg);
@@ -87,7 +87,7 @@ TEST(FuncTrainer, CompressedTrainingStillLearns)
     base.train(150);
     const double base_acc = base.evaluate();
 
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     FuncTrainerConfig cfg = smallConfig();
     cfg.codec = &codec;
     FuncTrainer comp(&buildHdcSmall, train, test, cfg);
@@ -126,7 +126,7 @@ TEST(FuncTrainer, StarWithCodecOnGradientLegLearns)
     // WA+C functional mode: codec on the worker->aggregator leg only
     // (weights return exact), as the paper's WA+C configuration.
     SyntheticDigits train(1600, 1), test(400, 2);
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     FuncTrainerConfig cfg = smallConfig();
     cfg.exchange = FuncExchange::Star;
     cfg.codec = &codec;
@@ -142,7 +142,7 @@ TEST(FuncTrainer, StarWithCodecOnGradientLegLearns)
 TEST(FuncTrainer, AtSourceCompressionLearns)
 {
     SyntheticDigits train(1600, 1), test(400, 2);
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     FuncTrainerConfig cfg = smallConfig();
     cfg.codec = &codec;
     cfg.compressionPoint = CompressionPoint::AtSource;
@@ -155,7 +155,7 @@ TEST(FuncTrainer, AtSourceCompressionLearns)
 TEST(FuncTrainer, AtSourceCompressesOncePerIterationPerNode)
 {
     SyntheticDigits train(800, 1), test(200, 2);
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
 
     FuncTrainerConfig hop_cfg = smallConfig();
     hop_cfg.codec = &codec;
@@ -183,7 +183,7 @@ TEST(FuncTrainer, ErrorFeedbackPreservesGradientMassOverTime)
     // With a very coarse bound most values vanish; error feedback must
     // keep the model learning anyway by accumulating the loss locally.
     SyntheticDigits train(1600, 1), test(400, 2);
-    const GradientCodec codec(4); // brutal 2^-4 bound
+    const InceptionnCodec codec(4); // brutal 2^-4 bound
 
     FuncTrainerConfig ef_cfg = smallConfig();
     ef_cfg.codec = &codec;

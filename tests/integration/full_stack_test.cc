@@ -45,7 +45,7 @@ liveGradient()
 TEST(FullStack, SerializedStreamSurvivesTransport)
 {
     const auto grad = liveGradient();
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
 
     // Compress with the hardware model, serialize, "transport",
     // deserialize, expand with the hardware model.
@@ -68,7 +68,7 @@ TEST(FullStack, SerializedStreamSurvivesTransport)
 TEST(FullStack, MeasuredRatioDrivesConsistentNetworkTiming)
 {
     const auto grad = liveGradient();
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     const CompressedStream s = encodeStream(codec, grad);
     const double measured_ratio =
         static_cast<double>(grad.size() * 4) /
@@ -106,7 +106,7 @@ TEST(FullStack, EndToEndTrainingSpeedupWithMeasuredRatio)
     // measure the real codec ratio on live HDC gradients, then compare
     // WA vs INC+C full-training simulations using it.
     const auto grad = liveGradient();
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     TagHistogram tags;
     codec.measure(grad, &tags);
     const double ratio = tags.compressionRatio();

@@ -1,0 +1,22 @@
+// must-not-fire — the sanctioned codec shape: any dither comes from a
+// fixed-seed counter stream carried in the codec's own state, so the
+// same input always serializes to the same bytes on every host.
+#include <cstdint>
+
+struct DitherStream
+{
+    uint64_t state = 0x9E3779B97F4A7C15ull; // fixed seed: golden bits
+
+    uint32_t
+    next()
+    {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<uint32_t>(state >> 33);
+    }
+};
+
+unsigned
+encodeValueDithered(float v, DitherStream &dither)
+{
+    return static_cast<unsigned>(v) + (dither.next() & 1u);
+}

@@ -1,0 +1,16 @@
+// must-fire: no-std-rand + no-wall-clock — a codec whose stochastic
+// rounding draws from the libc RNG and seeds it off the host clock.
+// Non-reproducible bitstreams: the exact failure mode the determinism
+// lint exists to keep out of encoder paths.
+#include <chrono>
+#include <cstdlib>
+
+unsigned
+encodeValueDithered(float v)
+{
+    auto seed = std::chrono::steady_clock::now(); // line 11
+    srand(static_cast<unsigned>(                  // line 12 (srand)
+        seed.time_since_epoch().count()));
+    const int dither = rand() % 2; // line 14
+    return static_cast<unsigned>(v) + static_cast<unsigned>(dither);
+}

@@ -219,6 +219,18 @@ TEST(IncLint, BadSuppressionIsItselfAFinding)
                 {{"bad-suppression", 6}});
 }
 
+TEST(IncLint, CodecEncoderPathsStayDeterministic)
+{
+    // A codec whose dither draws from the libc RNG seeded off the host
+    // clock serializes differently on every run — the checker must name
+    // the clock read and both libc-RNG calls.
+    expectFires("src/comm/codec_fire.cc", {{"no-wall-clock", 11},
+                                           {"no-std-rand", 12},
+                                           {"no-std-rand", 14}});
+    // The sanctioned shape: a fixed-seed counter stream in codec state.
+    expectClean("src/comm/codec_clean.cc");
+}
+
 TEST(IncLint, WholeFixtureTreeSweepIsDeterministic)
 {
     const RunResult a = runLint(fixture(""));

@@ -138,7 +138,7 @@ codecSnapshotAtThreads(int threads)
     for (auto &f : values)
         f = static_cast<float>(rng.gaussian(0.0, 0.05));
 
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     codec.measure(values);
     std::vector<float> rt = values;
     codec.roundtrip(rt);
@@ -167,7 +167,7 @@ TEST(MetricsDeterminism, CodecCountersMatchTagHistogram)
     for (auto &f : values)
         f = static_cast<float>(rng.gaussian(0.0, 0.05));
 
-    const GradientCodec codec(10);
+    const InceptionnCodec codec(10);
     TagHistogram hist;
     codec.measure(values, &hist);
 
