@@ -17,6 +17,14 @@
  * self-reporting wall clock, events/sec, and peak RSS. Flags:
  * --lp-workers=N (0 skips), --no-classic (only the LP section),
  * --spans[=FILE] (span-enabled pass + critical-path blame table).
+ *
+ * LP blame section (the BENCH_pr9.json perf artifact): a span-captured
+ * multi-iteration LpAlgorithm::InNetwork run — per-LP span shards
+ * merged width-invariantly, critical-path blame per category recorded
+ * as blame columns in every BENCH_pr9.json record, and (with --spans)
+ * the merged span CSV plus the per-iteration blame time-series
+ * (CSV + JSON, the EXPERIMENTS.md contract) written beside it. The
+ * bench exits non-zero if the blame decomposition is not bit-exact.
  */
 
 #include <chrono>
@@ -44,6 +52,26 @@ namespace {
 constexpr int kHosts = 8;
 constexpr int kQueueDepth = 256;
 constexpr int kEcnThreshold = 64;
+
+/** Smallest even k whose k-ary fat tree holds @p workers hosts. */
+int
+fatTreeKFor(int workers)
+{
+    int k = 4;
+    while (k * k * k / 4 < workers)
+        k += 2;
+    return k;
+}
+
+/** "<dir>/<stem><tag><ext>" beside @p path (tag e.g. ".lp"). */
+std::string
+siblingPath(const std::string &path, const std::string &tag)
+{
+    const std::filesystem::path p(path);
+    return (p.parent_path() / (p.stem().string() + tag +
+                               p.extension().string()))
+        .string();
+}
 
 /** One background-tenant scenario of the contention table. */
 struct Tenant
@@ -300,6 +328,100 @@ runLpSection(const bench::Options &opts, int lp_workers,
                     .c_str());
 }
 
+/**
+ * BENCH_pr9.json: span-captured multi-iteration in-network allreduce
+ * on the LP-partitioned fabric. Always runs when the LP section does
+ * (the blame columns are part of the perf artifact); --spans
+ * additionally writes the merged span CSV and the per-iteration blame
+ * time-series. Returns false when the decomposition is not bit-exact.
+ */
+bool
+runLpBlameSection(const bench::Options &opts, int lp_workers)
+{
+    if (lp_workers <= 0)
+        return true;
+    const int k = fatTreeKFor(lp_workers);
+    const uint64_t gradient = opts.quick ? (4ull << 20) : (25ull << 20);
+    const int iters =
+        opts.iterations ? static_cast<int>(opts.iterations) : 3;
+    std::printf("LP-mode in-network blame run, %d-host fat-tree "
+                "(k=%d), %d iterations, span capture on:\n",
+                k * k * k / 4, k, iters);
+
+    // inc-lint: allow-file(no-wall-clock) — see above.
+    const auto t0 = std::chrono::steady_clock::now();
+    LpFabricConfig fc;
+    fc.captureSpans = true;
+    LpFabric fab(fatTreeTopology(k), fc, /*threads=*/0);
+    LpCollectiveConfig cc;
+    cc.algorithm = LpAlgorithm::InNetwork;
+    cc.gradientBytes = gradient;
+    cc.groupSize = k * k / 4;
+    const std::vector<LpAllreduceResult> results =
+        runLpIterations(fab, cc, iters);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    uint64_t events = 0, rounds = 0;
+    for (const LpAllreduceResult &r : results) {
+        events += r.events;
+        rounds += r.rounds;
+    }
+
+    const std::vector<spans::Span> all = fab.mergedSpans();
+    const CriticalPathReport report = analyzeCriticalPath(all);
+    std::printf("%s\n", report.renderTable().c_str());
+
+    bench::PerfRecord rec;
+    rec.config = "innet_lp.blame.innet.fat_tree_k" + std::to_string(k);
+    rec.algorithm = lpAlgorithmName(cc.algorithm);
+    rec.workers = fab.nodes();
+    rec.width = 0; // ambient INC_THREADS
+    rec.events = events;
+    rec.rounds = rounds;
+    rec.wallMs = wall_ms;
+    rec.eventsPerSec =
+        wall_ms > 0.0 ? static_cast<double>(events) / (wall_ms / 1e3)
+                      : 0.0;
+    rec.peakRssMbNow = bench::peakRssMb();
+    rec.simSeconds = toSeconds(results.back().finish);
+    for (int b = 0; b < static_cast<int>(spans::Blame::kCount); ++b)
+        rec.blameTicks.emplace_back(
+            spans::blameName(static_cast<spans::Blame>(b)),
+            report.totals.get(static_cast<spans::Blame>(b)));
+
+    if (!opts.spansPath.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(
+            std::filesystem::path(opts.spansPath).parent_path(), ec);
+        const std::string lp_csv = siblingPath(opts.spansPath, ".lp");
+        if (spans::writeSpansCsvFile(lp_csv, all))
+            std::printf("[spans] %s (%zu spans; analyze with "
+                        "tools/inc_critpath)\n",
+                        lp_csv.c_str(), all.size());
+        rec.spansFile = lp_csv;
+        const std::filesystem::path p(lp_csv);
+        const std::string ts_base =
+            (p.parent_path() / p.stem()).string() + ".timeseries";
+        if (report.writeTimeSeriesCsvFile(ts_base + ".csv"))
+            std::printf("[timeseries] %s.csv\n", ts_base.c_str());
+        if (report.writeTimeSeriesJsonFile(ts_base + ".json"))
+            std::printf("[timeseries-json] %s.json\n", ts_base.c_str());
+    }
+    bench::printPerfRecord(rec);
+    bench::writePerfJson(opts, "BENCH_pr9.json", {rec});
+
+    if (!report.exact() ||
+        report.iterations.size() != static_cast<size_t>(iters)) {
+        std::fprintf(stderr, "error: LP span blame does not sum "
+                             "exactly to the simulated window\n");
+        return false;
+    }
+    return true;
+}
+
 /** Span-enabled pass: where does the in-network exchange spend time? */
 void
 runSpansSection(const bench::Options &opts)
@@ -356,6 +478,7 @@ main(int argc, char **argv)
         runContentionSection(opts, &records);
     runLpSection(opts, lp_workers, &records);
     bench::writePerfJson(opts, "BENCH_pr7.json", records);
+    const bool blame_ok = runLpBlameSection(opts, lp_workers);
     runSpansSection(opts);
-    return 0;
+    return blame_ok ? 0 : 1;
 }

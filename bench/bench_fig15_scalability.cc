@@ -11,9 +11,13 @@
  * fat-tree, run at scheduler widths 1 and 8, self-reporting wall
  * clock, events/sec, and peak RSS into BENCH_pr6.json. Flags:
  * --lp-workers=N (0 skips the section), --lp-widths=a,b,...,
- * --no-classic (skip the paper tables; what the CI perf job passes).
+ * --no-classic (skip the paper tables; what the CI perf job passes),
+ * --spans[=FILE] (span-captured LP ring pass: merged span CSV +
+ * critical-path blame table, blame columns appended to the perf
+ * records; exits non-zero if the decomposition is not bit-exact).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
@@ -23,6 +27,7 @@
 #include "distrib/sim_trainer.h"
 #include "net/lp_fabric.h"
 #include "net/topology.h"
+#include "stats/critical_path.h"
 #include "stats/table_printer.h"
 
 using namespace inc;
@@ -76,12 +81,81 @@ runLpRing(int workers, int width, uint64_t gradientBytes)
     return rec;
 }
 
-void
+/**
+ * Span-captured LP ring pass (--spans): per-LP shards merged into one
+ * width-invariant CSV, fed through the critical-path analyzer. Ring
+ * spans grow O(workers^2), so the pass caps the fabric at 256 hosts.
+ * Returns false when the blame decomposition is not bit-exact.
+ */
+bool
+runLpSpansPass(const bench::Options &opts, int lp_workers,
+               std::vector<bench::PerfRecord> *records)
+{
+    if (opts.spansPath.empty() || lp_workers <= 0)
+        return true;
+    const int workers = std::min(lp_workers, 256);
+    const int k = fatTreeKFor(workers);
+    Topology topo = fatTreeTopology(k, 10e9, 2 * kMicrosecond);
+    // inc-lint: allow-file(no-wall-clock) — perf self-report.
+    const auto t0 = std::chrono::steady_clock::now();
+    LpFabricConfig fc;
+    fc.captureSpans = true;
+    LpFabric fab(std::move(topo), fc, /*threads=*/0);
+    LpCollectiveConfig cc;
+    cc.algorithm = LpAlgorithm::Ring;
+    cc.gradientBytes = 100 * 1000 * 1000;
+    const LpAllreduceResult r = runLpAllreduce(fab, cc);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const std::vector<spans::Span> all = fab.mergedSpans();
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(opts.spansPath).parent_path(), ec);
+    if (spans::writeSpansCsvFile(opts.spansPath, all))
+        std::printf("[spans] %s (%zu spans; analyze with "
+                    "tools/inc_critpath)\n",
+                    opts.spansPath.c_str(), all.size());
+    const CriticalPathReport report = analyzeCriticalPath(all);
+    std::printf("%s\n", report.renderTable().c_str());
+
+    bench::PerfRecord rec;
+    rec.config = "fig15_lp.ring.spans.fat_tree_k" + std::to_string(k);
+    rec.algorithm = lpAlgorithmName(cc.algorithm);
+    rec.workers = fab.nodes();
+    rec.width = 0; // ambient INC_THREADS
+    rec.events = r.events;
+    rec.rounds = r.rounds;
+    rec.wallMs = wall_ms;
+    rec.eventsPerSec =
+        wall_ms > 0.0 ? static_cast<double>(r.events) / (wall_ms / 1e3)
+                      : 0.0;
+    rec.peakRssMbNow = bench::peakRssMb();
+    rec.simSeconds = toSeconds(r.finish);
+    rec.spansFile = opts.spansPath;
+    for (int b = 0; b < static_cast<int>(spans::Blame::kCount); ++b)
+        rec.blameTicks.emplace_back(
+            spans::blameName(static_cast<spans::Blame>(b)),
+            report.totals.get(static_cast<spans::Blame>(b)));
+    bench::printPerfRecord(rec);
+    records->push_back(std::move(rec));
+
+    if (!report.exact() || report.iterations.empty()) {
+        std::fprintf(stderr, "error: LP span blame does not sum "
+                             "exactly to the simulated window\n");
+        return false;
+    }
+    return true;
+}
+
+bool
 runLpSection(const bench::Options &opts, int lp_workers,
              const std::vector<int> &widths)
 {
     if (lp_workers <= 0)
-        return;
+        return true;
     const uint64_t gradient = 100 * 1000 * 1000; // AlexNet-class
     std::printf("LP-mode ring allreduce, %d-host fat-tree, 100 MB "
                 "gradients:\n",
@@ -100,7 +174,9 @@ runLpSection(const bench::Options &opts, int lp_workers,
                         width, serial_ms / rec.wallMs);
         records.push_back(std::move(rec));
     }
+    const bool ok = runLpSpansPass(opts, lp_workers, &records);
     bench::writePerfJson(opts, "BENCH_pr6.json", records);
+    return ok;
 }
 
 } // namespace
@@ -133,10 +209,8 @@ main(int argc, char **argv)
         }
     }
 
-    if (!classic) {
-        runLpSection(opts, lp_workers, lp_widths);
-        return 0;
-    }
+    if (!classic)
+        return runLpSection(opts, lp_workers, lp_widths) ? 0 : 1;
 
     const uint64_t iters = opts.iterations ? opts.iterations : 5;
     const int node_counts[] = {4, 6, 8};
@@ -190,6 +264,5 @@ main(int argc, char **argv)
     std::printf("Expected shape: WA grows ~linearly with nodes; INC stays "
                 "~flat (paper Fig. 15).\n");
     bench::emitCsv(opts, "fig15_scalability.csv", csv);
-    runLpSection(opts, lp_workers, lp_widths);
-    return 0;
+    return runLpSection(opts, lp_workers, lp_widths) ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -172,6 +173,16 @@ struct PerfRecord
     double eventsPerSec = 0.0;
     double peakRssMbNow = 0.0;
     double simSeconds = 0.0;
+    /** Span provenance: path of the causal-span CSV this record's run
+     *  produced (empty = the run was not span-captured). Emitted as an
+     *  optional "spans" key so the perf artifact records where its
+     *  blame numbers came from. */
+    std::string spansFile;
+    /** Critical-path blame decomposition of the run, in category order
+     *  (spans::blameName): integer simulated ticks per category that
+     *  sum bit-exactly to the captured window. Emitted as an optional
+     *  "blame_ticks" object. Empty = no span capture. */
+    std::vector<std::pair<std::string, uint64_t>> blameTicks;
 };
 
 /** Write @p records as pretty-printed JSON under the csv dir. */
@@ -194,12 +205,24 @@ writePerfJson(const Options &opts, const std::string &name,
             "\"ecn\": \"%s\", \"workers\": %d, \"width\": %d, "
             "\"events\": %llu, \"rounds\": %llu, \"wall_ms\": %.3f, "
             "\"events_per_sec\": %.0f, \"peak_rss_mb\": %.1f, "
-            "\"sim_seconds\": %.6f}%s\n",
+            "\"sim_seconds\": %.6f",
             r.config.c_str(), r.algorithm.c_str(), r.ecnMode.c_str(),
             r.workers, r.width, static_cast<unsigned long long>(r.events),
             static_cast<unsigned long long>(r.rounds), r.wallMs,
-            r.eventsPerSec, r.peakRssMbNow, r.simSeconds,
-            i + 1 < records.size() ? "," : "");
+            r.eventsPerSec, r.peakRssMbNow, r.simSeconds);
+        if (!r.spansFile.empty())
+            std::fprintf(f, ", \"spans\": \"%s\"", r.spansFile.c_str());
+        if (!r.blameTicks.empty()) {
+            std::fprintf(f, ", \"blame_ticks\": {");
+            for (size_t b = 0; b < r.blameTicks.size(); ++b)
+                std::fprintf(
+                    f, "%s\"%s\": %llu", b ? ", " : "",
+                    r.blameTicks[b].first.c_str(),
+                    static_cast<unsigned long long>(
+                        r.blameTicks[b].second));
+            std::fprintf(f, "}");
+        }
+        std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

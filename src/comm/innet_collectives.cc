@@ -135,6 +135,7 @@ struct LpInnetCtx
     {
         uint64_t chunk = 0;
         Tick when = 0;
+        spans::ShardRef cause{}; ///< arriving hop span (capture mode)
     };
     struct SwState
     {
@@ -170,63 +171,76 @@ struct LpInnetCtx
 };
 
 void lpUpArrive(const std::shared_ptr<LpInnetCtx> &ctx, int node,
-                uint64_t chunk, Tick when);
+                uint64_t chunk, Tick when, spans::ShardRef cause);
 void lpDownArrive(const std::shared_ptr<LpInnetCtx> &ctx, int node,
-                  uint64_t chunk, Tick when);
+                  uint64_t chunk, Tick when, spans::ShardRef cause);
 void lpHostDown(const std::shared_ptr<LpInnetCtx> &ctx, int host,
-                uint64_t chunk, Tick when);
+                uint64_t chunk, Tick when, spans::ShardRef cause);
 
 /** Send chunk @p c one tree hop up from @p node (node-LP context). */
 void
-lpSendUp(const std::shared_ptr<LpInnetCtx> &ctx, int node, uint64_t c)
+lpSendUp(const std::shared_ptr<LpInnetCtx> &ctx, int node, uint64_t c,
+         spans::ShardRef cause)
 {
     const int parent = ctx->tree.parent[static_cast<size_t>(node)];
     INC_ASSERT(parent >= 0, "node %d has no up direction", node);
     const uint64_t wire = ctx->wireOf(c);
     if (parent == ctx->tree.root) {
-        ctx->fab->sendHop(node, parent, wire, ctx->coded,
-                          hopFlow(kUpFlowTag, node, c),
-                          [ctx, c](Tick when) {
-                              // Root host: fold own contribution, then
-                              // start this chunk's down-broadcast.
-                              LpInnetCtx &x = *ctx;
-                              const int root = x.tree.root;
-                              const Tick ready =
-                                  when + x.cfg.perMessageOverhead;
-                              const Tick end = x.fab->host(root).compute(
-                                  ready, sumCost(x.payloadOf(c),
-                                                 x.cfg.sumSecondsPerByte));
-                              x.rootReady = std::max(x.rootReady, end);
-                              if (++x.rootGot == x.chunks)
-                                  (*x.done)[static_cast<size_t>(root)] =
-                                      x.rootReady;
-                              x.fab->atHost(root, end, [ctx, c] {
-                                  const int r = ctx->tree.root;
-                                  const int edge =
-                                      ctx->tree.children[static_cast<
-                                          size_t>(r)][0];
-                                  ctx->fab->sendHop(
-                                      r, edge, ctx->wireOf(c), ctx->coded,
-                                      hopFlow(kDownFlowTag, r, c),
-                                      [ctx, edge, c](Tick t) {
-                                          lpDownArrive(ctx, edge, c, t);
-                                      });
-                              });
-                          });
+        ctx->fab->sendHop(
+            node, parent, wire, ctx->coded, hopFlow(kUpFlowTag, node, c),
+            [ctx, c](Tick when) {
+                // Root host: fold own contribution, then
+                // start this chunk's down-broadcast.
+                LpInnetCtx &x = *ctx;
+                LpFabric &fab = *x.fab;
+                const int root = x.tree.root;
+                const Tick ready = when + x.cfg.perMessageOverhead;
+                spans::ShardRef ovh{};
+                if (fab.captureSpans())
+                    ovh = fab.noteSpan(root, spans::Kind::MsgOverhead,
+                                       when, ready, fab.arrivalCause(),
+                                       "ovh.h" + std::to_string(root));
+                const Tick end = fab.host(root).compute(
+                    ready,
+                    sumCost(x.payloadOf(c), x.cfg.sumSecondsPerByte));
+                spans::ShardRef sum{};
+                if (fab.captureSpans())
+                    sum = fab.noteSpan(root, spans::Kind::SumReduce,
+                                       ready, end, ovh,
+                                       "sum.h" + std::to_string(root));
+                x.rootReady = std::max(x.rootReady, end);
+                if (++x.rootGot == x.chunks)
+                    (*x.done)[static_cast<size_t>(root)] = x.rootReady;
+                x.fab->atHost(root, end, [ctx, c, sum] {
+                    const int r = ctx->tree.root;
+                    const int edge =
+                        ctx->tree.children[static_cast<size_t>(r)][0];
+                    ctx->fab->sendHop(
+                        r, edge, ctx->wireOf(c), ctx->coded,
+                        hopFlow(kDownFlowTag, r, c),
+                        [ctx, edge, c](Tick t) {
+                            lpDownArrive(ctx, edge, c, t,
+                                         ctx->fab->arrivalCause());
+                        },
+                        sum);
+                });
+            },
+            cause);
         return;
     }
-    ctx->fab->sendHop(node, parent, wire, ctx->coded,
-                      hopFlow(kUpFlowTag, node, c),
-                      [ctx, parent, c](Tick when) {
-                          lpUpArrive(ctx, parent, c, when);
-                      });
+    ctx->fab->sendHop(
+        node, parent, wire, ctx->coded, hopFlow(kUpFlowTag, node, c),
+        [ctx, parent, c](Tick when) {
+            lpUpArrive(ctx, parent, c, when, ctx->fab->arrivalCause());
+        },
+        cause);
 }
 
 /** Fold one arrived contribution (switch-LP context); assumes a slot
  *  is held or available. */
 void
 lpFold(const std::shared_ptr<LpInnetCtx> &ctx, int node, uint64_t chunk,
-       Tick when)
+       Tick when, spans::ShardRef cause)
 {
     LpInnetCtx &x = *ctx;
     LpFabric &fab = *x.fab;
@@ -247,6 +261,11 @@ lpFold(const std::shared_ptr<LpInnetCtx> &ctx, int node, uint64_t chunk,
         eng.fold(fwdReady, x.payloadOf(chunk), x.coded);
     fab.noteAgg(node, fwdReady, foldEnd, static_cast<int>(chunk),
                 x.payloadOf(chunk));
+    spans::ShardRef foldSpan{};
+    if (fab.captureSpans())
+        foldSpan = fab.noteSpan(node, spans::Kind::SwitchAgg, fwdReady,
+                                foldEnd, cause,
+                                "agg.c" + std::to_string(chunk));
 
     const size_t expected =
         x.tree.children[static_cast<size_t>(node)].size();
@@ -258,11 +277,16 @@ lpFold(const std::shared_ptr<LpInnetCtx> &ctx, int node, uint64_t chunk,
     // completion tick.
     st.open.erase(it);
     const Tick fwdEnd = eng.forward(foldEnd, x.wireOf(chunk), x.coded);
-    fab.atNode(node, fwdEnd, [ctx, node, chunk] {
+    spans::ShardRef fwdSpan{};
+    if (fab.captureSpans())
+        fwdSpan = fab.noteSpan(node, spans::Kind::SwitchAgg, foldEnd,
+                               fwdEnd, foldSpan,
+                               "agg_fwd.c" + std::to_string(chunk));
+    fab.atNode(node, fwdEnd, [ctx, node, chunk, fwdSpan] {
         LpInnetCtx &y = *ctx;
         LpFabric &f = *y.fab;
         f.aggEngine(node).releaseSlot();
-        lpSendUp(ctx, node, chunk);
+        lpSendUp(ctx, node, chunk, fwdSpan);
         LpInnetCtx::SwState &s =
             y.sw[static_cast<size_t>(node - f.topology().hosts)];
         while (!s.waiting.empty()) {
@@ -271,14 +295,14 @@ lpFold(const std::shared_ptr<LpInnetCtx> &ctx, int node, uint64_t chunk,
             if (!isOpen && f.aggEngine(node).freeSlots() == 0)
                 break;
             s.waiting.pop_front();
-            lpFold(ctx, node, p.chunk, p.when);
+            lpFold(ctx, node, p.chunk, p.when, p.cause);
         }
     });
 }
 
 void
 lpUpArrive(const std::shared_ptr<LpInnetCtx> &ctx, int node,
-           uint64_t chunk, Tick when)
+           uint64_t chunk, Tick when, spans::ShardRef cause)
 {
     LpInnetCtx &x = *ctx;
     LpFabric &fab = *x.fab;
@@ -287,15 +311,15 @@ lpUpArrive(const std::shared_ptr<LpInnetCtx> &ctx, int node,
         x.sw[static_cast<size_t>(node - fab.topology().hosts)];
     if (st.open.count(chunk) == 0 && eng.freeSlots() == 0) {
         eng.noteSlotWait();
-        st.waiting.push_back({chunk, when});
+        st.waiting.push_back({chunk, when, cause});
         return;
     }
-    lpFold(ctx, node, chunk, when);
+    lpFold(ctx, node, chunk, when, cause);
 }
 
 void
 lpDownArrive(const std::shared_ptr<LpInnetCtx> &ctx, int node,
-             uint64_t chunk, Tick when)
+             uint64_t chunk, Tick when, spans::ShardRef cause)
 {
     // Replication is the ordinary multicast datapath: forwarding
     // latency only, no engine charge. Children in ascending id order.
@@ -303,23 +327,27 @@ lpDownArrive(const std::shared_ptr<LpInnetCtx> &ctx, int node,
     const Tick fwd = std::max(
         when + fab.config().switchConfig.forwardingLatency,
         fab.nodeNow(node));
-    fab.atNode(node, fwd, [ctx, node, chunk] {
+    fab.atNode(node, fwd, [ctx, node, chunk, cause] {
         for (const int child :
              ctx->tree.children[static_cast<size_t>(node)]) {
             if (ctx->fab->isHost(child)) {
-                ctx->fab->sendHop(node, child, ctx->wireOf(chunk),
-                                  ctx->coded,
-                                  hopFlow(kDownFlowTag, node, chunk),
-                                  [ctx, child, chunk](Tick t) {
-                                      lpHostDown(ctx, child, chunk, t);
-                                  });
+                ctx->fab->sendHop(
+                    node, child, ctx->wireOf(chunk), ctx->coded,
+                    hopFlow(kDownFlowTag, node, chunk),
+                    [ctx, child, chunk](Tick t) {
+                        lpHostDown(ctx, child, chunk, t,
+                                   ctx->fab->arrivalCause());
+                    },
+                    cause);
             } else {
-                ctx->fab->sendHop(node, child, ctx->wireOf(chunk),
-                                  ctx->coded,
-                                  hopFlow(kDownFlowTag, node, chunk),
-                                  [ctx, child, chunk](Tick t) {
-                                      lpDownArrive(ctx, child, chunk, t);
-                                  });
+                ctx->fab->sendHop(
+                    node, child, ctx->wireOf(chunk), ctx->coded,
+                    hopFlow(kDownFlowTag, node, chunk),
+                    [ctx, child, chunk](Tick t) {
+                        lpDownArrive(ctx, child, chunk, t,
+                                     ctx->fab->arrivalCause());
+                    },
+                    cause);
             }
         }
     });
@@ -327,11 +355,14 @@ lpDownArrive(const std::shared_ptr<LpInnetCtx> &ctx, int node,
 
 void
 lpHostDown(const std::shared_ptr<LpInnetCtx> &ctx, int host,
-           uint64_t chunk, Tick when)
+           uint64_t chunk, Tick when, spans::ShardRef cause)
 {
     (void)chunk;
     LpInnetCtx &x = *ctx;
     const Tick ready = when + x.cfg.perMessageOverhead;
+    if (x.fab->captureSpans())
+        x.fab->noteSpan(host, spans::Kind::MsgOverhead, when, ready,
+                        cause, "ovh.h" + std::to_string(host));
     x.hostReady[static_cast<size_t>(host)] =
         std::max(x.hostReady[static_cast<size_t>(host)], ready);
     if (static_cast<uint64_t>(++x.hostGot[static_cast<size_t>(host)]) ==
@@ -370,9 +401,9 @@ seedInnetLpAllreduce(LpFabric &fabric, const LpCollectiveConfig &config,
     for (int h = 0; h < fabric.nodes(); ++h) {
         if (h == ctx->tree.root)
             continue;
-        fabric.atHost(h, 0, [ctx, h] {
+        fabric.atHost(h, config.startAt, [ctx, h] {
             for (uint64_t c = 0; c < ctx->chunks; ++c)
-                lpSendUp(ctx, h, c);
+                lpSendUp(ctx, h, c, {});
         });
     }
 }

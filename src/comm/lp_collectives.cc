@@ -42,13 +42,35 @@ struct RunCtx
     {
         return cfg.compressGradients ? kCompressTos : kDefaultTos;
     }
+
+    /** MsgOverhead span on @p host's shard (capture mode; {} off). */
+    spans::ShardRef
+    ovhSpan(int host, Tick when, Tick ready, spans::ShardRef cause) const
+    {
+        if (!fab->captureSpans())
+            return {};
+        return fab->noteSpan(host, spans::Kind::MsgOverhead, when, ready,
+                             cause, "ovh.h" + std::to_string(host));
+    }
+
+    /** SumReduce span on @p host's shard (capture mode; {} off). */
+    spans::ShardRef
+    sumSpan(int host, Tick ready, Tick end, spans::ShardRef cause) const
+    {
+        if (!fab->captureSpans())
+            return {};
+        return fab->noteSpan(host, spans::Kind::SumReduce, ready, end,
+                             cause, "sum.h" + std::to_string(host));
+    }
 };
 
 /**
  * One ring allreduce over an arbitrary member list (ring order =
  * list order). Members may start at different ticks — a member joins
  * by ringSeed() from its own LP — which is what lets the hierarchical
- * exchange chain rings without a global barrier.
+ * exchange chain rings without a global barrier. Span causes thread
+ * explicitly through the FSM closures: each send carries the span of
+ * the work that enabled it, so the chains survive the shard merge.
  */
 struct RingCtx
 {
@@ -58,33 +80,37 @@ struct RingCtx
     uint64_t chunk = 0;
     uint64_t totalBytes = 0;
     /** Called from the member's LP at its completion tick. */
-    std::function<void(int host, Tick when)> onDone;
+    std::function<void(int host, Tick when, spans::ShardRef cause)>
+        onDone;
 };
 
 void ringRecv(const std::shared_ptr<RingCtx> &ring, size_t idx, Tick when);
 
 void
-ringSendNext(const std::shared_ptr<RingCtx> &ring, size_t idx)
+ringSendNext(const std::shared_ptr<RingCtx> &ring, size_t idx,
+             spans::ShardRef cause)
 {
     const size_t m = ring->members.size();
     const size_t nextIdx = (idx + 1) % m;
     ring->run->fab->send(
         ring->members[idx], ring->members[nextIdx], ring->chunk,
         ring->run->tos(), ring->run->cfg.wireRatio,
-        [ring, nextIdx](Tick when) { ringRecv(ring, nextIdx, when); });
+        [ring, nextIdx](Tick when) { ringRecv(ring, nextIdx, when); },
+        cause);
 }
 
 void
-ringSeed(const std::shared_ptr<RingCtx> &ring, size_t idx)
+ringSeed(const std::shared_ptr<RingCtx> &ring, size_t idx,
+         spans::ShardRef cause)
 {
     if (ring->members.size() == 1) {
         // Degenerate ring: already holds the full result. A host's LP
         // id is its node id, so now(host) is this event's tick.
         const int host = ring->members[idx];
-        ring->onDone(host, ring->run->fab->scheduler().now(host));
+        ring->onDone(host, ring->run->fab->scheduler().now(host), cause);
         return;
     }
-    ringSendNext(ring, idx);
+    ringSendNext(ring, idx, cause);
 }
 
 void
@@ -95,27 +121,33 @@ ringRecv(const std::shared_ptr<RingCtx> &ring, size_t idx, Tick when)
     const size_t m = ring->members.size();
     const int r = ++ring->recv[idx];
     const Tick ready = when + run.cfg.perMessageOverhead;
+    const spans::ShardRef ovh =
+        run.ovhSpan(host, when, ready, run.fab->arrivalCause());
     if (r <= static_cast<int>(m) - 1) {
         // Reduce phase: fold the incoming block, then pass it on.
         const Tick end = run.fab->host(host).compute(
             ready, sumCost(ring->chunk, run.cfg.sumSecondsPerByte));
-        run.fab->atHost(host, end,
-                        [ring, idx] { ringSendNext(ring, idx); });
+        const spans::ShardRef sum = run.sumSpan(host, ready, end, ovh);
+        run.fab->atHost(host, end, [ring, idx, sum] {
+            ringSendNext(ring, idx, sum);
+        });
         return;
     }
     if (r < 2 * (static_cast<int>(m) - 1)) {
         // Gather phase: forward the aggregated block untouched.
-        run.fab->atHost(host, ready,
-                        [ring, idx] { ringSendNext(ring, idx); });
+        run.fab->atHost(host, ready, [ring, idx, ovh] {
+            ringSendNext(ring, idx, ovh);
+        });
         return;
     }
     // Final gather block: this member holds the full result.
-    ring->onDone(host, ready);
+    ring->onDone(host, ready, ovh);
 }
 
 std::shared_ptr<RingCtx>
 makeRing(const std::shared_ptr<RunCtx> &run, std::vector<int> members,
-         uint64_t bytes, std::function<void(int, Tick)> on_done)
+         uint64_t bytes,
+         std::function<void(int, Tick, spans::ShardRef)> on_done)
 {
     auto ring = std::make_shared<RingCtx>();
     ring->run = run;
@@ -137,29 +169,39 @@ startStar(const std::shared_ptr<RunCtx> &run)
     // Arrival counter lives on the root's LP only.
     auto got = std::make_shared<int>(0);
     for (int w = 1; w < n; ++w) {
-        fab.atHost(w, 0, [run, w, root, got] {
+        fab.atHost(w, run->cfg.startAt, [run, w, root, got] {
             run->fab->send(
                 w, root, run->cfg.gradientBytes, run->tos(),
                 run->cfg.wireRatio, [run, got, root](Tick when) {
                     RunCtx &r = *run;
                     const int n2 = r.fab->nodes();
                     const Tick ready = when + r.cfg.perMessageOverhead;
+                    const spans::ShardRef ovh = r.ovhSpan(
+                        root, when, ready, r.fab->arrivalCause());
                     const Tick end = r.fab->host(root).compute(
                         ready, sumCost(r.cfg.gradientBytes,
                                        r.cfg.sumSecondsPerByte));
+                    const spans::ShardRef sum =
+                        r.sumSpan(root, ready, end, ovh);
                     if (++*got < n2 - 1)
                         return;
                     // Last gradient folded: broadcast the new weights.
                     r.done[root] = end;
-                    r.fab->atHost(root, end, [run, root] {
+                    r.fab->atHost(root, end, [run, root, sum] {
                         RunCtx &rr = *run;
                         for (int w2 = 1; w2 < rr.fab->nodes(); ++w2) {
                             rr.fab->send(
                                 root, w2, rr.cfg.gradientBytes, rr.tos(),
-                                rr.cfg.wireRatio, [run, w2](Tick t) {
-                                    run->done[w2] =
-                                        t + run->cfg.perMessageOverhead;
-                                });
+                                rr.cfg.wireRatio,
+                                [run, w2](Tick t) {
+                                    RunCtx &r3 = *run;
+                                    const Tick rdy =
+                                        t + r3.cfg.perMessageOverhead;
+                                    r3.ovhSpan(w2, t, rdy,
+                                               r3.fab->arrivalCause());
+                                    r3.done[w2] = rdy;
+                                },
+                                sum);
                         }
                     });
                 });
@@ -173,17 +215,19 @@ startRing(const std::shared_ptr<RunCtx> &run)
     std::vector<int> members(static_cast<size_t>(run->fab->nodes()));
     for (size_t i = 0; i < members.size(); ++i)
         members[i] = static_cast<int>(i);
-    auto ring = makeRing(run, std::move(members), run->cfg.gradientBytes,
-                         [run](int host, Tick when) {
-                             run->done[static_cast<size_t>(host)] = when;
-                         });
+    auto ring =
+        makeRing(run, std::move(members), run->cfg.gradientBytes,
+                 [run](int host, Tick when, spans::ShardRef cause) {
+                     (void)cause;
+                     run->done[static_cast<size_t>(host)] = when;
+                 });
     for (size_t i = 0; i < ring->members.size(); ++i)
-        run->fab->atHost(ring->members[i], 0,
-                         [ring, i] { ringSeed(ring, i); });
+        run->fab->atHost(ring->members[i], run->cfg.startAt,
+                         [ring, i] { ringSeed(ring, i, {}); });
 }
 
 void treeBroadcast(const std::shared_ptr<RunCtx> &run, int host,
-                   Tick when);
+                   spans::ShardRef cause);
 
 void
 treeRecvFromChild(const std::shared_ptr<RunCtx> &run, int host,
@@ -193,42 +237,52 @@ treeRecvFromChild(const std::shared_ptr<RunCtx> &run, int host,
     const int n = r.fab->nodes();
     const int kids = (2 * host + 1 < n ? 1 : 0) + (2 * host + 2 < n ? 1 : 0);
     const Tick ready = when + r.cfg.perMessageOverhead;
+    const spans::ShardRef ovh =
+        r.ovhSpan(host, when, ready, r.fab->arrivalCause());
     const Tick end = r.fab->host(host).compute(
         ready, sumCost(r.cfg.gradientBytes, r.cfg.sumSecondsPerByte));
+    const spans::ShardRef sum = r.sumSpan(host, ready, end, ovh);
     if (++(*got)[static_cast<size_t>(host)] < kids)
         return;
     if (host == 0) {
         r.done[0] = end;
-        r.fab->atHost(0, end, [run] { treeBroadcast(run, 0, 0); });
+        r.fab->atHost(0, end,
+                      [run, sum] { treeBroadcast(run, 0, sum); });
         return;
     }
     const int parent = (host - 1) / 2;
-    r.fab->atHost(host, end, [run, host, parent, got] {
-        run->fab->send(host, parent, run->cfg.gradientBytes, run->tos(),
-                       run->cfg.wireRatio, [run, parent, got](Tick t) {
-                           treeRecvFromChild(run, parent, got, t);
-                       });
+    r.fab->atHost(host, end, [run, host, parent, got, sum] {
+        run->fab->send(
+            host, parent, run->cfg.gradientBytes, run->tos(),
+            run->cfg.wireRatio,
+            [run, parent, got](Tick t) {
+                treeRecvFromChild(run, parent, got, t);
+            },
+            sum);
     });
 }
 
 void
-treeBroadcast(const std::shared_ptr<RunCtx> &run, int host, Tick when)
+treeBroadcast(const std::shared_ptr<RunCtx> &run, int host,
+              spans::ShardRef cause)
 {
-    (void)when;
     RunCtx &r = *run;
     for (const int child : {2 * host + 1, 2 * host + 2}) {
         if (child >= r.fab->nodes())
             continue;
-        r.fab->send(host, child, r.cfg.gradientBytes, r.tos(),
-                    r.cfg.wireRatio, [run, child](Tick t) {
-                        RunCtx &rr = *run;
-                        const Tick ready =
-                            t + rr.cfg.perMessageOverhead;
-                        rr.done[static_cast<size_t>(child)] = ready;
-                        rr.fab->atHost(child, ready, [run, child] {
-                            treeBroadcast(run, child, 0);
-                        });
-                    });
+        r.fab->send(
+            host, child, r.cfg.gradientBytes, r.tos(), r.cfg.wireRatio,
+            [run, child](Tick t) {
+                RunCtx &rr = *run;
+                const Tick ready = t + rr.cfg.perMessageOverhead;
+                const spans::ShardRef ovh = rr.ovhSpan(
+                    child, t, ready, rr.fab->arrivalCause());
+                rr.done[static_cast<size_t>(child)] = ready;
+                rr.fab->atHost(child, ready, [run, child, ovh] {
+                    treeBroadcast(run, child, ovh);
+                });
+            },
+            cause);
     }
 }
 
@@ -242,7 +296,7 @@ startTree(const std::shared_ptr<RunCtx> &run)
         if (2 * h + 1 < n)
             continue; // internal node: waits for its children
         const int parent = (h - 1) / 2;
-        run->fab->atHost(h, 0, [run, h, parent, got] {
+        run->fab->atHost(h, run->cfg.startAt, [run, h, parent, got] {
             run->fab->send(h, parent, run->cfg.gradientBytes, run->tos(),
                            run->cfg.wireRatio, [run, parent, got](Tick t) {
                                treeRecvFromChild(run, parent, got, t);
@@ -269,17 +323,23 @@ startHierRing(const std::shared_ptr<RunCtx> &run)
     // result to the group.
     auto stage2 = makeRing(
         run, leaders, run->cfg.gradientBytes,
-        [run, g](int leader, Tick when) {
+        [run, g](int leader, Tick when, spans::ShardRef cause) {
             RunCtx &r = *run;
             r.done[static_cast<size_t>(leader)] = when;
-            r.fab->atHost(leader, when, [run, leader, g] {
+            r.fab->atHost(leader, when, [run, leader, g, cause] {
                 for (int m = leader + 1; m < leader + g; ++m) {
                     run->fab->send(
                         leader, m, run->cfg.gradientBytes, run->tos(),
-                        run->cfg.wireRatio, [run, m](Tick t) {
-                            run->done[static_cast<size_t>(m)] =
-                                t + run->cfg.perMessageOverhead;
-                        });
+                        run->cfg.wireRatio,
+                        [run, m](Tick t) {
+                            RunCtx &rr = *run;
+                            const Tick ready =
+                                t + rr.cfg.perMessageOverhead;
+                            rr.ovhSpan(m, t, ready,
+                                       rr.fab->arrivalCause());
+                            rr.done[static_cast<size_t>(m)] = ready;
+                        },
+                        cause);
                 }
             });
         });
@@ -291,16 +351,17 @@ startHierRing(const std::shared_ptr<RunCtx> &run)
             members[static_cast<size_t>(i)] = k * g + i;
         auto ring = makeRing(
             run, std::move(members), run->cfg.gradientBytes,
-            [run, stage2, k, g](int host, Tick when) {
+            [run, stage2, k, g](int host, Tick when,
+                                spans::ShardRef cause) {
                 if (host % g != 0)
                     return; // non-leaders wait for stage 3
-                run->fab->atHost(host, when, [stage2, k] {
-                    ringSeed(stage2, static_cast<size_t>(k));
+                run->fab->atHost(host, when, [stage2, k, cause] {
+                    ringSeed(stage2, static_cast<size_t>(k), cause);
                 });
             });
         for (size_t i = 0; i < ring->members.size(); ++i)
-            run->fab->atHost(ring->members[i], 0,
-                             [ring, i] { ringSeed(ring, i); });
+            run->fab->atHost(ring->members[i], run->cfg.startAt,
+                             [ring, i] { ringSeed(ring, i, {}); });
     }
 }
 
@@ -322,6 +383,20 @@ runLpAllreduce(LpFabric &fabric, const LpCollectiveConfig &config)
     run->fab = &fabric;
     run->cfg = config;
     run->done.assign(static_cast<size_t>(fabric.nodes()), 0);
+
+    // Iteration/Exchange roots live on the run-level shard (lane -1):
+    // recorded from serial context here, never from LP events. The
+    // fabric stamps the Exchange as every internal span's parent.
+    spans::ShardRef iterRef{}, exchRef{};
+    if (fabric.captureSpans()) {
+        spans::Shard &root = fabric.spanRoot();
+        iterRef = root.open(spans::Kind::Iteration, -1, config.startAt,
+                            {}, {}, "lp_iteration");
+        exchRef = root.open(
+            spans::Kind::Exchange, -1, config.startAt, iterRef, {},
+            std::string("lp_") + lpAlgorithmName(config.algorithm));
+        fabric.setSpanParent(exchRef);
+    }
 
     switch (config.algorithm) {
     case LpAlgorithm::Star:
@@ -351,7 +426,31 @@ runLpAllreduce(LpFabric &fabric, const LpCollectiveConfig &config)
     }
     result.retransmittedPackets = fabric.retransmittedPackets();
     result.packetsDropped = fabric.faultTotals().drops();
+
+    if (fabric.captureSpans()) {
+        spans::Shard &root = fabric.spanRoot();
+        root.close(exchRef, result.finish);
+        root.close(iterRef, result.finish);
+        fabric.setSpanParent({});
+    }
     return result;
+}
+
+std::vector<LpAllreduceResult>
+runLpIterations(LpFabric &fabric, LpCollectiveConfig config,
+                int iterations)
+{
+    INC_ASSERT(iterations > 0, "need at least one iteration");
+    std::vector<LpAllreduceResult> results;
+    results.reserve(static_cast<size_t>(iterations));
+    for (int i = 0; i < iterations; ++i) {
+        results.push_back(runLpAllreduce(fabric, config));
+        // Seed the next iteration at this one's finish: every LP's
+        // clock is <= the global finish, so the schedule is legal, and
+        // carried TX backlog stays visible to the blame decomposition.
+        config.startAt = results.back().finish;
+    }
+    return results;
 }
 
 } // namespace inc

@@ -52,6 +52,12 @@ struct LpCollectiveConfig
     Tick perMessageOverhead = 1500 * kMicrosecond;
     /** Group size for HierRing (must divide the host count). */
     int groupSize = 4;
+    /**
+     * Tick the per-host FSMs are seeded at. 0 for a fresh fabric; a
+     * later iteration of the same fabric seeds at the previous finish
+     * (every LP's clock is <= that tick, so the schedule is legal).
+     */
+    Tick startAt = 0;
 };
 
 /** Outcome of one LP-mode allreduce. */
@@ -78,6 +84,17 @@ struct LpAllreduceResult
  */
 LpAllreduceResult runLpAllreduce(LpFabric &fabric,
                                  const LpCollectiveConfig &config);
+
+/**
+ * Run @p iterations back-to-back allreduces on one fabric: iteration
+ * i+1 seeds at iteration i's finish tick, so TX backlog carries over
+ * and, in capture mode (LpFabricConfig::captureSpans), each iteration
+ * records its own Iteration/Exchange span roots — the input the
+ * per-iteration blame time-series (stats/critical_path.h) consumes.
+ */
+std::vector<LpAllreduceResult>
+runLpIterations(LpFabric &fabric, LpCollectiveConfig config,
+                int iterations);
 
 /**
  * Point @p config at @p codec with its wire ratio measured on

@@ -42,6 +42,8 @@ struct LpFabric::HopCarry
     std::shared_ptr<std::function<void(Tick)>> cb;
     int src = 0;
     int dst = 0;
+    /** Span of the previous hop (capture mode): the next hop's cause. */
+    spans::ShardRef causeSpan{};
 };
 
 LpFabric::LpFabric(Topology topo, LpFabricConfig config, int threads)
@@ -70,6 +72,12 @@ LpFabric::LpFabric(Topology topo, LpFabricConfig config, int threads)
             "n" + std::to_string(l.src) + "->n" + std::to_string(l.dst),
             l.bitsPerSecond, l.latency));
     traces_.resize(static_cast<size_t>(plan_.lpCount));
+    if (config_.captureSpans) {
+        spanShards_.reserve(static_cast<size_t>(plan_.lpCount));
+        for (int lp = 0; lp < plan_.lpCount; ++lp)
+            spanShards_.emplace_back(lp);
+        arrivalCause_.assign(static_cast<size_t>(plan_.lpCount), {});
+    }
     delivered_.assign(static_cast<size_t>(topo_.hosts), 0);
     flowSeq_.assign(static_cast<size_t>(topo_.hosts), 0);
     resent_.assign(static_cast<size_t>(topo_.hosts + topo_.switches), 0);
@@ -135,9 +143,43 @@ LpFabric::noteAgg(int node, Tick t0, Tick t1, int src, uint64_t bytes)
     trace(lp, kTraceAgg, t0, t1, src, node, bytes);
 }
 
+spans::ShardRef
+LpFabric::spanAt(int lp, spans::Kind kind, int host, Tick t0, Tick t1,
+                 spans::ShardRef cause, std::string name)
+{
+    if (!config_.captureSpans)
+        return {};
+    return spanShards_[static_cast<size_t>(lp)].record(
+        kind, host, t0, t1, spanParent_, cause, std::move(name));
+}
+
+spans::ShardRef
+LpFabric::noteSpan(int node, spans::Kind kind, Tick t0, Tick t1,
+                   spans::ShardRef cause, std::string name)
+{
+    if (!config_.captureSpans)
+        return {};
+    const int lp = lpOfNode(node);
+    INC_ASSERT(sched_->currentLp() == lp,
+               "noteSpan() must run on node %d's LP", node);
+    return spanAt(lp, kind, isHost(node) ? node : -1, t0, t1, cause,
+                  std::move(name));
+}
+
+spans::ShardRef
+LpFabric::arrivalCause() const
+{
+    if (!config_.captureSpans)
+        return {};
+    const int lp = sched_->currentLp();
+    INC_ASSERT(lp >= 0, "arrivalCause() outside an LP event");
+    return arrivalCause_[static_cast<size_t>(lp)];
+}
+
 void
 LpFabric::send(int src, int dst, uint64_t payloadBytes, uint8_t tos,
-               double wireRatio, std::function<void(Tick)> onDelivered)
+               double wireRatio, std::function<void(Tick)> onDelivered,
+               spans::ShardRef cause)
 {
     INC_ASSERT(src >= 0 && src < topo_.hosts && dst >= 0 &&
                    dst < topo_.hosts && src != dst,
@@ -160,7 +202,7 @@ LpFabric::send(int src, int dst, uint64_t payloadBytes, uint8_t tos,
             (static_cast<uint64_t>(src) << 32) |
             flowSeq_[static_cast<size_t>(src)]++;
         shipLossy(src, dst, std::move(seqs), tail, packets - 1, 0, flow,
-                  tos, wireRatio, std::move(cb));
+                  tos, wireRatio, std::move(cb), cause);
         return;
     }
 
@@ -173,14 +215,16 @@ LpFabric::send(int src, int dst, uint64_t payloadBytes, uint8_t tos,
         remaining -= chunk;
         const SegmentMeta meta =
             host(src).nic().planTx(chunk, etos, wireRatio);
-        shipSegment(src, dst, meta, compressed, remaining == 0, chunk, cb);
+        shipSegment(src, dst, meta, compressed, remaining == 0, chunk, cb,
+                    cause);
     }
 }
 
 void
 LpFabric::shipSegment(int src, int dst, const SegmentMeta &meta,
                       bool compressed, bool last, uint64_t flightPayload,
-                      std::shared_ptr<std::function<void(Tick)>> cb)
+                      std::shared_ptr<std::function<void(Tick)>> cb,
+                      spans::ShardRef cause)
 {
     const int lp = lpOfNode(src);
     const Tick now = sched_->now(lp);
@@ -217,6 +261,15 @@ LpFabric::shipSegment(int src, int dst, const SegmentMeta &meta,
     const Tick atNext = first.transmit(ready, wireBits, &start);
     trace(lp, kTraceTx, txStart, ready, src, dst, meta.payloadBytes);
     trace(lp, kTraceHop, start, atNext, src, dst, wireBits / 8);
+    spans::ShardRef hopSpan{};
+    if (config_.captureSpans) {
+        const spans::ShardRef txSpan = spanAt(
+            lp, spans::Kind::TxDriver, src, txStart, ready, cause,
+            "tx.h" + std::to_string(src));
+        hopSpan = spanAt(lp, spans::Kind::Hop, -1, start, atNext, txSpan,
+                         "hop." + std::to_string(src) + "-" +
+                             std::to_string(path[1]));
+    }
 
     HopCarry carry;
     carry.path = std::move(carryPath);
@@ -234,6 +287,7 @@ LpFabric::shipSegment(int src, int dst, const SegmentMeta &meta,
     carry.cb = std::move(cb);
     carry.src = src;
     carry.dst = dst;
+    carry.causeSpan = hopSpan;
     scheduleHop(path[1], atNext, std::move(carry));
 }
 
@@ -274,6 +328,11 @@ LpFabric::hopArrive(int node, HopCarry carry)
         deliveredAt = std::max(deliveredAt, sched_->now(lp));
         trace(lp, kTraceRx, atDst, deliveredAt, carry.src, carry.dst,
               carry.flightPayload);
+        const spans::ShardRef rxSpan = spanAt(
+            lp, spans::Kind::RxDriver, node, atDst, deliveredAt,
+            carry.causeSpan,
+            config_.captureSpans ? "rx.h" + std::to_string(node)
+                                 : std::string());
         delivered_[static_cast<size_t>(node)] += carry.flightPayload;
         if (carry.last && carry.cb) {
             auto cb = std::move(carry.cb);
@@ -281,10 +340,16 @@ LpFabric::hopArrive(int node, HopCarry carry)
             const uint64_t bytes = carry.flightPayload;
             sched_->schedule(lp, deliveredAt,
                              [this, lp, cb, deliveredAt, src, dst,
-                              bytes] {
+                              bytes, rxSpan] {
                                  trace(lp, kTraceDeliver, deliveredAt,
                                        deliveredAt, src, dst, bytes);
+                                 if (config_.captureSpans)
+                                     arrivalCause_[static_cast<size_t>(
+                                         lp)] = rxSpan;
                                  (*cb)(deliveredAt);
+                                 if (config_.captureSpans)
+                                     arrivalCause_[static_cast<size_t>(
+                                         lp)] = {};
                              });
         }
         return;
@@ -309,6 +374,12 @@ LpFabric::hopArrive(int node, HopCarry carry)
     const Tick atNext = out.transmit(hopReady, carry.wireBits, &start);
     trace(lp, kTraceHop, start, atNext, carry.src, carry.dst,
           carry.wireBits / 8);
+    if (config_.captureSpans)
+        carry.causeSpan =
+            spanAt(lp, spans::Kind::Hop, -1, start, atNext,
+                   carry.causeSpan,
+                   "hop." + std::to_string(node) + "-" +
+                       std::to_string(next));
 
     carry.hop += 1;
     carry.prevStart = start;
@@ -342,7 +413,8 @@ void
 LpFabric::shipLossy(int src, int dst, std::vector<uint64_t> seqs,
                     uint64_t tailBytes, uint64_t lastSeq, uint32_t attempt,
                     uint64_t flowId, uint8_t tos, double wireRatio,
-                    std::shared_ptr<std::function<void(Tick)>> cb)
+                    std::shared_ptr<std::function<void(Tick)>> cb,
+                    spans::ShardRef cause)
 {
     INC_ASSERT(attempt < config_.maxAttempts,
                "flow %llu gave up after %u attempts (outage too long?)",
@@ -377,7 +449,7 @@ LpFabric::shipLossy(int src, int dst, std::vector<uint64_t> seqs,
         const SegmentMeta meta =
             host(src).nic().planTx(survivorPayload, etos, wireRatio);
         shipSegment(src, dst, meta, compressed, lost.empty(),
-                    survivorPayload, lost.empty() ? cb : nullptr);
+                    survivorPayload, lost.empty() ? cb : nullptr, cause);
     }
     if (!lost.empty()) {
         // Idealized selective repeat: after one full path delay out and
@@ -392,21 +464,26 @@ LpFabric::shipLossy(int src, int dst, std::vector<uint64_t> seqs,
                                lostMeta.wireBits(config_.nic.mtu));
         const Tick retryAt = now + rtt;
         trace(lp, kTraceRetry, now, retryAt, src, dst, lost.size());
+        const spans::ShardRef retxSpan =
+            spanAt(lp, spans::Kind::Retransmit, src, now, retryAt, cause,
+                   config_.captureSpans ? "retx.h" + std::to_string(src)
+                                        : std::string());
         resent_[static_cast<size_t>(src)] += lost.size();
         sched_->schedule(
             lp, retryAt,
             [this, src, dst, lost = std::move(lost), tailBytes, lastSeq,
-             attempt, flowId, tos, wireRatio, cb]() mutable {
+             attempt, flowId, tos, wireRatio, cb, retxSpan]() mutable {
                 shipLossy(src, dst, std::move(lost), tailBytes, lastSeq,
                           attempt + 1, flowId, tos, wireRatio,
-                          std::move(cb));
+                          std::move(cb), retxSpan);
             });
     }
 }
 
 void
 LpFabric::sendHop(int src, int dst, uint64_t payloadBytes, bool coded,
-                  uint64_t flowId, std::function<void(Tick)> onArrive)
+                  uint64_t flowId, std::function<void(Tick)> onArrive,
+                  spans::ShardRef cause)
 {
     const int n = topo_.hosts + topo_.switches;
     INC_ASSERT(src >= 0 && src < n && dst >= 0 && dst < n && src != dst,
@@ -428,15 +505,16 @@ LpFabric::sendHop(int src, int dst, uint64_t payloadBytes, bool coded,
         for (uint64_t s = 0; s < packets; ++s)
             seqs[s] = s;
         hopLossy(src, dst, std::move(seqs), tail, packets - 1, 0, flowId,
-                 coded, std::move(cb));
+                 coded, std::move(cb), cause);
         return;
     }
-    hopShip(src, dst, payloadBytes, coded, std::move(cb));
+    hopShip(src, dst, payloadBytes, coded, std::move(cb), cause);
 }
 
 void
 LpFabric::hopShip(int src, int dst, uint64_t payloadBytes, bool coded,
-                  std::shared_ptr<std::function<void(Tick)>> cb)
+                  std::shared_ptr<std::function<void(Tick)>> cb,
+                  spans::ShardRef cause)
 {
     const int lp = lpOfNode(src);
     const Tick now = sched_->now(lp);
@@ -448,6 +526,7 @@ LpFabric::hopShip(int src, int dst, uint64_t payloadBytes, bool coded,
     uint64_t wireBits =
         (payloadBytes + packets * (kHeaderBytes + kFramingBytes)) * 8;
     Tick ready = now;
+    spans::ShardRef hopCause = cause;
     if (isHost(src)) {
         // The hop payload already *is* the wire form (coded chunks stay
         // coded on the wire); the NIC charges driver/DMA cost plus, for
@@ -462,6 +541,10 @@ LpFabric::hopShip(int src, int dst, uint64_t payloadBytes, bool coded,
             ready += host(src).nic().engineLatency();
         wireBits = meta.wireBits(config_.nic.mtu);
         trace(lp, kTraceTx, txStart, ready, src, dst, payloadBytes);
+        if (config_.captureSpans)
+            hopCause = spanAt(lp, spans::Kind::TxDriver, src, txStart,
+                              ready, cause,
+                              "tx.h" + std::to_string(src));
     } else {
         switchAt(src).noteForward();
     }
@@ -469,16 +552,30 @@ LpFabric::hopShip(int src, int dst, uint64_t payloadBytes, bool coded,
     Tick start = 0;
     const Tick atNext = link.transmit(ready, wireBits, &start);
     trace(lp, kTraceHop, start, atNext, src, dst, wireBits / 8);
+    spans::ShardRef hopSpan{};
+    if (config_.captureSpans)
+        hopSpan = spanAt(lp, spans::Kind::Hop, -1, start, atNext,
+                         hopCause,
+                         "hop." + std::to_string(src) + "-" +
+                             std::to_string(dst));
 
     const int dlp = lpOfNode(dst);
     Tick fireAt = atNext;
     if (dlp != lp)
         fireAt = std::max(fireAt, now + plan_.lookahead);
     sched_->schedule(dlp, fireAt, [this, src, dst, dlp, payloadBytes,
-                                   coded, atNext, cb = std::move(cb)] {
+                                   coded, atNext, cb = std::move(cb),
+                                   hopSpan] {
         if (!isHost(dst)) {
-            if (cb && *cb)
+            // Switch destination: the arriving hop span itself is the
+            // cause the switch FSM chains from.
+            if (cb && *cb) {
+                if (config_.captureSpans)
+                    arrivalCause_[static_cast<size_t>(dlp)] = hopSpan;
                 (*cb)(atNext);
+                if (config_.captureSpans)
+                    arrivalCause_[static_cast<size_t>(dlp)] = {};
+            }
             return;
         }
         // Host destination: RX engine + driver, as in hopArrive().
@@ -492,9 +589,18 @@ LpFabric::hopShip(int src, int dst, uint64_t payloadBytes, bool coded,
         Tick deliveredAt = rxReady + config_.nic.perPacketRxCost;
         deliveredAt = std::max(deliveredAt, sched_->now(dlp));
         trace(dlp, kTraceRx, atNext, deliveredAt, src, dst, payloadBytes);
+        const spans::ShardRef rxSpan = spanAt(
+            dlp, spans::Kind::RxDriver, dst, atNext, deliveredAt, hopSpan,
+            config_.captureSpans ? "rx.h" + std::to_string(dst)
+                                 : std::string());
         delivered_[static_cast<size_t>(dst)] += payloadBytes;
-        if (cb && *cb)
+        if (cb && *cb) {
+            if (config_.captureSpans)
+                arrivalCause_[static_cast<size_t>(dlp)] = rxSpan;
             (*cb)(deliveredAt);
+            if (config_.captureSpans)
+                arrivalCause_[static_cast<size_t>(dlp)] = {};
+        }
     });
 }
 
@@ -502,7 +608,8 @@ void
 LpFabric::hopLossy(int src, int dst, std::vector<uint64_t> seqs,
                    uint64_t tailBytes, uint64_t lastSeq, uint32_t attempt,
                    uint64_t flowId, bool coded,
-                   std::shared_ptr<std::function<void(Tick)>> cb)
+                   std::shared_ptr<std::function<void(Tick)>> cb,
+                   spans::ShardRef cause)
 {
     INC_ASSERT(attempt < config_.maxAttempts,
                "hop flow %llu gave up after %u attempts",
@@ -537,7 +644,7 @@ LpFabric::hopLossy(int src, int dst, std::vector<uint64_t> seqs,
 
     if (survivors > 0)
         hopShip(src, dst, survivorPayload, coded,
-                lost.empty() ? cb : nullptr);
+                lost.empty() ? cb : nullptr, cause);
     if (!lost.empty()) {
         uint64_t lostPayload = 0;
         for (const uint64_t s : lost)
@@ -557,13 +664,21 @@ LpFabric::hopLossy(int src, int dst, std::vector<uint64_t> seqs,
                            config_.nic.perPacketRxCost;
         const Tick retryAt = now + 2 * bound;
         trace(lp, kTraceRetry, now, retryAt, src, dst, lost.size());
+        const spans::ShardRef retxSpan = spanAt(
+            lp, spans::Kind::Retransmit, isHost(src) ? src : -1, now,
+            retryAt, cause,
+            config_.captureSpans
+                ? (isHost(src) ? "retx.h" + std::to_string(src)
+                               : "retx.n" + std::to_string(src))
+                : std::string());
         resent_[static_cast<size_t>(src)] += lost.size();
         sched_->schedule(
             lp, retryAt,
             [this, src, dst, lost = std::move(lost), tailBytes, lastSeq,
-             attempt, flowId, coded, cb]() mutable {
+             attempt, flowId, coded, cb, retxSpan]() mutable {
                 hopLossy(src, dst, std::move(lost), tailBytes, lastSeq,
-                         attempt + 1, flowId, coded, std::move(cb));
+                         attempt + 1, flowId, coded, std::move(cb),
+                         retxSpan);
             });
     }
 }
@@ -692,6 +807,25 @@ LpFabric::mergedTrace() const
                          return a.t0 != b.t0 ? a.t0 < b.t0 : a.lp < b.lp;
                      });
     return all;
+}
+
+std::vector<spans::Span>
+LpFabric::mergedSpans() const
+{
+    INC_ASSERT(config_.captureSpans,
+               "mergedSpans() needs config.captureSpans");
+    std::vector<const spans::Shard *> shards;
+    shards.reserve(spanShards_.size() + 1);
+    shards.push_back(&rootSpans_);
+    for (const spans::Shard &s : spanShards_)
+        shards.push_back(&s);
+    return spans::mergeSpanShards(shards);
+}
+
+std::string
+LpFabric::renderSpansCsv() const
+{
+    return spans::renderSpansCsv(mergedSpans());
 }
 
 std::string

@@ -42,6 +42,7 @@
 #include "net/switch_agg.h"
 #include "net/topology.h"
 #include "sim/lp.h"
+#include "sim/span.h"
 
 namespace inc {
 
@@ -59,6 +60,15 @@ struct LpFabricConfig
     uint32_t maxAttempts = 64;
     /** Per-switch in-network aggregation engines (innet collectives). */
     SwitchAggConfig switchAgg{};
+    /**
+     * Record causal spans on per-LP shards (spans::Shard): TX driver,
+     * per-link hops, RX driver, selective-repeat retransmits, plus
+     * whatever the collectives note via noteSpan(). Merged post-run by
+     * mergedSpans() in the width-invariant trace scheme. Off by
+     * default — capture is a per-fabric flag, never the global
+     * spans::active() singleton, which LP event code must not touch.
+     */
+    bool captureSpans = false;
 };
 
 /** One record of the LP-mode causal trace (the span-stream analogue). */
@@ -122,7 +132,8 @@ class LpFabric
      * retransmits lost packets.
      */
     void send(int src, int dst, uint64_t payloadBytes, uint8_t tos,
-              double wireRatio, std::function<void(Tick)> onDelivered);
+              double wireRatio, std::function<void(Tick)> onDelivered,
+              spans::ShardRef cause = {});
 
     /**
      * Schedule @p fn on any node's LP (hosts and switches) — the
@@ -148,11 +159,41 @@ class LpFabric
      * fires at the arrival of the terminal (fully delivered) flight.
      */
     void sendHop(int src, int dst, uint64_t payloadBytes, bool coded,
-                 uint64_t flowId, std::function<void(Tick)> onArrive);
+                 uint64_t flowId, std::function<void(Tick)> onArrive,
+                 spans::ShardRef cause = {});
 
     /** Append an aggregation-fold trace record (kind 5) on @p node's
      *  LP shard; called by the innet collective from node context. */
     void noteAgg(int node, Tick t0, Tick t1, int src, uint64_t bytes);
+
+    // --- span capture (config().captureSpans) ---
+
+    /** True when this fabric records per-LP span shards. */
+    bool captureSpans() const { return config_.captureSpans; }
+    /**
+     * The run-level shard (lane -1): Iteration/Exchange roots recorded
+     * from *serial* context between runs, never from LP events.
+     */
+    spans::Shard &spanRoot() { return rootSpans_; }
+    /** Structural parent stamped on every fabric-internal span. Set
+     *  from serial context before run(); read-only during it. */
+    void setSpanParent(spans::ShardRef parent) { spanParent_ = parent; }
+    /**
+     * Record one span on @p node's LP shard (must be called from that
+     * node's LP context), parented under the current span parent. The
+     * collective FSMs' hook for MsgOverhead / SumReduce / SwitchAgg
+     * spans. No-op ({} returned) when capture is off.
+     */
+    spans::ShardRef noteSpan(int node, spans::Kind kind, Tick t0,
+                             Tick t1, spans::ShardRef cause,
+                             std::string name);
+    /**
+     * Delivery-callback context: the RxDriver (host) or Hop (switch)
+     * span of the payload that just arrived, valid on the receiving
+     * LP for the extent of the send()/sendHop() callback. The
+     * per-LP analogue of Tracer::arrivalCause().
+     */
+    spans::ShardRef arrivalCause() const;
 
     /** Run the scheduler until every LP drains. @return events run. */
     uint64_t run() { return sched_->run(); }
@@ -174,6 +215,11 @@ class LpFabric
     std::string renderTraceCsv() const;
     /** Merged trace records, sorted by (t0, lp, emission order). */
     std::vector<LpTraceRec> mergedTrace() const;
+    /** Merged, globally-numbered span stream (capture mode): run-level
+     *  roots + every LP shard through spans::mergeSpanShards. */
+    std::vector<spans::Span> mergedSpans() const;
+    /** mergedSpans() in Tracer::renderCsv format — feed inc_critpath. */
+    std::string renderSpansCsv() const;
 
   private:
     struct HopCarry;
@@ -187,6 +233,10 @@ class LpFabric
     /** Append a trace record to the current LP's shard. */
     void trace(int lp, uint8_t kind, Tick t0, Tick t1, int src, int dst,
                uint64_t bytes);
+    /** Record a span on LP @p lp's shard (capture mode; {} when off). */
+    spans::ShardRef spanAt(int lp, spans::Kind kind, int host, Tick t0,
+                           Tick t1, spans::ShardRef cause,
+                           std::string name);
     /** Schedule the next hop, clamped into the conservative window. */
     void scheduleHop(int node, Tick when, HopCarry carry);
     /** Execute one hop arrival on @p node's LP. */
@@ -194,22 +244,26 @@ class LpFabric
     /** Ship one lossless segment from src (src-LP context). */
     void shipSegment(int src, int dst, const SegmentMeta &meta,
                      bool compressed, bool last, uint64_t flightPayload,
-                     std::shared_ptr<std::function<void(Tick)>> cb);
+                     std::shared_ptr<std::function<void(Tick)>> cb,
+                     spans::ShardRef cause);
     /** One lossy flight (and its retries) from src (src-LP context). */
     void shipLossy(int src, int dst, std::vector<uint64_t> seqs,
                    uint64_t tailBytes, uint64_t lastSeq, uint32_t attempt,
                    uint64_t flowId, uint8_t tos, double wireRatio,
-                   std::shared_ptr<std::function<void(Tick)>> cb);
+                   std::shared_ptr<std::function<void(Tick)>> cb,
+                   spans::ShardRef cause);
     /** Conservative bound on one flight's path delay (for retries). */
     Tick pathDelayBound(int src, int dst, uint64_t wireBits) const;
     /** Ship the surviving packets of one hop flight (src-LP context). */
     void hopShip(int src, int dst, uint64_t payloadBytes, bool coded,
-                 std::shared_ptr<std::function<void(Tick)>> cb);
+                 std::shared_ptr<std::function<void(Tick)>> cb,
+                 spans::ShardRef cause);
     /** One lossy hop flight (and its retries) from src (src-LP). */
     void hopLossy(int src, int dst, std::vector<uint64_t> seqs,
                   uint64_t tailBytes, uint64_t lastSeq, uint32_t attempt,
                   uint64_t flowId, bool coded,
-                  std::shared_ptr<std::function<void(Tick)>> cb);
+                  std::shared_ptr<std::function<void(Tick)>> cb,
+                  spans::ShardRef cause);
 
     Topology topo_;
     LpFabricConfig config_;
@@ -223,6 +277,14 @@ class LpFabric
     std::vector<std::unique_ptr<FaultModel>> faults_;
     /** Per-LP trace shards. */
     std::vector<std::vector<LpTraceRec>> traces_;
+    /** Per-LP span shards (capture mode; lane = LP index). */
+    std::vector<spans::Shard> spanShards_;
+    /** Run-level shard (lane -1); serial-context use only. */
+    spans::Shard rootSpans_{-1};
+    /** Structural parent of fabric-internal spans (set pre-run). */
+    spans::ShardRef spanParent_{};
+    /** Per-LP one-shot arrival cause around delivery callbacks. */
+    std::vector<spans::ShardRef> arrivalCause_;
     /** Per-host delivered payload bytes. */
     std::vector<uint64_t> delivered_;
     /** Per-host flow-id allocators (lossy mode). */

@@ -503,8 +503,14 @@ Network::transferDatagram(
         const uint64_t marks = survivors.size() - ce_from;
         if (marks > 0) {
             switch_.noteEcnMarks(marks);
-            if (auto *m = metrics::active())
+            if (auto *m = metrics::active()) {
                 m->add("net.switch.ecn_marks", marks);
+                // Per-output-queue breakdown: which host's downlink
+                // queue ran beyond the threshold.
+                m->add("net.switch.ecn_marks.to_host" +
+                           std::to_string(req.dst),
+                       marks);
+            }
             INC_TRACE(Faults, sw_ready,
                       "switch queue to host%d over ECN threshold: %llu "
                       "packets CE-marked",

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.h"
+#include "sim/metrics.h"
 #include "sim/random.h"
 
 namespace inc {
@@ -56,7 +57,21 @@ TrafficReplay::start()
     for (size_t i = 0; i < flows_.size(); ++i) {
         const TrafficFlow &f = flows_[i];
         ReliableChannel *ch = channels_[i].get();
-        net_->events().schedule(f.startAt, [this, ch, f] {
+        net_->events().schedule(f.startAt, [this, ch, f, i] {
+            // Per-tenant offered-load counters (TrafficReplay drives a
+            // serial Fabric only, so the ambient registry is legal
+            // here; see the metrics determinism contract).
+            if (metrics::Registry *m = metrics::active()) {
+                const std::string tenant =
+                    "net.tgen.tenant" + std::to_string(i);
+                const uint64_t mtu = net_->mtu();
+                const uint64_t msgs =
+                    static_cast<uint64_t>(f.messages);
+                m->add(tenant + ".gen_bytes", f.messageBytes * msgs);
+                m->add(tenant + ".gen_packets",
+                       (f.messageBytes + mtu - 1) / mtu * msgs);
+                m->add(tenant + ".gen_messages", msgs);
+            }
             for (int m = 0; m < f.messages; ++m) {
                 ch->send(f.messageBytes, 1.0, [this](Tick when) {
                     ++delivered_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 
 #include "sim/logging.h"
 #include "sim/random.h"
@@ -231,23 +232,7 @@ Tracer::clear()
 std::string
 Tracer::renderCsv() const
 {
-    std::string out = "id,parent,cause,kind,blame,host,t0,t1,name\n";
-    char buf[128];
-    for (const Span &s : spans_) {
-        std::snprintf(buf, sizeof(buf),
-                      "%llu,%llu,%llu,%s,%s,%d,%llu,%llu,",
-                      static_cast<unsigned long long>(s.id),
-                      static_cast<unsigned long long>(s.parent),
-                      static_cast<unsigned long long>(s.cause),
-                      kindName(s.kind), blameName(blameOf(s.kind)),
-                      s.host, static_cast<unsigned long long>(s.t0),
-                      static_cast<unsigned long long>(s.t1));
-        out += buf;
-        for (char c : s.name)
-            out += c == ',' ? ';' : c;
-        out += '\n';
-    }
-    return out;
+    return renderSpansCsv(spans_);
 }
 
 std::string
@@ -299,12 +284,153 @@ Tracer::renderCanonicalCsv() const
 bool
 Tracer::writeCsvFile(const std::string &path) const
 {
+    return writeSpansCsvFile(path, spans_);
+}
+
+ShardRef
+Shard::open(Kind kind, int host, Tick t0, ShardRef parent,
+            ShardRef cause, std::string name)
+{
+    Rec r;
+    r.kind = kind;
+    r.host = host;
+    r.t0 = t0;
+    r.parent = parent;
+    r.cause = cause;
+    r.name = std::move(name);
+    recs_.push_back(std::move(r));
+    return ShardRef{lane_, static_cast<uint32_t>(recs_.size())};
+}
+
+void
+Shard::close(ShardRef ref, Tick t1)
+{
+    INC_ASSERT(ref.lane == lane_ && ref.idx >= 1 &&
+                   ref.idx <= recs_.size(),
+               "closing a span ref that is not from this shard");
+    Rec &r = recs_[ref.idx - 1];
+    INC_ASSERT(r.t1 == kOpenTick, "shard span closed twice");
+    INC_ASSERT(t1 >= r.t0, "shard span would end before it starts");
+    r.t1 = t1;
+}
+
+ShardRef
+Shard::record(Kind kind, int host, Tick t0, Tick t1, ShardRef parent,
+              ShardRef cause, std::string name)
+{
+    const ShardRef ref =
+        open(kind, host, t0, parent, cause, std::move(name));
+    close(ref, t1);
+    return ref;
+}
+
+std::vector<Span>
+mergeSpanShards(const std::vector<const Shard *> &shards)
+{
+    // Lanes must be distinct so ShardRefs resolve unambiguously.
+    struct Item
+    {
+        const Shard *shard;
+        size_t shardIdx;
+        uint32_t rec; ///< 0-based index into the shard
+    };
+    std::vector<Item> items;
+    size_t total = 0;
+    for (const Shard *sh : shards)
+        total += sh->size();
+    items.reserve(total);
+    for (size_t si = 0; si < shards.size(); ++si) {
+        const Shard *sh = shards[si];
+        for (size_t sj = si + 1; sj < shards.size(); ++sj)
+            INC_ASSERT(sh->lane() != shards[sj]->lane(),
+                       "mergeSpanShards: duplicate lane %d", sh->lane());
+        for (uint32_t r = 0; r < sh->size(); ++r)
+            items.push_back(Item{sh, si, r});
+    }
+    // Stable by (t0, lane): same-lane records keep their deterministic
+    // emission order — the trace-merge scheme of LpFabric::mergedTrace,
+    // so the numbered stream is width-invariant.
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Item &a, const Item &b) {
+                         const Tick ta = a.shard->recs()[a.rec].t0;
+                         const Tick tb = b.shard->recs()[b.rec].t0;
+                         if (ta != tb)
+                             return ta < tb;
+                         return a.shard->lane() < b.shard->lane();
+                     });
+
+    // First pass: global ids in merged order, per (shard, rec).
+    std::vector<std::vector<uint64_t>> idOf(shards.size());
+    for (size_t si = 0; si < shards.size(); ++si)
+        idOf[si].assign(shards[si]->size(), 0);
+    for (size_t i = 0; i < items.size(); ++i)
+        idOf[items[i].shardIdx][items[i].rec] = i + 1;
+
+    // Lane -> shard index, for resolving cross-lane references.
+    std::map<int32_t, size_t> laneToShard;
+    for (size_t si = 0; si < shards.size(); ++si)
+        laneToShard[shards[si]->lane()] = si;
+    auto resolve = [&](ShardRef ref) -> uint64_t {
+        if (ref.none())
+            return 0;
+        const auto it = laneToShard.find(ref.lane);
+        INC_ASSERT(it != laneToShard.end(),
+                   "span ref into unknown lane %d", ref.lane);
+        INC_ASSERT(ref.idx <= shards[it->second]->size(),
+                   "span ref past the end of lane %d", ref.lane);
+        return idOf[it->second][ref.idx - 1];
+    };
+
+    // Second pass: the numbered spans with rewritten references.
+    std::vector<Span> out;
+    out.reserve(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+        const Shard::Rec &r = items[i].shard->recs()[items[i].rec];
+        Span s;
+        s.id = i + 1;
+        s.parent = resolve(r.parent);
+        s.cause = resolve(r.cause);
+        s.kind = r.kind;
+        s.host = r.host;
+        s.t0 = r.t0;
+        s.t1 = r.t1;
+        s.name = r.name;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::string
+renderSpansCsv(const std::vector<Span> &spans)
+{
+    std::string out = "id,parent,cause,kind,blame,host,t0,t1,name\n";
+    char buf[128];
+    for (const Span &s : spans) {
+        std::snprintf(buf, sizeof(buf),
+                      "%llu,%llu,%llu,%s,%s,%d,%llu,%llu,",
+                      static_cast<unsigned long long>(s.id),
+                      static_cast<unsigned long long>(s.parent),
+                      static_cast<unsigned long long>(s.cause),
+                      kindName(s.kind), blameName(blameOf(s.kind)),
+                      s.host, static_cast<unsigned long long>(s.t0),
+                      static_cast<unsigned long long>(s.t1));
+        out += buf;
+        for (char c : s.name)
+            out += c == ',' ? ';' : c;
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+writeSpansCsvFile(const std::string &path, const std::vector<Span> &spans)
+{
     FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
         warn("cannot open '%s' for writing", path.c_str());
         return false;
     }
-    const std::string data = renderCsv();
+    const std::string data = renderSpansCsv(spans);
     const bool ok =
         std::fwrite(data.data(), 1, data.size(), f) == data.size();
     std::fclose(f);

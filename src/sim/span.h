@@ -177,6 +177,90 @@ class Tracer
     uint64_t arrivalCause_ = 0;
 };
 
+/**
+ * Reference to a span recorded in a Shard, before global ids exist:
+ * the shard's lane plus the record's 1-based emission index within it.
+ * idx 0 means "no span" (the ShardRef analogue of span id 0).
+ */
+struct ShardRef
+{
+    int32_t lane = 0;
+    uint32_t idx = 0; ///< 1-based within the lane's shard; 0 = none
+
+    bool none() const { return idx == 0; }
+};
+
+/**
+ * A per-LP span shard: the parallel-plane counterpart of Tracer. LP
+ * event code may not touch the process-wide tracer (DESIGN.md section
+ * 12), so each logical process appends to its own shard and the shards
+ * are merged post-run by mergeSpanShards() in the same width-invariant
+ * (t0, lane, emission order) scheme LpFabric::mergedTrace() uses.
+ * Parents and causes are ShardRefs, which stay valid across the merge
+ * — forward references (a cause that sorts *later* than its effect)
+ * are legal in the merged stream, unlike Tracer ids.
+ */
+class Shard
+{
+  public:
+    /** One recorded span, pre-merge (no global id yet). */
+    struct Rec
+    {
+        Kind kind = Kind::kCount;
+        int host = -1;
+        Tick t0 = 0;
+        Tick t1 = kOpenTick;
+        ShardRef parent{};
+        ShardRef cause{};
+        std::string name;
+    };
+
+    explicit Shard(int32_t lane = 0) : lane_(lane) {}
+
+    int32_t lane() const { return lane_; }
+    size_t size() const { return recs_.size(); }
+    bool empty() const { return recs_.empty(); }
+    void clear() { recs_.clear(); }
+    const std::vector<Rec> &recs() const { return recs_; }
+
+    /** Begin a span at @p t0; close() it later. @return its ref. */
+    ShardRef open(Kind kind, int host, Tick t0, ShardRef parent,
+                  ShardRef cause, std::string name);
+    /** End span @p ref (recorded here, still open) at @p t1. */
+    void close(ShardRef ref, Tick t1);
+    /** open() + close() for spans whose extent is already known. */
+    ShardRef record(Kind kind, int host, Tick t0, Tick t1,
+                    ShardRef parent, ShardRef cause, std::string name);
+
+  private:
+    int32_t lane_;
+    std::vector<Rec> recs_;
+};
+
+/**
+ * Merge per-LP shards into one globally-numbered span stream: records
+ * are ordered by (t0, lane, emission order within the shard) — stable,
+ * so the result is a pure function of the shard contents and therefore
+ * byte-identical for every scheduler width — then assigned 1-based ids
+ * and their ShardRef parent/cause references rewritten to global ids.
+ * Lanes must be distinct. Unlike Tracer::open, a merged span's cause
+ * may carry a *larger* id (same-tick records on a lower lane sort
+ * first); loadSpansCsv and the critical-path walker both accept that.
+ */
+std::vector<Span> mergeSpanShards(const std::vector<const Shard *> &shards);
+
+/**
+ * CSV export of a span list, one line per span:
+ * `id,parent,cause,kind,blame,host,t0,t1,name` (commas in names are
+ * replaced with ';') — the exact format of Tracer::renderCsv(), which
+ * delegates here, so merged LP streams and serial tracer streams are
+ * interchangeable inputs to loadSpansCsv()/inc_critpath.
+ */
+std::string renderSpansCsv(const std::vector<Span> &spans);
+/** Write renderSpansCsv() to @p path; warns and returns false on failure. */
+bool writeSpansCsvFile(const std::string &path,
+                       const std::vector<Span> &spans);
+
 /** The process-wide tracer (exists even when disabled). */
 Tracer &global();
 

@@ -1,0 +1,427 @@
+#include "stats/bench_schema.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+#include "sim/span.h"
+
+namespace inc {
+namespace {
+
+/** Minimal JSON value tree (objects keep key order for messages). */
+struct Value
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Object,
+        Array
+    };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<std::pair<std::string, Value>> object;
+    std::vector<Value> array;
+
+    const Value *find(const std::string &key) const
+    {
+        for (const auto &kv : object)
+            if (kv.first == key)
+                return &kv.second;
+        return nullptr;
+    }
+};
+
+/**
+ * Recursive-descent JSON parser — just enough for the artifact the
+ * repo itself writes (no \uXXXX escapes, no scientific-notation needs
+ * beyond what strtod covers). Fails with a message, never throws.
+ */
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string error;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    bool fail(const std::string &what)
+    {
+        if (error.empty())
+            error = what + " at offset " + std::to_string(pos);
+        return false;
+    }
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool parseValue(Value *out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out->kind = Value::Kind::String;
+            return parseString(&out->str);
+        }
+        if (c == 't' || c == 'f') {
+            const std::string word = c == 't' ? "true" : "false";
+            if (text.compare(pos, word.size(), word) != 0)
+                return fail("bad literal");
+            pos += word.size();
+            out->kind = Value::Kind::Bool;
+            out->boolean = c == 't';
+            return true;
+        }
+        if (c == 'n') {
+            if (text.compare(pos, 4, "null") != 0)
+                return fail("bad literal");
+            pos += 4;
+            out->kind = Value::Kind::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool parseString(std::string *out)
+    {
+        if (!consume('"'))
+            return false;
+        out->clear();
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail("unterminated escape");
+                const char e = text[pos++];
+                switch (e) {
+                case 'n': c = '\n'; break;
+                case 't': c = '\t'; break;
+                case 'r': c = '\r'; break;
+                case '"': c = '"'; break;
+                case '\\': c = '\\'; break;
+                case '/': c = '/'; break;
+                default: return fail("unsupported escape");
+                }
+            }
+            out->push_back(c);
+        }
+        if (pos >= text.size())
+            return fail("unterminated string");
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool parseNumber(Value *out)
+    {
+        const char *start = text.c_str() + pos;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected value");
+        pos += static_cast<size_t>(end - start);
+        out->kind = Value::Kind::Number;
+        out->number = v;
+        return true;
+    }
+
+    bool parseObject(Value *out)
+    {
+        if (!consume('{'))
+            return false;
+        out->kind = Value::Kind::Object;
+        skipWs();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            std::string key;
+            skipWs();
+            if (!parseString(&key))
+                return false;
+            if (!consume(':'))
+                return false;
+            Value v;
+            if (!parseValue(&v))
+                return false;
+            out->object.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos < text.size() && text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            return consume('}');
+        }
+    }
+
+    bool parseArray(Value *out)
+    {
+        if (!consume('['))
+            return false;
+        out->kind = Value::Kind::Array;
+        skipWs();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            Value v;
+            if (!parseValue(&v))
+                return false;
+            out->array.push_back(std::move(v));
+            skipWs();
+            if (pos < text.size() && text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            return consume(']');
+        }
+    }
+};
+
+bool
+isFiniteNonNegative(const Value &v)
+{
+    return v.kind == Value::Kind::Number && std::isfinite(v.number) &&
+           v.number >= 0.0;
+}
+
+bool
+isNonNegativeInteger(const Value &v)
+{
+    return isFiniteNonNegative(v) &&
+           v.number == std::floor(v.number) && v.number <= 9.0e15;
+}
+
+/** One record's validation; prefix is "records[i]" for messages. */
+void
+validateRecord(const Value &rec, const std::string &prefix,
+               BenchSchemaReport *rep)
+{
+    if (rec.kind != Value::Kind::Object) {
+        rep->errors.push_back(prefix + ": not an object");
+        return;
+    }
+    const auto need = [&](const char *key) -> const Value * {
+        const Value *v = rec.find(key);
+        if (!v)
+            rep->errors.push_back(prefix + ": missing key \"" +
+                                  key + "\"");
+        return v;
+    };
+    const auto needString = [&](const char *key, bool nonEmpty) {
+        const Value *v = need(key);
+        if (v && (v->kind != Value::Kind::String ||
+                  (nonEmpty && v->str.empty())))
+            rep->errors.push_back(prefix + ": \"" + key +
+                                  "\" must be a" +
+                                  (nonEmpty ? " non-empty" : "") +
+                                  " string");
+    };
+    const auto needCount = [&](const char *key, double atLeast) {
+        const Value *v = need(key);
+        if (v && (!isNonNegativeInteger(*v) || v->number < atLeast))
+            rep->errors.push_back(prefix + ": \"" + key +
+                                  "\" must be an integer >= " +
+                                  std::to_string(
+                                      static_cast<long long>(atLeast)));
+    };
+    const auto needNumber = [&](const char *key) {
+        const Value *v = need(key);
+        if (v && !isFiniteNonNegative(*v))
+            rep->errors.push_back(prefix + ": \"" + key +
+                                  "\" must be a finite non-negative "
+                                  "number");
+    };
+
+    needString("config", /*nonEmpty=*/true);
+    needString("algorithm", /*nonEmpty=*/false);
+    needString("ecn", /*nonEmpty=*/true);
+    needCount("workers", 1);
+    needCount("width", 0);
+    needCount("events", 0);
+    needCount("rounds", 0);
+    needNumber("wall_ms");
+    needNumber("events_per_sec");
+    needNumber("peak_rss_mb");
+    needNumber("sim_seconds");
+
+    // Optional provenance + blame columns.
+    if (const Value *spans = rec.find("spans")) {
+        if (spans->kind != Value::Kind::String || spans->str.empty())
+            rep->errors.push_back(prefix + ": \"spans\" must be a "
+                                           "non-empty string");
+    }
+    if (const Value *blame = rec.find("blame_ticks")) {
+        if (blame->kind != Value::Kind::Object) {
+            rep->errors.push_back(prefix + ": \"blame_ticks\" must be "
+                                           "an object");
+        } else {
+            std::set<std::string> seen;
+            for (const auto &kv : blame->object) {
+                seen.insert(kv.first);
+                if (!isNonNegativeInteger(kv.second))
+                    rep->errors.push_back(
+                        prefix + ": blame_ticks[\"" + kv.first +
+                        "\"] must be a non-negative integer");
+            }
+            for (int b = 0;
+                 b < static_cast<int>(spans::Blame::kCount); ++b) {
+                const char *name =
+                    spans::blameName(static_cast<spans::Blame>(b));
+                if (!seen.erase(name))
+                    rep->errors.push_back(prefix +
+                                          ": blame_ticks missing "
+                                          "category \"" +
+                                          name + "\"");
+            }
+            for (const std::string &extra : seen)
+                rep->errors.push_back(prefix +
+                                      ": blame_ticks has unknown "
+                                      "category \"" +
+                                      extra + "\"");
+        }
+    }
+
+    static const std::set<std::string> kKnown = {
+        "config",   "algorithm",      "ecn",
+        "workers",  "width",          "events",
+        "rounds",   "wall_ms",        "events_per_sec",
+        "peak_rss_mb", "sim_seconds", "spans",
+        "blame_ticks"};
+    for (const auto &kv : rec.object)
+        if (!kKnown.count(kv.first))
+            rep->errors.push_back(prefix + ": unknown key \"" +
+                                  kv.first + "\"");
+}
+
+/** Parse + validate; on success stores the record configs in @p out. */
+BenchSchemaReport
+validate(const std::string &text, std::vector<std::string> *configs)
+{
+    BenchSchemaReport rep;
+    Parser p(text);
+    Value doc;
+    if (!p.parseValue(&doc)) {
+        rep.errors.push_back("parse error: " + p.error);
+        return rep;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        rep.errors.push_back("parse error: trailing characters at "
+                             "offset " +
+                             std::to_string(p.pos));
+        return rep;
+    }
+    if (doc.kind != Value::Kind::Object) {
+        rep.errors.push_back("top level is not an object");
+        return rep;
+    }
+    const Value *records = doc.find("records");
+    if (!records || records->kind != Value::Kind::Array) {
+        rep.errors.push_back("missing \"records\" array");
+        return rep;
+    }
+    if (records->array.empty())
+        rep.errors.push_back("\"records\" is empty");
+    rep.records = records->array.size();
+    for (size_t i = 0; i < records->array.size(); ++i) {
+        const std::string prefix = "records[" + std::to_string(i) + "]";
+        validateRecord(records->array[i], prefix, &rep);
+        if (configs && records->array[i].kind == Value::Kind::Object)
+            if (const Value *c = records->array[i].find("config"))
+                if (c->kind == Value::Kind::String)
+                    configs->push_back(c->str);
+    }
+    return rep;
+}
+
+} // namespace
+
+std::string
+BenchSchemaReport::render() const
+{
+    std::string out;
+    for (const std::string &e : errors)
+        out += e + "\n";
+    return out;
+}
+
+BenchSchemaReport
+validateBenchJson(const std::string &text)
+{
+    return validate(text, nullptr);
+}
+
+BenchSchemaReport
+validateBenchJsonFile(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        BenchSchemaReport rep;
+        rep.errors.push_back("cannot open " + path);
+        return rep;
+    }
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return validateBenchJson(text);
+}
+
+BenchSchemaReport
+checkBenchMonotone(const std::string &baselineText,
+                   const std::string &currentText)
+{
+    std::vector<std::string> base, cur;
+    BenchSchemaReport rep = validate(baselineText, &base);
+    for (std::string &e : rep.errors)
+        e = "baseline: " + e;
+    BenchSchemaReport curRep = validate(currentText, &cur);
+    for (const std::string &e : curRep.errors)
+        rep.errors.push_back("current: " + e);
+    rep.records = curRep.records;
+    if (!rep.ok())
+        return rep;
+    if (cur.size() < base.size())
+        rep.errors.push_back(
+            "record count shrank: baseline " +
+            std::to_string(base.size()) + ", current " +
+            std::to_string(cur.size()));
+    const std::set<std::string> curSet(cur.begin(), cur.end());
+    for (const std::string &c : base)
+        if (!curSet.count(c))
+            rep.errors.push_back("baseline config \"" + c +
+                                 "\" disappeared");
+    return rep;
+}
+
+} // namespace inc

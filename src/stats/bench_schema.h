@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Schema/consistency checker for the BENCH_*.json perf artifacts the
+ * perf-trajectory CI job tracks across commits (bench_util.h's
+ * PerfRecord rows). Validates the document shape — a top-level
+ * {"records": [...]} with every required key present and correctly
+ * typed, numerics finite and non-negative, optional span provenance
+ * ("spans") and blame columns ("blame_ticks", exactly one entry per
+ * spans::Blame category) — and, given a baseline artifact, enforces
+ * monotone test counts: the record count must not shrink and no
+ * baseline config may disappear. Used by tools/inc_benchcheck and the
+ * stats unit tests.
+ */
+
+#ifndef INCEPTIONN_STATS_BENCH_SCHEMA_H
+#define INCEPTIONN_STATS_BENCH_SCHEMA_H
+
+#include <string>
+#include <vector>
+
+namespace inc {
+
+/** Outcome of one validation; empty errors == pass. */
+struct BenchSchemaReport
+{
+    std::vector<std::string> errors;
+    size_t records = 0; ///< records seen (0 on parse failure)
+
+    bool ok() const { return errors.empty(); }
+    /** One line per error, for tool/test output. */
+    std::string render() const;
+};
+
+/** Validate a BENCH_*.json document given as text. */
+BenchSchemaReport validateBenchJson(const std::string &text);
+
+/** Load @p path and validate; unreadable file is itself an error. */
+BenchSchemaReport validateBenchJsonFile(const std::string &path);
+
+/**
+ * Monotone-test-count check between two valid artifacts: @p current
+ * must carry at least as many records as @p baseline and every config
+ * name present in the baseline. Errors are appended to the returned
+ * report (which also re-validates both documents).
+ */
+BenchSchemaReport checkBenchMonotone(const std::string &baselineText,
+                                     const std::string &currentText);
+
+} // namespace inc
+
+#endif // INCEPTIONN_STATS_BENCH_SCHEMA_H

@@ -322,6 +322,75 @@ CriticalPathReport::writeCsvFile(const std::string &path) const
     return writeStringFile(path, renderCsv());
 }
 
+std::string
+CriticalPathReport::renderTimeSeriesCsv() const
+{
+    std::string out = "iteration,t0,t1,window_ticks,exact";
+    for (size_t b = 0; b < kBlames; ++b) {
+        out += ',';
+        out += spans::blameName(static_cast<Blame>(b));
+    }
+    out += '\n';
+    char buf[64];
+    for (size_t i = 0; i < iterations.size(); ++i) {
+        const IterationPath &it = iterations[i];
+        std::snprintf(buf, sizeof(buf), "%zu,%llu,%llu,%llu,%d", i + 1,
+                      static_cast<unsigned long long>(it.t0),
+                      static_cast<unsigned long long>(it.t1),
+                      static_cast<unsigned long long>(it.windowTicks()),
+                      it.exact() && !it.truncated ? 1 : 0);
+        out += buf;
+        for (size_t b = 0; b < kBlames; ++b) {
+            std::snprintf(buf, sizeof(buf), ",%llu",
+                          static_cast<unsigned long long>(
+                              it.blame.ticks[b]));
+            out += buf;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+CriticalPathReport::renderTimeSeriesJson() const
+{
+    std::string out = "{\"series\":[";
+    char buf[160];
+    for (size_t i = 0; i < iterations.size(); ++i) {
+        const IterationPath &it = iterations[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"iteration\":%zu,\"t0\":%llu,\"t1\":%llu,"
+                      "\"window_ticks\":%llu,\"exact\":%s,"
+                      "\"blame_ticks\":",
+                      i ? "," : "", i + 1,
+                      static_cast<unsigned long long>(it.t0),
+                      static_cast<unsigned long long>(it.t1),
+                      static_cast<unsigned long long>(it.windowTicks()),
+                      it.exact() && !it.truncated ? "true" : "false");
+        out += buf;
+        appendBlameJson(out, it.blame);
+        out += "}";
+    }
+    out += "],\"totals_ticks\":";
+    appendBlameJson(out, totals);
+    std::snprintf(buf, sizeof(buf), ",\"iterations\":%zu,\"exact\":%s}\n",
+                  iterations.size(), exact() ? "true" : "false");
+    out += buf;
+    return out;
+}
+
+bool
+CriticalPathReport::writeTimeSeriesCsvFile(const std::string &path) const
+{
+    return writeStringFile(path, renderTimeSeriesCsv());
+}
+
+bool
+CriticalPathReport::writeTimeSeriesJsonFile(const std::string &path) const
+{
+    return writeStringFile(path, renderTimeSeriesJson());
+}
+
 CriticalPathReport
 analyzeCriticalPath(const std::vector<Span> &spans)
 {

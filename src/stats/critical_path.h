@@ -101,6 +101,19 @@ struct CriticalPathReport
     std::string renderCsv() const;
     bool writeJsonFile(const std::string &path) const;
     bool writeCsvFile(const std::string &path) const;
+
+    /**
+     * Per-iteration blame time-series, one CSV row per iteration:
+     * `iteration,t0,t1,window_ticks,exact,<category...>` with one
+     * integer-tick column per blame category in spans::Blame order
+     * (compute, codec, wire, queue, retransmit, stall, switch_agg) —
+     * the trend-over-a-run view EXPERIMENTS.md documents.
+     */
+    std::string renderTimeSeriesCsv() const;
+    /** The same rows as a JSON object: {"series":[...],"exact":...}. */
+    std::string renderTimeSeriesJson() const;
+    bool writeTimeSeriesCsvFile(const std::string &path) const;
+    bool writeTimeSeriesJsonFile(const std::string &path) const;
 };
 
 /**

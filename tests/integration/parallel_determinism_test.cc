@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdlib>
 #include <map>
@@ -23,6 +24,7 @@
 #include "comm/lp_collectives.h"
 #include "net/lp_fabric.h"
 #include "net/topology.h"
+#include "stats/critical_path.h"
 
 namespace inc {
 namespace {
@@ -43,8 +45,13 @@ struct Capture
     uint64_t faultsDrops = 0;
     std::string metricsCsv;
     std::string traceCsv;
+    std::string spansCsv;
     /** Trace-record count per kind (tx/hop/rx/deliver/retry). */
     std::map<int, size_t> kindCounts;
+    /** Merged-span count per spans::Kind. */
+    std::map<int, size_t> spanKindCounts;
+    /** Blame decomposition sums bit-exactly to the window. */
+    bool blameExact = false;
 };
 
 LpFabricConfig
@@ -52,6 +59,7 @@ fabricConfig(bool lossy)
 {
     LpFabricConfig fc;
     fc.lossy = lossy;
+    fc.captureSpans = true;
     if (lossy) {
         // Stateless hazards only, and no outage/degradation windows:
         // window checks are the one place a fate depends on the
@@ -100,6 +108,12 @@ runOnce(LpAlgorithm algo, bool lossy, int width, int shuffleMode)
     c.traceCsv = fab.renderTraceCsv();
     for (const LpTraceRec &rec : fab.mergedTrace())
         ++c.kindCounts[rec.kind];
+    const std::vector<spans::Span> spans = fab.mergedSpans();
+    c.spansCsv = spans::renderSpansCsv(spans);
+    for (const spans::Span &s : spans)
+        ++c.spanKindCounts[static_cast<int>(s.kind)];
+    const CriticalPathReport rep = analyzeCriticalPath(spans);
+    c.blameExact = rep.exact() && rep.iterations.size() == 1;
     return c;
 }
 
@@ -114,6 +128,7 @@ expectIdentical(const Capture &a, const Capture &b, const char *what)
     EXPECT_EQ(a.rounds, b.rounds);
     EXPECT_EQ(a.metricsCsv, b.metricsCsv);
     EXPECT_EQ(a.traceCsv, b.traceCsv);
+    EXPECT_EQ(a.spansCsv, b.spansCsv);
 }
 
 /** Pinned invariant tier: what shuffle seeds must preserve. */
@@ -126,6 +141,11 @@ expectInvariantTier(const Capture &base, const Capture &other,
     EXPECT_EQ(base.kindCounts, other.kindCounts);
     EXPECT_EQ(base.faultsJudged, other.faultsJudged);
     EXPECT_EQ(base.faultsDrops, other.faultsDrops);
+    // Span streams follow the trace tiers: same-tick shuffle may
+    // permute fold order at the switches, but never the span multiset
+    // per kind nor the exactness of the blame decomposition.
+    EXPECT_EQ(base.spanKindCounts, other.spanKindCounts);
+    EXPECT_TRUE(other.blameExact);
 }
 
 constexpr std::array<LpAlgorithm, 5> kAlgorithms = {
@@ -187,11 +207,78 @@ TEST_P(ParallelDeterminism, ShuffleSeedsPreserveInvariantTier)
     }
 }
 
+TEST_P(ParallelDeterminism, SpanCsvWidthInvariantPerShuffleSeed)
+{
+    // The ISSUE 9 gate: the merged span CSV is byte-identical across
+    // INC_THREADS {1, 8} at each INC_EQ_SHUFFLE seed {0, 3}, lossless
+    // and lossy (InNetwork included), and the blame decomposition is
+    // bit-exact in every cell.
+    for (const bool lossy : {false, true}) {
+        for (const int seed : {0, 3}) {
+            SCOPED_TRACE(std::string(lossy ? "lossy" : "lossless") +
+                         ", shuffle seed " + std::to_string(seed));
+            const Capture serial = runOnce(GetParam(), lossy, 1, seed);
+            const Capture wide = runOnce(GetParam(), lossy, 8, seed);
+            EXPECT_EQ(serial.spansCsv, wide.spansCsv);
+            EXPECT_TRUE(serial.blameExact);
+            EXPECT_TRUE(wide.blameExact);
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllCollectives, ParallelDeterminism, ::testing::ValuesIn(kAlgorithms),
     [](const ::testing::TestParamInfo<LpAlgorithm> &param) {
         return lpAlgorithmName(param.param);
     });
+
+TEST(ParallelSpans, MultiIterationBlameTimeSeries)
+{
+    // Three back-to-back iterations on one fabric: every iteration gets
+    // its own Iteration/Exchange roots, windows tile [0, finish] with
+    // no overlap, and the per-iteration time-series rows stay exact.
+    LpFabric fab(fatTreeTopology(kFatTreeK), fabricConfig(false), 8);
+    fab.scheduler().clearSameTickShuffle();
+    LpCollectiveConfig cc;
+    cc.algorithm = LpAlgorithm::InNetwork;
+    cc.gradientBytes = kGradient;
+    const std::vector<LpAllreduceResult> runs =
+        runLpIterations(fab, cc, 3);
+    ASSERT_EQ(runs.size(), 3u);
+    EXPECT_LT(runs[0].finish, runs[1].finish);
+    EXPECT_LT(runs[1].finish, runs[2].finish);
+
+    const CriticalPathReport rep = analyzeCriticalPath(fab.mergedSpans());
+    ASSERT_EQ(rep.iterations.size(), 3u);
+    EXPECT_TRUE(rep.exact());
+    EXPECT_TRUE(rep.chainContains(spans::Kind::SwitchAgg));
+    for (size_t i = 0; i < rep.iterations.size(); ++i) {
+        EXPECT_EQ(rep.iterations[i].t0,
+                  i == 0 ? 0 : runs[i - 1].finish);
+        EXPECT_EQ(rep.iterations[i].t1, runs[i].finish);
+    }
+    const std::string ts = rep.renderTimeSeriesCsv();
+    EXPECT_NE(ts.find("iteration,t0,t1,window_ticks,exact,compute"),
+              std::string::npos);
+    // Header + one row per iteration.
+    EXPECT_EQ(static_cast<size_t>(
+                  std::count(ts.begin(), ts.end(), '\n')),
+              4u);
+}
+
+TEST(ParallelSpans, LossyRetransmitOnCriticalPath)
+{
+    LpFabric fab(fatTreeTopology(kFatTreeK), fabricConfig(true), 8);
+    fab.scheduler().clearSameTickShuffle();
+    LpCollectiveConfig cc;
+    cc.algorithm = LpAlgorithm::Ring;
+    cc.gradientBytes = kGradient;
+    const LpAllreduceResult r = runLpAllreduce(fab, cc);
+    EXPECT_GT(r.retransmittedPackets, 0u);
+    const CriticalPathReport rep = analyzeCriticalPath(fab.mergedSpans());
+    EXPECT_TRUE(rep.exact());
+    EXPECT_GT(rep.totals.get(spans::Blame::Retransmit), 0u);
+}
 
 TEST(ParallelDeterminismTotals, DeliveredBytesMatchExchangeAlgebra)
 {

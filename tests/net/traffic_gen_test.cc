@@ -8,9 +8,12 @@
 
 #include "net/traffic_gen.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "net/network.h"
+#include "sim/metrics.h"
 
 namespace inc {
 namespace {
@@ -114,6 +117,74 @@ TEST(TrafficReplay, ReplayTimingIsBitReproducible)
     EXPECT_EQ(a.packetsSent, b.packetsSent);
     EXPECT_EQ(a.retransmits, b.retransmits);
     EXPECT_EQ(a.ecnCePackets, b.ecnCePackets);
+}
+
+/** RAII: enabled + clean metrics registry, restored after. */
+struct MetricsOn
+{
+    MetricsOn()
+    {
+        metrics::reset();
+        metrics::setEnabled(true);
+    }
+    ~MetricsOn()
+    {
+        metrics::setEnabled(false);
+        metrics::reset();
+    }
+};
+
+TEST(TrafficReplay, PerTenantOfferedLoadCounters)
+{
+    MetricsOn on;
+    const TrafficReplayStats s = replayOnce(256, 64);
+    EXPECT_GT(s.messagesDelivered, 0u);
+
+    const metrics::Registry &reg = metrics::global();
+    uint64_t bytes = 0, packets = 0, messages = 0;
+    for (int t = 0; t < 6; ++t) {
+        const std::string tenant =
+            "net.tgen.tenant" + std::to_string(t);
+        // Every tenant generated its full configured load...
+        EXPECT_EQ(reg.counter(tenant + ".gen_bytes"),
+                  3u * 512 * 1024)
+            << tenant;
+        EXPECT_EQ(reg.counter(tenant + ".gen_messages"), 3u)
+            << tenant;
+        EXPECT_GT(reg.counter(tenant + ".gen_packets"), 0u) << tenant;
+        bytes += reg.counter(tenant + ".gen_bytes");
+        packets += reg.counter(tenant + ".gen_packets");
+        messages += reg.counter(tenant + ".gen_messages");
+    }
+    // ...and the totals account for every first-time delivery. Packets
+    // on the wire include retransmits, so generated <= sent.
+    EXPECT_EQ(bytes, s.bytesDelivered);
+    EXPECT_EQ(messages, s.messagesDelivered);
+    EXPECT_LE(packets, s.packetsSent);
+}
+
+TEST(TrafficReplay, PerQueueEcnMarkCounters)
+{
+    MetricsOn on;
+    // Shallow ECN threshold: the replay must push some downlink queue
+    // beyond it.
+    const TrafficReplayStats s = replayOnce(256, 8);
+    EXPECT_GT(s.ecnCePackets, 0u);
+
+    const metrics::Registry &reg = metrics::global();
+    const uint64_t total = reg.counter("net.switch.ecn_marks");
+    EXPECT_GT(total, 0u);
+    // The per-output-queue breakdown sums exactly to the aggregate.
+    uint64_t perQueue = 0;
+    int queuesMarked = 0;
+    for (int h = 0; h < 8; ++h) {
+        const uint64_t q = reg.counter("net.switch.ecn_marks.to_host" +
+                                       std::to_string(h));
+        perQueue += q;
+        queuesMarked += q > 0 ? 1 : 0;
+    }
+    EXPECT_EQ(perQueue, total);
+    EXPECT_GT(queuesMarked, 0);
 }
 
 } // namespace

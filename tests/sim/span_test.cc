@@ -196,6 +196,81 @@ TEST(Span, CanonicalCsvIsEmissionOrderIndependent)
     EXPECT_EQ(canonA, canonB);
 }
 
+TEST(Span, ShardMergeIsWidthInvariantAndRewritesRefs)
+{
+    // Two LP shards plus a run-level lane -1 shard; the merge orders by
+    // (t0, lane, emission order), assigns 1-based global ids, and
+    // rewrites every ShardRef — including a forward causal reference
+    // (cause on a higher lane at the same tick, which sorts later).
+    Shard root(-1), lp0(0), lp1(1);
+    const ShardRef iter =
+        root.open(Kind::Iteration, -1, 0, {}, {}, "iter");
+    const ShardRef a =
+        lp0.record(Kind::TxDriver, 0, 0, 5, iter, {}, "tx.h0");
+    const ShardRef b = lp1.record(Kind::Hop, -1, 0, 9, iter, a, "hop");
+    const ShardRef c =
+        lp0.record(Kind::RxDriver, 0, 9, 12, iter, b, "rx.h0");
+    root.close(iter, 12);
+
+    const std::vector<Span> merged =
+        mergeSpanShards({&root, &lp0, &lp1});
+    ASSERT_EQ(merged.size(), 4u);
+    // Sorted (t0, lane): iter(lane -1, t0 0), tx(lane 0, t0 0),
+    // hop(lane 1, t0 0), rx(lane 0, t0 9).
+    EXPECT_EQ(merged[0].name, "iter");
+    EXPECT_EQ(merged[1].name, "tx.h0");
+    EXPECT_EQ(merged[2].name, "hop");
+    EXPECT_EQ(merged[3].name, "rx.h0");
+    for (size_t i = 0; i < merged.size(); ++i)
+        EXPECT_EQ(merged[i].id, i + 1);
+    EXPECT_EQ(merged[1].parent, merged[0].id);
+    EXPECT_EQ(merged[2].cause, merged[1].id);
+    EXPECT_EQ(merged[3].cause, merged[2].id);
+    EXPECT_EQ(merged[0].t1, 12u);
+    (void)c;
+
+    // The merge is a pure function of the shard contents: feeding the
+    // shard list in a different order changes nothing.
+    const std::vector<Span> again =
+        mergeSpanShards({&lp1, &root, &lp0});
+    EXPECT_EQ(renderSpansCsv(merged), renderSpansCsv(again));
+}
+
+TEST(Span, ShardMergeAllowsForwardCauseAtEqualTick)
+{
+    // A lane-0 record whose cause lives on lane 1 at the same t0: the
+    // cause sorts *after* its effect, so the merged stream carries a
+    // forward reference — legal for loadSpansCsv and the walker.
+    Shard lp0(0), lp1(1);
+    const ShardRef late =
+        lp1.record(Kind::SumReduce, 1, 0, 4, {}, {}, "late");
+    lp0.record(Kind::Hop, -1, 0, 7, {}, late, "early");
+    const std::vector<Span> merged = mergeSpanShards({&lp0, &lp1});
+    ASSERT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged[0].name, "early");
+    EXPECT_EQ(merged[1].name, "late");
+    EXPECT_EQ(merged[0].cause, merged[1].id); // forward ref survives
+}
+
+TEST(Span, ShardRendersTracerCompatibleCsv)
+{
+    // Shard-merged output must be byte-compatible with what a Tracer
+    // emitting the same spans produces, so both feed inc_critpath.
+    TracingOn on;
+    reset();
+    Tracer &t = *active();
+    const uint64_t r = t.open(Kind::Iteration, -1, 0, 0, 0, "iter");
+    t.record(Kind::Hop, 2, 1, 8, r, 0, "hop.a");
+    t.close(r, 9);
+
+    Shard shard(-1);
+    const ShardRef sr =
+        shard.open(Kind::Iteration, -1, 0, {}, {}, "iter");
+    shard.record(Kind::Hop, 2, 1, 8, sr, {}, "hop.a");
+    shard.close(sr, 9);
+    EXPECT_EQ(renderSpansCsv(mergeSpanShards({&shard})), t.renderCsv());
+}
+
 TEST(Span, CanonicalCsvStillSeesAncestryChanges)
 {
     TracingOn on;

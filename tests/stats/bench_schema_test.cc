@@ -1,0 +1,142 @@
+#include "stats/bench_schema.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace inc {
+namespace {
+
+/** A minimal valid record body; tests splice mutations into it. */
+std::string
+record(const std::string &extra = "")
+{
+    return "{\"config\": \"fig15_lp.ring.fat_tree_k4\", "
+           "\"algorithm\": \"ring\", \"ecn\": \"off\", "
+           "\"workers\": 16, \"width\": 1, \"events\": 21120, "
+           "\"rounds\": 2227, \"wall_ms\": 7.5, "
+           "\"events_per_sec\": 2803065, \"peak_rss_mb\": 5.1, "
+           "\"sim_seconds\": 0.213" +
+           extra + "}";
+}
+
+std::string
+doc(const std::string &records)
+{
+    return "{\n  \"records\": [\n    " + records + "\n  ]\n}\n";
+}
+
+TEST(BenchSchema, AcceptsMinimalRecord)
+{
+    const BenchSchemaReport rep = validateBenchJson(doc(record()));
+    EXPECT_TRUE(rep.ok()) << rep.render();
+    EXPECT_EQ(rep.records, 1u);
+}
+
+TEST(BenchSchema, AcceptsSpansAndBlameColumns)
+{
+    const std::string extra =
+        ", \"spans\": \"bench_results/x.spans.csv\", "
+        "\"blame_ticks\": {\"compute\": 9142201200, \"codec\": 0, "
+        "\"wire\": 15444458400, \"queue\": 10090480800, "
+        "\"retransmit\": 0, \"stall\": 80592000, "
+        "\"switch_agg\": 1319052000}";
+    const BenchSchemaReport rep =
+        validateBenchJson(doc(record(extra)));
+    EXPECT_TRUE(rep.ok()) << rep.render();
+}
+
+TEST(BenchSchema, RejectsMissingKeyWrongTypeAndNegatives)
+{
+    // Missing "workers".
+    const std::string missing =
+        doc("{\"config\": \"c\", \"algorithm\": \"\", \"ecn\": "
+            "\"off\", \"width\": 0, \"events\": 1, \"rounds\": 1, "
+            "\"wall_ms\": 1, \"events_per_sec\": 1, "
+            "\"peak_rss_mb\": 1, \"sim_seconds\": 1}");
+    EXPECT_FALSE(validateBenchJson(missing).ok());
+
+    // Wrong type: config is a number.
+    EXPECT_FALSE(
+        validateBenchJson(
+            doc("{\"config\": 3, \"algorithm\": \"\", \"ecn\": "
+                "\"off\", \"workers\": 1, \"width\": 0, \"events\": "
+                "1, \"rounds\": 1, \"wall_ms\": 1, "
+                "\"events_per_sec\": 1, \"peak_rss_mb\": 1, "
+                "\"sim_seconds\": 1}"))
+            .ok());
+
+    // Negative numeric.
+    std::string neg = doc(record());
+    const size_t at = neg.find("\"wall_ms\": 7.5");
+    ASSERT_NE(at, std::string::npos);
+    neg.replace(at, 14, "\"wall_ms\": -1");
+    EXPECT_FALSE(validateBenchJson(neg).ok());
+
+    // Non-integer worker count.
+    std::string frac = doc(record());
+    const size_t w = frac.find("\"workers\": 16");
+    ASSERT_NE(w, std::string::npos);
+    frac.replace(w, 13, "\"workers\": 16.5");
+    EXPECT_FALSE(validateBenchJson(frac).ok());
+}
+
+TEST(BenchSchema, RejectsUnknownAndIncompleteBlameColumns)
+{
+    // Unknown record key.
+    EXPECT_FALSE(
+        validateBenchJson(doc(record(", \"surprise\": 1"))).ok());
+    // blame_ticks without every category.
+    EXPECT_FALSE(validateBenchJson(
+                     doc(record(", \"blame_ticks\": {\"compute\": 1}")))
+                     .ok());
+    // blame_ticks with an invented category.
+    EXPECT_FALSE(
+        validateBenchJson(
+            doc(record(
+                ", \"blame_ticks\": {\"compute\": 1, \"codec\": 0, "
+                "\"wire\": 0, \"queue\": 0, \"retransmit\": 0, "
+                "\"stall\": 0, \"switch_agg\": 0, \"luck\": 9}")))
+            .ok());
+}
+
+TEST(BenchSchema, RejectsEmptyAndMalformedDocuments)
+{
+    EXPECT_FALSE(validateBenchJson("").ok());
+    EXPECT_FALSE(validateBenchJson("{\"records\": []}").ok());
+    EXPECT_FALSE(validateBenchJson("{\"records\": 3}").ok());
+    EXPECT_FALSE(validateBenchJson("[1, 2]").ok());
+    EXPECT_FALSE(validateBenchJson(doc(record()) + "trailing").ok());
+}
+
+TEST(BenchSchema, MonotoneTestCounts)
+{
+    const std::string one = doc(record());
+    const std::string two = doc(
+        record() +
+        ",\n    " +
+        "{\"config\": \"other\", \"algorithm\": \"tree\", \"ecn\": "
+        "\"dctcp\", \"workers\": 8, \"width\": 2, \"events\": 10, "
+        "\"rounds\": 2, \"wall_ms\": 1, \"events_per_sec\": 10, "
+        "\"peak_rss_mb\": 1, \"sim_seconds\": 0.5}");
+
+    // Growing or equal record sets pass; shrinking fails.
+    EXPECT_TRUE(checkBenchMonotone(one, two).ok());
+    EXPECT_TRUE(checkBenchMonotone(one, one).ok());
+    const BenchSchemaReport shrank = checkBenchMonotone(two, one);
+    EXPECT_FALSE(shrank.ok());
+    EXPECT_NE(shrank.render().find("record count shrank"),
+              std::string::npos);
+
+    // Same count but a baseline config vanished: also a failure.
+    std::string renamed = one;
+    const size_t at = renamed.find("fig15_lp.ring.fat_tree_k4");
+    ASSERT_NE(at, std::string::npos);
+    renamed.replace(at, 25, "renamed_config_for_the_test");
+    const BenchSchemaReport lost = checkBenchMonotone(one, renamed);
+    EXPECT_FALSE(lost.ok());
+    EXPECT_NE(lost.render().find("disappeared"), std::string::npos);
+}
+
+} // namespace
+} // namespace inc

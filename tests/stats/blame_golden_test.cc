@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Golden blame-table fixture: a pinned 64-worker LP ring allreduce on
+ * the two-tier fabric must decompose into exactly the checked-in blame
+ * CSV, byte for byte. The run is a pure function of its config (the LP
+ * core is deterministic across INC_THREADS and shuffle seeds), so any
+ * drift here means the span capture, the shard merge, or the
+ * critical-path walker changed semantics — bump the fixture only with
+ * a deliberate regeneration (INC_REGEN_BLAME_GOLDEN=1).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "comm/lp_collectives.h"
+#include "net/lp_fabric.h"
+#include "net/topology.h"
+#include "stats/critical_path.h"
+
+namespace inc {
+namespace {
+
+std::string
+goldenPath()
+{
+    return std::string(INC_BLAME_GOLDEN_DIR) + "/lp_ring64_blame.csv";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::string text;
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+TEST(BlameGolden, PinnedLpRing64MatchesFixture)
+{
+    // The pinned run: 64 hosts in racks of 8, default link speed and
+    // latency, 8 MiB gradients, stock ring config. Do not change any
+    // of these without regenerating the fixture.
+    LpFabricConfig fc;
+    fc.captureSpans = true;
+    LpFabric fab(twoTierTopology(64, 8), fc, /*threads=*/0);
+    LpCollectiveConfig cc;
+    cc.algorithm = LpAlgorithm::Ring;
+    cc.gradientBytes = 8ull << 20;
+    const LpAllreduceResult r = runLpAllreduce(fab, cc);
+    ASSERT_GT(r.finish, 0u);
+
+    const CriticalPathReport rep =
+        analyzeCriticalPath(fab.mergedSpans());
+    ASSERT_EQ(rep.iterations.size(), 1u);
+    ASSERT_TRUE(rep.exact());
+    const std::string table = rep.renderCsv();
+
+    if (std::getenv("INC_REGEN_BLAME_GOLDEN")) {
+        FILE *f = std::fopen(goldenPath().c_str(), "wb");
+        ASSERT_NE(f, nullptr) << goldenPath();
+        std::fwrite(table.data(), 1, table.size(), f);
+        std::fclose(f);
+        GTEST_SKIP() << "regenerated " << goldenPath();
+    }
+
+    const std::string golden = readFile(goldenPath());
+    ASSERT_FALSE(golden.empty())
+        << "missing fixture " << goldenPath()
+        << " (regenerate with INC_REGEN_BLAME_GOLDEN=1)";
+    EXPECT_EQ(table, golden)
+        << "blame decomposition of the pinned 64-worker LP ring "
+           "drifted; regenerate deliberately with "
+           "INC_REGEN_BLAME_GOLDEN=1 if the change is intended";
+}
+
+} // namespace
+} // namespace inc

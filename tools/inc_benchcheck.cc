@@ -1,0 +1,114 @@
+/**
+ * @file
+ * BENCH_*.json schema/consistency gate for the perf-trajectory CI job:
+ *
+ *   inc_benchcheck FILE.json [FILE2.json ...] [--baseline=FILE]
+ *
+ * Validates every positional artifact against the PerfRecord schema
+ * (stats/bench_schema.h): required keys, correct types, finite
+ * non-negative numerics, well-formed optional "spans"/"blame_ticks"
+ * columns. With --baseline (legal only with exactly one positional
+ * file), additionally enforces monotone test counts — the current
+ * artifact may not carry fewer records than the baseline, nor lose any
+ * baseline config. A missing baseline file is skipped with a note (the
+ * first run of a new artifact has nothing to compare against). Exit
+ * status: 0 = all pass, 1 = any validation error, 2 = usage error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "stats/bench_schema.h"
+
+using namespace inc;
+
+namespace {
+
+std::string
+readFile(const std::string &path, bool *ok)
+{
+    std::string text;
+    FILE *f = std::fopen(path.c_str(), "rb");
+    *ok = f != nullptr;
+    if (!f)
+        return text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    std::string baseline;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--baseline=", 0) == 0) {
+            baseline = arg.substr(11);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s FILE.json [FILE2.json ...] "
+                        "[--baseline=FILE]\n",
+                        argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] != '-') {
+            files.push_back(arg);
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (files.empty()) {
+        std::fprintf(stderr, "error: no artifact given\n");
+        return 2;
+    }
+    if (!baseline.empty() && files.size() != 1) {
+        std::fprintf(stderr, "error: --baseline needs exactly one "
+                             "positional file\n");
+        return 2;
+    }
+
+    int rc = 0;
+    for (const std::string &path : files) {
+        const BenchSchemaReport rep = validateBenchJsonFile(path);
+        if (rep.ok()) {
+            std::printf("%s: OK (%zu records)\n", path.c_str(),
+                        rep.records);
+        } else {
+            std::fprintf(stderr, "%s: FAIL\n%s", path.c_str(),
+                         rep.render().c_str());
+            rc = 1;
+        }
+    }
+
+    if (!baseline.empty()) {
+        bool have_base = false, have_cur = false;
+        const std::string baseText = readFile(baseline, &have_base);
+        const std::string curText = readFile(files[0], &have_cur);
+        if (!have_base) {
+            std::printf("%s: baseline %s missing, monotone check "
+                        "skipped\n",
+                        files[0].c_str(), baseline.c_str());
+        } else if (have_cur) {
+            const BenchSchemaReport rep =
+                checkBenchMonotone(baseText, curText);
+            if (rep.ok()) {
+                std::printf("%s: monotone vs %s OK\n",
+                            files[0].c_str(), baseline.c_str());
+            } else {
+                std::fprintf(stderr, "%s: monotone vs %s FAIL\n%s",
+                             files[0].c_str(), baseline.c_str(),
+                             rep.render().c_str());
+                rc = 1;
+            }
+        }
+    }
+    return rc;
+}

@@ -7,7 +7,12 @@
  * plus the slowest iterations' causal chains.
  *
  *   inc_critpath spans.csv [--top=K] [--json=PATH] [--csv=PATH]
+ *                [--timeseries=PATH] [--timeseries-json=PATH]
  *   inc_critpath --demo-fault [--require-retransmit] [--out=PATH]
+ *
+ * --timeseries / --timeseries-json write the per-iteration blame
+ * time-series (one row per Iteration root, one integer-tick column per
+ * blame category) — the output contract in EXPERIMENTS.md.
  *
  * --demo-fault skips the CSV and runs a small in-process training on a
  * lossy fabric (Bernoulli drops + reliable transport), then analyzes
@@ -117,6 +122,7 @@ main(int argc, char **argv)
 {
     std::string input;
     std::string json_path, csv_path, out_path;
+    std::string ts_csv_path, ts_json_path;
     int top = 3;
     bool demo_fault = false;
     bool require_retransmit = false;
@@ -130,6 +136,10 @@ main(int argc, char **argv)
             json_path = arg.substr(7);
         } else if (arg.rfind("--csv=", 0) == 0) {
             csv_path = arg.substr(6);
+        } else if (arg.rfind("--timeseries=", 0) == 0) {
+            ts_csv_path = arg.substr(13);
+        } else if (arg.rfind("--timeseries-json=", 0) == 0) {
+            ts_json_path = arg.substr(18);
         } else if (arg.rfind("--out=", 0) == 0) {
             out_path = arg.substr(6);
         } else if (arg == "--demo-fault") {
@@ -141,7 +151,8 @@ main(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [spans.csv] [--top=K] [--json=PATH] "
-                "[--csv=PATH] [--require-switch-agg]\n"
+                "[--csv=PATH] [--timeseries=PATH] "
+                "[--timeseries-json=PATH] [--require-switch-agg]\n"
                 "       %s --demo-fault "
                 "[--require-retransmit] [--out=PATH]\n",
                 argv[0], argv[0]);
@@ -192,6 +203,11 @@ main(int argc, char **argv)
         std::printf("[json] %s\n", json_path.c_str());
     if (!csv_path.empty() && rep.writeCsvFile(csv_path))
         std::printf("[csv] %s\n", csv_path.c_str());
+    if (!ts_csv_path.empty() && rep.writeTimeSeriesCsvFile(ts_csv_path))
+        std::printf("[timeseries] %s\n", ts_csv_path.c_str());
+    if (!ts_json_path.empty() &&
+        rep.writeTimeSeriesJsonFile(ts_json_path))
+        std::printf("[timeseries-json] %s\n", ts_json_path.c_str());
 
     int rc = 0;
     if (!rep.exact()) {
