@@ -106,7 +106,7 @@ measureCost(const GradientCodec &codec, const std::vector<float> &tensor,
 
     // Host wall-clock is the *measurement* of this software-fallback
     // self-report, not simulation state.
-    // inc-lint: allow-file(no-wall-clock)
+    // inc-lint: allow-file(no-wall-clock) — perf self-report.
     std::vector<uint8_t> wire;
     const auto t0 = std::chrono::steady_clock::now();
     for (int r = 0; r < reps; ++r)

@@ -185,7 +185,7 @@ runContentionSection(const bench::Options &opts,
     for (const Tenant &t : tenants) {
         // Host wall-clock is the *measurement* of this perf
         // self-report, not simulation state.
-        // inc-lint: allow-file(no-wall-clock)
+        // inc-lint: allow-file(no-wall-clock) — perf self-report.
         ContentionRow row;
         const auto t0 = std::chrono::steady_clock::now();
         runInnetUnderLoad(t, gradient, bg_bytes, bg_messages, &row);
@@ -283,7 +283,6 @@ runLpSection(const bench::Options &opts, int lp_workers,
                                  LpAlgorithm::HierRing,
                                  LpAlgorithm::InNetwork};
     for (const LpAlgorithm algo : algos) {
-        // inc-lint: allow-file(no-wall-clock) — see above.
         const auto t0 = std::chrono::steady_clock::now();
         LpFabric fab(fatTreeTopology(k), LpFabricConfig{},
                      /*threads=*/0);
@@ -348,7 +347,6 @@ runLpBlameSection(const bench::Options &opts, int lp_workers)
                 "(k=%d), %d iterations, span capture on:\n",
                 k * k * k / 4, k, iters);
 
-    // inc-lint: allow-file(no-wall-clock) — see above.
     const auto t0 = std::chrono::steady_clock::now();
     LpFabricConfig fc;
     fc.captureSpans = true;

@@ -96,7 +96,6 @@ runLpSpansPass(const bench::Options &opts, int lp_workers,
     const int workers = std::min(lp_workers, 256);
     const int k = fatTreeKFor(workers);
     Topology topo = fatTreeTopology(k, 10e9, 2 * kMicrosecond);
-    // inc-lint: allow-file(no-wall-clock) — perf self-report.
     const auto t0 = std::chrono::steady_clock::now();
     LpFabricConfig fc;
     fc.captureSpans = true;

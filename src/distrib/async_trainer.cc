@@ -37,7 +37,9 @@ AsyncTrainer::train(uint64_t updates)
 {
     const size_t params = server_->paramCount();
     std::vector<float> grads(params);
-    double loss_acc = 0.0;
+    // Exact fold: the mean lands in the metrics registry below, so it
+    // must not depend on accumulation order.
+    metrics::ExactSum loss_acc;
 
     for (uint64_t u = 0; u < updates; ++u, ++updates_) {
         const int worker =
@@ -58,7 +60,7 @@ AsyncTrainer::train(uint64_t updates)
         const Batch b = samplers_[static_cast<size_t>(worker)]->next();
         scratch_->zeroGrads();
         const Tensor &logits = scratch_->forward(b.x, /*training=*/true);
-        loss_acc += loss_.forward(logits, b.labels);
+        loss_acc.add(loss_.forward(logits, b.labels));
         scratch_->backward(loss_.backward());
         scratch_->flattenGrads(grads);
 
@@ -94,7 +96,8 @@ AsyncTrainer::train(uint64_t updates)
             history_.pop_front();
     }
     lastMeanLoss_ =
-        updates ? loss_acc / static_cast<double>(updates) : 0.0;
+        updates ? loss_acc.value() / static_cast<double>(updates)
+                : 0.0;
     if (auto *m = metrics::active())
         m->set("async.last_mean_loss", lastMeanLoss_);
 }

@@ -5,6 +5,7 @@
 
 #include "core/ring_schedule.h"
 #include "sim/logging.h"
+#include "sim/metrics.h"
 #include "sim/random.h"
 
 namespace inc {
@@ -125,7 +126,9 @@ FuncTrainer::train(uint64_t iterations)
     const int n = config_.nodes;
     std::vector<std::vector<float>> grads(
         static_cast<size_t>(n), std::vector<float>(paramCount_));
-    double loss_acc = 0.0;
+    // Exact fold: the mean is an exported observable, so it must not
+    // depend on accumulation order.
+    metrics::ExactSum loss_acc;
     uint64_t loss_samples = 0;
 
     for (uint64_t it = 0; it < iterations; ++it, ++iteration_) {
@@ -135,7 +138,7 @@ FuncTrainer::train(uint64_t iterations)
             const Batch b = samplers_[static_cast<size_t>(i)]->next();
             m.zeroGrads();
             const Tensor &logits = m.forward(b.x, /*training=*/true);
-            loss_acc += loss_.forward(logits, b.labels);
+            loss_acc.add(loss_.forward(logits, b.labels));
             ++loss_samples;
             m.backward(loss_.backward());
             m.flattenGrads(grads[static_cast<size_t>(i)]);
@@ -205,7 +208,9 @@ FuncTrainer::train(uint64_t iterations)
         }
     }
     lastMeanLoss_ =
-        loss_samples ? loss_acc / static_cast<double>(loss_samples) : 0.0;
+        loss_samples
+            ? loss_acc.value() / static_cast<double>(loss_samples)
+            : 0.0;
 }
 
 double

@@ -1,5 +1,7 @@
 #include "distrib/time_breakdown.h"
 
+#include "sim/metrics.h"
+
 namespace inc {
 
 std::string
@@ -25,10 +27,12 @@ trainStepName(TrainStep step)
 double
 TimeBreakdown::total() const
 {
-    double t = 0.0;
+    // Exact fold: the totals land in BENCH_*.json rows, so the value
+    // must not depend on which order the steps were summed in.
+    metrics::ExactSum t;
     for (double s : seconds_)
-        t += s;
-    return t;
+        t.add(s);
+    return t.value();
 }
 
 double

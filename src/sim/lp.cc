@@ -27,7 +27,8 @@ struct TlsCtx
     const void *sched = nullptr;
     int lp = -1;
 };
-// inc-lint: allow(no-thread-identity, mutable-global)
+// Written only by the scheduler; logical identity derives from it.
+// inc-lint: allow(no-thread-identity, mutable-global) — LP cursor.
 thread_local TlsCtx tlsCtx;
 
 /** Per-LP shuffle seed: decorrelate simultaneous events across LPs. */

@@ -13,9 +13,10 @@ namespace spans {
 
 namespace {
 
-Tracer s_tracer;        // inc-lint: allow(mutable-global) — the
-                        // process-wide tracer, reset() per run
-bool s_enabled = false; // inc-lint: allow(mutable-global) — its gate
+// inc-lint: allow(mutable-global) — process-wide tracer, reset() per run.
+Tracer s_tracer;
+// inc-lint: allow(mutable-global) — the tracer's capture gate.
+bool s_enabled = false;
 
 } // namespace
 
@@ -155,9 +156,22 @@ gapBlame(Kind kind)
         // (switch queue, TX backlog, congestion window, ACK latency,
         // a free aggregation slot).
         return Blame::Queue;
-      default:
-        return Blame::Stall;
+      case Kind::Iteration:
+      case Kind::Forward:
+      case Kind::Backward:
+      case Kind::GpuCopy:
+      case Kind::Update:
+      case Kind::Exchange:
+      case Kind::Message:
+      case Kind::MsgOverhead:
+      case Kind::SumReduce:
+      case Kind::CodecEngine:
+      case Kind::RxDriver:
+      case Kind::Handshake:
+      case Kind::kCount:
+        break;
     }
+    return Blame::Stall;
 }
 
 uint64_t

@@ -15,7 +15,7 @@ namespace {
 // Sanctioned thread-identity use: nested calls always run inline on
 // every width, so no result can depend on which physical thread
 // observes the depth.
-// inc-lint: allow(mutable-global, no-thread-identity)
+// inc-lint: allow(mutable-global, no-thread-identity) — depth gate.
 thread_local int tls_chunk_depth = 0;
 
 int
@@ -46,9 +46,10 @@ threadsFromEnvironment()
 // The lazily-built process pool: deliberate shared state whose
 // determinism contract is enforced by fixed-order chunk merges
 // (DESIGN.md section 2) and re-audited by the INC_THREADS CI matrix.
-std::mutex g_pool_mutex;            // inc-lint: allow(mutable-global)
-std::unique_ptr<ThreadPool> g_pool; // inc-lint: allow(mutable-global)
-                                    //   (guarded by g_pool_mutex)
+// inc-lint: allow(mutable-global) — pool registry lock.
+std::mutex g_pool_mutex;
+// inc-lint: allow(mutable-global) — guarded by g_pool_mutex.
+std::unique_ptr<ThreadPool> g_pool;
 int g_thread_count = 0; // 0 = uninit; inc-lint: allow(mutable-global)
 
 } // namespace

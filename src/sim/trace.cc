@@ -18,8 +18,10 @@ namespace {
 constexpr size_t kCategories = static_cast<size_t>(Category::kCount);
 // Per-category trace gates: presentation toggles read from the
 // environment once, never simulation state.
-std::array<bool, kCategories> s_enabled{}; // inc-lint: allow(mutable-global)
-bool s_env_checked = false;                // inc-lint: allow(mutable-global)
+// inc-lint: allow(mutable-global) — env-derived, presentation only.
+std::array<bool, kCategories> s_enabled{};
+// inc-lint: allow(mutable-global) — env-derived, presentation only.
+bool s_env_checked = false;
 
 } // namespace
 

@@ -25,8 +25,8 @@ Histogram::add(double v)
     idx = std::clamp(idx, 0, bins() - 1);
     ++counts_[static_cast<size_t>(idx)];
     ++total_;
-    sum_ += v;
-    sumSq_ += v * v;
+    sum_.add(v);
+    sumSq_.add(v * v);
     minSeen_ = std::min(minSeen_, v);
     maxSeen_ = std::max(maxSeen_, v);
 }
@@ -70,7 +70,7 @@ Histogram::fractionWithin(double bound) const
 double
 Histogram::mean() const
 {
-    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+    return total_ == 0 ? 0.0 : sum_.value() / static_cast<double>(total_);
 }
 
 double
@@ -79,7 +79,8 @@ Histogram::stddev() const
     if (total_ == 0)
         return 0.0;
     const double m = mean();
-    const double var = sumSq_ / static_cast<double>(total_) - m * m;
+    const double var =
+        sumSq_.value() / static_cast<double>(total_) - m * m;
     return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 

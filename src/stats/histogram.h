@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/metrics.h"
+
 namespace inc {
 
 /** Equal-width histogram over [lo, hi]; out-of-range samples clamp. */
@@ -65,7 +67,9 @@ class Histogram
     double lo_, hi_;
     std::vector<uint64_t> counts_;
     uint64_t total_ = 0;
-    double sum_ = 0.0, sumSq_ = 0.0;
+    // Exact (order-independent) accumulators: mean()/stddev() feed the
+    // Fig. 5 exporters, so they must not depend on insertion order.
+    metrics::ExactSum sum_, sumSq_;
     double minSeen_, maxSeen_;
 };
 

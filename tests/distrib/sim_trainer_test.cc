@@ -189,5 +189,24 @@ TEST(SimTrainer, IterationsScaleLinearly)
     EXPECT_NEAR(eight.totalSeconds / four.totalSeconds, 2.0, 0.05);
 }
 
+// Regression for the inc_analyze taint-float-accum audit: total() now
+// folds the per-step seconds through metrics::ExactSum, so the Table
+// II totals are correctly rounded — a naive left-to-right double fold
+// of these parts silently drops the 0.1 against the 1e16.
+TEST(TimeBreakdown, TotalIsExactUnderCancellation)
+{
+    const double parts[] = {1e16, 0.1, -1e16, 1e-9, 2.5, 0.7};
+    TimeBreakdown tb;
+    for (int i = 0; i < kTrainStepCount; ++i)
+        tb.add(static_cast<TrainStep>(i), parts[i]);
+    double naive = 0.0;
+    for (int i = 0; i < kTrainStepCount; ++i)
+        naive += parts[i];
+    ASSERT_NE(naive, 0.1 + 1e-9 + 2.5 + 0.7)
+        << "sample set no longer exercises cancellation";
+    EXPECT_NE(tb.total(), naive);
+    EXPECT_NEAR(tb.total(), 0.1 + 1e-9 + 2.5 + 0.7, 1e-12);
+}
+
 } // namespace
 } // namespace inc

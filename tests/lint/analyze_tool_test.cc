@@ -1,0 +1,210 @@
+/**
+ * @file
+ * End-to-end contract of the inc_analyze cross-file semantic analyzer:
+ * one fixture tree per check family under tests/lint/fixtures/analyze/,
+ * each with must-fire and must-not-fire material, driven through
+ * `inc_analyze --json` and asserted as exact (file, line, check)
+ * triples. The fixtures are the executable specification of the
+ * analyzer's heuristics — if a family's sensitivity changes, these
+ * tests name the snippet that moved.
+ *
+ * The tool binary and fixture root come in via compile definitions
+ * (INC_ANALYZE_BIN, INC_ANALYZE_FIXTURES) so the test works from any
+ * working directory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <regex>
+#include <set>
+#include <string>
+#include <tuple>
+
+namespace {
+
+struct RunResult
+{
+    int exitCode = -1;
+    std::string output;
+};
+
+RunResult
+run(const std::string &cmd)
+{
+    RunResult r;
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe)
+        return r;
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0)
+        r.output.append(buf, n);
+    const int status = pclose(pipe);
+    r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+/** Run `inc_analyze --json` over one fixture tree. */
+RunResult
+runAnalyze(const std::string &tree, const std::string &extra = "")
+{
+    const std::string root =
+        std::string(INC_ANALYZE_FIXTURES) + "/" + tree;
+    return run(std::string(INC_ANALYZE_BIN) + " --json --layers=" +
+               root + "/layers.toml " + extra + " " + root +
+               "/src 2>/dev/null");
+}
+
+// (file-path-relative-to-tree, line, check)
+using FindingAt = std::tuple<std::string, int, std::string>;
+
+/** Parse the (file, line, check) multiset out of a --json report. */
+std::multiset<FindingAt>
+findingsOf(const std::string &json, const std::string &tree)
+{
+    std::multiset<FindingAt> out;
+    static const std::regex re(
+        "\\{\"file\": \"([^\"]+)\", \"line\": ([0-9]+), "
+        "\"check\": \"([^\"]+)\"");
+    const std::string marker = tree + "/";
+    for (std::sregex_iterator it(json.begin(), json.end(), re), end;
+         it != end; ++it) {
+        std::string file = (*it)[1].str();
+        const size_t pos = file.rfind(marker);
+        if (pos != std::string::npos)
+            file = file.substr(pos + marker.size());
+        out.insert({file, std::stoi((*it)[2].str()), (*it)[3].str()});
+    }
+    return out;
+}
+
+int
+suppressedOf(const std::string &json)
+{
+    static const std::regex re("\"suppressed\": ([0-9]+)");
+    std::smatch m;
+    return std::regex_search(json, m, re) ? std::stoi(m[1].str()) : -1;
+}
+
+/** The tree must yield exactly @p expected findings (and exit 1). */
+void
+expectTree(const std::string &tree,
+           const std::multiset<FindingAt> &expected,
+           int expectSuppressed = 0)
+{
+    const RunResult r = runAnalyze(tree);
+    EXPECT_EQ(r.exitCode, expected.empty() ? 0 : 1)
+        << tree << ":\n" << r.output;
+    EXPECT_EQ(findingsOf(r.output, tree), expected)
+        << tree << ":\n" << r.output;
+    EXPECT_EQ(suppressedOf(r.output), expectSuppressed) << tree;
+}
+
+// ---------------------------------------------------------------------
+
+TEST(IncAnalyze, ListChecksNamesTheFullCatalogue)
+{
+    const RunResult r =
+        run(std::string(INC_ANALYZE_BIN) + " --list-checks");
+    EXPECT_EQ(r.exitCode, 0);
+    for (const char *id :
+         {"taint-thread-id", "taint-pointer-value",
+          "taint-unordered-iter", "taint-float-accum",
+          "layer-violation", "layer-cycle", "layer-unknown",
+          "span-open-dropped", "span-scope-temporary",
+          "span-push-pop-imbalance", "metric-never-written",
+          "switch-missing-enumerator", "switch-default-arm",
+          "bad-suppression"})
+        EXPECT_NE(r.output.find(id), std::string::npos) << id;
+}
+
+TEST(IncAnalyze, LayeringViolationsCyclesAndUnknownDirs)
+{
+    expectTree("layering",
+               {{"src/base/core.h", 2, "layer-violation"},
+                {"src/mid/helper.h", 2, "layer-cycle"},
+                {"src/rogue/stray.h", 1, "layer-unknown"}});
+}
+
+TEST(IncAnalyze, DeterminismTaintReachesSinks)
+{
+    expectTree("taint",
+               {{"src/app/fire_thread.cc", 7, "taint-thread-id"},
+                {"src/app/fire_pointer.cc", 7, "taint-pointer-value"},
+                {"src/app/fire_unordered.cc", 8,
+                 "taint-unordered-iter"},
+                {"src/app/fire_float.cc", 7, "taint-float-accum"},
+                {"src/app/fire_helper.cc", 6, "taint-float-accum"}});
+}
+
+TEST(IncAnalyze, SpanProtocolPairing)
+{
+    expectTree("spans",
+               {{"src/app/spans_use.cc", 11, "span-scope-temporary"},
+                {"src/app/spans_use.cc", 17, "span-open-dropped"},
+                {"src/app/spans_use.cc", 27,
+                 "span-push-pop-imbalance"}});
+}
+
+TEST(IncAnalyze, EnumSwitchExhaustiveness)
+{
+    expectTree("enums",
+               {{"src/app/switches.cc", 6,
+                 "switch-missing-enumerator"},
+                {"src/app/switches.cc", 20, "switch-default-arm"}});
+}
+
+TEST(IncAnalyze, MetricNamePairing)
+{
+    expectTree("metrics",
+               {{"src/app/reader.cc", 6, "metric-never-written"}});
+}
+
+TEST(IncAnalyze, SuppressionsSilenceCountAndValidate)
+{
+    expectTree("suppress",
+               {{"src/app/badallow.cc", 1, "bad-suppression"}},
+               /*expectSuppressed=*/3);
+}
+
+TEST(IncAnalyze, MissingManifestIsAUsageError)
+{
+    const std::string root =
+        std::string(INC_ANALYZE_FIXTURES) + "/taint";
+    const RunResult r = run(std::string(INC_ANALYZE_BIN) +
+                            " --json --layers=/nonexistent.toml " +
+                            root + "/src 2>/dev/null");
+    EXPECT_EQ(r.exitCode, 2);
+}
+
+TEST(IncAnalyze, SarifReportCarriesRulesAndResults)
+{
+    const std::string root =
+        std::string(INC_ANALYZE_FIXTURES) + "/layering";
+    const RunResult r = run(std::string(INC_ANALYZE_BIN) +
+                            " --sarif=- --layers=" + root +
+                            "/layers.toml " + root +
+                            "/src 2>/dev/null");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("\"version\": \"2.1.0\""),
+              std::string::npos);
+    EXPECT_NE(r.output.find("\"ruleId\": \"layer-violation\""),
+              std::string::npos);
+    EXPECT_NE(r.output.find("\"startLine\": 2"), std::string::npos);
+    // Every catalogue rule is declared even when it did not fire.
+    EXPECT_NE(r.output.find("\"id\": \"taint-thread-id\""),
+              std::string::npos);
+}
+
+TEST(IncAnalyze, RepeatRunsAreByteIdentical)
+{
+    const RunResult a = runAnalyze("taint");
+    const RunResult b = runAnalyze("taint");
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.exitCode, b.exitCode);
+}
+
+} // namespace

@@ -1,0 +1,7 @@
+// Critical enum with a sentinel.
+enum class Color {
+    Red,
+    Green,
+    Blue,
+    kCount,
+};

@@ -1,0 +1,57 @@
+#include "app/colors.h"
+
+int
+missing(Color c)
+{
+    switch (c) {
+      case Color::Red:
+        return 1;
+      case Color::Green:
+        return 2;
+      case Color::kCount:
+        break;
+    }
+    return 0;
+}
+
+int
+defaulted(Color c)
+{
+    switch (c) {
+      case Color::Red:
+        return 1;
+      case Color::Green:
+        return 2;
+      case Color::Blue:
+        return 3;
+      default:
+        return 0;
+    }
+}
+
+int
+exhaustive(Color c)
+{
+    switch (c) {
+      case Color::Red:
+        return 1;
+      case Color::Green:
+        return 2;
+      case Color::Blue:
+        return 3;
+      case Color::kCount:
+        break;
+    }
+    return 0;
+}
+
+int
+twinSwitch(Color c)
+{
+    switch (c) {
+      case Color::Cyan:
+        return 1;
+      default:
+        return 0;
+    }
+}

@@ -1,0 +1,7 @@
+// Same type name, different enumerators, not critical: switches over
+// this one resolve here by enumerator overlap and stay unchecked.
+enum class Color {
+    Cyan,
+    Magenta,
+    Yellow,
+};

@@ -1,0 +1,8 @@
+// Deliberate back-edge: base may not reach up into mid.
+#include "mid/helper.h"
+
+inline int
+baseCore()
+{
+    return 1;
+}

@@ -1,0 +1,9 @@
+// Mid legitimately uses base — but base also includes mid, so this
+#include "base/core.h"
+// edge closes a layer-level cycle.
+
+inline int
+midHelper()
+{
+    return 2;
+}

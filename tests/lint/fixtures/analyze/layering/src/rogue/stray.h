@@ -1,0 +1,6 @@
+// This directory is absent from layers.toml: layer-unknown.
+inline int
+strayValue()
+{
+    return 3;
+}

@@ -1,0 +1,9 @@
+// Top may use everything below it: no findings here.
+#include "base/core.h"
+#include "mid/helper.h"
+
+int
+topMain()
+{
+    return baseCore() + midHelper();
+}

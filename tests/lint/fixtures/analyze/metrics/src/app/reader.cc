@@ -1,0 +1,8 @@
+double
+summary(const Registry &m)
+{
+    const double a = m.counter("app.bytes");
+    const double b = m.counter("app.chunk.0");
+    const double c = m.counter("app.missing");
+    return a + b + c;
+}

@@ -1,0 +1,7 @@
+void
+record(Registry *m, double v, int chunk)
+{
+    m->add("app.bytes", v);
+    m->observe("app.lat", v, 0.0, 1.0, 16);
+    m->add("app.chunk." + std::to_string(chunk), 1.0);
+}

@@ -1,0 +1,40 @@
+void
+goodScope(Tracer *tr)
+{
+    spans::Scope guard(tr, 1);
+    use(guard);
+}
+
+void
+badScope(Tracer *tr)
+{
+    spans::Scope(tr, 1);
+}
+
+void
+badOpen(Tracer *tr)
+{
+    tr->open(spans::Kind::Message, 0, 1, 2);
+}
+
+void
+goodOpen(Tracer *tr)
+{
+    const uint64_t id = tr->open(spans::Kind::Message, 0, 1, 2);
+    tr->close(id, 5);
+}
+
+void
+badPush(Tracer *tr)
+{
+    tr->pushParent(7);
+    doStuff();
+}
+
+void
+goodPush(Tracer *tr)
+{
+    tr->pushParent(7);
+    doStuff();
+    tr->popParent();
+}

@@ -1,0 +1,6 @@
+// inc-analyze: allow(no-such-check) — typo'd id must itself be flagged
+int
+answer()
+{
+    return 42;
+}

@@ -1,0 +1,10 @@
+// inc-analyze: allow-file(taint-thread-id) — fixture: whole-file opt-out
+#include <thread>
+
+void
+emitTwice(Registry *m)
+{
+    const auto tid = std::this_thread::get_id();
+    m->set("app.t1", hashIt(tid));
+    m->set("app.t2", hashIt(tid));
+}

@@ -1,0 +1,9 @@
+#include <thread>
+
+void
+emitThread(Registry *m)
+{
+    const auto tid = std::this_thread::get_id();
+    // inc-analyze: allow(taint-thread-id) — fixture: deliberate opt-out
+    m->set("app.thread", hashIt(tid));
+}

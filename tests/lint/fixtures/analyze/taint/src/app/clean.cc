@@ -1,0 +1,24 @@
+#include <cstdint>
+
+#include "app/exact.h"
+
+double meanOf(const double *vals, int n);
+
+void
+emitClean(Registry *m, const Data &d)
+{
+    // Integral declaration: float-accumulation taint cannot round-trip
+    // through a tick count.
+    const uint64_t ticks = meanOf(d.vals, d.n);
+    m->add("app.ticks", ticks);
+
+    // Accumulation that never reaches a sink is not a finding.
+    double scratch = 0.0;
+    scratch += 1.0;
+
+    // The sanctioned accumulator is summary-exempt.
+    Exactish acc;
+    for (int i = 0; i < d.n; ++i)
+        acc.add(d.vals[i]);
+    m->set("app.total", acc.value());
+}

@@ -1,0 +1,20 @@
+// Sanctioned exact accumulator (listed under [taint] exempt): its raw
+// arithmetic is the blessed boundary, so value() is not a taint source.
+class Exactish
+{
+  public:
+    void
+    add(double x)
+    {
+        total_ += x;
+    }
+
+    double
+    value() const
+    {
+        return total_;
+    }
+
+  private:
+    double total_ = 0.0;
+};

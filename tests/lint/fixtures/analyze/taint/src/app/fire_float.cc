@@ -1,0 +1,8 @@
+void
+writeReport(std::ostream &out, const Values &vs)
+{
+    double acc = 0.0;
+    for (double v : vs.items)
+        acc += v;
+    out << "total=" << acc << "\n";
+}

@@ -1,0 +1,7 @@
+double meanOf(const double *vals, int n);
+
+void
+emitMean(Registry *m, const Data &d)
+{
+    m->set("app.mean", meanOf(d.vals, d.n));
+}

@@ -1,0 +1,8 @@
+#include <cstdint>
+
+void
+emitPointer(Registry *m, const Node *node)
+{
+    const auto key = reinterpret_cast<uintptr_t>(node);
+    m->add("app.node_key", key);
+}

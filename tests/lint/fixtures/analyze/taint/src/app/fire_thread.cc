@@ -1,0 +1,8 @@
+#include <thread>
+
+void
+emitThread(Registry *m)
+{
+    const auto tid = std::this_thread::get_id();
+    m->set("app.thread", hashIt(tid));
+}

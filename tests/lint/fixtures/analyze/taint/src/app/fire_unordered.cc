@@ -1,0 +1,10 @@
+#include <unordered_map>
+
+void
+emitCounts(Registry *m, const std::unordered_map<int, long> &counts)
+{
+    std::unordered_map<int, long> local = counts;
+    for (const auto &kv : local) {
+        m->add("app.bucket", kv.second);
+    }
+}

@@ -1,0 +1,10 @@
+// Cross-file link of the taint chain: the raw accumulation happens
+// here, the sink lives in fire_helper.cc.
+double
+meanOf(const double *vals, int n)
+{
+    double t = 0.0;
+    for (int i = 0; i < n; ++i)
+        t += vals[i];
+    return t / n;
+}

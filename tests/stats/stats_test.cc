@@ -46,6 +46,31 @@ TEST(Histogram, MomentsMatchSamples)
     EXPECT_NEAR(h.stddev(), std::sqrt(1.25), 1e-12);
 }
 
+// Regression for the inc_analyze taint-float-accum audit: the running
+// sum/sum-of-squares go through metrics::ExactSum, so the exported
+// moments are bit-identical under any insertion order.
+TEST(Histogram, MomentsAreInsertionOrderIndependent)
+{
+    const std::vector<double> samples = {1e16,  3.14,   -1e16, 1e-9,
+                                         2.718, -0.577, 42.0,  1e8};
+    Histogram fwd(-1e17, 1e17, 8);
+    for (double v : samples)
+        fwd.add(v);
+    Histogram rev(-1e17, 1e17, 8);
+    for (size_t i = samples.size(); i-- > 0;)
+        rev.add(samples[i]);
+    EXPECT_EQ(fwd.mean(), rev.mean());
+    EXPECT_EQ(fwd.stddev(), rev.stddev());
+    // A plain double accumulator disagrees with itself across these
+    // two orders; ExactSum must not.
+    double a = 0.0, b = 0.0;
+    for (double v : samples)
+        a += v;
+    for (size_t i = samples.size(); i-- > 0;)
+        b += samples[i];
+    ASSERT_NE(a, b) << "sample set no longer exercises reordering";
+}
+
 TEST(Histogram, FractionWithinBound)
 {
     Histogram h(-1.0, 1.0, 101); // odd bin count centers a bin at 0

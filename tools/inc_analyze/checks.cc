@@ -1,0 +1,754 @@
+/**
+ * @file
+ * The four inc_analyze check families (DESIGN.md section 16), run over
+ * the whole-tree model: determinism taint, architectural layering,
+ * API-protocol pairing, enum-switch exhaustiveness.
+ */
+
+#include "model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <regex>
+
+namespace inc {
+namespace analyze {
+
+using textscan::hasToken;
+using textscan::trimmed;
+
+const std::vector<CheckInfo> &
+checkCatalogue()
+{
+    static const std::vector<CheckInfo> catalogue = {
+        {"taint-thread-id",
+         "thread-identity value flows to a deterministic sink"},
+        {"taint-pointer-value",
+         "pointer-derived integer flows to a deterministic sink"},
+        {"taint-unordered-iter",
+         "unordered-container iteration order flows to a sink"},
+        {"taint-float-accum",
+         "raw float accumulation (outside metrics::ExactSum) flows to "
+         "a sink"},
+        {"layer-violation",
+         "#include crosses layers against tools/inc_analyze/layers.toml"},
+        {"layer-cycle", "the include graph has a layer-level cycle"},
+        {"layer-unknown",
+         "src/ directory not declared in layers.toml"},
+        {"span-open-dropped",
+         "span open() result discarded, so the span can never close"},
+        {"span-scope-temporary",
+         "spans::Scope constructed as an unnamed temporary (closes "
+         "immediately)"},
+        {"span-push-pop-imbalance",
+         "pushParent/popParent counts differ within one function"},
+        {"metric-never-written",
+         "metric name is read but never written anywhere in the tree"},
+        {"switch-missing-enumerator",
+         "switch over a critical enum misses enumerators"},
+        {"switch-default-arm",
+         "switch over a critical enum has a default arm (masks "
+         "-Wswitch)"},
+        {"bad-suppression",
+         "allow() annotation names an unknown check id"},
+    };
+    return catalogue;
+}
+
+namespace {
+
+std::string
+lastComponent(const std::string &qualified)
+{
+    const size_t pos = qualified.rfind("::");
+    return pos == std::string::npos ? qualified
+                                    : qualified.substr(pos + 2);
+}
+
+std::vector<std::string>
+splitPath(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::string piece;
+    for (char c : path) {
+        if (c == '/') {
+            if (!piece.empty())
+                parts.push_back(piece);
+            piece.clear();
+        } else {
+            piece += c;
+        }
+    }
+    if (!piece.empty())
+        parts.push_back(piece);
+    return parts;
+}
+
+/**
+ * Layer of a source file: the directory component after the last
+ * "src" path component ("tests/fixtures/a/src/net/x.h" -> "net").
+ * Empty for files outside src/ (bench, tools, tests are exempt
+ * consumers) and for files sitting directly in src/.
+ */
+std::string
+layerOf(const std::string &path)
+{
+    const std::vector<std::string> parts = splitPath(path);
+    for (size_t i = parts.size(); i-- > 0;)
+        if (parts[i] == "src")
+            return i + 2 < parts.size() ? parts[i + 1] : std::string();
+    return std::string();
+}
+
+/** Layer an include directive targets ("sim/span.h" -> "sim"). */
+std::string
+includeLayer(const std::string &target)
+{
+    const size_t slash = target.find('/');
+    return slash == std::string::npos ? std::string()
+                                      : target.substr(0, slash);
+}
+
+// ------------------------------------------------------------ layering
+
+void
+checkLayering(const TreeModel &tree, std::vector<Finding> &out)
+{
+    const LayerManifest &m = tree.manifest;
+    if (!m.ok)
+        return; // manifest parse error already reported by main()
+    const std::set<std::string> declared(m.order.begin(),
+                                         m.order.end());
+
+    // Layers that actually exist on disk, with a representative file.
+    std::map<std::string, const FileModel *> observed;
+    for (const FileModel &f : tree.files) {
+        const std::string layer = layerOf(f.path);
+        if (!layer.empty() && !observed.count(layer))
+            observed[layer] = &f; // files are path-sorted
+    }
+    for (const auto &kv : observed)
+        if (!declared.count(kv.first))
+            out.push_back(
+                {kv.second->path, 1, "layer-unknown",
+                 "src/" + kv.first +
+                     " is not declared in layers.toml; add it to "
+                     "[layers] order and [deps]"});
+
+    // Directory-level include graph, with one representative include
+    // site per edge for cycle reporting.
+    struct Edge
+    {
+        std::string file;
+        int line = 0;
+    };
+    std::map<std::string, std::map<std::string, Edge>> graph;
+    for (const FileModel &f : tree.files) {
+        const std::string from = layerOf(f.path);
+        if (from.empty())
+            continue;
+        for (const IncludeRef &inc : f.includes) {
+            const std::string to = includeLayer(inc.target);
+            if (to.empty() || to == from)
+                continue;
+            if (!declared.count(to) && !observed.count(to))
+                continue; // not a layer include (e.g. third-party)
+            if (!graph[from].count(to))
+                graph[from][to] = {f.path, inc.line};
+            if (declared.count(from)) {
+                const auto it = m.deps.find(from);
+                const bool allowed = it != m.deps.end() &&
+                                     it->second.count(to) > 0;
+                if (!allowed)
+                    out.push_back(
+                        {f.path, inc.line, "layer-violation",
+                         "src/" + from + " may not include src/" + to +
+                             " (layers.toml deps: " + from + ")"});
+            }
+        }
+    }
+
+    // Cycle detection over the observed edges (independent of the
+    // manifest: even a permissive manifest cannot bless a cycle).
+    std::set<std::string> done;
+    std::vector<std::string> stack;
+    std::set<std::string> onStack;
+    std::function<void(const std::string &)> dfs =
+        [&](const std::string &node) {
+            stack.push_back(node);
+            onStack.insert(node);
+            const auto it = graph.find(node);
+            if (it != graph.end()) {
+                for (const auto &edge : it->second) {
+                    const std::string &to = edge.first;
+                    if (onStack.count(to)) {
+                        std::string path = to;
+                        for (size_t i = stack.size(); i-- > 0;) {
+                            path += " -> " + stack[i];
+                            if (stack[i] == to)
+                                break;
+                        }
+                        out.push_back({edge.second.file,
+                                       edge.second.line, "layer-cycle",
+                                       "layer cycle: " + path});
+                    } else if (!done.count(to)) {
+                        dfs(to);
+                    }
+                }
+            }
+            onStack.erase(node);
+            stack.pop_back();
+            done.insert(node);
+        };
+    for (const auto &kv : graph)
+        if (!done.count(kv.first))
+            dfs(kv.first);
+}
+
+// ------------------------------------------- enum-switch exhaustiveness
+
+struct SwitchUse
+{
+    int line = 0;
+    std::vector<std::string> labels; ///< qualified case labels
+    bool hasDefault = false;
+};
+
+/** Find every switch statement and its case labels in one file. */
+std::vector<SwitchUse>
+findSwitches(const textscan::ScanResult &s)
+{
+    std::vector<SwitchUse> out;
+    static const std::regex switchRe(R"(\bswitch\s*\()");
+    static const std::regex caseRe(R"(\bcase\s+([A-Za-z_][\w:]*)\s*:)");
+    static const std::regex defaultRe(R"(\bdefault\s*:)");
+    for (size_t i = 0; i < s.code.size(); ++i) {
+        std::smatch m;
+        if (!std::regex_search(s.code[i], m, switchRe))
+            continue;
+        SwitchUse use;
+        use.line = static_cast<int>(i) + 1;
+        // Walk from the '(' to its matching ')', then through the
+        // matching '{'...'}' body, collecting labels.
+        size_t li = i;
+        size_t ci = static_cast<size_t>(m.position(0)) +
+                    static_cast<size_t>(m.length(0)) - 1;
+        int paren = 0, brace = 0;
+        enum { Cond, Await, Body, Done } st = Cond;
+        std::string body;
+        while (li < s.code.size() && st != Done) {
+            const std::string &line = s.code[li];
+            for (; ci < line.size() && st != Done; ++ci) {
+                const char c = line[ci];
+                if (st == Cond) {
+                    if (c == '(')
+                        ++paren;
+                    else if (c == ')' && --paren == 0)
+                        st = Await;
+                } else if (st == Await) {
+                    if (c == '{') {
+                        brace = 1;
+                        st = Body;
+                    } else if (c == ';') {
+                        st = Done; // no body (degenerate)
+                    }
+                } else if (st == Body) {
+                    if (c == '{')
+                        ++brace;
+                    else if (c == '}' && --brace == 0)
+                        st = Done;
+                    else
+                        body += c;
+                }
+            }
+            body += '\n';
+            ++li;
+            ci = 0;
+        }
+        for (std::sregex_iterator it(body.begin(), body.end(), caseRe),
+             end;
+             it != end; ++it)
+            use.labels.push_back((*it)[1].str());
+        use.hasDefault = std::regex_search(body, defaultRe);
+        if (!use.labels.empty())
+            out.push_back(std::move(use));
+    }
+    return out;
+}
+
+void
+checkEnumSwitches(const TreeModel &tree, std::vector<Finding> &out)
+{
+    // Registry of every enum definition, by unqualified name.
+    std::map<std::string, std::vector<const EnumDef *>> byName;
+    for (const FileModel &f : tree.files)
+        for (const EnumDef &e : f.enums)
+            byName[e.name].push_back(&e);
+
+    // Critical entries are "path-substring:EnumName".
+    struct Critical
+    {
+        std::string pathPart;
+        std::string name;
+    };
+    std::vector<Critical> critical;
+    for (const std::string &entry : tree.manifest.criticalEnums) {
+        const size_t colon = entry.rfind(':');
+        if (colon == std::string::npos || colon + 1 >= entry.size())
+            continue;
+        critical.push_back(
+            {entry.substr(0, colon), entry.substr(colon + 1)});
+    }
+    auto isCritical = [&](const EnumDef &def) {
+        for (const Critical &c : critical)
+            if (c.name == def.name &&
+                def.file.find(c.pathPart) != std::string::npos)
+                return true;
+        return false;
+    };
+
+    for (const FileModel &f : tree.files) {
+        for (const SwitchUse &use : findSwitches(f.scan)) {
+            // Resolve the enum from the qualified labels: name from
+            // the qualifier, definition by enumerator overlap (name
+            // collisions like the two `Kind` enums are real).
+            std::string enumName;
+            std::set<std::string> used;
+            for (const std::string &label : use.labels) {
+                const size_t pos = label.rfind("::");
+                if (pos == std::string::npos)
+                    continue;
+                if (enumName.empty())
+                    enumName = lastComponent(label.substr(0, pos));
+                used.insert(label.substr(pos + 2));
+            }
+            if (enumName.empty() || !byName.count(enumName))
+                continue;
+            const EnumDef *best = nullptr;
+            size_t bestOverlap = 0;
+            for (const EnumDef *def : byName[enumName]) {
+                size_t overlap = 0;
+                for (const std::string &e : def->enumerators)
+                    overlap += used.count(e);
+                if (overlap > bestOverlap) {
+                    bestOverlap = overlap;
+                    best = def;
+                }
+            }
+            if (!best || !isCritical(*best))
+                continue;
+            std::string missing;
+            int nMissing = 0;
+            for (const std::string &e : best->enumerators) {
+                if (used.count(e) ||
+                    tree.manifest.sentinelEnumerators.count(e))
+                    continue;
+                missing += missing.empty() ? e : ", " + e;
+                ++nMissing;
+            }
+            if (nMissing > 0)
+                out.push_back(
+                    {f.path, use.line, "switch-missing-enumerator",
+                     "switch over " + enumName + " (" + best->file +
+                         ":" + std::to_string(best->line) +
+                         ") misses: " + missing});
+            if (use.hasDefault)
+                out.push_back(
+                    {f.path, use.line, "switch-default-arm",
+                     "switch over critical enum " + enumName +
+                         " has a default arm; enumerate the cases so "
+                         "-Wswitch can catch additions"});
+        }
+    }
+}
+
+// ---------------------------------------------------- span protocol
+
+void
+checkSpanProtocol(const TreeModel &tree, std::vector<Finding> &out)
+{
+    static const std::regex scopeTempRe(
+        R"(^(?:inc::)?(?:sim::)?spans::Scope\s*[({])");
+    static const std::regex openDroppedRe(
+        R"(^[A-Za-z_][\w.\[\]]*(?:\.|->)\s*open\s*\()");
+    for (const FileModel &f : tree.files) {
+        for (const FunctionModel &fn : f.functions) {
+            const std::string shortName = lastComponent(fn.name);
+            int pushes = 0, pops = 0;
+            for (const Stmt &st : fn.stmts) {
+                if (std::regex_search(st.text, scopeTempRe))
+                    out.push_back(
+                        {f.path, st.line, "span-scope-temporary",
+                         "spans::Scope temporary opens and closes the "
+                         "span in the same statement; name it"});
+                if (st.text.find("Kind::") != std::string::npos &&
+                    std::regex_search(st.text, openDroppedRe))
+                    out.push_back(
+                        {f.path, st.line, "span-open-dropped",
+                         "result of open() is discarded, so this span "
+                         "can never be closed"});
+                if (hasToken(st.text, "pushParent"))
+                    ++pushes;
+                if (hasToken(st.text, "popParent"))
+                    ++pops;
+            }
+            if (pushes != pops && shortName != "Scope" &&
+                shortName != "~Scope" && shortName != "pushParent" &&
+                shortName != "popParent")
+                out.push_back(
+                    {f.path, fn.line, "span-push-pop-imbalance",
+                     fn.name + " calls pushParent " +
+                         std::to_string(pushes) + "x but popParent " +
+                         std::to_string(pops) +
+                         "x; every push needs a pop on all paths"});
+        }
+    }
+}
+
+// ------------------------------------------------- metric-name pairing
+
+void
+checkMetricNames(const TreeModel &tree, std::vector<Finding> &out)
+{
+    std::set<std::string> exact;
+    std::vector<std::string> prefixes;
+    for (const FileModel &f : tree.files)
+        for (const MetricNameUse &w : f.metricWrites) {
+            if (w.prefix)
+                prefixes.push_back(w.name);
+            else
+                exact.insert(w.name);
+        }
+    auto startsWith = [](const std::string &s, const std::string &p) {
+        return s.size() >= p.size() && s.compare(0, p.size(), p) == 0;
+    };
+    for (const FileModel &f : tree.files)
+        for (const MetricNameUse &r : f.metricReads) {
+            bool matched = exact.count(r.name) > 0;
+            for (const std::string &p : prefixes)
+                matched = matched || startsWith(r.name, p);
+            if (r.prefix) {
+                for (const std::string &e : exact)
+                    matched = matched || startsWith(e, r.name);
+                for (const std::string &p : prefixes)
+                    matched = matched || startsWith(p, r.name) ||
+                              startsWith(r.name, p);
+            }
+            if (!matched)
+                out.push_back(
+                    {f.path, r.line, "metric-never-written",
+                     "metric \"" + r.name +
+                         "\" is read here but never written anywhere "
+                         "in the tree (renamed at the write site?)"});
+        }
+}
+
+// --------------------------------------------------- determinism taint
+
+struct TaintState
+{
+    std::map<std::string, std::string> fieldKind; ///< field name -> kind
+    std::map<std::string, std::string> fnKind; ///< short fn name -> kind
+    bool changed = false;
+};
+
+const std::regex kAssignRe(
+    R"(([A-Za-z_]\w*)\s*(?:\[[^\]]*\]\s*)?(\+=|-=|\*=|/=|=)[^=])");
+const std::regex kForRangeRe(R"(\bfor\s*\(([^:;]*):([^)]*)\))");
+// Declarations with an explicitly integral type cannot carry float-
+// accumulation taint (a rounded sum does not fit in a Tick); this
+// blunts name-collision noise from the function-summary heuristic.
+const std::regex kIntDeclRe(
+    R"(\b(?:(?:std::)?u?int(?:8|16|32|64)?_t|size_t|Tick|int|long|unsigned|short|bool)\s+(\w+)\s*=)");
+
+/** Direct nondeterminism source in one statement, or "". */
+std::string
+directSourceKind(const std::string &text)
+{
+    if (text.find("this_thread::get_id") != std::string::npos ||
+        text.find("thread::id") != std::string::npos ||
+        hasToken(text, "pthread_self"))
+        return "thread-id";
+    static const std::regex ptrCastRe(
+        R"(reinterpret_cast\s*<\s*(?:std::)?u?intptr_t)");
+    if (std::regex_search(text, ptrCastRe))
+        return "pointer-value";
+    static const std::regex accumRe(
+        R"(\baccumulate\s*\([^;]*,\s*0\.0?f?\s*[,)])");
+    if (std::regex_search(text, accumRe))
+        return "float-accum";
+    return "";
+}
+
+/** All identifier tokens of @p text with a peek at the next character. */
+void
+forEachIdent(const std::string &text,
+             const std::function<void(const std::string &, char)> &fn)
+{
+    size_t i = 0;
+    while (i < text.size()) {
+        if (textscan::isIdentChar(text[i]) &&
+            !std::isdigit(static_cast<unsigned char>(text[i]))) {
+            size_t j = i;
+            while (j < text.size() && textscan::isIdentChar(text[j]))
+                ++j;
+            size_t k = j;
+            while (k < text.size() &&
+                   std::isspace(static_cast<unsigned char>(text[k])))
+                ++k;
+            fn(text.substr(i, j - i), k < text.size() ? text[k] : '\0');
+            i = j;
+        } else {
+            ++i;
+        }
+    }
+}
+
+bool
+exporterFunction(const std::string &name)
+{
+    std::string lower;
+    for (char c : name)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    for (const char *tag : {"export", "write", "dump", "json", "csv",
+                            "emit", "render"})
+        if (lower.find(tag) != std::string::npos)
+            return true;
+    return false;
+}
+
+/**
+ * One pass over one function. In summary mode only updates
+ * @p state (field/function summaries); in emit mode also reports
+ * tainted values reaching sinks.
+ */
+void
+processFunction(const FileModel &f, const FunctionModel &fn,
+                TaintState &state, bool summaryExempt,
+                std::vector<Finding> *emit)
+{
+    static const std::regex sinkMetricRe(
+        R"re((?:->|\.)\s*(?:add|set|observe|mergeHistogram)\s*\(\s*")re");
+    static const std::regex sinkSpanRe(
+        R"((?:->|\.)\s*(?:open|close|record)\s*\()");
+    std::map<std::string, std::string> locals;
+    const bool exporter = exporterFunction(fn.name);
+
+    for (const Stmt &st : fn.stmts) {
+        const std::string &text = st.text;
+
+        // Statement-level taint: direct sources, then propagated ones.
+        std::string kind = directSourceKind(text);
+        std::string carrier;
+        if (kind.empty()) {
+            forEachIdent(text, [&](const std::string &id, char next) {
+                if (!kind.empty())
+                    return;
+                const auto lit = locals.find(id);
+                if (lit != locals.end()) {
+                    kind = lit->second;
+                    carrier = id;
+                    return;
+                }
+                if (!id.empty() && id.back() == '_') {
+                    const auto fit = state.fieldKind.find(id);
+                    if (fit != state.fieldKind.end()) {
+                        kind = fit->second;
+                        carrier = id;
+                        return;
+                    }
+                }
+                if (next == '(') {
+                    const auto sit = state.fnKind.find(id);
+                    if (sit != state.fnKind.end()) {
+                        kind = sit->second;
+                        carrier = id + "()";
+                    }
+                }
+            });
+        }
+
+        // Range-for over an unordered container taints the loop vars.
+        std::smatch m;
+        if (std::regex_search(text, m, kForRangeRe)) {
+            std::string container;
+            forEachIdent(m[2].str(),
+                         [&](const std::string &id, char) {
+                             container = id;
+                         });
+            if (f.unorderedSymbols.count(container)) {
+                forEachIdent(m[1].str(),
+                             [&](const std::string &id, char) {
+                                 if (id != "auto" && id != "const")
+                                     locals[id] = "unordered-iter";
+                             });
+            }
+        }
+
+        // Assignments (all of them — a for-init and a body `+=` can
+        // share one statement): raw float accumulation is itself a
+        // source; otherwise taint (or kill) the target.
+        if (kind == "float-accum" &&
+            std::regex_search(text, m, kIntDeclRe))
+            kind.clear();
+        auto taintField = [&](const std::string &field,
+                              const std::string &k) {
+            if (summaryExempt)
+                return; // sanctioned primitives export no field taint
+            if (state.fieldKind[field] != k) {
+                state.fieldKind[field] = k;
+                state.changed = true;
+            }
+        };
+        for (std::sregex_iterator it(text.begin(), text.end(),
+                                     kAssignRe),
+             end;
+             it != end; ++it) {
+            const std::string target = (*it)[1].str();
+            const std::string op = (*it)[2].str();
+            const bool compound = op != "=";
+            if (compound && f.floatFields.count(target)) {
+                if (kind.empty()) {
+                    kind = "float-accum";
+                    carrier = target;
+                }
+                if (!target.empty() && target.back() == '_')
+                    taintField(target, "float-accum");
+                else
+                    locals[target] = "float-accum";
+            } else if (!kind.empty()) {
+                if (!target.empty() && target.back() == '_')
+                    taintField(target, kind);
+                else
+                    locals[target] = kind;
+            } else if (!compound) {
+                locals.erase(target);
+            }
+        }
+
+        // Returning a tainted value taints every caller — except in
+        // manifest-exempt files, whose primitives (ExactSum etc.) are
+        // the sanctioned order-independent forms themselves.
+        if (!kind.empty() && !summaryExempt &&
+            hasToken(text, "return")) {
+            const std::string shortName = lastComponent(fn.name);
+            if (state.fnKind[shortName] != kind) {
+                state.fnKind[shortName] = kind;
+                state.changed = true;
+            }
+        }
+
+        // Sinks: named-metric registry writes, span open/close/record,
+        // and stream output inside exporter-shaped functions.
+        if (emit && !kind.empty()) {
+            const bool metricSink =
+                std::regex_search(text, sinkMetricRe);
+            const bool spanSink =
+                text.find("Kind::") != std::string::npos &&
+                std::regex_search(text, sinkSpanRe);
+            const bool streamSink =
+                exporter && text.find("<<") != std::string::npos;
+            if (metricSink || spanSink || streamSink) {
+                const std::string what =
+                    carrier.empty() ? "value" : "'" + carrier + "'";
+                emit->push_back(
+                    {f.path, st.line, "taint-" + kind,
+                     "nondeterministic " + what + " (" + kind +
+                         ") reaches a deterministic " +
+                         (metricSink
+                              ? "metrics sink"
+                              : spanSink ? "span sink"
+                                         : "exporter stream") +
+                         "; route it through a sanctioned order-"
+                         "independent form"});
+            }
+        }
+    }
+}
+
+void
+checkTaint(const TreeModel &tree, std::vector<Finding> &out)
+{
+    auto exempt = [&](const FileModel &f) {
+        for (const std::string &part : tree.manifest.taintExempt)
+            if (f.path.find(part) != std::string::npos)
+                return true;
+        return false;
+    };
+    TaintState state;
+    for (int round = 0; round < 5; ++round) {
+        state.changed = false;
+        for (const FileModel &f : tree.files)
+            for (const FunctionModel &fn : f.functions)
+                processFunction(f, fn, state, exempt(f), nullptr);
+        if (!state.changed)
+            break;
+    }
+    for (const FileModel &f : tree.files)
+        for (const FunctionModel &fn : f.functions)
+            processFunction(f, fn, state, exempt(f), &out);
+}
+
+} // namespace
+
+AnalyzeReport
+analyzeTree(const TreeModel &tree)
+{
+    AnalyzeReport report;
+    report.files = static_cast<int>(tree.files.size());
+
+    std::vector<Finding> all;
+    for (const FileModel &f : tree.files)
+        for (const Finding &bad : f.badSuppressions)
+            all.push_back(bad);
+    checkLayering(tree, all);
+    checkEnumSwitches(tree, all);
+    checkSpanProtocol(tree, all);
+    checkMetricNames(tree, all);
+    checkTaint(tree, all);
+
+    std::map<std::string, const FileModel *> byPath;
+    for (const FileModel &f : tree.files)
+        byPath[f.path] = &f;
+    for (Finding &f : all) {
+        const auto it = byPath.find(f.file);
+        if (it != byPath.end()) {
+            const FileModel &fm = *it->second;
+            if (fm.allowFile.count(f.check)) {
+                ++report.suppressed;
+                continue;
+            }
+            const auto lit = fm.allowLine.find(f.line);
+            if (lit != fm.allowLine.end() &&
+                lit->second.count(f.check)) {
+                ++report.suppressed;
+                continue;
+            }
+        }
+        report.findings.push_back(std::move(f));
+    }
+    std::sort(report.findings.begin(), report.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.check != b.check)
+                      return a.check < b.check;
+                  return a.message < b.message;
+              });
+    report.findings.erase(
+        std::unique(report.findings.begin(), report.findings.end(),
+                    [](const Finding &a, const Finding &b) {
+                        return a.file == b.file && a.line == b.line &&
+                               a.check == b.check &&
+                               a.message == b.message;
+                    }),
+        report.findings.end());
+    return report;
+}
+
+} // namespace analyze
+} // namespace inc

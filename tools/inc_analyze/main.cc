@@ -1,0 +1,198 @@
+/**
+ * @file
+ * inc_analyze entry point: build the whole-tree model over the given
+ * files/directories, run the cross-file checks, report.
+ *
+ *   inc_analyze [--json] [--sarif=FILE] [--layers=FILE] <path>...
+ *   inc_analyze --list-checks [--json]
+ *
+ * The layering manifest defaults to tools/inc_analyze/layers.toml
+ * relative to the current directory; fixture trees pass their own via
+ * --layers. Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+ * Output is deterministic: findings sorted by (file, line, check).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace fs = std::filesystem;
+namespace analyze = inc::analyze;
+
+namespace {
+
+bool
+analyzableExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hh" || ext == ".hpp" ||
+           ext == ".cc" || ext == ".cpp" || ext == ".cxx";
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--json] [--sarif=FILE] [--layers=FILE] <path>...\n"
+        "       %s --list-checks [--json]\n",
+        argv0, argv0);
+    return 2;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    bool listChecks = false;
+    std::string sarifPath;
+    std::string layersPath = "tools/inc_analyze/layers.toml";
+    bool layersExplicit = false;
+    std::vector<std::string> roots;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list-checks") {
+            listChecks = true;
+        } else if (arg.rfind("--sarif=", 0) == 0) {
+            sarifPath = arg.substr(8);
+        } else if (arg.rfind("--layers=", 0) == 0) {
+            layersPath = arg.substr(9);
+            layersExplicit = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(argv[0]);
+        } else {
+            roots.push_back(arg);
+        }
+    }
+
+    if (listChecks) {
+        if (json) {
+            std::string out = "{\n  \"checks\": [";
+            bool first = true;
+            for (const auto &c : analyze::checkCatalogue()) {
+                out += first ? "\n" : ",\n";
+                out += std::string("    {\"id\": \"") + c.id +
+                       "\", \"description\": \"" + c.description +
+                       "\"}";
+                first = false;
+            }
+            out += "\n  ]\n}\n";
+            std::fputs(out.c_str(), stdout);
+        } else {
+            for (const auto &c : analyze::checkCatalogue())
+                std::printf("%-26s %s\n", c.id, c.description);
+        }
+        return 0;
+    }
+
+    if (roots.empty())
+        return usage(argv[0]);
+
+    analyze::TreeModel tree;
+    {
+        std::string toml;
+        if (!readFile(layersPath, toml)) {
+            std::fprintf(stderr,
+                         "inc_analyze: cannot read layering manifest "
+                         "'%s'%s\n",
+                         layersPath.c_str(),
+                         layersExplicit ? ""
+                                        : " (pass --layers=FILE)");
+            return 2;
+        }
+        tree.manifest = analyze::parseLayersToml(toml);
+        if (!tree.manifest.ok) {
+            std::fprintf(stderr, "inc_analyze: %s\n",
+                         tree.manifest.error.c_str());
+            return 2;
+        }
+    }
+
+    std::vector<std::string> files;
+    for (const std::string &root : roots) {
+        std::error_code ec;
+        const fs::file_status st = fs::status(root, ec);
+        if (ec || !fs::exists(st)) {
+            std::fprintf(stderr, "inc_analyze: cannot stat '%s'\n",
+                         root.c_str());
+            return 2;
+        }
+        if (fs::is_directory(st)) {
+            for (const auto &e :
+                 fs::recursive_directory_iterator(root)) {
+                if (e.is_regular_file() &&
+                    analyzableExtension(e.path()))
+                    files.push_back(e.path().generic_string());
+            }
+        } else {
+            files.push_back(fs::path(root).generic_string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    for (const std::string &file : files) {
+        std::string content;
+        if (!readFile(file, content)) {
+            std::fprintf(stderr, "inc_analyze: cannot read '%s'\n",
+                         file.c_str());
+            return 2;
+        }
+        tree.files.push_back(analyze::buildFileModel(file, content));
+    }
+
+    const analyze::AnalyzeReport report = analyze::analyzeTree(tree);
+
+    if (!sarifPath.empty()) {
+        const std::string sarif = analyze::renderSarif(report);
+        if (sarifPath == "-") {
+            std::fputs(sarif.c_str(), stdout);
+        } else {
+            std::ofstream out(sarifPath, std::ios::binary);
+            if (!out) {
+                std::fprintf(stderr,
+                             "inc_analyze: cannot write '%s'\n",
+                             sarifPath.c_str());
+                return 2;
+            }
+            out << sarif;
+        }
+    }
+    if (json) {
+        std::fputs(analyze::renderJson(report).c_str(), stdout);
+    } else if (sarifPath != "-") {
+        std::fputs(analyze::renderText(report.findings).c_str(),
+                   stdout);
+        std::fprintf(stderr,
+                     "inc_analyze: %d files, %zu findings, %d "
+                     "suppressed\n",
+                     report.files, report.findings.size(),
+                     report.suppressed);
+    }
+    return report.findings.empty() ? 0 : 1;
+}

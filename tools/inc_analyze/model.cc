@@ -1,0 +1,416 @@
+#include "model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace inc {
+namespace analyze {
+
+using textscan::trimmed;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Scope-aware segmentation. The repo's formatting (return type on its
+// own line, function name at column zero, braces on their own lines)
+// makes a head-text classifier reliable: every '{' is classified by
+// the statement text accumulated since the previous ';' '{' '}'.
+
+enum class ScopeKind { Namespace, Type, Enum, Function, Block, Other };
+
+struct Scope
+{
+    ScopeKind kind;
+    int fnIndex = -1;     ///< enclosing FunctionModel while inside one
+    std::string enumHead; ///< for Enum: the head text with the name
+    std::string enumBody; ///< for Enum: accumulated body text
+    int enumLine = 0;
+};
+
+const std::regex kEnumHeadRe(
+    R"(\benum\s+(?:class\s+|struct\s+)?(\w+))");
+const std::regex kIncludeRe(
+    R"re(^\s*#\s*include\s*"([^"]+)")re");
+const std::regex kUnorderedDeclRe(
+    R"(\bunordered_(?:multi)?(?:map|set)\s*<.*>\s+(\w+))");
+const std::regex kFloatDeclRe(
+    R"(^\s*(?:mutable\s+|static\s+)?(?:double|float)\s+(\w+)\s*(?:=[^;,]*)?[;,])");
+// Metric registry writes/reads, matched on raw lines because the name
+// literal is blanked in code lines. The trailing capture classifies
+// the literal: '+' = prefix (dynamic tail appended), else exact.
+const std::regex kMetricWriteRe(
+    R"re(([\w)]+)\s*(?:->|\.)\s*(add|set|observe|mergeHistogram)\s*\(\s*"([^"]+)"\s*([+,)]))re");
+const std::regex kMetricReadRe(
+    R"re(([\w)]+)\s*(?:->|\.)\s*(counter|gauge|histogram)\s*\(\s*"([^"]+)"\s*([+)]))re");
+
+bool
+timelineReceiver(const std::string &recv)
+{
+    // chrome-trace counter tracks share method names with the metrics
+    // registry; their receivers are the timeline recorder.
+    return recv == "tl" || recv == "timeline" || recv == "timeline_" ||
+           recv == "recorder" || recv == "recorder_";
+}
+
+/** Last whitespace-separated token of @p s ("double Foo::bar" -> "Foo::bar"). */
+std::string
+lastToken(const std::string &s)
+{
+    const std::string t = trimmed(s);
+    const size_t sp = t.find_last_of(" \t");
+    return sp == std::string::npos ? t : t.substr(sp + 1);
+}
+
+bool
+controlKeywordHead(const std::string &head)
+{
+    for (const char *kw :
+         {"if", "for", "while", "switch", "catch", "else", "do"})
+        if (textscan::hasToken(head, kw))
+            return true;
+    return false;
+}
+
+void
+finishEnum(FileModel &model, Scope &scope)
+{
+    std::smatch m;
+    if (!std::regex_search(scope.enumHead, m, kEnumHeadRe))
+        return;
+    EnumDef def;
+    def.name = m[1].str();
+    def.file = model.path;
+    def.line = scope.enumLine;
+    // Enumerators: first identifier of each comma-separated piece.
+    std::string piece;
+    auto flush = [&]() {
+        const std::string t = trimmed(piece);
+        piece.clear();
+        std::string ident;
+        for (char c : t) {
+            if (!textscan::isIdentChar(c))
+                break;
+            ident += c;
+        }
+        if (!ident.empty())
+            def.enumerators.push_back(ident);
+    };
+    int depth = 0; // protect enumerator initializers like A = f(1, 2)
+    for (char c : scope.enumBody) {
+        if (c == '(' || c == '<')
+            ++depth;
+        else if (c == ')' || c == '>')
+            --depth;
+        if (c == ',' && depth == 0)
+            flush();
+        else
+            piece += c;
+    }
+    flush();
+    if (!def.enumerators.empty())
+        model.enums.push_back(std::move(def));
+}
+
+} // namespace
+
+FileModel
+buildFileModel(const std::string &path, const std::string &content)
+{
+    FileModel model;
+    model.path = textscan::normalizePath(path);
+    model.scan = textscan::scan(content);
+    const textscan::ScanResult &s = model.scan;
+
+    // --- includes, declarations, metric-name uses (line-oriented) ---
+    for (size_t i = 0; i < s.raw.size(); ++i) {
+        std::smatch m;
+        if (std::regex_search(s.raw[i], m, kIncludeRe))
+            model.includes.push_back(
+                {static_cast<int>(i) + 1, m[1].str()});
+        if (std::regex_search(s.code[i], m, kUnorderedDeclRe))
+            model.unorderedSymbols.insert(m[1].str());
+        if (std::regex_search(s.code[i], m, kFloatDeclRe))
+            model.floatFields.insert(m[1].str());
+
+        const std::string &raw = s.raw[i];
+        for (std::sregex_iterator it(raw.begin(), raw.end(),
+                                     kMetricWriteRe),
+             end;
+             it != end; ++it) {
+            if (timelineReceiver((*it)[1].str()))
+                continue;
+            model.metricWrites.push_back(
+                {static_cast<int>(i) + 1, (*it)[3].str(),
+                 (*it)[4].str() == "+"});
+        }
+        for (std::sregex_iterator it(raw.begin(), raw.end(),
+                                     kMetricReadRe),
+             end;
+             it != end; ++it) {
+            if (timelineReceiver((*it)[1].str()))
+                continue;
+            model.metricReads.push_back(
+                {static_cast<int>(i) + 1, (*it)[3].str(),
+                 (*it)[4].str() == "+"});
+        }
+    }
+
+    // --- scope segmentation + statement assembly ---
+    std::vector<Scope> scopes;
+    std::string head;     ///< text since last ; { } outside functions
+    int headLine = 0;     ///< line the head began on
+    int parenDepth = 0;
+    int curFn = -1;
+
+    auto inEnum = [&]() {
+        return !scopes.empty() && scopes.back().kind == ScopeKind::Enum;
+    };
+
+    auto flushStmt = [&](FunctionModel *fn) {
+        const std::string t = trimmed(head);
+        if (fn && !t.empty())
+            fn->stmts.push_back({headLine, t});
+        head.clear();
+        headLine = 0;
+    };
+
+    for (size_t i = 0; i < s.code.size(); ++i) {
+        const std::string &line = s.code[i];
+        {
+            const std::string t = trimmed(line);
+            if (!t.empty() && t[0] == '#')
+                continue; // preprocessor lines are not statements
+        }
+        for (char c : line) {
+            if (inEnum() && c != '{' && c != '}') {
+                scopes.back().enumBody += c;
+                continue;
+            }
+            if (c == '(') {
+                ++parenDepth;
+                head += c;
+            } else if (c == ')') {
+                if (parenDepth > 0)
+                    --parenDepth;
+                head += c;
+            } else if (c == '{' && parenDepth == 0) {
+                Scope scope;
+                scope.fnIndex = curFn;
+                const std::string h = trimmed(head);
+                std::smatch m;
+                const bool inFn = curFn >= 0;
+                if (textscan::hasToken(h, "namespace")) {
+                    scope.kind = ScopeKind::Namespace;
+                } else if (std::regex_search(h, m, kEnumHeadRe)) {
+                    scope.kind = ScopeKind::Enum;
+                    scope.enumHead = h;
+                    scope.enumLine =
+                        headLine ? headLine : static_cast<int>(i) + 1;
+                } else if (!inFn &&
+                           (textscan::hasToken(h, "class") ||
+                            textscan::hasToken(h, "struct") ||
+                            textscan::hasToken(h, "union")) &&
+                           h.find('(') == std::string::npos) {
+                    scope.kind = ScopeKind::Type;
+                } else if (inFn) {
+                    // if/for/lambda/plain block inside a function: the
+                    // head (e.g. a for-range or if-initializer) is a
+                    // statement of the enclosing function.
+                    scope.kind = ScopeKind::Block;
+                    flushStmt(&model.functions[curFn]);
+                } else if (h.find('(') != std::string::npos &&
+                           h.find('=') == std::string::npos &&
+                           !controlKeywordHead(h)) {
+                    scope.kind = ScopeKind::Function;
+                    FunctionModel fn;
+                    fn.name = lastToken(h.substr(0, h.find('(')));
+                    fn.line =
+                        headLine ? headLine : static_cast<int>(i) + 1;
+                    model.functions.push_back(std::move(fn));
+                    curFn = static_cast<int>(model.functions.size()) - 1;
+                    head.clear();
+                    headLine = 0;
+                } else {
+                    scope.kind = ScopeKind::Other;
+                }
+                if (scope.kind != ScopeKind::Function) {
+                    head.clear();
+                    headLine = 0;
+                }
+                scopes.push_back(std::move(scope));
+            } else if (c == '{') {
+                // Brace-init inside an argument list: balance it as an
+                // inert scope; the statement continues.
+                Scope scope;
+                scope.kind = ScopeKind::Other;
+                scope.fnIndex = curFn;
+                scopes.push_back(std::move(scope));
+            } else if (c == '}') {
+                if (curFn >= 0)
+                    flushStmt(&model.functions[curFn]);
+                else
+                    head.clear();
+                if (!scopes.empty()) {
+                    Scope closed = std::move(scopes.back());
+                    scopes.pop_back();
+                    if (closed.kind == ScopeKind::Enum)
+                        finishEnum(model, closed);
+                    if (closed.kind == ScopeKind::Function)
+                        curFn = closed.fnIndex;
+                }
+            } else if (c == ';' && parenDepth == 0) {
+                if (curFn >= 0)
+                    flushStmt(&model.functions[curFn]);
+                else
+                    head.clear();
+            } else {
+                if (headLine == 0 &&
+                    !std::isspace(static_cast<unsigned char>(c)))
+                    headLine = static_cast<int>(i) + 1;
+                head += c;
+            }
+        }
+        if (!head.empty())
+            head += ' '; // line break inside a statement
+    }
+
+    // --- suppressions ---
+    for (const textscan::SuppressionNote &note :
+         textscan::parseSuppressionNotes(s, "inc-analyze")) {
+        bool known = false;
+        for (const CheckInfo &c : checkCatalogue())
+            known = known || note.id == c.id;
+        if (!known) {
+            model.badSuppressions.push_back(Finding{
+                model.path, note.line, "bad-suppression",
+                "allow(" + note.id +
+                    ") names no known check; see --list-checks"});
+            continue;
+        }
+        if (note.wholeFile)
+            model.allowFile.insert(note.id);
+        else
+            model.allowLine[note.targetLine].insert(note.id);
+    }
+    return model;
+}
+
+// ---------------------------------------------------------------------
+// layers.toml — the TOML subset the manifest needs: [section] headers
+// and `key = ["a", "b"]` string arrays (which may span lines).
+
+LayerManifest
+parseLayersToml(const std::string &content)
+{
+    LayerManifest out;
+    std::string section;
+    std::string pendingKey;
+    std::string pendingValue;
+    bool inArray = false;
+
+    auto commitArray = [&]() {
+        std::vector<std::string> items;
+        static const std::regex itemRe(R"re("([^"]*)")re");
+        for (std::sregex_iterator
+                 it(pendingValue.begin(), pendingValue.end(), itemRe),
+             end;
+             it != end; ++it)
+            items.push_back((*it)[1].str());
+        if (section == "layers" && pendingKey == "order") {
+            out.order = items;
+        } else if (section == "deps") {
+            out.deps[pendingKey] =
+                std::set<std::string>(items.begin(), items.end());
+        } else if (section == "enums" && pendingKey == "critical") {
+            out.criticalEnums =
+                std::set<std::string>(items.begin(), items.end());
+        } else if (section == "enums" && pendingKey == "sentinels") {
+            out.sentinelEnumerators =
+                std::set<std::string>(items.begin(), items.end());
+        } else if (section == "taint" && pendingKey == "exempt") {
+            out.taintExempt =
+                std::set<std::string>(items.begin(), items.end());
+        }
+        pendingKey.clear();
+        pendingValue.clear();
+        inArray = false;
+    };
+
+    size_t pos = 0;
+    while (pos <= content.size()) {
+        size_t eol = content.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = content.size();
+        std::string line = content.substr(pos, eol - pos);
+        pos = eol + 1;
+        // Strip comments (the manifest keeps '#' out of its strings).
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trimmed(line);
+        if (line.empty()) {
+            if (pos > content.size())
+                break;
+            continue;
+        }
+        if (inArray) {
+            pendingValue += line;
+            if (line.find(']') != std::string::npos)
+                commitArray();
+        } else if (line.front() == '[' && line.back() == ']') {
+            section = trimmed(line.substr(1, line.size() - 2));
+        } else {
+            const size_t eq = line.find('=');
+            if (eq == std::string::npos) {
+                out.error = "layers.toml: expected 'key = [...]', got '" +
+                            line + "'";
+                return out;
+            }
+            pendingKey = trimmed(line.substr(0, eq));
+            pendingValue = trimmed(line.substr(eq + 1));
+            if (pendingValue.find('[') == std::string::npos) {
+                out.error = "layers.toml: value of '" + pendingKey +
+                            "' must be a [\"...\"] array";
+                return out;
+            }
+            inArray = pendingValue.find(']') == std::string::npos;
+            if (!inArray)
+                commitArray();
+        }
+        if (pos > content.size())
+            break;
+    }
+    if (out.order.empty()) {
+        out.error = "layers.toml: missing [layers] order";
+        return out;
+    }
+    for (const std::string &layer : out.order)
+        if (!out.deps.count(layer)) {
+            out.error = "layers.toml: layer '" + layer +
+                        "' listed in order but has no [deps] entry";
+            return out;
+        }
+    for (const auto &kv : out.deps) {
+        const auto inOrder = [&](const std::string &name) {
+            return std::find(out.order.begin(), out.order.end(),
+                             name) != out.order.end();
+        };
+        if (!inOrder(kv.first)) {
+            out.error = "layers.toml: [deps] names unknown layer '" +
+                        kv.first + "'";
+            return out;
+        }
+        for (const std::string &dep : kv.second)
+            if (!inOrder(dep)) {
+                out.error = "layers.toml: deps of '" + kv.first +
+                            "' name unknown layer '" + dep + "'";
+                return out;
+            }
+    }
+    out.ok = true;
+    return out;
+}
+
+} // namespace analyze
+} // namespace inc

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * inc_analyze's parsed representation (DESIGN.md section 16). Where
+ * inc_lint sees one stripped line at a time, the analyzer builds a
+ * lightweight whole-tree model first and runs its checks over that:
+ *
+ *  - per file: the include list, every `enum class` definition (with
+ *    enumerators, including function-local ones — name collisions are
+ *    resolved by enumerator overlap), a function segmentation with
+ *    statements assembled across physical lines, metric-name string
+ *    uses, and the parsed `inc-analyze: allow()` suppressions;
+ *  - per tree: the directory-level include graph (layering), float
+ *    field / unordered-container symbol tables (taint seeds), and
+ *    function taint summaries propagated to a cross-file fixpoint.
+ *
+ * Everything here is heuristic by design — no preprocessor, no
+ * template instantiation, no overload resolution. The fixture trees
+ * under tests/lint/fixtures/analyze/ are the executable specification
+ * of exactly what the model does and does not see.
+ */
+
+#ifndef INCEPTIONN_INC_ANALYZE_MODEL_H
+#define INCEPTIONN_INC_ANALYZE_MODEL_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "textscan.h"
+
+namespace inc {
+namespace analyze {
+
+/** One rule in the registry. */
+struct CheckInfo
+{
+    const char *id;          ///< stable kebab-case id, used in allow()
+    const char *description; ///< one-line catalogue entry
+};
+
+/** The full check catalogue, in stable registry order. */
+const std::vector<CheckInfo> &checkCatalogue();
+
+/** One violation. */
+struct Finding
+{
+    std::string file;
+    int line = 0; ///< 1-based
+    std::string check;
+    std::string message;
+};
+
+/** A quoted #include directive. */
+struct IncludeRef
+{
+    int line = 0;
+    std::string target; ///< as written, e.g. "sim/span.h"
+};
+
+/** One `enum class` definition (any scope, including function-local). */
+struct EnumDef
+{
+    std::string name; ///< unqualified type name
+    std::vector<std::string> enumerators;
+    std::string file;
+    int line = 0;
+};
+
+/** One assembled statement of a function body. */
+struct Stmt
+{
+    int line = 0; ///< 1-based line the statement starts on
+    std::string text;
+};
+
+/** One function definition with its body statements. */
+struct FunctionModel
+{
+    std::string name; ///< as written before '(', e.g. "Histogram::mean"
+    int line = 0;     ///< line the signature/opening brace sits on
+    std::vector<Stmt> stmts;
+};
+
+/** One metric-name string literal at a registry call site. */
+struct MetricNameUse
+{
+    int line = 0;
+    std::string name;
+    bool prefix = false; ///< literal is concatenated with a dynamic tail
+};
+
+/** Everything the analyzer knows about one file. */
+struct FileModel
+{
+    std::string path; ///< normalized
+    textscan::ScanResult scan;
+    std::vector<IncludeRef> includes;
+    std::vector<EnumDef> enums;
+    std::vector<FunctionModel> functions;
+    std::vector<MetricNameUse> metricWrites;
+    std::vector<MetricNameUse> metricReads;
+    /** Names declared as unordered containers anywhere in the file. */
+    std::set<std::string> unorderedSymbols;
+    /** float/double member-style fields declared in the file. */
+    std::set<std::string> floatFields;
+
+    // inc-analyze: allow() suppressions
+    std::set<std::string> allowFile;
+    std::map<int, std::set<std::string>> allowLine; ///< target line -> ids
+    std::vector<Finding> badSuppressions;
+};
+
+/** Parse one file into its model. @p path is normalized and copied. */
+FileModel buildFileModel(const std::string &path,
+                         const std::string &content);
+
+/**
+ * The checked-in layering manifest (tools/inc_analyze/layers.toml).
+ * `deps` is the explicit allow-list: src/<layer> may include only
+ * itself plus deps[layer]. Layers absent from the manifest are
+ * `layer-unknown` findings, so the manifest can never silently rot
+ * behind a new src/ directory.
+ */
+struct LayerManifest
+{
+    std::vector<std::string> order; ///< declared layer names, base first
+    std::map<std::string, std::set<std::string>> deps;
+    std::set<std::string> criticalEnums;
+    std::set<std::string> sentinelEnumerators; ///< e.g. "kCount"
+    /**
+     * Path substrings of files implementing sanctioned order-
+     * independent forms (metrics::ExactSum and friends). Their
+     * functions produce no taint summaries — the primitive's internal
+     * arithmetic is exact by construction, so its returns are clean —
+     * but sink findings inside them still fire.
+     */
+    std::set<std::string> taintExempt;
+    bool ok = false;
+    std::string error;
+};
+
+/** Parse the TOML subset the manifest uses (sections, string arrays). */
+LayerManifest parseLayersToml(const std::string &content);
+
+/** The whole analyzed tree. */
+struct TreeModel
+{
+    std::vector<FileModel> files; ///< sorted by path
+    LayerManifest manifest;
+};
+
+/** Result of analyzing a tree. */
+struct AnalyzeReport
+{
+    std::vector<Finding> findings; ///< sorted (file, line, check)
+    int files = 0;
+    int suppressed = 0;
+};
+
+/** Run all four check families over @p tree. */
+AnalyzeReport analyzeTree(const TreeModel &tree);
+
+/** Line-oriented report: `file:line: [check-id] message`. */
+std::string renderText(const std::vector<Finding> &findings);
+/** JSON report: {"findings":[...],"files":N,"suppressed":M}. */
+std::string renderJson(const AnalyzeReport &report);
+/** SARIF 2.1.0 report for GitHub code-scanning upload. */
+std::string renderSarif(const AnalyzeReport &report);
+
+} // namespace analyze
+} // namespace inc
+
+#endif // INCEPTIONN_INC_ANALYZE_MODEL_H

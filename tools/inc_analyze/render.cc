@@ -1,0 +1,93 @@
+/**
+ * @file
+ * inc_analyze output formats: line-oriented text, the JSON shape the
+ * test harness parses (mirroring inc_lint's), and SARIF 2.1.0 for
+ * GitHub code-scanning upload.
+ */
+
+#include "model.h"
+
+namespace inc {
+namespace analyze {
+
+using textscan::jsonEscape;
+
+std::string
+renderText(const std::vector<Finding> &findings)
+{
+    std::string out;
+    for (const Finding &f : findings) {
+        out += f.file + ":" + std::to_string(f.line) + ": [" + f.check +
+               "] " + f.message + "\n";
+    }
+    return out;
+}
+
+std::string
+renderJson(const AnalyzeReport &report)
+{
+    std::string out = "{\n  \"findings\": [";
+    bool first = true;
+    for (const Finding &f : report.findings) {
+        out += first ? "\n" : ",\n";
+        out += "    {\"file\": \"" + jsonEscape(f.file) +
+               "\", \"line\": " + std::to_string(f.line) +
+               ", \"check\": \"" + jsonEscape(f.check) +
+               "\", \"message\": \"" + jsonEscape(f.message) + "\"}";
+        first = false;
+    }
+    out += first ? "]" : "\n  ]";
+    out += ",\n  \"files\": " + std::to_string(report.files) +
+           ",\n  \"suppressed\": " + std::to_string(report.suppressed) +
+           "\n}\n";
+    return out;
+}
+
+std::string
+renderSarif(const AnalyzeReport &report)
+{
+    std::string out =
+        "{\n"
+        "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        "  \"version\": \"2.1.0\",\n"
+        "  \"runs\": [\n"
+        "    {\n"
+        "      \"tool\": {\n"
+        "        \"driver\": {\n"
+        "          \"name\": \"inc_analyze\",\n"
+        "          \"informationUri\": "
+        "\"tools/inc_analyze\",\n"
+        "          \"rules\": [";
+    bool first = true;
+    for (const CheckInfo &c : checkCatalogue()) {
+        out += first ? "\n" : ",\n";
+        out += std::string("            {\"id\": \"") + c.id +
+               "\", \"shortDescription\": {\"text\": \"" +
+               jsonEscape(c.description) + "\"}}";
+        first = false;
+    }
+    out += "\n          ]\n"
+           "        }\n"
+           "      },\n"
+           "      \"results\": [";
+    first = true;
+    for (const Finding &f : report.findings) {
+        out += first ? "\n" : ",\n";
+        out += "        {\"ruleId\": \"" + jsonEscape(f.check) +
+               "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+               jsonEscape(f.message) +
+               "\"}, \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \"" +
+               jsonEscape(f.file) +
+               "\"}, \"region\": {\"startLine\": " +
+               std::to_string(f.line > 0 ? f.line : 1) + "}}}]}";
+        first = false;
+    }
+    out += first ? "]" : "\n      ]";
+    out += "\n    }\n  ]\n}\n";
+    return out;
+}
+
+} // namespace analyze
+} // namespace inc

@@ -1,294 +1,24 @@
 #include "lint.h"
 
 #include <algorithm>
-#include <cctype>
 #include <map>
 #include <regex>
 #include <set>
 #include <sstream>
 
+#include "textscan.h"
+
 namespace inc {
 namespace lint {
 
+using textscan::hasFreeCallToken;
+using textscan::hasToken;
+using textscan::isIdentChar;
+using textscan::ScanResult;
+using textscan::trimmed;
+using textscan::under;
+
 namespace {
-
-// ---------------------------------------------------------------------
-// Scanner: split a file into per-line code text (comments and string /
-// character literal *contents* blanked to spaces, so token checks never
-// fire inside them) and per-line comment text (where the allow()
-// annotations live). Raw string literals are handled; trigraphs are
-// not. Line splices inside literals keep their lines aligned because
-// blanking preserves every newline.
-
-struct ScanResult
-{
-    std::vector<std::string> raw;      ///< original lines
-    std::vector<std::string> code;     ///< literals/comments blanked
-    std::vector<std::string> comments; ///< comment text, per line
-};
-
-ScanResult
-scan(const std::string &content)
-{
-    ScanResult out;
-    out.raw.emplace_back();
-    out.code.emplace_back();
-    out.comments.emplace_back();
-
-    enum class State {
-        Code,
-        LineComment,
-        BlockComment,
-        String,
-        Char,
-        RawString
-    };
-    State st = State::Code;
-    std::string rawDelim; // for RawString: the ")delim\"" terminator
-
-    const size_t n = content.size();
-    for (size_t i = 0; i < n; ++i) {
-        const char c = content[i];
-        const char next = i + 1 < n ? content[i + 1] : '\0';
-        if (c == '\n') {
-            if (st == State::LineComment)
-                st = State::Code;
-            out.raw.emplace_back();
-            out.code.emplace_back();
-            out.comments.emplace_back();
-            continue;
-        }
-        out.raw.back() += c;
-        switch (st) {
-          case State::Code:
-            if (c == '/' && next == '/') {
-                st = State::LineComment;
-                out.code.back() += "  ";
-                ++i;
-            } else if (c == '/' && next == '*') {
-                st = State::BlockComment;
-                out.code.back() += "  ";
-                ++i;
-            } else if (c == '"') {
-                // R"delim( ... )delim" — the R must directly abut.
-                const bool raw = !out.code.back().empty() &&
-                                 out.code.back().back() == 'R';
-                if (raw) {
-                    rawDelim = ")";
-                    size_t j = i + 1;
-                    while (j < n && content[j] != '(' &&
-                           content[j] != '\n')
-                        rawDelim += content[j++];
-                    rawDelim += '"';
-                    st = State::RawString;
-                } else {
-                    st = State::String;
-                }
-                out.code.back() += '"';
-            } else if (c == '\'') {
-                st = State::Char;
-                out.code.back() += '\'';
-            } else {
-                out.code.back() += c;
-            }
-            break;
-          case State::LineComment:
-            out.comments.back() += c;
-            out.code.back() += ' ';
-            break;
-          case State::BlockComment:
-            if (c == '*' && next == '/') {
-                st = State::Code;
-                out.code.back() += "  ";
-                ++i;
-                if (i < n)
-                    out.raw.back() += content[i];
-            } else {
-                out.comments.back() += c;
-                out.code.back() += ' ';
-            }
-            break;
-          case State::String:
-            if (c == '\\' && next != '\n' && next != '\0') {
-                out.code.back() += "  ";
-                out.raw.back() += next;
-                ++i;
-            } else if (c == '"') {
-                st = State::Code;
-                out.code.back() += '"';
-            } else {
-                out.code.back() += ' ';
-            }
-            break;
-          case State::Char:
-            if (c == '\\' && next != '\n' && next != '\0') {
-                out.code.back() += "  ";
-                out.raw.back() += next;
-                ++i;
-            } else if (c == '\'') {
-                st = State::Code;
-                out.code.back() += '\'';
-            } else {
-                out.code.back() += ' ';
-            }
-            break;
-          case State::RawString:
-            out.code.back() += ' ';
-            if (c == rawDelim[0] &&
-                content.compare(i, rawDelim.size(), rawDelim) == 0) {
-                for (size_t k = 1; k < rawDelim.size(); ++k) {
-                    ++i;
-                    out.raw.back() += content[i];
-                    out.code.back() += ' ';
-                }
-                st = State::Code;
-            }
-            break;
-        }
-    }
-    return out;
-}
-
-// ---------------------------------------------------------------------
-// Small text helpers.
-
-bool
-isIdentChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/** Whole-identifier occurrence of @p tok in @p line. */
-bool
-hasToken(const std::string &line, const std::string &tok)
-{
-    size_t pos = 0;
-    while ((pos = line.find(tok, pos)) != std::string::npos) {
-        const bool leftOk = pos == 0 || !isIdentChar(line[pos - 1]);
-        const size_t end = pos + tok.size();
-        const bool rightOk =
-            end >= line.size() || !isIdentChar(line[end]);
-        if (leftOk && rightOk)
-            return true;
-        pos = end;
-    }
-    return false;
-}
-
-/** Like hasToken, but the token must be a free *call*: followed by
- *  '(', not reached through '.' or '->' (member calls are someone
- *  else's `time()`, not libc's), and not directly preceded by an
- *  identifier other than `return`/`throw` (that shape —
- *  `long time(...)` — is a declaration, which merely reuses the
- *  name). */
-bool
-hasFreeCallToken(const std::string &line, const std::string &tok)
-{
-    size_t pos = 0;
-    while ((pos = line.find(tok, pos)) != std::string::npos) {
-        const size_t end = pos + tok.size();
-        const bool leftGlued = pos > 0 && isIdentChar(line[pos - 1]);
-
-        // Walk left past whitespace to classify what precedes.
-        size_t k = pos;
-        while (k > 0 &&
-               std::isspace(static_cast<unsigned char>(line[k - 1])))
-            --k;
-        bool member = false, declaration = false;
-        if (k > 0) {
-            const char prev = line[k - 1];
-            member = prev == '.' ||
-                     (prev == '>' && k > 1 && line[k - 2] == '-');
-            if (isIdentChar(prev)) {
-                size_t b = k;
-                while (b > 0 && isIdentChar(line[b - 1]))
-                    --b;
-                const std::string before = line.substr(b, k - b);
-                declaration =
-                    before != "return" && before != "throw";
-            }
-        }
-
-        size_t j = end;
-        while (j < line.size() &&
-               std::isspace(static_cast<unsigned char>(line[j])))
-            ++j;
-        const bool called = j < line.size() && line[j] == '(';
-        if (!leftGlued && !member && !declaration && called &&
-            (end >= line.size() || !isIdentChar(line[end])))
-            return true;
-        pos = end;
-    }
-    return false;
-}
-
-std::string
-trimmed(const std::string &s)
-{
-    size_t b = 0, e = s.size();
-    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
-        ++b;
-    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
-        --e;
-    return s.substr(b, e - b);
-}
-
-std::string
-normalizePath(const std::string &path)
-{
-    std::string p = path;
-    std::replace(p.begin(), p.end(), '\\', '/');
-    if (p.rfind("./", 0) == 0)
-        p = p.substr(2);
-    return p;
-}
-
-/** True when @p p lies under directory fragment @p dir ("src/sim"). */
-bool
-under(const std::string &p, const std::string &dir)
-{
-    const std::string withSlashes = "/" + p;
-    return withSlashes.find("/" + dir + "/") != std::string::npos;
-}
-
-bool
-isHeaderPath(const std::string &p)
-{
-    const size_t dot = p.rfind('.');
-    if (dot == std::string::npos)
-        return false;
-    const std::string ext = p.substr(dot);
-    return ext == ".h" || ext == ".hh" || ext == ".hpp";
-}
-
-/** "src/sim/event_queue.h" -> {"sim", "event_queue"}. */
-void
-dirAndStem(const std::string &p, std::string &dir, std::string &stem)
-{
-    const size_t slash = p.rfind('/');
-    const std::string file =
-        slash == std::string::npos ? p : p.substr(slash + 1);
-    const size_t dot = file.rfind('.');
-    stem = dot == std::string::npos ? file : file.substr(0, dot);
-    dir.clear();
-    if (slash != std::string::npos) {
-        const size_t prev = p.rfind('/', slash - 1);
-        dir = p.substr(prev == std::string::npos ? 0 : prev + 1,
-                       slash - (prev == std::string::npos ? 0 : prev + 1));
-    }
-}
-
-std::string
-upperIdent(const std::string &s)
-{
-    std::string out;
-    for (char c : s)
-        out += isIdentChar(c)
-                   ? static_cast<char>(
-                         std::toupper(static_cast<unsigned char>(c)))
-                   : '_';
-    return out;
-}
 
 // ---------------------------------------------------------------------
 // Per-file context shared by all checks.
@@ -554,9 +284,10 @@ checkIncludeGuard(Ctx &ctx)
     if (!ctx.header)
         return;
     std::string dir, stem;
-    dirAndStem(ctx.path, dir, stem);
+    textscan::dirAndStem(ctx.path, dir, stem);
     const std::string expected =
-        "INCEPTIONN_" + upperIdent(dir) + "_" + upperIdent(stem) + "_H";
+        "INCEPTIONN_" + textscan::upperIdent(dir) + "_" +
+        textscan::upperIdent(stem) + "_H";
 
     static const std::regex ifndefRe(R"(^\s*#\s*ifndef\s+(\w+))");
     static const std::regex pragmaRe(R"(^\s*#\s*pragma\s+once\b)");
@@ -598,7 +329,8 @@ checkUsingNamespaceInHeader(Ctx &ctx)
 }
 
 // ---------------------------------------------------------------------
-// Suppressions.
+// Suppressions: the shared `inc-lint: allow()` grammar from textscan,
+// resolved against this tool's check catalogue.
 
 struct Suppressions
 {
@@ -620,40 +352,19 @@ Suppressions
 parseSuppressions(const std::string &path, const ScanResult &s)
 {
     Suppressions out;
-    static const std::regex re(
-        R"(inc-lint:\s*allow(-file)?\s*\(([^)]*)\))");
-    for (size_t i = 0; i < s.comments.size(); ++i) {
-        const std::string &text = s.comments[i];
-        for (std::sregex_iterator it(text.begin(), text.end(), re), end;
-             it != end; ++it) {
-            const bool wholeFile = (*it)[1].matched;
-            std::stringstream ids((*it)[2].str());
-            std::string id;
-            while (std::getline(ids, id, ',')) {
-                id = trimmed(id);
-                if (id.empty())
-                    continue;
-                if (!knownCheck(id)) {
-                    out.bad.push_back(Finding{
-                        path, static_cast<int>(i) + 1,
-                        "bad-suppression",
-                        "allow(" + id +
-                            ") names no known check; see "
-                            "--list-checks"});
-                    continue;
-                }
-                if (wholeFile) {
-                    out.file.insert(id);
-                } else {
-                    // Same line when it carries code, else next line.
-                    const bool own =
-                        !trimmed(s.code[i]).empty();
-                    const int target =
-                        static_cast<int>(i) + (own ? 1 : 2);
-                    out.byLine[target].insert(id);
-                }
-            }
+    for (const textscan::SuppressionNote &note :
+         textscan::parseSuppressionNotes(s, "inc-lint")) {
+        if (!knownCheck(note.id)) {
+            out.bad.push_back(Finding{
+                path, note.line, "bad-suppression",
+                "allow(" + note.id +
+                    ") names no known check; see --list-checks"});
+            continue;
         }
+        if (note.wholeFile)
+            out.file.insert(note.id);
+        else
+            out.byLine[note.targetLine].insert(note.id);
     }
     return out;
 }
@@ -702,10 +413,10 @@ FileReport
 lintFile(const std::string &path, const std::string &content)
 {
     Ctx ctx;
-    ctx.path = normalizePath(path);
-    const ScanResult s = scan(content);
+    ctx.path = textscan::normalizePath(path);
+    const ScanResult s = textscan::scan(content);
     ctx.s = &s;
-    ctx.header = isHeaderPath(ctx.path);
+    ctx.header = textscan::isHeaderPath(ctx.path);
     ctx.simOrNet = under(ctx.path, "src/sim") || under(ctx.path, "src/net");
 
     // Emitter = direct include of an emission-layer header, or being
@@ -758,6 +469,26 @@ lintFile(const std::string &path, const std::string &content)
     return report;
 }
 
+std::vector<SuppressionRecord>
+listSuppressions(const std::string &path, const std::string &content)
+{
+    const std::string p = textscan::normalizePath(path);
+    const ScanResult s = textscan::scan(content);
+    std::vector<SuppressionRecord> out;
+    for (const textscan::SuppressionNote &note :
+         textscan::parseSuppressionNotes(s, "inc-lint")) {
+        SuppressionRecord rec;
+        rec.file = p;
+        rec.line = note.line;
+        rec.check = note.id;
+        rec.wholeFile = note.wholeFile;
+        rec.justification = note.justification;
+        rec.known = knownCheck(note.id);
+        out.push_back(std::move(rec));
+    }
+    return out;
+}
+
 std::string
 renderText(const std::vector<Finding> &findings)
 {
@@ -768,26 +499,11 @@ renderText(const std::vector<Finding> &findings)
     return out;
 }
 
-namespace {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
-    }
-    return out;
-}
-
-} // namespace
-
 std::string
 renderJson(const std::vector<Finding> &findings, int files,
            int suppressed)
 {
+    using textscan::jsonEscape;
     std::string out = "{\n  \"findings\": [";
     bool first = true;
     for (const Finding &f : findings) {

@@ -9,21 +9,19 @@
  * on emission paths, mutable global state in the simulation kernel,
  * and header hygiene.
  *
- * Suppressions: a comment `// inc-lint: allow(<id>[, <id>...])`
- * suppresses the named checks on its own line (when the line has
- * code), or on the next line (when the comment stands alone).
- * `// inc-lint: allow-file(<id>)` suppresses a check for the whole
- * file. Unknown ids in an allow() are themselves findings
- * (bad-suppression) so a typo cannot silently mask nothing.
+ * Suppressions: an `allow(<id>[, <id>...])` note carrying the
+ * `inc-lint` tag (tag, colon, then the allow form) suppresses the
+ * named checks on its own line (when the line has code), or on the
+ * next line (when the comment stands alone); the `allow-file(<id>)`
+ * form suppresses a check for the whole file. Unknown ids in an
+ * allow() are themselves findings (bad-suppression) so a typo cannot
+ * silently mask nothing.
  *
  * Being token-level, the checker sees one file at a time and does not
  * chase transitive includes; scope predicates use the file's own path
  * and its direct #include directives. That keeps it dependency-free
  * and fast enough to gate CI on every push.
  */
-// The placeholder syntax examples above would otherwise read as typo'd
-// suppressions. inc-lint: allow-file(bad-suppression)
-
 #ifndef INCEPTIONN_INC_LINT_LINT_H
 #define INCEPTIONN_INC_LINT_LINT_H
 
@@ -58,6 +56,27 @@ struct FileReport
     std::vector<Finding> findings;
     int suppressed = 0; ///< findings silenced by allow()/allow-file()
 };
+
+/**
+ * One allow()/allow-file() annotation, for `--list-suppressions`: the
+ * mechanical audit trail of every place the tree opts out of a check.
+ * The justification is the prose sharing the annotation's comment
+ * line; an empty justification is how an audit finds undocumented
+ * opt-outs.
+ */
+struct SuppressionRecord
+{
+    std::string file;
+    int line = 0; ///< 1-based line of the annotation itself
+    std::string check;
+    std::string justification;
+    bool wholeFile = false; ///< allow-file() vs line-scoped allow()
+    bool known = true;      ///< id resolves against the catalogue
+};
+
+/** Every suppression annotation in one file, in line order. */
+std::vector<SuppressionRecord>
+listSuppressions(const std::string &path, const std::string &content);
 
 /**
  * Run every registered check over one file. @p path is used for scope

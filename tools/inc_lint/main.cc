@@ -5,6 +5,9 @@
  *
  *   inc_lint [--json] <path>...     lint files / trees
  *   inc_lint --list-checks [--json] print the check catalogue
+ *   inc_lint --list-suppressions [--json] <path>...
+ *                                   audit every allow()/allow-file()
+ *                                   (file/line/check/justification)
  *
  * Exit status: 0 clean, 1 findings, 2 usage or I/O error. Output is
  * deterministic: files are visited in sorted path order and findings
@@ -39,8 +42,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--json] <path>...\n"
-                 "       %s --list-checks [--json]\n",
-                 argv0, argv0);
+                 "       %s --list-checks [--json]\n"
+                 "       %s --list-suppressions [--json] <path>...\n",
+                 argv0, argv0, argv0);
     return 2;
 }
 
@@ -51,6 +55,7 @@ main(int argc, char **argv)
 {
     bool json = false;
     bool listChecks = false;
+    bool listSuppressions = false;
     std::vector<std::string> roots;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -58,6 +63,8 @@ main(int argc, char **argv)
             json = true;
         else if (arg == "--list-checks")
             listChecks = true;
+        else if (arg == "--list-suppressions")
+            listSuppressions = true;
         else if (arg == "--help" || arg == "-h")
             return usage(argv[0]);
         else if (!arg.empty() && arg[0] == '-') {
@@ -113,6 +120,58 @@ main(int argc, char **argv)
     }
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    if (listSuppressions) {
+        std::vector<inc::lint::SuppressionRecord> records;
+        for (const std::string &file : files) {
+            std::ifstream in(file, std::ios::binary);
+            if (!in) {
+                std::fprintf(stderr, "inc_lint: cannot read '%s'\n",
+                             file.c_str());
+                return 2;
+            }
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            for (auto &r :
+                 inc::lint::listSuppressions(file, buf.str()))
+                records.push_back(std::move(r));
+        }
+        if (json) {
+            std::string out = "{\n  \"suppressions\": [";
+            bool first = true;
+            for (const auto &r : records) {
+                out += first ? "\n" : ",\n";
+                out += "    {\"file\": \"" + r.file +
+                       "\", \"line\": " + std::to_string(r.line) +
+                       ", \"check\": \"" + r.check + "\", \"scope\": \"" +
+                       (r.wholeFile ? "file" : "line") +
+                       "\", \"known\": " + (r.known ? "true" : "false") +
+                       ", \"justification\": \"";
+                for (char c : r.justification) {
+                    if (c == '"' || c == '\\')
+                        out += '\\';
+                    out += c;
+                }
+                out += "\"}";
+                first = false;
+            }
+            out += first ? "]\n}\n" : "\n  ]\n}\n";
+            std::fputs(out.c_str(), stdout);
+        } else {
+            for (const auto &r : records)
+                std::printf("%s:%d: %s%s%s%s%s\n", r.file.c_str(),
+                            r.line, r.check.c_str(),
+                            r.wholeFile ? " [file-wide]" : "",
+                            r.known ? "" : " [UNKNOWN ID]",
+                            r.justification.empty()
+                                ? " (no justification)"
+                                : " — ",
+                            r.justification.c_str());
+            std::fprintf(stderr, "inc_lint: %zu suppressions in %zu "
+                         "files\n", records.size(), files.size());
+        }
+        return 0;
+    }
 
     std::vector<Finding> findings;
     int suppressed = 0;

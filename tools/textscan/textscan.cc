@@ -1,0 +1,331 @@
+#include "textscan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace inc {
+namespace textscan {
+
+ScanResult
+scan(const std::string &content)
+{
+    ScanResult out;
+    out.raw.emplace_back();
+    out.code.emplace_back();
+    out.comments.emplace_back();
+
+    enum class State {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString
+    };
+    State st = State::Code;
+    std::string rawDelim; // for RawString: the ")delim\"" terminator
+
+    const size_t n = content.size();
+    for (size_t i = 0; i < n; ++i) {
+        const char c = content[i];
+        const char next = i + 1 < n ? content[i + 1] : '\0';
+        if (c == '\n') {
+            if (st == State::LineComment)
+                st = State::Code;
+            out.raw.emplace_back();
+            out.code.emplace_back();
+            out.comments.emplace_back();
+            continue;
+        }
+        out.raw.back() += c;
+        switch (st) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                st = State::LineComment;
+                out.code.back() += "  ";
+                ++i;
+            } else if (c == '/' && next == '*') {
+                st = State::BlockComment;
+                out.code.back() += "  ";
+                ++i;
+            } else if (c == '"') {
+                // R"delim( ... )delim" — the R must directly abut.
+                const bool raw = !out.code.back().empty() &&
+                                 out.code.back().back() == 'R';
+                if (raw) {
+                    rawDelim.assign(1, ')');
+                    size_t j = i + 1;
+                    while (j < n && content[j] != '(' &&
+                           content[j] != '\n')
+                        rawDelim += content[j++];
+                    rawDelim += '"';
+                    st = State::RawString;
+                } else {
+                    st = State::String;
+                }
+                out.code.back() += '"';
+            } else if (c == '\'') {
+                st = State::Char;
+                out.code.back() += '\'';
+            } else {
+                out.code.back() += c;
+            }
+            break;
+          case State::LineComment:
+            out.comments.back() += c;
+            out.code.back() += ' ';
+            break;
+          case State::BlockComment:
+            if (c == '*' && next == '/') {
+                st = State::Code;
+                out.code.back() += "  ";
+                ++i;
+                if (i < n)
+                    out.raw.back() += content[i];
+            } else {
+                out.comments.back() += c;
+                out.code.back() += ' ';
+            }
+            break;
+          case State::String:
+            if (c == '\\' && next != '\n' && next != '\0') {
+                out.code.back() += "  ";
+                out.raw.back() += next;
+                ++i;
+            } else if (c == '"') {
+                st = State::Code;
+                out.code.back() += '"';
+            } else {
+                out.code.back() += ' ';
+            }
+            break;
+          case State::Char:
+            if (c == '\\' && next != '\n' && next != '\0') {
+                out.code.back() += "  ";
+                out.raw.back() += next;
+                ++i;
+            } else if (c == '\'') {
+                st = State::Code;
+                out.code.back() += '\'';
+            } else {
+                out.code.back() += ' ';
+            }
+            break;
+          case State::RawString:
+            out.code.back() += ' ';
+            if (c == rawDelim[0] &&
+                content.compare(i, rawDelim.size(), rawDelim) == 0) {
+                for (size_t k = 1; k < rawDelim.size(); ++k) {
+                    ++i;
+                    out.raw.back() += content[i];
+                    out.code.back() += ' ';
+                }
+                st = State::Code;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+hasToken(const std::string &line, const std::string &tok)
+{
+    size_t pos = 0;
+    while ((pos = line.find(tok, pos)) != std::string::npos) {
+        const bool leftOk = pos == 0 || !isIdentChar(line[pos - 1]);
+        const size_t end = pos + tok.size();
+        const bool rightOk =
+            end >= line.size() || !isIdentChar(line[end]);
+        if (leftOk && rightOk)
+            return true;
+        pos = end;
+    }
+    return false;
+}
+
+bool
+hasFreeCallToken(const std::string &line, const std::string &tok)
+{
+    size_t pos = 0;
+    while ((pos = line.find(tok, pos)) != std::string::npos) {
+        const size_t end = pos + tok.size();
+        const bool leftGlued = pos > 0 && isIdentChar(line[pos - 1]);
+
+        // Walk left past whitespace to classify what precedes.
+        size_t k = pos;
+        while (k > 0 &&
+               std::isspace(static_cast<unsigned char>(line[k - 1])))
+            --k;
+        bool member = false, declaration = false;
+        if (k > 0) {
+            const char prev = line[k - 1];
+            member = prev == '.' ||
+                     (prev == '>' && k > 1 && line[k - 2] == '-');
+            if (isIdentChar(prev)) {
+                size_t b = k;
+                while (b > 0 && isIdentChar(line[b - 1]))
+                    --b;
+                const std::string before = line.substr(b, k - b);
+                declaration =
+                    before != "return" && before != "throw";
+            }
+        }
+
+        size_t j = end;
+        while (j < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[j])))
+            ++j;
+        const bool called = j < line.size() && line[j] == '(';
+        if (!leftGlued && !member && !declaration && called &&
+            (end >= line.size() || !isIdentChar(line[end])))
+            return true;
+        pos = end;
+    }
+    return false;
+}
+
+std::string
+trimmed(const std::string &s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+normalizePath(const std::string &path)
+{
+    std::string p = path;
+    std::replace(p.begin(), p.end(), '\\', '/');
+    if (p.rfind("./", 0) == 0)
+        p = p.substr(2);
+    return p;
+}
+
+bool
+under(const std::string &p, const std::string &dir)
+{
+    const std::string withSlashes = "/" + p;
+    return withSlashes.find("/" + dir + "/") != std::string::npos;
+}
+
+bool
+isHeaderPath(const std::string &p)
+{
+    const size_t dot = p.rfind('.');
+    if (dot == std::string::npos)
+        return false;
+    const std::string ext = p.substr(dot);
+    return ext == ".h" || ext == ".hh" || ext == ".hpp";
+}
+
+void
+dirAndStem(const std::string &p, std::string &dir, std::string &stem)
+{
+    const size_t slash = p.rfind('/');
+    const std::string file =
+        slash == std::string::npos ? p : p.substr(slash + 1);
+    const size_t dot = file.rfind('.');
+    stem = dot == std::string::npos ? file : file.substr(0, dot);
+    dir.clear();
+    if (slash != std::string::npos) {
+        const size_t prev = p.rfind('/', slash - 1);
+        dir = p.substr(prev == std::string::npos ? 0 : prev + 1,
+                       slash - (prev == std::string::npos ? 0 : prev + 1));
+    }
+}
+
+std::string
+upperIdent(const std::string &s)
+{
+    std::string out;
+    for (char c : s)
+        out += isIdentChar(c)
+                   ? static_cast<char>(
+                         std::toupper(static_cast<unsigned char>(c)))
+                   : '_';
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+std::vector<SuppressionNote>
+parseSuppressionNotes(const ScanResult &s, const std::string &tag)
+{
+    std::vector<SuppressionNote> out;
+    const std::regex re(tag + R"(:\s*allow(-file)?\s*\(([^)]*)\))");
+    for (size_t i = 0; i < s.comments.size(); ++i) {
+        const std::string &text = s.comments[i];
+        for (std::sregex_iterator it(text.begin(), text.end(), re), end;
+             it != end; ++it) {
+            const bool wholeFile = (*it)[1].matched;
+            // Justification: the comment line minus the annotation.
+            std::string just = text;
+            just.erase(static_cast<size_t>(it->position(0)),
+                       static_cast<size_t>(it->length(0)));
+            // Strip the tag prefix leftovers and tidy whitespace/dashes.
+            just = trimmed(just);
+            for (;;) {
+                if (!just.empty() &&
+                    (just.front() == '-' || just.front() == ' ' ||
+                     just.front() == '\x97')) {
+                    just.erase(just.begin());
+                    continue;
+                }
+                if (just.rfind("\xE2\x80\x94", 0) == 0) { // UTF-8 em dash
+                    just.erase(0, 3);
+                    continue;
+                }
+                break;
+            }
+            just = trimmed(just);
+
+            const bool ownLine = !trimmed(s.code[i]).empty();
+            std::string ids = (*it)[2].str();
+            size_t b = 0;
+            while (b <= ids.size()) {
+                size_t e = ids.find(',', b);
+                if (e == std::string::npos)
+                    e = ids.size();
+                const std::string id =
+                    trimmed(ids.substr(b, e - b));
+                b = e + 1;
+                if (id.empty())
+                    continue;
+                SuppressionNote note;
+                note.line = static_cast<int>(i) + 1;
+                note.targetLine =
+                    static_cast<int>(i) + (ownLine ? 1 : 2);
+                note.wholeFile = wholeFile;
+                note.id = id;
+                note.justification = just;
+                out.push_back(note);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace textscan
+} // namespace inc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared source-text scanning layer for the repo's static-analysis
+ * tools (tools/inc_lint, tools/inc_analyze). Both tools are
+ * deliberately self-contained — no libclang, no third-party deps — so
+ * everything they agree on lives here: splitting a C++ file into
+ * per-line code text (comment and string/char-literal *contents*
+ * blanked to spaces, so token checks never fire inside them) and
+ * per-line comment text (where `allow()` annotations live), plus the
+ * token/path helpers and the common suppression-comment grammar.
+ *
+ * The scanner handles raw string literals; trigraphs are not. Line
+ * splices inside literals keep their lines aligned because blanking
+ * preserves every newline.
+ */
+
+#ifndef INCEPTIONN_TEXTSCAN_TEXTSCAN_H
+#define INCEPTIONN_TEXTSCAN_TEXTSCAN_H
+
+#include <string>
+#include <vector>
+
+namespace inc {
+namespace textscan {
+
+/** A file split into aligned raw / code-only / comment-only lines. */
+struct ScanResult
+{
+    std::vector<std::string> raw;      ///< original lines
+    std::vector<std::string> code;     ///< literals/comments blanked
+    std::vector<std::string> comments; ///< comment text, per line
+};
+
+/** Scan @p content into aligned line triples. */
+ScanResult scan(const std::string &content);
+
+/** Identifier character ([A-Za-z0-9_]). */
+bool isIdentChar(char c);
+
+/** Whole-identifier occurrence of @p tok in @p line. */
+bool hasToken(const std::string &line, const std::string &tok);
+
+/**
+ * Like hasToken, but the token must be a free *call*: followed by
+ * '(', not reached through '.' or '->' (member calls are someone
+ * else's `time()`, not libc's), and not directly preceded by an
+ * identifier other than `return`/`throw` (that shape —
+ * `long time(...)` — is a declaration, which merely reuses the name).
+ */
+bool hasFreeCallToken(const std::string &line, const std::string &tok);
+
+/** Leading/trailing whitespace stripped. */
+std::string trimmed(const std::string &s);
+
+/** Forward slashes, no leading "./". */
+std::string normalizePath(const std::string &path);
+
+/** True when @p p lies under directory fragment @p dir ("src/sim"). */
+bool under(const std::string &p, const std::string &dir);
+
+/** .h / .hh / .hpp */
+bool isHeaderPath(const std::string &p);
+
+/** "src/sim/event_queue.h" -> dir "sim", stem "event_queue". */
+void dirAndStem(const std::string &p, std::string &dir,
+                std::string &stem);
+
+/** Identifier-safe upper-casing ("event_queue" -> "EVENT_QUEUE"). */
+std::string upperIdent(const std::string &s);
+
+/** Minimal JSON string escaping (quotes and backslashes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * One parsed suppression annotation. The grammar is shared between
+ * the tools; only the comment tag differs ("inc-lint" / "inc-analyze"):
+ *
+ *   // <tag>: allow(<id>[, <id>...])   same line (when it has code),
+ *                                      else the next line
+ *   // <tag>: allow-file(<id>[, ...])  whole file
+ *
+ * `line` is the 1-based line the annotation sits on; `targetLine` is
+ * the line the non-file suppression applies to (same line when the
+ * annotation shares a line with code, the following line when the
+ * comment stands alone). The justification is the remaining comment
+ * text on the annotation's line with the allow(...) itself removed.
+ */
+struct SuppressionNote
+{
+    int line = 0;
+    int targetLine = 0;
+    bool wholeFile = false;
+    std::string id;
+    std::string justification;
+};
+
+/** Parse every `<tag>: allow[-file](...)` annotation in @p s. */
+std::vector<SuppressionNote> parseSuppressionNotes(const ScanResult &s,
+                                                   const std::string &tag);
+
+} // namespace textscan
+} // namespace inc
+
+#endif // INCEPTIONN_TEXTSCAN_TEXTSCAN_H
